@@ -1,0 +1,122 @@
+// Ablation: the §5 dynamic-content trend.
+//
+// "The Microsoft trace logs revealed that 10% of the requests were for
+// dynamically generated pages. This represents a tenfold increase from only
+// six months ago. As the number of dynamic objects increases it will become
+// critical to devise ways to cache the actual scripts..."
+//
+// This bench sweeps the cgi share of requests from 1% to 50% on a
+// Microsoft-style week and reports how each protocol's stale rate, traffic,
+// and server load degrade — quantifying why the trend worried the authors.
+
+#include <unordered_map>
+
+#include "bench/bench_common.h"
+#include "src/util/rng.h"
+#include "src/util/str.h"
+#include "src/util/table.h"
+#include "src/workload/microsoft.h"
+
+namespace {
+
+using namespace webcc;
+
+Workload BuildMixWorkload(double cgi_share, uint64_t seed) {
+  MicrosoftMixConfig mix;
+  mix.num_requests = 60000;
+  mix.duration = Days(7);
+  mix.uris_per_type = 200;
+  mix.seed = seed;
+  // Scale the static shares to make room for the requested cgi share.
+  const double remaining = 1.0 - cgi_share;
+  const double static_total = 0.55 + 0.22 + 0.10 + 0.04;
+  mix.access_mix = {0.55 * remaining / static_total, 0.22 * remaining / static_total,
+                    0.10 * remaining / static_total, cgi_share, 0.04 * remaining / static_total};
+  const auto log = GenerateMicrosoftAccessLog(mix);
+
+  Workload load;
+  load.name = StrFormat("mix-cgi%.0f%%", cgi_share * 100);
+  load.horizon = SimTime::Epoch() + mix.duration;
+  Rng rng(seed ^ 0xd15c);
+  std::unordered_map<std::string, uint32_t> index_of;
+  auto mean_lifetime_s = [](FileType type) {
+    switch (type) {
+      case FileType::kGif:
+        return 146.0 * 86400;
+      case FileType::kHtml:
+        return 50.0 * 86400;
+      case FileType::kJpg:
+        return 100.0 * 86400;
+      case FileType::kCgi:
+        return 0.25 * 86400;  // dynamic pages change several times a day
+      case FileType::kOther:
+        return 90.0 * 86400;
+    }
+    return 90.0 * 86400;
+  };
+  for (const AccessLogRecord& record : log) {
+    auto [it, fresh] = index_of.try_emplace(record.uri,
+                                            static_cast<uint32_t>(load.objects.size()));
+    if (fresh) {
+      ObjectSpec spec;
+      spec.name = record.uri;
+      spec.type = record.type;
+      spec.size_bytes = record.size_bytes;
+      const double mean = mean_lifetime_s(record.type);
+      spec.initial_age = SecondsF(std::max(60.0, rng.Exponential(mean)));
+      load.objects.push_back(std::move(spec));
+      double t = rng.Exponential(mean);
+      while (t < static_cast<double>(mix.duration.seconds())) {
+        load.modifications.push_back(
+            ModificationEvent{SimTime::Epoch() + SecondsF(t), it->second, -1});
+        t += std::max(1.0, rng.Exponential(mean));
+      }
+    }
+    RequestEvent req;
+    req.at = record.at;
+    req.object_index = it->second;
+    req.client_id = static_cast<uint32_t>(rng.UniformInt(0, 999));
+    load.requests.push_back(req);
+  }
+  load.Finalize();
+  return load;
+}
+
+}  // namespace
+
+int main() {
+  using namespace webcc;
+  using namespace webcc::bench;
+
+  std::printf("=== Ablation: growing dynamic-content share (paper §5) ===\n\n");
+
+  TextTable table;
+  table.SetHeader({"cgi share", "Policy", "Traffic (MB)", "Stale rate", "Server ops",
+                   "ops per 1k requests"});
+  for (double share : {0.01, 0.10, 0.25, 0.50}) {
+    const Workload load = BuildMixWorkload(share, 0x1995);
+    for (const auto& [name, policy] :
+         std::vector<std::pair<const char*, PolicyConfig>>{
+             {"alex(10%)", PolicyConfig::Alex(0.10)},
+             {"adaptive(2%)", PolicyConfig::Adaptive()},
+             {"invalidation", PolicyConfig::Invalidation()}}) {
+      const auto result = RunSimulation(load, SimulationConfig::TraceDriven(policy));
+      table.AddRow({FormatPercent(share, 0), name,
+                    StrFormat("%.2f", result.metrics.TotalMB()),
+                    FormatPercent(result.metrics.StaleRate(), 2),
+                    StrFormat("%llu",
+                              static_cast<unsigned long long>(result.metrics.server_operations)),
+                    StrFormat("%.0f", 1000.0 *
+                                          static_cast<double>(result.metrics.server_operations) /
+                                          static_cast<double>(result.metrics.requests))});
+    }
+  }
+  Emit(table, "ablation_dynamic_content");
+
+  std::printf("Reading: as churny dynamic pages take over the request mix, every protocol's\n"
+              "costs climb — invalidation's notice traffic and refetches scale with change\n"
+              "volume, while the time-based protocols must poll churny objects nearly every\n"
+              "request. Exactly the §5 concern: at high dynamic shares, caching the OUTPUT\n"
+              "stops working and one must cache the generators instead.\n");
+  return 0;
+}

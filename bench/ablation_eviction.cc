@@ -1,0 +1,59 @@
+// Ablation: bounded caches.
+//
+// The paper's caches never evict ("valid entries are never evicted from the
+// cache"), which flatters every protocol equally — except the invalidation
+// protocol, whose server-side bookkeeping assumes it knows where copies
+// live. With LRU eviction, each eviction tears down a subscription and each
+// re-admission re-creates one; the weakly consistent protocols lose only
+// hit rate. This ablation sweeps the cache size from 1% to 100% of the
+// working set on the HCS trace.
+
+#include "bench/bench_common.h"
+#include "src/util/str.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace webcc;
+  using namespace webcc::bench;
+
+  std::printf("=== Ablation: LRU capacity vs the paper's unbounded caches (HCS trace) ===\n\n");
+  const Workload load = PaperTraceWorkloads()[2];
+  const int64_t working_set = load.TotalObjectBytes();
+  std::printf("working set: %s across %zu objects\n\n",
+              FormatBytes(static_cast<double>(working_set)).c_str(), load.objects.size());
+
+  TextTable table;
+  table.SetHeader({"Capacity", "Policy", "Traffic (MB)", "Miss rate", "Stale rate",
+                   "Evictions", "Server ops"});
+  for (double fraction : {0.01, 0.05, 0.25, 1.0, 0.0 /* unbounded */}) {
+    const int64_t capacity =
+        fraction == 0.0 ? 0 : static_cast<int64_t>(fraction * static_cast<double>(working_set));
+    const std::string label =
+        fraction == 0.0 ? "unbounded" : StrFormat("%.0f%%", fraction * 100.0);
+    for (const auto& [name, policy] :
+         std::vector<std::pair<const char*, PolicyConfig>>{
+             {"alex(25%)", PolicyConfig::Alex(0.25)},
+             {"ttl(100h)", PolicyConfig::Ttl(Hours(100))},
+             {"invalidation", PolicyConfig::Invalidation()}}) {
+      SimulationConfig config = SimulationConfig::TraceDriven(policy);
+      config.cache_capacity_bytes = capacity;
+      // A bounded cache cannot be preloaded with the whole store.
+      config.preload = capacity == 0 || capacity >= working_set;
+      const auto result = RunSimulation(load, config);
+      table.AddRow(
+          {label, name, StrFormat("%.3f", result.metrics.TotalMB()),
+           FormatPercent(result.metrics.MissRate(), 2),
+           FormatPercent(result.metrics.StaleRate(), 3),
+           StrFormat("%llu", static_cast<unsigned long long>(result.cache.evictions)),
+           StrFormat("%llu", static_cast<unsigned long long>(result.metrics.server_operations))});
+    }
+  }
+  Emit(table, "ablation_eviction");
+
+  std::printf("Reading: once the cache is capacity-bound, every protocol's traffic is\n"
+              "dominated by capacity misses and the consistency deltas shrink; the\n"
+              "invalidation protocol additionally churns its server-side subscriptions\n"
+              "(evictions ~= subscription teardowns). The paper's unbounded setting is the\n"
+              "regime where consistency policy, not capacity, decides the outcome.\n");
+  return 0;
+}

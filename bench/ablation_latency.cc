@@ -1,0 +1,57 @@
+// Ablation: the latency side of the bandwidth trade.
+//
+// §2/§3: the mark-invalid optimizations "increased latency on subsequent
+// accesses, but decreased bandwidth consumption", and the combined
+// query+retransmit request "traded the latency of the query request for the
+// bandwidth savings". This bench makes that trade visible: mean upstream
+// round trips per client request for each protocol, collapsed and through a
+// two-level hierarchy (where a validation can cost 2 RTTs).
+
+#include "bench/bench_common.h"
+#include "src/core/hierarchy.h"
+#include "src/util/str.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace webcc;
+  using namespace webcc::bench;
+
+  std::printf("=== Ablation: round trips per request (latency proxy) ===\n\n");
+  const Workload load = PaperTraceWorkloads()[2];  // HCS
+
+  TextTable table;
+  table.SetTitle("HCS trace, warm caches; RTT = upstream contacts per client request:");
+  table.SetHeader({"Policy", "collapsed: mean RTT", "collapsed: stale", "hier: mean leaf RTT",
+                   "hier: max RTT"});
+  struct Row {
+    const char* name;
+    PolicyConfig policy;
+  };
+  for (const Row& row : {Row{"alex(0) — poll always", PolicyConfig::Alex(0.0)},
+                         Row{"alex(5%)", PolicyConfig::Alex(0.05)},
+                         Row{"alex(25%)", PolicyConfig::Alex(0.25)},
+                         Row{"ttl(100h)", PolicyConfig::Ttl(Hours(100))},
+                         Row{"invalidation", PolicyConfig::Invalidation()}}) {
+    const auto collapsed = RunSimulation(load, SimulationConfig::TraceDriven(row.policy));
+    HierarchyConfig hier_config;
+    hier_config.policy = row.policy;
+    const HierarchyResult hier = RunHierarchySimulation(load, hier_config);
+    const double leaf_rtt =
+        (hier.l1a.MeanHops() * static_cast<double>(hier.l1a.requests) +
+         hier.l1b.MeanHops() * static_cast<double>(hier.l1b.requests)) /
+        static_cast<double>(hier.l1a.requests + hier.l1b.requests);
+    table.AddRow({row.name, StrFormat("%.4f", collapsed.metrics.mean_round_trips),
+                  FormatPercent(collapsed.metrics.StaleRate(), 3),
+                  StrFormat("%.4f", leaf_rtt),
+                  StrFormat("%d", std::max(hier.l1a.max_hops, hier.l1b.max_hops))});
+  }
+  Emit(table, "ablation_latency");
+
+  std::printf("Reading: the invalidation protocol buys its perfect consistency with the\n"
+              "FEWEST client-visible round trips (contact only when something actually\n"
+              "changed); threshold-0 polling pays a full round trip on every request; tuned\n"
+              "Alex sits within a few percent of invalidation's latency while also beating\n"
+              "its bandwidth — the paper's \"best of all worlds\" framing, extended to the\n"
+              "latency axis it mentions but never plots.\n");
+  return 0;
+}

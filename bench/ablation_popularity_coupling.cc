@@ -1,0 +1,67 @@
+// Ablation: the popularity–mutability coupling, the paper's load-bearing
+// workload assumption.
+//
+// §4.2: "Bestavros found that on any given server only a few files change
+// rapidly. Furthermore, he observed that globally popular files are the
+// least likely to change. ... If the file request distribution is skewed
+// towards popular files and popular files change less often, then the
+// number of stale hits reported will decrease significantly."
+//
+// This bench regenerates the HCS workload three times — changing files
+// placed among the UNPOPULAR ranks (reality), UNIFORMLY, and among the
+// POPULAR ranks (adversarial) — and shows the paper's headline (weak
+// consistency is cheap AND clean) degrading as the coupling is broken.
+
+#include "bench/bench_common.h"
+#include "src/util/str.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace webcc;
+  using namespace webcc::bench;
+
+  std::printf("=== Ablation: where do the changing files sit in the popularity ranking? ===\n\n");
+
+  TextTable table;
+  table.SetHeader({"Mutable files are...", "Policy", "Stale rate", "Traffic (MB)",
+                   "Server ops", "vs inval traffic"});
+  struct Placement {
+    const char* label;
+    MutablePlacement placement;
+  };
+  for (const Placement& p :
+       {Placement{"unpopular (Bestavros)", MutablePlacement::kUnpopular},
+        Placement{"uniform", MutablePlacement::kUniform},
+        Placement{"popular (adversarial)", MutablePlacement::kPopular}}) {
+    CampusServerProfile profile = CampusServerProfile::Hcs();
+    profile.mutable_placement = p.placement;
+    const Workload load = CompileTrace(GenerateCampusWorkload(profile).trace);
+    const auto inval =
+        RunSimulation(load, SimulationConfig::TraceDriven(PolicyConfig::Invalidation()));
+    for (const auto& [name, policy] :
+         std::vector<std::pair<const char*, PolicyConfig>>{
+             {"alex(10%)", PolicyConfig::Alex(0.10)},
+             {"ttl(100h)", PolicyConfig::Ttl(Hours(100))}}) {
+      const auto result = RunSimulation(load, SimulationConfig::TraceDriven(policy));
+      table.AddRow({p.label, name, FormatPercent(result.metrics.StaleRate(), 3),
+                    StrFormat("%.3f", result.metrics.TotalMB()),
+                    StrFormat("%llu",
+                              static_cast<unsigned long long>(result.metrics.server_operations)),
+                    StrFormat("%.3f", static_cast<double>(result.metrics.total_bytes) /
+                                          static_cast<double>(inval.metrics.total_bytes))});
+    }
+    table.AddRow({p.label, "invalidation", FormatPercent(inval.metrics.StaleRate(), 3),
+                  StrFormat("%.3f", inval.metrics.TotalMB()),
+                  StrFormat("%llu",
+                            static_cast<unsigned long long>(inval.metrics.server_operations)),
+                  "1.000"});
+  }
+  Emit(table, "ablation_popularity_coupling");
+
+  std::printf("Reading: with the realistic coupling the weakly consistent protocols are\n"
+              "cheap AND clean. Put the churn on the hot objects instead and their stale\n"
+              "rates multiply while invalidation's relative cost drops — the reversal the\n"
+              "paper's trace workload produced against Worrell's uniform model, made\n"
+              "adjustable.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Shared plumbing for the figure/table bench binaries.
+//
+// Every binary regenerates one of the paper's figures or tables: it builds
+// the right workload, sweeps the protocol parameter over the paper's axis,
+// prints the series as an aligned table, and (when WEBCC_CSV_DIR is set in
+// the environment) drops a CSV per figure for plotting.
+
+#ifndef WEBCC_BENCH_BENCH_COMMON_H_
+#define WEBCC_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/core/report.h"
+#include "src/core/simulation.h"
+#include "src/workload/campus.h"
+#include "src/workload/trace.h"
+#include "src/workload/worrell.h"
+
+namespace webcc::bench {
+
+// The paper-scale Worrell workload behind Figures 2–5 (2085 files, 56 days,
+// ~1.7M requests, ~19.9k changes).
+inline Workload PaperWorrellWorkload() { return GenerateWorrellWorkload(WorrellConfig{}); }
+
+// The three campus traces behind Figures 6–8 and Table 1, already rendered
+// to logs and recompiled (the full trace path).
+inline std::vector<Workload> PaperTraceWorkloads() {
+  std::vector<Workload> loads;
+  for (const auto& profile : CampusServerProfile::AllTable1()) {
+    loads.push_back(CompileTrace(GenerateCampusWorkload(profile).trace));
+  }
+  return loads;
+}
+
+// Prints the table and, if WEBCC_CSV_DIR is set, also writes `<name>.csv`.
+inline void Emit(const TextTable& table, const std::string& name) {
+  table.Render(std::cout);
+  std::cout << "\n";
+  if (const char* dir = std::getenv("WEBCC_CSV_DIR")) {
+    const std::string path = std::string(dir) + "/" + name + ".csv";
+    if (WriteCsvFile(table, path)) {
+      std::printf("  [csv written to %s]\n\n", path.c_str());
+    }
+  }
+}
+
+}  // namespace webcc::bench
+
+#endif  // WEBCC_BENCH_BENCH_COMMON_H_

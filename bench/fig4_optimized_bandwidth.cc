@@ -1,0 +1,37 @@
+// Figure 4: bandwidth usage in the OPTIMIZED simulator.
+//
+// Same workload as Figure 2, but expiry only marks entries invalid and the
+// next request issues a combined "send this file if it has changed since"
+// query — files are transmitted only when truly stale.
+//
+// Expected shape (paper): with this optimization both TTL and Alex drop to
+// or below the invalidation protocol's bandwidth across most of the axis.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace webcc;
+  using namespace webcc::bench;
+
+  std::printf("=== Figure 4: bandwidth, optimized simulator (Worrell workload) ===\n\n");
+  const Workload load = PaperWorrellWorkload();
+
+  const auto config = SimulationConfig::Optimized(PolicyConfig::Invalidation());
+  const auto inval = RunInvalidation(load, config);
+
+  const auto alex = SweepAlexThreshold(load, config, PaperThresholdPercents());
+  Emit(BandwidthFigure("(a) Alex cache consistency protocol", alex, inval.metrics),
+       "fig4a_optimized_bandwidth_alex");
+  std::printf("%s\n", FigureChart("Figure 4(a)", alex, inval.metrics,
+                                   FigureMetric::kBandwidthMB).c_str());
+
+  const auto ttl = SweepTtlHours(load, config, PaperTtlHours());
+  Emit(BandwidthFigure("(b) Time-to-live fields", ttl, inval.metrics),
+       "fig4b_optimized_bandwidth_ttl");
+  std::printf("%s\n", FigureChart("Figure 4(b)", ttl, inval.metrics,
+                                   FigureMetric::kBandwidthMB).c_str());
+
+  std::printf("paper reference point: TTL@100h saves ~32%% of the invalidation protocol's\n"
+              "bandwidth; neither protocol ever ships more file bytes than invalidation.\n");
+  return 0;
+}

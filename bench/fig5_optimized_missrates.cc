@@ -1,0 +1,33 @@
+// Figure 5: cache-miss rates in the OPTIMIZED simulator.
+//
+// Expected shape (paper): leaving invalidated bodies in the cache makes the
+// miss rates of all three protocols indistinguishable from the invalidation
+// protocol's near-perfect rate — but the stale rates are UNCHANGED from
+// Figure 3 ("the stale hit rate remains unacceptably high").
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace webcc;
+  using namespace webcc::bench;
+
+  std::printf("=== Figure 5: miss/stale rates, optimized simulator (Worrell workload) ===\n\n");
+  const Workload load = PaperWorrellWorkload();
+
+  const auto config = SimulationConfig::Optimized(PolicyConfig::Invalidation());
+  const auto inval = RunInvalidation(load, config);
+
+  const auto alex = SweepAlexThreshold(load, config, PaperThresholdPercents());
+  Emit(MissRateFigure("(a) Alex cache consistency protocol", alex, inval.metrics),
+       "fig5a_optimized_missrates_alex");
+  std::printf("%s\n", FigureChart("Figure 5(a) cache misses", alex, inval.metrics,
+                                   FigureMetric::kMissPercent).c_str());
+
+  const auto ttl = SweepTtlHours(load, config, PaperTtlHours());
+  Emit(MissRateFigure("(b) Time-to-live fields", ttl, inval.metrics),
+       "fig5b_optimized_missrates_ttl");
+
+  std::printf("paper reference point: TTL@100h still returns ~20%% stale data despite the\n"
+              "near-perfect miss rate — the optimization changes bytes, not consistency.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Micro-benchmarks (google-benchmark) for the hot paths: event queue
+// throughput, proxy-cache request handling per policy, workload generation,
+// and trace compilation. These guard the simulator's performance envelope —
+// a full 1.7M-request figure run must stay in the ~0.1 s range.
+
+#include <benchmark/benchmark.h>
+
+#include "src/cache/origin_upstream.h"
+#include "src/cache/policy_factory.h"
+#include "src/cache/proxy_cache.h"
+#include "src/core/simulation.h"
+#include "src/sim/engine.h"
+#include "src/util/str.h"
+#include "src/workload/campus.h"
+#include "src/workload/trace.h"
+#include "src/workload/worrell.h"
+
+namespace webcc {
+namespace {
+
+void BM_EventQueueScheduleAndDrain(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  for (auto _ : state) {
+    EventQueue queue;
+    for (int64_t i = 0; i < n; ++i) {
+      queue.Schedule(SimTime(rng.UniformInt(0, 1'000'000)), [] {});
+    }
+    while (auto fired = queue.PopNext()) {
+      benchmark::DoNotOptimize(fired->time);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleAndDrain)->Arg(1000)->Arg(100000);
+
+void BM_EngineSelfScheduling(benchmark::State& state) {
+  for (auto _ : state) {
+    SimEngine engine;
+    int64_t remaining = state.range(0);
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) {
+        engine.ScheduleAfter(Seconds(1), tick);
+      }
+    };
+    engine.ScheduleAfter(Seconds(1), tick);
+    engine.Run();
+    benchmark::DoNotOptimize(engine.Now());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineSelfScheduling)->Arg(100000);
+
+// One cache request per iteration, against a warm cache (the simulator's
+// innermost loop).
+void BM_CacheHandleRequest(benchmark::State& state, PolicyConfig policy) {
+  OriginServer server;
+  constexpr int kObjects = 1000;
+  for (int i = 0; i < kObjects; ++i) {
+    server.store().Create(StrFormat("/o%d", i), FileType::kGif, 6000,
+                          SimTime::Epoch() - Days(30));
+  }
+  OriginUpstream upstream(&server);
+  ProxyCache cache("bench", &upstream, MakePolicy(policy), CacheConfig{}, &server.store());
+  cache.Preload(server.store(), SimTime::Epoch());
+  Rng rng(7);
+  SimTime now = SimTime::Epoch();
+  for (auto _ : state) {
+    now += Seconds(1);
+    const auto id = static_cast<ObjectId>(rng.UniformInt(0, kObjects - 1));
+    benchmark::DoNotOptimize(cache.HandleRequest(id, now));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_CacheHandleRequest, ttl, PolicyConfig::Ttl(Hours(24)));
+BENCHMARK_CAPTURE(BM_CacheHandleRequest, alex, PolicyConfig::Alex(0.10));
+BENCHMARK_CAPTURE(BM_CacheHandleRequest, invalidation, PolicyConfig::Invalidation());
+BENCHMARK_CAPTURE(BM_CacheHandleRequest, adaptive, PolicyConfig::Adaptive());
+
+void BM_WorrellGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    WorrellConfig config;
+    config.num_files = 500;
+    config.duration = Days(14);
+    config.requests_per_second = 0.2;
+    benchmark::DoNotOptimize(GenerateWorrellWorkload(config));
+  }
+}
+BENCHMARK(BM_WorrellGeneration);
+
+void BM_TraceCompile(benchmark::State& state) {
+  const auto gen = GenerateCampusWorkload(CampusServerProfile::Hcs());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompileTrace(gen.trace));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(gen.trace.records.size()));
+}
+BENCHMARK(BM_TraceCompile);
+
+void BM_FullSimulationRun(benchmark::State& state) {
+  WorrellConfig config;
+  config.num_files = 500;
+  config.duration = Days(14);
+  config.requests_per_second = 0.2;
+  const Workload load = GenerateWorrellWorkload(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RunSimulation(load, SimulationConfig::Optimized(PolicyConfig::Alex(0.10))));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(load.requests.size()));
+}
+BENCHMARK(BM_FullSimulationRun);
+
+}  // namespace
+}  // namespace webcc
+
+BENCHMARK_MAIN();

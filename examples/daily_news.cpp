@@ -1,0 +1,149 @@
+// Daily-news scenario: objects with a priori KNOWN lifetimes.
+//
+// Paper §1/§6: "TTL fields are most useful for information with a known
+// lifetime, such as online newspapers that change daily" and "when object
+// lifetimes are known a priori ... TTL is the right choice."
+//
+// A news site regenerates its front section every morning at 06:00. The
+// origin asserts that knowledge with an HTTP/1.0 "Expires" header. Policies
+// that honor the header (fixed TTL, CERN httpd) achieve ZERO staleness with
+// exactly one validation per day; the purely adaptive Alex policy must
+// guess, and either checks too often or serves yesterday's news.
+//
+//   $ ./daily_news
+
+#include <cstdio>
+
+#include "src/cache/origin_upstream.h"
+#include "src/core/simulation.h"
+#include "src/util/rng.h"
+#include "src/util/str.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace webcc;
+
+constexpr int kDays = 28;
+constexpr int kArticles = 20;
+constexpr int64_t kDailyChangeSecond = 6 * 3600;  // 06:00 refresh
+
+Workload BuildNewsWorkload() {
+  Workload load;
+  load.name = "daily-news";
+  load.horizon = SimTime::Epoch() + Days(kDays);
+  Rng rng(0x2e55);
+
+  for (int a = 0; a < kArticles; ++a) {
+    ObjectSpec spec;
+    spec.name = StrFormat("/news/section%02d.html", a);
+    spec.type = FileType::kHtml;
+    spec.size_bytes = 12000;
+    spec.initial_age = Hours(18);  // last regenerated 06:00 yesterday
+    load.objects.push_back(std::move(spec));
+    for (int day = 0; day < kDays; ++day) {
+      load.modifications.push_back(ModificationEvent{
+          SimTime::Epoch() + Days(day) + Seconds(kDailyChangeSecond),
+          static_cast<uint32_t>(a), -1});
+    }
+  }
+  // Readers poll through the day: ~2000 requests/day across the sections.
+  const double span = static_cast<double>(Days(kDays).seconds());
+  double t = rng.Exponential(43.0);
+  while (t < span) {
+    RequestEvent req;
+    req.at = SimTime::Epoch() + SecondsF(t);
+    req.object_index = static_cast<uint32_t>(rng.UniformInt(0, kArticles - 1));
+    req.client_id = static_cast<uint32_t>(rng.UniformInt(0, 999));
+    load.requests.push_back(req);
+    t += rng.Exponential(43.0);
+  }
+  load.Finalize();
+  return load;
+}
+
+// The origin knows the content expires at the next 06:00 regeneration.
+std::optional<SimTime> NewsExpires(const WebObject&, SimTime now) {
+  const int64_t seconds_today = now.seconds() % 86400;
+  const int64_t day_start = now.seconds() - seconds_today;
+  const int64_t next = seconds_today < kDailyChangeSecond ? day_start + kDailyChangeSecond
+                                                          : day_start + 86400 + kDailyChangeSecond;
+  return SimTime(next);
+}
+
+SimulationResult RunNews(const Workload& load, PolicyConfig policy, bool assert_expires) {
+  // Mirror RunSimulation, but install the Expires provider on the origin.
+  OriginServer server;
+  for (const ObjectSpec& spec : load.objects) {
+    server.store().Create(spec.name, spec.type, spec.size_bytes,
+                          SimTime::Epoch() - spec.initial_age);
+  }
+  if (assert_expires) {
+    server.SetExpiresProvider(NewsExpires);
+  }
+  OriginUpstream upstream(&server);
+  CacheConfig cache_config;
+  cache_config.refresh_mode = RefreshMode::kConditionalGet;
+  ProxyCache cache("news-proxy", &upstream, MakePolicy(policy), cache_config, &server.store());
+  cache.Preload(server.store(), SimTime::Epoch());
+  server.ResetStats();
+  cache.ResetStats();
+  size_t mod_i = 0;
+  for (const RequestEvent& req : load.requests) {
+    while (mod_i < load.modifications.size() && load.modifications[mod_i].at <= req.at) {
+      const ModificationEvent& m = load.modifications[mod_i];
+      server.ModifyObject(m.object_index, m.at, m.new_size);
+      ++mod_i;
+    }
+    cache.HandleRequest(static_cast<ObjectId>(req.object_index), req.at);
+  }
+  SimulationResult result;
+  result.workload_name = load.name;
+  result.policy_desc = cache.policy().Describe();
+  result.server = server.stats();
+  result.cache = cache.stats();
+  result.metrics = ComputeMetrics(result.server, result.cache);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace webcc;
+
+  const Workload load = BuildNewsWorkload();
+  std::printf("daily news: %d sections regenerated at 06:00 for %d days; %zu reader requests\n\n",
+              kArticles, kDays, load.requests.size());
+
+  struct Row {
+    const char* name;
+    PolicyConfig policy;
+    bool expires_header;
+  };
+  const Row rows[] = {
+      {"TTL(24h), Expires header", PolicyConfig::Ttl(Hours(24)), true},
+      {"CERN httpd, Expires header", PolicyConfig::Cern(0.10, Days(2)), true},
+      {"TTL(24h), no header", PolicyConfig::Ttl(Hours(24)), false},
+      {"Alex(10%), no header", PolicyConfig::Alex(0.10), false},
+      {"Alex(50%), no header", PolicyConfig::Alex(0.50), false},
+      {"Invalidation", PolicyConfig::Invalidation(), false},
+  };
+
+  TextTable table;
+  table.SetHeader({"Configuration", "Traffic (MB)", "Stale rate", "IMS queries", "Server ops"});
+  for (const Row& row : rows) {
+    const auto result = RunNews(load, row.policy, row.expires_header);
+    table.AddRow({row.name, StrFormat("%.2f", result.metrics.TotalMB()),
+                  FormatPercent(result.metrics.StaleRate(), 2),
+                  StrFormat("%llu", static_cast<unsigned long long>(result.metrics.validations)),
+                  StrFormat("%llu",
+                            static_cast<unsigned long long>(result.metrics.server_operations))});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf("With the Expires header the cache revalidates exactly once per section per\n"
+              "day and never serves yesterday's paper — the §6 case where TTL is the right\n"
+              "choice. Adaptive polling must rediscover the daily rhythm and pays for it in\n"
+              "staleness (long windows) or queries (short ones).\n");
+  return 0;
+}

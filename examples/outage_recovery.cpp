@@ -1,0 +1,65 @@
+// Outage recovery: §6's fault-resilience argument, live.
+//
+// "They are both more fault resilient when machines become unreachable; the
+//  right thing automatically happens. ... With an invalidation protocol,
+//  recovery is much more complicated."
+//
+// The live (engine-driven) simulator runs a 28-day workload during which the
+// proxy drops off the network for 3 days. Invalidation notices sent during
+// the partition are lost; the origin's retry timers redeliver them once the
+// cache returns. Time-based policies never notice the outage: their expiry
+// clocks are local.
+//
+//   $ ./outage_recovery
+
+#include <cstdio>
+
+#include "src/core/live_simulation.h"
+#include "src/util/str.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace webcc;
+
+  LiveSimulationConfig base;
+  base.num_files = 400;
+  base.duration = Days(28);
+  base.requests_per_second = 0.15;
+  base.seed = 0xfade;
+  base.outage_start = Days(10);
+  base.outage_duration = Days(3);
+  base.invalidation_retry_interval = Minutes(30);
+
+  std::printf("live run: %u files, %.0f days, outage during days 10-13 "
+              "(server retries every 30 minutes)\n\n",
+              base.num_files, base.duration.days());
+
+  TextTable table;
+  table.SetHeader({"Policy", "Stale rate", "Dropped notices", "Server retries", "Traffic (MB)",
+                   "Server ops"});
+  struct Row {
+    const char* name;
+    PolicyConfig policy;
+  };
+  for (const Row& row : {Row{"TTL (48h)", PolicyConfig::Ttl(Hours(48))},
+                         Row{"Alex (10%)", PolicyConfig::Alex(0.10)},
+                         Row{"Invalidation", PolicyConfig::Invalidation()}}) {
+    LiveSimulationConfig config = base;
+    config.policy = row.policy;
+    const SimulationResult result = RunLiveSimulation(config);
+    table.AddRow(
+        {row.name, FormatPercent(result.metrics.StaleRate(), 2),
+         StrFormat("%llu", static_cast<unsigned long long>(result.cache.invalidations_dropped)),
+         StrFormat("%llu",
+                   static_cast<unsigned long long>(result.server.invalidation_retries)),
+         StrFormat("%.2f", result.metrics.TotalMB()),
+         StrFormat("%llu", static_cast<unsigned long long>(result.metrics.server_operations))});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf("During the partition the invalidation cache keeps serving what it believes\n"
+              "are valid copies — its notices are on the floor — while the origin burns\n"
+              "retries. The time-based caches sail through: expiry is a local decision, so\n"
+              "\"the right thing automatically happens.\"\n");
+  return 0;
+}

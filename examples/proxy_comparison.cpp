@@ -1,0 +1,142 @@
+// Corporate-proxy scenario (the paper's motivating deployment: the
+// Microsoft proxy sits "between all Microsoft employees and anything outside
+// of Microsoft").
+//
+// Builds a one-week workload with Table 2's access mix and per-type
+// lifetimes, then compares all five consistency policies — fixed TTL, Alex,
+// the CERN httpd rule, the §5 self-tuning policy, and the invalidation
+// protocol — on the paper's three metrics.
+//
+//   $ ./proxy_comparison
+
+#include <cstdio>
+
+#include "src/core/report.h"
+#include "src/core/simulation.h"
+#include "src/util/rng.h"
+#include "src/util/str.h"
+#include "src/util/table.h"
+#include "src/workload/microsoft.h"
+#include "src/workload/workload.h"
+
+namespace {
+
+using namespace webcc;
+
+// Per-type mean change intervals, echoing Table 2's life-spans.
+SimDuration MeanLifetimeFor(FileType type) {
+  switch (type) {
+    case FileType::kGif:
+      return Days(146);
+    case FileType::kHtml:
+      return Days(50);
+    case FileType::kJpg:
+      return Days(100);
+    case FileType::kCgi:
+      return Days(1);  // dynamic content churns
+    case FileType::kOther:
+      return Days(90);
+  }
+  return Days(90);
+}
+
+// Builds a Workload from a synthesized Microsoft-style access log plus a
+// per-type stochastic modification schedule.
+Workload BuildProxyWorkload() {
+  MicrosoftMixConfig mix;
+  mix.num_requests = 150000;
+  mix.duration = Days(7);
+  mix.uris_per_type = 300;
+  const auto log = GenerateMicrosoftAccessLog(mix);
+
+  Workload load;
+  load.name = "microsoft-proxy-week";
+  load.horizon = SimTime::Epoch() + mix.duration;
+
+  Rng rng(0x9e1);
+  std::unordered_map<std::string, uint32_t> index_of;
+  for (const AccessLogRecord& record : log) {
+    auto [it, fresh] = index_of.try_emplace(record.uri,
+                                            static_cast<uint32_t>(load.objects.size()));
+    if (fresh) {
+      ObjectSpec spec;
+      spec.name = record.uri;
+      spec.type = record.type;
+      spec.size_bytes = record.size_bytes;
+      const double mean_age = static_cast<double>(MeanLifetimeFor(record.type).seconds());
+      spec.initial_age = SecondsF(std::max(3600.0, rng.Exponential(mean_age)));
+      load.objects.push_back(std::move(spec));
+
+      // Pre-generate this object's change times over the week.
+      double t = rng.Exponential(mean_age);
+      while (t < static_cast<double>(mix.duration.seconds())) {
+        load.modifications.push_back(
+            ModificationEvent{SimTime::Epoch() + SecondsF(t), it->second, -1});
+        t += std::max(1.0, rng.Exponential(mean_age));
+      }
+    }
+    RequestEvent req;
+    req.at = record.at;
+    req.object_index = it->second;
+    req.client_id = static_cast<uint32_t>(rng.UniformInt(0, 4999));
+    req.remote = true;  // everything beyond the proxy is remote
+    load.requests.push_back(req);
+  }
+  load.Finalize();
+  return load;
+}
+
+}  // namespace
+
+int main() {
+  using namespace webcc;
+
+  const Workload load = BuildProxyWorkload();
+  std::printf("corporate proxy workload: %zu objects, %zu requests, %zu changes over one week\n\n",
+              load.objects.size(), load.requests.size(), load.modifications.size());
+
+  struct Row {
+    const char* name;
+    PolicyConfig policy;
+  };
+  AdaptiveTunerPolicy::Options tuner;
+  tuner.target_stale_rate = 0.02;
+  tuner.adjust_every_serves = 150;
+  const Row rows[] = {
+      {"TTL (48h)", PolicyConfig::Ttl(Hours(48))},
+      {"TTL (7d)", PolicyConfig::Ttl(Days(7))},
+      {"Alex (10%)", PolicyConfig::Alex(0.10)},
+      {"CERN httpd (lm 0.1)", PolicyConfig::Cern(0.10, Days(2))},
+      {"Self-tuning (2% target)", PolicyConfig::Adaptive(tuner)},
+      {"Invalidation", PolicyConfig::Invalidation()},
+  };
+
+  TextTable table;
+  table.SetTitle("One week through the proxy (optimized retrieval, warm cache):");
+  table.SetHeader({"Policy", "Traffic (MB)", "Stale rate", "Miss rate", "Server ops",
+                   "IMS queries"});
+  for (const Row& row : rows) {
+    const auto result = RunSimulation(load, SimulationConfig::TraceDriven(row.policy));
+    table.AddRow({row.name, StrFormat("%.2f", result.metrics.TotalMB()),
+                  FormatPercent(result.metrics.StaleRate(), 3),
+                  FormatPercent(result.metrics.MissRate(), 3),
+                  StrFormat("%llu",
+                            static_cast<unsigned long long>(result.metrics.server_operations)),
+                  StrFormat("%llu",
+                            static_cast<unsigned long long>(result.metrics.validations))});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // The §5 per-type view under the self-tuning policy.
+  const auto adaptive_result =
+      RunSimulation(load, SimulationConfig::TraceDriven(PolicyConfig::Adaptive(tuner)));
+  std::printf("%s\n", TypeBreakdownTable(adaptive_result.cache).ToString().c_str());
+
+  std::printf("Notes: the CERN httpd rule is structurally the Alex policy (a fraction of the\n"
+              "Last-Modified age), which is why their rows nearly coincide. The self-tuning\n"
+              "policy trades a few more queries on churny types (cgi) for fewer on stable\n"
+              "images — the §5 future-work behaviour. The TTL(7d) row echoes Worrell's\n"
+              "finding (§2): a week-long TTL saves bandwidth but returns stale data at\n"
+              "double-digit rates.\n");
+  return 0;
+}

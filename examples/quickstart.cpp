@@ -1,0 +1,62 @@
+// Quickstart: simulate the three consistency protocols of Gwertzman &
+// Seltzer (USENIX '96) on a small synthetic workload and print the paper's
+// headline metrics for each.
+//
+//   $ ./quickstart
+//
+// Walks through the public API end to end: generate a workload, configure a
+// policy, run the collapsed-hierarchy simulation, read the metrics.
+
+#include <cstdio>
+
+#include "src/core/experiment.h"
+#include "src/core/simulation.h"
+#include "src/util/str.h"
+#include "src/util/table.h"
+#include "src/workload/worrell.h"
+
+int main() {
+  using namespace webcc;
+
+  // A scaled-down Worrell-style workload: 300 files, two simulated weeks.
+  WorrellConfig workload_config;
+  workload_config.num_files = 300;
+  workload_config.duration = Days(14);
+  workload_config.requests_per_second = 0.10;
+  workload_config.seed = 42;
+  const Workload load = GenerateWorrellWorkload(workload_config);
+
+  std::printf("workload: %zu files, %zu requests, %zu modifications over %.0f days\n\n",
+              load.objects.size(), load.requests.size(), load.modifications.size(),
+              (load.horizon - SimTime::Epoch()).days());
+
+  // Compare the paper's three protocols under the optimized (conditional
+  // GET) retrieval mode.
+  struct Row {
+    const char* name;
+    PolicyConfig policy;
+  };
+  const Row rows[] = {
+      {"TTL (48h)", PolicyConfig::Ttl(Hours(48))},
+      {"Alex (threshold 10%)", PolicyConfig::Alex(0.10)},
+      {"Invalidation", PolicyConfig::Invalidation()},
+  };
+
+  TextTable table;
+  table.SetTitle("Optimized retrieval, cache pre-loaded:");
+  table.SetHeader({"Protocol", "Traffic (MB)", "Miss rate", "Stale rate", "Server ops"});
+  for (const Row& row : rows) {
+    const SimulationResult result =
+        RunSimulation(load, SimulationConfig::Optimized(row.policy));
+    const ConsistencyMetrics& m = result.metrics;
+    table.AddRow({row.name, StrFormat("%.2f", m.TotalMB()),
+                  FormatPercent(m.MissRate(), 2), FormatPercent(m.StaleRate(), 2),
+                  StrFormat("%llu", static_cast<unsigned long long>(m.server_operations))});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf("The paper's conclusion in miniature: with conditional retrieval the weakly\n"
+              "consistent protocols (TTL, Alex) move less data than invalidation while\n"
+              "keeping staleness low; Alex additionally keeps server load down.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "src/cache/adaptive_policy.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/util/str.h"
+
+namespace webcc {
+
+AdaptiveTunerPolicy::AdaptiveTunerPolicy() : AdaptiveTunerPolicy(Options{}) {}
+
+AdaptiveTunerPolicy::AdaptiveTunerPolicy(Options options) : options_(options) {
+  assert(options_.min_threshold > 0.0);
+  assert(options_.max_threshold >= options_.min_threshold);
+  assert(options_.tighten_factor > 0.0 && options_.tighten_factor < 1.0);
+  assert(options_.relax_factor > 1.0);
+  for (auto& state : per_type_) {
+    state.threshold = std::clamp(options_.initial_threshold, options_.min_threshold,
+                                 options_.max_threshold);
+  }
+}
+
+double AdaptiveTunerPolicy::ThresholdFor(FileType type) const {
+  return per_type_[static_cast<size_t>(type)].threshold;
+}
+
+const AdaptiveTunerPolicy::TypeState& AdaptiveTunerPolicy::StateFor(FileType type) const {
+  return per_type_[static_cast<size_t>(type)];
+}
+
+void AdaptiveTunerPolicy::OnFetch(CacheEntry& entry, SimTime now, const FetchInfo& info) {
+  entry.valid = true;
+  entry.validated_at = now;
+  SimDuration age = now - info.last_modified;
+  if (age < SimDuration(0)) {
+    age = SimDuration(0);
+  }
+  entry.expires_at = now + age.ScaledBy(ThresholdFor(entry.type));
+}
+
+void AdaptiveTunerPolicy::OnValidationOutcome(const CacheEntry& entry, bool was_modified,
+                                              SimTime server_last_modified, SimTime now) {
+  (void)now;
+  TypeState& state = per_type_[static_cast<size_t>(entry.type)];
+  const uint64_t serves = entry.serves_since_validation.size();
+  state.total_serves += serves;
+  state.window_serves += serves;
+  if (was_modified) {
+    // Every serve issued at or after the (newly learned) modification time
+    // handed out a stale body.
+    uint64_t stale = 0;
+    for (SimTime serve : entry.serves_since_validation) {
+      if (serve >= server_last_modified) {
+        ++stale;
+      }
+    }
+    state.stale_serves += stale;
+    state.window_stale += stale;
+  }
+  MaybeAdjust(state);
+}
+
+void AdaptiveTunerPolicy::MaybeAdjust(TypeState& state) {
+  if (state.window_serves < options_.adjust_every_serves) {
+    return;
+  }
+  const double rate =
+      static_cast<double>(state.window_stale) / static_cast<double>(state.window_serves);
+  if (rate > options_.target_stale_rate) {
+    state.threshold *= options_.tighten_factor;
+  } else if (rate < options_.target_stale_rate * 0.5) {
+    state.threshold *= options_.relax_factor;
+  }
+  state.threshold = std::clamp(state.threshold, options_.min_threshold, options_.max_threshold);
+  state.window_stale = 0;
+  state.window_serves = 0;
+  ++state.adjustments;
+}
+
+std::string AdaptiveTunerPolicy::Describe() const {
+  return StrFormat("adaptive(target=%.1f%%, init=%.0f%%)", options_.target_stale_rate * 100.0,
+                   options_.initial_threshold * 100.0);
+}
+
+}  // namespace webcc

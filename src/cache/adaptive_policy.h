@@ -1,0 +1,70 @@
+// Self-tuning adaptive policy — the paper's §5 future work:
+//
+//   "We are investigating algorithms by which caches can be self-tuning, by
+//    adjusting parameters based on the data type and the history of accesses
+//    to items of that type."
+//
+// This policy keeps an independent Alex-style update threshold per file type
+// and steers each one toward a target stale-serve rate using only signals a
+// real proxy can observe: when a conditional query discovers the copy had
+// changed, every serve issued after the server's new Last-Modified stamp was
+// retroactively stale. Control is AIMD-flavored: exceeding the target
+// multiplicatively tightens the threshold (poll more), sustained
+// under-shooting relaxes it (poll less, save bandwidth and server load).
+
+#ifndef WEBCC_SRC_CACHE_ADAPTIVE_POLICY_H_
+#define WEBCC_SRC_CACHE_ADAPTIVE_POLICY_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/cache/policy.h"
+
+namespace webcc {
+
+class AdaptiveTunerPolicy : public ConsistencyPolicy {
+ public:
+  struct Options {
+    double initial_threshold = 0.10;  // starting point for every type
+    double min_threshold = 0.01;
+    double max_threshold = 2.00;
+    double target_stale_rate = 0.02;  // steer toward <=2% stale serves
+    // Re-evaluate a type's threshold after this many serves are observed.
+    uint64_t adjust_every_serves = 200;
+    double tighten_factor = 0.5;      // threshold *= this when too stale
+    double relax_factor = 1.25;       // threshold *= this when comfortably clean
+  };
+
+  AdaptiveTunerPolicy();
+  explicit AdaptiveTunerPolicy(Options options);
+
+  PolicyKind kind() const override { return PolicyKind::kAdaptiveTuner; }
+  void OnFetch(CacheEntry& entry, SimTime now, const FetchInfo& info) override;
+  bool WantsServeFeedback() const override { return true; }
+  void OnValidationOutcome(const CacheEntry& entry, bool was_modified,
+                           SimTime server_last_modified, SimTime now) override;
+  std::string Describe() const override;
+
+  double ThresholdFor(FileType type) const;
+
+  struct TypeState {
+    double threshold = 0.0;
+    uint64_t stale_serves = 0;     // cumulative, retroactively detected
+    uint64_t total_serves = 0;     // cumulative serves observed at validation
+    uint64_t window_stale = 0;     // since last adjustment
+    uint64_t window_serves = 0;
+    uint64_t adjustments = 0;
+  };
+  const TypeState& StateFor(FileType type) const;
+
+ private:
+  void MaybeAdjust(TypeState& state);
+
+  Options options_;
+  std::array<TypeState, kNumFileTypes> per_type_;
+};
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_CACHE_ADAPTIVE_POLICY_H_

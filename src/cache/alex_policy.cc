@@ -1,0 +1,34 @@
+#include "src/cache/alex_policy.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/util/str.h"
+
+namespace webcc {
+
+AlexPolicy::AlexPolicy(double threshold, SimDuration min_validity, SimDuration max_validity)
+    : threshold_(threshold), min_validity_(min_validity), max_validity_(max_validity) {
+  assert(threshold >= 0.0);
+  assert(min_validity.seconds() >= 0);
+  assert(max_validity >= min_validity);
+}
+
+SimDuration AlexPolicy::ValidityWindow(SimDuration known_age) const {
+  if (known_age < SimDuration(0)) {
+    known_age = SimDuration(0);
+  }
+  return std::clamp(known_age.ScaledBy(threshold_), min_validity_, max_validity_);
+}
+
+void AlexPolicy::OnFetch(CacheEntry& entry, SimTime now, const FetchInfo& info) {
+  entry.valid = true;
+  entry.validated_at = now;
+  entry.expires_at = now + ValidityWindow(now - info.last_modified);
+}
+
+std::string AlexPolicy::Describe() const {
+  return StrFormat("alex(threshold=%.0f%%)", threshold_ * 100.0);
+}
+
+}  // namespace webcc

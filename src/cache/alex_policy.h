@@ -1,0 +1,50 @@
+// The Alex adaptive polling policy (paper §1, Cate [6]).
+//
+// Assumption: young files change often; old files rarely. So the validity
+// window is a fixed fraction — the *update threshold* — of the object's age
+// at validation time:
+//
+//   expires_at = validated_at + threshold * (validated_at - last_modified)
+//
+// The paper's worked example: a 30-day-old object with threshold 10% stays
+// valid for 3 days after a check; checked one day ago, it serves locally for
+// two more days. threshold == 0 degenerates to validate-on-every-request,
+// the pathology Figure 8 calls out.
+
+#ifndef WEBCC_SRC_CACHE_ALEX_POLICY_H_
+#define WEBCC_SRC_CACHE_ALEX_POLICY_H_
+
+#include <string>
+
+#include "src/cache/policy.h"
+
+namespace webcc {
+
+class AlexPolicy : public ConsistencyPolicy {
+ public:
+  // threshold is a fraction (0.10 == the paper's "10%"); must be >= 0.
+  // Optional clamps keep pathological ages in check (an object modified
+  // seconds ago would otherwise expire instantly and one modified years ago
+  // would be trusted for months); both default to unclamped, matching the
+  // paper's simulator.
+  explicit AlexPolicy(double threshold, SimDuration min_validity = SimDuration(0),
+                      SimDuration max_validity = SimTime::Infinite() - SimTime::Epoch());
+
+  PolicyKind kind() const override { return PolicyKind::kAlex; }
+  void OnFetch(CacheEntry& entry, SimTime now, const FetchInfo& info) override;
+  std::string Describe() const override;
+
+  double threshold() const { return threshold_; }
+
+  // The validity window for an object of the given known age.
+  SimDuration ValidityWindow(SimDuration known_age) const;
+
+ private:
+  double threshold_;
+  SimDuration min_validity_;
+  SimDuration max_validity_;
+};
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_CACHE_ALEX_POLICY_H_

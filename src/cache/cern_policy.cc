@@ -1,0 +1,41 @@
+#include "src/cache/cern_policy.h"
+
+#include <cassert>
+
+#include "src/util/str.h"
+
+namespace webcc {
+
+CernHttpdPolicy::CernHttpdPolicy(double lm_fraction, SimDuration default_ttl,
+                                 bool use_lm_fraction)
+    : lm_fraction_(lm_fraction), default_ttl_(default_ttl), use_lm_fraction_(use_lm_fraction) {
+  assert(lm_fraction >= 0.0);
+  assert(default_ttl.seconds() >= 0);
+}
+
+void CernHttpdPolicy::OnFetch(CacheEntry& entry, SimTime now, const FetchInfo& info) {
+  entry.valid = true;
+  entry.validated_at = now;
+  // Priority 1: explicit Expires header.
+  if (info.expires.has_value()) {
+    entry.expires_at = *info.expires;
+    return;
+  }
+  // Priority 2: fraction of the Last-Modified age.
+  if (use_lm_fraction_) {
+    SimDuration age = now - info.last_modified;
+    if (age < SimDuration(0)) {
+      age = SimDuration(0);
+    }
+    entry.expires_at = now + age.ScaledBy(lm_fraction_);
+    return;
+  }
+  // Priority 3: configured default.
+  entry.expires_at = now + default_ttl_;
+}
+
+std::string CernHttpdPolicy::Describe() const {
+  return StrFormat("cern(lm=%.2f, default=%.1fh)", lm_fraction_, default_ttl_.hours());
+}
+
+}  // namespace webcc

@@ -1,0 +1,42 @@
+// The CERN httpd expiration rule (paper §2, [12]), ancestor of Squid's
+// refresh logic: assign each cached object a time to live based on, in
+// order,
+//   1. the server's "Expires" header, if any;
+//   2. a configurable fraction of the object's Last-Modified age
+//      (an adaptive rule — structurally the Alex policy);
+//   3. a configurable default expiration time.
+
+#ifndef WEBCC_SRC_CACHE_CERN_POLICY_H_
+#define WEBCC_SRC_CACHE_CERN_POLICY_H_
+
+#include <string>
+
+#include "src/cache/policy.h"
+
+namespace webcc {
+
+class CernHttpdPolicy : public ConsistencyPolicy {
+ public:
+  // lm_fraction: fraction of the Last-Modified age used as TTL (CERN's
+  // default was 0.1); default_ttl: used when no Last-Modified is available
+  // (modeled here as last_modified == created_at being unknown to the cache
+  // never happens in simulation, so the default applies only when
+  // use_lm_fraction is disabled).
+  CernHttpdPolicy(double lm_fraction, SimDuration default_ttl, bool use_lm_fraction = true);
+
+  PolicyKind kind() const override { return PolicyKind::kCernHttpd; }
+  void OnFetch(CacheEntry& entry, SimTime now, const FetchInfo& info) override;
+  std::string Describe() const override;
+
+  double lm_fraction() const { return lm_fraction_; }
+  SimDuration default_ttl() const { return default_ttl_; }
+
+ private:
+  double lm_fraction_;
+  SimDuration default_ttl_;
+  bool use_lm_fraction_;
+};
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_CACHE_CERN_POLICY_H_

@@ -1,0 +1,50 @@
+// Cache entry metadata.
+//
+// An entry remembers everything the consistency protocols need: which
+// version of the object it holds, when that copy was fetched and last
+// validated against the server, and the server-side Last-Modified stamp it
+// was told at that point. Protocol decisions use ONLY this local knowledge;
+// ground-truth staleness is computed by the simulator, never by a policy.
+
+#ifndef WEBCC_SRC_CACHE_ENTRY_H_
+#define WEBCC_SRC_CACHE_ENTRY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/origin/object.h"
+#include "src/util/sim_time.h"
+
+namespace webcc {
+
+struct CacheEntry {
+  ObjectId object = kInvalidObjectId;
+  FileType type = FileType::kOther;
+  int64_t size_bytes = 0;
+
+  // What the cache knows about the copy it holds.
+  uint64_t version = 0;       // server version of the cached body
+  SimTime last_modified;      // server Last-Modified reported with that body
+  SimTime fetched_at;         // when the body was transferred
+  SimTime validated_at;       // last time the copy was confirmed current
+  SimTime expires_at;         // policy-assigned validity horizon
+
+  // Validity. `valid` can be cleared out-of-band (invalidation protocol) or
+  // on expiry in the optimized simulators ("mark invalid, keep the bytes").
+  bool valid = true;
+
+  // Serve bookkeeping.
+  uint64_t serve_count = 0;
+  // Serve timestamps since the last validation; maintained only when the
+  // policy requests feedback (AdaptiveTunerPolicy), since it is the signal a
+  // real cache could use to estimate its own stale-serve rate after the
+  // fact. Cleared on every validation/fetch.
+  std::vector<SimTime> serves_since_validation;
+
+  // Age in the Alex sense, from the cache's (possibly stale) knowledge.
+  SimDuration KnownAgeAt(SimTime now) const { return now - last_modified; }
+};
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_CACHE_ENTRY_H_

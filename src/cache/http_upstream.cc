@@ -1,0 +1,105 @@
+#include "src/cache/http_upstream.h"
+
+#include <cassert>
+
+namespace webcc {
+
+HttpUpstream::HttpUpstream(HttpFrontend* frontend) : frontend_(frontend) {
+  assert(frontend != nullptr);
+}
+
+Response HttpUpstream::Exchange(const Request& request, SimTime now) {
+  const std::string raw_request = request.Serialize();
+  real_request_bytes_ += static_cast<int64_t>(raw_request.size());
+  const std::string raw_response = frontend_->Handle(raw_request, now);
+  real_response_bytes_ += static_cast<int64_t>(raw_response.size());
+  ++exchanges_;
+  const auto response = Response::Parse(raw_response);
+  assert(response.has_value() && "frontend produced unparseable response");
+  // Body bytes ride the wire too (the serialized form carries only the
+  // Content-Length; the bytes themselves are accounted, not materialized).
+  real_response_bytes_ += response->content_length;
+  return *response;
+}
+
+HttpUpstream::Known& HttpUpstream::Learn(ObjectId id, SimTime last_modified) {
+  auto [it, fresh] = known_.try_emplace(id);
+  Known& known = it->second;
+  if (fresh || last_modified > known.last_modified) {
+    known.last_modified = last_modified;
+    ++known.version;
+  }
+  return known;
+}
+
+Upstream::FullReply HttpUpstream::FetchFull(ObjectId id, SimTime now) {
+  const WebObject& obj = frontend_->server()->store().Get(id);
+  Request request;
+  request.method = Method::kGet;
+  request.uri = obj.name;
+  const Response response = Exchange(request, now);
+  assert(response.status == StatusCode::kOk);
+
+  FullReply reply;
+  reply.body_bytes = response.content_length;
+  const SimTime lm = response.LastModified().value_or(now);
+  const Known& known = Learn(id, lm);
+  reply.version = known.version;
+  reply.last_modified = lm;
+  reply.expires = response.Expires();
+  return reply;
+}
+
+Upstream::CondReply HttpUpstream::FetchIfModified(ObjectId id, uint64_t held_version,
+                                                  SimTime now) {
+  const WebObject& obj = frontend_->server()->store().Get(id);
+  Request request;
+  request.uri = obj.name;
+  // The If-Modified-Since stamp is the newest Last-Modified this upstream
+  // has relayed; a cache can only hold a version it got from here.
+  const auto it = known_.find(id);
+  assert(it != known_.end() && "conditional fetch for an object never fetched");
+  assert(held_version <= it->second.version);
+  request.SetIfModifiedSince(it->second.last_modified);
+  const Response response = Exchange(request, now);
+
+  CondReply reply;
+  if (response.status == StatusCode::kNotModified && held_version == it->second.version) {
+    reply.modified = false;
+    reply.version = it->second.version;
+    reply.last_modified = it->second.last_modified;
+    reply.expires = response.Expires();
+    return reply;
+  }
+  // Either the server shipped a newer body, or the cache's copy lags what
+  // this upstream already relayed (multi-cache sharing): both mean
+  // "modified" from the cache's perspective.
+  const SimTime lm = response.LastModified().value_or(it->second.last_modified);
+  const Known& known = Learn(id, lm);
+  reply.modified = true;
+  reply.body_bytes = response.status == StatusCode::kNotModified
+                         ? frontend_->server()->store().Get(id).size_bytes
+                         : response.content_length;
+  reply.version = known.version;
+  reply.last_modified = known.last_modified;
+  reply.expires = response.Expires();
+  return reply;
+}
+
+void HttpUpstream::SubscribeInvalidation(InvalidationSink* sink, ObjectId id) {
+  OriginServer* server = frontend_->server();
+  auto it = cache_ids_.find(sink);
+  if (it == cache_ids_.end()) {
+    it = cache_ids_.emplace(sink, server->RegisterCache(sink)).first;
+  }
+  server->Subscribe(it->second, id);
+}
+
+void HttpUpstream::UnsubscribeInvalidation(InvalidationSink* sink, ObjectId id) {
+  const auto it = cache_ids_.find(sink);
+  if (it != cache_ids_.end()) {
+    frontend_->server()->Unsubscribe(it->second, id);
+  }
+}
+
+}  // namespace webcc

@@ -1,0 +1,42 @@
+// The invalidation protocol's cache-side policy (paper §1, [16]): a cached
+// copy is valid until the origin server says otherwise. The cache registers
+// with the server for every object it holds; the server's callback clears
+// the entry's `valid` bit (the Worrell optimization: mark invalid, do not
+// prefetch — the body is re-fetched only if requested again).
+
+#ifndef WEBCC_SRC_CACHE_INVALIDATION_POLICY_H_
+#define WEBCC_SRC_CACHE_INVALIDATION_POLICY_H_
+
+#include <string>
+
+#include "src/cache/policy.h"
+
+namespace webcc {
+
+class InvalidationPolicy : public ConsistencyPolicy {
+ public:
+  InvalidationPolicy() = default;
+
+  PolicyKind kind() const override { return PolicyKind::kInvalidation; }
+
+  // Valid until invalidated; no time horizon at all.
+  bool IsValid(const CacheEntry& entry, SimTime now) const override {
+    (void)now;
+    return entry.valid;
+  }
+
+  void OnFetch(CacheEntry& entry, SimTime now, const FetchInfo& info) override {
+    (void)info;
+    entry.valid = true;
+    entry.validated_at = now;
+    entry.expires_at = SimTime::Infinite();
+  }
+
+  bool UsesServerInvalidation() const override { return true; }
+
+  std::string Describe() const override { return "invalidation"; }
+};
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_CACHE_INVALIDATION_POLICY_H_

@@ -1,0 +1,44 @@
+#include "src/cache/origin_upstream.h"
+
+#include <cassert>
+
+namespace webcc {
+
+OriginUpstream::OriginUpstream(OriginServer* server) : server_(server) {
+  assert(server != nullptr);
+}
+
+Upstream::FullReply OriginUpstream::FetchFull(ObjectId id, SimTime now) {
+  const auto result = server_->HandleGet(id, now);
+  return FullReply{result.body_bytes, result.version, result.last_modified, result.expires};
+}
+
+Upstream::CondReply OriginUpstream::FetchIfModified(ObjectId id, uint64_t held_version,
+                                                    SimTime now) {
+  const auto result = server_->HandleConditionalGet(id, held_version, now);
+  return CondReply{result.modified, result.body_bytes, result.version, result.last_modified,
+                   result.expires};
+}
+
+CacheId OriginUpstream::IdFor(InvalidationSink* sink) {
+  const auto it = cache_ids_.find(sink);
+  if (it != cache_ids_.end()) {
+    return it->second;
+  }
+  const CacheId id = server_->RegisterCache(sink);
+  cache_ids_.emplace(sink, id);
+  return id;
+}
+
+void OriginUpstream::SubscribeInvalidation(InvalidationSink* sink, ObjectId id) {
+  server_->Subscribe(IdFor(sink), id);
+}
+
+void OriginUpstream::UnsubscribeInvalidation(InvalidationSink* sink, ObjectId id) {
+  const auto it = cache_ids_.find(sink);
+  if (it != cache_ids_.end()) {
+    server_->Unsubscribe(it->second, id);
+  }
+}
+
+}  // namespace webcc

@@ -1,0 +1,34 @@
+// Adapter presenting an OriginServer as an Upstream.
+
+#ifndef WEBCC_SRC_CACHE_ORIGIN_UPSTREAM_H_
+#define WEBCC_SRC_CACHE_ORIGIN_UPSTREAM_H_
+
+#include <unordered_map>
+
+#include "src/cache/upstream.h"
+#include "src/origin/server.h"
+
+namespace webcc {
+
+class OriginUpstream : public Upstream {
+ public:
+  explicit OriginUpstream(OriginServer* server);
+
+  FullReply FetchFull(ObjectId id, SimTime now) override;
+  CondReply FetchIfModified(ObjectId id, uint64_t held_version, SimTime now) override;
+  void SubscribeInvalidation(InvalidationSink* sink, ObjectId id) override;
+  void UnsubscribeInvalidation(InvalidationSink* sink, ObjectId id) override;
+
+  OriginServer* server() { return server_; }
+
+ private:
+  // The origin identifies caches by CacheId; register each sink on first use.
+  CacheId IdFor(InvalidationSink* sink);
+
+  OriginServer* server_;
+  std::unordered_map<InvalidationSink*, CacheId> cache_ids_;
+};
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_CACHE_ORIGIN_UPSTREAM_H_

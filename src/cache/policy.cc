@@ -1,0 +1,21 @@
+#include "src/cache/policy.h"
+
+namespace webcc {
+
+std::string_view PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kFixedTtl:
+      return "ttl";
+    case PolicyKind::kAlex:
+      return "alex";
+    case PolicyKind::kCernHttpd:
+      return "cern";
+    case PolicyKind::kInvalidation:
+      return "invalidation";
+    case PolicyKind::kAdaptiveTuner:
+      return "adaptive";
+  }
+  return "unknown";
+}
+
+}  // namespace webcc

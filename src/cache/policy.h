@@ -1,0 +1,98 @@
+// The consistency-policy interface.
+//
+// A policy answers one question — "may this cached copy be served right
+// now?" — and maintains the per-entry validity horizon when copies are
+// fetched or validated. The three families from the paper:
+//
+//   * time-to-live:   expires_at = validated_at + TTL            (§1)
+//   * Alex polling:   expires_at = validated_at + threshold*age  (§1, [6])
+//   * invalidation:   valid until the server says otherwise      (§1, [16])
+//
+// plus the CERN httpd rule (Expires header, else a fraction of the
+// Last-Modified age, else a default — §2 [12]) and the paper's §5 future
+// work, a self-tuning per-file-type adaptive policy.
+
+#ifndef WEBCC_SRC_CACHE_POLICY_H_
+#define WEBCC_SRC_CACHE_POLICY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/cache/entry.h"
+#include "src/util/sim_time.h"
+
+namespace webcc {
+
+enum class PolicyKind {
+  kFixedTtl,
+  kAlex,
+  kCernHttpd,
+  kInvalidation,
+  kAdaptiveTuner,
+};
+
+std::string_view PolicyKindName(PolicyKind kind);
+
+// What the upstream told us when a body or a 304 arrived; policies use it to
+// set the next validity horizon.
+struct FetchInfo {
+  SimTime last_modified;
+  // Explicit Expires header, when the server supplies one (objects with a
+  // priori known lifetimes, e.g. daily news — §6).
+  std::optional<SimTime> expires;
+};
+
+class ConsistencyPolicy {
+ public:
+  virtual ~ConsistencyPolicy() = default;
+
+  virtual PolicyKind kind() const = 0;
+
+  // May `entry` be served at `now` without contacting the server? The
+  // default implementation is the common time-based rule: the entry must be
+  // marked valid and now < expires_at.
+  virtual bool IsValid(const CacheEntry& entry, SimTime now) const {
+    return entry.valid && now < entry.expires_at;
+  }
+
+  // A fresh body arrived (initial fetch or re-fetch). Sets validity state.
+  virtual void OnFetch(CacheEntry& entry, SimTime now, const FetchInfo& info) = 0;
+
+  // A conditional query confirmed the copy current (304). Default: treat
+  // like a fetch-time refresh with the entry's recorded metadata.
+  virtual void OnValidate(CacheEntry& entry, SimTime now) {
+    FetchInfo info;
+    info.last_modified = entry.last_modified;
+    OnFetch(entry, now, info);
+  }
+
+  // True for policies driven by server callbacks; the cache then subscribes
+  // with the origin server for every object it holds.
+  virtual bool UsesServerInvalidation() const { return false; }
+
+  // True if the policy wants per-entry serve timestamps retained between
+  // validations (self-tuning feedback).
+  virtual bool WantsServeFeedback() const { return false; }
+
+  // Outcome of a conditional query: `was_modified` says whether the copy
+  // had really changed; `server_last_modified` is the (new) stamp. Policies
+  // that learn from observed staleness override this. Called before the
+  // entry is updated, so `entry` still holds the pre-query state including
+  // serves_since_validation.
+  virtual void OnValidationOutcome(const CacheEntry& entry, bool was_modified,
+                                   SimTime server_last_modified, SimTime now) {
+    (void)entry;
+    (void)was_modified;
+    (void)server_last_modified;
+    (void)now;
+  }
+
+  // One-line human-readable parameterization, e.g. "alex(threshold=10%)".
+  virtual std::string Describe() const = 0;
+};
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_CACHE_POLICY_H_

@@ -1,0 +1,74 @@
+#include "src/cache/policy_factory.h"
+
+#include "src/cache/alex_policy.h"
+#include "src/cache/cern_policy.h"
+#include "src/cache/invalidation_policy.h"
+#include "src/cache/ttl_policy.h"
+
+namespace webcc {
+
+PolicyConfig PolicyConfig::Ttl(SimDuration ttl) {
+  PolicyConfig config;
+  config.kind = PolicyKind::kFixedTtl;
+  config.ttl = ttl;
+  return config;
+}
+
+PolicyConfig PolicyConfig::Alex(double threshold) {
+  PolicyConfig config;
+  config.kind = PolicyKind::kAlex;
+  config.alex_threshold = threshold;
+  return config;
+}
+
+PolicyConfig PolicyConfig::SquidRefreshPattern(SimDuration min_validity, double percent,
+                                               SimDuration max_validity) {
+  PolicyConfig config;
+  config.kind = PolicyKind::kAlex;
+  config.alex_threshold = percent / 100.0;
+  config.alex_min_validity = min_validity;
+  config.alex_max_validity = max_validity;
+  return config;
+}
+
+PolicyConfig PolicyConfig::Cern(double lm_fraction, SimDuration default_ttl) {
+  PolicyConfig config;
+  config.kind = PolicyKind::kCernHttpd;
+  config.cern_lm_fraction = lm_fraction;
+  config.cern_default_ttl = default_ttl;
+  return config;
+}
+
+PolicyConfig PolicyConfig::Invalidation() {
+  PolicyConfig config;
+  config.kind = PolicyKind::kInvalidation;
+  return config;
+}
+
+PolicyConfig PolicyConfig::Adaptive(AdaptiveTunerPolicy::Options options) {
+  PolicyConfig config;
+  config.kind = PolicyKind::kAdaptiveTuner;
+  config.tuner = options;
+  return config;
+}
+
+std::string PolicyConfig::Describe() const { return MakePolicy(*this)->Describe(); }
+
+std::unique_ptr<ConsistencyPolicy> MakePolicy(const PolicyConfig& config) {
+  switch (config.kind) {
+    case PolicyKind::kFixedTtl:
+      return std::make_unique<FixedTtlPolicy>(config.ttl);
+    case PolicyKind::kAlex:
+      return std::make_unique<AlexPolicy>(config.alex_threshold, config.alex_min_validity,
+                                          config.alex_max_validity);
+    case PolicyKind::kCernHttpd:
+      return std::make_unique<CernHttpdPolicy>(config.cern_lm_fraction, config.cern_default_ttl);
+    case PolicyKind::kInvalidation:
+      return std::make_unique<InvalidationPolicy>();
+    case PolicyKind::kAdaptiveTuner:
+      return std::make_unique<AdaptiveTunerPolicy>(config.tuner);
+  }
+  return nullptr;
+}
+
+}  // namespace webcc

@@ -1,0 +1,54 @@
+// Value-type policy configuration and factory, used by the experiment runner
+// to sweep parameters without templating on policy types.
+
+#ifndef WEBCC_SRC_CACHE_POLICY_FACTORY_H_
+#define WEBCC_SRC_CACHE_POLICY_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "src/cache/adaptive_policy.h"
+#include "src/cache/policy.h"
+#include "src/util/sim_time.h"
+
+namespace webcc {
+
+struct PolicyConfig {
+  PolicyKind kind = PolicyKind::kAlex;
+
+  // kFixedTtl
+  SimDuration ttl = Hours(24);
+
+  // kAlex (also used for Squid-style refresh_pattern clamps)
+  double alex_threshold = 0.10;
+  SimDuration alex_min_validity = SimDuration(0);
+  SimDuration alex_max_validity = SimTime::Infinite() - SimTime::Epoch();
+
+  // kCernHttpd
+  double cern_lm_fraction = 0.10;
+  SimDuration cern_default_ttl = Days(2);
+
+  // kAdaptiveTuner
+  AdaptiveTunerPolicy::Options tuner;
+
+  // Named constructors for the common sweeps.
+  static PolicyConfig Ttl(SimDuration ttl);
+  static PolicyConfig Alex(double threshold);
+  // Squid's refresh_pattern descendant of the Alex rule:
+  //   refresh_pattern <regex> <min> <percent> <max>
+  // i.e. an Alex threshold with the validity window clamped to [min, max].
+  // The study's lineage made concrete: this is what shipped.
+  static PolicyConfig SquidRefreshPattern(SimDuration min_validity, double percent,
+                                          SimDuration max_validity);
+  static PolicyConfig Cern(double lm_fraction, SimDuration default_ttl);
+  static PolicyConfig Invalidation();
+  static PolicyConfig Adaptive(AdaptiveTunerPolicy::Options options = {});
+
+  std::string Describe() const;
+};
+
+std::unique_ptr<ConsistencyPolicy> MakePolicy(const PolicyConfig& config);
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_CACHE_POLICY_FACTORY_H_

@@ -1,0 +1,374 @@
+#include "src/cache/proxy_cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/http/message.h"
+
+namespace webcc {
+
+ProxyCache::ProxyCache(std::string name, Upstream* upstream,
+                       std::unique_ptr<ConsistencyPolicy> policy, CacheConfig config,
+                       const ObjectStore* oracle)
+    : name_(std::move(name)),
+      upstream_(upstream),
+      policy_(std::move(policy)),
+      config_(config),
+      oracle_(oracle) {
+  assert(upstream_ != nullptr);
+  assert(policy_ != nullptr);
+}
+
+ProxyCache::~ProxyCache() = default;
+
+const CacheEntry* ProxyCache::Find(ObjectId id) const {
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second.entry;
+}
+
+bool ProxyCache::IsStale(const CacheEntry& entry) const {
+  if (oracle_ == nullptr || !oracle_->Contains(entry.object)) {
+    return false;
+  }
+  // Compared by modification time, not version counter: entries fetched over
+  // the HTTP path carry synthetic version numbers that are not in the
+  // store's numbering domain, while Last-Modified is universal. At
+  // one-second resolution two changes within the same second are
+  // indistinguishable — the same granularity every HTTP/1.0 cache lived
+  // with.
+  return entry.last_modified < oracle_->Get(entry.object).last_modified;
+}
+
+void ProxyCache::RecordServe(CacheEntry& entry, SimTime now) {
+  ++entry.serve_count;
+  if (policy_->WantsServeFeedback()) {
+    entry.serves_since_validation.push_back(now);
+  }
+}
+
+void ProxyCache::InstallBody(CacheEntry& entry, ObjectId id, int64_t body_bytes,
+                             uint64_t version, SimTime last_modified,
+                             std::optional<SimTime> expires, SimTime now) {
+  stored_bytes_ += body_bytes - entry.size_bytes;
+  entry.object = id;
+  if (oracle_ != nullptr && oracle_->Contains(id)) {
+    entry.type = oracle_->Get(id).type;
+  }
+  entry.size_bytes = body_bytes;
+  entry.version = version;
+  entry.last_modified = last_modified;
+  entry.fetched_at = now;
+  entry.serves_since_validation.clear();
+  FetchInfo info;
+  info.last_modified = last_modified;
+  info.expires = expires;
+  policy_->OnFetch(entry, now, info);
+}
+
+void ProxyCache::Touch(Slot& slot, ObjectId id) {
+  lru_.erase(slot.lru_pos);
+  lru_.push_front(id);
+  slot.lru_pos = lru_.begin();
+}
+
+void ProxyCache::Evict(ObjectId id) {
+  const auto it = entries_.find(id);
+  assert(it != entries_.end());
+  stored_bytes_ -= it->second.entry.size_bytes;
+  lru_.erase(it->second.lru_pos);
+  if (policy_->UsesServerInvalidation()) {
+    upstream_->UnsubscribeInvalidation(this, id);
+  }
+  entries_.erase(it);
+  ++stats_.evictions;
+}
+
+void ProxyCache::EnforceCapacity() {
+  if (config_.capacity_bytes <= 0) {
+    return;
+  }
+  while (stored_bytes_ > config_.capacity_bytes && !lru_.empty()) {
+    Evict(lru_.back());
+  }
+}
+
+ServeResult ProxyCache::HandleRequest(ObjectId id, SimTime now) {
+  ++stats_.requests;
+  ServeResult result;
+  const int64_t link_before = stats_.LinkBytes();
+
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    // Cold miss: unconditional fetch.
+    ++stats_.full_fetches;
+    stats_.bytes_to_upstream += ControlWireBytes();
+    const auto reply = upstream_->FetchFull(id, now);
+    stats_.bytes_from_upstream += DocumentWireBytes(reply.body_bytes);
+
+    lru_.push_front(id);
+    Slot slot;
+    slot.lru_pos = lru_.begin();
+    auto [inserted, ok] = entries_.emplace(id, std::move(slot));
+    assert(ok);
+    (void)ok;
+    InstallBody(inserted->second.entry, id, reply.body_bytes, reply.version, reply.last_modified,
+                reply.expires, now);
+    if (policy_->UsesServerInvalidation()) {
+      upstream_->SubscribeInvalidation(this, id);
+    }
+    RecordServe(inserted->second.entry, now);
+    {
+      auto& tc = stats_.by_type[static_cast<size_t>(inserted->second.entry.type)];
+      ++tc.requests;
+      ++tc.misses;
+      tc.payload_bytes += reply.body_bytes;
+    }
+    ++stats_.misses_cold;
+    result.kind = ServeKind::kMissCold;
+    result.hops = 1 + reply.upstream_hops;
+    EnforceCapacity();
+    result.link_bytes = stats_.LinkBytes() - link_before;
+    stats_.total_hops += result.hops;
+    stats_.max_hops = std::max(stats_.max_hops, result.hops);
+    return result;
+  }
+
+  Slot& slot = it->second;
+  CacheEntry& entry = slot.entry;
+  Touch(slot, id);
+
+  if (policy_->IsValid(entry, now)) {
+    // Fresh (per policy) local serve — possibly stale in truth.
+    result.kind = ServeKind::kHitFresh;
+    result.stale = IsStale(entry);
+    if (result.stale) {
+      ++stats_.stale_hits;
+    }
+    ++stats_.hits_fresh;
+    {
+      auto& tc = stats_.by_type[static_cast<size_t>(entry.type)];
+      ++tc.requests;
+      if (result.stale) {
+        ++tc.stale_hits;
+      }
+    }
+    RecordServe(entry, now);
+    result.link_bytes = 0;
+    result.hops = 0;
+    return result;
+  }
+
+  // Expired or invalidated copy.
+  if (config_.refresh_mode == RefreshMode::kFullRefetch) {
+    // Base simulator: re-fetch the body unconditionally.
+    ++stats_.full_fetches;
+    stats_.bytes_to_upstream += ControlWireBytes();
+    const auto reply = upstream_->FetchFull(id, now);
+    stats_.bytes_from_upstream += DocumentWireBytes(reply.body_bytes);
+    InstallBody(entry, id, reply.body_bytes, reply.version, reply.last_modified, reply.expires,
+                now);
+    if (policy_->UsesServerInvalidation()) {
+      // Contact re-registers interest — how a server re-learns who holds
+      // what after state loss (idempotent while registered).
+      upstream_->SubscribeInvalidation(this, id);
+    }
+    RecordServe(entry, now);
+    {
+      auto& tc = stats_.by_type[static_cast<size_t>(entry.type)];
+      ++tc.requests;
+      ++tc.misses;
+      tc.payload_bytes += reply.body_bytes;
+    }
+    ++stats_.misses_refetched;
+    result.kind = ServeKind::kMissRefetched;
+    result.hops = 1 + reply.upstream_hops;
+    EnforceCapacity();
+    result.link_bytes = stats_.LinkBytes() - link_before;
+    stats_.total_hops += result.hops;
+    stats_.max_hops = std::max(stats_.max_hops, result.hops);
+    return result;
+  }
+
+  // Optimized simulator: combined "send if changed since" query.
+  ++stats_.validations_sent;
+  stats_.bytes_to_upstream += ControlWireBytes();
+  const auto reply = upstream_->FetchIfModified(id, entry.version, now);
+  if (policy_->UsesServerInvalidation()) {
+    upstream_->SubscribeInvalidation(this, id);  // contact re-registers interest
+  }
+  policy_->OnValidationOutcome(entry, reply.modified, reply.last_modified, now);
+  if (!reply.modified) {
+    stats_.bytes_from_upstream += ControlWireBytes();  // 304 Not Modified
+    entry.serves_since_validation.clear();
+    entry.validated_at = now;
+    FetchInfo info;
+    info.last_modified = entry.last_modified;
+    info.expires = reply.expires;
+    policy_->OnFetch(entry, now, info);
+    RecordServe(entry, now);
+    {
+      auto& tc = stats_.by_type[static_cast<size_t>(entry.type)];
+      ++tc.requests;
+      ++tc.validations;
+    }
+    ++stats_.hits_validated;
+    result.kind = ServeKind::kHitValidated;
+    result.hops = 1 + reply.upstream_hops;
+    result.link_bytes = stats_.LinkBytes() - link_before;
+    stats_.total_hops += result.hops;
+    stats_.max_hops = std::max(stats_.max_hops, result.hops);
+    return result;
+  }
+
+  stats_.bytes_from_upstream += DocumentWireBytes(reply.body_bytes);
+  InstallBody(entry, id, reply.body_bytes, reply.version, reply.last_modified, reply.expires,
+              now);
+  RecordServe(entry, now);
+  {
+    auto& tc = stats_.by_type[static_cast<size_t>(entry.type)];
+    ++tc.requests;
+    ++tc.validations;
+    ++tc.misses;
+    tc.payload_bytes += reply.body_bytes;
+  }
+  ++stats_.misses_refetched;
+  result.kind = ServeKind::kMissRefetched;
+  result.hops = 1 + reply.upstream_hops;
+  EnforceCapacity();
+  result.link_bytes = stats_.LinkBytes() - link_before;
+  stats_.total_hops += result.hops;
+  stats_.max_hops = std::max(stats_.max_hops, result.hops);
+  return result;
+}
+
+void ProxyCache::PreloadObject(const WebObject& object, SimTime now) {
+  assert(entries_.find(object.id) == entries_.end());
+  lru_.push_front(object.id);
+  Slot slot;
+  slot.lru_pos = lru_.begin();
+  auto [inserted, ok] = entries_.emplace(object.id, std::move(slot));
+  assert(ok);
+  (void)ok;
+  CacheEntry& entry = inserted->second.entry;
+  stored_bytes_ += object.size_bytes;
+  entry.object = object.id;
+  entry.type = object.type;
+  entry.size_bytes = object.size_bytes;
+  entry.version = object.version;
+  entry.last_modified = object.last_modified;
+  entry.fetched_at = now;
+  FetchInfo info;
+  info.last_modified = object.last_modified;
+  policy_->OnFetch(entry, now, info);
+  if (policy_->UsesServerInvalidation()) {
+    upstream_->SubscribeInvalidation(this, object.id);
+  }
+  EnforceCapacity();
+}
+
+void ProxyCache::Preload(const ObjectStore& store, SimTime now) {
+  for (const WebObject& object : store.objects()) {
+    PreloadObject(object, now);
+  }
+}
+
+void ProxyCache::ForEachEntry(const std::function<void(const CacheEntry&)>& fn) const {
+  for (ObjectId id : lru_) {
+    fn(entries_.at(id).entry);
+  }
+}
+
+void ProxyCache::RestoreEntry(const CacheEntry& entry) {
+  assert(entries_.find(entry.object) == entries_.end() && "object already cached");
+  lru_.push_back(entry.object);  // restored entries queue behind live ones
+  Slot slot;
+  slot.lru_pos = std::prev(lru_.end());
+  slot.entry = entry;
+  stored_bytes_ += entry.size_bytes;
+  entries_.emplace(entry.object, std::move(slot));
+  EnforceCapacity();
+}
+
+bool ProxyCache::DeliverInvalidation(ObjectId id, SimTime now) {
+  if (!reachable_) {
+    ++stats_.invalidations_dropped;
+    return false;
+  }
+  ++stats_.invalidations_received;
+  stats_.bytes_from_upstream += ControlWireBytes();
+  const auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    it->second.entry.valid = false;
+  }
+  ForwardInvalidation(id, now);
+  return true;
+}
+
+void ProxyCache::ForwardInvalidation(ObjectId id, SimTime now) {
+  const auto it = child_subs_.find(id);
+  if (it == child_subs_.end()) {
+    return;
+  }
+  for (InvalidationSink* child : it->second) {
+    ++child_invalidations_sent_;
+    child->DeliverInvalidation(id, now);
+  }
+}
+
+Upstream::FullReply ProxyCache::FetchFull(ObjectId id, SimTime now) {
+  // A child's request is a request to this cache: serve it through the
+  // normal path (which refreshes our copy as our policy dictates), then hand
+  // the child whatever body we now hold.
+  const ServeResult inner = HandleRequest(id, now);
+  const CacheEntry* entry = Find(id);
+  assert(entry != nullptr);
+  FullReply reply;
+  reply.body_bytes = entry->size_bytes;
+  reply.version = entry->version;
+  reply.last_modified = entry->last_modified;
+  reply.upstream_hops = inner.hops;
+  return reply;
+}
+
+Upstream::CondReply ProxyCache::FetchIfModified(ObjectId id, uint64_t held_version,
+                                                SimTime now) {
+  const ServeResult inner = HandleRequest(id, now);
+  const CacheEntry* entry = Find(id);
+  assert(entry != nullptr);
+  CondReply reply;
+  reply.upstream_hops = inner.hops;
+  reply.version = entry->version;
+  reply.last_modified = entry->last_modified;
+  if (entry->version == held_version) {
+    reply.modified = false;
+    return reply;
+  }
+  reply.modified = true;
+  reply.body_bytes = entry->size_bytes;
+  return reply;
+}
+
+void ProxyCache::SubscribeInvalidation(InvalidationSink* sink, ObjectId id) {
+  auto& sinks = child_subs_[id];
+  if (std::find(sinks.begin(), sinks.end(), sink) == sinks.end()) {
+    sinks.push_back(sink);
+  }
+  // A parent can only relay changes it hears about itself.
+  if (policy_->UsesServerInvalidation()) {
+    upstream_->SubscribeInvalidation(this, id);
+  }
+}
+
+void ProxyCache::UnsubscribeInvalidation(InvalidationSink* sink, ObjectId id) {
+  const auto it = child_subs_.find(id);
+  if (it == child_subs_.end()) {
+    return;
+  }
+  auto& sinks = it->second;
+  sinks.erase(std::remove(sinks.begin(), sinks.end(), sink), sinks.end());
+  if (sinks.empty()) {
+    child_subs_.erase(it);
+  }
+}
+
+}  // namespace webcc

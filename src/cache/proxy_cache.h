@@ -1,0 +1,224 @@
+// The proxy cache.
+//
+// Sits between clients and an Upstream (the origin server, or a parent cache
+// in hierarchical configurations), applying a ConsistencyPolicy to decide
+// when cached copies may be served. Supports the paper's two retrieval
+// modes:
+//
+//   * kFullRefetch (base simulator): an expired copy is replaced by a full
+//     GET at the next request, whether or not it actually changed.
+//   * kConditionalGet (optimized simulator): expiry only marks the copy; the
+//     next request issues a combined "send if changed" query, trading a
+//     round trip for body bytes (paper §3).
+//
+// Staleness is scored against ground truth: the cache holds a pointer to
+// the authoritative ObjectStore purely as an oracle for metrics. Policy
+// decisions never read the oracle.
+
+#ifndef WEBCC_SRC_CACHE_PROXY_CACHE_H_
+#define WEBCC_SRC_CACHE_PROXY_CACHE_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/entry.h"
+#include "src/cache/policy.h"
+#include "src/cache/upstream.h"
+#include "src/origin/object_store.h"
+
+namespace webcc {
+
+enum class RefreshMode {
+  kFullRefetch,     // base simulator behaviour
+  kConditionalGet,  // optimized simulator behaviour
+};
+
+struct CacheConfig {
+  RefreshMode refresh_mode = RefreshMode::kConditionalGet;
+  // 0 means unbounded (the paper's configuration: "valid entries are never
+  // evicted"). Otherwise LRU eviction keeps total body bytes under the cap.
+  int64_t capacity_bytes = 0;
+};
+
+// How a request was satisfied.
+enum class ServeKind {
+  kHitFresh,      // served locally, no upstream contact
+  kHitValidated,  // upstream said 304; body served locally
+  kMissCold,      // object not in cache; body fetched
+  kMissRefetched, // copy expired/invalid; body fetched
+};
+
+struct ServeResult {
+  ServeKind kind = ServeKind::kHitFresh;
+  // Oracle verdict: the body handed to the client was older than the
+  // server's current version.
+  bool stale = false;
+  // Bytes this request moved on the upstream link (both directions).
+  int64_t link_bytes = 0;
+  // Round trips this request incurred: 0 for a fresh local serve, 1 + the
+  // upstream's own hops otherwise. Multiplied by a per-hop RTT this is the
+  // client-visible latency the paper's bandwidth optimization trades away.
+  int hops = 0;
+};
+
+struct CacheStats {
+  uint64_t requests = 0;
+  uint64_t hits_fresh = 0;
+  uint64_t hits_validated = 0;
+  uint64_t misses_cold = 0;
+  uint64_t misses_refetched = 0;
+  uint64_t stale_hits = 0;          // oracle-stale bodies served
+  uint64_t validations_sent = 0;    // conditional queries issued upstream
+  uint64_t full_fetches = 0;        // unconditional GETs issued upstream
+  uint64_t invalidations_received = 0;
+  uint64_t invalidations_dropped = 0;  // arrived while unreachable
+  uint64_t evictions = 0;
+  int64_t bytes_to_upstream = 0;
+  int64_t bytes_from_upstream = 0;
+  // Round-trip accounting across all requests (latency proxy).
+  uint64_t total_hops = 0;
+  int max_hops = 0;
+
+  // Per-file-type breakdown (the §5 "different types of files exhibit
+  // different update behavior" analysis).
+  struct TypeCounters {
+    uint64_t requests = 0;
+    uint64_t stale_hits = 0;
+    uint64_t misses = 0;          // body transfers
+    uint64_t validations = 0;     // conditional queries issued
+    int64_t payload_bytes = 0;    // body bytes fetched
+  };
+  std::array<TypeCounters, kNumFileTypes> by_type{};
+
+  // Paper §4.1 definition: a miss is a request that moved a body.
+  uint64_t Misses() const { return misses_cold + misses_refetched; }
+  uint64_t Hits() const { return hits_fresh + hits_validated; }
+  int64_t LinkBytes() const { return bytes_to_upstream + bytes_from_upstream; }
+  double MissRate() const {
+    return requests == 0 ? 0.0 : static_cast<double>(Misses()) / static_cast<double>(requests);
+  }
+  double StaleRate() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(stale_hits) / static_cast<double>(requests);
+  }
+  // Mean upstream round trips per request (0 = everything served locally).
+  double MeanHops() const {
+    return requests == 0 ? 0.0 : static_cast<double>(total_hops) / static_cast<double>(requests);
+  }
+};
+
+class ProxyCache : public InvalidationSink, public Upstream {
+ public:
+  // `oracle` is the authoritative store used only for staleness metrics; it
+  // may be null, in which case stale accounting is disabled.
+  ProxyCache(std::string name, Upstream* upstream, std::unique_ptr<ConsistencyPolicy> policy,
+             CacheConfig config, const ObjectStore* oracle);
+
+  ~ProxyCache() override;
+  ProxyCache(const ProxyCache&) = delete;
+  ProxyCache& operator=(const ProxyCache&) = delete;
+
+  // Serves one client request for `id` at time `now`.
+  ServeResult HandleRequest(ObjectId id, SimTime now);
+
+  // Installs valid copies of every object in `store` as of `now` without
+  // touching the upstream link (Figures 2–5: "the cache is pre-loaded with
+  // valid copies of all the files held in the primary server").
+  void Preload(const ObjectStore& store, SimTime now);
+  // Preloads a single object.
+  void PreloadObject(const WebObject& object, SimTime now);
+
+  // --- InvalidationSink ---
+  bool DeliverInvalidation(ObjectId id, SimTime now) override;
+
+  // Simulates network partition from the server: while unreachable the cache
+  // drops invalidation notices (the server retries).
+  void set_reachable(bool reachable) { reachable_ = reachable; }
+  bool reachable() const { return reachable_; }
+
+  // --- Upstream (serving child caches in a hierarchy) ---
+  FullReply FetchFull(ObjectId id, SimTime now) override;
+  CondReply FetchIfModified(ObjectId id, uint64_t held_version, SimTime now) override;
+  void SubscribeInvalidation(InvalidationSink* sink, ObjectId id) override;
+  void UnsubscribeInvalidation(InvalidationSink* sink, ObjectId id) override;
+
+  // --- Persistence (snapshot.h) ---
+
+  // Visits every cached entry in LRU order (most recent first).
+  void ForEachEntry(const std::function<void(const CacheEntry&)>& fn) const;
+
+  // Reinstalls an entry verbatim, as snapshot recovery does after a restart.
+  // Deliberately does NOT register invalidation interest with the upstream:
+  // a restarted cache is unknown to the server until it talks to it again —
+  // exactly the recovery complication §6 ascribes to invalidation protocols.
+  // The object must not already be cached.
+  void RestoreEntry(const CacheEntry& entry);
+
+  // --- Introspection ---
+  bool Contains(ObjectId id) const { return entries_.find(id) != entries_.end(); }
+  // Returns the entry for `id`, or nullptr. Pointer invalidated by mutation.
+  const CacheEntry* Find(ObjectId id) const;
+  size_t EntryCount() const { return entries_.size(); }
+  int64_t StoredBytes() const { return stored_bytes_; }
+
+  const CacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = CacheStats{}; }
+
+  ConsistencyPolicy& policy() { return *policy_; }
+  const ConsistencyPolicy& policy() const { return *policy_; }
+  const std::string& name() const { return name_; }
+  const CacheConfig& config() const { return config_; }
+
+ private:
+  struct Slot {
+    CacheEntry entry;
+    std::list<ObjectId>::iterator lru_pos;
+  };
+
+  // Installs/overwrites the body metadata from an upstream reply and runs
+  // the policy's OnFetch.
+  void InstallBody(CacheEntry& entry, ObjectId id, int64_t body_bytes, uint64_t version,
+                   SimTime last_modified, std::optional<SimTime> expires, SimTime now);
+  // Moves `id` to the front of the LRU list.
+  void Touch(Slot& slot, ObjectId id);
+  // Evicts LRU entries until stored bytes fit the capacity.
+  void EnforceCapacity();
+  void Evict(ObjectId id);
+  // Oracle staleness check for a local serve.
+  bool IsStale(const CacheEntry& entry) const;
+  // Records a local serve on the entry (count + feedback timestamps).
+  void RecordServe(CacheEntry& entry, SimTime now);
+  // Forwards an invalidation to subscribed children.
+  void ForwardInvalidation(ObjectId id, SimTime now);
+
+  std::string name_;
+  Upstream* upstream_;
+  std::unique_ptr<ConsistencyPolicy> policy_;
+  CacheConfig config_;
+  const ObjectStore* oracle_;
+  bool reachable_ = true;
+
+  std::unordered_map<ObjectId, Slot> entries_;
+  std::list<ObjectId> lru_;  // front = most recently used
+  int64_t stored_bytes_ = 0;
+  CacheStats stats_;
+
+  // Child subscriptions (this cache acting as a parent in a hierarchy).
+  std::unordered_map<ObjectId, std::vector<InvalidationSink*>> child_subs_;
+  // Downstream invalidation notices forwarded (counted for the Fig 1
+  // ablation's per-link message accounting).
+  uint64_t child_invalidations_sent_ = 0;
+
+ public:
+  uint64_t child_invalidations_sent() const { return child_invalidations_sent_; }
+};
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_CACHE_PROXY_CACHE_H_

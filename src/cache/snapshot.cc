@@ -1,0 +1,102 @@
+#include "src/cache/snapshot.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "src/util/str.h"
+
+namespace webcc {
+
+void SaveCacheSnapshot(const ProxyCache& cache, std::ostream& os) {
+  os << "#webcc-cache-snapshot v1\n";
+  os << "#cache " << cache.name() << "\n";
+  os << "# object type size version last_modified fetched_at validated_at expires_at valid\n";
+  cache.ForEachEntry([&os](const CacheEntry& entry) {
+    os << entry.object << ' ' << static_cast<int>(entry.type) << ' ' << entry.size_bytes << ' '
+       << entry.version << ' ' << entry.last_modified.seconds() << ' '
+       << entry.fetched_at.seconds() << ' ' << entry.validated_at.seconds() << ' '
+       << entry.expires_at.seconds() << ' ' << (entry.valid ? 1 : 0) << '\n';
+  });
+}
+
+bool SaveCacheSnapshotFile(const ProxyCache& cache, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    return false;
+  }
+  SaveCacheSnapshot(cache, os);
+  return static_cast<bool>(os);
+}
+
+int64_t LoadCacheSnapshot(ProxyCache& cache, std::istream& is, SnapshotRecovery recovery,
+                          SnapshotParseError* error) {
+  auto fail = [&](size_t line, std::string message) -> int64_t {
+    if (error != nullptr) {
+      error->line = line;
+      error->message = std::move(message);
+    }
+    return -1;
+  };
+
+  std::string line;
+  size_t line_no = 0;
+  int64_t restored = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') {
+      continue;
+    }
+    const auto fields = SplitWhitespace(trimmed);
+    if (fields.size() != 9) {
+      return fail(line_no, StrFormat("expected 9 fields, got %zu", fields.size()));
+    }
+    std::optional<int64_t> parsed[9];
+    for (size_t i = 0; i < 9; ++i) {
+      parsed[i] = ParseInt(fields[i]);
+      if (!parsed[i]) {
+        return fail(line_no, StrFormat("field %zu is not an integer", i + 1));
+      }
+    }
+    if (*parsed[1] < 0 || *parsed[1] >= kNumFileTypes) {
+      return fail(line_no, "file type out of range");
+    }
+    if (*parsed[2] < 0) {
+      return fail(line_no, "negative size");
+    }
+    if (*parsed[8] != 0 && *parsed[8] != 1) {
+      return fail(line_no, "valid flag must be 0 or 1");
+    }
+    CacheEntry entry;
+    entry.object = static_cast<ObjectId>(*parsed[0]);
+    entry.type = static_cast<FileType>(*parsed[1]);
+    entry.size_bytes = *parsed[2];
+    entry.version = static_cast<uint64_t>(*parsed[3]);
+    entry.last_modified = SimTime(*parsed[4]);
+    entry.fetched_at = SimTime(*parsed[5]);
+    entry.validated_at = SimTime(*parsed[6]);
+    entry.expires_at = SimTime(*parsed[7]);
+    entry.valid = *parsed[8] == 1;
+    if (recovery == SnapshotRecovery::kRevalidateAll) {
+      entry.valid = false;
+    }
+    cache.RestoreEntry(entry);
+    ++restored;
+  }
+  return restored;
+}
+
+int64_t LoadCacheSnapshotFile(ProxyCache& cache, const std::string& path,
+                              SnapshotRecovery recovery, SnapshotParseError* error) {
+  std::ifstream is(path);
+  if (!is) {
+    if (error != nullptr) {
+      error->line = 0;
+      error->message = "cannot open " + path;
+    }
+    return -1;
+  }
+  return LoadCacheSnapshot(cache, is, recovery, error);
+}
+
+}  // namespace webcc

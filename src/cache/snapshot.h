@@ -1,0 +1,55 @@
+// Cache snapshots: save/restore a proxy's entry metadata across a restart,
+// the way CERN httpd's on-disk cache survived daemon restarts.
+//
+// What a snapshot deliberately CANNOT capture is the origin server's
+// invalidation bookkeeping: after a restart the server no longer knows the
+// cache holds anything, so restored copies will never receive invalidation
+// notices. §6's fault-resilience argument in executable form:
+//
+//   "They [the weakly consistent protocols] are both more fault resilient
+//    ... the right thing automatically happens. ... With an invalidation
+//    protocol, recovery is much more complicated."
+//
+// LoadCacheSnapshot therefore offers two recovery modes: kTrustSnapshot
+// (restore validity state as saved — safe for time-based policies, unsafe
+// for invalidation) and kRevalidateAll (mark everything invalid so the
+// first touch revalidates — the conservative recovery an invalidation-
+// protocol cache must perform).
+//
+// Format (one entry per line):
+//   #webcc-cache-snapshot v1
+//   <object> <type> <size> <version> <lm> <fetched> <validated> <expires> <valid>
+
+#ifndef WEBCC_SRC_CACHE_SNAPSHOT_H_
+#define WEBCC_SRC_CACHE_SNAPSHOT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/cache/proxy_cache.h"
+
+namespace webcc {
+
+void SaveCacheSnapshot(const ProxyCache& cache, std::ostream& os);
+bool SaveCacheSnapshotFile(const ProxyCache& cache, const std::string& path);
+
+enum class SnapshotRecovery {
+  kTrustSnapshot,   // restore validity exactly as saved
+  kRevalidateAll,   // clear every valid bit: first touch must revalidate
+};
+
+struct SnapshotParseError {
+  size_t line = 0;
+  std::string message;
+};
+
+// Restores entries into `cache` (which must not already hold the restored
+// objects). Returns the number of entries restored, or -1 on parse error.
+int64_t LoadCacheSnapshot(ProxyCache& cache, std::istream& is, SnapshotRecovery recovery,
+                          SnapshotParseError* error = nullptr);
+int64_t LoadCacheSnapshotFile(ProxyCache& cache, const std::string& path,
+                              SnapshotRecovery recovery, SnapshotParseError* error = nullptr);
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_CACHE_SNAPSHOT_H_

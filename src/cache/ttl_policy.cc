@@ -1,0 +1,28 @@
+#include "src/cache/ttl_policy.h"
+
+#include <cassert>
+
+#include "src/util/str.h"
+
+namespace webcc {
+
+FixedTtlPolicy::FixedTtlPolicy(SimDuration ttl, bool honor_expires_header)
+    : ttl_(ttl), honor_expires_header_(honor_expires_header) {
+  assert(ttl.seconds() >= 0);
+}
+
+void FixedTtlPolicy::OnFetch(CacheEntry& entry, SimTime now, const FetchInfo& info) {
+  entry.valid = true;
+  entry.validated_at = now;
+  if (honor_expires_header_ && info.expires.has_value()) {
+    entry.expires_at = *info.expires;
+    return;
+  }
+  entry.expires_at = now + ttl_;
+}
+
+std::string FixedTtlPolicy::Describe() const {
+  return StrFormat("ttl(%.1fh)", ttl_.hours());
+}
+
+}  // namespace webcc

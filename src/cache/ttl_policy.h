@@ -1,0 +1,33 @@
+// Fixed time-to-live policy (paper §1): every copy is valid for a constant
+// interval after it is fetched or validated. An explicit server Expires
+// header, when present, takes precedence — that is the HTTP/1.0 mechanism
+// TTL rides on.
+
+#ifndef WEBCC_SRC_CACHE_TTL_POLICY_H_
+#define WEBCC_SRC_CACHE_TTL_POLICY_H_
+
+#include <string>
+
+#include "src/cache/policy.h"
+
+namespace webcc {
+
+class FixedTtlPolicy : public ConsistencyPolicy {
+ public:
+  // ttl == 0 means "always revalidate": every request goes to the server.
+  explicit FixedTtlPolicy(SimDuration ttl, bool honor_expires_header = true);
+
+  PolicyKind kind() const override { return PolicyKind::kFixedTtl; }
+  void OnFetch(CacheEntry& entry, SimTime now, const FetchInfo& info) override;
+  std::string Describe() const override;
+
+  SimDuration ttl() const { return ttl_; }
+
+ private:
+  SimDuration ttl_;
+  bool honor_expires_header_;
+};
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_CACHE_TTL_POLICY_H_

@@ -1,0 +1,100 @@
+#include "src/cli/args.h"
+
+#include "src/util/str.h"
+
+namespace webcc {
+
+ArgParser::ArgParser(const std::vector<std::string>& args) {
+  for (const std::string& arg : args) {
+    if (arg.rfind("--", 0) != 0 || arg.size() == 2) {
+      error_ = "expected --flag or --key=value, got '" + arg + "'";
+      return;
+    }
+    const std::string_view body = std::string_view(arg).substr(2);
+    const size_t eq = body.find('=');
+    Value value;
+    std::string name;
+    if (eq == std::string_view::npos) {
+      name = std::string(body);
+      value.bare = true;
+      value.text = "true";
+    } else {
+      name = std::string(body.substr(0, eq));
+      value.text = std::string(body.substr(eq + 1));
+    }
+    if (name.empty()) {
+      error_ = "empty flag name in '" + arg + "'";
+      return;
+    }
+    values_[name] = std::move(value);
+  }
+}
+
+bool ArgParser::Has(std::string_view name) const {
+  return values_.find(name) != values_.end();
+}
+
+std::string ArgParser::GetString(std::string_view name, std::string_view default_value) {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return std::string(default_value);
+  }
+  it->second.used = true;
+  return it->second.text;
+}
+
+int64_t ArgParser::GetInt(std::string_view name, int64_t default_value) {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  it->second.used = true;
+  const auto parsed = ParseInt(it->second.text);
+  if (!parsed) {
+    error_ = "--" + it->first + " expects an integer, got '" + it->second.text + "'";
+    return default_value;
+  }
+  return *parsed;
+}
+
+double ArgParser::GetDouble(std::string_view name, double default_value) {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  it->second.used = true;
+  const auto parsed = ParseDouble(it->second.text);
+  if (!parsed) {
+    error_ = "--" + it->first + " expects a number, got '" + it->second.text + "'";
+    return default_value;
+  }
+  return *parsed;
+}
+
+bool ArgParser::GetBool(std::string_view name, bool default_value) {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  it->second.used = true;
+  if (it->second.bare || EqualsIgnoreCase(it->second.text, "true") || it->second.text == "1") {
+    return true;
+  }
+  if (EqualsIgnoreCase(it->second.text, "false") || it->second.text == "0") {
+    return false;
+  }
+  error_ = "--" + it->first + " expects a boolean, got '" + it->second.text + "'";
+  return default_value;
+}
+
+std::vector<std::string> ArgParser::UnusedFlags() const {
+  std::vector<std::string> unused;
+  for (const auto& [name, value] : values_) {
+    if (!value.used) {
+      unused.push_back(name);
+    }
+  }
+  return unused;
+}
+
+}  // namespace webcc

@@ -1,0 +1,52 @@
+// Minimal command-line flag parsing for the webcc_sim driver.
+//
+// Syntax: --key=value or bare --flag (boolean true). Positional arguments
+// are rejected; unknown flags are reported by the driver after it has
+// consumed the ones it knows (Consume-then-CheckUnused pattern).
+
+#ifndef WEBCC_SRC_CLI_ARGS_H_
+#define WEBCC_SRC_CLI_ARGS_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace webcc {
+
+class ArgParser {
+ public:
+  // Parses argv-style arguments (excluding argv[0]). On syntax errors
+  // (positional args, missing "--"), ok() is false and error() says why.
+  explicit ArgParser(const std::vector<std::string>& args);
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  // Typed consumption; each marks the flag as used. A flag present with an
+  // unparseable value records an error retrievable via error().
+  std::string GetString(std::string_view name, std::string_view default_value);
+  int64_t GetInt(std::string_view name, int64_t default_value);
+  double GetDouble(std::string_view name, double default_value);
+  bool GetBool(std::string_view name, bool default_value = false);
+
+  bool Has(std::string_view name) const;
+
+  // Flags given on the command line but never consumed (typos).
+  std::vector<std::string> UnusedFlags() const;
+
+ private:
+  struct Value {
+    std::string text;
+    bool used = false;
+    bool bare = false;  // given without "=value"
+  };
+  std::map<std::string, Value, std::less<>> values_;
+  std::string error_;
+};
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_CLI_ARGS_H_

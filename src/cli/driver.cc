@@ -1,0 +1,304 @@
+#include "src/cli/driver.h"
+
+#include <array>
+#include <ostream>
+
+#include "src/cli/args.h"
+#include "src/core/experiment.h"
+#include "src/core/report.h"
+#include "src/core/simulation.h"
+#include "src/util/str.h"
+#include "src/workload/analyzer.h"
+#include "src/workload/campus.h"
+#include "src/workload/clf.h"
+#include "src/workload/trace.h"
+#include "src/workload/worrell.h"
+
+namespace webcc {
+
+namespace {
+
+constexpr std::string_view kHelp = R"(webcc_sim — Web cache-consistency simulator
+(Gwertzman & Seltzer, USENIX '96 reproduction)
+
+Workload selection:
+  --workload=worrell|das|fas|hcs|trace   (default: worrell)
+  --trace-file=PATH      trace to replay when --workload=trace
+  --trace-format=webcc|clf               trace file format (default: webcc)
+  --local-suffix=SUF     CLF: hosts ending in SUF count as local clients
+  --files=N --days=N --rps=X --seed=N    Worrell workload overrides
+
+Protocol selection:
+  --policy=ttl|alex|squid|cern|adaptive|invalidation   (default: alex)
+  --ttl-hours=N          TTL for --policy=ttl            (default: 48)
+  --threshold=PCT        update threshold for alex/squid (default: 10)
+  --min-hours=N          squid refresh_pattern min       (default: 1)
+  --max-hours=N          squid refresh_pattern max       (default: 72)
+  --lm-fraction=F        CERN Last-Modified fraction     (default: 0.1)
+  --target-stale=PCT     adaptive tuner stale target     (default: 2)
+
+Simulation mode:
+  --mode=base|optimized  full re-fetch vs conditional GET (default: optimized)
+  --no-preload           start with a cold cache
+  --capacity-bytes=N     LRU-bounded cache (default: unbounded)
+
+Sweeps (prints a figure series instead of one run):
+  --sweep=alex|ttl       sweep the paper's parameter axis
+  --csv=PATH             also write the series as CSV
+  --chart                also draw ASCII charts of the series
+
+Analysis (no simulation):
+  --analyze              print Table-1-style mutability statistics and the
+                         file-type mix of the selected workload, then exit
+
+Extra output:
+  --by-type              after a single run, print the per-file-type
+                         breakdown (requests, stale, misses, payload)
+
+Other:
+  --help                 this text
+)";
+
+std::optional<Workload> BuildWorkload(ArgParser& args, std::ostream& err) {
+  const std::string kind = ToLower(args.GetString("workload", "worrell"));
+  if (kind == "worrell") {
+    WorrellConfig config;
+    config.num_files = static_cast<uint32_t>(args.GetInt("files", config.num_files));
+    config.duration = Days(args.GetInt("days", 56));
+    config.requests_per_second = args.GetDouble("rps", config.requests_per_second);
+    config.seed = static_cast<uint64_t>(args.GetInt("seed", static_cast<int64_t>(config.seed)));
+    return GenerateWorrellWorkload(config);
+  }
+  if (kind == "das" || kind == "fas" || kind == "hcs") {
+    CampusServerProfile profile = kind == "das"   ? CampusServerProfile::Das()
+                                  : kind == "fas" ? CampusServerProfile::Fas()
+                                                  : CampusServerProfile::Hcs();
+    profile.seed = static_cast<uint64_t>(args.GetInt("seed", static_cast<int64_t>(profile.seed)));
+    return CompileTrace(GenerateCampusWorkload(profile).trace);
+  }
+  if (kind == "trace") {
+    const std::string path = args.GetString("trace-file", "");
+    if (path.empty()) {
+      err << "error: --workload=trace requires --trace-file=PATH\n";
+      return std::nullopt;
+    }
+    const std::string format = ToLower(args.GetString("trace-format", "webcc"));
+    if (format == "clf") {
+      ClfParseOptions options;
+      options.local_suffix = args.GetString("local-suffix", "");
+      ClfReadStats stats;
+      const auto trace = ReadClfTraceFile(path, options, &stats);
+      if (!trace) {
+        err << "error: cannot open " << path << "\n";
+        return std::nullopt;
+      }
+      if (trace->records.empty()) {
+        err << "error: no usable CLF records in " << path << " (" << stats.skipped_malformed
+            << " malformed, " << stats.skipped_status << " non-2xx/304 skipped)\n";
+        return std::nullopt;
+      }
+      err << "clf: " << stats.parsed << " records (" << stats.skipped_malformed
+          << " malformed, " << stats.skipped_status << " skipped by status)\n";
+      return CompileTrace(*trace);
+    }
+    if (format != "webcc") {
+      err << "error: unknown --trace-format '" << format << "'\n";
+      return std::nullopt;
+    }
+    TraceParseError parse_error;
+    const auto trace = ReadTraceFile(path, &parse_error);
+    if (!trace) {
+      err << "error: " << path << ":" << parse_error.line << ": " << parse_error.message << "\n";
+      return std::nullopt;
+    }
+    return CompileTrace(*trace);
+  }
+  err << "error: unknown --workload '" << kind << "'\n";
+  return std::nullopt;
+}
+
+std::optional<PolicyConfig> BuildPolicy(ArgParser& args, std::ostream& err) {
+  const std::string kind = ToLower(args.GetString("policy", "alex"));
+  if (kind == "ttl") {
+    return PolicyConfig::Ttl(HoursF(args.GetDouble("ttl-hours", 48.0)));
+  }
+  if (kind == "alex") {
+    return PolicyConfig::Alex(args.GetDouble("threshold", 10.0) / 100.0);
+  }
+  if (kind == "squid") {
+    return PolicyConfig::SquidRefreshPattern(HoursF(args.GetDouble("min-hours", 1.0)),
+                                             args.GetDouble("threshold", 10.0),
+                                             HoursF(args.GetDouble("max-hours", 72.0)));
+  }
+  if (kind == "cern") {
+    return PolicyConfig::Cern(args.GetDouble("lm-fraction", 0.1),
+                              HoursF(args.GetDouble("ttl-hours", 48.0)));
+  }
+  if (kind == "adaptive") {
+    AdaptiveTunerPolicy::Options options;
+    options.target_stale_rate = args.GetDouble("target-stale", 2.0) / 100.0;
+    return PolicyConfig::Adaptive(options);
+  }
+  if (kind == "invalidation") {
+    return PolicyConfig::Invalidation();
+  }
+  err << "error: unknown --policy '" << kind << "'\n";
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string CliHelpText() { return std::string(kHelp); }
+
+int RunCliDriver(const std::vector<std::string>& args_vec, std::ostream& out,
+                 std::ostream& err) {
+  ArgParser args(args_vec);
+  if (!args.ok()) {
+    err << "error: " << args.error() << "\n";
+    return 2;
+  }
+  if (args.GetBool("help")) {
+    out << kHelp;
+    return 0;
+  }
+
+  const auto load = BuildWorkload(args, err);
+  if (!load) {
+    return 2;
+  }
+  const auto policy = BuildPolicy(args, err);
+  if (!policy) {
+    return 2;
+  }
+
+  SimulationConfig config;
+  config.policy = *policy;
+  const std::string mode = ToLower(args.GetString("mode", "optimized"));
+  if (mode == "base") {
+    config.refresh_mode = RefreshMode::kFullRefetch;
+  } else if (mode == "optimized") {
+    config.refresh_mode = RefreshMode::kConditionalGet;
+  } else {
+    err << "error: unknown --mode '" << mode << "'\n";
+    return 2;
+  }
+  config.preload = !args.GetBool("no-preload");
+  config.cache_capacity_bytes = args.GetInt("capacity-bytes", 0);
+
+  const std::string sweep = ToLower(args.GetString("sweep", ""));
+  const std::string csv = args.GetString("csv", "");
+  const bool chart = args.GetBool("chart");
+  const bool analyze = args.GetBool("analyze");
+  const bool by_type = args.GetBool("by-type");
+
+  if (!args.ok()) {
+    err << "error: " << args.error() << "\n";
+    return 2;
+  }
+  const auto unused = args.UnusedFlags();
+  if (!unused.empty()) {
+    err << "error: unknown flag --" << unused.front() << " (see --help)\n";
+    return 2;
+  }
+
+  out << "workload: " << load->name << " — " << load->objects.size() << " objects, "
+      << load->requests.size() << " requests, " << load->modifications.size()
+      << " modifications\n";
+
+  if (analyze) {
+    const MutabilityStats stats = AnalyzeWorkloadMutability(*load);
+    TextTable table;
+    table.SetTitle("Mutability statistics:");
+    table.SetHeader({"Files", "Requests", "% Remote", "Changes", "% Mutable",
+                     "% Very Mutable"});
+    table.AddRow({StrFormat("%llu", static_cast<unsigned long long>(stats.files)),
+                  StrFormat("%llu", static_cast<unsigned long long>(stats.requests)),
+                  FormatPercent(stats.remote_fraction, 0),
+                  StrFormat("%llu", static_cast<unsigned long long>(stats.total_changes)),
+                  FormatPercent(stats.mutable_fraction, 2),
+                  FormatPercent(stats.very_mutable_fraction, 2)});
+    table.Render(out);
+
+    TextTable mix;
+    mix.SetTitle("File-type mix:");
+    mix.SetHeader({"Type", "Objects", "% of requests"});
+    std::array<uint64_t, kNumFileTypes> object_counts{};
+    std::array<uint64_t, kNumFileTypes> request_counts{};
+    for (const ObjectSpec& spec : load->objects) {
+      ++object_counts[static_cast<size_t>(spec.type)];
+    }
+    for (const RequestEvent& req : load->requests) {
+      ++request_counts[static_cast<size_t>(load->objects[req.object_index].type)];
+    }
+    for (int t = 0; t < kNumFileTypes; ++t) {
+      mix.AddRow({std::string(FileTypeName(static_cast<FileType>(t))),
+                  StrFormat("%llu", static_cast<unsigned long long>(object_counts[t])),
+                  FormatPercent(load->requests.empty()
+                                    ? 0.0
+                                    : static_cast<double>(request_counts[t]) /
+                                          static_cast<double>(load->requests.size()),
+                                1)});
+    }
+    out << "\n";
+    mix.Render(out);
+    return 0;
+  }
+
+  if (!sweep.empty()) {
+    const auto inval = RunInvalidation(*load, config);
+    SweepSeries series;
+    if (sweep == "alex") {
+      series = SweepAlexThreshold(*load, config, PaperThresholdPercents());
+    } else if (sweep == "ttl") {
+      series = SweepTtlHours(*load, config, PaperTtlHours());
+    } else {
+      err << "error: --sweep expects 'alex' or 'ttl'\n";
+      return 2;
+    }
+    const TextTable bandwidth = BandwidthFigure("Bandwidth", series, inval.metrics);
+    const TextTable rates = MissRateFigure("Miss/stale rates", series, inval.metrics);
+    const TextTable ops = ServerLoadFigure("Server load", series, inval.metrics);
+    bandwidth.Render(out);
+    out << "\n";
+    rates.Render(out);
+    out << "\n";
+    ops.Render(out);
+    if (chart) {
+      out << "\n"
+          << FigureChart("Bandwidth", series, inval.metrics, FigureMetric::kBandwidthMB) << "\n"
+          << FigureChart("Stale rate", series, inval.metrics, FigureMetric::kStalePercent)
+          << "\n"
+          << FigureChart("Server load", series, inval.metrics, FigureMetric::kServerOps);
+    }
+    if (!csv.empty()) {
+      if (!WriteCsvFile(bandwidth, csv)) {
+        err << "error: cannot write " << csv << "\n";
+        return 1;
+      }
+      out << "\n[bandwidth series written to " << csv << "]\n";
+    }
+    return 0;
+  }
+
+  const SimulationResult result = RunSimulation(*load, config);
+  out << "policy:   " << result.policy_desc << "  (" << mode << " retrieval, "
+      << (config.preload ? "warm" : "cold") << " cache)\n\n";
+  out << result.metrics.Summary() << "\n";
+  out << StrFormat("traffic breakdown: %.3f MB payload + %.3f MB control\n",
+                   result.metrics.PayloadMB(),
+                   static_cast<double>(result.metrics.control_bytes) / 1e6);
+  out << StrFormat("cache: %llu fresh hits, %llu validated hits, %llu cold + %llu refetch "
+                   "misses, %llu evictions\n",
+                   static_cast<unsigned long long>(result.cache.hits_fresh),
+                   static_cast<unsigned long long>(result.cache.hits_validated),
+                   static_cast<unsigned long long>(result.cache.misses_cold),
+                   static_cast<unsigned long long>(result.cache.misses_refetched),
+                   static_cast<unsigned long long>(result.cache.evictions));
+  if (by_type) {
+    out << "\n";
+    TypeBreakdownTable(result.cache).Render(out);
+  }
+  return 0;
+}
+
+}  // namespace webcc

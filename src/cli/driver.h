@@ -1,0 +1,28 @@
+// The webcc_sim command-line driver, as a testable library.
+//
+//   webcc_sim --workload=worrell --policy=alex --threshold=10
+//   webcc_sim --workload=hcs --policy=ttl --ttl-hours=100 --mode=base
+//   webcc_sim --workload=trace --trace-file=server.log --policy=invalidation
+//   webcc_sim --workload=das --sweep=alex        # a whole figure series
+//
+// Run `webcc_sim --help` for the full flag list.
+
+#ifndef WEBCC_SRC_CLI_DRIVER_H_
+#define WEBCC_SRC_CLI_DRIVER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace webcc {
+
+// Executes one invocation. `args` excludes argv[0]. Returns the process
+// exit code; human-readable output goes to `out`, diagnostics to `err`.
+int RunCliDriver(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+// The --help text (exposed for tests).
+std::string CliHelpText();
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_CLI_DRIVER_H_

@@ -1,0 +1,24 @@
+// The webcc-gen driver: synthesize calibrated workload traces to files.
+//
+//   webcc-gen --profile=hcs --out=hcs.trace
+//   webcc-gen --profile=das --format=clf --out=das_access.log
+//   webcc-gen --profile=worrell --files=500 --days=14 --out=synthetic.trace
+//
+// Output feeds straight back into webcc-sim (--workload=trace) or any
+// CLF-consuming tool.
+
+#ifndef WEBCC_SRC_CLI_GEN_DRIVER_H_
+#define WEBCC_SRC_CLI_GEN_DRIVER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace webcc {
+
+int RunGenDriver(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+std::string GenHelpText();
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_CLI_GEN_DRIVER_H_

@@ -1,0 +1,75 @@
+#include "src/core/fleet.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+#include "src/cache/origin_upstream.h"
+#include "src/origin/server.h"
+#include "src/util/str.h"
+
+namespace webcc {
+
+FleetResult RunFleetSimulation(const Workload& load, const FleetConfig& config) {
+  assert(config.num_caches > 0);
+  assert(load.Validate().empty());
+
+  OriginServer server;
+  for (const ObjectSpec& spec : load.objects) {
+    server.store().Create(spec.name, spec.type, spec.size_bytes,
+                          SimTime::Epoch() - spec.initial_age);
+  }
+  OriginUpstream upstream(&server);
+
+  CacheConfig cache_config;
+  cache_config.refresh_mode = config.refresh_mode;
+  std::vector<std::unique_ptr<ProxyCache>> caches;
+  caches.reserve(config.num_caches);
+  for (uint32_t i = 0; i < config.num_caches; ++i) {
+    caches.push_back(std::make_unique<ProxyCache>(StrFormat("fleet-%u", i), &upstream,
+                                                  MakePolicy(config.policy), cache_config,
+                                                  &server.store()));
+    if (config.preload) {
+      caches.back()->Preload(server.store(), SimTime::Epoch());
+    }
+  }
+  server.ResetStats();
+  for (auto& cache : caches) {
+    cache->ResetStats();
+  }
+
+  FleetResult result;
+  result.policy_desc = caches.front()->policy().Describe();
+  result.num_caches = config.num_caches;
+  result.peak_subscriptions = server.SubscriptionCount();
+
+  size_t mod_i = 0;
+  for (const RequestEvent& req : load.requests) {
+    while (mod_i < load.modifications.size() && load.modifications[mod_i].at <= req.at) {
+      const ModificationEvent& m = load.modifications[mod_i];
+      server.ModifyObject(m.object_index, m.at, m.new_size);
+      ++mod_i;
+    }
+    ProxyCache& cache = *caches[req.client_id % config.num_caches];
+    cache.HandleRequest(static_cast<ObjectId>(req.object_index), req.at);
+    result.peak_subscriptions = std::max(result.peak_subscriptions, server.SubscriptionCount());
+  }
+  while (mod_i < load.modifications.size()) {
+    const ModificationEvent& m = load.modifications[mod_i];
+    server.ModifyObject(m.object_index, m.at, m.new_size);
+    ++mod_i;
+  }
+
+  result.server = server.stats();
+  result.final_subscriptions = server.SubscriptionCount();
+  for (const auto& cache : caches) {
+    const CacheStats& s = cache->stats();
+    result.requests += s.requests;
+    result.stale_hits += s.stale_hits;
+    result.misses += s.Misses();
+    result.total_link_bytes += s.LinkBytes();
+  }
+  return result;
+}
+
+}  // namespace webcc

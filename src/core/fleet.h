@@ -1,0 +1,57 @@
+// Cache fleets: one origin serving MANY independent proxies.
+//
+// §1's complaint about invalidation protocols: "Servers must keep track of
+// where their objects are currently cached, introducing scalability
+// problems or necessitating hierarchical caching." This simulator splits a
+// workload's clients across N sibling caches and measures how the server's
+// costs scale with N: invalidation bookkeeping (live subscriptions),
+// notice fan-out (every change notifies every holder), and operation counts
+// — against the time-based protocols whose server cost is driven by
+// requests, not by the holder population.
+
+#ifndef WEBCC_SRC_CORE_FLEET_H_
+#define WEBCC_SRC_CORE_FLEET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cache/policy_factory.h"
+#include "src/cache/proxy_cache.h"
+#include "src/core/metrics.h"
+#include "src/workload/workload.h"
+
+namespace webcc {
+
+struct FleetConfig {
+  PolicyConfig policy;
+  uint32_t num_caches = 10;
+  RefreshMode refresh_mode = RefreshMode::kConditionalGet;
+  bool preload = true;
+};
+
+struct FleetResult {
+  std::string policy_desc;
+  uint32_t num_caches = 0;
+  ServerStats server;
+  // Aggregates across all member caches.
+  uint64_t requests = 0;
+  uint64_t stale_hits = 0;
+  uint64_t misses = 0;
+  int64_t total_link_bytes = 0;
+  // Server-side bookkeeping: live (cache, object) subscriptions at the end
+  // of the run and the peak observed during it.
+  size_t final_subscriptions = 0;
+  size_t peak_subscriptions = 0;
+
+  double StaleRate() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(stale_hits) / static_cast<double>(requests);
+  }
+};
+
+// Replays `load` with requests routed to cache (client_id % num_caches).
+FleetResult RunFleetSimulation(const Workload& load, const FleetConfig& config);
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_CORE_FLEET_H_

@@ -1,0 +1,165 @@
+#include "src/core/hierarchy.h"
+
+#include <cassert>
+#include <memory>
+
+#include "src/cache/origin_upstream.h"
+#include "src/core/simulation.h"
+#include "src/origin/server.h"
+
+namespace webcc {
+
+HierarchyResult RunHierarchySimulation(const Workload& load, const HierarchyConfig& config) {
+  assert(load.Validate().empty());
+
+  OriginServer server;
+  for (const ObjectSpec& spec : load.objects) {
+    server.store().Create(spec.name, spec.type, spec.size_bytes,
+                          SimTime::Epoch() - spec.initial_age);
+  }
+
+  OriginUpstream origin(&server);
+  CacheConfig cache_config;
+  cache_config.refresh_mode = config.refresh_mode;
+
+  ProxyCache l2("cache-2", &origin, MakePolicy(config.policy), cache_config, &server.store());
+  ProxyCache l1a("cache-1a", &l2, MakePolicy(config.policy), cache_config, &server.store());
+  ProxyCache l1b("cache-1b", &l2, MakePolicy(config.policy), cache_config, &server.store());
+
+  if (config.preload) {
+    l2.Preload(server.store(), SimTime::Epoch());
+    l1a.Preload(server.store(), SimTime::Epoch());
+    l1b.Preload(server.store(), SimTime::Epoch());
+  }
+  server.ResetStats();
+  l2.ResetStats();
+  l1a.ResetStats();
+  l1b.ResetStats();
+
+  size_t mod_i = 0;
+  for (const RequestEvent& req : load.requests) {
+    while (mod_i < load.modifications.size() && load.modifications[mod_i].at <= req.at) {
+      const ModificationEvent& m = load.modifications[mod_i];
+      server.ModifyObject(m.object_index, m.at, m.new_size);
+      ++mod_i;
+    }
+    ProxyCache& leaf = (req.client_id % 2 == 0) ? l1a : l1b;
+    leaf.HandleRequest(static_cast<ObjectId>(req.object_index), req.at);
+  }
+  while (mod_i < load.modifications.size()) {
+    const ModificationEvent& m = load.modifications[mod_i];
+    server.ModifyObject(m.object_index, m.at, m.new_size);
+    ++mod_i;
+  }
+
+  HierarchyResult result;
+  result.policy_desc = l2.policy().Describe();
+  result.server = server.stats();
+  result.l2 = l2.stats();
+  result.l1a = l1a.stats();
+  result.l1b = l1b.stats();
+  result.requests = load.requests.size();
+  return result;
+}
+
+namespace {
+
+// A one-object workload for the Figure 1 micro-scenarios.
+Workload ScenarioWorkload(bool change_at_10min, std::vector<SimDuration> access_times) {
+  Workload load;
+  load.name = "fig1-scenario";
+  ObjectSpec spec;
+  spec.name = "/fig1/object.html";
+  spec.type = FileType::kHtml;
+  spec.size_bytes = 6000;
+  spec.initial_age = Days(10);  // a settled object
+  load.objects.push_back(spec);
+  if (change_at_10min) {
+    load.modifications.push_back(ModificationEvent{SimTime::Epoch() + Minutes(10), 0, -1});
+  }
+  for (SimDuration at : access_times) {
+    RequestEvent req;
+    req.at = SimTime::Epoch() + at;
+    req.object_index = 0;
+    req.client_id = 0;  // all scenario traffic enters via cache-1a
+    load.requests.push_back(req);
+  }
+  load.horizon = SimTime::Epoch() + Days(2);
+  load.Finalize();
+  return load;
+}
+
+int64_t HierBytes(const Workload& load, PolicyConfig policy) {
+  HierarchyConfig config;
+  config.policy = policy;
+  config.refresh_mode = RefreshMode::kConditionalGet;
+  config.preload = true;
+  return RunHierarchySimulation(load, config).TotalLinkBytes();
+}
+
+int64_t CollapsedBytes(const Workload& load, PolicyConfig policy) {
+  SimulationConfig config = SimulationConfig::Optimized(policy);
+  return RunSimulation(load, config).metrics.total_bytes;
+}
+
+ScenarioOutcome MeasureScenario(std::string tag, std::string description, const Workload& load,
+                                PolicyConfig timebased) {
+  ScenarioOutcome outcome;
+  outcome.scenario = std::move(tag);
+  outcome.description = std::move(description);
+  outcome.hier_invalidation_bytes = HierBytes(load, PolicyConfig::Invalidation());
+  outcome.hier_timebased_bytes = HierBytes(load, timebased);
+  outcome.collapsed_invalidation_bytes = CollapsedBytes(load, PolicyConfig::Invalidation());
+  outcome.collapsed_timebased_bytes = CollapsedBytes(load, timebased);
+  return outcome;
+}
+
+}  // namespace
+
+double ScenarioOutcome::HierRatio() const {
+  return hier_invalidation_bytes == 0
+             ? 0.0
+             : static_cast<double>(hier_timebased_bytes) /
+                   static_cast<double>(hier_invalidation_bytes);
+}
+
+double ScenarioOutcome::CollapsedRatio() const {
+  return collapsed_invalidation_bytes == 0
+             ? 0.0
+             : static_cast<double>(collapsed_timebased_bytes) /
+                   static_cast<double>(collapsed_invalidation_bytes);
+}
+
+std::vector<ScenarioOutcome> RunFigure1Scenarios() {
+  std::vector<ScenarioOutcome> outcomes;
+
+  // (a) Data changed, never accessed again. Long TTL: the time-based cache
+  // stays silent; invalidation pays notices on every link.
+  outcomes.push_back(MeasureScenario(
+      "a", "data changed, never accessed again",
+      ScenarioWorkload(/*change_at_10min=*/true, {}), PolicyConfig::Ttl(Hours(1000))));
+
+  // (b) Data changed, accessed again before timing out. The time-based cache
+  // serves the (stale) copy locally for free; invalidation pays notices plus
+  // the re-fetch.
+  outcomes.push_back(MeasureScenario(
+      "b", "data changed, accessed again before timing out",
+      ScenarioWorkload(true, {Minutes(30)}), PolicyConfig::Ttl(Hours(1000))));
+
+  // (c) Data changed, accessed after timing out. Both protocols move the
+  // file; in the hierarchy, invalidation also notified cache-1b, which never
+  // asks for the data.
+  outcomes.push_back(MeasureScenario(
+      "c", "data changed, accessed after timing out",
+      ScenarioWorkload(true, {Hours(3)}), PolicyConfig::Ttl(Hours(1))));
+
+  // (d) Data did not change, timed out and later accessed. Time-based pays
+  // validation queries; invalidation pays nothing.
+  outcomes.push_back(MeasureScenario(
+      "d", "data did not change, timed out and later accessed",
+      ScenarioWorkload(false, {Hours(3)}), PolicyConfig::Ttl(Hours(1))));
+
+  return outcomes;
+}
+
+}  // namespace webcc

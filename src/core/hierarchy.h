@@ -1,0 +1,75 @@
+// Hierarchical caching — the Figure 1 ablation.
+//
+// The paper flattens Worrell's cache hierarchy and argues (Figure 1) that
+// doing so can only bias results AGAINST the time-based protocols. This
+// module makes that argument measurable:
+//
+//   * RunFigure1Scenarios() reproduces the figure's four micro-scenarios
+//     (a)–(d) in both a two-level hierarchy (server → cache-2 → cache-1a /
+//     cache-1b) and the collapsed topology, counting bytes per protocol.
+//   * RunHierarchySimulation() replays a full workload through the
+//     two-level tree (clients split across the leaves), so the collapse
+//     bias can be quantified on the paper's trace workloads too.
+
+#ifndef WEBCC_SRC_CORE_HIERARCHY_H_
+#define WEBCC_SRC_CORE_HIERARCHY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cache/policy_factory.h"
+#include "src/cache/proxy_cache.h"
+#include "src/core/metrics.h"
+#include "src/workload/workload.h"
+
+namespace webcc {
+
+struct HierarchyConfig {
+  PolicyConfig policy;
+  RefreshMode refresh_mode = RefreshMode::kConditionalGet;
+  bool preload = true;
+};
+
+struct HierarchyResult {
+  std::string policy_desc;
+  ServerStats server;
+  CacheStats l2;
+  CacheStats l1a;
+  CacheStats l1b;
+  uint64_t requests = 0;
+
+  // Network cost: every link's traffic counts (leaf links + the L2 link).
+  int64_t TotalLinkBytes() const {
+    return l1a.LinkBytes() + l1b.LinkBytes() + l2.LinkBytes();
+  }
+  // Client-visible staleness happens at the leaves.
+  uint64_t LeafStaleHits() const { return l1a.stale_hits + l1b.stale_hits; }
+  uint64_t LeafMisses() const { return l1a.Misses() + l1b.Misses(); }
+};
+
+// Replays `load` through the two-level tree; requests with even client_id go
+// to cache-1a, odd to cache-1b.
+HierarchyResult RunHierarchySimulation(const Workload& load, const HierarchyConfig& config);
+
+// One Figure 1 scenario, measured in both topologies for both protocol
+// families. Bytes are total link bytes caused by the scenario's events.
+struct ScenarioOutcome {
+  std::string scenario;     // "a".."d"
+  std::string description;
+  int64_t hier_invalidation_bytes = 0;
+  int64_t hier_timebased_bytes = 0;
+  int64_t collapsed_invalidation_bytes = 0;
+  int64_t collapsed_timebased_bytes = 0;
+
+  // The figure's claim: collapsing never makes time-based protocols look
+  // better relative to invalidation than the hierarchy would.
+  double HierRatio() const;
+  double CollapsedRatio() const;
+};
+
+std::vector<ScenarioOutcome> RunFigure1Scenarios();
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_CORE_HIERARCHY_H_

@@ -1,0 +1,95 @@
+#include "src/core/live_simulation.h"
+
+#include <cassert>
+#include <cmath>
+#include <memory>
+
+#include "src/cache/origin_upstream.h"
+#include "src/origin/mutator.h"
+#include "src/util/distributions.h"
+#include "src/util/str.h"
+#include "src/workload/request_process.h"
+
+namespace webcc {
+
+SimulationResult RunLiveSimulation(const LiveSimulationConfig& config) {
+  assert(config.num_files > 0);
+  assert(config.duration.seconds() > 0);
+
+  SimEngine engine;
+  OriginServer server(&engine, config.invalidation_retry_interval);
+  Rng rng(config.seed);
+
+  // Population with steady-state ages (length-biased current interval).
+  auto lifetime = std::make_shared<FlatLifetime>(config.min_lifetime, config.max_lifetime);
+  const double max_l = static_cast<double>(config.max_lifetime.seconds());
+  std::vector<SimDuration> first_delays;
+  first_delays.reserve(config.num_files);
+  for (uint32_t i = 0; i < config.num_files; ++i) {
+    const double sigma = config.size_sigma;
+    const double mu = std::log(static_cast<double>(config.mean_file_bytes)) - sigma * sigma / 2;
+    const int64_t size =
+        std::max<int64_t>(64, static_cast<int64_t>(std::llround(rng.Lognormal(mu, sigma))));
+    double interval;
+    do {
+      interval = static_cast<double>(lifetime->NextLifetime(rng).seconds());
+    } while (rng.NextDouble() >= interval / max_l);
+    const double age = rng.NextDouble() * interval;
+    server.store().Create(StrFormat("/live/file%05u.dat", i), FileType::kOther, size,
+                          SimTime::Epoch() - SecondsF(age));
+    first_delays.push_back(SecondsF(interval - age));
+  }
+
+  OriginUpstream upstream(&server);
+  CacheConfig cache_config;
+  cache_config.refresh_mode = config.refresh_mode;
+  ProxyCache cache("live-proxy", &upstream, MakePolicy(config.policy), cache_config,
+                   &server.store());
+  if (config.preload) {
+    cache.Preload(server.store(), SimTime::Epoch());
+  }
+  server.ResetStats();
+  cache.ResetStats();
+
+  ModificationProcess mutator(&engine, &server, rng.Fork());
+  for (uint32_t i = 0; i < config.num_files; ++i) {
+    mutator.Track(i, lifetime, first_delays[i]);
+  }
+
+  auto issue = [&cache](uint32_t object, SimTime now) {
+    cache.HandleRequest(static_cast<ObjectId>(object), now);
+  };
+  std::unique_ptr<PoissonRequestProcess> requests;
+  if (config.zipf_skew > 0.0) {
+    requests = std::make_unique<PoissonRequestProcess>(
+        &engine, config.requests_per_second,
+        std::make_shared<const ZipfDistribution>(config.num_files, config.zipf_skew),
+        rng.Fork(), issue);
+  } else {
+    requests = std::make_unique<PoissonRequestProcess>(
+        &engine, config.requests_per_second, config.num_files, rng.Fork(), issue);
+  }
+  requests->Start();
+
+  // Fault injection: take the cache off the network for a window.
+  if (config.outage_duration.seconds() > 0) {
+    engine.ScheduleAt(SimTime::Epoch() + config.outage_start,
+                      [&cache] { cache.set_reachable(false); });
+    engine.ScheduleAt(SimTime::Epoch() + config.outage_start + config.outage_duration,
+                      [&cache] { cache.set_reachable(true); });
+  }
+
+  engine.RunUntil(SimTime::Epoch() + config.duration);
+  requests->Stop();
+  mutator.Stop();
+
+  SimulationResult result;
+  result.workload_name = "live-worrell";
+  result.policy_desc = cache.policy().Describe();
+  result.server = server.stats();
+  result.cache = cache.stats();
+  result.metrics = ComputeMetrics(result.server, result.cache);
+  return result;
+}
+
+}  // namespace webcc

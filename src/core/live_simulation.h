@@ -1,0 +1,50 @@
+// Live (engine-driven) simulation.
+//
+// Where RunSimulation replays a pre-materialized script, the live simulator
+// generates everything on the discrete-event engine as it runs: a
+// ModificationProcess rewrites objects by drawing lifetimes, and a
+// PoissonRequestProcess issues cache requests. Statistically it reproduces
+// the scripted Worrell runs (asserted in tests); operationally it supports
+// arbitrarily long horizons in O(1) memory and closed-loop experiments such
+// as the unreachable-cache recovery scenario (server retry timers need a
+// live engine).
+
+#ifndef WEBCC_SRC_CORE_LIVE_SIMULATION_H_
+#define WEBCC_SRC_CORE_LIVE_SIMULATION_H_
+
+#include <cstdint>
+
+#include "src/core/simulation.h"
+#include "src/util/sim_time.h"
+
+namespace webcc {
+
+struct LiveSimulationConfig {
+  PolicyConfig policy;
+  RefreshMode refresh_mode = RefreshMode::kConditionalGet;
+  bool preload = true;
+  SimDuration duration = Days(56);
+  uint64_t seed = 19960101;
+
+  // Worrell-style population.
+  uint32_t num_files = 2085;
+  int64_t mean_file_bytes = 6000;
+  double size_sigma = 1.0;
+  SimDuration min_lifetime = Hours(12);
+  SimDuration max_lifetime = Hours(269);
+  double requests_per_second = 0.35;
+  // 0 = uniform popularity (Worrell); > 0 = Zipf skew.
+  double zipf_skew = 0.0;
+
+  // Fault injection (§6's resilience argument): the cache drops off the
+  // network during [outage_start, outage_start + outage_duration).
+  SimDuration outage_start = SimDuration(0);
+  SimDuration outage_duration = SimDuration(0);  // 0 = no outage
+  SimDuration invalidation_retry_interval = Minutes(5);
+};
+
+SimulationResult RunLiveSimulation(const LiveSimulationConfig& config);
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_CORE_LIVE_SIMULATION_H_

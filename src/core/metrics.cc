@@ -1,0 +1,44 @@
+#include "src/core/metrics.h"
+
+#include "src/util/str.h"
+
+namespace webcc {
+
+ConsistencyMetrics ComputeMetrics(const ServerStats& server, const CacheStats& cache) {
+  ConsistencyMetrics m;
+  m.requests = cache.requests;
+  m.cache_misses = cache.Misses();
+  m.stale_hits = cache.stale_hits;
+  m.validations = server.ims_queries;
+  m.invalidations = server.invalidations_sent;
+  m.files_transferred = server.files_transferred;
+  m.server_operations = server.TotalOperations();
+
+  m.total_bytes = server.TotalBytes();
+  // Bodies are the only non-control content on the wire.
+  int64_t payload = 0;
+  // ServerStats does not retain per-transfer sizes; payload is recovered as
+  // total minus the control messages implied by the op counts:
+  //   every GET: 1 request msg + 1 response header
+  //   every IMS query: 1 query msg + 1 header (304 or response header)
+  //   every invalidation: 1 notice
+  const int64_t control =
+      static_cast<int64_t>(server.get_requests) * 2 * kControlMessageBytes +
+      static_cast<int64_t>(server.ims_queries) * 2 * kControlMessageBytes +
+      static_cast<int64_t>(server.invalidations_sent) * kControlMessageBytes;
+  payload = m.total_bytes - control;
+  m.control_bytes = control;
+  m.payload_bytes = payload;
+  m.mean_round_trips = cache.MeanHops();
+  return m;
+}
+
+std::string ConsistencyMetrics::Summary() const {
+  return StrFormat(
+      "requests=%llu  misses=%.3f%%  stale=%.3f%%  server-ops=%llu  traffic=%.2f MB "
+      "(payload %.2f MB)",
+      static_cast<unsigned long long>(requests), MissRate() * 100.0, StaleRate() * 100.0,
+      static_cast<unsigned long long>(server_operations), TotalMB(), PayloadMB());
+}
+
+}  // namespace webcc

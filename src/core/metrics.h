@@ -1,0 +1,62 @@
+// Consistency metrics: the quantities the paper's figures plot.
+//
+//   * total bytes exchanged to maintain consistency — invalidation messages,
+//     stale-data checks, and file data movement (paper §3's replacement for
+//     Worrell's hops*bytes metric);
+//   * cache miss rate — misses counted only when a body is transferred;
+//   * stale hit rate — locally served bodies older than the server's copy;
+//   * server operations — document requests + staleness queries +
+//     invalidation messages (Figure 8).
+
+#ifndef WEBCC_SRC_CORE_METRICS_H_
+#define WEBCC_SRC_CORE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/cache/proxy_cache.h"
+#include "src/origin/server.h"
+
+namespace webcc {
+
+struct ConsistencyMetrics {
+  uint64_t requests = 0;
+  uint64_t cache_misses = 0;    // body transfers (paper §4.1)
+  uint64_t stale_hits = 0;
+  uint64_t validations = 0;     // IMS queries issued
+  uint64_t invalidations = 0;   // invalidation notices sent by the server
+  uint64_t files_transferred = 0;
+  uint64_t server_operations = 0;
+
+  int64_t control_bytes = 0;    // request lines, queries, 304s, invalidations
+  int64_t payload_bytes = 0;    // document bodies
+  int64_t total_bytes = 0;
+
+  // Latency proxy: mean upstream round trips per client request (0 = every
+  // request answered from the cache without contact). The optimized
+  // retrieval trades exactly this for its bandwidth savings (§2/§3).
+  double mean_round_trips = 0.0;
+
+  double MissRate() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(cache_misses) / static_cast<double>(requests);
+  }
+  double StaleRate() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(stale_hits) / static_cast<double>(requests);
+  }
+  double TotalMB() const { return static_cast<double>(total_bytes) / 1e6; }
+  double PayloadMB() const { return static_cast<double>(payload_bytes) / 1e6; }
+
+  // A one-line summary for logs and examples.
+  std::string Summary() const;
+};
+
+// Derives the merged metrics for a single-cache (collapsed) configuration
+// from the two endpoints' own accounting. The cross-checks between the two
+// views (server vs cache byte counts must agree) are asserted in tests.
+ConsistencyMetrics ComputeMetrics(const ServerStats& server, const CacheStats& cache);
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_CORE_METRICS_H_

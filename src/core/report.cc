@@ -1,0 +1,200 @@
+#include "src/core/report.h"
+
+#include <fstream>
+
+#include "src/util/ascii_chart.h"
+#include "src/util/str.h"
+#include "src/workload/campus.h"
+
+namespace webcc {
+
+namespace {
+
+std::string ParamHeader(const SweepSeries& series) {
+  return series.param_name == "ttl_hours" ? "TTL (hours)" : "Update threshold (%)";
+}
+
+}  // namespace
+
+TextTable BandwidthFigure(const std::string& title, const SweepSeries& series,
+                          const ConsistencyMetrics& invalidation) {
+  TextTable table;
+  table.SetTitle(title);
+  table.SetHeader({ParamHeader(series), series.label + ": MB", "invalidation: MB",
+                   "ratio (policy/inval)"});
+  for (const SweepPoint& point : series.points) {
+    const double mb = point.result.metrics.TotalMB();
+    const double inval_mb = invalidation.TotalMB();
+    table.AddRow({StrFormat("%.0f", point.param), StrFormat("%.2f", mb),
+                  StrFormat("%.2f", inval_mb),
+                  StrFormat("%.3f", inval_mb > 0 ? mb / inval_mb : 0.0)});
+  }
+  return table;
+}
+
+TextTable MissRateFigure(const std::string& title, const SweepSeries& series,
+                         const ConsistencyMetrics& invalidation) {
+  TextTable table;
+  table.SetTitle(title);
+  table.SetHeader({ParamHeader(series), series.label + ": miss %", series.label + ": stale %",
+                   "invalidation: miss %", "invalidation: stale %"});
+  for (const SweepPoint& point : series.points) {
+    table.AddRow({StrFormat("%.0f", point.param),
+                  StrFormat("%.3f", point.result.metrics.MissRate() * 100.0),
+                  StrFormat("%.3f", point.result.metrics.StaleRate() * 100.0),
+                  StrFormat("%.3f", invalidation.MissRate() * 100.0),
+                  StrFormat("%.3f", invalidation.StaleRate() * 100.0)});
+  }
+  return table;
+}
+
+TextTable ServerLoadFigure(const std::string& title, const SweepSeries& series,
+                           const ConsistencyMetrics& invalidation) {
+  TextTable table;
+  table.SetTitle(title);
+  table.SetHeader({ParamHeader(series), series.label + ": server ops", "invalidation: server ops",
+                   "ratio (policy/inval)"});
+  for (const SweepPoint& point : series.points) {
+    const auto ops = static_cast<double>(point.result.metrics.server_operations);
+    const auto inval_ops = static_cast<double>(invalidation.server_operations);
+    table.AddRow({StrFormat("%.0f", point.param),
+                  StrFormat("%llu", static_cast<unsigned long long>(
+                                        point.result.metrics.server_operations)),
+                  StrFormat("%llu", static_cast<unsigned long long>(
+                                        invalidation.server_operations)),
+                  StrFormat("%.3f", inval_ops > 0 ? ops / inval_ops : 0.0)});
+  }
+  return table;
+}
+
+TextTable Table1Mutability(const std::vector<MutabilityStats>& measured,
+                           const std::vector<MutabilityStats>& paper_targets) {
+  TextTable table;
+  table.SetTitle("Table 1: mutability statistics (one-month campus server traces)");
+  table.SetHeader({"Server", "Files", "Requests", "% Remote", "Total Changes", "% Mutable",
+                   "% Very Mutable"});
+  auto add = [&table](const MutabilityStats& row, const std::string& tag) {
+    table.AddRow({row.server + tag, StrFormat("%llu", static_cast<unsigned long long>(row.files)),
+                  StrFormat("%llu", static_cast<unsigned long long>(row.requests)),
+                  FormatPercent(row.remote_fraction, 0),
+                  StrFormat("%llu", static_cast<unsigned long long>(row.total_changes)),
+                  FormatPercent(row.mutable_fraction, 2),
+                  FormatPercent(row.very_mutable_fraction, 2)});
+  };
+  for (size_t i = 0; i < measured.size(); ++i) {
+    add(measured[i], "");
+    if (i < paper_targets.size()) {
+      add(paper_targets[i], " (paper)");
+    }
+  }
+  return table;
+}
+
+TextTable Table2FileTypes(const std::vector<FileTypeStats>& rows) {
+  TextTable table;
+  table.SetTitle("Table 2: Microsoft access mix + Boston University life-spans");
+  table.SetHeader({"File type", "% of accesses", "Avg size (B)", "Avg age (days)",
+                   "Median life-span (days)"});
+  for (const FileTypeStats& row : rows) {
+    table.AddRow({std::string(FileTypeName(row.type)), FormatPercent(row.access_share, 1),
+                  StrFormat("%.0f", row.mean_size_bytes), StrFormat("%.0f", row.mean_age_days),
+                  StrFormat("%.0f", row.median_lifespan_days)});
+  }
+  return table;
+}
+
+bool WriteCsvFile(const TextTable& table, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    return false;
+  }
+  table.RenderCsv(os);
+  return static_cast<bool>(os);
+}
+
+TextTable TypeBreakdownTable(const CacheStats& stats) {
+  TextTable table;
+  table.SetTitle("Per-file-type behaviour:");
+  table.SetHeader({"Type", "Requests", "Stale rate", "Misses", "Validations", "Payload (KB)"});
+  for (int t = 0; t < kNumFileTypes; ++t) {
+    const auto& tc = stats.by_type[t];
+    const double stale_rate =
+        tc.requests == 0 ? 0.0
+                         : static_cast<double>(tc.stale_hits) / static_cast<double>(tc.requests);
+    table.AddRow({std::string(FileTypeName(static_cast<FileType>(t))),
+                  StrFormat("%llu", static_cast<unsigned long long>(tc.requests)),
+                  FormatPercent(stale_rate, 3),
+                  StrFormat("%llu", static_cast<unsigned long long>(tc.misses)),
+                  StrFormat("%llu", static_cast<unsigned long long>(tc.validations)),
+                  StrFormat("%.1f", static_cast<double>(tc.payload_bytes) / 1000.0)});
+  }
+  return table;
+}
+
+std::string FigureChart(const std::string& title, const SweepSeries& series,
+                        const ConsistencyMetrics& invalidation, FigureMetric metric) {
+  auto value_of = [&](const ConsistencyMetrics& m) -> double {
+    switch (metric) {
+      case FigureMetric::kBandwidthMB:
+        return m.TotalMB();
+      case FigureMetric::kStalePercent:
+        return m.StaleRate() * 100.0;
+      case FigureMetric::kMissPercent:
+        return m.MissRate() * 100.0;
+      case FigureMetric::kServerOps:
+        return static_cast<double>(m.server_operations);
+    }
+    return 0.0;
+  };
+  auto metric_name = [&]() -> std::string {
+    switch (metric) {
+      case FigureMetric::kBandwidthMB:
+        return "MB exchanged";
+      case FigureMetric::kStalePercent:
+        return "stale hits (% of requests)";
+      case FigureMetric::kMissPercent:
+        return "cache misses (% of requests)";
+      case FigureMetric::kServerOps:
+        return "server operations";
+    }
+    return {};
+  };
+  const bool log_y =
+      metric == FigureMetric::kBandwidthMB || metric == FigureMetric::kServerOps;
+
+  ChartSeries policy_series;
+  policy_series.label = series.label;
+  policy_series.marker = '*';
+  ChartSeries inval_series;
+  inval_series.label = "invalidation";
+  inval_series.marker = '-';
+  for (const SweepPoint& point : series.points) {
+    policy_series.points.emplace_back(point.param, value_of(point.result.metrics));
+    inval_series.points.emplace_back(point.param, value_of(invalidation));
+  }
+
+  ChartOptions options;
+  options.title = title;
+  options.y_label = metric_name();
+  options.x_label = ParamHeader(series);
+  options.log_y = log_y;
+  return RenderChart({inval_series, policy_series}, options);
+}
+
+std::vector<MutabilityStats> PaperTable1Targets() {
+  std::vector<MutabilityStats> rows;
+  for (const CampusServerProfile& profile : CampusServerProfile::AllTable1()) {
+    MutabilityStats row;
+    row.server = profile.name;
+    row.files = profile.num_files;
+    row.requests = profile.num_requests;
+    row.remote_fraction = profile.remote_fraction;
+    row.total_changes = profile.total_changes;
+    row.mutable_fraction = profile.mutable_fraction;
+    row.very_mutable_fraction = profile.very_mutable_fraction;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace webcc

@@ -1,0 +1,63 @@
+// Report rendering: turns sweep results into the rows/series the paper's
+// figures and tables show, as aligned text tables (and optional CSV).
+
+#ifndef WEBCC_SRC_CORE_REPORT_H_
+#define WEBCC_SRC_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/util/table.h"
+#include "src/workload/analyzer.h"
+
+namespace webcc {
+
+// Figures 2/4/6: bandwidth (MB exchanged, log scale in the paper) vs the
+// protocol parameter, with the invalidation protocol's constant alongside.
+TextTable BandwidthFigure(const std::string& title, const SweepSeries& series,
+                          const ConsistencyMetrics& invalidation);
+
+// Figures 3/5/7: cache-miss and stale-hit percentages vs the parameter.
+TextTable MissRateFigure(const std::string& title, const SweepSeries& series,
+                         const ConsistencyMetrics& invalidation);
+
+// Figure 8: server operations vs the parameter.
+TextTable ServerLoadFigure(const std::string& title, const SweepSeries& series,
+                           const ConsistencyMetrics& invalidation);
+
+// Table 1: mutability statistics, one row per server. When targets are
+// provided (the paper's numbers), a paired "(paper)" row is emitted under
+// each measured row.
+TextTable Table1Mutability(const std::vector<MutabilityStats>& measured,
+                           const std::vector<MutabilityStats>& paper_targets = {});
+
+// Table 2: file-type access mix, sizes, ages and life-spans.
+TextTable Table2FileTypes(const std::vector<FileTypeStats>& rows);
+
+// Writes a table's CSV rendering to `path`; returns success.
+bool WriteCsvFile(const TextTable& table, const std::string& path);
+
+// ASCII rendition of a figure: the sweep's metric as one curve, the
+// invalidation protocol's constant as a reference line — the closest a
+// terminal gets to the paper's plots.
+enum class FigureMetric {
+  kBandwidthMB,   // log scale, like Figures 2/4/6
+  kStalePercent,  // like Figures 3/5/7
+  kMissPercent,
+  kServerOps,     // log scale, like Figure 8
+};
+std::string FigureChart(const std::string& title, const SweepSeries& series,
+                        const ConsistencyMetrics& invalidation, FigureMetric metric);
+
+// The paper's Table 1 rows, for side-by-side reporting.
+std::vector<MutabilityStats> PaperTable1Targets();
+
+// Per-file-type breakdown of a cache's behaviour — the §5 observation that
+// "different types of files exhibit different update behavior", rendered as
+// a table (requests, stale rate, misses, validations, payload per type).
+TextTable TypeBreakdownTable(const CacheStats& stats);
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_CORE_REPORT_H_

@@ -1,0 +1,58 @@
+// The collapsed-hierarchy simulators (paper §3).
+//
+// One origin server, one proxy cache, a scripted Workload. The three
+// simulator generations differ only in configuration:
+//
+//   BaseSimulatorConfig():      preload + full re-fetch on expiry
+//   OptimizedSimulatorConfig(): preload + conditional GET on expiry
+//   TraceDriven():              preload + conditional GET (trace runs
+//                               replay only files present at the start of
+//                               the month, paper §4.2, so the cache starts
+//                               warm and the metrics isolate consistency
+//                               traffic)
+//
+// Replay is a deterministic merge-walk over the modification and request
+// streams — a modification at time t is visible to a request at time t.
+
+#ifndef WEBCC_SRC_CORE_SIMULATION_H_
+#define WEBCC_SRC_CORE_SIMULATION_H_
+
+#include <string>
+
+#include "src/cache/policy_factory.h"
+#include "src/cache/proxy_cache.h"
+#include "src/core/metrics.h"
+#include "src/workload/workload.h"
+
+namespace webcc {
+
+struct SimulationConfig {
+  PolicyConfig policy;
+  RefreshMode refresh_mode = RefreshMode::kConditionalGet;
+  bool preload = true;
+  int64_t cache_capacity_bytes = 0;  // 0 = unbounded (the paper's setting)
+  // Measurement warm-up: events before epoch+warmup still execute (the
+  // cache fills, windows arm), but all statistics are reset at the first
+  // request at or after it — the standard way to exclude cold-start
+  // transients without preloading.
+  SimDuration warmup = SimDuration(0);
+
+  static SimulationConfig Base(PolicyConfig policy);
+  static SimulationConfig Optimized(PolicyConfig policy);
+  static SimulationConfig TraceDriven(PolicyConfig policy);
+};
+
+struct SimulationResult {
+  std::string workload_name;
+  std::string policy_desc;
+  ServerStats server;
+  CacheStats cache;
+  ConsistencyMetrics metrics;
+};
+
+// Replays `load` under `config`. Deterministic: equal inputs, equal outputs.
+SimulationResult RunSimulation(const Workload& load, const SimulationConfig& config);
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_CORE_SIMULATION_H_

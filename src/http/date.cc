@@ -1,0 +1,194 @@
+#include "src/http/date.h"
+
+#include <array>
+#include <cstdio>
+
+#include "src/util/str.h"
+
+namespace webcc {
+
+namespace {
+
+constexpr const char* kDayNames[] = {"Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"};
+constexpr const char* kDayNamesLong[] = {"Sunday",   "Monday", "Tuesday", "Wednesday",
+                                         "Thursday", "Friday", "Saturday"};
+constexpr const char* kMonthNames[] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                                       "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+// Seconds between 1970-01-01 and the simulation epoch, 1996-01-01 (both GMT).
+const int64_t kEpochOffsetSeconds = DaysFromCivil(1996, 1, 1) * 86400;
+
+std::optional<int> MonthFromName(std::string_view name) {
+  for (int m = 0; m < 12; ++m) {
+    if (EqualsIgnoreCase(name, kMonthNames[m])) {
+      return m + 1;
+    }
+  }
+  return std::nullopt;
+}
+
+// Parses "08:49:37" into hour/minute/second.
+bool ParseClock(std::string_view text, CivilDateTime* out) {
+  const auto parts = Split(text, ':');
+  if (parts.size() != 3) {
+    return false;
+  }
+  const auto h = ParseInt(parts[0]);
+  const auto m = ParseInt(parts[1]);
+  const auto s = ParseInt(parts[2]);
+  if (!h || !m || !s || *h < 0 || *h > 23 || *m < 0 || *m > 59 || *s < 0 || *s > 60) {
+    return false;
+  }
+  out->hour = static_cast<int>(*h);
+  out->minute = static_cast<int>(*m);
+  out->second = static_cast<int>(*s);
+  return true;
+}
+
+}  // namespace
+
+int64_t DaysFromCivil(int year, int month, int day) {
+  // Howard Hinnant, "chrono-Compatible Low-Level Date Algorithms".
+  year -= month <= 2;
+  const int64_t era = (year >= 0 ? year : year - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(year - era * 400);             // [0, 399]
+  const unsigned doy = (153u * (month + (month > 2 ? -3 : 9)) + 2) / 5 + day - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;               // [0, 146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t days, int* year, int* month, int* day) {
+  days += 719468;
+  const int64_t era = (days >= 0 ? days : days - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(days - era * 146097);          // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0, 399]
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);             // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                                  // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;                          // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                               // [1, 12]
+  *year = static_cast<int>(y + (m <= 2));
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+int DayOfWeek(int64_t days_since_1970) {
+  // 1970-01-01 was a Thursday (4).
+  const int64_t dow = (days_since_1970 + 4) % 7;
+  return static_cast<int>(dow < 0 ? dow + 7 : dow);
+}
+
+CivilDateTime CivilFromSimTime(SimTime t) {
+  const int64_t unix_seconds = t.seconds() + kEpochOffsetSeconds;
+  int64_t days = unix_seconds / 86400;
+  int64_t rem = unix_seconds % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    --days;
+  }
+  CivilDateTime c;
+  CivilFromDays(days, &c.year, &c.month, &c.day);
+  c.hour = static_cast<int>(rem / 3600);
+  c.minute = static_cast<int>((rem % 3600) / 60);
+  c.second = static_cast<int>(rem % 60);
+  return c;
+}
+
+SimTime SimTimeFromCivil(const CivilDateTime& c) {
+  const int64_t days = DaysFromCivil(c.year, c.month, c.day);
+  const int64_t unix_seconds = days * 86400 + c.hour * 3600 + c.minute * 60 + c.second;
+  return SimTime(unix_seconds - kEpochOffsetSeconds);
+}
+
+std::string FormatHttpDate(SimTime t) {
+  const CivilDateTime c = CivilFromSimTime(t);
+  const int64_t days = DaysFromCivil(c.year, c.month, c.day);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s, %02d %s %04d %02d:%02d:%02d GMT",
+                kDayNames[DayOfWeek(days)], c.day, kMonthNames[c.month - 1], c.year, c.hour,
+                c.minute, c.second);
+  return buf;
+}
+
+std::optional<SimTime> ParseHttpDate(std::string_view text) {
+  text = Trim(text);
+  // Strip an optional leading day name: "Sun," / "Sunday," / "Sun".
+  const size_t comma = text.find(',');
+  std::string_view rest = text;
+  if (comma != std::string_view::npos) {
+    const std::string_view dayname = Trim(text.substr(0, comma));
+    bool known = false;
+    for (int d = 0; d < 7; ++d) {
+      if (EqualsIgnoreCase(dayname, kDayNames[d]) || EqualsIgnoreCase(dayname, kDayNamesLong[d])) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return std::nullopt;
+    }
+    rest = text.substr(comma + 1);
+  }
+  auto fields = SplitWhitespace(rest);
+
+  CivilDateTime c;
+  if (fields.size() == 3 && EqualsIgnoreCase(fields[2], "GMT") &&
+      fields[0].find('-') != std::string_view::npos) {
+    // RFC 850: "Sunday, 06-Nov-94 08:49:37 GMT" (day name already stripped).
+    const auto dmy = Split(fields[0], '-');
+    if (dmy.size() != 3) {
+      return std::nullopt;
+    }
+    const auto day = ParseInt(dmy[0]);
+    const auto month = MonthFromName(dmy[1]);
+    const auto year2 = ParseInt(dmy[2]);
+    if (!day || !month || !year2 || !ParseClock(fields[1], &c)) {
+      return std::nullopt;
+    }
+    c.day = static_cast<int>(*day);
+    c.month = *month;
+    // Two-digit years pivot at 70 (RFC 2822 convention).
+    c.year = static_cast<int>(*year2 < 100 ? (*year2 >= 70 ? 1900 + *year2 : 2000 + *year2)
+                                           : *year2);
+    return SimTimeFromCivil(c);
+  }
+  if (fields.size() == 5 && EqualsIgnoreCase(fields[4], "GMT")) {
+    // RFC 1123: "06 Nov 1994 08:49:37 GMT".
+    const auto day = ParseInt(fields[0]);
+    const auto month = MonthFromName(fields[1]);
+    const auto year = ParseInt(fields[2]);
+    if (!day || !month || !year || *day < 1 || *day > 31 || !ParseClock(fields[3], &c)) {
+      return std::nullopt;
+    }
+    c.day = static_cast<int>(*day);
+    c.month = *month;
+    c.year = static_cast<int>(*year);
+    return SimTimeFromCivil(c);
+  }
+  if (fields.size() == 5 && comma == std::string_view::npos) {
+    // asctime: "Sun Nov  6 08:49:37 1994"; first field is the day name.
+    bool known = false;
+    for (int d = 0; d < 7; ++d) {
+      if (EqualsIgnoreCase(fields[0], kDayNames[d])) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return std::nullopt;
+    }
+    const auto month = MonthFromName(fields[1]);
+    const auto day = ParseInt(fields[2]);
+    const auto year = ParseInt(fields[4]);
+    if (!month || !day || !year || !ParseClock(fields[3], &c)) {
+      return std::nullopt;
+    }
+    c.month = *month;
+    c.day = static_cast<int>(*day);
+    c.year = static_cast<int>(*year);
+    return SimTimeFromCivil(c);
+  }
+  return std::nullopt;
+}
+
+}  // namespace webcc

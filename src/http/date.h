@@ -1,0 +1,56 @@
+// HTTP-date handling (RFC 1123 format, as required by HTTP/1.0 [2]).
+//
+// The simulated timeline is anchored at SimTime::Epoch() == Mon, 01 Jan 1996
+// 00:00:00 GMT — the month the paper was published — so every SimTime maps
+// to a real calendar instant. Formatting and parsing use proleptic-Gregorian
+// civil-date arithmetic (Howard Hinnant's algorithms) implemented locally;
+// no dependence on the C locale or time zone machinery.
+
+#ifndef WEBCC_SRC_HTTP_DATE_H_
+#define WEBCC_SRC_HTTP_DATE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/util/sim_time.h"
+
+namespace webcc {
+
+// A civil (calendar) date-time in GMT.
+struct CivilDateTime {
+  int year = 1996;
+  int month = 1;  // 1..12
+  int day = 1;    // 1..31
+  int hour = 0;   // 0..23
+  int minute = 0;
+  int second = 0;
+
+  auto operator<=>(const CivilDateTime&) const = default;
+};
+
+// Days since 1970-01-01 for a civil date (valid for all Gregorian dates).
+int64_t DaysFromCivil(int year, int month, int day);
+
+// Inverse of DaysFromCivil.
+void CivilFromDays(int64_t days, int* year, int* month, int* day);
+
+// Day of week, 0 = Sunday .. 6 = Saturday.
+int DayOfWeek(int64_t days_since_1970);
+
+// Conversions between the simulated clock and the civil calendar.
+CivilDateTime CivilFromSimTime(SimTime t);
+SimTime SimTimeFromCivil(const CivilDateTime& c);
+
+// Formats as RFC 1123, e.g. "Sun, 06 Nov 1994 08:49:37 GMT".
+std::string FormatHttpDate(SimTime t);
+
+// Parses an RFC 1123 date. Returns nullopt on malformed input. (The obsolete
+// RFC 850 and asctime formats that HTTP/1.0 servers must also accept are
+// recognized as well, for trace-replay robustness.)
+std::optional<SimTime> ParseHttpDate(std::string_view text);
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_HTTP_DATE_H_

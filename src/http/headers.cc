@@ -1,0 +1,51 @@
+#include "src/http/headers.h"
+
+#include "src/util/str.h"
+
+namespace webcc {
+
+void HeaderMap::Set(std::string_view name, std::string_view value) {
+  for (auto& [n, v] : fields_) {
+    if (EqualsIgnoreCase(n, name)) {
+      v = std::string(value);
+      return;
+    }
+  }
+  fields_.emplace_back(std::string(name), std::string(value));
+}
+
+void HeaderMap::Add(std::string_view name, std::string_view value) {
+  fields_.emplace_back(std::string(name), std::string(value));
+}
+
+std::optional<std::string_view> HeaderMap::Get(std::string_view name) const {
+  for (const auto& [n, v] : fields_) {
+    if (EqualsIgnoreCase(n, name)) {
+      return std::string_view(v);
+    }
+  }
+  return std::nullopt;
+}
+
+size_t HeaderMap::Remove(std::string_view name) {
+  size_t removed = 0;
+  for (auto it = fields_.begin(); it != fields_.end();) {
+    if (EqualsIgnoreCase(it->first, name)) {
+      it = fields_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+size_t HeaderMap::WireBytes() const {
+  size_t bytes = 0;
+  for (const auto& [n, v] : fields_) {
+    bytes += n.size() + 2 + v.size() + 2;  // "Name: value\r\n"
+  }
+  return bytes;
+}
+
+}  // namespace webcc

@@ -1,0 +1,45 @@
+// A small HTTP header map with case-insensitive field names, preserving
+// insertion order (headers compare case-insensitively per HTTP/1.0 §4.2).
+
+#ifndef WEBCC_SRC_HTTP_HEADERS_H_
+#define WEBCC_SRC_HTTP_HEADERS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace webcc {
+
+class HeaderMap {
+ public:
+  // Replaces the value if the field exists (first occurrence), else appends.
+  void Set(std::string_view name, std::string_view value);
+
+  // Appends unconditionally (HTTP permits repeated fields).
+  void Add(std::string_view name, std::string_view value);
+
+  // First value for the field, if present.
+  std::optional<std::string_view> Get(std::string_view name) const;
+
+  bool Has(std::string_view name) const { return Get(name).has_value(); }
+
+  // Removes all occurrences; returns how many were removed.
+  size_t Remove(std::string_view name);
+
+  size_t size() const { return fields_.size(); }
+  bool empty() const { return fields_.empty(); }
+
+  const std::vector<std::pair<std::string, std::string>>& fields() const { return fields_; }
+
+  // Serialized size in bytes: "Name: value\r\n" per field.
+  size_t WireBytes() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_HTTP_HEADERS_H_

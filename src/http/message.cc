@@ -1,0 +1,231 @@
+#include "src/http/message.h"
+
+#include "src/util/str.h"
+
+namespace webcc {
+
+namespace {
+
+constexpr std::string_view kIfModifiedSince = "If-Modified-Since";
+constexpr std::string_view kLastModified = "Last-Modified";
+constexpr std::string_view kExpires = "Expires";
+constexpr std::string_view kDate = "Date";
+constexpr std::string_view kContentLength = "Content-Length";
+constexpr std::string_view kHttpVersion = "HTTP/1.0";
+
+std::optional<SimTime> GetDateHeader(const HeaderMap& headers, std::string_view name) {
+  const auto value = headers.Get(name);
+  if (!value) {
+    return std::nullopt;
+  }
+  return ParseHttpDate(*value);
+}
+
+// Splits serialized text into (first line, remaining header lines). Accepts
+// both CRLF and bare LF line endings.
+struct Lines {
+  std::string_view first;
+  std::vector<std::string_view> rest;
+};
+
+std::optional<Lines> SplitLines(std::string_view text) {
+  Lines out;
+  bool first = true;
+  while (!text.empty()) {
+    size_t eol = text.find('\n');
+    std::string_view line;
+    if (eol == std::string_view::npos) {
+      line = text;
+      text = {};
+    } else {
+      line = text.substr(0, eol);
+      text = text.substr(eol + 1);
+    }
+    if (!line.empty() && line.back() == '\r') {
+      line.remove_suffix(1);
+    }
+    if (line.empty()) {
+      break;  // blank line terminates the header section
+    }
+    if (first) {
+      out.first = line;
+      first = false;
+    } else {
+      out.rest.push_back(line);
+    }
+  }
+  if (first) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+bool ParseHeaderLines(const std::vector<std::string_view>& lines, HeaderMap* headers) {
+  for (std::string_view line : lines) {
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return false;
+    }
+    headers->Add(Trim(line.substr(0, colon)), Trim(line.substr(colon + 1)));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string_view MethodName(Method m) {
+  switch (m) {
+    case Method::kGet:
+    case Method::kConditionalGet:
+      return "GET";
+    case Method::kInvalidate:
+      return "INVALIDATE";
+  }
+  return "GET";
+}
+
+std::optional<Method> MethodFromName(std::string_view name) {
+  if (name == "GET") {
+    return Method::kGet;
+  }
+  if (name == "INVALIDATE") {
+    return Method::kInvalidate;
+  }
+  return std::nullopt;
+}
+
+std::string_view StatusReason(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotModified:
+      return "Not Modified";
+    case StatusCode::kNotFound:
+      return "Not Found";
+  }
+  return "Unknown";
+}
+
+void Request::SetIfModifiedSince(SimTime t) {
+  method = Method::kConditionalGet;
+  headers.Set(kIfModifiedSince, FormatHttpDate(t));
+}
+
+std::optional<SimTime> Request::IfModifiedSince() const {
+  return GetDateHeader(headers, kIfModifiedSince);
+}
+
+int64_t Request::WireBytes() const {
+  // "METHOD uri HTTP/1.0\r\n" + headers + "\r\n"
+  return static_cast<int64_t>(MethodName(method).size() + 1 + uri.size() + 1 +
+                              kHttpVersion.size() + 2 + headers.WireBytes() + 2);
+}
+
+std::string Request::Serialize() const {
+  std::string out;
+  out += MethodName(method);
+  out += ' ';
+  out += uri;
+  out += ' ';
+  out += kHttpVersion;
+  out += "\r\n";
+  for (const auto& [n, v] : headers.fields()) {
+    out += n;
+    out += ": ";
+    out += v;
+    out += "\r\n";
+  }
+  out += "\r\n";
+  return out;
+}
+
+std::optional<Request> Request::Parse(std::string_view text) {
+  const auto lines = SplitLines(text);
+  if (!lines) {
+    return std::nullopt;
+  }
+  const auto parts = SplitWhitespace(lines->first);
+  if (parts.size() != 3 || parts[2] != kHttpVersion) {
+    return std::nullopt;
+  }
+  const auto method = MethodFromName(parts[0]);
+  if (!method) {
+    return std::nullopt;
+  }
+  Request req;
+  req.method = *method;
+  req.uri = std::string(parts[1]);
+  if (!ParseHeaderLines(lines->rest, &req.headers)) {
+    return std::nullopt;
+  }
+  if (req.method == Method::kGet && req.headers.Has(kIfModifiedSince)) {
+    req.method = Method::kConditionalGet;
+  }
+  return req;
+}
+
+void Response::SetLastModified(SimTime t) { headers.Set(kLastModified, FormatHttpDate(t)); }
+std::optional<SimTime> Response::LastModified() const {
+  return GetDateHeader(headers, kLastModified);
+}
+void Response::SetExpires(SimTime t) { headers.Set(kExpires, FormatHttpDate(t)); }
+std::optional<SimTime> Response::Expires() const { return GetDateHeader(headers, kExpires); }
+void Response::SetDate(SimTime t) { headers.Set(kDate, FormatHttpDate(t)); }
+std::optional<SimTime> Response::Date() const { return GetDateHeader(headers, kDate); }
+
+int64_t Response::WireBytes() const {
+  // Status line + headers + blank line + body.
+  const std::string_view reason = StatusReason(status);
+  return static_cast<int64_t>(kHttpVersion.size() + 1 + 3 + 1 + reason.size() + 2 +
+                              headers.WireBytes() + 2) +
+         content_length;
+}
+
+std::string Response::Serialize() const {
+  std::string out;
+  out += kHttpVersion;
+  out += StrFormat(" %d ", static_cast<int>(status));
+  out += StatusReason(status);
+  out += "\r\n";
+  HeaderMap all = headers;
+  all.Set(kContentLength, StrFormat("%lld", static_cast<long long>(content_length)));
+  for (const auto& [n, v] : all.fields()) {
+    out += n;
+    out += ": ";
+    out += v;
+    out += "\r\n";
+  }
+  out += "\r\n";
+  return out;
+}
+
+std::optional<Response> Response::Parse(std::string_view text) {
+  const auto lines = SplitLines(text);
+  if (!lines) {
+    return std::nullopt;
+  }
+  const auto parts = SplitWhitespace(lines->first);
+  if (parts.size() < 2 || parts[0] != kHttpVersion) {
+    return std::nullopt;
+  }
+  const auto code = ParseInt(parts[1]);
+  if (!code) {
+    return std::nullopt;
+  }
+  Response resp;
+  resp.status = static_cast<StatusCode>(*code);
+  if (!ParseHeaderLines(lines->rest, &resp.headers)) {
+    return std::nullopt;
+  }
+  if (const auto len = resp.headers.Get(kContentLength)) {
+    const auto parsed = ParseInt(*len);
+    if (!parsed || *parsed < 0) {
+      return std::nullopt;
+    }
+    resp.content_length = *parsed;
+    resp.headers.Remove(kContentLength);
+  }
+  return resp;
+}
+
+}  // namespace webcc

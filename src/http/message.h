@@ -1,0 +1,96 @@
+// HTTP/1.0-level message model.
+//
+// The simulators account traffic with the paper's cost model (§4.1): every
+// control message — a GET request line, an If-Modified-Since query, a
+// 304 Not Modified reply, an invalidation notice — costs kControlMessageBytes
+// (43 bytes, the paper's measured average), and a document transfer
+// additionally carries the object body. Full textual serialization/parsing
+// is provided for realism and for the examples; the hot simulation paths use
+// only the byte-accounting helpers.
+
+#ifndef WEBCC_SRC_HTTP_MESSAGE_H_
+#define WEBCC_SRC_HTTP_MESSAGE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/http/date.h"
+#include "src/http/headers.h"
+#include "src/util/sim_time.h"
+
+namespace webcc {
+
+// Paper §4.1: "each message averages 43 bytes".
+inline constexpr int64_t kControlMessageBytes = 43;
+
+enum class Method {
+  kGet,         // plain document request
+  kConditionalGet,  // GET with If-Modified-Since
+  kInvalidate,  // server -> cache invalidation notice (not real HTTP/1.0;
+                // modeled after the callback messages of [15]/[16])
+};
+
+std::string_view MethodName(Method m);
+std::optional<Method> MethodFromName(std::string_view name);
+
+enum class StatusCode : int {
+  kOk = 200,
+  kNotModified = 304,
+  kNotFound = 404,
+};
+
+std::string_view StatusReason(StatusCode code);
+
+struct Request {
+  Method method = Method::kGet;
+  std::string uri;
+  HeaderMap headers;
+
+  // Convenience accessors for the one header the protocols depend on.
+  void SetIfModifiedSince(SimTime t);
+  std::optional<SimTime> IfModifiedSince() const;
+
+  // Bytes on the wire if fully serialized.
+  int64_t WireBytes() const;
+
+  // "GET /x HTTP/1.0\r\nIf-Modified-Since: ...\r\n\r\n"
+  std::string Serialize() const;
+  static std::optional<Request> Parse(std::string_view text);
+};
+
+struct Response {
+  StatusCode status = StatusCode::kOk;
+  HeaderMap headers;
+  // Body size in bytes; the simulator never materializes bodies.
+  int64_t content_length = 0;
+
+  void SetLastModified(SimTime t);
+  std::optional<SimTime> LastModified() const;
+  void SetExpires(SimTime t);
+  std::optional<SimTime> Expires() const;
+  void SetDate(SimTime t);
+  std::optional<SimTime> Date() const;
+
+  int64_t WireBytes() const;
+
+  // Serializes the status line + headers (body is size-only, rendered as a
+  // Content-Length header).
+  std::string Serialize() const;
+  static std::optional<Response> Parse(std::string_view text);
+};
+
+// --- Cost-model helpers used by the simulators' hot paths ---
+
+// A bare control message (request line / 304 / invalidation notice).
+constexpr int64_t ControlWireBytes() { return kControlMessageBytes; }
+
+// A full document transfer: response header (one control message) + body.
+constexpr int64_t DocumentWireBytes(int64_t body_bytes) {
+  return kControlMessageBytes + body_bytes;
+}
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_HTTP_MESSAGE_H_

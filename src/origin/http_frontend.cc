@@ -1,0 +1,74 @@
+#include "src/origin/http_frontend.h"
+
+#include <cassert>
+
+#include "src/http/date.h"
+
+namespace webcc {
+
+HttpFrontend::HttpFrontend(OriginServer* server) : server_(server) {
+  assert(server != nullptr);
+}
+
+Response HttpFrontend::HandleParsed(const Request& request, SimTime now) {
+  ++requests_handled_;
+  Response response;
+  response.SetDate(now);
+  response.headers.Set("Server", "webcc-origin/1.0");
+
+  const ObjectId id = server_->store().FindByName(request.uri);
+  if (id == kInvalidObjectId) {
+    response.status = StatusCode::kNotFound;
+    response.content_length = 0;
+    return response;
+  }
+
+  if (request.method == Method::kConditionalGet) {
+    const auto since = request.IfModifiedSince();
+    const WebObject& obj = server_->store().Get(id);
+    // HTTP semantics: modified iff Last-Modified is strictly newer than the
+    // If-Modified-Since stamp. (At one-second resolution a change in the
+    // same second as the stamp is reported modified only on the next
+    // second; the typed simulator path uses exact versions instead.)
+    const uint64_t held_version =
+        (since.has_value() && obj.last_modified <= *since) ? obj.version : obj.version - 1;
+    const auto result = server_->HandleConditionalGet(id, held_version, now);
+    if (!result.modified) {
+      response.status = StatusCode::kNotModified;
+      response.SetLastModified(result.last_modified);
+      response.content_length = 0;
+      return response;
+    }
+    response.status = StatusCode::kOk;
+    response.SetLastModified(result.last_modified);
+    if (result.expires) {
+      response.SetExpires(*result.expires);
+    }
+    response.content_length = result.body_bytes;
+    return response;
+  }
+
+  const auto result = server_->HandleGet(id, now);
+  response.status = StatusCode::kOk;
+  response.SetLastModified(result.last_modified);
+  if (result.expires) {
+    response.SetExpires(*result.expires);
+  }
+  response.content_length = result.body_bytes;
+  return response;
+}
+
+std::string HttpFrontend::Handle(std::string_view raw_request, SimTime now) {
+  const auto request = Request::Parse(raw_request);
+  if (!request) {
+    ++parse_failures_;
+    Response response;
+    response.status = StatusCode::kNotFound;
+    response.SetDate(now);
+    response.headers.Set("Server", "webcc-origin/1.0");
+    return response.Serialize();
+  }
+  return HandleParsed(*request, now).Serialize();
+}
+
+}  // namespace webcc

@@ -1,0 +1,57 @@
+// Textual HTTP/1.0 frontend for the origin server.
+//
+// Everywhere else the simulators call OriginServer's typed API and account
+// traffic with the paper's 43-byte cost model. This frontend instead speaks
+// actual HTTP/1.0 text — the protocol the paper's proxies spoke — so the
+// full serialize/parse path can carry a simulation end to end:
+//
+//   "GET /doc.html HTTP/1.0"                          -> 200 + body size
+//   "GET /doc.html HTTP/1.0\nIf-Modified-Since: ..."  -> 304 or 200
+//
+// Used by HttpUpstream (src/cache/http_upstream.h) and by the wire-model
+// ablation, which measures how well 43 bytes approximates real 1996-era
+// header sizes.
+
+#ifndef WEBCC_SRC_ORIGIN_HTTP_FRONTEND_H_
+#define WEBCC_SRC_ORIGIN_HTTP_FRONTEND_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/http/message.h"
+#include "src/origin/server.h"
+
+namespace webcc {
+
+class HttpFrontend {
+ public:
+  explicit HttpFrontend(OriginServer* server);
+
+  // Handles one serialized HTTP/1.0 request at simulated time `now` and
+  // returns the serialized response (status line + headers; the body is
+  // represented by its Content-Length, bodies are never materialized).
+  // Malformed requests get a 404-style error response rather than a crash.
+  std::string Handle(std::string_view raw_request, SimTime now);
+
+  // Typed variant used by HttpUpstream to avoid double-parsing its own
+  // serialization in the hot path while still exercising it in tests.
+  Response HandleParsed(const Request& request, SimTime now);
+
+  // Diagnostics.
+  uint64_t requests_handled() const { return requests_handled_; }
+  uint64_t parse_failures() const { return parse_failures_; }
+
+  // The backing server, exposed for out-of-band invalidation registration
+  // (HTTP/1.0 itself has no invalidation channel; the callback registry of
+  // Wessels' lightweight caching server [15] was likewise a side protocol).
+  OriginServer* server() { return server_; }
+
+ private:
+  OriginServer* server_;
+  uint64_t requests_handled_ = 0;
+  uint64_t parse_failures_ = 0;
+};
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_ORIGIN_HTTP_FRONTEND_H_

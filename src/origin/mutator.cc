@@ -1,0 +1,73 @@
+#include "src/origin/mutator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace webcc {
+
+ModificationProcess::ModificationProcess(SimEngine* engine, OriginServer* server, Rng rng)
+    : engine_(engine), server_(server), rng_(rng) {
+  assert(engine != nullptr);
+  assert(server != nullptr);
+}
+
+void ModificationProcess::Track(ObjectId id,
+                                std::shared_ptr<const LifetimeDistribution> lifetime,
+                                std::optional<SimDuration> first_delay) {
+  assert(server_->store().Contains(id));
+  assert(lifetime != nullptr);
+  if (id >= slot_of_.size()) {
+    slot_of_.resize(id + 1, kNoSlot);
+  }
+  assert(slot_of_[id] == kNoSlot && "object already tracked");
+  const size_t slot = tracked_.size();
+  tracked_.push_back(Tracked{id, std::move(lifetime), EventHandle{}});
+  slot_of_[id] = slot;
+  ScheduleNext(id, first_delay);
+}
+
+void ModificationProcess::ScheduleNext(ObjectId id, std::optional<SimDuration> delay_override) {
+  Tracked& t = tracked_[slot_of_[id]];
+  const SimDuration lifetime =
+      delay_override.has_value() ? *delay_override : t.lifetime->NextLifetime(rng_);
+  // Objects whose next draw lands beyond any plausible horizon simply never
+  // fire within the run; the event stays pending and is discarded at Stop().
+  t.pending = engine_->ScheduleAfter(lifetime, [this, id] {
+    int64_t new_size = -1;
+    if (size_model_) {
+      new_size = size_model_(server_->store().Get(id), rng_);
+    }
+    server_->ModifyObject(id, engine_->Now(), new_size);
+    ++modifications_applied_;
+    ScheduleNext(id, std::nullopt);
+  });
+}
+
+void ModificationProcess::Stop() {
+  for (auto& t : tracked_) {
+    t.pending.Cancel();
+  }
+}
+
+ScriptedModifications::ScriptedModifications(SimEngine* engine, OriginServer* server)
+    : engine_(engine), server_(server) {
+  assert(engine != nullptr);
+  assert(server != nullptr);
+}
+
+void ScriptedModifications::Add(SimTime at, ObjectId object, int64_t new_size) {
+  assert(!scheduled_ && "Add after ScheduleAll");
+  changes_.push_back(Change{at, object, new_size});
+}
+
+void ScriptedModifications::ScheduleAll() {
+  assert(!scheduled_);
+  scheduled_ = true;
+  std::stable_sort(changes_.begin(), changes_.end(),
+                   [](const Change& a, const Change& b) { return a.at < b.at; });
+  for (const Change& c : changes_) {
+    engine_->ScheduleAt(c.at, [this, c] { server_->ModifyObject(c.object, c.at, c.new_size); });
+  }
+}
+
+}  // namespace webcc

@@ -1,0 +1,96 @@
+// Modification processes: the machinery that rewrites objects over simulated
+// time.
+//
+// Two drivers are provided, matching the paper's two workload modes:
+//   * ModificationProcess — stochastic: each tracked object repeatedly draws
+//     its next lifetime from a LifetimeDistribution and is modified when it
+//     elapses (base/optimized simulators, Worrell's model).
+//   * ScriptedModifications — deterministic replay of an explicit
+//     (time, object) change list (trace-driven simulator).
+
+#ifndef WEBCC_SRC_ORIGIN_MUTATOR_H_
+#define WEBCC_SRC_ORIGIN_MUTATOR_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/origin/server.h"
+#include "src/sim/engine.h"
+#include "src/util/distributions.h"
+#include "src/util/rng.h"
+
+namespace webcc {
+
+class ModificationProcess {
+ public:
+  // Optional size model: given the object being rewritten, returns its new
+  // size (negative keeps the old size). Default keeps sizes constant.
+  using SizeModel = std::function<int64_t(const WebObject&, Rng&)>;
+
+  ModificationProcess(SimEngine* engine, OriginServer* server, Rng rng);
+
+  // Starts tracking `id`: schedules its first change and reschedules after
+  // every change. The distribution is shared so a single model can drive
+  // thousands of objects. By default the first change fires one lifetime
+  // draw from now; `first_delay` overrides that, which lets workloads start
+  // objects mid-interval (steady-state initialization for pre-aged objects).
+  void Track(ObjectId id, std::shared_ptr<const LifetimeDistribution> lifetime,
+             std::optional<SimDuration> first_delay = std::nullopt);
+
+  // Stops all pending modification events (e.g. at experiment teardown).
+  void Stop();
+
+  void set_size_model(SizeModel model) { size_model_ = std::move(model); }
+
+  uint64_t modifications_applied() const { return modifications_applied_; }
+
+ private:
+  void ScheduleNext(ObjectId id, std::optional<SimDuration> delay_override);
+
+  SimEngine* engine_;
+  OriginServer* server_;
+  Rng rng_;
+  SizeModel size_model_;
+  // Per tracked object: its lifetime model and pending event handle.
+  struct Tracked {
+    ObjectId id = kInvalidObjectId;
+    std::shared_ptr<const LifetimeDistribution> lifetime;
+    EventHandle pending;
+  };
+  std::vector<Tracked> tracked_;      // indexed by slot
+  std::vector<size_t> slot_of_;       // object id -> slot (or npos)
+  uint64_t modifications_applied_ = 0;
+
+  static constexpr size_t kNoSlot = static_cast<size_t>(-1);
+};
+
+class ScriptedModifications {
+ public:
+  struct Change {
+    SimTime at;
+    ObjectId object = kInvalidObjectId;
+    int64_t new_size = -1;  // negative keeps the old size
+  };
+
+  ScriptedModifications(SimEngine* engine, OriginServer* server);
+
+  void Add(SimTime at, ObjectId object, int64_t new_size = -1);
+
+  // Schedules every recorded change on the engine. Changes are sorted by
+  // time internally, so Add order does not matter. Call once.
+  void ScheduleAll();
+
+  size_t size() const { return changes_.size(); }
+
+ private:
+  SimEngine* engine_;
+  OriginServer* server_;
+  std::vector<Change> changes_;
+  bool scheduled_ = false;
+};
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_ORIGIN_MUTATOR_H_

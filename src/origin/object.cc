@@ -1,0 +1,51 @@
+#include "src/origin/object.h"
+
+#include "src/util/str.h"
+
+namespace webcc {
+
+std::string_view FileTypeName(FileType t) {
+  switch (t) {
+    case FileType::kGif:
+      return "gif";
+    case FileType::kHtml:
+      return "html";
+    case FileType::kJpg:
+      return "jpg";
+    case FileType::kCgi:
+      return "cgi";
+    case FileType::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+FileType FileTypeFromName(std::string_view name) {
+  if (EqualsIgnoreCase(name, "gif")) {
+    return FileType::kGif;
+  }
+  if (EqualsIgnoreCase(name, "html") || EqualsIgnoreCase(name, "htm")) {
+    return FileType::kHtml;
+  }
+  if (EqualsIgnoreCase(name, "jpg") || EqualsIgnoreCase(name, "jpeg")) {
+    return FileType::kJpg;
+  }
+  if (EqualsIgnoreCase(name, "cgi")) {
+    return FileType::kCgi;
+  }
+  return FileType::kOther;
+}
+
+FileType FileTypeFromUri(std::string_view uri) {
+  if (uri.find('?') != std::string_view::npos ||
+      uri.find("cgi-bin") != std::string_view::npos) {
+    return FileType::kCgi;
+  }
+  const size_t dot = uri.rfind('.');
+  if (dot == std::string_view::npos) {
+    return FileType::kOther;
+  }
+  return FileTypeFromName(uri.substr(dot + 1));
+}
+
+}  // namespace webcc

@@ -1,0 +1,52 @@
+// Web objects as the paper models them: each object lives on exactly one
+// primary server ("each item on the web has a single master site"), has a
+// size, a type (Table 2's gif/html/jpg/cgi/other taxonomy), and a version
+// history driven by server-side modifications.
+
+#ifndef WEBCC_SRC_ORIGIN_OBJECT_H_
+#define WEBCC_SRC_ORIGIN_OBJECT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/util/sim_time.h"
+
+namespace webcc {
+
+using ObjectId = uint32_t;
+inline constexpr ObjectId kInvalidObjectId = static_cast<ObjectId>(-1);
+
+// File-type taxonomy from Table 2 (Microsoft proxy trace).
+enum class FileType : uint8_t {
+  kGif = 0,
+  kHtml = 1,
+  kJpg = 2,
+  kCgi = 3,
+  kOther = 4,
+};
+inline constexpr int kNumFileTypes = 5;
+
+std::string_view FileTypeName(FileType t);
+FileType FileTypeFromName(std::string_view name);
+// Infers the type from a URI suffix ("/a/b.gif" -> kGif; unknown -> kOther,
+// query strings / "cgi" path components -> kCgi).
+FileType FileTypeFromUri(std::string_view uri);
+
+struct WebObject {
+  ObjectId id = kInvalidObjectId;
+  std::string name;            // URI path on the primary server
+  FileType type = FileType::kOther;
+  int64_t size_bytes = 0;      // current body size
+  uint64_t version = 1;        // bumped on every modification
+  SimTime created_at;          // when the object first appeared
+  SimTime last_modified;       // server-side mtime
+  uint64_t change_count = 0;   // modifications since creation
+
+  // Age in the Alex protocol's sense: time since last modification.
+  SimDuration AgeAt(SimTime now) const { return now - last_modified; }
+};
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_ORIGIN_OBJECT_H_

@@ -1,0 +1,59 @@
+#include "src/origin/object_store.h"
+
+#include <cassert>
+
+namespace webcc {
+
+ObjectId ObjectStore::Create(std::string name, FileType type, int64_t size_bytes,
+                             SimTime created_at) {
+  assert(size_bytes >= 0);
+  assert(by_name_.find(name) == by_name_.end() && "duplicate object name");
+  const ObjectId id = static_cast<ObjectId>(objects_.size());
+  WebObject obj;
+  obj.id = id;
+  obj.name = name;
+  obj.type = type;
+  obj.size_bytes = size_bytes;
+  obj.version = 1;
+  obj.created_at = created_at;
+  obj.last_modified = created_at;
+  obj.change_count = 0;
+  objects_.push_back(std::move(obj));
+  by_name_.emplace(std::move(name), id);
+  return id;
+}
+
+ObjectId ObjectStore::FindByName(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kInvalidObjectId : it->second;
+}
+
+void ObjectStore::Modify(ObjectId id, SimTime at, int64_t new_size) {
+  assert(Contains(id));
+  WebObject& obj = objects_[id];
+  assert(at >= obj.last_modified && "modifications must be time-ordered");
+  obj.last_modified = at;
+  ++obj.version;
+  ++obj.change_count;
+  if (new_size >= 0) {
+    obj.size_bytes = new_size;
+  }
+}
+
+int64_t ObjectStore::TotalBytes() const {
+  int64_t total = 0;
+  for (const auto& obj : objects_) {
+    total += obj.size_bytes;
+  }
+  return total;
+}
+
+uint64_t ObjectStore::TotalChanges() const {
+  uint64_t total = 0;
+  for (const auto& obj : objects_) {
+    total += obj.change_count;
+  }
+  return total;
+}
+
+}  // namespace webcc

@@ -1,0 +1,50 @@
+// The primary server's document store. Owns every WebObject and is the
+// single source of truth for versions and modification times ("web objects
+// can be modified only on their primary server", paper §2).
+
+#ifndef WEBCC_SRC_ORIGIN_OBJECT_STORE_H_
+#define WEBCC_SRC_ORIGIN_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/origin/object.h"
+#include "src/util/sim_time.h"
+
+namespace webcc {
+
+class ObjectStore {
+ public:
+  // Creates a new object; returns its id. Names must be unique.
+  ObjectId Create(std::string name, FileType type, int64_t size_bytes, SimTime created_at);
+
+  // Lookup by id. Ids are dense: valid ids are [0, size()).
+  const WebObject& Get(ObjectId id) const { return objects_[id]; }
+  bool Contains(ObjectId id) const { return id < objects_.size(); }
+
+  // Lookup by name; returns kInvalidObjectId if absent.
+  ObjectId FindByName(std::string_view name) const;
+
+  // Records a modification at `at`: bumps version and change_count, updates
+  // last_modified, and optionally changes the size (new_size < 0 keeps the
+  // old size). `at` must not precede the object's last_modified.
+  void Modify(ObjectId id, SimTime at, int64_t new_size = -1);
+
+  size_t size() const { return objects_.size(); }
+  const std::vector<WebObject>& objects() const { return objects_; }
+
+  // Aggregate statistics (used by workload calibration and Table 1).
+  int64_t TotalBytes() const;
+  uint64_t TotalChanges() const;
+
+ private:
+  std::vector<WebObject> objects_;
+  std::unordered_map<std::string, ObjectId> by_name_;
+};
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_ORIGIN_OBJECT_STORE_H_

@@ -1,0 +1,115 @@
+#include "src/origin/server.h"
+
+#include <cassert>
+
+namespace webcc {
+
+OriginServer::OriginServer(SimEngine* engine, SimDuration retry_interval)
+    : engine_(engine), retry_interval_(retry_interval) {}
+
+OriginServer::GetResult OriginServer::HandleGet(ObjectId id, SimTime now) {
+
+  assert(store_.Contains(id));
+  const WebObject& obj = store_.Get(id);
+  ++stats_.get_requests;
+  ++stats_.files_transferred;
+  stats_.bytes_received += ControlWireBytes();
+  stats_.bytes_sent += DocumentWireBytes(obj.size_bytes);
+  GetResult result{obj.size_bytes, obj.version, obj.last_modified, std::nullopt};
+  if (expires_provider_) {
+    result.expires = expires_provider_(obj, now);
+  }
+  return result;
+}
+
+OriginServer::ConditionalResult OriginServer::HandleConditionalGet(ObjectId id,
+                                                                   uint64_t held_version,
+                                                                   SimTime now) {
+
+  assert(store_.Contains(id));
+  const WebObject& obj = store_.Get(id);
+  ++stats_.ims_queries;
+  stats_.bytes_received += ControlWireBytes();
+  ConditionalResult result;
+  result.version = obj.version;
+  result.last_modified = obj.last_modified;
+  if (expires_provider_) {
+    result.expires = expires_provider_(obj, now);
+  }
+  if (obj.version == held_version) {
+    ++stats_.ims_not_modified;
+    stats_.bytes_sent += ControlWireBytes();  // 304 Not Modified
+    result.modified = false;
+    return result;
+  }
+  ++stats_.files_transferred;
+  stats_.bytes_sent += DocumentWireBytes(obj.size_bytes);
+  result.modified = true;
+  result.body_bytes = obj.size_bytes;
+  return result;
+}
+
+CacheId OriginServer::RegisterCache(InvalidationSink* sink) {
+  assert(sink != nullptr);
+  const CacheId id = static_cast<CacheId>(sinks_.size());
+  sinks_.push_back(sink);
+  subscriptions_.emplace_back();
+  return id;
+}
+
+void OriginServer::Subscribe(CacheId cache, ObjectId object) {
+  assert(cache < sinks_.size());
+  auto& subs = subscriptions_[cache];
+  if (object >= subs.size()) {
+    subs.resize(object + 1, false);
+  }
+  if (!subs[object]) {
+    subs[object] = true;
+    ++subscription_count_;
+  }
+}
+
+void OriginServer::Unsubscribe(CacheId cache, ObjectId object) {
+  assert(cache < sinks_.size());
+  auto& subs = subscriptions_[cache];
+  if (object < subs.size() && subs[object]) {
+    subs[object] = false;
+    --subscription_count_;
+  }
+}
+
+bool OriginServer::IsSubscribed(CacheId cache, ObjectId object) const {
+  assert(cache < sinks_.size());
+  const auto& subs = subscriptions_[cache];
+  return object < subs.size() && subs[object];
+}
+
+void OriginServer::ModifyObject(ObjectId id, SimTime at, int64_t new_size) {
+  store_.Modify(id, at, new_size);
+  for (CacheId cache = 0; cache < sinks_.size(); ++cache) {
+    if (IsSubscribed(cache, id)) {
+      SendInvalidation(cache, id, at, /*is_retry=*/false);
+    }
+  }
+}
+
+void OriginServer::SendInvalidation(CacheId cache, ObjectId id, SimTime now, bool is_retry) {
+  ++stats_.invalidations_sent;
+  if (is_retry) {
+    ++stats_.invalidation_retries;
+  }
+  stats_.bytes_sent += ControlWireBytes();
+  if (sinks_[cache]->DeliverInvalidation(id, now)) {
+    return;
+  }
+  // Unreachable cache: the notice was lost; keep retrying on a timer so the
+  // cache eventually learns of the change. Without an engine the loss is
+  // permanent (callers that model unreachability must provide an engine).
+  if (engine_ != nullptr) {
+    engine_->ScheduleAfter(retry_interval_, [this, cache, id] {
+      SendInvalidation(cache, id, engine_->Now(), /*is_retry=*/true);
+    });
+  }
+}
+
+}  // namespace webcc

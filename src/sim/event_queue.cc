@@ -1,0 +1,56 @@
+#include "src/sim/event_queue.h"
+
+namespace webcc {
+
+bool EventHandle::Cancel() {
+  if (!state_ || state_->done) {
+    return false;
+  }
+  state_->done = true;
+  if (state_->pending_counter && *state_->pending_counter > 0) {
+    --*state_->pending_counter;
+  }
+  return true;
+}
+
+EventHandle EventQueue::Schedule(SimTime at, Callback fn) {
+  auto state = std::make_shared<EventHandle::State>();
+  state->pending_counter = pending_;
+  heap_.push(Entry{at, next_seq_++, std::move(fn), state});
+  ++*pending_;
+  return EventHandle(std::move(state));
+}
+
+void EventQueue::SkipCancelled() {
+  // Cancelled entries already decremented the pending counter at Cancel()
+  // time; here they are just physically removed.
+  while (!heap_.empty() && heap_.top().state->done) {
+    heap_.pop();
+  }
+}
+
+std::optional<EventQueue::Fired> EventQueue::PopNext() {
+  SkipCancelled();
+  if (heap_.empty()) {
+    return std::nullopt;
+  }
+  // priority_queue::top() is const; the entry is moved out via const_cast,
+  // which is safe because pop() immediately destroys the source and the
+  // moved-from members are never read by the heap's comparator again.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Fired fired{top.time, std::move(top.fn)};
+  top.state->done = true;
+  heap_.pop();
+  --*pending_;
+  return fired;
+}
+
+std::optional<SimTime> EventQueue::PeekTime() {
+  SkipCancelled();
+  if (heap_.empty()) {
+    return std::nullopt;
+  }
+  return heap_.top().time;
+}
+
+}  // namespace webcc

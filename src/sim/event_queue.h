@@ -1,0 +1,102 @@
+// Discrete-event queue.
+//
+// A binary min-heap of (time, sequence) keyed events. The sequence number
+// gives deterministic FIFO ordering among events scheduled for the same
+// instant — essential for reproducible simulations. Cancellation is lazy:
+// cancelled events stay in the heap until popped and are skipped then, which
+// keeps Cancel O(1) and Pop amortized O(log n).
+
+#ifndef WEBCC_SRC_SIM_EVENT_QUEUE_H_
+#define WEBCC_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "src/util/sim_time.h"
+
+namespace webcc {
+
+// Opaque handle to a scheduled event, used for cancellation. Handles are
+// cheap shared tokens; a default-constructed handle refers to nothing.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // True if the event has neither fired nor been cancelled.
+  bool IsPending() const { return state_ && !state_->done; }
+
+  // Cancels the event if it is still pending. Returns true if this call
+  // performed the cancellation. Safe to call after the owning queue is gone.
+  bool Cancel();
+
+ private:
+  friend class EventQueue;
+  struct State {
+    bool done = false;
+    // Shared with the owning queue so that a cancel keeps pending() exact
+    // even though the heap entry is removed lazily.
+    std::shared_ptr<size_t> pending_counter;
+  };
+  explicit EventHandle(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() : pending_(std::make_shared<size_t>(0)) {}
+
+  // Schedules `fn` at absolute time `at`. Events at equal times fire in
+  // scheduling order.
+  EventHandle Schedule(SimTime at, Callback fn);
+
+  // Pops the earliest pending event, skipping cancelled ones. Returns
+  // nullopt when no pending events remain.
+  struct Fired {
+    SimTime time;
+    Callback fn;
+  };
+  std::optional<Fired> PopNext();
+
+  // Time of the earliest pending event, if any.
+  std::optional<SimTime> PeekTime();
+
+  // Pending (non-cancelled, non-fired) event count.
+  size_t pending() const { return *pending_; }
+  bool empty() const { return *pending_ == 0; }
+
+  // Total events ever scheduled; exposed for engine statistics.
+  uint64_t total_scheduled() const { return next_seq_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    uint64_t seq;
+    Callback fn;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Drops already-cancelled entries from the top of the heap.
+  void SkipCancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  uint64_t next_seq_ = 0;
+  std::shared_ptr<size_t> pending_;
+};
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,127 @@
+#include "src/util/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/str.h"
+
+namespace webcc {
+
+namespace {
+
+bool UsableY(double y, bool log_y) {
+  return std::isfinite(y) && (!log_y || y > 0.0);
+}
+
+double MapY(double y, bool log_y) { return log_y ? std::log10(y) : y; }
+
+}  // namespace
+
+std::string RenderChart(const std::vector<ChartSeries>& series, const ChartOptions& options) {
+  const int width = std::max(8, options.width);
+  const int height = std::max(4, options.height);
+
+  // Data ranges.
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -std::numeric_limits<double>::infinity();
+  double y_min = std::numeric_limits<double>::infinity();
+  double y_max = -std::numeric_limits<double>::infinity();
+  for (const ChartSeries& s : series) {
+    for (const auto& [x, y] : s.points) {
+      if (!std::isfinite(x) || !UsableY(y, options.log_y)) {
+        continue;
+      }
+      x_min = std::min(x_min, x);
+      x_max = std::max(x_max, x);
+      y_min = std::min(y_min, MapY(y, options.log_y));
+      y_max = std::max(y_max, MapY(y, options.log_y));
+    }
+  }
+  const bool have_data = x_min <= x_max;
+  if (!have_data) {
+    x_min = 0.0;
+    x_max = 1.0;
+    y_min = 0.0;
+    y_max = 1.0;
+  }
+  if (x_max == x_min) {
+    x_max = x_min + 1.0;
+  }
+  if (y_max == y_min) {
+    y_max = y_min + 1.0;
+  }
+
+  // Raster grid.
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  auto plot = [&](double x, double y, char marker) {
+    const int col = static_cast<int>(std::lround((x - x_min) / (x_max - x_min) * (width - 1)));
+    const int row =
+        static_cast<int>(std::lround((y - y_min) / (y_max - y_min) * (height - 1)));
+    const int r = height - 1 - std::clamp(row, 0, height - 1);
+    const int c = std::clamp(col, 0, width - 1);
+    // Overlapping series show the later series' marker as '#'.
+    grid[r][c] = grid[r][c] == ' ' || grid[r][c] == marker ? marker : '#';
+  };
+  for (const ChartSeries& s : series) {
+    for (const auto& [x, y] : s.points) {
+      if (!std::isfinite(x) || !UsableY(y, options.log_y)) {
+        continue;
+      }
+      plot(x, MapY(y, options.log_y), s.marker);
+    }
+  }
+
+  // Assemble with y tick labels on three rows (top, middle, bottom).
+  auto unmap = [&](double v) { return options.log_y ? std::pow(10.0, v) : v; };
+  auto tick = [&](double v) {
+    const double value = unmap(v);
+    if (std::fabs(value) >= 10000 || (value != 0 && std::fabs(value) < 0.01)) {
+      return StrFormat("%9.2e", value);
+    }
+    return StrFormat("%9.2f", value);
+  };
+
+  std::string out;
+  if (!options.title.empty()) {
+    out += options.title + "\n";
+  }
+  if (!options.y_label.empty() || options.log_y) {
+    out += options.y_label + (options.log_y ? " (log scale)" : "") + "\n";
+  }
+  for (int r = 0; r < height; ++r) {
+    std::string label(9, ' ');
+    if (r == 0) {
+      label = tick(y_max);
+    } else if (r == height / 2) {
+      label = tick(y_min + (y_max - y_min) * (height - 1 - r) / (height - 1));
+    } else if (r == height - 1) {
+      label = tick(y_min);
+    }
+    std::string line = label + " |" + grid[r];
+    while (!line.empty() && line.back() == ' ') {
+      line.pop_back();
+    }
+    out += line + "\n";
+  }
+  out += std::string(10, ' ') + '+' + std::string(width, '-') + "\n";
+  out += std::string(11, ' ') + StrFormat("%-*.4g%*.4g", width / 2, x_min, width - width / 2,
+                                          x_max) +
+         "\n";
+  if (!options.x_label.empty()) {
+    out += std::string(11, ' ') + options.x_label + "\n";
+  }
+  std::string legend;
+  for (const ChartSeries& s : series) {
+    if (!legend.empty()) {
+      legend += "   ";
+    }
+    legend += std::string(1, s.marker) + " " + s.label;
+  }
+  if (!legend.empty()) {
+    out += std::string(11, ' ') + legend + "\n";
+  }
+  return out;
+}
+
+}  // namespace webcc

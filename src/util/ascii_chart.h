@@ -1,0 +1,39 @@
+// Plain-text line charts, so the figure benches can show the paper's curves
+// (log-scale bandwidth, crossover points) directly in a terminal.
+//
+// Deterministic, dependency-free: series of (x, y) points are rasterized
+// onto a character grid with per-series markers, optional log-10 y axis,
+// labeled ticks, and a legend.
+
+#ifndef WEBCC_SRC_UTIL_ASCII_CHART_H_
+#define WEBCC_SRC_UTIL_ASCII_CHART_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace webcc {
+
+struct ChartSeries {
+  std::string label;
+  char marker = '*';
+  std::vector<std::pair<double, double>> points;  // (x, y)
+};
+
+struct ChartOptions {
+  std::string title;
+  std::string y_label;
+  std::string x_label;
+  int width = 64;   // plot columns (excluding axis gutter)
+  int height = 16;  // plot rows
+  bool log_y = false;
+};
+
+// Renders the chart. Non-finite points and, in log mode, non-positive y
+// values are skipped. Returns a right-trimmed multi-line string ending in
+// '\n'; an empty/degenerate input yields a chart frame with no markers.
+std::string RenderChart(const std::vector<ChartSeries>& series, const ChartOptions& options);
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_UTIL_ASCII_CHART_H_

@@ -1,0 +1,109 @@
+#include "src/util/distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace webcc {
+
+ZipfDistribution::ZipfDistribution(size_t n, double s) : s_(s) {
+  assert(n >= 1);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf_[r] = total;
+  }
+  for (double& c : cdf_) {
+    c /= total;
+  }
+  cdf_.back() = 1.0;  // guard against rounding leaving the last bucket short
+}
+
+size_t ZipfDistribution::Draw(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(size_t rank) const {
+  assert(rank < cdf_.size());
+  if (rank == 0) {
+    return cdf_[0];
+  }
+  return cdf_[rank] - cdf_[rank - 1];
+}
+
+DiscreteDistribution::DiscreteDistribution(std::vector<double> weights) {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+  cdf_.resize(weights.size());
+  probabilities_.resize(weights.size());
+  double running = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    probabilities_[i] = weights[i] / total;
+    running += probabilities_[i];
+    cdf_[i] = running;
+  }
+  cdf_.back() = 1.0;
+}
+
+size_t DiscreteDistribution::Draw(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double DiscreteDistribution::Probability(size_t index) const {
+  assert(index < probabilities_.size());
+  return probabilities_[index];
+}
+
+FlatLifetime::FlatLifetime(SimDuration min, SimDuration max) : min_(min), max_(max) {
+  assert(min.seconds() >= 0);
+  assert(max >= min);
+}
+
+SimDuration FlatLifetime::NextLifetime(Rng& rng) const {
+  return SimDuration(rng.UniformInt(min_.seconds(), max_.seconds()));
+}
+
+SimDuration FlatLifetime::MeanLifetime() const {
+  return SimDuration((min_.seconds() + max_.seconds()) / 2);
+}
+
+ExponentialLifetime::ExponentialLifetime(SimDuration mean) : mean_(mean) {
+  assert(mean.seconds() > 0);
+}
+
+SimDuration ExponentialLifetime::NextLifetime(Rng& rng) const {
+  // At least one second so a "change" never lands at the same instant twice.
+  const double draw = rng.Exponential(static_cast<double>(mean_.seconds()));
+  return SimDuration(std::max<int64_t>(1, static_cast<int64_t>(std::llround(draw))));
+}
+
+BimodalLifetime::BimodalLifetime(double hot_fraction, SimDuration hot_mean, SimDuration cold_mean)
+    : hot_fraction_(hot_fraction), hot_mean_(hot_mean), cold_mean_(cold_mean) {
+  assert(hot_fraction >= 0.0 && hot_fraction <= 1.0);
+  assert(hot_mean.seconds() > 0);
+  assert(cold_mean >= hot_mean);
+}
+
+SimDuration BimodalLifetime::NextLifetime(Rng& rng) const {
+  const SimDuration mean = rng.Bernoulli(hot_fraction_) ? hot_mean_ : cold_mean_;
+  const double draw = rng.Exponential(static_cast<double>(mean.seconds()));
+  return SimDuration(std::max<int64_t>(1, static_cast<int64_t>(std::llround(draw))));
+}
+
+SimDuration BimodalLifetime::MeanLifetime() const {
+  const double mean = hot_fraction_ * static_cast<double>(hot_mean_.seconds()) +
+                      (1.0 - hot_fraction_) * static_cast<double>(cold_mean_.seconds());
+  return SimDuration(static_cast<int64_t>(std::llround(mean)));
+}
+
+}  // namespace webcc

@@ -1,0 +1,137 @@
+// Reusable random distributions built on Rng.
+//
+// The simulators draw three qualitatively different things:
+//   * object popularity (which object does the next request touch) —
+//     UniformPick for the Worrell workload, ZipfDistribution for traces;
+//   * object lifetimes (how long until the next modification) —
+//     FlatLifetime (Worrell's model: uniform between min and max observed
+//     lifetimes) and BimodalLifetime (the paper's trace observation: files
+//     are either hot, changing often for a while, or cold and stable);
+//   * object sizes — heavy-tailed, via Rng::Pareto/Lognormal directly.
+
+#ifndef WEBCC_SRC_UTIL_DISTRIBUTIONS_H_
+#define WEBCC_SRC_UTIL_DISTRIBUTIONS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/sim_time.h"
+
+namespace webcc {
+
+// Zipf-distributed ranks over {0, 1, ..., n-1}: rank r is drawn with
+// probability proportional to 1 / (r+1)^s. The CDF is precomputed once and
+// sampled by binary search, so Draw is O(log n).
+class ZipfDistribution {
+ public:
+  // n >= 1; s >= 0 (s == 0 degenerates to uniform).
+  ZipfDistribution(size_t n, double s);
+
+  // Returns a rank in [0, n); rank 0 is the most popular.
+  size_t Draw(Rng& rng) const;
+
+  // Probability mass of a given rank.
+  double Pmf(size_t rank) const;
+
+  size_t size() const { return cdf_.size(); }
+  double skew() const { return s_; }
+
+ private:
+  std::vector<double> cdf_;
+  double s_;
+};
+
+// A discrete distribution over arbitrary weights (used for the Microsoft
+// file-type mix). Weights need not be normalized.
+class DiscreteDistribution {
+ public:
+  explicit DiscreteDistribution(std::vector<double> weights);
+
+  size_t Draw(Rng& rng) const;
+  double Probability(size_t index) const;
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+  std::vector<double> probabilities_;
+};
+
+// Interface for file-lifetime models: given an object's state, produce the
+// time until its next modification. Implementations must be deterministic
+// functions of the Rng stream.
+class LifetimeDistribution {
+ public:
+  virtual ~LifetimeDistribution() = default;
+  virtual SimDuration NextLifetime(Rng& rng) const = 0;
+  // The analytic mean, used for calibration and sanity tests.
+  virtual SimDuration MeanLifetime() const = 0;
+};
+
+// Worrell's model: lifetimes uniform between the minimum and maximum
+// observed lifetimes, with no attention to type or modification history
+// (paper §2/§3: "a flat distribution between the minimum and maximum
+// observed lifetimes").
+class FlatLifetime : public LifetimeDistribution {
+ public:
+  FlatLifetime(SimDuration min, SimDuration max);
+
+  SimDuration NextLifetime(Rng& rng) const override;
+  SimDuration MeanLifetime() const override;
+
+  SimDuration min() const { return min_; }
+  SimDuration max() const { return max_; }
+
+ private:
+  SimDuration min_;
+  SimDuration max_;
+};
+
+// Memoryless lifetimes with a given mean: each object's next change is an
+// exponential draw. Used by the calibrated trace generators, where the mean
+// is set per object from its mutability class.
+class ExponentialLifetime : public LifetimeDistribution {
+ public:
+  explicit ExponentialLifetime(SimDuration mean);
+
+  SimDuration NextLifetime(Rng& rng) const override;
+  SimDuration MeanLifetime() const override { return mean_; }
+
+ private:
+  SimDuration mean_;
+};
+
+// The paper's trace observation (§3, citing [10]): "Either a file will
+// remain unmodified for a long period of time or it will be modified
+// frequently within a short time period." Modeled as a two-component
+// mixture: with probability `hot_fraction` the draw comes from the short
+// (hot) exponential, otherwise from the long (cold) exponential.
+class BimodalLifetime : public LifetimeDistribution {
+ public:
+  BimodalLifetime(double hot_fraction, SimDuration hot_mean, SimDuration cold_mean);
+
+  SimDuration NextLifetime(Rng& rng) const override;
+  SimDuration MeanLifetime() const override;
+
+  double hot_fraction() const { return hot_fraction_; }
+
+ private:
+  double hot_fraction_;
+  SimDuration hot_mean_;
+  SimDuration cold_mean_;
+};
+
+// A degenerate "never changes" lifetime, for immutable objects.
+class ImmutableLifetime : public LifetimeDistribution {
+ public:
+  SimDuration NextLifetime(Rng&) const override {
+    return SimTime::Infinite() - SimTime::Epoch();
+  }
+  SimDuration MeanLifetime() const override {
+    return SimTime::Infinite() - SimTime::Epoch();
+  }
+};
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_UTIL_DISTRIBUTIONS_H_

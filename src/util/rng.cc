@@ -1,0 +1,135 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+
+namespace webcc {
+
+namespace {
+
+constexpr uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64::Next() {
+  uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Xoshiro256::Xoshiro256(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : state_) {
+    word = sm.Next();
+  }
+  // The all-zero state is invalid (the generator would emit zeros forever).
+  // SplitMix64 cannot produce four zero words in a row from any seed, but we
+  // guard anyway so the invariant is local and obvious.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 0x8badf00ddeadbeefULL;
+  }
+}
+
+uint64_t Xoshiro256::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+void Xoshiro256::Jump() {
+  static constexpr uint64_t kJump[] = {0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+                                       0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+  uint64_t s0 = 0;
+  uint64_t s1 = 0;
+  uint64_t s2 = 0;
+  uint64_t s3 = 0;
+  for (uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (uint64_t{1} << b)) {
+        s0 ^= state_[0];
+        s1 ^= state_[1];
+        s2 ^= state_[2];
+        s3 ^= state_[3];
+      }
+      Next();
+    }
+  }
+  state_ = {s0, s1, s2, s3};
+}
+
+double Rng::NextDouble() {
+  // 53 high-quality bits -> double in [0, 1).
+  return static_cast<double>(engine_.Next() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  if (lo >= hi) {
+    return lo;
+  }
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  // Rejection sampling to remove modulo bias. `range` never exceeds 2^63 + 1
+  // here, so `limit` is well defined.
+  const uint64_t limit = std::numeric_limits<uint64_t>::max() - (std::numeric_limits<uint64_t>::max() % range);
+  uint64_t draw = engine_.Next();
+  while (draw >= limit) {
+    draw = engine_.Next();
+  }
+  return lo + static_cast<int64_t>(draw % range);
+}
+
+double Rng::UniformReal(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return NextDouble() < p;
+}
+
+double Rng::Exponential(double mean) {
+  // Inverse transform; 1 - u avoids log(0).
+  return -mean * std::log(1.0 - NextDouble());
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (spare_valid_) {
+    spare_valid_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u;
+  double v;
+  double s;
+  do {
+    u = UniformReal(-1.0, 1.0);
+    v = UniformReal(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  spare_valid_ = true;
+  return mean + stddev * u * factor;
+}
+
+double Rng::Pareto(double xm, double alpha) {
+  const double u = 1.0 - NextDouble();  // in (0, 1]
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::Lognormal(double mu, double sigma) { return std::exp(Normal(mu, sigma)); }
+
+Rng Rng::Fork() {
+  Rng child(engine_.Next());
+  child.engine_.Jump();
+  return child;
+}
+
+}  // namespace webcc

@@ -1,0 +1,112 @@
+// Deterministic pseudo-random number generation for simulation.
+//
+// All randomness in webcc flows through Rng so that every experiment is
+// exactly reproducible from a 64-bit seed. The generator is xoshiro256**
+// (Blackman & Vigna), seeded via SplitMix64; both are implemented here from
+// the published reference algorithms so the library has no dependency on
+// platform-specific std::random_device behaviour.
+
+#ifndef WEBCC_SRC_UTIL_RNG_H_
+#define WEBCC_SRC_UTIL_RNG_H_
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace webcc {
+
+// SplitMix64: a tiny 64-bit generator used to expand a single seed word into
+// the larger state required by xoshiro256**. Also usable standalone for
+// cheap, statistically decent hashing of counters into pseudo-random words.
+class SplitMix64 {
+ public:
+  using result_type = uint64_t;
+
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  // Returns the next 64-bit word of the sequence.
+  uint64_t Next();
+
+  uint64_t operator()() { return Next(); }
+
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return std::numeric_limits<uint64_t>::max(); }
+
+ private:
+  uint64_t state_;
+};
+
+// xoshiro256**: fast, high-quality 64-bit PRNG with 256 bits of state and a
+// period of 2^256 - 1. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = uint64_t;
+
+  // Seeds the 256-bit state by running SplitMix64 from `seed`, per the
+  // authors' recommendation. A zero seed is remapped internally (the all-zero
+  // state is the one invalid state); every seed yields a usable generator.
+  explicit Xoshiro256(uint64_t seed);
+
+  uint64_t Next();
+  uint64_t operator()() { return Next(); }
+
+  // Advances the generator 2^128 steps; used to derive independent
+  // non-overlapping substreams from one seed.
+  void Jump();
+
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return std::numeric_limits<uint64_t>::max(); }
+
+ private:
+  std::array<uint64_t, 4> state_;
+};
+
+// Rng: the convenience facade used throughout webcc. Wraps Xoshiro256 with
+// typed helpers for the draws the simulators need. Cheap to copy; copies
+// continue the same sequence independently from the copied state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [lo, hi], inclusive. Requires lo <= hi. Uses rejection
+  // sampling (Lemire-style bounded draw) so the result is exactly uniform.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform real in [lo, hi). Requires lo <= hi.
+  double UniformReal(double lo, double hi);
+
+  // True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Exponential with the given mean (mean > 0).
+  double Exponential(double mean);
+
+  // Standard normal via Marsaglia polar method.
+  double Normal(double mean, double stddev);
+
+  // Pareto with scale xm > 0 and shape alpha > 0 (heavy-tailed sizes).
+  double Pareto(double xm, double alpha);
+
+  // Lognormal parameterized by the mean/stddev of the underlying normal.
+  double Lognormal(double mu, double sigma);
+
+  // Forks an independent substream: the child is seeded from this stream and
+  // jumped so parent and child never overlap.
+  Rng Fork();
+
+  Xoshiro256& engine() { return engine_; }
+
+ private:
+  Xoshiro256 engine_;
+  // Cached second variate from the polar method; NaN means empty.
+  double spare_normal_ = kNoSpare;
+  static constexpr double kNoSpare = -1.0;  // sentinel flag, see spare_valid_
+  bool spare_valid_ = false;
+};
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_UTIL_RNG_H_

@@ -1,0 +1,68 @@
+#include "src/util/sim_time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace webcc {
+
+SimDuration SimDuration::ScaledBy(double factor) const {
+  return SimDuration(static_cast<int64_t>(std::llround(static_cast<double>(seconds_) * factor)));
+}
+
+std::string SimDuration::ToString() const {
+  int64_t s = seconds_;
+  std::string out;
+  if (s < 0) {
+    out += '-';
+    s = -s;
+  }
+  const int64_t days = s / 86400;
+  s %= 86400;
+  const int64_t hours = s / 3600;
+  s %= 3600;
+  const int64_t minutes = s / 60;
+  s %= 60;
+  char buf[64];
+  bool printed = false;
+  if (days > 0) {
+    std::snprintf(buf, sizeof(buf), "%lldd ", static_cast<long long>(days));
+    out += buf;
+    printed = true;
+  }
+  if (hours > 0 || printed) {
+    std::snprintf(buf, sizeof(buf), "%lldh ", static_cast<long long>(hours));
+    out += buf;
+    printed = true;
+  }
+  if (minutes > 0 || printed) {
+    std::snprintf(buf, sizeof(buf), "%lldm ", static_cast<long long>(minutes));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%llds", static_cast<long long>(s));
+  out += buf;
+  return out;
+}
+
+SimDuration SecondsF(double n) { return SimDuration(static_cast<int64_t>(std::llround(n))); }
+SimDuration HoursF(double n) { return SecondsF(n * 3600.0); }
+SimDuration DaysF(double n) { return SecondsF(n * 86400.0); }
+
+std::string SimTime::ToString() const {
+  if (IsInfinite()) {
+    return "inf";
+  }
+  int64_t s = seconds_;
+  const bool negative = s < 0;
+  if (negative) {
+    s = -s;
+  }
+  const int64_t days = s / 86400;
+  s %= 86400;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%lld+%02lld:%02lld:%02lld", negative ? "-" : "",
+                static_cast<long long>(days), static_cast<long long>(s / 3600),
+                static_cast<long long>((s % 3600) / 60), static_cast<long long>(s % 60));
+  return buf;
+}
+
+}  // namespace webcc

@@ -1,0 +1,68 @@
+// Small statistics helpers used by workload calibration, trace analysis, and
+// the test suite's statistical assertions.
+
+#ifndef WEBCC_SRC_UTIL_STATS_H_
+#define WEBCC_SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace webcc {
+
+// Streaming mean/variance/min/max via Welford's algorithm. O(1) memory.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  // Merges another accumulator into this one (parallel Welford merge).
+  void Merge(const RunningStat& other);
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Exact quantile of a sample by sorting a copy. q in [0, 1]; linear
+// interpolation between order statistics. Returns 0 for an empty sample.
+double Quantile(std::vector<double> values, double q);
+
+// Median convenience wrapper.
+double Median(std::vector<double> values);
+
+// A fixed-bucket histogram over [lo, hi); values outside are clamped into
+// the first/last bucket. Used for lifetime and size sanity reporting.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+  int64_t BucketCount(size_t i) const { return counts_[i]; }
+  size_t num_buckets() const { return counts_.size(); }
+  int64_t total() const { return total_; }
+  // Lower edge of bucket i.
+  double BucketLow(size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_UTIL_STATS_H_

@@ -1,0 +1,45 @@
+// String helpers shared by the trace parser, HTTP date code, and reporters.
+
+#ifndef WEBCC_SRC_UTIL_STR_H_
+#define WEBCC_SRC_UTIL_STR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace webcc {
+
+// Splits `input` on `sep`, keeping empty fields ("a,,b" -> {"a", "", "b"}).
+std::vector<std::string_view> Split(std::string_view input, char sep);
+
+// Splits on any run of whitespace, dropping empty fields.
+std::vector<std::string_view> SplitWhitespace(std::string_view input);
+
+// Trims ASCII whitespace from both ends.
+std::string_view Trim(std::string_view input);
+
+// ASCII lowercase copy.
+std::string ToLower(std::string_view input);
+
+// Case-insensitive ASCII comparison.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Strict integer / floating-point parsers: the whole (trimmed) string must
+// parse, otherwise nullopt. No locale surprises.
+std::optional<int64_t> ParseInt(std::string_view input);
+std::optional<double> ParseDouble(std::string_view input);
+
+// printf-style formatting into std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Renders a byte count as a human-friendly quantity ("1.34 MB", "512 B").
+std::string FormatBytes(double bytes);
+
+// Renders 0.0314 as "3.14%".
+std::string FormatPercent(double fraction, int decimals = 2);
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_UTIL_STR_H_

@@ -1,0 +1,103 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace webcc {
+
+namespace {
+
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void TextTable::SetHeader(std::vector<std::string> header) { header_ = std::move(header); }
+
+void TextTable::AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+size_t TextTable::num_cols() const {
+  size_t cols = header_.size();
+  for (const auto& row : rows_) {
+    cols = std::max(cols, row.size());
+  }
+  return cols;
+}
+
+void TextTable::Render(std::ostream& os) const {
+  const size_t cols = num_cols();
+  std::vector<size_t> widths(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) {
+    widen(row);
+  }
+
+  if (!title_.empty()) {
+    os << title_ << '\n';
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < cols; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << cell << std::string(widths[i] - cell.size(), ' ');
+      if (i + 1 < cols) {
+        os << "  ";
+      }
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    size_t rule = 0;
+    for (size_t i = 0; i < cols; ++i) {
+      rule += widths[i] + (i + 1 < cols ? 2 : 0);
+    }
+    os << std::string(rule, '-') << '\n';
+  }
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+std::string TextTable::ToString() const {
+  std::ostringstream oss;
+  Render(oss);
+  return oss.str();
+}
+
+void TextTable::RenderCsv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) {
+        os << ',';
+      }
+      os << CsvEscape(row[i]);
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+  }
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+}  // namespace webcc

@@ -1,0 +1,42 @@
+// Plain-text table and CSV rendering for the benchmark reports.
+//
+// The figure/table benches print the paper's series as aligned text tables
+// (readable in a terminal) and can optionally dump CSV for plotting.
+
+#ifndef WEBCC_SRC_UTIL_TABLE_H_
+#define WEBCC_SRC_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace webcc {
+
+// A rectangular table. The first AddRow after SetHeader defines the column
+// count; shorter rows are padded with empty cells.
+class TextTable {
+ public:
+  void SetTitle(std::string title) { title_ = std::move(title); }
+  void SetHeader(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+
+  // Renders with column-aligned cells, a rule under the header, and the
+  // title (if any) above.
+  void Render(std::ostream& os) const;
+  std::string ToString() const;
+
+  // Renders as RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void RenderCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_cols() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_UTIL_TABLE_H_

@@ -1,0 +1,155 @@
+#include "src/workload/analyzer.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/util/stats.h"
+
+namespace webcc {
+
+namespace {
+
+MutabilityStats MutabilityFromChangeCounts(std::string server, uint64_t requests,
+                                           double remote_fraction,
+                                           const std::vector<uint64_t>& changes_per_file) {
+  MutabilityStats stats;
+  stats.server = std::move(server);
+  stats.files = changes_per_file.size();
+  stats.requests = requests;
+  stats.remote_fraction = remote_fraction;
+  uint64_t mutable_files = 0;
+  uint64_t very_mutable_files = 0;
+  for (uint64_t c : changes_per_file) {
+    stats.total_changes += c;
+    if (c > 1) {
+      ++mutable_files;
+    }
+    if (c > 5) {
+      ++very_mutable_files;
+    }
+  }
+  if (stats.files > 0) {
+    stats.mutable_fraction =
+        static_cast<double>(mutable_files) / static_cast<double>(stats.files);
+    stats.very_mutable_fraction =
+        static_cast<double>(very_mutable_files) / static_cast<double>(stats.files);
+  }
+  return stats;
+}
+
+}  // namespace
+
+double MutabilityStats::PerDayChangeProbability(double window_days) const {
+  if (files == 0 || window_days <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(total_changes) /
+         (static_cast<double>(files) * window_days);
+}
+
+MutabilityStats AnalyzeWorkloadMutability(const Workload& load) {
+  std::vector<uint64_t> changes(load.objects.size(), 0);
+  for (const ModificationEvent& m : load.modifications) {
+    ++changes[m.object_index];
+  }
+  uint64_t remote = 0;
+  for (const RequestEvent& r : load.requests) {
+    if (r.remote) {
+      ++remote;
+    }
+  }
+  const double remote_fraction =
+      load.requests.empty()
+          ? 0.0
+          : static_cast<double>(remote) / static_cast<double>(load.requests.size());
+  return MutabilityFromChangeCounts(load.name, load.requests.size(), remote_fraction, changes);
+}
+
+MutabilityStats AnalyzeTraceMutability(const Trace& trace) {
+  // The compiler performs exactly the Last-Modified transition inference a
+  // log analyst would; reuse it.
+  const Workload inferred = CompileTrace(trace);
+  return AnalyzeWorkloadMutability(inferred);
+}
+
+std::vector<FileTypeStats> AnalyzeAccessMix(const std::vector<AccessLogRecord>& log) {
+  std::vector<FileTypeStats> rows(kNumFileTypes);
+  std::vector<RunningStat> size_stats(kNumFileTypes);
+  for (int t = 0; t < kNumFileTypes; ++t) {
+    rows[t].type = static_cast<FileType>(t);
+  }
+  for (const AccessLogRecord& record : log) {
+    const auto idx = static_cast<size_t>(record.type);
+    ++rows[idx].access_count;
+    size_stats[idx].Add(static_cast<double>(record.size_bytes));
+  }
+  for (int t = 0; t < kNumFileTypes; ++t) {
+    if (!log.empty()) {
+      rows[t].access_share =
+          static_cast<double>(rows[t].access_count) / static_cast<double>(log.size());
+    }
+    rows[t].mean_size_bytes = size_stats[t].mean();
+  }
+  return rows;
+}
+
+std::vector<FileTypeStats> AnalyzeBuLifespans(const BuModificationLog& log) {
+  const double window = static_cast<double>(log.num_days);
+
+  // Per file: observed change days.
+  std::vector<uint32_t> change_days(log.files.size(), 0);
+  std::vector<int32_t> last_change_day(log.files.size(), -1);
+  for (size_t day = 0; day < log.changed_by_day.size(); ++day) {
+    for (uint32_t file : log.changed_by_day[day]) {
+      ++change_days[file];
+      last_change_day[file] = static_cast<int32_t>(day);
+    }
+  }
+
+  std::vector<FileTypeStats> rows(kNumFileTypes);
+  std::vector<RunningStat> age_stats(kNumFileTypes);
+  std::vector<std::vector<double>> lifespans(kNumFileTypes);
+  for (int t = 0; t < kNumFileTypes; ++t) {
+    rows[t].type = static_cast<FileType>(t);
+  }
+  for (size_t i = 0; i < log.files.size(); ++i) {
+    const auto idx = static_cast<size_t>(log.files[i].type);
+    ++rows[idx].file_count;
+    // Conservative life-span: window / observed changes, with files never
+    // seen changing assumed to have changed exactly once ("assuming that all
+    // data changed at least once during the measurement interval").
+    const double lifespan = window / static_cast<double>(std::max<uint32_t>(1, change_days[i]));
+    lifespans[idx].push_back(lifespan);
+    const double age =
+        last_change_day[i] < 0 ? window : window - static_cast<double>(last_change_day[i]);
+    age_stats[idx].Add(age);
+  }
+  for (int t = 0; t < kNumFileTypes; ++t) {
+    rows[t].mean_age_days = age_stats[t].mean();
+    rows[t].median_lifespan_days = Median(lifespans[t]);
+  }
+  return rows;
+}
+
+std::vector<FileTypeStats> MergeTypeStats(const std::vector<FileTypeStats>& microsoft,
+                                          const std::vector<FileTypeStats>& bu) {
+  std::vector<FileTypeStats> rows(kNumFileTypes);
+  for (int t = 0; t < kNumFileTypes; ++t) {
+    rows[t].type = static_cast<FileType>(t);
+  }
+  for (const FileTypeStats& row : microsoft) {
+    auto& out = rows[static_cast<size_t>(row.type)];
+    out.access_share = row.access_share;
+    out.mean_size_bytes = row.mean_size_bytes;
+    out.access_count = row.access_count;
+  }
+  for (const FileTypeStats& row : bu) {
+    auto& out = rows[static_cast<size_t>(row.type)];
+    out.mean_age_days = row.mean_age_days;
+    out.median_lifespan_days = row.median_lifespan_days;
+    out.file_count = row.file_count;
+  }
+  return rows;
+}
+
+}  // namespace webcc

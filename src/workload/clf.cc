@@ -1,0 +1,250 @@
+#include "src/workload/clf.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <unordered_map>
+
+#include "src/http/date.h"
+#include "src/util/str.h"
+
+namespace webcc {
+
+namespace {
+
+constexpr const char* kClfMonths[] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                                      "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+// Parses "10/Oct/1995:13:55:36 -0700" (the bracket contents).
+std::optional<SimTime> ParseClfDate(std::string_view text) {
+  const auto parts = SplitWhitespace(text);
+  if (parts.empty() || parts.size() > 2) {
+    return std::nullopt;
+  }
+  // date:time part -- dd/Mon/yyyy:hh:mm:ss
+  const auto dmy_hms = Split(parts[0], ':');
+  if (dmy_hms.size() != 4) {
+    return std::nullopt;
+  }
+  const auto dmy = Split(dmy_hms[0], '/');
+  if (dmy.size() != 3) {
+    return std::nullopt;
+  }
+  CivilDateTime c;
+  const auto day = ParseInt(dmy[0]);
+  const auto year = ParseInt(dmy[2]);
+  const auto hour = ParseInt(dmy_hms[1]);
+  const auto minute = ParseInt(dmy_hms[2]);
+  const auto second = ParseInt(dmy_hms[3]);
+  if (!day || !year || !hour || !minute || !second) {
+    return std::nullopt;
+  }
+  int month = 0;
+  for (int m = 0; m < 12; ++m) {
+    if (EqualsIgnoreCase(dmy[1], kClfMonths[m])) {
+      month = m + 1;
+      break;
+    }
+  }
+  if (month == 0 || *day < 1 || *day > 31 || *hour < 0 || *hour > 23 || *minute < 0 ||
+      *minute > 59 || *second < 0 || *second > 60) {
+    return std::nullopt;
+  }
+  c.year = static_cast<int>(*year);
+  c.month = month;
+  c.day = static_cast<int>(*day);
+  c.hour = static_cast<int>(*hour);
+  c.minute = static_cast<int>(*minute);
+  c.second = static_cast<int>(*second);
+  SimTime t = SimTimeFromCivil(c);
+
+  // Zone offset "+hhmm"/"-hhmm": local = GMT + offset, so GMT = local - offset.
+  if (parts.size() == 2) {
+    const std::string_view zone = parts[1];
+    if (zone.size() != 5 || (zone[0] != '+' && zone[0] != '-')) {
+      return std::nullopt;
+    }
+    const auto hh = ParseInt(zone.substr(1, 2));
+    const auto mm = ParseInt(zone.substr(3, 2));
+    if (!hh || !mm || *hh > 14 || *mm > 59) {
+      return std::nullopt;
+    }
+    const int64_t offset = (*hh * 3600 + *mm * 60) * (zone[0] == '-' ? -1 : 1);
+    t = t - Seconds(offset);
+  }
+  return t;
+}
+
+// Extracts the next "quoted" or [bracketed] span starting at or after *pos.
+std::optional<std::string_view> TakeDelimited(std::string_view line, size_t* pos, char open,
+                                              char close) {
+  const size_t start = line.find(open, *pos);
+  if (start == std::string_view::npos) {
+    return std::nullopt;
+  }
+  const size_t end = line.find(close, start + 1);
+  if (end == std::string_view::npos) {
+    return std::nullopt;
+  }
+  *pos = end + 1;
+  return line.substr(start + 1, end - start - 1);
+}
+
+}  // namespace
+
+std::optional<ClfRecord> ParseClfLine(std::string_view line) {
+  line = Trim(line);
+  if (line.empty() || line.front() == '#') {
+    return std::nullopt;
+  }
+  // host ident authuser — everything before the '['.
+  const size_t bracket = line.find('[');
+  if (bracket == std::string_view::npos) {
+    return std::nullopt;
+  }
+  const auto prefix = SplitWhitespace(line.substr(0, bracket));
+  if (prefix.size() != 3) {
+    return std::nullopt;
+  }
+
+  size_t pos = 0;
+  const auto date_text = TakeDelimited(line, &pos, '[', ']');
+  if (!date_text) {
+    return std::nullopt;
+  }
+  const auto timestamp = ParseClfDate(*date_text);
+  if (!timestamp) {
+    return std::nullopt;
+  }
+
+  const auto request_line = TakeDelimited(line, &pos, '"', '"');
+  if (!request_line) {
+    return std::nullopt;
+  }
+  const auto request_parts = SplitWhitespace(*request_line);
+  if (request_parts.size() < 2) {
+    return std::nullopt;
+  }
+
+  const auto tail = SplitWhitespace(line.substr(pos));
+  if (tail.size() < 2) {
+    return std::nullopt;
+  }
+  const auto status = ParseInt(tail[0]);
+  // CLF uses "-" for zero-byte responses.
+  const auto bytes = tail[1] == "-" ? std::optional<int64_t>(0) : ParseInt(tail[1]);
+  if (!status || !bytes || *bytes < 0) {
+    return std::nullopt;
+  }
+
+  ClfRecord record;
+  record.host = std::string(prefix[0]);
+  record.timestamp = *timestamp;
+  record.uri = std::string(request_parts[1]);
+  record.status = static_cast<int>(*status);
+  record.bytes = *bytes;
+
+  // Optional Last-Modified extension: a trailing quoted RFC-1123 date.
+  const auto lm_text = TakeDelimited(line, &pos, '"', '"');
+  if (lm_text) {
+    const auto lm = ParseHttpDate(*lm_text);
+    if (!lm) {
+      return std::nullopt;  // present but unparseable: reject the line
+    }
+    record.last_modified = *lm;
+  }
+  return record;
+}
+
+Trace ReadClfTrace(std::istream& is, const ClfParseOptions& options, ClfReadStats* stats) {
+  ClfReadStats local_stats;
+  std::vector<ClfRecord> records;
+  std::string line;
+  while (std::getline(is, line)) {
+    ++local_stats.lines;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') {
+      continue;
+    }
+    auto record = ParseClfLine(trimmed);
+    if (!record) {
+      ++local_stats.skipped_malformed;
+      continue;
+    }
+    const bool served = record->status / 100 == 2 || record->status == 304;
+    if (!served && !options.include_errors) {
+      ++local_stats.skipped_status;
+      continue;
+    }
+    ++local_stats.parsed;
+    records.push_back(std::move(*record));
+  }
+  std::stable_sort(records.begin(), records.end(),
+                   [](const ClfRecord& a, const ClfRecord& b) { return a.timestamp < b.timestamp; });
+
+  Trace trace;
+  trace.source = "clf";
+  if (!records.empty()) {
+    // Rebase so the first request lands at the simulation epoch.
+    const SimDuration shift = records.front().timestamp - SimTime::Epoch();
+    std::unordered_map<std::string, SimTime> first_seen_lm;
+    for (ClfRecord& record : records) {
+      TraceRecord out;
+      out.timestamp = record.timestamp - shift;
+      out.client = record.host;
+      out.uri = std::move(record.uri);
+      out.size_bytes = record.bytes;
+      if (record.last_modified) {
+        out.last_modified = *record.last_modified - shift;
+        // Clock skew in real logs: clamp LM to the request time.
+        out.last_modified = std::min(out.last_modified, out.timestamp);
+      } else {
+        // No stamp: remember the first sighting as a conservative LM.
+        auto [it, fresh] = first_seen_lm.try_emplace(out.uri, out.timestamp);
+        out.last_modified = it->second;
+        (void)fresh;
+      }
+      out.remote = options.local_suffix.empty() ||
+                   !(out.client.size() >= options.local_suffix.size() &&
+                     out.client.compare(out.client.size() - options.local_suffix.size(),
+                                        options.local_suffix.size(),
+                                        options.local_suffix) == 0);
+      trace.records.push_back(std::move(out));
+    }
+  }
+  if (stats != nullptr) {
+    *stats = local_stats;
+  }
+  return trace;
+}
+
+std::optional<Trace> ReadClfTraceFile(const std::string& path, const ClfParseOptions& options,
+                                      ClfReadStats* stats) {
+  std::ifstream is(path);
+  if (!is) {
+    return std::nullopt;
+  }
+  return ReadClfTrace(is, options, stats);
+}
+
+void WriteClfTrace(const Trace& trace, std::ostream& os) {
+  for (const TraceRecord& record : trace.records) {
+    const CivilDateTime c = CivilFromSimTime(record.timestamp);
+    os << record.client << " - - "
+       << StrFormat("[%02d/%s/%04d:%02d:%02d:%02d +0000] ", c.day, kClfMonths[c.month - 1],
+                    c.year, c.hour, c.minute, c.second)
+       << "\"GET " << record.uri << " HTTP/1.0\" 200 " << record.size_bytes << " \""
+       << FormatHttpDate(record.last_modified) << "\"\n";
+  }
+}
+
+bool WriteClfTraceFile(const Trace& trace, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    return false;
+  }
+  WriteClfTrace(trace, os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace webcc

@@ -1,0 +1,124 @@
+#include "src/workload/microsoft.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/util/distributions.h"
+#include "src/util/rng.h"
+#include "src/util/str.h"
+
+namespace webcc {
+
+std::vector<AccessLogRecord> GenerateMicrosoftAccessLog(const MicrosoftMixConfig& config) {
+  assert(config.num_requests > 0);
+  assert(config.uris_per_type > 0);
+
+  Rng rng(config.seed);
+  const DiscreteDistribution type_mix(
+      std::vector<double>(config.access_mix.begin(), config.access_mix.end()));
+  const ZipfDistribution within_type(config.uris_per_type, config.zipf_skew);
+
+  // Fixed per-URI sizes so repeated accesses to one URI report one size.
+  std::vector<std::vector<int64_t>> sizes(kNumFileTypes);
+  constexpr double kSigma = 0.8;
+  for (int t = 0; t < kNumFileTypes; ++t) {
+    sizes[t].resize(config.uris_per_type);
+    const double mean = static_cast<double>(config.mean_size[t]);
+    const double mu = std::log(mean) - kSigma * kSigma / 2.0;
+    for (auto& s : sizes[t]) {
+      s = std::max<int64_t>(64, static_cast<int64_t>(std::llround(rng.Lognormal(mu, kSigma))));
+    }
+  }
+
+  // Arrival times: sorted uniforms over the day (Poisson given the count).
+  std::vector<double> times(config.num_requests);
+  for (double& t : times) {
+    t = rng.UniformReal(0.0, static_cast<double>(config.duration.seconds()));
+  }
+  std::sort(times.begin(), times.end());
+
+  std::vector<AccessLogRecord> log;
+  log.reserve(config.num_requests);
+  for (double t : times) {
+    const auto type = static_cast<FileType>(type_mix.Draw(rng));
+    const size_t rank = within_type.Draw(rng);
+    AccessLogRecord record;
+    record.at = SimTime::Epoch() + SecondsF(t);
+    record.type = type;
+    record.size_bytes = sizes[static_cast<size_t>(type)][rank];
+    if (type == FileType::kCgi) {
+      record.uri = StrFormat("/cgi-bin/app%04zu?id=%lld", rank,
+                             static_cast<long long>(rng.UniformInt(0, 999)));
+    } else {
+      record.uri = StrFormat("/pub/%s/item%04zu.%s",
+                             std::string(FileTypeName(type)).c_str(), rank,
+                             std::string(FileTypeName(type)).c_str());
+    }
+    log.push_back(std::move(record));
+  }
+  return log;
+}
+
+uint64_t BuModificationLog::TotalObservations() const {
+  uint64_t total = 0;
+  for (const auto& day : changed_by_day) {
+    total += day.size();
+  }
+  return total;
+}
+
+BuModificationLog GenerateBuModificationLog(const BuModLogConfig& config) {
+  assert(config.num_files > 0);
+  assert(config.num_days > 0);
+
+  Rng rng(config.seed);
+  BuModificationLog log;
+  log.num_days = config.num_days;
+  log.files.reserve(config.num_files);
+  log.changed_by_day.assign(config.num_days, {});
+
+  for (uint32_t i = 0; i < config.num_files; ++i) {
+    BuModificationLog::FileInfo info;
+    const double u = rng.NextDouble();
+    // A plausible *population* mix (distinct from the access mix: many more
+    // html pages exist than their access share suggests).
+    if (u < 0.40) {
+      info.type = FileType::kGif;
+    } else if (u < 0.75) {
+      info.type = FileType::kHtml;
+    } else if (u < 0.85) {
+      info.type = FileType::kJpg;
+    } else if (u < 0.93) {
+      info.type = FileType::kCgi;
+    } else {
+      info.type = FileType::kOther;
+    }
+    info.uri = StrFormat("/bu/%s/page%04u.%s", std::string(FileTypeName(info.type)).c_str(), i,
+                         std::string(FileTypeName(info.type)).c_str());
+
+    const bool hot = rng.Bernoulli(config.hot_fraction);
+    const double mean_days =
+        hot ? config.hot_mean_interval_days
+            : config.cold_mean_interval_days[static_cast<size_t>(info.type)];
+
+    // Exponential change process over the window; daily sampling records at
+    // most one observation per day regardless of how many changes landed in
+    // it (the granularity collapse the paper discusses in §4.2).
+    const double window = static_cast<double>(config.num_days);
+    double t = rng.Exponential(mean_days);
+    int last_logged_day = -1;
+    while (t < window) {
+      const int day = static_cast<int>(t);
+      if (day != last_logged_day) {
+        log.changed_by_day[static_cast<size_t>(day)].push_back(i);
+        last_logged_day = day;
+      }
+      t += std::max(1e-3, rng.Exponential(mean_days));
+    }
+    log.files.push_back(std::move(info));
+  }
+  return log;
+}
+
+}  // namespace webcc

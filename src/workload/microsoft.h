@@ -1,0 +1,83 @@
+// The two corroborating datasets behind Table 2.
+//
+// Microsoft proxy access log (left columns): ~150,000 requests per weekday
+// through the corporate proxy; 65% of accesses are images; 10% of requests
+// are for dynamically generated pages (§5). Synthesized here as a typed,
+// Zipf-skewed access log with the table's type mix and per-type sizes.
+//
+// Boston University modification log (right columns): between March 28 and
+// October 7 (186 days) Bestavros sampled the BU web server daily, recording
+// which files changed since the previous day — ~2,500 files, ~14,000
+// change observations. Synthesized as a daily-sampled change log over a
+// bimodal (hot/cold) file population; daily sampling collapses same-day
+// changes exactly as the paper discusses.
+
+#ifndef WEBCC_SRC_WORKLOAD_MICROSOFT_H_
+#define WEBCC_SRC_WORKLOAD_MICROSOFT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/origin/object.h"
+#include "src/util/sim_time.h"
+
+namespace webcc {
+
+// --- Microsoft proxy access log ---
+
+struct MicrosoftMixConfig {
+  uint64_t num_requests = 150000;  // "approximately 150,000 requests" per weekday
+  // Access share by type, Table 2: gif 55 / html 22 / jpg 10 / cgi 9 / other 4.
+  std::array<double, kNumFileTypes> access_mix = {0.55, 0.22, 0.10, 0.09, 0.04};
+  // Mean body bytes by type, Table 2's size column.
+  std::array<int64_t, kNumFileTypes> mean_size = {7791, 4786, 21608, 5980, 4000};
+  uint32_t uris_per_type = 400;
+  double zipf_skew = 0.9;
+  SimDuration duration = Hours(24);
+  uint64_t seed = 0x5011995;
+};
+
+struct AccessLogRecord {
+  SimTime at;
+  std::string uri;
+  FileType type = FileType::kOther;
+  int64_t size_bytes = 0;
+};
+
+std::vector<AccessLogRecord> GenerateMicrosoftAccessLog(const MicrosoftMixConfig& config);
+
+// --- Boston University modification log ---
+
+struct BuModLogConfig {
+  uint32_t num_files = 2500;
+  uint32_t num_days = 186;
+  // The hot subset produces most of the ~14,000 observations.
+  double hot_fraction = 0.10;
+  double hot_mean_interval_days = 4.0;
+  // Cold mean change interval by type (days); images longest-lived, per the
+  // paper's reading of the table ("Images ... have the longest lifetimes").
+  std::array<double, kNumFileTypes> cold_mean_interval_days = {150.0, 70.0, 160.0, 12.0, 90.0};
+  uint64_t seed = 0xb0b0;
+};
+
+struct BuModificationLog {
+  struct FileInfo {
+    std::string uri;
+    FileType type = FileType::kOther;
+  };
+  std::vector<FileInfo> files;
+  // changed_by_day[d] = indices of files observed changed at day-d sampling
+  // (i.e. modified at least once since the day d-1 sample).
+  std::vector<std::vector<uint32_t>> changed_by_day;
+  uint32_t num_days = 0;
+
+  uint64_t TotalObservations() const;
+};
+
+BuModificationLog GenerateBuModificationLog(const BuModLogConfig& config);
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_WORKLOAD_MICROSOFT_H_

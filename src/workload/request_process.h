@@ -1,0 +1,57 @@
+// Engine-driven request generation: a self-rescheduling Poisson process that
+// fires cache requests as simulation events. This is the "live" counterpart
+// to the scripted RequestEvent streams — useful when the workload must react
+// to simulated time (e.g. closed-loop experiments) or when driving very long
+// runs without materializing the full request list.
+
+#ifndef WEBCC_SRC_WORKLOAD_REQUEST_PROCESS_H_
+#define WEBCC_SRC_WORKLOAD_REQUEST_PROCESS_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/sim/engine.h"
+#include "src/util/distributions.h"
+#include "src/util/rng.h"
+
+namespace webcc {
+
+class PoissonRequestProcess {
+ public:
+  // The process calls `issue(object_index, now)` on each arrival.
+  using IssueFn = std::function<void(uint32_t object_index, SimTime now)>;
+
+  // Uniform object popularity (Worrell's model).
+  PoissonRequestProcess(SimEngine* engine, double requests_per_second, uint32_t num_objects,
+                        Rng rng, IssueFn issue);
+
+  // Zipf-skewed popularity (trace-like workloads); zipf must outlive this.
+  PoissonRequestProcess(SimEngine* engine, double requests_per_second,
+                        std::shared_ptr<const ZipfDistribution> zipf, Rng rng, IssueFn issue);
+
+  // Arms the first arrival. Call once.
+  void Start();
+  // Cancels the pending arrival; the process can be Start()ed again.
+  void Stop();
+
+  uint64_t requests_issued() const { return requests_issued_; }
+
+ private:
+  void ScheduleNext();
+  uint32_t DrawObject();
+
+  SimEngine* engine_;
+  double mean_gap_seconds_;
+  uint32_t num_objects_;
+  std::shared_ptr<const ZipfDistribution> zipf_;  // null -> uniform
+  Rng rng_;
+  IssueFn issue_;
+  EventHandle pending_;
+  double next_arrival_seconds_ = 0.0;  // continuous-time arrival accumulator
+  uint64_t requests_issued_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_WORKLOAD_REQUEST_PROCESS_H_

@@ -1,0 +1,228 @@
+#include "src/workload/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "src/origin/object.h"
+#include "src/util/str.h"
+
+namespace webcc {
+
+void WriteTrace(const Trace& trace, std::ostream& os) {
+  os << "#webcc-trace v1\n";
+  if (!trace.source.empty()) {
+    os << "#source " << trace.source << "\n";
+  }
+  os << "# timestamp client uri size last_modified remote\n";
+  for (const TraceRecord& r : trace.records) {
+    os << r.timestamp.seconds() << ' ' << r.client << ' ' << r.uri << ' ' << r.size_bytes << ' '
+       << r.last_modified.seconds() << ' ' << (r.remote ? 1 : 0) << '\n';
+  }
+}
+
+bool WriteTraceFile(const Trace& trace, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    return false;
+  }
+  WriteTrace(trace, os);
+  return static_cast<bool>(os);
+}
+
+std::optional<Trace> ReadTrace(std::istream& is, TraceParseError* error) {
+  auto fail = [&](size_t line, std::string message) -> std::optional<Trace> {
+    if (error != nullptr) {
+      error->line = line;
+      error->message = std::move(message);
+    }
+    return std::nullopt;
+  };
+
+  Trace trace;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) {
+      continue;
+    }
+    if (trimmed.front() == '#') {
+      constexpr std::string_view kSourceTag = "#source ";
+      if (trimmed.substr(0, kSourceTag.size()) == kSourceTag) {
+        trace.source = std::string(Trim(trimmed.substr(kSourceTag.size())));
+      }
+      continue;
+    }
+    const auto fields = SplitWhitespace(trimmed);
+    if (fields.size() != 6) {
+      return fail(line_no, StrFormat("expected 6 fields, got %zu", fields.size()));
+    }
+    const auto ts = ParseInt(fields[0]);
+    const auto size = ParseInt(fields[3]);
+    const auto lm = ParseInt(fields[4]);
+    const auto remote = ParseInt(fields[5]);
+    if (!ts) {
+      return fail(line_no, "bad timestamp");
+    }
+    if (!size || *size < 0) {
+      return fail(line_no, "bad size");
+    }
+    if (!lm) {
+      return fail(line_no, "bad last-modified");
+    }
+    if (!remote || (*remote != 0 && *remote != 1)) {
+      return fail(line_no, "bad remote flag");
+    }
+    TraceRecord record;
+    record.timestamp = SimTime(*ts);
+    record.client = std::string(fields[1]);
+    record.uri = std::string(fields[2]);
+    record.size_bytes = *size;
+    record.last_modified = SimTime(*lm);
+    record.remote = (*remote == 1);
+    if (record.last_modified > record.timestamp) {
+      return fail(line_no, "last-modified after request timestamp");
+    }
+    if (!trace.records.empty() && record.timestamp < trace.records.back().timestamp) {
+      return fail(line_no, "timestamps out of order");
+    }
+    trace.records.push_back(std::move(record));
+  }
+  return trace;
+}
+
+std::optional<Trace> ReadTraceFile(const std::string& path, TraceParseError* error) {
+  std::ifstream is(path);
+  if (!is) {
+    if (error != nullptr) {
+      error->line = 0;
+      error->message = "cannot open " + path;
+    }
+    return std::nullopt;
+  }
+  return ReadTrace(is, error);
+}
+
+Workload CompileTrace(const Trace& trace, const CompileOptions& options) {
+  Workload load;
+  load.name = trace.source.empty() ? "trace" : trace.source;
+
+  struct ObjectState {
+    uint32_t index = 0;
+    SimTime known_lm;
+    SimTime last_seen;  // timestamp of the most recent record for this URI
+  };
+  std::unordered_map<std::string, ObjectState> by_uri;
+
+  for (const TraceRecord& record : trace.records) {
+    auto it = by_uri.find(record.uri);
+    if (it == by_uri.end()) {
+      ObjectSpec spec;
+      spec.name = record.uri;
+      spec.type = FileTypeFromUri(record.uri);
+      spec.size_bytes = record.size_bytes;
+
+      ObjectState state;
+      state.index = static_cast<uint32_t>(load.objects.size());
+      state.last_seen = record.timestamp;
+
+      if (record.last_modified <= SimTime::Epoch()) {
+        // Object unchanged since before the experiment started: its age at
+        // the epoch is known exactly.
+        spec.initial_age = SimTime::Epoch() - record.last_modified;
+        state.known_lm = record.last_modified;
+      } else {
+        // The first observation already reflects an in-experiment change;
+        // the pre-change state is unknowable from the log, so the object
+        // starts at age 0 with a modification at the observed stamp.
+        spec.initial_age = SimDuration(0);
+        state.known_lm = record.last_modified;
+        load.modifications.push_back(
+            ModificationEvent{record.last_modified, state.index, record.size_bytes});
+      }
+      load.objects.push_back(std::move(spec));
+      it = by_uri.emplace(record.uri, state).first;
+    } else {
+      ObjectState& state = it->second;
+      if (record.last_modified > state.known_lm) {
+        // A change became visible. It happened at the stamped time — unless
+        // that would contradict an earlier observation of the old version,
+        // in which case the earliest consistent instant is used. Intervening
+        // changes the log never saw are necessarily collapsed into this one
+        // (the paper's one-day-granularity caveat, §4.2).
+        SimTime change_at = record.last_modified;
+        if (change_at <= state.last_seen) {
+          change_at = state.last_seen + Seconds(1);
+        }
+        load.modifications.push_back(
+            ModificationEvent{change_at, state.index, record.size_bytes});
+        state.known_lm = record.last_modified;
+      }
+      state.last_seen = record.timestamp;
+    }
+
+    RequestEvent req;
+    req.at = record.timestamp;
+    req.object_index = by_uri[record.uri].index;
+    // Clients are identified by name; hash to a stable numeric id.
+    req.client_id = static_cast<uint32_t>(std::hash<std::string>{}(record.client));
+    req.remote = record.remote;
+    load.requests.push_back(req);
+  }
+
+  SimTime last_event = SimTime::Epoch();
+  if (!trace.records.empty()) {
+    last_event = trace.records.back().timestamp;
+  }
+  for (const ModificationEvent& m : load.modifications) {
+    last_event = std::max(last_event, m.at);
+  }
+  load.horizon = last_event + options.horizon_slack;
+  load.Finalize();
+  return load;
+}
+
+Trace RenderTraceFromWorkload(const Workload& load, std::string source) {
+  Trace trace;
+  trace.source = std::move(source);
+  trace.records.reserve(load.requests.size());
+
+  // Per-object server state, advanced by a merge-walk over both streams.
+  struct State {
+    SimTime last_modified;
+    int64_t size = 0;
+  };
+  std::vector<State> state(load.objects.size());
+  for (size_t i = 0; i < load.objects.size(); ++i) {
+    state[i].last_modified = SimTime::Epoch() - load.objects[i].initial_age;
+    state[i].size = load.objects[i].size_bytes;
+  }
+
+  size_t mod_i = 0;
+  for (const RequestEvent& req : load.requests) {
+    while (mod_i < load.modifications.size() && load.modifications[mod_i].at <= req.at) {
+      const ModificationEvent& m = load.modifications[mod_i];
+      state[m.object_index].last_modified = m.at;
+      if (m.new_size >= 0) {
+        state[m.object_index].size = m.new_size;
+      }
+      ++mod_i;
+    }
+    TraceRecord record;
+    record.timestamp = req.at;
+    record.client = req.remote ? StrFormat("remote%u.example.com", req.client_id % 100000)
+                               : StrFormat("local%u.campus.edu", req.client_id % 100000);
+    record.uri = load.objects[req.object_index].name;
+    record.size_bytes = state[req.object_index].size;
+    record.last_modified = state[req.object_index].last_modified;
+    record.remote = req.remote;
+    trace.records.push_back(std::move(record));
+  }
+  return trace;
+}
+
+}  // namespace webcc

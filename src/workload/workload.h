@@ -1,0 +1,74 @@
+// A Workload is the complete, pre-materialized script of an experiment: the
+// object population, every server-side modification, and every client
+// request, all with explicit timestamps.
+//
+// Pre-materializing has one crucial property the paper's methodology relies
+// on: the *identical* request and modification sequences are replayed under
+// every consistency protocol being compared, so differences in the metrics
+// are attributable to the protocol alone.
+
+#ifndef WEBCC_SRC_WORKLOAD_WORKLOAD_H_
+#define WEBCC_SRC_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/origin/object.h"
+#include "src/util/sim_time.h"
+
+namespace webcc {
+
+// Blueprint for one object. `initial_age` is how long before the experiment
+// start the object was last modified (Worrell's collected "file ages");
+// objects with a priori known lifetimes may carry an expires interval.
+struct ObjectSpec {
+  std::string name;
+  FileType type = FileType::kOther;
+  int64_t size_bytes = 0;
+  SimDuration initial_age = SimDuration(0);
+};
+
+struct ModificationEvent {
+  SimTime at;
+  uint32_t object_index = 0;  // index into Workload::objects
+  int64_t new_size = -1;      // negative keeps the previous size
+
+  bool operator<(const ModificationEvent& other) const { return at < other.at; }
+};
+
+struct RequestEvent {
+  SimTime at;
+  uint32_t object_index = 0;
+  uint32_t client_id = 0;
+  bool remote = false;  // client outside the local domain (Table 1's "% Remote")
+
+  bool operator<(const RequestEvent& other) const { return at < other.at; }
+};
+
+struct Workload {
+  std::string name;
+  std::vector<ObjectSpec> objects;
+  std::vector<ModificationEvent> modifications;  // sorted by time
+  std::vector<RequestEvent> requests;            // sorted by time
+  SimTime horizon;                               // end of the experiment
+
+  // Sorts events; generators call this before returning.
+  void Finalize();
+
+  // Sanity checks: indices in range, events within [epoch, horizon], sorted.
+  // Returns an empty string when consistent, else a description of the first
+  // violation found.
+  std::string Validate() const;
+
+  // Aggregates used by calibration tests and reports.
+  int64_t TotalObjectBytes() const;
+  double MeanObjectBytes() const;
+  uint64_t RequestCount() const { return requests.size(); }
+  uint64_t ModificationCount() const { return modifications.size(); }
+  double RemoteFraction() const;
+};
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_WORKLOAD_WORKLOAD_H_

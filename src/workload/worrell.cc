@@ -1,0 +1,101 @@
+#include "src/workload/worrell.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/util/distributions.h"
+#include "src/util/str.h"
+
+namespace webcc {
+
+namespace {
+
+// File types are cosmetic for the synthetic workload; a rough web-like mix
+// keeps reports meaningful without affecting the protocols.
+FileType DrawType(Rng& rng) {
+  const double u = rng.NextDouble();
+  if (u < 0.55) {
+    return FileType::kGif;
+  }
+  if (u < 0.77) {
+    return FileType::kHtml;
+  }
+  if (u < 0.87) {
+    return FileType::kJpg;
+  }
+  if (u < 0.96) {
+    return FileType::kCgi;
+  }
+  return FileType::kOther;
+}
+
+int64_t DrawSize(Rng& rng, int64_t mean_bytes, double sigma) {
+  // Lognormal parameterized to the requested mean.
+  const double mu = std::log(static_cast<double>(mean_bytes)) - sigma * sigma / 2.0;
+  const double draw = rng.Lognormal(mu, sigma);
+  return std::max<int64_t>(64, static_cast<int64_t>(std::llround(draw)));
+}
+
+}  // namespace
+
+Workload GenerateWorrellWorkload(const WorrellConfig& config) {
+  assert(config.num_files > 0);
+  assert(config.max_lifetime >= config.min_lifetime);
+  assert(config.min_lifetime.seconds() > 0);
+  assert(config.requests_per_second > 0.0);
+
+  Rng rng(config.seed);
+  Workload load;
+  load.name = "worrell";
+  load.horizon = SimTime::Epoch() + config.duration;
+
+  const FlatLifetime lifetime(config.min_lifetime, config.max_lifetime);
+  const double max_l = static_cast<double>(config.max_lifetime.seconds());
+
+  load.objects.reserve(config.num_files);
+  for (uint32_t i = 0; i < config.num_files; ++i) {
+    ObjectSpec spec;
+    spec.name = StrFormat("/worrell/file%05u.dat", i);
+    spec.type = DrawType(rng);
+    spec.size_bytes = DrawSize(rng, config.mean_file_bytes, config.size_sigma);
+
+    // Steady-state initialization: the interval containing t=0 is drawn
+    // length-biased (an instant is more likely to fall in a long interval),
+    // and the elapsed age is uniform within it. This is what "collected file
+    // ages" amount to for a stationary renewal process.
+    double interval;
+    do {
+      interval = static_cast<double>(lifetime.NextLifetime(rng).seconds());
+    } while (rng.NextDouble() >= interval / max_l);  // accept w.p. L/Lmax
+    const double age = rng.NextDouble() * interval;
+    spec.initial_age = SecondsF(age);
+    load.objects.push_back(std::move(spec));
+
+    // The current interval ends (age already consumed):
+    SimTime next = SimTime::Epoch() + SecondsF(interval - age);
+    while (next <= load.horizon) {
+      load.modifications.push_back(ModificationEvent{next, i, -1});
+      next += lifetime.NextLifetime(rng);
+    }
+  }
+
+  // Uniform Poisson request stream.
+  const double mean_gap = 1.0 / config.requests_per_second;
+  double t = rng.Exponential(mean_gap);
+  while (t <= static_cast<double>(config.duration.seconds())) {
+    RequestEvent req;
+    req.at = SimTime::Epoch() + SecondsF(t);
+    req.object_index = static_cast<uint32_t>(rng.UniformInt(0, config.num_files - 1));
+    req.client_id = static_cast<uint32_t>(rng.UniformInt(0, config.num_clients - 1));
+    req.remote = false;
+    if (req.at <= load.horizon) {
+      load.requests.push_back(req);
+    }
+    t += rng.Exponential(mean_gap);
+  }
+
+  load.Finalize();
+  return load;
+}
+
+}  // namespace webcc

@@ -1,0 +1,161 @@
+#include "src/cache/adaptive_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace webcc {
+namespace {
+
+CacheEntry MakeEntry(FileType type, SimTime last_modified) {
+  CacheEntry entry;
+  entry.object = 0;
+  entry.type = type;
+  entry.version = 1;
+  entry.last_modified = last_modified;
+  return entry;
+}
+
+AdaptiveTunerPolicy::Options SmallWindowOptions() {
+  AdaptiveTunerPolicy::Options options;
+  options.initial_threshold = 0.10;
+  options.adjust_every_serves = 10;
+  options.target_stale_rate = 0.05;
+  return options;
+}
+
+TEST(AdaptivePolicyTest, StartsAtInitialThresholdForAllTypes) {
+  AdaptiveTunerPolicy policy(SmallWindowOptions());
+  for (int t = 0; t < kNumFileTypes; ++t) {
+    EXPECT_DOUBLE_EQ(policy.ThresholdFor(static_cast<FileType>(t)), 0.10);
+  }
+}
+
+TEST(AdaptivePolicyTest, BehavesLikeAlexAtCurrentThreshold) {
+  AdaptiveTunerPolicy policy(SmallWindowOptions());
+  CacheEntry entry = MakeEntry(FileType::kHtml, SimTime::Epoch() - Days(30));
+  policy.OnFetch(entry, SimTime::Epoch(), {entry.last_modified, std::nullopt});
+  EXPECT_EQ(entry.expires_at, SimTime::Epoch() + Days(3));  // 10% of 30d
+}
+
+TEST(AdaptivePolicyTest, WantsServeFeedback) {
+  AdaptiveTunerPolicy policy;
+  EXPECT_TRUE(policy.WantsServeFeedback());
+  EXPECT_EQ(policy.kind(), PolicyKind::kAdaptiveTuner);
+}
+
+TEST(AdaptivePolicyTest, TightensWhenStaleRateHigh) {
+  AdaptiveTunerPolicy policy(SmallWindowOptions());
+  CacheEntry entry = MakeEntry(FileType::kHtml, SimTime::Epoch() - Days(30));
+  // 10 serves, all after the (later discovered) change: 100% stale.
+  const SimTime change = SimTime::Epoch() + Hours(1);
+  for (int i = 0; i < 10; ++i) {
+    entry.serves_since_validation.push_back(change + Minutes(i + 1));
+  }
+  policy.OnValidationOutcome(entry, /*was_modified=*/true, change, change + Hours(1));
+  EXPECT_LT(policy.ThresholdFor(FileType::kHtml), 0.10);
+  const auto& state = policy.StateFor(FileType::kHtml);
+  EXPECT_EQ(state.stale_serves, 10u);
+  EXPECT_EQ(state.total_serves, 10u);
+  EXPECT_EQ(state.adjustments, 1u);
+}
+
+TEST(AdaptivePolicyTest, RelaxesWhenConsistentlyClean) {
+  AdaptiveTunerPolicy policy(SmallWindowOptions());
+  CacheEntry entry = MakeEntry(FileType::kGif, SimTime::Epoch() - Days(30));
+  for (int i = 0; i < 10; ++i) {
+    entry.serves_since_validation.push_back(SimTime::Epoch() + Minutes(i));
+  }
+  policy.OnValidationOutcome(entry, /*was_modified=*/false, entry.last_modified,
+                             SimTime::Epoch() + Hours(1));
+  EXPECT_GT(policy.ThresholdFor(FileType::kGif), 0.10);
+}
+
+TEST(AdaptivePolicyTest, OnlyServesAfterChangeCountStale) {
+  AdaptiveTunerPolicy policy(SmallWindowOptions());
+  CacheEntry entry = MakeEntry(FileType::kJpg, SimTime::Epoch() - Days(10));
+  const SimTime change = SimTime::Epoch() + Hours(5);
+  // 6 clean serves before the change, 4 stale after.
+  for (int i = 0; i < 6; ++i) {
+    entry.serves_since_validation.push_back(SimTime::Epoch() + Hours(i % 5));
+  }
+  for (int i = 0; i < 4; ++i) {
+    entry.serves_since_validation.push_back(change + Hours(i + 1));
+  }
+  policy.OnValidationOutcome(entry, true, change, change + Hours(10));
+  EXPECT_EQ(policy.StateFor(FileType::kJpg).stale_serves, 4u);
+  EXPECT_EQ(policy.StateFor(FileType::kJpg).total_serves, 10u);
+}
+
+TEST(AdaptivePolicyTest, TypesTunedIndependently) {
+  AdaptiveTunerPolicy policy(SmallWindowOptions());
+  // cgi churns (all stale), gif is clean.
+  CacheEntry cgi = MakeEntry(FileType::kCgi, SimTime::Epoch() - Days(1));
+  CacheEntry gif = MakeEntry(FileType::kGif, SimTime::Epoch() - Days(100));
+  const SimTime change = SimTime::Epoch() + Hours(1);
+  for (int i = 0; i < 10; ++i) {
+    cgi.serves_since_validation.push_back(change + Minutes(i + 1));
+    gif.serves_since_validation.push_back(SimTime::Epoch() + Minutes(i));
+  }
+  policy.OnValidationOutcome(cgi, true, change, change + Hours(2));
+  policy.OnValidationOutcome(gif, false, gif.last_modified, change + Hours(2));
+  EXPECT_LT(policy.ThresholdFor(FileType::kCgi), policy.ThresholdFor(FileType::kGif));
+}
+
+TEST(AdaptivePolicyTest, ThresholdClampedToBounds) {
+  AdaptiveTunerPolicy::Options options = SmallWindowOptions();
+  options.min_threshold = 0.05;
+  options.max_threshold = 0.20;
+  AdaptiveTunerPolicy policy(options);
+  CacheEntry entry = MakeEntry(FileType::kHtml, SimTime::Epoch() - Days(1));
+  const SimTime change = SimTime::Epoch() + Hours(1);
+  // Many rounds of pure staleness: threshold must bottom out at min.
+  for (int round = 0; round < 20; ++round) {
+    entry.serves_since_validation.clear();
+    for (int i = 0; i < 10; ++i) {
+      entry.serves_since_validation.push_back(change + Minutes(i + 1));
+    }
+    policy.OnValidationOutcome(entry, true, change, change + Hours(2));
+  }
+  EXPECT_DOUBLE_EQ(policy.ThresholdFor(FileType::kHtml), 0.05);
+
+  // And many clean rounds push it to max.
+  for (int round = 0; round < 40; ++round) {
+    entry.serves_since_validation.clear();
+    for (int i = 0; i < 10; ++i) {
+      entry.serves_since_validation.push_back(SimTime::Epoch() + Minutes(i));
+    }
+    policy.OnValidationOutcome(entry, false, entry.last_modified, change);
+  }
+  EXPECT_DOUBLE_EQ(policy.ThresholdFor(FileType::kHtml), 0.20);
+}
+
+TEST(AdaptivePolicyTest, NoAdjustmentBeforeWindowFills) {
+  AdaptiveTunerPolicy policy(SmallWindowOptions());  // window = 10 serves
+  CacheEntry entry = MakeEntry(FileType::kHtml, SimTime::Epoch() - Days(1));
+  entry.serves_since_validation.push_back(SimTime::Epoch() + Hours(2));
+  policy.OnValidationOutcome(entry, true, SimTime::Epoch() + Hours(1),
+                             SimTime::Epoch() + Hours(3));
+  EXPECT_DOUBLE_EQ(policy.ThresholdFor(FileType::kHtml), 0.10);
+  EXPECT_EQ(policy.StateFor(FileType::kHtml).adjustments, 0u);
+}
+
+TEST(AdaptivePolicyTest, MidbandStaysPut) {
+  // Stale rate between target/2 and target: neither tighten nor relax.
+  AdaptiveTunerPolicy::Options options = SmallWindowOptions();
+  options.target_stale_rate = 0.40;
+  AdaptiveTunerPolicy policy(options);
+  CacheEntry entry = MakeEntry(FileType::kHtml, SimTime::Epoch() - Days(1));
+  const SimTime change = SimTime::Epoch() + Hours(1);
+  // 3 of 10 serves stale = 30%: inside (20%, 40%).
+  for (int i = 0; i < 7; ++i) {
+    entry.serves_since_validation.push_back(SimTime::Epoch() + Minutes(i));
+  }
+  for (int i = 0; i < 3; ++i) {
+    entry.serves_since_validation.push_back(change + Minutes(i + 1));
+  }
+  policy.OnValidationOutcome(entry, true, change, change + Hours(2));
+  EXPECT_DOUBLE_EQ(policy.ThresholdFor(FileType::kHtml), 0.10);
+  EXPECT_EQ(policy.StateFor(FileType::kHtml).adjustments, 1u);
+}
+
+}  // namespace
+}  // namespace webcc

@@ -1,0 +1,137 @@
+#include "src/cache/alex_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace webcc {
+namespace {
+
+CacheEntry MakeEntry(SimTime last_modified) {
+  CacheEntry entry;
+  entry.object = 0;
+  entry.version = 1;
+  entry.last_modified = last_modified;
+  return entry;
+}
+
+TEST(AlexPolicyTest, PaperWorkedExample) {
+  // Paper §1: "consider a cached file whose age is one month (30 days) and
+  // whose validity was checked yesterday (one day ago). If the update
+  // threshold is set to 10%, then the object should be marked invalid after
+  // three days (10% * 30 days). Since the object was checked yesterday,
+  // requests that occur during the next two days will be satisfied locally."
+  AlexPolicy policy(0.10);
+  CacheEntry entry = MakeEntry(SimTime::Epoch() - Days(30));
+  const SimTime checked = SimTime::Epoch();  // the validity check
+  policy.OnFetch(entry, checked, {entry.last_modified, std::nullopt});
+  EXPECT_EQ(entry.expires_at, checked + Days(3));
+
+  const SimTime now = checked + Days(1);  // "checked yesterday"
+  EXPECT_TRUE(policy.IsValid(entry, now));
+  EXPECT_TRUE(policy.IsValid(entry, now + Days(2) - Seconds(1)));
+  EXPECT_FALSE(policy.IsValid(entry, now + Days(2)));
+}
+
+TEST(AlexPolicyTest, WindowScalesWithAge) {
+  AlexPolicy policy(0.20);
+  EXPECT_EQ(policy.ValidityWindow(Days(10)), Days(2));
+  EXPECT_EQ(policy.ValidityWindow(Days(100)), Days(20));
+  EXPECT_EQ(policy.ValidityWindow(SimDuration(0)), SimDuration(0));
+}
+
+TEST(AlexPolicyTest, YoungFilesCheckedMoreOften) {
+  AlexPolicy policy(0.10);
+  CacheEntry young = MakeEntry(SimTime::Epoch() - Hours(10));
+  CacheEntry old = MakeEntry(SimTime::Epoch() - Days(100));
+  policy.OnFetch(young, SimTime::Epoch(), {young.last_modified, std::nullopt});
+  policy.OnFetch(old, SimTime::Epoch(), {old.last_modified, std::nullopt});
+  EXPECT_LT(young.expires_at, old.expires_at);
+  EXPECT_EQ(young.expires_at, SimTime::Epoch() + Hours(1));
+  EXPECT_EQ(old.expires_at, SimTime::Epoch() + Days(10));
+}
+
+TEST(AlexPolicyTest, ThresholdZeroAlwaysPolls) {
+  // The "poorly designed servers" configuration of Figure 8: check with the
+  // server on every client request.
+  AlexPolicy policy(0.0);
+  CacheEntry entry = MakeEntry(SimTime::Epoch() - Days(100));
+  policy.OnFetch(entry, SimTime::Epoch(), {entry.last_modified, std::nullopt});
+  EXPECT_FALSE(policy.IsValid(entry, SimTime::Epoch()));
+  EXPECT_FALSE(policy.IsValid(entry, SimTime::Epoch() + Seconds(1)));
+}
+
+TEST(AlexPolicyTest, NegativeAgeClampsToZero) {
+  // A Last-Modified in the future (clock skew) must not produce a negative
+  // window.
+  AlexPolicy policy(0.5);
+  CacheEntry entry = MakeEntry(SimTime::Epoch() + Hours(5));
+  policy.OnFetch(entry, SimTime::Epoch(), {entry.last_modified, std::nullopt});
+  EXPECT_EQ(entry.expires_at, SimTime::Epoch());
+  EXPECT_FALSE(policy.IsValid(entry, SimTime::Epoch()));
+}
+
+TEST(AlexPolicyTest, ValidationExtendsWindowAsObjectAges) {
+  // After each successful validation the object is older, so the window
+  // grows — the adaptive behaviour that suits stable files.
+  AlexPolicy policy(0.10);
+  CacheEntry entry = MakeEntry(SimTime::Epoch() - Days(10));
+  policy.OnFetch(entry, SimTime::Epoch(), {entry.last_modified, std::nullopt});
+  const SimDuration first_window = entry.expires_at - SimTime::Epoch();
+  EXPECT_EQ(first_window, Days(1));
+
+  const SimTime revalidated = SimTime::Epoch() + Days(5);
+  policy.OnValidate(entry, revalidated);
+  const SimDuration second_window = entry.expires_at - revalidated;
+  EXPECT_EQ(second_window, SimDuration(Days(15).seconds() / 10));
+  EXPECT_GT(second_window, first_window);
+}
+
+TEST(AlexPolicyTest, MinValidityClamp) {
+  AlexPolicy policy(0.10, /*min_validity=*/Hours(1));
+  CacheEntry entry = MakeEntry(SimTime::Epoch() - Minutes(10));  // very young
+  policy.OnFetch(entry, SimTime::Epoch(), {entry.last_modified, std::nullopt});
+  EXPECT_EQ(entry.expires_at, SimTime::Epoch() + Hours(1));
+}
+
+TEST(AlexPolicyTest, MaxValidityClamp) {
+  AlexPolicy policy(0.50, SimDuration(0), /*max_validity=*/Days(7));
+  CacheEntry entry = MakeEntry(SimTime::Epoch() - Days(1000));
+  policy.OnFetch(entry, SimTime::Epoch(), {entry.last_modified, std::nullopt});
+  EXPECT_EQ(entry.expires_at, SimTime::Epoch() + Days(7));
+}
+
+TEST(AlexPolicyTest, InvalidatedEntryNeverValid) {
+  AlexPolicy policy(0.5);
+  CacheEntry entry = MakeEntry(SimTime::Epoch() - Days(100));
+  policy.OnFetch(entry, SimTime::Epoch(), {entry.last_modified, std::nullopt});
+  entry.valid = false;
+  EXPECT_FALSE(policy.IsValid(entry, SimTime::Epoch() + Hours(1)));
+}
+
+TEST(AlexPolicyTest, Metadata) {
+  AlexPolicy policy(0.64);
+  EXPECT_EQ(policy.kind(), PolicyKind::kAlex);
+  EXPECT_DOUBLE_EQ(policy.threshold(), 0.64);
+  EXPECT_EQ(policy.Describe(), "alex(threshold=64%)");
+  EXPECT_FALSE(policy.UsesServerInvalidation());
+}
+
+// Property sweep over the paper's threshold axis: the window is always
+// threshold * age, monotone in both arguments.
+class AlexSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlexSweepTest, WindowIsThresholdTimesAge) {
+  const double threshold = GetParam() / 100.0;
+  AlexPolicy policy(threshold);
+  for (int64_t age_days : {1, 10, 30, 100}) {
+    const SimDuration window = policy.ValidityWindow(Days(age_days));
+    EXPECT_EQ(window, Days(age_days).ScaledBy(threshold));
+  }
+  // Monotonicity in age.
+  EXPECT_LE(policy.ValidityWindow(Days(1)), policy.ValidityWindow(Days(2)));
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRange, AlexSweepTest,
+                         ::testing::Values(0, 5, 10, 20, 40, 64, 80, 100));
+
+}  // namespace
+}  // namespace webcc

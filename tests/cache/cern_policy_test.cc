@@ -1,0 +1,63 @@
+#include "src/cache/cern_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace webcc {
+namespace {
+
+CacheEntry MakeEntry(SimTime last_modified) {
+  CacheEntry entry;
+  entry.object = 0;
+  entry.version = 1;
+  entry.last_modified = last_modified;
+  return entry;
+}
+
+TEST(CernPolicyTest, ExpiresHeaderHasTopPriority) {
+  CernHttpdPolicy policy(0.1, Days(2));
+  CacheEntry entry = MakeEntry(SimTime::Epoch() - Days(100));
+  FetchInfo info{entry.last_modified, SimTime::Epoch() + Hours(6)};
+  policy.OnFetch(entry, SimTime::Epoch(), info);
+  EXPECT_EQ(entry.expires_at, SimTime::Epoch() + Hours(6));
+}
+
+TEST(CernPolicyTest, LastModifiedFractionSecondPriority) {
+  CernHttpdPolicy policy(0.1, Days(2));
+  CacheEntry entry = MakeEntry(SimTime::Epoch() - Days(50));
+  policy.OnFetch(entry, SimTime::Epoch(), {entry.last_modified, std::nullopt});
+  EXPECT_EQ(entry.expires_at, SimTime::Epoch() + Days(5));  // 10% of 50 days
+}
+
+TEST(CernPolicyTest, DefaultTtlWhenFractionDisabled) {
+  CernHttpdPolicy policy(0.1, Days(2), /*use_lm_fraction=*/false);
+  CacheEntry entry = MakeEntry(SimTime::Epoch() - Days(50));
+  policy.OnFetch(entry, SimTime::Epoch(), {entry.last_modified, std::nullopt});
+  EXPECT_EQ(entry.expires_at, SimTime::Epoch() + Days(2));
+}
+
+TEST(CernPolicyTest, EquivalentToAlexForSameFraction) {
+  // The LM-fraction rule IS the Alex rule; §2 presents CERN's policy as the
+  // most widely deployed instance of it.
+  CernHttpdPolicy cern(0.25, Days(2));
+  CacheEntry entry = MakeEntry(SimTime::Epoch() - Days(40));
+  cern.OnFetch(entry, SimTime::Epoch(), {entry.last_modified, std::nullopt});
+  EXPECT_EQ(entry.expires_at, SimTime::Epoch() + Days(10));
+}
+
+TEST(CernPolicyTest, FutureLastModifiedClamps) {
+  CernHttpdPolicy policy(0.5, Days(2));
+  CacheEntry entry = MakeEntry(SimTime::Epoch() + Days(1));
+  policy.OnFetch(entry, SimTime::Epoch(), {entry.last_modified, std::nullopt});
+  EXPECT_EQ(entry.expires_at, SimTime::Epoch());
+}
+
+TEST(CernPolicyTest, Metadata) {
+  CernHttpdPolicy policy(0.10, Hours(48));
+  EXPECT_EQ(policy.kind(), PolicyKind::kCernHttpd);
+  EXPECT_DOUBLE_EQ(policy.lm_fraction(), 0.10);
+  EXPECT_EQ(policy.default_ttl(), Hours(48));
+  EXPECT_EQ(policy.Describe(), "cern(lm=0.10, default=48.0h)");
+}
+
+}  // namespace
+}  // namespace webcc

@@ -1,0 +1,113 @@
+// LRU capacity eviction — an extension beyond the paper (whose caches never
+// evict valid entries); disabled by default and exercised here.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/cache/origin_upstream.h"
+#include "src/cache/policy_factory.h"
+#include "src/cache/proxy_cache.h"
+#include "src/util/str.h"
+
+namespace webcc {
+namespace {
+
+class EvictionTest : public ::testing::Test {
+ protected:
+  EvictionTest() : upstream_(&server_) {
+    for (int i = 0; i < 5; ++i) {
+      ids_.push_back(server_.store().Create(StrFormat("/o%d", i), FileType::kGif, 1000,
+                                            SimTime::Epoch() - Days(50)));
+    }
+  }
+
+  std::unique_ptr<ProxyCache> MakeCache(int64_t capacity, PolicyConfig policy) {
+    CacheConfig config;
+    config.capacity_bytes = capacity;
+    return std::make_unique<ProxyCache>("lru", &upstream_, MakePolicy(policy), config,
+                                        &server_.store());
+  }
+
+  OriginServer server_;
+  OriginUpstream upstream_;
+  std::vector<ObjectId> ids_;
+};
+
+TEST_F(EvictionTest, UnboundedByDefaultNeverEvicts) {
+  auto cache = MakeCache(0, PolicyConfig::Ttl(Hours(24)));
+  for (ObjectId id : ids_) {
+    cache->HandleRequest(id, SimTime::Epoch());
+  }
+  EXPECT_EQ(cache->EntryCount(), 5u);
+  EXPECT_EQ(cache->stats().evictions, 0u);
+}
+
+TEST_F(EvictionTest, CapacityEnforced) {
+  auto cache = MakeCache(3000, PolicyConfig::Ttl(Hours(24)));
+  for (ObjectId id : ids_) {
+    cache->HandleRequest(id, SimTime::Epoch());
+  }
+  EXPECT_LE(cache->StoredBytes(), 3000);
+  EXPECT_EQ(cache->EntryCount(), 3u);
+  EXPECT_EQ(cache->stats().evictions, 2u);
+}
+
+TEST_F(EvictionTest, EvictsLeastRecentlyUsed) {
+  auto cache = MakeCache(3000, PolicyConfig::Ttl(Hours(24)));
+  cache->HandleRequest(ids_[0], SimTime::Epoch());
+  cache->HandleRequest(ids_[1], SimTime::Epoch() + Seconds(1));
+  cache->HandleRequest(ids_[2], SimTime::Epoch() + Seconds(2));
+  // Touch 0 so 1 becomes LRU.
+  cache->HandleRequest(ids_[0], SimTime::Epoch() + Seconds(3));
+  cache->HandleRequest(ids_[3], SimTime::Epoch() + Seconds(4));
+  EXPECT_TRUE(cache->Contains(ids_[0]));
+  EXPECT_FALSE(cache->Contains(ids_[1]));  // evicted
+  EXPECT_TRUE(cache->Contains(ids_[2]));
+  EXPECT_TRUE(cache->Contains(ids_[3]));
+}
+
+TEST_F(EvictionTest, EvictedObjectRefetchedAsColdMiss) {
+  auto cache = MakeCache(1000, PolicyConfig::Ttl(Hours(24)));
+  cache->HandleRequest(ids_[0], SimTime::Epoch());
+  cache->HandleRequest(ids_[1], SimTime::Epoch() + Seconds(1));  // evicts 0
+  const ServeResult result = cache->HandleRequest(ids_[0], SimTime::Epoch() + Seconds(2));
+  EXPECT_EQ(result.kind, ServeKind::kMissCold);
+  EXPECT_EQ(cache->stats().misses_cold, 3u);
+}
+
+TEST_F(EvictionTest, GrowingBodyTriggersEviction) {
+  auto cache = MakeCache(2500, PolicyConfig::Ttl(Hours(1)));
+  cache->HandleRequest(ids_[0], SimTime::Epoch());
+  cache->HandleRequest(ids_[1], SimTime::Epoch() + Seconds(1));
+  EXPECT_EQ(cache->EntryCount(), 2u);
+  // Object 1 grows to 2000 bytes on the server; re-fetch must evict 0.
+  server_.ModifyObject(ids_[1], SimTime::Epoch() + Minutes(5), 2000);
+  cache->HandleRequest(ids_[1], SimTime::Epoch() + Hours(2));
+  EXPECT_LE(cache->StoredBytes(), 2500);
+  EXPECT_FALSE(cache->Contains(ids_[0]));
+}
+
+TEST_F(EvictionTest, EvictionUnsubscribesInvalidation) {
+  auto cache = MakeCache(1000, PolicyConfig::Invalidation());
+  cache->HandleRequest(ids_[0], SimTime::Epoch());
+  EXPECT_EQ(server_.SubscriptionCount(), 1u);
+  cache->HandleRequest(ids_[1], SimTime::Epoch() + Seconds(1));  // evicts 0
+  EXPECT_EQ(server_.SubscriptionCount(), 1u);
+  // A change to the evicted object must not reach the cache.
+  const uint64_t before = server_.stats().invalidations_sent;
+  server_.ModifyObject(ids_[0], SimTime::Epoch() + Minutes(1));
+  EXPECT_EQ(server_.stats().invalidations_sent, before);
+}
+
+TEST_F(EvictionTest, ObjectLargerThanCapacityDoesNotStick) {
+  const ObjectId big =
+      server_.store().Create("/big.jpg", FileType::kJpg, 9999, SimTime::Epoch() - Days(1));
+  auto cache = MakeCache(5000, PolicyConfig::Ttl(Hours(24)));
+  cache->HandleRequest(big, SimTime::Epoch());
+  EXPECT_EQ(cache->EntryCount(), 0u);
+  EXPECT_EQ(cache->StoredBytes(), 0);
+}
+
+}  // namespace
+}  // namespace webcc

@@ -1,0 +1,167 @@
+// End-to-end behaviour of the invalidation protocol through ProxyCache and
+// OriginServer, including the Worrell optimization (mark invalid, fetch on
+// demand) and unreachable-cache recovery.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/cache/origin_upstream.h"
+#include "src/cache/policy_factory.h"
+#include "src/cache/proxy_cache.h"
+#include "src/http/message.h"
+
+namespace webcc {
+namespace {
+
+class InvalidationTest : public ::testing::Test {
+ protected:
+  InvalidationTest() : upstream_(&server_) {
+    obj_ = server_.store().Create("/inv.html", FileType::kHtml, 5000,
+                                  SimTime::Epoch() - Days(20));
+    CacheConfig config;
+    cache_ = std::make_unique<ProxyCache>("inv", &upstream_,
+                                          MakePolicy(PolicyConfig::Invalidation()), config,
+                                          &server_.store());
+  }
+
+  OriginServer server_;
+  OriginUpstream upstream_;
+  std::unique_ptr<ProxyCache> cache_;
+  ObjectId obj_ = kInvalidObjectId;
+};
+
+TEST_F(InvalidationTest, FetchSubscribesWithServer) {
+  EXPECT_EQ(server_.SubscriptionCount(), 0u);
+  cache_->HandleRequest(obj_, SimTime::Epoch());
+  EXPECT_EQ(server_.SubscriptionCount(), 1u);
+}
+
+TEST_F(InvalidationTest, CachedCopyValidIndefinitelyWithoutChanges) {
+  cache_->HandleRequest(obj_, SimTime::Epoch());
+  const ServeResult result = cache_->HandleRequest(obj_, SimTime::Epoch() + Days(365));
+  EXPECT_EQ(result.kind, ServeKind::kHitFresh);
+  EXPECT_FALSE(result.stale);
+  EXPECT_EQ(result.link_bytes, 0);
+}
+
+TEST_F(InvalidationTest, ChangeMarksEntryInvalidButKeepsBytes) {
+  cache_->HandleRequest(obj_, SimTime::Epoch());
+  server_.ModifyObject(obj_, SimTime::Epoch() + Hours(1));
+  const CacheEntry* entry = cache_->Find(obj_);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_FALSE(entry->valid);
+  // The body is NOT re-fetched until requested (Worrell's optimization).
+  EXPECT_EQ(server_.stats().get_requests, 1u);
+  EXPECT_EQ(cache_->stats().invalidations_received, 1u);
+}
+
+TEST_F(InvalidationTest, NextRequestAfterInvalidationFetches) {
+  cache_->HandleRequest(obj_, SimTime::Epoch());
+  server_.ModifyObject(obj_, SimTime::Epoch() + Hours(1));
+  const ServeResult result = cache_->HandleRequest(obj_, SimTime::Epoch() + Hours(2));
+  EXPECT_EQ(result.kind, ServeKind::kMissRefetched);
+  EXPECT_FALSE(result.stale);
+  EXPECT_EQ(cache_->Find(obj_)->version, 2u);
+  EXPECT_TRUE(cache_->Find(obj_)->valid);
+}
+
+TEST_F(InvalidationTest, NeverServesStale) {
+  // Arbitrary interleaving of changes and requests: zero stale serves.
+  cache_->HandleRequest(obj_, SimTime::Epoch());
+  SimTime t = SimTime::Epoch();
+  for (int i = 0; i < 50; ++i) {
+    t += Minutes(7);
+    if (i % 3 == 0) {
+      server_.ModifyObject(obj_, t);
+    }
+    t += Minutes(2);
+    cache_->HandleRequest(obj_, t);
+  }
+  EXPECT_EQ(cache_->stats().stale_hits, 0u);
+}
+
+TEST_F(InvalidationTest, InvalidationCostsOneControlMessage) {
+  cache_->HandleRequest(obj_, SimTime::Epoch());
+  const int64_t before = server_.stats().TotalBytes();
+  server_.ModifyObject(obj_, SimTime::Epoch() + Hours(1));
+  EXPECT_EQ(server_.stats().TotalBytes() - before, kControlMessageBytes);
+}
+
+TEST_F(InvalidationTest, RepeatedChangesOnlyNotifyWhileSubscribed) {
+  cache_->HandleRequest(obj_, SimTime::Epoch());
+  for (int i = 1; i <= 5; ++i) {
+    server_.ModifyObject(obj_, SimTime::Epoch() + Hours(i));
+  }
+  // Entry stays cached (invalid) and subscribed: 5 notices.
+  EXPECT_EQ(cache_->stats().invalidations_received, 5u);
+}
+
+TEST_F(InvalidationTest, UnreachableCacheDropsNotice) {
+  cache_->HandleRequest(obj_, SimTime::Epoch());
+  cache_->set_reachable(false);
+  server_.ModifyObject(obj_, SimTime::Epoch() + Hours(1));
+  EXPECT_EQ(cache_->stats().invalidations_dropped, 1u);
+  EXPECT_EQ(cache_->stats().invalidations_received, 0u);
+  // Without delivery the entry still looks valid — this is exactly the
+  // fault-tolerance weakness of invalidation protocols the paper discusses.
+  const ServeResult result = cache_->HandleRequest(obj_, SimTime::Epoch() + Hours(2));
+  EXPECT_EQ(result.kind, ServeKind::kHitFresh);
+  EXPECT_TRUE(result.stale);
+}
+
+TEST_F(InvalidationTest, RetryRecoversAfterPartitionHeals) {
+  SimEngine engine;
+  OriginServer server(&engine, Minutes(5));
+  const ObjectId obj =
+      server.store().Create("/r.html", FileType::kHtml, 100, SimTime::Epoch() - Days(1));
+  OriginUpstream upstream(&server);
+  ProxyCache cache("part", &upstream, MakePolicy(PolicyConfig::Invalidation()), CacheConfig{},
+                   &server.store());
+  cache.HandleRequest(obj, SimTime::Epoch());
+
+  cache.set_reachable(false);
+  engine.RunUntil(SimTime::Epoch() + Hours(1));
+  server.ModifyObject(obj, engine.Now());
+  EXPECT_TRUE(cache.Find(obj)->valid);  // notice lost
+
+  cache.set_reachable(true);
+  engine.RunUntil(SimTime::Epoch() + Hours(2));  // retries fire
+  EXPECT_FALSE(cache.Find(obj)->valid);          // eventually consistent
+  EXPECT_GT(server.stats().invalidation_retries, 0u);
+}
+
+TEST_F(InvalidationTest, InvalidationForUncachedObjectHarmless) {
+  // Deliver an invalidation for an object the cache never stored.
+  EXPECT_TRUE(cache_->DeliverInvalidation(obj_, SimTime::Epoch()));
+  EXPECT_EQ(cache_->stats().invalidations_received, 1u);
+  EXPECT_FALSE(cache_->Contains(obj_));
+}
+
+TEST_F(InvalidationTest, ContactReregistersLostSubscription) {
+  // A cache restored from a snapshot (or otherwise forgotten by the server)
+  // regains its registration the first time it talks to the server about
+  // the object — the recovery path of §6.
+  cache_->HandleRequest(obj_, SimTime::Epoch());
+  const CacheId cache_id = 0;  // the only registered cache
+  server_.Unsubscribe(cache_id, obj_);  // simulate server-side state loss
+  EXPECT_EQ(server_.SubscriptionCount(), 0u);
+
+  // Mark the local copy invalid so the next request contacts the server.
+  cache_->DeliverInvalidation(obj_, SimTime::Epoch() + Hours(1));
+  cache_->HandleRequest(obj_, SimTime::Epoch() + Hours(2));
+  EXPECT_EQ(server_.SubscriptionCount(), 1u);
+
+  // And notices flow again.
+  server_.ModifyObject(obj_, SimTime::Epoch() + Hours(3));
+  EXPECT_FALSE(cache_->Find(obj_)->valid);
+}
+
+TEST_F(InvalidationTest, PreloadSubscribesEverything) {
+  server_.store().Create("/b.gif", FileType::kGif, 100, SimTime::Epoch() - Days(1));
+  cache_->Preload(server_.store(), SimTime::Epoch());
+  EXPECT_EQ(server_.SubscriptionCount(), 2u);
+}
+
+}  // namespace
+}  // namespace webcc

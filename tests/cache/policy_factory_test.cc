@@ -1,0 +1,84 @@
+#include "src/cache/policy_factory.h"
+
+#include <gtest/gtest.h>
+
+namespace webcc {
+namespace {
+
+TEST(PolicyFactoryTest, BuildsEveryKind) {
+  EXPECT_EQ(MakePolicy(PolicyConfig::Ttl(Hours(24)))->kind(), PolicyKind::kFixedTtl);
+  EXPECT_EQ(MakePolicy(PolicyConfig::Alex(0.1))->kind(), PolicyKind::kAlex);
+  EXPECT_EQ(MakePolicy(PolicyConfig::Cern(0.1, Days(2)))->kind(), PolicyKind::kCernHttpd);
+  EXPECT_EQ(MakePolicy(PolicyConfig::Invalidation())->kind(), PolicyKind::kInvalidation);
+  EXPECT_EQ(MakePolicy(PolicyConfig::Adaptive())->kind(), PolicyKind::kAdaptiveTuner);
+}
+
+TEST(PolicyFactoryTest, ParametersArePlumbedThrough) {
+  auto policy = MakePolicy(PolicyConfig::Ttl(Hours(125)));
+  EXPECT_EQ(policy->Describe(), "ttl(125.0h)");
+  EXPECT_EQ(MakePolicy(PolicyConfig::Alex(0.64))->Describe(), "alex(threshold=64%)");
+}
+
+TEST(PolicyFactoryTest, OnlyInvalidationUsesServerCallbacks) {
+  EXPECT_TRUE(MakePolicy(PolicyConfig::Invalidation())->UsesServerInvalidation());
+  EXPECT_FALSE(MakePolicy(PolicyConfig::Ttl(Hours(1)))->UsesServerInvalidation());
+  EXPECT_FALSE(MakePolicy(PolicyConfig::Alex(0.1))->UsesServerInvalidation());
+  EXPECT_FALSE(MakePolicy(PolicyConfig::Cern(0.1, Days(1)))->UsesServerInvalidation());
+  EXPECT_FALSE(MakePolicy(PolicyConfig::Adaptive())->UsesServerInvalidation());
+}
+
+TEST(PolicyFactoryTest, SquidRefreshPatternIsClampedAlex) {
+  // refresh_pattern . 1h 20% 72h — Squid's default-ish rule.
+  auto policy =
+      MakePolicy(PolicyConfig::SquidRefreshPattern(Hours(1), 20.0, Hours(72)));
+  EXPECT_EQ(policy->kind(), PolicyKind::kAlex);
+
+  CacheEntry young;
+  young.last_modified = SimTime::Epoch() - Minutes(10);  // 20% of 10min << 1h
+  policy->OnFetch(young, SimTime::Epoch(), {young.last_modified, std::nullopt});
+  EXPECT_EQ(young.expires_at, SimTime::Epoch() + Hours(1));  // min clamp
+
+  CacheEntry mid;
+  mid.last_modified = SimTime::Epoch() - Days(10);  // 20% of 10d = 2d
+  policy->OnFetch(mid, SimTime::Epoch(), {mid.last_modified, std::nullopt});
+  EXPECT_EQ(mid.expires_at, SimTime::Epoch() + Days(2));
+
+  CacheEntry old;
+  old.last_modified = SimTime::Epoch() - Days(365);  // 20% of 1y >> 72h
+  policy->OnFetch(old, SimTime::Epoch(), {old.last_modified, std::nullopt});
+  EXPECT_EQ(old.expires_at, SimTime::Epoch() + Hours(72));  // max clamp
+}
+
+TEST(PolicyFactoryTest, PlainAlexIsUnclamped) {
+  auto policy = MakePolicy(PolicyConfig::Alex(0.2));
+  CacheEntry old;
+  old.last_modified = SimTime::Epoch() - Days(365);
+  policy->OnFetch(old, SimTime::Epoch(), {old.last_modified, std::nullopt});
+  EXPECT_EQ(old.expires_at, SimTime::Epoch() + Days(73));
+}
+
+TEST(PolicyFactoryTest, DescribeWithoutBuilding) {
+  EXPECT_EQ(PolicyConfig::Invalidation().Describe(), "invalidation");
+}
+
+TEST(PolicyKindTest, Names) {
+  EXPECT_EQ(PolicyKindName(PolicyKind::kFixedTtl), "ttl");
+  EXPECT_EQ(PolicyKindName(PolicyKind::kAlex), "alex");
+  EXPECT_EQ(PolicyKindName(PolicyKind::kCernHttpd), "cern");
+  EXPECT_EQ(PolicyKindName(PolicyKind::kInvalidation), "invalidation");
+  EXPECT_EQ(PolicyKindName(PolicyKind::kAdaptiveTuner), "adaptive");
+}
+
+TEST(InvalidationPolicyTest, ValidUntilInvalidated) {
+  auto policy = MakePolicy(PolicyConfig::Invalidation());
+  CacheEntry entry;
+  entry.last_modified = SimTime::Epoch() - Days(1);
+  policy->OnFetch(entry, SimTime::Epoch(), {entry.last_modified, std::nullopt});
+  // No time horizon whatsoever.
+  EXPECT_TRUE(policy->IsValid(entry, SimTime::Epoch() + Days(10000)));
+  entry.valid = false;
+  EXPECT_FALSE(policy->IsValid(entry, SimTime::Epoch()));
+}
+
+}  // namespace
+}  // namespace webcc

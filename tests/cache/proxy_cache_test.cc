@@ -1,0 +1,247 @@
+#include "src/cache/proxy_cache.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/cache/alex_policy.h"
+#include "src/cache/origin_upstream.h"
+#include "src/cache/policy_factory.h"
+#include "src/cache/ttl_policy.h"
+#include "src/http/message.h"
+
+namespace webcc {
+namespace {
+
+class ProxyCacheTest : public ::testing::Test {
+ protected:
+  ProxyCacheTest() : upstream_(&server_) {
+    obj_ = server_.store().Create("/doc.html", FileType::kHtml, 6000,
+                                  SimTime::Epoch() - Days(10));
+  }
+
+  std::unique_ptr<ProxyCache> MakeCache(PolicyConfig policy,
+                                        RefreshMode mode = RefreshMode::kConditionalGet) {
+    CacheConfig config;
+    config.refresh_mode = mode;
+    return std::make_unique<ProxyCache>("test", &upstream_, MakePolicy(policy), config,
+                                        &server_.store());
+  }
+
+  OriginServer server_;
+  OriginUpstream upstream_;
+  ObjectId obj_ = kInvalidObjectId;
+};
+
+TEST_F(ProxyCacheTest, ColdMissFetchesBody) {
+  auto cache = MakeCache(PolicyConfig::Ttl(Hours(24)));
+  const ServeResult result = cache->HandleRequest(obj_, SimTime::Epoch());
+  EXPECT_EQ(result.kind, ServeKind::kMissCold);
+  EXPECT_FALSE(result.stale);
+  EXPECT_EQ(result.link_bytes, ControlWireBytes() + DocumentWireBytes(6000));
+  EXPECT_TRUE(cache->Contains(obj_));
+  EXPECT_EQ(cache->StoredBytes(), 6000);
+  EXPECT_EQ(cache->stats().misses_cold, 1u);
+}
+
+TEST_F(ProxyCacheTest, FreshHitNeedsNoUpstreamContact) {
+  auto cache = MakeCache(PolicyConfig::Ttl(Hours(24)));
+  cache->HandleRequest(obj_, SimTime::Epoch());
+  const int64_t bytes_before = cache->stats().LinkBytes();
+  const ServeResult result = cache->HandleRequest(obj_, SimTime::Epoch() + Hours(1));
+  EXPECT_EQ(result.kind, ServeKind::kHitFresh);
+  EXPECT_EQ(result.link_bytes, 0);
+  EXPECT_EQ(cache->stats().LinkBytes(), bytes_before);
+  EXPECT_EQ(cache->stats().hits_fresh, 1u);
+}
+
+TEST_F(ProxyCacheTest, StaleHitDetectedByOracle) {
+  auto cache = MakeCache(PolicyConfig::Ttl(Hours(24)));
+  cache->HandleRequest(obj_, SimTime::Epoch());
+  server_.ModifyObject(obj_, SimTime::Epoch() + Hours(1));
+  const ServeResult result = cache->HandleRequest(obj_, SimTime::Epoch() + Hours(2));
+  EXPECT_EQ(result.kind, ServeKind::kHitFresh);  // policy says valid...
+  EXPECT_TRUE(result.stale);                     // ...but the body is old
+  EXPECT_EQ(cache->stats().stale_hits, 1u);
+}
+
+TEST_F(ProxyCacheTest, OptimizedExpiryValidatesWith304) {
+  auto cache = MakeCache(PolicyConfig::Ttl(Hours(1)));
+  cache->HandleRequest(obj_, SimTime::Epoch());
+  // Expired, but unchanged on the server: conditional GET returns 304.
+  const ServeResult result = cache->HandleRequest(obj_, SimTime::Epoch() + Hours(2));
+  EXPECT_EQ(result.kind, ServeKind::kHitValidated);
+  EXPECT_EQ(result.link_bytes, 2 * ControlWireBytes());  // query + 304
+  EXPECT_EQ(cache->stats().hits_validated, 1u);
+  EXPECT_EQ(cache->stats().validations_sent, 1u);
+  EXPECT_EQ(server_.stats().ims_not_modified, 1u);
+  // No body moved: not a miss (paper §4.1).
+  EXPECT_EQ(cache->stats().Misses(), 1u);  // only the cold miss
+}
+
+TEST_F(ProxyCacheTest, OptimizedExpiryRefetchesWhenChanged) {
+  auto cache = MakeCache(PolicyConfig::Ttl(Hours(1)));
+  cache->HandleRequest(obj_, SimTime::Epoch());
+  server_.ModifyObject(obj_, SimTime::Epoch() + Minutes(30), 7000);
+  const ServeResult result = cache->HandleRequest(obj_, SimTime::Epoch() + Hours(2));
+  EXPECT_EQ(result.kind, ServeKind::kMissRefetched);
+  EXPECT_FALSE(result.stale);
+  EXPECT_EQ(result.link_bytes, ControlWireBytes() + DocumentWireBytes(7000));
+  const CacheEntry* entry = cache->Find(obj_);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->version, 2u);
+  EXPECT_EQ(entry->size_bytes, 7000);
+  EXPECT_EQ(cache->StoredBytes(), 7000);
+}
+
+TEST_F(ProxyCacheTest, BaseModeRefetchesFullBodyEvenWhenUnchanged) {
+  // The base simulator's wastefulness: expiry means a full transfer.
+  auto cache = MakeCache(PolicyConfig::Ttl(Hours(1)), RefreshMode::kFullRefetch);
+  cache->HandleRequest(obj_, SimTime::Epoch());
+  const ServeResult result = cache->HandleRequest(obj_, SimTime::Epoch() + Hours(2));
+  EXPECT_EQ(result.kind, ServeKind::kMissRefetched);
+  EXPECT_EQ(result.link_bytes, ControlWireBytes() + DocumentWireBytes(6000));
+  EXPECT_EQ(cache->stats().validations_sent, 0u);
+  EXPECT_EQ(server_.stats().ims_queries, 0u);
+  EXPECT_EQ(server_.stats().get_requests, 2u);
+}
+
+TEST_F(ProxyCacheTest, ValidationRefreshesValidityWindow) {
+  auto cache = MakeCache(PolicyConfig::Ttl(Hours(1)));
+  cache->HandleRequest(obj_, SimTime::Epoch());
+  cache->HandleRequest(obj_, SimTime::Epoch() + Hours(2));  // 304, re-arms TTL
+  const ServeResult result = cache->HandleRequest(obj_, SimTime::Epoch() + Hours(2) + Minutes(30));
+  EXPECT_EQ(result.kind, ServeKind::kHitFresh);
+}
+
+TEST_F(ProxyCacheTest, CacheAndServerByteAccountingAgree) {
+  auto cache = MakeCache(PolicyConfig::Ttl(Hours(1)));
+  cache->HandleRequest(obj_, SimTime::Epoch());
+  server_.ModifyObject(obj_, SimTime::Epoch() + Minutes(10));
+  cache->HandleRequest(obj_, SimTime::Epoch() + Hours(2));
+  cache->HandleRequest(obj_, SimTime::Epoch() + Hours(5));
+  EXPECT_EQ(cache->stats().LinkBytes(), server_.stats().TotalBytes());
+  EXPECT_EQ(cache->stats().bytes_to_upstream, server_.stats().bytes_received);
+  EXPECT_EQ(cache->stats().bytes_from_upstream, server_.stats().bytes_sent);
+}
+
+TEST_F(ProxyCacheTest, PreloadServesWithoutTraffic) {
+  auto cache = MakeCache(PolicyConfig::Ttl(Hours(24)));
+  cache->Preload(server_.store(), SimTime::Epoch());
+  server_.ResetStats();
+  const ServeResult result = cache->HandleRequest(obj_, SimTime::Epoch() + Hours(1));
+  EXPECT_EQ(result.kind, ServeKind::kHitFresh);
+  EXPECT_EQ(server_.stats().TotalBytes(), 0);
+  EXPECT_EQ(cache->EntryCount(), 1u);
+}
+
+TEST_F(ProxyCacheTest, AlexPolicyIntegration) {
+  // Object is 10 days old; threshold 10% -> 1-day window from fetch.
+  auto cache = MakeCache(PolicyConfig::Alex(0.10));
+  cache->HandleRequest(obj_, SimTime::Epoch());
+  EXPECT_EQ(cache->HandleRequest(obj_, SimTime::Epoch() + Hours(23)).kind,
+            ServeKind::kHitFresh);
+  EXPECT_EQ(cache->HandleRequest(obj_, SimTime::Epoch() + Hours(25)).kind,
+            ServeKind::kHitValidated);
+}
+
+TEST_F(ProxyCacheTest, RequestCountsAreConsistent) {
+  auto cache = MakeCache(PolicyConfig::Ttl(Hours(1)));
+  for (int i = 0; i < 20; ++i) {
+    cache->HandleRequest(obj_, SimTime::Epoch() + Minutes(i * 20));
+  }
+  const CacheStats& s = cache->stats();
+  EXPECT_EQ(s.requests, 20u);
+  EXPECT_EQ(s.requests, s.hits_fresh + s.hits_validated + s.misses_cold + s.misses_refetched);
+}
+
+TEST_F(ProxyCacheTest, ServeFeedbackRecordedOnlyWhenPolicyWantsIt) {
+  auto plain = MakeCache(PolicyConfig::Ttl(Hours(24)));
+  plain->HandleRequest(obj_, SimTime::Epoch());
+  plain->HandleRequest(obj_, SimTime::Epoch() + Hours(1));
+  EXPECT_TRUE(plain->Find(obj_)->serves_since_validation.empty());
+
+  auto adaptive = MakeCache(PolicyConfig::Adaptive());
+  adaptive->HandleRequest(obj_, SimTime::Epoch());
+  adaptive->HandleRequest(obj_, SimTime::Epoch() + Hours(1));
+  EXPECT_EQ(adaptive->Find(obj_)->serves_since_validation.size(), 2u);
+}
+
+TEST_F(ProxyCacheTest, MultipleObjectsTrackedIndependently) {
+  const ObjectId second =
+      server_.store().Create("/logo.gif", FileType::kGif, 7791, SimTime::Epoch() - Days(100));
+  auto cache = MakeCache(PolicyConfig::Alex(0.10));
+  cache->HandleRequest(obj_, SimTime::Epoch());
+  cache->HandleRequest(second, SimTime::Epoch());
+  EXPECT_EQ(cache->EntryCount(), 2u);
+  EXPECT_EQ(cache->StoredBytes(), 6000 + 7791);
+  // The 100-day-old gif stays valid long after the 10-day html expired.
+  EXPECT_EQ(cache->HandleRequest(obj_, SimTime::Epoch() + Days(2)).kind,
+            ServeKind::kHitValidated);
+  EXPECT_EQ(cache->HandleRequest(second, SimTime::Epoch() + Days(2)).kind,
+            ServeKind::kHitFresh);
+}
+
+TEST_F(ProxyCacheTest, FindOnMissingReturnsNull) {
+  auto cache = MakeCache(PolicyConfig::Ttl(Hours(1)));
+  EXPECT_EQ(cache->Find(obj_), nullptr);
+  EXPECT_FALSE(cache->Contains(obj_));
+}
+
+TEST_F(ProxyCacheTest, ResetStatsKeepsEntries) {
+  auto cache = MakeCache(PolicyConfig::Ttl(Hours(24)));
+  cache->HandleRequest(obj_, SimTime::Epoch());
+  cache->ResetStats();
+  EXPECT_EQ(cache->stats().requests, 0u);
+  EXPECT_TRUE(cache->Contains(obj_));
+}
+
+TEST_F(ProxyCacheTest, PerTypeCountersAttributeCorrectly) {
+  const ObjectId gif =
+      server_.store().Create("/x.gif", FileType::kGif, 1000, SimTime::Epoch() - Days(100));
+  auto cache = MakeCache(PolicyConfig::Ttl(Hours(1)));
+  // html: cold miss + fresh hit + 304 validation + change refetch.
+  cache->HandleRequest(obj_, SimTime::Epoch());
+  cache->HandleRequest(obj_, SimTime::Epoch() + Minutes(30));
+  cache->HandleRequest(obj_, SimTime::Epoch() + Hours(2));
+  server_.ModifyObject(obj_, SimTime::Epoch() + Hours(3), 6500);
+  cache->HandleRequest(obj_, SimTime::Epoch() + Hours(4));
+  // gif: cold miss only.
+  cache->HandleRequest(gif, SimTime::Epoch());
+
+  const auto& html = cache->stats().by_type[static_cast<size_t>(FileType::kHtml)];
+  EXPECT_EQ(html.requests, 4u);
+  EXPECT_EQ(html.misses, 2u);        // cold + refetch
+  EXPECT_EQ(html.validations, 2u);   // the 304 and the refetch query
+  EXPECT_EQ(html.payload_bytes, 6000 + 6500);
+
+  const auto& gif_counters = cache->stats().by_type[static_cast<size_t>(FileType::kGif)];
+  EXPECT_EQ(gif_counters.requests, 1u);
+  EXPECT_EQ(gif_counters.misses, 1u);
+  EXPECT_EQ(gif_counters.payload_bytes, 1000);
+
+  // The per-type view partitions the totals exactly.
+  uint64_t total_requests = 0;
+  for (const auto& tc : cache->stats().by_type) {
+    total_requests += tc.requests;
+  }
+  EXPECT_EQ(total_requests, cache->stats().requests);
+}
+
+TEST_F(ProxyCacheTest, PerTypeStaleAttribution) {
+  auto cache = MakeCache(PolicyConfig::Ttl(Hours(24)));
+  cache->HandleRequest(obj_, SimTime::Epoch());
+  server_.ModifyObject(obj_, SimTime::Epoch() + Hours(1));
+  cache->HandleRequest(obj_, SimTime::Epoch() + Hours(2));  // stale fresh-hit
+  const auto& html = cache->stats().by_type[static_cast<size_t>(FileType::kHtml)];
+  EXPECT_EQ(html.stale_hits, 1u);
+}
+
+TEST_F(ProxyCacheTest, EntryTypeComesFromOracle) {
+  auto cache = MakeCache(PolicyConfig::Ttl(Hours(24)));
+  cache->HandleRequest(obj_, SimTime::Epoch());
+  EXPECT_EQ(cache->Find(obj_)->type, FileType::kHtml);
+}
+
+}  // namespace
+}  // namespace webcc

@@ -1,0 +1,109 @@
+#include "src/cache/ttl_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace webcc {
+namespace {
+
+CacheEntry MakeEntry(SimTime last_modified) {
+  CacheEntry entry;
+  entry.object = 0;
+  entry.version = 1;
+  entry.last_modified = last_modified;
+  return entry;
+}
+
+TEST(FixedTtlPolicyTest, ValidWithinWindow) {
+  FixedTtlPolicy policy(Hours(24));
+  CacheEntry entry = MakeEntry(SimTime::Epoch() - Days(10));
+  FetchInfo info{entry.last_modified, std::nullopt};
+  policy.OnFetch(entry, SimTime::Epoch(), info);
+  EXPECT_TRUE(policy.IsValid(entry, SimTime::Epoch()));
+  EXPECT_TRUE(policy.IsValid(entry, SimTime::Epoch() + Hours(23)));
+  EXPECT_FALSE(policy.IsValid(entry, SimTime::Epoch() + Hours(24)));
+  EXPECT_FALSE(policy.IsValid(entry, SimTime::Epoch() + Days(30)));
+}
+
+TEST(FixedTtlPolicyTest, WindowIndependentOfAge) {
+  // TTL is static: a day-old and a year-old object get the same window.
+  FixedTtlPolicy policy(Hours(48));
+  CacheEntry young = MakeEntry(SimTime::Epoch() - Days(1));
+  CacheEntry old = MakeEntry(SimTime::Epoch() - Days(365));
+  policy.OnFetch(young, SimTime::Epoch(), {young.last_modified, std::nullopt});
+  policy.OnFetch(old, SimTime::Epoch(), {old.last_modified, std::nullopt});
+  EXPECT_EQ(young.expires_at, old.expires_at);
+}
+
+TEST(FixedTtlPolicyTest, ZeroTtlAlwaysRevalidates) {
+  FixedTtlPolicy policy(SimDuration(0));
+  CacheEntry entry = MakeEntry(SimTime::Epoch());
+  policy.OnFetch(entry, SimTime::Epoch(), {entry.last_modified, std::nullopt});
+  EXPECT_FALSE(policy.IsValid(entry, SimTime::Epoch()));
+}
+
+TEST(FixedTtlPolicyTest, ValidationRefreshesWindow) {
+  FixedTtlPolicy policy(Hours(10));
+  CacheEntry entry = MakeEntry(SimTime::Epoch() - Days(1));
+  policy.OnFetch(entry, SimTime::Epoch(), {entry.last_modified, std::nullopt});
+  policy.OnValidate(entry, SimTime::Epoch() + Hours(9));
+  EXPECT_TRUE(policy.IsValid(entry, SimTime::Epoch() + Hours(18)));
+  EXPECT_FALSE(policy.IsValid(entry, SimTime::Epoch() + Hours(19)));
+}
+
+TEST(FixedTtlPolicyTest, ExpiresHeaderOverridesTtl) {
+  // The HTTP/1.0 "expires" field takes precedence — that is how TTLs are
+  // communicated for objects with a priori known lifetimes (§1, §6).
+  FixedTtlPolicy policy(Hours(24));
+  CacheEntry entry = MakeEntry(SimTime::Epoch());
+  FetchInfo info{entry.last_modified, SimTime::Epoch() + Hours(2)};
+  policy.OnFetch(entry, SimTime::Epoch(), info);
+  EXPECT_TRUE(policy.IsValid(entry, SimTime::Epoch() + Hours(1)));
+  EXPECT_FALSE(policy.IsValid(entry, SimTime::Epoch() + Hours(2)));
+}
+
+TEST(FixedTtlPolicyTest, ExpiresHeaderIgnoredWhenDisabled) {
+  FixedTtlPolicy policy(Hours(24), /*honor_expires_header=*/false);
+  CacheEntry entry = MakeEntry(SimTime::Epoch());
+  FetchInfo info{entry.last_modified, SimTime::Epoch() + Hours(2)};
+  policy.OnFetch(entry, SimTime::Epoch(), info);
+  EXPECT_TRUE(policy.IsValid(entry, SimTime::Epoch() + Hours(20)));
+}
+
+TEST(FixedTtlPolicyTest, InvalidatedEntryNeverValid) {
+  FixedTtlPolicy policy(Hours(24));
+  CacheEntry entry = MakeEntry(SimTime::Epoch());
+  policy.OnFetch(entry, SimTime::Epoch(), {entry.last_modified, std::nullopt});
+  entry.valid = false;
+  EXPECT_FALSE(policy.IsValid(entry, SimTime::Epoch() + Hours(1)));
+}
+
+TEST(FixedTtlPolicyTest, Metadata) {
+  FixedTtlPolicy policy(Hours(125));
+  EXPECT_EQ(policy.kind(), PolicyKind::kFixedTtl);
+  EXPECT_EQ(policy.ttl(), Hours(125));
+  EXPECT_EQ(policy.Describe(), "ttl(125.0h)");
+  EXPECT_FALSE(policy.UsesServerInvalidation());
+  EXPECT_FALSE(policy.WantsServeFeedback());
+}
+
+// Property sweep: for any TTL, expiry happens exactly TTL after validation.
+class TtlSweepTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(TtlSweepTest, ExpiryExactlyAtTtl) {
+  const SimDuration ttl = Hours(GetParam());
+  FixedTtlPolicy policy(ttl);
+  CacheEntry entry = MakeEntry(SimTime::Epoch() - Days(100));
+  const SimTime fetch = SimTime::Epoch() + Hours(7);
+  policy.OnFetch(entry, fetch, {entry.last_modified, std::nullopt});
+  EXPECT_EQ(entry.expires_at, fetch + ttl);
+  if (ttl.seconds() > 0) {
+    EXPECT_TRUE(policy.IsValid(entry, fetch + ttl - Seconds(1)));
+  }
+  EXPECT_FALSE(policy.IsValid(entry, fetch + ttl));
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRange, TtlSweepTest,
+                         ::testing::Values(0, 1, 25, 50, 100, 125, 250, 500));
+
+}  // namespace
+}  // namespace webcc

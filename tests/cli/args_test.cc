@@ -1,0 +1,86 @@
+#include "src/cli/args.h"
+
+#include <gtest/gtest.h>
+
+namespace webcc {
+namespace {
+
+TEST(ArgParserTest, ParsesKeyValueAndBareFlags) {
+  ArgParser args({"--policy=alex", "--threshold=25", "--verbose"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args.GetString("policy", "x"), "alex");
+  EXPECT_EQ(args.GetInt("threshold", 0), 25);
+  EXPECT_TRUE(args.GetBool("verbose"));
+}
+
+TEST(ArgParserTest, DefaultsWhenAbsent) {
+  ArgParser args({});
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args.GetString("policy", "ttl"), "ttl");
+  EXPECT_EQ(args.GetInt("n", 7), 7);
+  EXPECT_DOUBLE_EQ(args.GetDouble("x", 2.5), 2.5);
+  EXPECT_FALSE(args.GetBool("flag"));
+  EXPECT_TRUE(args.GetBool("flag", true));
+}
+
+TEST(ArgParserTest, RejectsPositionalArguments) {
+  ArgParser args({"positional"});
+  EXPECT_FALSE(args.ok());
+  EXPECT_NE(args.error().find("positional"), std::string::npos);
+}
+
+TEST(ArgParserTest, RejectsBareDoubleDash) {
+  ArgParser args({"--"});
+  EXPECT_FALSE(args.ok());
+}
+
+TEST(ArgParserTest, RejectsEmptyName) {
+  ArgParser args({"--=5"});
+  EXPECT_FALSE(args.ok());
+}
+
+TEST(ArgParserTest, TypeErrorsReported) {
+  ArgParser args({"--n=abc"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args.GetInt("n", 3), 3);
+  EXPECT_FALSE(args.ok());
+  EXPECT_NE(args.error().find("integer"), std::string::npos);
+}
+
+TEST(ArgParserTest, DoubleParsing) {
+  ArgParser args({"--x=0.35", "--bad=zz"});
+  EXPECT_DOUBLE_EQ(args.GetDouble("x", 0), 0.35);
+  args.GetDouble("bad", 0);
+  EXPECT_FALSE(args.ok());
+}
+
+TEST(ArgParserTest, BoolValueForms) {
+  ArgParser args({"--a=true", "--b=FALSE", "--c=1", "--d=0", "--e=maybe"});
+  EXPECT_TRUE(args.GetBool("a"));
+  EXPECT_FALSE(args.GetBool("b", true));
+  EXPECT_TRUE(args.GetBool("c"));
+  EXPECT_FALSE(args.GetBool("d", true));
+  args.GetBool("e");
+  EXPECT_FALSE(args.ok());
+}
+
+TEST(ArgParserTest, UnusedFlagsDetected) {
+  ArgParser args({"--used=1", "--typo=2"});
+  args.GetInt("used", 0);
+  const auto unused = args.UnusedFlags();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(ArgParserTest, LastOccurrenceWins) {
+  ArgParser args({"--n=1", "--n=2"});
+  EXPECT_EQ(args.GetInt("n", 0), 2);
+}
+
+TEST(ArgParserTest, ValueMayContainEquals) {
+  ArgParser args({"--query=a=b"});
+  EXPECT_EQ(args.GetString("query", ""), "a=b");
+}
+
+}  // namespace
+}  // namespace webcc

@@ -1,0 +1,139 @@
+// Deep cache chains: ProxyCache implements Upstream, so caches compose to
+// arbitrary depth (the Harvest-style hierarchies of [7] that Worrell's
+// simulator modeled). These tests run a three-level chain
+// server -> L3 -> L2 -> L1 and check propagation through every level.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/cache/origin_upstream.h"
+#include "src/cache/policy_factory.h"
+#include "src/cache/proxy_cache.h"
+#include "src/http/message.h"
+
+namespace webcc {
+namespace {
+
+class DeepChainTest : public ::testing::Test {
+ protected:
+  DeepChainTest() : origin_(&server_) {
+    obj_ = server_.store().Create("/deep.html", FileType::kHtml, 9000,
+                                  SimTime::Epoch() - Days(30));
+  }
+
+  void Build(PolicyConfig policy) {
+    l3_ = std::make_unique<ProxyCache>("L3", &origin_, MakePolicy(policy), CacheConfig{},
+                                       &server_.store());
+    l2_ = std::make_unique<ProxyCache>("L2", l3_.get(), MakePolicy(policy), CacheConfig{},
+                                       &server_.store());
+    l1_ = std::make_unique<ProxyCache>("L1", l2_.get(), MakePolicy(policy), CacheConfig{},
+                                       &server_.store());
+  }
+
+  OriginServer server_;
+  OriginUpstream origin_;
+  std::unique_ptr<ProxyCache> l3_;
+  std::unique_ptr<ProxyCache> l2_;
+  std::unique_ptr<ProxyCache> l1_;
+  ObjectId obj_ = kInvalidObjectId;
+};
+
+TEST_F(DeepChainTest, ColdMissPopulatesEveryLevel) {
+  Build(PolicyConfig::Ttl(Hours(24)));
+  const ServeResult result = l1_->HandleRequest(obj_, SimTime::Epoch());
+  EXPECT_EQ(result.kind, ServeKind::kMissCold);
+  EXPECT_TRUE(l1_->Contains(obj_));
+  EXPECT_TRUE(l2_->Contains(obj_));
+  EXPECT_TRUE(l3_->Contains(obj_));
+  EXPECT_EQ(server_.stats().get_requests, 1u);
+}
+
+TEST_F(DeepChainTest, SecondRequestServedAtTopLevel) {
+  Build(PolicyConfig::Ttl(Hours(24)));
+  l1_->HandleRequest(obj_, SimTime::Epoch());
+  const int64_t server_bytes = server_.stats().TotalBytes();
+  const ServeResult result = l1_->HandleRequest(obj_, SimTime::Epoch() + Hours(1));
+  EXPECT_EQ(result.kind, ServeKind::kHitFresh);
+  EXPECT_EQ(server_.stats().TotalBytes(), server_bytes);
+  EXPECT_EQ(l2_->stats().requests, 1u);  // never consulted again
+}
+
+TEST_F(DeepChainTest, UniformTtlExpiresWholeChainTogether) {
+  Build(PolicyConfig::Ttl(Hours(1)));
+  l1_->HandleRequest(obj_, SimTime::Epoch());
+  // All levels expire in lockstep; every revalidation walks the full chain.
+  l1_->HandleRequest(obj_, SimTime::Epoch() + Hours(2));
+  l1_->HandleRequest(obj_, SimTime::Epoch() + Hours(3) + Minutes(30));
+  EXPECT_EQ(server_.stats().ims_queries, 2u);
+  EXPECT_EQ(l2_->stats().validations_sent, 2u);
+  EXPECT_EQ(l3_->stats().validations_sent, 2u);
+}
+
+TEST_F(DeepChainTest, ValidationStopsAtFirstFreshLevel) {
+  // Impatient edge cache (1 h TTL) in front of relaxed inner caches (10 h):
+  // the edge revalidates often, but the queries terminate at L2 and the
+  // origin never hears about them — the hierarchy's whole point.
+  l3_ = std::make_unique<ProxyCache>("L3", &origin_, MakePolicy(PolicyConfig::Ttl(Hours(10))),
+                                     CacheConfig{}, &server_.store());
+  l2_ = std::make_unique<ProxyCache>("L2", l3_.get(), MakePolicy(PolicyConfig::Ttl(Hours(10))),
+                                     CacheConfig{}, &server_.store());
+  l1_ = std::make_unique<ProxyCache>("L1", l2_.get(), MakePolicy(PolicyConfig::Ttl(Hours(1))),
+                                     CacheConfig{}, &server_.store());
+  l1_->HandleRequest(obj_, SimTime::Epoch());
+  const uint64_t gets_after_cold = server_.stats().get_requests;
+  l1_->HandleRequest(obj_, SimTime::Epoch() + Hours(2));
+  l1_->HandleRequest(obj_, SimTime::Epoch() + Hours(4));
+  EXPECT_EQ(l1_->stats().validations_sent, 2u);
+  EXPECT_EQ(l2_->stats().validations_sent, 0u);  // L2 stayed fresh
+  EXPECT_EQ(server_.stats().ims_queries, 0u);
+  EXPECT_EQ(server_.stats().get_requests, gets_after_cold);
+}
+
+TEST_F(DeepChainTest, InvalidationDescendsThreeLevels) {
+  Build(PolicyConfig::Invalidation());
+  l1_->HandleRequest(obj_, SimTime::Epoch());
+  server_.ModifyObject(obj_, SimTime::Epoch() + Hours(1));
+  EXPECT_FALSE(l3_->Find(obj_)->valid);
+  EXPECT_FALSE(l2_->Find(obj_)->valid);
+  EXPECT_FALSE(l1_->Find(obj_)->valid);
+  EXPECT_EQ(l3_->child_invalidations_sent(), 1u);
+  EXPECT_EQ(l2_->child_invalidations_sent(), 1u);
+}
+
+TEST_F(DeepChainTest, RefetchAfterDeepInvalidationIsConsistent) {
+  Build(PolicyConfig::Invalidation());
+  l1_->HandleRequest(obj_, SimTime::Epoch());
+  server_.ModifyObject(obj_, SimTime::Epoch() + Hours(1), 11000);
+  const ServeResult result = l1_->HandleRequest(obj_, SimTime::Epoch() + Hours(2));
+  EXPECT_EQ(result.kind, ServeKind::kMissRefetched);
+  EXPECT_FALSE(result.stale);
+  for (ProxyCache* cache : {l1_.get(), l2_.get(), l3_.get()}) {
+    EXPECT_EQ(cache->Find(obj_)->size_bytes, 11000) << cache->name();
+    EXPECT_TRUE(cache->Find(obj_)->valid) << cache->name();
+  }
+  EXPECT_EQ(l1_->stats().stale_hits, 0u);
+}
+
+TEST_F(DeepChainTest, StaleServesPossibleAtEveryTimeBasedLevel) {
+  Build(PolicyConfig::Ttl(Hours(100)));
+  l1_->HandleRequest(obj_, SimTime::Epoch());
+  server_.ModifyObject(obj_, SimTime::Epoch() + Hours(1));
+  const ServeResult result = l1_->HandleRequest(obj_, SimTime::Epoch() + Hours(2));
+  EXPECT_EQ(result.kind, ServeKind::kHitFresh);
+  EXPECT_TRUE(result.stale);
+}
+
+TEST_F(DeepChainTest, ChainByteAccountingIsPerLink) {
+  Build(PolicyConfig::Ttl(Hours(24)));
+  l1_->HandleRequest(obj_, SimTime::Epoch());
+  // Each link moved one request message and one document.
+  const int64_t per_link = ControlWireBytes() + DocumentWireBytes(9000);
+  EXPECT_EQ(l1_->stats().LinkBytes(), per_link);
+  EXPECT_EQ(l2_->stats().LinkBytes(), per_link);
+  EXPECT_EQ(l3_->stats().LinkBytes(), per_link);
+  EXPECT_EQ(server_.stats().TotalBytes(), per_link);
+}
+
+}  // namespace
+}  // namespace webcc

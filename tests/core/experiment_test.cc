@@ -1,0 +1,112 @@
+#include "src/core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/worrell.h"
+
+namespace webcc {
+namespace {
+
+Workload TinyWorkload() {
+  WorrellConfig config;
+  config.num_files = 50;
+  config.duration = Days(7);
+  config.requests_per_second = 0.02;
+  config.seed = 99;
+  return GenerateWorrellWorkload(config);
+}
+
+TEST(LinSpaceTest, EndpointsAndSpacing) {
+  const auto v = LinSpace(0.0, 100.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 100.0);
+  EXPECT_DOUBLE_EQ(v[1], 25.0);
+}
+
+TEST(LinSpaceTest, SinglePoint) {
+  const auto v = LinSpace(7.0, 100.0, 1);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v[0], 7.0);
+}
+
+TEST(PaperAxesTest, MatchFigureRanges) {
+  const auto thresholds = PaperThresholdPercents();
+  EXPECT_DOUBLE_EQ(thresholds.front(), 0.0);
+  EXPECT_DOUBLE_EQ(thresholds.back(), 100.0);
+  const auto ttls = PaperTtlHours();
+  EXPECT_DOUBLE_EQ(ttls.front(), 0.0);
+  EXPECT_DOUBLE_EQ(ttls.back(), 500.0);
+}
+
+TEST(SweepTest, AlexSweepLabelsAndParams) {
+  const Workload load = TinyWorkload();
+  const SweepSeries series =
+      SweepAlexThreshold(load, SimulationConfig::Optimized(PolicyConfig::Alex(0)), {0, 50, 100});
+  EXPECT_EQ(series.label, "alex");
+  EXPECT_EQ(series.param_name, "threshold_pct");
+  ASSERT_EQ(series.points.size(), 3u);
+  EXPECT_DOUBLE_EQ(series.points[1].param, 50.0);
+  EXPECT_EQ(series.points[1].result.policy_desc, "alex(threshold=50%)");
+}
+
+TEST(SweepTest, TtlSweepUsesHours) {
+  const Workload load = TinyWorkload();
+  const SweepSeries series =
+      SweepTtlHours(load, SimulationConfig::Optimized(PolicyConfig::Ttl(Hours(1))), {0, 125});
+  ASSERT_EQ(series.points.size(), 2u);
+  EXPECT_EQ(series.points[1].result.policy_desc, "ttl(125.0h)");
+}
+
+TEST(SweepTest, AllPointsReplaySameRequestStream) {
+  const Workload load = TinyWorkload();
+  const SweepSeries series =
+      SweepAlexThreshold(load, SimulationConfig::Optimized(PolicyConfig::Alex(0)), {0, 25, 100});
+  for (const SweepPoint& point : series.points) {
+    EXPECT_EQ(point.result.metrics.requests, load.requests.size());
+  }
+}
+
+TEST(SweepTest, InvalidationRunIgnoresPolicyInBaseConfig) {
+  const Workload load = TinyWorkload();
+  const auto result = RunInvalidation(load, SimulationConfig::Optimized(PolicyConfig::Alex(0.5)));
+  EXPECT_EQ(result.policy_desc, "invalidation");
+  EXPECT_EQ(result.metrics.stale_hits, 0u);
+}
+
+TEST(AverageTest, AverageMetricsIsPointwiseMean) {
+  ConsistencyMetrics a;
+  a.requests = 100;
+  a.total_bytes = 1000;
+  a.stale_hits = 10;
+  ConsistencyMetrics b;
+  b.requests = 200;
+  b.total_bytes = 3000;
+  b.stale_hits = 20;
+  const ConsistencyMetrics avg = AverageMetrics({a, b});
+  EXPECT_EQ(avg.requests, 150u);
+  EXPECT_EQ(avg.total_bytes, 2000);
+  EXPECT_EQ(avg.stale_hits, 15u);
+}
+
+TEST(AverageTest, AverageMetricsEmpty) {
+  const ConsistencyMetrics avg = AverageMetrics({});
+  EXPECT_EQ(avg.requests, 0u);
+}
+
+TEST(AverageTest, AverageSeriesAlignsByParam) {
+  const Workload load = TinyWorkload();
+  const auto config = SimulationConfig::Optimized(PolicyConfig::Alex(0));
+  const SweepSeries s1 = SweepAlexThreshold(load, config, {0, 50});
+  const SweepSeries s2 = SweepAlexThreshold(load, config, {0, 50});
+  const SweepSeries avg = AverageSeries({s1, s2});
+  ASSERT_EQ(avg.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(avg.points[1].param, 50.0);
+  // Averaging two identical runs reproduces the run.
+  EXPECT_EQ(avg.points[1].result.metrics.total_bytes,
+            s1.points[1].result.metrics.total_bytes);
+  EXPECT_EQ(avg.label, "alex(avg)");
+}
+
+}  // namespace
+}  // namespace webcc

@@ -1,0 +1,112 @@
+#include "src/core/live_simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/worrell.h"
+
+namespace webcc {
+namespace {
+
+LiveSimulationConfig SmallLiveConfig(PolicyConfig policy) {
+  LiveSimulationConfig config;
+  config.policy = policy;
+  config.num_files = 150;
+  config.duration = Days(14);
+  config.requests_per_second = 0.05;
+  config.seed = 1234;
+  return config;
+}
+
+TEST(LiveSimulationTest, ProducesPlausibleVolumes) {
+  const auto result = RunLiveSimulation(SmallLiveConfig(PolicyConfig::Ttl(Hours(48))));
+  // Poisson(0.05/s over 14 days) ~ 60480 expected requests.
+  EXPECT_GT(result.metrics.requests, 55000u);
+  EXPECT_LT(result.metrics.requests, 66000u);
+  EXPECT_GT(result.metrics.total_bytes, 0);
+}
+
+TEST(LiveSimulationTest, ChangeRateMatchesLifetimeModel) {
+  // Flat lifetimes averaging ~5.85 days over 150 files for 14 days
+  // -> ~359 changes expected; invalidation counts one notice per change.
+  const auto result = RunLiveSimulation(SmallLiveConfig(PolicyConfig::Invalidation()));
+  EXPECT_GT(result.metrics.invalidations, 250u);
+  EXPECT_LT(result.metrics.invalidations, 480u);
+  EXPECT_EQ(result.metrics.stale_hits, 0u);
+}
+
+TEST(LiveSimulationTest, DeterministicInSeed) {
+  const auto a = RunLiveSimulation(SmallLiveConfig(PolicyConfig::Alex(0.2)));
+  const auto b = RunLiveSimulation(SmallLiveConfig(PolicyConfig::Alex(0.2)));
+  EXPECT_EQ(a.metrics.requests, b.metrics.requests);
+  EXPECT_EQ(a.metrics.total_bytes, b.metrics.total_bytes);
+  EXPECT_EQ(a.metrics.stale_hits, b.metrics.stale_hits);
+  auto seeded = SmallLiveConfig(PolicyConfig::Alex(0.2));
+  seeded.seed = 4321;
+  const auto c = RunLiveSimulation(seeded);
+  EXPECT_NE(a.metrics.total_bytes, c.metrics.total_bytes);
+}
+
+TEST(LiveSimulationTest, StatisticallyMatchesScriptedWorrell) {
+  // The live engine-driven run and the scripted replay implement the same
+  // stochastic model; aggregate metrics must agree within sampling noise.
+  LiveSimulationConfig live_config = SmallLiveConfig(PolicyConfig::Ttl(Hours(48)));
+  live_config.num_files = 300;
+  live_config.requests_per_second = 0.08;
+  const auto live = RunLiveSimulation(live_config);
+
+  WorrellConfig scripted_config;
+  scripted_config.num_files = 300;
+  scripted_config.duration = live_config.duration;
+  scripted_config.requests_per_second = 0.08;
+  scripted_config.seed = 777;  // different stream, same distribution
+  const Workload load = GenerateWorrellWorkload(scripted_config);
+  const auto scripted =
+      RunSimulation(load, SimulationConfig::Optimized(PolicyConfig::Ttl(Hours(48))));
+
+  const double live_mb = live.metrics.TotalMB();
+  const double scripted_mb = scripted.metrics.TotalMB();
+  EXPECT_NEAR(live_mb / scripted_mb, 1.0, 0.20);
+  EXPECT_NEAR(live.metrics.StaleRate(), scripted.metrics.StaleRate(), 0.05);
+  EXPECT_NEAR(live.metrics.MissRate(), scripted.metrics.MissRate(), 0.01);
+}
+
+TEST(LiveSimulationTest, ZipfSkewConcentratesTraffic) {
+  LiveSimulationConfig uniform = SmallLiveConfig(PolicyConfig::Ttl(Hours(24)));
+  LiveSimulationConfig skewed = uniform;
+  skewed.zipf_skew = 1.1;
+  const auto u = RunLiveSimulation(uniform);
+  const auto z = RunLiveSimulation(skewed);
+  // Skewed popularity re-requests the same objects: more fresh hits, fewer
+  // validation round trips per request.
+  EXPECT_LT(z.metrics.mean_round_trips, u.metrics.mean_round_trips);
+}
+
+TEST(LiveSimulationTest, OutageCausesStaleServesUnderInvalidation) {
+  // §6's recovery scenario: during a partition the cache misses the notices
+  // and happily serves stale data; the server's retries eventually repair
+  // the damage after the outage heals.
+  LiveSimulationConfig config = SmallLiveConfig(PolicyConfig::Invalidation());
+  config.num_files = 300;
+  config.requests_per_second = 0.2;
+  config.outage_start = Days(4);
+  config.outage_duration = Days(3);
+  const auto result = RunLiveSimulation(config);
+  EXPECT_GT(result.metrics.stale_hits, 0u);
+  EXPECT_GT(result.cache.invalidations_dropped, 0u);
+  EXPECT_GT(result.server.invalidation_retries, 0u);
+}
+
+TEST(LiveSimulationTest, OutageHarmlessForTimeBasedPolicies) {
+  // The same partition costs a TTL cache nothing extra in consistency:
+  // expiry happens locally ("the right thing automatically happens").
+  LiveSimulationConfig with_outage = SmallLiveConfig(PolicyConfig::Ttl(Hours(24)));
+  with_outage.outage_start = Days(4);
+  with_outage.outage_duration = Days(3);
+  const auto outage_run = RunLiveSimulation(with_outage);
+  const auto normal_run = RunLiveSimulation(SmallLiveConfig(PolicyConfig::Ttl(Hours(24))));
+  EXPECT_EQ(outage_run.metrics.stale_hits, normal_run.metrics.stale_hits);
+  EXPECT_EQ(outage_run.cache.invalidations_dropped, 0u);
+}
+
+}  // namespace
+}  // namespace webcc

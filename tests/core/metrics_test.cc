@@ -1,0 +1,66 @@
+#include "src/core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "src/http/message.h"
+
+namespace webcc {
+namespace {
+
+TEST(MetricsTest, EmptyStatsGiveZeroMetrics) {
+  const ConsistencyMetrics m = ComputeMetrics(ServerStats{}, CacheStats{});
+  EXPECT_EQ(m.requests, 0u);
+  EXPECT_EQ(m.total_bytes, 0);
+  EXPECT_DOUBLE_EQ(m.MissRate(), 0.0);
+  EXPECT_DOUBLE_EQ(m.StaleRate(), 0.0);
+}
+
+TEST(MetricsTest, ControlPayloadDecomposition) {
+  ServerStats server;
+  server.get_requests = 2;
+  server.ims_queries = 3;
+  server.invalidations_sent = 4;
+  server.files_transferred = 3;
+  // Wire: 2 GETs (2 ctrl each) + 3 queries (2 ctrl each) + 4 invalidations
+  // (1 ctrl each) + 10000 payload bytes.
+  server.bytes_received = 5 * kControlMessageBytes;
+  server.bytes_sent = (2 + 3 + 4) * kControlMessageBytes + 10000;
+
+  const ConsistencyMetrics m = ComputeMetrics(server, CacheStats{});
+  EXPECT_EQ(m.control_bytes, 14 * kControlMessageBytes);
+  EXPECT_EQ(m.payload_bytes, 10000);
+  EXPECT_EQ(m.total_bytes, m.control_bytes + m.payload_bytes);
+  EXPECT_EQ(m.server_operations, 9u);
+  EXPECT_EQ(m.files_transferred, 3u);
+}
+
+TEST(MetricsTest, RatesUseCacheCounters) {
+  CacheStats cache;
+  cache.requests = 200;
+  cache.misses_cold = 10;
+  cache.misses_refetched = 10;
+  cache.stale_hits = 5;
+  const ConsistencyMetrics m = ComputeMetrics(ServerStats{}, cache);
+  EXPECT_DOUBLE_EQ(m.MissRate(), 0.10);
+  EXPECT_DOUBLE_EQ(m.StaleRate(), 0.025);
+}
+
+TEST(MetricsTest, MbConversion) {
+  ServerStats server;
+  server.bytes_sent = 2'500'000;
+  const ConsistencyMetrics m = ComputeMetrics(server, CacheStats{});
+  EXPECT_DOUBLE_EQ(m.TotalMB(), 2.5);
+}
+
+TEST(MetricsTest, SummaryMentionsKeyNumbers) {
+  CacheStats cache;
+  cache.requests = 100;
+  cache.stale_hits = 5;
+  const ConsistencyMetrics m = ComputeMetrics(ServerStats{}, cache);
+  const std::string summary = m.Summary();
+  EXPECT_NE(summary.find("requests=100"), std::string::npos);
+  EXPECT_NE(summary.find("stale=5.000%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace webcc

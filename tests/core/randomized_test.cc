@@ -1,0 +1,156 @@
+// Randomized differential testing: small random workloads, every protocol,
+// both retrieval modes — the accounting identities and cross-protocol
+// dominance relations must hold for EVERY seed. Catches interaction bugs the
+// hand-written fixtures can't.
+
+#include <gtest/gtest.h>
+
+#include "src/core/simulation.h"
+#include "src/util/rng.h"
+#include "src/util/str.h"
+#include "src/workload/workload.h"
+
+namespace webcc {
+namespace {
+
+// A fully random (but valid) workload: random object count, sizes, ages,
+// change schedules, request pattern — including same-instant collisions.
+Workload RandomWorkload(uint64_t seed) {
+  Rng rng(seed);
+  Workload load;
+  load.name = "fuzz";
+  const int64_t horizon_s = rng.UniformInt(3600, 14 * 86400);
+  load.horizon = SimTime::Epoch() + Seconds(horizon_s);
+
+  const uint32_t num_objects = static_cast<uint32_t>(rng.UniformInt(1, 60));
+  for (uint32_t i = 0; i < num_objects; ++i) {
+    ObjectSpec spec;
+    spec.name = StrFormat("/fuzz/%u", i);
+    spec.type = static_cast<FileType>(rng.UniformInt(0, kNumFileTypes - 1));
+    spec.size_bytes = rng.UniformInt(0, 50000);  // zero-byte objects legal
+    spec.initial_age = Seconds(rng.UniformInt(0, 400 * 86400));
+    load.objects.push_back(std::move(spec));
+  }
+  const int num_changes = static_cast<int>(rng.UniformInt(0, 200));
+  for (int i = 0; i < num_changes; ++i) {
+    ModificationEvent m;
+    m.at = SimTime::Epoch() + Seconds(rng.UniformInt(0, horizon_s));
+    m.object_index = static_cast<uint32_t>(rng.UniformInt(0, num_objects - 1));
+    m.new_size = rng.Bernoulli(0.3) ? rng.UniformInt(0, 50000) : -1;
+    load.modifications.push_back(m);
+  }
+  const int num_requests = static_cast<int>(rng.UniformInt(1, 2000));
+  for (int i = 0; i < num_requests; ++i) {
+    RequestEvent r;
+    r.at = SimTime::Epoch() + Seconds(rng.UniformInt(0, horizon_s));
+    r.object_index = static_cast<uint32_t>(rng.UniformInt(0, num_objects - 1));
+    r.client_id = static_cast<uint32_t>(rng.UniformInt(0, 20));
+    r.remote = rng.Bernoulli(0.5);
+    load.requests.push_back(r);
+  }
+  load.Finalize();
+  return load;
+}
+
+class RandomizedRunTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomizedRunTest, AccountingIdentitiesForEveryProtocolAndMode) {
+  const Workload load = RandomWorkload(GetParam());
+  ASSERT_EQ(load.Validate(), "");
+
+  const PolicyConfig policies[] = {
+      PolicyConfig::Ttl(Hours(static_cast<int64_t>(GetParam() % 300))),
+      PolicyConfig::Alex(static_cast<double>(GetParam() % 120) / 100.0),
+      PolicyConfig::Cern(0.15, Days(1)),
+      PolicyConfig::Adaptive(),
+      PolicyConfig::Invalidation(),
+  };
+  for (const PolicyConfig& policy : policies) {
+    for (const bool base_mode : {false, true}) {
+      for (const bool preload : {false, true}) {
+        SimulationConfig config;
+        config.policy = policy;
+        config.refresh_mode =
+            base_mode ? RefreshMode::kFullRefetch : RefreshMode::kConditionalGet;
+        config.preload = preload;
+        const SimulationResult result = RunSimulation(load, config);
+        const CacheStats& c = result.cache;
+        const std::string ctx =
+            result.policy_desc + (base_mode ? "/base" : "/opt") + (preload ? "/warm" : "/cold");
+
+        // Conservation.
+        EXPECT_EQ(c.requests, load.requests.size()) << ctx;
+        EXPECT_EQ(c.requests,
+                  c.hits_fresh + c.hits_validated + c.misses_cold + c.misses_refetched)
+            << ctx;
+        // Staleness only via locally served fresh hits; invalidation: none.
+        EXPECT_LE(c.stale_hits, c.hits_fresh) << ctx;
+        if (policy.kind == PolicyKind::kInvalidation) {
+          EXPECT_EQ(c.stale_hits, 0u) << ctx;
+        }
+        // Both ends of the link agree.
+        EXPECT_EQ(c.LinkBytes(), result.server.TotalBytes()) << ctx;
+        // Bodies shipped == misses (preload transfers were reset away).
+        EXPECT_EQ(result.server.files_transferred, c.Misses()) << ctx;
+        // Byte decomposition exact and non-negative.
+        EXPECT_EQ(result.metrics.control_bytes + result.metrics.payload_bytes,
+                  result.metrics.total_bytes)
+            << ctx;
+        EXPECT_GE(result.metrics.payload_bytes, 0) << ctx;
+        // Base mode never validates; optimized-with-preload never cold-misses.
+        if (base_mode) {
+          EXPECT_EQ(c.validations_sent, 0u) << ctx;
+        }
+        if (preload) {
+          EXPECT_EQ(c.misses_cold, 0u) << ctx;
+        }
+        // Server op identity.
+        EXPECT_EQ(result.server.TotalOperations(),
+                  result.server.get_requests + result.server.ims_queries +
+                      result.server.invalidations_sent)
+            << ctx;
+      }
+    }
+  }
+}
+
+TEST_P(RandomizedRunTest, OptimizedNeverShipsMorePayloadThanBase) {
+  const Workload load = RandomWorkload(GetParam() ^ 0xabcdef);
+  for (const PolicyConfig& policy :
+       {PolicyConfig::Ttl(Hours(24)), PolicyConfig::Alex(0.25)}) {
+    const auto base = RunSimulation(load, SimulationConfig::Base(policy));
+    const auto optimized = RunSimulation(load, SimulationConfig::Optimized(policy));
+    EXPECT_LE(optimized.metrics.payload_bytes, base.metrics.payload_bytes);
+    EXPECT_LE(optimized.metrics.total_bytes, base.metrics.total_bytes);
+    // The optimization cannot make consistency worse.
+    EXPECT_LE(optimized.metrics.stale_hits, base.metrics.stale_hits + load.requests.size() / 10);
+  }
+}
+
+TEST_P(RandomizedRunTest, TimeBasedNeverShipsMorePayloadThanInvalidationWarm) {
+  // §4.1's invariant, fuzzed: with a warm cache and conditional retrieval,
+  // Alex/TTL transfer a subset of the bodies invalidation transfers.
+  const Workload load = RandomWorkload(GetParam() ^ 0x5eed);
+  const auto inval = RunSimulation(load, SimulationConfig::Optimized(PolicyConfig::Invalidation()));
+  for (const PolicyConfig& policy :
+       {PolicyConfig::Ttl(Hours(7)), PolicyConfig::Alex(0.4), PolicyConfig::Adaptive()}) {
+    const auto run = RunSimulation(load, SimulationConfig::Optimized(policy));
+    EXPECT_LE(run.metrics.payload_bytes, inval.metrics.payload_bytes) << run.policy_desc;
+  }
+}
+
+TEST_P(RandomizedRunTest, DeterministicReplay) {
+  const Workload load = RandomWorkload(GetParam() + 17);
+  const auto a = RunSimulation(load, SimulationConfig::Optimized(PolicyConfig::Alex(0.2)));
+  const auto b = RunSimulation(load, SimulationConfig::Optimized(PolicyConfig::Alex(0.2)));
+  EXPECT_EQ(a.metrics.total_bytes, b.metrics.total_bytes);
+  EXPECT_EQ(a.metrics.stale_hits, b.metrics.stale_hits);
+  EXPECT_EQ(a.metrics.server_operations, b.metrics.server_operations);
+  EXPECT_EQ(a.cache.hits_fresh, b.cache.hits_fresh);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedRunTest,
+                         ::testing::Range<uint64_t>(1, 21));  // 20 seeds
+
+}  // namespace
+}  // namespace webcc

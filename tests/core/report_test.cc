@@ -1,0 +1,155 @@
+#include "src/core/report.h"
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/workload/worrell.h"
+
+namespace webcc {
+namespace {
+
+SweepSeries TinySweep(SimulationConfig config) {
+  WorrellConfig wc;
+  wc.num_files = 30;
+  wc.duration = Days(5);
+  wc.requests_per_second = 0.01;
+  wc.seed = 5;
+  const Workload load = GenerateWorrellWorkload(wc);
+  return SweepAlexThreshold(load, config, {0, 100});
+}
+
+SimulationResult TinyInvalidation(SimulationConfig config) {
+  WorrellConfig wc;
+  wc.num_files = 30;
+  wc.duration = Days(5);
+  wc.requests_per_second = 0.01;
+  wc.seed = 5;
+  return RunInvalidation(GenerateWorrellWorkload(wc), config);
+}
+
+TEST(ReportTest, BandwidthFigureShape) {
+  const auto config = SimulationConfig::Optimized(PolicyConfig::Alex(0));
+  const auto series = TinySweep(config);
+  const auto inval = TinyInvalidation(config);
+  const TextTable table = BandwidthFigure("Fig X", series, inval.metrics);
+  EXPECT_EQ(table.num_rows(), 2u);
+  const std::string text = table.ToString();
+  EXPECT_NE(text.find("Fig X"), std::string::npos);
+  EXPECT_NE(text.find("Update threshold (%)"), std::string::npos);
+  EXPECT_NE(text.find("invalidation: MB"), std::string::npos);
+}
+
+TEST(ReportTest, MissRateFigureShape) {
+  const auto config = SimulationConfig::Optimized(PolicyConfig::Alex(0));
+  const TextTable table =
+      MissRateFigure("Fig Y", TinySweep(config), TinyInvalidation(config).metrics);
+  const std::string text = table.ToString();
+  EXPECT_NE(text.find("alex: miss %"), std::string::npos);
+  EXPECT_NE(text.find("alex: stale %"), std::string::npos);
+  EXPECT_NE(text.find("invalidation: stale %"), std::string::npos);
+}
+
+TEST(ReportTest, ServerLoadFigureShape) {
+  const auto config = SimulationConfig::Optimized(PolicyConfig::Alex(0));
+  const TextTable table =
+      ServerLoadFigure("Fig 8", TinySweep(config), TinyInvalidation(config).metrics);
+  EXPECT_NE(table.ToString().find("server ops"), std::string::npos);
+}
+
+TEST(ReportTest, TtlSeriesGetsTtlHeader) {
+  WorrellConfig wc;
+  wc.num_files = 20;
+  wc.duration = Days(3);
+  wc.requests_per_second = 0.01;
+  const Workload load = GenerateWorrellWorkload(wc);
+  const auto config = SimulationConfig::Optimized(PolicyConfig::Ttl(Hours(1)));
+  const auto series = SweepTtlHours(load, config, {0, 100});
+  const TextTable table = BandwidthFigure("F", series, RunInvalidation(load, config).metrics);
+  EXPECT_NE(table.ToString().find("TTL (hours)"), std::string::npos);
+}
+
+TEST(ReportTest, Table1PairsMeasuredWithPaperRows) {
+  const auto targets = PaperTable1Targets();
+  ASSERT_EQ(targets.size(), 3u);
+  EXPECT_EQ(targets[0].server, "DAS");
+  EXPECT_EQ(targets[0].total_changes, 321u);
+  const TextTable table = Table1Mutability(targets, targets);
+  EXPECT_EQ(table.num_rows(), 6u);  // measured + "(paper)" per server
+  EXPECT_NE(table.ToString().find("DAS (paper)"), std::string::npos);
+}
+
+TEST(ReportTest, Table2RendersAllTypes) {
+  std::vector<FileTypeStats> rows(kNumFileTypes);
+  for (int t = 0; t < kNumFileTypes; ++t) {
+    rows[t].type = static_cast<FileType>(t);
+    rows[t].access_share = 0.2;
+  }
+  const TextTable table = Table2FileTypes(rows);
+  EXPECT_EQ(table.num_rows(), static_cast<size_t>(kNumFileTypes));
+  EXPECT_NE(table.ToString().find("gif"), std::string::npos);
+  EXPECT_NE(table.ToString().find("cgi"), std::string::npos);
+}
+
+TEST(ReportTest, WriteCsvFileWorks) {
+  TextTable table;
+  table.SetHeader({"a", "b"});
+  table.AddRow({"1", "2"});
+  const std::string path = ::testing::TempDir() + "/webcc_report_test.csv";
+  ASSERT_TRUE(WriteCsvFile(table, path));
+  std::ifstream is(path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  EXPECT_EQ(ss.str(), "a,b\n1,2\n");
+}
+
+TEST(ReportTest, WriteCsvFileFailsOnBadPath) {
+  TextTable table;
+  EXPECT_FALSE(WriteCsvFile(table, "/nonexistent/dir/x.csv"));
+}
+
+TEST(ReportTest, TypeBreakdownTableRendersEveryType) {
+  CacheStats stats;
+  stats.by_type[static_cast<size_t>(FileType::kGif)].requests = 100;
+  stats.by_type[static_cast<size_t>(FileType::kGif)].stale_hits = 5;
+  stats.by_type[static_cast<size_t>(FileType::kCgi)].payload_bytes = 123456;
+  const TextTable table = TypeBreakdownTable(stats);
+  EXPECT_EQ(table.num_rows(), static_cast<size_t>(kNumFileTypes));
+  const std::string text = table.ToString();
+  EXPECT_NE(text.find("gif"), std::string::npos);
+  EXPECT_NE(text.find("5.000%"), std::string::npos);  // 5/100 stale
+  EXPECT_NE(text.find("123.5"), std::string::npos);   // KB
+}
+
+TEST(ReportTest, FigureChartRendersCurveAndReference) {
+  const auto config = SimulationConfig::Optimized(PolicyConfig::Alex(0));
+  const auto series = TinySweep(config);
+  const auto inval = TinyInvalidation(config);
+  const std::string chart =
+      FigureChart("Figure X", series, inval.metrics, FigureMetric::kBandwidthMB);
+  EXPECT_NE(chart.find("Figure X"), std::string::npos);
+  EXPECT_NE(chart.find("MB exchanged"), std::string::npos);
+  EXPECT_NE(chart.find("(log scale)"), std::string::npos);
+  EXPECT_NE(chart.find("* alex"), std::string::npos);
+  EXPECT_NE(chart.find("- invalidation"), std::string::npos);
+  EXPECT_NE(chart.find("Update threshold (%)"), std::string::npos);
+}
+
+TEST(ReportTest, FigureChartMetricsSelectAxes) {
+  const auto config = SimulationConfig::Optimized(PolicyConfig::Alex(0));
+  const auto series = TinySweep(config);
+  const auto inval = TinyInvalidation(config);
+  EXPECT_NE(FigureChart("t", series, inval.metrics, FigureMetric::kStalePercent)
+                .find("stale hits"),
+            std::string::npos);
+  EXPECT_NE(FigureChart("t", series, inval.metrics, FigureMetric::kMissPercent)
+                .find("cache misses"),
+            std::string::npos);
+  EXPECT_NE(FigureChart("t", series, inval.metrics, FigureMetric::kServerOps)
+                .find("server operations"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace webcc

@@ -1,0 +1,181 @@
+#include "src/core/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "src/http/message.h"
+
+namespace webcc {
+namespace {
+
+// A hand-built micro-workload whose byte counts can be verified on paper:
+// one 6000-byte object, 10 days old at the epoch, modified at hour 10;
+// requests at hours 1, 2, 12, 20.
+Workload MicroWorkload() {
+  Workload load;
+  load.name = "micro";
+  load.objects.push_back(ObjectSpec{"/m.html", FileType::kHtml, 6000, Days(10)});
+  load.horizon = SimTime::Epoch() + Days(2);
+  load.modifications.push_back(ModificationEvent{SimTime::Epoch() + Hours(10), 0, -1});
+  for (int64_t h : {1, 2, 12, 20}) {
+    load.requests.push_back(RequestEvent{SimTime::Epoch() + Hours(h), 0, 0, false});
+  }
+  load.Finalize();
+  return load;
+}
+
+TEST(SimulationConfigTest, NamedConstructors) {
+  const auto base = SimulationConfig::Base(PolicyConfig::Alex(0.1));
+  EXPECT_EQ(base.refresh_mode, RefreshMode::kFullRefetch);
+  EXPECT_TRUE(base.preload);
+  const auto optimized = SimulationConfig::Optimized(PolicyConfig::Alex(0.1));
+  EXPECT_EQ(optimized.refresh_mode, RefreshMode::kConditionalGet);
+  EXPECT_TRUE(optimized.preload);
+  const auto trace = SimulationConfig::TraceDriven(PolicyConfig::Alex(0.1));
+  EXPECT_EQ(trace.refresh_mode, RefreshMode::kConditionalGet);
+  EXPECT_TRUE(trace.preload);
+}
+
+TEST(SimulationTest, InvalidationMicroAccounting) {
+  // Preloaded invalidation run: 1 invalidation notice (43 B) at hour 10,
+  // the hour-12 request re-fetches (43 + 6043), others are free hits.
+  const auto result =
+      RunSimulation(MicroWorkload(), SimulationConfig::Optimized(PolicyConfig::Invalidation()));
+  EXPECT_EQ(result.metrics.requests, 4u);
+  EXPECT_EQ(result.metrics.invalidations, 1u);
+  EXPECT_EQ(result.metrics.cache_misses, 1u);
+  EXPECT_EQ(result.metrics.stale_hits, 0u);
+  EXPECT_EQ(result.metrics.total_bytes,
+            kControlMessageBytes                                   // invalidation
+                + kControlMessageBytes + DocumentWireBytes(6000));  // refetch
+  EXPECT_EQ(result.metrics.server_operations, 2u);
+}
+
+TEST(SimulationTest, TtlMicroAccountingOptimized) {
+  // TTL 5h, preloaded at epoch. Requests at h1, h2: fresh. h12: expired ->
+  // IMS query; object changed at h10 -> body. h20: expired again (window
+  // re-armed at h12, expires h17) -> IMS query; unchanged -> 304.
+  const auto result =
+      RunSimulation(MicroWorkload(), SimulationConfig::Optimized(PolicyConfig::Ttl(Hours(5))));
+  EXPECT_EQ(result.metrics.cache_misses, 1u);
+  EXPECT_EQ(result.metrics.validations, 2u);
+  EXPECT_EQ(result.metrics.stale_hits, 0u);
+  EXPECT_EQ(result.metrics.total_bytes,
+            (kControlMessageBytes + DocumentWireBytes(6000))   // h12 query+body
+                + 2 * kControlMessageBytes);                   // h20 query+304
+  EXPECT_EQ(result.metrics.server_operations, 2u);
+}
+
+TEST(SimulationTest, TtlMicroAccountingBase) {
+  // Same schedule in the base simulator: full GET at h12 AND h20.
+  const auto result =
+      RunSimulation(MicroWorkload(), SimulationConfig::Base(PolicyConfig::Ttl(Hours(5))));
+  EXPECT_EQ(result.metrics.cache_misses, 2u);
+  EXPECT_EQ(result.metrics.validations, 0u);
+  EXPECT_EQ(result.metrics.total_bytes,
+            2 * (kControlMessageBytes + DocumentWireBytes(6000)));
+}
+
+TEST(SimulationTest, AlexMicroStaleHit) {
+  // Alex 10%: object 10 days old at preload -> 1-day window. The change at
+  // h10 goes unnoticed; requests at h12 and h20 are stale fresh-hits.
+  const auto result =
+      RunSimulation(MicroWorkload(), SimulationConfig::Optimized(PolicyConfig::Alex(0.10)));
+  EXPECT_EQ(result.metrics.stale_hits, 2u);
+  EXPECT_EQ(result.metrics.cache_misses, 0u);
+  EXPECT_EQ(result.metrics.total_bytes, 0);
+}
+
+TEST(SimulationTest, NoPreloadStartsCold) {
+  SimulationConfig config = SimulationConfig::Optimized(PolicyConfig::Ttl(Hours(100)));
+  config.preload = false;
+  const auto result = RunSimulation(MicroWorkload(), config);
+  // First request is a cold miss; the change at h10 is within TTL so the
+  // h12/h20 requests serve stale.
+  EXPECT_EQ(result.metrics.cache_misses, 1u);
+  EXPECT_EQ(result.metrics.stale_hits, 2u);
+  EXPECT_EQ(result.cache.misses_cold, 1u);
+}
+
+TEST(SimulationTest, PreloadDoesNotCountAsTraffic) {
+  const auto result =
+      RunSimulation(MicroWorkload(), SimulationConfig::Optimized(PolicyConfig::Alex(0.10)));
+  // All four requests were fresh hits; zero bytes despite preloading the
+  // entire store.
+  EXPECT_EQ(result.metrics.total_bytes, 0);
+}
+
+TEST(SimulationTest, ModificationAtRequestInstantVisible) {
+  Workload load;
+  load.objects.push_back(ObjectSpec{"/t", FileType::kOther, 100, Days(1)});
+  load.horizon = SimTime::Epoch() + Days(1);
+  load.modifications.push_back(ModificationEvent{SimTime::Epoch() + Hours(1), 0, -1});
+  load.requests.push_back(RequestEvent{SimTime::Epoch() + Hours(1), 0, 0, false});
+  load.Finalize();
+  const auto result =
+      RunSimulation(load, SimulationConfig::Optimized(PolicyConfig::Invalidation()));
+  // The change was applied before the simultaneous request: copy marked
+  // invalid, body re-fetched, no staleness.
+  EXPECT_EQ(result.metrics.cache_misses, 1u);
+  EXPECT_EQ(result.metrics.stale_hits, 0u);
+}
+
+TEST(SimulationTest, TrailingModificationsStillCostInvalidationTraffic) {
+  Workload load;
+  load.objects.push_back(ObjectSpec{"/t", FileType::kOther, 100, Days(1)});
+  load.horizon = SimTime::Epoch() + Days(1);
+  load.requests.push_back(RequestEvent{SimTime::Epoch() + Hours(1), 0, 0, false});
+  load.modifications.push_back(ModificationEvent{SimTime::Epoch() + Hours(5), 0, -1});
+  load.modifications.push_back(ModificationEvent{SimTime::Epoch() + Hours(6), 0, -1});
+  load.Finalize();
+  const auto result =
+      RunSimulation(load, SimulationConfig::Optimized(PolicyConfig::Invalidation()));
+  EXPECT_EQ(result.metrics.invalidations, 2u);
+}
+
+TEST(SimulationTest, DeterministicAcrossRuns) {
+  const Workload load = MicroWorkload();
+  const auto a = RunSimulation(load, SimulationConfig::Optimized(PolicyConfig::Alex(0.2)));
+  const auto b = RunSimulation(load, SimulationConfig::Optimized(PolicyConfig::Alex(0.2)));
+  EXPECT_EQ(a.metrics.total_bytes, b.metrics.total_bytes);
+  EXPECT_EQ(a.metrics.stale_hits, b.metrics.stale_hits);
+  EXPECT_EQ(a.metrics.server_operations, b.metrics.server_operations);
+}
+
+TEST(SimulationTest, ResultCarriesDescriptions) {
+  const auto result =
+      RunSimulation(MicroWorkload(), SimulationConfig::Optimized(PolicyConfig::Ttl(Hours(5))));
+  EXPECT_EQ(result.workload_name, "micro");
+  EXPECT_EQ(result.policy_desc, "ttl(5.0h)");
+}
+
+TEST(SimulationTest, WarmupExcludesColdStartTransients) {
+  // Cold cache, no preload; requests at h1, h2 fill the cache, the h12/h20
+  // requests are measured. With a 10h warmup the cold misses vanish from the
+  // stats but their effect (a warm cache) remains.
+  SimulationConfig config = SimulationConfig::Optimized(PolicyConfig::Ttl(Hours(100)));
+  config.preload = false;
+  config.warmup = Hours(10);
+  const auto result = RunSimulation(MicroWorkload(), config);
+  EXPECT_EQ(result.metrics.requests, 2u);  // only h12 and h20
+  EXPECT_EQ(result.cache.misses_cold, 0u);
+  // The change at h10 (before the fresh window ends) makes both stale.
+  EXPECT_EQ(result.metrics.stale_hits, 2u);
+  EXPECT_EQ(result.metrics.total_bytes, 0);
+}
+
+TEST(SimulationTest, ZeroWarmupMeasuresEverything) {
+  SimulationConfig config = SimulationConfig::Optimized(PolicyConfig::Ttl(Hours(100)));
+  config.preload = false;
+  const auto result = RunSimulation(MicroWorkload(), config);
+  EXPECT_EQ(result.metrics.requests, 4u);
+  EXPECT_EQ(result.cache.misses_cold, 1u);
+}
+
+TEST(SimulationTest, ServerAndCacheByteViewsAgree) {
+  const auto result =
+      RunSimulation(MicroWorkload(), SimulationConfig::Optimized(PolicyConfig::Ttl(Hours(5))));
+  EXPECT_EQ(result.cache.LinkBytes(), result.server.TotalBytes());
+}
+
+}  // namespace
+}  // namespace webcc

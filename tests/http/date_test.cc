@@ -1,0 +1,123 @@
+#include "src/http/date.h"
+
+#include <gtest/gtest.h>
+
+namespace webcc {
+namespace {
+
+TEST(CivilTest, DaysFromCivilKnownValues) {
+  EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0);
+  EXPECT_EQ(DaysFromCivil(1970, 1, 2), 1);
+  EXPECT_EQ(DaysFromCivil(1969, 12, 31), -1);
+  EXPECT_EQ(DaysFromCivil(2000, 3, 1), 11017);
+  EXPECT_EQ(DaysFromCivil(1996, 1, 1), 9496);
+}
+
+TEST(CivilTest, RoundTripThroughDays) {
+  for (int64_t days : {-100000LL, -1LL, 0LL, 1LL, 9496LL, 20000LL, 100000LL}) {
+    int y;
+    int m;
+    int d;
+    CivilFromDays(days, &y, &m, &d);
+    EXPECT_EQ(DaysFromCivil(y, m, d), days);
+  }
+}
+
+TEST(CivilTest, LeapYearHandling) {
+  // 1996 was a leap year; 29 Feb exists.
+  const int64_t feb29 = DaysFromCivil(1996, 2, 29);
+  const int64_t mar1 = DaysFromCivil(1996, 3, 1);
+  EXPECT_EQ(mar1 - feb29, 1);
+  // 1900 was not a leap year (divisible by 100, not by 400).
+  EXPECT_EQ(DaysFromCivil(1900, 3, 1) - DaysFromCivil(1900, 2, 28), 1);
+  // 2000 was (divisible by 400).
+  EXPECT_EQ(DaysFromCivil(2000, 3, 1) - DaysFromCivil(2000, 2, 28), 2);
+}
+
+TEST(CivilTest, DayOfWeekKnownDates) {
+  EXPECT_EQ(DayOfWeek(DaysFromCivil(1970, 1, 1)), 4);   // Thursday
+  EXPECT_EQ(DayOfWeek(DaysFromCivil(1996, 1, 1)), 1);   // Monday
+  EXPECT_EQ(DayOfWeek(DaysFromCivil(1994, 11, 6)), 0);  // Sunday
+  EXPECT_EQ(DayOfWeek(DaysFromCivil(1996, 1, 22)), 1);  // USENIX '96 week
+}
+
+TEST(HttpDateTest, EpochIsJanFirst1996) {
+  EXPECT_EQ(FormatHttpDate(SimTime::Epoch()), "Mon, 01 Jan 1996 00:00:00 GMT");
+}
+
+TEST(HttpDateTest, FormatsRfc1123) {
+  // The canonical example from the HTTP spec.
+  const CivilDateTime c{1994, 11, 6, 8, 49, 37};
+  EXPECT_EQ(FormatHttpDate(SimTimeFromCivil(c)), "Sun, 06 Nov 1994 08:49:37 GMT");
+}
+
+TEST(HttpDateTest, ParsesRfc1123) {
+  const auto t = ParseHttpDate("Sun, 06 Nov 1994 08:49:37 GMT");
+  ASSERT_TRUE(t.has_value());
+  const CivilDateTime c = CivilFromSimTime(*t);
+  EXPECT_EQ(c, (CivilDateTime{1994, 11, 6, 8, 49, 37}));
+}
+
+TEST(HttpDateTest, ParsesRfc850) {
+  const auto t = ParseHttpDate("Sunday, 06-Nov-94 08:49:37 GMT");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(CivilFromSimTime(*t), (CivilDateTime{1994, 11, 6, 8, 49, 37}));
+}
+
+TEST(HttpDateTest, ParsesAsctime) {
+  const auto t = ParseHttpDate("Sun Nov  6 08:49:37 1994");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(CivilFromSimTime(*t), (CivilDateTime{1994, 11, 6, 8, 49, 37}));
+}
+
+TEST(HttpDateTest, AllThreeFormsAgree) {
+  const auto a = ParseHttpDate("Sun, 06 Nov 1994 08:49:37 GMT");
+  const auto b = ParseHttpDate("Sunday, 06-Nov-94 08:49:37 GMT");
+  const auto c = ParseHttpDate("Sun Nov  6 08:49:37 1994");
+  ASSERT_TRUE(a && b && c);
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ(*a, *c);
+}
+
+TEST(HttpDateTest, RoundTripsAcrossRange) {
+  for (int64_t s : {-86400LL * 365, -1LL, 0LL, 1LL, 86400LL * 100 + 12345, 86400LL * 3000}) {
+    const SimTime t(s);
+    const auto parsed = ParseHttpDate(FormatHttpDate(t));
+    ASSERT_TRUE(parsed.has_value()) << FormatHttpDate(t);
+    EXPECT_EQ(*parsed, t);
+  }
+}
+
+TEST(HttpDateTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseHttpDate("").has_value());
+  EXPECT_FALSE(ParseHttpDate("not a date").has_value());
+  EXPECT_FALSE(ParseHttpDate("Xxx, 06 Nov 1994 08:49:37 GMT").has_value());
+  EXPECT_FALSE(ParseHttpDate("Sun, 06 Nov 1994 08:49:37").has_value());  // no GMT
+  EXPECT_FALSE(ParseHttpDate("Sun, 99 Nov 1994 08:49:37 GMT").has_value());
+  EXPECT_FALSE(ParseHttpDate("Sun, 06 Foo 1994 08:49:37 GMT").has_value());
+  EXPECT_FALSE(ParseHttpDate("Sun, 06 Nov 1994 25:00:00 GMT").has_value());
+  EXPECT_FALSE(ParseHttpDate("Sun, 06 Nov 1994 08:49 GMT").has_value());
+}
+
+TEST(HttpDateTest, ParseIsCaseInsensitive) {
+  const auto t = ParseHttpDate("SUN, 06 NOV 1994 08:49:37 gmt");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(CivilFromSimTime(*t).year, 1994);
+}
+
+TEST(HttpDateTest, TwoDigitYearPivot) {
+  const auto nineties = ParseHttpDate("Sunday, 06-Nov-94 08:49:37 GMT");
+  ASSERT_TRUE(nineties.has_value());
+  EXPECT_EQ(CivilFromSimTime(*nineties).year, 1994);
+  const auto aughts = ParseHttpDate("Monday, 06-Nov-00 08:49:37 GMT");
+  ASSERT_TRUE(aughts.has_value());
+  EXPECT_EQ(CivilFromSimTime(*aughts).year, 2000);
+}
+
+TEST(HttpDateTest, SimTimeCivilRoundTrip) {
+  const SimTime t = SimTime::Epoch() + Days(200) + Hours(13) + Minutes(7) + Seconds(9);
+  EXPECT_EQ(SimTimeFromCivil(CivilFromSimTime(t)), t);
+}
+
+}  // namespace
+}  // namespace webcc

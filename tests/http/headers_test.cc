@@ -1,0 +1,81 @@
+#include "src/http/headers.h"
+
+#include <gtest/gtest.h>
+
+namespace webcc {
+namespace {
+
+TEST(HeaderMapTest, SetAndGet) {
+  HeaderMap h;
+  h.Set("Content-Type", "text/html");
+  EXPECT_EQ(h.Get("Content-Type"), "text/html");
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST(HeaderMapTest, GetIsCaseInsensitive) {
+  HeaderMap h;
+  h.Set("If-Modified-Since", "x");
+  EXPECT_TRUE(h.Has("if-modified-since"));
+  EXPECT_TRUE(h.Has("IF-MODIFIED-SINCE"));
+  EXPECT_EQ(h.Get("If-modified-Since"), "x");
+}
+
+TEST(HeaderMapTest, SetReplacesExisting) {
+  HeaderMap h;
+  h.Set("Expires", "a");
+  h.Set("expires", "b");
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_EQ(h.Get("Expires"), "b");
+}
+
+TEST(HeaderMapTest, AddAppendsDuplicates) {
+  HeaderMap h;
+  h.Add("Via", "proxy1");
+  h.Add("Via", "proxy2");
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_EQ(h.Get("Via"), "proxy1");  // first occurrence
+}
+
+TEST(HeaderMapTest, MissingFieldIsNullopt) {
+  HeaderMap h;
+  EXPECT_FALSE(h.Get("Nope").has_value());
+  EXPECT_FALSE(h.Has("Nope"));
+}
+
+TEST(HeaderMapTest, RemoveAllOccurrences) {
+  HeaderMap h;
+  h.Add("Via", "a");
+  h.Add("via", "b");
+  h.Add("Other", "c");
+  EXPECT_EQ(h.Remove("VIA"), 2u);
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_EQ(h.Remove("VIA"), 0u);
+}
+
+TEST(HeaderMapTest, PreservesInsertionOrder) {
+  HeaderMap h;
+  h.Set("A", "1");
+  h.Set("B", "2");
+  h.Set("C", "3");
+  ASSERT_EQ(h.fields().size(), 3u);
+  EXPECT_EQ(h.fields()[0].first, "A");
+  EXPECT_EQ(h.fields()[1].first, "B");
+  EXPECT_EQ(h.fields()[2].first, "C");
+}
+
+TEST(HeaderMapTest, WireBytesCountsNameColonSpaceValueCrlf) {
+  HeaderMap h;
+  h.Set("Ab", "cdef");  // "Ab: cdef\r\n" == 10 bytes
+  EXPECT_EQ(h.WireBytes(), 10u);
+  h.Set("X", "y");  // +"X: y\r\n" == 6 bytes
+  EXPECT_EQ(h.WireBytes(), 16u);
+}
+
+TEST(HeaderMapTest, EmptyMap) {
+  HeaderMap h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.WireBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace webcc

@@ -1,0 +1,158 @@
+#include "src/http/message.h"
+
+#include <gtest/gtest.h>
+
+namespace webcc {
+namespace {
+
+TEST(CostModelTest, PaperConstants) {
+  // §4.1: "each message averages 43 bytes".
+  EXPECT_EQ(kControlMessageBytes, 43);
+  EXPECT_EQ(ControlWireBytes(), 43);
+  EXPECT_EQ(DocumentWireBytes(6000), 6043);
+  EXPECT_EQ(DocumentWireBytes(0), 43);
+}
+
+TEST(MethodTest, Names) {
+  EXPECT_EQ(MethodName(Method::kGet), "GET");
+  EXPECT_EQ(MethodName(Method::kConditionalGet), "GET");
+  EXPECT_EQ(MethodName(Method::kInvalidate), "INVALIDATE");
+  EXPECT_EQ(MethodFromName("GET"), Method::kGet);
+  EXPECT_EQ(MethodFromName("INVALIDATE"), Method::kInvalidate);
+  EXPECT_FALSE(MethodFromName("POST").has_value());
+}
+
+TEST(StatusTest, Reasons) {
+  EXPECT_EQ(StatusReason(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusReason(StatusCode::kNotModified), "Not Modified");
+  EXPECT_EQ(StatusReason(StatusCode::kNotFound), "Not Found");
+}
+
+TEST(RequestTest, SerializePlainGet) {
+  Request req;
+  req.method = Method::kGet;
+  req.uri = "/index.html";
+  EXPECT_EQ(req.Serialize(), "GET /index.html HTTP/1.0\r\n\r\n");
+}
+
+TEST(RequestTest, IfModifiedSinceRoundTrip) {
+  Request req;
+  req.uri = "/x";
+  const SimTime when = SimTime::Epoch() + Days(3) + Hours(4);
+  req.SetIfModifiedSince(when);
+  EXPECT_EQ(req.method, Method::kConditionalGet);
+  EXPECT_EQ(req.IfModifiedSince(), when);
+}
+
+TEST(RequestTest, ParseRecognizesConditional) {
+  const auto req = Request::Parse(
+      "GET /a.gif HTTP/1.0\r\nIf-Modified-Since: Sun, 06 Nov 1994 08:49:37 GMT\r\n\r\n");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->method, Method::kConditionalGet);
+  EXPECT_EQ(req->uri, "/a.gif");
+  EXPECT_TRUE(req->IfModifiedSince().has_value());
+}
+
+TEST(RequestTest, SerializeParseRoundTrip) {
+  Request req;
+  req.uri = "/pub/doc.html";
+  req.SetIfModifiedSince(SimTime::Epoch() + Hours(10));
+  req.headers.Set("User-Agent", "webcc/1.0");
+  const auto parsed = Request::Parse(req.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->uri, req.uri);
+  EXPECT_EQ(parsed->method, Method::kConditionalGet);
+  EXPECT_EQ(parsed->IfModifiedSince(), req.IfModifiedSince());
+  EXPECT_EQ(parsed->headers.Get("User-Agent"), "webcc/1.0");
+}
+
+TEST(RequestTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Request::Parse("").has_value());
+  EXPECT_FALSE(Request::Parse("GET /x\r\n\r\n").has_value());           // no version
+  EXPECT_FALSE(Request::Parse("GET /x HTTP/1.1\r\n\r\n").has_value());  // wrong version
+  EXPECT_FALSE(Request::Parse("POST /x HTTP/1.0\r\n\r\n").has_value());
+  EXPECT_FALSE(Request::Parse("GET /x HTTP/1.0\r\nBadHeader\r\n\r\n").has_value());
+}
+
+TEST(RequestTest, WireBytesMatchesSerializedLength) {
+  Request req;
+  req.uri = "/a/b/c.html";
+  req.SetIfModifiedSince(SimTime::Epoch());
+  EXPECT_EQ(req.WireBytes(), static_cast<int64_t>(req.Serialize().size()));
+}
+
+TEST(RequestTest, BareRequestLineNear43Bytes) {
+  // The paper's 43-byte average control message is about the size of a bare
+  // request line — sanity-check our model is in that regime.
+  Request req;
+  req.uri = "/images/logo.gif";
+  const int64_t bytes = req.WireBytes();
+  EXPECT_GT(bytes, 30);
+  EXPECT_LT(bytes, 60);
+}
+
+TEST(ResponseTest, SerializeIncludesContentLength) {
+  Response resp;
+  resp.status = StatusCode::kOk;
+  resp.content_length = 1234;
+  const std::string text = resp.Serialize();
+  EXPECT_NE(text.find("HTTP/1.0 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(text.find("Content-Length: 1234\r\n"), std::string::npos);
+}
+
+TEST(ResponseTest, HeaderAccessorsRoundTrip) {
+  Response resp;
+  const SimTime lm = SimTime::Epoch() - Days(10);
+  const SimTime exp = SimTime::Epoch() + Days(2);
+  const SimTime date = SimTime::Epoch() + Hours(1);
+  resp.SetLastModified(lm);
+  resp.SetExpires(exp);
+  resp.SetDate(date);
+  EXPECT_EQ(resp.LastModified(), lm);
+  EXPECT_EQ(resp.Expires(), exp);
+  EXPECT_EQ(resp.Date(), date);
+}
+
+TEST(ResponseTest, ParseRoundTrip) {
+  Response resp;
+  resp.status = StatusCode::kNotModified;
+  resp.SetLastModified(SimTime::Epoch() - Hours(5));
+  const auto parsed = Response::Parse(resp.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->status, StatusCode::kNotModified);
+  EXPECT_EQ(parsed->LastModified(), resp.LastModified());
+  EXPECT_EQ(parsed->content_length, 0);
+}
+
+TEST(ResponseTest, ParseReadsContentLength) {
+  const auto resp = Response::Parse("HTTP/1.0 200 OK\r\nContent-Length: 777\r\n\r\n");
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->content_length, 777);
+  // Content-Length is structural, not an application header.
+  EXPECT_FALSE(resp->headers.Has("Content-Length"));
+}
+
+TEST(ResponseTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Response::Parse("").has_value());
+  EXPECT_FALSE(Response::Parse("HTTP/1.1 200 OK\r\n\r\n").has_value());
+  EXPECT_FALSE(Response::Parse("HTTP/1.0 xyz OK\r\n\r\n").has_value());
+  EXPECT_FALSE(Response::Parse("HTTP/1.0 200 OK\r\nContent-Length: -4\r\n\r\n").has_value());
+}
+
+TEST(ResponseTest, WireBytesIncludesBody) {
+  Response resp;
+  resp.status = StatusCode::kOk;
+  resp.content_length = 5000;
+  const int64_t without_body = resp.WireBytes() - resp.content_length;
+  EXPECT_GT(without_body, 0);
+  EXPECT_LT(without_body, 100);
+}
+
+TEST(ResponseTest, ParseAcceptsBareLf) {
+  const auto resp = Response::Parse("HTTP/1.0 200 OK\nServer: cern/3.0\n\n");
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->headers.Get("Server"), "cern/3.0");
+}
+
+}  // namespace
+}  // namespace webcc

@@ -1,0 +1,107 @@
+#include "src/origin/http_frontend.h"
+
+#include <gtest/gtest.h>
+
+#include "src/http/date.h"
+
+namespace webcc {
+namespace {
+
+class HttpFrontendTest : public ::testing::Test {
+ protected:
+  HttpFrontendTest() : frontend_(&server_) {
+    obj_ = server_.store().Create("/pages/index.html", FileType::kHtml, 4786,
+                                  SimTime::Epoch() - Days(20));
+  }
+
+  OriginServer server_;
+  HttpFrontend frontend_;
+  ObjectId obj_ = kInvalidObjectId;
+};
+
+TEST_F(HttpFrontendTest, PlainGetReturns200WithMetadata) {
+  const std::string raw =
+      frontend_.Handle("GET /pages/index.html HTTP/1.0\r\n\r\n", SimTime::Epoch());
+  const auto response = Response::Parse(raw);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, StatusCode::kOk);
+  EXPECT_EQ(response->content_length, 4786);
+  EXPECT_EQ(response->LastModified(), SimTime::Epoch() - Days(20));
+  EXPECT_EQ(response->Date(), SimTime::Epoch());
+  EXPECT_EQ(response->headers.Get("Server"), "webcc-origin/1.0");
+  EXPECT_EQ(server_.stats().get_requests, 1u);
+}
+
+TEST_F(HttpFrontendTest, UnknownUriReturns404) {
+  const auto response =
+      Response::Parse(frontend_.Handle("GET /nope.gif HTTP/1.0\r\n\r\n", SimTime::Epoch()));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, StatusCode::kNotFound);
+  EXPECT_EQ(server_.stats().get_requests, 0u);
+}
+
+TEST_F(HttpFrontendTest, MalformedRequestCountedNotCrashed) {
+  const auto response = Response::Parse(frontend_.Handle("BOGUS", SimTime::Epoch()));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, StatusCode::kNotFound);
+  EXPECT_EQ(frontend_.parse_failures(), 1u);
+}
+
+TEST_F(HttpFrontendTest, ConditionalGetFreshCopyGets304) {
+  Request request;
+  request.uri = "/pages/index.html";
+  request.SetIfModifiedSince(SimTime::Epoch() - Days(20));
+  const auto response = Response::Parse(frontend_.Handle(request.Serialize(), SimTime::Epoch()));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, StatusCode::kNotModified);
+  EXPECT_EQ(response->content_length, 0);
+  EXPECT_EQ(server_.stats().ims_not_modified, 1u);
+}
+
+TEST_F(HttpFrontendTest, ConditionalGetStaleCopyGetsBody) {
+  server_.ModifyObject(obj_, SimTime::Epoch() + Hours(1));
+  Request request;
+  request.uri = "/pages/index.html";
+  request.SetIfModifiedSince(SimTime::Epoch() - Days(20));
+  const auto response =
+      Response::Parse(frontend_.Handle(request.Serialize(), SimTime::Epoch() + Hours(2)));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, StatusCode::kOk);
+  EXPECT_EQ(response->content_length, 4786);
+  EXPECT_EQ(response->LastModified(), SimTime::Epoch() + Hours(1));
+}
+
+TEST_F(HttpFrontendTest, ImsEqualToLastModifiedIsNotModified) {
+  // HTTP semantics: modified means STRICTLY newer.
+  Request request;
+  request.uri = "/pages/index.html";
+  request.SetIfModifiedSince(SimTime::Epoch() - Days(20));
+  const auto response = Response::Parse(frontend_.Handle(request.Serialize(), SimTime::Epoch()));
+  EXPECT_EQ(response->status, StatusCode::kNotModified);
+}
+
+TEST_F(HttpFrontendTest, ExpiresProviderSurfacesAsHeader) {
+  server_.SetExpiresProvider(
+      [](const WebObject&, SimTime now) -> std::optional<SimTime> { return now + Hours(6); });
+  const auto response = Response::Parse(
+      frontend_.Handle("GET /pages/index.html HTTP/1.0\r\n\r\n", SimTime::Epoch() + Hours(1)));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->Expires(), SimTime::Epoch() + Hours(7));
+}
+
+TEST_F(HttpFrontendTest, RequestsHandledCounter) {
+  frontend_.Handle("GET /pages/index.html HTTP/1.0\r\n\r\n", SimTime::Epoch());
+  frontend_.Handle("GET /pages/index.html HTTP/1.0\r\n\r\n", SimTime::Epoch() + Seconds(1));
+  EXPECT_EQ(frontend_.requests_handled(), 2u);
+}
+
+TEST_F(HttpFrontendTest, ResponseDatesRoundTripThroughRfc1123) {
+  // The whole exchange is text; dates must survive the format.
+  server_.ModifyObject(obj_, SimTime::Epoch() + Days(3) + Hours(7) + Seconds(42));
+  const auto response = Response::Parse(
+      frontend_.Handle("GET /pages/index.html HTTP/1.0\r\n\r\n", SimTime::Epoch() + Days(4)));
+  EXPECT_EQ(response->LastModified(), SimTime::Epoch() + Days(3) + Hours(7) + Seconds(42));
+}
+
+}  // namespace
+}  // namespace webcc

@@ -1,0 +1,125 @@
+#include "src/origin/mutator.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/util/str.h"
+
+namespace webcc {
+namespace {
+
+class MutatorTest : public ::testing::Test {
+ protected:
+  MutatorTest() : server_(&engine_) {
+    obj_ = server_.store().Create("/f", FileType::kHtml, 1000, SimTime::Epoch());
+  }
+
+  SimEngine engine_;
+  OriginServer server_;
+  ObjectId obj_ = kInvalidObjectId;
+};
+
+TEST_F(MutatorTest, TrackedObjectChangesRepeatedly) {
+  ModificationProcess mutator(&engine_, &server_, Rng(1));
+  mutator.Track(obj_, std::make_shared<FlatLifetime>(Hours(10), Hours(10)));
+  engine_.RunUntil(SimTime::Epoch() + Hours(35));
+  // Changes at exactly 10h, 20h, 30h.
+  EXPECT_EQ(server_.store().Get(obj_).change_count, 3u);
+  EXPECT_EQ(mutator.modifications_applied(), 3u);
+  EXPECT_EQ(server_.store().Get(obj_).last_modified, SimTime::Epoch() + Hours(30));
+}
+
+TEST_F(MutatorTest, FirstDelayOverride) {
+  ModificationProcess mutator(&engine_, &server_, Rng(2));
+  mutator.Track(obj_, std::make_shared<FlatLifetime>(Hours(10), Hours(10)), Hours(2));
+  engine_.RunUntil(SimTime::Epoch() + Hours(13));
+  // Changes at 2h (override) and 12h (regular draw).
+  EXPECT_EQ(server_.store().Get(obj_).change_count, 2u);
+}
+
+TEST_F(MutatorTest, StochasticRateMatchesLifetimeMean) {
+  ModificationProcess mutator(&engine_, &server_, Rng(3));
+  // 50 objects with 1-day mean exponential lifetimes over 40 days
+  // -> expect about 2000 changes.
+  std::vector<ObjectId> ids;
+  auto lifetime = std::make_shared<ExponentialLifetime>(Days(1));
+  for (int i = 0; i < 50; ++i) {
+    const ObjectId id =
+        server_.store().Create(StrFormat("/s%d", i), FileType::kGif, 100, SimTime::Epoch());
+    mutator.Track(id, lifetime);
+    ids.push_back(id);
+  }
+  engine_.RunUntil(SimTime::Epoch() + Days(40));
+  const uint64_t changes = server_.store().TotalChanges();
+  EXPECT_GT(changes, 1700u);
+  EXPECT_LT(changes, 2300u);
+}
+
+TEST_F(MutatorTest, StopCancelsFutureChanges) {
+  ModificationProcess mutator(&engine_, &server_, Rng(4));
+  mutator.Track(obj_, std::make_shared<FlatLifetime>(Hours(10), Hours(10)));
+  engine_.RunUntil(SimTime::Epoch() + Hours(15));
+  EXPECT_EQ(server_.store().Get(obj_).change_count, 1u);
+  mutator.Stop();
+  engine_.RunUntil(SimTime::Epoch() + Hours(100));
+  EXPECT_EQ(server_.store().Get(obj_).change_count, 1u);
+}
+
+TEST_F(MutatorTest, SizeModelApplied) {
+  ModificationProcess mutator(&engine_, &server_, Rng(5));
+  mutator.set_size_model([](const WebObject& obj, Rng&) { return obj.size_bytes + 100; });
+  mutator.Track(obj_, std::make_shared<FlatLifetime>(Hours(1), Hours(1)));
+  engine_.RunUntil(SimTime::Epoch() + Hours(3) + Minutes(30));
+  EXPECT_EQ(server_.store().Get(obj_).size_bytes, 1300);
+}
+
+TEST_F(MutatorTest, DeterministicAcrossRuns) {
+  auto run = [](uint64_t seed) {
+    SimEngine engine;
+    OriginServer server(&engine);
+    const ObjectId id = server.store().Create("/d", FileType::kHtml, 10, SimTime::Epoch());
+    ModificationProcess mutator(&engine, &server, Rng(seed));
+    mutator.Track(id, std::make_shared<ExponentialLifetime>(Hours(7)));
+    engine.RunUntil(SimTime::Epoch() + Days(30));
+    return server.store().Get(id).change_count;
+  };
+  EXPECT_EQ(run(11), run(11));
+  EXPECT_NE(run(11), run(12));  // overwhelmingly likely for a 30-day window
+}
+
+TEST_F(MutatorTest, ScriptedModificationsReplayInOrder) {
+  ScriptedModifications script(&engine_, &server_);
+  // Added out of order on purpose.
+  script.Add(SimTime::Epoch() + Hours(20), obj_);
+  script.Add(SimTime::Epoch() + Hours(5), obj_, 777);
+  script.Add(SimTime::Epoch() + Hours(10), obj_);
+  EXPECT_EQ(script.size(), 3u);
+  script.ScheduleAll();
+  engine_.RunUntil(SimTime::Epoch() + Hours(6));
+  EXPECT_EQ(server_.store().Get(obj_).change_count, 1u);
+  EXPECT_EQ(server_.store().Get(obj_).size_bytes, 777);
+  engine_.Run();
+  EXPECT_EQ(server_.store().Get(obj_).change_count, 3u);
+  EXPECT_EQ(server_.store().Get(obj_).last_modified, SimTime::Epoch() + Hours(20));
+}
+
+TEST_F(MutatorTest, ScriptedModificationsNotifyInvalidationSubscribers) {
+  struct CountingSink : InvalidationSink {
+    int count = 0;
+    bool DeliverInvalidation(ObjectId, SimTime) override {
+      ++count;
+      return true;
+    }
+  } sink;
+  server_.Subscribe(server_.RegisterCache(&sink), obj_);
+  ScriptedModifications script(&engine_, &server_);
+  script.Add(SimTime::Epoch() + Hours(1), obj_);
+  script.Add(SimTime::Epoch() + Hours(2), obj_);
+  script.ScheduleAll();
+  engine_.Run();
+  EXPECT_EQ(sink.count, 2);
+}
+
+}  // namespace
+}  // namespace webcc

@@ -1,0 +1,96 @@
+#include "src/origin/object_store.h"
+
+#include <gtest/gtest.h>
+
+namespace webcc {
+namespace {
+
+TEST(ObjectStoreTest, CreateAssignsDenseIds) {
+  ObjectStore store;
+  const ObjectId a = store.Create("/a", FileType::kHtml, 100, SimTime::Epoch());
+  const ObjectId b = store.Create("/b", FileType::kGif, 200, SimTime::Epoch());
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.Contains(a));
+  EXPECT_TRUE(store.Contains(b));
+  EXPECT_FALSE(store.Contains(2));
+}
+
+TEST(ObjectStoreTest, CreateInitializesFields) {
+  ObjectStore store;
+  const SimTime created = SimTime::Epoch() - Days(10);
+  const ObjectId id = store.Create("/x.gif", FileType::kGif, 7791, created);
+  const WebObject& obj = store.Get(id);
+  EXPECT_EQ(obj.name, "/x.gif");
+  EXPECT_EQ(obj.type, FileType::kGif);
+  EXPECT_EQ(obj.size_bytes, 7791);
+  EXPECT_EQ(obj.version, 1u);
+  EXPECT_EQ(obj.created_at, created);
+  EXPECT_EQ(obj.last_modified, created);
+  EXPECT_EQ(obj.change_count, 0u);
+}
+
+TEST(ObjectStoreTest, FindByName) {
+  ObjectStore store;
+  const ObjectId id = store.Create("/found", FileType::kOther, 1, SimTime::Epoch());
+  EXPECT_EQ(store.FindByName("/found"), id);
+  EXPECT_EQ(store.FindByName("/missing"), kInvalidObjectId);
+}
+
+TEST(ObjectStoreTest, ModifyBumpsVersionAndTime) {
+  ObjectStore store;
+  const ObjectId id = store.Create("/m", FileType::kHtml, 500, SimTime::Epoch());
+  store.Modify(id, SimTime::Epoch() + Hours(5));
+  const WebObject& obj = store.Get(id);
+  EXPECT_EQ(obj.version, 2u);
+  EXPECT_EQ(obj.change_count, 1u);
+  EXPECT_EQ(obj.last_modified, SimTime::Epoch() + Hours(5));
+  EXPECT_EQ(obj.size_bytes, 500);  // unchanged when new_size < 0
+}
+
+TEST(ObjectStoreTest, ModifyCanResize) {
+  ObjectStore store;
+  const ObjectId id = store.Create("/m", FileType::kHtml, 500, SimTime::Epoch());
+  store.Modify(id, SimTime::Epoch() + Hours(1), 999);
+  EXPECT_EQ(store.Get(id).size_bytes, 999);
+}
+
+TEST(ObjectStoreTest, RepeatedModifications) {
+  ObjectStore store;
+  const ObjectId id = store.Create("/m", FileType::kHtml, 1, SimTime::Epoch());
+  for (int i = 1; i <= 10; ++i) {
+    store.Modify(id, SimTime::Epoch() + Hours(i));
+  }
+  EXPECT_EQ(store.Get(id).version, 11u);
+  EXPECT_EQ(store.Get(id).change_count, 10u);
+}
+
+TEST(ObjectStoreTest, ModifyAtSameInstantAllowed) {
+  ObjectStore store;
+  const ObjectId id = store.Create("/m", FileType::kHtml, 1, SimTime::Epoch());
+  store.Modify(id, SimTime::Epoch() + Hours(1));
+  store.Modify(id, SimTime::Epoch() + Hours(1));
+  EXPECT_EQ(store.Get(id).change_count, 2u);
+}
+
+TEST(ObjectStoreTest, Aggregates) {
+  ObjectStore store;
+  store.Create("/a", FileType::kGif, 100, SimTime::Epoch());
+  const ObjectId b = store.Create("/b", FileType::kGif, 250, SimTime::Epoch());
+  store.Modify(b, SimTime::Epoch() + Seconds(1));
+  store.Modify(b, SimTime::Epoch() + Seconds(2));
+  EXPECT_EQ(store.TotalBytes(), 350);
+  EXPECT_EQ(store.TotalChanges(), 2u);
+}
+
+TEST(ObjectStoreTest, ObjectsCreatedInThePast) {
+  ObjectStore store;
+  const ObjectId id = store.Create("/old", FileType::kHtml, 10, SimTime::Epoch() - Days(100));
+  // Modifications after creation but before the epoch are legal.
+  store.Modify(id, SimTime::Epoch() - Days(50));
+  EXPECT_EQ(store.Get(id).last_modified, SimTime::Epoch() - Days(50));
+}
+
+}  // namespace
+}  // namespace webcc

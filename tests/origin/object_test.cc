@@ -1,0 +1,51 @@
+#include "src/origin/object.h"
+
+#include <gtest/gtest.h>
+
+namespace webcc {
+namespace {
+
+TEST(FileTypeTest, NamesRoundTrip) {
+  for (int t = 0; t < kNumFileTypes; ++t) {
+    const auto type = static_cast<FileType>(t);
+    EXPECT_EQ(FileTypeFromName(FileTypeName(type)), type);
+  }
+}
+
+TEST(FileTypeTest, AliasesRecognized) {
+  EXPECT_EQ(FileTypeFromName("htm"), FileType::kHtml);
+  EXPECT_EQ(FileTypeFromName("jpeg"), FileType::kJpg);
+  EXPECT_EQ(FileTypeFromName("GIF"), FileType::kGif);
+  EXPECT_EQ(FileTypeFromName("weird"), FileType::kOther);
+}
+
+TEST(FileTypeTest, FromUriSuffix) {
+  EXPECT_EQ(FileTypeFromUri("/a/b/logo.gif"), FileType::kGif);
+  EXPECT_EQ(FileTypeFromUri("/index.html"), FileType::kHtml);
+  EXPECT_EQ(FileTypeFromUri("/photos/x.JPEG"), FileType::kJpg);
+  EXPECT_EQ(FileTypeFromUri("/README"), FileType::kOther);
+  EXPECT_EQ(FileTypeFromUri("/a.tar.gz"), FileType::kOther);
+}
+
+TEST(FileTypeTest, DynamicContentIsCgi) {
+  EXPECT_EQ(FileTypeFromUri("/cgi-bin/search"), FileType::kCgi);
+  EXPECT_EQ(FileTypeFromUri("/page.html?user=7"), FileType::kCgi);
+  EXPECT_EQ(FileTypeFromUri("/app.cgi"), FileType::kCgi);
+}
+
+TEST(WebObjectTest, AgeComputation) {
+  WebObject obj;
+  obj.last_modified = SimTime::Epoch() - Days(30);
+  EXPECT_EQ(obj.AgeAt(SimTime::Epoch()), Days(30));
+  EXPECT_EQ(obj.AgeAt(SimTime::Epoch() + Days(1)), Days(31));
+}
+
+TEST(WebObjectTest, Defaults) {
+  WebObject obj;
+  EXPECT_EQ(obj.id, kInvalidObjectId);
+  EXPECT_EQ(obj.version, 1u);
+  EXPECT_EQ(obj.change_count, 0u);
+}
+
+}  // namespace
+}  // namespace webcc

@@ -1,0 +1,205 @@
+#include "src/origin/server.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/http/message.h"
+
+namespace webcc {
+namespace {
+
+// Minimal sink that records deliveries and can simulate unreachability.
+class RecordingSink : public InvalidationSink {
+ public:
+  bool DeliverInvalidation(ObjectId id, SimTime now) override {
+    if (!reachable) {
+      ++dropped;
+      return false;
+    }
+    deliveries.push_back({id, now});
+    return true;
+  }
+
+  struct Delivery {
+    ObjectId id;
+    SimTime at;
+  };
+  std::vector<Delivery> deliveries;
+  int dropped = 0;
+  bool reachable = true;
+};
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest() : server_() {
+    obj_ = server_.store().Create("/doc.html", FileType::kHtml, 6000, SimTime::Epoch() - Days(5));
+  }
+
+  OriginServer server_;
+  ObjectId obj_ = kInvalidObjectId;
+};
+
+TEST_F(ServerTest, HandleGetReturnsDocumentAndAccounts) {
+  const auto result = server_.HandleGet(obj_, SimTime::Epoch());
+  EXPECT_EQ(result.body_bytes, 6000);
+  EXPECT_EQ(result.version, 1u);
+  EXPECT_EQ(result.last_modified, SimTime::Epoch() - Days(5));
+
+  const ServerStats& s = server_.stats();
+  EXPECT_EQ(s.get_requests, 1u);
+  EXPECT_EQ(s.files_transferred, 1u);
+  EXPECT_EQ(s.bytes_received, kControlMessageBytes);
+  EXPECT_EQ(s.bytes_sent, kControlMessageBytes + 6000);
+  EXPECT_EQ(s.TotalOperations(), 1u);
+}
+
+TEST_F(ServerTest, ConditionalGetNotModified) {
+  const auto result = server_.HandleConditionalGet(obj_, /*held_version=*/1, SimTime::Epoch());
+  EXPECT_FALSE(result.modified);
+  EXPECT_EQ(result.body_bytes, 0);
+
+  const ServerStats& s = server_.stats();
+  EXPECT_EQ(s.ims_queries, 1u);
+  EXPECT_EQ(s.ims_not_modified, 1u);
+  EXPECT_EQ(s.files_transferred, 0u);
+  // Query + 304: two control messages total.
+  EXPECT_EQ(s.TotalBytes(), 2 * kControlMessageBytes);
+}
+
+TEST_F(ServerTest, ConditionalGetModifiedShipsBody) {
+  server_.ModifyObject(obj_, SimTime::Epoch() + Hours(1));
+  const auto result = server_.HandleConditionalGet(obj_, 1, SimTime::Epoch() + Hours(2));
+  EXPECT_TRUE(result.modified);
+  EXPECT_EQ(result.body_bytes, 6000);
+  EXPECT_EQ(result.version, 2u);
+
+  const ServerStats& s = server_.stats();
+  EXPECT_EQ(s.ims_queries, 1u);
+  EXPECT_EQ(s.ims_not_modified, 0u);
+  EXPECT_EQ(s.files_transferred, 1u);
+  // A combined query+retransmit counts as ONE server operation (paper §3).
+  EXPECT_EQ(s.TotalOperations(), 1u);
+}
+
+TEST_F(ServerTest, InvalidationDeliveredToSubscribers) {
+  RecordingSink sink;
+  const CacheId cache = server_.RegisterCache(&sink);
+  server_.Subscribe(cache, obj_);
+  EXPECT_TRUE(server_.IsSubscribed(cache, obj_));
+
+  server_.ModifyObject(obj_, SimTime::Epoch() + Hours(3));
+  ASSERT_EQ(sink.deliveries.size(), 1u);
+  EXPECT_EQ(sink.deliveries[0].id, obj_);
+  EXPECT_EQ(sink.deliveries[0].at, SimTime::Epoch() + Hours(3));
+  EXPECT_EQ(server_.stats().invalidations_sent, 1u);
+  EXPECT_EQ(server_.stats().bytes_sent, kControlMessageBytes);
+}
+
+TEST_F(ServerTest, NoInvalidationWithoutSubscription) {
+  RecordingSink sink;
+  server_.RegisterCache(&sink);
+  server_.ModifyObject(obj_, SimTime::Epoch() + Hours(1));
+  EXPECT_TRUE(sink.deliveries.empty());
+  EXPECT_EQ(server_.stats().invalidations_sent, 0u);
+}
+
+TEST_F(ServerTest, UnsubscribeStopsNotices) {
+  RecordingSink sink;
+  const CacheId cache = server_.RegisterCache(&sink);
+  server_.Subscribe(cache, obj_);
+  server_.Unsubscribe(cache, obj_);
+  EXPECT_FALSE(server_.IsSubscribed(cache, obj_));
+  server_.ModifyObject(obj_, SimTime::Epoch() + Hours(1));
+  EXPECT_TRUE(sink.deliveries.empty());
+}
+
+TEST_F(ServerTest, SubscriptionCountTracksBookkeeping) {
+  RecordingSink a;
+  RecordingSink b;
+  const CacheId ca = server_.RegisterCache(&a);
+  const CacheId cb = server_.RegisterCache(&b);
+  const ObjectId second =
+      server_.store().Create("/b.gif", FileType::kGif, 100, SimTime::Epoch());
+  EXPECT_EQ(server_.SubscriptionCount(), 0u);
+  server_.Subscribe(ca, obj_);
+  server_.Subscribe(ca, obj_);  // idempotent
+  server_.Subscribe(cb, obj_);
+  server_.Subscribe(cb, second);
+  EXPECT_EQ(server_.SubscriptionCount(), 3u);
+  server_.Unsubscribe(cb, second);
+  EXPECT_EQ(server_.SubscriptionCount(), 2u);
+}
+
+TEST_F(ServerTest, EveryChangeNotifiesEverySubscriber) {
+  RecordingSink a;
+  RecordingSink b;
+  server_.Subscribe(server_.RegisterCache(&a), obj_);
+  server_.Subscribe(server_.RegisterCache(&b), obj_);
+  for (int i = 1; i <= 4; ++i) {
+    server_.ModifyObject(obj_, SimTime::Epoch() + Hours(i));
+  }
+  EXPECT_EQ(a.deliveries.size(), 4u);
+  EXPECT_EQ(b.deliveries.size(), 4u);
+  EXPECT_EQ(server_.stats().invalidations_sent, 8u);
+}
+
+TEST(ServerRetryTest, RetriesUnreachableCacheUntilDelivered) {
+  SimEngine engine;
+  OriginServer server(&engine, /*retry_interval=*/Minutes(5));
+  const ObjectId obj = server.store().Create("/x", FileType::kHtml, 100, SimTime::Epoch());
+  RecordingSink sink;
+  sink.reachable = false;
+  server.Subscribe(server.RegisterCache(&sink), obj);
+
+  server.ModifyObject(obj, SimTime::Epoch());
+  EXPECT_EQ(sink.dropped, 1);
+
+  // Two retry windows pass while the cache is down.
+  engine.RunUntil(SimTime::Epoch() + Minutes(11));
+  EXPECT_EQ(sink.dropped, 3);
+  EXPECT_TRUE(sink.deliveries.empty());
+
+  // The cache comes back; the next retry succeeds and retries stop.
+  sink.reachable = true;
+  engine.RunUntil(SimTime::Epoch() + Hours(2));
+  ASSERT_EQ(sink.deliveries.size(), 1u);
+  EXPECT_EQ(sink.deliveries[0].id, obj);
+  EXPECT_EQ(sink.dropped, 3);
+  EXPECT_EQ(server.stats().invalidation_retries, 3u);
+  EXPECT_EQ(server.stats().invalidations_sent, 4u);
+}
+
+TEST(ServerRetryTest, NoEngineMeansNoRetries) {
+  OriginServer server;  // no engine
+  const ObjectId obj = server.store().Create("/x", FileType::kHtml, 100, SimTime::Epoch());
+  RecordingSink sink;
+  sink.reachable = false;
+  server.Subscribe(server.RegisterCache(&sink), obj);
+  server.ModifyObject(obj, SimTime::Epoch());
+  EXPECT_EQ(sink.dropped, 1);
+  EXPECT_EQ(server.stats().invalidations_sent, 1u);
+}
+
+TEST_F(ServerTest, ExpiresProviderPropagates) {
+  server_.SetExpiresProvider([](const WebObject& obj, SimTime now) -> std::optional<SimTime> {
+    (void)obj;
+    return now + Days(1);
+  });
+  const auto get = server_.HandleGet(obj_, SimTime::Epoch());
+  ASSERT_TRUE(get.expires.has_value());
+  EXPECT_EQ(*get.expires, SimTime::Epoch() + Days(1));
+  const auto cond = server_.HandleConditionalGet(obj_, 1, SimTime::Epoch() + Hours(1));
+  ASSERT_TRUE(cond.expires.has_value());
+  EXPECT_EQ(*cond.expires, SimTime::Epoch() + Hours(1) + Days(1));
+}
+
+TEST_F(ServerTest, ResetStatsClears) {
+  server_.HandleGet(obj_, SimTime::Epoch());
+  server_.ResetStats();
+  EXPECT_EQ(server_.stats().get_requests, 0u);
+  EXPECT_EQ(server_.stats().TotalBytes(), 0);
+}
+
+}  // namespace
+}  // namespace webcc

@@ -1,0 +1,153 @@
+#include "src/sim/engine.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace webcc {
+namespace {
+
+TEST(SimEngineTest, StartsAtEpoch) {
+  SimEngine engine;
+  EXPECT_EQ(engine.Now(), SimTime::Epoch());
+  EXPECT_EQ(engine.events_executed(), 0u);
+}
+
+TEST(SimEngineTest, RunExecutesAllAndAdvancesClock) {
+  SimEngine engine;
+  std::vector<int64_t> seen;
+  engine.ScheduleAt(SimTime(10), [&] { seen.push_back(engine.Now().seconds()); });
+  engine.ScheduleAt(SimTime(5), [&] { seen.push_back(engine.Now().seconds()); });
+  EXPECT_EQ(engine.Run(), 2u);
+  EXPECT_EQ(seen, (std::vector<int64_t>{5, 10}));
+  EXPECT_EQ(engine.Now(), SimTime(10));
+}
+
+TEST(SimEngineTest, ScheduleAfterIsRelative) {
+  SimEngine engine;
+  SimTime fired_at;
+  engine.ScheduleAt(SimTime(100), [&] {
+    engine.ScheduleAfter(Seconds(50), [&] { fired_at = engine.Now(); });
+  });
+  engine.Run();
+  EXPECT_EQ(fired_at, SimTime(150));
+}
+
+TEST(SimEngineTest, EventsCanScheduleMoreEvents) {
+  SimEngine engine;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    ++depth;
+    if (depth < 10) {
+      engine.ScheduleAfter(Seconds(1), chain);
+    }
+  };
+  engine.ScheduleAfter(Seconds(1), chain);
+  engine.Run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(engine.Now(), SimTime(10));
+}
+
+TEST(SimEngineTest, RunUntilStopsAtDeadline) {
+  SimEngine engine;
+  int fired = 0;
+  for (int t = 1; t <= 10; ++t) {
+    engine.ScheduleAt(SimTime(t * 10), [&] { ++fired; });
+  }
+  EXPECT_EQ(engine.RunUntil(SimTime(50)), 5u);
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(engine.Now(), SimTime(50));
+  EXPECT_EQ(engine.pending_events(), 5u);
+}
+
+TEST(SimEngineTest, RunUntilAdvancesClockEvenWhenIdle) {
+  SimEngine engine;
+  engine.RunUntil(SimTime(1234));
+  EXPECT_EQ(engine.Now(), SimTime(1234));
+}
+
+TEST(SimEngineTest, RunUntilInclusiveOfDeadline) {
+  SimEngine engine;
+  bool fired = false;
+  engine.ScheduleAt(SimTime(50), [&] { fired = true; });
+  engine.RunUntil(SimTime(50));
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimEngineTest, PastSchedulingClampsAndCounts) {
+  SimEngine engine;
+  engine.ScheduleAt(SimTime(100), [] {});
+  engine.Run();
+  ASSERT_EQ(engine.Now(), SimTime(100));
+  bool fired = false;
+  engine.ScheduleAt(SimTime(10), [&] { fired = true; });  // in the past
+  EXPECT_EQ(engine.clamped_events(), 1u);
+  engine.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(engine.Now(), SimTime(100));  // clamped, not rewound
+}
+
+TEST(SimEngineTest, NegativeDelayClampsToNow) {
+  SimEngine engine;
+  bool fired = false;
+  engine.ScheduleAfter(Seconds(-5), [&] { fired = true; });
+  engine.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(engine.Now(), SimTime::Epoch());
+}
+
+TEST(SimEngineTest, StepExecutesExactlyOne) {
+  SimEngine engine;
+  int fired = 0;
+  engine.ScheduleAt(SimTime(1), [&] { ++fired; });
+  engine.ScheduleAt(SimTime(2), [&] { ++fired; });
+  EXPECT_TRUE(engine.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(engine.Step());
+  EXPECT_FALSE(engine.Step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimEngineTest, CancelledEventsNotExecuted) {
+  SimEngine engine;
+  int fired = 0;
+  EventHandle h = engine.ScheduleAt(SimTime(5), [&] { ++fired; });
+  engine.ScheduleAt(SimTime(6), [&] { ++fired; });
+  h.Cancel();
+  engine.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.events_executed(), 1u);
+}
+
+TEST(SimEngineTest, StatisticsTrackActivity) {
+  SimEngine engine;
+  for (int i = 0; i < 5; ++i) {
+    engine.ScheduleAt(SimTime(i), [] {});
+  }
+  engine.Run();
+  EXPECT_EQ(engine.events_scheduled(), 5u);
+  EXPECT_EQ(engine.events_executed(), 5u);
+  EXPECT_EQ(engine.pending_events(), 0u);
+}
+
+TEST(SimEngineTest, DeterministicInterleaving) {
+  auto run = [] {
+    SimEngine engine;
+    std::vector<int> order;
+    engine.ScheduleAt(SimTime(3), [&] { order.push_back(1); });
+    engine.ScheduleAt(SimTime(3), [&] { order.push_back(2); });
+    engine.ScheduleAt(SimTime(1), [&] {
+      order.push_back(3);
+      engine.ScheduleAt(SimTime(3), [&] { order.push_back(4); });
+    });
+    engine.Run();
+    return order;
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, (std::vector<int>{3, 1, 2, 4}));
+}
+
+}  // namespace
+}  // namespace webcc

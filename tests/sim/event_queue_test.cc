@@ -1,0 +1,159 @@
+#include "src/sim/event_queue.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace webcc {
+namespace {
+
+TEST(EventQueueTest, EmptyQueue) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_FALSE(q.PopNext().has_value());
+  EXPECT_FALSE(q.PeekTime().has_value());
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.Schedule(SimTime(30), [&] { fired.push_back(3); });
+  q.Schedule(SimTime(10), [&] { fired.push_back(1); });
+  q.Schedule(SimTime(20), [&] { fired.push_back(2); });
+  while (auto e = q.PopNext()) {
+    e->fn();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, FifoWithinSameInstant) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.Schedule(SimTime(5), [&fired, i] { fired.push_back(i); });
+  }
+  while (auto e = q.PopNext()) {
+    e->fn();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fired[i], i);
+  }
+}
+
+TEST(EventQueueTest, PopReportsScheduledTime) {
+  EventQueue q;
+  q.Schedule(SimTime(77), [] {});
+  const auto e = q.PopNext();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->time, SimTime(77));
+}
+
+TEST(EventQueueTest, PeekDoesNotPop) {
+  EventQueue q;
+  q.Schedule(SimTime(5), [] {});
+  EXPECT_EQ(q.PeekTime(), SimTime(5));
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_TRUE(q.PopNext().has_value());
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueueTest, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  EventHandle h = q.Schedule(SimTime(1), [&] { fired = true; });
+  EXPECT_TRUE(h.IsPending());
+  EXPECT_TRUE(h.Cancel());
+  EXPECT_FALSE(h.IsPending());
+  EXPECT_FALSE(q.PopNext().has_value());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelIsIdempotent) {
+  EventQueue q;
+  EventHandle h = q.Schedule(SimTime(1), [] {});
+  EXPECT_TRUE(h.Cancel());
+  EXPECT_FALSE(h.Cancel());
+}
+
+TEST(EventQueueTest, CancelUpdatesPendingImmediately) {
+  EventQueue q;
+  EventHandle h1 = q.Schedule(SimTime(1), [] {});
+  EventHandle h2 = q.Schedule(SimTime(2), [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  h1.Cancel();
+  EXPECT_EQ(q.pending(), 1u);
+  (void)h2;
+}
+
+TEST(EventQueueTest, CancelledMiddleEventSkipped) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.Schedule(SimTime(1), [&] { fired.push_back(1); });
+  EventHandle h = q.Schedule(SimTime(2), [&] { fired.push_back(2); });
+  q.Schedule(SimTime(3), [&] { fired.push_back(3); });
+  h.Cancel();
+  while (auto e = q.PopNext()) {
+    e->fn();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, PeekSkipsCancelledHead) {
+  EventQueue q;
+  EventHandle h = q.Schedule(SimTime(1), [] {});
+  q.Schedule(SimTime(9), [] {});
+  h.Cancel();
+  EXPECT_EQ(q.PeekTime(), SimTime(9));
+}
+
+TEST(EventQueueTest, HandleOfFiredEventNotPending) {
+  EventQueue q;
+  EventHandle h = q.Schedule(SimTime(1), [] {});
+  q.PopNext();
+  EXPECT_FALSE(h.IsPending());
+  EXPECT_FALSE(h.Cancel());
+}
+
+TEST(EventQueueTest, DefaultHandleInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.IsPending());
+  EXPECT_FALSE(h.Cancel());
+}
+
+TEST(EventQueueTest, CancelSafeAfterQueueDestroyed) {
+  EventHandle h;
+  {
+    EventQueue q;
+    h = q.Schedule(SimTime(1), [] {});
+  }
+  EXPECT_TRUE(h.Cancel());  // must not crash
+}
+
+TEST(EventQueueTest, ManyEventsStressOrdering) {
+  EventQueue q;
+  std::vector<int64_t> fired;
+  // Insert with a deterministic pseudo-shuffled order.
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t t = (i * 2654435761LL) % 100000;
+    q.Schedule(SimTime(t), [&fired, t] { fired.push_back(t); });
+  }
+  while (auto e = q.PopNext()) {
+    e->fn();
+  }
+  ASSERT_EQ(fired.size(), 5000u);
+  for (size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_LE(fired[i - 1], fired[i]);
+  }
+}
+
+TEST(EventQueueTest, TotalScheduledCounts) {
+  EventQueue q;
+  for (int i = 0; i < 7; ++i) {
+    q.Schedule(SimTime(i), [] {});
+  }
+  EXPECT_EQ(q.total_scheduled(), 7u);
+}
+
+}  // namespace
+}  // namespace webcc

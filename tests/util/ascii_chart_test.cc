@@ -1,0 +1,146 @@
+#include "src/util/ascii_chart.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace webcc {
+namespace {
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    const size_t eol = text.find('\n', start);
+    lines.push_back(text.substr(start, eol - start));
+    if (eol == std::string::npos) {
+      break;
+    }
+    start = eol + 1;
+  }
+  return lines;
+}
+
+TEST(AsciiChartTest, TitleLabelsAndLegendPresent) {
+  ChartSeries s;
+  s.label = "alex";
+  s.marker = '*';
+  s.points = {{0, 1}, {50, 2}, {100, 3}};
+  ChartOptions options;
+  options.title = "My Figure";
+  options.y_label = "MB";
+  options.x_label = "threshold";
+  const std::string chart = RenderChart({s}, options);
+  EXPECT_NE(chart.find("My Figure"), std::string::npos);
+  EXPECT_NE(chart.find("MB"), std::string::npos);
+  EXPECT_NE(chart.find("threshold"), std::string::npos);
+  EXPECT_NE(chart.find("* alex"), std::string::npos);
+}
+
+TEST(AsciiChartTest, CornersLandAtExtremes) {
+  ChartSeries s;
+  s.marker = 'o';
+  s.points = {{0, 0}, {10, 100}};
+  ChartOptions options;
+  options.width = 20;
+  options.height = 10;
+  const std::string chart = RenderChart({s}, options);
+  const auto lines = Lines(chart);
+  // First grid row (y max) must contain a marker at the far right; last grid
+  // row (y min) at the far left. Grid rows are those containing '|'.
+  std::vector<std::string> grid;
+  for (const auto& line : lines) {
+    if (line.find('|') != std::string::npos) {
+      grid.push_back(line.substr(line.find('|') + 1));
+    }
+  }
+  ASSERT_EQ(grid.size(), 10u);
+  EXPECT_EQ(grid.front().back(), 'o');   // (10, 100) top-right
+  EXPECT_EQ(grid.back().front(), 'o');   // (0, 0) bottom-left
+}
+
+TEST(AsciiChartTest, LogScaleSpacing) {
+  // On a log axis, 1 -> 10 -> 100 are equally spaced: the middle point sits
+  // in the middle row, which would not happen linearly.
+  ChartSeries s;
+  s.marker = 'x';
+  s.points = {{0, 1}, {1, 10}, {2, 100}};
+  ChartOptions options;
+  options.width = 21;
+  options.height = 11;
+  options.log_y = true;
+  const std::string chart = RenderChart({s}, options);
+  const auto lines = Lines(chart);
+  std::vector<std::string> grid;
+  for (const auto& line : lines) {
+    if (line.find('|') != std::string::npos) {
+      grid.push_back(line.substr(line.find('|') + 1));
+    }
+  }
+  ASSERT_EQ(grid.size(), 11u);
+  EXPECT_NE(grid[5].find('x'), std::string::npos);  // exactly halfway
+  EXPECT_NE(chart.find("(log scale)"), std::string::npos);
+}
+
+TEST(AsciiChartTest, NonPositiveValuesSkippedInLogMode) {
+  ChartSeries s;
+  s.marker = 'x';
+  s.points = {{0, 0.0}, {1, -5.0}, {2, 100.0}};
+  ChartOptions options;
+  options.log_y = true;
+  const std::string chart = RenderChart({s}, options);
+  // Only the single positive point plots; no crash, one marker.
+  size_t count = 0;
+  for (char c : chart) {
+    if (c == 'x') {
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, 2u);  // one on the grid + one in the legend
+}
+
+TEST(AsciiChartTest, EmptySeriesRendersFrame) {
+  const std::string chart = RenderChart({}, ChartOptions{});
+  EXPECT_NE(chart.find('+'), std::string::npos);
+  EXPECT_NE(chart.find('|'), std::string::npos);
+}
+
+TEST(AsciiChartTest, OverlapMarkedWithHash) {
+  ChartSeries a;
+  a.label = "a";
+  a.marker = 'a';
+  a.points = {{0, 0}, {1, 1}};
+  ChartSeries b;
+  b.label = "b";
+  b.marker = 'b';
+  b.points = {{0, 0}};  // collides with a's first point
+  const std::string chart = RenderChart({a, b}, ChartOptions{});
+  EXPECT_NE(chart.find('#'), std::string::npos);
+}
+
+TEST(AsciiChartTest, ConstantSeriesDoesNotDivideByZero) {
+  ChartSeries s;
+  s.marker = '-';
+  s.points = {{0, 5}, {1, 5}, {2, 5}};
+  EXPECT_NO_THROW(RenderChart({s}, ChartOptions{}));
+}
+
+TEST(AsciiChartTest, NansIgnored) {
+  ChartSeries s;
+  s.marker = '*';
+  s.points = {{0, std::nan("")}, {std::nan(""), 1}, {1, 2}};
+  EXPECT_NO_THROW(RenderChart({s}, ChartOptions{}));
+}
+
+TEST(AsciiChartTest, Deterministic) {
+  ChartSeries s;
+  s.label = "d";
+  s.marker = 'd';
+  for (int i = 0; i < 30; ++i) {
+    s.points.emplace_back(i, std::sin(i) * 10 + 20);
+  }
+  EXPECT_EQ(RenderChart({s}, ChartOptions{}), RenderChart({s}, ChartOptions{}));
+}
+
+}  // namespace
+}  // namespace webcc

@@ -1,0 +1,182 @@
+#include "src/util/distributions.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace webcc {
+namespace {
+
+TEST(ZipfTest, UniformWhenSkewZero) {
+  ZipfDistribution zipf(10, 0.0);
+  for (size_t r = 0; r < 10; ++r) {
+    EXPECT_NEAR(zipf.Pmf(r), 0.1, 1e-12);
+  }
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution zipf(100, 0.8);
+  double total = 0;
+  for (size_t r = 0; r < 100; ++r) {
+    total += zipf.Pmf(r);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfMonotoneDecreasing) {
+  ZipfDistribution zipf(50, 1.1);
+  for (size_t r = 1; r < 50; ++r) {
+    EXPECT_GE(zipf.Pmf(r - 1), zipf.Pmf(r));
+  }
+}
+
+TEST(ZipfTest, PmfRatioMatchesPowerLaw) {
+  ZipfDistribution zipf(1000, 1.0);
+  // p(r=0)/p(r=9) == (10/1)^1.
+  EXPECT_NEAR(zipf.Pmf(0) / zipf.Pmf(9), 10.0, 1e-6);
+}
+
+TEST(ZipfTest, DrawFrequenciesTrackPmf) {
+  ZipfDistribution zipf(20, 0.9);
+  Rng rng(123);
+  std::vector<int> counts(20, 0);
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[zipf.Draw(rng)];
+  }
+  for (size_t r = 0; r < 20; ++r) {
+    const double expected = zipf.Pmf(r) * kN;
+    EXPECT_NEAR(counts[r], expected, 5 * std::sqrt(expected) + 10);
+  }
+}
+
+TEST(ZipfTest, SingleElement) {
+  ZipfDistribution zipf(1, 1.5);
+  Rng rng(1);
+  EXPECT_EQ(zipf.Draw(rng), 0u);
+  EXPECT_NEAR(zipf.Pmf(0), 1.0, 1e-12);
+}
+
+TEST(DiscreteTest, ProbabilitiesNormalized) {
+  DiscreteDistribution dist({2.0, 6.0, 2.0});
+  EXPECT_NEAR(dist.Probability(0), 0.2, 1e-12);
+  EXPECT_NEAR(dist.Probability(1), 0.6, 1e-12);
+  EXPECT_NEAR(dist.Probability(2), 0.2, 1e-12);
+}
+
+TEST(DiscreteTest, ZeroWeightNeverDrawn) {
+  DiscreteDistribution dist({1.0, 0.0, 1.0});
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_NE(dist.Draw(rng), 1u);
+  }
+}
+
+TEST(DiscreteTest, DrawFrequencies) {
+  DiscreteDistribution dist({0.55, 0.22, 0.10, 0.09, 0.04});
+  Rng rng(6);
+  std::vector<int> counts(5, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[dist.Draw(rng)];
+  }
+  EXPECT_NEAR(counts[0], 55000, 1500);
+  EXPECT_NEAR(counts[1], 22000, 1200);
+  EXPECT_NEAR(counts[4], 4000, 600);
+}
+
+TEST(FlatLifetimeTest, BoundsRespected) {
+  FlatLifetime flat(Hours(12), Hours(269));
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const SimDuration d = flat.NextLifetime(rng);
+    EXPECT_GE(d, Hours(12));
+    EXPECT_LE(d, Hours(269));
+  }
+}
+
+TEST(FlatLifetimeTest, MeanIsMidpoint) {
+  FlatLifetime flat(Hours(10), Hours(30));
+  EXPECT_EQ(flat.MeanLifetime(), Hours(20));
+  Rng rng(8);
+  double sum = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    sum += static_cast<double>(flat.NextLifetime(rng).seconds());
+  }
+  EXPECT_NEAR(sum / kN, Hours(20).seconds(), Hours(20).seconds() * 0.02);
+}
+
+TEST(FlatLifetimeTest, DegenerateRange) {
+  FlatLifetime flat(Hours(5), Hours(5));
+  Rng rng(9);
+  EXPECT_EQ(flat.NextLifetime(rng), Hours(5));
+}
+
+TEST(ExponentialLifetimeTest, MeanMatches) {
+  ExponentialLifetime exp_lt(Days(5));
+  Rng rng(10);
+  double sum = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    sum += static_cast<double>(exp_lt.NextLifetime(rng).seconds());
+  }
+  EXPECT_NEAR(sum / kN, Days(5).seconds(), Days(5).seconds() * 0.03);
+}
+
+TEST(ExponentialLifetimeTest, NeverZero) {
+  ExponentialLifetime exp_lt(Seconds(2));
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(exp_lt.NextLifetime(rng).seconds(), 1);
+  }
+}
+
+TEST(BimodalLifetimeTest, MeanIsMixture) {
+  BimodalLifetime bimodal(0.25, Days(1), Days(100));
+  const double expected = 0.25 * Days(1).seconds() + 0.75 * Days(100).seconds();
+  EXPECT_NEAR(static_cast<double>(bimodal.MeanLifetime().seconds()), expected, 1.0);
+}
+
+TEST(BimodalLifetimeTest, DrawMeanApproachesMixture) {
+  BimodalLifetime bimodal(0.5, Days(1), Days(20));
+  Rng rng(12);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    sum += static_cast<double>(bimodal.NextLifetime(rng).seconds());
+  }
+  const double expected = 0.5 * Days(1).seconds() + 0.5 * Days(20).seconds();
+  EXPECT_NEAR(sum / kN, expected, expected * 0.03);
+}
+
+TEST(BimodalLifetimeTest, IsGenuinelyBimodal) {
+  // With hot mean 1d and cold mean 100d, draws should cluster: many below
+  // 5 days AND many above 20 days.
+  BimodalLifetime bimodal(0.5, Days(1), Days(100));
+  Rng rng(13);
+  int below = 0;
+  int above = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const SimDuration d = bimodal.NextLifetime(rng);
+    if (d < Days(5)) {
+      ++below;
+    }
+    if (d > Days(20)) {
+      ++above;
+    }
+  }
+  EXPECT_GT(below, kN / 4);
+  EXPECT_GT(above, kN / 4);
+}
+
+TEST(ImmutableLifetimeTest, EffectivelyInfinite) {
+  ImmutableLifetime immutable;
+  Rng rng(14);
+  EXPECT_TRUE((SimTime::Epoch() + immutable.NextLifetime(rng)).IsInfinite());
+}
+
+}  // namespace
+}  // namespace webcc

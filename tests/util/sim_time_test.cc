@@ -1,0 +1,94 @@
+#include "src/util/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace webcc {
+namespace {
+
+TEST(SimDurationTest, ConstructorsAndAccessors) {
+  EXPECT_EQ(Seconds(90).seconds(), 90);
+  EXPECT_EQ(Minutes(2).seconds(), 120);
+  EXPECT_EQ(Hours(3).seconds(), 10800);
+  EXPECT_EQ(Days(2).seconds(), 172800);
+  EXPECT_DOUBLE_EQ(Hours(36).days(), 1.5);
+  EXPECT_DOUBLE_EQ(Minutes(90).hours(), 1.5);
+}
+
+TEST(SimDurationTest, Arithmetic) {
+  EXPECT_EQ((Hours(1) + Minutes(30)).seconds(), 5400);
+  EXPECT_EQ((Hours(1) - Minutes(30)).seconds(), 1800);
+  EXPECT_EQ((-Hours(1)).seconds(), -3600);
+  EXPECT_EQ((Minutes(10) * 6).seconds(), 3600);
+  EXPECT_EQ((Hours(1) / 4).seconds(), 900);
+  SimDuration d = Hours(1);
+  d += Minutes(15);
+  EXPECT_EQ(d.seconds(), 4500);
+  d -= Minutes(15);
+  EXPECT_EQ(d.seconds(), 3600);
+}
+
+TEST(SimDurationTest, Comparison) {
+  EXPECT_LT(Minutes(59), Hours(1));
+  EXPECT_EQ(Minutes(60), Hours(1));
+  EXPECT_GT(Days(1), Hours(23));
+}
+
+TEST(SimDurationTest, ScaledByRounds) {
+  EXPECT_EQ(Days(30).ScaledBy(0.10), Days(3));
+  EXPECT_EQ(Seconds(10).ScaledBy(0.25), Seconds(3));  // 2.5 rounds to 3
+  EXPECT_EQ(Seconds(10).ScaledBy(0.0), Seconds(0));
+  EXPECT_EQ(Seconds(100).ScaledBy(1.5), Seconds(150));
+}
+
+TEST(SimDurationTest, FloatingBuilders) {
+  EXPECT_EQ(SecondsF(1.4).seconds(), 1);
+  EXPECT_EQ(SecondsF(1.6).seconds(), 2);
+  EXPECT_EQ(HoursF(0.5).seconds(), 1800);
+  EXPECT_EQ(DaysF(0.5).seconds(), 43200);
+}
+
+TEST(SimDurationTest, ToStringForms) {
+  EXPECT_EQ(Seconds(5).ToString(), "5s");
+  EXPECT_EQ(Seconds(65).ToString(), "1m 5s");
+  EXPECT_EQ((Hours(1) + Seconds(1)).ToString(), "1h 0m 1s");
+  EXPECT_EQ((Days(2) + Hours(3) + Minutes(15) + Seconds(42)).ToString(), "2d 3h 15m 42s");
+  EXPECT_EQ((-Seconds(5)).ToString(), "-5s");
+}
+
+TEST(SimTimeTest, EpochAndAffineAlgebra) {
+  const SimTime t0 = SimTime::Epoch();
+  const SimTime t1 = t0 + Hours(2);
+  EXPECT_EQ((t1 - t0), Hours(2));
+  EXPECT_EQ((t0 - t1), -Hours(2));
+  EXPECT_EQ(t1 - Hours(2), t0);
+  SimTime t = t0;
+  t += Days(1);
+  EXPECT_EQ(t.seconds(), 86400);
+}
+
+TEST(SimTimeTest, Ordering) {
+  EXPECT_LT(SimTime::Epoch(), SimTime::Epoch() + Seconds(1));
+  EXPECT_LT(SimTime::Epoch() - Seconds(1), SimTime::Epoch());
+  EXPECT_LT(SimTime::Epoch() + Days(10000), SimTime::Infinite());
+}
+
+TEST(SimTimeTest, InfiniteSentinel) {
+  EXPECT_TRUE(SimTime::Infinite().IsInfinite());
+  EXPECT_FALSE(SimTime::Epoch().IsInfinite());
+  EXPECT_EQ(SimTime::Infinite().ToString(), "inf");
+}
+
+TEST(SimTimeTest, NegativeTimesRepresentThePast) {
+  // Objects last modified before the experiment start carry negative times.
+  const SimTime past = SimTime::Epoch() - Days(30);
+  EXPECT_EQ((SimTime::Epoch() - past), Days(30));
+  EXPECT_LT(past, SimTime::Epoch());
+}
+
+TEST(SimTimeTest, ToStringFormat) {
+  EXPECT_EQ(SimTime::Epoch().ToString(), "0+00:00:00");
+  EXPECT_EQ((SimTime::Epoch() + Days(12) + Hours(7) + Minutes(30)).ToString(), "12+07:30:00");
+}
+
+}  // namespace
+}  // namespace webcc

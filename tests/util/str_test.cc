@@ -1,0 +1,102 @@
+#include "src/util/str.h"
+
+#include <gtest/gtest.h>
+
+namespace webcc {
+namespace {
+
+TEST(SplitTest, BasicAndEmptyFields) {
+  const auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+
+  const auto with_empty = Split("a,,c,", ',');
+  ASSERT_EQ(with_empty.size(), 4u);
+  EXPECT_EQ(with_empty[1], "");
+  EXPECT_EQ(with_empty[3], "");
+}
+
+TEST(SplitTest, NoSeparator) {
+  const auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(SplitWhitespaceTest, DropsRuns) {
+  const auto parts = SplitWhitespace("  foo \t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[1], "bar");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(SplitWhitespaceTest, EmptyAndAllSpace) {
+  EXPECT_TRUE(SplitWhitespace("").empty());
+  EXPECT_TRUE(SplitWhitespace("   \t\n ").empty());
+}
+
+TEST(TrimTest, Variants) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("\ta b\n"), "a b");
+}
+
+TEST(CaseTest, ToLowerAndCompare) {
+  EXPECT_EQ(ToLower("HeLLo-123"), "hello-123");
+  EXPECT_TRUE(EqualsIgnoreCase("If-Modified-Since", "if-modified-since"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "ab"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+}
+
+TEST(ParseIntTest, ValidInputs) {
+  EXPECT_EQ(ParseInt("42"), 42);
+  EXPECT_EQ(ParseInt("-17"), -17);
+  EXPECT_EQ(ParseInt("  99 "), 99);
+  EXPECT_EQ(ParseInt("0"), 0);
+}
+
+TEST(ParseIntTest, InvalidInputs) {
+  EXPECT_FALSE(ParseInt("").has_value());
+  EXPECT_FALSE(ParseInt("abc").has_value());
+  EXPECT_FALSE(ParseInt("12x").has_value());
+  EXPECT_FALSE(ParseInt("1.5").has_value());
+  EXPECT_FALSE(ParseInt("99999999999999999999999").has_value());
+}
+
+TEST(ParseDoubleTest, ValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1e3"), -1000.0);
+  EXPECT_FALSE(ParseDouble("").has_value());
+  EXPECT_FALSE(ParseDouble("x1").has_value());
+  EXPECT_FALSE(ParseDouble("1.5z").has_value());
+}
+
+TEST(StrFormatTest, Basic) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StrFormatTest, LongOutput) {
+  const std::string wide = StrFormat("%0500d", 1);
+  EXPECT_EQ(wide.size(), 500u);
+}
+
+TEST(FormatBytesTest, Units) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.00 KB");
+  EXPECT_EQ(FormatBytes(1536 * 1024), "1.50 MB");
+}
+
+TEST(FormatPercentTest, Defaults) {
+  EXPECT_EQ(FormatPercent(0.0314), "3.14%");
+  EXPECT_EQ(FormatPercent(0.5, 0), "50%");
+  EXPECT_EQ(FormatPercent(1.0, 1), "100.0%");
+}
+
+}  // namespace
+}  // namespace webcc

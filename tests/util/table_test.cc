@@ -1,0 +1,74 @@
+#include "src/util/table.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace webcc {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t;
+  t.SetHeader({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer", "22"});
+  const std::string out = t.ToString();
+  // Header and both rows present, separated by a rule.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // All lines align: each line has the same position for the second column.
+  const size_t name_col_width = std::string("longer").size() + 2;
+  EXPECT_EQ(out.find("value"), out.find("name") + name_col_width);
+}
+
+TEST(TextTableTest, TitleRendersFirst) {
+  TextTable t;
+  t.SetTitle("My Table");
+  t.SetHeader({"a"});
+  t.AddRow({"1"});
+  const std::string out = t.ToString();
+  EXPECT_EQ(out.rfind("My Table", 0), 0u);
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable t;
+  t.SetHeader({"a", "b", "c"});
+  t.AddRow({"1"});
+  EXPECT_EQ(t.num_cols(), 3u);
+  EXPECT_NO_THROW(t.ToString());
+}
+
+TEST(TextTableTest, RowsWiderThanHeader) {
+  TextTable t;
+  t.SetHeader({"a"});
+  t.AddRow({"1", "2", "3"});
+  EXPECT_EQ(t.num_cols(), 3u);
+}
+
+TEST(TextTableTest, CsvBasic) {
+  TextTable t;
+  t.SetHeader({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::ostringstream oss;
+  t.RenderCsv(oss);
+  EXPECT_EQ(oss.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTableTest, CsvEscapesSpecialCells) {
+  TextTable t;
+  t.AddRow({"plain", "with,comma", "with\"quote"});
+  std::ostringstream oss;
+  t.RenderCsv(oss);
+  EXPECT_EQ(oss.str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(TextTableTest, EmptyTable) {
+  TextTable t;
+  EXPECT_EQ(t.num_rows(), 0u);
+  EXPECT_EQ(t.num_cols(), 0u);
+  EXPECT_EQ(t.ToString(), "");
+}
+
+}  // namespace
+}  // namespace webcc

@@ -1,0 +1,175 @@
+#include "src/workload/analyzer.h"
+
+#include "src/util/str.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace webcc {
+namespace {
+
+Workload MutabilityFixture() {
+  // 4 objects: one immutable, one changed once, one changed twice (mutable),
+  // one changed six times (very mutable).
+  Workload load;
+  load.name = "fixture";
+  for (int i = 0; i < 4; ++i) {
+    load.objects.push_back(ObjectSpec{StrFormat("/o%d", i), FileType::kHtml, 100, Days(1)});
+  }
+  load.horizon = SimTime::Epoch() + Days(30);
+  auto change = [&](uint32_t obj, int64_t hours) {
+    load.modifications.push_back(ModificationEvent{SimTime::Epoch() + Hours(hours), obj, -1});
+  };
+  change(1, 1);
+  change(2, 2);
+  change(2, 3);
+  for (int i = 0; i < 6; ++i) {
+    change(3, 10 + i);
+  }
+  load.requests.push_back(RequestEvent{SimTime::Epoch() + Hours(1), 0, 0, false});
+  load.requests.push_back(RequestEvent{SimTime::Epoch() + Hours(2), 1, 1, true});
+  load.Finalize();
+  return load;
+}
+
+TEST(MutabilityAnalysisTest, PaperDefinitions) {
+  const MutabilityStats stats = AnalyzeWorkloadMutability(MutabilityFixture());
+  EXPECT_EQ(stats.server, "fixture");
+  EXPECT_EQ(stats.files, 4u);
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.total_changes, 9u);
+  // Mutable = changed MORE THAN once (objects 2 and 3).
+  EXPECT_DOUBLE_EQ(stats.mutable_fraction, 0.5);
+  // Very mutable = changed MORE THAN 5 times (object 3 only).
+  EXPECT_DOUBLE_EQ(stats.very_mutable_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(stats.remote_fraction, 0.5);
+}
+
+TEST(MutabilityAnalysisTest, PerDayChangeProbability) {
+  const MutabilityStats stats = AnalyzeWorkloadMutability(MutabilityFixture());
+  // 9 changes / (4 files * 30 days).
+  EXPECT_NEAR(stats.PerDayChangeProbability(30.0), 0.075, 1e-9);
+  EXPECT_DOUBLE_EQ(stats.PerDayChangeProbability(0.0), 0.0);
+}
+
+TEST(MutabilityAnalysisTest, TraceAnalysisSeesOnlyObservableChanges) {
+  // Render the fixture's trace with NO requests after the changes to most
+  // objects: the log can't observe them.
+  Workload truth = MutabilityFixture();
+  const Trace trace = RenderTraceFromWorkload(truth, "obs");
+  const MutabilityStats observed = AnalyzeTraceMutability(trace);
+  // Requests happen at hours 1 and 2; only object 1's change at hour 1 and
+  // object 2's change at hour 2 could be visible (LM <= request time), and
+  // in fact the hour-2 request targets object 1.
+  EXPECT_LE(observed.total_changes, 1u);
+}
+
+TEST(MutabilityAnalysisTest, DenseRequestsObserveEverything) {
+  Workload truth = MutabilityFixture();
+  // Add a request to every object every hour: all transitions observable.
+  truth.requests.clear();
+  for (int h = 0; h <= 24; ++h) {
+    for (uint32_t o = 0; o < 4; ++o) {
+      truth.requests.push_back(
+          RequestEvent{SimTime::Epoch() + Hours(h) + Minutes(30), o, o, false});
+    }
+  }
+  truth.Finalize();
+  const MutabilityStats observed = AnalyzeTraceMutability(RenderTraceFromWorkload(truth, "d"));
+  EXPECT_EQ(observed.total_changes, 9u);
+  EXPECT_DOUBLE_EQ(observed.mutable_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(observed.very_mutable_fraction, 0.25);
+}
+
+TEST(AccessMixAnalysisTest, SharesAndSizes) {
+  std::vector<AccessLogRecord> log;
+  for (int i = 0; i < 6; ++i) {
+    log.push_back({SimTime(i), "/a.gif", FileType::kGif, 1000});
+  }
+  for (int i = 0; i < 4; ++i) {
+    log.push_back({SimTime(10 + i), "/b.html", FileType::kHtml, 500});
+  }
+  const auto rows = AnalyzeAccessMix(log);
+  ASSERT_EQ(rows.size(), static_cast<size_t>(kNumFileTypes));
+  EXPECT_DOUBLE_EQ(rows[static_cast<size_t>(FileType::kGif)].access_share, 0.6);
+  EXPECT_DOUBLE_EQ(rows[static_cast<size_t>(FileType::kGif)].mean_size_bytes, 1000.0);
+  EXPECT_DOUBLE_EQ(rows[static_cast<size_t>(FileType::kHtml)].access_share, 0.4);
+  EXPECT_DOUBLE_EQ(rows[static_cast<size_t>(FileType::kJpg)].access_share, 0.0);
+}
+
+TEST(AccessMixAnalysisTest, EmptyLog) {
+  const auto rows = AnalyzeAccessMix({});
+  for (const auto& row : rows) {
+    EXPECT_DOUBLE_EQ(row.access_share, 0.0);
+    EXPECT_EQ(row.access_count, 0u);
+  }
+}
+
+TEST(BuLifespanAnalysisTest, ConservativeCensoring) {
+  BuModificationLog log;
+  log.num_days = 100;
+  log.changed_by_day.resize(100);
+  // File 0: never changes -> lifespan = window (assumed changed once).
+  // File 1: changes on 4 days -> lifespan = 25.
+  log.files.push_back({"/never.gif", FileType::kGif});
+  log.files.push_back({"/often.gif", FileType::kGif});
+  for (int d : {10, 30, 50, 70}) {
+    log.changed_by_day[d].push_back(1);
+  }
+  const auto rows = AnalyzeBuLifespans(log);
+  const auto& gif = rows[static_cast<size_t>(FileType::kGif)];
+  EXPECT_EQ(gif.file_count, 2u);
+  // Median of {100, 25} with interpolation = 62.5.
+  EXPECT_DOUBLE_EQ(gif.median_lifespan_days, 62.5);
+  // Ages: never-changed -> 100; last change day 70 -> 30. Mean 65.
+  EXPECT_DOUBLE_EQ(gif.mean_age_days, 65.0);
+}
+
+TEST(MergeTypeStatsTest, JoinsColumns) {
+  std::vector<FileTypeStats> microsoft(kNumFileTypes);
+  std::vector<FileTypeStats> bu(kNumFileTypes);
+  for (int t = 0; t < kNumFileTypes; ++t) {
+    microsoft[t].type = static_cast<FileType>(t);
+    bu[t].type = static_cast<FileType>(t);
+  }
+  microsoft[0].access_share = 0.55;
+  microsoft[0].mean_size_bytes = 7791;
+  bu[0].mean_age_days = 85;
+  bu[0].median_lifespan_days = 146;
+  const auto merged = MergeTypeStats(microsoft, bu);
+  EXPECT_DOUBLE_EQ(merged[0].access_share, 0.55);
+  EXPECT_DOUBLE_EQ(merged[0].mean_size_bytes, 7791);
+  EXPECT_DOUBLE_EQ(merged[0].mean_age_days, 85);
+  EXPECT_DOUBLE_EQ(merged[0].median_lifespan_days, 146);
+}
+
+TEST(EndToEndTable2Test, GeneratedDataProducesPaperShape) {
+  MicrosoftMixConfig mix;
+  mix.num_requests = 40000;
+  const auto access_rows = AnalyzeAccessMix(GenerateMicrosoftAccessLog(mix));
+  const auto bu_rows = AnalyzeBuLifespans(GenerateBuModificationLog(BuModLogConfig{}));
+  const auto merged = MergeTypeStats(access_rows, bu_rows);
+
+  const auto& gif = merged[static_cast<size_t>(FileType::kGif)];
+  const auto& html = merged[static_cast<size_t>(FileType::kHtml)];
+  const auto& jpg = merged[static_cast<size_t>(FileType::kJpg)];
+  const auto& cgi = merged[static_cast<size_t>(FileType::kCgi)];
+
+  // Access mix ordering: gif > html > jpg > cgi.
+  EXPECT_GT(gif.access_share, html.access_share);
+  EXPECT_GT(html.access_share, jpg.access_share);
+  EXPECT_GT(jpg.access_share, cgi.access_share);
+  // Images live longest ("the most popular web objects also have the
+  // longest life-span"); cgi churns.
+  EXPECT_GT(gif.mean_age_days, cgi.mean_age_days);
+  EXPECT_GT(jpg.mean_age_days, html.mean_age_days);
+  // Images are relatively small: gif mean size below jpg.
+  EXPECT_LT(gif.mean_size_bytes, jpg.mean_size_bytes);
+}
+
+}  // namespace
+}  // namespace webcc

@@ -1,0 +1,208 @@
+#include "src/workload/campus.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/workload/analyzer.h"
+
+namespace webcc {
+namespace {
+
+TEST(CampusProfileTest, Table1RowsMatchPaper) {
+  const auto das = CampusServerProfile::Das();
+  EXPECT_EQ(das.num_files, 1403u);
+  EXPECT_EQ(das.num_requests, 30093u);
+  EXPECT_DOUBLE_EQ(das.remote_fraction, 0.84);
+  EXPECT_EQ(das.total_changes, 321u);
+
+  const auto fas = CampusServerProfile::Fas();
+  EXPECT_EQ(fas.num_files, 290u);
+  EXPECT_EQ(fas.num_requests, 56660u);
+  EXPECT_EQ(fas.total_changes, 11u);
+  EXPECT_DOUBLE_EQ(fas.very_mutable_fraction, 0.0);
+
+  const auto hcs = CampusServerProfile::Hcs();
+  EXPECT_EQ(hcs.num_files, 573u);
+  EXPECT_EQ(hcs.total_changes, 260u);
+  EXPECT_EQ(hcs.duration_days, 25u);  // "573 files changing 260 times over 25 days"
+
+  EXPECT_EQ(CampusServerProfile::AllTable1().size(), 3u);
+}
+
+class CampusGenTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  static CampusServerProfile ProfileFor(const std::string& name) {
+    if (name == "DAS") {
+      return CampusServerProfile::Das();
+    }
+    if (name == "FAS") {
+      return CampusServerProfile::Fas();
+    }
+    return CampusServerProfile::Hcs();
+  }
+};
+
+TEST_P(CampusGenTest, WorkloadValidAndExactlyCalibrated) {
+  const CampusServerProfile profile = ProfileFor(GetParam());
+  const CampusGenerationResult result = GenerateCampusWorkload(profile);
+  const Workload& load = result.workload;
+
+  EXPECT_EQ(load.Validate(), "");
+  // Exact: file count, request count, total changes.
+  EXPECT_EQ(load.objects.size(), profile.num_files);
+  EXPECT_EQ(load.requests.size(), profile.num_requests);
+  EXPECT_EQ(load.modifications.size(), profile.total_changes);
+  // Approximate: remote fraction (Bernoulli).
+  EXPECT_NEAR(load.RemoteFraction(), profile.remote_fraction, 0.02);
+  // Horizon matches the trace duration.
+  EXPECT_EQ(load.horizon, SimTime::Epoch() + Days(profile.duration_days));
+}
+
+TEST_P(CampusGenTest, TraceMatchesWorkload) {
+  const CampusGenerationResult result = GenerateCampusWorkload(ProfileFor(GetParam()));
+  EXPECT_EQ(result.trace.records.size(), result.workload.requests.size());
+  // Every record's Last-Modified must not postdate its request.
+  for (const TraceRecord& r : result.trace.records) {
+    EXPECT_LE(r.last_modified, r.timestamp);
+  }
+}
+
+TEST_P(CampusGenTest, GroundTruthMutabilityNearTargets) {
+  const CampusServerProfile profile = ProfileFor(GetParam());
+  const CampusGenerationResult result = GenerateCampusWorkload(profile);
+  const MutabilityStats stats = AnalyzeWorkloadMutability(result.workload);
+  EXPECT_EQ(stats.total_changes, profile.total_changes);
+  // The generator reports its feasibility-repaired achieved counts; the
+  // analyzer must agree with them.
+  EXPECT_EQ(stats.mutable_fraction,
+            static_cast<double>(result.mutable_files) / profile.num_files);
+  EXPECT_EQ(stats.very_mutable_fraction,
+            static_cast<double>(result.very_mutable_files) / profile.num_files);
+  // And the repaired counts never exceed the paper's targets beyond the
+  // half-file slack inherent in rounding fractions to whole files.
+  const double half_file = 0.5 / profile.num_files;
+  EXPECT_LE(stats.mutable_fraction, profile.mutable_fraction + half_file);
+  EXPECT_LE(stats.very_mutable_fraction, profile.very_mutable_fraction + half_file);
+}
+
+TEST_P(CampusGenTest, Deterministic) {
+  const CampusServerProfile profile = ProfileFor(GetParam());
+  const auto a = GenerateCampusWorkload(profile);
+  const auto b = GenerateCampusWorkload(profile);
+  ASSERT_EQ(a.workload.requests.size(), b.workload.requests.size());
+  for (size_t i = 0; i < a.workload.requests.size(); i += 501) {
+    EXPECT_EQ(a.workload.requests[i].at, b.workload.requests[i].at);
+    EXPECT_EQ(a.workload.requests[i].object_index, b.workload.requests[i].object_index);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1Servers, CampusGenTest, ::testing::Values("DAS", "FAS", "HCS"));
+
+TEST(CampusGenTest2, PopularFilesChangeLeast) {
+  // Bestavros's coupling: aggregate requests to mutable files must be well
+  // below their population share (they sit in the unpopular band).
+  const CampusGenerationResult result = GenerateCampusWorkload(CampusServerProfile::Hcs());
+  const Workload& load = result.workload;
+  std::vector<uint64_t> changes(load.objects.size(), 0);
+  for (const ModificationEvent& m : load.modifications) {
+    ++changes[m.object_index];
+  }
+  uint64_t requests_to_mutable = 0;
+  uint64_t mutable_files = 0;
+  for (size_t i = 0; i < changes.size(); ++i) {
+    if (changes[i] > 0) {
+      ++mutable_files;
+    }
+  }
+  for (const RequestEvent& r : load.requests) {
+    if (changes[r.object_index] > 0) {
+      ++requests_to_mutable;
+    }
+  }
+  const double request_share =
+      static_cast<double>(requests_to_mutable) / static_cast<double>(load.requests.size());
+  const double population_share =
+      static_cast<double>(mutable_files) / static_cast<double>(load.objects.size());
+  EXPECT_LT(request_share, population_share);
+}
+
+TEST(CampusGenTest2, ChangesClusterInBursts) {
+  // Per-file change spans should be far shorter than the full run for most
+  // mutable files (the bimodal "hot period" structure).
+  const CampusGenerationResult result = GenerateCampusWorkload(CampusServerProfile::Das());
+  const Workload& load = result.workload;
+  std::map<uint32_t, std::pair<SimTime, SimTime>> span;
+  std::map<uint32_t, int> count;
+  for (const ModificationEvent& m : load.modifications) {
+    auto [it, fresh] = span.try_emplace(m.object_index, m.at, m.at);
+    if (!fresh) {
+      it->second.first = std::min(it->second.first, m.at);
+      it->second.second = std::max(it->second.second, m.at);
+    }
+    ++count[m.object_index];
+  }
+  int bursty = 0;
+  int multi = 0;
+  for (const auto& [obj, minmax] : span) {
+    if (count[obj] >= 3) {
+      ++multi;
+      if ((minmax.second - minmax.first) < Days(10)) {
+        ++bursty;
+      }
+    }
+  }
+  ASSERT_GT(multi, 0);
+  EXPECT_GT(static_cast<double>(bursty) / multi, 0.5);
+}
+
+TEST(CampusGenTest2, MutablePlacementControlsCoupling) {
+  auto request_share_to_mutable = [](MutablePlacement placement) {
+    CampusServerProfile profile = CampusServerProfile::Hcs();
+    profile.mutable_placement = placement;
+    const Workload load = GenerateCampusWorkload(profile).workload;
+    std::vector<bool> is_mutable(load.objects.size(), false);
+    for (const ModificationEvent& m : load.modifications) {
+      is_mutable[m.object_index] = true;
+    }
+    uint64_t to_mutable = 0;
+    for (const RequestEvent& r : load.requests) {
+      to_mutable += is_mutable[r.object_index] ? 1 : 0;
+    }
+    return static_cast<double>(to_mutable) / static_cast<double>(load.requests.size());
+  };
+  const double unpopular = request_share_to_mutable(MutablePlacement::kUnpopular);
+  const double uniform = request_share_to_mutable(MutablePlacement::kUniform);
+  const double popular = request_share_to_mutable(MutablePlacement::kPopular);
+  EXPECT_LT(unpopular, uniform);
+  EXPECT_LT(uniform, popular);
+  EXPECT_GT(popular, 0.4);  // the hottest ranks dominate the Zipf mass
+}
+
+TEST(CampusGenTest2, PlacementPreservesCalibration) {
+  for (const MutablePlacement placement :
+       {MutablePlacement::kUniform, MutablePlacement::kPopular}) {
+    CampusServerProfile profile = CampusServerProfile::Das();
+    profile.mutable_placement = placement;
+    const auto result = GenerateCampusWorkload(profile);
+    EXPECT_EQ(result.workload.Validate(), "");
+    EXPECT_EQ(result.workload.modifications.size(), profile.total_changes);
+    EXPECT_EQ(result.workload.requests.size(), profile.num_requests);
+  }
+}
+
+TEST(CampusGenTest2, PerDayChangeProbabilityInBestavrosRange) {
+  // §4.2: trace change probabilities land around 0.5–2.0%/day.
+  for (const auto& profile : CampusServerProfile::AllTable1()) {
+    const auto result = GenerateCampusWorkload(profile);
+    const MutabilityStats stats = AnalyzeWorkloadMutability(result.workload);
+    const double per_day = stats.PerDayChangeProbability(profile.duration_days);
+    EXPECT_LT(per_day, 0.025) << profile.name;
+  }
+}
+
+}  // namespace
+}  // namespace webcc

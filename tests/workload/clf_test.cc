@@ -1,0 +1,178 @@
+#include "src/workload/clf.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/http/date.h"
+
+namespace webcc {
+namespace {
+
+constexpr char kClassicLine[] =
+    R"(wpbfl2-45.gate.net - - [10/Oct/1995:13:55:36 -0700] "GET /apollo.gif HTTP/1.0" 200 2326)";
+
+TEST(ClfParseTest, ClassicLine) {
+  const auto record = ParseClfLine(kClassicLine);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->host, "wpbfl2-45.gate.net");
+  EXPECT_EQ(record->uri, "/apollo.gif");
+  EXPECT_EQ(record->status, 200);
+  EXPECT_EQ(record->bytes, 2326);
+  EXPECT_FALSE(record->last_modified.has_value());
+  // 13:55:36 -0700 == 20:55:36 GMT.
+  const CivilDateTime c = CivilFromSimTime(record->timestamp);
+  EXPECT_EQ(c, (CivilDateTime{1995, 10, 10, 20, 55, 36}));
+}
+
+TEST(ClfParseTest, PositiveZoneOffset) {
+  const auto record = ParseClfLine(
+      R"(h - - [01/Jan/1996:01:30:00 +0200] "GET /x HTTP/1.0" 200 1)");
+  ASSERT_TRUE(record.has_value());
+  // 01:30 +0200 == 23:30 GMT the previous day.
+  const CivilDateTime c = CivilFromSimTime(record->timestamp);
+  EXPECT_EQ(c, (CivilDateTime{1995, 12, 31, 23, 30, 0}));
+}
+
+TEST(ClfParseTest, LastModifiedExtension) {
+  const auto record = ParseClfLine(
+      R"(h - - [10/Oct/1995:13:55:36 -0700] "GET /a.gif HTTP/1.0" 200 2326 "Sun, 08 Oct 1995 04:00:00 GMT")");
+  ASSERT_TRUE(record.has_value());
+  ASSERT_TRUE(record->last_modified.has_value());
+  EXPECT_EQ(CivilFromSimTime(*record->last_modified),
+            (CivilDateTime{1995, 10, 8, 4, 0, 0}));
+}
+
+TEST(ClfParseTest, DashBytesMeansZero) {
+  const auto record =
+      ParseClfLine(R"(h - - [10/Oct/1995:13:55:36 -0700] "GET /x HTTP/1.0" 304 -)");
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->bytes, 0);
+  EXPECT_EQ(record->status, 304);
+}
+
+TEST(ClfParseTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseClfLine("").has_value());
+  EXPECT_FALSE(ParseClfLine("# comment").has_value());
+  EXPECT_FALSE(ParseClfLine("no brackets here").has_value());
+  EXPECT_FALSE(ParseClfLine(R"(h - [10/Oct/1995:13:55:36 -0700] "GET /x HTTP/1.0" 200 1)")
+                   .has_value());  // only 2 prefix fields
+  EXPECT_FALSE(
+      ParseClfLine(R"(h - - [99/Oct/1995:13:55:36 -0700] "GET /x HTTP/1.0" 200 1)").has_value());
+  EXPECT_FALSE(
+      ParseClfLine(R"(h - - [10/Oct/1995:13:55:36 -0700] "GET /x HTTP/1.0" abc 1)").has_value());
+  EXPECT_FALSE(ParseClfLine(R"(h - - [10/Oct/1995:13:55:36 -0700] "GETONLY" 200 1)").has_value());
+  // Present but bogus LM extension is a hard reject.
+  EXPECT_FALSE(ParseClfLine(
+                   R"(h - - [10/Oct/1995:13:55:36 -0700] "GET /x HTTP/1.0" 200 1 "not a date")")
+                   .has_value());
+}
+
+TEST(ClfReadTest, BuildsRebasedSortedTrace) {
+  std::istringstream is(
+      R"(remote1.com - - [02/Jan/1996:10:00:00 +0000] "GET /b.html HTTP/1.0" 200 500
+local1.campus.edu - - [01/Jan/1996:09:00:00 +0000] "GET /a.html HTTP/1.0" 200 100 "Mon, 01 Jan 1996 03:00:00 GMT"
+junk line that does not parse
+remote2.com - - [03/Jan/1996:12:00:00 +0000] "GET /a.html HTTP/1.0" 404 0
+)");
+  ClfParseOptions options;
+  options.local_suffix = ".campus.edu";
+  ClfReadStats stats;
+  const Trace trace = ReadClfTrace(is, options, &stats);
+
+  EXPECT_EQ(stats.lines, 4u);
+  EXPECT_EQ(stats.parsed, 2u);
+  EXPECT_EQ(stats.skipped_malformed, 1u);
+  EXPECT_EQ(stats.skipped_status, 1u);  // the 404
+
+  ASSERT_EQ(trace.records.size(), 2u);
+  // Rebased: the earliest record sits at the epoch.
+  EXPECT_EQ(trace.records[0].timestamp, SimTime::Epoch());
+  EXPECT_EQ(trace.records[0].uri, "/a.html");
+  EXPECT_FALSE(trace.records[0].remote);
+  // Its Last-Modified keeps the same relative offset (6 hours earlier).
+  EXPECT_EQ(trace.records[0].last_modified, SimTime::Epoch() - Hours(6));
+  // The next day's record is 25 hours later.
+  EXPECT_EQ(trace.records[1].timestamp, SimTime::Epoch() + Hours(25));
+  EXPECT_TRUE(trace.records[1].remote);
+}
+
+TEST(ClfReadTest, StampLessObjectsGetFirstSeenLm) {
+  std::istringstream is(
+      R"(h1 - - [01/Jan/1996:00:00:00 +0000] "GET /x HTTP/1.0" 200 10
+h2 - - [01/Jan/1996:05:00:00 +0000] "GET /x HTTP/1.0" 200 10
+)");
+  const Trace trace = ReadClfTrace(is);
+  ASSERT_EQ(trace.records.size(), 2u);
+  EXPECT_EQ(trace.records[0].last_modified, trace.records[0].timestamp);
+  // Second sighting keeps the FIRST sighting's stamp: no phantom change.
+  EXPECT_EQ(trace.records[1].last_modified, trace.records[0].timestamp);
+}
+
+TEST(ClfReadTest, ResultFeedsTheCompiler) {
+  std::istringstream is(
+      R"(h - - [01/Jan/1996:00:00:00 +0000] "GET /x.html HTTP/1.0" 200 10 "Sun, 31 Dec 1995 00:00:00 GMT"
+h - - [02/Jan/1996:00:00:00 +0000] "GET /x.html HTTP/1.0" 200 12 "Mon, 01 Jan 1996 12:00:00 GMT"
+)");
+  const Trace trace = ReadClfTrace(is);
+  const Workload load = CompileTrace(trace);
+  EXPECT_EQ(load.Validate(), "");
+  EXPECT_EQ(load.objects.size(), 1u);
+  EXPECT_EQ(load.requests.size(), 2u);
+  ASSERT_EQ(load.modifications.size(), 1u);  // the LM transition
+  EXPECT_EQ(load.objects[0].initial_age, Days(1));
+}
+
+TEST(ClfReadTest, ClockSkewClamped) {
+  // LM stamp AFTER the request time (broken server clock): clamped.
+  std::istringstream is(
+      R"(h - - [01/Jan/1996:00:00:00 +0000] "GET /x HTTP/1.0" 200 10 "Mon, 01 Jan 1996 05:00:00 GMT"
+)");
+  const Trace trace = ReadClfTrace(is);
+  ASSERT_EQ(trace.records.size(), 1u);
+  EXPECT_LE(trace.records[0].last_modified, trace.records[0].timestamp);
+}
+
+TEST(ClfWriteTest, RoundTripsThroughReader) {
+  Trace original;
+  original.source = "rt";
+  original.records.push_back(
+      {SimTime::Epoch(), "local1.campus.edu", "/a.html", 500, SimTime::Epoch() - Days(3), false});
+  original.records.push_back({SimTime::Epoch() + Hours(5), "remote9.example.com", "/b.gif", 800,
+                              SimTime::Epoch() + Hours(1), true});
+  std::stringstream ss;
+  WriteClfTrace(original, ss);
+
+  ClfParseOptions options;
+  options.local_suffix = ".campus.edu";
+  ClfReadStats stats;
+  const Trace parsed = ReadClfTrace(ss, options, &stats);
+  EXPECT_EQ(stats.skipped_malformed, 0u);
+  ASSERT_EQ(parsed.records.size(), 2u);
+  // Timestamps are rebased to the first record; the original already starts
+  // at the epoch so everything matches exactly.
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(parsed.records[i].timestamp, original.records[i].timestamp) << i;
+    EXPECT_EQ(parsed.records[i].uri, original.records[i].uri) << i;
+    EXPECT_EQ(parsed.records[i].size_bytes, original.records[i].size_bytes) << i;
+    EXPECT_EQ(parsed.records[i].last_modified, original.records[i].last_modified) << i;
+    EXPECT_EQ(parsed.records[i].remote, original.records[i].remote) << i;
+  }
+}
+
+TEST(ClfReadTest, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(ReadClfTraceFile("/nonexistent/access.log").has_value());
+}
+
+TEST(ClfReadTest, IncludeErrorsOption) {
+  std::istringstream is(
+      R"(h - - [01/Jan/1996:00:00:00 +0000] "GET /x HTTP/1.0" 404 0
+)");
+  ClfParseOptions options;
+  options.include_errors = true;
+  const Trace trace = ReadClfTrace(is, options);
+  EXPECT_EQ(trace.records.size(), 1u);
+}
+
+}  // namespace
+}  // namespace webcc

@@ -1,0 +1,157 @@
+#include "src/workload/microsoft.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace webcc {
+namespace {
+
+MicrosoftMixConfig SmallMixConfig() {
+  MicrosoftMixConfig config;
+  config.num_requests = 30000;
+  config.seed = 77;
+  return config;
+}
+
+TEST(MicrosoftMixTest, GeneratesRequestedCount) {
+  const auto log = GenerateMicrosoftAccessLog(SmallMixConfig());
+  EXPECT_EQ(log.size(), 30000u);
+}
+
+TEST(MicrosoftMixTest, TimestampsSortedWithinDuration) {
+  const MicrosoftMixConfig config = SmallMixConfig();
+  const auto log = GenerateMicrosoftAccessLog(config);
+  for (size_t i = 0; i < log.size(); ++i) {
+    EXPECT_GE(log[i].at, SimTime::Epoch());
+    EXPECT_LE(log[i].at, SimTime::Epoch() + config.duration);
+    if (i > 0) {
+      EXPECT_LE(log[i - 1].at, log[i].at);
+    }
+  }
+}
+
+TEST(MicrosoftMixTest, TypeMixMatchesTable2) {
+  const auto log = GenerateMicrosoftAccessLog(SmallMixConfig());
+  std::array<int, kNumFileTypes> counts{};
+  for (const auto& record : log) {
+    ++counts[static_cast<size_t>(record.type)];
+  }
+  const double n = static_cast<double>(log.size());
+  EXPECT_NEAR(counts[0] / n, 0.55, 0.01);  // gif
+  EXPECT_NEAR(counts[1] / n, 0.22, 0.01);  // html
+  EXPECT_NEAR(counts[2] / n, 0.10, 0.01);  // jpg
+  EXPECT_NEAR(counts[3] / n, 0.09, 0.01);  // cgi
+  EXPECT_NEAR(counts[4] / n, 0.04, 0.01);  // other
+}
+
+TEST(MicrosoftMixTest, ImagesAreTwoThirdsOfAccesses) {
+  // "Of these, 65% are for image files (gif and jpg)."
+  const auto log = GenerateMicrosoftAccessLog(SmallMixConfig());
+  int images = 0;
+  for (const auto& record : log) {
+    if (record.type == FileType::kGif || record.type == FileType::kJpg) {
+      ++images;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(images) / log.size(), 0.65, 0.015);
+}
+
+TEST(MicrosoftMixTest, CgiUrisLookDynamic) {
+  const auto log = GenerateMicrosoftAccessLog(SmallMixConfig());
+  for (const auto& record : log) {
+    if (record.type == FileType::kCgi) {
+      EXPECT_NE(record.uri.find("cgi"), std::string::npos);
+    }
+  }
+}
+
+TEST(MicrosoftMixTest, RepeatedUriHasStableSize) {
+  const auto log = GenerateMicrosoftAccessLog(SmallMixConfig());
+  std::map<std::string, int64_t> sizes;
+  for (const auto& record : log) {
+    auto [it, fresh] = sizes.try_emplace(record.uri, record.size_bytes);
+    if (!fresh) {
+      EXPECT_EQ(it->second, record.size_bytes) << record.uri;
+    }
+  }
+}
+
+TEST(MicrosoftMixTest, Deterministic) {
+  const auto a = GenerateMicrosoftAccessLog(SmallMixConfig());
+  const auto b = GenerateMicrosoftAccessLog(SmallMixConfig());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); i += 997) {
+    EXPECT_EQ(a[i].uri, b[i].uri);
+    EXPECT_EQ(a[i].at, b[i].at);
+  }
+}
+
+BuModLogConfig SmallBuConfig() {
+  BuModLogConfig config;
+  config.num_files = 800;
+  config.seed = 31;
+  return config;
+}
+
+TEST(BuModLogTest, StructureMatchesConfig) {
+  const BuModificationLog log = GenerateBuModificationLog(SmallBuConfig());
+  EXPECT_EQ(log.files.size(), 800u);
+  EXPECT_EQ(log.num_days, 186u);
+  EXPECT_EQ(log.changed_by_day.size(), 186u);
+}
+
+TEST(BuModLogTest, AtMostOneObservationPerFilePerDay) {
+  const BuModificationLog log = GenerateBuModificationLog(SmallBuConfig());
+  for (const auto& day : log.changed_by_day) {
+    std::set<uint32_t> seen(day.begin(), day.end());
+    EXPECT_EQ(seen.size(), day.size());
+  }
+}
+
+TEST(BuModLogTest, DefaultCalibrationNearPaperVolume) {
+  // ~2,500 files and ~14,000 observations over 186 days.
+  BuModLogConfig config;
+  config.seed = 5;
+  const BuModificationLog log = GenerateBuModificationLog(config);
+  const uint64_t total = log.TotalObservations();
+  EXPECT_GT(total, 9000u);
+  EXPECT_LT(total, 20000u);
+}
+
+TEST(BuModLogTest, HotSubsetDominatesObservations) {
+  const BuModificationLog log = GenerateBuModificationLog(SmallBuConfig());
+  std::vector<int> per_file(log.files.size(), 0);
+  for (const auto& day : log.changed_by_day) {
+    for (uint32_t f : day) {
+      ++per_file[f];
+    }
+  }
+  // Sort descending; the top 15% of files must carry most observations.
+  std::sort(per_file.begin(), per_file.end(), std::greater<>());
+  int64_t total = 0;
+  int64_t top = 0;
+  for (size_t i = 0; i < per_file.size(); ++i) {
+    total += per_file[i];
+    if (i < per_file.size() * 15 / 100) {
+      top += per_file[i];
+    }
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GT(static_cast<double>(top) / static_cast<double>(total), 0.6);
+}
+
+TEST(BuModLogTest, Deterministic) {
+  const auto a = GenerateBuModificationLog(SmallBuConfig());
+  const auto b = GenerateBuModificationLog(SmallBuConfig());
+  EXPECT_EQ(a.TotalObservations(), b.TotalObservations());
+  for (size_t d = 0; d < a.changed_by_day.size(); d += 17) {
+    EXPECT_EQ(a.changed_by_day[d], b.changed_by_day[d]);
+  }
+}
+
+}  // namespace
+}  // namespace webcc

@@ -1,0 +1,102 @@
+#include "src/workload/request_process.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace webcc {
+namespace {
+
+TEST(RequestProcessTest, IssuesAtConfiguredRate) {
+  SimEngine engine;
+  uint64_t issued = 0;
+  PoissonRequestProcess process(&engine, 0.1, 10, Rng(1),
+                                [&issued](uint32_t, SimTime) { ++issued; });
+  process.Start();
+  engine.RunUntil(SimTime::Epoch() + Days(10));
+  // Expected 0.1/s * 10 days = 86400 arrivals; Poisson sd ~ 294.
+  EXPECT_NEAR(static_cast<double>(issued), 86400.0, 1500.0);
+  EXPECT_EQ(process.requests_issued(), issued);
+}
+
+TEST(RequestProcessTest, UniformObjectPick) {
+  SimEngine engine;
+  std::vector<int> counts(10, 0);
+  PoissonRequestProcess process(&engine, 1.0, 10, Rng(2),
+                                [&counts](uint32_t obj, SimTime) { ++counts[obj]; });
+  process.Start();
+  engine.RunUntil(SimTime::Epoch() + Days(1));
+  const double expected = 86400.0 / 10;
+  for (int c : counts) {
+    EXPECT_NEAR(c, expected, expected * 0.10);
+  }
+}
+
+TEST(RequestProcessTest, ZipfObjectPickSkews) {
+  SimEngine engine;
+  std::vector<int> counts(20, 0);
+  auto zipf = std::make_shared<const ZipfDistribution>(20, 1.0);
+  PoissonRequestProcess process(&engine, 1.0, zipf, Rng(3),
+                                [&counts](uint32_t obj, SimTime) { ++counts[obj]; });
+  process.Start();
+  engine.RunUntil(SimTime::Epoch() + Days(1));
+  EXPECT_GT(counts[0], 4 * counts[9]);
+  EXPECT_GT(counts[0], 10 * counts[19]);
+}
+
+TEST(RequestProcessTest, StopHaltsArrivals) {
+  SimEngine engine;
+  uint64_t issued = 0;
+  PoissonRequestProcess process(&engine, 1.0, 5, Rng(4),
+                                [&issued](uint32_t, SimTime) { ++issued; });
+  process.Start();
+  engine.RunUntil(SimTime::Epoch() + Hours(1));
+  const uint64_t at_stop = issued;
+  EXPECT_GT(at_stop, 0u);
+  process.Stop();
+  engine.RunUntil(SimTime::Epoch() + Hours(2));
+  EXPECT_EQ(issued, at_stop);
+}
+
+TEST(RequestProcessTest, RestartAfterStop) {
+  SimEngine engine;
+  uint64_t issued = 0;
+  PoissonRequestProcess process(&engine, 1.0, 5, Rng(5),
+                                [&issued](uint32_t, SimTime) { ++issued; });
+  process.Start();
+  engine.RunUntil(SimTime::Epoch() + Minutes(30));
+  process.Stop();
+  const uint64_t mid = issued;
+  engine.RunUntil(SimTime::Epoch() + Hours(1));
+  EXPECT_EQ(issued, mid);
+  process.Start();
+  engine.RunUntil(SimTime::Epoch() + Hours(2));
+  EXPECT_GT(issued, mid);
+}
+
+TEST(RequestProcessTest, TimestampsNeverExceedEngineClock) {
+  SimEngine engine;
+  SimTime last;
+  PoissonRequestProcess process(&engine, 0.5, 3, Rng(6), [&](uint32_t, SimTime now) {
+    EXPECT_GE(now, last);
+    last = now;
+  });
+  process.Start();
+  engine.RunUntil(SimTime::Epoch() + Hours(6));
+  EXPECT_LE(last, SimTime::Epoch() + Hours(6));
+}
+
+TEST(RequestProcessTest, HighRateNotDistortedByClockResolution) {
+  // 5 requests/second: sub-second gaps must collapse into same-second
+  // events rather than being stretched to one second each.
+  SimEngine engine;
+  uint64_t issued = 0;
+  PoissonRequestProcess process(&engine, 5.0, 3, Rng(7),
+                                [&issued](uint32_t, SimTime) { ++issued; });
+  process.Start();
+  engine.RunUntil(SimTime::Epoch() + Hours(1));
+  EXPECT_NEAR(static_cast<double>(issued), 18000.0, 600.0);
+}
+
+}  // namespace
+}  // namespace webcc

@@ -1,0 +1,184 @@
+// Property tests for the workload <-> trace round trip: rendering a
+// workload to the log a server would write and recompiling it must preserve
+// everything a log CAN preserve, and lose only what the paper says logs
+// lose (changes never observed by a later request).
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+#include "src/util/str.h"
+#include "src/workload/clf.h"
+#include "src/workload/trace.h"
+#include "src/workload/workload.h"
+
+namespace webcc {
+namespace {
+
+Workload RandomWorkload(uint64_t seed) {
+  Rng rng(seed);
+  Workload load;
+  load.name = "prop";
+  const int64_t horizon_s = rng.UniformInt(86400, 20 * 86400);
+  load.horizon = SimTime::Epoch() + Seconds(horizon_s);
+  const uint32_t objects = static_cast<uint32_t>(rng.UniformInt(1, 40));
+  for (uint32_t i = 0; i < objects; ++i) {
+    load.objects.push_back(ObjectSpec{StrFormat("/p/%u.html", i), FileType::kHtml,
+                                      rng.UniformInt(1, 9999),
+                                      Seconds(rng.UniformInt(0, 100 * 86400))});
+  }
+  const int changes = static_cast<int>(rng.UniformInt(0, 60));
+  for (int i = 0; i < changes; ++i) {
+    load.modifications.push_back(
+        ModificationEvent{SimTime::Epoch() + Seconds(rng.UniformInt(1, horizon_s)),
+                          static_cast<uint32_t>(rng.UniformInt(0, objects - 1)),
+                          rng.UniformInt(1, 9999)});
+  }
+  const int requests = static_cast<int>(rng.UniformInt(1, 400));
+  for (int i = 0; i < requests; ++i) {
+    load.requests.push_back(
+        RequestEvent{SimTime::Epoch() + Seconds(rng.UniformInt(0, horizon_s)),
+                     static_cast<uint32_t>(rng.UniformInt(0, objects - 1)),
+                     static_cast<uint32_t>(rng.UniformInt(0, 9)), rng.Bernoulli(0.5)});
+  }
+  load.Finalize();
+  // Deduplicate same-second modifications of the same object: a log cannot
+  // distinguish them, so the property is stated on the deduplicated truth.
+  std::set<std::pair<int64_t, uint32_t>> seen;
+  std::vector<ModificationEvent> unique_mods;
+  for (const auto& m : load.modifications) {
+    if (seen.emplace(m.at.seconds(), m.object_index).second) {
+      unique_mods.push_back(m);
+    }
+  }
+  load.modifications = std::move(unique_mods);
+  return load;
+}
+
+class TraceRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TraceRoundTripTest, CompiledWorkloadIsValidAndPreservesRequests) {
+  const Workload truth = RandomWorkload(GetParam());
+  const Trace trace = RenderTraceFromWorkload(truth, "prop");
+  const Workload compiled = CompileTrace(trace);
+  EXPECT_EQ(compiled.Validate(), "");
+  // Requests survive exactly (count, times, order).
+  ASSERT_EQ(compiled.requests.size(), truth.requests.size());
+  for (size_t i = 0; i < truth.requests.size(); ++i) {
+    EXPECT_EQ(compiled.requests[i].at, truth.requests[i].at);
+    EXPECT_EQ(compiled.requests[i].remote, truth.requests[i].remote);
+  }
+  // Objects: only requested objects appear, each once.
+  std::set<uint32_t> requested;
+  for (const auto& r : truth.requests) {
+    requested.insert(r.object_index);
+  }
+  EXPECT_EQ(compiled.objects.size(), requested.size());
+}
+
+TEST_P(TraceRoundTripTest, InferredChangesAreSubsetOfTruth) {
+  const Workload truth = RandomWorkload(GetParam() ^ 0xfeed);
+  const Trace trace = RenderTraceFromWorkload(truth, "prop");
+  const Workload compiled = CompileTrace(trace);
+
+  // Map compiled object names back to truth indices.
+  std::map<std::string, uint32_t> truth_index;
+  for (uint32_t i = 0; i < truth.objects.size(); ++i) {
+    truth_index[truth.objects[i].name] = i;
+  }
+  // Every inferred modification corresponds to a true modification instant
+  // of the same object (inference can only collapse or miss, never invent).
+  std::set<std::pair<int64_t, uint32_t>> true_changes;
+  for (const auto& m : truth.modifications) {
+    true_changes.emplace(m.at.seconds(), m.object_index);
+  }
+  for (const auto& m : compiled.modifications) {
+    const uint32_t truth_obj = truth_index.at(compiled.objects[m.object_index].name);
+    EXPECT_TRUE(true_changes.count({m.at.seconds(), truth_obj}))
+        << "invented change at " << m.at.seconds();
+  }
+  EXPECT_LE(compiled.modifications.size(), truth.modifications.size());
+}
+
+TEST_P(TraceRoundTripTest, ObservedChangesAreInferred) {
+  // Completeness: every true change that IS observable (a request to the
+  // object strictly between it and its next change, or after the last
+  // change) must be inferred.
+  const Workload truth = RandomWorkload(GetParam() ^ 0xbead);
+  const Trace trace = RenderTraceFromWorkload(truth, "prop");
+  const Workload compiled = CompileTrace(trace);
+
+  std::map<std::string, uint32_t> compiled_index;
+  for (uint32_t i = 0; i < compiled.objects.size(); ++i) {
+    compiled_index[compiled.objects[i].name] = i;
+  }
+  std::set<std::pair<int64_t, uint32_t>> inferred;  // (time, compiled obj)
+  for (const auto& m : compiled.modifications) {
+    inferred.emplace(m.at.seconds(), m.object_index);
+  }
+
+  for (const auto& change : truth.modifications) {
+    // Next change of the same object (if any).
+    SimTime next = SimTime::Infinite();
+    for (const auto& other : truth.modifications) {
+      if (other.object_index == change.object_index && other.at > change.at) {
+        next = std::min(next, other.at);
+      }
+    }
+    bool observed = false;
+    for (const auto& req : truth.requests) {
+      if (req.object_index == change.object_index && req.at >= change.at && req.at < next) {
+        observed = true;
+        break;
+      }
+    }
+    if (!observed) {
+      continue;
+    }
+    const auto it = compiled_index.find(truth.objects[change.object_index].name);
+    ASSERT_NE(it, compiled_index.end());
+    EXPECT_TRUE(inferred.count({change.at.seconds(), it->second}))
+        << "observed change at " << change.at.seconds() << " not inferred";
+  }
+}
+
+TEST_P(TraceRoundTripTest, ClfPathPreservesTheSameInformation) {
+  // trace -> CLF text -> trace: the compiled workloads agree.
+  const Workload truth = RandomWorkload(GetParam() ^ 0xc1f);
+  const Trace direct = RenderTraceFromWorkload(truth, "prop");
+  std::stringstream clf_text;
+  WriteClfTrace(direct, clf_text);
+  ClfReadStats stats;
+  const Trace via_clf = ReadClfTrace(clf_text, ClfParseOptions{}, &stats);
+  EXPECT_EQ(stats.skipped_malformed, 0u);
+
+  const Workload a = CompileTrace(direct);
+  const Workload b = CompileTrace(via_clf);
+  EXPECT_EQ(a.objects.size(), b.objects.size());
+  EXPECT_EQ(a.requests.size(), b.requests.size());
+  // The CLF reader rebases so its first record sits at the epoch; all times
+  // shift uniformly by the first request's offset. A real log has no notion
+  // of "experiment start", so changes stamped BEFORE the first request fold
+  // into initial ages rather than modification events.
+  const SimDuration shift = direct.records.front().timestamp - SimTime::Epoch();
+  std::vector<SimTime> expected;
+  for (const auto& m : a.modifications) {
+    if (m.at - shift > SimTime::Epoch()) {
+      expected.push_back(m.at - shift);
+    }
+  }
+  ASSERT_EQ(expected.size(), b.modifications.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i], b.modifications[i].at) << i;
+  }
+  for (size_t i = 0; i < a.requests.size(); i += 37) {
+    EXPECT_EQ(a.requests[i].at - shift, b.requests[i].at) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceRoundTripTest, ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace webcc

@@ -1,0 +1,220 @@
+#include "src/workload/trace.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace webcc {
+namespace {
+
+Trace SampleTrace() {
+  Trace trace;
+  trace.source = "unit";
+  // Object /a last modified 100s before the epoch; /b changes mid-trace.
+  trace.records.push_back({SimTime(10), "local1.campus.edu", "/a.html", 500, SimTime(-100), false});
+  trace.records.push_back({SimTime(20), "remote1.example.com", "/b.gif", 800, SimTime(-50), true});
+  trace.records.push_back({SimTime(30), "local1.campus.edu", "/a.html", 500, SimTime(-100), false});
+  trace.records.push_back({SimTime(90), "local2.campus.edu", "/b.gif", 850, SimTime(60), true});
+  return trace;
+}
+
+TEST(TraceIoTest, WriteReadRoundTrip) {
+  const Trace original = SampleTrace();
+  std::stringstream ss;
+  WriteTrace(original, ss);
+  TraceParseError error;
+  const auto parsed = ReadTrace(ss, &error);
+  ASSERT_TRUE(parsed.has_value()) << error.message;
+  EXPECT_EQ(parsed->source, "unit");
+  ASSERT_EQ(parsed->records.size(), original.records.size());
+  for (size_t i = 0; i < original.records.size(); ++i) {
+    EXPECT_EQ(parsed->records[i], original.records[i]) << "record " << i;
+  }
+}
+
+TEST(TraceIoTest, ReadsWithoutHeader) {
+  std::istringstream is("10 c1 /x.html 100 -5 0\n20 c2 /y.gif 200 10 1\n");
+  const auto trace = ReadTrace(is);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->records.size(), 2u);
+  EXPECT_TRUE(trace->records[1].remote);
+}
+
+TEST(TraceIoTest, SkipsCommentsAndBlankLines) {
+  std::istringstream is("# comment\n\n10 c /x 1 0 0\n   \n# more\n");
+  const auto trace = ReadTrace(is);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->records.size(), 1u);
+}
+
+TEST(TraceIoTest, ReportsFieldCountError) {
+  std::istringstream is("10 c /x 1 0\n");
+  TraceParseError error;
+  EXPECT_FALSE(ReadTrace(is, &error).has_value());
+  EXPECT_EQ(error.line, 1u);
+  EXPECT_NE(error.message.find("6 fields"), std::string::npos);
+}
+
+TEST(TraceIoTest, ReportsBadNumbers) {
+  TraceParseError error;
+  std::istringstream bad_ts("abc c /x 1 0 0\n");
+  EXPECT_FALSE(ReadTrace(bad_ts, &error).has_value());
+  EXPECT_EQ(error.message, "bad timestamp");
+
+  std::istringstream bad_size("10 c /x -2 0 0\n");
+  EXPECT_FALSE(ReadTrace(bad_size, &error).has_value());
+  EXPECT_EQ(error.message, "bad size");
+
+  std::istringstream bad_remote("10 c /x 1 0 7\n");
+  EXPECT_FALSE(ReadTrace(bad_remote, &error).has_value());
+  EXPECT_EQ(error.message, "bad remote flag");
+}
+
+TEST(TraceIoTest, RejectsLastModifiedInTheFuture) {
+  std::istringstream is("10 c /x 1 50 0\n");
+  TraceParseError error;
+  EXPECT_FALSE(ReadTrace(is, &error).has_value());
+  EXPECT_NE(error.message.find("last-modified after"), std::string::npos);
+}
+
+TEST(TraceIoTest, RejectsOutOfOrderTimestamps) {
+  std::istringstream is("20 c /x 1 0 0\n10 c /y 1 0 0\n");
+  TraceParseError error;
+  EXPECT_FALSE(ReadTrace(is, &error).has_value());
+  EXPECT_NE(error.message.find("out of order"), std::string::npos);
+  EXPECT_EQ(error.line, 2u);
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  const Trace original = SampleTrace();
+  const std::string path = ::testing::TempDir() + "/webcc_trace_test.txt";
+  ASSERT_TRUE(WriteTraceFile(original, path));
+  const auto parsed = ReadTraceFile(path);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->records.size(), original.records.size());
+}
+
+TEST(TraceIoTest, MissingFileReportsError) {
+  TraceParseError error;
+  EXPECT_FALSE(ReadTraceFile("/nonexistent/trace.txt", &error).has_value());
+  EXPECT_NE(error.message.find("cannot open"), std::string::npos);
+}
+
+TEST(TraceCompileTest, ObjectsAndRequestsExtracted) {
+  const Workload load = CompileTrace(SampleTrace());
+  EXPECT_EQ(load.Validate(), "");
+  ASSERT_EQ(load.objects.size(), 2u);
+  EXPECT_EQ(load.objects[0].name, "/a.html");
+  EXPECT_EQ(load.objects[0].type, FileType::kHtml);
+  EXPECT_EQ(load.objects[1].type, FileType::kGif);
+  EXPECT_EQ(load.requests.size(), 4u);
+  EXPECT_TRUE(load.requests[1].remote);
+  EXPECT_FALSE(load.requests[0].remote);
+}
+
+TEST(TraceCompileTest, InitialAgeFromFirstLastModified) {
+  const Workload load = CompileTrace(SampleTrace());
+  EXPECT_EQ(load.objects[0].initial_age, Seconds(100));
+  EXPECT_EQ(load.objects[1].initial_age, Seconds(50));
+}
+
+TEST(TraceCompileTest, ModificationInferredFromLmTransition) {
+  const Workload load = CompileTrace(SampleTrace());
+  ASSERT_EQ(load.modifications.size(), 1u);
+  EXPECT_EQ(load.modifications[0].at, SimTime(60));
+  EXPECT_EQ(load.modifications[0].object_index, 1u);
+  EXPECT_EQ(load.modifications[0].new_size, 850);
+}
+
+TEST(TraceCompileTest, NoSpuriousModificationsForStableLm) {
+  Trace trace;
+  for (int i = 0; i < 10; ++i) {
+    trace.records.push_back({SimTime(10 * (i + 1)), "c", "/x.html", 100, SimTime(-5), false});
+  }
+  const Workload load = CompileTrace(trace);
+  EXPECT_TRUE(load.modifications.empty());
+}
+
+TEST(TraceCompileTest, CollapsesUnobservedIntermediateChanges) {
+  // The object changed twice between observations, but the log only reveals
+  // the final Last-Modified — one inferred modification (the paper's
+  // granularity caveat).
+  Trace trace;
+  trace.records.push_back({SimTime(10), "c", "/x.html", 100, SimTime(-5), false});
+  trace.records.push_back({SimTime(500), "c", "/x.html", 100, SimTime(400), false});
+  const Workload load = CompileTrace(trace);
+  EXPECT_EQ(load.modifications.size(), 1u);
+  EXPECT_EQ(load.modifications[0].at, SimTime(400));
+}
+
+TEST(TraceCompileTest, ClampsContradictoryChangeTime) {
+  // Stamped change time (15) precedes a record that still saw the old
+  // version at t=20 — the compiler must move the change after t=20.
+  Trace trace;
+  trace.records.push_back({SimTime(10), "c", "/x.html", 100, SimTime(-5), false});
+  trace.records.push_back({SimTime(20), "c", "/x.html", 100, SimTime(-5), false});
+  trace.records.push_back({SimTime(30), "c", "/x.html", 100, SimTime(15), false});
+  const Workload load = CompileTrace(trace);
+  ASSERT_EQ(load.modifications.size(), 1u);
+  EXPECT_GT(load.modifications[0].at, SimTime(20));
+}
+
+TEST(TraceCompileTest, MidTraceFirstObservationWithPositiveLm) {
+  // First record for an object already shows an in-experiment LM: starts at
+  // age 0 with one modification at that stamp.
+  Trace trace;
+  trace.records.push_back({SimTime(100), "c", "/new.html", 100, SimTime(40), false});
+  const Workload load = CompileTrace(trace);
+  EXPECT_EQ(load.objects[0].initial_age, SimDuration(0));
+  ASSERT_EQ(load.modifications.size(), 1u);
+  EXPECT_EQ(load.modifications[0].at, SimTime(40));
+}
+
+TEST(TraceCompileTest, HorizonCoversAllEvents) {
+  const Workload load = CompileTrace(SampleTrace());
+  EXPECT_GE(load.horizon, SimTime(90));
+}
+
+TEST(RenderTraceTest, RoundTripPreservesObservableState) {
+  // Build a ground-truth workload, render its trace, recompile — requests
+  // and observable modifications must survive.
+  Workload truth;
+  truth.name = "rt";
+  truth.objects.push_back(ObjectSpec{"/a.html", FileType::kHtml, 300, Days(2)});
+  truth.objects.push_back(ObjectSpec{"/b.gif", FileType::kGif, 700, Days(30)});
+  truth.horizon = SimTime::Epoch() + Days(5);
+  truth.modifications.push_back(ModificationEvent{SimTime::Epoch() + Days(1), 0, 333});
+  truth.requests.push_back(RequestEvent{SimTime::Epoch() + Hours(1), 0, 1, false});
+  truth.requests.push_back(RequestEvent{SimTime::Epoch() + Days(2), 0, 2, true});
+  truth.requests.push_back(RequestEvent{SimTime::Epoch() + Days(3), 1, 3, false});
+  truth.Finalize();
+
+  const Trace trace = RenderTraceFromWorkload(truth, "rt");
+  ASSERT_EQ(trace.records.size(), 3u);
+  // First request sees the pre-change state; second the new one.
+  EXPECT_EQ(trace.records[0].last_modified, SimTime::Epoch() - Days(2));
+  EXPECT_EQ(trace.records[0].size_bytes, 300);
+  EXPECT_EQ(trace.records[1].last_modified, SimTime::Epoch() + Days(1));
+  EXPECT_EQ(trace.records[1].size_bytes, 333);
+  EXPECT_TRUE(trace.records[1].remote);
+
+  const Workload recompiled = CompileTrace(trace);
+  EXPECT_EQ(recompiled.objects.size(), 2u);
+  EXPECT_EQ(recompiled.requests.size(), 3u);
+  ASSERT_EQ(recompiled.modifications.size(), 1u);
+  EXPECT_EQ(recompiled.modifications[0].at, SimTime::Epoch() + Days(1));
+}
+
+TEST(RenderTraceTest, ModificationAtRequestInstantVisible) {
+  Workload truth;
+  truth.objects.push_back(ObjectSpec{"/a", FileType::kOther, 10, Days(1)});
+  truth.horizon = SimTime::Epoch() + Days(1);
+  truth.modifications.push_back(ModificationEvent{SimTime::Epoch() + Hours(1), 0, -1});
+  truth.requests.push_back(RequestEvent{SimTime::Epoch() + Hours(1), 0, 0, false});
+  truth.Finalize();
+  const Trace trace = RenderTraceFromWorkload(truth, "tie");
+  EXPECT_EQ(trace.records[0].last_modified, SimTime::Epoch() + Hours(1));
+}
+
+}  // namespace
+}  // namespace webcc

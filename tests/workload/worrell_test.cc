@@ -1,0 +1,129 @@
+#include "src/workload/worrell.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace webcc {
+namespace {
+
+WorrellConfig SmallConfig(uint64_t seed = 1) {
+  WorrellConfig config;
+  config.num_files = 200;
+  config.duration = Days(14);
+  config.requests_per_second = 0.05;
+  config.seed = seed;
+  return config;
+}
+
+TEST(WorrellTest, GeneratesValidWorkload) {
+  const Workload load = GenerateWorrellWorkload(SmallConfig());
+  EXPECT_EQ(load.Validate(), "");
+  EXPECT_EQ(load.objects.size(), 200u);
+  EXPECT_EQ(load.horizon, SimTime::Epoch() + Days(14));
+  EXPECT_GT(load.requests.size(), 0u);
+  EXPECT_GT(load.modifications.size(), 0u);
+}
+
+TEST(WorrellTest, DeterministicInSeed) {
+  const Workload a = GenerateWorrellWorkload(SmallConfig(7));
+  const Workload b = GenerateWorrellWorkload(SmallConfig(7));
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  ASSERT_EQ(a.modifications.size(), b.modifications.size());
+  for (size_t i = 0; i < a.requests.size(); i += 97) {
+    EXPECT_EQ(a.requests[i].at, b.requests[i].at);
+    EXPECT_EQ(a.requests[i].object_index, b.requests[i].object_index);
+  }
+  const Workload c = GenerateWorrellWorkload(SmallConfig(8));
+  EXPECT_NE(a.requests.size(), c.requests.size());
+}
+
+TEST(WorrellTest, ChangeRateMatchesPaperCalibration) {
+  // Paper §4.2: 2085 files over 56 days changed 19,898 times — a 17%/day
+  // per-file change probability. Check the default calibration hits that
+  // rate (within tolerance) on a reduced-size run.
+  WorrellConfig config;
+  config.num_files = 500;
+  config.duration = Days(28);
+  config.requests_per_second = 0.01;  // requests don't matter here
+  config.seed = 3;
+  const Workload load = GenerateWorrellWorkload(config);
+  const double per_day = static_cast<double>(load.modifications.size()) /
+                         (500.0 * load.horizon.seconds() / 86400.0);
+  EXPECT_NEAR(per_day, 0.17, 0.02);
+}
+
+TEST(WorrellTest, RequestRateMatchesConfig) {
+  const WorrellConfig config = SmallConfig(4);
+  const Workload load = GenerateWorrellWorkload(config);
+  const double expected = config.requests_per_second * config.duration.seconds();
+  EXPECT_NEAR(static_cast<double>(load.requests.size()), expected, expected * 0.05);
+}
+
+TEST(WorrellTest, RequestsUniformOverFiles) {
+  WorrellConfig config = SmallConfig(5);
+  config.requests_per_second = 0.5;  // plenty of samples
+  const Workload load = GenerateWorrellWorkload(config);
+  std::vector<int> counts(config.num_files, 0);
+  for (const RequestEvent& r : load.requests) {
+    ++counts[r.object_index];
+  }
+  const double expected =
+      static_cast<double>(load.requests.size()) / static_cast<double>(config.num_files);
+  int outliers = 0;
+  for (int c : counts) {
+    if (std::abs(c - expected) > 4 * std::sqrt(expected)) {
+      ++outliers;
+    }
+  }
+  // ~99.99% of uniform counts lie within 4 sigma; allow a little slack.
+  EXPECT_LE(outliers, 3);
+}
+
+TEST(WorrellTest, InitialAgesWithinCurrentInterval) {
+  const Workload load = GenerateWorrellWorkload(SmallConfig(6));
+  const WorrellConfig config = SmallConfig(6);
+  for (const ObjectSpec& spec : load.objects) {
+    EXPECT_GE(spec.initial_age, SimDuration(0));
+    // Age can never exceed the longest possible lifetime.
+    EXPECT_LE(spec.initial_age, config.max_lifetime);
+  }
+}
+
+TEST(WorrellTest, SizesHaveRequestedMean) {
+  WorrellConfig config = SmallConfig(7);
+  config.num_files = 5000;
+  config.requests_per_second = 0.001;
+  config.mean_file_bytes = 6000;
+  const Workload load = GenerateWorrellWorkload(config);
+  EXPECT_NEAR(load.MeanObjectBytes(), 6000.0, 600.0);
+}
+
+TEST(WorrellTest, InterChangeGapsWithinLifetimeBounds) {
+  const WorrellConfig config = SmallConfig(8);
+  const Workload load = GenerateWorrellWorkload(config);
+  // Per object, consecutive modifications are separated by a flat-lifetime
+  // draw: within [min_lifetime, max_lifetime].
+  std::vector<SimTime> last(config.num_files, SimTime::Infinite());
+  std::vector<bool> seen(config.num_files, false);
+  for (const ModificationEvent& m : load.modifications) {
+    if (seen[m.object_index]) {
+      const SimDuration gap = m.at - last[m.object_index];
+      EXPECT_GE(gap, config.min_lifetime);
+      EXPECT_LE(gap, config.max_lifetime);
+    }
+    seen[m.object_index] = true;
+    last[m.object_index] = m.at;
+  }
+}
+
+TEST(WorrellTest, NoRemoteFlagInSyntheticWorkload) {
+  const Workload load = GenerateWorrellWorkload(SmallConfig(9));
+  EXPECT_DOUBLE_EQ(load.RemoteFraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace webcc

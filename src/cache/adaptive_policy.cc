@@ -1,8 +1,8 @@
 #include "src/cache/adaptive_policy.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "src/util/check.h"
 #include "src/util/str.h"
 
 namespace webcc {
@@ -10,10 +10,10 @@ namespace webcc {
 AdaptiveTunerPolicy::AdaptiveTunerPolicy() : AdaptiveTunerPolicy(Options{}) {}
 
 AdaptiveTunerPolicy::AdaptiveTunerPolicy(Options options) : options_(options) {
-  assert(options_.min_threshold > 0.0);
-  assert(options_.max_threshold >= options_.min_threshold);
-  assert(options_.tighten_factor > 0.0 && options_.tighten_factor < 1.0);
-  assert(options_.relax_factor > 1.0);
+  WEBCC_CHECK_GT(options_.min_threshold, 0.0);
+  WEBCC_CHECK_GE(options_.max_threshold, options_.min_threshold);
+  WEBCC_CHECK(options_.tighten_factor > 0.0 && options_.tighten_factor < 1.0);
+  WEBCC_CHECK_GT(options_.relax_factor, 1.0);
   for (auto& state : per_type_) {
     state.threshold = std::clamp(options_.initial_threshold, options_.min_threshold,
                                  options_.max_threshold);

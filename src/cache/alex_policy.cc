@@ -1,17 +1,17 @@
 #include "src/cache/alex_policy.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "src/util/check.h"
 #include "src/util/str.h"
 
 namespace webcc {
 
 AlexPolicy::AlexPolicy(double threshold, SimDuration min_validity, SimDuration max_validity)
     : threshold_(threshold), min_validity_(min_validity), max_validity_(max_validity) {
-  assert(threshold >= 0.0);
-  assert(min_validity.seconds() >= 0);
-  assert(max_validity >= min_validity);
+  WEBCC_CHECK_GE(threshold, 0.0);
+  WEBCC_CHECK_GE(min_validity.seconds(), 0);
+  WEBCC_CHECK_GE(max_validity, min_validity);
 }
 
 SimDuration AlexPolicy::ValidityWindow(SimDuration known_age) const {

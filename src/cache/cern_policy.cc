@@ -1,7 +1,7 @@
 #include "src/cache/cern_policy.h"
 
-#include <cassert>
 
+#include "src/util/check.h"
 #include "src/util/str.h"
 
 namespace webcc {
@@ -9,8 +9,8 @@ namespace webcc {
 CernHttpdPolicy::CernHttpdPolicy(double lm_fraction, SimDuration default_ttl,
                                  bool use_lm_fraction)
     : lm_fraction_(lm_fraction), default_ttl_(default_ttl), use_lm_fraction_(use_lm_fraction) {
-  assert(lm_fraction >= 0.0);
-  assert(default_ttl.seconds() >= 0);
+  WEBCC_CHECK_GE(lm_fraction, 0.0);
+  WEBCC_CHECK_GE(default_ttl.seconds(), 0);
 }
 
 void CernHttpdPolicy::OnFetch(CacheEntry& entry, SimTime now, const FetchInfo& info) {

@@ -1,11 +1,12 @@
 #include "src/cache/http_upstream.h"
 
-#include <cassert>
+#include "src/util/check.h"
+
 
 namespace webcc {
 
 HttpUpstream::HttpUpstream(HttpFrontend* frontend) : frontend_(frontend) {
-  assert(frontend != nullptr);
+  WEBCC_CHECK(frontend != nullptr);
 }
 
 Response HttpUpstream::Exchange(const Request& request, SimTime now) {
@@ -15,7 +16,7 @@ Response HttpUpstream::Exchange(const Request& request, SimTime now) {
   real_response_bytes_ += static_cast<int64_t>(raw_response.size());
   ++exchanges_;
   const auto response = Response::Parse(raw_response);
-  assert(response.has_value() && "frontend produced unparseable response");
+  WEBCC_CHECK(response.has_value()) << "frontend produced unparseable response";
   // Body bytes ride the wire too (the serialized form carries only the
   // Content-Length; the bytes themselves are accounted, not materialized).
   real_response_bytes_ += response->content_length;
@@ -38,7 +39,7 @@ Upstream::FullReply HttpUpstream::FetchFull(ObjectId id, SimTime now) {
   request.method = Method::kGet;
   request.uri = obj.name;
   const Response response = Exchange(request, now);
-  assert(response.status == StatusCode::kOk);
+  WEBCC_CHECK_EQ(response.status, StatusCode::kOk);
 
   FullReply reply;
   reply.body_bytes = response.content_length;
@@ -58,8 +59,8 @@ Upstream::CondReply HttpUpstream::FetchIfModified(ObjectId id, uint64_t held_ver
   // The If-Modified-Since stamp is the newest Last-Modified this upstream
   // has relayed; a cache can only hold a version it got from here.
   const auto it = known_.find(id);
-  assert(it != known_.end() && "conditional fetch for an object never fetched");
-  assert(held_version <= it->second.version);
+  WEBCC_CHECK(it != known_.end()) << "conditional fetch for an object never fetched";
+  WEBCC_CHECK_LE(held_version, it->second.version);
   request.SetIfModifiedSince(it->second.last_modified);
   const Response response = Exchange(request, now);
 

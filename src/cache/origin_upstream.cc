@@ -1,11 +1,12 @@
 #include "src/cache/origin_upstream.h"
 
-#include <cassert>
+#include "src/util/check.h"
+
 
 namespace webcc {
 
 OriginUpstream::OriginUpstream(OriginServer* server) : server_(server) {
-  assert(server != nullptr);
+  WEBCC_CHECK(server != nullptr);
 }
 
 Upstream::FullReply OriginUpstream::FetchFull(ObjectId id, SimTime now) {

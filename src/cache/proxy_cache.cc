@@ -1,9 +1,9 @@
 #include "src/cache/proxy_cache.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "src/http/message.h"
+#include "src/util/check.h"
 
 namespace webcc {
 
@@ -15,8 +15,8 @@ ProxyCache::ProxyCache(std::string name, Upstream* upstream,
       policy_(std::move(policy)),
       config_(config),
       oracle_(oracle) {
-  assert(upstream_ != nullptr);
-  assert(policy_ != nullptr);
+  WEBCC_CHECK(upstream_ != nullptr);
+  WEBCC_CHECK(policy_ != nullptr);
 }
 
 ProxyCache::~ProxyCache() = default;
@@ -73,7 +73,7 @@ void ProxyCache::Touch(Slot& slot, ObjectId id) {
 
 void ProxyCache::Evict(ObjectId id) {
   const auto it = entries_.find(id);
-  assert(it != entries_.end());
+  WEBCC_CHECK(it != entries_.end());
   stored_bytes_ -= it->second.entry.size_bytes;
   lru_.erase(it->second.lru_pos);
   if (policy_->UsesServerInvalidation()) {
@@ -109,7 +109,7 @@ ServeResult ProxyCache::HandleRequest(ObjectId id, SimTime now) {
     Slot slot;
     slot.lru_pos = lru_.begin();
     auto [inserted, ok] = entries_.emplace(id, std::move(slot));
-    assert(ok);
+    WEBCC_CHECK(ok);
     (void)ok;
     InstallBody(inserted->second.entry, id, reply.body_bytes, reply.version, reply.last_modified,
                 reply.expires, now);
@@ -242,12 +242,12 @@ ServeResult ProxyCache::HandleRequest(ObjectId id, SimTime now) {
 }
 
 void ProxyCache::PreloadObject(const WebObject& object, SimTime now) {
-  assert(entries_.find(object.id) == entries_.end());
+  WEBCC_CHECK(entries_.find(object.id) == entries_.end());
   lru_.push_front(object.id);
   Slot slot;
   slot.lru_pos = lru_.begin();
   auto [inserted, ok] = entries_.emplace(object.id, std::move(slot));
-  assert(ok);
+  WEBCC_CHECK(ok);
   (void)ok;
   CacheEntry& entry = inserted->second.entry;
   stored_bytes_ += object.size_bytes;
@@ -279,7 +279,7 @@ void ProxyCache::ForEachEntry(const std::function<void(const CacheEntry&)>& fn) 
 }
 
 void ProxyCache::RestoreEntry(const CacheEntry& entry) {
-  assert(entries_.find(entry.object) == entries_.end() && "object already cached");
+  WEBCC_CHECK(entries_.find(entry.object) == entries_.end()) << "object already cached";
   lru_.push_back(entry.object);  // restored entries queue behind live ones
   Slot slot;
   slot.lru_pos = std::prev(lru_.end());
@@ -321,7 +321,7 @@ Upstream::FullReply ProxyCache::FetchFull(ObjectId id, SimTime now) {
   // the child whatever body we now hold.
   const ServeResult inner = HandleRequest(id, now);
   const CacheEntry* entry = Find(id);
-  assert(entry != nullptr);
+  WEBCC_CHECK(entry != nullptr);
   FullReply reply;
   reply.body_bytes = entry->size_bytes;
   reply.version = entry->version;
@@ -334,7 +334,7 @@ Upstream::CondReply ProxyCache::FetchIfModified(ObjectId id, uint64_t held_versi
                                                 SimTime now) {
   const ServeResult inner = HandleRequest(id, now);
   const CacheEntry* entry = Find(id);
-  assert(entry != nullptr);
+  WEBCC_CHECK(entry != nullptr);
   CondReply reply;
   reply.upstream_hops = inner.hops;
   reply.version = entry->version;

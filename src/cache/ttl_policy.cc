@@ -1,14 +1,14 @@
 #include "src/cache/ttl_policy.h"
 
-#include <cassert>
 
+#include "src/util/check.h"
 #include "src/util/str.h"
 
 namespace webcc {
 
 FixedTtlPolicy::FixedTtlPolicy(SimDuration ttl, bool honor_expires_header)
     : ttl_(ttl), honor_expires_header_(honor_expires_header) {
-  assert(ttl.seconds() >= 0);
+  WEBCC_CHECK_GE(ttl.seconds(), 0);
 }
 
 void FixedTtlPolicy::OnFetch(CacheEntry& entry, SimTime now, const FetchInfo& info) {

@@ -1,13 +1,13 @@
 #include "src/core/experiment.h"
 
-#include <cassert>
 
+#include "src/util/check.h"
 #include "src/util/str.h"
 
 namespace webcc {
 
 std::vector<double> LinSpace(double lo, double hi, size_t n) {
-  assert(n >= 1);
+  WEBCC_CHECK_GE(n, 1);
   std::vector<double> out;
   out.reserve(n);
   if (n == 1) {
@@ -91,13 +91,13 @@ ConsistencyMetrics AverageMetrics(const std::vector<ConsistencyMetrics>& metrics
 }
 
 SweepSeries AverageSeries(const std::vector<SweepSeries>& runs) {
-  assert(!runs.empty());
+  WEBCC_CHECK(!runs.empty());
   SweepSeries avg;
   avg.label = runs.front().label + "(avg)";
   avg.param_name = runs.front().param_name;
   const size_t num_points = runs.front().points.size();
   for (const SweepSeries& run : runs) {
-    assert(run.points.size() == num_points && "sweeps must share the parameter grid");
+    WEBCC_CHECK_EQ(run.points.size(), num_points) << "sweeps must share the parameter grid";
   }
   for (size_t p = 0; p < num_points; ++p) {
     SweepPoint point;
@@ -105,7 +105,7 @@ SweepSeries AverageSeries(const std::vector<SweepSeries>& runs) {
     std::vector<ConsistencyMetrics> metrics;
     metrics.reserve(runs.size());
     for (const SweepSeries& run : runs) {
-      assert(run.points[p].param == point.param);
+      WEBCC_CHECK_EQ(run.points[p].param, point.param);
       metrics.push_back(run.points[p].result.metrics);
     }
     point.result.workload_name = "average";

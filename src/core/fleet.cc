@@ -1,18 +1,18 @@
 #include "src/core/fleet.h"
 
 #include <algorithm>
-#include <cassert>
 #include <memory>
 
 #include "src/cache/origin_upstream.h"
 #include "src/origin/server.h"
+#include "src/util/check.h"
 #include "src/util/str.h"
 
 namespace webcc {
 
 FleetResult RunFleetSimulation(const Workload& load, const FleetConfig& config) {
-  assert(config.num_caches > 0);
-  assert(load.Validate().empty());
+  WEBCC_CHECK_GT(config.num_caches, 0);
+  WEBCC_CHECK(load.Validate().empty());
 
   OriginServer server;
   for (const ObjectSpec& spec : load.objects) {

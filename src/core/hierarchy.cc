@@ -1,16 +1,16 @@
 #include "src/core/hierarchy.h"
 
-#include <cassert>
 #include <memory>
 
 #include "src/cache/origin_upstream.h"
 #include "src/core/simulation.h"
 #include "src/origin/server.h"
+#include "src/util/check.h"
 
 namespace webcc {
 
 HierarchyResult RunHierarchySimulation(const Workload& load, const HierarchyConfig& config) {
-  assert(load.Validate().empty());
+  WEBCC_CHECK(load.Validate().empty());
 
   OriginServer server;
   for (const ObjectSpec& spec : load.objects) {

@@ -1,11 +1,11 @@
 #include "src/core/live_simulation.h"
 
-#include <cassert>
 #include <cmath>
 #include <memory>
 
 #include "src/cache/origin_upstream.h"
 #include "src/origin/mutator.h"
+#include "src/util/check.h"
 #include "src/util/distributions.h"
 #include "src/util/str.h"
 #include "src/workload/request_process.h"
@@ -13,8 +13,8 @@
 namespace webcc {
 
 SimulationResult RunLiveSimulation(const LiveSimulationConfig& config) {
-  assert(config.num_files > 0);
-  assert(config.duration.seconds() > 0);
+  WEBCC_CHECK_GT(config.num_files, 0);
+  WEBCC_CHECK_GT(config.duration.seconds(), 0);
 
   SimEngine engine;
   OriginServer server(&engine, config.invalidation_retry_interval);

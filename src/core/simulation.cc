@@ -1,9 +1,9 @@
 #include "src/core/simulation.h"
 
-#include <cassert>
 
 #include "src/cache/origin_upstream.h"
 #include "src/origin/server.h"
+#include "src/util/check.h"
 #include "src/util/str.h"
 
 namespace webcc {
@@ -37,7 +37,7 @@ SimulationConfig SimulationConfig::TraceDriven(PolicyConfig policy) {
 }
 
 SimulationResult RunSimulation(const Workload& load, const SimulationConfig& config) {
-  assert(load.Validate().empty() && "workload failed validation");
+  WEBCC_CHECK(load.Validate().empty()) << "workload failed validation";
 
   OriginServer server;
   for (const ObjectSpec& spec : load.objects) {

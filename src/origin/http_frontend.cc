@@ -1,13 +1,13 @@
 #include "src/origin/http_frontend.h"
 
-#include <cassert>
 
 #include "src/http/date.h"
+#include "src/util/check.h"
 
 namespace webcc {
 
 HttpFrontend::HttpFrontend(OriginServer* server) : server_(server) {
-  assert(server != nullptr);
+  WEBCC_CHECK(server != nullptr);
 }
 
 Response HttpFrontend::HandleParsed(const Request& request, SimTime now) {

@@ -1,25 +1,27 @@
 #include "src/origin/mutator.h"
 
 #include <algorithm>
-#include <cassert>
+#include <tuple>
+
+#include "src/util/check.h"
 
 namespace webcc {
 
 ModificationProcess::ModificationProcess(SimEngine* engine, OriginServer* server, Rng rng)
     : engine_(engine), server_(server), rng_(rng) {
-  assert(engine != nullptr);
-  assert(server != nullptr);
+  WEBCC_CHECK(engine != nullptr);
+  WEBCC_CHECK(server != nullptr);
 }
 
 void ModificationProcess::Track(ObjectId id,
                                 std::shared_ptr<const LifetimeDistribution> lifetime,
                                 std::optional<SimDuration> first_delay) {
-  assert(server_->store().Contains(id));
-  assert(lifetime != nullptr);
+  WEBCC_CHECK(server_->store().Contains(id)) << "Track of unknown object " << id;
+  WEBCC_CHECK(lifetime != nullptr);
   if (id >= slot_of_.size()) {
     slot_of_.resize(id + 1, kNoSlot);
   }
-  assert(slot_of_[id] == kNoSlot && "object already tracked");
+  WEBCC_CHECK_EQ(slot_of_[id], kNoSlot) << "object already tracked";
   const size_t slot = tracked_.size();
   tracked_.push_back(Tracked{id, std::move(lifetime), EventHandle{}});
   slot_of_[id] = slot;
@@ -45,23 +47,23 @@ void ModificationProcess::ScheduleNext(ObjectId id, std::optional<SimDuration> d
 
 void ModificationProcess::Stop() {
   for (auto& t : tracked_) {
-    t.pending.Cancel();
+    std::ignore = t.pending.Cancel();
   }
 }
 
 ScriptedModifications::ScriptedModifications(SimEngine* engine, OriginServer* server)
     : engine_(engine), server_(server) {
-  assert(engine != nullptr);
-  assert(server != nullptr);
+  WEBCC_CHECK(engine != nullptr);
+  WEBCC_CHECK(server != nullptr);
 }
 
 void ScriptedModifications::Add(SimTime at, ObjectId object, int64_t new_size) {
-  assert(!scheduled_ && "Add after ScheduleAll");
+  WEBCC_CHECK(!scheduled_) << "Add after ScheduleAll";
   changes_.push_back(Change{at, object, new_size});
 }
 
 void ScriptedModifications::ScheduleAll() {
-  assert(!scheduled_);
+  WEBCC_CHECK(!scheduled_);
   scheduled_ = true;
   std::stable_sort(changes_.begin(), changes_.end(),
                    [](const Change& a, const Change& b) { return a.at < b.at; });

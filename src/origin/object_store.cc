@@ -1,13 +1,14 @@
 #include "src/origin/object_store.h"
 
-#include <cassert>
+#include "src/util/check.h"
+
 
 namespace webcc {
 
 ObjectId ObjectStore::Create(std::string name, FileType type, int64_t size_bytes,
                              SimTime created_at) {
-  assert(size_bytes >= 0);
-  assert(by_name_.find(name) == by_name_.end() && "duplicate object name");
+  WEBCC_CHECK_GE(size_bytes, 0);
+  WEBCC_CHECK(by_name_.find(name) == by_name_.end()) << "duplicate object name";
   const ObjectId id = static_cast<ObjectId>(objects_.size());
   WebObject obj;
   obj.id = id;
@@ -29,9 +30,9 @@ ObjectId ObjectStore::FindByName(std::string_view name) const {
 }
 
 void ObjectStore::Modify(ObjectId id, SimTime at, int64_t new_size) {
-  assert(Contains(id));
+  WEBCC_CHECK(Contains(id));
   WebObject& obj = objects_[id];
-  assert(at >= obj.last_modified && "modifications must be time-ordered");
+  WEBCC_CHECK_GE(at, obj.last_modified) << "modifications must be time-ordered";
   obj.last_modified = at;
   ++obj.version;
   ++obj.change_count;

@@ -1,6 +1,7 @@
 #include "src/origin/server.h"
 
-#include <cassert>
+#include "src/util/check.h"
+
 
 namespace webcc {
 
@@ -9,7 +10,7 @@ OriginServer::OriginServer(SimEngine* engine, SimDuration retry_interval)
 
 OriginServer::GetResult OriginServer::HandleGet(ObjectId id, SimTime now) {
 
-  assert(store_.Contains(id));
+  WEBCC_CHECK(store_.Contains(id));
   const WebObject& obj = store_.Get(id);
   ++stats_.get_requests;
   ++stats_.files_transferred;
@@ -26,7 +27,7 @@ OriginServer::ConditionalResult OriginServer::HandleConditionalGet(ObjectId id,
                                                                    uint64_t held_version,
                                                                    SimTime now) {
 
-  assert(store_.Contains(id));
+  WEBCC_CHECK(store_.Contains(id));
   const WebObject& obj = store_.Get(id);
   ++stats_.ims_queries;
   stats_.bytes_received += ControlWireBytes();
@@ -50,7 +51,7 @@ OriginServer::ConditionalResult OriginServer::HandleConditionalGet(ObjectId id,
 }
 
 CacheId OriginServer::RegisterCache(InvalidationSink* sink) {
-  assert(sink != nullptr);
+  WEBCC_CHECK(sink != nullptr);
   const CacheId id = static_cast<CacheId>(sinks_.size());
   sinks_.push_back(sink);
   subscriptions_.emplace_back();
@@ -58,7 +59,7 @@ CacheId OriginServer::RegisterCache(InvalidationSink* sink) {
 }
 
 void OriginServer::Subscribe(CacheId cache, ObjectId object) {
-  assert(cache < sinks_.size());
+  WEBCC_CHECK_LT(cache, sinks_.size());
   auto& subs = subscriptions_[cache];
   if (object >= subs.size()) {
     subs.resize(object + 1, false);
@@ -70,7 +71,7 @@ void OriginServer::Subscribe(CacheId cache, ObjectId object) {
 }
 
 void OriginServer::Unsubscribe(CacheId cache, ObjectId object) {
-  assert(cache < sinks_.size());
+  WEBCC_CHECK_LT(cache, sinks_.size());
   auto& subs = subscriptions_[cache];
   if (object < subs.size() && subs[object]) {
     subs[object] = false;
@@ -79,7 +80,7 @@ void OriginServer::Unsubscribe(CacheId cache, ObjectId object) {
 }
 
 bool OriginServer::IsSubscribed(CacheId cache, ObjectId object) const {
-  assert(cache < sinks_.size());
+  WEBCC_CHECK_LT(cache, sinks_.size());
   const auto& subs = subscriptions_[cache];
   return object < subs.size() && subs[object];
 }

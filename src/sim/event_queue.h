@@ -27,11 +27,13 @@ class EventHandle {
   EventHandle() = default;
 
   // True if the event has neither fired nor been cancelled.
-  bool IsPending() const { return state_ && !state_->done; }
+  [[nodiscard]] bool IsPending() const { return state_ && !state_->done; }
 
   // Cancels the event if it is still pending. Returns true if this call
   // performed the cancellation. Safe to call after the owning queue is gone.
-  bool Cancel();
+  // Callers that don't care whether the event was still live should ask
+  // IsPending() first or discard explicitly with std::ignore.
+  [[nodiscard]] bool Cancel();
 
  private:
   friend class EventQueue;
@@ -61,17 +63,17 @@ class EventQueue {
     SimTime time;
     Callback fn;
   };
-  std::optional<Fired> PopNext();
+  [[nodiscard]] std::optional<Fired> PopNext();
 
   // Time of the earliest pending event, if any.
-  std::optional<SimTime> PeekTime();
+  [[nodiscard]] std::optional<SimTime> PeekTime();
 
   // Pending (non-cancelled, non-fired) event count.
-  size_t pending() const { return *pending_; }
-  bool empty() const { return *pending_ == 0; }
+  [[nodiscard]] size_t pending() const { return *pending_; }
+  [[nodiscard]] bool empty() const { return *pending_ == 0; }
 
   // Total events ever scheduled; exposed for engine statistics.
-  uint64_t total_scheduled() const { return next_seq_; }
+  [[nodiscard]] uint64_t total_scheduled() const { return next_seq_; }
 
  private:
   struct Entry {

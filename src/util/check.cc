@@ -1,0 +1,32 @@
+#include "src/util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace webcc::internal {
+
+namespace {
+
+// One hint line appended to every failure; kept short so the condition and
+// operand values stay the visually dominant part of the report.
+constexpr char kBacktraceHint[] =
+    "hint: run under gdb, or set ASAN_OPTIONS=abort_on_error=1 under ASan, for a backtrace";
+
+}  // namespace
+
+void CheckFailure(const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "WEBCC_CHECK failed at %s:%d: %s\n%s\n", file, line, message.c_str(),
+               kBacktraceHint);
+  std::fflush(stderr);
+  std::abort();
+}
+
+void OverflowFailure(const char* op, int64_t a, int64_t b) {
+  std::fprintf(stderr,
+               "WEBCC_CHECK failed: int64 overflow in %s (operands %lld and %lld)\n%s\n", op,
+               static_cast<long long>(a), static_cast<long long>(b), kBacktraceHint);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace webcc::internal

@@ -1,0 +1,210 @@
+// Always-on checked invariants.
+//
+// The simulators' headline numbers (stale hits, bandwidth, server load) are
+// only meaningful if every run is bit-for-bit reproducible and every internal
+// invariant actually holds. A bare C assert is compiled out under NDEBUG and
+// prints nothing about the offending values; these macros are always on,
+// print both operands, accept a streamed message, and abort so that a
+// violated invariant can never silently corrupt a figure.
+//
+//   WEBCC_CHECK(ptr != nullptr) << "policy for cache " << id;
+//   WEBCC_CHECK_LE(hits, requests) << "hit accounting out of range";
+//
+// On failure:
+//
+//   WEBCC_CHECK failed at src/cache/proxy_cache.cc:76: hits <= requests
+//   (12 vs 7) hit accounting out of range
+//   hint: run under gdb, or set ASAN_OPTIONS=abort_on_error=1 under ASan,
+//   for a backtrace
+//
+// The comparison forms evaluate each operand exactly once. Operands are
+// rendered via ToString() when available (SimTime, SimDuration), via
+// operator<< otherwise, and as "<unprintable>" as a last resort.
+//
+// CheckedAdd/CheckedSub/CheckedMul are overflow-trapping int64 arithmetic
+// helpers (__builtin_*_overflow) used by SimTime/SimDuration operators; in a
+// constant-expression context an overflow is a compile error, at runtime it
+// aborts with both operands.
+
+#ifndef WEBCC_SRC_UTIL_CHECK_H_
+#define WEBCC_SRC_UTIL_CHECK_H_
+
+#include <concepts>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+namespace webcc {
+namespace internal {
+
+// Prints the failure report to stderr and aborts. Defined out of line so the
+// cold path stays out of every call site.
+[[noreturn]] void CheckFailure(const char* file, int line, const std::string& message);
+
+// Collects the failure message (condition text plus anything the caller
+// streams in) and aborts in its destructor at the end of the statement.
+class CheckStream {
+ public:
+  CheckStream(const char* file, int line, const char* condition) : file_(file), line_(line) {
+    stream_ << condition;
+  }
+  CheckStream(const char* file, int line, const std::string& condition)
+      : file_(file), line_(line) {
+    stream_ << condition;
+  }
+  CheckStream(const CheckStream&) = delete;
+  CheckStream& operator=(const CheckStream&) = delete;
+  ~CheckStream() { CheckFailure(file_, line_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Adapter giving the ternary in WEBCC_CHECK a void else-branch regardless of
+// what the caller streams. operator& binds looser than <<.
+struct Voidify {
+  void operator&(std::ostream&) const {}
+};
+
+template <typename T>
+concept HasToString = requires(const T& t) {
+  { t.ToString() } -> std::convertible_to<std::string>;
+};
+
+template <typename T>
+concept Streamable = requires(std::ostream& os, const T& t) { os << t; };
+
+// Renders an operand for a failure message.
+template <typename T>
+std::string CheckOpRepr(const T& value) {
+  if constexpr (HasToString<T>) {
+    return value.ToString();
+  } else if constexpr (Streamable<T>) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  } else {
+    return "<unprintable>";
+  }
+}
+
+template <typename A, typename B>
+std::unique_ptr<std::string> MakeCheckOpFailure(const A& a, const B& b, const char* condition) {
+  auto msg = std::make_unique<std::string>(condition);
+  *msg += " (";
+  *msg += CheckOpRepr(a);
+  *msg += " vs ";
+  *msg += CheckOpRepr(b);
+  *msg += ")";
+  return msg;
+}
+
+// Standard integer types whose mixed-sign comparisons route through
+// std::cmp_* (bool and character types are excluded by the standard).
+template <typename T>
+concept SafeCmpInt = std::integral<T> && !std::same_as<T, bool> && !std::same_as<T, char> &&
+                     !std::same_as<T, wchar_t> && !std::same_as<T, char8_t> &&
+                     !std::same_as<T, char16_t> && !std::same_as<T, char32_t>;
+
+// One Impl per comparison. Returns null on success, the rendered failure
+// message otherwise; the macro streams into a CheckStream only on failure.
+// Integer operands compare via std::cmp_* so that WEBCC_CHECK_GE(size_t_val,
+// int_val) is both warning-free and mathematically correct when the signs mix.
+#define WEBCC_INTERNAL_DEFINE_CHECK_OP_IMPL(name, op, cmpfn)                                 \
+  template <typename A, typename B>                                                          \
+  std::unique_ptr<std::string> Check##name##Impl(const A& a, const B& b,                     \
+                                                 const char* condition) {                    \
+    bool ok;                                                                                 \
+    if constexpr (SafeCmpInt<A> && SafeCmpInt<B>) {                                          \
+      ok = std::cmpfn(a, b);                                                                 \
+    } else {                                                                                 \
+      ok = (a op b);                                                                         \
+    }                                                                                        \
+    if (ok) [[likely]] {                                                                     \
+      return nullptr;                                                                        \
+    }                                                                                        \
+    return MakeCheckOpFailure(a, b, condition);                                              \
+  }
+
+WEBCC_INTERNAL_DEFINE_CHECK_OP_IMPL(EQ, ==, cmp_equal)
+WEBCC_INTERNAL_DEFINE_CHECK_OP_IMPL(NE, !=, cmp_not_equal)
+WEBCC_INTERNAL_DEFINE_CHECK_OP_IMPL(LT, <, cmp_less)
+WEBCC_INTERNAL_DEFINE_CHECK_OP_IMPL(LE, <=, cmp_less_equal)
+WEBCC_INTERNAL_DEFINE_CHECK_OP_IMPL(GT, >, cmp_greater)
+WEBCC_INTERNAL_DEFINE_CHECK_OP_IMPL(GE, >=, cmp_greater_equal)
+
+#undef WEBCC_INTERNAL_DEFINE_CHECK_OP_IMPL
+
+// Cold, out-of-line abort paths for the overflow-trapping arithmetic. Not
+// constexpr, so reaching one during constant evaluation is a compile error —
+// exactly what we want for a constexpr SimTime computation that would wrap.
+[[noreturn]] void OverflowFailure(const char* op, int64_t a, int64_t b);
+
+}  // namespace internal
+
+// Overflow-trapping int64 arithmetic. `what` names the operation in the
+// abort message, e.g. "SimDuration +".
+constexpr int64_t CheckedAdd(int64_t a, int64_t b, const char* what) {
+  int64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out)) [[unlikely]] {
+    internal::OverflowFailure(what, a, b);
+  }
+  return out;
+}
+
+constexpr int64_t CheckedSub(int64_t a, int64_t b, const char* what) {
+  int64_t out = 0;
+  if (__builtin_sub_overflow(a, b, &out)) [[unlikely]] {
+    internal::OverflowFailure(what, a, b);
+  }
+  return out;
+}
+
+constexpr int64_t CheckedMul(int64_t a, int64_t b, const char* what) {
+  int64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) [[unlikely]] {
+    internal::OverflowFailure(what, a, b);
+  }
+  return out;
+}
+
+// Division cannot be expressed via __builtin_*_overflow; the two failure
+// cases are division by zero and INT64_MIN / -1.
+constexpr int64_t CheckedDiv(int64_t a, int64_t b, const char* what) {
+  if (b == 0 || (a == INT64_MIN && b == -1)) [[unlikely]] {
+    internal::OverflowFailure(what, a, b);
+  }
+  return a / b;
+}
+
+}  // namespace webcc
+
+// WEBCC_CHECK(cond) aborts with file:line and the condition text when cond is
+// false. Extra context can be streamed in; it is evaluated only on failure.
+#define WEBCC_CHECK(condition)                                                    \
+  (condition) ? (void)0                                                           \
+              : ::webcc::internal::Voidify() &                                    \
+                    ::webcc::internal::CheckStream(__FILE__, __LINE__, #condition).stream()
+
+// Comparison checks additionally print both operand values. Each operand is
+// evaluated exactly once.
+#define WEBCC_INTERNAL_CHECK_OP(name, op, a, b)                                   \
+  while (::std::unique_ptr<::std::string> webcc_check_failure =                   \
+             ::webcc::internal::Check##name##Impl((a), (b), #a " " #op " " #b))   \
+  ::webcc::internal::CheckStream(__FILE__, __LINE__, *webcc_check_failure).stream()
+
+#define WEBCC_CHECK_EQ(a, b) WEBCC_INTERNAL_CHECK_OP(EQ, ==, a, b)
+#define WEBCC_CHECK_NE(a, b) WEBCC_INTERNAL_CHECK_OP(NE, !=, a, b)
+#define WEBCC_CHECK_LT(a, b) WEBCC_INTERNAL_CHECK_OP(LT, <, a, b)
+#define WEBCC_CHECK_LE(a, b) WEBCC_INTERNAL_CHECK_OP(LE, <=, a, b)
+#define WEBCC_CHECK_GT(a, b) WEBCC_INTERNAL_CHECK_OP(GT, >, a, b)
+#define WEBCC_CHECK_GE(a, b) WEBCC_INTERNAL_CHECK_OP(GE, >=, a, b)
+
+#endif  // WEBCC_SRC_UTIL_CHECK_H_

@@ -1,13 +1,14 @@
 #include "src/util/distributions.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "src/util/check.h"
 
 namespace webcc {
 
 ZipfDistribution::ZipfDistribution(size_t n, double s) : s_(s) {
-  assert(n >= 1);
+  WEBCC_CHECK_GE(n, 1);
   cdf_.resize(n);
   double total = 0.0;
   for (size_t r = 0; r < n; ++r) {
@@ -27,7 +28,7 @@ size_t ZipfDistribution::Draw(Rng& rng) const {
 }
 
 double ZipfDistribution::Pmf(size_t rank) const {
-  assert(rank < cdf_.size());
+  WEBCC_CHECK_LT(rank, cdf_.size());
   if (rank == 0) {
     return cdf_[0];
   }
@@ -35,13 +36,13 @@ double ZipfDistribution::Pmf(size_t rank) const {
 }
 
 DiscreteDistribution::DiscreteDistribution(std::vector<double> weights) {
-  assert(!weights.empty());
+  WEBCC_CHECK(!weights.empty());
   double total = 0.0;
   for (double w : weights) {
-    assert(w >= 0.0);
+    WEBCC_CHECK_GE(w, 0.0);
     total += w;
   }
-  assert(total > 0.0);
+  WEBCC_CHECK_GT(total, 0.0);
   cdf_.resize(weights.size());
   probabilities_.resize(weights.size());
   double running = 0.0;
@@ -60,13 +61,13 @@ size_t DiscreteDistribution::Draw(Rng& rng) const {
 }
 
 double DiscreteDistribution::Probability(size_t index) const {
-  assert(index < probabilities_.size());
+  WEBCC_CHECK_LT(index, probabilities_.size());
   return probabilities_[index];
 }
 
 FlatLifetime::FlatLifetime(SimDuration min, SimDuration max) : min_(min), max_(max) {
-  assert(min.seconds() >= 0);
-  assert(max >= min);
+  WEBCC_CHECK_GE(min.seconds(), 0);
+  WEBCC_CHECK_GE(max, min);
 }
 
 SimDuration FlatLifetime::NextLifetime(Rng& rng) const {
@@ -78,7 +79,7 @@ SimDuration FlatLifetime::MeanLifetime() const {
 }
 
 ExponentialLifetime::ExponentialLifetime(SimDuration mean) : mean_(mean) {
-  assert(mean.seconds() > 0);
+  WEBCC_CHECK_GT(mean.seconds(), 0);
 }
 
 SimDuration ExponentialLifetime::NextLifetime(Rng& rng) const {
@@ -89,9 +90,9 @@ SimDuration ExponentialLifetime::NextLifetime(Rng& rng) const {
 
 BimodalLifetime::BimodalLifetime(double hot_fraction, SimDuration hot_mean, SimDuration cold_mean)
     : hot_fraction_(hot_fraction), hot_mean_(hot_mean), cold_mean_(cold_mean) {
-  assert(hot_fraction >= 0.0 && hot_fraction <= 1.0);
-  assert(hot_mean.seconds() > 0);
-  assert(cold_mean >= hot_mean);
+  WEBCC_CHECK(hot_fraction >= 0.0 && hot_fraction <= 1.0);
+  WEBCC_CHECK_GT(hot_mean.seconds(), 0);
+  WEBCC_CHECK_GE(cold_mean, hot_mean);
 }
 
 SimDuration BimodalLifetime::NextLifetime(Rng& rng) const {

@@ -5,45 +5,63 @@
 
 namespace webcc {
 
+namespace {
+
+// llround on a NaN or a value outside int64 range is undefined behaviour;
+// every double-to-duration conversion funnels through here instead.
+int64_t RoundToInt64(double value, const char* what) {
+  WEBCC_CHECK(std::isfinite(value)) << what << " of non-finite value " << value;
+  // 2^63 exactly; doubles at this magnitude are spaced >1 apart, so comparing
+  // against the bound itself is the tightest exact check.
+  constexpr double kBound = 9223372036854775808.0;
+  WEBCC_CHECK(value >= -kBound && value < kBound)
+      << what << " of " << value << " overflows int64 seconds";
+  return std::llround(value);
+}
+
+}  // namespace
+
 SimDuration SimDuration::ScaledBy(double factor) const {
-  return SimDuration(static_cast<int64_t>(std::llround(static_cast<double>(seconds_) * factor)));
+  return SimDuration(RoundToInt64(static_cast<double>(seconds_) * factor, "SimDuration::ScaledBy"));
 }
 
 std::string SimDuration::ToString() const {
-  int64_t s = seconds_;
+  // Negate via uint64 so INT64_MIN does not overflow.
+  uint64_t magnitude = static_cast<uint64_t>(seconds_);
   std::string out;
-  if (s < 0) {
+  if (seconds_ < 0) {
     out += '-';
-    s = -s;
+    magnitude = ~magnitude + 1;
   }
-  const int64_t days = s / 86400;
+  uint64_t s = magnitude;
+  const uint64_t days = s / 86400;
   s %= 86400;
-  const int64_t hours = s / 3600;
+  const uint64_t hours = s / 3600;
   s %= 3600;
-  const int64_t minutes = s / 60;
+  const uint64_t minutes = s / 60;
   s %= 60;
   char buf[64];
   bool printed = false;
   if (days > 0) {
-    std::snprintf(buf, sizeof(buf), "%lldd ", static_cast<long long>(days));
+    std::snprintf(buf, sizeof(buf), "%llud ", static_cast<unsigned long long>(days));
     out += buf;
     printed = true;
   }
   if (hours > 0 || printed) {
-    std::snprintf(buf, sizeof(buf), "%lldh ", static_cast<long long>(hours));
+    std::snprintf(buf, sizeof(buf), "%lluh ", static_cast<unsigned long long>(hours));
     out += buf;
     printed = true;
   }
   if (minutes > 0 || printed) {
-    std::snprintf(buf, sizeof(buf), "%lldm ", static_cast<long long>(minutes));
+    std::snprintf(buf, sizeof(buf), "%llum ", static_cast<unsigned long long>(minutes));
     out += buf;
   }
-  std::snprintf(buf, sizeof(buf), "%llds", static_cast<long long>(s));
+  std::snprintf(buf, sizeof(buf), "%llus", static_cast<unsigned long long>(s));
   out += buf;
   return out;
 }
 
-SimDuration SecondsF(double n) { return SimDuration(static_cast<int64_t>(std::llround(n))); }
+SimDuration SecondsF(double n) { return SimDuration(RoundToInt64(n, "SecondsF")); }
 SimDuration HoursF(double n) { return SecondsF(n * 3600.0); }
 SimDuration DaysF(double n) { return SecondsF(n * 86400.0); }
 
@@ -51,17 +69,19 @@ std::string SimTime::ToString() const {
   if (IsInfinite()) {
     return "inf";
   }
-  int64_t s = seconds_;
-  const bool negative = s < 0;
+  const bool negative = seconds_ < 0;
+  // Negate via uint64 so INT64_MIN does not overflow.
+  uint64_t s = static_cast<uint64_t>(seconds_);
   if (negative) {
-    s = -s;
+    s = ~s + 1;
   }
-  const int64_t days = s / 86400;
+  const uint64_t days = s / 86400;
   s %= 86400;
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%s%lld+%02lld:%02lld:%02lld", negative ? "-" : "",
-                static_cast<long long>(days), static_cast<long long>(s / 3600),
-                static_cast<long long>((s % 3600) / 60), static_cast<long long>(s % 60));
+  std::snprintf(buf, sizeof(buf), "%s%llu+%02llu:%02llu:%02llu", negative ? "-" : "",
+                static_cast<unsigned long long>(days), static_cast<unsigned long long>(s / 3600),
+                static_cast<unsigned long long>((s % 3600) / 60),
+                static_cast<unsigned long long>(s % 60));
   return buf;
 }
 

@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <string>
 
+#include "src/util/check.h"
+
 namespace webcc {
 
 class SimDuration {
@@ -26,45 +28,53 @@ class SimDuration {
   constexpr SimDuration() : seconds_(0) {}
   constexpr explicit SimDuration(int64_t seconds) : seconds_(seconds) {}
 
-  constexpr int64_t seconds() const { return seconds_; }
-  constexpr double hours() const { return static_cast<double>(seconds_) / 3600.0; }
-  constexpr double days() const { return static_cast<double>(seconds_) / 86400.0; }
+  [[nodiscard]] constexpr int64_t seconds() const { return seconds_; }
+  [[nodiscard]] constexpr double hours() const { return static_cast<double>(seconds_) / 3600.0; }
+  [[nodiscard]] constexpr double days() const { return static_cast<double>(seconds_) / 86400.0; }
 
   constexpr auto operator<=>(const SimDuration&) const = default;
 
+  // All arithmetic is overflow-trapping: a 186-day x millions-of-users run
+  // must abort loudly rather than silently wrap and corrupt every figure.
   constexpr SimDuration operator+(SimDuration other) const {
-    return SimDuration(seconds_ + other.seconds_);
+    return SimDuration(CheckedAdd(seconds_, other.seconds_, "SimDuration +"));
   }
   constexpr SimDuration operator-(SimDuration other) const {
-    return SimDuration(seconds_ - other.seconds_);
+    return SimDuration(CheckedSub(seconds_, other.seconds_, "SimDuration -"));
   }
-  constexpr SimDuration operator-() const { return SimDuration(-seconds_); }
-  constexpr SimDuration operator*(int64_t k) const { return SimDuration(seconds_ * k); }
-  constexpr SimDuration operator/(int64_t k) const { return SimDuration(seconds_ / k); }
+  constexpr SimDuration operator-() const {
+    return SimDuration(CheckedSub(0, seconds_, "SimDuration unary -"));
+  }
+  constexpr SimDuration operator*(int64_t k) const {
+    return SimDuration(CheckedMul(seconds_, k, "SimDuration *"));
+  }
+  constexpr SimDuration operator/(int64_t k) const {
+    return SimDuration(CheckedDiv(seconds_, k, "SimDuration /"));
+  }
   SimDuration& operator+=(SimDuration other) {
-    seconds_ += other.seconds_;
+    seconds_ = CheckedAdd(seconds_, other.seconds_, "SimDuration +=");
     return *this;
   }
   SimDuration& operator-=(SimDuration other) {
-    seconds_ -= other.seconds_;
+    seconds_ = CheckedSub(seconds_, other.seconds_, "SimDuration -=");
     return *this;
   }
 
   // Scales by a real factor, rounding to the nearest second. Used by the Alex
   // policy (`threshold * age`) where threshold is a fraction.
-  SimDuration ScaledBy(double factor) const;
+  [[nodiscard]] SimDuration ScaledBy(double factor) const;
 
   // Human-readable rendering, e.g. "2d 3h 15m 42s" or "-5s".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
  private:
   int64_t seconds_;
 };
 
 constexpr SimDuration Seconds(int64_t n) { return SimDuration(n); }
-constexpr SimDuration Minutes(int64_t n) { return SimDuration(n * 60); }
-constexpr SimDuration Hours(int64_t n) { return SimDuration(n * 3600); }
-constexpr SimDuration Days(int64_t n) { return SimDuration(n * 86400); }
+constexpr SimDuration Minutes(int64_t n) { return SimDuration(CheckedMul(n, 60, "Minutes()")); }
+constexpr SimDuration Hours(int64_t n) { return SimDuration(CheckedMul(n, 3600, "Hours()")); }
+constexpr SimDuration Days(int64_t n) { return SimDuration(CheckedMul(n, 86400, "Days()")); }
 
 // Rounds a real number of seconds/hours/days to a SimDuration.
 SimDuration SecondsF(double n);
@@ -80,23 +90,27 @@ class SimTime {
   // A far-future sentinel usable as "never expires".
   static constexpr SimTime Infinite() { return SimTime(int64_t{1} << 62); }
 
-  constexpr int64_t seconds() const { return seconds_; }
-  constexpr bool IsInfinite() const { return seconds_ >= (int64_t{1} << 62); }
+  [[nodiscard]] constexpr int64_t seconds() const { return seconds_; }
+  [[nodiscard]] constexpr bool IsInfinite() const { return seconds_ >= (int64_t{1} << 62); }
 
   constexpr auto operator<=>(const SimTime&) const = default;
 
-  constexpr SimTime operator+(SimDuration d) const { return SimTime(seconds_ + d.seconds()); }
-  constexpr SimTime operator-(SimDuration d) const { return SimTime(seconds_ - d.seconds()); }
+  constexpr SimTime operator+(SimDuration d) const {
+    return SimTime(CheckedAdd(seconds_, d.seconds(), "SimTime +"));
+  }
+  constexpr SimTime operator-(SimDuration d) const {
+    return SimTime(CheckedSub(seconds_, d.seconds(), "SimTime -"));
+  }
   constexpr SimDuration operator-(SimTime other) const {
-    return SimDuration(seconds_ - other.seconds_);
+    return SimDuration(CheckedSub(seconds_, other.seconds_, "SimTime - SimTime"));
   }
   SimTime& operator+=(SimDuration d) {
-    seconds_ += d.seconds();
+    seconds_ = CheckedAdd(seconds_, d.seconds(), "SimTime +=");
     return *this;
   }
 
   // Renders as "d+hh:mm:ss" relative to the epoch, e.g. "12+07:30:00".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
  private:
   int64_t seconds_;

@@ -1,8 +1,9 @@
 #include "src/util/stats.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "src/util/check.h"
 
 namespace webcc {
 
@@ -66,8 +67,8 @@ double Quantile(std::vector<double> values, double q) {
 double Median(std::vector<double> values) { return Quantile(std::move(values), 0.5); }
 
 Histogram::Histogram(double lo, double hi, size_t buckets) : lo_(lo), hi_(hi), counts_(buckets, 0) {
-  assert(hi > lo);
-  assert(buckets > 0);
+  WEBCC_CHECK_GT(hi, lo);
+  WEBCC_CHECK_GT(buckets, 0);
 }
 
 void Histogram::Add(double x) {

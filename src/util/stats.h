@@ -15,14 +15,14 @@ class RunningStat {
  public:
   void Add(double x);
 
-  int64_t count() const { return count_; }
-  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] int64_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ > 0 ? mean_ : 0.0; }
   // Sample variance (n-1 denominator); 0 for fewer than two samples.
-  double variance() const;
-  double stddev() const;
-  double min() const { return count_ > 0 ? min_ : 0.0; }
-  double max() const { return count_ > 0 ? max_ : 0.0; }
-  double sum() const { return sum_; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return count_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
 
   // Merges another accumulator into this one (parallel Welford merge).
   void Merge(const RunningStat& other);
@@ -38,10 +38,10 @@ class RunningStat {
 
 // Exact quantile of a sample by sorting a copy. q in [0, 1]; linear
 // interpolation between order statistics. Returns 0 for an empty sample.
-double Quantile(std::vector<double> values, double q);
+[[nodiscard]] double Quantile(std::vector<double> values, double q);
 
 // Median convenience wrapper.
-double Median(std::vector<double> values);
+[[nodiscard]] double Median(std::vector<double> values);
 
 // A fixed-bucket histogram over [lo, hi); values outside are clamped into
 // the first/last bucket. Used for lifetime and size sanity reporting.
@@ -50,11 +50,11 @@ class Histogram {
   Histogram(double lo, double hi, size_t buckets);
 
   void Add(double x);
-  int64_t BucketCount(size_t i) const { return counts_[i]; }
-  size_t num_buckets() const { return counts_.size(); }
-  int64_t total() const { return total_; }
+  [[nodiscard]] int64_t BucketCount(size_t i) const { return counts_[i]; }
+  [[nodiscard]] size_t num_buckets() const { return counts_.size(); }
+  [[nodiscard]] int64_t total() const { return total_; }
   // Lower edge of bucket i.
-  double BucketLow(size_t i) const;
+  [[nodiscard]] double BucketLow(size_t i) const;
 
  private:
   double lo_;

@@ -1,9 +1,9 @@
 #include "src/workload/campus.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
+#include "src/util/check.h"
 #include "src/util/distributions.h"
 #include "src/util/rng.h"
 #include "src/util/str.h"
@@ -123,8 +123,8 @@ std::vector<CampusServerProfile> CampusServerProfile::AllTable1() {
 }
 
 CampusGenerationResult GenerateCampusWorkload(const CampusServerProfile& profile) {
-  assert(profile.num_files > 0);
-  assert(profile.num_requests > 0);
+  WEBCC_CHECK_GT(profile.num_files, 0);
+  WEBCC_CHECK_GT(profile.num_requests, 0);
 
   Rng rng(profile.seed);
   CampusGenerationResult result;

@@ -1,9 +1,9 @@
 #include "src/workload/microsoft.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
+#include "src/util/check.h"
 #include "src/util/distributions.h"
 #include "src/util/rng.h"
 #include "src/util/str.h"
@@ -11,8 +11,8 @@
 namespace webcc {
 
 std::vector<AccessLogRecord> GenerateMicrosoftAccessLog(const MicrosoftMixConfig& config) {
-  assert(config.num_requests > 0);
-  assert(config.uris_per_type > 0);
+  WEBCC_CHECK_GT(config.num_requests, 0);
+  WEBCC_CHECK_GT(config.uris_per_type, 0);
 
   Rng rng(config.seed);
   const DiscreteDistribution type_mix(
@@ -69,8 +69,8 @@ uint64_t BuModificationLog::TotalObservations() const {
 }
 
 BuModificationLog GenerateBuModificationLog(const BuModLogConfig& config) {
-  assert(config.num_files > 0);
-  assert(config.num_days > 0);
+  WEBCC_CHECK_GT(config.num_files, 0);
+  WEBCC_CHECK_GT(config.num_days, 0);
 
   Rng rng(config.seed);
   BuModificationLog log;

@@ -1,8 +1,10 @@
 #include "src/workload/request_process.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <tuple>
+
+#include "src/util/check.h"
 
 namespace webcc {
 
@@ -13,10 +15,10 @@ PoissonRequestProcess::PoissonRequestProcess(SimEngine* engine, double requests_
       num_objects_(num_objects),
       rng_(rng),
       issue_(std::move(issue)) {
-  assert(engine != nullptr);
-  assert(requests_per_second > 0.0);
-  assert(num_objects > 0);
-  assert(issue_ != nullptr);
+  WEBCC_CHECK(engine != nullptr);
+  WEBCC_CHECK_GT(requests_per_second, 0.0);
+  WEBCC_CHECK_GT(num_objects, 0);
+  WEBCC_CHECK(issue_ != nullptr);
 }
 
 PoissonRequestProcess::PoissonRequestProcess(SimEngine* engine, double requests_per_second,
@@ -28,9 +30,9 @@ PoissonRequestProcess::PoissonRequestProcess(SimEngine* engine, double requests_
       zipf_(std::move(zipf)),
       rng_(rng),
       issue_(std::move(issue)) {
-  assert(engine != nullptr);
-  assert(requests_per_second > 0.0);
-  assert(issue_ != nullptr);
+  WEBCC_CHECK(engine != nullptr);
+  WEBCC_CHECK_GT(requests_per_second, 0.0);
+  WEBCC_CHECK(issue_ != nullptr);
 }
 
 uint32_t PoissonRequestProcess::DrawObject() {
@@ -57,14 +59,14 @@ void PoissonRequestProcess::ScheduleNext() {
 }
 
 void PoissonRequestProcess::Start() {
-  assert(!running_ && "already started");
+  WEBCC_CHECK(!running_) << "already started";
   running_ = true;
   next_arrival_seconds_ = static_cast<double>(engine_->Now().seconds());
   ScheduleNext();
 }
 
 void PoissonRequestProcess::Stop() {
-  pending_.Cancel();
+  std::ignore = pending_.Cancel();
   running_ = false;
 }
 

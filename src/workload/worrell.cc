@@ -1,8 +1,8 @@
 #include "src/workload/worrell.h"
 
-#include <cassert>
 #include <cmath>
 
+#include "src/util/check.h"
 #include "src/util/distributions.h"
 #include "src/util/str.h"
 
@@ -39,10 +39,10 @@ int64_t DrawSize(Rng& rng, int64_t mean_bytes, double sigma) {
 }  // namespace
 
 Workload GenerateWorrellWorkload(const WorrellConfig& config) {
-  assert(config.num_files > 0);
-  assert(config.max_lifetime >= config.min_lifetime);
-  assert(config.min_lifetime.seconds() > 0);
-  assert(config.requests_per_second > 0.0);
+  WEBCC_CHECK_GT(config.num_files, 0);
+  WEBCC_CHECK_GE(config.max_lifetime, config.min_lifetime);
+  WEBCC_CHECK_GT(config.min_lifetime.seconds(), 0);
+  WEBCC_CHECK_GT(config.requests_per_second, 0.0);
 
   Rng rng(config.seed);
   Workload load;

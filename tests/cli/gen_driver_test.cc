@@ -77,7 +77,8 @@ TEST(GenDriverTest, ClfOutputRoundTripsThroughClfReader) {
   for (const auto& record : trace->records) {
     remote += record.remote ? 1 : 0;
   }
-  EXPECT_NEAR(static_cast<double>(remote) / trace->records.size(), 0.39, 0.02);
+  EXPECT_NEAR(static_cast<double>(remote) / static_cast<double>(trace->records.size()), 0.39,
+              0.02);
 }
 
 TEST(GenDriverTest, SeedChangesOutput) {

@@ -97,7 +97,10 @@ TEST(Figure1ScenarioTest, ScenarioA_TimeBasedFreeInvalPays) {
 }
 
 TEST(Figure1ScenarioTest, ScenarioB_StaleServeIsFree) {
-  const auto& b = RunFigure1Scenarios()[1];
+  // Keep the vector alive: a reference into a temporary's operator[] result
+  // dangles at the end of the statement (found by ASan).
+  const auto outcomes = RunFigure1Scenarios();
+  const auto& b = outcomes[1];
   EXPECT_EQ(b.hier_timebased_bytes, 0);
   EXPECT_EQ(b.collapsed_timebased_bytes, 0);
   // Invalidation: notices down the tree plus the access re-fetch.
@@ -106,7 +109,8 @@ TEST(Figure1ScenarioTest, ScenarioB_StaleServeIsFree) {
 }
 
 TEST(Figure1ScenarioTest, ScenarioC_HierarchySavesTimeBasedOnIdleBranch) {
-  const auto& c = RunFigure1Scenarios()[2];
+  const auto outcomes = RunFigure1Scenarios();
+  const auto& c = outcomes[2];
   // Both protocols move the file; in the hierarchy, invalidation also paid
   // a notice to the idle cache-1b, so time-based is relatively cheaper
   // there (the figure's bias argument).
@@ -116,7 +120,8 @@ TEST(Figure1ScenarioTest, ScenarioC_HierarchySavesTimeBasedOnIdleBranch) {
 }
 
 TEST(Figure1ScenarioTest, ScenarioD_OnlyTimeBasedPays) {
-  const auto& d = RunFigure1Scenarios()[3];
+  const auto outcomes = RunFigure1Scenarios();
+  const auto& d = outcomes[3];
   EXPECT_EQ(d.hier_invalidation_bytes, 0);
   EXPECT_EQ(d.collapsed_invalidation_bytes, 0);
   // Queries up the chain, 304s back: 2 levels * (query + 304) hierarchical,

@@ -1,5 +1,6 @@
 #include "src/sim/engine.h"
 
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -113,7 +114,7 @@ TEST(SimEngineTest, CancelledEventsNotExecuted) {
   int fired = 0;
   EventHandle h = engine.ScheduleAt(SimTime(5), [&] { ++fired; });
   engine.ScheduleAt(SimTime(6), [&] { ++fired; });
-  h.Cancel();
+  std::ignore = h.Cancel();
   engine.Run();
   EXPECT_EQ(fired, 1);
   EXPECT_EQ(engine.events_executed(), 1u);

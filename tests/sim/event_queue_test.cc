@@ -1,5 +1,6 @@
 #include "src/sim/event_queue.h"
 
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -81,7 +82,7 @@ TEST(EventQueueTest, CancelUpdatesPendingImmediately) {
   EventHandle h1 = q.Schedule(SimTime(1), [] {});
   EventHandle h2 = q.Schedule(SimTime(2), [] {});
   EXPECT_EQ(q.pending(), 2u);
-  h1.Cancel();
+  std::ignore = h1.Cancel();
   EXPECT_EQ(q.pending(), 1u);
   (void)h2;
 }
@@ -92,7 +93,7 @@ TEST(EventQueueTest, CancelledMiddleEventSkipped) {
   q.Schedule(SimTime(1), [&] { fired.push_back(1); });
   EventHandle h = q.Schedule(SimTime(2), [&] { fired.push_back(2); });
   q.Schedule(SimTime(3), [&] { fired.push_back(3); });
-  h.Cancel();
+  std::ignore = h.Cancel();
   while (auto e = q.PopNext()) {
     e->fn();
   }
@@ -103,14 +104,14 @@ TEST(EventQueueTest, PeekSkipsCancelledHead) {
   EventQueue q;
   EventHandle h = q.Schedule(SimTime(1), [] {});
   q.Schedule(SimTime(9), [] {});
-  h.Cancel();
+  std::ignore = h.Cancel();
   EXPECT_EQ(q.PeekTime(), SimTime(9));
 }
 
 TEST(EventQueueTest, HandleOfFiredEventNotPending) {
   EventQueue q;
   EventHandle h = q.Schedule(SimTime(1), [] {});
-  q.PopNext();
+  std::ignore = q.PopNext();
   EXPECT_FALSE(h.IsPending());
   EXPECT_FALSE(h.Cancel());
 }

@@ -1,0 +1,7 @@
+// Lint fixture: bare assert in simulator code.
+#include <cassert>
+
+void Validate(int n) {
+  assert(n > 0);                                        // BAD: bare-assert
+  static_assert(sizeof(int) >= 4, "ok");                // OK: compile-time
+}

@@ -1,0 +1,12 @@
+// Lint fixture: every line marked BAD must be reported by webcc-lint.
+#include <cstdlib>
+#include <random>
+
+int DrawBad() {
+  std::mt19937 gen(42);              // BAD: banned-random
+  int a = rand();                    // BAD: banned-random
+  srand(7);                          // BAD: banned-random
+  std::random_device rd;             // BAD: banned-random
+  int b = rand();  // webcc-lint: allow(banned-random) fixture exercising suppression
+  return a + b + static_cast<int>(gen()) + static_cast<int>(rd());
+}

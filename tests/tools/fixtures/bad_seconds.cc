@@ -1,0 +1,8 @@
+// Lint fixture: raw-seconds parameters that should be SimDuration.
+#include <cstdint>
+
+void Expire(int64_t ttl_seconds);                       // BAD: raw-seconds-param
+void Wait(int timeout_secs, bool flag);                 // BAD: raw-seconds-param
+void Tick(double seconds);                              // BAD: raw-seconds-param
+void RatePerSec(double requests_per_second);            // OK: a rate, not a span
+void Sized(int64_t size_bytes);                         // OK: not a time at all

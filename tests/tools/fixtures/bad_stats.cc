@@ -1,0 +1,7 @@
+// Lint fixture: float equality in stats code ("stats" in the path scopes it).
+bool Converged(double mean, double target) {
+  if (mean == 0.0) {                                    // BAD: float-equality
+    return false;
+  }
+  return mean != target;  // OK: no literal/accessor pattern on this line
+}

@@ -1,0 +1,12 @@
+// Lint fixture: host-clock reads that must be reported.
+#include <chrono>
+#include <ctime>
+
+long ReadClocks() {
+  auto a = std::time(nullptr);                          // BAD: banned-wallclock
+  auto b = time(NULL);                                  // BAD: banned-wallclock
+  auto c = std::chrono::system_clock::now();            // BAD: banned-wallclock
+  auto d = std::chrono::steady_clock::now();            // BAD: banned-wallclock
+  return static_cast<long>(a) + static_cast<long>(b) +
+         c.time_since_epoch().count() + d.time_since_epoch().count();
+}

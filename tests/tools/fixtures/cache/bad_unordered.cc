@@ -1,0 +1,28 @@
+// Lint fixture: hash-order iteration in a cache hot path (the "cache/"
+// directory component scopes the rule).
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct Fixture {
+  std::unordered_map<int, int> entries_;
+  std::unordered_set<int> live_;
+  std::vector<int> ordered_;
+
+  int Sum() const {
+    int total = 0;
+    for (const auto& kv : entries_) {                   // BAD: unordered-iteration
+      total += kv.second;
+    }
+    for (int id : live_) {                              // BAD: unordered-iteration
+      total += id;
+    }
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {  // BAD: unordered-iteration
+      total += it->first;
+    }
+    for (int id : ordered_) {  // OK: vector iteration is deterministic
+      total += id;
+    }
+    return total;
+  }
+};

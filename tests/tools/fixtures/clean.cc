@@ -1,0 +1,17 @@
+// Lint fixture: a clean file full of near-misses that must NOT be reported.
+//
+// Comment mentions rand() and std::random_device and assert() — comments are
+// stripped before matching.
+#include <cstdint>
+#include <string>
+
+/* block comment with std::time(nullptr) inside */
+std::string Describe() {
+  // String literals are stripped too:
+  std::string s = "call rand() then assert(x) at std::chrono::system_clock";
+  const char quote = '"';
+  s.push_back(quote);
+  int64_t operand = 4;       // "operand" contains "rand" but has no word boundary
+  int strand_count = 1;      // likewise "strand"
+  return s + std::to_string(operand + strand_count);
+}

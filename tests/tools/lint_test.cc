@@ -1,0 +1,155 @@
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace webcc::lint {
+namespace {
+
+std::vector<Violation> LintOne(const std::string& path, const std::string& contents) {
+  return LintSources({SourceFile{path, contents}});
+}
+
+bool HasRule(const std::vector<Violation>& vs, const std::string& rule) {
+  return std::any_of(vs.begin(), vs.end(),
+                     [&rule](const Violation& v) { return v.rule == rule; });
+}
+
+size_t CountRule(const std::vector<Violation>& vs, const std::string& rule) {
+  return static_cast<size_t>(std::count_if(
+      vs.begin(), vs.end(), [&rule](const Violation& v) { return v.rule == rule; }));
+}
+
+TEST(LintTest, FlagsBannedRandomness) {
+  const auto vs = LintOne("src/core/foo.cc", "int x = rand();\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "banned-random");
+  EXPECT_EQ(vs[0].line, 1u);
+}
+
+TEST(LintTest, AllowsRandomnessInsideRng) {
+  EXPECT_TRUE(LintOne("src/util/rng.cc", "std::random_device rd;\n").empty());
+}
+
+TEST(LintTest, FlagsWallClockReads) {
+  EXPECT_TRUE(HasRule(LintOne("src/core/foo.cc", "auto t = std::time(nullptr);\n"),
+                      "banned-wallclock"));
+  EXPECT_TRUE(HasRule(
+      LintOne("bench/foo.cc", "auto t = std::chrono::high_resolution_clock::now();\n"),
+      "banned-wallclock"));
+}
+
+TEST(LintTest, FlagsRawSecondsParameters) {
+  const auto vs = LintOne("src/cache/foo.h", "void Expire(int64_t ttl_seconds);\n");
+  EXPECT_TRUE(HasRule(vs, "raw-seconds-param"));
+}
+
+TEST(LintTest, RatePerSecondIsNotATimeSpan) {
+  EXPECT_TRUE(
+      LintOne("src/workload/foo.h", "void Rate(double requests_per_second);\n").empty());
+}
+
+TEST(LintTest, SimTimeConstructorsAreAllowlisted) {
+  EXPECT_TRUE(
+      LintOne("src/util/sim_time.h", "explicit SimDuration(int64_t seconds);\n").empty());
+}
+
+TEST(LintTest, FlagsFloatEqualityOnlyInStatsCode) {
+  const std::string line = "if (x == 0.0) { return; }\n";
+  EXPECT_TRUE(HasRule(LintOne("src/util/stats.cc", line), "float-equality"));
+  EXPECT_TRUE(HasRule(LintOne("src/core/metrics.cc", line), "float-equality"));
+  EXPECT_FALSE(HasRule(LintOne("src/core/simulation.cc", line), "float-equality"));
+}
+
+TEST(LintTest, FlagsStatAccessorEquality) {
+  EXPECT_TRUE(HasRule(LintOne("src/core/metrics.cc", "if (a.mean() == b) { }\n"),
+                      "float-equality"));
+}
+
+TEST(LintTest, FlagsBareAssertOutsideBench) {
+  EXPECT_TRUE(HasRule(LintOne("src/cache/foo.cc", "assert(ok);\n"), "bare-assert"));
+  EXPECT_FALSE(HasRule(LintOne("bench/foo.cc", "assert(ok);\n"), "bare-assert"));
+}
+
+TEST(LintTest, StaticAssertIsNotBareAssert) {
+  EXPECT_TRUE(LintOne("src/cache/foo.cc", "static_assert(sizeof(int) == 4);\n").empty());
+}
+
+TEST(LintTest, UnorderedIterationMatchesAcrossHeaderAndSource) {
+  // Declaration in the header, loop in the .cc: the scan unit links them.
+  const SourceFile header{"src/cache/foo.h", "std::unordered_map<int, int> entries_;\n"};
+  const SourceFile source{"src/cache/foo.cc",
+                          "int Sum() {\n"
+                          "  int t = 0;\n"
+                          "  for (const auto& kv : entries_) { t += kv.second; }\n"
+                          "  return t;\n"
+                          "}\n"};
+  const auto vs = LintSources({header, source});
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "unordered-iteration");
+  EXPECT_EQ(vs[0].file, "src/cache/foo.cc");
+  EXPECT_EQ(vs[0].line, 3u);
+}
+
+TEST(LintTest, UnorderedIterationIgnoredOutsideHotPaths) {
+  const SourceFile file{"src/workload/foo.cc",
+                        "std::unordered_map<int, int> m_;\n"
+                        "void F() { for (auto& kv : m_) { (void)kv; } }\n"};
+  EXPECT_TRUE(LintSources({file}).empty());
+}
+
+TEST(LintTest, CommentsAndStringsAreStripped) {
+  const std::string contents =
+      "// rand() in a comment\n"
+      "/* assert(x) in a block\n"
+      "   spanning lines with std::time(nullptr) */\n"
+      "const char* s = \"rand() assert(y)\";\n";
+  EXPECT_TRUE(LintOne("src/core/foo.cc", contents).empty());
+}
+
+TEST(LintTest, InlineSuppressionWaivesOneLine) {
+  const std::string contents =
+      "int a = rand();  // webcc-lint: allow(banned-random) reason here\n"
+      "int b = rand();\n";
+  const auto vs = LintOne("src/core/foo.cc", contents);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].line, 2u);
+}
+
+TEST(LintTest, SuppressionIsRuleSpecific) {
+  // Naming the wrong rule does not waive the violation.
+  const auto vs = LintOne("src/core/foo.cc",
+                          "int a = rand();  // webcc-lint: allow(bare-assert)\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "banned-random");
+}
+
+TEST(LintTest, MissingPathReportsIoViolation) {
+  const auto vs = LintPaths({"no/such/path"});
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "lint-io");
+}
+
+// End-to-end over the checked-in fixture files: every BAD line is reported,
+// nothing else is.
+TEST(LintFixtureTest, FixtureTreeReportsExactlyTheBadLines) {
+  const auto vs = LintPaths({WEBCC_LINT_FIXTURE_DIR});
+  EXPECT_FALSE(HasRule(vs, "lint-io"));
+  EXPECT_EQ(CountRule(vs, "banned-random"), 4u);
+  EXPECT_EQ(CountRule(vs, "banned-wallclock"), 4u);
+  EXPECT_EQ(CountRule(vs, "raw-seconds-param"), 3u);
+  EXPECT_EQ(CountRule(vs, "float-equality"), 1u);
+  EXPECT_EQ(CountRule(vs, "bare-assert"), 1u);
+  EXPECT_EQ(CountRule(vs, "unordered-iteration"), 3u);
+  // Nothing from clean.cc, and no unexpected rules.
+  for (const Violation& v : vs) {
+    EXPECT_EQ(v.file.find("clean.cc"), std::string::npos) << v.file << " rule " << v.rule;
+  }
+  EXPECT_EQ(vs.size(), 16u);
+}
+
+}  // namespace
+}  // namespace webcc::lint

@@ -1,0 +1,111 @@
+#include "src/util/check.h"
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/util/sim_time.h"
+
+namespace webcc {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  WEBCC_CHECK(true);
+  WEBCC_CHECK(1 + 1 == 2) << "never rendered";
+  WEBCC_CHECK_EQ(4, 4);
+  WEBCC_CHECK_NE(4, 5);
+  WEBCC_CHECK_LT(4, 5);
+  WEBCC_CHECK_LE(4, 4);
+  WEBCC_CHECK_GT(5, 4);
+  WEBCC_CHECK_GE(5, 5);
+}
+
+TEST(CheckDeathTest, FailureReportsConditionAndLocation) {
+  EXPECT_DEATH(WEBCC_CHECK(2 < 1), "WEBCC_CHECK failed at .*check_test.cc.*2 < 1");
+}
+
+TEST(CheckDeathTest, StreamedMessageIsIncluded) {
+  EXPECT_DEATH(WEBCC_CHECK(false) << "cache " << 7 << " broke", "cache 7 broke");
+}
+
+TEST(CheckDeathTest, ComparisonPrintsBothOperands) {
+  const int64_t hits = 12;
+  const int64_t requests = 7;
+  EXPECT_DEATH(WEBCC_CHECK_LE(hits, requests), "hits <= requests \\(12 vs 7\\)");
+}
+
+TEST(CheckDeathTest, AllComparisonFormsFire) {
+  EXPECT_DEATH(WEBCC_CHECK_EQ(1, 2), "1 == 2 \\(1 vs 2\\)");
+  EXPECT_DEATH(WEBCC_CHECK_NE(3, 3), "3 != 3 \\(3 vs 3\\)");
+  EXPECT_DEATH(WEBCC_CHECK_LT(2, 2), "2 < 2 \\(2 vs 2\\)");
+  EXPECT_DEATH(WEBCC_CHECK_LE(3, 2), "3 <= 2 \\(3 vs 2\\)");
+  EXPECT_DEATH(WEBCC_CHECK_GT(2, 2), "2 > 2 \\(2 vs 2\\)");
+  EXPECT_DEATH(WEBCC_CHECK_GE(2, 3), "2 >= 3 \\(2 vs 3\\)");
+}
+
+TEST(CheckTest, OperandsEvaluateExactlyOnce) {
+  int evaluations = 0;
+  const auto count = [&evaluations]() {
+    ++evaluations;
+    return 1;
+  };
+  WEBCC_CHECK_EQ(count(), 1);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(CheckTest, MessageExpressionsOnlyEvaluateOnFailure) {
+  int evaluations = 0;
+  const auto count = [&evaluations]() {
+    ++evaluations;
+    return "msg";
+  };
+  WEBCC_CHECK(true) << count();
+  WEBCC_CHECK_EQ(1, 1) << count();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(CheckTest, MixedSignComparisonsAreValueCorrect) {
+  // size_t vs negative int: plain `>=` would convert -1 to huge and pass.
+  const size_t n = 4;
+  WEBCC_CHECK_GE(n, -1);
+  EXPECT_DEATH(WEBCC_CHECK_LT(n, -1), "n < -1 \\(4 vs -1\\)");
+}
+
+TEST(CheckDeathTest, ToStringTypesRenderViaToString) {
+  EXPECT_DEATH(WEBCC_CHECK_EQ(Hours(2), Hours(3)), "\\(2h 0m 0s vs 3h 0m 0s\\)");
+}
+
+TEST(CheckDeathTest, UnprintableOperandsStillFail) {
+  struct Opaque {
+    bool operator==(const Opaque&) const { return false; }
+  };
+  EXPECT_DEATH(WEBCC_CHECK_EQ(Opaque{}, Opaque{}), "<unprintable> vs <unprintable>");
+}
+
+TEST(CheckTest, CheckWorksInUnbracedIf) {
+  // The macros must parse as a single statement.
+  if (true) WEBCC_CHECK(true);
+  if (false) WEBCC_CHECK_EQ(1, 2);  // not reached, must still compile
+}
+
+TEST(CheckedArithmeticTest, InRangeValuesPassThrough) {
+  EXPECT_EQ(CheckedAdd(2, 3, "t"), 5);
+  EXPECT_EQ(CheckedSub(2, 3, "t"), -1);
+  EXPECT_EQ(CheckedMul(-4, 5, "t"), -20);
+  EXPECT_EQ(CheckedDiv(20, 5, "t"), 4);
+  // Compile-time evaluation still works.
+  static_assert(CheckedAdd(1, 2, "t") == 3);
+  static_assert(CheckedMul(86400, 186, "t") == 16070400);
+}
+
+TEST(CheckedArithmeticDeathTest, OverflowAborts) {
+  EXPECT_DEATH(CheckedAdd(INT64_MAX, 1, "add-test"), "int64 overflow in add-test");
+  EXPECT_DEATH(CheckedSub(INT64_MIN, 1, "sub-test"), "int64 overflow in sub-test");
+  EXPECT_DEATH(CheckedMul(INT64_MAX / 2, 3, "mul-test"), "int64 overflow in mul-test");
+  EXPECT_DEATH(CheckedDiv(1, 0, "div-test"), "int64 overflow in div-test");
+  EXPECT_DEATH(CheckedDiv(INT64_MIN, -1, "div-test"), "int64 overflow in div-test");
+}
+
+}  // namespace
+}  // namespace webcc

@@ -1,5 +1,9 @@
 #include "src/util/sim_time.h"
 
+#include <cstdint>
+#include <limits>
+#include <tuple>
+
 #include <gtest/gtest.h>
 
 namespace webcc {
@@ -88,6 +92,56 @@ TEST(SimTimeTest, NegativeTimesRepresentThePast) {
 TEST(SimTimeTest, ToStringFormat) {
   EXPECT_EQ(SimTime::Epoch().ToString(), "0+00:00:00");
   EXPECT_EQ((SimTime::Epoch() + Days(12) + Hours(7) + Minutes(30)).ToString(), "12+07:30:00");
+}
+
+// Regression tests for the overflow-checked arithmetic: UBSan flagged the
+// old operators as silently wrapping (signed-integer-overflow) on extreme
+// inputs; they now abort with the operation name.
+
+TEST(SimDurationDeathTest, MultiplyOverflowAborts) {
+  const SimDuration near_max = Seconds(INT64_MAX / 2);
+  EXPECT_DEATH(near_max * 3, "int64 overflow in SimDuration \\*");
+}
+
+TEST(SimDurationDeathTest, AddAndSubtractOverflowAbort) {
+  const SimDuration near_max = Seconds(INT64_MAX - 10);
+  EXPECT_DEATH(near_max + near_max, "int64 overflow in SimDuration \\+");
+  EXPECT_DEATH(Seconds(INT64_MIN + 10) - near_max, "int64 overflow in SimDuration -");
+  EXPECT_DEATH(-Seconds(INT64_MIN), "int64 overflow in SimDuration unary -");
+}
+
+TEST(SimDurationDeathTest, DivideByZeroAborts) {
+  EXPECT_DEATH(Hours(1) / 0, "int64 overflow in SimDuration /");
+}
+
+TEST(SimDurationDeathTest, BuilderOverflowAborts) {
+  EXPECT_DEATH(Days(INT64_MAX / 1000), "int64 overflow in Days\\(\\)");
+}
+
+TEST(SimDurationDeathTest, ScaledByRejectsNonFiniteAndOutOfRange) {
+  // llround on NaN/out-of-range is UB; RoundToInt64 aborts instead.
+  EXPECT_DEATH(std::ignore = Hours(1).ScaledBy(std::numeric_limits<double>::quiet_NaN()),
+               "non-finite");
+  EXPECT_DEATH(std::ignore = Seconds(INT64_MAX / 2).ScaledBy(1e10), "overflows int64 seconds");
+  EXPECT_DEATH(SecondsF(1e30), "overflows int64 seconds");
+}
+
+TEST(SimDurationTest, ToStringHandlesInt64Min) {
+  // Negating INT64_MIN was UB in the old rendering path.
+  const SimDuration min = Seconds(INT64_MIN);
+  EXPECT_EQ(min.ToString().front(), '-');
+  EXPECT_EQ(Seconds(INT64_MIN + 1).ToString(), "-106751991167300d 15h 30m 7s");
+}
+
+TEST(SimTimeDeathTest, ArithmeticOverflowAborts) {
+  const SimTime far = SimTime(INT64_MAX - 5);
+  EXPECT_DEATH(far + Seconds(10), "int64 overflow in SimTime \\+");
+  EXPECT_DEATH(SimTime(INT64_MIN + 5) - Seconds(10), "int64 overflow in SimTime -");
+  EXPECT_DEATH(SimTime(INT64_MIN + 5) - far, "int64 overflow in SimTime - SimTime");
+}
+
+TEST(SimTimeTest, ToStringHandlesInt64Min) {
+  EXPECT_EQ(SimTime(INT64_MIN).ToString().front(), '-');
 }
 
 }  // namespace

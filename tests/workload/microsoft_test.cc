@@ -57,7 +57,7 @@ TEST(MicrosoftMixTest, ImagesAreTwoThirdsOfAccesses) {
       ++images;
     }
   }
-  EXPECT_NEAR(static_cast<double>(images) / log.size(), 0.65, 0.015);
+  EXPECT_NEAR(static_cast<double>(images) / static_cast<double>(log.size()), 0.65, 0.015);
 }
 
 TEST(MicrosoftMixTest, CgiUrisLookDynamic) {

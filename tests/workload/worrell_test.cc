@@ -52,14 +52,15 @@ TEST(WorrellTest, ChangeRateMatchesPaperCalibration) {
   config.seed = 3;
   const Workload load = GenerateWorrellWorkload(config);
   const double per_day = static_cast<double>(load.modifications.size()) /
-                         (500.0 * load.horizon.seconds() / 86400.0);
+                         (500.0 * static_cast<double>(load.horizon.seconds()) / 86400.0);
   EXPECT_NEAR(per_day, 0.17, 0.02);
 }
 
 TEST(WorrellTest, RequestRateMatchesConfig) {
   const WorrellConfig config = SmallConfig(4);
   const Workload load = GenerateWorrellWorkload(config);
-  const double expected = config.requests_per_second * config.duration.seconds();
+  const double expected =
+      config.requests_per_second * static_cast<double>(config.duration.seconds());
   EXPECT_NEAR(static_cast<double>(load.requests.size()), expected, expected * 0.05);
 }
 

@@ -1,0 +1,71 @@
+// webcc_lint: a repo-specific determinism and correctness lint.
+//
+// The simulators' results are only comparable across runs and machines if
+// nothing in src/ or bench/ injects hidden nondeterminism. This lint is a
+// deliberately dumb regex/token scanner — no libclang dependency, so it runs
+// anywhere the repo builds — that rejects the hazard patterns we have agreed
+// to keep out of the tree:
+//
+//   banned-random       rand()/std::mt19937/std::random_device &c. anywhere
+//                       but src/util/rng.* — all randomness flows through Rng
+//                       so a 64-bit seed reproduces a run exactly.
+//   banned-wallclock    std::time/std::chrono clocks/gettimeofday — simulated
+//                       code reads SimTime, never the host clock.
+//   unordered-iteration range-for over a std::unordered_{map,set} declared in
+//                       src/sim or src/cache — hash-order iteration feeding
+//                       event order makes runs irreproducible across
+//                       libstdc++ versions.
+//   raw-seconds-param   function parameters like `int64_t timeout_seconds` —
+//                       spans of simulated time take SimDuration so units
+//                       can't be confused.
+//   float-equality      ==/!= against floating-point values in stats code
+//                       (src/util/stats.*, src/core/metrics.*) — exact
+//                       equality on accumulated doubles is a latent flake.
+//   bare-assert         assert() in src/ — invariants use WEBCC_CHECK so they
+//                       survive NDEBUG and print their operands.
+//
+// A violation on one line can be waived with an inline comment naming the
+// rule: `// webcc-lint: allow(banned-random) <why>`. Rule-specific allowlists
+// for the two legitimate homes (src/util/rng.* for randomness, the SimTime /
+// SimDuration constructors for raw seconds) are built in.
+
+#ifndef WEBCC_TOOLS_LINT_LINT_H_
+#define WEBCC_TOOLS_LINT_LINT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace webcc::lint {
+
+struct Violation {
+  std::string file;  // path as given to the scanner
+  size_t line = 0;   // 1-based
+  std::string rule;
+  std::string message;
+};
+
+// One file's worth of already-read source, with a repo-relative path used for
+// allowlist matching (separators normalized to '/').
+struct SourceFile {
+  std::string path;
+  std::string contents;
+};
+
+// Scans the given sources as one unit. The files are scanned together so that
+// the unordered-iteration rule can match a container declared in a header
+// against a loop in the matching .cc file.
+std::vector<Violation> LintSources(const std::vector<SourceFile>& sources);
+
+// Loads every .h/.cc/.cpp under `roots` (files are accepted verbatim,
+// directories are walked recursively) and lints them. Paths that do not exist
+// produce a `lint-io` violation rather than a crash, so CI fails loudly on a
+// typo'd path. Files are scanned in sorted path order for stable output.
+std::vector<Violation> LintPaths(const std::vector<std::string>& roots);
+
+// Renders `file:line: [rule] message`, one per line.
+void PrintViolations(const std::vector<Violation>& violations, std::ostream& out);
+
+}  // namespace webcc::lint
+
+#endif  // WEBCC_TOOLS_LINT_LINT_H_

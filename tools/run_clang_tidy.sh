@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over the webcc sources using the CMake compile database.
+#
+#   tools/run_clang_tidy.sh                 # lint src/ (what CI runs)
+#   tools/run_clang_tidy.sh src/cache       # one subtree
+#   tools/run_clang_tidy.sh --fix src/util  # apply suggested fixes in place
+#
+# Environment:
+#   BUILD_DIR   build directory with compile_commands.json (default: build)
+#   CLANG_TIDY  clang-tidy binary (default: clang-tidy)
+#   JOBS        parallelism (default: nproc)
+#
+# The script (re)configures BUILD_DIR with CMAKE_EXPORT_COMPILE_COMMANDS=ON if
+# the compile database is missing, so it works from a fresh checkout.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+JOBS="${JOBS:-$(nproc)}"
+
+FIX_ARGS=()
+TARGETS=()
+for arg in "$@"; do
+  case "$arg" in
+    --fix) FIX_ARGS=(--fix --fix-errors) ;;
+    -h|--help)
+      sed -n '2,14p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    *) TARGETS+=("$arg") ;;
+  esac
+done
+if [ "${#TARGETS[@]}" -eq 0 ]; then
+  TARGETS=(src)
+fi
+
+if ! command -v "$CLANG_TIDY" >/dev/null 2>&1; then
+  echo "run_clang_tidy.sh: '$CLANG_TIDY' not found; install clang-tidy or set CLANG_TIDY" >&2
+  exit 2
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+# Only translation units: headers are covered through HeaderFilterRegex.
+mapfile -t FILES < <(find "${TARGETS[@]}" -name '*.cc' -o -name '*.cpp' | sort)
+if [ "${#FILES[@]}" -eq 0 ]; then
+  echo "run_clang_tidy.sh: no sources under: ${TARGETS[*]}" >&2
+  exit 2
+fi
+
+echo "clang-tidy ($("$CLANG_TIDY" --version | head -n1)) over ${#FILES[@]} files, $JOBS jobs"
+printf '%s\n' "${FILES[@]}" |
+  xargs -P "$JOBS" -n 1 "$CLANG_TIDY" -p "$BUILD_DIR" --quiet "${FIX_ARGS[@]}"
+echo "clang-tidy: clean"

@@ -1,0 +1,36 @@
+// CLI entry point for the determinism lint; see tools/lint/lint.h for the
+// rule catalogue. Exit status 0 = clean, 1 = violations, 2 = usage error.
+//
+//   webcc-lint src bench          # what CI and the ctest gate run
+//   webcc-lint src/cache/foo.cc   # single file while iterating
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: webcc-lint <file-or-dir>...\n"
+                   "Scans .h/.cc/.cpp files for webcc determinism hazards.\n"
+                   "Suppress one line with: // webcc-lint: allow(<rule>) <why>\n";
+      return 0;
+    }
+    roots.push_back(arg);
+  }
+  if (roots.empty()) {
+    std::cerr << "webcc-lint: no paths given (try: webcc-lint src bench)\n";
+    return 2;
+  }
+  const std::vector<webcc::lint::Violation> violations = webcc::lint::LintPaths(roots);
+  webcc::lint::PrintViolations(violations, std::cerr);
+  if (!violations.empty()) {
+    std::cerr << violations.size() << " violation(s)\n";
+    return 1;
+  }
+  return 0;
+}

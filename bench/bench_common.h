@@ -4,12 +4,25 @@
 // the right workload, sweeps the protocol parameter over the paper's axis,
 // prints the series as an aligned table, and (when WEBCC_CSV_DIR is set in
 // the environment) drops a CSV per figure for plotting.
+//
+// The BenchSession harness adds the perf-tracking surface: it resolves the sweep
+// parallelism (--jobs N flag, else WEBCC_JOBS, else hardware threads), times
+// the whole figure, and — when --bench-json PATH is given or WEBCC_BENCH_JSON
+// is set — appends one JSON line per figure to that file (conventionally
+// BENCH_sweep.json) with wall time, points/sec, and replayed-events/sec, so
+// the repo's perf trajectory is comparable PR-over-PR. See
+// docs/PERFORMANCE.md for how to read the output.
+//
+// webcc-lint: allow-file(banned-wallclock) the bench harness measures host
+// wall time; it never feeds a simulation, which consumes only SimTime.
 
 #ifndef WEBCC_BENCH_BENCH_COMMON_H_
 #define WEBCC_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -17,6 +30,8 @@
 #include "src/core/experiment.h"
 #include "src/core/report.h"
 #include "src/core/simulation.h"
+#include "src/core/sweep_runner.h"
+#include "src/util/thread_pool.h"
 #include "src/workload/campus.h"
 #include "src/workload/trace.h"
 #include "src/workload/worrell.h"
@@ -48,6 +63,79 @@ inline void Emit(const TextTable& table, const std::string& name) {
     }
   }
 }
+
+// Per-figure measurement scope. Construct first thing in main(); the
+// destructor reports. Pass session.jobs() (or the session's SweepRunner) to
+// the sweep calls so --jobs / WEBCC_JOBS reaches every figure.
+class BenchSession {
+ public:
+  BenchSession(std::string figure, int argc, char** argv) : figure_(std::move(figure)) {
+    size_t jobs_request = 0;  // 0 = auto (WEBCC_JOBS, else hardware)
+    if (const char* env = std::getenv("WEBCC_BENCH_JSON")) {
+      json_path_ = env;
+    }
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&](const char* name) -> const char* {
+        const std::string prefix = std::string(name) + "=";
+        if (arg.rfind(prefix, 0) == 0) {
+          return argv[i] + prefix.size();
+        }
+        if (arg == name && i + 1 < argc) {
+          return argv[++i];
+        }
+        return nullptr;
+      };
+      if (const char* jobs_value = value("--jobs")) {
+        jobs_request = static_cast<size_t>(std::atoi(jobs_value));
+      } else if (const char* json_value = value("--bench-json")) {
+        json_path_ = json_value;
+      }
+    }
+    jobs_ = ResolveJobs(jobs_request);
+    start_stats_ = GlobalSweepExecStats();
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  BenchSession(const BenchSession&) = delete;
+  BenchSession& operator=(const BenchSession&) = delete;
+
+  ~BenchSession() {
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+    const SweepExecStats end_stats = GlobalSweepExecStats();
+    const auto points = static_cast<double>(end_stats.points - start_stats_.points);
+    const auto events = static_cast<double>(end_stats.requests - start_stats_.requests);
+    std::printf("[%s: %.3f s wall, jobs=%zu, %.0f points (%.1f/s), %.3g replayed events "
+                "(%.3g/s)]\n",
+                figure_.c_str(), wall, jobs_, points, points / wall, events, events / wall);
+    if (json_path_.empty()) {
+      return;
+    }
+    std::ofstream out(json_path_, std::ios::app);
+    if (!out) {
+      std::fprintf(stderr, "[%s: cannot append to %s]\n", figure_.c_str(), json_path_.c_str());
+      return;
+    }
+    char line[512];
+    std::snprintf(line, sizeof(line),
+                  R"({"figure":"%s","jobs":%zu,"wall_seconds":%.6f,"points":%.0f,)"
+                  R"("points_per_sec":%.3f,"events":%.0f,"events_per_sec":%.1f})"
+                  "\n",
+                  figure_.c_str(), jobs_, wall, points, points / wall, events, events / wall);
+    out << line;
+  }
+
+  // Resolved sweep parallelism; pass to SweepRunner / the sweep functions.
+  [[nodiscard]] size_t jobs() const { return jobs_; }
+
+ private:
+  std::string figure_;
+  std::string json_path_;
+  size_t jobs_ = 1;
+  SweepExecStats start_stats_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace webcc::bench
 

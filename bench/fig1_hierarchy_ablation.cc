@@ -11,9 +11,10 @@
 #include "src/util/str.h"
 #include "src/util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace webcc;
   using namespace webcc::bench;
+  BenchSession session("fig1_hierarchy_ablation", argc, argv);
 
   std::printf("=== Figure 1 ablation: hierarchical vs collapsed caching ===\n\n");
 

@@ -9,9 +9,11 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace webcc;
   using namespace webcc::bench;
+  BenchSession session("fig2_base_bandwidth", argc, argv);
+  SweepRunner runner(session.jobs());
 
   std::printf("=== Figure 2: bandwidth, base simulator (Worrell workload) ===\n\n");
   const Workload load = PaperWorrellWorkload();
@@ -22,13 +24,13 @@ int main() {
   const auto config = SimulationConfig::Base(PolicyConfig::Invalidation());
   const auto inval = RunInvalidation(load, config);
 
-  const auto alex = SweepAlexThreshold(load, config, PaperThresholdPercents());
+  const auto alex = runner.SweepAlexThreshold(load, config, PaperThresholdPercents());
   Emit(BandwidthFigure("(a) Alex cache consistency protocol", alex, inval.metrics),
        "fig2a_base_bandwidth_alex");
   std::printf("%s\n", FigureChart("Figure 2(a)", alex, inval.metrics,
                                    FigureMetric::kBandwidthMB).c_str());
 
-  const auto ttl = SweepTtlHours(load, config, PaperTtlHours());
+  const auto ttl = runner.SweepTtlHours(load, config, PaperTtlHours());
   Emit(BandwidthFigure("(b) Time-to-live fields", ttl, inval.metrics),
        "fig2b_base_bandwidth_ttl");
   std::printf("%s\n", FigureChart("Figure 2(b)", ttl, inval.metrics,

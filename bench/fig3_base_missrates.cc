@@ -6,9 +6,11 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace webcc;
   using namespace webcc::bench;
+  BenchSession session("fig3_base_missrates", argc, argv);
+  SweepRunner runner(session.jobs());
 
   std::printf("=== Figure 3: miss/stale rates, base simulator (Worrell workload) ===\n\n");
   const Workload load = PaperWorrellWorkload();
@@ -16,13 +18,13 @@ int main() {
   const auto config = SimulationConfig::Base(PolicyConfig::Invalidation());
   const auto inval = RunInvalidation(load, config);
 
-  const auto alex = SweepAlexThreshold(load, config, PaperThresholdPercents());
+  const auto alex = runner.SweepAlexThreshold(load, config, PaperThresholdPercents());
   Emit(MissRateFigure("(a) Alex cache consistency protocol", alex, inval.metrics),
        "fig3a_base_missrates_alex");
   std::printf("%s\n", FigureChart("Figure 3(a) stale hits", alex, inval.metrics,
                                    FigureMetric::kStalePercent).c_str());
 
-  const auto ttl = SweepTtlHours(load, config, PaperTtlHours());
+  const auto ttl = runner.SweepTtlHours(load, config, PaperTtlHours());
   Emit(MissRateFigure("(b) Time-to-live fields", ttl, inval.metrics),
        "fig3b_base_missrates_ttl");
   std::printf("%s\n", FigureChart("Figure 3(b) stale hits", ttl, inval.metrics,

@@ -7,9 +7,11 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace webcc;
   using namespace webcc::bench;
+  BenchSession session("fig5_optimized_missrates", argc, argv);
+  SweepRunner runner(session.jobs());
 
   std::printf("=== Figure 5: miss/stale rates, optimized simulator (Worrell workload) ===\n\n");
   const Workload load = PaperWorrellWorkload();
@@ -17,13 +19,13 @@ int main() {
   const auto config = SimulationConfig::Optimized(PolicyConfig::Invalidation());
   const auto inval = RunInvalidation(load, config);
 
-  const auto alex = SweepAlexThreshold(load, config, PaperThresholdPercents());
+  const auto alex = runner.SweepAlexThreshold(load, config, PaperThresholdPercents());
   Emit(MissRateFigure("(a) Alex cache consistency protocol", alex, inval.metrics),
        "fig5a_optimized_missrates_alex");
   std::printf("%s\n", FigureChart("Figure 5(a) cache misses", alex, inval.metrics,
                                    FigureMetric::kMissPercent).c_str());
 
-  const auto ttl = SweepTtlHours(load, config, PaperTtlHours());
+  const auto ttl = runner.SweepTtlHours(load, config, PaperTtlHours());
   Emit(MissRateFigure("(b) Time-to-live fields", ttl, inval.metrics),
        "fig5b_optimized_missrates_ttl");
 

@@ -7,22 +7,26 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace webcc;
   using namespace webcc::bench;
+  BenchSession session("fig7_trace_missrates", argc, argv);
+  SweepRunner runner(session.jobs());
 
   std::printf("=== Figure 7: miss/stale rates, trace-driven simulator (DAS/FAS/HCS average) ===\n\n");
   const std::vector<Workload> loads = PaperTraceWorkloads();
   const auto config = SimulationConfig::TraceDriven(PolicyConfig::Invalidation());
 
+  // One task grid per protocol family: every (trace, point) pair is an
+  // independent job, so all three traces fill the pool at once.
   std::vector<ConsistencyMetrics> inval_runs;
-  std::vector<SweepSeries> alex_runs;
-  std::vector<SweepSeries> ttl_runs;
-  for (const Workload& load : loads) {
-    inval_runs.push_back(RunInvalidation(load, config).metrics);
-    alex_runs.push_back(SweepAlexThreshold(load, config, PaperThresholdPercents()));
-    ttl_runs.push_back(SweepTtlHours(load, config, PaperTtlHours()));
+  for (const SimulationResult& run : runner.RunInvalidationMany(loads, config)) {
+    inval_runs.push_back(run.metrics);
   }
+  const std::vector<SweepSeries> alex_runs =
+      runner.SweepAlexThresholdMany(loads, config, PaperThresholdPercents());
+  const std::vector<SweepSeries> ttl_runs =
+      runner.SweepTtlHoursMany(loads, config, PaperTtlHours());
   const ConsistencyMetrics inval = AverageMetrics(inval_runs);
 
   const SweepSeries alex = AverageSeries(alex_runs);

@@ -5,22 +5,82 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "src/cache/origin_upstream.h"
 #include "src/cache/policy_factory.h"
 #include "src/cache/proxy_cache.h"
 #include "src/core/simulation.h"
+#include "src/core/sweep_runner.h"
 #include "src/sim/engine.h"
 #include "src/util/str.h"
 #include "src/workload/campus.h"
 #include "src/workload/trace.h"
 #include "src/workload/worrell.h"
 
+// Global allocation tally, fed by the replacement operator new below. Used
+// to report allocs/op and bytes/op custom counters on the hot-path
+// benchmarks, so allocation regressions (e.g. reintroducing per-event
+// shared_ptr state in the event queue) show up in the numbers, not just in
+// ns/op noise.
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+std::atomic<uint64_t> g_alloc_bytes{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
 namespace webcc {
 namespace {
+
+// Scoped sampler: charges all allocations between Start() and Stop() to the
+// benchmark as per-item custom counters.
+class AllocCounters {
+ public:
+  void Start() {
+    count_before_ = g_alloc_count.load(std::memory_order_relaxed);
+    bytes_before_ = g_alloc_bytes.load(std::memory_order_relaxed);
+  }
+  void Report(benchmark::State& state, int64_t items) {
+    const double n = items > 0 ? static_cast<double>(items) : 1.0;
+    state.counters["allocs/op"] = benchmark::Counter(
+        static_cast<double>(g_alloc_count.load(std::memory_order_relaxed) - count_before_) / n);
+    state.counters["bytes/op"] = benchmark::Counter(
+        static_cast<double>(g_alloc_bytes.load(std::memory_order_relaxed) - bytes_before_) / n);
+  }
+
+ private:
+  uint64_t count_before_ = 0;
+  uint64_t bytes_before_ = 0;
+};
 
 void BM_EventQueueScheduleAndDrain(benchmark::State& state) {
   const int64_t n = state.range(0);
   Rng rng(1);
+  AllocCounters allocs;
+  allocs.Start();
   for (auto _ : state) {
     EventQueue queue;
     for (int64_t i = 0; i < n; ++i) {
@@ -30,7 +90,9 @@ void BM_EventQueueScheduleAndDrain(benchmark::State& state) {
       benchmark::DoNotOptimize(fired->time);
     }
   }
-  state.SetItemsProcessed(state.iterations() * n);
+  const int64_t events = state.iterations() * n;
+  state.SetItemsProcessed(events);
+  allocs.Report(state, events);
 }
 BENCHMARK(BM_EventQueueScheduleAndDrain)->Arg(1000)->Arg(100000);
 
@@ -97,6 +159,26 @@ void BM_TraceCompile(benchmark::State& state) {
                           static_cast<int64_t>(gen.trace.records.size()));
 }
 BENCHMARK(BM_TraceCompile);
+
+// One 11-point Alex sweep per iteration; Arg is the worker count. jobs=1
+// runs the serial path, larger args exercise the pool (wall-clock gains
+// require real cores; the determinism is asserted in tests, not here).
+void BM_ParallelSweep(benchmark::State& state) {
+  const auto jobs = static_cast<size_t>(state.range(0));
+  WorrellConfig config;
+  config.num_files = 300;
+  config.duration = Days(14);
+  config.requests_per_second = 0.1;
+  const Workload load = GenerateWorrellWorkload(config);
+  SweepRunner runner(jobs);
+  const std::vector<double> axis = LinSpace(0.0, 100.0, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.SweepAlexThreshold(
+        load, SimulationConfig::Optimized(PolicyConfig::Alex(0.10)), axis));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(axis.size()));
+}
+BENCHMARK(BM_ParallelSweep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_FullSimulationRun(benchmark::State& state) {
   WorrellConfig config;

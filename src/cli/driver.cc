@@ -6,6 +6,7 @@
 #include "src/cli/args.h"
 #include "src/core/experiment.h"
 #include "src/core/report.h"
+#include "src/core/sweep_runner.h"
 #include "src/core/simulation.h"
 #include "src/util/str.h"
 #include "src/workload/analyzer.h"
@@ -44,6 +45,9 @@ Simulation mode:
 
 Sweeps (prints a figure series instead of one run):
   --sweep=alex|ttl       sweep the paper's parameter axis
+  --jobs=N               run sweep points on N threads; 0 = auto, i.e. the
+                         WEBCC_JOBS env var or the hardware thread count
+                         (default: 0; results are identical for any N)
   --csv=PATH             also write the series as CSV
   --chart                also draw ASCII charts of the series
 
@@ -186,6 +190,11 @@ int RunCliDriver(const std::vector<std::string>& args_vec, std::ostream& out,
   config.cache_capacity_bytes = args.GetInt("capacity-bytes", 0);
 
   const std::string sweep = ToLower(args.GetString("sweep", ""));
+  const int64_t jobs_flag = args.GetInt("jobs", 0);
+  if (jobs_flag < 0) {
+    err << "error: --jobs must be >= 0\n";
+    return 2;
+  }
   const std::string csv = args.GetString("csv", "");
   const bool chart = args.GetBool("chart");
   const bool analyze = args.GetBool("analyze");
@@ -246,11 +255,12 @@ int RunCliDriver(const std::vector<std::string>& args_vec, std::ostream& out,
 
   if (!sweep.empty()) {
     const auto inval = RunInvalidation(*load, config);
+    SweepRunner runner(static_cast<size_t>(jobs_flag));
     SweepSeries series;
     if (sweep == "alex") {
-      series = SweepAlexThreshold(*load, config, PaperThresholdPercents());
+      series = runner.SweepAlexThreshold(*load, config, PaperThresholdPercents());
     } else if (sweep == "ttl") {
-      series = SweepTtlHours(*load, config, PaperTtlHours());
+      series = runner.SweepTtlHours(*load, config, PaperTtlHours());
     } else {
       err << "error: --sweep expects 'alex' or 'ttl'\n";
       return 2;

@@ -1,6 +1,6 @@
 #include "src/core/experiment.h"
 
-
+#include "src/core/sweep_runner.h"
 #include "src/util/check.h"
 #include "src/util/str.h"
 
@@ -26,31 +26,13 @@ std::vector<double> PaperThresholdPercents() { return LinSpace(0.0, 100.0, 21); 
 std::vector<double> PaperTtlHours() { return LinSpace(0.0, 500.0, 21); }
 
 SweepSeries SweepAlexThreshold(const Workload& load, const SimulationConfig& base_config,
-                               const std::vector<double>& threshold_percents) {
-  SweepSeries series;
-  series.label = "alex";
-  series.param_name = "threshold_pct";
-  series.points.reserve(threshold_percents.size());
-  for (double pct : threshold_percents) {
-    SimulationConfig config = base_config;
-    config.policy = PolicyConfig::Alex(pct / 100.0);
-    series.points.push_back(SweepPoint{pct, RunSimulation(load, config)});
-  }
-  return series;
+                               const std::vector<double>& threshold_percents, size_t jobs) {
+  return SweepRunner(jobs).SweepAlexThreshold(load, base_config, threshold_percents);
 }
 
 SweepSeries SweepTtlHours(const Workload& load, const SimulationConfig& base_config,
-                          const std::vector<double>& ttl_hours) {
-  SweepSeries series;
-  series.label = "ttl";
-  series.param_name = "ttl_hours";
-  series.points.reserve(ttl_hours.size());
-  for (double hours : ttl_hours) {
-    SimulationConfig config = base_config;
-    config.policy = PolicyConfig::Ttl(HoursF(hours));
-    series.points.push_back(SweepPoint{hours, RunSimulation(load, config)});
-  }
-  return series;
+                          const std::vector<double>& ttl_hours, size_t jobs) {
+  return SweepRunner(jobs).SweepTtlHours(load, base_config, ttl_hours);
 }
 
 SimulationResult RunInvalidation(const Workload& load, const SimulationConfig& base_config) {

@@ -7,6 +7,7 @@
 #ifndef WEBCC_SRC_CORE_EXPERIMENT_H_
 #define WEBCC_SRC_CORE_EXPERIMENT_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -34,12 +35,16 @@ std::vector<double> PaperThresholdPercents();  // 0..100 step 5
 std::vector<double> PaperTtlHours();           // 0..500 step 25
 
 // Sweeps the Alex update threshold (percent values, e.g. {0, 5, ..., 100}).
+// `jobs` selects the executor: 1 = serial, 0 = auto (WEBCC_JOBS env, else
+// hardware concurrency), N = N threads. Points are independent deterministic
+// runs, so the result is bit-identical for every jobs value; see
+// src/core/sweep_runner.h for the full argument.
 SweepSeries SweepAlexThreshold(const Workload& load, const SimulationConfig& base_config,
-                               const std::vector<double>& threshold_percents);
+                               const std::vector<double>& threshold_percents, size_t jobs = 1);
 
 // Sweeps the fixed TTL (hour values, e.g. {0, 25, ..., 500}).
 SweepSeries SweepTtlHours(const Workload& load, const SimulationConfig& base_config,
-                          const std::vector<double>& ttl_hours);
+                          const std::vector<double>& ttl_hours, size_t jobs = 1);
 
 // The invalidation protocol has no parameter; a single run.
 SimulationResult RunInvalidation(const Workload& load, const SimulationConfig& base_config);

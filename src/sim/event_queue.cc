@@ -1,30 +1,59 @@
 #include "src/sim/event_queue.h"
 
+#include "src/util/check.h"
+
 namespace webcc {
 
-bool EventHandle::Cancel() {
-  if (!state_ || state_->done) {
+namespace internal {
+
+uint32_t EventSlotArena::Acquire() {
+  uint32_t index;
+  if (free_head != kNone) {
+    index = free_head;
+    free_head = slots[index].next_free;
+    slots[index].next_free = kNone;
+  } else {
+    WEBCC_CHECK_LT(slots.size(), static_cast<size_t>(kNone)) << "slot arena exhausted";
+    index = static_cast<uint32_t>(slots.size());
+    slots.emplace_back();
+  }
+  slots[index].pending = true;
+  ++pending_count;
+  return index;
+}
+
+void EventSlotArena::Release(uint32_t index) {
+  Slot& slot = slots[index];
+  // The generation bump is what turns outstanding handles into inert tokens.
+  ++slot.generation;
+  slot.pending = false;
+  slot.next_free = free_head;
+  free_head = index;
+}
+
+bool EventSlotArena::Cancel(uint32_t index, uint32_t generation) {
+  if (!IsPending(index, generation)) {
     return false;
   }
-  state_->done = true;
-  if (state_->pending_counter && *state_->pending_counter > 0) {
-    --*state_->pending_counter;
-  }
+  // The heap entry is removed lazily; the slot is released when it surfaces.
+  slots[index].pending = false;
+  --pending_count;
   return true;
 }
 
+}  // namespace internal
+
 EventHandle EventQueue::Schedule(SimTime at, Callback fn) {
-  auto state = std::make_shared<EventHandle::State>();
-  state->pending_counter = pending_;
-  heap_.push(Entry{at, next_seq_++, std::move(fn), state});
-  ++*pending_;
-  return EventHandle(std::move(state));
+  const uint32_t slot = arena_->Acquire();
+  heap_.push(Entry{at, next_seq_++, std::move(fn), slot});
+  return EventHandle(arena_, slot, arena_->slots[slot].generation);
 }
 
 void EventQueue::SkipCancelled() {
   // Cancelled entries already decremented the pending counter at Cancel()
-  // time; here they are just physically removed.
-  while (!heap_.empty() && heap_.top().state->done) {
+  // time; here their slots are recycled as they surface.
+  while (!heap_.empty() && !arena_->slots[heap_.top().slot].pending) {
+    arena_->Release(heap_.top().slot);
     heap_.pop();
   }
 }
@@ -39,9 +68,9 @@ std::optional<EventQueue::Fired> EventQueue::PopNext() {
   // moved-from members are never read by the heap's comparator again.
   Entry& top = const_cast<Entry&>(heap_.top());
   Fired fired{top.time, std::move(top.fn)};
-  top.state->done = true;
+  --arena_->pending_count;
+  arena_->Release(top.slot);
   heap_.pop();
-  --*pending_;
   return fired;
 }
 

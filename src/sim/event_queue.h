@@ -5,53 +5,105 @@
 // instant — essential for reproducible simulations. Cancellation is lazy:
 // cancelled events stay in the heap until popped and are skipped then, which
 // keeps Cancel O(1) and Pop amortized O(log n).
+//
+// Hot-path allocation design: event state lives in a generation-counted slot
+// arena shared by the queue and its handles, so Schedule() performs zero
+// allocations in steady state (slots are recycled through a free list, and
+// the callback is a small-buffer SmallFunction). A handle is a {slot index,
+// generation} token; bumping the slot's generation on release makes stale
+// handles inert, which is what defuses the ABA hazard of slot reuse. The
+// arena itself is the only shared_ptr — one per queue, not one per event —
+// and it outlives the queue so Cancel()/IsPending() stay safe on handles
+// that outlive their queue.
 
 #ifndef WEBCC_SRC_SIM_EVENT_QUEUE_H_
 #define WEBCC_SRC_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <queue>
 #include <vector>
 
 #include "src/util/sim_time.h"
+#include "src/util/small_function.h"
 
 namespace webcc {
 
+namespace internal {
+
+// Slot arena shared between an EventQueue and its EventHandles. A slot is
+// acquired at Schedule(), stays acquired while its heap entry exists (so an
+// in-heap entry's generation always matches), and is released — generation
+// bumped, slot pushed on the free list — only when the entry is physically
+// removed from the heap.
+struct EventSlotArena {
+  static constexpr uint32_t kNone = UINT32_MAX;
+
+  struct Slot {
+    uint32_t generation = 0;
+    bool pending = false;       // not yet fired or cancelled
+    uint32_t next_free = kNone;
+  };
+
+  std::vector<Slot> slots;
+  uint32_t free_head = kNone;
+  size_t pending_count = 0;
+
+  // Returns the index of a fresh pending slot; reuses freed slots.
+  uint32_t Acquire();
+
+  // Marks a fired/skipped slot reusable and invalidates outstanding handles.
+  void Release(uint32_t index);
+
+  [[nodiscard]] bool IsPending(uint32_t index, uint32_t generation) const {
+    return index < slots.size() && slots[index].generation == generation &&
+           slots[index].pending;
+  }
+
+  // Returns true if this call transitioned the slot from pending.
+  bool Cancel(uint32_t index, uint32_t generation);
+};
+
+}  // namespace internal
+
 // Opaque handle to a scheduled event, used for cancellation. Handles are
-// cheap shared tokens; a default-constructed handle refers to nothing.
+// cheap tokens into the queue's slot arena; a default-constructed handle
+// refers to nothing.
 class EventHandle {
  public:
   EventHandle() = default;
 
   // True if the event has neither fired nor been cancelled.
-  [[nodiscard]] bool IsPending() const { return state_ && !state_->done; }
+  [[nodiscard]] bool IsPending() const {
+    return arena_ && arena_->IsPending(slot_, generation_);
+  }
 
   // Cancels the event if it is still pending. Returns true if this call
-  // performed the cancellation. Safe to call after the owning queue is gone.
-  // Callers that don't care whether the event was still live should ask
-  // IsPending() first or discard explicitly with std::ignore.
-  [[nodiscard]] bool Cancel();
+  // performed the cancellation. Safe to call after the owning queue is gone:
+  // the arena is kept alive by the handle itself. Callers that don't care
+  // whether the event was still live should ask IsPending() first or discard
+  // explicitly with std::ignore.
+  [[nodiscard]] bool Cancel() {
+    return arena_ && arena_->Cancel(slot_, generation_);
+  }
 
  private:
   friend class EventQueue;
-  struct State {
-    bool done = false;
-    // Shared with the owning queue so that a cancel keeps pending() exact
-    // even though the heap entry is removed lazily.
-    std::shared_ptr<size_t> pending_counter;
-  };
-  explicit EventHandle(std::shared_ptr<State> state) : state_(std::move(state)) {}
-  std::shared_ptr<State> state_;
+  EventHandle(std::shared_ptr<internal::EventSlotArena> arena, uint32_t slot,
+              uint32_t generation)
+      : arena_(std::move(arena)), slot_(slot), generation_(generation) {}
+
+  std::shared_ptr<internal::EventSlotArena> arena_;
+  uint32_t slot_ = internal::EventSlotArena::kNone;
+  uint32_t generation_ = 0;
 };
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallFunction<void()>;
 
-  EventQueue() : pending_(std::make_shared<size_t>(0)) {}
+  EventQueue() : arena_(std::make_shared<internal::EventSlotArena>()) {}
 
   // Schedules `fn` at absolute time `at`. Events at equal times fire in
   // scheduling order.
@@ -69,8 +121,8 @@ class EventQueue {
   [[nodiscard]] std::optional<SimTime> PeekTime();
 
   // Pending (non-cancelled, non-fired) event count.
-  [[nodiscard]] size_t pending() const { return *pending_; }
-  [[nodiscard]] bool empty() const { return *pending_ == 0; }
+  [[nodiscard]] size_t pending() const { return arena_->pending_count; }
+  [[nodiscard]] bool empty() const { return arena_->pending_count == 0; }
 
   // Total events ever scheduled; exposed for engine statistics.
   [[nodiscard]] uint64_t total_scheduled() const { return next_seq_; }
@@ -80,7 +132,7 @@ class EventQueue {
     SimTime time;
     uint64_t seq;
     Callback fn;
-    std::shared_ptr<EventHandle::State> state;
+    uint32_t slot;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -96,7 +148,7 @@ class EventQueue {
 
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   uint64_t next_seq_ = 0;
-  std::shared_ptr<size_t> pending_;
+  std::shared_ptr<internal::EventSlotArena> arena_;
 };
 
 }  // namespace webcc

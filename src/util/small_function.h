@@ -1,0 +1,128 @@
+// SmallFunction: a move-only std::function replacement with a guaranteed
+// small-buffer capacity.
+//
+// The event queue schedules millions of callbacks per figure run; libstdc++'s
+// std::function heap-allocates any capture larger than two words, which makes
+// Schedule() an allocation hot spot. SmallFunction stores callables up to
+// kInlineBytes inline (no allocation, no indirection for the common "this
+// plus a few ids" capture) and only falls back to the heap for oversized or
+// throwing-move callables. Move-only on purpose: event callbacks are
+// scheduled once and fired once, and dropping copyability lets callers move
+// resources into the capture.
+
+#ifndef WEBCC_SRC_UTIL_SMALL_FUNCTION_H_
+#define WEBCC_SRC_UTIL_SMALL_FUNCTION_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace webcc {
+
+template <typename Signature, size_t kInlineBytes = 48>
+class SmallFunction;
+
+template <typename R, typename... Args, size_t kInlineBytes>
+class SmallFunction<R(Args...), kInlineBytes> {
+  static_assert(kInlineBytes >= sizeof(void*),
+                "inline storage must at least hold the heap-fallback pointer");
+
+ public:
+  SmallFunction() = default;
+  SmallFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  // Implicit from any callable, mirroring std::function's ergonomics.
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, SmallFunction> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  SmallFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (FitsInline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  SmallFunction(SmallFunction&& other) noexcept { MoveFrom(other); }
+
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+
+  ~SmallFunction() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void* target, Args&&... args);
+    // Move-constructs `to` from `from` and destroys `from`.
+    void (*relocate)(void* from, void* to);
+    void (*destroy)(void* target);
+  };
+
+  template <typename D>
+  static constexpr bool FitsInline() {
+    return sizeof(D) <= kInlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* target, Args&&... args) -> R {
+        return (*static_cast<D*>(target))(std::forward<Args>(args)...);
+      },
+      [](void* from, void* to) {
+        D* src = static_cast<D*>(from);
+        ::new (to) D(std::move(*src));
+        src->~D();
+      },
+      [](void* target) { static_cast<D*>(target)->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* target, Args&&... args) -> R {
+        return (**static_cast<D**>(target))(std::forward<Args>(args)...);
+      },
+      [](void* from, void* to) { ::new (to) D*(*static_cast<D**>(from)); },
+      [](void* target) { delete *static_cast<D**>(target); },
+  };
+
+  void MoveFrom(SmallFunction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_UTIL_SMALL_FUNCTION_H_

@@ -1,0 +1,126 @@
+#include "src/util/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace webcc {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = 1;
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        return;  // stop requested and queue drained
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+      }
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) {
+        idle_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) {
+  if (n == 0) {
+    return;
+  }
+  if (size() <= 1 || n == 1) {
+    // Inline serial execution: same body, same order, no thread handoff.
+    for (size_t i = 0; i < n; ++i) {
+      body(i);
+    }
+    return;
+  }
+  // Dynamic index claiming: each worker task drains the shared cursor, so an
+  // expensive index does not stall the others behind a static partition.
+  auto cursor = std::make_shared<std::atomic<size_t>>(0);
+  const size_t fanout = std::min(size(), n);
+  for (size_t w = 0; w < fanout; ++w) {
+    Submit([cursor, n, &body] {
+      while (true) {
+        const size_t i = cursor->fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) {
+          return;
+        }
+        body(i);
+      }
+    });
+  }
+  Wait();
+}
+
+size_t HardwareJobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+size_t ResolveJobs(size_t requested) {
+  if (requested != 0) {
+    return requested;
+  }
+  if (const char* env = std::getenv("WEBCC_JOBS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) {
+      return static_cast<size_t>(parsed);
+    }
+  }
+  return HardwareJobs();
+}
+
+}  // namespace webcc

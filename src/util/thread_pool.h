@@ -1,0 +1,78 @@
+// A small fixed-size thread pool for embarrassingly parallel work.
+//
+// webcc's simulations are single-threaded by design (determinism is worth
+// more than parallelism inside one run), but parameter sweeps replay the
+// same workload once per point, and those runs share no mutable state. The
+// pool exists to run such independent jobs concurrently; the sweep executor
+// (src/core/sweep_runner.h) layers deterministic result ordering on top.
+//
+// Design notes: one mutex + FIFO queue + two condition variables. Workers
+// never touch the host clock or any randomness, so the determinism lint has
+// nothing to waive here; all nondeterminism is confined to *scheduling
+// order*, which callers must make irrelevant (write results by index, not by
+// completion order). The first exception thrown by a task is captured and
+// rethrown from Wait() on the submitting thread.
+
+#ifndef WEBCC_SRC_UTIL_THREAD_POOL_H_
+#define WEBCC_SRC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace webcc {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  // Drains all submitted tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] size_t size() const { return workers_.size(); }
+
+  // Enqueues a task. Thread-safe; tasks may themselves call Submit.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished. If any task threw, the
+  // first captured exception is rethrown here (subsequent ones are dropped).
+  void Wait();
+
+  // Runs body(0..n-1) across the pool, blocking until all indices are done.
+  // Indices are claimed dynamically (an atomic cursor), so long and short
+  // iterations balance; callers keep determinism by writing output[i] from
+  // body(i). With a single worker the body runs inline on this thread.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signalled when a task or stop arrives
+  std::condition_variable idle_cv_;  // signalled when in_flight_ hits zero
+  std::deque<std::function<void()>> tasks_;
+  size_t in_flight_ = 0;  // queued + currently running
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+// Number of useful concurrent jobs on this host (>= 1).
+size_t HardwareJobs();
+
+// Resolves a jobs request: 0 means "auto" — the WEBCC_JOBS environment
+// variable if set to a positive integer, otherwise HardwareJobs().
+size_t ResolveJobs(size_t requested);
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_UTIL_THREAD_POOL_H_

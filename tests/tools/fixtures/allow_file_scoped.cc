@@ -1,0 +1,14 @@
+// Fixture for the file-scoped waiver: this file plays the role of a timing
+// harness whose whole purpose is reading the host clock.
+// webcc-lint: allow-file(banned-wallclock) measurement harness, host time never feeds a sim
+
+#include <chrono>
+
+double WallSeconds() {
+  const auto t0 = std::chrono::steady_clock::now();  // waived file-wide
+  const auto t1 = std::chrono::high_resolution_clock::now();  // also waived
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// The waiver is rule-specific: other rules still fire in this file.
+int BadDraw() { return rand(); }  // BAD banned-random

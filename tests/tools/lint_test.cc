@@ -119,6 +119,33 @@ TEST(LintTest, InlineSuppressionWaivesOneLine) {
   EXPECT_EQ(vs[0].line, 2u);
 }
 
+TEST(LintTest, AllowFileWaivesWholeFile) {
+  const std::string contents =
+      "// webcc-lint: allow-file(banned-wallclock) timing harness\n"
+      "auto a = std::chrono::steady_clock::now();\n"
+      "auto b = std::chrono::system_clock::now();\n";
+  EXPECT_TRUE(LintOne("bench/foo.h", contents).empty());
+}
+
+TEST(LintTest, AllowFileIsRuleSpecific) {
+  const std::string contents =
+      "// webcc-lint: allow-file(banned-wallclock) timing harness\n"
+      "auto a = std::chrono::steady_clock::now();\n"
+      "int b = rand();\n";
+  const auto vs = LintOne("bench/foo.h", contents);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "banned-random");
+  EXPECT_EQ(vs[0].line, 3u);
+}
+
+TEST(LintTest, AllowFileCoversUnorderedIteration) {
+  const SourceFile file{"src/sim/foo.cc",
+                        "// webcc-lint: allow-file(unordered-iteration) order-insensitive sums\n"
+                        "std::unordered_map<int, int> m_;\n"
+                        "void F() { for (auto& kv : m_) { (void)kv; } }\n"};
+  EXPECT_TRUE(LintSources({file}).empty());
+}
+
 TEST(LintTest, SuppressionIsRuleSpecific) {
   // Naming the wrong rule does not waive the violation.
   const auto vs = LintOne("src/core/foo.cc",
@@ -138,7 +165,9 @@ TEST(LintTest, MissingPathReportsIoViolation) {
 TEST(LintFixtureTest, FixtureTreeReportsExactlyTheBadLines) {
   const auto vs = LintPaths({WEBCC_LINT_FIXTURE_DIR});
   EXPECT_FALSE(HasRule(vs, "lint-io"));
-  EXPECT_EQ(CountRule(vs, "banned-random"), 4u);
+  // allow_file_scoped.cc contributes one banned-random hit and waives its
+  // two wall-clock reads file-wide.
+  EXPECT_EQ(CountRule(vs, "banned-random"), 5u);
   EXPECT_EQ(CountRule(vs, "banned-wallclock"), 4u);
   EXPECT_EQ(CountRule(vs, "raw-seconds-param"), 3u);
   EXPECT_EQ(CountRule(vs, "float-equality"), 1u);
@@ -148,7 +177,7 @@ TEST(LintFixtureTest, FixtureTreeReportsExactlyTheBadLines) {
   for (const Violation& v : vs) {
     EXPECT_EQ(v.file.find("clean.cc"), std::string::npos) << v.file << " rule " << v.rule;
   }
-  EXPECT_EQ(vs.size(), 16u);
+  EXPECT_EQ(vs.size(), 17u);
 }
 
 }  // namespace

@@ -1,0 +1,101 @@
+#include "src/util/small_function.h"
+
+#include <array>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace webcc {
+namespace {
+
+TEST(SmallFunctionTest, DefaultIsEmpty) {
+  SmallFunction<int()> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  SmallFunction<int()> g = nullptr;
+  EXPECT_FALSE(static_cast<bool>(g));
+}
+
+TEST(SmallFunctionTest, InvokesSmallCapture) {
+  int x = 41;
+  SmallFunction<int()> f = [&x] { return x + 1; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_EQ(f(), 42);
+}
+
+TEST(SmallFunctionTest, ForwardsArgumentsAndReturn) {
+  SmallFunction<int(int, int)> f = [](int a, int b) { return a * 10 + b; };
+  EXPECT_EQ(f(3, 4), 34);
+}
+
+TEST(SmallFunctionTest, MoveTransfersOwnership) {
+  SmallFunction<int()> f = [] { return 7; };
+  SmallFunction<int()> g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move) moved-from is empty by contract
+  ASSERT_TRUE(static_cast<bool>(g));
+  EXPECT_EQ(g(), 7);
+}
+
+TEST(SmallFunctionTest, MoveAssignmentDestroysOldTarget) {
+  auto counter = std::make_shared<int>(0);
+  SmallFunction<void()> f = [counter] { ++*counter; };
+  EXPECT_EQ(counter.use_count(), 2);
+  f = [] {};  // old capture (and its shared_ptr) must be destroyed
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(SmallFunctionTest, MoveOnlyCapture) {
+  auto p = std::make_unique<int>(5);
+  SmallFunction<int()> f = [p = std::move(p)] { return *p; };
+  SmallFunction<int()> g = std::move(f);
+  EXPECT_EQ(g(), 5);
+}
+
+TEST(SmallFunctionTest, LargeCaptureUsesHeapPathCorrectly) {
+  std::array<int64_t, 32> big{};  // 256 bytes: well past any inline budget
+  big[0] = 1;
+  big[31] = 2;
+  SmallFunction<int64_t()> f = [big] { return big[0] + big[31]; };
+  EXPECT_EQ(f(), 3);
+  SmallFunction<int64_t()> g = std::move(f);
+  EXPECT_EQ(g(), 3);
+}
+
+TEST(SmallFunctionTest, HeapTargetDestroyedExactlyOnce) {
+  auto counter = std::make_shared<int>(0);
+  struct Big {
+    std::shared_ptr<int> p;
+    std::array<int64_t, 32> pad{};
+    void operator()() const { ++*p; }
+  };
+  {
+    SmallFunction<void()> f = Big{counter, {}};
+    EXPECT_EQ(counter.use_count(), 2);
+    SmallFunction<void()> g = std::move(f);
+    g();
+    EXPECT_EQ(*counter, 1);
+    EXPECT_EQ(counter.use_count(), 2);
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(SmallFunctionTest, SelfMoveAssignIsSafe) {
+  SmallFunction<int()> f = [] { return 9; };
+  SmallFunction<int()>& alias = f;
+  f = std::move(alias);
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_EQ(f(), 9);
+}
+
+TEST(SmallFunctionTest, CapturedStateSurvivesManyMoves) {
+  SmallFunction<std::string()> f = [s = std::string("payload")] { return s; };
+  for (int i = 0; i < 10; ++i) {
+    SmallFunction<std::string()> g = std::move(f);
+    f = std::move(g);
+  }
+  EXPECT_EQ(f(), "payload");
+}
+
+}  // namespace
+}  // namespace webcc

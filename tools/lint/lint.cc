@@ -24,6 +24,8 @@ struct PreparedFile {
   const SourceFile* source = nullptr;
   std::vector<std::string> raw_lines;
   std::vector<std::string> stripped_lines;
+  // Rules waived for the whole file via `// webcc-lint: allow-file(<rule>)`.
+  std::set<std::string> file_allowed_rules;
 };
 
 std::vector<std::string> SplitLines(const std::string& text) {
@@ -116,6 +118,23 @@ bool LineAllows(const std::string& raw_line, const std::string& rule) {
   return raw_line.find(marker) != std::string::npos;
 }
 
+// Collects `webcc-lint: allow-file(<rule>)` directives — the scoped waiver
+// for files whose whole purpose conflicts with one rule (e.g. the bench
+// timing harness measures host wall time). The directive names exactly one
+// rule per occurrence, so a file opting out of everything stays impossible.
+std::set<std::string> CollectFileAllows(const std::vector<std::string>& raw_lines) {
+  static const std::regex* directive =
+      new std::regex(R"(webcc-lint:\s*allow-file\(([a-z-]+)\))");
+  std::set<std::string> rules;
+  for (const std::string& line : raw_lines) {
+    for (std::sregex_iterator it(line.begin(), line.end(), *directive), end; it != end;
+         ++it) {
+      rules.insert((*it)[1].str());
+    }
+  }
+  return rules;
+}
+
 // --- Rules ----------------------------------------------------------------
 
 struct Rule {
@@ -203,7 +222,7 @@ const std::regex& BeginWalkPattern() {
 void LintFileRules(const PreparedFile& file, std::vector<Violation>* out) {
   const std::string& path = file.source->path;
   for (const Rule& rule : Rules()) {
-    if (!rule.applies(path)) {
+    if (!rule.applies(path) || file.file_allowed_rules.count(rule.name) != 0) {
       continue;
     }
     for (size_t i = 0; i < file.stripped_lines.size(); ++i) {
@@ -241,7 +260,7 @@ void LintUnorderedIteration(const std::vector<PreparedFile>& files, std::vector<
   }
   const std::string rule = "unordered-iteration";
   for (const PreparedFile& file : files) {
-    if (!AppliesToHotPaths(file.source->path)) {
+    if (!AppliesToHotPaths(file.source->path) || file.file_allowed_rules.count(rule) != 0) {
       continue;
     }
     for (size_t i = 0; i < file.stripped_lines.size(); ++i) {
@@ -275,6 +294,7 @@ std::vector<Violation> LintSources(const std::vector<SourceFile>& sources) {
     p.source = &source;
     p.raw_lines = SplitLines(source.contents);
     p.stripped_lines = StripLines(p.raw_lines);
+    p.file_allowed_rules = CollectFileAllows(p.raw_lines);
     prepared.push_back(std::move(p));
   }
   std::vector<Violation> violations;

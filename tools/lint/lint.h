@@ -25,9 +25,14 @@
 //                       survive NDEBUG and print their operands.
 //
 // A violation on one line can be waived with an inline comment naming the
-// rule: `// webcc-lint: allow(banned-random) <why>`. Rule-specific allowlists
-// for the two legitimate homes (src/util/rng.* for randomness, the SimTime /
-// SimDuration constructors for raw seconds) are built in.
+// rule: `// webcc-lint: allow(banned-random) <why>`. A file whose whole
+// purpose conflicts with exactly one rule (the bench timing harness reads
+// the host clock; a thread pool's internals may need platform facilities)
+// can waive that rule file-wide with `// webcc-lint: allow-file(<rule>)
+// <why>` — one named rule per directive, so a blanket opt-out stays
+// impossible. Rule-specific allowlists for the two legitimate homes
+// (src/util/rng.* for randomness, the SimTime / SimDuration constructors for
+// raw seconds) are built in.
 
 #ifndef WEBCC_TOOLS_LINT_LINT_H_
 #define WEBCC_TOOLS_LINT_LINT_H_

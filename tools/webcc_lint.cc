@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       std::cout << "usage: webcc-lint <file-or-dir>...\n"
                    "Scans .h/.cc/.cpp files for webcc determinism hazards.\n"
-                   "Suppress one line with: // webcc-lint: allow(<rule>) <why>\n";
+                   "Suppress one line with: // webcc-lint: allow(<rule>) <why>\n"
+                   "Suppress one rule file-wide with: // webcc-lint: allow-file(<rule>) <why>\n";
       return 0;
     }
     roots.push_back(arg);

@@ -1,0 +1,91 @@
+// Figure 9 (extension): staleness under failure — message loss x origin
+// downtime, for each consistency protocol.
+//
+// The paper's §1/§6 claim, measured: the weakly consistent protocols (TTL,
+// Alex) degrade gracefully because their staleness is bounded by the validity
+// window regardless of what the network does, while the invalidation
+// protocol's perfect consistency is exactly as good as its delivery — lost
+// or undeliverable notices open unbounded silent-staleness windows until the
+// server's redelivery timer closes them. A lease hedge converts that silent
+// staleness into detected degraded serves.
+
+#include "bench/bench_common.h"
+#include "src/util/str.h"
+
+int main(int argc, char** argv) {
+  using namespace webcc;
+  using namespace webcc::bench;
+  BenchSession session("fig9_fault_staleness", argc, argv);
+
+  std::printf("=== Figure 9: staleness under failure (Worrell workload) ===\n\n");
+  // The synthetic Worrell workload (as in Figures 2-5) rather than a campus
+  // trace: its ~20k changes give the invalidation protocol something to
+  // lose. A real-trace FAS run has 8 changes in a month — the degradation
+  // exists but hides in the fourth decimal.
+  const Workload load = PaperWorrellWorkload();
+  std::printf("workload %s: %zu files, %zu requests, %zu changes\n\n", load.name.c_str(),
+              load.objects.size(), load.requests.size(), load.modifications.size());
+
+  const std::vector<double> loss_rates = {0.0, 0.05, 0.1, 0.2, 0.4};
+  struct Scenario {
+    const char* title;
+    const char* csv;
+    SimDuration mtbf;
+    SimDuration mttr;
+  };
+  const Scenario scenarios[] = {
+      {"(a) lossy link, origin always up", "fig9a_fault_staleness_loss",
+       SimDuration(0), SimDuration(0)},
+      {"(b) lossy link + origin downtime (MTBF 2d, MTTR 4h)",
+       "fig9b_fault_staleness_downtime", Days(2), Hours(4)},
+  };
+
+  for (const Scenario& scenario : scenarios) {
+    auto base = [&](PolicyConfig policy) {
+      SimulationConfig config = SimulationConfig::Optimized(policy);
+      config.faults.server_mtbf = scenario.mtbf;
+      config.faults.server_mttr = scenario.mttr;
+      return config;
+    };
+    const SweepSeries ttl =
+        SweepLossRate(load, base(PolicyConfig::Ttl(Hours(10))), loss_rates, session.jobs());
+    const SweepSeries alex =
+        SweepLossRate(load, base(PolicyConfig::Alex(0.1)), loss_rates, session.jobs());
+    const SweepSeries inval =
+        SweepLossRate(load, base(PolicyConfig::Invalidation()), loss_rates, session.jobs());
+    const SweepSeries leased = SweepLossRate(
+        load, base(PolicyConfig::Invalidation(Hours(1))), loss_rates, session.jobs());
+
+    TextTable table;
+    table.SetTitle(scenario.title);
+    table.SetHeader({"Loss %", "TTL stale%", "Alex stale%", "Inval stale%", "Inval degr%",
+                     "Lease stale%", "Lease degr%", "Inval lost", "Inval redeliv"});
+    for (size_t i = 0; i < loss_rates.size(); ++i) {
+      const ConsistencyMetrics& t = ttl.points[i].result.metrics;
+      const ConsistencyMetrics& a = alex.points[i].result.metrics;
+      const ConsistencyMetrics& n = inval.points[i].result.metrics;
+      const ConsistencyMetrics& l = leased.points[i].result.metrics;
+      const auto pct = [](uint64_t part, uint64_t whole) {
+        return StrFormat("%.3f",
+                         whole == 0 ? 0.0
+                                    : 100.0 * static_cast<double>(part) /
+                                          static_cast<double>(whole));
+      };
+      table.AddRow({StrFormat("%.0f", loss_rates[i] * 100.0),
+                    pct(t.stale_hits, t.requests), pct(a.stale_hits, a.requests),
+                    pct(n.stale_hits, n.requests), pct(n.degraded_serves, n.requests),
+                    pct(l.stale_hits, l.requests), pct(l.degraded_serves, l.requests),
+                    StrFormat("%llu", static_cast<unsigned long long>(n.invalidations_lost)),
+                    StrFormat("%llu",
+                              static_cast<unsigned long long>(n.invalidations_redelivered))});
+    }
+    Emit(table, scenario.csv);
+  }
+
+  std::printf(
+      "expected shape: TTL/Alex staleness is set by the validity window and barely moves\n"
+      "with loss; invalidation staleness starts at zero and grows with every lost or\n"
+      "undeliverable notice (bounded only by the redelivery timer), and the lease variant\n"
+      "trades part of it for detected degraded serves.\n");
+  return 0;
+}

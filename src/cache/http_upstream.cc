@@ -23,6 +23,18 @@ Response HttpUpstream::Exchange(const Request& request, SimTime now) {
   return *response;
 }
 
+std::optional<Response> HttpUpstream::FaultedExchange(const Request& request, SimTime now,
+                                                      ExchangeOutcome* outcome) {
+  if (faults_ == nullptr || !faults_->enabled()) {
+    *outcome = ExchangeOutcome{true, 1, SimDuration(0)};
+    return Exchange(request, now);
+  }
+  std::optional<Response> response;
+  *outcome = RunFaultedExchange(*faults_, now, [&](SimTime at) { response = Exchange(request, at); });
+  if (!outcome->ok) return std::nullopt;
+  return response;
+}
+
 HttpUpstream::Known& HttpUpstream::Learn(ObjectId id, SimTime last_modified) {
   auto [it, fresh] = known_.try_emplace(id);
   Known& known = it->second;
@@ -38,16 +50,23 @@ Upstream::FullReply HttpUpstream::FetchFull(ObjectId id, SimTime now) {
   Request request;
   request.method = Method::kGet;
   request.uri = obj.name;
-  const Response response = Exchange(request, now);
-  WEBCC_CHECK_EQ(response.status, StatusCode::kOk);
-
+  ExchangeOutcome outcome;
+  const std::optional<Response> response = FaultedExchange(request, now, &outcome);
   FullReply reply;
-  reply.body_bytes = response.content_length;
-  const SimTime lm = response.LastModified().value_or(now);
+  reply.attempts = outcome.attempts;
+  reply.fetch_delay = outcome.elapsed;
+  if (!response.has_value()) {
+    reply.ok = false;
+    return reply;
+  }
+  WEBCC_CHECK_EQ(response->status, StatusCode::kOk);
+
+  reply.body_bytes = response->content_length;
+  const SimTime lm = response->LastModified().value_or(now);
   const Known& known = Learn(id, lm);
   reply.version = known.version;
   reply.last_modified = lm;
-  reply.expires = response.Expires();
+  reply.expires = response->Expires();
   return reply;
 }
 
@@ -62,28 +81,35 @@ Upstream::CondReply HttpUpstream::FetchIfModified(ObjectId id, uint64_t held_ver
   WEBCC_CHECK(it != known_.end()) << "conditional fetch for an object never fetched";
   WEBCC_CHECK_LE(held_version, it->second.version);
   request.SetIfModifiedSince(it->second.last_modified);
-  const Response response = Exchange(request, now);
+  ExchangeOutcome outcome;
+  const std::optional<Response> response = FaultedExchange(request, now, &outcome);
 
   CondReply reply;
-  if (response.status == StatusCode::kNotModified && held_version == it->second.version) {
+  reply.attempts = outcome.attempts;
+  reply.fetch_delay = outcome.elapsed;
+  if (!response.has_value()) {
+    reply.ok = false;
+    return reply;
+  }
+  if (response->status == StatusCode::kNotModified && held_version == it->second.version) {
     reply.modified = false;
     reply.version = it->second.version;
     reply.last_modified = it->second.last_modified;
-    reply.expires = response.Expires();
+    reply.expires = response->Expires();
     return reply;
   }
   // Either the server shipped a newer body, or the cache's copy lags what
   // this upstream already relayed (multi-cache sharing): both mean
   // "modified" from the cache's perspective.
-  const SimTime lm = response.LastModified().value_or(it->second.last_modified);
+  const SimTime lm = response->LastModified().value_or(it->second.last_modified);
   const Known& known = Learn(id, lm);
   reply.modified = true;
-  reply.body_bytes = response.status == StatusCode::kNotModified
+  reply.body_bytes = response->status == StatusCode::kNotModified
                          ? frontend_->server()->store().Get(id).size_bytes
-                         : response.content_length;
+                         : response->content_length;
   reply.version = known.version;
   reply.last_modified = known.last_modified;
-  reply.expires = response.Expires();
+  reply.expires = response->Expires();
   return reply;
 }
 

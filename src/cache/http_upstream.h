@@ -18,16 +18,23 @@
 #define WEBCC_SRC_CACHE_HTTP_UPSTREAM_H_
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 
 #include "src/cache/upstream.h"
 #include "src/origin/http_frontend.h"
+#include "src/sim/fault_plan.h"
 
 namespace webcc {
 
 class HttpUpstream : public Upstream {
  public:
   explicit HttpUpstream(HttpFrontend* frontend);
+
+  // Routes every serialized exchange through `plan` (loss, downtime, bounded
+  // retry). Retransmitted attempts count real wire bytes again — that
+  // retransmit overhead is precisely what the real-bytes ablation measures.
+  void ArmFaults(FaultPlan* plan) { faults_ = plan; }
 
   FullReply FetchFull(ObjectId id, SimTime now) override;
   CondReply FetchIfModified(ObjectId id, uint64_t held_version, SimTime now) override;
@@ -48,10 +55,15 @@ class HttpUpstream : public Upstream {
   };
   // Sends one serialized request and parses the serialized response.
   Response Exchange(const Request& request, SimTime now);
+  // Exchange under the armed fault plan: bounded retries, each surviving
+  // attempt re-serialized and re-counted. nullopt = retry budget exhausted.
+  std::optional<Response> FaultedExchange(const Request& request, SimTime now,
+                                          ExchangeOutcome* outcome);
   // Updates the synthetic version for `id` from a response stamp.
   Known& Learn(ObjectId id, SimTime last_modified);
 
   HttpFrontend* frontend_;
+  FaultPlan* faults_ = nullptr;
   std::unordered_map<ObjectId, Known> known_;
   std::unordered_map<InvalidationSink*, CacheId> cache_ids_;
   int64_t real_request_bytes_ = 0;

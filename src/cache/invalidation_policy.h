@@ -3,6 +3,12 @@
 // with the server for every object it holds; the server's callback clears
 // the entry's `valid` bit (the Worrell optimization: mark invalid, do not
 // prefetch — the body is re-fetched only if requested again).
+//
+// Optional lease fallback: with a nonzero lease, validity additionally
+// expires `lease` after the last server contact. A partitioned cache that
+// misses an invalidation then serves stale for at most the lease window
+// instead of forever — the standard hedge against the protocol's §1
+// weakness (undeliverable notices), at the cost of lease-renewal queries.
 
 #ifndef WEBCC_SRC_CACHE_INVALIDATION_POLICY_H_
 #define WEBCC_SRC_CACHE_INVALIDATION_POLICY_H_
@@ -15,26 +21,38 @@ namespace webcc {
 
 class InvalidationPolicy : public ConsistencyPolicy {
  public:
-  InvalidationPolicy() = default;
+  // lease <= 0 means no lease: valid until invalidated, no time horizon.
+  explicit InvalidationPolicy(SimDuration lease = SimDuration(0)) : lease_(lease) {}
 
   PolicyKind kind() const override { return PolicyKind::kInvalidation; }
 
-  // Valid until invalidated; no time horizon at all.
   bool IsValid(const CacheEntry& entry, SimTime now) const override {
-    (void)now;
-    return entry.valid;
+    if (!entry.valid) {
+      return false;
+    }
+    return lease_ <= SimDuration(0) || now < entry.expires_at;
   }
 
   void OnFetch(CacheEntry& entry, SimTime now, const FetchInfo& info) override {
     (void)info;
     entry.valid = true;
     entry.validated_at = now;
-    entry.expires_at = SimTime::Infinite();
+    entry.expires_at = lease_ > SimDuration(0) ? now + lease_ : SimTime::Infinite();
   }
 
   bool UsesServerInvalidation() const override { return true; }
 
-  std::string Describe() const override { return "invalidation"; }
+  SimDuration lease() const { return lease_; }
+
+  std::string Describe() const override {
+    if (lease_ > SimDuration(0)) {
+      return "invalidation(lease=" + lease_.ToString() + ")";
+    }
+    return "invalidation";
+  }
+
+ private:
+  SimDuration lease_;
 };
 
 }  // namespace webcc

@@ -10,15 +10,54 @@ OriginUpstream::OriginUpstream(OriginServer* server) : server_(server) {
 }
 
 Upstream::FullReply OriginUpstream::FetchFull(ObjectId id, SimTime now) {
-  const auto result = server_->HandleGet(id, now);
-  return FullReply{result.body_bytes, result.version, result.last_modified, result.expires};
+  FullReply reply;
+  if (faults_ == nullptr || !faults_->enabled()) {
+    const auto result = server_->HandleGet(id, now);
+    reply.body_bytes = result.body_bytes;
+    reply.version = result.version;
+    reply.last_modified = result.last_modified;
+    reply.expires = result.expires;
+    return reply;
+  }
+  const ExchangeOutcome outcome = RunFaultedExchange(*faults_, now, [&](SimTime at) {
+    // The server processes every request that reaches it, even if the reply
+    // is then lost — retransmits legitimately duplicate server work.
+    const auto result = server_->HandleGet(id, at);
+    reply.body_bytes = result.body_bytes;
+    reply.version = result.version;
+    reply.last_modified = result.last_modified;
+    reply.expires = result.expires;
+  });
+  reply.ok = outcome.ok;
+  reply.attempts = outcome.attempts;
+  reply.fetch_delay = outcome.elapsed;
+  return reply;
 }
 
 Upstream::CondReply OriginUpstream::FetchIfModified(ObjectId id, uint64_t held_version,
                                                     SimTime now) {
-  const auto result = server_->HandleConditionalGet(id, held_version, now);
-  return CondReply{result.modified, result.body_bytes, result.version, result.last_modified,
-                   result.expires};
+  CondReply reply;
+  if (faults_ == nullptr || !faults_->enabled()) {
+    const auto result = server_->HandleConditionalGet(id, held_version, now);
+    reply.modified = result.modified;
+    reply.body_bytes = result.body_bytes;
+    reply.version = result.version;
+    reply.last_modified = result.last_modified;
+    reply.expires = result.expires;
+    return reply;
+  }
+  const ExchangeOutcome outcome = RunFaultedExchange(*faults_, now, [&](SimTime at) {
+    const auto result = server_->HandleConditionalGet(id, held_version, at);
+    reply.modified = result.modified;
+    reply.body_bytes = result.body_bytes;
+    reply.version = result.version;
+    reply.last_modified = result.last_modified;
+    reply.expires = result.expires;
+  });
+  reply.ok = outcome.ok;
+  reply.attempts = outcome.attempts;
+  reply.fetch_delay = outcome.elapsed;
+  return reply;
 }
 
 CacheId OriginUpstream::IdFor(InvalidationSink* sink) {

@@ -7,12 +7,18 @@
 
 #include "src/cache/upstream.h"
 #include "src/origin/server.h"
+#include "src/sim/fault_plan.h"
 
 namespace webcc {
 
 class OriginUpstream : public Upstream {
  public:
   explicit OriginUpstream(OriginServer* server);
+
+  // Routes every exchange through `plan` (message loss, downtime, bounded
+  // retry). Null disarms: fetches become the original infallible direct
+  // calls. The plan must outlive this upstream.
+  void ArmFaults(FaultPlan* plan) { faults_ = plan; }
 
   FullReply FetchFull(ObjectId id, SimTime now) override;
   CondReply FetchIfModified(ObjectId id, uint64_t held_version, SimTime now) override;
@@ -26,6 +32,7 @@ class OriginUpstream : public Upstream {
   CacheId IdFor(InvalidationSink* sink);
 
   OriginServer* server_;
+  FaultPlan* faults_ = nullptr;
   std::unordered_map<InvalidationSink*, CacheId> cache_ids_;
 };
 

@@ -39,9 +39,10 @@ PolicyConfig PolicyConfig::Cern(double lm_fraction, SimDuration default_ttl) {
   return config;
 }
 
-PolicyConfig PolicyConfig::Invalidation() {
+PolicyConfig PolicyConfig::Invalidation(SimDuration lease) {
   PolicyConfig config;
   config.kind = PolicyKind::kInvalidation;
+  config.invalidation_lease = lease;
   return config;
 }
 
@@ -64,7 +65,7 @@ std::unique_ptr<ConsistencyPolicy> MakePolicy(const PolicyConfig& config) {
     case PolicyKind::kCernHttpd:
       return std::make_unique<CernHttpdPolicy>(config.cern_lm_fraction, config.cern_default_ttl);
     case PolicyKind::kInvalidation:
-      return std::make_unique<InvalidationPolicy>();
+      return std::make_unique<InvalidationPolicy>(config.invalidation_lease);
     case PolicyKind::kAdaptiveTuner:
       return std::make_unique<AdaptiveTunerPolicy>(config.tuner);
   }

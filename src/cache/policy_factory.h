@@ -31,6 +31,10 @@ struct PolicyConfig {
   // kAdaptiveTuner
   AdaptiveTunerPolicy::Options tuner;
 
+  // kInvalidation: optional stale-window lease; <= 0 disables (pure
+  // valid-until-notified). See invalidation_policy.h.
+  SimDuration invalidation_lease = SimDuration(0);
+
   // Named constructors for the common sweeps.
   static PolicyConfig Ttl(SimDuration ttl);
   static PolicyConfig Alex(double threshold);
@@ -41,7 +45,7 @@ struct PolicyConfig {
   static PolicyConfig SquidRefreshPattern(SimDuration min_validity, double percent,
                                           SimDuration max_validity);
   static PolicyConfig Cern(double lm_fraction, SimDuration default_ttl);
-  static PolicyConfig Invalidation();
+  static PolicyConfig Invalidation(SimDuration lease = SimDuration(0));
   static PolicyConfig Adaptive(AdaptiveTunerPolicy::Options options = {});
 
   std::string Describe() const;

@@ -97,12 +97,27 @@ ServeResult ProxyCache::HandleRequest(ObjectId id, SimTime now) {
   ServeResult result;
   const int64_t link_before = stats_.LinkBytes();
 
+  if (crashed_) {
+    // A dead process serves nothing.
+    ++stats_.failed_requests;
+    result.kind = ServeKind::kFailed;
+    return result;
+  }
+
   auto it = entries_.find(id);
   if (it == entries_.end()) {
     // Cold miss: unconditional fetch.
     ++stats_.full_fetches;
     stats_.bytes_to_upstream += ControlWireBytes();
     const auto reply = upstream_->FetchFull(id, now);
+    NoteFetchCost(reply);
+    if (!reply.ok) {
+      // Nothing cached and nothing fetched: the client gets an error.
+      ++stats_.failed_requests;
+      result.kind = ServeKind::kFailed;
+      result.link_bytes = stats_.LinkBytes() - link_before;
+      return result;
+    }
     stats_.bytes_from_upstream += DocumentWireBytes(reply.body_bytes);
 
     lru_.push_front(id);
@@ -164,6 +179,12 @@ ServeResult ProxyCache::HandleRequest(ObjectId id, SimTime now) {
     ++stats_.full_fetches;
     stats_.bytes_to_upstream += ControlWireBytes();
     const auto reply = upstream_->FetchFull(id, now);
+    NoteFetchCost(reply);
+    if (!reply.ok) {
+      result = ServeDegraded(entry, now);
+      result.link_bytes = stats_.LinkBytes() - link_before;
+      return result;
+    }
     stats_.bytes_from_upstream += DocumentWireBytes(reply.body_bytes);
     InstallBody(entry, id, reply.body_bytes, reply.version, reply.last_modified, reply.expires,
                 now);
@@ -193,6 +214,13 @@ ServeResult ProxyCache::HandleRequest(ObjectId id, SimTime now) {
   ++stats_.validations_sent;
   stats_.bytes_to_upstream += ControlWireBytes();
   const auto reply = upstream_->FetchIfModified(id, entry.version, now);
+  NoteFetchCost(reply);
+  if (!reply.ok) {
+    // Validation impossible: serve what we have (stale-if-error).
+    result = ServeDegraded(entry, now);
+    result.link_bytes = stats_.LinkBytes() - link_before;
+    return result;
+  }
   if (policy_->UsesServerInvalidation()) {
     upstream_->SubscribeInvalidation(this, id);  // contact re-registers interest
   }
@@ -239,6 +267,47 @@ ServeResult ProxyCache::HandleRequest(ObjectId id, SimTime now) {
   stats_.total_hops += result.hops;
   stats_.max_hops = std::max(stats_.max_hops, result.hops);
   return result;
+}
+
+ServeResult ProxyCache::ServeDegraded(CacheEntry& entry, SimTime now) {
+  ServeResult result;
+  result.kind = ServeKind::kDegraded;
+  result.stale = IsStale(entry);
+  if (result.stale) {
+    ++stats_.stale_hits;
+  }
+  ++stats_.degraded_serves;
+  {
+    auto& tc = stats_.by_type[static_cast<size_t>(entry.type)];
+    ++tc.requests;
+    if (result.stale) {
+      ++tc.stale_hits;
+    }
+  }
+  RecordServe(entry, now);
+  return result;
+}
+
+void ProxyCache::Crash(SimTime now) {
+  WEBCC_CHECK(!crashed_) << "cache " << name_ << " crashed twice without restart";
+  crashed_ = true;
+  crashed_at_ = now;
+  reachable_ = false;
+  ++stats_.crashes;
+  DropAllEntries();
+}
+
+void ProxyCache::Restart(SimTime now) {
+  WEBCC_CHECK(crashed_) << "cache " << name_ << " restarted without a crash";
+  crashed_ = false;
+  reachable_ = true;
+  stats_.unavailable_seconds += (now - crashed_at_).seconds();
+}
+
+void ProxyCache::DropAllEntries() {
+  entries_.clear();
+  lru_.clear();
+  stored_bytes_ = 0;
 }
 
 void ProxyCache::PreloadObject(const WebObject& object, SimTime now) {
@@ -311,7 +380,11 @@ void ProxyCache::ForwardInvalidation(ObjectId id, SimTime now) {
   }
   for (InvalidationSink* child : it->second) {
     ++child_invalidations_sent_;
-    child->DeliverInvalidation(id, now);
+    if (!child->DeliverInvalidation(id, now)) {
+      // The child is unreachable and keeps its copy; it re-registers
+      // interest on its next contact, so the notice is dropped, not retried.
+      ++child_invalidations_dropped_;
+    }
   }
 }
 
@@ -320,9 +393,13 @@ Upstream::FullReply ProxyCache::FetchFull(ObjectId id, SimTime now) {
   // normal path (which refreshes our copy as our policy dictates), then hand
   // the child whatever body we now hold.
   const ServeResult inner = HandleRequest(id, now);
+  FullReply reply;
+  if (inner.kind == ServeKind::kFailed) {
+    reply.ok = false;  // a dead or cut-off parent fails the child's fetch
+    return reply;
+  }
   const CacheEntry* entry = Find(id);
   WEBCC_CHECK(entry != nullptr);
-  FullReply reply;
   reply.body_bytes = entry->size_bytes;
   reply.version = entry->version;
   reply.last_modified = entry->last_modified;
@@ -333,9 +410,13 @@ Upstream::FullReply ProxyCache::FetchFull(ObjectId id, SimTime now) {
 Upstream::CondReply ProxyCache::FetchIfModified(ObjectId id, uint64_t held_version,
                                                 SimTime now) {
   const ServeResult inner = HandleRequest(id, now);
+  CondReply reply;
+  if (inner.kind == ServeKind::kFailed) {
+    reply.ok = false;
+    return reply;
+  }
   const CacheEntry* entry = Find(id);
   WEBCC_CHECK(entry != nullptr);
-  CondReply reply;
   reply.upstream_hops = inner.hops;
   reply.version = entry->version;
   reply.last_modified = entry->last_modified;

@@ -52,6 +52,8 @@ enum class ServeKind {
   kHitValidated,  // upstream said 304; body served locally
   kMissCold,      // object not in cache; body fetched
   kMissRefetched, // copy expired/invalid; body fetched
+  kDegraded,      // upstream unreachable; policy-invalid local copy served
+  kFailed,        // no body to serve: cache crashed, or fetch failed cold
 };
 
 struct ServeResult {
@@ -79,6 +81,13 @@ struct CacheStats {
   uint64_t invalidations_received = 0;
   uint64_t invalidations_dropped = 0;  // arrived while unreachable
   uint64_t evictions = 0;
+  // Fault accounting (all zero in a fault-free run).
+  uint64_t upstream_retries = 0;    // extra exchange attempts beyond the first
+  int64_t retry_wait_seconds = 0;   // timeout+backoff time spent on fetches
+  uint64_t degraded_serves = 0;     // stale-if-error local serves
+  uint64_t failed_requests = 0;     // requests with nothing to serve
+  uint64_t crashes = 0;
+  int64_t unavailable_seconds = 0;  // crash-to-restart dark time
   int64_t bytes_to_upstream = 0;
   int64_t bytes_from_upstream = 0;
   // Round-trip accounting across all requests (latency proxy).
@@ -142,6 +151,20 @@ class ProxyCache : public InvalidationSink, public Upstream {
   void set_reachable(bool reachable) { reachable_ = reachable; }
   bool reachable() const { return reachable_; }
 
+  // --- Crash/restart (the fault layer's cache failures) ---
+
+  // The process dies at `now`: in-memory state is gone, the cache stops
+  // answering clients and invalidation notices. Whatever was snapshotted
+  // beforehand is what a later Restart can recover.
+  void Crash(SimTime now);
+  // Comes back at `now`; accounts the dark window. Entry recovery (via
+  // snapshot.h) is the caller's job — a cold start is legal too.
+  void Restart(SimTime now);
+  bool crashed() const { return crashed_; }
+  // Forgets every entry with no eviction accounting and no upstream
+  // unsubscribe — a dead process cannot say goodbye.
+  void DropAllEntries();
+
   // --- Upstream (serving child caches in a hierarchy) ---
   FullReply FetchFull(ObjectId id, SimTime now) override;
   CondReply FetchIfModified(ObjectId id, uint64_t held_version, SimTime now) override;
@@ -197,12 +220,25 @@ class ProxyCache : public InvalidationSink, public Upstream {
   // Forwards an invalidation to subscribed children.
   void ForwardInvalidation(ObjectId id, SimTime now);
 
+  // Accounts a fetch reply's retry/backoff cost against stats_.
+  template <typename Reply>
+  void NoteFetchCost(const Reply& reply) {
+    stats_.upstream_retries += static_cast<uint64_t>(reply.attempts > 1 ? reply.attempts - 1 : 0);
+    stats_.retry_wait_seconds += reply.fetch_delay.seconds();
+    // Retransmitted requests cross the wire once per extra attempt.
+    stats_.bytes_to_upstream += ControlWireBytes() * (reply.attempts - 1);
+  }
+  // Serves the local copy because the upstream could not be reached.
+  ServeResult ServeDegraded(CacheEntry& entry, SimTime now);
+
   std::string name_;
   Upstream* upstream_;
   std::unique_ptr<ConsistencyPolicy> policy_;
   CacheConfig config_;
   const ObjectStore* oracle_;
   bool reachable_ = true;
+  bool crashed_ = false;
+  SimTime crashed_at_;
 
   std::unordered_map<ObjectId, Slot> entries_;
   std::list<ObjectId> lru_;  // front = most recently used
@@ -212,11 +248,14 @@ class ProxyCache : public InvalidationSink, public Upstream {
   // Child subscriptions (this cache acting as a parent in a hierarchy).
   std::unordered_map<ObjectId, std::vector<InvalidationSink*>> child_subs_;
   // Downstream invalidation notices forwarded (counted for the Fig 1
-  // ablation's per-link message accounting).
+  // ablation's per-link message accounting) and dropped by unreachable
+  // children.
   uint64_t child_invalidations_sent_ = 0;
+  uint64_t child_invalidations_dropped_ = 0;
 
  public:
   uint64_t child_invalidations_sent() const { return child_invalidations_sent_; }
+  uint64_t child_invalidations_dropped() const { return child_invalidations_dropped_; }
 };
 
 }  // namespace webcc

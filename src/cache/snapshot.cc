@@ -2,6 +2,8 @@
 
 #include <fstream>
 #include <ostream>
+#include <unordered_set>
+#include <vector>
 
 #include "src/util/str.h"
 
@@ -38,13 +40,31 @@ int64_t LoadCacheSnapshot(ProxyCache& cache, std::istream& is, SnapshotRecovery 
     return -1;
   };
 
+  // Two phases: parse and validate the ENTIRE file first, then restore.
+  // A truncated or corrupt snapshot must leave the cache untouched — a
+  // mid-file error after restoring half the entries would be silent partial
+  // state, the worst recovery outcome.
+  std::vector<CacheEntry> entries;
+  std::unordered_set<ObjectId> seen;
   std::string line;
   size_t line_no = 0;
-  int64_t restored = 0;
+  bool saw_magic = false;
+  bool saw_any_line = false;
   while (std::getline(is, line)) {
     ++line_no;
     const std::string_view trimmed = Trim(line);
-    if (trimmed.empty() || trimmed.front() == '#') {
+    if (trimmed.empty()) {
+      continue;
+    }
+    if (!saw_any_line) {
+      saw_any_line = true;
+      saw_magic = trimmed == "#webcc-cache-snapshot v1";
+      if (!saw_magic) {
+        return fail(line_no, "missing '#webcc-cache-snapshot v1' header");
+      }
+      continue;
+    }
+    if (trimmed.front() == '#') {
       continue;
     }
     const auto fields = SplitWhitespace(trimmed);
@@ -57,6 +77,9 @@ int64_t LoadCacheSnapshot(ProxyCache& cache, std::istream& is, SnapshotRecovery 
       if (!parsed[i]) {
         return fail(line_no, StrFormat("field %zu is not an integer", i + 1));
       }
+    }
+    if (*parsed[0] < 0) {
+      return fail(line_no, "negative object id");
     }
     if (*parsed[1] < 0 || *parsed[1] >= kNumFileTypes) {
       return fail(line_no, "file type out of range");
@@ -80,10 +103,23 @@ int64_t LoadCacheSnapshot(ProxyCache& cache, std::istream& is, SnapshotRecovery 
     if (recovery == SnapshotRecovery::kRevalidateAll) {
       entry.valid = false;
     }
-    cache.RestoreEntry(entry);
-    ++restored;
+    if (!seen.insert(entry.object).second) {
+      return fail(line_no, StrFormat("duplicate object id %lld",
+                                     static_cast<long long>(*parsed[0])));
+    }
+    if (cache.Contains(entry.object)) {
+      return fail(line_no, StrFormat("object id %lld already cached",
+                                     static_cast<long long>(*parsed[0])));
+    }
+    entries.push_back(entry);
   }
-  return restored;
+  if (!saw_any_line) {
+    return fail(0, "empty snapshot (missing '#webcc-cache-snapshot v1' header)");
+  }
+  for (const CacheEntry& entry : entries) {
+    cache.RestoreEntry(entry);
+  }
+  return static_cast<int64_t>(entries.size());
 }
 
 int64_t LoadCacheSnapshotFile(ProxyCache& cache, const std::string& path,

@@ -44,7 +44,11 @@ struct SnapshotParseError {
 };
 
 // Restores entries into `cache` (which must not already hold the restored
-// objects). Returns the number of entries restored, or -1 on parse error.
+// objects). Returns the number of entries restored, or -1 on error: missing
+// magic header, malformed/truncated line, out-of-range field, duplicate or
+// already-cached object id. Failure is all-or-nothing — the whole file is
+// parsed and validated before the first entry is installed, so an error
+// never leaves the cache with silent partial state.
 int64_t LoadCacheSnapshot(ProxyCache& cache, std::istream& is, SnapshotRecovery recovery,
                           SnapshotParseError* error = nullptr);
 int64_t LoadCacheSnapshotFile(ProxyCache& cache, const std::string& path,

@@ -30,6 +30,12 @@ class Upstream {
     // Feeds the round-trip/latency accounting: the paper's optimization
     // explicitly "increased latency on subsequent accesses" (§2).
     int upstream_hops = 0;
+    // Fault channel. ok=false means no reply survived the retry budget (link
+    // loss or origin downtime); the other fields are then meaningless.
+    // attempts counts exchanges sent, fetch_delay the timeout+backoff spent.
+    bool ok = true;
+    int attempts = 1;
+    SimDuration fetch_delay;
   };
 
   struct CondReply {
@@ -39,6 +45,9 @@ class Upstream {
     SimTime last_modified;
     std::optional<SimTime> expires;
     int upstream_hops = 0;
+    bool ok = true;
+    int attempts = 1;
+    SimDuration fetch_delay;
   };
 
   virtual ~Upstream() = default;

@@ -1,8 +1,46 @@
 #include "src/cli/args.h"
 
+#include <cmath>
+
 #include "src/util/str.h"
 
 namespace webcc {
+
+namespace {
+
+// Parses "<number>[s|m|h|d]" into seconds. Returns nullopt on malformed
+// input, negative values, or magnitudes outside the int64 timeline.
+std::optional<SimDuration> ParseDuration(std::string_view text) {
+  if (text.empty()) {
+    return std::nullopt;
+  }
+  int64_t multiplier = 1;
+  const char unit = text.back();
+  std::string_view number = text;
+  switch (unit) {
+    case 's': multiplier = 1; number.remove_suffix(1); break;
+    case 'm': multiplier = 60; number.remove_suffix(1); break;
+    case 'h': multiplier = 3600; number.remove_suffix(1); break;
+    case 'd': multiplier = 86400; number.remove_suffix(1); break;
+    default:
+      if (unit < '0' || unit > '9') {
+        return std::nullopt;  // unknown unit suffix
+      }
+      break;
+  }
+  const auto value = ParseDouble(std::string(number));
+  if (!value || !std::isfinite(*value) || *value < 0.0) {
+    return std::nullopt;
+  }
+  const double seconds = *value * static_cast<double>(multiplier);
+  // Stay far inside int64 so downstream SimTime arithmetic cannot trap.
+  if (seconds > 4.0e18) {
+    return std::nullopt;
+  }
+  return SecondsF(seconds);
+}
+
+}  // namespace
 
 ArgParser::ArgParser(const std::vector<std::string>& args) {
   for (const std::string& arg : args) {
@@ -66,6 +104,21 @@ double ArgParser::GetDouble(std::string_view name, double default_value) {
   const auto parsed = ParseDouble(it->second.text);
   if (!parsed) {
     error_ = "--" + it->first + " expects a number, got '" + it->second.text + "'";
+    return default_value;
+  }
+  return *parsed;
+}
+
+SimDuration ArgParser::GetDuration(std::string_view name, SimDuration default_value) {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return default_value;
+  }
+  it->second.used = true;
+  const auto parsed = ParseDuration(it->second.text);
+  if (!parsed) {
+    error_ = "--" + it->first + " expects a non-negative duration like 90s, 15m, 1.5h, or 2d; got '" +
+             it->second.text + "'";
     return default_value;
   }
   return *parsed;

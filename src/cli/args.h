@@ -14,6 +14,8 @@
 #include <string_view>
 #include <vector>
 
+#include "src/util/sim_time.h"
+
 namespace webcc {
 
 class ArgParser {
@@ -31,6 +33,10 @@ class ArgParser {
   int64_t GetInt(std::string_view name, int64_t default_value);
   double GetDouble(std::string_view name, double default_value);
   bool GetBool(std::string_view name, bool default_value = false);
+  // Duration with an optional unit suffix: "90s", "15m", "1.5h", "2d"; a
+  // bare number means seconds. Rejects negatives, NaN/inf, junk suffixes,
+  // and magnitudes that overflow the int64 seconds timeline.
+  SimDuration GetDuration(std::string_view name, SimDuration default_value);
 
   bool Has(std::string_view name) const;
 

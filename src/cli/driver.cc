@@ -51,6 +51,22 @@ Sweeps (prints a figure series instead of one run):
   --csv=PATH             also write the series as CSV
   --chart                also draw ASCII charts of the series
 
+Fault injection (durations take s/m/h/d suffixes, e.g. 90s, 15m, 1.5h):
+  --loss-rate=F          per-message loss probability in [0, 1] (default: 0)
+  --fault-seed=N         seed for loss/jitter/downtime draws
+  --jitter=DUR           max invalidation delivery jitter   (default: 0s)
+  --downtime-start=DUR   origin outage start (with --downtime)
+  --downtime=DUR         origin outage length               (default: none)
+  --mtbf=DUR --mttr=DUR  generated origin up/down process   (default: off)
+  --cache-crash=DUR      crash the cache at this sim time   (default: never)
+  --crash-outage=DUR     crash-to-restart dark window       (default: 10m)
+  --recovery=auto|trust|revalidate|cold   snapshot handling on restart
+  --retry-max=N          fetch attempts per exchange        (default: 4)
+  --retry-timeout=DUR    per-attempt timeout                (default: 4s)
+  --retry-backoff=DUR    initial exponential backoff        (default: 2s)
+  --lease=DUR            invalidation lease / stale window  (default: none)
+  --inval-retry=DUR      invalidation redelivery cadence    (default: 5m)
+
 Analysis (no simulation):
   --analyze              print Table-1-style mutability statistics and the
                          file-type mix of the selected workload, then exit
@@ -144,10 +160,66 @@ std::optional<PolicyConfig> BuildPolicy(ArgParser& args, std::ostream& err) {
     return PolicyConfig::Adaptive(options);
   }
   if (kind == "invalidation") {
-    return PolicyConfig::Invalidation();
+    return PolicyConfig::Invalidation(args.GetDuration("lease", SimDuration(0)));
   }
   err << "error: unknown --policy '" << kind << "'\n";
   return std::nullopt;
+}
+
+// Consumes the fault-injection flags into `config.faults`. Returns false
+// (with a one-line error) on out-of-range values.
+bool BuildFaults(ArgParser& args, SimulationConfig& config, std::ostream& err) {
+  FaultConfig& faults = config.faults;
+  faults.loss_rate = args.GetDouble("loss-rate", 0.0);
+  if (faults.loss_rate < 0.0 || faults.loss_rate > 1.0) {
+    err << "error: --loss-rate must be in [0, 1]\n";
+    return false;
+  }
+  faults.seed = static_cast<uint64_t>(
+      args.GetInt("fault-seed", static_cast<int64_t>(faults.seed)));
+  faults.jitter_max = args.GetDuration("jitter", SimDuration(0));
+  const SimDuration downtime = args.GetDuration("downtime", SimDuration(0));
+  const SimDuration downtime_start = args.GetDuration("downtime-start", SimDuration(0));
+  if (downtime > SimDuration(0)) {
+    const SimTime start = SimTime::Epoch() + downtime_start;
+    faults.server_downtime.push_back({start, start + downtime});
+  }
+  faults.server_mtbf = args.GetDuration("mtbf", SimDuration(0));
+  faults.server_mttr = args.GetDuration("mttr", SimDuration(0));
+  if ((faults.server_mtbf > SimDuration(0)) != (faults.server_mttr > SimDuration(0))) {
+    err << "error: --mtbf and --mttr must be given together\n";
+    return false;
+  }
+  if (args.Has("cache-crash")) {
+    CacheCrashEvent crash;
+    crash.at = SimTime::Epoch() + args.GetDuration("cache-crash", SimDuration(0));
+    crash.outage = args.GetDuration("crash-outage", Minutes(10));
+    faults.cache_crashes.push_back(crash);
+  }
+  const std::string recovery = ToLower(args.GetString("recovery", "auto"));
+  if (recovery == "auto") {
+    faults.crash_recovery = CrashRecovery::kAuto;
+  } else if (recovery == "trust") {
+    faults.crash_recovery = CrashRecovery::kTrustSnapshot;
+  } else if (recovery == "revalidate") {
+    faults.crash_recovery = CrashRecovery::kRevalidateAll;
+  } else if (recovery == "cold") {
+    faults.crash_recovery = CrashRecovery::kColdStart;
+  } else {
+    err << "error: --recovery expects auto, trust, revalidate, or cold\n";
+    return false;
+  }
+  const int64_t retry_max = args.GetInt("retry-max", faults.retry.max_attempts);
+  if (retry_max < 1 || retry_max > 100) {
+    err << "error: --retry-max must be in [1, 100]\n";
+    return false;
+  }
+  faults.retry.max_attempts = static_cast<int>(retry_max);
+  faults.retry.timeout = args.GetDuration("retry-timeout", faults.retry.timeout);
+  faults.retry.initial_backoff = args.GetDuration("retry-backoff", faults.retry.initial_backoff);
+  faults.invalidation_retry_interval =
+      args.GetDuration("inval-retry", faults.invalidation_retry_interval);
+  return true;
 }
 
 }  // namespace
@@ -188,11 +260,18 @@ int RunCliDriver(const std::vector<std::string>& args_vec, std::ostream& out,
   }
   config.preload = !args.GetBool("no-preload");
   config.cache_capacity_bytes = args.GetInt("capacity-bytes", 0);
+  if (config.cache_capacity_bytes < 0) {
+    err << "error: --capacity-bytes must be >= 0\n";
+    return 2;
+  }
+  if (!BuildFaults(args, config, err)) {
+    return 2;
+  }
 
   const std::string sweep = ToLower(args.GetString("sweep", ""));
   const int64_t jobs_flag = args.GetInt("jobs", 0);
-  if (jobs_flag < 0) {
-    err << "error: --jobs must be >= 0\n";
+  if (jobs_flag < 0 || jobs_flag > 4096) {
+    err << "error: --jobs must be in [0, 4096]\n";
     return 2;
   }
   const std::string csv = args.GetString("csv", "");
@@ -294,6 +373,9 @@ int RunCliDriver(const std::vector<std::string>& args_vec, std::ostream& out,
   out << "policy:   " << result.policy_desc << "  (" << mode << " retrieval, "
       << (config.preload ? "warm" : "cold") << " cache)\n\n";
   out << result.metrics.Summary() << "\n";
+  if (config.faults.Enabled()) {
+    out << "faults:   " << result.metrics.FailureSummary() << "\n";
+  }
   out << StrFormat("traffic breakdown: %.3f MB payload + %.3f MB control\n",
                    result.metrics.PayloadMB(),
                    static_cast<double>(result.metrics.control_bytes) / 1e6);

@@ -35,6 +35,21 @@ SweepSeries SweepTtlHours(const Workload& load, const SimulationConfig& base_con
   return SweepRunner(jobs).SweepTtlHours(load, base_config, ttl_hours);
 }
 
+SweepSeries SweepLossRate(const Workload& load, const SimulationConfig& base_config,
+                          const std::vector<double>& loss_rates, size_t jobs) {
+  std::vector<SweepPointSpec> specs;
+  specs.reserve(loss_rates.size());
+  for (const double rate : loss_rates) {
+    SweepPointSpec spec;
+    spec.param = rate;
+    spec.config = base_config;
+    spec.config.faults.armed = true;
+    spec.config.faults.loss_rate = rate;
+    specs.push_back(spec);
+  }
+  return SweepRunner(jobs).Run(base_config.policy.Describe(), "loss_rate", load, specs);
+}
+
 SimulationResult RunInvalidation(const Workload& load, const SimulationConfig& base_config) {
   SimulationConfig config = base_config;
   config.policy = PolicyConfig::Invalidation();
@@ -58,6 +73,15 @@ ConsistencyMetrics AverageMetrics(const std::vector<ConsistencyMetrics>& metrics
     avg.control_bytes += m.control_bytes;
     avg.payload_bytes += m.payload_bytes;
     avg.total_bytes += m.total_bytes;
+    avg.degraded_serves += m.degraded_serves;
+    avg.failed_requests += m.failed_requests;
+    avg.upstream_retries += m.upstream_retries;
+    avg.invalidations_lost += m.invalidations_lost;
+    avg.invalidations_queued += m.invalidations_queued;
+    avg.invalidations_redelivered += m.invalidations_redelivered;
+    avg.cache_crashes += m.cache_crashes;
+    avg.unavailable_seconds += m.unavailable_seconds;
+    avg.retry_wait_seconds += m.retry_wait_seconds;
   }
   avg.requests /= n;
   avg.cache_misses /= n;
@@ -69,6 +93,15 @@ ConsistencyMetrics AverageMetrics(const std::vector<ConsistencyMetrics>& metrics
   avg.control_bytes /= static_cast<int64_t>(n);
   avg.payload_bytes /= static_cast<int64_t>(n);
   avg.total_bytes /= static_cast<int64_t>(n);
+  avg.degraded_serves /= n;
+  avg.failed_requests /= n;
+  avg.upstream_retries /= n;
+  avg.invalidations_lost /= n;
+  avg.invalidations_queued /= n;
+  avg.invalidations_redelivered /= n;
+  avg.cache_crashes /= n;
+  avg.unavailable_seconds /= static_cast<int64_t>(n);
+  avg.retry_wait_seconds /= static_cast<int64_t>(n);
   return avg;
 }
 

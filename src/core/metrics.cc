@@ -30,7 +30,31 @@ ConsistencyMetrics ComputeMetrics(const ServerStats& server, const CacheStats& c
   m.control_bytes = control;
   m.payload_bytes = payload;
   m.mean_round_trips = cache.MeanHops();
+
+  m.degraded_serves = cache.degraded_serves;
+  m.failed_requests = cache.failed_requests;
+  m.upstream_retries = cache.upstream_retries;
+  m.invalidations_lost = server.invalidations_lost;
+  m.invalidations_queued = server.invalidations_queued;
+  m.invalidations_redelivered = server.invalidations_redelivered;
+  m.cache_crashes = cache.crashes;
+  m.unavailable_seconds = cache.unavailable_seconds;
+  m.retry_wait_seconds = cache.retry_wait_seconds;
   return m;
+}
+
+std::string ConsistencyMetrics::FailureSummary() const {
+  return StrFormat(
+      "degraded=%llu  failed=%llu  retries=%llu  inval-lost=%llu  inval-queued=%llu  "
+      "inval-redelivered=%llu  crashes=%llu  dark=%llds  retry-wait=%llds",
+      static_cast<unsigned long long>(degraded_serves),
+      static_cast<unsigned long long>(failed_requests),
+      static_cast<unsigned long long>(upstream_retries),
+      static_cast<unsigned long long>(invalidations_lost),
+      static_cast<unsigned long long>(invalidations_queued),
+      static_cast<unsigned long long>(invalidations_redelivered),
+      static_cast<unsigned long long>(cache_crashes), static_cast<long long>(unavailable_seconds),
+      static_cast<long long>(retry_wait_seconds));
 }
 
 std::string ConsistencyMetrics::Summary() const {

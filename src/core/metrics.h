@@ -37,6 +37,18 @@ struct ConsistencyMetrics {
   // retrieval trades exactly this for its bandwidth savings (§2/§3).
   double mean_round_trips = 0.0;
 
+  // Failure-aware columns (all zero in a fault-free run; see
+  // docs/ROBUSTNESS.md for the definitions).
+  uint64_t degraded_serves = 0;          // stale-if-error local serves
+  uint64_t failed_requests = 0;          // requests with nothing to serve
+  uint64_t upstream_retries = 0;         // extra fetch attempts beyond the first
+  uint64_t invalidations_lost = 0;       // notices lost in transit
+  uint64_t invalidations_queued = 0;     // notices parked for an unreachable cache
+  uint64_t invalidations_redelivered = 0;  // parked notices later delivered
+  uint64_t cache_crashes = 0;
+  int64_t unavailable_seconds = 0;       // cache crash-to-restart dark time
+  int64_t retry_wait_seconds = 0;        // timeout+backoff the clients absorbed
+
   double MissRate() const {
     return requests == 0 ? 0.0
                          : static_cast<double>(cache_misses) / static_cast<double>(requests);
@@ -50,6 +62,8 @@ struct ConsistencyMetrics {
 
   // A one-line summary for logs and examples.
   std::string Summary() const;
+  // One line of failure accounting (for fault-injected runs).
+  std::string FailureSummary() const;
 };
 
 // Derives the merged metrics for a single-cache (collapsed) configuration

@@ -1,8 +1,12 @@
 #include "src/core/simulation.h"
 
+#include <algorithm>
+#include <sstream>
 
 #include "src/cache/origin_upstream.h"
+#include "src/cache/snapshot.h"
 #include "src/origin/server.h"
+#include "src/sim/engine.h"
 #include "src/util/check.h"
 #include "src/util/str.h"
 
@@ -36,8 +40,147 @@ SimulationConfig SimulationConfig::TraceDriven(PolicyConfig policy) {
   return config;
 }
 
+namespace {
+
+// The last scheduled workload event, plus slack so trailing invalidation
+// retries and restarts get to run before the clock stops.
+SimTime WorkloadHorizon(const Workload& load) {
+  SimTime horizon = SimTime::Epoch();
+  if (!load.requests.empty()) {
+    horizon = std::max(horizon, load.requests.back().at);
+  }
+  if (!load.modifications.empty()) {
+    horizon = std::max(horizon, load.modifications.back().at);
+  }
+  return horizon + Hours(24);
+}
+
+// The fault-injected replay: the same merge-walk as the fault-free path, but
+// riding a SimEngine so that invalidation redelivery timers, jittered
+// deliveries, and cache crash/restart events interleave with the workload in
+// deterministic timestamp order.
+SimulationResult RunFaultedSimulation(const Workload& load, const SimulationConfig& config) {
+  SimEngine engine;
+  const SimTime horizon = WorkloadHorizon(load);
+  FaultPlan plan(config.faults, horizon);
+
+  OriginServer server(&engine, config.faults.invalidation_retry_interval);
+  server.ArmFaults(&plan);
+  for (const ObjectSpec& spec : load.objects) {
+    server.store().Create(spec.name, spec.type, spec.size_bytes,
+                          SimTime::Epoch() - spec.initial_age);
+  }
+
+  OriginUpstream upstream(&server);
+  upstream.ArmFaults(&plan);
+  CacheConfig cache_config;
+  cache_config.refresh_mode = config.refresh_mode;
+  cache_config.capacity_bytes = config.cache_capacity_bytes;
+  ProxyCache cache("proxy", &upstream, MakePolicy(config.policy), cache_config,
+                   &server.store());
+
+  if (config.preload) {
+    cache.Preload(server.store(), SimTime::Epoch());
+  }
+  server.ResetStats();
+  cache.ResetStats();
+
+  // Crash/restart schedule. The snapshot string stands in for the on-disk
+  // metadata file: captured at crash time (a perfectly synced disk), gone in
+  // kColdStart mode (the disk died with the process).
+  SnapshotRecovery recovery = SnapshotRecovery::kTrustSnapshot;
+  bool cold_start = false;
+  switch (config.faults.crash_recovery) {
+    case CrashRecovery::kAuto:
+      // §6: invalidation-protocol recovery must be conservative — the server
+      // forgot nothing, but the cache cannot know which notices it missed.
+      recovery = cache.policy().UsesServerInvalidation() ? SnapshotRecovery::kRevalidateAll
+                                                         : SnapshotRecovery::kTrustSnapshot;
+      break;
+    case CrashRecovery::kTrustSnapshot:
+      recovery = SnapshotRecovery::kTrustSnapshot;
+      break;
+    case CrashRecovery::kRevalidateAll:
+      recovery = SnapshotRecovery::kRevalidateAll;
+      break;
+    case CrashRecovery::kColdStart:
+      cold_start = true;
+      break;
+  }
+  std::string disk_image;
+  for (const CacheCrashEvent& crash : plan.cache_crashes()) {
+    engine.ScheduleAt(crash.at, [&engine, &cache, &disk_image, cold_start] {
+      if (!cold_start) {
+        std::ostringstream os;
+        SaveCacheSnapshot(cache, os);
+        disk_image = os.str();
+      }
+      cache.Crash(engine.Now());
+    });
+    engine.ScheduleAt(crash.at + crash.outage,
+                      [&engine, &cache, &server, &disk_image, recovery] {
+                        cache.Restart(engine.Now());
+                        if (!disk_image.empty()) {
+                          std::istringstream is(disk_image);
+                          const int64_t restored = LoadCacheSnapshot(cache, is, recovery);
+                          WEBCC_CHECK_GE(restored, 0) << "crash-time snapshot must reload";
+                          disk_image.clear();
+                        }
+                        // First contact after the restart: the server re-drives
+                        // whatever invalidations it queued for us meanwhile.
+                        const CacheId id = server.IdOf(&cache);
+                        if (id != kInvalidCacheId) {
+                          server.NoteCacheContact(id, engine.Now());
+                        }
+                      });
+  }
+
+  const SimTime warmup_end = SimTime::Epoch() + config.warmup;
+  bool measuring = config.warmup.seconds() == 0;
+  size_t mod_i = 0;
+  for (const RequestEvent& req : load.requests) {
+    while (mod_i < load.modifications.size() && load.modifications[mod_i].at <= req.at) {
+      const ModificationEvent& m = load.modifications[mod_i];
+      engine.RunUntil(m.at);
+      server.ModifyObject(m.object_index, m.at, m.new_size);
+      ++mod_i;
+    }
+    engine.RunUntil(req.at);
+    if (!measuring && req.at >= warmup_end) {
+      server.ResetStats();
+      cache.ResetStats();
+      measuring = true;
+    }
+    cache.HandleRequest(static_cast<ObjectId>(req.object_index), req.at);
+  }
+  while (mod_i < load.modifications.size()) {
+    const ModificationEvent& m = load.modifications[mod_i];
+    engine.RunUntil(m.at);
+    server.ModifyObject(m.object_index, m.at, m.new_size);
+    ++mod_i;
+  }
+  // Drain trailing redelivery timers and restarts. Bounded by the horizon:
+  // a flush timer for a permanently dark cache reschedules forever and must
+  // not spin the run loop.
+  engine.RunUntil(horizon);
+
+  SimulationResult result;
+  result.workload_name = load.name;
+  result.policy_desc = cache.policy().Describe();
+  result.server = server.stats();
+  result.cache = cache.stats();
+  result.metrics = ComputeMetrics(result.server, result.cache);
+  return result;
+}
+
+}  // namespace
+
 SimulationResult RunSimulation(const Workload& load, const SimulationConfig& config) {
   WEBCC_CHECK(load.Validate().empty()) << "workload failed validation";
+
+  if (config.faults.Enabled()) {
+    return RunFaultedSimulation(load, config);
+  }
 
   OriginServer server;
   for (const ObjectSpec& spec : load.objects) {

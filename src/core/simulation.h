@@ -22,6 +22,7 @@
 #include "src/cache/policy_factory.h"
 #include "src/cache/proxy_cache.h"
 #include "src/core/metrics.h"
+#include "src/sim/fault_plan.h"
 #include "src/workload/workload.h"
 
 namespace webcc {
@@ -36,6 +37,11 @@ struct SimulationConfig {
   // request at or after it — the standard way to exclude cold-start
   // transients without preloading.
   SimDuration warmup = SimDuration(0);
+  // Fault injection (src/sim/fault_plan.h). When faults.Enabled() is false
+  // the replay takes the original engine-free path, byte-for-byte; when
+  // enabled, the run rides a SimEngine so loss, downtime, crash/restart, and
+  // invalidation redelivery are scheduled deterministically from the seed.
+  FaultConfig faults;
 
   static SimulationConfig Base(PolicyConfig policy);
   static SimulationConfig Optimized(PolicyConfig policy);

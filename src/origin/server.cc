@@ -55,7 +55,16 @@ CacheId OriginServer::RegisterCache(InvalidationSink* sink) {
   const CacheId id = static_cast<CacheId>(sinks_.size());
   sinks_.push_back(sink);
   subscriptions_.emplace_back();
+  pending_.emplace_back();
+  pending_flag_.emplace_back();
   return id;
+}
+
+CacheId OriginServer::IdOf(const InvalidationSink* sink) const {
+  for (CacheId id = 0; id < sinks_.size(); ++id) {
+    if (sinks_[id] == sink) return id;
+  }
+  return kInvalidCacheId;
 }
 
 void OriginServer::Subscribe(CacheId cache, ObjectId object) {
@@ -95,6 +104,10 @@ void OriginServer::ModifyObject(ObjectId id, SimTime at, int64_t new_size) {
 }
 
 void OriginServer::SendInvalidation(CacheId cache, ObjectId id, SimTime now, bool is_retry) {
+  if (faults_ != nullptr && faults_->enabled()) {
+    FaultedSend(cache, id, now, /*from_queue=*/is_retry);
+    return;
+  }
   ++stats_.invalidations_sent;
   if (is_retry) {
     ++stats_.invalidation_retries;
@@ -111,6 +124,102 @@ void OriginServer::SendInvalidation(CacheId cache, ObjectId id, SimTime now, boo
       SendInvalidation(cache, id, engine_->Now(), /*is_retry=*/true);
     });
   }
+}
+
+void OriginServer::FaultedSend(CacheId cache, ObjectId id, SimTime now, bool from_queue) {
+  if (!faults_->ServerUp(now)) {
+    // The origin itself is down: nothing goes on the wire; park the notice.
+    EnqueuePending(cache, id);
+    return;
+  }
+  ++stats_.invalidations_sent;
+  if (from_queue) {
+    ++stats_.invalidation_retries;
+  }
+  stats_.bytes_sent += ControlWireBytes();
+  if (faults_->LoseMessage()) {
+    ++stats_.invalidations_lost;
+    EnqueuePending(cache, id);
+    return;
+  }
+  const SimDuration jitter = faults_->Jitter();
+  if (jitter > SimDuration(0) && engine_ != nullptr) {
+    engine_->ScheduleAfter(jitter, [this, cache, id, from_queue] {
+      if (sinks_[cache]->DeliverInvalidation(id, engine_->Now())) {
+        if (from_queue) ++stats_.invalidations_redelivered;
+      } else {
+        EnqueuePending(cache, id);
+      }
+    });
+    return;
+  }
+  if (sinks_[cache]->DeliverInvalidation(id, now)) {
+    if (from_queue) ++stats_.invalidations_redelivered;
+    return;
+  }
+  EnqueuePending(cache, id);
+}
+
+void OriginServer::EnqueuePending(CacheId cache, ObjectId id) {
+  WEBCC_CHECK_LT(cache, pending_.size());
+  auto& flags = pending_flag_[cache];
+  if (id >= flags.size()) {
+    flags.resize(id + 1, false);
+  }
+  if (flags[id]) {
+    return;  // a notice for this object is already queued for this cache
+  }
+  flags[id] = true;
+  pending_[cache].push_back(id);
+  ++stats_.invalidations_queued;
+  ArmFlushTimer();
+}
+
+void OriginServer::ArmFlushTimer() {
+  if (engine_ == nullptr || flush_timer_armed_) {
+    return;
+  }
+  flush_timer_armed_ = true;
+  engine_->ScheduleAfter(retry_interval_, [this] {
+    flush_timer_armed_ = false;
+    const SimTime now = engine_->Now();
+    for (CacheId cache = 0; cache < sinks_.size(); ++cache) {
+      FlushPending(cache, now);
+    }
+    if (PendingInvalidations() > 0) {
+      ArmFlushTimer();  // something still stuck; keep trying (paper §1)
+    }
+  });
+}
+
+void OriginServer::FlushPending(CacheId cache, SimTime now) {
+  WEBCC_CHECK_LT(cache, pending_.size());
+  std::vector<ObjectId> batch;
+  batch.swap(pending_[cache]);
+  for (const ObjectId id : batch) {
+    pending_flag_[cache][id] = false;
+  }
+  for (const ObjectId id : batch) {
+    // Skip notices the cache no longer cares about (it dropped or
+    // revalidated the object while partitioned).
+    if (!IsSubscribed(cache, id)) {
+      continue;
+    }
+    SendInvalidation(cache, id, now, /*is_retry=*/true);
+  }
+}
+
+void OriginServer::NoteCacheContact(CacheId cache, SimTime now) {
+  if (pending_.empty()) {
+    return;
+  }
+  FlushPending(cache, now);
+}
+
+size_t OriginServer::PendingInvalidations() const {
+  size_t total = 0;
+  for (const auto& queue : pending_) total += queue.size();
+  return total;
 }
 
 }  // namespace webcc

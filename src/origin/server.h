@@ -20,6 +20,7 @@
 #include "src/http/message.h"
 #include "src/origin/object_store.h"
 #include "src/sim/engine.h"
+#include "src/sim/fault_plan.h"
 #include "src/util/sim_time.h"
 
 namespace webcc {
@@ -46,6 +47,11 @@ struct ServerStats {
   uint64_t ims_not_modified = 0;    // of which answered 304 Not Modified
   uint64_t invalidations_sent = 0;  // invalidation notices, incl. retries
   uint64_t invalidation_retries = 0;
+  // Fault accounting: notices lost in transit, notices parked in the
+  // per-cache pending queues, and queued notices later delivered.
+  uint64_t invalidations_lost = 0;
+  uint64_t invalidations_queued = 0;
+  uint64_t invalidations_redelivered = 0;
   uint64_t files_transferred = 0;   // document bodies shipped
   int64_t bytes_sent = 0;           // server -> cache
   int64_t bytes_received = 0;       // cache -> server (requests, queries)
@@ -105,6 +111,24 @@ class OriginServer {
   // Registers a cache for invalidation callbacks; returns its id.
   CacheId RegisterCache(InvalidationSink* sink);
 
+  // Reverse lookup for callers (the fault simulator) that hold the sink but
+  // not the id. kInvalidCacheId when the sink was never registered.
+  CacheId IdOf(const InvalidationSink* sink) const;
+
+  // Arms fault injection on the invalidation path: notices pass a loss draw
+  // and a server-uptime check, undeliverable ones are queued per cache
+  // (deduplicated — a second change to a queued object is one notice) and
+  // re-driven on a retry_interval timer. Null disarms. Plan must outlive us.
+  void ArmFaults(FaultPlan* plan) { faults_ = plan; }
+
+  // A cache got back in touch (reconnect/restart): immediately re-drive its
+  // queued invalidations instead of waiting out the retry timer. Paper §1:
+  // the server "must continue trying to reach it".
+  void NoteCacheContact(CacheId cache, SimTime now);
+
+  // Invalidations currently parked across all per-cache queues.
+  size_t PendingInvalidations() const;
+
   // Marks that `cache` holds `object`; future changes trigger a callback.
   void Subscribe(CacheId cache, ObjectId object);
   void Unsubscribe(CacheId cache, ObjectId object);
@@ -123,15 +147,25 @@ class OriginServer {
 
  private:
   void SendInvalidation(CacheId cache, ObjectId id, SimTime now, bool is_retry);
+  // Fault-path transmit: loss draw, uptime check, optional jitter delay.
+  // Failures end up in the pending queue; `from_queue` marks redeliveries.
+  void FaultedSend(CacheId cache, ObjectId id, SimTime now, bool from_queue);
+  void EnqueuePending(CacheId cache, ObjectId id);
+  void FlushPending(CacheId cache, SimTime now);
+  void ArmFlushTimer();
 
   SimEngine* engine_;
   SimDuration retry_interval_;
   ExpiresProvider expires_provider_;
   ObjectStore store_;
   ServerStats stats_;
+  FaultPlan* faults_ = nullptr;
   std::vector<InvalidationSink*> sinks_;             // indexed by CacheId
   std::vector<std::vector<bool>> subscriptions_;     // [cache][object]
   size_t subscription_count_ = 0;
+  std::vector<std::vector<ObjectId>> pending_;       // per-cache FIFO of queued notices
+  std::vector<std::vector<bool>> pending_flag_;      // per-cache dedup for pending_
+  bool flush_timer_armed_ = false;
 };
 
 }  // namespace webcc

@@ -1,0 +1,120 @@
+#include "src/sim/fault_plan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace webcc {
+
+namespace {
+
+// Distinct SplitMix64 stream tags so loss, jitter, and window generation use
+// unrelated substreams of the one user-visible seed.
+constexpr uint64_t kLossStream = 0x6c6f7373;    // "loss"
+constexpr uint64_t kJitterStream = 0x6a697474;  // "jitt"
+constexpr uint64_t kWindowStream = 0x77696e64;  // "wind"
+
+uint64_t SubSeed(uint64_t seed, uint64_t tag) {
+  SplitMix64 mix(seed ^ (tag * 0x9e3779b97f4a7c15ULL));
+  return mix.Next();
+}
+
+// Merges overlapping/adjacent windows into a sorted disjoint list.
+std::vector<DowntimeWindow> Normalize(std::vector<DowntimeWindow> windows) {
+  std::erase_if(windows, [](const DowntimeWindow& w) { return w.end <= w.start; });
+  std::sort(windows.begin(), windows.end(), [](const DowntimeWindow& a, const DowntimeWindow& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.end < b.end;
+  });
+  std::vector<DowntimeWindow> merged;
+  for (const DowntimeWindow& w : windows) {
+    if (!merged.empty() && w.start <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, w.end);
+    } else {
+      merged.push_back(w);
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
+SimDuration RetryPolicy::BackoffAfter(int failed) const {
+  WEBCC_CHECK(failed >= 1) << "BackoffAfter: attempt index is 1-based";
+  double backoff = static_cast<double>(initial_backoff.seconds());
+  for (int i = 1; i < failed; ++i) {
+    backoff *= backoff_multiplier;
+    if (backoff >= static_cast<double>(max_backoff.seconds())) break;
+  }
+  const double capped = std::min(backoff, static_cast<double>(max_backoff.seconds()));
+  return SecondsF(capped);
+}
+
+bool FaultConfig::Enabled() const {
+  return armed || loss_rate > 0.0 || jitter_max > SimDuration(0) || !server_downtime.empty() ||
+         (server_mtbf > SimDuration(0) && server_mttr > SimDuration(0)) || !cache_crashes.empty();
+}
+
+FaultPlan::FaultPlan(const FaultConfig& config, SimTime horizon)
+    : config_(config),
+      loss_rng_(SubSeed(config.seed, kLossStream)),
+      jitter_rng_(SubSeed(config.seed, kJitterStream)) {
+  WEBCC_CHECK(config_.loss_rate >= 0.0 && config_.loss_rate <= 1.0)
+      << "FaultConfig.loss_rate must be in [0, 1]";
+  WEBCC_CHECK(config_.jitter_max >= SimDuration(0)) << "FaultConfig.jitter_max must be >= 0";
+  std::vector<DowntimeWindow> windows = config_.server_downtime;
+  if (config_.server_mtbf > SimDuration(0) && config_.server_mttr > SimDuration(0)) {
+    // Alternating exponential up/down process from its own substream, so
+    // toggling loss or jitter never re-rolls the downtime schedule.
+    Rng window_rng(SubSeed(config_.seed, kWindowStream));
+    SimTime t = SimTime::Epoch();
+    while (t < horizon) {
+      const double up = window_rng.Exponential(static_cast<double>(config_.server_mtbf.seconds()));
+      const double down = window_rng.Exponential(static_cast<double>(config_.server_mttr.seconds()));
+      const SimTime start = t + SecondsF(up);
+      if (start >= horizon) break;
+      const SimTime end = std::min(horizon, start + std::max(Seconds(1), SecondsF(down)));
+      windows.push_back({start, end});
+      t = end;
+    }
+  }
+  windows_ = Normalize(std::move(windows));
+  // Crash events must be ordered for the simulator's schedule walk.
+  std::sort(config_.cache_crashes.begin(), config_.cache_crashes.end(),
+            [](const CacheCrashEvent& a, const CacheCrashEvent& b) { return a.at < b.at; });
+}
+
+bool FaultPlan::ServerUp(SimTime t) const {
+  // Find the first window ending after t; t is down iff that window started.
+  auto it = std::upper_bound(windows_.begin(), windows_.end(), t,
+                             [](SimTime at, const DowntimeWindow& w) { return at < w.end; });
+  return it == windows_.end() || t < it->start;
+}
+
+SimTime FaultPlan::NextServerUp(SimTime t) const {
+  auto it = std::upper_bound(windows_.begin(), windows_.end(), t,
+                             [](SimTime at, const DowntimeWindow& w) { return at < w.end; });
+  if (it == windows_.end() || t < it->start) return t;
+  return it->end;
+}
+
+bool FaultPlan::LoseMessage() {
+  if (config_.loss_rate <= 0.0) return false;  // no draw: arming stays a no-op
+  const bool lost = loss_rng_.Bernoulli(config_.loss_rate);
+  if (lost) ++messages_lost_;
+  return lost;
+}
+
+SimDuration FaultPlan::Jitter() {
+  if (config_.jitter_max <= SimDuration(0)) return SimDuration(0);
+  return Seconds(jitter_rng_.UniformInt(0, config_.jitter_max.seconds()));
+}
+
+int64_t FaultPlan::TotalDowntimeSeconds() const {
+  int64_t total = 0;
+  for (const DowntimeWindow& w : windows_) total += (w.end - w.start).seconds();
+  return total;
+}
+
+}  // namespace webcc

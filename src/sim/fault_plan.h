@@ -1,0 +1,179 @@
+// Deterministic fault injection (paper §1/§6 made measurable).
+//
+// The invalidation protocol is perfectly consistent only while every notice
+// is delivered and every endpoint is reachable; the paper names unreachable
+// caches and server failures as its weakness but the simulator modeled a
+// perfect network. FaultPlan supplies the imperfect one: seeded per-message
+// loss on the cache<->origin link, delivery-latency jitter, origin-server
+// downtime windows (explicit or generated from MTBF/MTTR), and cache
+// crash/restart events recovered through the snapshot machinery.
+//
+// Determinism argument: a FaultPlan is constructed per simulation run from a
+// 64-bit seed and consulted only from that run's single-threaded event
+// order, with independent forked RNG substreams for window generation,
+// message loss, and jitter. Equal (config, workload) therefore reproduces
+// every fault decision bit-for-bit, for any --jobs count — sweep workers own
+// disjoint runs and never share a plan. The no-op guarantee (an armed plan
+// with all knobs zero changes nothing) is asserted field-exactly in
+// tests/core/fault_simulation_test.cc.
+
+#ifndef WEBCC_SRC_SIM_FAULT_PLAN_H_
+#define WEBCC_SRC_SIM_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/sim_time.h"
+
+namespace webcc {
+
+// Half-open span [start, end) during which the origin answers nothing.
+struct DowntimeWindow {
+  SimTime start;
+  SimTime end;
+
+  bool Contains(SimTime t) const { return start <= t && t < end; }
+};
+
+// A cache crash at `at`; the cache is dark for `outage`, then restarts and
+// recovers from its last on-disk snapshot.
+struct CacheCrashEvent {
+  SimTime at;
+  SimDuration outage = Minutes(10);
+};
+
+// Bounded retry with exponential backoff, the upstreams' answer to a lossy
+// link. One exchange = one request plus one reply, each of which can be
+// lost; a lost exchange costs `timeout` before the next attempt is sent.
+struct RetryPolicy {
+  int max_attempts = 4;  // total tries; 1 = no retry
+  SimDuration timeout = Seconds(4);
+  SimDuration initial_backoff = Seconds(2);
+  double backoff_multiplier = 2.0;
+  SimDuration max_backoff = Minutes(2);
+
+  // Backoff after the `failed`-th failed attempt (1-based): a capped
+  // exponential initial_backoff * multiplier^(failed-1).
+  [[nodiscard]] SimDuration BackoffAfter(int failed) const;
+};
+
+// How a restarted cache treats its recovered snapshot. Mirrors
+// SnapshotRecovery (src/cache/snapshot.h) plus a lost-disk mode; its own
+// enum because the sim layer sits below the cache layer.
+enum class CrashRecovery {
+  kAuto,           // revalidate-all for invalidation policies, trust otherwise
+  kTrustSnapshot,  // restore validity exactly as saved
+  kRevalidateAll,  // conservative: first touch revalidates every entry
+  kColdStart,      // the disk died with the process: restart empty
+};
+
+struct FaultConfig {
+  // Arms the fault machinery even when every knob is zero — used by the
+  // no-op property tests; Enabled() is what the simulators consult.
+  bool armed = false;
+  uint64_t seed = 0x5eedFA17;
+
+  // Per-message loss probability on the cache<->origin link (requests,
+  // replies, and invalidation notices alike).
+  double loss_rate = 0.0;
+
+  // Extra delivery latency for invalidation notices, uniform in
+  // [0, jitter_max]. Zero = synchronous delivery (the pre-fault model).
+  SimDuration jitter_max = SimDuration(0);
+
+  // Origin downtime: explicit windows, and/or windows generated from an
+  // exponential failure/repair process (both zero = none generated).
+  std::vector<DowntimeWindow> server_downtime;
+  SimDuration server_mtbf = SimDuration(0);  // mean time between failures
+  SimDuration server_mttr = SimDuration(0);  // mean time to repair
+
+  // Cache crash/restart schedule.
+  std::vector<CacheCrashEvent> cache_crashes;
+  CrashRecovery crash_recovery = CrashRecovery::kAuto;
+
+  RetryPolicy retry;
+  // Server-side redelivery cadence for queued invalidations.
+  SimDuration invalidation_retry_interval = Minutes(5);
+
+  [[nodiscard]] bool Enabled() const;
+};
+
+// The materialized fault schedule for one run. Single-threaded use only —
+// one plan per simulated world, exactly like the engine it rides on.
+class FaultPlan {
+ public:
+  // `horizon` bounds generated downtime windows; pass the workload horizon.
+  FaultPlan(const FaultConfig& config, SimTime horizon);
+
+  const FaultConfig& config() const { return config_; }
+  [[nodiscard]] bool enabled() const { return config_.Enabled(); }
+
+  // Merged, sorted, non-overlapping origin downtime.
+  const std::vector<DowntimeWindow>& server_downtime() const { return windows_; }
+  const std::vector<CacheCrashEvent>& cache_crashes() const { return config_.cache_crashes; }
+
+  [[nodiscard]] bool ServerUp(SimTime t) const;
+  // Earliest time >= t at which the origin is up (t itself when up).
+  [[nodiscard]] SimTime NextServerUp(SimTime t) const;
+
+  // One per-message loss draw. Never draws when loss_rate == 0, so arming
+  // the plan with loss disabled is a true no-op.
+  [[nodiscard]] bool LoseMessage();
+
+  // One delivery-jitter draw in [0, jitter_max]; zero when disabled.
+  [[nodiscard]] SimDuration Jitter();
+
+  // Totals for reports and tests.
+  [[nodiscard]] uint64_t messages_lost() const { return messages_lost_; }
+  [[nodiscard]] int64_t TotalDowntimeSeconds() const;
+
+ private:
+  FaultConfig config_;
+  std::vector<DowntimeWindow> windows_;
+  Rng loss_rng_;
+  Rng jitter_rng_;
+  uint64_t messages_lost_ = 0;
+};
+
+// Outcome of driving one request/reply exchange through the fault model.
+struct ExchangeOutcome {
+  bool ok = false;        // a reply made it back within the retry budget
+  int attempts = 1;       // exchanges sent (retries = attempts - 1)
+  SimDuration elapsed;    // timeouts + backoff accumulated before the verdict
+};
+
+// Runs one upstream exchange under `plan` with the plan's bounded retry.
+// `fetch(at)` performs the server-side work for an attempt whose request got
+// through at time `at`; it may run several times (a reply lost after the
+// server processed the request is re-asked — exactly how a real retransmit
+// duplicates server work), and only the last invocation's result counts.
+template <typename Fetch>
+ExchangeOutcome RunFaultedExchange(FaultPlan& plan, SimTime now, Fetch&& fetch) {
+  const RetryPolicy& retry = plan.config().retry;
+  ExchangeOutcome out;
+  SimDuration elapsed(0);
+  const int budget = retry.max_attempts < 1 ? 1 : retry.max_attempts;
+  for (int attempt = 1; attempt <= budget; ++attempt) {
+    out.attempts = attempt;
+    const SimTime at = now + elapsed;
+    if (plan.ServerUp(at) && !plan.LoseMessage()) {
+      fetch(at);
+      if (!plan.LoseMessage()) {
+        out.ok = true;
+        out.elapsed = elapsed;
+        return out;
+      }
+    }
+    elapsed += retry.timeout;
+    if (attempt < budget) {
+      elapsed += retry.BackoffAfter(attempt);
+    }
+  }
+  out.elapsed = elapsed;
+  return out;
+}
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_SIM_FAULT_PLAN_H_

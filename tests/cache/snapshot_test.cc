@@ -131,28 +131,91 @@ TEST_F(SnapshotTest, FileRoundTrip) {
   EXPECT_TRUE(restored->Contains(a_));
 }
 
+namespace {
+constexpr const char* kMagic = "#webcc-cache-snapshot v1\n";
+}
+
 TEST_F(SnapshotTest, ParseErrorsReported) {
   auto cache = MakeCache(PolicyConfig::Ttl(Hours(1)));
   SnapshotParseError error;
 
-  std::istringstream bad_fields("1 2 3\n");
+  std::istringstream bad_fields(std::string(kMagic) + "1 2 3\n");
   EXPECT_EQ(LoadCacheSnapshot(*cache, bad_fields, SnapshotRecovery::kTrustSnapshot, &error), -1);
   EXPECT_NE(error.message.find("9 fields"), std::string::npos);
 
-  std::istringstream bad_type("0 99 100 1 0 0 0 0 1\n");
+  std::istringstream bad_type(std::string(kMagic) + "0 99 100 1 0 0 0 0 1\n");
   EXPECT_EQ(LoadCacheSnapshot(*cache, bad_type, SnapshotRecovery::kTrustSnapshot, &error), -1);
   EXPECT_NE(error.message.find("type"), std::string::npos);
 
-  std::istringstream bad_int("0 1 xyz 1 0 0 0 0 1\n");
+  std::istringstream bad_int(std::string(kMagic) + "0 1 xyz 1 0 0 0 0 1\n");
   EXPECT_EQ(LoadCacheSnapshot(*cache, bad_int, SnapshotRecovery::kTrustSnapshot, &error), -1);
 
-  std::istringstream bad_valid("0 1 100 1 0 0 0 0 7\n");
+  std::istringstream bad_valid(std::string(kMagic) + "0 1 100 1 0 0 0 0 7\n");
   EXPECT_EQ(LoadCacheSnapshot(*cache, bad_valid, SnapshotRecovery::kTrustSnapshot, &error), -1);
+
+  std::istringstream bad_id(std::string(kMagic) + "-4 1 100 1 0 0 0 0 1\n");
+  EXPECT_EQ(LoadCacheSnapshot(*cache, bad_id, SnapshotRecovery::kTrustSnapshot, &error), -1);
+  EXPECT_NE(error.message.find("object id"), std::string::npos);
 
   EXPECT_EQ(LoadCacheSnapshotFile(*cache, "/nonexistent/x", SnapshotRecovery::kTrustSnapshot,
                                   &error),
             -1);
   EXPECT_NE(error.message.find("cannot open"), std::string::npos);
+  EXPECT_EQ(cache->EntryCount(), 0u);  // every failure left the cache untouched
+}
+
+TEST_F(SnapshotTest, MissingMagicHeaderRejected) {
+  auto cache = MakeCache(PolicyConfig::Ttl(Hours(1)));
+  SnapshotParseError error;
+  // A valid-looking entry line, but the file does not announce itself as a
+  // snapshot — e.g. someone pointed the loader at the wrong file.
+  std::istringstream no_header("0 1 100 1 0 0 0 0 1\n");
+  EXPECT_EQ(LoadCacheSnapshot(*cache, no_header, SnapshotRecovery::kTrustSnapshot, &error), -1);
+  EXPECT_NE(error.message.find("header"), std::string::npos);
+  EXPECT_EQ(cache->EntryCount(), 0u);
+
+  std::istringstream empty("");
+  EXPECT_EQ(LoadCacheSnapshot(*cache, empty, SnapshotRecovery::kTrustSnapshot, &error), -1);
+  EXPECT_NE(error.message.find("header"), std::string::npos);
+}
+
+TEST_F(SnapshotTest, TruncatedFileLeavesNoPartialState) {
+  // The regression this guards: a snapshot cut off mid-line used to restore
+  // every entry before the corruption and then fail, leaving the cache half
+  // loaded with no way to tell.
+  auto cache = MakeCache(PolicyConfig::Ttl(Hours(1)));
+  SnapshotParseError error;
+  std::istringstream truncated(std::string(kMagic) +
+                               "0 1 100 1 0 0 0 0 1\n"
+                               "1 1 200 1 0 0 0\n");  // line chopped mid-record
+  EXPECT_EQ(LoadCacheSnapshot(*cache, truncated, SnapshotRecovery::kTrustSnapshot, &error), -1);
+  EXPECT_EQ(error.line, 3u);
+  EXPECT_EQ(cache->EntryCount(), 0u);  // the good first line was NOT installed
+  EXPECT_EQ(cache->StoredBytes(), 0);
+}
+
+TEST_F(SnapshotTest, DuplicateObjectIdRejectedGracefully) {
+  // Used to die on a WEBCC_CHECK inside RestoreEntry (after installing the
+  // first copy); now a diagnostic parse error with the cache untouched.
+  auto cache = MakeCache(PolicyConfig::Ttl(Hours(1)));
+  SnapshotParseError error;
+  std::istringstream duplicate(std::string(kMagic) +
+                               "0 1 100 1 0 0 0 0 1\n"
+                               "0 1 100 1 0 0 0 0 1\n");
+  EXPECT_EQ(LoadCacheSnapshot(*cache, duplicate, SnapshotRecovery::kTrustSnapshot, &error), -1);
+  EXPECT_NE(error.message.find("duplicate"), std::string::npos);
+  EXPECT_EQ(error.line, 3u);
+  EXPECT_EQ(cache->EntryCount(), 0u);
+}
+
+TEST_F(SnapshotTest, AlreadyCachedObjectRejectedGracefully) {
+  auto cache = MakeCache(PolicyConfig::Ttl(Hours(48)));
+  cache->HandleRequest(a_, SimTime::Epoch());  // live entry for object 0
+  SnapshotParseError error;
+  std::istringstream clash(std::string(kMagic) + "0 1 100 1 0 0 0 0 1\n");
+  EXPECT_EQ(LoadCacheSnapshot(*cache, clash, SnapshotRecovery::kTrustSnapshot, &error), -1);
+  EXPECT_NE(error.message.find("already cached"), std::string::npos);
+  EXPECT_EQ(cache->EntryCount(), 1u);  // the live entry survives unmodified
 }
 
 TEST_F(SnapshotTest, EmptySnapshotRestoresNothing) {

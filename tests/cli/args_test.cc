@@ -82,5 +82,39 @@ TEST(ArgParserTest, ValueMayContainEquals) {
   EXPECT_EQ(args.GetString("query", ""), "a=b");
 }
 
+TEST(ArgParserTest, DurationUnits) {
+  ArgParser args({"--a=90s", "--b=15m", "--c=1.5h", "--d=2d", "--e=45"});
+  EXPECT_EQ(args.GetDuration("a", SimDuration(0)), Seconds(90));
+  EXPECT_EQ(args.GetDuration("b", SimDuration(0)), Minutes(15));
+  EXPECT_EQ(args.GetDuration("c", SimDuration(0)), Seconds(5400));
+  EXPECT_EQ(args.GetDuration("d", SimDuration(0)), Days(2));
+  EXPECT_EQ(args.GetDuration("e", SimDuration(0)), Seconds(45));  // bare number = seconds
+  EXPECT_TRUE(args.ok());
+}
+
+TEST(ArgParserTest, DurationDefaultsWhenAbsent) {
+  ArgParser args({});
+  EXPECT_EQ(args.GetDuration("missing", Minutes(5)), Minutes(5));
+  EXPECT_TRUE(args.ok());
+}
+
+TEST(ArgParserTest, DurationRejectsMalformedInput) {
+  const std::vector<std::string> bad = {"-5s", "abc", "5q",    "s",   "",
+                                        "nan", "inf", "1e30d", "--5m", "infs"};
+  for (const std::string& text : bad) {
+    ArgParser args({"--t=" + text});
+    args.GetDuration("t", SimDuration(0));
+    EXPECT_FALSE(args.ok()) << "accepted '" << text << "'";
+    EXPECT_NE(args.error().find("duration"), std::string::npos) << text;
+  }
+}
+
+TEST(ArgParserTest, DurationRejectsOverflow) {
+  // 5e18 seconds overflows the int64 timeline budget even before unit scaling.
+  ArgParser args({"--t=5000000000000000000"});
+  args.GetDuration("t", SimDuration(0));
+  EXPECT_FALSE(args.ok());
+}
+
 }  // namespace
 }  // namespace webcc

@@ -1,5 +1,6 @@
 #include "src/cli/driver.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -165,6 +166,66 @@ TEST(CliDriverTest, UnknownFlagRejected) {
   const CliResult result = RunCli({"--workload=fas", "--tresshold=5"});
   EXPECT_EQ(result.code, 2);
   EXPECT_NE(result.err.find("--tresshold"), std::string::npos);
+}
+
+TEST(CliDriverTest, NumericFlagBoundsRejected) {
+  // Each bad flag must produce exit code 2 and a one-line diagnostic on
+  // stderr — never a crash, a silent clamp, or a garbage run.
+  struct Case {
+    std::vector<std::string> args;
+    const char* expect_in_err;
+  };
+  const std::vector<Case> cases = {
+      {{"--workload=fas", "--jobs=-1"}, "--jobs"},
+      {{"--workload=fas", "--jobs=5000"}, "--jobs"},
+      {{"--workload=fas", "--jobs=99999999999999999999"}, "--jobs"},  // overflows int64
+      {{"--workload=fas", "--jobs=two"}, "--jobs"},
+      {{"--workload=fas", "--capacity-bytes=-5"}, "--capacity-bytes"},
+      {{"--workload=fas", "--loss-rate=1.5"}, "--loss-rate"},
+      {{"--workload=fas", "--loss-rate=-0.1"}, "--loss-rate"},
+      {{"--workload=fas", "--retry-max=0"}, "--retry-max"},
+      {{"--workload=fas", "--retry-max=101"}, "--retry-max"},
+      {{"--workload=fas", "--recovery=sideways"}, "--recovery"},
+      {{"--workload=fas", "--mtbf=1h"}, "--mttr"},  // must be given together
+      {{"--workload=fas", "--policy=invalidation", "--lease=-3h"}, "duration"},
+      {{"--workload=fas", "--retry-timeout=abc"}, "duration"},
+      {{"--workload=fas", "--downtime=5q"}, "duration"},
+  };
+  for (const Case& c : cases) {
+    const CliResult result = RunCli(c.args);
+    EXPECT_EQ(result.code, 2) << c.args.back();
+    EXPECT_NE(result.err.find(c.expect_in_err), std::string::npos)
+        << c.args.back() << " -> " << result.err;
+    EXPECT_LE(std::count(result.err.begin(), result.err.end(), '\n'), 2)
+        << "diagnostic should be short: " << result.err;
+  }
+}
+
+TEST(CliDriverTest, FaultRunPrintsFailureSummary) {
+  const CliResult result = RunCli({"--files=50", "--days=5", "--rps=0.02",
+                                   "--policy=invalidation", "--loss-rate=0.1",
+                                   "--cache-crash=2d"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("faults:"), std::string::npos) << result.out;
+  EXPECT_NE(result.out.find("crashes=1"), std::string::npos) << result.out;
+}
+
+TEST(CliDriverTest, FaultRunsAreSeedReproducible) {
+  const std::vector<std::string> args = {"--files=50", "--days=5",  "--rps=0.02",
+                                         "--policy=invalidation",  "--loss-rate=0.2",
+                                         "--fault-seed=99",        "--downtime-start=1d",
+                                         "--downtime=6h"};
+  const CliResult first = RunCli(args);
+  const CliResult second = RunCli(args);
+  EXPECT_EQ(first.code, 0) << first.err;
+  EXPECT_EQ(first.out, second.out);
+}
+
+TEST(CliDriverTest, LeaseFlagChangesInvalidationDescription) {
+  const CliResult result =
+      RunCli({"--workload=fas", "--policy=invalidation", "--lease=12h"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("invalidation(lease=12h 0m 0s)"), std::string::npos) << result.out;
 }
 
 TEST(CliDriverTest, CapacityFlagPlumbs) {

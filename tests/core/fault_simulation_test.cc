@@ -1,0 +1,274 @@
+// End-to-end tests of the fault-injected simulation path: the armed-but-idle
+// no-op property, fixed-seed reproducibility, and the observable behaviours
+// of loss, downtime, and crash/restart (docs/ROBUSTNESS.md).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/simulation.h"
+#include "src/workload/campus.h"
+
+namespace webcc {
+namespace {
+
+SimTime At(int64_t hours) { return SimTime::Epoch() + Hours(hours); }
+
+// One 6000-byte object modified at hour 10, requests at hours 1, 2, 12, 20
+// (the same micro-workload the accounting tests hand-verify).
+Workload MicroWorkload(std::vector<int64_t> request_hours = {1, 2, 12, 20}) {
+  Workload load;
+  load.name = "micro";
+  load.objects.push_back(ObjectSpec{"/m.html", FileType::kHtml, 6000, Days(10)});
+  load.horizon = SimTime::Epoch() + Days(2);
+  load.modifications.push_back(ModificationEvent{At(10), 0, -1});
+  for (int64_t h : request_hours) {
+    load.requests.push_back(RequestEvent{At(h), 0, 0, false});
+  }
+  load.Finalize();
+  return load;
+}
+
+// Field-exact comparison across both endpoints' accounting and the derived
+// metrics. Every counter the simulator can produce is asserted, so a fault
+// path that silently perturbs ANY statistic fails loudly.
+void ExpectIdenticalResults(const SimulationResult& a, const SimulationResult& b) {
+  EXPECT_EQ(a.policy_desc, b.policy_desc);
+
+  EXPECT_EQ(a.server.get_requests, b.server.get_requests);
+  EXPECT_EQ(a.server.ims_queries, b.server.ims_queries);
+  EXPECT_EQ(a.server.ims_not_modified, b.server.ims_not_modified);
+  EXPECT_EQ(a.server.invalidations_sent, b.server.invalidations_sent);
+  EXPECT_EQ(a.server.invalidation_retries, b.server.invalidation_retries);
+  EXPECT_EQ(a.server.invalidations_lost, b.server.invalidations_lost);
+  EXPECT_EQ(a.server.invalidations_queued, b.server.invalidations_queued);
+  EXPECT_EQ(a.server.invalidations_redelivered, b.server.invalidations_redelivered);
+  EXPECT_EQ(a.server.files_transferred, b.server.files_transferred);
+  EXPECT_EQ(a.server.bytes_sent, b.server.bytes_sent);
+  EXPECT_EQ(a.server.bytes_received, b.server.bytes_received);
+
+  EXPECT_EQ(a.cache.requests, b.cache.requests);
+  EXPECT_EQ(a.cache.hits_fresh, b.cache.hits_fresh);
+  EXPECT_EQ(a.cache.hits_validated, b.cache.hits_validated);
+  EXPECT_EQ(a.cache.misses_cold, b.cache.misses_cold);
+  EXPECT_EQ(a.cache.misses_refetched, b.cache.misses_refetched);
+  EXPECT_EQ(a.cache.stale_hits, b.cache.stale_hits);
+  EXPECT_EQ(a.cache.validations_sent, b.cache.validations_sent);
+  EXPECT_EQ(a.cache.full_fetches, b.cache.full_fetches);
+  EXPECT_EQ(a.cache.invalidations_received, b.cache.invalidations_received);
+  EXPECT_EQ(a.cache.invalidations_dropped, b.cache.invalidations_dropped);
+  EXPECT_EQ(a.cache.evictions, b.cache.evictions);
+  EXPECT_EQ(a.cache.upstream_retries, b.cache.upstream_retries);
+  EXPECT_EQ(a.cache.retry_wait_seconds, b.cache.retry_wait_seconds);
+  EXPECT_EQ(a.cache.degraded_serves, b.cache.degraded_serves);
+  EXPECT_EQ(a.cache.failed_requests, b.cache.failed_requests);
+  EXPECT_EQ(a.cache.crashes, b.cache.crashes);
+  EXPECT_EQ(a.cache.unavailable_seconds, b.cache.unavailable_seconds);
+  EXPECT_EQ(a.cache.bytes_to_upstream, b.cache.bytes_to_upstream);
+  EXPECT_EQ(a.cache.bytes_from_upstream, b.cache.bytes_from_upstream);
+  EXPECT_EQ(a.cache.total_hops, b.cache.total_hops);
+  EXPECT_EQ(a.cache.max_hops, b.cache.max_hops);
+  for (size_t t = 0; t < a.cache.by_type.size(); ++t) {
+    EXPECT_EQ(a.cache.by_type[t].requests, b.cache.by_type[t].requests) << t;
+    EXPECT_EQ(a.cache.by_type[t].stale_hits, b.cache.by_type[t].stale_hits) << t;
+    EXPECT_EQ(a.cache.by_type[t].misses, b.cache.by_type[t].misses) << t;
+    EXPECT_EQ(a.cache.by_type[t].validations, b.cache.by_type[t].validations) << t;
+    EXPECT_EQ(a.cache.by_type[t].payload_bytes, b.cache.by_type[t].payload_bytes) << t;
+  }
+
+  EXPECT_EQ(a.metrics.requests, b.metrics.requests);
+  EXPECT_EQ(a.metrics.cache_misses, b.metrics.cache_misses);
+  EXPECT_EQ(a.metrics.stale_hits, b.metrics.stale_hits);
+  EXPECT_EQ(a.metrics.validations, b.metrics.validations);
+  EXPECT_EQ(a.metrics.invalidations, b.metrics.invalidations);
+  EXPECT_EQ(a.metrics.files_transferred, b.metrics.files_transferred);
+  EXPECT_EQ(a.metrics.server_operations, b.metrics.server_operations);
+  EXPECT_EQ(a.metrics.control_bytes, b.metrics.control_bytes);
+  EXPECT_EQ(a.metrics.payload_bytes, b.metrics.payload_bytes);
+  EXPECT_EQ(a.metrics.total_bytes, b.metrics.total_bytes);
+  EXPECT_DOUBLE_EQ(a.metrics.mean_round_trips, b.metrics.mean_round_trips);
+  EXPECT_EQ(a.metrics.degraded_serves, b.metrics.degraded_serves);
+  EXPECT_EQ(a.metrics.failed_requests, b.metrics.failed_requests);
+  EXPECT_EQ(a.metrics.upstream_retries, b.metrics.upstream_retries);
+  EXPECT_EQ(a.metrics.invalidations_lost, b.metrics.invalidations_lost);
+  EXPECT_EQ(a.metrics.invalidations_queued, b.metrics.invalidations_queued);
+  EXPECT_EQ(a.metrics.invalidations_redelivered, b.metrics.invalidations_redelivered);
+  EXPECT_EQ(a.metrics.cache_crashes, b.metrics.cache_crashes);
+  EXPECT_EQ(a.metrics.unavailable_seconds, b.metrics.unavailable_seconds);
+  EXPECT_EQ(a.metrics.retry_wait_seconds, b.metrics.retry_wait_seconds);
+}
+
+// The headline no-op property: arming the fault machinery with every knob at
+// zero must be invisible — the event-queue replay produces the exact same
+// statistics as the plain merge-walk, for every policy and retrieval mode.
+TEST(FaultNoOpPropertyTest, ArmedZeroFaultsMatchFaultFreePathExactly) {
+  const Workload campus = GenerateCampusWorkload(CampusServerProfile::Fas()).workload;
+  const Workload micro = MicroWorkload();
+  const std::vector<PolicyConfig> policies = {
+      PolicyConfig::Ttl(Hours(5)), PolicyConfig::Alex(0.1), PolicyConfig::Invalidation()};
+  for (const Workload* load : {&micro, &campus}) {
+    for (const PolicyConfig& policy : policies) {
+      for (const bool base : {false, true}) {
+        SimulationConfig plain =
+            base ? SimulationConfig::Base(policy) : SimulationConfig::Optimized(policy);
+        SimulationConfig armed = plain;
+        armed.faults.armed = true;  // every knob still zero
+        ASSERT_FALSE(plain.faults.Enabled());
+        ASSERT_TRUE(armed.faults.Enabled());
+        const SimulationResult want = RunSimulation(*load, plain);
+        const SimulationResult got = RunSimulation(*load, armed);
+        SCOPED_TRACE(load->name + " / " + policy.Describe() + (base ? " / base" : " / optimized"));
+        ExpectIdenticalResults(want, got);
+      }
+    }
+  }
+}
+
+TEST(FaultSimulationTest, FixedSeedRunsAreBitReproducible) {
+  const Workload load = GenerateCampusWorkload(CampusServerProfile::Fas()).workload;
+  SimulationConfig config = SimulationConfig::Optimized(PolicyConfig::Invalidation());
+  config.faults.loss_rate = 0.3;
+  config.faults.seed = 42;
+  config.faults.server_downtime.push_back({At(24), At(30)});
+  config.faults.cache_crashes.push_back({At(48), Hours(1)});
+  const SimulationResult first = RunSimulation(load, config);
+  const SimulationResult second = RunSimulation(load, config);
+  ExpectIdenticalResults(first, second);
+  EXPECT_GT(first.metrics.upstream_retries, 0u);  // the faults actually fired
+}
+
+TEST(FaultSimulationTest, LossCausesRetriesAndRetryWait) {
+  const Workload load = GenerateCampusWorkload(CampusServerProfile::Fas()).workload;
+  SimulationConfig config = SimulationConfig::Optimized(PolicyConfig::Ttl(Hours(10)));
+  config.faults.loss_rate = 0.3;
+  const SimulationResult result = RunSimulation(load, config);
+  EXPECT_GT(result.metrics.upstream_retries, 0u);
+  EXPECT_GT(result.metrics.retry_wait_seconds, 0);
+  // Retransmitted control messages cost real wire bytes: the faulted run
+  // must be strictly more expensive than the clean one.
+  SimulationConfig clean = config;
+  clean.faults = FaultConfig{};
+  EXPECT_GT(result.cache.bytes_to_upstream, RunSimulation(load, clean).cache.bytes_to_upstream);
+}
+
+TEST(FaultSimulationTest, TotalLossDegradesToLocalServes) {
+  // Every exchange fails: the h12 and h20 TTL refreshes cannot reach the
+  // origin, so the cache serves its (by then stale) local copy and flags it.
+  SimulationConfig config = SimulationConfig::Optimized(PolicyConfig::Ttl(Hours(5)));
+  config.faults.loss_rate = 1.0;
+  const SimulationResult result = RunSimulation(MicroWorkload(), config);
+  EXPECT_EQ(result.metrics.degraded_serves, 2u);
+  EXPECT_GE(result.metrics.stale_hits, 1u);  // the h12 serve is oracle-stale
+  EXPECT_EQ(result.metrics.cache_misses, 0u);
+  EXPECT_EQ(result.server.get_requests, 0u);
+}
+
+TEST(FaultSimulationTest, DowntimeQueuesInvalidationsAndRedelivers) {
+  // Origin down for [h9, h11): the h10 invalidation cannot be sent, is
+  // parked, and the redelivery timer flushes it once the origin is back —
+  // before the h12 request, which therefore re-fetches instead of serving
+  // stale.
+  SimulationConfig config = SimulationConfig::Optimized(PolicyConfig::Invalidation());
+  config.faults.server_downtime.push_back({At(9), At(11)});
+  const SimulationResult result = RunSimulation(MicroWorkload(), config);
+  EXPECT_GE(result.metrics.invalidations_queued, 1u);
+  EXPECT_GE(result.metrics.invalidations_redelivered, 1u);
+  EXPECT_EQ(result.metrics.stale_hits, 0u);
+  EXPECT_EQ(result.metrics.cache_misses, 1u);  // the h12 refetch
+}
+
+TEST(FaultSimulationTest, LostInvalidationCausesBoundedStaleWindow) {
+  // The notice itself is lost in transit (counted), parked, and redriven by
+  // the retry timer 5 minutes later — the cache is stale only inside that
+  // window, and the h12 request already sees the redelivered notice.
+  SimulationConfig config = SimulationConfig::Optimized(PolicyConfig::Invalidation());
+  config.faults.loss_rate = 1.0;
+  config.faults.retry.max_attempts = 1;  // keep fetch accounting simple
+  // Only the h10 invalidation talks upstream in this schedule before h12;
+  // all requests before the change are free local hits.
+  const SimulationResult result = RunSimulation(MicroWorkload({1, 2}), config);
+  EXPECT_GE(result.metrics.invalidations_lost, 1u);
+  EXPECT_GE(result.metrics.invalidations_queued, 1u);
+  EXPECT_EQ(result.metrics.stale_hits, 0u);  // no request fell in the window
+}
+
+TEST(FaultSimulationTest, CrashDuringOutageFailsRequestsAndCounts) {
+  SimulationConfig config = SimulationConfig::Optimized(PolicyConfig::Ttl(Hours(48)));
+  config.faults.cache_crashes.push_back({At(5), Hours(1)});
+  // Request in the middle of the outage (hour 5.5 = minute 330).
+  Workload load = MicroWorkload({1, 12, 20});
+  load.requests.push_back(RequestEvent{SimTime::Epoch() + Minutes(330), 0, 0, false});
+  load.Finalize();
+  const SimulationResult result = RunSimulation(load, config);
+  EXPECT_EQ(result.metrics.cache_crashes, 1u);
+  EXPECT_EQ(result.metrics.failed_requests, 1u);
+  EXPECT_EQ(result.metrics.unavailable_seconds, Hours(1).seconds());
+}
+
+TEST(FaultSimulationTest, TrustSnapshotRecoveryServesWithoutTraffic) {
+  // TTL 48h: the snapshot restored at h6 still covers the h12 request, so a
+  // trusted recovery serves it locally (stale: the h10 change is invisible).
+  SimulationConfig config = SimulationConfig::Optimized(PolicyConfig::Ttl(Hours(48)));
+  config.faults.cache_crashes.push_back({At(5), Hours(1)});
+  config.faults.crash_recovery = CrashRecovery::kTrustSnapshot;
+  const SimulationResult result = RunSimulation(MicroWorkload(), config);
+  EXPECT_EQ(result.metrics.cache_misses, 0u);
+  EXPECT_GE(result.metrics.stale_hits, 1u);
+  EXPECT_EQ(result.server.get_requests, 0u);
+}
+
+TEST(FaultSimulationTest, RevalidateAllRecoveryIssuesConditionalGets) {
+  SimulationConfig config = SimulationConfig::Optimized(PolicyConfig::Ttl(Hours(48)));
+  config.faults.cache_crashes.push_back({At(5), Hours(1)});
+  config.faults.crash_recovery = CrashRecovery::kRevalidateAll;
+  const SimulationResult result = RunSimulation(MicroWorkload(), config);
+  // h12: revalidation catches the h10 change (full body over IMS).
+  EXPECT_EQ(result.metrics.validations, 1u);
+  EXPECT_EQ(result.metrics.cache_misses, 1u);
+  EXPECT_EQ(result.metrics.stale_hits, 0u);
+}
+
+TEST(FaultSimulationTest, ColdStartRecoveryRefetchesEverything) {
+  SimulationConfig config = SimulationConfig::Optimized(PolicyConfig::Ttl(Hours(48)));
+  config.faults.cache_crashes.push_back({At(5), Hours(1)});
+  config.faults.crash_recovery = CrashRecovery::kColdStart;
+  const SimulationResult result = RunSimulation(MicroWorkload(), config);
+  EXPECT_GE(result.cache.misses_cold, 1u);  // h12 starts from an empty cache
+  EXPECT_EQ(result.metrics.stale_hits, 0u);
+}
+
+TEST(FaultSimulationTest, AutoRecoveryIsConservativeForInvalidation) {
+  // §6: after a crash an invalidation cache cannot know which notices it
+  // missed while dark (here: the h5.5 change), so kAuto revalidates all.
+  SimulationConfig config = SimulationConfig::Optimized(PolicyConfig::Invalidation());
+  config.faults.cache_crashes.push_back({At(5), Hours(1)});
+  Workload load = MicroWorkload();
+  load.modifications.push_back(ModificationEvent{SimTime::Epoch() + Minutes(330), 0, -1});
+  load.Finalize();
+  const SimulationResult result = RunSimulation(load, config);
+  EXPECT_EQ(result.metrics.stale_hits, 0u);
+  // The undeliverable mid-outage notice was parked and redriven at restart.
+  EXPECT_GE(result.metrics.invalidations_queued, 1u);
+  EXPECT_GE(result.metrics.invalidations_redelivered, 1u);
+}
+
+TEST(FaultSimulationTest, LeaseTurnsSilentStalenessIntoDegradedServes) {
+  // Origin dark for [h9, h13): the h10 notice is undeliverable and the h12
+  // request falls inside the partition. Plain invalidation trusts its copy
+  // and serves silently stale; a 1-hour lease has expired by h12, so the
+  // cache tries to revalidate, fails, and at least flags the serve.
+  Workload load = MicroWorkload();
+  SimulationConfig silent = SimulationConfig::Optimized(PolicyConfig::Invalidation());
+  silent.faults.server_downtime.push_back({At(9), At(13)});
+  const SimulationResult trusting = RunSimulation(load, silent);
+  EXPECT_GE(trusting.metrics.stale_hits, 1u);
+  EXPECT_EQ(trusting.metrics.degraded_serves, 0u);  // silent: nobody noticed
+
+  SimulationConfig leased = silent;
+  leased.policy = PolicyConfig::Invalidation(Hours(1));
+  const SimulationResult hedged = RunSimulation(load, leased);
+  EXPECT_GE(hedged.metrics.degraded_serves, 1u);  // detected, not silent
+}
+
+}  // namespace
+}  // namespace webcc

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/core/experiment.h"
 #include "src/workload/worrell.h"
 
 namespace webcc {
@@ -36,6 +37,15 @@ void ExpectSameMetrics(const ConsistencyMetrics& a, const ConsistencyMetrics& b,
   EXPECT_EQ(a.payload_bytes, b.payload_bytes) << where;
   EXPECT_EQ(a.total_bytes, b.total_bytes) << where;
   EXPECT_EQ(a.mean_round_trips, b.mean_round_trips) << where;
+  EXPECT_EQ(a.degraded_serves, b.degraded_serves) << where;
+  EXPECT_EQ(a.failed_requests, b.failed_requests) << where;
+  EXPECT_EQ(a.upstream_retries, b.upstream_retries) << where;
+  EXPECT_EQ(a.invalidations_lost, b.invalidations_lost) << where;
+  EXPECT_EQ(a.invalidations_queued, b.invalidations_queued) << where;
+  EXPECT_EQ(a.invalidations_redelivered, b.invalidations_redelivered) << where;
+  EXPECT_EQ(a.cache_crashes, b.cache_crashes) << where;
+  EXPECT_EQ(a.unavailable_seconds, b.unavailable_seconds) << where;
+  EXPECT_EQ(a.retry_wait_seconds, b.retry_wait_seconds) << where;
 }
 
 void ExpectSameSeries(const SweepSeries& a, const SweepSeries& b) {
@@ -75,6 +85,20 @@ TEST(SweepRunnerTest, TtlSweepParallelMatchesSerialExactly) {
 
   ExpectSameSeries(serial.SweepTtlHours(load, config, axis),
                    parallel.SweepTtlHours(load, config, axis));
+}
+
+TEST(SweepRunnerTest, LossRateSweepParallelMatchesSerialExactly) {
+  // The fault plan is owned per sweep point, so a faulted sweep must stay
+  // bit-identical across jobs counts exactly like the clean ones — including
+  // every failure-aware counter.
+  const Workload load = TinyWorkload();
+  SimulationConfig config = SimulationConfig::Optimized(PolicyConfig::Invalidation());
+  config.faults.server_downtime.push_back(
+      {SimTime::Epoch() + Days(2), SimTime::Epoch() + Days(2) + Hours(6)});
+  const std::vector<double> axis = {0, 0.05, 0.2, 0.5};
+
+  ExpectSameSeries(SweepLossRate(load, config, axis, /*jobs=*/1),
+                   SweepLossRate(load, config, axis, /*jobs=*/8));
 }
 
 TEST(SweepRunnerTest, MatchesFreeFunctionEntryPoints) {

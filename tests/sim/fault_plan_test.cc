@@ -1,0 +1,162 @@
+#include "src/sim/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+namespace webcc {
+namespace {
+
+SimTime At(int64_t hours) { return SimTime::Epoch() + Hours(hours); }
+
+TEST(FaultPlanTest, DowntimeWindowsMergedAndSorted) {
+  FaultConfig config;
+  config.server_downtime = {
+      {At(10), At(12)},
+      {At(1), At(3)},
+      {At(2), At(5)},    // overlaps [1,3) -> merged into [1,5)
+      {At(5), At(6)},    // touches [1,5) -> merged into [1,6)
+      {At(20), At(20)},  // empty -> dropped
+  };
+  FaultPlan plan(config, At(100));
+  const auto& windows = plan.server_downtime();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].start, At(1));
+  EXPECT_EQ(windows[0].end, At(6));
+  EXPECT_EQ(windows[1].start, At(10));
+  EXPECT_EQ(windows[1].end, At(12));
+  EXPECT_EQ(plan.TotalDowntimeSeconds(), Hours(7).seconds());
+}
+
+TEST(FaultPlanTest, ServerUpAndNextServerUp) {
+  FaultConfig config;
+  config.server_downtime = {{At(2), At(4)}};
+  FaultPlan plan(config, At(100));
+  EXPECT_TRUE(plan.ServerUp(At(1)));
+  EXPECT_FALSE(plan.ServerUp(At(2)));   // half-open: down at start
+  EXPECT_FALSE(plan.ServerUp(At(3)));
+  EXPECT_TRUE(plan.ServerUp(At(4)));    // up again at end
+  EXPECT_EQ(plan.NextServerUp(At(1)), At(1));
+  EXPECT_EQ(plan.NextServerUp(At(3)), At(4));
+}
+
+TEST(FaultPlanTest, ZeroLossRateNeverLosesAndNeverDraws) {
+  FaultConfig config;
+  config.armed = true;  // armed but loss disabled
+  FaultPlan plan(config, At(100));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(plan.LoseMessage());
+  }
+  EXPECT_EQ(plan.messages_lost(), 0u);
+}
+
+TEST(FaultPlanTest, CertainLossAlwaysLoses) {
+  FaultConfig config;
+  config.loss_rate = 1.0;
+  FaultPlan plan(config, At(100));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(plan.LoseMessage());
+  }
+  EXPECT_EQ(plan.messages_lost(), 100u);
+}
+
+TEST(FaultPlanTest, LossSequenceIsSeedDeterministic) {
+  FaultConfig config;
+  config.loss_rate = 0.5;
+  config.seed = 1234;
+  FaultPlan a(config, At(100));
+  FaultPlan b(config, At(100));
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(a.LoseMessage(), b.LoseMessage()) << "draw " << i;
+  }
+}
+
+TEST(FaultPlanTest, GeneratedWindowsDeterministicAndBounded) {
+  FaultConfig config;
+  config.server_mtbf = Days(1);
+  config.server_mttr = Hours(2);
+  const SimTime horizon = At(24 * 30);
+  FaultPlan a(config, horizon);
+  FaultPlan b(config, horizon);
+  ASSERT_FALSE(a.server_downtime().empty());
+  ASSERT_EQ(a.server_downtime().size(), b.server_downtime().size());
+  SimTime last_end = SimTime::Epoch();
+  for (size_t i = 0; i < a.server_downtime().size(); ++i) {
+    const DowntimeWindow& w = a.server_downtime()[i];
+    EXPECT_EQ(w.start, b.server_downtime()[i].start);
+    EXPECT_EQ(w.end, b.server_downtime()[i].end);
+    EXPECT_GE(w.start, last_end);     // sorted, non-overlapping
+    EXPECT_LT(w.start, w.end);        // non-empty
+    EXPECT_LE(w.end, horizon);        // bounded by the horizon
+    last_end = w.end;
+  }
+}
+
+TEST(FaultPlanTest, BackoffIsCappedExponential) {
+  RetryPolicy retry;
+  retry.initial_backoff = Seconds(2);
+  retry.backoff_multiplier = 2.0;
+  retry.max_backoff = Minutes(2);
+  EXPECT_EQ(retry.BackoffAfter(1), Seconds(2));
+  EXPECT_EQ(retry.BackoffAfter(2), Seconds(4));
+  EXPECT_EQ(retry.BackoffAfter(3), Seconds(8));
+  EXPECT_EQ(retry.BackoffAfter(6), Seconds(64));
+  EXPECT_EQ(retry.BackoffAfter(7), Minutes(2));   // 128s clipped to the cap
+  EXPECT_EQ(retry.BackoffAfter(40), Minutes(2));  // no overflow past the cap
+}
+
+TEST(FaultPlanTest, ExchangeSucceedsFirstTryOnCleanLink) {
+  FaultConfig config;
+  config.armed = true;
+  FaultPlan plan(config, At(100));
+  int fetches = 0;
+  const ExchangeOutcome out =
+      RunFaultedExchange(plan, At(1), [&](SimTime) { ++fetches; });
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.attempts, 1);
+  EXPECT_EQ(out.elapsed, SimDuration(0));
+  EXPECT_EQ(fetches, 1);
+}
+
+TEST(FaultPlanTest, ExchangeExhaustsRetryBudgetOnDeadLink) {
+  FaultConfig config;
+  config.loss_rate = 1.0;
+  config.retry.max_attempts = 4;
+  config.retry.timeout = Seconds(4);
+  config.retry.initial_backoff = Seconds(2);
+  FaultPlan plan(config, At(1));
+  int fetches = 0;
+  const ExchangeOutcome out =
+      RunFaultedExchange(plan, At(1), [&](SimTime) { ++fetches; });
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.attempts, 4);
+  EXPECT_EQ(fetches, 0);  // no request ever reached the server
+  // 4 timeouts plus backoff after the first three failures: 2 + 4 + 8.
+  EXPECT_EQ(out.elapsed, Seconds(4 * 4 + 2 + 4 + 8));
+}
+
+TEST(FaultPlanTest, ExchangeFailsWithoutFetchDuringDowntime) {
+  FaultConfig config;
+  config.server_downtime = {{At(0), At(24)}};
+  FaultPlan plan(config, At(100));
+  int fetches = 0;
+  const ExchangeOutcome out =
+      RunFaultedExchange(plan, At(1), [&](SimTime) { ++fetches; });
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(fetches, 0);
+  EXPECT_EQ(plan.messages_lost(), 0u);  // downtime is not message loss
+}
+
+TEST(FaultPlanTest, EnabledReflectsKnobs) {
+  FaultConfig config;
+  EXPECT_FALSE(config.Enabled());
+  config.armed = true;
+  EXPECT_TRUE(config.Enabled());
+  config.armed = false;
+  config.loss_rate = 0.01;
+  EXPECT_TRUE(config.Enabled());
+  config.loss_rate = 0.0;
+  config.cache_crashes.push_back({At(5), Minutes(10)});
+  EXPECT_TRUE(config.Enabled());
+}
+
+}  // namespace
+}  // namespace webcc

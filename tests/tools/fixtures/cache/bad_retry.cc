@@ -1,0 +1,37 @@
+// Lint fixture: unbounded retry loops and ignored upstream error returns.
+// Lives under a cache/ path so the upstream-code rules apply.
+
+struct Upstream {
+  bool FetchFull(int id);
+  bool FetchIfModified(int id);
+  bool DeliverInvalidation(int id);
+};
+
+void Bad(Upstream& up) {
+  while (true) {  // BAD: unbounded-retry
+    if (up.FetchFull(1)) {  // fine: result drives the branch
+      break;
+    }
+  }
+  while (1) {  // BAD: unbounded-retry
+    break;
+  }
+  for (;;) {  // BAD: unbounded-retry
+    break;
+  }
+  up.FetchFull(2);            // BAD: ignored-upstream-error
+  up.DeliverInvalidation(3);  // BAD: ignored-upstream-error
+}
+
+void Good(Upstream& up) {
+  for (int attempt = 0; attempt < 4; ++attempt) {  // bounded: fine
+    if (up.FetchIfModified(4)) {
+      break;
+    }
+  }
+  const bool ok = up.DeliverInvalidation(5);  // result captured: fine
+  (void)ok;
+  while (up.FetchFull(6)) {  // condition consumes the result: fine
+    break;
+  }
+}

@@ -154,6 +154,39 @@ TEST(LintTest, SuppressionIsRuleSpecific) {
   EXPECT_EQ(vs[0].rule, "banned-random");
 }
 
+TEST(LintTest, FlagsUnboundedRetryOnlyInUpstreamCode) {
+  EXPECT_TRUE(HasRule(LintOne("src/cache/foo.cc", "while (true) { Retry(); }\n"),
+                      "unbounded-retry"));
+  EXPECT_TRUE(HasRule(LintOne("src/origin/foo.cc", "for (;;) { Retry(); }\n"),
+                      "unbounded-retry"));
+  // Event loops elsewhere are allowed to spin until drained.
+  EXPECT_FALSE(HasRule(LintOne("src/sim/engine.cc", "while (true) { Step(); }\n"),
+                       "unbounded-retry"));
+  // A bounded loop is fine where it matters.
+  EXPECT_FALSE(HasRule(
+      LintOne("src/cache/foo.cc", "for (int i = 0; i < max_attempts; ++i) { }\n"),
+      "unbounded-retry"));
+}
+
+TEST(LintTest, FlagsIgnoredUpstreamErrorReturns) {
+  EXPECT_TRUE(HasRule(LintOne("src/cache/foo.cc", "  upstream_->FetchFull(id, now);\n"),
+                      "ignored-upstream-error"));
+  EXPECT_TRUE(HasRule(LintOne("src/origin/foo.cc", "  sink->DeliverInvalidation(id, now);\n"),
+                      "ignored-upstream-error"));
+  // Any use of the result — assignment, condition, return — is fine.
+  EXPECT_FALSE(HasRule(
+      LintOne("src/cache/foo.cc", "  auto reply = upstream_->FetchFull(id, now);\n"),
+      "ignored-upstream-error"));
+  EXPECT_FALSE(HasRule(
+      LintOne("src/cache/foo.cc", "  if (sink->DeliverInvalidation(id, now)) { n++; }\n"),
+      "ignored-upstream-error"));
+  EXPECT_FALSE(HasRule(LintOne("src/cache/foo.cc", "  return FetchFull(id, now);\n"),
+                       "ignored-upstream-error"));
+  // Same statement outside cache/origin code is out of scope.
+  EXPECT_FALSE(HasRule(LintOne("src/core/foo.cc", "  upstream_->FetchFull(id, now);\n"),
+                       "ignored-upstream-error"));
+}
+
 TEST(LintTest, MissingPathReportsIoViolation) {
   const auto vs = LintPaths({"no/such/path"});
   ASSERT_EQ(vs.size(), 1u);
@@ -173,11 +206,13 @@ TEST(LintFixtureTest, FixtureTreeReportsExactlyTheBadLines) {
   EXPECT_EQ(CountRule(vs, "float-equality"), 1u);
   EXPECT_EQ(CountRule(vs, "bare-assert"), 1u);
   EXPECT_EQ(CountRule(vs, "unordered-iteration"), 3u);
+  EXPECT_EQ(CountRule(vs, "unbounded-retry"), 3u);
+  EXPECT_EQ(CountRule(vs, "ignored-upstream-error"), 2u);
   // Nothing from clean.cc, and no unexpected rules.
   for (const Violation& v : vs) {
     EXPECT_EQ(v.file.find("clean.cc"), std::string::npos) << v.file << " rule " << v.rule;
   }
-  EXPECT_EQ(vs.size(), 17u);
+  EXPECT_EQ(vs.size(), 22u);
 }
 
 }  // namespace

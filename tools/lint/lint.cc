@@ -166,6 +166,11 @@ bool AppliesToStatsCode(const std::string& path) {
 
 bool AppliesOutsideBench(const std::string& path) { return !PathContains(path, "bench/"); }
 
+// The fault-tolerant upstream/invalidation paths live in cache/ and origin/.
+bool AppliesToUpstreamCode(const std::string& path) {
+  return PathContains(path, "cache/") || PathContains(path, "origin/");
+}
+
 const std::vector<Rule>& Rules() {
   static const std::vector<Rule>* rules = new std::vector<Rule>{
       {"banned-random",
@@ -197,6 +202,20 @@ const std::vector<Rule>& Rules() {
        std::regex(R"(\bassert\s*\()"),
        "use WEBCC_CHECK (src/util/check.h): always-on and prints operand values",
        AppliesOutsideBench},
+      {"unbounded-retry",
+       std::regex(R"(\bwhile\s*\(\s*(true|1)\s*\)|\bfor\s*\(\s*;\s*;\s*\))"),
+       "retry loops in cache/origin code must be bounded by RetryPolicy.max_attempts; an "
+       "unreachable origin would spin this forever",
+       AppliesToUpstreamCode},
+      // A statement that *begins* with one of the fallible upstream calls
+      // discards its result. Conditions, assignments, and returns all prefix
+      // the call with something else and are not matched.
+      {"ignored-upstream-error",
+       std::regex(R"(^\s*[\w.>-]*(FetchFull|FetchIfModified|HandleGet|HandleConditionalGet|)"
+                  R"(DeliverInvalidation)\s*\()"),
+       "this upstream call reports failure via its return value; dropping it silently "
+       "swallows a faulted exchange — check ok/attempts or cast through a named variable",
+       AppliesToUpstreamCode},
   };
   return *rules;
 }

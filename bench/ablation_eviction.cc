@@ -17,7 +17,7 @@ int main() {
   using namespace webcc::bench;
 
   std::printf("=== Ablation: LRU capacity vs the paper's unbounded caches (HCS trace) ===\n\n");
-  const Workload load = PaperTraceWorkloads()[2];
+  const Workload& load = PaperTraceWorkloads()[2];
   const int64_t working_set = load.TotalObjectBytes();
   std::printf("working set: %s across %zu objects\n\n",
               FormatBytes(static_cast<double>(working_set)).c_str(), load.objects.size());

@@ -13,12 +13,14 @@
 #include "src/util/str.h"
 #include "src/util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace webcc;
   using namespace webcc::bench;
+  BenchSession session("ablation_fleet", argc, argv);
+  SweepRunner runner(session.jobs());
 
   std::printf("=== Ablation: one origin, N caches (paper §1 scalability) ===\n\n");
-  const Workload load = PaperTraceWorkloads()[2];  // HCS
+  const Workload& load = PaperTraceWorkloads()[2];  // HCS
 
   TextTable table;
   table.SetHeader({"caches", "Policy", "server ops", "invalidations", "peak subscriptions",
@@ -31,7 +33,7 @@ int main() {
       FleetConfig config;
       config.policy = policy;
       config.num_caches = n;
-      const FleetResult result = RunFleetSimulation(load, config);
+      const FleetResult result = RunFleetSimulation(load, config, runner);
       table.AddRow(
           {StrFormat("%u", n), name,
            StrFormat("%llu", static_cast<unsigned long long>(result.server.TotalOperations())),

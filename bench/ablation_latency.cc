@@ -17,7 +17,7 @@ int main() {
   using namespace webcc::bench;
 
   std::printf("=== Ablation: round trips per request (latency proxy) ===\n\n");
-  const Workload load = PaperTraceWorkloads()[2];  // HCS
+  const Workload& load = PaperTraceWorkloads()[2];  // HCS
 
   TextTable table;
   table.SetTitle("HCS trace, warm caches; RTT = upstream contacts per client request:");

@@ -59,7 +59,7 @@ int main() {
   using namespace webcc::bench;
 
   std::printf("=== Ablation: crash/restart recovery (paper §6) ===\n\n");
-  const Workload load = PaperTraceWorkloads()[2];  // HCS
+  const Workload& load = PaperTraceWorkloads()[2];  // HCS
   const size_t half = load.requests.size() / 2;
   const SimTime restart_at = load.requests[half].at;
 

@@ -20,7 +20,7 @@ int main() {
   using namespace webcc::bench;
 
   std::printf("=== Ablation: self-tuning per-type thresholds (paper §5) ===\n\n");
-  const std::vector<Workload> loads = PaperTraceWorkloads();
+  const std::vector<Workload>& loads = PaperTraceWorkloads();
 
   TextTable table;
   table.SetHeader({"Trace", "Policy", "Traffic (MB)", "Stale rate", "Server ops"});

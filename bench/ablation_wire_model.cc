@@ -90,7 +90,7 @@ int main() {
   // extra cost vs invalidation is purely control traffic: report the
   // break-even control size.
   std::printf("--- control-size sensitivity on the HCS trace ---\n");
-  const Workload hcs = PaperTraceWorkloads()[2];
+  const Workload& hcs = PaperTraceWorkloads()[2];
   const auto inval = RunSimulation(hcs, SimulationConfig::TraceDriven(PolicyConfig::Invalidation()));
   const auto alex = RunSimulation(hcs, SimulationConfig::TraceDriven(PolicyConfig::Alex(0.25)));
   // total(c) = payload + c * control_messages; solve for the c where Alex

@@ -33,23 +33,33 @@
 #include "src/core/sweep_runner.h"
 #include "src/util/thread_pool.h"
 #include "src/workload/campus.h"
+#include "src/workload/registry.h"
 #include "src/workload/trace.h"
 #include "src/workload/worrell.h"
 
 namespace webcc::bench {
 
 // The paper-scale Worrell workload behind Figures 2–5 (2085 files, 56 days,
-// ~1.7M requests, ~19.9k changes).
-inline Workload PaperWorrellWorkload() { return GenerateWorrellWorkload(WorrellConfig{}); }
+// ~1.7M requests, ~19.9k changes). Materialized once per process via the
+// keyed workload registry (src/workload/registry.h) — bind the result by
+// reference; repeated calls are free.
+inline const Workload& PaperWorrellWorkload() { return SharedWorrellWorkload(WorrellConfig{}); }
 
 // The three campus traces behind Figures 6–8 and Table 1, already rendered
-// to logs and recompiled (the full trace path).
-inline std::vector<Workload> PaperTraceWorkloads() {
-  std::vector<Workload> loads;
-  for (const auto& profile : CampusServerProfile::AllTable1()) {
-    loads.push_back(CompileTrace(GenerateCampusWorkload(profile).trace));
-  }
-  return loads;
+// to logs and recompiled (the full trace path). Each trace is materialized
+// once per process through the registry; the returned vector is built once
+// and lives for the process.
+inline const std::vector<Workload>& PaperTraceWorkloads() {
+  static const std::vector<Workload>* loads = [] {
+    auto* v = new std::vector<Workload>;
+    for (const auto& profile : CampusServerProfile::AllTable1()) {
+      v->push_back(SharedWorkload("campus-trace/" + profile.name, [&profile] {
+        return CompileTrace(GenerateCampusWorkload(profile).trace);
+      }));
+    }
+    return v;
+  }();
+  return *loads;
 }
 
 // Prints the table and, if WEBCC_CSV_DIR is set, also writes `<name>.csv`.

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
 
   // Part 2: a whole trace through both topologies.
   std::printf("--- full HCS trace through a 2-level hierarchy vs collapsed ---\n");
-  const Workload load = PaperTraceWorkloads()[2];  // HCS
+  const Workload& load = PaperTraceWorkloads()[2];  // HCS
   TextTable full;
   full.SetHeader({"Protocol", "hier total bytes", "collapsed total bytes",
                   "hier/collapsed", "leaf stale hits (hier)"});

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   SweepRunner runner(session.jobs());
 
   std::printf("=== Figure 2: bandwidth, base simulator (Worrell workload) ===\n\n");
-  const Workload load = PaperWorrellWorkload();
+  const Workload& load = PaperWorrellWorkload();
   std::printf("workload: %zu files, %zu requests, %zu changes over %.0f days\n\n",
               load.objects.size(), load.requests.size(), load.modifications.size(),
               (load.horizon - SimTime::Epoch()).days());

@@ -13,7 +13,7 @@ int main(int argc, char** argv) {
   SweepRunner runner(session.jobs());
 
   std::printf("=== Figure 3: miss/stale rates, base simulator (Worrell workload) ===\n\n");
-  const Workload load = PaperWorrellWorkload();
+  const Workload& load = PaperWorrellWorkload();
 
   const auto config = SimulationConfig::Base(PolicyConfig::Invalidation());
   const auto inval = RunInvalidation(load, config);

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   SweepRunner runner(session.jobs());
 
   std::printf("=== Figure 4: bandwidth, optimized simulator (Worrell workload) ===\n\n");
-  const Workload load = PaperWorrellWorkload();
+  const Workload& load = PaperWorrellWorkload();
 
   const auto config = SimulationConfig::Optimized(PolicyConfig::Invalidation());
   const auto inval = RunInvalidation(load, config);

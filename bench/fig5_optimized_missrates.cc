@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
   SweepRunner runner(session.jobs());
 
   std::printf("=== Figure 5: miss/stale rates, optimized simulator (Worrell workload) ===\n\n");
-  const Workload load = PaperWorrellWorkload();
+  const Workload& load = PaperWorrellWorkload();
 
   const auto config = SimulationConfig::Optimized(PolicyConfig::Invalidation());
   const auto inval = RunInvalidation(load, config);

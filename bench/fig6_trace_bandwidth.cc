@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
   SweepRunner runner(session.jobs());
 
   std::printf("=== Figure 6: bandwidth, trace-driven simulator (DAS/FAS/HCS average) ===\n\n");
-  const std::vector<Workload> loads = PaperTraceWorkloads();
+  const std::vector<Workload>& loads = PaperTraceWorkloads();
   for (const Workload& load : loads) {
     std::printf("trace %-4s: %5zu files, %6zu requests, %4zu observed changes\n",
                 load.name.c_str(), load.objects.size(), load.requests.size(),

@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
   SweepRunner runner(session.jobs());
 
   std::printf("=== Figure 7: miss/stale rates, trace-driven simulator (DAS/FAS/HCS average) ===\n\n");
-  const std::vector<Workload> loads = PaperTraceWorkloads();
+  const std::vector<Workload>& loads = PaperTraceWorkloads();
   const auto config = SimulationConfig::TraceDriven(PolicyConfig::Invalidation());
 
   // One task grid per protocol family: every (trace, point) pair is an

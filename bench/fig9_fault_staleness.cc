@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   // trace: its ~20k changes give the invalidation protocol something to
   // lose. A real-trace FAS run has 8 changes in a month — the degradation
   // exists but hides in the fourth decimal.
-  const Workload load = PaperWorrellWorkload();
+  const Workload& load = PaperWorrellWorkload();
   std::printf("workload %s: %zu files, %zu requests, %zu changes\n\n", load.name.c_str(),
               load.objects.size(), load.requests.size(), load.modifications.size());
 

@@ -347,6 +347,15 @@ void ProxyCache::ForEachEntry(const std::function<void(const CacheEntry&)>& fn) 
   }
 }
 
+std::vector<CacheEntry> ProxyCache::SnapshotEntries() const {
+  std::vector<CacheEntry> entries;
+  entries.reserve(lru_.size());
+  for (ObjectId id : lru_) {
+    entries.push_back(entries_.at(id).entry);
+  }
+  return entries;
+}
+
 void ProxyCache::RestoreEntry(const CacheEntry& entry) {
   WEBCC_CHECK(entries_.find(entry.object) == entries_.end()) << "object already cached";
   lru_.push_back(entry.object);  // restored entries queue behind live ones

@@ -105,6 +105,13 @@ struct CacheStats {
   };
   std::array<TypeCounters, kNumFileTypes> by_type{};
 
+  // Conservation law (chaos oracle invariant 3): HandleRequest resolves
+  // every request to exactly one ServeKind, so this always equals requests.
+  uint64_t ServeKindTotal() const {
+    return hits_fresh + hits_validated + misses_cold + misses_refetched + degraded_serves +
+           failed_requests;
+  }
+
   // Paper §4.1 definition: a miss is a request that moved a body.
   uint64_t Misses() const { return misses_cold + misses_refetched; }
   uint64_t Hits() const { return hits_fresh + hits_validated; }
@@ -175,6 +182,10 @@ class ProxyCache : public InvalidationSink, public Upstream {
 
   // Visits every cached entry in LRU order (most recent first).
   void ForEachEntry(const std::function<void(const CacheEntry&)>& fn) const;
+
+  // Copies every cached entry in LRU order (most recent first) — the chaos
+  // oracle's end-of-run state capture for invariant 4 comparisons.
+  std::vector<CacheEntry> SnapshotEntries() const;
 
   // Reinstalls an entry verbatim, as snapshot recovery does after a restart.
   // Deliberately does NOT register invalidation interest with the upstream:

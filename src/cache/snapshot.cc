@@ -2,9 +2,11 @@
 
 #include <fstream>
 #include <ostream>
+#include <sstream>
 #include <unordered_set>
 #include <vector>
 
+#include "src/util/check.h"
 #include "src/util/str.h"
 
 namespace webcc {
@@ -120,6 +122,24 @@ int64_t LoadCacheSnapshot(ProxyCache& cache, std::istream& is, SnapshotRecovery 
     cache.RestoreEntry(entry);
   }
   return static_cast<int64_t>(entries.size());
+}
+
+int64_t SnapshotCrashCycle(ProxyCache& cache, SimTime now, SnapshotRecovery recovery,
+                           bool cold_start) {
+  std::stringstream snapshot;
+  SaveCacheSnapshot(cache, snapshot);
+  cache.Crash(now);
+  cache.Restart(now);
+  if (cold_start) {
+    return 0;
+  }
+  SnapshotParseError error;
+  const int64_t restored = LoadCacheSnapshot(cache, snapshot, recovery, &error);
+  // We wrote this snapshot ourselves an instant ago; failing to reload it is
+  // a bug in the save/load pair, not a recoverable runtime condition.
+  WEBCC_CHECK(restored >= 0) << "SnapshotCrashCycle: reload failed at line " << error.line << ": "
+                             << error.message;
+  return restored;
 }
 
 int64_t LoadCacheSnapshotFile(ProxyCache& cache, const std::string& path,

@@ -54,6 +54,16 @@ int64_t LoadCacheSnapshot(ProxyCache& cache, std::istream& is, SnapshotRecovery 
 int64_t LoadCacheSnapshotFile(ProxyCache& cache, const std::string& path,
                               SnapshotRecovery recovery, SnapshotParseError* error = nullptr);
 
+// Instantaneous crash/restore cycle at `now`: snapshot the entry metadata,
+// Crash(), Restart() in the same simulated instant, then reload the snapshot
+// per `recovery` (nothing is reloaded when `cold_start` — the disk died with
+// the process). This is the chaos harness's arbitrary-event-index crash hook
+// (FaultConfig::snapshot_crash_request): because no simulated time passes,
+// an uninterrupted run over the same workload must land in a field-identical
+// state — the oracle's invariant 4. Returns the number of entries restored.
+int64_t SnapshotCrashCycle(ProxyCache& cache, SimTime now, SnapshotRecovery recovery,
+                           bool cold_start);
+
 }  // namespace webcc
 
 #endif  // WEBCC_SRC_CACHE_SNAPSHOT_H_

@@ -1,0 +1,429 @@
+#include "src/chaos/campaign.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "src/chaos/shrinker.h"
+#include "src/core/sweep_runner.h"
+#include "src/util/check.h"
+#include "src/util/str.h"
+#include "src/workload/registry.h"
+
+namespace webcc {
+
+namespace {
+
+// Mirrors simulation.cc's WorkloadHorizon: last scheduled event + 24h slack.
+// Window materialization must use the exact horizon the simulator derives or
+// the materialized schedule would differ from the one the run saw.
+SimTime EffectiveHorizon(const Workload& load) {
+  SimTime horizon = SimTime::Epoch();
+  if (!load.requests.empty()) {
+    horizon = std::max(horizon, load.requests.back().at);
+  }
+  if (!load.modifications.empty()) {
+    horizon = std::max(horizon, load.modifications.back().at);
+  }
+  return horizon + Hours(24);
+}
+
+// Resolves the spec's effective workload: the registry-shared stream, or a
+// truncated copy (written to `storage`) when a request limit is set.
+const Workload& ResolveWorkload(const TrialSpec& spec, Workload& storage) {
+  const Workload& shared = SharedWorrellWorkload(spec.workload);
+  if (spec.request_limit >= shared.requests.size()) {
+    return shared;
+  }
+  storage = TruncateWorkload(shared, spec.request_limit);
+  return storage;
+}
+
+}  // namespace
+
+TrialRun RunTrialChecked(const TrialSpec& spec) {
+  Workload storage;
+  const Workload& load = ResolveWorkload(spec, storage);
+
+  SimulationConfig config = spec.config;
+  ChaosOracle oracle(config);
+  config.observer = &oracle;
+  TrialRun run;
+  run.result = RunSimulation(load, config);
+  oracle.VerifyResult(run.result);
+
+  if (spec.kind == TrialKind::kCrashConsistency &&
+      spec.config.faults.snapshot_crash_request >= 0) {
+    // Invariant 4: the uninterrupted twin must be field-identical.
+    SimulationConfig baseline_config = spec.config;
+    baseline_config.faults.snapshot_crash_request = -1;
+    ChaosOracle baseline_oracle(baseline_config);
+    baseline_config.observer = &baseline_oracle;
+    const SimulationResult baseline_result = RunSimulation(load, baseline_config);
+    baseline_oracle.VerifyResult(baseline_result);
+    ChaosOracle::VerifyCrashConsistency(baseline_oracle, baseline_result, oracle, run.result);
+  }
+  return run;
+}
+
+void MaterializeFaultWindows(TrialSpec& spec) {
+  FaultConfig& faults = spec.config.faults;
+  if (faults.server_mtbf <= SimDuration(0) || faults.server_mttr <= SimDuration(0)) {
+    // One-sided configs generate nothing; normalize them to zero.
+    faults.server_mtbf = SimDuration(0);
+    faults.server_mttr = SimDuration(0);
+    return;
+  }
+  Workload storage;
+  const Workload& load = ResolveWorkload(spec, storage);
+  FaultPlan plan(faults, EffectiveHorizon(load));
+  faults.server_downtime = plan.server_downtime();
+  faults.server_mtbf = SimDuration(0);
+  faults.server_mttr = SimDuration(0);
+}
+
+CampaignResult RunChaosCampaign(const ChaosOptions& options) {
+  CampaignResult result;
+  result.trials = options.trials;
+  result.seed = options.seed;
+
+  // Phase 1: trials sharded over the pool; each worker writes only its own
+  // slot, so the violation set is --jobs-invariant.
+  struct TrialOutcome {
+    bool violated = false;
+    OracleViolation violation;
+  };
+  std::vector<TrialOutcome> outcomes(options.trials);
+  SweepRunner runner(options.jobs == 0 ? 1 : options.jobs);
+  runner.ParallelFor(options.trials, [&options, &outcomes](size_t index) {
+    const TrialSpec spec = GenerateTrial(options.seed, index);
+    const std::optional<OracleViolation> violation = ProbeTrial(spec);
+    if (violation.has_value()) {
+      outcomes[index] = TrialOutcome{true, *violation};
+    }
+  });
+
+  // Phase 2 (serial, trial order): shrink and write repro artifacts.
+  for (uint64_t index = 0; index < options.trials; ++index) {
+    if (!outcomes[index].violated) {
+      continue;
+    }
+    ChaosViolation violation;
+    violation.spec = GenerateTrial(options.seed, index);
+    violation.violation = outcomes[index].violation;
+    violation.minimal = violation.spec;
+    MaterializeFaultWindows(violation.minimal);
+    violation.minimal_violation = violation.violation;
+    if (options.shrink) {
+      ShrinkResult shrunk = ShrinkTrial(violation.spec, options.max_shrink_runs);
+      violation.shrink_runs = shrunk.runs_used;
+      if (shrunk.confirmed) {
+        violation.minimal = std::move(shrunk.minimal);
+        violation.minimal_violation = std::move(shrunk.violation);
+      }
+    }
+    if (!options.repro_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(options.repro_dir, ec);
+      const std::string path =
+          options.repro_dir +
+          StrFormat("/seed-%llu-trial-%llu.repro",
+                    static_cast<unsigned long long>(options.seed),
+                    static_cast<unsigned long long>(index));
+      std::ofstream out(path, std::ios::trunc);
+      if (out) {
+        out << RenderRepro(violation.minimal, violation.minimal_violation);
+        violation.repro_path = path;
+      }
+    }
+    result.violations.push_back(std::move(violation));
+  }
+  return result;
+}
+
+std::string CampaignResult::Summary() const {
+  std::string out = StrFormat("chaos campaign: seed=%llu trials=%llu violations=%zu\n",
+                              static_cast<unsigned long long>(seed),
+                              static_cast<unsigned long long>(trials), violations.size());
+  if (violations.empty()) {
+    out += "all invariants held\n";
+    return out;
+  }
+  for (const ChaosViolation& v : violations) {
+    out += StrFormat("\ntrial #%llu [%s] %s\n",
+                     static_cast<unsigned long long>(v.spec.index),
+                     v.violation.invariant.c_str(), v.violation.message.c_str());
+    out += "  as generated: " + v.spec.Describe() + "\n";
+    out += StrFormat("  minimal (%llu shrink runs, %llu fault events, %s requests): %s\n",
+                     static_cast<unsigned long long>(v.shrink_runs),
+                     static_cast<unsigned long long>(FaultEventCount(v.minimal)),
+                     v.minimal.request_limit == kNoRequestLimit
+                         ? "all"
+                         : StrFormat("%llu", static_cast<unsigned long long>(
+                                                 v.minimal.request_limit))
+                               .c_str(),
+                     v.minimal.Describe().c_str());
+    if (!v.repro_path.empty()) {
+      out += "  repro: " + v.repro_path + "\n";
+      out += "  replay: " + ReproCommand(v.repro_path) + "\n";
+    }
+  }
+  return out;
+}
+
+// --- Repro artifacts ------------------------------------------------------
+
+namespace {
+
+constexpr const char* kReproHeader = "#webcc-chaos-repro v1";
+constexpr const char* kFaultPlanHeader = "#webcc-fault-plan v1";
+
+std::optional<TrialKind> ParseTrialKind(const std::string& name) {
+  if (name == "clean") return TrialKind::kClean;
+  if (name == "crash") return TrialKind::kCrashConsistency;
+  if (name == "chaos") return TrialKind::kChaos;
+  return std::nullopt;
+}
+
+std::optional<PolicyKind> ParsePolicyKind(const std::string& name) {
+  if (name == "ttl") return PolicyKind::kFixedTtl;
+  if (name == "alex") return PolicyKind::kAlex;
+  if (name == "cern") return PolicyKind::kCernHttpd;
+  if (name == "invalidation") return PolicyKind::kInvalidation;
+  if (name == "adaptive") return PolicyKind::kAdaptiveTuner;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string RenderRepro(const TrialSpec& spec, const OracleViolation& violation) {
+  TrialSpec copy = spec;
+  // Repro files are always materialized: a generated downtime process would
+  // re-roll against the reader's horizon; explicit windows round-trip.
+  MaterializeFaultWindows(copy);
+
+  std::ostringstream out;
+  out << kReproHeader << "\n";
+  out << "# " << copy.Describe() << "\n";
+  out << "# violation: [" << violation.invariant << "] " << violation.message << "\n";
+  out << "invariant " << violation.invariant << "\n";
+  out << "campaign-seed " << copy.campaign_seed << "\n";
+  out << "trial-index " << copy.index << "\n";
+  out << "kind " << TrialKindName(copy.kind) << "\n";
+  if (copy.request_limit != kNoRequestLimit) {
+    out << "request-limit " << copy.request_limit << "\n";
+  }
+  const WorrellConfig& w = copy.workload;
+  out << "workload-files " << w.num_files << "\n";
+  out << "workload-duration-seconds " << w.duration.seconds() << "\n";
+  out << "workload-min-lifetime-seconds " << w.min_lifetime.seconds() << "\n";
+  out << "workload-max-lifetime-seconds " << w.max_lifetime.seconds() << "\n";
+  out << StrFormat("workload-requests-per-second %.17g\n", w.requests_per_second);
+  out << "workload-mean-file-bytes " << w.mean_file_bytes << "\n";
+  out << StrFormat("workload-size-sigma %.17g\n", w.size_sigma);
+  out << "workload-clients " << w.num_clients << "\n";
+  out << "workload-seed " << w.seed << "\n";
+  const PolicyConfig& p = copy.config.policy;
+  out << "policy-kind " << std::string(PolicyKindName(p.kind)) << "\n";
+  out << "policy-ttl-seconds " << p.ttl.seconds() << "\n";
+  out << StrFormat("policy-alex-threshold %.17g\n", p.alex_threshold);
+  out << "policy-alex-min-seconds " << p.alex_min_validity.seconds() << "\n";
+  out << "policy-alex-max-seconds " << p.alex_max_validity.seconds() << "\n";
+  out << StrFormat("policy-cern-fraction %.17g\n", p.cern_lm_fraction);
+  out << "policy-cern-default-ttl-seconds " << p.cern_default_ttl.seconds() << "\n";
+  out << "policy-lease-seconds " << p.invalidation_lease.seconds() << "\n";
+  out << "refresh "
+      << (copy.config.refresh_mode == RefreshMode::kConditionalGet ? "conditional" : "full")
+      << "\n";
+  out << "preload " << (copy.config.preload ? 1 : 0) << "\n";
+  out << "capacity-bytes " << copy.config.cache_capacity_bytes << "\n";
+  // Windows are explicit now, so the plan's horizon is never consulted.
+  FaultPlan plan(copy.config.faults, SimTime::Epoch());
+  plan.Serialize(out);
+  return out.str();
+}
+
+std::optional<TrialSpec> ParseRepro(std::istream& in, std::string* error) {
+  const auto fail = [error](size_t line, const std::string& message) {
+    if (error != nullptr) {
+      *error = StrFormat("repro line %zu: %s", line, message.c_str());
+    }
+    return std::nullopt;
+  };
+
+  TrialSpec spec;
+  std::string line;
+  size_t line_no = 0;
+  bool saw_header = false;
+  bool saw_faults = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string trimmed(Trim(line));
+    if (trimmed.empty()) {
+      continue;
+    }
+    if (!saw_header) {
+      if (trimmed != kReproHeader) {
+        return fail(line_no, "expected \"" + std::string(kReproHeader) + "\" first");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (trimmed == kFaultPlanHeader) {
+      // Hand the rest of the stream (with the header re-attached) to the
+      // fault-plan parser; its all-or-nothing verdict is ours.
+      std::stringstream rest;
+      rest << trimmed << "\n" << in.rdbuf();
+      FaultPlanParseError plan_error;
+      std::optional<FaultConfig> faults = FaultPlan::Parse(rest, &plan_error);
+      if (!faults.has_value()) {
+        return fail(line_no + plan_error.line,
+                    "embedded fault plan: " + plan_error.message);
+      }
+      spec.config.faults = *faults;
+      saw_faults = true;
+      break;
+    }
+    if (trimmed[0] == '#') {
+      continue;  // comment
+    }
+    const size_t space = trimmed.find(' ');
+    if (space == std::string::npos) {
+      return fail(line_no, "expected \"key value\"");
+    }
+    const std::string key = trimmed.substr(0, space);
+    const std::string value(Trim(trimmed.substr(space + 1)));
+    const auto as_int = [&](int64_t* dest) {
+      std::optional<int64_t> parsed = ParseInt(value);
+      if (parsed.has_value()) {
+        *dest = *parsed;
+      }
+      return parsed.has_value();
+    };
+    const auto as_double = [&](double* dest) {
+      std::optional<double> parsed = ParseDouble(value);
+      if (parsed.has_value()) {
+        *dest = *parsed;
+      }
+      return parsed.has_value();
+    };
+    int64_t n = 0;
+    double d = 0.0;
+    if (key == "invariant") {
+      continue;  // informational: which invariant this artifact reproduces
+    } else if (key == "campaign-seed") {
+      if (!as_int(&n)) return fail(line_no, "bad campaign-seed");
+      spec.campaign_seed = static_cast<uint64_t>(n);
+    } else if (key == "trial-index") {
+      if (!as_int(&n)) return fail(line_no, "bad trial-index");
+      spec.index = static_cast<uint64_t>(n);
+    } else if (key == "kind") {
+      std::optional<TrialKind> kind = ParseTrialKind(value);
+      if (!kind.has_value()) return fail(line_no, "unknown trial kind \"" + value + "\"");
+      spec.kind = *kind;
+    } else if (key == "request-limit") {
+      if (!as_int(&n) || n < 0) return fail(line_no, "bad request-limit");
+      spec.request_limit = static_cast<uint64_t>(n);
+    } else if (key == "workload-files") {
+      if (!as_int(&n) || n <= 0) return fail(line_no, "bad workload-files");
+      spec.workload.num_files = static_cast<uint32_t>(n);
+    } else if (key == "workload-duration-seconds") {
+      if (!as_int(&n) || n <= 0) return fail(line_no, "bad workload-duration-seconds");
+      spec.workload.duration = Seconds(n);
+    } else if (key == "workload-min-lifetime-seconds") {
+      if (!as_int(&n) || n < 0) return fail(line_no, "bad workload-min-lifetime-seconds");
+      spec.workload.min_lifetime = Seconds(n);
+    } else if (key == "workload-max-lifetime-seconds") {
+      if (!as_int(&n) || n < 0) return fail(line_no, "bad workload-max-lifetime-seconds");
+      spec.workload.max_lifetime = Seconds(n);
+    } else if (key == "workload-requests-per-second") {
+      if (!as_double(&d) || d <= 0.0) return fail(line_no, "bad workload-requests-per-second");
+      spec.workload.requests_per_second = d;
+    } else if (key == "workload-mean-file-bytes") {
+      if (!as_int(&n) || n <= 0) return fail(line_no, "bad workload-mean-file-bytes");
+      spec.workload.mean_file_bytes = n;
+    } else if (key == "workload-size-sigma") {
+      if (!as_double(&d) || d < 0.0) return fail(line_no, "bad workload-size-sigma");
+      spec.workload.size_sigma = d;
+    } else if (key == "workload-clients") {
+      if (!as_int(&n) || n <= 0) return fail(line_no, "bad workload-clients");
+      spec.workload.num_clients = static_cast<uint32_t>(n);
+    } else if (key == "workload-seed") {
+      if (!as_int(&n)) return fail(line_no, "bad workload-seed");
+      spec.workload.seed = static_cast<uint64_t>(n);
+    } else if (key == "policy-kind") {
+      std::optional<PolicyKind> kind = ParsePolicyKind(value);
+      if (!kind.has_value()) return fail(line_no, "unknown policy kind \"" + value + "\"");
+      spec.config.policy.kind = *kind;
+    } else if (key == "policy-ttl-seconds") {
+      if (!as_int(&n) || n < 0) return fail(line_no, "bad policy-ttl-seconds");
+      spec.config.policy.ttl = Seconds(n);
+    } else if (key == "policy-alex-threshold") {
+      if (!as_double(&d) || d < 0.0) return fail(line_no, "bad policy-alex-threshold");
+      spec.config.policy.alex_threshold = d;
+    } else if (key == "policy-alex-min-seconds") {
+      if (!as_int(&n) || n < 0) return fail(line_no, "bad policy-alex-min-seconds");
+      spec.config.policy.alex_min_validity = Seconds(n);
+    } else if (key == "policy-alex-max-seconds") {
+      if (!as_int(&n) || n < 0) return fail(line_no, "bad policy-alex-max-seconds");
+      spec.config.policy.alex_max_validity = Seconds(n);
+    } else if (key == "policy-cern-fraction") {
+      if (!as_double(&d) || d < 0.0) return fail(line_no, "bad policy-cern-fraction");
+      spec.config.policy.cern_lm_fraction = d;
+    } else if (key == "policy-cern-default-ttl-seconds") {
+      if (!as_int(&n) || n < 0) return fail(line_no, "bad policy-cern-default-ttl-seconds");
+      spec.config.policy.cern_default_ttl = Seconds(n);
+    } else if (key == "policy-lease-seconds") {
+      if (!as_int(&n)) return fail(line_no, "bad policy-lease-seconds");
+      spec.config.policy.invalidation_lease = Seconds(n);
+    } else if (key == "refresh") {
+      if (value == "conditional") {
+        spec.config.refresh_mode = RefreshMode::kConditionalGet;
+      } else if (value == "full") {
+        spec.config.refresh_mode = RefreshMode::kFullRefetch;
+      } else {
+        return fail(line_no, "unknown refresh mode \"" + value + "\"");
+      }
+    } else if (key == "preload") {
+      if (!as_int(&n) || (n != 0 && n != 1)) return fail(line_no, "bad preload");
+      spec.config.preload = n == 1;
+    } else if (key == "capacity-bytes") {
+      if (!as_int(&n) || n < 0) return fail(line_no, "bad capacity-bytes");
+      spec.config.cache_capacity_bytes = n;
+    } else {
+      return fail(line_no, "unknown key \"" + key + "\"");
+    }
+  }
+  if (!saw_header) {
+    return fail(0, "empty stream (no \"" + std::string(kReproHeader) + "\")");
+  }
+  if (!saw_faults) {
+    return fail(0, "missing embedded \"" + std::string(kFaultPlanHeader) + "\" section");
+  }
+  return spec;
+}
+
+std::string ReproCommand(const std::string& repro_path) {
+  return "webcc-chaos --replay=" + repro_path;
+}
+
+ReplayOutcome ReplayRepro(const std::string& path) {
+  ReplayOutcome outcome;
+  std::ifstream in(path);
+  if (!in) {
+    outcome.error = "could not open " + path;
+    return outcome;
+  }
+  std::optional<TrialSpec> spec = ParseRepro(in, &outcome.error);
+  if (!spec.has_value()) {
+    return outcome;
+  }
+  outcome.parsed = true;
+  outcome.description = spec->Describe();
+  outcome.violation = ProbeTrial(*spec);
+  return outcome;
+}
+
+}  // namespace webcc

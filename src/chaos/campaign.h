@@ -1,0 +1,106 @@
+// The chaos campaign: run a seeded stream of randomized trials through the
+// consistency oracle, shrink every violation to a minimal reproducer, and
+// leave a replayable artifact behind.
+//
+//   RunTrialChecked    one trial under the oracle (throws OracleViolation)
+//   RunChaosCampaign   N trials sharded over a SweepRunner pool, then a
+//                      serial shrink-and-report phase in trial order
+//   RenderRepro/ParseRepro/ReplayRepro
+//                      the "#webcc-chaos-repro v1" artifact: everything
+//                      needed to re-run a failing trial from one file
+//
+// Determinism: the campaign result is a pure function of (seed, trials) —
+// worker threads write only their own trial slot and the shrink/report phase
+// runs serially in trial order, so --jobs never changes the outcome.
+
+#ifndef WEBCC_SRC_CHAOS_CAMPAIGN_H_
+#define WEBCC_SRC_CHAOS_CAMPAIGN_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/chaos/generator.h"
+#include "src/chaos/oracle.h"
+
+namespace webcc {
+
+struct TrialRun {
+  SimulationResult result;
+};
+
+// Replays one trial with a ChaosOracle attached and verifies the result;
+// crash-consistency trials additionally run the uninterrupted twin and
+// compare field-by-field (invariant 4). Throws OracleViolation.
+TrialRun RunTrialChecked(const TrialSpec& spec);
+
+// Rewrites generated (MTBF/MTTR) downtime into the explicit window list the
+// run would have used, zeroing the generators. Behavior-preserving: windows
+// are materialized against the same horizon the simulator derives, and the
+// loss/jitter substreams depend only on the seed, which is kept. Repro files
+// are always written materialized so they round-trip exactly.
+void MaterializeFaultWindows(TrialSpec& spec);
+
+struct ChaosOptions {
+  uint64_t trials = 100;
+  uint64_t seed = 1;
+  size_t jobs = 1;
+  // Directory for repro artifacts; empty = do not write files.
+  std::string repro_dir = "chaos-repros";
+  bool shrink = true;
+  // Budget of extra simulation runs one violation's shrink may spend.
+  int max_shrink_runs = 60;
+};
+
+// One confirmed violation, as generated and as shrunk.
+struct ChaosViolation {
+  TrialSpec spec;
+  OracleViolation violation;
+  TrialSpec minimal;            // == spec when shrinking is off or failed
+  OracleViolation minimal_violation;  // same invariant as `violation`
+  uint64_t shrink_runs = 0;
+  std::string repro_path;       // written artifact ("" when repro_dir empty)
+};
+
+struct CampaignResult {
+  uint64_t trials = 0;
+  uint64_t seed = 0;
+  std::vector<ChaosViolation> violations;  // in trial-index order
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  // Deterministic human-readable report (one block per violation, with the
+  // one-line replay command).
+  [[nodiscard]] std::string Summary() const;
+};
+
+CampaignResult RunChaosCampaign(const ChaosOptions& options);
+
+// --- Repro artifacts ------------------------------------------------------
+
+// Serializes a trial (with the violation it reproduces) as a versioned
+// key/value block ending in an embedded "#webcc-fault-plan v1" section.
+std::string RenderRepro(const TrialSpec& spec, const OracleViolation& violation);
+
+// All-or-nothing parse of RenderRepro output. On failure returns nullopt and
+// describes the reason in *error (may be null).
+std::optional<TrialSpec> ParseRepro(std::istream& in, std::string* error);
+
+// The one-line command that replays a written artifact.
+std::string ReproCommand(const std::string& repro_path);
+
+struct ReplayOutcome {
+  bool parsed = false;
+  std::string error;           // parse/io failure reason when !parsed
+  std::string description;     // TrialSpec::Describe() of the parsed trial
+  // The violation the replay reproduced; nullopt = the trial now passes.
+  std::optional<OracleViolation> violation;
+};
+
+// Loads a repro file and re-runs it under the oracle.
+ReplayOutcome ReplayRepro(const std::string& path);
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_CHAOS_CAMPAIGN_H_

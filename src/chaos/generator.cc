@@ -1,0 +1,252 @@
+#include "src/chaos/generator.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+#include "src/util/str.h"
+#include "src/workload/registry.h"
+
+namespace webcc {
+
+namespace {
+
+// Fixed workload shapes: small enough that one trial replays in tens of
+// milliseconds, varied enough to cover contention (few hot files), large
+// populations, and different request densities. Crossed with kWorkloadSeeds
+// below this bounds the registry at shapes x seeds distinct streams.
+struct WorkloadShape {
+  uint32_t files;
+  int days;
+  double requests_per_second;
+  int64_t mean_bytes;
+};
+
+constexpr WorkloadShape kShapes[] = {
+    {60, 2, 0.020, 4000},   // baseline small world
+    {150, 3, 0.010, 6000},  // wide population, sparse stream
+    {40, 1, 0.050, 3000},   // dense single day
+    {200, 4, 0.008, 8000},  // long and sparse
+    {25, 2, 0.030, 2000},   // few hot files: maximal reuse and staleness
+    {80, 3, 0.020, 5000},   // mid-sized
+};
+constexpr size_t kNumShapes = sizeof(kShapes) / sizeof(kShapes[0]);
+constexpr uint64_t kWorkloadSeeds = 4;
+
+WorrellConfig SampleWorkload(Rng& rng) {
+  const WorkloadShape& shape = kShapes[static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(kNumShapes) - 1))];
+  WorrellConfig config;
+  config.num_files = shape.files;
+  config.duration = Days(shape.days);
+  // Short lifetimes relative to the duration so every trial sees a healthy
+  // modification stream (mean ~16h => files change several times).
+  config.min_lifetime = Hours(2);
+  config.max_lifetime = Hours(30);
+  config.requests_per_second = shape.requests_per_second;
+  config.mean_file_bytes = shape.mean_bytes;
+  config.size_sigma = 0.8;
+  config.num_clients = 16;
+  config.seed = 0xC0FFEEULL + static_cast<uint64_t>(rng.UniformInt(
+                                  0, static_cast<int64_t>(kWorkloadSeeds) - 1));
+  return config;
+}
+
+template <typename T, size_t N>
+const T& Pick(Rng& rng, const T (&options)[N]) {
+  return options[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(N) - 1))];
+}
+
+PolicyConfig SamplePolicy(Rng& rng, bool time_based_only) {
+  static const SimDuration kTtls[] = {Minutes(30), Hours(2), Hours(24)};
+  static const double kThresholds[] = {0.05, 0.10, 0.20};
+  static const double kFractions[] = {0.10, 0.25};
+  static const SimDuration kLeases[] = {SimDuration(0), Minutes(10), Hours(1)};
+  const int64_t top = time_based_only ? 3 : 5;
+  switch (rng.UniformInt(0, top - 1)) {
+    case 0:
+      return PolicyConfig::Ttl(Pick(rng, kTtls));
+    case 1: {
+      const double threshold = Pick(rng, kThresholds);
+      if (rng.Bernoulli(0.5)) {
+        // Squid's refresh_pattern clamp of the same rule.
+        return PolicyConfig::SquidRefreshPattern(Minutes(5), threshold, Days(3));
+      }
+      return PolicyConfig::Alex(threshold);
+    }
+    case 2:
+      return PolicyConfig::Cern(Pick(rng, kFractions), Days(2));
+    case 3:
+      return PolicyConfig::Invalidation(Pick(rng, kLeases));
+    default:
+      return PolicyConfig::Adaptive();
+  }
+}
+
+void SampleChaosFaults(Rng& rng, SimTime horizon, FaultConfig& faults) {
+  static const double kLossRates[] = {0.0, 0.01, 0.05, 0.20};
+  static const SimDuration kJitters[] = {SimDuration(0), Seconds(30), Minutes(5)};
+  faults.armed = true;
+  faults.seed = static_cast<uint64_t>(rng.UniformInt(0, (int64_t{1} << 62) - 1));
+  faults.loss_rate = Pick(rng, kLossRates);
+  faults.jitter_max = Pick(rng, kJitters);
+  if (rng.Bernoulli(0.5)) {
+    // Generated downtime process.
+    faults.server_mtbf = Hours(rng.UniformInt(3, 12));
+    faults.server_mttr = Minutes(rng.UniformInt(5, 30));
+  } else if (rng.Bernoulli(0.5)) {
+    // Explicit windows.
+    const int64_t count = rng.UniformInt(1, 3);
+    for (int64_t i = 0; i < count; ++i) {
+      const SimTime start =
+          SimTime::Epoch() + Seconds(rng.UniformInt(0, horizon.seconds()));
+      faults.server_downtime.push_back(
+          DowntimeWindow{start, start + Minutes(rng.UniformInt(10, 60))});
+    }
+  }
+  if (rng.Bernoulli(0.3)) {
+    const int64_t count = rng.UniformInt(1, 2);
+    // The engine schedules crash/restart pairs independently, and a dead
+    // cache must not crash again: keep each crash past the previous restart.
+    SimTime earliest = SimTime::Epoch();
+    for (int64_t i = 0; i < count; ++i) {
+      const int64_t slack = horizon.seconds() - (earliest - SimTime::Epoch()).seconds();
+      if (slack <= 0) {
+        break;
+      }
+      const SimTime at = earliest + Seconds(rng.UniformInt(0, slack));
+      const SimDuration outage = Minutes(rng.UniformInt(5, 30));
+      faults.cache_crashes.push_back(CacheCrashEvent{at, outage});
+      earliest = at + outage + Seconds(1);
+    }
+    static const CrashRecovery kRecoveries[] = {
+        CrashRecovery::kAuto, CrashRecovery::kTrustSnapshot, CrashRecovery::kRevalidateAll,
+        CrashRecovery::kColdStart};
+    faults.crash_recovery = Pick(rng, kRecoveries);
+  }
+}
+
+std::string FaultSummary(const FaultConfig& f) {
+  return StrFormat("loss=%.2f jitter=%llds mtbf=%lldh windows=%zu crashes=%zu scr=%lld",
+                   f.loss_rate, static_cast<long long>(f.jitter_max.seconds()),
+                   static_cast<long long>(f.server_mtbf.seconds() / 3600),
+                   f.server_downtime.size(), f.cache_crashes.size(),
+                   static_cast<long long>(f.snapshot_crash_request));
+}
+
+}  // namespace
+
+const char* TrialKindName(TrialKind kind) {
+  switch (kind) {
+    case TrialKind::kClean:
+      return "clean";
+    case TrialKind::kCrashConsistency:
+      return "crash";
+    case TrialKind::kChaos:
+      return "chaos";
+  }
+  return "?";
+}
+
+std::string TrialSpec::Describe() const {
+  std::string desc = StrFormat(
+      "trial %llu/%llu [%s] policy=%s workload=%s", static_cast<unsigned long long>(index),
+      static_cast<unsigned long long>(campaign_seed), TrialKindName(kind),
+      config.policy.Describe().c_str(), WorrellWorkloadKey(workload).c_str());
+  if (request_limit != kNoRequestLimit) {
+    desc += StrFormat(" limit=%llu", static_cast<unsigned long long>(request_limit));
+  }
+  if (config.faults.armed || config.faults.snapshot_crash_request >= 0) {
+    desc += " " + FaultSummary(config.faults);
+  }
+  return desc;
+}
+
+TrialSpec GenerateTrial(uint64_t campaign_seed, uint64_t index) {
+  // SplitMix64 over (seed, index) gives every trial an independent stream
+  // while keeping GenerateTrial(s, i) a pure function of its arguments.
+  SplitMix64 mix(campaign_seed + index * 0x9E3779B97F4A7C15ULL);
+  Rng rng(mix.Next());
+
+  TrialSpec spec;
+  spec.campaign_seed = campaign_seed;
+  spec.index = index;
+  switch (index % 4) {
+    case 0:
+      spec.kind = TrialKind::kClean;
+      break;
+    case 1:
+      spec.kind = TrialKind::kCrashConsistency;
+      break;
+    default:
+      spec.kind = TrialKind::kChaos;
+      break;
+  }
+  spec.workload = SampleWorkload(rng);
+
+  SimulationConfig& config = spec.config;
+  config.refresh_mode =
+      rng.Bernoulli(0.75) ? RefreshMode::kConditionalGet : RefreshMode::kFullRefetch;
+  config.preload = rng.Bernoulli(0.8);
+  if (rng.Bernoulli(0.2)) {
+    // Bounded cache: roughly a quarter of the population fits, so the LRU
+    // eviction path runs under the oracle too.
+    config.cache_capacity_bytes =
+        spec.workload.mean_file_bytes * static_cast<int64_t>(spec.workload.num_files) / 4;
+  }
+
+  switch (spec.kind) {
+    case TrialKind::kClean:
+      config.policy = SamplePolicy(rng, /*time_based_only=*/false);
+      // A quarter of clean trials arm the fault machinery with every knob at
+      // zero: the no-op guarantee stays under continuous test.
+      if (rng.Bernoulli(0.25)) {
+        config.faults.armed = true;
+        config.faults.seed = static_cast<uint64_t>(rng.UniformInt(0, int64_t{1} << 32));
+      }
+      break;
+    case TrialKind::kCrashConsistency:
+      // Invariant 4's equality argument needs a policy that ignores the
+      // non-persisted entry fields and a recovery that restores validity
+      // verbatim; everything else stays fault-free so the twin runs differ
+      // only in the crash cycle itself.
+      config.policy = SamplePolicy(rng, /*time_based_only=*/true);
+      config.faults.crash_recovery = CrashRecovery::kTrustSnapshot;
+      config.faults.snapshot_crash_request = rng.UniformInt(0, 2000);
+      break;
+    case TrialKind::kChaos: {
+      config.policy = SamplePolicy(rng, /*time_based_only=*/false);
+      const SimTime horizon = SimTime::Epoch() + spec.workload.duration;
+      SampleChaosFaults(rng, horizon, config.faults);
+      break;
+    }
+  }
+  return spec;
+}
+
+Workload TruncateWorkload(const Workload& full, uint64_t keep_requests) {
+  const uint64_t keep = std::min<uint64_t>(keep_requests, full.requests.size());
+  Workload out;
+  out.name = full.name + StrFormat("/first-%llu", static_cast<unsigned long long>(keep));
+  out.objects = full.objects;
+  out.requests.assign(full.requests.begin(),
+                      full.requests.begin() + static_cast<ptrdiff_t>(keep));
+  const SimTime last = keep == 0 ? SimTime::Epoch() : out.requests.back().at;
+  for (const ModificationEvent& m : full.modifications) {
+    if (m.at > last) {
+      break;  // modifications are sorted
+    }
+    out.modifications.push_back(m);
+  }
+  out.horizon = last + Hours(24);
+  return out;
+}
+
+uint64_t FaultEventCount(const TrialSpec& spec) {
+  const FaultConfig& f = spec.config.faults;
+  WEBCC_CHECK(f.server_mtbf == SimDuration(0) || f.server_mttr == SimDuration(0));
+  return f.server_downtime.size() + f.cache_crashes.size() +
+         (f.snapshot_crash_request >= 0 ? 1 : 0);
+}
+
+}  // namespace webcc

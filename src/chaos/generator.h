@@ -1,0 +1,69 @@
+// Randomized trial generation for the chaos campaign.
+//
+// A campaign is a seeded stream of TrialSpecs: (workload config, policy,
+// fault plan, retrieval knobs) tuples drawn deterministically from
+// (campaign_seed, trial_index). Equal inputs generate equal trials on any
+// machine at any --jobs count — the campaign's bit-reproducibility rests on
+// exactly this.
+//
+// Workload configurations are drawn from a small fixed table of shapes
+// crossed with a few workload seeds, so a 500-trial campaign materializes a
+// couple dozen distinct event streams at most and the workload registry
+// (src/workload/registry.h) amortizes generation across trials and worker
+// threads.
+
+#ifndef WEBCC_SRC_CHAOS_GENERATOR_H_
+#define WEBCC_SRC_CHAOS_GENERATOR_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "src/core/simulation.h"
+#include "src/workload/worrell.h"
+
+namespace webcc {
+
+// What a trial exercises. Kinds cycle with the trial index so every campaign
+// prefix covers all three.
+enum class TrialKind {
+  kClean,             // zero faults: invariants 1-3 plus the cleanliness checks
+  kCrashConsistency,  // snapshot->crash->restore vs uninterrupted twin (invariant 4)
+  kChaos,             // loss/downtime/jitter/crashes: invariants 1-3 under fire
+};
+
+const char* TrialKindName(TrialKind kind);
+
+inline constexpr uint64_t kNoRequestLimit = std::numeric_limits<uint64_t>::max();
+
+struct TrialSpec {
+  uint64_t campaign_seed = 0;
+  uint64_t index = 0;
+  TrialKind kind = TrialKind::kClean;
+  // The workload is carried as its generator config, not as events: the spec
+  // stays serializable and the registry deduplicates materialization.
+  WorrellConfig workload;
+  // Replay only the first N requests (shrinking); kNoRequestLimit = all.
+  uint64_t request_limit = kNoRequestLimit;
+  SimulationConfig config;
+
+  // One line: kind, policy, workload key, fault knobs.
+  std::string Describe() const;
+};
+
+// Deterministically samples trial `index` of campaign `campaign_seed`.
+TrialSpec GenerateTrial(uint64_t campaign_seed, uint64_t index);
+
+// Copy of `full` keeping the first `keep_requests` requests and every
+// modification up to the last kept request's timestamp — the shrinker's
+// horizon reducer. Keeps all objects; horizon follows the last kept event.
+Workload TruncateWorkload(const Workload& full, uint64_t keep_requests);
+
+// Count of discrete fault events in a spec (downtime windows + cache
+// crashes + the snapshot crash point) — the shrinker's minimality metric.
+// MTBF/MTTR processes must be materialized first to be counted.
+uint64_t FaultEventCount(const TrialSpec& spec);
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_CHAOS_GENERATOR_H_

@@ -1,0 +1,491 @@
+#include "src/chaos/oracle.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/core/metrics.h"
+#include "src/util/check.h"
+#include "src/util/str.h"
+
+namespace webcc {
+
+namespace {
+
+const char* ServeKindName(ServeKind kind) {
+  switch (kind) {
+    case ServeKind::kHitFresh:
+      return "hit-fresh";
+    case ServeKind::kHitValidated:
+      return "hit-validated";
+    case ServeKind::kMissCold:
+      return "miss-cold";
+    case ServeKind::kMissRefetched:
+      return "miss-refetched";
+    case ServeKind::kDegraded:
+      return "degraded";
+    case ServeKind::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+// Context prefix for per-serve messages.
+std::string Where(const ServeObservation& o) {
+  return StrFormat("request #%llu (object %u, t=%s, %s)",
+                   static_cast<unsigned long long>(o.request_index),
+                   static_cast<unsigned>(o.object), o.at.ToString().c_str(),
+                   ServeKindName(o.result.kind));
+}
+
+}  // namespace
+
+SimDuration ChaosOracle::MaxExchangeElapsed(const RetryPolicy& retry) {
+  const int budget = retry.max_attempts < 1 ? 1 : retry.max_attempts;
+  SimDuration elapsed(0);
+  for (int attempt = 1; attempt <= budget; ++attempt) {
+    elapsed += retry.timeout;
+    if (attempt < budget) {
+      elapsed += retry.BackoffAfter(attempt);
+    }
+  }
+  return elapsed;
+}
+
+ChaosOracle::ChaosOracle(const SimulationConfig& config) : config_(config) {
+  config_.observer = nullptr;
+  config_.policy_factory = nullptr;
+  // Conservation laws compare the final stats against the full serve log; a
+  // mid-run stats reset would unbalance them by design, not by bug.
+  WEBCC_CHECK_EQ(config_.warmup.seconds(), 0);
+
+  const FaultConfig& faults = config_.faults;
+  zero_faults_ = !faults.Enabled();
+  invalidation_never_stale_ =
+      config_.policy.kind == PolicyKind::kInvalidation && zero_faults_;
+  switch (config_.policy.kind) {
+    case PolicyKind::kFixedTtl:
+    case PolicyKind::kAlex:
+    case PolicyKind::kCernHttpd:
+      has_window_bound_ = true;
+      break;
+    case PolicyKind::kInvalidation:
+      // A lease is a promised staleness bound; lease-free invalidation is
+      // valid-until-notified with no window to check.
+      has_window_bound_ = config_.policy.invalidation_lease > SimDuration(0);
+      break;
+    case PolicyKind::kAdaptiveTuner:
+      has_window_bound_ = false;  // the window is the tuner's moving target
+      break;
+  }
+  // Loss and downtime stretch an exchange by timeouts and backoff before it
+  // succeeds or degrades; that is the only fault-induced slack a fresh serve
+  // can legitimately pick up. Crashes and jitter never delay a fetch.
+  const bool delayed_fetches =
+      faults.Enabled() &&
+      (faults.loss_rate > 0.0 || !faults.server_downtime.empty() ||
+       (faults.server_mtbf > SimDuration(0) && faults.server_mttr > SimDuration(0)));
+  slack_ = delayed_fetches ? MaxExchangeElapsed(faults.retry) : SimDuration(0);
+}
+
+void ChaosOracle::Fail(const char* invariant, std::string message) {
+  throw OracleViolation{invariant, std::move(message)};
+}
+
+void ChaosOracle::OnModification(ObjectId object, SimTime at) {
+  shadow_.RecordModification(object, at);
+}
+
+SimDuration ChaosOracle::RecomputeWindow(const CacheEntry& entry) const {
+  const PolicyConfig& p = config_.policy;
+  // The Alex-family age at the entry's last validation. Identical arithmetic
+  // to the policies' OnFetch (alex_policy.cc / cern_policy.cc): OnFetch runs
+  // with now == validated_at and the reply's last_modified.
+  SimDuration age = entry.validated_at - entry.last_modified;
+  if (age < SimDuration(0)) {
+    age = SimDuration(0);
+  }
+  switch (p.kind) {
+    case PolicyKind::kFixedTtl:
+      return p.ttl;
+    case PolicyKind::kAlex:
+      return std::clamp(age.ScaledBy(p.alex_threshold), p.alex_min_validity,
+                        p.alex_max_validity);
+    case PolicyKind::kCernHttpd:
+      return age.ScaledBy(p.cern_lm_fraction);
+    case PolicyKind::kInvalidation:
+      return p.invalidation_lease;
+    case PolicyKind::kAdaptiveTuner:
+      break;
+  }
+  WEBCC_CHECK(false);  // has_window_bound_ gates every caller
+  return SimDuration(0);
+}
+
+void ChaosOracle::OnServe(const ServeObservation& o) {
+  serves_.push_back(o);
+
+  // Stale-flag cross-check: the simulator's verdict vs the shadow model's.
+  const bool entry_stale =
+      o.has_entry && shadow_.WouldBeStale(o.object, o.entry.last_modified);
+  switch (o.result.kind) {
+    case ServeKind::kHitFresh:
+    case ServeKind::kDegraded:
+      if (!o.has_entry) {
+        Fail("stale-flag", Where(o) + ": served from the cache but no entry remains");
+      }
+      if (o.result.stale != entry_stale) {
+        Fail("stale-flag",
+             Where(o) + StrFormat(": simulator flagged stale=%d but the shadow model says %d "
+                                  "(entry last_modified=%s)",
+                                  o.result.stale ? 1 : 0, entry_stale ? 1 : 0,
+                                  o.entry.last_modified.ToString().c_str()));
+      }
+      break;
+    case ServeKind::kHitValidated:
+    case ServeKind::kMissCold:
+    case ServeKind::kMissRefetched:
+      // The body handed out was fetched or confirmed current this request;
+      // modifications only apply between requests, so it must be the newest.
+      if (o.result.stale) {
+        Fail("stale-flag", Where(o) + ": a just-fetched/validated serve was flagged stale");
+      }
+      if (entry_stale) {
+        Fail("stale-flag",
+             Where(o) + ": the just-fetched/validated copy is older than the newest "
+                        "applied modification");
+      }
+      break;
+    case ServeKind::kFailed:
+      if (o.result.stale) {
+        Fail("stale-flag", Where(o) + ": a failed request (no body served) was flagged stale");
+      }
+      break;
+  }
+
+  if (!o.result.stale) {
+    return;
+  }
+  // Invariant 2: invalidation with a perfect network is perfectly consistent.
+  if (invalidation_never_stale_) {
+    Fail("invalidation-consistency",
+         Where(o) + ": stale serve under the invalidation protocol with zero injected faults");
+  }
+  // Invariant 1: a FRESH stale serve is bounded by the declared window.
+  // Degraded serves are exempt — stale-if-error trades exactly this away.
+  if (o.result.kind == ServeKind::kHitFresh && has_window_bound_) {
+    const std::optional<SimTime> went_bad =
+        shadow_.FirstModificationAfter(o.object, o.entry.last_modified);
+    WEBCC_CHECK(went_bad.has_value());  // stale implies a newer applied mod
+    const SimDuration staleness = o.at - *went_bad;
+    const SimDuration window = RecomputeWindow(o.entry);
+    const SimDuration bound = window + slack_ + Seconds(1);
+    if (staleness > bound) {
+      Fail("staleness-bound",
+           Where(o) +
+               StrFormat(": body stale for %s but policy %s promises at most %s "
+                         "(window %s + fault slack %s + 1s); entry validated_at=%s "
+                         "last_modified=%s expires_at=%s",
+                         staleness.ToString().c_str(),
+                         std::string(PolicyKindName(config_.policy.kind)).c_str(),
+                         bound.ToString().c_str(), window.ToString().c_str(),
+                         slack_.ToString().c_str(), o.entry.validated_at.ToString().c_str(),
+                         o.entry.last_modified.ToString().c_str(),
+                         o.entry.expires_at.ToString().c_str()));
+    }
+  }
+}
+
+void ChaosOracle::OnRunEnd(const ProxyCache& cache, const OriginServer& server) {
+  final_entries_ = cache.SnapshotEntries();
+  invalidations_in_flight_ = server.InvalidationsInFlight();
+  run_ended_ = true;
+}
+
+void ChaosOracle::VerifyResult(const SimulationResult& result) const {
+  WEBCC_CHECK(run_ended_);  // RunSimulation fires OnRunEnd before returning
+  const CacheStats& cache = result.cache;
+  const ServerStats& server = result.server;
+
+  // Invariant 3: the books balance exactly.
+  if (cache.requests != serves_.size()) {
+    Fail("conservation",
+         StrFormat("stats saw %llu requests but the observer saw %zu serves",
+                   static_cast<unsigned long long>(cache.requests), serves_.size()));
+  }
+  if (const int64_t gap = RequestConservationGap(cache); gap != 0) {
+    Fail("conservation",
+         StrFormat("requests=%llu but serve kinds sum to %llu (gap %lld)",
+                   static_cast<unsigned long long>(cache.requests),
+                   static_cast<unsigned long long>(cache.ServeKindTotal()),
+                   static_cast<long long>(gap)));
+  }
+  if (const int64_t gap = InvalidationConservationGap(server, invalidations_in_flight_);
+      gap != 0) {
+    Fail("conservation",
+         StrFormat("invalidation ledger unbalanced: sent=%llu lost=%llu delivered=%llu "
+                   "undeliverable=%llu in-flight=%lld (gap %lld)",
+                   static_cast<unsigned long long>(server.invalidations_sent),
+                   static_cast<unsigned long long>(server.invalidations_lost),
+                   static_cast<unsigned long long>(server.invalidations_delivered),
+                   static_cast<unsigned long long>(server.invalidations_undeliverable),
+                   static_cast<long long>(invalidations_in_flight_),
+                   static_cast<long long>(gap)));
+  }
+  if (cache.stale_hits > cache.hits_fresh + cache.degraded_serves) {
+    Fail("conservation",
+         StrFormat("stale_hits=%llu exceeds the local serves that can be stale (%llu)",
+                   static_cast<unsigned long long>(cache.stale_hits),
+                   static_cast<unsigned long long>(cache.hits_fresh + cache.degraded_serves)));
+  }
+  uint64_t type_requests = 0;
+  uint64_t type_stale = 0;
+  for (const CacheStats::TypeCounters& t : cache.by_type) {
+    type_requests += t.requests;
+    type_stale += t.stale_hits;
+  }
+  // Failed serves never reach a typed entry, so the per-type ledger covers
+  // exactly the non-failed requests.
+  if (type_requests != cache.requests - cache.failed_requests ||
+      type_stale != cache.stale_hits) {
+    Fail("conservation",
+         StrFormat("per-type counters do not sum to the totals: requests %llu vs %llu, "
+                   "stale %llu vs %llu",
+                   static_cast<unsigned long long>(type_requests),
+                   static_cast<unsigned long long>(cache.requests - cache.failed_requests),
+                   static_cast<unsigned long long>(type_stale),
+                   static_cast<unsigned long long>(cache.stale_hits)));
+  }
+
+  if (!zero_faults_) {
+    return;
+  }
+  // Zero-fault cleanliness: with no injected faults, every failure counter
+  // is zero and the two byte ledgers agree to the byte. The in-place
+  // snapshot crash cycle (invariant 4's hook) accounts exactly one crash
+  // with zero dark time.
+  const int64_t scr = config_.faults.snapshot_crash_request;
+  const uint64_t expected_crashes =
+      (scr >= 0 && static_cast<uint64_t>(scr) < serves_.size()) ? 1 : 0;
+  const auto expect_zero = [](const char* field, uint64_t value) {
+    if (value != 0) {
+      Fail("zero-fault", StrFormat("fault-free run has %s=%llu", field,
+                                   static_cast<unsigned long long>(value)));
+    }
+  };
+  expect_zero("upstream_retries", cache.upstream_retries);
+  expect_zero("retry_wait_seconds", static_cast<uint64_t>(cache.retry_wait_seconds));
+  expect_zero("degraded_serves", cache.degraded_serves);
+  expect_zero("failed_requests", cache.failed_requests);
+  expect_zero("invalidations_dropped", cache.invalidations_dropped);
+  expect_zero("unavailable_seconds", static_cast<uint64_t>(cache.unavailable_seconds));
+  expect_zero("invalidations_lost", server.invalidations_lost);
+  expect_zero("invalidations_queued", server.invalidations_queued);
+  expect_zero("invalidations_redelivered", server.invalidations_redelivered);
+  expect_zero("invalidations_undeliverable", server.invalidations_undeliverable);
+  expect_zero("invalidations_in_flight", static_cast<uint64_t>(invalidations_in_flight_));
+  if (cache.crashes != expected_crashes) {
+    Fail("zero-fault",
+         StrFormat("fault-free run has crashes=%llu, expected %llu",
+                   static_cast<unsigned long long>(cache.crashes),
+                   static_cast<unsigned long long>(expected_crashes)));
+  }
+  if (server.TotalBytes() != cache.LinkBytes()) {
+    Fail("zero-fault",
+         StrFormat("byte ledgers disagree: server counted %lld, cache counted %lld",
+                   static_cast<long long>(server.TotalBytes()),
+                   static_cast<long long>(cache.LinkBytes())));
+  }
+}
+
+namespace {
+
+// Equality over the persisted entry fields (snapshot.cc's 9 columns).
+// serve_count and serves_since_validation are in-memory only: a restore
+// legitimately resets them, and no non-adaptive policy reads them.
+void CheckPersistedEntryFields(const std::string& where, const CacheEntry& a,
+                               const CacheEntry& b) {
+  const auto fail = [&where](const char* field, const std::string& lhs,
+                             const std::string& rhs) {
+    throw OracleViolation{
+        "crash-consistency",
+        where + StrFormat(": entry field %s differs: baseline %s, crashed %s", field,
+                          lhs.c_str(), rhs.c_str())};
+  };
+  const auto num = [](int64_t v) { return StrFormat("%lld", static_cast<long long>(v)); };
+  if (a.object != b.object) fail("object", num(a.object), num(b.object));
+  if (a.type != b.type) {
+    fail("type", num(static_cast<int64_t>(a.type)), num(static_cast<int64_t>(b.type)));
+  }
+  if (a.size_bytes != b.size_bytes) fail("size_bytes", num(a.size_bytes), num(b.size_bytes));
+  if (a.version != b.version) {
+    fail("version", num(static_cast<int64_t>(a.version)), num(static_cast<int64_t>(b.version)));
+  }
+  if (a.last_modified != b.last_modified) {
+    fail("last_modified", a.last_modified.ToString(), b.last_modified.ToString());
+  }
+  if (a.fetched_at != b.fetched_at) {
+    fail("fetched_at", a.fetched_at.ToString(), b.fetched_at.ToString());
+  }
+  if (a.validated_at != b.validated_at) {
+    fail("validated_at", a.validated_at.ToString(), b.validated_at.ToString());
+  }
+  if (a.expires_at != b.expires_at) {
+    fail("expires_at", a.expires_at.ToString(), b.expires_at.ToString());
+  }
+  if (a.valid != b.valid) fail("valid", num(a.valid ? 1 : 0), num(b.valid ? 1 : 0));
+}
+
+void CheckStatField(const char* scope, const char* field, uint64_t baseline, uint64_t crashed) {
+  if (baseline != crashed) {
+    throw OracleViolation{
+        "crash-consistency",
+        StrFormat("%s stat %s differs: baseline %llu, crashed %llu", scope, field,
+                  static_cast<unsigned long long>(baseline),
+                  static_cast<unsigned long long>(crashed))};
+  }
+}
+
+}  // namespace
+
+void ChaosOracle::VerifyCrashConsistency(const ChaosOracle& baseline,
+                                         const SimulationResult& baseline_result,
+                                         const ChaosOracle& crashed,
+                                         const SimulationResult& crashed_result) {
+  WEBCC_CHECK(baseline.run_ended_);
+  WEBCC_CHECK(crashed.run_ended_);
+
+  // Serve logs, request by request.
+  if (baseline.serves_.size() != crashed.serves_.size()) {
+    Fail("crash-consistency",
+         StrFormat("serve logs differ in length: baseline %zu, crashed %zu",
+                   baseline.serves_.size(), crashed.serves_.size()));
+  }
+  for (size_t i = 0; i < baseline.serves_.size(); ++i) {
+    const ServeObservation& a = baseline.serves_[i];
+    const ServeObservation& b = crashed.serves_[i];
+    const std::string where =
+        StrFormat("serve #%zu (object %u, t=%s)", i, static_cast<unsigned>(a.object),
+                  a.at.ToString().c_str());
+    if (a.object != b.object || a.at != b.at) {
+      Fail("crash-consistency", where + ": replay streams diverged (object/time mismatch)");
+    }
+    if (a.result.kind != b.result.kind) {
+      Fail("crash-consistency",
+           where + StrFormat(": serve kind differs: baseline %s, crashed %s",
+                             ServeKindName(a.result.kind), ServeKindName(b.result.kind)));
+    }
+    if (a.result.stale != b.result.stale) {
+      Fail("crash-consistency",
+           where + StrFormat(": stale flag differs: baseline %d, crashed %d",
+                             a.result.stale ? 1 : 0, b.result.stale ? 1 : 0));
+    }
+    if (a.result.link_bytes != b.result.link_bytes) {
+      Fail("crash-consistency",
+           where + StrFormat(": link bytes differ: baseline %lld, crashed %lld",
+                             static_cast<long long>(a.result.link_bytes),
+                             static_cast<long long>(b.result.link_bytes)));
+    }
+    if (a.result.hops != b.result.hops) {
+      Fail("crash-consistency", where + StrFormat(": hops differ: baseline %d, crashed %d",
+                                                  a.result.hops, b.result.hops));
+    }
+    if (a.has_entry != b.has_entry) {
+      Fail("crash-consistency",
+           where + StrFormat(": entry presence differs: baseline %d, crashed %d",
+                             a.has_entry ? 1 : 0, b.has_entry ? 1 : 0));
+    }
+    if (a.has_entry) {
+      CheckPersistedEntryFields(where, a.entry, b.entry);
+    }
+  }
+
+  // Final cache contents, in LRU order (restore preserves it).
+  if (baseline.final_entries_.size() != crashed.final_entries_.size()) {
+    Fail("crash-consistency",
+         StrFormat("final entry counts differ: baseline %zu, crashed %zu",
+                   baseline.final_entries_.size(), crashed.final_entries_.size()));
+  }
+  for (size_t i = 0; i < baseline.final_entries_.size(); ++i) {
+    CheckPersistedEntryFields(StrFormat("final entry #%zu", i), baseline.final_entries_[i],
+                              crashed.final_entries_[i]);
+  }
+
+  // Statistics, field by field. The crash cycle itself accounts exactly one
+  // extra crash with zero dark time; everything else must be identical.
+  const int64_t scr = crashed.config_.faults.snapshot_crash_request;
+  const uint64_t allowance =
+      (scr >= 0 && static_cast<uint64_t>(scr) < crashed.serves_.size()) ? 1 : 0;
+  const CacheStats& bc = baseline_result.cache;
+  const CacheStats& cc = crashed_result.cache;
+  if (cc.crashes != bc.crashes + allowance) {
+    Fail("crash-consistency",
+         StrFormat("crash counter off: baseline %llu + %llu cycle != crashed %llu",
+                   static_cast<unsigned long long>(bc.crashes),
+                   static_cast<unsigned long long>(allowance),
+                   static_cast<unsigned long long>(cc.crashes)));
+  }
+  CheckStatField("cache", "requests", bc.requests, cc.requests);
+  CheckStatField("cache", "hits_fresh", bc.hits_fresh, cc.hits_fresh);
+  CheckStatField("cache", "hits_validated", bc.hits_validated, cc.hits_validated);
+  CheckStatField("cache", "misses_cold", bc.misses_cold, cc.misses_cold);
+  CheckStatField("cache", "misses_refetched", bc.misses_refetched, cc.misses_refetched);
+  CheckStatField("cache", "stale_hits", bc.stale_hits, cc.stale_hits);
+  CheckStatField("cache", "validations_sent", bc.validations_sent, cc.validations_sent);
+  CheckStatField("cache", "full_fetches", bc.full_fetches, cc.full_fetches);
+  CheckStatField("cache", "invalidations_received", bc.invalidations_received,
+                 cc.invalidations_received);
+  CheckStatField("cache", "invalidations_dropped", bc.invalidations_dropped,
+                 cc.invalidations_dropped);
+  CheckStatField("cache", "evictions", bc.evictions, cc.evictions);
+  CheckStatField("cache", "upstream_retries", bc.upstream_retries, cc.upstream_retries);
+  CheckStatField("cache", "retry_wait_seconds", static_cast<uint64_t>(bc.retry_wait_seconds),
+                 static_cast<uint64_t>(cc.retry_wait_seconds));
+  CheckStatField("cache", "degraded_serves", bc.degraded_serves, cc.degraded_serves);
+  CheckStatField("cache", "failed_requests", bc.failed_requests, cc.failed_requests);
+  CheckStatField("cache", "unavailable_seconds",
+                 static_cast<uint64_t>(bc.unavailable_seconds),
+                 static_cast<uint64_t>(cc.unavailable_seconds));
+  CheckStatField("cache", "bytes_to_upstream", static_cast<uint64_t>(bc.bytes_to_upstream),
+                 static_cast<uint64_t>(cc.bytes_to_upstream));
+  CheckStatField("cache", "bytes_from_upstream",
+                 static_cast<uint64_t>(bc.bytes_from_upstream),
+                 static_cast<uint64_t>(cc.bytes_from_upstream));
+  CheckStatField("cache", "total_hops", bc.total_hops, cc.total_hops);
+  CheckStatField("cache", "max_hops", static_cast<uint64_t>(bc.max_hops),
+                 static_cast<uint64_t>(cc.max_hops));
+  for (size_t t = 0; t < bc.by_type.size(); ++t) {
+    const CacheStats::TypeCounters& x = bc.by_type[t];
+    const CacheStats::TypeCounters& y = cc.by_type[t];
+    const std::string scope = StrFormat("cache by_type[%zu]", t);
+    CheckStatField(scope.c_str(), "requests", x.requests, y.requests);
+    CheckStatField(scope.c_str(), "stale_hits", x.stale_hits, y.stale_hits);
+    CheckStatField(scope.c_str(), "misses", x.misses, y.misses);
+    CheckStatField(scope.c_str(), "validations", x.validations, y.validations);
+    CheckStatField(scope.c_str(), "payload_bytes", static_cast<uint64_t>(x.payload_bytes),
+                   static_cast<uint64_t>(y.payload_bytes));
+  }
+  const ServerStats& bs = baseline_result.server;
+  const ServerStats& cs = crashed_result.server;
+  CheckStatField("server", "get_requests", bs.get_requests, cs.get_requests);
+  CheckStatField("server", "ims_queries", bs.ims_queries, cs.ims_queries);
+  CheckStatField("server", "ims_not_modified", bs.ims_not_modified, cs.ims_not_modified);
+  CheckStatField("server", "invalidations_sent", bs.invalidations_sent, cs.invalidations_sent);
+  CheckStatField("server", "invalidation_retries", bs.invalidation_retries,
+                 cs.invalidation_retries);
+  CheckStatField("server", "invalidations_lost", bs.invalidations_lost, cs.invalidations_lost);
+  CheckStatField("server", "invalidations_queued", bs.invalidations_queued,
+                 cs.invalidations_queued);
+  CheckStatField("server", "invalidations_redelivered", bs.invalidations_redelivered,
+                 cs.invalidations_redelivered);
+  CheckStatField("server", "invalidations_delivered", bs.invalidations_delivered,
+                 cs.invalidations_delivered);
+  CheckStatField("server", "invalidations_undeliverable", bs.invalidations_undeliverable,
+                 cs.invalidations_undeliverable);
+  CheckStatField("server", "files_transferred", bs.files_transferred, cs.files_transferred);
+  CheckStatField("server", "bytes_sent", static_cast<uint64_t>(bs.bytes_sent),
+                 static_cast<uint64_t>(cs.bytes_sent));
+  CheckStatField("server", "bytes_received", static_cast<uint64_t>(bs.bytes_received),
+                 static_cast<uint64_t>(cs.bytes_received));
+}
+
+}  // namespace webcc

@@ -1,0 +1,108 @@
+// The model-based consistency oracle (chaos harness, docs/ROBUSTNESS.md).
+//
+// A ChaosOracle rides a simulation run as its SimObserver and re-checks the
+// run against an independent shadow model of ground truth. It enforces four
+// invariants:
+//
+//   1. staleness-bound — a stale body served as a FRESH hit under a
+//      window-bounded policy (ttl / alex / cern / invalidation-with-lease)
+//      has been stale for at most the policy's validity window, recomputed
+//      from the declared PolicyConfig, plus the worst-case fault-induced
+//      retry slack. (Degraded stale-if-error serves are exempt: they are the
+//      deliberate availability-over-consistency trade.) Alongside it rides
+//      the stale-flag cross-check: the simulator's own per-serve stale
+//      verdict must agree with the shadow model on every serve.
+//   2. invalidation-consistency — under the invalidation protocol with zero
+//      injected faults, no serve is ever stale (the paper's "perfect
+//      consistency" claim, checked, not assumed).
+//   3. conservation — the books balance exactly: every request resolves to
+//      exactly one serve kind, every invalidation notice put on the wire
+//      resolves to exactly one delivery outcome (or is still in jittered
+//      flight), per-type counters sum to the totals, and a fault-free run
+//      shows zero failure accounting with byte-identical server/cache
+//      ledgers.
+//   4. crash-consistency — a run that snapshots, crashes, and restores
+//      in-place at an arbitrary request index is field-identical to the
+//      uninterrupted run: same serve log, same final entries (persisted
+//      fields), same statistics up to the crash counter itself.
+//
+// Violations are reported by throwing OracleViolation, which propagates out
+// of RunSimulation; the campaign layer (campaign.h) is the only place
+// allowed to catch it.
+
+#ifndef WEBCC_SRC_CHAOS_ORACLE_H_
+#define WEBCC_SRC_CHAOS_ORACLE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/chaos/shadow_model.h"
+#include "src/core/simulation.h"
+
+namespace webcc {
+
+// One invariant violation. `invariant` is a stable slug ("staleness-bound",
+// "stale-flag", "invalidation-consistency", "conservation", "zero-fault",
+// "crash-consistency") that shrinking uses to decide whether a simplified
+// trial still reproduces the SAME failure.
+struct OracleViolation {
+  std::string invariant;
+  std::string message;
+};
+
+class ChaosOracle : public SimObserver {
+ public:
+  // `config` is the trial's declared configuration: the oracle checks the
+  // run against config.policy and config.faults, NOT against whatever policy
+  // object actually ran — which is how a deliberately broken policy behind
+  // an honest-looking config gets caught. Conservation checks require
+  // warmup == 0 (chaos trials never warm up); checked.
+  explicit ChaosOracle(const SimulationConfig& config);
+
+  // --- SimObserver ---
+  void OnModification(ObjectId object, SimTime at) override;
+  void OnServe(const ServeObservation& observation) override;
+  void OnRunEnd(const ProxyCache& cache, const OriginServer& server) override;
+
+  // Invariant 3 (and the zero-fault cleanliness checks): call once after
+  // RunSimulation returns, with its result.
+  void VerifyResult(const SimulationResult& result) const;
+
+  // Invariant 4: `crashed` ran the same trial as `baseline` plus an in-place
+  // snapshot->crash->restore cycle (faults.snapshot_crash_request >= 0).
+  // Throws on the first field difference.
+  static void VerifyCrashConsistency(const ChaosOracle& baseline,
+                                     const SimulationResult& baseline_result,
+                                     const ChaosOracle& crashed,
+                                     const SimulationResult& crashed_result);
+
+  // Worst-case elapsed time one upstream exchange can absorb under `retry`
+  // before reporting failure: the staleness-bound's fault-induced slack.
+  static SimDuration MaxExchangeElapsed(const RetryPolicy& retry);
+
+  const std::vector<ServeObservation>& serves() const { return serves_; }
+  const ShadowModel& shadow() const { return shadow_; }
+
+ private:
+  [[noreturn]] static void Fail(const char* invariant, std::string message);
+
+  // The validity window config_.policy promises for an entry in this state —
+  // the recomputation invariant 1 measures against.
+  [[nodiscard]] SimDuration RecomputeWindow(const CacheEntry& entry) const;
+
+  SimulationConfig config_;  // observer/policy_factory cleared
+  bool zero_faults_ = false;
+  bool invalidation_never_stale_ = false;
+  bool has_window_bound_ = false;
+  SimDuration slack_;
+
+  ShadowModel shadow_;
+  std::vector<ServeObservation> serves_;
+  std::vector<CacheEntry> final_entries_;  // LRU order, most recent first
+  int64_t invalidations_in_flight_ = 0;
+  bool run_ended_ = false;
+};
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_CHAOS_ORACLE_H_

@@ -1,0 +1,46 @@
+#include "src/chaos/shadow_model.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace webcc {
+
+void ShadowModel::RecordModification(ObjectId object, SimTime at) {
+  const size_t index = static_cast<size_t>(object);
+  if (index >= mods_.size()) {
+    mods_.resize(index + 1);
+  }
+  std::vector<SimTime>& timeline = mods_[index];
+  if (!timeline.empty()) {
+    WEBCC_CHECK(timeline.back() <= at);  // merge-walk applies mods in order
+  }
+  timeline.push_back(at);
+  ++modifications_recorded_;
+}
+
+bool ShadowModel::WouldBeStale(ObjectId object, SimTime last_modified) const {
+  const size_t index = static_cast<size_t>(object);
+  if (index >= mods_.size() || mods_[index].empty()) {
+    return false;
+  }
+  // The simulator stamps Last-Modified with the modification's own timestamp,
+  // so a copy is stale exactly when some applied mod is strictly newer.
+  return last_modified < mods_[index].back();
+}
+
+std::optional<SimTime> ShadowModel::FirstModificationAfter(ObjectId object,
+                                                           SimTime last_modified) const {
+  const size_t index = static_cast<size_t>(object);
+  if (index >= mods_.size()) {
+    return std::nullopt;
+  }
+  const std::vector<SimTime>& timeline = mods_[index];
+  auto it = std::upper_bound(timeline.begin(), timeline.end(), last_modified);
+  if (it == timeline.end()) {
+    return std::nullopt;
+  }
+  return *it;
+}
+
+}  // namespace webcc

@@ -1,0 +1,54 @@
+// The oracle's shadow of ground truth: per-object modification timelines.
+//
+// The chaos oracle (src/chaos/oracle.h) must not trust the simulator's own
+// staleness accounting — that accounting is part of what it checks. Instead
+// it rebuilds the authoritative "what was the newest version at time t"
+// relation from the raw modification stream reported through SimObserver,
+// and re-derives every staleness verdict from that.
+//
+// The model is deliberately tiny: per object, the list of applied
+// modification timestamps in replay order (the simulator applies
+// modifications in nondecreasing timestamp order, so each list is sorted by
+// construction — checked). An entry whose Last-Modified stamp predates the
+// newest applied modification is stale; the first modification after the
+// stamp is the instant the cached copy went bad, which is what the
+// staleness-age bound is measured from.
+
+#ifndef WEBCC_SRC_CHAOS_SHADOW_MODEL_H_
+#define WEBCC_SRC_CHAOS_SHADOW_MODEL_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/origin/object_store.h"
+#include "src/util/sim_time.h"
+
+namespace webcc {
+
+class ShadowModel {
+ public:
+  // Records one applied modification. Timestamps per object must be
+  // nondecreasing (the merge-walk guarantees it; WEBCC_CHECKed).
+  void RecordModification(ObjectId object, SimTime at);
+
+  // Would a copy stamped `last_modified` be stale right now? True iff some
+  // recorded modification is strictly newer than the stamp — exactly the
+  // simulator's oracle comparison, recomputed independently.
+  [[nodiscard]] bool WouldBeStale(ObjectId object, SimTime last_modified) const;
+
+  // The instant a copy stamped `last_modified` went bad: the earliest
+  // recorded modification strictly newer than the stamp. nullopt when the
+  // copy is still the newest version.
+  [[nodiscard]] std::optional<SimTime> FirstModificationAfter(ObjectId object,
+                                                              SimTime last_modified) const;
+
+  [[nodiscard]] uint64_t modifications_recorded() const { return modifications_recorded_; }
+
+ private:
+  std::vector<std::vector<SimTime>> mods_;  // [object] -> applied stamps, ascending
+  uint64_t modifications_recorded_ = 0;
+};
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_CHAOS_SHADOW_MODEL_H_

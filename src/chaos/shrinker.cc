@@ -1,0 +1,159 @@
+#include "src/chaos/shrinker.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/workload/registry.h"
+
+namespace webcc {
+
+std::optional<OracleViolation> ProbeTrial(const TrialSpec& spec) {
+  try {
+    RunTrialChecked(spec);
+    return std::nullopt;
+  } catch (const OracleViolation& violation) {  // webcc-lint: allow(oracle-bypass) — the one sanctioned conversion of a violation into a value
+    return violation;
+  }
+}
+
+namespace {
+
+// Budgeted prober: every candidate costs one simulation run; once the budget
+// is gone every probe reports "no violation", which callers treat as
+// "simplification failed, keep what we have".
+class Prober {
+ public:
+  explicit Prober(int budget) : budget_(budget) {}
+
+  std::optional<OracleViolation> Probe(const TrialSpec& spec) {
+    if (budget_ <= 0) {
+      return std::nullopt;
+    }
+    --budget_;
+    ++runs_;
+    return ProbeTrial(spec);
+  }
+
+  [[nodiscard]] uint64_t runs() const { return runs_; }
+  [[nodiscard]] bool exhausted() const { return budget_ <= 0; }
+
+ private:
+  int budget_;
+  uint64_t runs_ = 0;
+};
+
+}  // namespace
+
+ShrinkResult ShrinkTrial(const TrialSpec& spec, int max_runs) {
+  ShrinkResult out;
+  out.minimal = spec;
+  Prober prober(max_runs);
+
+  // Materializing the downtime process is behavior-preserving, so the
+  // confirming probe doubles as the post-materialization check.
+  TrialSpec best = spec;
+  MaterializeFaultWindows(best);
+  const std::optional<OracleViolation> confirmed = prober.Probe(best);
+  if (!confirmed.has_value()) {
+    out.runs_used = prober.runs();
+    return out;  // not reproduced (or zero budget): return the input untouched
+  }
+  out.confirmed = true;
+  out.violation = *confirmed;
+  const std::string invariant = confirmed->invariant;
+
+  // Keeps `candidate` iff it still violates the same invariant.
+  const auto accept = [&](const TrialSpec& candidate) {
+    const std::optional<OracleViolation> v = prober.Probe(candidate);
+    if (v.has_value() && v->invariant == invariant) {
+      best = candidate;
+      out.violation = *v;
+      return true;
+    }
+    return false;
+  };
+
+  // Pass 2: drop whole fault dimensions, cheapest simplification first.
+  {
+    if (best.config.faults.snapshot_crash_request >= 0) {
+      TrialSpec c = best;
+      c.config.faults.snapshot_crash_request = -1;
+      accept(c);
+    }
+    if (best.config.faults.jitter_max > SimDuration(0)) {
+      TrialSpec c = best;
+      c.config.faults.jitter_max = SimDuration(0);
+      accept(c);
+    }
+    if (best.config.faults.loss_rate > 0.0) {
+      TrialSpec c = best;
+      c.config.faults.loss_rate = 0.0;
+      accept(c);
+    }
+    if (!best.config.faults.cache_crashes.empty()) {
+      TrialSpec c = best;
+      c.config.faults.cache_crashes.clear();
+      accept(c);
+    }
+    if (!best.config.faults.server_downtime.empty()) {
+      TrialSpec c = best;
+      c.config.faults.server_downtime.clear();
+      accept(c);
+    }
+    if (best.config.faults.crash_recovery != CrashRecovery::kTrustSnapshot &&
+        (!best.config.faults.cache_crashes.empty() ||
+         best.config.faults.snapshot_crash_request >= 0)) {
+      TrialSpec c = best;
+      c.config.faults.crash_recovery = CrashRecovery::kTrustSnapshot;
+      accept(c);
+    }
+    if (best.config.cache_capacity_bytes > 0) {
+      TrialSpec c = best;
+      c.config.cache_capacity_bytes = 0;
+      accept(c);
+    }
+  }
+
+  // Pass 3: one-at-a-time event removal from the surviving schedules. On a
+  // successful removal the same index is retried (the list shifted left).
+  for (size_t i = 0; i < best.config.faults.server_downtime.size();) {
+    TrialSpec c = best;
+    c.config.faults.server_downtime.erase(c.config.faults.server_downtime.begin() +
+                                          static_cast<ptrdiff_t>(i));
+    if (!accept(c)) {
+      ++i;
+    }
+  }
+  for (size_t i = 0; i < best.config.faults.cache_crashes.size();) {
+    TrialSpec c = best;
+    c.config.faults.cache_crashes.erase(c.config.faults.cache_crashes.begin() +
+                                        static_cast<ptrdiff_t>(i));
+    if (!accept(c)) {
+      ++i;
+    }
+  }
+
+  // Pass 4: binary search the shortest request prefix that still violates.
+  // The invariant holds that `best` (with limit `hi`) violates throughout.
+  {
+    const Workload& full = SharedWorrellWorkload(best.workload);
+    uint64_t hi = std::min<uint64_t>(best.request_limit, full.requests.size());
+    uint64_t lo = 1;
+    while (lo < hi && !prober.exhausted()) {
+      const uint64_t mid = lo + (hi - lo) / 2;
+      TrialSpec c = best;
+      c.request_limit = mid;
+      if (accept(c)) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+  }
+
+  out.minimal = best;
+  out.runs_used = prober.runs();
+  return out;
+}
+
+}  // namespace webcc

@@ -1,0 +1,49 @@
+// Automatic seed shrinking: reduce a violating trial to a minimal
+// reproducer that still fails the SAME oracle invariant.
+//
+// The shrinker never parses failure output — it re-runs candidate trials
+// under the oracle (every probe is a full simulation) and keeps a
+// simplification only when the violation survives with the same invariant
+// slug. Passes, in order:
+//
+//   1. materialize MTBF/MTTR downtime into explicit windows (behavior-
+//      preserving, makes the schedule shrinkable),
+//   2. knob zeroing: drop whole fault dimensions (jitter, loss, crashes,
+//      windows, the snapshot crash point, capacity bound),
+//   3. one-at-a-time removal of surviving downtime windows / crash events,
+//   4. binary search for the shortest request prefix that still violates.
+//
+// The total number of probe runs is capped; on budget exhaustion the best
+// trial found so far is returned.
+
+#ifndef WEBCC_SRC_CHAOS_SHRINKER_H_
+#define WEBCC_SRC_CHAOS_SHRINKER_H_
+
+#include <optional>
+
+#include "src/chaos/campaign.h"
+
+namespace webcc {
+
+// Runs one trial and converts an OracleViolation into a value. This is the
+// chaos subsystem's ONLY sanctioned catch site (webcc-lint's oracle-bypass
+// rule): every other chaos layer must let violations propagate.
+std::optional<OracleViolation> ProbeTrial(const TrialSpec& spec);
+
+struct ShrinkResult {
+  TrialSpec minimal;
+  OracleViolation violation;  // what `minimal` reproduces
+  uint64_t runs_used = 0;
+  // False when the original trial did not violate under re-run (should not
+  // happen — trials are deterministic) or the budget was exhausted before
+  // the confirming probe; `minimal` is then the input unchanged.
+  bool confirmed = false;
+};
+
+// Shrinks `spec` (which violated) spending at most `max_runs` probe
+// simulations.
+ShrinkResult ShrinkTrial(const TrialSpec& spec, int max_runs);
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_CHAOS_SHRINKER_H_

@@ -59,6 +59,8 @@ Fault injection (durations take s/m/h/d suffixes, e.g. 90s, 15m, 1.5h):
   --downtime=DUR         origin outage length               (default: none)
   --mtbf=DUR --mttr=DUR  generated origin up/down process   (default: off)
   --cache-crash=DUR      crash the cache at this sim time   (default: never)
+  --crash-at-request=N   save a snapshot, then crash+restart in place
+                         just before the Nth request        (default: never)
   --crash-outage=DUR     crash-to-restart dark window       (default: 10m)
   --recovery=auto|trust|revalidate|cold   snapshot handling on restart
   --retry-max=N          fetch attempts per exchange        (default: 4)
@@ -196,6 +198,12 @@ bool BuildFaults(ArgParser& args, SimulationConfig& config, std::ostream& err) {
     crash.outage = args.GetDuration("crash-outage", Minutes(10));
     faults.cache_crashes.push_back(crash);
   }
+  const int64_t crash_at_request = args.GetInt("crash-at-request", -1);
+  if (args.Has("crash-at-request") && crash_at_request < 0) {
+    err << "error: --crash-at-request must be >= 0\n";
+    return false;
+  }
+  faults.snapshot_crash_request = crash_at_request;
   const std::string recovery = ToLower(args.GetString("recovery", "auto"));
   if (recovery == "auto") {
     faults.crash_recovery = CrashRecovery::kAuto;

@@ -4,55 +4,63 @@
 #include <memory>
 
 #include "src/cache/origin_upstream.h"
+#include "src/core/sweep_runner.h"
 #include "src/origin/server.h"
 #include "src/util/check.h"
 #include "src/util/str.h"
 
 namespace webcc {
 
-FleetResult RunFleetSimulation(const Workload& load, const FleetConfig& config) {
-  WEBCC_CHECK_GT(config.num_caches, 0);
-  WEBCC_CHECK(load.Validate().empty());
+namespace {
 
+// Everything one member world produces; summed in member order afterwards.
+struct MemberOutcome {
+  ServerStats server;
+  CacheStats cache;
+  size_t final_subscriptions = 0;
+  size_t peak_subscriptions = 0;
+  std::string policy_desc;
+};
+
+// Replays member `member`'s slice of the workload in a private world: its
+// own origin (so subscription bookkeeping and notice fan-out are per-member
+// and can be summed) and its own cache. Every modification is applied —
+// batched, in timestamp order, before the member's next request, which
+// leaves this member's view identical to the old shared-server walk: origin
+// state between two of its requests can only matter at its next request.
+MemberOutcome RunFleetMember(const Workload& load, const FleetConfig& config, uint32_t member) {
   OriginServer server;
   for (const ObjectSpec& spec : load.objects) {
     server.store().Create(spec.name, spec.type, spec.size_bytes,
                           SimTime::Epoch() - spec.initial_age);
   }
   OriginUpstream upstream(&server);
-
   CacheConfig cache_config;
   cache_config.refresh_mode = config.refresh_mode;
-  std::vector<std::unique_ptr<ProxyCache>> caches;
-  caches.reserve(config.num_caches);
-  for (uint32_t i = 0; i < config.num_caches; ++i) {
-    caches.push_back(std::make_unique<ProxyCache>(StrFormat("fleet-%u", i), &upstream,
-                                                  MakePolicy(config.policy), cache_config,
-                                                  &server.store()));
-    if (config.preload) {
-      caches.back()->Preload(server.store(), SimTime::Epoch());
-    }
+  ProxyCache cache(StrFormat("fleet-%u", member), &upstream, MakePolicy(config.policy),
+                   cache_config, &server.store());
+  if (config.preload) {
+    cache.Preload(server.store(), SimTime::Epoch());
   }
   server.ResetStats();
-  for (auto& cache : caches) {
-    cache->ResetStats();
-  }
+  cache.ResetStats();
 
-  FleetResult result;
-  result.policy_desc = caches.front()->policy().Describe();
-  result.num_caches = config.num_caches;
-  result.peak_subscriptions = server.SubscriptionCount();
+  MemberOutcome out;
+  out.policy_desc = cache.policy().Describe();
+  out.peak_subscriptions = server.SubscriptionCount();
 
   size_t mod_i = 0;
   for (const RequestEvent& req : load.requests) {
+    if (req.client_id % config.num_caches != member) {
+      continue;
+    }
     while (mod_i < load.modifications.size() && load.modifications[mod_i].at <= req.at) {
       const ModificationEvent& m = load.modifications[mod_i];
       server.ModifyObject(m.object_index, m.at, m.new_size);
       ++mod_i;
     }
-    ProxyCache& cache = *caches[req.client_id % config.num_caches];
     cache.HandleRequest(static_cast<ObjectId>(req.object_index), req.at);
-    result.peak_subscriptions = std::max(result.peak_subscriptions, server.SubscriptionCount());
+    out.peak_subscriptions = std::max(out.peak_subscriptions, server.SubscriptionCount());
   }
   while (mod_i < load.modifications.size()) {
     const ModificationEvent& m = load.modifications[mod_i];
@@ -60,16 +68,60 @@ FleetResult RunFleetSimulation(const Workload& load, const FleetConfig& config) 
     ++mod_i;
   }
 
-  result.server = server.stats();
-  result.final_subscriptions = server.SubscriptionCount();
-  for (const auto& cache : caches) {
-    const CacheStats& s = cache->stats();
-    result.requests += s.requests;
-    result.stale_hits += s.stale_hits;
-    result.misses += s.Misses();
-    result.total_link_bytes += s.LinkBytes();
+  out.server = server.stats();
+  out.cache = cache.stats();
+  out.final_subscriptions = server.SubscriptionCount();
+  return out;
+}
+
+void AddServerStats(ServerStats& total, const ServerStats& member) {
+  total.get_requests += member.get_requests;
+  total.ims_queries += member.ims_queries;
+  total.ims_not_modified += member.ims_not_modified;
+  total.invalidations_sent += member.invalidations_sent;
+  total.invalidation_retries += member.invalidation_retries;
+  total.invalidations_lost += member.invalidations_lost;
+  total.invalidations_queued += member.invalidations_queued;
+  total.invalidations_redelivered += member.invalidations_redelivered;
+  total.invalidations_delivered += member.invalidations_delivered;
+  total.invalidations_undeliverable += member.invalidations_undeliverable;
+  total.files_transferred += member.files_transferred;
+  total.bytes_sent += member.bytes_sent;
+  total.bytes_received += member.bytes_received;
+}
+
+}  // namespace
+
+FleetResult RunFleetSimulation(const Workload& load, const FleetConfig& config,
+                               SweepRunner& runner) {
+  WEBCC_CHECK_GT(config.num_caches, 0);
+  WEBCC_CHECK(load.Validate().empty());
+
+  // One slot per member, written only by that member's task: the merge below
+  // runs in member order, so the result is independent of completion order.
+  std::vector<MemberOutcome> outcomes(config.num_caches);
+  runner.ParallelFor(config.num_caches, [&load, &config, &outcomes](size_t member) {
+    outcomes[member] = RunFleetMember(load, config, static_cast<uint32_t>(member));
+  });
+
+  FleetResult result;
+  result.policy_desc = outcomes.front().policy_desc;
+  result.num_caches = config.num_caches;
+  for (const MemberOutcome& out : outcomes) {
+    AddServerStats(result.server, out.server);
+    result.requests += out.cache.requests;
+    result.stale_hits += out.cache.stale_hits;
+    result.misses += out.cache.Misses();
+    result.total_link_bytes += out.cache.LinkBytes();
+    result.final_subscriptions += out.final_subscriptions;
+    result.peak_subscriptions += out.peak_subscriptions;
   }
   return result;
+}
+
+FleetResult RunFleetSimulation(const Workload& load, const FleetConfig& config) {
+  SweepRunner serial(1);
+  return RunFleetSimulation(load, config, serial);
 }
 
 }  // namespace webcc

@@ -8,6 +8,17 @@
 // notice fan-out (every change notifies every holder), and operation counts
 // — against the time-based protocols whose server cost is driven by
 // requests, not by the holder population.
+//
+// Sharded execution: fleet members never talk to each other — member i
+// serves exactly the requests with client_id % N == i and sees every
+// modification — so each member is replayed as its own (origin, cache)
+// world and the per-member statistics are summed in member order. That
+// makes the members embarrassingly parallel: pass a SweepRunner and they
+// shard across its thread pool, field-identical to the serial walk at any
+// --jobs count (tests/core/fleet_test.cc). The summed server columns mean
+// "total origin-side work the fleet generated", exactly what the shared
+// walk measured; peak_subscriptions sums the members' own peaks (exact
+// whenever subscriptions grow monotonically, e.g. every preloaded run).
 
 #ifndef WEBCC_SRC_CORE_FLEET_H_
 #define WEBCC_SRC_CORE_FLEET_H_
@@ -49,8 +60,15 @@ struct FleetResult {
   }
 };
 
-// Replays `load` with requests routed to cache (client_id % num_caches).
+class SweepRunner;
+
+// Replays `load` with requests routed to cache (client_id % num_caches),
+// one member world at a time.
 FleetResult RunFleetSimulation(const Workload& load, const FleetConfig& config);
+
+// Same result, with member worlds sharded across `runner`'s thread pool.
+FleetResult RunFleetSimulation(const Workload& load, const FleetConfig& config,
+                               SweepRunner& runner);
 
 }  // namespace webcc
 

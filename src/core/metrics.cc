@@ -43,6 +43,17 @@ ConsistencyMetrics ComputeMetrics(const ServerStats& server, const CacheStats& c
   return m;
 }
 
+int64_t RequestConservationGap(const CacheStats& cache) {
+  return static_cast<int64_t>(cache.requests) - static_cast<int64_t>(cache.ServeKindTotal());
+}
+
+int64_t InvalidationConservationGap(const ServerStats& server, int64_t in_flight) {
+  const int64_t resolved = static_cast<int64_t>(server.invalidations_lost) +
+                           static_cast<int64_t>(server.invalidations_delivered) +
+                           static_cast<int64_t>(server.invalidations_undeliverable);
+  return static_cast<int64_t>(server.invalidations_sent) - resolved - in_flight;
+}
+
 std::string ConsistencyMetrics::FailureSummary() const {
   return StrFormat(
       "degraded=%llu  failed=%llu  retries=%llu  inval-lost=%llu  inval-queued=%llu  "

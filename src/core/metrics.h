@@ -71,6 +71,21 @@ struct ConsistencyMetrics {
 // views (server vs cache byte counts must agree) are asserted in tests.
 ConsistencyMetrics ComputeMetrics(const ServerStats& server, const CacheStats& cache);
 
+// --- Conservation laws (chaos oracle invariant 3) ---
+//
+// Signed gaps, zero when the books balance. Both laws are exact per run
+// (not statistical): every request resolves to exactly one serve kind, and
+// every invalidation notice put on the wire resolves to exactly one
+// delivery outcome or is still in jittered flight.
+
+// requests - (hits + misses + degraded + failed).
+int64_t RequestConservationGap(const CacheStats& cache);
+
+// sent - (lost + delivered + undeliverable + in_flight). `in_flight` is the
+// server's InvalidationsInFlight() gauge. Only meaningful when the server's
+// stats were not reset mid-flight (warmup == 0), which chaos trials ensure.
+int64_t InvalidationConservationGap(const ServerStats& server, int64_t in_flight);
+
 }  // namespace webcc
 
 #endif  // WEBCC_SRC_CORE_METRICS_H_

@@ -55,6 +55,76 @@ SimTime WorkloadHorizon(const Workload& load) {
   return horizon + Hours(24);
 }
 
+std::unique_ptr<ConsistencyPolicy> BuildCachePolicy(const SimulationConfig& config) {
+  return config.policy_factory ? config.policy_factory() : MakePolicy(config.policy);
+}
+
+// Maps the sim-layer recovery mode onto the cache-layer snapshot modes,
+// resolving kAuto against the policy actually in use (§6: invalidation
+// recovery must be conservative).
+void ResolveRecovery(CrashRecovery mode, const ConsistencyPolicy& policy,
+                     SnapshotRecovery* recovery, bool* cold_start) {
+  *recovery = SnapshotRecovery::kTrustSnapshot;
+  *cold_start = false;
+  switch (mode) {
+    case CrashRecovery::kAuto:
+      *recovery = policy.UsesServerInvalidation() ? SnapshotRecovery::kRevalidateAll
+                                                  : SnapshotRecovery::kTrustSnapshot;
+      break;
+    case CrashRecovery::kTrustSnapshot:
+      *recovery = SnapshotRecovery::kTrustSnapshot;
+      break;
+    case CrashRecovery::kRevalidateAll:
+      *recovery = SnapshotRecovery::kRevalidateAll;
+      break;
+    case CrashRecovery::kColdStart:
+      *cold_start = true;
+      break;
+  }
+}
+
+// The chaos harness's arbitrary-index crash hook: an instantaneous
+// snapshot->crash->restore cycle immediately before serving request `index`
+// (FaultConfig::snapshot_crash_request). Skipped while a scheduled outage
+// already has the cache dark — a dead process cannot crash again.
+void MaybeSnapshotCrashCycle(const SimulationConfig& config, uint64_t index, ProxyCache& cache,
+                             OriginServer& server, SimTime now) {
+  if (config.faults.snapshot_crash_request < 0 ||
+      static_cast<uint64_t>(config.faults.snapshot_crash_request) != index) {
+    return;
+  }
+  if (cache.crashed()) {
+    return;
+  }
+  SnapshotRecovery recovery = SnapshotRecovery::kTrustSnapshot;
+  bool cold_start = false;
+  ResolveRecovery(config.faults.crash_recovery, cache.policy(), &recovery, &cold_start);
+  SnapshotCrashCycle(cache, now, recovery, cold_start);
+  // First contact after the restart, exactly as the scheduled-crash path.
+  const CacheId id = server.IdOf(&cache);
+  if (id != kInvalidCacheId) {
+    server.NoteCacheContact(id, now);
+  }
+}
+
+// Reports one serve to the observer, entry state included.
+void ObserveServe(SimObserver* observer, const ProxyCache& cache, uint64_t index, ObjectId object,
+                  SimTime at, const ServeResult& served) {
+  if (observer == nullptr) {
+    return;
+  }
+  ServeObservation obs;
+  obs.request_index = index;
+  obs.object = object;
+  obs.at = at;
+  obs.result = served;
+  if (const CacheEntry* entry = cache.Find(object); entry != nullptr) {
+    obs.has_entry = true;
+    obs.entry = *entry;
+  }
+  observer->OnServe(obs);
+}
+
 // The fault-injected replay: the same merge-walk as the fault-free path, but
 // riding a SimEngine so that invalidation redelivery timers, jittered
 // deliveries, and cache crash/restart events interleave with the workload in
@@ -76,7 +146,7 @@ SimulationResult RunFaultedSimulation(const Workload& load, const SimulationConf
   CacheConfig cache_config;
   cache_config.refresh_mode = config.refresh_mode;
   cache_config.capacity_bytes = config.cache_capacity_bytes;
-  ProxyCache cache("proxy", &upstream, MakePolicy(config.policy), cache_config,
+  ProxyCache cache("proxy", &upstream, BuildCachePolicy(config), cache_config,
                    &server.store());
 
   if (config.preload) {
@@ -87,26 +157,12 @@ SimulationResult RunFaultedSimulation(const Workload& load, const SimulationConf
 
   // Crash/restart schedule. The snapshot string stands in for the on-disk
   // metadata file: captured at crash time (a perfectly synced disk), gone in
-  // kColdStart mode (the disk died with the process).
+  // kColdStart mode (the disk died with the process). §6: invalidation-
+  // protocol recovery must be conservative — the server forgot nothing, but
+  // the cache cannot know which notices it missed (kAuto resolution).
   SnapshotRecovery recovery = SnapshotRecovery::kTrustSnapshot;
   bool cold_start = false;
-  switch (config.faults.crash_recovery) {
-    case CrashRecovery::kAuto:
-      // §6: invalidation-protocol recovery must be conservative — the server
-      // forgot nothing, but the cache cannot know which notices it missed.
-      recovery = cache.policy().UsesServerInvalidation() ? SnapshotRecovery::kRevalidateAll
-                                                         : SnapshotRecovery::kTrustSnapshot;
-      break;
-    case CrashRecovery::kTrustSnapshot:
-      recovery = SnapshotRecovery::kTrustSnapshot;
-      break;
-    case CrashRecovery::kRevalidateAll:
-      recovery = SnapshotRecovery::kRevalidateAll;
-      break;
-    case CrashRecovery::kColdStart:
-      cold_start = true;
-      break;
-  }
+  ResolveRecovery(config.faults.crash_recovery, cache.policy(), &recovery, &cold_start);
   std::string disk_image;
   for (const CacheCrashEvent& crash : plan.cache_crashes()) {
     engine.ScheduleAt(crash.at, [&engine, &cache, &disk_image, cold_start] {
@@ -138,11 +194,15 @@ SimulationResult RunFaultedSimulation(const Workload& load, const SimulationConf
   const SimTime warmup_end = SimTime::Epoch() + config.warmup;
   bool measuring = config.warmup.seconds() == 0;
   size_t mod_i = 0;
+  uint64_t req_index = 0;
   for (const RequestEvent& req : load.requests) {
     while (mod_i < load.modifications.size() && load.modifications[mod_i].at <= req.at) {
       const ModificationEvent& m = load.modifications[mod_i];
       engine.RunUntil(m.at);
       server.ModifyObject(m.object_index, m.at, m.new_size);
+      if (config.observer != nullptr) {
+        config.observer->OnModification(static_cast<ObjectId>(m.object_index), m.at);
+      }
       ++mod_i;
     }
     engine.RunUntil(req.at);
@@ -151,18 +211,28 @@ SimulationResult RunFaultedSimulation(const Workload& load, const SimulationConf
       cache.ResetStats();
       measuring = true;
     }
-    cache.HandleRequest(static_cast<ObjectId>(req.object_index), req.at);
+    MaybeSnapshotCrashCycle(config, req_index, cache, server, req.at);
+    const ServeResult served = cache.HandleRequest(static_cast<ObjectId>(req.object_index), req.at);
+    ObserveServe(config.observer, cache, req_index, static_cast<ObjectId>(req.object_index),
+                 req.at, served);
+    ++req_index;
   }
   while (mod_i < load.modifications.size()) {
     const ModificationEvent& m = load.modifications[mod_i];
     engine.RunUntil(m.at);
     server.ModifyObject(m.object_index, m.at, m.new_size);
+    if (config.observer != nullptr) {
+      config.observer->OnModification(static_cast<ObjectId>(m.object_index), m.at);
+    }
     ++mod_i;
   }
   // Drain trailing redelivery timers and restarts. Bounded by the horizon:
   // a flush timer for a permanently dark cache reschedules forever and must
   // not spin the run loop.
   engine.RunUntil(horizon);
+  if (config.observer != nullptr) {
+    config.observer->OnRunEnd(cache, server);
+  }
 
   SimulationResult result;
   result.workload_name = load.name;
@@ -192,7 +262,7 @@ SimulationResult RunSimulation(const Workload& load, const SimulationConfig& con
   CacheConfig cache_config;
   cache_config.refresh_mode = config.refresh_mode;
   cache_config.capacity_bytes = config.cache_capacity_bytes;
-  ProxyCache cache("proxy", &upstream, MakePolicy(config.policy), cache_config,
+  ProxyCache cache("proxy", &upstream, BuildCachePolicy(config), cache_config,
                    &server.store());
 
   if (config.preload) {
@@ -206,10 +276,14 @@ SimulationResult RunSimulation(const Workload& load, const SimulationConfig& con
   const SimTime warmup_end = SimTime::Epoch() + config.warmup;
   bool measuring = config.warmup.seconds() == 0;
   size_t mod_i = 0;
+  uint64_t req_index = 0;
   for (const RequestEvent& req : load.requests) {
     while (mod_i < load.modifications.size() && load.modifications[mod_i].at <= req.at) {
       const ModificationEvent& m = load.modifications[mod_i];
       server.ModifyObject(m.object_index, m.at, m.new_size);
+      if (config.observer != nullptr) {
+        config.observer->OnModification(static_cast<ObjectId>(m.object_index), m.at);
+      }
       ++mod_i;
     }
     if (!measuring && req.at >= warmup_end) {
@@ -217,16 +291,26 @@ SimulationResult RunSimulation(const Workload& load, const SimulationConfig& con
       cache.ResetStats();
       measuring = true;
     }
+    MaybeSnapshotCrashCycle(config, req_index, cache, server, req.at);
     // Object ids are dense and assigned in creation order, so the workload's
     // object_index doubles as the ObjectId.
-    cache.HandleRequest(static_cast<ObjectId>(req.object_index), req.at);
+    const ServeResult served = cache.HandleRequest(static_cast<ObjectId>(req.object_index), req.at);
+    ObserveServe(config.observer, cache, req_index, static_cast<ObjectId>(req.object_index),
+                 req.at, served);
+    ++req_index;
   }
   // Trailing modifications (after the last request) still cost invalidation
   // traffic under the invalidation protocol.
   while (mod_i < load.modifications.size()) {
     const ModificationEvent& m = load.modifications[mod_i];
     server.ModifyObject(m.object_index, m.at, m.new_size);
+    if (config.observer != nullptr) {
+      config.observer->OnModification(static_cast<ObjectId>(m.object_index), m.at);
+    }
     ++mod_i;
+  }
+  if (config.observer != nullptr) {
+    config.observer->OnRunEnd(cache, server);
   }
 
   SimulationResult result;

@@ -17,6 +17,9 @@
 #ifndef WEBCC_SRC_CORE_SIMULATION_H_
 #define WEBCC_SRC_CORE_SIMULATION_H_
 
+#include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 
 #include "src/cache/policy_factory.h"
@@ -26,6 +29,36 @@
 #include "src/workload/workload.h"
 
 namespace webcc {
+
+// One served request as a SimObserver sees it: the serve verdict plus a
+// copy of the cache entry's state immediately after the serve.
+struct ServeObservation {
+  uint64_t request_index = 0;  // replay index in the workload's request stream
+  ObjectId object = 0;
+  SimTime at;
+  ServeResult result;
+  bool has_entry = false;  // false when nothing is cached afterwards
+  CacheEntry entry;        // meaningful only when has_entry
+};
+
+// Model-based-checking hooks (the chaos oracle, src/chaos/). Both simulation
+// paths report every applied modification and every serve in replay order;
+// OnRunEnd fires once after trailing events drain, immediately before the
+// run's statistics are collected. Hooks may throw — the chaos oracle throws
+// OracleViolation — and the exception propagates out of RunSimulation.
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+  virtual void OnModification(ObjectId object, SimTime at) {
+    (void)object;
+    (void)at;
+  }
+  virtual void OnServe(const ServeObservation& observation) { (void)observation; }
+  virtual void OnRunEnd(const ProxyCache& cache, const OriginServer& server) {
+    (void)cache;
+    (void)server;
+  }
+};
 
 struct SimulationConfig {
   PolicyConfig policy;
@@ -42,6 +75,16 @@ struct SimulationConfig {
   // enabled, the run rides a SimEngine so loss, downtime, crash/restart, and
   // invalidation redelivery are scheduled deterministically from the seed.
   FaultConfig faults;
+
+  // Chaos-harness hooks — both inert by default.
+  //
+  // Non-owning observation hook; must outlive the run. Null = no reporting.
+  SimObserver* observer = nullptr;
+  // Test seam: when set, the cache's policy comes from this factory instead
+  // of MakePolicy(policy), while `policy` still declares the parameters an
+  // oracle checks against — how tests/chaos/ plants a deliberately broken
+  // policy behind an honest-looking config.
+  std::function<std::unique_ptr<ConsistencyPolicy>()> policy_factory;
 
   static SimulationConfig Base(PolicyConfig policy);
   static SimulationConfig Optimized(PolicyConfig policy);

@@ -60,6 +60,10 @@ SweepRunner::SweepRunner(size_t jobs) : jobs_(jobs == 1 ? 1 : ResolveJobs(jobs))
 
 SweepRunner::~SweepRunner() = default;
 
+void SweepRunner::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  Dispatch(n, fn);
+}
+
 void SweepRunner::Dispatch(size_t n, const std::function<void(size_t)>& fn) {
   if (pool_ == nullptr) {
     for (size_t i = 0; i < n; ++i) {

@@ -75,6 +75,14 @@ class SweepRunner {
   std::vector<SimulationResult> RunInvalidationMany(const std::vector<Workload>& loads,
                                                     const SimulationConfig& base_config);
 
+  // General-purpose fan-out on this runner's pool: executes fn(i) for i in
+  // [0, n), serially when jobs == 1. The determinism contract is the
+  // caller's: tasks must own their worlds and write only to disjoint,
+  // index-addressed slots, so results cannot depend on completion order.
+  // This is how fleet sharding (src/core/fleet.h) and chaos campaigns
+  // (src/chaos/) reuse the one pool instead of growing their own.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
  private:
   class Pool;  // pimpl so this header stays free of threading includes
 

@@ -114,8 +114,10 @@ void OriginServer::SendInvalidation(CacheId cache, ObjectId id, SimTime now, boo
   }
   stats_.bytes_sent += ControlWireBytes();
   if (sinks_[cache]->DeliverInvalidation(id, now)) {
+    ++stats_.invalidations_delivered;
     return;
   }
+  ++stats_.invalidations_undeliverable;
   // Unreachable cache: the notice was lost; keep retrying on a timer so the
   // cache eventually learns of the change. Without an engine the loss is
   // permanent (callers that model unreachability must provide an engine).
@@ -144,19 +146,25 @@ void OriginServer::FaultedSend(CacheId cache, ObjectId id, SimTime now, bool fro
   }
   const SimDuration jitter = faults_->Jitter();
   if (jitter > SimDuration(0) && engine_ != nullptr) {
+    ++invalidations_inflight_;
     engine_->ScheduleAfter(jitter, [this, cache, id, from_queue] {
+      --invalidations_inflight_;
       if (sinks_[cache]->DeliverInvalidation(id, engine_->Now())) {
+        ++stats_.invalidations_delivered;
         if (from_queue) ++stats_.invalidations_redelivered;
       } else {
+        ++stats_.invalidations_undeliverable;
         EnqueuePending(cache, id);
       }
     });
     return;
   }
   if (sinks_[cache]->DeliverInvalidation(id, now)) {
+    ++stats_.invalidations_delivered;
     if (from_queue) ++stats_.invalidations_redelivered;
     return;
   }
+  ++stats_.invalidations_undeliverable;
   EnqueuePending(cache, id);
 }
 

@@ -52,6 +52,14 @@ struct ServerStats {
   uint64_t invalidations_lost = 0;
   uint64_t invalidations_queued = 0;
   uint64_t invalidations_redelivered = 0;
+  // Delivery-outcome ledger: every notice counted in invalidations_sent
+  // resolves to exactly one of lost / delivered / undeliverable (crossed the
+  // wire but the sink refused it — crashed or partitioned), or is still in
+  // jittered flight (OriginServer::InvalidationsInFlight, kept outside the
+  // stats so a warmup reset cannot unbalance it). The chaos oracle asserts
+  // sent == lost + delivered + undeliverable + in-flight (invariant 3).
+  uint64_t invalidations_delivered = 0;
+  uint64_t invalidations_undeliverable = 0;
   uint64_t files_transferred = 0;   // document bodies shipped
   int64_t bytes_sent = 0;           // server -> cache
   int64_t bytes_received = 0;       // cache -> server (requests, queries)
@@ -129,6 +137,12 @@ class OriginServer {
   // Invalidations currently parked across all per-cache queues.
   size_t PendingInvalidations() const;
 
+  // Notices sent but still riding a jitter delay — neither delivered nor
+  // failed yet. A gauge, not a stat: it survives ResetStats() so the
+  // delivery-outcome ledger (ServerStats) stays balanced even when a notice
+  // was launched before a warmup reset and lands after it.
+  int64_t InvalidationsInFlight() const { return invalidations_inflight_; }
+
   // Marks that `cache` holds `object`; future changes trigger a callback.
   void Subscribe(CacheId cache, ObjectId object);
   void Unsubscribe(CacheId cache, ObjectId object);
@@ -166,6 +180,7 @@ class OriginServer {
   std::vector<std::vector<ObjectId>> pending_;       // per-cache FIFO of queued notices
   std::vector<std::vector<bool>> pending_flag_;      // per-cache dedup for pending_
   bool flush_timer_armed_ = false;
+  int64_t invalidations_inflight_ = 0;               // jitter-delayed, undecided
 };
 
 }  // namespace webcc

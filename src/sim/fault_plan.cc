@@ -1,9 +1,15 @@
 #include "src/sim/fault_plan.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string_view>
 
 #include "src/util/check.h"
+#include "src/util/str.h"
 
 namespace webcc {
 
@@ -115,6 +121,181 @@ int64_t FaultPlan::TotalDowntimeSeconds() const {
   int64_t total = 0;
   for (const DowntimeWindow& w : windows_) total += (w.end - w.start).seconds();
   return total;
+}
+
+namespace {
+
+constexpr char kFaultPlanHeader[] = "#webcc-fault-plan v1";
+
+std::optional<uint64_t> ParseU64(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  uint64_t value = 0;
+  const char* first = text.data();
+  const char* last = first + text.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+const char* CrashRecoveryName(CrashRecovery recovery) {
+  switch (recovery) {
+    case CrashRecovery::kAuto:
+      return "auto";
+    case CrashRecovery::kTrustSnapshot:
+      return "trust";
+    case CrashRecovery::kRevalidateAll:
+      return "revalidate";
+    case CrashRecovery::kColdStart:
+      return "cold";
+  }
+  return "auto";
+}
+
+std::optional<CrashRecovery> ParseCrashRecovery(const std::string& name) {
+  if (name == "auto") return CrashRecovery::kAuto;
+  if (name == "trust") return CrashRecovery::kTrustSnapshot;
+  if (name == "revalidate") return CrashRecovery::kRevalidateAll;
+  if (name == "cold") return CrashRecovery::kColdStart;
+  return std::nullopt;
+}
+
+void FaultPlan::Serialize(std::ostream& out) const {
+  out << kFaultPlanHeader << "\n";
+  out << "armed " << (config_.armed ? 1 : 0) << "\n";
+  out << "seed " << config_.seed << "\n";
+  out << StrFormat("loss-rate %.17g\n", config_.loss_rate);
+  out << "jitter-max-seconds " << config_.jitter_max.seconds() << "\n";
+  out << "retry-max-attempts " << config_.retry.max_attempts << "\n";
+  out << "retry-timeout-seconds " << config_.retry.timeout.seconds() << "\n";
+  out << "retry-initial-backoff-seconds " << config_.retry.initial_backoff.seconds() << "\n";
+  out << StrFormat("retry-backoff-multiplier %.17g\n", config_.retry.backoff_multiplier);
+  out << "retry-max-backoff-seconds " << config_.retry.max_backoff.seconds() << "\n";
+  out << "invalidation-retry-seconds " << config_.invalidation_retry_interval.seconds() << "\n";
+  out << "recovery " << CrashRecoveryName(config_.crash_recovery) << "\n";
+  out << "snapshot-crash-request " << config_.snapshot_crash_request << "\n";
+  // Materialized downtime: the merged windows_, which already fold any
+  // MTBF/MTTR-generated schedule in. No mtbf/mttr keys exist in the format —
+  // re-rolling an exponential process against a reloaded horizon is exactly
+  // the round-trip bug this serialization fixes.
+  for (const DowntimeWindow& w : windows_) {
+    out << "downtime " << (w.start - SimTime::Epoch()).seconds() << " "
+        << (w.end - SimTime::Epoch()).seconds() << "\n";
+  }
+  for (const CacheCrashEvent& crash : config_.cache_crashes) {
+    out << "crash " << (crash.at - SimTime::Epoch()).seconds() << " " << crash.outage.seconds()
+        << "\n";
+  }
+}
+
+std::string FaultPlan::SerializeToString() const {
+  std::ostringstream out;
+  Serialize(out);
+  return out.str();
+}
+
+std::optional<FaultConfig> FaultPlan::Parse(std::istream& in, FaultPlanParseError* error) {
+  auto fail = [error](size_t line, std::string message) -> std::optional<FaultConfig> {
+    if (error != nullptr) *error = {line, std::move(message)};
+    return std::nullopt;
+  };
+  std::string line;
+  size_t line_no = 0;
+  // Header first: skip leading blank lines only.
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (Trim(line).empty()) continue;
+    if (Trim(line) != kFaultPlanHeader) {
+      return fail(line_no, StrFormat("expected header '%s'", kFaultPlanHeader));
+    }
+    saw_header = true;
+    break;
+  }
+  if (!saw_header) return fail(0, StrFormat("missing header '%s'", kFaultPlanHeader));
+
+  FaultConfig config;
+  // The serialized form carries an explicit schedule; defaults that would
+  // regenerate or reorder it must not leak in.
+  config.server_downtime.clear();
+  config.cache_crashes.clear();
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const std::vector<std::string_view> tokens = SplitWhitespace(trimmed);
+    const std::string_view key = tokens.front();
+    auto want = [&](size_t values) { return tokens.size() == values + 1; };
+    auto int_value = [&](size_t i) { return ParseInt(tokens[i]); };
+    if (key == "armed" && want(1)) {
+      const auto v = int_value(1);
+      if (!v || (*v != 0 && *v != 1)) return fail(line_no, "armed must be 0 or 1");
+      config.armed = *v == 1;
+    } else if (key == "seed" && want(1)) {
+      const auto v = ParseU64(tokens[1]);
+      if (!v) return fail(line_no, "seed must be an unsigned 64-bit integer");
+      config.seed = *v;
+    } else if (key == "loss-rate" && want(1)) {
+      const auto v = ParseDouble(tokens[1]);
+      if (!v || *v < 0.0 || *v > 1.0) return fail(line_no, "loss-rate must be in [0, 1]");
+      config.loss_rate = *v;
+    } else if (key == "jitter-max-seconds" && want(1)) {
+      const auto v = int_value(1);
+      if (!v || *v < 0) return fail(line_no, "jitter-max-seconds must be >= 0");
+      config.jitter_max = Seconds(*v);
+    } else if (key == "retry-max-attempts" && want(1)) {
+      const auto v = int_value(1);
+      if (!v || *v < 1) return fail(line_no, "retry-max-attempts must be >= 1");
+      config.retry.max_attempts = static_cast<int>(*v);
+    } else if (key == "retry-timeout-seconds" && want(1)) {
+      const auto v = int_value(1);
+      if (!v || *v < 0) return fail(line_no, "retry-timeout-seconds must be >= 0");
+      config.retry.timeout = Seconds(*v);
+    } else if (key == "retry-initial-backoff-seconds" && want(1)) {
+      const auto v = int_value(1);
+      if (!v || *v < 0) return fail(line_no, "retry-initial-backoff-seconds must be >= 0");
+      config.retry.initial_backoff = Seconds(*v);
+    } else if (key == "retry-backoff-multiplier" && want(1)) {
+      const auto v = ParseDouble(tokens[1]);
+      if (!v || *v < 1.0) return fail(line_no, "retry-backoff-multiplier must be >= 1");
+      config.retry.backoff_multiplier = *v;
+    } else if (key == "retry-max-backoff-seconds" && want(1)) {
+      const auto v = int_value(1);
+      if (!v || *v < 0) return fail(line_no, "retry-max-backoff-seconds must be >= 0");
+      config.retry.max_backoff = Seconds(*v);
+    } else if (key == "invalidation-retry-seconds" && want(1)) {
+      const auto v = int_value(1);
+      if (!v || *v < 1) return fail(line_no, "invalidation-retry-seconds must be >= 1");
+      config.invalidation_retry_interval = Seconds(*v);
+    } else if (key == "recovery" && want(1)) {
+      const auto v = ParseCrashRecovery(std::string(tokens[1]));
+      if (!v) return fail(line_no, "recovery must be auto|trust|revalidate|cold");
+      config.crash_recovery = *v;
+    } else if (key == "snapshot-crash-request" && want(1)) {
+      const auto v = int_value(1);
+      if (!v || *v < -1) return fail(line_no, "snapshot-crash-request must be >= -1");
+      config.snapshot_crash_request = *v;
+    } else if (key == "downtime" && want(2)) {
+      const auto start = int_value(1);
+      const auto end = int_value(2);
+      if (!start || !end || *start < 0 || *end <= *start) {
+        return fail(line_no, "downtime needs 0 <= start < end");
+      }
+      config.server_downtime.push_back(
+          {SimTime::Epoch() + Seconds(*start), SimTime::Epoch() + Seconds(*end)});
+    } else if (key == "crash" && want(2)) {
+      const auto at = int_value(1);
+      const auto outage = int_value(2);
+      if (!at || !outage || *at < 0 || *outage < 1) {
+        return fail(line_no, "crash needs at >= 0 and outage >= 1");
+      }
+      config.cache_crashes.push_back({SimTime::Epoch() + Seconds(*at), Seconds(*outage)});
+    } else {
+      return fail(line_no, StrFormat("unknown or malformed line '%s'", std::string(key).c_str()));
+    }
+  }
+  return config;
 }
 
 }  // namespace webcc

@@ -21,6 +21,9 @@
 #define WEBCC_SRC_SIM_FAULT_PLAN_H_
 
 #include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "src/util/rng.h"
@@ -68,6 +71,11 @@ enum class CrashRecovery {
   kColdStart,      // the disk died with the process: restart empty
 };
 
+// Stable wire names for CrashRecovery ("auto", "trust", "revalidate",
+// "cold") — used by the CLI and the fault-plan serialization below.
+const char* CrashRecoveryName(CrashRecovery recovery);
+std::optional<CrashRecovery> ParseCrashRecovery(const std::string& name);
+
 struct FaultConfig {
   // Arms the fault machinery even when every knob is zero — used by the
   // no-op property tests; Enabled() is what the simulators consult.
@@ -96,7 +104,23 @@ struct FaultConfig {
   // Server-side redelivery cadence for queued invalidations.
   SimDuration invalidation_retry_interval = Minutes(5);
 
+  // Chaos-harness crash point: when >= 0, the cache runs an *in-place*
+  // snapshot->crash->restore cycle immediately before serving the request
+  // with this replay index (0-based), losing no simulated time. This is the
+  // arbitrary-event-index crash hook the consistency oracle's invariant 4
+  // compares against an uninterrupted run, so — unlike cache_crashes — it is
+  // deliberately NOT part of Enabled(): setting it must not reroute a run
+  // onto the faulted simulation path. Honored by both paths.
+  int64_t snapshot_crash_request = -1;
+
   [[nodiscard]] bool Enabled() const;
+};
+
+// Line-numbered reason a serialized fault plan was rejected (line 0 = the
+// stream as a whole, e.g. a missing header).
+struct FaultPlanParseError {
+  size_t line = 0;
+  std::string message;
 };
 
 // The materialized fault schedule for one run. Single-threaded use only —
@@ -127,6 +151,23 @@ class FaultPlan {
   // Totals for reports and tests.
   [[nodiscard]] uint64_t messages_lost() const { return messages_lost_; }
   [[nodiscard]] int64_t TotalDowntimeSeconds() const;
+
+  // Writes the plan as a versioned key/value text block ("#webcc-fault-plan
+  // v1"). Downtime is serialized *materialized* — the merged windows_, with
+  // mtbf/mttr zeroed — so a schedule generated from an exponential process
+  // round-trips exactly instead of being re-rolled against a different
+  // horizon on reload. Reconstructing a FaultPlan from the parsed config
+  // reproduces identical loss/jitter draws: those substreams depend only on
+  // the seed, which travels with the plan.
+  void Serialize(std::ostream& out) const;
+  [[nodiscard]] std::string SerializeToString() const;
+
+  // All-or-nothing parse of a serialized plan (mirrors snapshot.cc): any
+  // unknown key, malformed value, or missing header rejects the whole
+  // stream with a line-numbered error and returns nullopt. Stops at end of
+  // stream; keys may appear in any order.
+  static std::optional<FaultConfig> Parse(std::istream& in,
+                                          FaultPlanParseError* error = nullptr);
 
  private:
   FaultConfig config_;

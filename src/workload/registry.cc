@@ -1,0 +1,63 @@
+#include "src/workload/registry.h"
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/util/str.h"
+
+namespace webcc {
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  // unique_ptr values so the Workload addresses survive rehashing.
+  std::unordered_map<std::string, std::unique_ptr<Workload>> workloads;
+};
+
+Registry& GlobalRegistry() {
+  static Registry* registry = new Registry;  // leaked: process-lifetime cache
+  return *registry;
+}
+
+}  // namespace
+
+const Workload& SharedWorkload(const std::string& key, const std::function<Workload()>& build) {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.workloads.find(key);
+  if (it == registry.workloads.end()) {
+    it = registry.workloads.emplace(key, std::make_unique<Workload>(build())).first;
+  }
+  return *it->second;
+}
+
+std::string WorrellWorkloadKey(const WorrellConfig& config) {
+  return StrFormat("worrell/f%u/d%lld/l%lld-%lld/r%.17g/b%lld/g%.17g/c%u/s%llu",
+                   config.num_files, static_cast<long long>(config.duration.seconds()),
+                   static_cast<long long>(config.min_lifetime.seconds()),
+                   static_cast<long long>(config.max_lifetime.seconds()),
+                   config.requests_per_second, static_cast<long long>(config.mean_file_bytes),
+                   config.size_sigma, config.num_clients,
+                   static_cast<unsigned long long>(config.seed));
+}
+
+const Workload& SharedWorrellWorkload(const WorrellConfig& config) {
+  return SharedWorkload(WorrellWorkloadKey(config),
+                        [&config] { return GenerateWorrellWorkload(config); });
+}
+
+size_t SharedWorkloadCount() {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  return registry.workloads.size();
+}
+
+void ClearSharedWorkloads() {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.workloads.clear();
+}
+
+}  // namespace webcc

@@ -1,0 +1,46 @@
+// A deliberately broken consistency policy for exercising the chaos oracle.
+//
+// BrokenTtlPolicy claims to be a fixed-TTL policy but silently grants every
+// fetch a validity window `stretch` times longer than the TTL it reports.
+// Planted behind an honest PolicyConfig::Ttl(ttl) declaration via
+// SimulationConfig::policy_factory, it serves documents long past the
+// declared window — exactly the defect the staleness-bound invariant exists
+// to catch.
+
+#ifndef WEBCC_TESTS_CHAOS_BROKEN_POLICY_H_
+#define WEBCC_TESTS_CHAOS_BROKEN_POLICY_H_
+
+#include <string>
+
+#include "src/cache/policy.h"
+#include "src/util/str.h"
+
+namespace webcc {
+
+class BrokenTtlPolicy : public ConsistencyPolicy {
+ public:
+  BrokenTtlPolicy(SimDuration ttl, int64_t stretch) : ttl_(ttl), stretch_(stretch) {}
+
+  PolicyKind kind() const override { return PolicyKind::kFixedTtl; }
+
+  void OnFetch(CacheEntry& entry, SimTime now, const FetchInfo& info) override {
+    (void)info;
+    entry.valid = true;
+    entry.validated_at = now;
+    // The bug: the real window is stretch_ times the declared one.
+    entry.expires_at = now + ttl_.ScaledBy(static_cast<double>(stretch_));
+  }
+
+  std::string Describe() const override {
+    return StrFormat("broken-ttl(%.1fh x%lld)", ttl_.hours(),
+                     static_cast<long long>(stretch_));
+  }
+
+ private:
+  SimDuration ttl_;
+  int64_t stretch_;
+};
+
+}  // namespace webcc
+
+#endif  // WEBCC_TESTS_CHAOS_BROKEN_POLICY_H_

@@ -1,0 +1,201 @@
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/chaos/campaign.h"
+#include "src/chaos/generator.h"
+#include "src/chaos/shrinker.h"
+#include "src/workload/registry.h"
+#include "tests/chaos/broken_policy.h"
+
+namespace webcc {
+namespace {
+
+// --- Property: the oracle accepts the simulator as-is ---------------------
+
+TEST(ChaosOracleTest, AcceptsFaultFreeTrialsAcross200Seeds) {
+  // Trial index 0 is always a clean (fault-free or zero-knob) trial; 200
+  // distinct campaign seeds give 200 distinct fault-free worlds. Any throw
+  // here is a real consistency bug, not a flake — trials are deterministic.
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    const TrialSpec spec = GenerateTrial(seed, 0);
+    ASSERT_EQ(spec.kind, TrialKind::kClean);
+    EXPECT_NO_THROW(RunTrialChecked(spec)) << spec.Describe();
+  }
+}
+
+TEST(ChaosOracleTest, AcceptsGeneratedTrialsOfEveryKind) {
+  // A contiguous index range cycles clean / crash-consistency / chaos kinds.
+  for (uint64_t index = 0; index < 48; ++index) {
+    const TrialSpec spec = GenerateTrial(0xFEED, index);
+    EXPECT_NO_THROW(RunTrialChecked(spec)) << spec.Describe();
+  }
+}
+
+TEST(ChaosGeneratorTest, TrialsArePureFunctionsOfSeedAndIndex) {
+  for (uint64_t index : {0ull, 1ull, 2ull, 7ull}) {
+    EXPECT_EQ(GenerateTrial(42, index).Describe(), GenerateTrial(42, index).Describe());
+  }
+  EXPECT_NE(GenerateTrial(42, 2).Describe(), GenerateTrial(43, 2).Describe());
+}
+
+// --- Campaign determinism -------------------------------------------------
+
+TEST(ChaosCampaignTest, ParallelCampaignMatchesSerial) {
+  ChaosOptions options;
+  options.trials = 40;
+  options.seed = 7;
+  options.repro_dir.clear();  // no artifacts from tests
+  ChaosOptions parallel = options;
+  parallel.jobs = 8;
+  const CampaignResult serial_result = RunChaosCampaign(options);
+  const CampaignResult parallel_result = RunChaosCampaign(parallel);
+  EXPECT_EQ(serial_result.violations.size(), parallel_result.violations.size());
+  EXPECT_EQ(serial_result.Summary(), parallel_result.Summary());
+  EXPECT_TRUE(serial_result.ok());
+}
+
+// --- The oracle catches a planted bug and the shrinker minimizes it -------
+
+TrialSpec PlantBrokenTtl(uint64_t seed, uint64_t index) {
+  TrialSpec spec = GenerateTrial(seed, index);
+  // Honest declaration, dishonest implementation: the oracle checks serves
+  // against the declared 30-minute window while the cache actually grants
+  // 20x that.
+  spec.config.policy = PolicyConfig::Ttl(Minutes(30));
+  spec.config.policy_factory = [] {
+    return std::make_unique<BrokenTtlPolicy>(Minutes(30), 20);
+  };
+  return spec;
+}
+
+TEST(ChaosShrinkerTest, BrokenPolicyIsFlaggedAndShrunkToASmallRepro) {
+  constexpr uint64_t kMaxTrials = 25;
+  std::optional<OracleViolation> violation;
+  TrialSpec flagged;
+  uint64_t flagged_at = 0;
+  for (uint64_t index = 0; index < kMaxTrials && !violation.has_value(); ++index) {
+    flagged = PlantBrokenTtl(0xBADF00D, index);
+    violation = ProbeTrial(flagged);
+    flagged_at = index;
+  }
+  ASSERT_TRUE(violation.has_value())
+      << "a 20x-stretched TTL went unflagged for " << kMaxTrials << " trials";
+  EXPECT_EQ(violation->invariant, "staleness-bound")
+      << violation->message << " (trial " << flagged_at << ")";
+
+  const ShrinkResult shrunk = ShrinkTrial(flagged, /*max_runs=*/200);
+  ASSERT_TRUE(shrunk.confirmed);
+  EXPECT_EQ(shrunk.violation.invariant, violation->invariant);
+  EXPECT_LE(FaultEventCount(shrunk.minimal), 16u);
+  EXPECT_LT(shrunk.minimal.request_limit,
+            SharedWorrellWorkload(shrunk.minimal.workload).requests.size());
+
+  // The minimal trial replays to the same violation, repeatedly.
+  const std::optional<OracleViolation> replayed = ProbeTrial(shrunk.minimal);
+  ASSERT_TRUE(replayed.has_value());
+  EXPECT_EQ(replayed->invariant, violation->invariant);
+  EXPECT_EQ(replayed->message, shrunk.violation.message);
+}
+
+// --- Repro artifacts ------------------------------------------------------
+
+TEST(ChaosReproTest, RenderParseRoundTripsTheTrial) {
+  // A chaos-kind trial exercises every serialized field class: faults,
+  // request limits, policy, and workload shape.
+  for (uint64_t index : {2ull, 3ull, 6ull, 7ull}) {
+    TrialSpec spec = GenerateTrial(0xAB, index);
+    spec.request_limit = 500;
+    const OracleViolation token{"staleness-bound", "round-trip fixture"};
+    std::istringstream in(RenderRepro(spec, token));
+    std::string error;
+    const std::optional<TrialSpec> parsed = ParseRepro(in, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    // Rendering materializes generated downtime; compare against the same.
+    TrialSpec materialized = spec;
+    MaterializeFaultWindows(materialized);
+    EXPECT_EQ(parsed->Describe(), materialized.Describe());
+    EXPECT_EQ(parsed->campaign_seed, spec.campaign_seed);
+    EXPECT_EQ(parsed->index, spec.index);
+    EXPECT_EQ(parsed->request_limit, spec.request_limit);
+  }
+}
+
+TEST(ChaosReproTest, ParseIsAllOrNothing) {
+  const auto parse = [](const std::string& text) {
+    std::istringstream in(text);
+    std::string error;
+    const std::optional<TrialSpec> spec = ParseRepro(in, &error);
+    EXPECT_FALSE(spec.has_value());
+    return error;
+  };
+  EXPECT_FALSE(parse("not a repro file\n").empty());
+  EXPECT_FALSE(parse("").empty());
+
+  TrialSpec spec = GenerateTrial(0xAB, 2);
+  const OracleViolation token{"conservation", "fixture"};
+  const std::string good = RenderRepro(spec, token);
+  // An unknown key anywhere rejects the whole stream.
+  const size_t nl = good.find('\n');
+  ASSERT_NE(nl, std::string::npos);
+  const std::string with_junk =
+      good.substr(0, nl + 1) + "mystery-key 7\n" + good.substr(nl + 1);
+  const std::string error = parse(with_junk);
+  EXPECT_NE(error.find("mystery-key"), std::string::npos) << error;
+  // A corrupted value does too.
+  const std::string with_bad_value = good.substr(0, nl + 1) + "preload maybe\n";
+  EXPECT_FALSE(parse(with_bad_value).empty());
+}
+
+TEST(ChaosReproTest, ReplayFromDiskRunsTheParsedTrial) {
+  const TrialSpec spec = GenerateTrial(0xAB, 6);
+  const OracleViolation token{"conservation", "fixture"};
+  const std::string path = testing::TempDir() + "webcc-chaos-replay-test.repro";
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good());
+    out << RenderRepro(spec, token);
+  }
+  const ReplayOutcome outcome = ReplayRepro(path);
+  ASSERT_TRUE(outcome.parsed) << outcome.error;
+  EXPECT_FALSE(outcome.description.empty());
+  // A healthy simulator passes its own generated trial on replay.
+  EXPECT_FALSE(outcome.violation.has_value());
+  std::remove(path.c_str());
+}
+
+TEST(ChaosReproTest, ReplayReportsMissingFile) {
+  const ReplayOutcome outcome = ReplayRepro("no/such/file.repro");
+  EXPECT_FALSE(outcome.parsed);
+  EXPECT_FALSE(outcome.error.empty());
+}
+
+TEST(ChaosReproTest, ReproCommandNamesTheTool) {
+  const std::string cmd = ReproCommand("chaos-repros/seed-1-trial-2.repro");
+  EXPECT_NE(cmd.find("webcc-chaos"), std::string::npos);
+  EXPECT_NE(cmd.find("chaos-repros/seed-1-trial-2.repro"), std::string::npos);
+}
+
+// --- Crash-consistency trials actually exercise the snapshot cycle -------
+
+TEST(ChaosOracleTest, CrashConsistencyTrialsCoverSnapshotCycle) {
+  // Index 1 of every 4 is a crash-consistency trial; make sure the sampled
+  // crash point lands inside the horizon often enough that invariant 4 runs
+  // against real crashes, not no-ops.
+  int with_crash_armed = 0;
+  for (uint64_t index = 1; index < 40; index += 4) {
+    const TrialSpec spec = GenerateTrial(0xFEED, index);
+    ASSERT_EQ(spec.kind, TrialKind::kCrashConsistency);
+    if (spec.config.faults.snapshot_crash_request >= 0) {
+      ++with_crash_armed;
+    }
+  }
+  EXPECT_GE(with_crash_armed, 8);
+}
+
+}  // namespace
+}  // namespace webcc

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/simulation.h"
+#include "src/core/sweep_runner.h"
 #include "src/workload/worrell.h"
 
 namespace webcc {
@@ -102,6 +103,42 @@ TEST(FleetTest, PerfectConsistencyAcrossWholeFleet) {
     const FleetResult result =
         RunFleetSimulation(FleetLoad(), MakeConfig(PolicyConfig::Invalidation(), n));
     EXPECT_EQ(result.stale_hits, 0u) << n;
+  }
+}
+
+void ExpectFleetResultsIdentical(const FleetResult& a, const FleetResult& b) {
+  EXPECT_EQ(a.policy_desc, b.policy_desc);
+  EXPECT_EQ(a.num_caches, b.num_caches);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.stale_hits, b.stale_hits);
+  EXPECT_EQ(a.misses, b.misses);
+  EXPECT_EQ(a.total_link_bytes, b.total_link_bytes);
+  EXPECT_EQ(a.final_subscriptions, b.final_subscriptions);
+  EXPECT_EQ(a.peak_subscriptions, b.peak_subscriptions);
+  EXPECT_EQ(a.server.get_requests, b.server.get_requests);
+  EXPECT_EQ(a.server.ims_queries, b.server.ims_queries);
+  EXPECT_EQ(a.server.ims_not_modified, b.server.ims_not_modified);
+  EXPECT_EQ(a.server.files_transferred, b.server.files_transferred);
+  EXPECT_EQ(a.server.bytes_sent, b.server.bytes_sent);
+  EXPECT_EQ(a.server.bytes_received, b.server.bytes_received);
+  EXPECT_EQ(a.server.invalidations_sent, b.server.invalidations_sent);
+  EXPECT_EQ(a.server.invalidations_delivered, b.server.invalidations_delivered);
+}
+
+TEST(FleetTest, ShardedExecutionIsFieldIdenticalAtAnyJobCount) {
+  // The sharded walk must be a pure scheduling change: member worlds are
+  // independent and summed in member order, so jobs=8 equals jobs=1 equals
+  // the runner-free serial path, field by field.
+  for (const PolicyConfig& policy :
+       {PolicyConfig::Alex(0.2), PolicyConfig::Invalidation()}) {
+    const FleetConfig config = MakeConfig(policy, 8);
+    const FleetResult serial = RunFleetSimulation(FleetLoad(), config);
+    SweepRunner one_job(1);
+    SweepRunner eight_jobs(8);
+    const FleetResult sharded1 = RunFleetSimulation(FleetLoad(), config, one_job);
+    const FleetResult sharded8 = RunFleetSimulation(FleetLoad(), config, eight_jobs);
+    ExpectFleetResultsIdentical(serial, sharded1);
+    ExpectFleetResultsIdentical(serial, sharded8);
   }
 }
 

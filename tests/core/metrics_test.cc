@@ -62,5 +62,33 @@ TEST(MetricsTest, SummaryMentionsKeyNumbers) {
   EXPECT_NE(summary.find("stale=5.000%"), std::string::npos);
 }
 
+TEST(MetricsTest, RequestConservationGapIsSignedAndZeroWhenBalanced) {
+  CacheStats cache;
+  cache.requests = 100;
+  cache.hits_fresh = 50;
+  cache.hits_validated = 20;
+  cache.misses_cold = 10;
+  cache.misses_refetched = 10;
+  cache.degraded_serves = 7;
+  cache.failed_requests = 3;
+  EXPECT_EQ(RequestConservationGap(cache), 0);
+  cache.failed_requests = 0;  // three requests now unaccounted for
+  EXPECT_EQ(RequestConservationGap(cache), 3);
+  cache.failed_requests = 8;  // five serves out of thin air
+  EXPECT_EQ(RequestConservationGap(cache), -5);
+}
+
+TEST(MetricsTest, InvalidationConservationGapCountsInFlight) {
+  ServerStats server;
+  server.invalidations_sent = 10;
+  server.invalidations_lost = 2;
+  server.invalidations_delivered = 5;
+  server.invalidations_undeliverable = 1;
+  EXPECT_EQ(InvalidationConservationGap(server, /*in_flight=*/2), 0);
+  EXPECT_EQ(InvalidationConservationGap(server, /*in_flight=*/0), 2);
+  server.invalidations_delivered = 8;
+  EXPECT_EQ(InvalidationConservationGap(server, /*in_flight=*/0), -1);
+}
+
 }  // namespace
 }  // namespace webcc

@@ -1,0 +1,29 @@
+// Lint fixture: catch clauses inside src/chaos/ swallow oracle violations.
+// Expected: 2 oracle-bypass hits (lines marked BAD), the allow-marked catch
+// and the commented/string mentions stay silent.
+
+void Bad1() {
+  try {
+    Run();
+  } catch (const OracleViolation& v) {  // BAD: swallows the violation
+    (void)v;
+  }
+}
+
+void Bad2() {
+  try {
+    Run();
+  } catch (...) {  // BAD: even a catch-all can eat an OracleViolation
+  }
+}
+
+void Sanctioned() {
+  try {
+    Run();
+  } catch (const OracleViolation& v) {  // webcc-lint: allow(oracle-bypass) fixture's sanctioned site
+    (void)v;
+  }
+}
+
+// catch (in a comment) is not code.
+const char* kText = "catch (in a string) is not code";

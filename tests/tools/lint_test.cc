@@ -187,6 +187,25 @@ TEST(LintTest, FlagsIgnoredUpstreamErrorReturns) {
                        "ignored-upstream-error"));
 }
 
+TEST(LintTest, FlagsCatchOnlyInChaosCode) {
+  const std::string contents =
+      "try { Run(); } catch (const OracleViolation& v) { (void)v; }\n";
+  EXPECT_TRUE(HasRule(LintOne("src/chaos/foo.cc", contents), "oracle-bypass"));
+  EXPECT_TRUE(
+      HasRule(LintOne("src/chaos/foo.cc", "try { Run(); } catch (...) {}\n"), "oracle-bypass"));
+  // Exception handling elsewhere is out of scope for this rule.
+  EXPECT_FALSE(HasRule(LintOne("src/core/foo.cc", contents), "oracle-bypass"));
+}
+
+TEST(LintTest, OracleBypassHonorsSanctionedSiteMarker) {
+  const std::string contents =
+      "try { Run(); } catch (const OracleViolation& v) {"
+      "  // webcc-lint: allow(oracle-bypass) sanctioned\n"
+      "  return v;\n"
+      "}\n";
+  EXPECT_FALSE(HasRule(LintOne("src/chaos/shrinker.cc", contents), "oracle-bypass"));
+}
+
 TEST(LintTest, MissingPathReportsIoViolation) {
   const auto vs = LintPaths({"no/such/path"});
   ASSERT_EQ(vs.size(), 1u);
@@ -208,11 +227,12 @@ TEST(LintFixtureTest, FixtureTreeReportsExactlyTheBadLines) {
   EXPECT_EQ(CountRule(vs, "unordered-iteration"), 3u);
   EXPECT_EQ(CountRule(vs, "unbounded-retry"), 3u);
   EXPECT_EQ(CountRule(vs, "ignored-upstream-error"), 2u);
+  EXPECT_EQ(CountRule(vs, "oracle-bypass"), 2u);
   // Nothing from clean.cc, and no unexpected rules.
   for (const Violation& v : vs) {
     EXPECT_EQ(v.file.find("clean.cc"), std::string::npos) << v.file << " rule " << v.rule;
   }
-  EXPECT_EQ(vs.size(), 22u);
+  EXPECT_EQ(vs.size(), 24u);
 }
 
 }  // namespace

@@ -1,0 +1,88 @@
+#include "src/workload/registry.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace webcc {
+namespace {
+
+WorrellConfig SmallConfig(uint64_t seed) {
+  WorrellConfig config;
+  config.num_files = 10;
+  config.duration = Days(1);
+  config.requests_per_second = 0.01;
+  config.seed = seed;
+  return config;
+}
+
+TEST(WorkloadRegistryTest, BuildsOncePerKeyAndReturnsStableReference) {
+  ClearSharedWorkloads();
+  int builds = 0;
+  const auto build = [&builds] {
+    ++builds;
+    return GenerateWorrellWorkload(SmallConfig(1));
+  };
+  const Workload& a = SharedWorkload("registry-test-a", build);
+  const Workload& b = SharedWorkload("registry-test-a", build);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(SharedWorkloadCount(), 1u);
+  ClearSharedWorkloads();
+  EXPECT_EQ(SharedWorkloadCount(), 0u);
+}
+
+TEST(WorkloadRegistryTest, WorrellKeyFoldsInEveryField) {
+  const WorrellConfig base = SmallConfig(1);
+  WorrellConfig other = base;
+  other.seed = 2;
+  EXPECT_NE(WorrellWorkloadKey(base), WorrellWorkloadKey(other));
+  other = base;
+  other.num_files = 11;
+  EXPECT_NE(WorrellWorkloadKey(base), WorrellWorkloadKey(other));
+  other = base;
+  other.requests_per_second = 0.02;
+  EXPECT_NE(WorrellWorkloadKey(base), WorrellWorkloadKey(other));
+  EXPECT_EQ(WorrellWorkloadKey(base), WorrellWorkloadKey(SmallConfig(1)));
+}
+
+TEST(WorkloadRegistryTest, SharedWorrellWorkloadMatchesDirectGeneration) {
+  ClearSharedWorkloads();
+  const Workload& shared = SharedWorrellWorkload(SmallConfig(3));
+  const Workload direct = GenerateWorrellWorkload(SmallConfig(3));
+  ASSERT_EQ(shared.requests.size(), direct.requests.size());
+  ASSERT_EQ(shared.modifications.size(), direct.modifications.size());
+  for (size_t i = 0; i < shared.requests.size(); ++i) {
+    EXPECT_EQ(shared.requests[i].at, direct.requests[i].at) << i;
+    EXPECT_EQ(shared.requests[i].object_index, direct.requests[i].object_index) << i;
+  }
+  ClearSharedWorkloads();
+}
+
+TEST(WorkloadRegistryTest, ConcurrentLookupsNeverGenerateTwice) {
+  ClearSharedWorkloads();
+  std::atomic<int> builds{0};
+  const auto build = [&builds] {
+    ++builds;
+    return GenerateWorrellWorkload(SmallConfig(4));
+  };
+  std::vector<std::thread> threads;
+  std::vector<const Workload*> seen(8, nullptr);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back(
+        [&, t] { seen[static_cast<size_t>(t)] = &SharedWorkload("registry-race", build); });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(builds.load(), 1);
+  for (const Workload* w : seen) {
+    EXPECT_EQ(w, seen[0]);
+  }
+  ClearSharedWorkloads();
+}
+
+}  // namespace
+}  // namespace webcc

@@ -171,6 +171,10 @@ bool AppliesToUpstreamCode(const std::string& path) {
   return PathContains(path, "cache/") || PathContains(path, "origin/");
 }
 
+// The chaos harness's oracle reports violations by throwing; swallowing one
+// anywhere in src/chaos/ would turn a failed invariant into a silent pass.
+bool AppliesToChaosCode(const std::string& path) { return PathContains(path, "chaos/"); }
+
 const std::vector<Rule>& Rules() {
   static const std::vector<Rule>* rules = new std::vector<Rule>{
       {"banned-random",
@@ -216,6 +220,15 @@ const std::vector<Rule>& Rules() {
        "this upstream call reports failure via its return value; dropping it silently "
        "swallows a faulted exchange — check ok/attempts or cast through a named variable",
        AppliesToUpstreamCode},
+      // Any catch in chaos code can swallow an OracleViolation (including
+      // catch(...) and catch by base), turning a failed consistency invariant
+      // into a silent pass. The single sanctioned conversion site is
+      // ProbeTrial in src/chaos/shrinker.cc, which carries the allow marker.
+      {"oracle-bypass",
+       std::regex(R"(\bcatch\s*\()"),
+       "catching in src/chaos/ can swallow an OracleViolation; violations must propagate "
+       "to ProbeTrial, the one sanctioned catch site",
+       AppliesToChaosCode},
   };
   return *rules;
 }

@@ -15,6 +15,7 @@
 #include "bench/bench_common.h"
 #include "src/cache/origin_upstream.h"
 #include "src/cache/snapshot.h"
+#include "src/util/check.h"
 #include "src/util/str.h"
 #include "src/util/table.h"
 
@@ -98,7 +99,8 @@ int main() {
       second.ApplyModificationsThrough(load, &mod_replay,
                                        restart_at - Seconds(1));
       (void)mods_consumed;
-      LoadCacheSnapshot(*second.cache, snapshot, recovery);
+      const int64_t restored = LoadCacheSnapshot(*second.cache, snapshot, recovery);
+      WEBCC_CHECK(restored >= 0);
       second.server.ResetStats();
       second.cache->ResetStats();
 

@@ -30,10 +30,11 @@ SimTime EffectiveHorizon(const Workload& load) {
   return horizon + Hours(24);
 }
 
-// Resolves the spec's effective workload: the registry-shared stream, or a
-// truncated copy (written to `storage`) when a request limit is set.
+// Resolves the spec's effective workload: the registry-shared stream (from
+// whichever source the spec selects), or a truncated copy (written to
+// `storage`) when a request limit is set.
 const Workload& ResolveWorkload(const TrialSpec& spec, Workload& storage) {
-  const Workload& shared = SharedWorrellWorkload(spec.workload);
+  const Workload& shared = SharedTrialWorkload(spec);
   if (spec.request_limit >= shared.requests.size()) {
     return shared;
   }
@@ -196,6 +197,13 @@ std::optional<PolicyKind> ParsePolicyKind(const std::string& name) {
   return std::nullopt;
 }
 
+std::optional<WorkloadSource> ParseWorkloadSource(const std::string& name) {
+  if (name == "worrell") return WorkloadSource::kWorrell;
+  if (name == "campus") return WorkloadSource::kCampus;
+  if (name == "campus-trace") return WorkloadSource::kCampusTrace;
+  return std::nullopt;
+}
+
 }  // namespace
 
 std::string RenderRepro(const TrialSpec& spec, const OracleViolation& violation) {
@@ -215,16 +223,32 @@ std::string RenderRepro(const TrialSpec& spec, const OracleViolation& violation)
   if (copy.request_limit != kNoRequestLimit) {
     out << "request-limit " << copy.request_limit << "\n";
   }
-  const WorrellConfig& w = copy.workload;
-  out << "workload-files " << w.num_files << "\n";
-  out << "workload-duration-seconds " << w.duration.seconds() << "\n";
-  out << "workload-min-lifetime-seconds " << w.min_lifetime.seconds() << "\n";
-  out << "workload-max-lifetime-seconds " << w.max_lifetime.seconds() << "\n";
-  out << StrFormat("workload-requests-per-second %.17g\n", w.requests_per_second);
-  out << "workload-mean-file-bytes " << w.mean_file_bytes << "\n";
-  out << StrFormat("workload-size-sigma %.17g\n", w.size_sigma);
-  out << "workload-clients " << w.num_clients << "\n";
-  out << "workload-seed " << w.seed << "\n";
+  out << "workload-source " << WorkloadSourceName(copy.workload_source) << "\n";
+  if (copy.workload_source == WorkloadSource::kWorrell) {
+    const WorrellConfig& w = copy.workload;
+    out << "workload-files " << w.num_files << "\n";
+    out << "workload-duration-seconds " << w.duration.seconds() << "\n";
+    out << "workload-min-lifetime-seconds " << w.min_lifetime.seconds() << "\n";
+    out << "workload-max-lifetime-seconds " << w.max_lifetime.seconds() << "\n";
+    out << StrFormat("workload-requests-per-second %.17g\n", w.requests_per_second);
+    out << "workload-mean-file-bytes " << w.mean_file_bytes << "\n";
+    out << StrFormat("workload-size-sigma %.17g\n", w.size_sigma);
+    out << "workload-clients " << w.num_clients << "\n";
+    out << "workload-seed " << w.seed << "\n";
+  } else {
+    const CampusServerProfile& c = copy.campus;
+    out << "campus-name " << c.name << "\n";
+    out << "campus-files " << c.num_files << "\n";
+    out << "campus-requests " << c.num_requests << "\n";
+    out << StrFormat("campus-remote-fraction %.17g\n", c.remote_fraction);
+    out << "campus-total-changes " << c.total_changes << "\n";
+    out << StrFormat("campus-mutable-fraction %.17g\n", c.mutable_fraction);
+    out << StrFormat("campus-very-mutable-fraction %.17g\n", c.very_mutable_fraction);
+    out << "campus-duration-days " << c.duration_days << "\n";
+    out << StrFormat("campus-zipf-skew %.17g\n", c.zipf_skew);
+    out << "campus-placement " << MutablePlacementName(c.mutable_placement) << "\n";
+    out << "campus-seed " << c.seed << "\n";
+  }
   const PolicyConfig& p = copy.config.policy;
   out << "policy-kind " << std::string(PolicyKindName(p.kind)) << "\n";
   out << "policy-ttl-seconds " << p.ttl.seconds() << "\n";
@@ -326,6 +350,54 @@ std::optional<TrialSpec> ParseRepro(std::istream& in, std::string* error) {
     } else if (key == "request-limit") {
       if (!as_int(&n) || n < 0) return fail(line_no, "bad request-limit");
       spec.request_limit = static_cast<uint64_t>(n);
+    } else if (key == "workload-source") {
+      std::optional<WorkloadSource> source = ParseWorkloadSource(value);
+      if (!source.has_value()) {
+        return fail(line_no, "unknown workload source \"" + value + "\"");
+      }
+      spec.workload_source = *source;
+    } else if (key == "campus-name") {
+      if (value.empty()) return fail(line_no, "bad campus-name");
+      spec.campus.name = value;
+    } else if (key == "campus-files") {
+      if (!as_int(&n) || n <= 0) return fail(line_no, "bad campus-files");
+      spec.campus.num_files = static_cast<uint32_t>(n);
+    } else if (key == "campus-requests") {
+      if (!as_int(&n) || n <= 0) return fail(line_no, "bad campus-requests");
+      spec.campus.num_requests = static_cast<uint64_t>(n);
+    } else if (key == "campus-remote-fraction") {
+      if (!as_double(&d) || d < 0.0 || d > 1.0) {
+        return fail(line_no, "bad campus-remote-fraction");
+      }
+      spec.campus.remote_fraction = d;
+    } else if (key == "campus-total-changes") {
+      if (!as_int(&n) || n < 0) return fail(line_no, "bad campus-total-changes");
+      spec.campus.total_changes = static_cast<uint64_t>(n);
+    } else if (key == "campus-mutable-fraction") {
+      if (!as_double(&d) || d < 0.0 || d > 1.0) {
+        return fail(line_no, "bad campus-mutable-fraction");
+      }
+      spec.campus.mutable_fraction = d;
+    } else if (key == "campus-very-mutable-fraction") {
+      if (!as_double(&d) || d < 0.0 || d > 1.0) {
+        return fail(line_no, "bad campus-very-mutable-fraction");
+      }
+      spec.campus.very_mutable_fraction = d;
+    } else if (key == "campus-duration-days") {
+      if (!as_int(&n) || n <= 0) return fail(line_no, "bad campus-duration-days");
+      spec.campus.duration_days = static_cast<uint32_t>(n);
+    } else if (key == "campus-zipf-skew") {
+      if (!as_double(&d) || d < 0.0) return fail(line_no, "bad campus-zipf-skew");
+      spec.campus.zipf_skew = d;
+    } else if (key == "campus-placement") {
+      std::optional<MutablePlacement> placement = ParseMutablePlacement(value);
+      if (!placement.has_value()) {
+        return fail(line_no, "unknown campus placement \"" + value + "\"");
+      }
+      spec.campus.mutable_placement = *placement;
+    } else if (key == "campus-seed") {
+      if (!as_int(&n)) return fail(line_no, "bad campus-seed");
+      spec.campus.seed = static_cast<uint64_t>(n);
     } else if (key == "workload-files") {
       if (!as_int(&n) || n <= 0) return fail(line_no, "bad workload-files");
       spec.workload.num_files = static_cast<uint32_t>(n);

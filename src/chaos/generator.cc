@@ -52,6 +52,68 @@ WorrellConfig SampleWorkload(Rng& rng) {
   return config;
 }
 
+// Scaled-down Table 1 calibrations: same mutability structure (Zipf
+// popularity, unpopular-mutable coupling, bursty changes) at a few thousand
+// requests so a trial stays fast. Fractions track the real DAS/FAS/HCS rows;
+// totals are sized so the (changes, %mutable, %very-mutable) triple stays
+// feasible without the generator's back-off kicking in.
+struct CampusShape {
+  const char* name;
+  uint32_t files;
+  uint64_t requests;
+  double remote_fraction;
+  uint64_t total_changes;
+  double mutable_fraction;
+  double very_mutable_fraction;
+  uint32_t duration_days;
+};
+
+constexpr CampusShape kCampusShapes[] = {
+    {"das-mini", 120, 6000, 0.84, 90, 0.15, 0.03, 3},   // admissions-like: mostly remote
+    {"fas-mini", 200, 4000, 0.39, 60, 0.08, 0.01, 4},   // near-static faculty pages
+    {"hcs-mini", 80, 2500, 0.50, 70, 0.25, 0.06, 2},    // churny student server
+};
+constexpr size_t kNumCampusShapes = sizeof(kCampusShapes) / sizeof(kCampusShapes[0]);
+
+CampusServerProfile SampleCampusProfile(Rng& rng) {
+  const CampusShape& shape = kCampusShapes[static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(kNumCampusShapes) - 1))];
+  CampusServerProfile profile;
+  profile.name = shape.name;
+  profile.num_files = shape.files;
+  profile.num_requests = shape.requests;
+  profile.remote_fraction = shape.remote_fraction;
+  profile.total_changes = shape.total_changes;
+  profile.mutable_fraction = shape.mutable_fraction;
+  profile.very_mutable_fraction = shape.very_mutable_fraction;
+  profile.duration_days = shape.duration_days;
+  profile.seed = 0xCA3B05ULL + static_cast<uint64_t>(rng.UniformInt(
+                                   0, static_cast<int64_t>(kWorkloadSeeds) - 1));
+  return profile;
+}
+
+// Sampled alongside the worrell config (which is always drawn, keeping the
+// rng stream layout uniform across sources): two thirds of trials stay on
+// the analytic baseline, the rest split between the campus ground truth and
+// its trace-compiled twin.
+WorkloadSource SampleWorkloadSource(Rng& rng) {
+  switch (rng.UniformInt(0, 5)) {
+    case 4:
+      return WorkloadSource::kCampus;
+    case 5:
+      return WorkloadSource::kCampusTrace;
+    default:
+      return WorkloadSource::kWorrell;
+  }
+}
+
+// The live config's horizon: chaos fault windows must land inside it.
+SimDuration SpecDuration(const TrialSpec& spec) {
+  return spec.workload_source == WorkloadSource::kWorrell
+             ? spec.workload.duration
+             : Days(static_cast<int>(spec.campus.duration_days));
+}
+
 template <typename T, size_t N>
 const T& Pick(Rng& rng, const T (&options)[N]) {
   return options[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(N) - 1))];
@@ -148,11 +210,47 @@ const char* TrialKindName(TrialKind kind) {
   return "?";
 }
 
+const char* WorkloadSourceName(WorkloadSource source) {
+  switch (source) {
+    case WorkloadSource::kWorrell:
+      return "worrell";
+    case WorkloadSource::kCampus:
+      return "campus";
+    case WorkloadSource::kCampusTrace:
+      return "campus-trace";
+  }
+  return "?";
+}
+
+std::string TrialWorkloadKey(const TrialSpec& spec) {
+  switch (spec.workload_source) {
+    case WorkloadSource::kWorrell:
+      return WorrellWorkloadKey(spec.workload);
+    case WorkloadSource::kCampus:
+      return CampusWorkloadKey(spec.campus);
+    case WorkloadSource::kCampusTrace:
+      return CampusTraceWorkloadKey(spec.campus);
+  }
+  return "?";
+}
+
+const Workload& SharedTrialWorkload(const TrialSpec& spec) {
+  switch (spec.workload_source) {
+    case WorkloadSource::kCampus:
+      return SharedCampusWorkload(spec.campus);
+    case WorkloadSource::kCampusTrace:
+      return SharedCampusTraceWorkload(spec.campus);
+    case WorkloadSource::kWorrell:
+      break;
+  }
+  return SharedWorrellWorkload(spec.workload);
+}
+
 std::string TrialSpec::Describe() const {
   std::string desc = StrFormat(
       "trial %llu/%llu [%s] policy=%s workload=%s", static_cast<unsigned long long>(index),
       static_cast<unsigned long long>(campaign_seed), TrialKindName(kind),
-      config.policy.Describe().c_str(), WorrellWorkloadKey(workload).c_str());
+      config.policy.Describe().c_str(), TrialWorkloadKey(*this).c_str());
   if (request_limit != kNoRequestLimit) {
     desc += StrFormat(" limit=%llu", static_cast<unsigned long long>(request_limit));
   }
@@ -183,6 +281,10 @@ TrialSpec GenerateTrial(uint64_t campaign_seed, uint64_t index) {
       break;
   }
   spec.workload = SampleWorkload(rng);
+  spec.workload_source = SampleWorkloadSource(rng);
+  if (spec.workload_source != WorkloadSource::kWorrell) {
+    spec.campus = SampleCampusProfile(rng);
+  }
 
   SimulationConfig& config = spec.config;
   config.refresh_mode =
@@ -190,9 +292,15 @@ TrialSpec GenerateTrial(uint64_t campaign_seed, uint64_t index) {
   config.preload = rng.Bernoulli(0.8);
   if (rng.Bernoulli(0.2)) {
     // Bounded cache: roughly a quarter of the population fits, so the LRU
-    // eviction path runs under the oracle too.
-    config.cache_capacity_bytes =
-        spec.workload.mean_file_bytes * static_cast<int64_t>(spec.workload.num_files) / 4;
+    // eviction path runs under the oracle too. Campus sizes are drawn from
+    // per-type lognormals (Table 2), so use their rough overall mean.
+    const int64_t mean_bytes = spec.workload_source == WorkloadSource::kWorrell
+                                   ? spec.workload.mean_file_bytes
+                                   : 8192;
+    const int64_t files = spec.workload_source == WorkloadSource::kWorrell
+                              ? static_cast<int64_t>(spec.workload.num_files)
+                              : static_cast<int64_t>(spec.campus.num_files);
+    config.cache_capacity_bytes = mean_bytes * files / 4;
   }
 
   switch (spec.kind) {
@@ -216,7 +324,7 @@ TrialSpec GenerateTrial(uint64_t campaign_seed, uint64_t index) {
       break;
     case TrialKind::kChaos: {
       config.policy = SamplePolicy(rng, /*time_based_only=*/false);
-      const SimTime horizon = SimTime::Epoch() + spec.workload.duration;
+      const SimTime horizon = SimTime::Epoch() + SpecDuration(spec);
       SampleChaosFaults(rng, horizon, config.faults);
       break;
     }

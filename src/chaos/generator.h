@@ -20,6 +20,7 @@
 #include <string>
 
 #include "src/core/simulation.h"
+#include "src/workload/campus.h"
 #include "src/workload/worrell.h"
 
 namespace webcc {
@@ -34,6 +35,20 @@ enum class TrialKind {
 
 const char* TrialKindName(TrialKind kind);
 
+// Which generator family a trial's workload comes from. Worrell streams are
+// the analytic baseline; campus trials replay the Table 1 calibration
+// (scaled-down) with its exact modification schedule; campus-trace trials
+// replay the same calibration through the CLF round trip, so the oracle runs
+// against log-inferred modification schedules too (the paper's §4.2
+// methodology, observation granularity included).
+enum class WorkloadSource {
+  kWorrell,
+  kCampus,
+  kCampusTrace,
+};
+
+const char* WorkloadSourceName(WorkloadSource source);
+
 inline constexpr uint64_t kNoRequestLimit = std::numeric_limits<uint64_t>::max();
 
 struct TrialSpec {
@@ -41,8 +56,12 @@ struct TrialSpec {
   uint64_t index = 0;
   TrialKind kind = TrialKind::kClean;
   // The workload is carried as its generator config, not as events: the spec
-  // stays serializable and the registry deduplicates materialization.
+  // stays serializable and the registry deduplicates materialization. Which
+  // config is live is selected by `workload_source`; the other stays at its
+  // sampled/default value and is ignored.
+  WorkloadSource workload_source = WorkloadSource::kWorrell;
   WorrellConfig workload;
+  CampusServerProfile campus;
   // Replay only the first N requests (shrinking); kNoRequestLimit = all.
   uint64_t request_limit = kNoRequestLimit;
   SimulationConfig config;
@@ -50,6 +69,15 @@ struct TrialSpec {
   // One line: kind, policy, workload key, fault knobs.
   std::string Describe() const;
 };
+
+// The registry key of the spec's live workload config ("worrell/...",
+// "campus/...", or "campus-trace/...").
+std::string TrialWorkloadKey(const TrialSpec& spec);
+
+// Resolves the spec's full (untruncated) workload through the shared
+// registry, dispatching on workload_source. The reference is stable for the
+// process lifetime.
+const Workload& SharedTrialWorkload(const TrialSpec& spec);
 
 // Deterministically samples trial `index` of campaign `campaign_seed`.
 TrialSpec GenerateTrial(uint64_t campaign_seed, uint64_t index);

@@ -136,7 +136,7 @@ ShrinkResult ShrinkTrial(const TrialSpec& spec, int max_runs) {
   // Pass 4: binary search the shortest request prefix that still violates.
   // The invariant holds that `best` (with limit `hi`) violates throughout.
   {
-    const Workload& full = SharedWorrellWorkload(best.workload);
+    const Workload& full = SharedTrialWorkload(best);
     uint64_t hi = std::min<uint64_t>(best.request_limit, full.requests.size());
     uint64_t lo = 1;
     while (lo < hi && !prober.exhausted()) {

@@ -79,15 +79,21 @@ class ScriptedModifications {
   void Add(SimTime at, ObjectId object, int64_t new_size = -1);
 
   // Schedules every recorded change on the engine. Changes are sorted by
-  // time internally, so Add order does not matter. Call once.
+  // time internally, so Add order does not matter; changes sharing a
+  // timestamp are batched into a single engine event (applied in Add
+  // order). Call once.
   void ScheduleAll();
 
   size_t size() const { return changes_.size(); }
+
+  // Engine events ScheduleAll created: one per distinct timestamp.
+  size_t bursts_scheduled() const { return bursts_scheduled_; }
 
  private:
   SimEngine* engine_;
   OriginServer* server_;
   std::vector<Change> changes_;
+  size_t bursts_scheduled_ = 0;
   bool scheduled_ = false;
 };
 

@@ -56,7 +56,7 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  std::mutex mu_;  // guards: tasks_, in_flight_, stop_, first_error_
   std::condition_variable work_cv_;  // signalled when a task or stop arrives
   std::condition_variable idle_cv_;  // signalled when in_flight_ hits zero
   std::deque<std::function<void()>> tasks_;

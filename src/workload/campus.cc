@@ -75,6 +75,25 @@ int64_t DrawSize(Rng& rng, FileType type) {
 
 }  // namespace
 
+const char* MutablePlacementName(MutablePlacement placement) {
+  switch (placement) {
+    case MutablePlacement::kUnpopular:
+      return "unpopular";
+    case MutablePlacement::kUniform:
+      return "uniform";
+    case MutablePlacement::kPopular:
+      return "popular";
+  }
+  return "?";
+}
+
+std::optional<MutablePlacement> ParseMutablePlacement(const std::string& name) {
+  if (name == "unpopular") return MutablePlacement::kUnpopular;
+  if (name == "uniform") return MutablePlacement::kUniform;
+  if (name == "popular") return MutablePlacement::kPopular;
+  return std::nullopt;
+}
+
 CampusServerProfile CampusServerProfile::Das() {
   CampusServerProfile p;
   p.name = "DAS";

@@ -21,6 +21,7 @@
 #define WEBCC_SRC_WORKLOAD_CAMPUS_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,11 @@ enum class MutablePlacement {
   kUniform,    // no correlation between popularity and mutability
   kPopular,    // adversarial: the hottest files churn
 };
+
+// Stable placement names ("unpopular" / "uniform" / "popular") for registry
+// keys and repro artifacts, and the all-or-nothing inverse.
+const char* MutablePlacementName(MutablePlacement placement);
+std::optional<MutablePlacement> ParseMutablePlacement(const std::string& name);
 
 struct CampusServerProfile {
   std::string name;

@@ -2,9 +2,12 @@
 
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <unordered_map>
 
 #include "src/util/str.h"
+#include "src/workload/clf.h"
+#include "src/workload/trace.h"
 
 namespace webcc {
 
@@ -46,6 +49,53 @@ std::string WorrellWorkloadKey(const WorrellConfig& config) {
 const Workload& SharedWorrellWorkload(const WorrellConfig& config) {
   return SharedWorkload(WorrellWorkloadKey(config),
                         [&config] { return GenerateWorrellWorkload(config); });
+}
+
+namespace {
+
+// The shared key body: every CampusServerProfile field folded in so that two
+// different calibrations can never alias one registry slot.
+std::string CampusKeyBody(const CampusServerProfile& p) {
+  return StrFormat("%s/f%u/r%llu/rem%.17g/ch%llu/m%.17g/vm%.17g/d%u/z%.17g/%s/s%llu",
+                   p.name.c_str(), p.num_files, static_cast<unsigned long long>(p.num_requests),
+                   p.remote_fraction, static_cast<unsigned long long>(p.total_changes),
+                   p.mutable_fraction, p.very_mutable_fraction, p.duration_days, p.zipf_skew,
+                   MutablePlacementName(p.mutable_placement),
+                   static_cast<unsigned long long>(p.seed));
+}
+
+}  // namespace
+
+std::string CampusWorkloadKey(const CampusServerProfile& profile) {
+  return "campus/" + CampusKeyBody(profile);
+}
+
+std::string CampusTraceWorkloadKey(const CampusServerProfile& profile) {
+  return "campus-trace/" + CampusKeyBody(profile);
+}
+
+const Workload& SharedCampusWorkload(const CampusServerProfile& profile) {
+  return SharedWorkload(CampusWorkloadKey(profile), [&profile] {
+    return GenerateCampusWorkload(profile).workload;
+  });
+}
+
+const Workload& SharedCampusTraceWorkload(const CampusServerProfile& profile) {
+  return SharedWorkload(CampusTraceWorkloadKey(profile), [&profile] {
+    const CampusGenerationResult generated = GenerateCampusWorkload(profile);
+    // Full log-replay methodology: serialize what the logging server wrote as
+    // CLF (with the Last-Modified extension), re-ingest it, and compile the
+    // observed transitions back into a scripted workload. RenderTraceFromWorkload
+    // names local clients "local*.campus.edu", so the suffix rule reproduces
+    // the remote split exactly.
+    std::stringstream clf;
+    WriteClfTrace(generated.trace, clf);
+    ClfParseOptions options;
+    options.local_suffix = ".campus.edu";
+    Workload compiled = CompileTrace(ReadClfTrace(clf, options));
+    compiled.name = generated.workload.name + "-trace";
+    return compiled;
+  });
 }
 
 size_t SharedWorkloadCount() {

@@ -18,6 +18,7 @@
 #include <functional>
 #include <string>
 
+#include "src/workload/campus.h"
 #include "src/workload/workload.h"
 #include "src/workload/worrell.h"
 
@@ -33,6 +34,25 @@ std::string WorrellWorkloadKey(const WorrellConfig& config);
 
 // Convenience: SharedWorkload keyed by WorrellWorkloadKey(config).
 const Workload& SharedWorrellWorkload(const WorrellConfig& config);
+
+// Canonical registry keys for a campus profile (every field folded in). The
+// two keys differ only in prefix: "campus/" is the generator's ground-truth
+// Workload, "campus-trace/" is the same ground truth observed through a
+// logging server — CLF-serialized, re-ingested, and compiled back into a
+// scripted workload (the paper's log-replay methodology, observation
+// granularity included).
+std::string CampusWorkloadKey(const CampusServerProfile& profile);
+std::string CampusTraceWorkloadKey(const CampusServerProfile& profile);
+
+// Convenience: SharedWorkload keyed by CampusWorkloadKey(profile), holding
+// GenerateCampusWorkload(profile).workload (the exact modification schedule).
+const Workload& SharedCampusWorkload(const CampusServerProfile& profile);
+
+// The trace-driven variant: the profile's Trace round-trips through the CLF
+// writer/reader (local clients keep their ".campus.edu" suffix, so Table 1's
+// remote split survives) and CompileTrace infers the modification schedule
+// from observed Last-Modified transitions.
+const Workload& SharedCampusTraceWorkload(const CampusServerProfile& profile);
 
 // Number of distinct workloads currently materialized (introspection/tests).
 size_t SharedWorkloadCount();

@@ -1,6 +1,7 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -41,6 +42,77 @@ TEST(ChaosGeneratorTest, TrialsArePureFunctionsOfSeedAndIndex) {
     EXPECT_EQ(GenerateTrial(42, index).Describe(), GenerateTrial(42, index).Describe());
   }
   EXPECT_NE(GenerateTrial(42, 2).Describe(), GenerateTrial(43, 2).Describe());
+}
+
+// --- Workload sources: campus and trace-replay shapes ---------------------
+
+TEST(ChaosGeneratorTest, CampaignPrefixCoversEveryWorkloadSourceAndShape) {
+  // A 200-trial prefix of a fixed-seed campaign must draw from all three
+  // sources and hit every campus mini-shape through both the ground-truth
+  // and the trace-compiled path — otherwise the CLF/trace replay machinery
+  // sits outside the oracle's reach.
+  int by_source[3] = {0, 0, 0};
+  std::set<std::string> campus_shapes;
+  std::set<std::string> trace_shapes;
+  for (uint64_t index = 0; index < 200; ++index) {
+    const TrialSpec spec = GenerateTrial(0xC0DE, index);
+    ++by_source[static_cast<int>(spec.workload_source)];
+    if (spec.workload_source == WorkloadSource::kCampus) {
+      campus_shapes.insert(spec.campus.name);
+    } else if (spec.workload_source == WorkloadSource::kCampusTrace) {
+      trace_shapes.insert(spec.campus.name);
+    }
+  }
+  EXPECT_GT(by_source[static_cast<int>(WorkloadSource::kWorrell)], 100);
+  EXPECT_GT(by_source[static_cast<int>(WorkloadSource::kCampus)], 10);
+  EXPECT_GT(by_source[static_cast<int>(WorkloadSource::kCampusTrace)], 10);
+  const std::set<std::string> all = {"das-mini", "fas-mini", "hcs-mini"};
+  EXPECT_EQ(campus_shapes, all);
+  EXPECT_EQ(trace_shapes, all);
+}
+
+TEST(ChaosOracleTest, AcceptsCampusAndTraceTrialsOfEachShape) {
+  // One full oracle-checked run per (source, shape) pair, first occurrence
+  // in the same fixed-seed campaign prefix the coverage test scans.
+  std::set<std::string> done;
+  for (uint64_t index = 0; index < 200 && done.size() < 6; ++index) {
+    const TrialSpec spec = GenerateTrial(0xC0DE, index);
+    if (spec.workload_source == WorkloadSource::kWorrell) {
+      continue;
+    }
+    const std::string key =
+        std::string(WorkloadSourceName(spec.workload_source)) + "/" + spec.campus.name;
+    if (!done.insert(key).second) {
+      continue;
+    }
+    EXPECT_NO_THROW(RunTrialChecked(spec)) << spec.Describe();
+  }
+  EXPECT_EQ(done.size(), 6u) << "campaign prefix missed a (source, shape) pair";
+}
+
+TEST(ChaosGeneratorTest, TraceWorkloadPreservesRequestsButCoarsensModifications) {
+  // The CLF round trip keeps every request (one log line each) while the
+  // compiled modification schedule only sees observed Last-Modified
+  // transitions — the paper's observation-granularity loss. Ground truth
+  // therefore never has fewer modification events than the trace inference.
+  CampusServerProfile profile;
+  TrialSpec probe;
+  for (uint64_t index = 0; index < 200; ++index) {
+    probe = GenerateTrial(0xC0DE, index);
+    if (probe.workload_source == WorkloadSource::kCampusTrace) {
+      profile = probe.campus;
+      break;
+    }
+  }
+  ASSERT_EQ(probe.workload_source, WorkloadSource::kCampusTrace);
+  const Workload& truth = SharedCampusWorkload(profile);
+  const Workload& replay = SharedCampusTraceWorkload(profile);
+  EXPECT_EQ(truth.requests.size(), replay.requests.size());
+  EXPECT_FALSE(replay.modifications.empty());
+  EXPECT_GE(truth.modifications.size(), replay.modifications.size());
+  EXPECT_NE(CampusWorkloadKey(profile), CampusTraceWorkloadKey(profile));
+  // Registry identity: the same profile resolves to the same materialization.
+  EXPECT_EQ(&replay, &SharedCampusTraceWorkload(profile));
 }
 
 // --- Campaign determinism -------------------------------------------------
@@ -92,8 +164,7 @@ TEST(ChaosShrinkerTest, BrokenPolicyIsFlaggedAndShrunkToASmallRepro) {
   ASSERT_TRUE(shrunk.confirmed);
   EXPECT_EQ(shrunk.violation.invariant, violation->invariant);
   EXPECT_LE(FaultEventCount(shrunk.minimal), 16u);
-  EXPECT_LT(shrunk.minimal.request_limit,
-            SharedWorrellWorkload(shrunk.minimal.workload).requests.size());
+  EXPECT_LT(shrunk.minimal.request_limit, SharedTrialWorkload(shrunk.minimal).requests.size());
 
   // The minimal trial replays to the same violation, repeatedly.
   const std::optional<OracleViolation> replayed = ProbeTrial(shrunk.minimal);
@@ -123,6 +194,44 @@ TEST(ChaosReproTest, RenderParseRoundTripsTheTrial) {
     EXPECT_EQ(parsed->index, spec.index);
     EXPECT_EQ(parsed->request_limit, spec.request_limit);
   }
+}
+
+TEST(ChaosReproTest, CampusSpecsRoundTripWithSourceAndProfile) {
+  // One campus and one campus-trace trial from the fixed-seed prefix; the
+  // artifact must carry the source tag and the full profile, not the unused
+  // worrell block.
+  std::set<WorkloadSource> covered;
+  for (uint64_t index = 0; index < 200 && covered.size() < 2; ++index) {
+    TrialSpec spec = GenerateTrial(0xC0DE, index);
+    if (spec.workload_source == WorkloadSource::kWorrell ||
+        !covered.insert(spec.workload_source).second) {
+      continue;
+    }
+    spec.request_limit = 400;
+    const OracleViolation token{"staleness-bound", "round-trip fixture"};
+    const std::string text = RenderRepro(spec, token);
+    EXPECT_NE(text.find("workload-source " +
+                        std::string(WorkloadSourceName(spec.workload_source))),
+              std::string::npos);
+    EXPECT_NE(text.find("campus-name " + spec.campus.name), std::string::npos);
+    EXPECT_EQ(text.find("workload-files"), std::string::npos);
+    std::istringstream in(text);
+    std::string error;
+    const std::optional<TrialSpec> parsed = ParseRepro(in, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    TrialSpec materialized = spec;
+    MaterializeFaultWindows(materialized);
+    EXPECT_EQ(parsed->Describe(), materialized.Describe());
+    EXPECT_EQ(parsed->workload_source, spec.workload_source);
+    EXPECT_EQ(parsed->campus.name, spec.campus.name);
+    EXPECT_EQ(parsed->campus.num_files, spec.campus.num_files);
+    EXPECT_EQ(parsed->campus.num_requests, spec.campus.num_requests);
+    EXPECT_EQ(parsed->campus.total_changes, spec.campus.total_changes);
+    EXPECT_EQ(parsed->campus.duration_days, spec.campus.duration_days);
+    EXPECT_EQ(parsed->campus.seed, spec.campus.seed);
+    EXPECT_EQ(parsed->request_limit, spec.request_limit);
+  }
+  EXPECT_EQ(covered.size(), 2u) << "prefix produced no campus / campus-trace trial";
 }
 
 TEST(ChaosReproTest, ParseIsAllOrNothing) {

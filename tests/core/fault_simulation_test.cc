@@ -98,6 +98,51 @@ void ExpectIdenticalResults(const SimulationResult& a, const SimulationResult& b
   EXPECT_EQ(a.metrics.retry_wait_seconds, b.metrics.retry_wait_seconds);
 }
 
+// Three objects with co-timed modification bursts (all rewritten at the same
+// instant, twice), plus a straggler. Exercises the one-RunUntil-per-burst
+// batching in the faulted merge-walk: every burst member must land before
+// the next request regardless of how the engine groups them.
+Workload BurstWorkload() {
+  Workload load;
+  load.name = "burst";
+  for (int i = 0; i < 3; ++i) {
+    load.objects.push_back(
+        ObjectSpec{"/b" + std::to_string(i) + ".html", FileType::kHtml, 4000, Days(10)});
+  }
+  load.horizon = SimTime::Epoch() + Days(2);
+  for (uint32_t obj = 0; obj < 3; ++obj) {
+    load.modifications.push_back(ModificationEvent{At(10), obj, -1});
+  }
+  load.modifications.push_back(ModificationEvent{At(16), 0, 2000});
+  load.modifications.push_back(ModificationEvent{At(16), 1, -1});
+  load.modifications.push_back(ModificationEvent{At(30), 2, -1});  // trailing burst of one
+  for (int64_t h : {1, 2, 12, 20}) {
+    for (uint32_t obj = 0; obj < 3; ++obj) {
+      load.requests.push_back(RequestEvent{At(h), obj, 0, false});
+    }
+  }
+  load.Finalize();
+  return load;
+}
+
+// Co-timed bursts must be invisible to the statistics: the armed (event
+// queue, batched RunUntil) and plain (merge-walk) paths agree field-exactly
+// on a workload built from same-timestamp modification groups.
+TEST(FaultNoOpPropertyTest, CoTimedModificationBurstsBatchIdentically) {
+  const Workload load = BurstWorkload();
+  const std::vector<PolicyConfig> policies = {
+      PolicyConfig::Ttl(Hours(5)), PolicyConfig::Alex(0.1), PolicyConfig::Invalidation()};
+  for (const PolicyConfig& policy : policies) {
+    SimulationConfig plain = SimulationConfig::Optimized(policy);
+    SimulationConfig armed = plain;
+    armed.faults.armed = true;
+    const SimulationResult want = RunSimulation(load, plain);
+    const SimulationResult got = RunSimulation(load, armed);
+    SCOPED_TRACE(policy.Describe());
+    ExpectIdenticalResults(want, got);
+  }
+}
+
 // The headline no-op property: arming the fault machinery with every knob at
 // zero must be invisible — the event-queue replay produces the exact same
 // statistics as the plain merge-walk, for every policy and retrieval mode.

@@ -104,6 +104,54 @@ TEST_F(MutatorTest, ScriptedModificationsReplayInOrder) {
   EXPECT_EQ(server_.store().Get(obj_).last_modified, SimTime::Epoch() + Hours(20));
 }
 
+TEST_F(MutatorTest, SameTimestampChangesBatchIntoOneEngineEvent) {
+  const ObjectId b = server_.store().Create("/b", FileType::kGif, 500, SimTime::Epoch());
+  const ObjectId c = server_.store().Create("/c", FileType::kHtml, 800, SimTime::Epoch());
+  const SimTime burst = SimTime::Epoch() + Hours(4);
+
+  ScriptedModifications script(&engine_, &server_);
+  script.Add(burst, obj_, 111);
+  script.Add(burst, b, 222);
+  script.Add(burst, c, 333);
+  script.Add(SimTime::Epoch() + Hours(9), obj_, 444);
+  const uint64_t before = engine_.events_scheduled();
+  script.ScheduleAll();
+  // Four changes, two distinct timestamps -> two engine events.
+  EXPECT_EQ(engine_.events_scheduled() - before, 2u);
+  EXPECT_EQ(script.bursts_scheduled(), 2u);
+  engine_.Run();
+
+  // Field-exact against unbatched semantics: a twin world applying the same
+  // changes through one engine event each must end in the identical store.
+  SimEngine twin_engine;
+  OriginServer twin(&twin_engine);
+  const ObjectId ta = twin.store().Create("/f", FileType::kHtml, 1000, SimTime::Epoch());
+  const ObjectId tb = twin.store().Create("/b", FileType::kGif, 500, SimTime::Epoch());
+  const ObjectId tc = twin.store().Create("/c", FileType::kHtml, 800, SimTime::Epoch());
+  const struct {
+    SimTime at;
+    ObjectId object;
+    int64_t size;
+  } changes[] = {{burst, ta, 111}, {burst, tb, 222}, {burst, tc, 333},
+                 {SimTime::Epoch() + Hours(9), ta, 444}};
+  for (const auto& ch : changes) {
+    twin_engine.ScheduleAt(ch.at, [&twin, &twin_engine, object = ch.object, size = ch.size] {
+      twin.ModifyObject(object, twin_engine.Now(), size);
+    });
+  }
+  twin_engine.Run();
+  EXPECT_GT(twin_engine.events_executed(), engine_.events_executed());
+  const ObjectId batched[] = {obj_, b, c};
+  const ObjectId unbatched[] = {ta, tb, tc};
+  for (size_t i = 0; i < 3; ++i) {
+    const WebObject& got = server_.store().Get(batched[i]);
+    const WebObject& want = twin.store().Get(unbatched[i]);
+    EXPECT_EQ(got.size_bytes, want.size_bytes) << i;
+    EXPECT_EQ(got.last_modified, want.last_modified) << i;
+    EXPECT_EQ(got.change_count, want.change_count) << i;
+  }
+}
+
 TEST_F(MutatorTest, ScriptedModificationsNotifyInvalidationSubscribers) {
   struct CountingSink : InvalidationSink {
     int count = 0;

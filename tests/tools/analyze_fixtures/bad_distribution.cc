@@ -1,0 +1,22 @@
+// Fixture: std::*_distribution misuse. The distributions' draw algorithms
+// are implementation-defined, so the same seed produces different streams
+// across libstdc++/libc++ — the std-distribution rule demands the project's
+// own Rng helpers instead. Expected findings: lines 11, 17, 18.
+#include <random>
+
+namespace fixture {
+
+int Draw(unsigned seed) {
+  std::mt19937 gen(seed);  // webcc-lint: allow(banned-random) isolates the distribution finding
+  std::uniform_int_distribution<int> pick(0, 9);
+  return pick(gen);
+}
+
+double Wide(unsigned seed) {
+  std::mt19937 gen(seed);  // webcc-lint: allow(banned-random) isolates the distribution finding
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  return gauss(gen) + unit(gen);
+}
+
+}  // namespace fixture

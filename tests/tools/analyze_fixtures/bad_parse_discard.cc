@@ -1,0 +1,26 @@
+// Fixture: discarded Parse*/Load* results. A statement that *begins* with
+// such a call throws away the success flag; returns, conditions, and
+// assignments prefix the name and are fine. Expected findings: lines 13, 16.
+namespace fixture {
+
+struct Config {
+  int value = 0;
+};
+bool ParseConfig(const char* text, Config* out);
+bool LoadSnapshot(const char* path);
+
+void Startup(const char* text, Config* cfg) {
+  ParseConfig(text, cfg);
+  if (ParseConfig(text, cfg)) {
+    cfg->value = 1;
+    LoadSnapshot("boot");
+  }
+  const bool ok = ParseConfig(text, cfg) && LoadSnapshot("boot");
+  static_cast<void>(ok);
+}
+
+bool Checked(const char* text, Config* cfg) {
+  return ParseConfig(text, cfg);
+}
+
+}  // namespace fixture

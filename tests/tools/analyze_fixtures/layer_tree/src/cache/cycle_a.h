@@ -1,0 +1,14 @@
+// Synthetic layer-tree fixture: half of an include CYCLE (same-module edges
+// are tier-legal, so only the cycle check can catch this).
+#ifndef FIXTURE_LAYER_TREE_SRC_CACHE_CYCLE_A_H_
+#define FIXTURE_LAYER_TREE_SRC_CACHE_CYCLE_A_H_
+
+#include "src/cache/cycle_b.h"
+
+namespace layer_fixture {
+struct CycleA {
+  int a = 0;
+};
+}  // namespace layer_fixture
+
+#endif  // FIXTURE_LAYER_TREE_SRC_CACHE_CYCLE_A_H_

@@ -1,0 +1,13 @@
+// Synthetic layer-tree fixture: the other half of the include cycle.
+#ifndef FIXTURE_LAYER_TREE_SRC_CACHE_CYCLE_B_H_
+#define FIXTURE_LAYER_TREE_SRC_CACHE_CYCLE_B_H_
+
+#include "src/cache/cycle_a.h"
+
+namespace layer_fixture {
+struct CycleB {
+  int b = 0;
+};
+}  // namespace layer_fixture
+
+#endif  // FIXTURE_LAYER_TREE_SRC_CACHE_CYCLE_B_H_

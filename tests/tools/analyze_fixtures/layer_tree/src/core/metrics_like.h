@@ -1,0 +1,13 @@
+// Synthetic layer-tree fixture: legal downward edge core -> sim.
+#ifndef FIXTURE_LAYER_TREE_SRC_CORE_METRICS_LIKE_H_
+#define FIXTURE_LAYER_TREE_SRC_CORE_METRICS_LIKE_H_
+
+#include "src/sim/engine_like.h"
+
+namespace layer_fixture {
+struct MetricsLike {
+  EngineLike engine;
+};
+}  // namespace layer_fixture
+
+#endif  // FIXTURE_LAYER_TREE_SRC_CORE_METRICS_LIKE_H_

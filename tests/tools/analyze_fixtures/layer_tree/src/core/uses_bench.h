@@ -1,0 +1,14 @@
+// Synthetic layer-tree fixture: src/ reaching into bench/ — forbidden
+// regardless of tiers (the simulator cannot depend on its own harnesses).
+#ifndef FIXTURE_LAYER_TREE_SRC_CORE_USES_BENCH_H_
+#define FIXTURE_LAYER_TREE_SRC_CORE_USES_BENCH_H_
+
+#include "bench/bench_common.h"
+
+namespace layer_fixture {
+struct UsesBench {
+  int x = 0;
+};
+}  // namespace layer_fixture
+
+#endif  // FIXTURE_LAYER_TREE_SRC_CORE_USES_BENCH_H_

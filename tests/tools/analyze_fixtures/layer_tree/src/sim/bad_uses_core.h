@@ -1,0 +1,15 @@
+// Synthetic layer-tree fixture: the PLANTED VIOLATION. sim sits two tiers
+// below core, so this include points up the stack (a skip-layer edge) and
+// must be reported as layer-violation at the include line.
+#ifndef FIXTURE_LAYER_TREE_SRC_SIM_BAD_USES_CORE_H_
+#define FIXTURE_LAYER_TREE_SRC_SIM_BAD_USES_CORE_H_
+
+#include "src/core/metrics_like.h"
+
+namespace layer_fixture {
+struct BadSim {
+  MetricsLike metrics;
+};
+}  // namespace layer_fixture
+
+#endif  // FIXTURE_LAYER_TREE_SRC_SIM_BAD_USES_CORE_H_

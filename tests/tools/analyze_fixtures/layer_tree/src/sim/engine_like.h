@@ -1,0 +1,13 @@
+// Synthetic layer-tree fixture: legal downward edge sim -> util.
+#ifndef FIXTURE_LAYER_TREE_SRC_SIM_ENGINE_LIKE_H_
+#define FIXTURE_LAYER_TREE_SRC_SIM_ENGINE_LIKE_H_
+
+#include "src/util/base.h"
+
+namespace layer_fixture {
+struct EngineLike {
+  Base base;
+};
+}  // namespace layer_fixture
+
+#endif  // FIXTURE_LAYER_TREE_SRC_SIM_ENGINE_LIKE_H_

@@ -1,0 +1,11 @@
+// Synthetic layer-tree fixture: bottom tier, no includes.
+#ifndef FIXTURE_LAYER_TREE_SRC_UTIL_BASE_H_
+#define FIXTURE_LAYER_TREE_SRC_UTIL_BASE_H_
+
+namespace layer_fixture {
+struct Base {
+  int id = 0;
+};
+}  // namespace layer_fixture
+
+#endif  // FIXTURE_LAYER_TREE_SRC_UTIL_BASE_H_

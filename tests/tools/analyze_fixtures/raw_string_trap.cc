@@ -1,0 +1,29 @@
+// Fixture: banned-looking text embedded in literals. The old line-regex lint
+// reset its string state at every end-of-line, so the body of the multi-line
+// raw string below was scanned as code and `rand(` / `std::mt19937` /
+// `assert(` false-positived. The token lexer carries the literal across
+// lines, so webcc-analyze must report ZERO findings for this file.
+#include <string>
+
+namespace fixture {
+
+// A help blurb that names the banned calls inside a raw string literal.
+const char* kHelp = R"doc(
+  On POSIX, rand() and srand() are not reproducible, and std::mt19937 seeded
+  from std::random_device drifts across libstdc++ versions.
+  Do not write while (true) { retry(); } or assert(ok); either.
+  std::chrono::steady_clock is wall time; std::uniform_int_distribution too.
+)doc";
+
+// Same trap with a line-spliced ordinary string: the backslash-newline glues
+// the two physical lines into one literal, so `std::mt19937` below is text.
+const char* kSpliced = "calls rand( and \
+std::mt19937 across a splice";
+
+// Tricky delimiter: the terminator must match `)trap"` exactly, so the
+// inner `)"` does not end the literal early and expose srand( as code.
+const char* kDelimited = R"trap(not closed by )" yet: srand(7))trap";
+
+std::string Use() { return std::string(kHelp) + kSpliced + kDelimited; }
+
+}  // namespace fixture

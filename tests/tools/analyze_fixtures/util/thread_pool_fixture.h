@@ -1,0 +1,25 @@
+// Fixture: mutex members in util/thread_pool scope. Every mutex member must
+// carry a lock-coverage comment ("guards: ..." or GUARDED_BY) on its own or
+// the preceding line. Expected finding: line 12 only.
+#ifndef WEBCC_TESTS_TOOLS_ANALYZE_FIXTURES_UTIL_THREAD_POOL_FIXTURE_H_
+#define WEBCC_TESTS_TOOLS_ANALYZE_FIXTURES_UTIL_THREAD_POOL_FIXTURE_H_
+
+#include <mutex>
+
+namespace fixture {
+
+class PoolLike {
+  std::mutex naked_mu_;
+
+  std::mutex trailing_mu_;  // guards: queue_depth_
+
+  // guards: drain_count_ (annotation on the preceding line also counts)
+  std::mutex preceding_mu_;
+
+  int queue_depth_ = 0;
+  int drain_count_ = 0;
+};
+
+}  // namespace fixture
+
+#endif  // WEBCC_TESTS_TOOLS_ANALYZE_FIXTURES_UTIL_THREAD_POOL_FIXTURE_H_

@@ -1,0 +1,518 @@
+// Tests for webcc-analyze (tools/analyze/): lexer, token rules, layer DAG
+// enforcement, baseline mechanism, SARIF output, and the include-graph
+// cache. The on-disk fixtures live in WEBCC_ANALYZE_FIXTURE_DIR; the real
+// layer spec comes from WEBCC_ANALYZE_LAYERS_FILE so the synthetic layer
+// tree is checked against the DAG the tree itself is held to.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tools/analyze/analyze.h"
+#include "tools/analyze/baseline.h"
+#include "tools/analyze/layers.h"
+#include "tools/analyze/lexer.h"
+#include "tools/analyze/rules.h"
+#include "tools/analyze/sarif.h"
+
+namespace webcc::analyze {
+namespace {
+
+std::string FixturePath(const std::string& name) {
+  return std::string(WEBCC_ANALYZE_FIXTURE_DIR) + "/" + name;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<Finding> RulesOnly(const std::string& path, const std::string& contents) {
+  return AnalyzeSources({SourceFile{path, contents}}, AnalyzeConfig{});
+}
+
+std::vector<Finding> OfRule(const std::vector<Finding>& findings, const std::string& rule) {
+  std::vector<Finding> out;
+  for (const Finding& f : findings) {
+    if (f.rule == rule) {
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> LinesOf(const std::vector<Finding>& findings) {
+  std::vector<size_t> lines;
+  for (const Finding& f : findings) {
+    lines.push_back(f.line);
+  }
+  return lines;
+}
+
+// --- Lexer ------------------------------------------------------------------
+
+TEST(AnalyzeLexerTest, TokenizesIdentifiersNumbersAndPunctuation) {
+  const LexedFile lexed = Lex({"a.cc", "int x = a->b + 0x1F;"});
+  std::vector<std::string> texts;
+  for (const Token& t : lexed.tokens) {
+    texts.push_back(t.text);
+  }
+  EXPECT_EQ(texts,
+            (std::vector<std::string>{"int", "x", "=", "a", "->", "b", "+", "0x1F", ";"}));
+  EXPECT_EQ(lexed.tokens[4].kind, TokenKind::kPunct);
+  EXPECT_EQ(lexed.tokens[7].kind, TokenKind::kNumber);
+}
+
+TEST(AnalyzeLexerTest, RawStringWithCustomDelimiterIsOneLiteral) {
+  const std::string src =
+      "const char* s = R\"trap(line one rand(\n"
+      "inner )\" quote std::mt19937\n"
+      ")trap\"; int after = 1;\n";
+  const LexedFile lexed = Lex({"a.cc", src});
+  // Exactly one string token spanning three lines, starting at line 1.
+  size_t strings = 0;
+  for (const Token& t : lexed.tokens) {
+    if (t.kind == TokenKind::kString) {
+      ++strings;
+      EXPECT_EQ(t.line, 1u);
+      EXPECT_NE(t.text.find("std::mt19937"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(strings, 1u);
+  // The literal body is blanked out of the code view on every line.
+  EXPECT_EQ(lexed.code_lines[0].find("rand"), std::string::npos);
+  EXPECT_EQ(lexed.code_lines[1].find("mt19937"), std::string::npos);
+  EXPECT_NE(lexed.code_lines[2].find("after"), std::string::npos);
+}
+
+TEST(AnalyzeLexerTest, BackslashNewlineSplicesIdentifiers) {
+  const LexedFile lexed = Lex({"a.cc", "ra\\\nnd();"});
+  ASSERT_FALSE(lexed.tokens.empty());
+  EXPECT_EQ(lexed.tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(lexed.tokens[0].text, "rand");
+  EXPECT_EQ(lexed.tokens[0].line, 1u);
+}
+
+TEST(AnalyzeLexerTest, LineCommentContinuesAcrossBackslashNewline) {
+  const LexedFile lexed = Lex({"a.cc", "// comment \\\nstill comment\nint x;"});
+  // "still comment" belongs to the comment; only "int x;" is code.
+  std::vector<std::string> code_texts;
+  for (const Token& t : lexed.tokens) {
+    if (t.kind != TokenKind::kComment) {
+      code_texts.push_back(t.text);
+    }
+  }
+  EXPECT_EQ(code_texts, (std::vector<std::string>{"int", "x", ";"}));
+}
+
+TEST(AnalyzeLexerTest, BlockCommentsDoNotNest) {
+  const LexedFile lexed = Lex({"a.cc", "/* outer /* inner */ int x;"});
+  std::vector<std::string> code_texts;
+  for (const Token& t : lexed.tokens) {
+    if (t.kind != TokenKind::kComment) {
+      code_texts.push_back(t.text);
+    }
+  }
+  // The first */ closed the comment, per the language.
+  EXPECT_EQ(code_texts, (std::vector<std::string>{"int", "x", ";"}));
+}
+
+TEST(AnalyzeLexerTest, ExtractsQuotedIncludesOnly) {
+  const std::string src =
+      "#include \"src/util/base.h\"\n"
+      "#include <vector>\n"
+      "  #  include \"src/sim/engine.h\"\n"
+      "// #include \"src/not/real.h\"\n";
+  const LexedFile lexed = Lex({"a.cc", src});
+  EXPECT_EQ(lexed.includes,
+            (std::vector<std::string>{"src/util/base.h", "src/sim/engine.h"}));
+  EXPECT_EQ(lexed.include_lines, (std::vector<size_t>{1, 3}));
+}
+
+TEST(AnalyzeLexerTest, PreprocessorTokensAreFlagged) {
+  const LexedFile lexed = Lex({"a.cc", "#define N 3\nint y = N;"});
+  bool saw_define = false;
+  for (const Token& t : lexed.tokens) {
+    if (t.text == "define") {
+      saw_define = true;
+      EXPECT_TRUE(t.in_preprocessor);
+    }
+    if (t.text == "y") {
+      EXPECT_FALSE(t.in_preprocessor);
+    }
+  }
+  EXPECT_TRUE(saw_define);
+}
+
+TEST(AnalyzeLexerTest, EncodingPrefixedStringsAreLiterals) {
+  const LexedFile lexed = Lex({"a.cc", "auto* s = u8\"rand( inside\"; int z;"});
+  std::vector<std::string> idents;
+  for (const Token& t : lexed.tokens) {
+    if (t.kind == TokenKind::kIdentifier) {
+      idents.push_back(t.text);
+    }
+  }
+  // u8 is consumed as the literal prefix, and rand stays inside the string.
+  EXPECT_EQ(idents, (std::vector<std::string>{"auto", "s", "int", "z"}));
+}
+
+TEST(AnalyzeLexerTest, UnterminatedConstructsCloseAtEndOfFile) {
+  const LexedFile a = Lex({"a.cc", "/* never closed\nint x;"});
+  EXPECT_EQ(a.tokens.size(), 1u);  // one comment token, no code
+  const LexedFile b = Lex({"b.cc", "R\"(open forever\nstill open"});
+  ASSERT_FALSE(b.tokens.empty());
+  EXPECT_EQ(b.tokens.back().kind, TokenKind::kString);
+}
+
+// --- Token rules ------------------------------------------------------------
+
+TEST(AnalyzeRulesTest, StdDistributionFlaggedEvenInRngItself) {
+  const std::string src = "std::uniform_int_distribution<int> d(0, 9);\n";
+  const std::vector<Finding> in_rng = RulesOnly("src/util/rng.cc", src);
+  EXPECT_EQ(OfRule(in_rng, "std-distribution").size(), 1u);
+  // And banned-random does NOT double-report the same name.
+  EXPECT_TRUE(OfRule(in_rng, "banned-random").empty());
+}
+
+TEST(AnalyzeRulesTest, DiscardedParseResultIsStatementInitialOnly) {
+  const std::string src =
+      "bool ParseThing(int*);\n"
+      "void F(int* v) {\n"
+      "  ParseThing(v);\n"               // flagged
+      "  if (ParseThing(v)) { }\n"       // checked
+      "  bool ok = ParseThing(v);\n"     // assigned
+      "  (void)ok;\n"
+      "  return;\n"
+      "}\n";
+  const std::vector<Finding> findings =
+      OfRule(RulesOnly("src/core/f.cc", src), "discarded-parse-result");
+  EXPECT_EQ(LinesOf(findings), (std::vector<size_t>{3}));
+}
+
+TEST(AnalyzeRulesTest, UnannotatedMutexIsScopedToThreadPool) {
+  const std::string src =
+      "#include <mutex>\n"
+      "class P {\n"
+      "  std::mutex mu_;\n"
+      "};\n";
+  EXPECT_EQ(OfRule(RulesOnly("src/util/thread_pool.h", src), "unannotated-mutex").size(),
+            1u);
+  EXPECT_TRUE(
+      OfRule(RulesOnly("src/cache/proxy.h", src), "unannotated-mutex").empty());
+}
+
+TEST(AnalyzeRulesTest, GuardsCommentSatisfiesMutexRule) {
+  const std::string src =
+      "class P {\n"
+      "  std::mutex mu_;  // guards: tasks_\n"
+      "};\n";
+  EXPECT_TRUE(
+      OfRule(RulesOnly("src/util/thread_pool.h", src), "unannotated-mutex").empty());
+}
+
+TEST(AnalyzeRulesTest, InlineWaiverSuppressesNewRules) {
+  const std::string src =
+      "std::uniform_int_distribution<int> d(0, 9);  "
+      "// webcc-lint: allow(std-distribution) comparing against libstdc++\n";
+  EXPECT_TRUE(OfRule(RulesOnly("src/core/f.cc", src), "std-distribution").empty());
+}
+
+TEST(AnalyzeRulesTest, SplicedBannedCallIsStillCaught) {
+  // The old line-regex scanner could not see a call split by a
+  // backslash-newline; the token engine must.
+  const std::string src = "int f() { return ra\\\nnd(); }\n";
+  const std::vector<Finding> findings =
+      OfRule(RulesOnly("src/core/f.cc", src), "banned-random");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 1u);
+}
+
+// --- On-disk rule fixtures --------------------------------------------------
+
+TEST(AnalyzeFixtureTest, RawStringTrapProducesZeroFindings) {
+  // The old regex lint false-positived on every banned name inside the
+  // multi-line raw string; the analyzer must report this file clean.
+  const std::vector<Finding> findings =
+      AnalyzePaths({FixturePath("raw_string_trap.cc")}, AnalyzeOptions{});
+  EXPECT_TRUE(findings.empty()) << findings.size() << " unexpected finding(s)";
+}
+
+TEST(AnalyzeFixtureTest, BadDistributionFixtureFindsAllThree) {
+  const std::vector<Finding> findings =
+      AnalyzePaths({FixturePath("bad_distribution.cc")}, AnalyzeOptions{});
+  EXPECT_EQ(LinesOf(OfRule(findings, "std-distribution")),
+            (std::vector<size_t>{11, 17, 18}));
+  EXPECT_EQ(findings.size(), 3u);  // the allow() markers hold back banned-random
+}
+
+TEST(AnalyzeFixtureTest, BadParseDiscardFixtureFindsBoth) {
+  const std::vector<Finding> findings =
+      AnalyzePaths({FixturePath("bad_parse_discard.cc")}, AnalyzeOptions{});
+  EXPECT_EQ(LinesOf(OfRule(findings, "discarded-parse-result")),
+            (std::vector<size_t>{13, 16}));
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+TEST(AnalyzeFixtureTest, ThreadPoolFixtureFlagsOnlyNakedMutex) {
+  const std::vector<Finding> findings =
+      AnalyzePaths({FixturePath("util/thread_pool_fixture.h")}, AnalyzeOptions{});
+  EXPECT_EQ(LinesOf(OfRule(findings, "unannotated-mutex")), (std::vector<size_t>{12}));
+  EXPECT_EQ(findings.size(), 1u);
+}
+
+// --- Layer pass -------------------------------------------------------------
+
+AnalyzeOptions LayerOptions() {
+  AnalyzeOptions options;
+  options.layers_file = WEBCC_ANALYZE_LAYERS_FILE;
+  return options;
+}
+
+TEST(AnalyzeLayerTest, PlantedSimToCoreIncludeIsReported) {
+  const std::vector<Finding> findings =
+      AnalyzePaths({FixturePath("layer_tree")}, LayerOptions());
+  const std::vector<Finding> violations = OfRule(findings, "layer-violation");
+  bool planted = false;
+  for (const Finding& f : violations) {
+    if (f.file.find("src/sim/bad_uses_core.h") != std::string::npos) {
+      planted = true;
+      EXPECT_EQ(f.line, 7u);
+      EXPECT_NE(f.message.find("src/core/metrics_like.h"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(planted) << "sim -> core include was not reported";
+}
+
+TEST(AnalyzeLayerTest, SrcIncludingBenchIsReported) {
+  const std::vector<Finding> findings =
+      AnalyzePaths({FixturePath("layer_tree")}, LayerOptions());
+  bool escape = false;
+  for (const Finding& f : OfRule(findings, "layer-violation")) {
+    if (f.file.find("uses_bench.h") != std::string::npos) {
+      escape = true;
+      EXPECT_EQ(f.line, 6u);
+      EXPECT_NE(f.message.find("bench/"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(escape) << "src -> bench include was not reported";
+}
+
+TEST(AnalyzeLayerTest, IncludeCycleIsReportedExactlyOnce) {
+  const std::vector<Finding> findings =
+      AnalyzePaths({FixturePath("layer_tree")}, LayerOptions());
+  const std::vector<Finding> cycles = OfRule(findings, "layer-cycle");
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_NE(cycles[0].message.find("src/cache/cycle_a.h"), std::string::npos);
+  EXPECT_NE(cycles[0].message.find("src/cache/cycle_b.h"), std::string::npos);
+}
+
+TEST(AnalyzeLayerTest, LegalEdgesProduceNoOtherFindings) {
+  const std::vector<Finding> findings =
+      AnalyzePaths({FixturePath("layer_tree")}, LayerOptions());
+  // Exactly: planted sim->core, src->bench escape, one cycle. Downward and
+  // same-module edges (sim->util, core->sim, cache->cache) are clean.
+  EXPECT_EQ(findings.size(), 3u);
+  for (const Finding& f : findings) {
+    EXPECT_TRUE(f.rule == "layer-violation" || f.rule == "layer-cycle") << f.rule;
+  }
+}
+
+TEST(AnalyzeLayerTest, SameTierCrossModuleIncludeIsAllowed) {
+  const std::string spec = "util\ncache origin http\n";
+  std::vector<Finding> findings;
+  const LayerSpec parsed = ParseLayerSpec("layers.txt", spec, &findings);
+  const std::vector<LexedFile> files = {
+      Lex({"src/cache/a.h", "#include \"src/origin/b.h\"\n"}),
+      Lex({"src/origin/b.h", "#include \"src/util/c.h\"\n"}),
+      Lex({"src/util/c.h", ""}),
+  };
+  const std::vector<Finding> layer = CheckLayers(parsed, files);
+  EXPECT_TRUE(findings.empty());
+  EXPECT_TRUE(layer.empty());
+}
+
+TEST(AnalyzeLayerTest, UndeclaredModuleIsConfigError) {
+  const std::string spec = "util\n";
+  std::vector<Finding> findings;
+  const LayerSpec parsed = ParseLayerSpec("layers.txt", spec, &findings);
+  const std::vector<LexedFile> files = {
+      Lex({"src/mystery/a.h", "#include \"src/util/c.h\"\n"}),
+      Lex({"src/util/c.h", ""}),
+  };
+  const std::vector<Finding> layer = CheckLayers(parsed, files);
+  ASSERT_EQ(layer.size(), 1u);
+  EXPECT_EQ(layer[0].rule, "layer-config");
+  EXPECT_NE(layer[0].message.find("mystery"), std::string::npos);
+}
+
+TEST(AnalyzeLayerTest, DuplicateModuleDeclarationIsConfigError) {
+  std::vector<Finding> findings;
+  ParseLayerSpec("layers.txt", "util\nsim util\n", &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "layer-config");
+}
+
+TEST(AnalyzeLayerTest, RepoRelativeCutsAtLastRootComponent) {
+  EXPECT_EQ(RepoRelative("/root/repo/src/cache/policy.h"), "src/cache/policy.h");
+  EXPECT_EQ(RepoRelative("tests/tools/analyze_fixtures/layer_tree/src/sim/a.h"),
+            "src/sim/a.h");
+  EXPECT_EQ(RepoRelative("bench/fig2.cc"), "bench/fig2.cc");
+  EXPECT_EQ(RepoRelative("no/roots/here.h"), "no/roots/here.h");
+}
+
+// --- Baseline ---------------------------------------------------------------
+
+AnalyzeConfig BaselineConfig(const std::string& baseline) {
+  AnalyzeConfig config;
+  config.apply_baseline = true;
+  config.baseline_path = "tools/analyze/baseline.txt";
+  config.baseline_contents = baseline;
+  return config;
+}
+
+TEST(AnalyzeBaselineTest, ExactMatchSuppressesFinding) {
+  const std::string src = "std::uniform_int_distribution<int> d(0, 9);\n";
+  const std::vector<Finding> findings = AnalyzeSources(
+      {SourceFile{"src/core/f.cc", src}},
+      BaselineConfig("src/core/f.cc:1: [std-distribution] comparing against stdlib\n"));
+  EXPECT_TRUE(findings.empty()) << findings[0].rule;
+}
+
+TEST(AnalyzeBaselineTest, StaleEntryIsAnError) {
+  const std::vector<Finding> findings = AnalyzeSources(
+      {SourceFile{"src/core/f.cc", "int x = 0;\n"}},
+      BaselineConfig("src/core/f.cc:1: [std-distribution] was fixed long ago\n"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "stale-baseline");
+  EXPECT_EQ(findings[0].line, 1u);  // points at the baseline line itself
+}
+
+TEST(AnalyzeBaselineTest, MissingJustificationIsAnError) {
+  const std::vector<Finding> findings =
+      AnalyzeSources({SourceFile{"src/core/f.cc", "int x = 0;\n"}},
+                     BaselineConfig("src/core/f.cc:1: [std-distribution]\n"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "baseline-config");
+}
+
+TEST(AnalyzeBaselineTest, MalformedEntryIsAnError) {
+  const std::vector<Finding> findings = AnalyzeSources(
+      {SourceFile{"src/core/f.cc", "int x = 0;\n"}}, BaselineConfig("not an entry\n"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "baseline-config");
+}
+
+TEST(AnalyzeBaselineTest, CommentsAndBlanksAreIgnored) {
+  const std::vector<Finding> findings = AnalyzeSources(
+      {SourceFile{"src/core/f.cc", "int x = 0;\n"}},
+      BaselineConfig("# header comment\n\n   # indented comment\n"));
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(AnalyzeBaselineTest, ConfigErrorsCannotBeBaselined) {
+  // A stale-baseline error cannot itself be acknowledged away.
+  const std::string baseline =
+      "src/core/f.cc:1: [std-distribution] gone\n"
+      "tools/analyze/baseline.txt:1: [stale-baseline] trying to mute the mute\n";
+  const std::vector<Finding> findings = AnalyzeSources(
+      {SourceFile{"src/core/f.cc", "int x = 0;\n"}}, BaselineConfig(baseline));
+  // Entry 1 is stale; entry 2 matches nothing either (stale-baseline findings
+  // are exempt from matching), so both report stale.
+  EXPECT_EQ(OfRule(findings, "stale-baseline").size(), 2u);
+}
+
+// --- SARIF ------------------------------------------------------------------
+
+TEST(AnalyzeSarifTest, GoldenOutput) {
+  const std::vector<Finding> findings = {
+      Finding{"src/cache/alpha.cc", 12, "banned-random",
+              "uses \"rand\" \\ here"},
+      Finding{"tools/analyze/baseline.txt", 0, "stale-baseline",
+              "entry matches nothing"},
+  };
+  EXPECT_EQ(RenderSarif(findings), ReadFileOrDie(FixturePath("golden.sarif")));
+}
+
+TEST(AnalyzeSarifTest, EmptyFindingsRenderEmptyArrays) {
+  const std::string sarif = RenderSarif({});
+  EXPECT_NE(sarif.find("\"results\": []"), std::string::npos);
+  EXPECT_NE(sarif.find("\"rules\": []"), std::string::npos);
+  EXPECT_NE(sarif.find("\"2.1.0\""), std::string::npos);
+}
+
+TEST(AnalyzeSarifTest, PathsAreRepoRelativeUris) {
+  const std::string sarif =
+      RenderSarif({Finding{"/abs/checkout/src/sim/engine.cc", 3, "r", "m"}});
+  EXPECT_NE(sarif.find("\"uri\": \"src/sim/engine.cc\""), std::string::npos);
+  EXPECT_EQ(sarif.find("/abs/checkout"), std::string::npos);
+}
+
+// --- Include-graph cache ----------------------------------------------------
+
+class AnalyzeGraphCacheTest : public ::testing::Test {
+ protected:
+  std::string CachePath() const {
+    return ::testing::TempDir() + "/webcc_analyze_graph_cache.txt";
+  }
+  void TearDown() override { std::remove(CachePath().c_str()); }
+};
+
+TEST_F(AnalyzeGraphCacheTest, WarmCacheReproducesFindingsExactly) {
+  AnalyzeOptions options;
+  options.layers_file = WEBCC_ANALYZE_LAYERS_FILE;
+  options.graph_cache_file = CachePath();
+  const std::vector<Finding> cold =
+      AnalyzePaths({FixturePath("layer_tree")}, options);
+  std::ifstream cache(CachePath());
+  EXPECT_TRUE(cache.good()) << "cache file was not written";
+  const std::vector<Finding> warm =
+      AnalyzePaths({FixturePath("layer_tree")}, options);
+  ASSERT_EQ(cold.size(), warm.size());
+  for (size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_EQ(cold[i].file, warm[i].file);
+    EXPECT_EQ(cold[i].line, warm[i].line);
+    EXPECT_EQ(cold[i].rule, warm[i].rule);
+    EXPECT_EQ(cold[i].message, warm[i].message);
+  }
+}
+
+TEST_F(AnalyzeGraphCacheTest, CorruptCacheIsIgnoredNotTrusted) {
+  AnalyzeOptions options;
+  options.layers_file = WEBCC_ANALYZE_LAYERS_FILE;
+  options.graph_cache_file = CachePath();
+  const std::vector<Finding> reference =
+      AnalyzePaths({FixturePath("layer_tree")}, options);
+  {
+    std::ofstream out(CachePath(), std::ios::trunc);
+    out << "# webcc-analyze graph cache v1\nF garbage\n";
+  }
+  const std::vector<Finding> after =
+      AnalyzePaths({FixturePath("layer_tree")}, options);
+  EXPECT_EQ(reference.size(), after.size());
+}
+
+// --- Whole-tree gate (mirrors the lint.analyze.tree ctest) ------------------
+
+TEST(AnalyzeTreeTest, LayerSpecParsesCleanly) {
+  std::vector<Finding> findings;
+  const LayerSpec spec =
+      ParseLayerSpec("layers.txt", ReadFileOrDie(WEBCC_ANALYZE_LAYERS_FILE), &findings);
+  EXPECT_TRUE(findings.empty());
+  EXPECT_EQ(spec.tiers.size(), 5u);
+  ASSERT_EQ(spec.tier_of.count("util"), 1u);
+  ASSERT_EQ(spec.tier_of.count("chaos"), 1u);
+  EXPECT_LT(spec.tier_of.at("util"), spec.tier_of.at("sim"));
+  EXPECT_LT(spec.tier_of.at("sim"), spec.tier_of.at("cache"));
+  EXPECT_EQ(spec.tier_of.at("cache"), spec.tier_of.at("origin"));
+  EXPECT_LT(spec.tier_of.at("core"), spec.tier_of.at("chaos"));
+}
+
+}  // namespace
+}  // namespace webcc::analyze

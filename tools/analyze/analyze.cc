@@ -1,0 +1,258 @@
+#include "tools/analyze/analyze.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "tools/analyze/baseline.h"
+#include "tools/analyze/layers.h"
+#include "tools/analyze/lexer.h"
+#include "tools/analyze/rules.h"
+
+namespace webcc::analyze {
+namespace {
+
+namespace fs = std::filesystem;
+
+void SortFindings(std::vector<Finding>* findings) {
+  std::sort(findings->begin(), findings->end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
+  });
+}
+
+// --- Include-graph cache ----------------------------------------------------
+//
+// Format (one header line, then per-file records):
+//
+//   # webcc-analyze graph cache v1
+//   F <hex-content-hash> <repo-relative-path> <n>
+//   I <line> <include-target>            (n times)
+//
+// A record is valid for a file iff the content hash matches; stale records
+// are dropped on rewrite. The cache carries include edges only — rule
+// findings always come from a fresh scan.
+
+uint64_t Fnv1a(const std::string& data) {
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string HashHex(uint64_t h) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = digits[h & 0xF];
+    h >>= 4;
+  }
+  return out;
+}
+
+struct CachedIncludes {
+  std::string hash;
+  std::vector<std::string> includes;
+  std::vector<size_t> include_lines;
+};
+
+std::map<std::string, CachedIncludes> LoadGraphCache(const std::string& path) {
+  std::map<std::string, CachedIncludes> cache;
+  std::ifstream in(path);
+  if (!in) {
+    return cache;  // cold cache is not an error
+  }
+  std::string header;
+  if (!std::getline(in, header) || header != "# webcc-analyze graph cache v1") {
+    return cache;  // unknown version: ignore wholesale
+  }
+  std::string line;
+  std::string current_file;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "F") {
+      CachedIncludes rec;
+      std::string file;
+      size_t n = 0;
+      if (!(fields >> rec.hash >> file >> n)) {
+        return {};  // corrupt: discard everything
+      }
+      current_file = file;
+      cache[file] = std::move(rec);
+    } else if (tag == "I") {
+      size_t include_line = 0;
+      std::string target;
+      if (current_file.empty() || !(fields >> include_line >> target)) {
+        return {};
+      }
+      cache[current_file].includes.push_back(target);
+      cache[current_file].include_lines.push_back(include_line);
+    }
+  }
+  return cache;
+}
+
+void SaveGraphCache(const std::string& path,
+                    const std::map<std::string, CachedIncludes>& cache) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return;  // cache is best-effort; the scan already succeeded
+  }
+  out << "# webcc-analyze graph cache v1\n";
+  for (const auto& [file, rec] : cache) {
+    out << "F " << rec.hash << " " << file << " " << rec.includes.size() << "\n";
+    for (size_t i = 0; i < rec.includes.size(); ++i) {
+      out << "I " << rec.include_lines[i] << " " << rec.includes[i] << "\n";
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> AnalyzeSources(const std::vector<SourceFile>& sources,
+                                    const AnalyzeConfig& config) {
+  std::vector<LexedFile> lexed;
+  lexed.reserve(sources.size());
+  for (const SourceFile& source : sources) {
+    lexed.push_back(Lex(source));
+  }
+
+  std::vector<Finding> findings = RunLintRules(lexed);
+
+  if (config.run_layers) {
+    if (!config.include_overrides.empty()) {
+      for (LexedFile& file : lexed) {
+        const auto it = config.include_overrides.find(RepoRelative(file.path));
+        if (it != config.include_overrides.end()) {
+          file.includes = it->second.includes;
+          file.include_lines = it->second.include_lines;
+        }
+      }
+    }
+    LayerSpec spec = ParseLayerSpec(config.layers_path, config.layers_contents, &findings);
+    std::vector<Finding> layer_findings = CheckLayers(spec, lexed);
+    findings.insert(findings.end(), layer_findings.begin(), layer_findings.end());
+  }
+
+  if (config.apply_baseline) {
+    Baseline baseline =
+        ParseBaseline(config.baseline_path, config.baseline_contents, &findings);
+    ApplyBaseline(baseline, config.baseline_path, &findings);
+  }
+
+  SortFindings(&findings);
+  return findings;
+}
+
+std::vector<Finding> AnalyzePaths(const std::vector<std::string>& roots,
+                                  const AnalyzeOptions& options) {
+  std::vector<std::string> paths;
+  std::vector<Finding> findings;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(root, ec)) {
+        if (!entry.is_regular_file()) {
+          continue;
+        }
+        const std::string ext = entry.path().extension().string();
+        if (ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp") {
+          paths.push_back(entry.path().generic_string());
+        }
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      paths.push_back(fs::path(root).generic_string());
+    } else {
+      findings.push_back(Finding{root, 0, "analyze-io", "path does not exist"});
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+
+  std::vector<SourceFile> sources;
+  sources.reserve(paths.size());
+  for (const std::string& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      findings.push_back(Finding{path, 0, "analyze-io", "could not read file"});
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    sources.push_back(SourceFile{path, buffer.str()});
+  }
+
+  AnalyzeConfig config;
+  const auto load_config = [&](const std::string& path, std::string* contents) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      findings.push_back(Finding{path, 0, "analyze-io", "could not read file"});
+      return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    *contents = buffer.str();
+    return true;
+  };
+  if (!options.layers_file.empty()) {
+    config.run_layers = load_config(options.layers_file, &config.layers_contents);
+    config.layers_path = options.layers_file;
+  }
+  if (!options.baseline_file.empty()) {
+    config.apply_baseline = load_config(options.baseline_file, &config.baseline_contents);
+    config.baseline_path = options.baseline_file;
+  }
+
+  // Warm the include-graph cache before the scan; it is only consulted by
+  // pass 2 and only for byte-identical files, so a corrupt or stale cache
+  // can never change results — at worst edges are recomputed.
+  std::map<std::string, CachedIncludes> cache;
+  if (!options.graph_cache_file.empty()) {
+    cache = LoadGraphCache(options.graph_cache_file);
+  }
+  if (!options.graph_cache_file.empty()) {
+    std::map<std::string, CachedIncludes> next;
+    for (const SourceFile& source : sources) {
+      const std::string rel = RepoRelative(source.path);
+      const std::string hash = HashHex(Fnv1a(source.contents));
+      const auto hit = cache.find(rel);
+      if (hit != cache.end() && hit->second.hash == hash) {
+        next[rel] = hit->second;
+        continue;
+      }
+      const LexedFile lexed = Lex(source);
+      CachedIncludes rec;
+      rec.hash = hash;
+      rec.includes = lexed.includes;
+      rec.include_lines = lexed.include_lines;
+      next[rel] = std::move(rec);
+    }
+    SaveGraphCache(options.graph_cache_file, next);
+    for (const auto& [rel, rec] : next) {
+      config.include_overrides[rel] = IncludeEdges{rec.includes, rec.include_lines};
+    }
+  }
+
+  std::vector<Finding> scanned = AnalyzeSources(sources, config);
+  findings.insert(findings.end(), scanned.begin(), scanned.end());
+  SortFindings(&findings);
+  return findings;
+}
+
+void PrintFindings(const std::vector<Finding>& findings, std::ostream& out) {
+  for (const Finding& f : findings) {
+    out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+  }
+}
+
+}  // namespace webcc::analyze

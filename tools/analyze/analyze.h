@@ -1,0 +1,78 @@
+// webcc-analyze orchestration: runs the three passes in order and merges
+// their findings.
+//
+//   Pass 1  lex + lint rules        (lexer.h, rules.h)
+//   Pass 2  include graph + layers  (layers.h), optional
+//   Pass 3  baseline + output       (baseline.h, sarif.h), optional
+//
+// Two entry points mirror the old webcc-lint API. AnalyzeSources is pure
+// (no filesystem): config contents are passed in, which is what the tests
+// and the webcc-lint compatibility wrapper use. AnalyzePaths walks
+// directories, loads the config files named in AnalyzeOptions, and maintains
+// the on-disk include-graph cache.
+
+#ifndef WEBCC_TOOLS_ANALYZE_ANALYZE_H_
+#define WEBCC_TOOLS_ANALYZE_ANALYZE_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/source.h"
+
+namespace webcc::analyze {
+
+// Precomputed include edges for one file, as stored in the graph cache.
+struct IncludeEdges {
+  std::vector<std::string> includes;
+  std::vector<size_t> include_lines;
+};
+
+// Pure-scan configuration: contents are provided by the caller.
+struct AnalyzeConfig {
+  // Pass 2 runs iff `run_layers`; `layers_path` labels config diagnostics.
+  bool run_layers = false;
+  std::string layers_path = "tools/analyze/layers.txt";
+  std::string layers_contents;
+  // Pass 3 baseline applies iff `apply_baseline`.
+  bool apply_baseline = false;
+  std::string baseline_path = "tools/analyze/baseline.txt";
+  std::string baseline_contents;
+  // Optional pass-2 edge overrides keyed by repo-relative path, fed from the
+  // include-graph cache. A file present here uses these edges instead of its
+  // freshly lexed includes; entries are only ever created from byte-identical
+  // content (hash-checked), so the substitution cannot change results.
+  std::map<std::string, IncludeEdges> include_overrides;
+};
+
+// File-walking configuration for AnalyzePaths.
+struct AnalyzeOptions {
+  std::string layers_file;       // empty = skip the layer pass
+  std::string baseline_file;     // empty = no baseline
+  std::string graph_cache_file;  // empty = no include-graph cache
+};
+
+// Scans `sources` as one unit and returns findings sorted by
+// (file, line, rule). Never touches the filesystem.
+std::vector<Finding> AnalyzeSources(const std::vector<SourceFile>& sources,
+                                    const AnalyzeConfig& config);
+
+// Loads every .h/.cc/.cpp/.hpp under `roots` (directories walked
+// recursively, files taken verbatim, missing paths become `analyze-io`
+// findings), loads the config files in `options`, and scans. The include-
+// graph cache, when enabled, memoizes per-file include edges keyed on a
+// 64-bit content hash: unchanged files feed pass 2 from the cache, and the
+// cache file is rewritten after every run so CI can persist it across
+// builds keyed on the tree hash.
+std::vector<Finding> AnalyzePaths(const std::vector<std::string>& roots,
+                                  const AnalyzeOptions& options);
+
+// Renders `file:line: [rule] message`, one per line (same format as
+// webcc-lint, which CI and editors already parse).
+void PrintFindings(const std::vector<Finding>& findings, std::ostream& out);
+
+}  // namespace webcc::analyze
+
+#endif  // WEBCC_TOOLS_ANALYZE_ANALYZE_H_

@@ -1,0 +1,138 @@
+#include "tools/analyze/baseline.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "tools/analyze/layers.h"
+
+namespace webcc::analyze {
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) {
+    ++b;
+  }
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+bool IsConfigFinding(const Finding& f) {
+  if (f.line == 0) {
+    return true;
+  }
+  const auto ends_with = [&](const char* suffix) {
+    const std::string s(suffix);
+    return f.rule.size() >= s.size() &&
+           f.rule.compare(f.rule.size() - s.size(), s.size(), s) == 0;
+  };
+  return ends_with("-config") || ends_with("-io") || f.rule == "stale-baseline";
+}
+
+}  // namespace
+
+Baseline ParseBaseline(const std::string& path, const std::string& contents,
+                       std::vector<Finding>* findings) {
+  Baseline baseline;
+  std::istringstream in(contents);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') {
+      continue;
+    }
+    // <file>:<line>: [<rule>] <justification>
+    const size_t bracket = trimmed.find('[');
+    const size_t bracket_end =
+        bracket == std::string::npos ? std::string::npos : trimmed.find(']', bracket);
+    bool ok = bracket != std::string::npos && bracket_end != std::string::npos;
+    BaselineEntry entry;
+    entry.baseline_line = line_no;
+    if (ok) {
+      entry.rule = trimmed.substr(bracket + 1, bracket_end - bracket - 1);
+      entry.note = Trim(trimmed.substr(bracket_end + 1));
+      std::string loc = Trim(trimmed.substr(0, bracket));
+      // loc is "<file>:<line>:" — strip the trailing colon, split on the last.
+      if (!loc.empty() && loc.back() == ':') {
+        loc.pop_back();
+      }
+      const size_t colon = loc.rfind(':');
+      ok = colon != std::string::npos && colon + 1 < loc.size();
+      if (ok) {
+        entry.file = loc.substr(0, colon);
+        const std::string num = loc.substr(colon + 1);
+        entry.line = 0;
+        for (const char c : num) {
+          if (std::isdigit(static_cast<unsigned char>(c)) == 0) {
+            ok = false;
+            break;
+          }
+          entry.line = entry.line * 10 + static_cast<size_t>(c - '0');
+        }
+        ok = ok && entry.line > 0 && !entry.file.empty() && !entry.rule.empty();
+      }
+    }
+    if (!ok) {
+      findings->push_back(
+          Finding{path, line_no, "baseline-config",
+                  "malformed baseline entry; expected '<file>:<line>: [<rule>] "
+                  "<justification>'"});
+      continue;
+    }
+    if (entry.note.empty()) {
+      findings->push_back(
+          Finding{path, line_no, "baseline-config",
+                  "baseline entry for [" + entry.rule + "] at " + entry.file + ":" +
+                      std::to_string(entry.line) +
+                      " has no justification; baselining requires a written reason"});
+      continue;
+    }
+    baseline.entries.push_back(std::move(entry));
+  }
+  return baseline;
+}
+
+void ApplyBaseline(const Baseline& baseline, const std::string& baseline_path,
+                   std::vector<Finding>* findings) {
+  std::vector<bool> entry_used(baseline.entries.size(), false);
+  std::vector<Finding> kept;
+  kept.reserve(findings->size());
+  for (Finding& f : *findings) {
+    bool suppressed = false;
+    if (!IsConfigFinding(f)) {
+      const std::string rel = RepoRelative(f.file);
+      for (size_t e = 0; e < baseline.entries.size(); ++e) {
+        const BaselineEntry& entry = baseline.entries[e];
+        if (entry.line == f.line && entry.rule == f.rule &&
+            RepoRelative(entry.file) == rel) {
+          entry_used[e] = true;
+          suppressed = true;
+          // No break: duplicate entries for one finding all count as used.
+        }
+      }
+    }
+    if (!suppressed) {
+      kept.push_back(std::move(f));
+    }
+  }
+  for (size_t e = 0; e < baseline.entries.size(); ++e) {
+    if (entry_used[e]) {
+      continue;
+    }
+    const BaselineEntry& entry = baseline.entries[e];
+    kept.push_back(Finding{
+        baseline_path, entry.baseline_line, "stale-baseline",
+        "baseline entry matches no current finding (" + entry.file + ":" +
+            std::to_string(entry.line) + " [" + entry.rule +
+            "]); the code moved or was fixed — delete the entry"});
+  }
+  *findings = std::move(kept);
+}
+
+}  // namespace webcc::analyze

@@ -1,0 +1,64 @@
+// Baseline mechanism for webcc-analyze (pass 3).
+//
+// A baseline entry acknowledges one existing finding so a new rule can land
+// tight without a big-bang cleanup. Format, one entry per line:
+//
+//     <repo-relative-file>:<line>: [<rule>] <justification>
+//
+// e.g.
+//
+//     src/cache/proxy_cache.cc:120: [discarded-parse-result] result feeds the
+//
+// Three properties keep the baseline honest:
+//
+//   * matching is exact on (file, line, rule) — if the code moves, the entry
+//     goes stale;
+//   * a stale entry (matching no current finding) is itself an error
+//     (`stale-baseline`), so the file can only shrink ratchet-style and
+//     never accumulates dead weight;
+//   * the justification is mandatory — an entry without one is a
+//     `baseline-config` error. Baselining is for findings someone has
+//     argued about in writing, not a bulk mute button.
+//
+// Waiver precedence: an inline `allow(...)`/`allow-file(...)` waiver removes
+// the finding before the baseline is consulted, so a baselined finding whose
+// line later gains an inline waiver shows up as stale — delete the entry.
+
+#ifndef WEBCC_TOOLS_ANALYZE_BASELINE_H_
+#define WEBCC_TOOLS_ANALYZE_BASELINE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/source.h"
+
+namespace webcc::analyze {
+
+struct BaselineEntry {
+  std::string file;  // repo-relative, as written in the baseline
+  size_t line = 0;
+  std::string rule;
+  std::string note;       // justification (non-empty by construction)
+  size_t baseline_line = 0;  // where in baseline.txt this entry lives
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+};
+
+// Parses baseline text. Malformed lines and entries missing a justification
+// produce `baseline-config` findings against `path` and are dropped.
+Baseline ParseBaseline(const std::string& path, const std::string& contents,
+                       std::vector<Finding>* findings);
+
+// Removes findings matched by the baseline from `findings` (matching on
+// repo-relative file + line + rule) and appends one `stale-baseline` finding
+// per entry that matched nothing. Config-error findings (line 0 or rules
+// ending in -config/-io) are never baselined away.
+void ApplyBaseline(const Baseline& baseline, const std::string& baseline_path,
+                   std::vector<Finding>* findings);
+
+}  // namespace webcc::analyze
+
+#endif  // WEBCC_TOOLS_ANALYZE_BASELINE_H_

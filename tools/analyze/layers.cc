@@ -1,0 +1,296 @@
+#include "tools/analyze/layers.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace webcc::analyze {
+namespace {
+
+std::vector<std::string> SplitPath(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (const char c : path) {
+    if (c == '/') {
+      if (!current.empty()) {
+        parts.push_back(current);
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) {
+    parts.push_back(current);
+  }
+  return parts;
+}
+
+bool IsRootComponent(const std::string& part) {
+  return part == "src" || part == "bench" || part == "tools" || part == "tests";
+}
+
+// Module of a repo-relative src/ path: "src/cache/policy.h" -> "cache".
+// Empty for files directly under src/ or paths outside src/.
+std::string SrcModule(const std::string& repo_rel) {
+  const std::vector<std::string> parts = SplitPath(repo_rel);
+  if (parts.size() >= 3 && parts[0] == "src") {
+    return parts[1];
+  }
+  return std::string();
+}
+
+bool StartsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+struct Edge {
+  size_t target = 0;  // node index
+  size_t line = 0;    // include line in the source node
+};
+
+// Reports each distinct cycle once: the cycle's node sequence is rotated so
+// the lexicographically smallest path comes first, then deduped.
+class CycleFinder {
+ public:
+  CycleFinder(const std::vector<std::string>& names,
+              const std::vector<std::vector<Edge>>& adj)
+      : names_(names), adj_(adj), color_(names.size(), 0) {}
+
+  std::vector<Finding> Run() {
+    std::vector<size_t> order(names_.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      order[i] = i;
+    }
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return names_[a] < names_[b]; });
+    for (const size_t n : order) {
+      if (color_[n] == 0) {
+        Visit(n);
+      }
+    }
+    return std::move(findings_);
+  }
+
+ private:
+  void Visit(size_t n) {
+    color_[n] = 1;
+    stack_.push_back(n);
+    for (const Edge& e : adj_[n]) {
+      if (color_[e.target] == 1) {
+        ReportCycle(e.target, e.line);
+      } else if (color_[e.target] == 0) {
+        Visit(e.target);
+      }
+    }
+    stack_.pop_back();
+    color_[n] = 2;
+  }
+
+  void ReportCycle(size_t back_to, size_t line) {
+    // The cycle is the stack suffix starting at `back_to`.
+    size_t start = 0;
+    for (size_t i = 0; i < stack_.size(); ++i) {
+      if (stack_[i] == back_to) {
+        start = i;
+        break;
+      }
+    }
+    std::vector<size_t> cycle(stack_.begin() + static_cast<long>(start), stack_.end());
+    // Canonical rotation for dedupe.
+    size_t min_pos = 0;
+    for (size_t i = 1; i < cycle.size(); ++i) {
+      if (names_[cycle[i]] < names_[cycle[min_pos]]) {
+        min_pos = i;
+      }
+    }
+    std::rotate(cycle.begin(), cycle.begin() + static_cast<long>(min_pos), cycle.end());
+    std::string key;
+    for (const size_t n : cycle) {
+      key += names_[n];
+      key += '\n';
+    }
+    if (!seen_.insert(key).second) {
+      return;
+    }
+    std::ostringstream chain;
+    for (const size_t n : cycle) {
+      chain << names_[n] << " -> ";
+    }
+    chain << names_[cycle.front()];
+    findings_.push_back(Finding{names_[cycle.front()], line, "layer-cycle",
+                                "include cycle: " + chain.str()});
+  }
+
+  const std::vector<std::string>& names_;
+  const std::vector<std::vector<Edge>>& adj_;
+  std::vector<int> color_;  // 0 = white, 1 = on stack, 2 = done
+  std::vector<size_t> stack_;
+  std::set<std::string> seen_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+std::string RepoRelative(const std::string& path) {
+  const std::vector<std::string> parts = SplitPath(path);
+  size_t root = parts.size();
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (IsRootComponent(parts[i])) {
+      root = i;  // keep the LAST such component
+    }
+  }
+  if (root == parts.size()) {
+    return path;
+  }
+  std::string out;
+  for (size_t i = root; i < parts.size(); ++i) {
+    if (!out.empty()) {
+      out += '/';
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+LayerSpec ParseLayerSpec(const std::string& path, const std::string& contents,
+                         std::vector<Finding>* findings) {
+  LayerSpec spec;
+  std::istringstream in(contents);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    std::istringstream words(line);
+    std::vector<std::string> modules;
+    std::string word;
+    while (words >> word) {
+      modules.push_back(word);
+    }
+    if (modules.empty()) {
+      continue;
+    }
+    const int tier = static_cast<int>(spec.tiers.size());
+    std::vector<std::string> accepted;
+    for (const std::string& m : modules) {
+      const bool valid = !m.empty() && m.find('/') == std::string::npos &&
+                         m.find('.') == std::string::npos;
+      if (!valid) {
+        findings->push_back(Finding{path, line_no, "layer-config",
+                                    "malformed module name '" + m +
+                                        "' (one bare directory name per word)"});
+        continue;
+      }
+      if (!spec.tier_of.emplace(m, tier).second) {
+        findings->push_back(Finding{path, line_no, "layer-config",
+                                    "module '" + m + "' declared in more than one tier"});
+        continue;
+      }
+      accepted.push_back(m);
+    }
+    if (!accepted.empty()) {
+      spec.tiers.push_back(std::move(accepted));
+    }
+  }
+  if (spec.tiers.empty()) {
+    findings->push_back(
+        Finding{path, 0, "layer-config", "layer spec declares no tiers"});
+  }
+  return spec;
+}
+
+std::vector<Finding> CheckLayers(const LayerSpec& spec,
+                                 const std::vector<LexedFile>& files) {
+  std::vector<Finding> findings;
+
+  // Nodes: scanned files, keyed by repo-relative path. Sorted for stable
+  // node indices regardless of input order.
+  std::vector<size_t> order(files.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return RepoRelative(files[a].path) < RepoRelative(files[b].path);
+  });
+  std::vector<std::string> names;
+  std::map<std::string, size_t> node_of;
+  std::vector<const LexedFile*> node_file;
+  for (const size_t i : order) {
+    const std::string rel = RepoRelative(files[i].path);
+    if (node_of.emplace(rel, names.size()).second) {
+      names.push_back(rel);
+      node_file.push_back(&files[i]);
+    }
+  }
+
+  std::vector<std::vector<Edge>> adj(names.size());
+  std::set<std::string> unknown_reported;
+  for (size_t n = 0; n < names.size(); ++n) {
+    const LexedFile& file = *node_file[n];
+    const std::string& from = names[n];
+    const bool from_src = StartsWith(from, "src/");
+    const std::string from_module = SrcModule(from);
+    for (size_t k = 0; k < file.includes.size(); ++k) {
+      const std::string& target = file.includes[k];
+      const size_t line = file.include_lines[k];
+
+      if (from_src && (StartsWith(target, "bench/") || StartsWith(target, "tools/"))) {
+        findings.push_back(
+            Finding{file.path, line, "layer-violation",
+                    "src/ must not include " + target.substr(0, target.find('/') + 1) +
+                        " (" + from + " -> " + target + "); the simulator cannot "
+                        "depend on its own harnesses"});
+      }
+
+      const auto it = node_of.find(target);
+      if (it == node_of.end()) {
+        continue;  // system/third-party/unscanned include
+      }
+      adj[n].push_back(Edge{it->second, line});
+
+      if (!from_src || !StartsWith(target, "src/")) {
+        continue;  // tier rules bind src/ -> src/ edges only
+      }
+      const std::string to_module = SrcModule(target);
+      if (from_module == to_module) {
+        continue;
+      }
+      const auto from_tier = spec.tier_of.find(from_module);
+      const auto to_tier = spec.tier_of.find(to_module);
+      if (from_tier == spec.tier_of.end() || to_tier == spec.tier_of.end()) {
+        const std::string& missing =
+            from_tier == spec.tier_of.end() ? from_module : to_module;
+        if (unknown_reported.insert(missing).second) {
+          findings.push_back(
+              Finding{file.path, line, "layer-config",
+                      "module 'src/" + missing + "/' is not declared in the layer "
+                      "spec; add it to a tier in tools/analyze/layers.txt"});
+        }
+        continue;
+      }
+      if (to_tier->second > from_tier->second) {
+        findings.push_back(
+            Finding{file.path, line, "layer-violation",
+                    "layer violation: " + from + " (" + from_module + ", tier " +
+                        std::to_string(from_tier->second) + ") includes " + target +
+                        " (" + to_module + ", tier " + std::to_string(to_tier->second) +
+                        "); includes must point down the stack"});
+      }
+    }
+    // Deterministic edge order for the cycle pass.
+    std::sort(adj[n].begin(), adj[n].end(), [&](const Edge& a, const Edge& b) {
+      if (names[a.target] != names[b.target]) return names[a.target] < names[b.target];
+      return a.line < b.line;
+    });
+  }
+
+  std::vector<Finding> cycles = CycleFinder(names, adj).Run();
+  findings.insert(findings.end(), cycles.begin(), cycles.end());
+  return findings;
+}
+
+}  // namespace webcc::analyze

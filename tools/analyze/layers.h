@@ -1,0 +1,64 @@
+// Pass 2 of webcc-analyze: include-graph construction and architecture
+// layering enforcement.
+//
+// The layer spec (tools/analyze/layers.txt) declares the module DAG as a list
+// of tiers, lowest first:
+//
+//     util
+//     sim
+//     cache origin http
+//     workload core
+//     cli chaos
+//
+// A module under src/<module>/ may include modules in its own tier or any
+// lower tier; an include that points *up* the stack is a layer violation.
+// Two hard edges hold regardless of tiers: src/ may never include bench/ or
+// tools/, and the include graph of the scanned tree must be acyclic (cycles
+// are reported with the full offending chain). A src/ module that is not
+// declared in the spec is itself an error — new subsystems must take a
+// position in the stack before they can land.
+//
+// Only quoted, repo-root-relative includes ("src/cache/policy.h") form graph
+// edges; system includes and unresolvable quoted includes are ignored.
+// bench/ and tests/ may see everything, so files outside src/ contribute
+// edges to cycle detection but are exempt from tier checks.
+
+#ifndef WEBCC_TOOLS_ANALYZE_LAYERS_H_
+#define WEBCC_TOOLS_ANALYZE_LAYERS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/lexer.h"
+#include "tools/analyze/source.h"
+
+namespace webcc::analyze {
+
+struct LayerSpec {
+  // Tier index per declared module; tier 0 is the bottom of the stack.
+  std::map<std::string, int> tier_of;
+  // Tiers in declaration order (for diagnostics and docs).
+  std::vector<std::vector<std::string>> tiers;
+};
+
+// Parses the tier-per-line spec format above. Malformed or duplicate entries
+// produce `layer-config` findings against `path` and are skipped.
+LayerSpec ParseLayerSpec(const std::string& path, const std::string& contents,
+                         std::vector<Finding>* findings);
+
+// Normalizes an absolute or relative path to its repo-root-relative form by
+// cutting at the last `src`/`bench`/`tools`/`tests` path component
+// ("/root/repo/src/cache/policy.h" -> "src/cache/policy.h"). Returns the
+// input unchanged if no such component exists.
+std::string RepoRelative(const std::string& path);
+
+// Runs the layer pass over the scan unit: resolves quoted includes against
+// the scanned files, checks every src/ edge against the spec, and reports
+// include cycles. Deterministic: files and edges are visited in sorted order.
+std::vector<Finding> CheckLayers(const LayerSpec& spec,
+                                 const std::vector<LexedFile>& files);
+
+}  // namespace webcc::analyze
+
+#endif  // WEBCC_TOOLS_ANALYZE_LAYERS_H_

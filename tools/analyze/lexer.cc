@@ -1,0 +1,439 @@
+#include "tools/analyze/lexer.h"
+
+#include <cctype>
+
+namespace webcc::analyze {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+bool IsStringPrefix(const std::string& id) {
+  return id == "u8" || id == "L" || id == "u" || id == "U";
+}
+bool IsRawStringPrefix(const std::string& id) {
+  return id == "R" || id == "u8R" || id == "LR" || id == "uR" || id == "UR";
+}
+
+// Multi-character punctuators, longest first. Only a handful matter to the
+// rules (`::`, `->`, `(`), but splitting the rest correctly keeps token
+// lookahead honest (e.g. `a<=b` must not produce a stray `<`).
+const char* const kPunct3[] = {"<<=", ">>=", "...", "->*", "<=>"};
+const char* const kPunct2[] = {"::", "->", "++", "--", "<<", ">>", "<=", ">=", "==",
+                               "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=",
+                               "|=", "^=", ".*", "##"};
+
+class Lexer {
+ public:
+  explicit Lexer(const SourceFile& source) : src_(source.contents) {
+    out_.path = source.path;
+    SplitRawLines();
+    out_.code_lines.reserve(out_.raw_lines.size());
+    for (const std::string& raw : out_.raw_lines) {
+      out_.code_lines.emplace_back(raw.size(), ' ');
+    }
+  }
+
+  LexedFile Run() {
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (c == '\n') {
+        NextLine();
+        in_pp_ = false;
+        line_has_code_token_ = false;
+        continue;
+      }
+      if (ConsumeSplice()) {
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        Advance();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        LexLineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        continue;
+      }
+      if (c == '"') {
+        LexCookedString("");
+        continue;
+      }
+      if (c == '\'') {
+        LexCharLiteral("");
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        LexIdentifierOrLiteralPrefix();
+        continue;
+      }
+      if (IsDigit(c) || (c == '.' && IsDigit(Peek(1)))) {
+        LexNumber();
+        continue;
+      }
+      LexPunct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  void SplitRawLines() {
+    std::string current;
+    for (const char c : src_) {
+      if (c == '\n') {
+        out_.raw_lines.push_back(current);
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+    if (!current.empty()) {
+      out_.raw_lines.push_back(current);
+    }
+  }
+
+  char Peek(size_t off = 0) const {
+    return i_ + off < src_.size() ? src_[i_ + off] : '\0';
+  }
+
+  // Consumes one char, mirroring it into the code view when `code` is true.
+  void Advance(bool code = false) {
+    if (i_ >= src_.size()) {
+      return;
+    }
+    if (code && line_ - 1 < out_.code_lines.size() &&
+        col_ < out_.code_lines[line_ - 1].size()) {
+      out_.code_lines[line_ - 1][col_] = src_[i_];
+    }
+    ++i_;
+    ++col_;
+  }
+
+  void NextLine() {
+    ++i_;  // the '\n'
+    ++line_;
+    col_ = 0;
+  }
+
+  // Backslash-newline splicing (also \ \r \n). Returns true if consumed.
+  bool ConsumeSplice() {
+    if (Peek() != '\\') {
+      return false;
+    }
+    if (Peek(1) == '\n') {
+      ++i_;
+      NextLine();
+      return true;
+    }
+    if (Peek(1) == '\r' && Peek(2) == '\n') {
+      i_ += 2;
+      NextLine();
+      return true;
+    }
+    return false;
+  }
+
+  void Emit(TokenKind kind, std::string text, size_t start_line) {
+    Token token;
+    token.kind = kind;
+    token.text = std::move(text);
+    token.line = start_line;
+    if (kind != TokenKind::kComment) {
+      HandlePreprocessorToken(token);  // may enter directive mode at '#'
+      line_has_code_token_ = true;
+    }
+    token.in_preprocessor = in_pp_;
+    out_.tokens.push_back(std::move(token));
+  }
+
+  // Tracks `#` directives and records `#include "..."` targets.
+  void HandlePreprocessorToken(const Token& token) {
+    if (!in_pp_ && token.kind == TokenKind::kPunct && token.text == "#" &&
+        !line_has_code_token_) {
+      in_pp_ = true;
+      pp_expect_include_kw_ = true;
+      pp_expect_target_ = false;
+      return;
+    }
+    if (!in_pp_) {
+      return;
+    }
+    if (pp_expect_include_kw_) {
+      pp_expect_include_kw_ = false;
+      if (token.kind == TokenKind::kIdentifier &&
+          (token.text == "include" || token.text == "include_next")) {
+        pp_expect_target_ = true;
+        return;
+      }
+    }
+    if (pp_expect_target_) {
+      pp_expect_target_ = false;
+      if (token.kind == TokenKind::kString && token.text.size() >= 2 &&
+          token.text.front() == '"' && token.text.back() == '"') {
+        out_.includes.push_back(token.text.substr(1, token.text.size() - 2));
+        out_.include_lines.push_back(token.line);
+      }
+      // <...> system includes arrive as punctuation and are ignored: only
+      // quoted (repo-relative) includes participate in the layer graph.
+    }
+  }
+
+  void LexLineComment() {
+    const size_t start_line = line_;
+    std::string text;
+    while (i_ < src_.size() && Peek() != '\n') {
+      if (ConsumeSplice()) {  // a `//` comment continues past a backslash-newline
+        text.push_back('\n');
+        continue;
+      }
+      text.push_back(Peek());
+      Advance();
+    }
+    Emit(TokenKind::kComment, std::move(text), start_line);
+  }
+
+  void LexBlockComment() {
+    const size_t start_line = line_;
+    std::string text;
+    text.push_back(Peek());
+    Advance();  // '/'
+    text.push_back(Peek());
+    Advance();  // '*'
+    // Ends at the FIRST "*/": block comments do not nest in C++.
+    while (i_ < src_.size()) {
+      if (Peek() == '*' && Peek(1) == '/') {
+        text += "*/";
+        Advance();
+        Advance();
+        break;
+      }
+      if (Peek() == '\n') {
+        text.push_back('\n');
+        NextLine();
+        continue;
+      }
+      text.push_back(Peek());
+      Advance();
+    }
+    Emit(TokenKind::kComment, std::move(text), start_line);
+  }
+
+  void LexCookedString(const std::string& prefix) {
+    const size_t start_line = line_;
+    std::string text = prefix;
+    text.push_back('"');
+    Advance();  // opening quote (blanked)
+    while (i_ < src_.size()) {
+      const char c = Peek();
+      if (c == '\\') {
+        if (ConsumeSplice()) {
+          continue;  // spliced string constant continues on the next line
+        }
+        text.push_back(c);
+        Advance();
+        if (i_ < src_.size() && Peek() != '\n') {
+          text.push_back(Peek());
+          Advance();
+        }
+        continue;
+      }
+      if (c == '"') {
+        text.push_back(c);
+        Advance();
+        break;
+      }
+      if (c == '\n') {
+        // Unterminated at end of line: almost certainly malformed macro text.
+        // Close the literal here so one odd line cannot swallow the file.
+        break;
+      }
+      text.push_back(c);
+      Advance();
+    }
+    Emit(TokenKind::kString, std::move(text), start_line);
+  }
+
+  void LexRawString(const std::string& prefix) {
+    const size_t start_line = line_;
+    std::string text = prefix;
+    text.push_back('"');
+    Advance();  // opening quote
+    // Delimiter: chars up to '('.
+    std::string delim;
+    while (i_ < src_.size() && Peek() != '(' && Peek() != '\n' && delim.size() <= 16) {
+      delim.push_back(Peek());
+      text.push_back(Peek());
+      Advance();
+    }
+    if (Peek() == '(') {
+      text.push_back('(');
+      Advance();
+    }
+    const std::string terminator = ")" + delim + "\"";
+    // Raw contents: no escapes, no splicing — scan verbatim for `)delim"`.
+    while (i_ < src_.size()) {
+      if (Peek() == ')' && src_.compare(i_, terminator.size(), terminator) == 0) {
+        text += terminator;
+        for (size_t k = 0; k < terminator.size(); ++k) {
+          Advance();
+        }
+        break;
+      }
+      if (Peek() == '\n') {
+        text.push_back('\n');
+        NextLine();
+        continue;
+      }
+      text.push_back(Peek());
+      Advance();
+    }
+    Emit(TokenKind::kString, std::move(text), start_line);
+  }
+
+  void LexCharLiteral(const std::string& prefix) {
+    const size_t start_line = line_;
+    std::string text = prefix;
+    text.push_back('\'');
+    Advance();  // opening quote
+    while (i_ < src_.size()) {
+      const char c = Peek();
+      if (c == '\\') {
+        text.push_back(c);
+        Advance();
+        if (i_ < src_.size() && Peek() != '\n') {
+          text.push_back(Peek());
+          Advance();
+        }
+        continue;
+      }
+      if (c == '\'') {
+        text.push_back(c);
+        Advance();
+        break;
+      }
+      if (c == '\n') {
+        break;  // unterminated; close at end of line
+      }
+      text.push_back(c);
+      Advance();
+    }
+    Emit(TokenKind::kCharLit, std::move(text), start_line);
+  }
+
+  void LexIdentifierOrLiteralPrefix() {
+    const size_t start_line = line_;
+    std::string text;
+    while (i_ < src_.size() && (IsIdentChar(Peek()) || Peek() == '\\')) {
+      if (Peek() == '\\') {
+        if (!ConsumeSplice()) {
+          break;  // a real backslash ends the identifier
+        }
+        continue;  // identifier spliced across a line break
+      }
+      text.push_back(Peek());
+      Advance(/*code=*/true);
+    }
+    // `R"(...)"`, `u8"..."`, `L'x'`: the "identifier" was a literal prefix.
+    if (Peek() == '"' && IsRawStringPrefix(text)) {
+      UnwriteCode(text.size());
+      LexRawString(text);
+      return;
+    }
+    if (Peek() == '"' && IsStringPrefix(text)) {
+      UnwriteCode(text.size());
+      LexCookedString(text);
+      return;
+    }
+    if (Peek() == '\'' && (IsStringPrefix(text))) {
+      UnwriteCode(text.size());
+      LexCharLiteral(text);
+      return;
+    }
+    Emit(TokenKind::kIdentifier, std::move(text), start_line);
+  }
+
+  // Blanks the last `n` columns written to the current code line (used when
+  // an "identifier" turns out to be a string-literal prefix).
+  void UnwriteCode(size_t n) {
+    if (line_ - 1 >= out_.code_lines.size()) {
+      return;
+    }
+    std::string& code = out_.code_lines[line_ - 1];
+    for (size_t k = 0; k < n && col_ - 1 - k < code.size(); ++k) {
+      code[col_ - 1 - k] = ' ';
+    }
+  }
+
+  void LexNumber() {
+    const size_t start_line = line_;
+    std::string text;
+    // pp-number: digits, identifier chars, digit separators, dots, and
+    // exponent signs after e/E/p/P.
+    while (i_ < src_.size()) {
+      const char c = Peek();
+      if (IsIdentChar(c) || c == '.' || c == '\'') {
+        text.push_back(c);
+        Advance(/*code=*/true);
+        continue;
+      }
+      if ((c == '+' || c == '-') && !text.empty()) {
+        const char prev = text.back();
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          text.push_back(c);
+          Advance(/*code=*/true);
+          continue;
+        }
+      }
+      break;
+    }
+    Emit(TokenKind::kNumber, std::move(text), start_line);
+  }
+
+  void LexPunct() {
+    const size_t start_line = line_;
+    for (const char* p : kPunct3) {
+      if (src_.compare(i_, 3, p) == 0) {
+        Advance(true);
+        Advance(true);
+        Advance(true);
+        Emit(TokenKind::kPunct, p, start_line);
+        return;
+      }
+    }
+    for (const char* p : kPunct2) {
+      if (src_.compare(i_, 2, p) == 0) {
+        Advance(true);
+        Advance(true);
+        Emit(TokenKind::kPunct, p, start_line);
+        return;
+      }
+    }
+    const std::string one(1, Peek());
+    Advance(/*code=*/true);
+    Emit(TokenKind::kPunct, one, start_line);
+  }
+
+  const std::string& src_;
+  size_t i_ = 0;
+  size_t line_ = 1;  // 1-based
+  size_t col_ = 0;   // 0-based within the current raw line
+  bool in_pp_ = false;
+  bool line_has_code_token_ = false;
+  bool pp_expect_include_kw_ = false;
+  bool pp_expect_target_ = false;
+  LexedFile out_;
+};
+
+}  // namespace
+
+LexedFile Lex(const SourceFile& source) { return Lexer(source).Run(); }
+
+}  // namespace webcc::analyze

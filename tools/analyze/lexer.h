@@ -1,0 +1,73 @@
+// Pass 1 of webcc-analyze: a real (single-translation-unit) C++ lexer.
+//
+// The original webcc-lint matched regexes against per-line "stripped" text
+// produced by a line-local state machine. That machine could not represent
+// raw string literals, line continuations, or multi-line literals, so rules
+// could both miss violations (split across a continuation) and false-positive
+// (code-looking text inside a multi-line raw string). This lexer tokenizes
+// the whole file in one pass and gets those cases right:
+//
+//   * `//` and `/* */` comments (including backslash-continued `//` lines;
+//     block comments do NOT nest, per the language);
+//   * ordinary string/char literals with escapes, and encoding prefixes
+//     (u8"", L"", u"", U"");
+//   * raw string literals `R"delim(...)delim"` with arbitrary delimiters,
+//     spanning any number of lines;
+//   * backslash-newline line splicing in code and preprocessor directives;
+//   * preprocessor directives, with `#include "..."` targets extracted.
+//
+// Output is both a token stream (identifiers, numbers, literals, punctuation,
+// comments — each stamped with its 1-based start line) and a per-physical-line
+// "code text" view in which comments and literal contents are blanked to
+// spaces with columns preserved. Structural rules still run regexes against
+// the code text; identifier rules walk the tokens.
+
+#ifndef WEBCC_TOOLS_ANALYZE_LEXER_H_
+#define WEBCC_TOOLS_ANALYZE_LEXER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/source.h"
+
+namespace webcc::analyze {
+
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords (the lexer does not distinguish)
+  kNumber,      // pp-number: 0x1F, 1'000, 1.5e-3, ...
+  kString,      // string literal, raw or cooked, prefix included
+  kCharLit,     // character literal
+  kPunct,       // one operator/punctuator ("::", "->", "(", ...)
+  kComment,     // one whole comment, // or /* */
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;          // spelling; comments/strings carry full text
+  size_t line = 0;           // 1-based line where the token starts
+  bool in_preprocessor = false;  // token lies inside a # directive
+};
+
+struct LexedFile {
+  std::string path;
+  // Physical source lines, exactly as read (no splicing) — waiver comments
+  // (`webcc-lint: allow(...)`) are matched against these.
+  std::vector<std::string> raw_lines;
+  // Per physical line: code with comments and literal bodies blanked to
+  // spaces, columns preserved. Quote characters themselves are blanked too.
+  std::vector<std::string> code_lines;
+  // All tokens in source order, comments included.
+  std::vector<Token> tokens;
+  // Targets of `#include "..."` directives, in order, with their lines.
+  std::vector<std::string> includes;
+  std::vector<size_t> include_lines;
+};
+
+// Tokenizes `source`. Never fails: unterminated constructs are closed at end
+// of file (the analyzer is a linter, not a compiler front end).
+LexedFile Lex(const SourceFile& source);
+
+}  // namespace webcc::analyze
+
+#endif  // WEBCC_TOOLS_ANALYZE_LEXER_H_

@@ -1,0 +1,410 @@
+#include "tools/analyze/rules.h"
+
+#include <cstddef>
+#include <regex>
+#include <set>
+#include <string>
+#include <utility>
+
+namespace webcc::analyze {
+namespace {
+
+bool PathContains(const std::string& path, const char* needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+bool LineAllows(const std::string& raw_line, const std::string& rule) {
+  const std::string marker = "webcc-lint: allow(" + rule + ")";
+  return raw_line.find(marker) != std::string::npos;
+}
+
+// `webcc-lint: allow-file(<rule>)` — one named rule per directive, so a file
+// cannot opt out of everything at once.
+std::set<std::string> CollectFileAllows(const std::vector<std::string>& raw_lines) {
+  static const std::regex* directive =
+      new std::regex(R"(webcc-lint:\s*allow-file\(([a-z-]+)\))");
+  std::set<std::string> rules;
+  for (const std::string& line : raw_lines) {
+    for (std::sregex_iterator it(line.begin(), line.end(), *directive), end; it != end;
+         ++it) {
+      rules.insert((*it)[1].str());
+    }
+  }
+  return rules;
+}
+
+// --- Scope predicates (shared by both rule families) ------------------------
+
+bool AppliesOutsideRng(const std::string& path) { return !PathContains(path, "util/rng."); }
+bool AppliesOutsideSimTime(const std::string& path) {
+  return !PathContains(path, "util/sim_time.");
+}
+bool AppliesToHotPaths(const std::string& path) {
+  return PathContains(path, "sim/") || PathContains(path, "cache/");
+}
+bool AppliesToStatsCode(const std::string& path) {
+  return PathContains(path, "stats") || PathContains(path, "metrics");
+}
+bool AppliesOutsideBench(const std::string& path) { return !PathContains(path, "bench/"); }
+bool AppliesToUpstreamCode(const std::string& path) {
+  return PathContains(path, "cache/") || PathContains(path, "origin/");
+}
+bool AppliesToChaosCode(const std::string& path) { return PathContains(path, "chaos/"); }
+bool AppliesToThreadPool(const std::string& path) {
+  return PathContains(path, "util/thread_pool");
+}
+
+// --- Per-file emission with waiver handling ---------------------------------
+
+class FileSink {
+ public:
+  FileSink(const LexedFile& file, std::vector<Finding>* out)
+      : file_(file), allows_(CollectFileAllows(file.raw_lines)), out_(out) {}
+
+  bool FileAllows(const std::string& rule) const { return allows_.count(rule) != 0; }
+
+  // Emits at most one finding per (rule, line): a line with two hits of the
+  // same rule reads as one diagnostic, same as the regex engine did.
+  void Emit(size_t line, const std::string& rule, const std::string& message) {
+    if (FileAllows(rule)) {
+      return;
+    }
+    if (line >= 1 && line <= file_.raw_lines.size() &&
+        LineAllows(file_.raw_lines[line - 1], rule)) {
+      return;
+    }
+    if (!emitted_.insert({rule, line}).second) {
+      return;
+    }
+    out_->push_back(Finding{file_.path, line, rule, message});
+  }
+
+ private:
+  const LexedFile& file_;
+  std::set<std::string> allows_;
+  std::set<std::pair<std::string, size_t>> emitted_;
+  std::vector<Finding>* out_;
+};
+
+// --- Token rules ------------------------------------------------------------
+
+bool IsBannedCRandom(const std::string& t) {
+  return t == "rand" || t == "srand" || t == "random" || t == "drand48" ||
+         t == "lrand48" || t == "mrand48";
+}
+
+// std:: engines and the distributions that stay under banned-random. The
+// uniform_*/normal distributions moved to their own std-distribution rule
+// (different fix: use the seeded helpers on webcc::Rng, not "move the code
+// into util/rng.*").
+bool IsBannedStdRandom(const std::string& t) {
+  return t == "mt19937" || t == "mt19937_64" || t == "minstd_rand" ||
+         t == "minstd_rand0" || t == "random_device" || t == "default_random_engine" ||
+         t == "knuth_b" || t.rfind("ranlux", 0) == 0 || t == "bernoulli_distribution" ||
+         t == "discrete_distribution";
+}
+
+bool IsStdDistribution(const std::string& t) {
+  return t == "uniform_int_distribution" || t == "uniform_real_distribution" ||
+         t == "normal_distribution";
+}
+
+bool IsMutexType(const std::string& t) {
+  return t == "mutex" || t == "shared_mutex" || t == "recursive_mutex" ||
+         t == "timed_mutex" || t == "recursive_timed_mutex";
+}
+
+bool IsWallclockChronoClock(const std::string& t) {
+  return t == "system_clock" || t == "steady_clock" || t == "high_resolution_clock";
+}
+
+constexpr const char* kBannedRandomMsg =
+    "randomness outside src/util/rng.* breaks seed-exact reproducibility; draw from "
+    "webcc::Rng instead";
+constexpr const char* kBannedWallclockMsg =
+    "simulated code must read SimTime, never the host clock";
+constexpr const char* kBareAssertMsg =
+    "use WEBCC_CHECK (src/util/check.h): always-on and prints operand values";
+constexpr const char* kOracleBypassMsg =
+    "catching in src/chaos/ can swallow an OracleViolation; violations must propagate "
+    "to ProbeTrial, the one sanctioned catch site";
+constexpr const char* kStdDistributionMsg =
+    "std::*_distribution output is libstdc++-version-dependent and breaks "
+    "cross-compiler determinism; use the seeded helpers on webcc::Rng "
+    "(UniformInt/UniformDouble/Normal)";
+constexpr const char* kDiscardedParseMsg =
+    "statement discards the result of a Parse*/Load* call; these report failure via "
+    "their return value — check it or assign it to a named variable";
+constexpr const char* kUnannotatedMutexMsg =
+    "mutex member without a lock-coverage annotation; add a trailing "
+    "'// guards: <fields>' (or GUARDED_BY) comment so reviewers can check "
+    "every access site";
+
+void RunTokenRules(const LexedFile& file, FileSink* sink) {
+  const std::string& path = file.path;
+
+  // Significant tokens only: comments out, preprocessor membership kept.
+  std::vector<const Token*> sig;
+  sig.reserve(file.tokens.size());
+  for (const Token& t : file.tokens) {
+    if (t.kind != TokenKind::kComment) {
+      sig.push_back(&t);
+    }
+  }
+
+  const auto text = [&](size_t i) -> const std::string& {
+    static const std::string empty;
+    return i < sig.size() ? sig[i]->text : empty;
+  };
+  const auto is_ident = [&](size_t i) {
+    return i < sig.size() && sig[i]->kind == TokenKind::kIdentifier;
+  };
+  const auto is_punct = [&](size_t i, const char* p) {
+    return i < sig.size() && sig[i]->kind == TokenKind::kPunct && sig[i]->text == p;
+  };
+
+  const bool outside_rng = AppliesOutsideRng(path);
+  const bool outside_bench = AppliesOutsideBench(path);
+  const bool chaos = AppliesToChaosCode(path);
+  const bool thread_pool = AppliesToThreadPool(path);
+
+  for (size_t i = 0; i < sig.size(); ++i) {
+    if (!is_ident(i)) {
+      continue;
+    }
+    const std::string& t = sig[i]->text;
+    const size_t line = sig[i]->line;
+    const bool after_scope = i >= 2 && text(i - 2) == "std" && is_punct(i - 1, "::");
+
+    // banned-random: C library calls need a call paren; std:: engine names
+    // are banned on sight (declaring one is already the bug).
+    if (outside_rng) {
+      if (IsBannedCRandom(t) && is_punct(i + 1, "(")) {
+        sink->Emit(line, "banned-random", kBannedRandomMsg);
+      }
+      if (after_scope && IsBannedStdRandom(t)) {
+        sink->Emit(sig[i - 2]->line, "banned-random", kBannedRandomMsg);
+      }
+    }
+
+    // std-distribution applies everywhere, src/util/rng.* included — the
+    // project's Rng implements its own draws precisely so no std
+    // distribution ever runs.
+    if (after_scope && IsStdDistribution(t)) {
+      sink->Emit(sig[i - 2]->line, "std-distribution", kStdDistributionMsg);
+    }
+
+    // banned-wallclock.
+    if (t == "time" && is_punct(i + 1, "(")) {
+      if (after_scope) {
+        sink->Emit(sig[i - 2]->line, "banned-wallclock", kBannedWallclockMsg);
+      } else if ((text(i + 2) == "NULL" || text(i + 2) == "nullptr" ||
+                  text(i + 2) == "0") &&
+                 is_punct(i + 3, ")")) {
+        sink->Emit(line, "banned-wallclock", kBannedWallclockMsg);
+      }
+    }
+    if ((t == "gettimeofday" || t == "clock_gettime") && is_punct(i + 1, "(")) {
+      sink->Emit(line, "banned-wallclock", kBannedWallclockMsg);
+    }
+    if (t == "clock" && is_punct(i + 1, "(") && is_punct(i + 2, ")")) {
+      sink->Emit(line, "banned-wallclock", kBannedWallclockMsg);
+    }
+    if (t == "chrono" && after_scope && is_punct(i + 1, "::") &&
+        IsWallclockChronoClock(text(i + 2))) {
+      sink->Emit(sig[i - 2]->line, "banned-wallclock", kBannedWallclockMsg);
+    }
+
+    // bare-assert.
+    if (outside_bench && t == "assert" && is_punct(i + 1, "(")) {
+      sink->Emit(line, "bare-assert", kBareAssertMsg);
+    }
+
+    // oracle-bypass.
+    if (chaos && t == "catch" && is_punct(i + 1, "(")) {
+      sink->Emit(line, "oracle-bypass", kOracleBypassMsg);
+    }
+
+    // discarded-parse-result: a statement that *begins* with a Parse*/Load*
+    // call discards its result. "Begins" = the previous non-preprocessor
+    // token is `;`, `{`, `}`, or there is none. Returns, assignments,
+    // conditions, member calls, and declarations all prefix the name with
+    // something else and are not matched.
+    if (!sig[i]->in_preprocessor &&
+        (t.rfind("Parse", 0) == 0 || t.rfind("Load", 0) == 0) && is_punct(i + 1, "(")) {
+      size_t j = i;
+      bool statement_initial = false;
+      while (true) {
+        if (j == 0) {
+          statement_initial = true;
+          break;
+        }
+        --j;
+        if (sig[j]->in_preprocessor) {
+          continue;  // directives do not terminate or continue a statement
+        }
+        statement_initial = sig[j]->kind == TokenKind::kPunct &&
+                            (sig[j]->text == ";" || sig[j]->text == "{" ||
+                             sig[j]->text == "}");
+        break;
+      }
+      if (statement_initial) {
+        sink->Emit(line, "discarded-parse-result", kDiscardedParseMsg);
+      }
+    }
+
+    // unannotated-mutex: `std::mutex name_;` members in util/thread_pool
+    // must carry a guards:/GUARDED_BY comment on the same or previous line.
+    if (thread_pool && after_scope && IsMutexType(t) && is_ident(i + 1) &&
+        is_punct(i + 2, ";")) {
+      bool annotated = false;
+      for (size_t back = 0; back < 2; ++back) {
+        const size_t decl_line = sig[i + 1]->line;
+        if (decl_line >= back + 1 && decl_line - back <= file.raw_lines.size()) {
+          const std::string& raw = file.raw_lines[decl_line - back - 1];
+          if (raw.find("guards:") != std::string::npos ||
+              raw.find("GUARDED_BY") != std::string::npos) {
+            annotated = true;
+            break;
+          }
+        }
+      }
+      if (!annotated) {
+        sink->Emit(sig[i - 2]->line, "unannotated-mutex", kUnannotatedMutexMsg);
+      }
+    }
+  }
+}
+
+// --- Line rules (legacy regexes over the blanked code view) -----------------
+
+struct LineRule {
+  std::string name;
+  std::regex pattern;
+  std::string message;
+  bool (*applies)(const std::string& path);
+  const char* exempt_match_substring = nullptr;
+};
+
+const std::vector<LineRule>& LineRules() {
+  static const std::vector<LineRule>* rules = new std::vector<LineRule>{
+      {"raw-seconds-param",
+       std::regex(R"(\b(int|int32_t|int64_t|uint32_t|uint64_t|long|size_t|double|float)\s+)"
+                  R"(\w*sec(ond)?s?\w*\s*[,)])"),
+       "spans of simulated time take SimDuration, not raw numeric seconds",
+       AppliesOutsideSimTime,
+       "per_sec"},
+      {"float-equality",
+       std::regex(R"([=!]=\s*[-+]?\d+\.\d*|\d+\.\d*\s*[=!]=|)"
+                  R"(\.(mean|variance|stddev)\(\)\s*[=!]=|[=!]=\s*\w+\.(mean|variance|stddev)\(\))"),
+       "exact ==/!= on accumulated doubles is a latent flake; compare with a tolerance",
+       AppliesToStatsCode},
+      {"unbounded-retry",
+       std::regex(R"(\bwhile\s*\(\s*(true|1)\s*\)|\bfor\s*\(\s*;\s*;\s*\))"),
+       "retry loops in cache/origin code must be bounded by RetryPolicy.max_attempts; an "
+       "unreachable origin would spin this forever",
+       AppliesToUpstreamCode},
+      {"ignored-upstream-error",
+       std::regex(R"(^\s*[\w.>-]*(FetchFull|FetchIfModified|HandleGet|HandleConditionalGet|)"
+                  R"(DeliverInvalidation)\s*\()"),
+       "this upstream call reports failure via its return value; dropping it silently "
+       "swallows a faulted exchange — check ok/attempts or cast through a named variable",
+       AppliesToUpstreamCode},
+  };
+  return *rules;
+}
+
+void RunLineRules(const LexedFile& file, FileSink* sink) {
+  for (const LineRule& rule : LineRules()) {
+    if (!rule.applies(file.path)) {
+      continue;
+    }
+    for (size_t i = 0; i < file.code_lines.size(); ++i) {
+      std::smatch m;
+      if (!std::regex_search(file.code_lines[i], m, rule.pattern)) {
+        continue;
+      }
+      if (rule.exempt_match_substring != nullptr &&
+          m.str().find(rule.exempt_match_substring) != std::string::npos) {
+        continue;
+      }
+      sink->Emit(i + 1, rule.name, rule.message);
+    }
+  }
+}
+
+// unordered-iteration needs two passes over the whole scan unit: containers
+// are typically declared in a header and iterated in the matching .cc file.
+const std::regex& UnorderedDeclPattern() {
+  static const std::regex* re =
+      new std::regex(R"(\bstd::unordered_(map|set|multimap|multiset)<.*>\s+(\w+)\s*[;={])");
+  return *re;
+}
+const std::regex& RangeForPattern() {
+  static const std::regex* re = new std::regex(R"(\bfor\s*\([^;)]*:\s*(\w+)\s*\))");
+  return *re;
+}
+const std::regex& BeginWalkPattern() {
+  static const std::regex* re = new std::regex(R"(=\s*(\w+)\.c?begin\s*\()");
+  return *re;
+}
+
+void RunUnorderedIteration(const std::vector<LexedFile>& files,
+                           std::vector<FileSink>* sinks) {
+  std::set<std::string> unordered_names;
+  for (const LexedFile& file : files) {
+    for (const std::string& line : file.code_lines) {
+      for (std::sregex_iterator it(line.begin(), line.end(), UnorderedDeclPattern()), end;
+           it != end; ++it) {
+        unordered_names.insert((*it)[2].str());
+      }
+    }
+  }
+  if (unordered_names.empty()) {
+    return;
+  }
+  for (size_t f = 0; f < files.size(); ++f) {
+    const LexedFile& file = files[f];
+    if (!AppliesToHotPaths(file.path)) {
+      continue;
+    }
+    for (size_t i = 0; i < file.code_lines.size(); ++i) {
+      const std::string& line = file.code_lines[i];
+      std::string hit;
+      std::smatch m;
+      if (std::regex_search(line, m, RangeForPattern()) && unordered_names.count(m[1].str())) {
+        hit = m[1].str();
+      } else if (std::regex_search(line, m, BeginWalkPattern()) &&
+                 unordered_names.count(m[1].str())) {
+        hit = m[1].str();
+      }
+      if (hit.empty()) {
+        continue;
+      }
+      (*sinks)[f].Emit(i + 1, "unordered-iteration",
+                       "iterating '" + hit +
+                           "' (std::unordered_*) in a sim/cache hot path feeds "
+                           "hash-order into event order; iterate a sorted view or keep a "
+                           "side list");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> RunLintRules(const std::vector<LexedFile>& files) {
+  std::vector<Finding> findings;
+  std::vector<FileSink> sinks;
+  sinks.reserve(files.size());
+  for (const LexedFile& file : files) {
+    sinks.emplace_back(file, &findings);
+  }
+  for (size_t f = 0; f < files.size(); ++f) {
+    RunTokenRules(files[f], &sinks[f]);
+    RunLineRules(files[f], &sinks[f]);
+  }
+  RunUnorderedIteration(files, &sinks);
+  return findings;
+}
+
+}  // namespace webcc::analyze

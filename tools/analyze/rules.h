@@ -1,0 +1,42 @@
+// Pass 1 rules of webcc-analyze: determinism/correctness lint over lexed
+// source.
+//
+// Two rule families share the LexedFile input:
+//
+//   * Token rules walk the token stream (comments excluded, string/char
+//     literal *contents* excluded by construction), so they cannot match
+//     inside text. These cover the identifier-shaped hazards: banned-random,
+//     banned-wallclock, bare-assert, oracle-bypass, and the three rules new
+//     in webcc-analyze — std-distribution, discarded-parse-result,
+//     unannotated-mutex.
+//
+//   * Line rules run the original webcc-lint regexes against the lexer's
+//     blanked code_lines view (comments/literals already removed), keeping
+//     the structural rules — raw-seconds-param, float-equality,
+//     unbounded-retry, ignored-upstream-error, unordered-iteration —
+//     behavior-identical to the fixture corpus they were tuned on.
+//
+// Waivers are honored exactly as before: `webcc-lint: allow(<rule>)` on the
+// offending line, or `webcc-lint: allow-file(<rule>)` anywhere in the file
+// (one named rule per directive). Waiver comments are matched against the
+// raw source lines, so a waiver inside a comment works and a waiver inside a
+// string literal also works — that has always been the deal.
+
+#ifndef WEBCC_TOOLS_ANALYZE_RULES_H_
+#define WEBCC_TOOLS_ANALYZE_RULES_H_
+
+#include <vector>
+
+#include "tools/analyze/lexer.h"
+#include "tools/analyze/source.h"
+
+namespace webcc::analyze {
+
+// Runs every lint rule over `files` as one scan unit (unordered-iteration
+// matches containers declared in one file against loops in another).
+// Findings are unsorted; the orchestrator sorts.
+std::vector<Finding> RunLintRules(const std::vector<LexedFile>& files);
+
+}  // namespace webcc::analyze
+
+#endif  // WEBCC_TOOLS_ANALYZE_RULES_H_

@@ -1,0 +1,106 @@
+#include "tools/analyze/sarif.h"
+
+#include <set>
+#include <sstream>
+
+#include "tools/analyze/layers.h"
+
+namespace webcc::analyze {
+namespace {
+
+// JSON string escaping per RFC 8259: backslash, quote, and control chars.
+// Non-ASCII bytes pass through as UTF-8.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderSarif(const std::vector<Finding>& findings) {
+  std::set<std::string> rule_ids;
+  for (const Finding& f : findings) {
+    rule_ids.insert(f.rule);
+  }
+
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  out << "  \"version\": \"2.1.0\",\n";
+  out << "  \"runs\": [\n";
+  out << "    {\n";
+  out << "      \"tool\": {\n";
+  out << "        \"driver\": {\n";
+  out << "          \"name\": \"webcc-analyze\",\n";
+  out << "          \"informationUri\": \"docs/STATIC_ANALYSIS.md\",\n";
+  out << "          \"rules\": [";
+  bool first = true;
+  for (const std::string& id : rule_ids) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "            { \"id\": \"" << JsonEscape(id) << "\" }";
+  }
+  out << (rule_ids.empty() ? "]\n" : "\n          ]\n");
+  out << "        }\n";
+  out << "      },\n";
+  out << "      \"results\": [";
+  first = true;
+  for (const Finding& f : findings) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "        {\n";
+    out << "          \"ruleId\": \"" << JsonEscape(f.rule) << "\",\n";
+    out << "          \"level\": \"error\",\n";
+    out << "          \"message\": { \"text\": \"" << JsonEscape(f.message) << "\" },\n";
+    out << "          \"locations\": [\n";
+    out << "            {\n";
+    out << "              \"physicalLocation\": {\n";
+    out << "                \"artifactLocation\": { \"uri\": \""
+        << JsonEscape(RepoRelative(f.file)) << "\" }";
+    if (f.line > 0) {
+      out << ",\n                \"region\": { \"startLine\": " << f.line << " }\n";
+    } else {
+      out << "\n";
+    }
+    out << "              }\n";
+    out << "            }\n";
+    out << "          ]\n";
+    out << "        }";
+  }
+  out << (findings.empty() ? "]\n" : "\n      ]\n");
+  out << "    }\n";
+  out << "  ]\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace webcc::analyze

@@ -1,0 +1,27 @@
+// Pass 3 of webcc-analyze: SARIF 2.1.0 output.
+//
+// CI uploads this JSON so code hosts can annotate PR diffs with findings.
+// The writer is hand-rolled and deterministic: findings are emitted in the
+// order given (the orchestrator sorts them), the rule table is the sorted
+// set of rule ids that actually fired, and object keys are in a fixed order
+// — identical findings always produce byte-identical JSON, which lets a
+// golden-file test pin the format.
+
+#ifndef WEBCC_TOOLS_ANALYZE_SARIF_H_
+#define WEBCC_TOOLS_ANALYZE_SARIF_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/analyze/source.h"
+
+namespace webcc::analyze {
+
+// Renders the findings as a complete SARIF 2.1.0 document. Paths are
+// normalized to repo-relative URIs. Findings with line 0 (whole-file
+// configuration/IO errors) carry no region.
+std::string RenderSarif(const std::vector<Finding>& findings);
+
+}  // namespace webcc::analyze
+
+#endif  // WEBCC_TOOLS_ANALYZE_SARIF_H_

@@ -1,0 +1,34 @@
+// Shared input/output types for webcc-analyze (tools/analyze/).
+//
+// The analyzer is deliberately standalone — no dependency on the webcc
+// libraries or on libclang — so it builds and runs even while the tree it
+// analyzes is broken. Everything in tools/analyze/ speaks in terms of these
+// two structs: a SourceFile in, Findings out.
+
+#ifndef WEBCC_TOOLS_ANALYZE_SOURCE_H_
+#define WEBCC_TOOLS_ANALYZE_SOURCE_H_
+
+#include <string>
+
+namespace webcc::analyze {
+
+// One file's worth of already-read source. `path` is used for rule scoping
+// (substring matches such as "src/util/rng.") and for module extraction in
+// the layer pass; separators are expected to be '/'.
+struct SourceFile {
+  std::string path;
+  std::string contents;
+};
+
+// One diagnostic. Rendered as `file:line: [rule] message` and as one SARIF
+// result. `line` is 1-based; 0 means "whole file" (I/O and config errors).
+struct Finding {
+  std::string file;
+  size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+}  // namespace webcc::analyze
+
+#endif  // WEBCC_TOOLS_ANALYZE_SOURCE_H_

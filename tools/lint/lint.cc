@@ -1,384 +1,53 @@
+// webcc-lint is now a thin compatibility wrapper over the webcc-analyze
+// engine (tools/analyze/). The public API, the output format, the waiver
+// syntax, and the rule names are unchanged; the regex line-scanner that used
+// to live here was replaced by the token-level pass-1 rules, which match the
+// old engine on the fixture corpus while no longer false-positing inside
+// raw strings and multi-line literals. The layer and baseline passes are
+// webcc-analyze-only — this entry point runs pass 1 alone, exactly the
+// contract `ctest -R lint.tree` has always had.
+
 #include "tools/lint/lint.h"
 
-#include <algorithm>
-#include <filesystem>
-#include <fstream>
 #include <ostream>
-#include <regex>
-#include <set>
-#include <sstream>
-#include <string>
+
+#include "tools/analyze/analyze.h"
 
 namespace webcc::lint {
 namespace {
 
-namespace fs = std::filesystem;
-
-// --- Source preprocessing -------------------------------------------------
-//
-// Rules match against a "stripped" copy of each line in which comments,
-// string literals, and char literals are blanked out (replaced by spaces, so
-// column positions survive). Suppression comments are read from the raw line.
-
-struct PreparedFile {
-  const SourceFile* source = nullptr;
-  std::vector<std::string> raw_lines;
-  std::vector<std::string> stripped_lines;
-  // Rules waived for the whole file via `// webcc-lint: allow-file(<rule>)`.
-  std::set<std::string> file_allowed_rules;
-};
-
-std::vector<std::string> SplitLines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string current;
-  for (char c : text) {
-    if (c == '\n') {
-      lines.push_back(current);
-      current.clear();
-    } else {
-      current.push_back(c);
-    }
-  }
-  if (!current.empty()) {
-    lines.push_back(current);
-  }
-  return lines;
+Violation FromFinding(const analyze::Finding& finding) {
+  Violation v;
+  v.file = finding.file;
+  v.line = finding.line;
+  // The engine reports its own I/O failures under its own name.
+  v.rule = finding.rule == "analyze-io" ? "lint-io" : finding.rule;
+  v.message = finding.message;
+  return v;
 }
 
-// Blanks comments and literals. A deliberately small state machine: raw
-// string literals are treated as ordinary strings, which is fine for a lint
-// that only needs to avoid false positives inside text.
-std::vector<std::string> StripLines(const std::vector<std::string>& raw) {
-  enum class State { kCode, kBlockComment, kString, kChar };
-  State state = State::kCode;
-  std::vector<std::string> out;
-  out.reserve(raw.size());
-  for (const std::string& line : raw) {
-    std::string stripped(line.size(), ' ');
-    for (size_t i = 0; i < line.size(); ++i) {
-      const char c = line[i];
-      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
-      switch (state) {
-        case State::kCode:
-          if (c == '/' && next == '/') {
-            i = line.size();  // rest of line is comment
-          } else if (c == '/' && next == '*') {
-            state = State::kBlockComment;
-            ++i;
-          } else if (c == '"') {
-            state = State::kString;
-            stripped[i] = '"';
-          } else if (c == '\'') {
-            state = State::kChar;
-            stripped[i] = '\'';
-          } else {
-            stripped[i] = c;
-          }
-          break;
-        case State::kBlockComment:
-          if (c == '*' && next == '/') {
-            state = State::kCode;
-            ++i;
-          }
-          break;
-        case State::kString:
-          if (c == '\\') {
-            ++i;
-          } else if (c == '"') {
-            state = State::kCode;
-            stripped[i] = '"';
-          }
-          break;
-        case State::kChar:
-          if (c == '\\') {
-            ++i;
-          } else if (c == '\'') {
-            state = State::kCode;
-            stripped[i] = '\'';
-          }
-          break;
-      }
-    }
-    // An unterminated string at end of line is almost certainly a macro
-    // continuation; reset so one odd line cannot blank the rest of the file.
-    if (state == State::kString || state == State::kChar) {
-      state = State::kCode;
-    }
-    out.push_back(std::move(stripped));
+std::vector<Violation> FromFindings(const std::vector<analyze::Finding>& findings) {
+  std::vector<Violation> out;
+  out.reserve(findings.size());
+  for (const analyze::Finding& f : findings) {
+    out.push_back(FromFinding(f));
   }
   return out;
-}
-
-bool PathContains(const std::string& path, const char* needle) {
-  return path.find(needle) != std::string::npos;
-}
-
-bool LineAllows(const std::string& raw_line, const std::string& rule) {
-  const std::string marker = "webcc-lint: allow(" + rule + ")";
-  return raw_line.find(marker) != std::string::npos;
-}
-
-// Collects `webcc-lint: allow-file(<rule>)` directives — the scoped waiver
-// for files whose whole purpose conflicts with one rule (e.g. the bench
-// timing harness measures host wall time). The directive names exactly one
-// rule per occurrence, so a file opting out of everything stays impossible.
-std::set<std::string> CollectFileAllows(const std::vector<std::string>& raw_lines) {
-  static const std::regex* directive =
-      new std::regex(R"(webcc-lint:\s*allow-file\(([a-z-]+)\))");
-  std::set<std::string> rules;
-  for (const std::string& line : raw_lines) {
-    for (std::sregex_iterator it(line.begin(), line.end(), *directive), end; it != end;
-         ++it) {
-      rules.insert((*it)[1].str());
-    }
-  }
-  return rules;
-}
-
-// --- Rules ----------------------------------------------------------------
-
-struct Rule {
-  std::string name;
-  std::regex pattern;
-  std::string message;
-  // Returns true if the rule applies to this file at all.
-  bool (*applies)(const std::string& path);
-  // If set, a match whose text contains this substring is not a violation
-  // (e.g. `requests_per_second` is a rate, not a time span).
-  const char* exempt_match_substring = nullptr;
-};
-
-bool AppliesEverywhere(const std::string&) { return true; }
-
-bool AppliesOutsideRng(const std::string& path) { return !PathContains(path, "util/rng."); }
-
-bool AppliesOutsideSimTime(const std::string& path) {
-  return !PathContains(path, "util/sim_time.");
-}
-
-bool AppliesToHotPaths(const std::string& path) {
-  return PathContains(path, "sim/") || PathContains(path, "cache/");
-}
-
-bool AppliesToStatsCode(const std::string& path) {
-  return PathContains(path, "stats") || PathContains(path, "metrics");
-}
-
-bool AppliesOutsideBench(const std::string& path) { return !PathContains(path, "bench/"); }
-
-// The fault-tolerant upstream/invalidation paths live in cache/ and origin/.
-bool AppliesToUpstreamCode(const std::string& path) {
-  return PathContains(path, "cache/") || PathContains(path, "origin/");
-}
-
-// The chaos harness's oracle reports violations by throwing; swallowing one
-// anywhere in src/chaos/ would turn a failed invariant into a silent pass.
-bool AppliesToChaosCode(const std::string& path) { return PathContains(path, "chaos/"); }
-
-const std::vector<Rule>& Rules() {
-  static const std::vector<Rule>* rules = new std::vector<Rule>{
-      {"banned-random",
-       std::regex(R"(\b(rand|srand|random|drand48|lrand48|mrand48)\s*\(|)"
-                  R"(std::(mt19937(_64)?|minstd_rand0?|random_device|default_random_engine|)"
-                  R"(knuth_b|ranlux\w+|uniform_int_distribution|uniform_real_distribution|)"
-                  R"(normal_distribution|bernoulli_distribution|discrete_distribution))"),
-       "randomness outside src/util/rng.* breaks seed-exact reproducibility; draw from "
-       "webcc::Rng instead",
-       AppliesOutsideRng},
-      {"banned-wallclock",
-       std::regex(R"(\bstd::time\s*\(|\btime\s*\(\s*(NULL|nullptr|0)\s*\)|\bgettimeofday\s*\(|)"
-                  R"(\bclock_gettime\s*\(|\bclock\s*\(\s*\)|)"
-                  R"(std::chrono::(system_clock|steady_clock|high_resolution_clock))"),
-       "simulated code must read SimTime, never the host clock",
-       AppliesEverywhere},
-      {"raw-seconds-param",
-       std::regex(R"(\b(int|int32_t|int64_t|uint32_t|uint64_t|long|size_t|double|float)\s+)"
-                  R"(\w*sec(ond)?s?\w*\s*[,)])"),
-       "spans of simulated time take SimDuration, not raw numeric seconds",
-       AppliesOutsideSimTime,
-       "per_sec"},
-      {"float-equality",
-       std::regex(R"([=!]=\s*[-+]?\d+\.\d*|\d+\.\d*\s*[=!]=|)"
-                  R"(\.(mean|variance|stddev)\(\)\s*[=!]=|[=!]=\s*\w+\.(mean|variance|stddev)\(\))"),
-       "exact ==/!= on accumulated doubles is a latent flake; compare with a tolerance",
-       AppliesToStatsCode},
-      {"bare-assert",
-       std::regex(R"(\bassert\s*\()"),
-       "use WEBCC_CHECK (src/util/check.h): always-on and prints operand values",
-       AppliesOutsideBench},
-      {"unbounded-retry",
-       std::regex(R"(\bwhile\s*\(\s*(true|1)\s*\)|\bfor\s*\(\s*;\s*;\s*\))"),
-       "retry loops in cache/origin code must be bounded by RetryPolicy.max_attempts; an "
-       "unreachable origin would spin this forever",
-       AppliesToUpstreamCode},
-      // A statement that *begins* with one of the fallible upstream calls
-      // discards its result. Conditions, assignments, and returns all prefix
-      // the call with something else and are not matched.
-      {"ignored-upstream-error",
-       std::regex(R"(^\s*[\w.>-]*(FetchFull|FetchIfModified|HandleGet|HandleConditionalGet|)"
-                  R"(DeliverInvalidation)\s*\()"),
-       "this upstream call reports failure via its return value; dropping it silently "
-       "swallows a faulted exchange — check ok/attempts or cast through a named variable",
-       AppliesToUpstreamCode},
-      // Any catch in chaos code can swallow an OracleViolation (including
-      // catch(...) and catch by base), turning a failed consistency invariant
-      // into a silent pass. The single sanctioned conversion site is
-      // ProbeTrial in src/chaos/shrinker.cc, which carries the allow marker.
-      {"oracle-bypass",
-       std::regex(R"(\bcatch\s*\()"),
-       "catching in src/chaos/ can swallow an OracleViolation; violations must propagate "
-       "to ProbeTrial, the one sanctioned catch site",
-       AppliesToChaosCode},
-  };
-  return *rules;
-}
-
-// Single-line declarations of unordered containers, e.g.
-//   std::unordered_map<ObjectId, Slot> entries_;
-const std::regex& UnorderedDeclPattern() {
-  static const std::regex* re =
-      new std::regex(R"(\bstd::unordered_(map|set|multimap|multiset)<.*>\s+(\w+)\s*[;={])");
-  return *re;
-}
-
-// Range-for over a name, and iterator-walk via name.begin()/cbegin().
-const std::regex& RangeForPattern() {
-  static const std::regex* re = new std::regex(R"(\bfor\s*\([^;)]*:\s*(\w+)\s*\))");
-  return *re;
-}
-const std::regex& BeginWalkPattern() {
-  static const std::regex* re = new std::regex(R"(=\s*(\w+)\.c?begin\s*\()");
-  return *re;
-}
-
-void LintFileRules(const PreparedFile& file, std::vector<Violation>* out) {
-  const std::string& path = file.source->path;
-  for (const Rule& rule : Rules()) {
-    if (!rule.applies(path) || file.file_allowed_rules.count(rule.name) != 0) {
-      continue;
-    }
-    for (size_t i = 0; i < file.stripped_lines.size(); ++i) {
-      std::smatch m;
-      if (!std::regex_search(file.stripped_lines[i], m, rule.pattern)) {
-        continue;
-      }
-      if (rule.exempt_match_substring != nullptr &&
-          m.str().find(rule.exempt_match_substring) != std::string::npos) {
-        continue;
-      }
-      if (LineAllows(file.raw_lines[i], rule.name)) {
-        continue;
-      }
-      out->push_back(Violation{path, i + 1, rule.name, rule.message});
-    }
-  }
-}
-
-// The unordered-iteration rule needs two passes over the whole scan unit:
-// containers are typically declared in a header and iterated in the matching
-// .cc file, so names are collected globally first.
-void LintUnorderedIteration(const std::vector<PreparedFile>& files, std::vector<Violation>* out) {
-  std::set<std::string> unordered_names;
-  for (const PreparedFile& file : files) {
-    for (const std::string& line : file.stripped_lines) {
-      for (std::sregex_iterator it(line.begin(), line.end(), UnorderedDeclPattern()), end;
-           it != end; ++it) {
-        unordered_names.insert((*it)[2].str());
-      }
-    }
-  }
-  if (unordered_names.empty()) {
-    return;
-  }
-  const std::string rule = "unordered-iteration";
-  for (const PreparedFile& file : files) {
-    if (!AppliesToHotPaths(file.source->path) || file.file_allowed_rules.count(rule) != 0) {
-      continue;
-    }
-    for (size_t i = 0; i < file.stripped_lines.size(); ++i) {
-      const std::string& line = file.stripped_lines[i];
-      std::string hit;
-      std::smatch m;
-      if (std::regex_search(line, m, RangeForPattern()) && unordered_names.count(m[1].str())) {
-        hit = m[1].str();
-      } else if (std::regex_search(line, m, BeginWalkPattern()) &&
-                 unordered_names.count(m[1].str())) {
-        hit = m[1].str();
-      }
-      if (hit.empty() || LineAllows(file.raw_lines[i], rule)) {
-        continue;
-      }
-      out->push_back(Violation{
-          file.source->path, i + 1, rule,
-          "iterating '" + hit + "' (std::unordered_*) in a sim/cache hot path feeds "
-          "hash-order into event order; iterate a sorted view or keep a side list"});
-    }
-  }
 }
 
 }  // namespace
 
 std::vector<Violation> LintSources(const std::vector<SourceFile>& sources) {
-  std::vector<PreparedFile> prepared;
-  prepared.reserve(sources.size());
-  for (const SourceFile& source : sources) {
-    PreparedFile p;
-    p.source = &source;
-    p.raw_lines = SplitLines(source.contents);
-    p.stripped_lines = StripLines(p.raw_lines);
-    p.file_allowed_rules = CollectFileAllows(p.raw_lines);
-    prepared.push_back(std::move(p));
+  std::vector<analyze::SourceFile> converted;
+  converted.reserve(sources.size());
+  for (const SourceFile& s : sources) {
+    converted.push_back(analyze::SourceFile{s.path, s.contents});
   }
-  std::vector<Violation> violations;
-  for (const PreparedFile& file : prepared) {
-    LintFileRules(file, &violations);
-  }
-  LintUnorderedIteration(prepared, &violations);
-  std::sort(violations.begin(), violations.end(), [](const Violation& a, const Violation& b) {
-    if (a.file != b.file) return a.file < b.file;
-    if (a.line != b.line) return a.line < b.line;
-    return a.rule < b.rule;
-  });
-  return violations;
+  return FromFindings(analyze::AnalyzeSources(converted, analyze::AnalyzeConfig{}));
 }
 
 std::vector<Violation> LintPaths(const std::vector<std::string>& roots) {
-  std::vector<std::string> paths;
-  std::vector<Violation> violations;
-  for (const std::string& root : roots) {
-    std::error_code ec;
-    if (fs::is_directory(root, ec)) {
-      for (const auto& entry : fs::recursive_directory_iterator(root, ec)) {
-        if (!entry.is_regular_file()) {
-          continue;
-        }
-        const std::string ext = entry.path().extension().string();
-        if (ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp") {
-          paths.push_back(entry.path().generic_string());
-        }
-      }
-    } else if (fs::is_regular_file(root, ec)) {
-      paths.push_back(fs::path(root).generic_string());
-    } else {
-      violations.push_back(Violation{root, 0, "lint-io", "path does not exist"});
-    }
-  }
-  std::sort(paths.begin(), paths.end());
-  std::vector<SourceFile> sources;
-  sources.reserve(paths.size());
-  for (const std::string& path : paths) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-      violations.push_back(Violation{path, 0, "lint-io", "could not read file"});
-      continue;
-    }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    sources.push_back(SourceFile{path, buffer.str()});
-  }
-  std::vector<Violation> scanned = LintSources(sources);
-  violations.insert(violations.end(), scanned.begin(), scanned.end());
-  return violations;
+  return FromFindings(analyze::AnalyzePaths(roots, analyze::AnalyzeOptions{}));
 }
 
 void PrintViolations(const std::vector<Violation>& violations, std::ostream& out) {

@@ -1,0 +1,87 @@
+// CLI entry point for webcc-analyze, the multi-pass static analyzer.
+// Exit status 0 = clean, 1 = findings, 2 = usage error.
+//
+//   webcc-analyze src bench --layers=tools/analyze/layers.txt
+//       --baseline=tools/analyze/baseline.txt
+//       --sarif=analyze.sarif                  # what CI and lint.analyze.tree run
+//   webcc-analyze src/cache/foo.cc             # rules only, single file
+//
+// Without --layers the layer pass is skipped; without --baseline every
+// finding is fatal. --graph-cache=FILE memoizes include extraction across
+// runs (CI persists the file keyed on the tree hash).
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/analyze.h"
+#include "tools/analyze/sarif.h"
+
+namespace {
+
+bool TakeFlagValue(const std::string& arg, const char* name, std::string* out) {
+  const std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) != 0) {
+    return false;
+  }
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  webcc::analyze::AnalyzeOptions options;
+  std::string sarif_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout
+          << "usage: webcc-analyze <file-or-dir>... [--layers=FILE] [--baseline=FILE]\n"
+             "                     [--sarif=FILE] [--graph-cache=FILE]\n"
+             "Pass 1 lints .h/.cc/.cpp files token-wise for determinism hazards.\n"
+             "Pass 2 (--layers) enforces the architecture layer DAG on src/ includes.\n"
+             "Pass 3 (--baseline) suppresses acknowledged findings; stale entries fail.\n"
+             "--sarif additionally writes SARIF 2.1.0 JSON for CI annotation.\n"
+             "Suppress one line with: // webcc-lint: allow(<rule>) <why>\n"
+             "Suppress one rule file-wide with: // webcc-lint: allow-file(<rule>) <why>\n";
+      return 0;
+    }
+    if (TakeFlagValue(arg, "--layers", &options.layers_file) ||
+        TakeFlagValue(arg, "--baseline", &options.baseline_file) ||
+        TakeFlagValue(arg, "--graph-cache", &options.graph_cache_file) ||
+        TakeFlagValue(arg, "--sarif", &sarif_path)) {
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "webcc-analyze: unknown flag '" << arg << "' (try --help)\n";
+      return 2;
+    }
+    roots.push_back(arg);
+  }
+  if (roots.empty()) {
+    std::cerr << "webcc-analyze: no paths given (try: webcc-analyze src bench)\n";
+    return 2;
+  }
+
+  const std::vector<webcc::analyze::Finding> findings =
+      webcc::analyze::AnalyzePaths(roots, options);
+
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::trunc);
+    if (!out) {
+      std::cerr << "webcc-analyze: cannot write SARIF to '" << sarif_path << "'\n";
+      return 2;
+    }
+    out << webcc::analyze::RenderSarif(findings);
+  }
+
+  webcc::analyze::PrintFindings(findings, std::cerr);
+  if (!findings.empty()) {
+    std::cerr << findings.size() << " finding(s)\n";
+    return 1;
+  }
+  return 0;
+}

@@ -8,6 +8,11 @@
 // arbitrarily long horizons in O(1) memory and closed-loop experiments such
 // as the unreachable-cache recovery scenario (server retry timers need a
 // live engine).
+//
+// Lock discipline: the live simulator is strictly single-threaded (one
+// engine, one run, no pool), so it has no mutexes and no WEBCC_GUARDED_BY
+// members; webcc-analyze pass 4 verifies it also reaches no
+// nondeterministic primitive (all draws go through the seeded webcc::Rng).
 
 #ifndef WEBCC_SRC_CORE_LIVE_SIMULATION_H_
 #define WEBCC_SRC_CORE_LIVE_SIMULATION_H_

@@ -9,6 +9,11 @@
 // computes, and results are written into a slot indexed by (workload, point)
 // position, so the assembled SweepSeries is independent of completion order.
 // tests/core/sweep_runner_test.cc asserts exact equality field-by-field.
+//
+// Lock discipline: this class intentionally has no mutex-guarded members
+// (nothing here to annotate with WEBCC_GUARDED_BY). Cross-thread state is
+// two relaxed atomic counters in the .cc (merely statistics) and the pool's
+// own queue, whose members are annotated in src/util/thread_pool.h.
 
 #ifndef WEBCC_SRC_CORE_SWEEP_RUNNER_H_
 #define WEBCC_SRC_CORE_SWEEP_RUNNER_H_

@@ -207,4 +207,15 @@ constexpr int64_t CheckedDiv(int64_t a, int64_t b, const char* what) {
 #define WEBCC_CHECK_GT(a, b) WEBCC_INTERNAL_CHECK_OP(GT, >, a, b)
 #define WEBCC_CHECK_GE(a, b) WEBCC_INTERNAL_CHECK_OP(GE, >=, a, b)
 
+// Declares that a data member may only be touched while `mu` is held:
+//
+//   std::mutex mu_;  // guards: tasks_
+//   std::deque<Task> tasks_ WEBCC_GUARDED_BY(mu_);
+//
+// Expands to nothing — codegen is untouched (the golden figures depend on
+// that) — but webcc-analyze pass 4 reads the annotation and flags any method
+// of the class that mentions the member without lexically acquiring the
+// named mutex first (rule `lock-discipline`, see docs/STATIC_ANALYSIS.md).
+#define WEBCC_GUARDED_BY(mu)
+
 #endif  // WEBCC_SRC_UTIL_CHECK_H_

@@ -25,6 +25,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/util/check.h"
+
 namespace webcc {
 
 class ThreadPool {
@@ -59,11 +61,11 @@ class ThreadPool {
   std::mutex mu_;  // guards: tasks_, in_flight_, stop_, first_error_
   std::condition_variable work_cv_;  // signalled when a task or stop arrives
   std::condition_variable idle_cv_;  // signalled when in_flight_ hits zero
-  std::deque<std::function<void()>> tasks_;
-  size_t in_flight_ = 0;  // queued + currently running
-  bool stop_ = false;
-  std::exception_ptr first_error_;
-  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_ WEBCC_GUARDED_BY(mu_);
+  size_t in_flight_ WEBCC_GUARDED_BY(mu_) = 0;  // queued + currently running
+  bool stop_ WEBCC_GUARDED_BY(mu_) = false;
+  std::exception_ptr first_error_ WEBCC_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_;  // written in the ctor only, then const
 };
 
 // Number of useful concurrent jobs on this host (>= 1).

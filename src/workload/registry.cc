@@ -5,6 +5,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "src/util/check.h"
 #include "src/util/str.h"
 #include "src/workload/clf.h"
 #include "src/workload/trace.h"
@@ -14,9 +15,9 @@ namespace webcc {
 namespace {
 
 struct Registry {
-  std::mutex mu;
+  std::mutex mu;  // guards: workloads
   // unique_ptr values so the Workload addresses survive rehashing.
-  std::unordered_map<std::string, std::unique_ptr<Workload>> workloads;
+  std::unordered_map<std::string, std::unique_ptr<Workload>> workloads WEBCC_GUARDED_BY(mu);
 };
 
 Registry& GlobalRegistry() {

@@ -1,0 +1,8 @@
+// Fixture: a clean file. The sibling tests/ directory holds a file full of
+// banned calls; AnalyzePaths over the tree root must scan this file and
+// never descend into tests/.
+namespace fixture {
+
+int CleanAnswer() { return 42; }
+
+}  // namespace fixture

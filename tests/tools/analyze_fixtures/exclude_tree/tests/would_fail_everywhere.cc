@@ -1,0 +1,10 @@
+// Fixture: lives under a tests/ directory, so the analyzer must never scan
+// it — every line here would otherwise be a finding.
+namespace fixture {
+
+int TestOnlyHelper() {
+  srand(7);
+  return rand();
+}
+
+}  // namespace fixture

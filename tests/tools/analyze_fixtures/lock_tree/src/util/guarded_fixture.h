@@ -1,0 +1,38 @@
+// Fixture: WEBCC_GUARDED_BY lock-discipline positive and negative cases.
+// Expected: exactly one lock-discipline finding, in BumpWithoutLock.
+#ifndef WEBCC_TESTS_TOOLS_ANALYZE_FIXTURES_LOCK_TREE_SRC_UTIL_GUARDED_FIXTURE_H_
+#define WEBCC_TESTS_TOOLS_ANALYZE_FIXTURES_LOCK_TREE_SRC_UTIL_GUARDED_FIXTURE_H_
+
+#include <mutex>
+
+namespace fixture {
+
+class GuardedCounter {
+ public:
+  // Constructors are exempt: no other thread can hold a reference yet.
+  GuardedCounter() { counter_ = 0; }
+
+  // NEGATIVE: lock_guard construction names the mutex before the access.
+  int Read() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counter_;
+  }
+
+  // NEGATIVE: an explicit mu_.lock() also counts as a lexical acquisition.
+  void BumpLockedManually() {
+    mu_.lock();
+    counter_ += 1;
+    mu_.unlock();
+  }
+
+  // POSITIVE: touches the guarded member with no acquisition in sight.
+  void BumpWithoutLock() { counter_ += 1; }
+
+ private:
+  std::mutex mu_;  // guards: counter_
+  int counter_ WEBCC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture
+
+#endif  // WEBCC_TESTS_TOOLS_ANALYZE_FIXTURES_LOCK_TREE_SRC_UTIL_GUARDED_FIXTURE_H_

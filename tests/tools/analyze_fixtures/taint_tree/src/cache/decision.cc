@@ -1,0 +1,10 @@
+// Fixture: the sink end of the taint chain. src/cache is a sink directory,
+// so CacheDecision must be reported with the full three-function chain:
+//   fixture::CacheDecision -> fixture::ProbeLevel -> fixture::ProbeEnvironment
+#include "src/util/probe_mid.h"
+
+namespace fixture {
+
+int CacheDecision() { return ProbeLevel(); }
+
+}  // namespace fixture

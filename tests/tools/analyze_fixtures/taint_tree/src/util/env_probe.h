@@ -1,0 +1,13 @@
+// Fixture: the bottom of a three-deep determinism-taint chain. The getenv()
+// call makes ProbeEnvironment a taint source; nothing in this file is a
+// sink (util/ is not a sink directory).
+#ifndef WEBCC_TESTS_TOOLS_ANALYZE_FIXTURES_TAINT_TREE_SRC_UTIL_ENV_PROBE_H_
+#define WEBCC_TESTS_TOOLS_ANALYZE_FIXTURES_TAINT_TREE_SRC_UTIL_ENV_PROBE_H_
+
+namespace fixture {
+
+inline const char* ProbeEnvironment() { return getenv("FIXTURE_PROBE"); }
+
+}  // namespace fixture
+
+#endif  // WEBCC_TESTS_TOOLS_ANALYZE_FIXTURES_TAINT_TREE_SRC_UTIL_ENV_PROBE_H_

@@ -1,0 +1,14 @@
+// Fixture: the middle hop of the taint chain — no primitive of its own,
+// tainted only transitively through ProbeEnvironment.
+#ifndef WEBCC_TESTS_TOOLS_ANALYZE_FIXTURES_TAINT_TREE_SRC_UTIL_PROBE_MID_H_
+#define WEBCC_TESTS_TOOLS_ANALYZE_FIXTURES_TAINT_TREE_SRC_UTIL_PROBE_MID_H_
+
+#include "src/util/env_probe.h"
+
+namespace fixture {
+
+inline int ProbeLevel() { return ProbeEnvironment() == nullptr ? 0 : 1; }
+
+}  // namespace fixture
+
+#endif  // WEBCC_TESTS_TOOLS_ANALYZE_FIXTURES_TAINT_TREE_SRC_UTIL_PROBE_MID_H_

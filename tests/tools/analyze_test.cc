@@ -14,10 +14,13 @@
 #include "gtest/gtest.h"
 #include "tools/analyze/analyze.h"
 #include "tools/analyze/baseline.h"
+#include "tools/analyze/callgraph.h"
 #include "tools/analyze/layers.h"
 #include "tools/analyze/lexer.h"
 #include "tools/analyze/rules.h"
 #include "tools/analyze/sarif.h"
+#include "tools/analyze/symbols.h"
+#include "tools/analyze/taint.h"
 
 namespace webcc::analyze {
 namespace {
@@ -196,7 +199,10 @@ TEST(AnalyzeRulesTest, DiscardedParseResultIsStatementInitialOnly) {
   EXPECT_EQ(LinesOf(findings), (std::vector<size_t>{3}));
 }
 
-TEST(AnalyzeRulesTest, UnannotatedMutexIsScopedToThreadPool) {
+TEST(AnalyzeRulesTest, UnannotatedMutexAppliesTreeWide) {
+  // Pass 4's lock-discipline rule made the annotation contract enforceable,
+  // so the unannotated-mutex check grew from its util/thread_pool pilot
+  // scope to every scanned file.
   const std::string src =
       "#include <mutex>\n"
       "class P {\n"
@@ -204,8 +210,8 @@ TEST(AnalyzeRulesTest, UnannotatedMutexIsScopedToThreadPool) {
       "};\n";
   EXPECT_EQ(OfRule(RulesOnly("src/util/thread_pool.h", src), "unannotated-mutex").size(),
             1u);
-  EXPECT_TRUE(
-      OfRule(RulesOnly("src/cache/proxy.h", src), "unannotated-mutex").empty());
+  EXPECT_EQ(OfRule(RulesOnly("src/cache/proxy.h", src), "unannotated-mutex").size(), 1u);
+  EXPECT_EQ(OfRule(RulesOnly("bench/runner.h", src), "unannotated-mutex").size(), 1u);
 }
 
 TEST(AnalyzeRulesTest, GuardsCommentSatisfiesMutexRule) {
@@ -434,6 +440,10 @@ TEST(AnalyzeSarifTest, GoldenOutput) {
   const std::vector<Finding> findings = {
       Finding{"src/cache/alpha.cc", 12, "banned-random",
               "uses \"rand\" \\ here"},
+      Finding{"src/core/sweep_runner.cc", 55, "determinism-taint",
+              "'webcc::SweepRunner::SweepRunner' transitively reaches getenv() at "
+              "src/util/thread_pool.cc:117; call chain: "
+              "webcc::SweepRunner::SweepRunner -> webcc::ResolveJobs"},
       Finding{"tools/analyze/baseline.txt", 0, "stale-baseline",
               "entry matches nothing"},
   };
@@ -496,6 +506,461 @@ TEST_F(AnalyzeGraphCacheTest, CorruptCacheIsIgnoredNotTrusted) {
   const std::vector<Finding> after =
       AnalyzePaths({FixturePath("layer_tree")}, options);
   EXPECT_EQ(reference.size(), after.size());
+}
+
+// --- Pass 4: symbol index ----------------------------------------------------
+
+SymbolIndex IndexOf(const std::vector<SourceFile>& sources) {
+  std::vector<LexedFile> lexed;
+  for (const SourceFile& s : sources) {
+    lexed.push_back(Lex(s));
+  }
+  return BuildSymbolIndex(lexed);
+}
+
+const FunctionSymbol* FindDef(const SymbolIndex& index, const std::string& qualified) {
+  for (const FunctionSymbol& fn : index.functions) {
+    if (fn.qualified_name == qualified && fn.is_definition) {
+      return &fn;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<Finding> Pass4(const std::vector<SourceFile>& sources,
+                           const std::string& waivers = "") {
+  AnalyzeConfig config;
+  config.run_symbols = true;
+  config.taint_waivers_contents = waivers;
+  return AnalyzeSources(sources, config);
+}
+
+TEST(AnalyzeSymbolsTest, IndexesDefsDeclsAndOutOfLineMethods) {
+  const SymbolIndex index = IndexOf({
+      SourceFile{"src/util/w.h",
+                 "namespace fx {\n"
+                 "class Widget {\n"
+                 " public:\n"
+                 "  void Render();\n"
+                 "  int size() const { return size_; }\n"
+                 " private:\n"
+                 "  int size_ = 0;\n"
+                 "};\n"
+                 "int FreeHelper(int a, int b);\n"
+                 "}  // namespace fx\n"},
+      SourceFile{"src/util/w.cc",
+                 "namespace fx {\n"
+                 "void Widget::Render() { FreeHelper(1, 2); }\n"
+                 "int FreeHelper(int a, int b) { return a + b; }\n"
+                 "}  // namespace fx\n"},
+  });
+  const FunctionSymbol* render = FindDef(index, "fx::Widget::Render");
+  ASSERT_NE(render, nullptr);
+  EXPECT_TRUE(render->is_method);
+  ASSERT_EQ(render->calls.size(), 1u);
+  EXPECT_EQ(render->calls[0].callee, "FreeHelper");
+  const FunctionSymbol* size = FindDef(index, "fx::Widget::size");
+  ASSERT_NE(size, nullptr);
+  EXPECT_TRUE(size->is_method);
+  ASSERT_NE(FindDef(index, "fx::FreeHelper"), nullptr);
+  // The header carries declarations (no body) for Render and FreeHelper.
+  size_t decls = 0;
+  for (const FunctionSymbol& fn : index.functions) {
+    if (!fn.is_definition && fn.file == "src/util/w.h") {
+      ++decls;
+    }
+  }
+  EXPECT_GE(decls, 2u);
+}
+
+TEST(AnalyzeSymbolsTest, ConstructorInitializerListCallsAreIndexed) {
+  // Regression: a call hidden in a ctor init list (the real tree's
+  // `SweepRunner::SweepRunner : jobs_(ResolveJobs(jobs))`) must reach the
+  // call graph even though it sits before the `{`.
+  const SymbolIndex index = IndexOf({SourceFile{
+      "src/util/r.cc",
+      "namespace fx {\n"
+      "int Resolve(int j);\n"
+      "class Runner {\n"
+      " public:\n"
+      "  explicit Runner(int jobs) : jobs_(jobs == 1 ? 1 : Resolve(jobs)) {}\n"
+      " private:\n"
+      "  int jobs_;\n"
+      "};\n"
+      "}  // namespace fx\n"}});
+  const FunctionSymbol* ctor = FindDef(index, "fx::Runner::Runner");
+  ASSERT_NE(ctor, nullptr);
+  // The member initializer `jobs_(...)` may itself be recorded as a call-like
+  // use (it resolves to nothing); what matters is that Resolve is seen.
+  bool saw_resolve = false;
+  for (const CallUse& call : ctor->calls) {
+    saw_resolve = saw_resolve || call.callee == "Resolve";
+  }
+  EXPECT_TRUE(saw_resolve);
+}
+
+TEST(AnalyzeSymbolsTest, TemplatesOperatorsAndDestructorsIndex) {
+  const SymbolIndex index = IndexOf({SourceFile{
+      "src/util/t.h",
+      "namespace fx {\n"
+      "template <typename T>\n"
+      "T Clamp(T v, T lo, T hi) { return v < lo ? lo : (hi < v ? hi : v); }\n"
+      "class Holder {\n"
+      " public:\n"
+      "  ~Holder() { Release(); }\n"
+      "  bool operator==(const Holder& o) const { return id_ == o.id_; }\n"
+      " private:\n"
+      "  void Release();\n"
+      "  int id_ = 0;\n"
+      "};\n"
+      "}  // namespace fx\n"}});
+  EXPECT_NE(FindDef(index, "fx::Clamp"), nullptr);
+  const FunctionSymbol* dtor = FindDef(index, "fx::Holder::~Holder");
+  ASSERT_NE(dtor, nullptr);
+  ASSERT_EQ(dtor->calls.size(), 1u);
+  EXPECT_EQ(dtor->calls[0].callee, "Release");
+  EXPECT_NE(FindDef(index, "fx::Holder::operator=="), nullptr);
+}
+
+TEST(AnalyzeSymbolsTest, OverloadsShareOneNameAndResolveConservatively) {
+  // Two overloads of Pick: a call site links to both candidates, so taint
+  // through either overload is caught (over-report, never under-report).
+  const std::vector<SourceFile> sources = {SourceFile{
+      "src/cache/o.cc",
+      "namespace fx {\n"
+      "int Pick(int a) { return a; }\n"
+      "int Pick(int a, int b) { return getenv(\"X\") ? a : b; }\n"
+      "int Decide() { return Pick(1); }\n"
+      "}  // namespace fx\n"}};
+  const SymbolIndex index = IndexOf(sources);
+  EXPECT_EQ(index.definitions_by_name.at("Pick").size(), 2u);
+  const std::vector<Finding> findings = Pass4(sources);
+  // Decide is tainted through the conservative edge to the getenv overload.
+  bool decide_tainted = false;
+  for (const Finding& f : OfRule(findings, "determinism-taint")) {
+    decide_tainted = decide_tainted || f.message.find("fx::Decide") == 0 ||
+                     f.message.find("'fx::Decide'") != std::string::npos;
+  }
+  EXPECT_TRUE(decide_tainted);
+}
+
+TEST(AnalyzeSymbolsTest, ShadowedNamesStayLexical) {
+  // A local variable shadowing a function name produces ident uses, not
+  // calls; only the real call syntax links into the graph.
+  const SymbolIndex index = IndexOf({SourceFile{
+      "src/util/s.cc",
+      "namespace fx {\n"
+      "int Level() { return 3; }\n"
+      "int Use() {\n"
+      "  int Level = 7;\n"
+      "  return Level + 1;\n"
+      "}\n"
+      "}  // namespace fx\n"}});
+  const FunctionSymbol* use = FindDef(index, "fx::Use");
+  ASSERT_NE(use, nullptr);
+  EXPECT_TRUE(use->calls.empty());
+}
+
+TEST(AnalyzeSymbolsTest, GuardedMemberAnnotationsAreExtracted) {
+  const SymbolIndex index = IndexOf({SourceFile{
+      "src/util/g.h",
+      "namespace fx {\n"
+      "class Pool {\n"
+      "  std::mutex mu_;  // guards: depth_\n"
+      "  int depth_ WEBCC_GUARDED_BY(mu_) = 0;\n"
+      "};\n"
+      "}  // namespace fx\n"}});
+  ASSERT_EQ(index.guarded_members.size(), 1u);
+  EXPECT_EQ(index.guarded_members[0].class_name, "fx::Pool");
+  EXPECT_EQ(index.guarded_members[0].member, "depth_");
+  EXPECT_EQ(index.guarded_members[0].mutex, "mu_");
+}
+
+TEST(AnalyzeSymbolsTest, DeadSymbolReportIsCensusBased) {
+  const SymbolIndex index = IndexOf({SourceFile{
+      "src/util/d.cc",
+      "namespace fx {\n"
+      "int Used() { return 1; }\n"
+      "int Unused() { return 2; }\n"
+      "int main_like() { return Used(); }\n"
+      "int main() { return main_like(); }\n"
+      "}  // namespace fx\n"}});
+  const std::vector<std::string> dead = DeadSymbolReport(index);
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_NE(dead[0].find("fx::Unused"), std::string::npos);
+  EXPECT_NE(dead[0].find("src/util/d.cc:3"), std::string::npos);
+}
+
+// --- Pass 4: determinism taint ----------------------------------------------
+
+TEST(AnalyzeTaintTest, ThreeDeepChainIsReportedWithFullChain) {
+  AnalyzeOptions options;
+  options.run_symbols = true;
+  const std::vector<Finding> findings =
+      AnalyzePaths({FixturePath("taint_tree")}, options);
+  const std::vector<Finding> taint = OfRule(findings, "determinism-taint");
+  ASSERT_EQ(taint.size(), 1u);
+  EXPECT_NE(taint[0].file.find("src/cache/decision.cc"), std::string::npos);
+  EXPECT_NE(taint[0].message.find(
+                "call chain: fixture::CacheDecision -> fixture::ProbeLevel -> "
+                "fixture::ProbeEnvironment"),
+            std::string::npos);
+  EXPECT_NE(taint[0].message.find("getenv() at src/util/env_probe.h:9"),
+            std::string::npos);
+}
+
+TEST(AnalyzeTaintTest, WaiverIsAPropagationBarrier) {
+  AnalyzeOptions options;
+  options.run_symbols = true;
+  std::vector<Finding> unwaived = AnalyzePaths({FixturePath("taint_tree")}, options);
+  EXPECT_EQ(OfRule(unwaived, "determinism-taint").size(), 1u);
+  // Waiving the middle hop severs the chain above it.
+  const std::string waivers_path = ::testing::TempDir() + "/taint_waivers_test.txt";
+  {
+    std::ofstream out(waivers_path, std::ios::trunc);
+    out << "fixture::ProbeLevel fixture probe cannot affect results\n";
+  }
+  options.taint_waivers_file = waivers_path;
+  const std::vector<Finding> waived = AnalyzePaths({FixturePath("taint_tree")}, options);
+  EXPECT_TRUE(OfRule(waived, "determinism-taint").empty());
+  EXPECT_TRUE(OfRule(waived, "stale-taint-waiver").empty());
+  std::remove(waivers_path.c_str());
+}
+
+TEST(AnalyzeTaintTest, StaleWaiverIsAFinding) {
+  const std::vector<Finding> findings =
+      Pass4({SourceFile{"src/cache/clean.cc",
+                        "namespace fx {\n"
+                        "int Pure() { return 1; }\n"
+                        "}  // namespace fx\n"}},
+            "fx::Pure waiver kept after the taint was fixed\n");
+  const std::vector<Finding> stale = OfRule(findings, "stale-taint-waiver");
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_NE(stale[0].message.find("fx::Pure"), std::string::npos);
+}
+
+TEST(AnalyzeTaintTest, WaiverWithoutJustificationIsConfigError) {
+  const std::vector<Finding> findings =
+      Pass4({SourceFile{"src/cache/c.cc", "int F() { return 0; }\n"}},
+            "fx::Naked\n");
+  EXPECT_EQ(OfRule(findings, "taint-config").size(), 1u);
+}
+
+TEST(AnalyzeTaintTest, NondeterministicAnnotationIsASource) {
+  const std::vector<Finding> findings = Pass4({SourceFile{
+      "src/sim/a.cc",
+      "namespace fx {\n"
+      "// webcc-nondeterministic: models outside input\n"
+      "int Oracle() { return 4; }\n"
+      "int Tick() { return Oracle(); }\n"
+      "}  // namespace fx\n"}});
+  const std::vector<Finding> taint = OfRule(findings, "determinism-taint");
+  // Both Oracle (annotated, in a sink dir) and Tick (transitively) report.
+  ASSERT_EQ(taint.size(), 2u);
+  EXPECT_NE(taint[1].message.find("fx::Tick -> fx::Oracle"), std::string::npos);
+  EXPECT_NE(taint[0].message.find("`// webcc-nondeterministic` annotation"),
+            std::string::npos);
+}
+
+TEST(AnalyzeTaintTest, UnorderedIterationIsASource) {
+  const std::vector<Finding> findings = Pass4({SourceFile{
+      "src/cache/u.cc",
+      "namespace fx {\n"
+      "std::unordered_map<int, int> table;\n"
+      "int Sum() {\n"
+      "  int s = 0;\n"
+      "  for (const auto& kv : table) { s += kv.second; }\n"
+      "  return s;\n"
+      "}\n"
+      "}  // namespace fx\n"}});
+  const std::vector<Finding> taint = OfRule(findings, "determinism-taint");
+  ASSERT_EQ(taint.size(), 1u);
+  EXPECT_NE(taint[0].message.find("unordered iteration over 'table'"),
+            std::string::npos);
+}
+
+TEST(AnalyzeTaintTest, RootScopingBlocksCrossRootEdges) {
+  // A tools/ helper full of nondeterminism shares a name with nothing in
+  // src/; the src caller must not link to it (src never calls tools).
+  const std::vector<Finding> findings = Pass4({
+      SourceFile{"tools/gen/helper.cc",
+                 "namespace fx {\n"
+                 "int Helper() { return getenv(\"A\") ? 1 : 0; }\n"
+                 "}  // namespace fx\n"},
+      SourceFile{"src/cache/caller.cc",
+                 "namespace fx {\n"
+                 "int Helper();\n"
+                 "int Use() { return Helper(); }\n"
+                 "}  // namespace fx\n"},
+  });
+  EXPECT_TRUE(OfRule(findings, "determinism-taint").empty());
+}
+
+TEST(AnalyzeTaintTest, SeededRngHelpersStaySanctioned) {
+  // src/util/rng.* is the seeded-engine home; its mt19937 use is exempt, so
+  // sink-dir callers of Rng helpers stay clean (same carve-out as pass 1).
+  const std::vector<Finding> findings = Pass4({
+      SourceFile{"src/util/rng.h",
+                 "namespace fx {\n"
+                 "class Rng {\n"
+                 " public:\n"
+                 "  uint64_t Next() { return engine_(); }\n"
+                 " private:\n"
+                 "  std::mt19937_64 engine_;\n"
+                 "};\n"
+                 "}  // namespace fx\n"},
+      SourceFile{"src/sim/roll.cc",
+                 "namespace fx {\n"
+                 "int Roll(Rng& rng) { return static_cast<int>(rng.Next() % 6); }\n"
+                 "}  // namespace fx\n"},
+  });
+  EXPECT_TRUE(OfRule(findings, "determinism-taint").empty());
+}
+
+TEST(AnalyzeTaintTest, TaintFindingsFlowThroughBaseline) {
+  AnalyzeConfig config;
+  config.run_symbols = true;
+  config.apply_baseline = true;
+  config.baseline_contents =
+      "src/sim/b.cc:2: [determinism-taint] acknowledged during rollout\n";
+  const std::vector<Finding> findings = AnalyzeSources(
+      {SourceFile{"src/sim/b.cc",
+                  "namespace fx {\n"
+                  "int Draw() { return rand(); }\n"
+                  "}  // namespace fx\n"}},
+      config);
+  EXPECT_TRUE(OfRule(findings, "determinism-taint").empty());
+  // The pass-1 call-site finding for the same line is separate and distinct.
+  EXPECT_EQ(OfRule(findings, "banned-random").size(), 1u);
+}
+
+// --- Pass 4: lock discipline -------------------------------------------------
+
+TEST(AnalyzeLockTest, UnlockedGuardedAccessIsFlaggedLockedOnesAreNot) {
+  AnalyzeOptions options;
+  options.run_symbols = true;
+  const std::vector<Finding> findings =
+      AnalyzePaths({FixturePath("lock_tree")}, options);
+  const std::vector<Finding> locks = OfRule(findings, "lock-discipline");
+  ASSERT_EQ(locks.size(), 1u);
+  EXPECT_NE(locks[0].message.find("BumpWithoutLock"), std::string::npos);
+  EXPECT_NE(locks[0].message.find("'counter_'"), std::string::npos);
+  EXPECT_NE(locks[0].message.find("'mu_'"), std::string::npos);
+}
+
+TEST(AnalyzeLockTest, OutOfLineMethodsAreCheckedToo) {
+  const std::vector<Finding> findings = Pass4({SourceFile{
+      "src/util/p.cc",
+      "namespace fx {\n"
+      "class Pool {\n"
+      " public:\n"
+      "  void Drain();\n"
+      " private:\n"
+      "  std::mutex mu_;  // guards: depth_\n"
+      "  int depth_ WEBCC_GUARDED_BY(mu_) = 0;\n"
+      "};\n"
+      "void Pool::Drain() { depth_ = 0; }\n"
+      "}  // namespace fx\n"}});
+  const std::vector<Finding> locks = OfRule(findings, "lock-discipline");
+  ASSERT_EQ(locks.size(), 1u);
+  EXPECT_NE(locks[0].message.find("fx::Pool::Drain"), std::string::npos);
+}
+
+TEST(AnalyzeLockTest, WrongMutexDoesNotSatisfyTheGuard) {
+  const std::vector<Finding> findings = Pass4({SourceFile{
+      "src/util/p.cc",
+      "namespace fx {\n"
+      "class Pool {\n"
+      " public:\n"
+      "  int Read() {\n"
+      "    std::lock_guard<std::mutex> lock(other_mu_);\n"
+      "    return depth_;\n"
+      "  }\n"
+      " private:\n"
+      "  std::mutex mu_;  // guards: depth_\n"
+      "  std::mutex other_mu_;  // guards: nothing here\n"
+      "  int depth_ WEBCC_GUARDED_BY(mu_) = 0;\n"
+      "};\n"
+      "}  // namespace fx\n"}});
+  EXPECT_EQ(OfRule(findings, "lock-discipline").size(), 1u);
+}
+
+// --- Pass 4: AnalyzePaths integration ---------------------------------------
+
+TEST(AnalyzePathsTest, TestsDirectoriesAreNeverScanned) {
+  AnalyzeOptions options;
+  options.run_symbols = true;
+  const std::vector<Finding> findings =
+      AnalyzePaths({FixturePath("exclude_tree")}, options);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.file.find("/tests/"), std::string::npos) << f.file;
+  }
+  // The tests/ file is wall-to-wall banned calls; nothing may leak out.
+  EXPECT_TRUE(OfRule(findings, "banned-random").empty());
+}
+
+TEST(AnalyzePathsTest, JobsSettingsAreByteDeterministic) {
+  AnalyzeOptions serial;
+  serial.run_symbols = true;
+  serial.jobs = 1;
+  AnalyzeOptions parallel = serial;
+  parallel.jobs = 4;
+  const std::vector<std::string> roots = {FixturePath("taint_tree"),
+                                          FixturePath("lock_tree")};
+  std::vector<std::string> dead1;
+  std::vector<std::string> dead4;
+  const std::vector<Finding> a = AnalyzePaths(roots, serial, &dead1);
+  const std::vector<Finding> b = AnalyzePaths(roots, parallel, &dead4);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].file, b[i].file);
+    EXPECT_EQ(a[i].line, b[i].line);
+    EXPECT_EQ(a[i].rule, b[i].rule);
+    EXPECT_EQ(a[i].message, b[i].message);
+  }
+  EXPECT_EQ(dead1, dead4);
+  EXPECT_FALSE(a.empty());
+}
+
+TEST_F(AnalyzeGraphCacheTest, ConfigChangeInvalidatesTheCache) {
+  const std::string waivers_path = ::testing::TempDir() + "/cache_waivers_test.txt";
+  {
+    std::ofstream out(waivers_path, std::ios::trunc);
+    out << "fixture::ProbeLevel sanctioned while the probe rolls out\n";
+  }
+  AnalyzeOptions options;
+  options.run_symbols = true;
+  options.taint_waivers_file = waivers_path;
+  options.graph_cache_file = CachePath();
+  (void)AnalyzePaths({FixturePath("taint_tree")}, options);
+  std::string header_before;
+  {
+    std::ifstream in(CachePath());
+    std::getline(in, header_before);
+  }
+  // Editing the waiver list must change the cache key: the old graph may
+  // not serve an analysis running under a different config.
+  {
+    std::ofstream out(waivers_path, std::ios::trunc);
+    out << "# all waivers deleted\n";
+  }
+  const std::vector<Finding> after = AnalyzePaths({FixturePath("taint_tree")}, options);
+  std::string header_after;
+  {
+    std::ifstream in(CachePath());
+    std::getline(in, header_after);
+  }
+  EXPECT_NE(header_before, header_after);
+  // And the re-run matches a fresh, cache-less analysis exactly.
+  AnalyzeOptions no_cache = options;
+  no_cache.graph_cache_file.clear();
+  const std::vector<Finding> fresh = AnalyzePaths({FixturePath("taint_tree")}, no_cache);
+  ASSERT_EQ(after.size(), fresh.size());
+  for (size_t i = 0; i < after.size(); ++i) {
+    EXPECT_EQ(after[i].message, fresh[i].message);
+  }
+  EXPECT_EQ(OfRule(after, "determinism-taint").size(), 1u);
+  std::remove(waivers_path.c_str());
 }
 
 // --- Whole-tree gate (mirrors the lint.analyze.tree ctest) ------------------

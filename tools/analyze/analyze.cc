@@ -7,11 +7,16 @@
 #include <map>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 #include "tools/analyze/baseline.h"
+#include "tools/analyze/callgraph.h"
 #include "tools/analyze/layers.h"
 #include "tools/analyze/lexer.h"
+#include "tools/analyze/lockcheck.h"
 #include "tools/analyze/rules.h"
+#include "tools/analyze/symbols.h"
+#include "tools/analyze/taint.h"
 
 namespace webcc::analyze {
 namespace {
@@ -27,17 +32,49 @@ void SortFindings(std::vector<Finding>* findings) {
   });
 }
 
+// Lexes all sources, sharded by index across `jobs` threads. Each thread
+// writes only its own slots, so the result is byte-identical for any job
+// count — the determinism acceptance test runs jobs=1 vs jobs=4.
+std::vector<LexedFile> LexAll(const std::vector<SourceFile>& sources, size_t jobs) {
+  std::vector<LexedFile> lexed(sources.size());
+  const size_t n = sources.size();
+  if (jobs <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      lexed[i] = Lex(sources[i]);
+    }
+    return lexed;
+  }
+  const size_t workers = std::min(jobs, n);
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (size_t t = 0; t < workers; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = t; i < n; i += workers) {
+        lexed[i] = Lex(sources[i]);
+      }
+    });
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  return lexed;
+}
+
 // --- Include-graph cache ----------------------------------------------------
 //
 // Format (one header line, then per-file records):
 //
-//   # webcc-analyze graph cache v1
+//   # webcc-analyze graph cache v2 <config-hash>
 //   F <hex-content-hash> <repo-relative-path> <n>
 //   I <line> <include-target>            (n times)
 //
-// A record is valid for a file iff the content hash matches; stale records
-// are dropped on rewrite. The cache carries include edges only — rule
-// findings always come from a fresh scan.
+// The header's config hash covers the analyzer configuration (layer spec +
+// taint waiver list): editing either config file changes the hash and the
+// whole cache is discarded, so stale config can never feed an analysis.
+// A per-file record is valid iff the content hash matches; stale records
+// are dropped on rewrite. The cache carries include edges only — rule and
+// pass-4 findings always come from a fresh scan (every file is lexed every
+// run regardless, so memoizing more than edge extraction buys nothing).
 
 uint64_t Fnv1a(const std::string& data) {
   uint64_t h = 1469598103934665603ull;
@@ -64,15 +101,20 @@ struct CachedIncludes {
   std::vector<size_t> include_lines;
 };
 
-std::map<std::string, CachedIncludes> LoadGraphCache(const std::string& path) {
+std::string CacheHeader(const std::string& config_hash) {
+  return "# webcc-analyze graph cache v2 " + config_hash;
+}
+
+std::map<std::string, CachedIncludes> LoadGraphCache(const std::string& path,
+                                                     const std::string& config_hash) {
   std::map<std::string, CachedIncludes> cache;
   std::ifstream in(path);
   if (!in) {
     return cache;  // cold cache is not an error
   }
   std::string header;
-  if (!std::getline(in, header) || header != "# webcc-analyze graph cache v1") {
-    return cache;  // unknown version: ignore wholesale
+  if (!std::getline(in, header) || header != CacheHeader(config_hash)) {
+    return cache;  // unknown version or changed config: ignore wholesale
   }
   std::string line;
   std::string current_file;
@@ -102,13 +144,13 @@ std::map<std::string, CachedIncludes> LoadGraphCache(const std::string& path) {
   return cache;
 }
 
-void SaveGraphCache(const std::string& path,
+void SaveGraphCache(const std::string& path, const std::string& config_hash,
                     const std::map<std::string, CachedIncludes>& cache) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
     return;  // cache is best-effort; the scan already succeeded
   }
-  out << "# webcc-analyze graph cache v1\n";
+  out << CacheHeader(config_hash) << "\n";
   for (const auto& [file, rec] : cache) {
     out << "F " << rec.hash << " " << file << " " << rec.includes.size() << "\n";
     for (size_t i = 0; i < rec.includes.size(); ++i) {
@@ -120,14 +162,23 @@ void SaveGraphCache(const std::string& path,
 }  // namespace
 
 std::vector<Finding> AnalyzeSources(const std::vector<SourceFile>& sources,
-                                    const AnalyzeConfig& config) {
-  std::vector<LexedFile> lexed;
-  lexed.reserve(sources.size());
-  for (const SourceFile& source : sources) {
-    lexed.push_back(Lex(source));
-  }
+                                    const AnalyzeConfig& config,
+                                    std::vector<std::string>* dead_symbols) {
+  std::vector<LexedFile> lexed = LexAll(sources, config.jobs);
 
   std::vector<Finding> findings = RunLintRules(lexed);
+
+  if (config.run_symbols) {
+    const SymbolIndex index = BuildSymbolIndex(lexed);
+    const CallGraph graph = BuildCallGraph(index);
+    const std::vector<TaintWaiver> waivers = ParseTaintWaivers(
+        config.taint_waivers_path, config.taint_waivers_contents, &findings);
+    CheckTaint(index, graph, waivers, config.taint_waivers_path, &findings);
+    CheckLockDiscipline(index, &findings);
+    if (dead_symbols != nullptr) {
+      *dead_symbols = DeadSymbolReport(index);
+    }
+  }
 
   if (config.run_layers) {
     if (!config.include_overrides.empty()) {
@@ -155,20 +206,30 @@ std::vector<Finding> AnalyzeSources(const std::vector<SourceFile>& sources,
 }
 
 std::vector<Finding> AnalyzePaths(const std::vector<std::string>& roots,
-                                  const AnalyzeOptions& options) {
+                                  const AnalyzeOptions& options,
+                                  std::vector<std::string>* dead_symbols) {
   std::vector<std::string> paths;
   std::vector<Finding> findings;
   for (const std::string& root : roots) {
     std::error_code ec;
     if (fs::is_directory(root, ec)) {
-      for (const auto& entry : fs::recursive_directory_iterator(root, ec)) {
-        if (!entry.is_regular_file()) {
+      fs::recursive_directory_iterator it(root, ec), end;
+      while (it != end) {
+        // Test sources are exempt from the analyzer by design: skip any
+        // directory named `tests` before descending into it. An explicitly
+        // passed file path still works.
+        if (it->is_directory() && it->path().filename() == "tests") {
+          it.disable_recursion_pending();
+          it.increment(ec);
           continue;
         }
-        const std::string ext = entry.path().extension().string();
-        if (ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp") {
-          paths.push_back(entry.path().generic_string());
+        if (it->is_regular_file()) {
+          const std::string ext = it->path().extension().string();
+          if (ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp") {
+            paths.push_back(it->path().generic_string());
+          }
         }
+        it.increment(ec);
       }
     } else if (fs::is_regular_file(root, ec)) {
       paths.push_back(fs::path(root).generic_string());
@@ -193,6 +254,7 @@ std::vector<Finding> AnalyzePaths(const std::vector<std::string>& roots,
   }
 
   AnalyzeConfig config;
+  config.jobs = options.jobs;
   const auto load_config = [&](const std::string& path, std::string* contents) {
     std::ifstream in(path, std::ios::binary);
     if (!in) {
@@ -212,15 +274,22 @@ std::vector<Finding> AnalyzePaths(const std::vector<std::string>& roots,
     config.apply_baseline = load_config(options.baseline_file, &config.baseline_contents);
     config.baseline_path = options.baseline_file;
   }
+  config.run_symbols = options.run_symbols;
+  if (!options.taint_waivers_file.empty()) {
+    config.run_symbols = true;
+    load_config(options.taint_waivers_file, &config.taint_waivers_contents);
+    config.taint_waivers_path = options.taint_waivers_file;
+  }
 
   // Warm the include-graph cache before the scan; it is only consulted by
-  // pass 2 and only for byte-identical files, so a corrupt or stale cache
+  // pass 2, only for byte-identical files, and only when the analyzer
+  // configuration hash in its header matches, so a corrupt or stale cache
   // can never change results — at worst edges are recomputed.
+  const std::string config_hash = HashHex(
+      Fnv1a(config.layers_contents + '\x1f' + config.taint_waivers_contents));
   std::map<std::string, CachedIncludes> cache;
   if (!options.graph_cache_file.empty()) {
-    cache = LoadGraphCache(options.graph_cache_file);
-  }
-  if (!options.graph_cache_file.empty()) {
+    cache = LoadGraphCache(options.graph_cache_file, config_hash);
     std::map<std::string, CachedIncludes> next;
     for (const SourceFile& source : sources) {
       const std::string rel = RepoRelative(source.path);
@@ -237,13 +306,13 @@ std::vector<Finding> AnalyzePaths(const std::vector<std::string>& roots,
       rec.include_lines = lexed.include_lines;
       next[rel] = std::move(rec);
     }
-    SaveGraphCache(options.graph_cache_file, next);
+    SaveGraphCache(options.graph_cache_file, config_hash, next);
     for (const auto& [rel, rec] : next) {
       config.include_overrides[rel] = IncludeEdges{rec.includes, rec.include_lines};
     }
   }
 
-  std::vector<Finding> scanned = AnalyzeSources(sources, config);
+  std::vector<Finding> scanned = AnalyzeSources(sources, config, dead_symbols);
   findings.insert(findings.end(), scanned.begin(), scanned.end());
   SortFindings(&findings);
   return findings;

@@ -1,9 +1,13 @@
-// webcc-analyze orchestration: runs the three passes in order and merges
+// webcc-analyze orchestration: runs the four passes in order and merges
 // their findings.
 //
-//   Pass 1  lex + lint rules        (lexer.h, rules.h)
-//   Pass 2  include graph + layers  (layers.h), optional
-//   Pass 3  baseline + output       (baseline.h, sarif.h), optional
+//   Pass 1  lex + lint rules             (lexer.h, rules.h)
+//   Pass 2  include graph + layers       (layers.h), optional
+//   Pass 3  baseline + output            (baseline.h, sarif.h), optional
+//   Pass 4  symbol index + call graph:   (symbols.h, callgraph.h, taint.h,
+//           determinism taint,            lockcheck.h), optional
+//           lock discipline,
+//           dead-symbol report
 //
 // Two entry points mirror the old webcc-lint API. AnalyzeSources is pure
 // (no filesystem): config contents are passed in, which is what the tests
@@ -40,6 +44,17 @@ struct AnalyzeConfig {
   bool apply_baseline = false;
   std::string baseline_path = "tools/analyze/baseline.txt";
   std::string baseline_contents;
+  // Pass 4 runs iff `run_symbols`: builds the symbol index and call graph,
+  // then checks determinism taint (taint.h, against the waiver list below)
+  // and lock discipline (lockcheck.h). `taint_waivers_path` labels config
+  // and stale-waiver diagnostics.
+  bool run_symbols = false;
+  std::string taint_waivers_path = "tools/analyze/taint_waivers.txt";
+  std::string taint_waivers_contents;
+  // Lexing parallelism. Files are sharded by index across `jobs` threads
+  // with no shared mutable state, so results are byte-identical for every
+  // value (the analysis itself is single-threaded over the lexed files).
+  size_t jobs = 1;
   // Optional pass-2 edge overrides keyed by repo-relative path, fed from the
   // include-graph cache. A file present here uses these edges instead of its
   // freshly lexed includes; entries are only ever created from byte-identical
@@ -49,25 +64,35 @@ struct AnalyzeConfig {
 
 // File-walking configuration for AnalyzePaths.
 struct AnalyzeOptions {
-  std::string layers_file;       // empty = skip the layer pass
-  std::string baseline_file;     // empty = no baseline
-  std::string graph_cache_file;  // empty = no include-graph cache
+  std::string layers_file;        // empty = skip the layer pass
+  std::string baseline_file;      // empty = no baseline
+  std::string graph_cache_file;   // empty = no include-graph cache
+  bool run_symbols = false;       // enable pass 4
+  std::string taint_waivers_file; // empty = no waivers (pass 4 still runs)
+  size_t jobs = 1;                // lexing threads
 };
 
 // Scans `sources` as one unit and returns findings sorted by
-// (file, line, rule). Never touches the filesystem.
+// (file, line, rule). Never touches the filesystem. When pass 4 runs and
+// `dead_symbols` is non-null it receives the dead-symbol report
+// (callgraph.h); the report is advisory and never a finding.
 std::vector<Finding> AnalyzeSources(const std::vector<SourceFile>& sources,
-                                    const AnalyzeConfig& config);
+                                    const AnalyzeConfig& config,
+                                    std::vector<std::string>* dead_symbols = nullptr);
 
 // Loads every .h/.cc/.cpp/.hpp under `roots` (directories walked
 // recursively, files taken verbatim, missing paths become `analyze-io`
-// findings), loads the config files in `options`, and scans. The include-
+// findings), loads the config files in `options`, and scans. Directories
+// named `tests` are never walked — test sources are exempt from the
+// analyzer by design (pass an explicit file path to override). The include-
 // graph cache, when enabled, memoizes per-file include edges keyed on a
-// 64-bit content hash: unchanged files feed pass 2 from the cache, and the
-// cache file is rewritten after every run so CI can persist it across
-// builds keyed on the tree hash.
+// 64-bit content hash, and the cache as a whole is keyed on the analyzer
+// configuration (layers + taint waivers): editing either config file
+// invalidates the cache wholesale. The cache file is rewritten after every
+// run so CI can persist it across builds keyed on the tree hash.
 std::vector<Finding> AnalyzePaths(const std::vector<std::string>& roots,
-                                  const AnalyzeOptions& options);
+                                  const AnalyzeOptions& options,
+                                  std::vector<std::string>* dead_symbols = nullptr);
 
 // Renders `file:line: [rule] message`, one per line (same format as
 // webcc-lint, which CI and editors already parse).

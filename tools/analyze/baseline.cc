@@ -30,7 +30,8 @@ bool IsConfigFinding(const Finding& f) {
     return f.rule.size() >= s.size() &&
            f.rule.compare(f.rule.size() - s.size(), s.size(), s) == 0;
   };
-  return ends_with("-config") || ends_with("-io") || f.rule == "stale-baseline";
+  return ends_with("-config") || ends_with("-io") || f.rule == "stale-baseline" ||
+         f.rule == "stale-taint-waiver";
 }
 
 }  // namespace

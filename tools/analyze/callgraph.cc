@@ -1,0 +1,161 @@
+#include "tools/analyze/callgraph.h"
+
+#include <algorithm>
+#include <set>
+
+#include "tools/analyze/layers.h"
+
+namespace webcc::analyze {
+namespace {
+
+// First path component of the repo-relative path: "src", "bench", "tools",
+// or "" when the file sits outside the known roots (fixtures).
+std::string RootOf(const std::string& path) {
+  const std::string rel = RepoRelative(path);
+  const size_t slash = rel.find('/');
+  const std::string first = slash == std::string::npos ? rel : rel.substr(0, slash);
+  if (first == "src" || first == "bench" || first == "tools" || first == "tests") {
+    return first;
+  }
+  return "";
+}
+
+bool RootMayCall(const std::string& caller_root, const std::string& callee_root) {
+  if (caller_root.empty() || callee_root.empty()) {
+    return true;  // fixture trees and ad-hoc scans: no root fencing
+  }
+  if (caller_root == callee_root) {
+    return true;
+  }
+  // Mirrors the include-layer guarantees: bench may use src; src never uses
+  // bench or tools; tools is standalone.
+  return caller_root == "bench" && callee_root == "src";
+}
+
+// True when `scope` ends with `qualifier` on a '::' boundary:
+// ("webcc::ThreadPool", "ThreadPool") → true.
+bool ScopeEndsWith(const std::string& scope, const std::string& qualifier) {
+  if (qualifier.size() > scope.size()) {
+    return false;
+  }
+  if (scope.compare(scope.size() - qualifier.size(), qualifier.size(), qualifier) != 0) {
+    return false;
+  }
+  const size_t before = scope.size() - qualifier.size();
+  if (before == 0) {
+    return true;
+  }
+  return before >= 2 && scope.compare(before - 2, 2, "::") == 0;
+}
+
+}  // namespace
+
+CallGraph BuildCallGraph(const SymbolIndex& index) {
+  CallGraph graph;
+  graph.callees.resize(index.functions.size());
+
+  for (size_t caller = 0; caller < index.functions.size(); ++caller) {
+    const FunctionSymbol& fn = index.functions[caller];
+    if (!fn.is_definition || fn.calls.empty()) {
+      continue;
+    }
+    const std::string caller_root = RootOf(fn.file);
+    std::set<size_t> edges;
+    for (const CallUse& call : fn.calls) {
+      const auto it = index.definitions_by_name.find(call.callee);
+      if (it == index.definitions_by_name.end()) {
+        continue;  // external / std / macro: not in the scan unit
+      }
+      std::vector<size_t> candidates;
+      for (const size_t def : it->second) {
+        if (def == caller) {
+          continue;  // direct self-recursion adds nothing to reachability
+        }
+        const FunctionSymbol& target = index.functions[def];
+        if (!RootMayCall(caller_root, RootOf(target.file))) {
+          continue;
+        }
+        if (call.receiver == CallReceiver::kScoped && !call.qualifier.empty() &&
+            !ScopeEndsWith(target.scope, call.qualifier)) {
+          continue;
+        }
+        if (call.receiver == CallReceiver::kMember && !target.is_method) {
+          continue;
+        }
+        candidates.push_back(def);
+      }
+      if (call.receiver == CallReceiver::kPlain && fn.is_method) {
+        // Implicit-this preference: a plain call inside a method binds to a
+        // same-class candidate when one exists.
+        std::vector<size_t> same_class;
+        for (const size_t def : candidates) {
+          if (index.functions[def].scope == fn.scope) {
+            same_class.push_back(def);
+          }
+        }
+        if (!same_class.empty()) {
+          candidates = std::move(same_class);
+        }
+      }
+      edges.insert(candidates.begin(), candidates.end());
+    }
+    graph.callees[caller].assign(edges.begin(), edges.end());
+  }
+  return graph;
+}
+
+std::vector<std::string> DeadSymbolReport(const SymbolIndex& index) {
+  // Count how many identifier tokens each function name accounts for via its
+  // own definition/declaration records (the name token in each signature).
+  std::map<std::string, size_t> own_records;
+  for (const FunctionSymbol& fn : index.functions) {
+    // Destructor records spell the name after '~'; the census token is the
+    // bare class name, which constructors also claim — skip both forms along
+    // with operators (their spelling is not a single identifier token).
+    if (fn.name.empty() || fn.name[0] == '~' || fn.name.rfind("operator", 0) == 0) {
+      continue;
+    }
+    ++own_records[fn.name];
+  }
+
+  struct Dead {
+    std::string rel_file;
+    size_t line;
+    std::string text;
+  };
+  std::vector<Dead> dead;
+  for (const FunctionSymbol& fn : index.functions) {
+    if (!fn.is_definition || fn.name.empty() || fn.name[0] == '~' ||
+        fn.name.rfind("operator", 0) == 0 || fn.name == "main") {
+      continue;
+    }
+    // Constructors: name equals the last scope component.
+    const size_t last_sep = fn.scope.rfind("::");
+    const std::string scope_tail =
+        last_sep == std::string::npos ? fn.scope : fn.scope.substr(last_sep + 2);
+    if (fn.name == scope_tail) {
+      continue;
+    }
+    const auto census = index.ident_census.find(fn.name);
+    const size_t total = census == index.ident_census.end() ? 0 : census->second;
+    if (total > own_records[fn.name]) {
+      continue;  // the spelling appears somewhere beyond its own signatures
+    }
+    const std::string rel = RepoRelative(fn.file);
+    dead.push_back(Dead{rel, fn.line,
+                        fn.qualified_name + "  " + rel + ":" + std::to_string(fn.line)});
+  }
+  std::sort(dead.begin(), dead.end(), [](const Dead& a, const Dead& b) {
+    if (a.rel_file != b.rel_file) return a.rel_file < b.rel_file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.text < b.text;
+  });
+  std::vector<std::string> out;
+  out.reserve(dead.size());
+  for (Dead& d : dead) {
+    out.push_back(std::move(d.text));
+  }
+  return out;
+}
+
+}  // namespace webcc::analyze

@@ -1,0 +1,56 @@
+// Pass 4 of webcc-analyze, stage 2: a name-resolved call graph.
+//
+// Resolution is heuristic — the indexer (symbols.h) has no types — but it is
+// deterministic and deliberately conservative in the direction that matters
+// for taint: when several definitions share a name, a call site links to
+// every candidate that survives the scoping filters, so taint can only be
+// over-reported (then waived), never silently dropped.
+//
+// Candidate filters, in order:
+//   1. Root scoping. A caller under src/ links only to definitions under
+//      src/; bench/ links to src/ + bench/; tools/ links only to tools/.
+//      This uses the layer DAG's own guarantee (pass 2 bans src→bench and
+//      src→tools includes) to keep same-named helpers in different roots
+//      from cross-contaminating the graph.
+//   2. Spelled receiver. `A::f(...)` keeps candidates whose scope ends in
+//      `A` (on a `::` boundary); `obj.f(...)` keeps methods only.
+//   3. Same-class preference. A plain `f(...)` inside a method of class C
+//      prefers candidates scoped to C when any exist (the implicit `this`).
+//
+// The dead-symbol report is census-based: a definition is dead when every
+// occurrence of its name in the scan unit is accounted for by its own
+// definition/declaration records — i.e. the spelling never appears as a call,
+// reference, or mention anywhere else. Macro-wrapped references still count
+// (the census includes preprocessor tokens), so the report under-reports
+// rather than over-reports. It is advisory by design: main(), operators,
+// constructors and destructors are excluded, and functions only exercised by
+// the (unscanned) tests/ tree will appear — that is a signal, not an error.
+
+#ifndef WEBCC_TOOLS_ANALYZE_CALLGRAPH_H_
+#define WEBCC_TOOLS_ANALYZE_CALLGRAPH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/symbols.h"
+
+namespace webcc::analyze {
+
+// Edges between definition records of a SymbolIndex. callees[i] holds the
+// indices (into SymbolIndex::functions) that definition i may call, sorted
+// and deduplicated; non-definitions have empty edge lists.
+struct CallGraph {
+  std::vector<std::vector<size_t>> callees;
+};
+
+CallGraph BuildCallGraph(const SymbolIndex& index);
+
+// One line per dead definition: "qualified_name  file:line", sorted by
+// repo-relative file, then line. See the header comment for what "dead"
+// means here.
+std::vector<std::string> DeadSymbolReport(const SymbolIndex& index);
+
+}  // namespace webcc::analyze
+
+#endif  // WEBCC_TOOLS_ANALYZE_CALLGRAPH_H_

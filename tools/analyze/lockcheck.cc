@@ -1,0 +1,66 @@
+#include "tools/analyze/lockcheck.h"
+
+#include <set>
+#include <string>
+
+namespace webcc::analyze {
+namespace {
+
+bool IsCtorOrDtor(const FunctionSymbol& fn) {
+  if (!fn.name.empty() && fn.name[0] == '~') {
+    return true;
+  }
+  const size_t last_sep = fn.scope.rfind("::");
+  const std::string scope_tail =
+      last_sep == std::string::npos ? fn.scope : fn.scope.substr(last_sep + 2);
+  return fn.name == scope_tail;
+}
+
+}  // namespace
+
+void CheckLockDiscipline(const SymbolIndex& index, std::vector<Finding>* findings) {
+  if (index.guarded_members.empty()) {
+    return;
+  }
+  // One finding per (file, line, member), so a member mentioned twice on a
+  // line reports once.
+  std::set<std::string> reported;
+  for (const FunctionSymbol& fn : index.functions) {
+    if (!fn.is_definition || !fn.is_method || IsCtorOrDtor(fn)) {
+      continue;
+    }
+    for (const GuardedMember& g : index.guarded_members) {
+      if (fn.scope != g.class_name) {
+        continue;
+      }
+      for (const IdentUse& use : fn.ident_uses) {
+        if (use.name != g.member) {
+          continue;
+        }
+        bool held = false;
+        for (const LockAcquire& acq : fn.lock_acquires) {
+          if (acq.mutex == g.mutex && acq.pos < use.pos) {
+            held = true;
+            break;
+          }
+        }
+        if (held) {
+          continue;
+        }
+        const std::string key =
+            fn.file + ":" + std::to_string(use.line) + ":" + g.member;
+        if (!reported.insert(key).second) {
+          continue;
+        }
+        findings->push_back(Finding{
+            fn.file, use.line, "lock-discipline",
+            "'" + g.member + "' is guarded by '" + g.mutex +
+                "' (WEBCC_GUARDED_BY at line " + std::to_string(g.line) +
+                ") but '" + fn.qualified_name +
+                "' accesses it without lexically acquiring the mutex first"});
+      }
+    }
+  }
+}
+
+}  // namespace webcc::analyze

@@ -1,0 +1,42 @@
+// Pass 4 of webcc-analyze, stage 4: lock-discipline checking.
+//
+// Upgrades pass 1's `unannotated-mutex` convention check into an enforced
+// contract. A class declares which mutex guards a data member with the
+// WEBCC_GUARDED_BY annotation (src/util/check.h):
+//
+//     std::mutex mu_;  // guards: tasks_
+//     std::deque<Task> tasks_ WEBCC_GUARDED_BY(mu_);
+//
+// For every annotated member, every *method of that class* that mentions the
+// member must lexically acquire the named mutex first — construct a
+// std::lock_guard/unique_lock/scoped_lock/shared_lock naming it, or call
+// `mu.lock()`, at an earlier body-token position than the access. Violations
+// are `lock-discipline` findings.
+//
+// Lexical means lexical: a conditional early-return before the lock, or an
+// access inside a callback that outlives the guard, will not be caught; a
+// lock taken on a different object of the same class will wrongly satisfy
+// the check. This is linter-grade discipline enforcement, not a proof — the
+// check is deterministic and cheap, and the baseline absorbs the rare
+// sanctioned exception (e.g. a reader deliberately published through an
+// atomic).
+//
+// Constructors and destructors are exempt, matching the usual thread-safety
+// rule: no other thread can hold a reference during construction, and
+// destruction with concurrent access is a bug no lock fixes.
+
+#ifndef WEBCC_TOOLS_ANALYZE_LOCKCHECK_H_
+#define WEBCC_TOOLS_ANALYZE_LOCKCHECK_H_
+
+#include <vector>
+
+#include "tools/analyze/source.h"
+#include "tools/analyze/symbols.h"
+
+namespace webcc::analyze {
+
+void CheckLockDiscipline(const SymbolIndex& index, std::vector<Finding>* findings);
+
+}  // namespace webcc::analyze
+
+#endif  // WEBCC_TOOLS_ANALYZE_LOCKCHECK_H_

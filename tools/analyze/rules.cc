@@ -50,9 +50,6 @@ bool AppliesToUpstreamCode(const std::string& path) {
   return PathContains(path, "cache/") || PathContains(path, "origin/");
 }
 bool AppliesToChaosCode(const std::string& path) { return PathContains(path, "chaos/"); }
-bool AppliesToThreadPool(const std::string& path) {
-  return PathContains(path, "util/thread_pool");
-}
 
 // --- Per-file emission with waiver handling ---------------------------------
 
@@ -137,8 +134,8 @@ constexpr const char* kDiscardedParseMsg =
     "their return value — check it or assign it to a named variable";
 constexpr const char* kUnannotatedMutexMsg =
     "mutex member without a lock-coverage annotation; add a trailing "
-    "'// guards: <fields>' (or GUARDED_BY) comment so reviewers can check "
-    "every access site";
+    "'// guards: <fields>' comment and WEBCC_GUARDED_BY(mu) on each guarded "
+    "member so pass 4 can enforce every access site";
 
 void RunTokenRules(const LexedFile& file, FileSink* sink) {
   const std::string& path = file.path;
@@ -166,7 +163,6 @@ void RunTokenRules(const LexedFile& file, FileSink* sink) {
   const bool outside_rng = AppliesOutsideRng(path);
   const bool outside_bench = AppliesOutsideBench(path);
   const bool chaos = AppliesToChaosCode(path);
-  const bool thread_pool = AppliesToThreadPool(path);
 
   for (size_t i = 0; i < sig.size(); ++i) {
     if (!is_ident(i)) {
@@ -253,10 +249,10 @@ void RunTokenRules(const LexedFile& file, FileSink* sink) {
       }
     }
 
-    // unannotated-mutex: `std::mutex name_;` members in util/thread_pool
-    // must carry a guards:/GUARDED_BY comment on the same or previous line.
-    if (thread_pool && after_scope && IsMutexType(t) && is_ident(i + 1) &&
-        is_punct(i + 2, ";")) {
+    // unannotated-mutex: `std::mutex name_;` members anywhere in the tree
+    // must carry a guards:/WEBCC_GUARDED_BY annotation on the same or
+    // previous line (pass 4 then enforces the guarded members).
+    if (after_scope && IsMutexType(t) && is_ident(i + 1) && is_punct(i + 2, ";")) {
       bool annotated = false;
       for (size_t back = 0; back < 2; ++back) {
         const size_t decl_line = sig[i + 1]->line;

@@ -1,0 +1,795 @@
+#include "tools/analyze/symbols.h"
+
+#include <algorithm>
+#include <set>
+
+#include "tools/analyze/layers.h"
+
+namespace webcc::analyze {
+namespace {
+
+bool IsAllCaps(const std::string& t) {
+  bool has_alpha = false;
+  for (const char c : t) {
+    if (c >= 'a' && c <= 'z') {
+      return false;
+    }
+    if (c >= 'A' && c <= 'Z') {
+      has_alpha = true;
+    }
+  }
+  return has_alpha;
+}
+
+// Keywords that legally precede a '(' without being a call or a function
+// name. `assert`-style lowercase macros resolve to no definition and fall
+// out of the graph naturally.
+bool IsCallExcludedKeyword(const std::string& t) {
+  static const std::set<std::string>* kw = new std::set<std::string>{
+      "if",       "for",     "while",     "switch",        "return",   "sizeof",
+      "alignof",  "alignas", "catch",     "throw",         "new",      "delete",
+      "decltype", "typeid",  "noexcept",  "static_assert", "co_await", "co_return",
+      "co_yield", "static_cast", "dynamic_cast", "const_cast", "reinterpret_cast"};
+  return kw->count(t) != 0;
+}
+
+bool IsLockClass(const std::string& t) {
+  return t == "lock_guard" || t == "unique_lock" || t == "scoped_lock" ||
+         t == "shared_lock";
+}
+
+bool IsBannedStdRandomName(const std::string& t) {
+  return t == "mt19937" || t == "mt19937_64" || t == "minstd_rand" ||
+         t == "minstd_rand0" || t == "random_device" || t == "default_random_engine" ||
+         t == "knuth_b" || t.rfind("ranlux", 0) == 0 || t == "bernoulli_distribution" ||
+         t == "discrete_distribution" || t == "uniform_int_distribution" ||
+         t == "uniform_real_distribution" || t == "normal_distribution";
+}
+
+bool IsBannedCRandomName(const std::string& t) {
+  return t == "rand" || t == "srand" || t == "random" || t == "drand48" ||
+         t == "lrand48" || t == "mrand48";
+}
+
+bool IsWallclockChronoClockName(const std::string& t) {
+  return t == "system_clock" || t == "steady_clock" || t == "high_resolution_clock";
+}
+
+bool PathContains(const std::string& path, const char* needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+// --- Per-file indexing ------------------------------------------------------
+
+class FileIndexer {
+ public:
+  FileIndexer(const LexedFile& file, const std::set<std::string>& unordered_names,
+              SymbolIndex* out)
+      : file_(file), unordered_names_(unordered_names), out_(out) {
+    sig_.reserve(file.tokens.size());
+    for (const Token& t : file.tokens) {
+      if (t.kind != TokenKind::kComment && !t.in_preprocessor) {
+        sig_.push_back(&t);
+      }
+    }
+  }
+
+  void Run() {
+    while (i_ < sig_.size()) {
+      StepAtScopeLevel();
+    }
+  }
+
+ private:
+  struct Scope {
+    enum Kind { kNamespace, kClass, kOther };
+    Kind kind = kOther;
+    std::string name;
+  };
+
+  const std::string& Text(size_t i) const {
+    static const std::string empty;
+    return i < sig_.size() ? sig_[i]->text : empty;
+  }
+  bool IsIdent(size_t i) const {
+    return i < sig_.size() && sig_[i]->kind == TokenKind::kIdentifier;
+  }
+  bool IsPunct(size_t i, const char* p) const {
+    return i < sig_.size() && sig_[i]->kind == TokenKind::kPunct && sig_[i]->text == p;
+  }
+  size_t Line(size_t i) const { return i < sig_.size() ? sig_[i]->line : 0; }
+
+  // Skips a balanced token group starting at `i` (which must be the opener);
+  // returns the index one past the closer. Angle skipping treats ">>" as two
+  // closers and only counts angles at paren depth zero.
+  size_t SkipParens(size_t i) const { return SkipBalanced(i, "(", ")"); }
+  size_t SkipBraces(size_t i) const { return SkipBalanced(i, "{", "}"); }
+  size_t SkipBrackets(size_t i) const { return SkipBalanced(i, "[", "]"); }
+
+  size_t SkipBalanced(size_t i, const char* open, const char* close) const {
+    int depth = 0;
+    while (i < sig_.size()) {
+      if (IsPunct(i, open)) {
+        ++depth;
+      } else if (IsPunct(i, close)) {
+        --depth;
+        if (depth == 0) {
+          return i + 1;
+        }
+      }
+      ++i;
+    }
+    return i;
+  }
+
+  size_t SkipAngles(size_t i) const {
+    int depth = 0;
+    int parens = 0;
+    while (i < sig_.size()) {
+      if (IsPunct(i, "(") || IsPunct(i, "[")) {
+        ++parens;
+      } else if (IsPunct(i, ")") || IsPunct(i, "]")) {
+        --parens;
+      } else if (parens == 0) {
+        if (IsPunct(i, "<")) {
+          ++depth;
+        } else if (IsPunct(i, ">")) {
+          if (--depth == 0) {
+            return i + 1;
+          }
+        } else if (IsPunct(i, ">>")) {
+          depth -= 2;
+          if (depth <= 0) {
+            return i + 1;
+          }
+        } else if (IsPunct(i, ";")) {
+          return i;  // malformed; bail without consuming the statement end
+        }
+      }
+      ++i;
+    }
+    return i;
+  }
+
+  // Skips forward to one past the next ';' at balance zero (for statements
+  // we do not model: using-aliases, initialized variables, ...).
+  size_t SkipToSemicolon(size_t i) const {
+    while (i < sig_.size()) {
+      if (IsPunct(i, "(")) {
+        i = SkipParens(i);
+      } else if (IsPunct(i, "{")) {
+        i = SkipBraces(i);
+      } else if (IsPunct(i, "[")) {
+        i = SkipBrackets(i);
+      } else if (IsPunct(i, ";")) {
+        return i + 1;
+      } else {
+        ++i;
+      }
+    }
+    return i;
+  }
+
+  std::string ScopePrefix() const {
+    std::string prefix;
+    for (const Scope& s : scopes_) {
+      if (s.name.empty()) {
+        continue;  // anonymous namespace / unnamed scope
+      }
+      if (!prefix.empty()) {
+        prefix += "::";
+      }
+      prefix += s.name;
+    }
+    return prefix;
+  }
+
+  bool InClassScope() const {
+    return !scopes_.empty() && scopes_.back().kind == Scope::kClass;
+  }
+
+  void StepAtScopeLevel() {
+    const size_t i = i_;
+    if (IsIdent(i)) {
+      const std::string& t = Text(i);
+      if (t == "namespace") {
+        HandleNamespace();
+        return;
+      }
+      if ((t == "class" || t == "struct") && !(i > 0 && Text(i - 1) == "enum")) {
+        HandleClass();
+        return;
+      }
+      if (t == "enum") {
+        HandleEnum();
+        return;
+      }
+      if (t == "template") {
+        i_ = IsPunct(i + 1, "<") ? SkipAngles(i + 1) : i + 1;
+        return;
+      }
+      if (t == "using" || t == "typedef" || t == "friend") {
+        i_ = SkipToSemicolon(i);
+        return;
+      }
+      if (t == "operator") {
+        if (!TryParseOperator(i)) {
+          i_ = SkipToSemicolon(i);
+        }
+        return;
+      }
+      if (t == "WEBCC_GUARDED_BY" && InClassScope()) {
+        HandleGuardedBy(i);
+        // fall through to the default advance; the '(' is consumed below
+      }
+    }
+    if (IsPunct(i, "(")) {
+      if (!TryParseFunctionAtParen(i)) {
+        i_ = SkipParens(i);
+      }
+      return;
+    }
+    if (IsPunct(i, "{")) {
+      scopes_.push_back(Scope{Scope::kOther, ""});
+      ++i_;
+      return;
+    }
+    if (IsPunct(i, "}")) {
+      if (!scopes_.empty()) {
+        scopes_.pop_back();
+      }
+      ++i_;
+      return;
+    }
+    if (IsPunct(i, "=")) {
+      // Variable initializer at scope level (`int a[] = {...};`,
+      // `auto f = [] { ... };`) — never a function definition we index.
+      i_ = SkipToSemicolon(i);
+      return;
+    }
+    ++i_;
+  }
+
+  void HandleNamespace() {
+    size_t i = i_ + 1;  // past 'namespace'
+    std::string name;
+    while (IsIdent(i) || IsPunct(i, "::")) {
+      if (IsIdent(i)) {
+        if (!name.empty()) {
+          name += "::";
+        }
+        name += Text(i);
+      }
+      ++i;
+    }
+    if (IsPunct(i, "{")) {
+      scopes_.push_back(Scope{Scope::kNamespace, name});
+      i_ = i + 1;
+      return;
+    }
+    // `namespace A = B;` or malformed: skip the statement.
+    i_ = SkipToSemicolon(i_);
+  }
+
+  void HandleClass() {
+    size_t i = i_ + 1;  // past 'class'/'struct'
+    // Skip attributes and alignas before the name.
+    while (IsPunct(i, "[")) {
+      i = SkipBrackets(i);
+    }
+    if (IsIdent(i) && Text(i) == "alignas" && IsPunct(i + 1, "(")) {
+      i = SkipParens(i + 1);
+    }
+    std::string name;
+    if (IsIdent(i)) {
+      name = Text(i);
+      ++i;
+      if (IsPunct(i, "<")) {  // explicit specialization
+        i = SkipAngles(i);
+      }
+    }
+    // Scan to the body '{' or a ';' (forward declaration / pointer decl).
+    while (i < sig_.size() && !IsPunct(i, "{") && !IsPunct(i, ";") &&
+           !IsPunct(i, "(")) {
+      if (IsPunct(i, "<")) {
+        i = SkipAngles(i);
+      } else {
+        ++i;
+      }
+    }
+    if (IsPunct(i, "{")) {
+      scopes_.push_back(Scope{Scope::kClass, name});
+      i_ = i + 1;
+      return;
+    }
+    i_ = i + 1;  // past the ';' (or stray '(' — next step re-examines)
+  }
+
+  void HandleEnum() {
+    size_t i = i_ + 1;
+    while (i < sig_.size() && !IsPunct(i, "{") && !IsPunct(i, ";")) {
+      ++i;
+    }
+    i_ = IsPunct(i, "{") ? SkipBraces(i) : i + 1;
+  }
+
+  // `member WEBCC_GUARDED_BY(mu);` at class scope.
+  void HandleGuardedBy(size_t i) {
+    if (!(IsPunct(i + 1, "(") && IsIdent(i + 2) && IsPunct(i + 3, ")"))) {
+      return;
+    }
+    if (!(i > 0 && IsIdent(i - 1))) {
+      return;
+    }
+    GuardedMember g;
+    g.class_name = ScopePrefix();
+    g.member = Text(i - 1);
+    g.mutex = Text(i + 2);
+    g.file = file_.path;
+    g.line = Line(i);
+    out_->guarded_members.push_back(std::move(g));
+  }
+
+  // Walks a qualifier chain backwards from position `j` (exclusive): the
+  // sequence `A :: B<T> ::` just before a name. Returns the joined qualifier
+  // and updates `j` to the first token of the chain.
+  std::string QualifierBefore(size_t* j) const {
+    std::string qualifier;
+    size_t k = *j;
+    while (k >= 2 && IsPunct(k - 1, "::")) {
+      size_t part_end = k - 1;  // the '::'
+      size_t part = part_end;
+      if (IsPunct(part_end - 1, ">")) {
+        // Templated qualifier: scan backwards to the matching '<', then the
+        // identifier before it.
+        int depth = 0;
+        size_t b = part_end - 1;
+        while (b > 0) {
+          if (IsPunct(b, ">")) {
+            ++depth;
+          } else if (IsPunct(b, "<")) {
+            if (--depth == 0) {
+              break;
+            }
+          }
+          --b;
+        }
+        if (b == 0 || !IsIdent(b - 1)) {
+          break;
+        }
+        part = b - 1;
+      } else if (IsIdent(part_end - 1)) {
+        part = part_end - 1;
+      } else {
+        break;  // e.g. a global-scope `::name`
+      }
+      qualifier = qualifier.empty() ? Text(part) : Text(part) + "::" + qualifier;
+      k = part;
+      if (k == 0) {
+        break;
+      }
+    }
+    *j = k;
+    return qualifier;
+  }
+
+  // Attempts to recognize a function signature whose parameter list opens at
+  // `paren`. On success the whole construct (body included) is consumed and
+  // i_ advanced; returns false to let the caller skip the parens.
+  bool TryParseFunctionAtParen(size_t paren) {
+    if (paren == 0 || !IsIdent(paren - 1)) {
+      return false;
+    }
+    const std::string name_text = Text(paren - 1);
+    if (IsAllCaps(name_text) || IsCallExcludedKeyword(name_text) ||
+        name_text == "operator") {
+      return false;
+    }
+    size_t name_pos = paren - 1;
+    std::string name = name_text;
+    if (name_pos > 0 && IsPunct(name_pos - 1, "~")) {
+      name = "~" + name;
+      --name_pos;
+    }
+    std::string qualifier = QualifierBefore(&name_pos);
+    return FinishSignature(name, qualifier, Line(paren - 1), paren);
+  }
+
+  // `operator<op>` / `operator()` / `operator bool` at scope level.
+  bool TryParseOperator(size_t i) {
+    std::string name = "operator";
+    size_t j = i + 1;
+    if (IsPunct(j, "(") && IsPunct(j + 1, ")")) {
+      name += "()";
+      j += 2;
+    } else {
+      while (j < sig_.size() && !IsPunct(j, "(")) {
+        name += Text(j);
+        ++j;
+        if (j - i > 6) {
+          return false;  // not an operator we recognize
+        }
+      }
+    }
+    if (!IsPunct(j, "(")) {
+      return false;
+    }
+    size_t name_pos = i;
+    std::string qualifier = QualifierBefore(&name_pos);
+    return FinishSignature(name, qualifier, Line(i), j);
+  }
+
+  bool FinishSignature(const std::string& name, const std::string& qualifier,
+                       size_t name_line, size_t paren) {
+    const size_t after_params = SkipParens(paren);
+    size_t k = after_params;
+    // Trailing qualifiers and specifiers.
+    while (k < sig_.size()) {
+      if (IsIdent(k)) {
+        const std::string& t = Text(k);
+        if (t == "const" || t == "override" || t == "final" || t == "mutable" ||
+            t == "volatile" || t == "try") {
+          ++k;
+          continue;
+        }
+        if (t == "noexcept" || t == "requires") {
+          ++k;
+          if (IsPunct(k, "(")) {
+            k = SkipParens(k);
+          }
+          continue;
+        }
+        break;  // some other identifier: not part of a signature we model
+      }
+      if (IsPunct(k, "&") || IsPunct(k, "&&")) {
+        ++k;
+        continue;
+      }
+      if (IsPunct(k, "[")) {
+        k = SkipBrackets(k);
+        continue;
+      }
+      if (IsPunct(k, "->")) {
+        // Trailing return type: anything up to the body/terminator.
+        ++k;
+        while (k < sig_.size() && !IsPunct(k, "{") && !IsPunct(k, ";") &&
+               !IsPunct(k, "=")) {
+          if (IsPunct(k, "<")) {
+            k = SkipAngles(k);
+          } else if (IsPunct(k, "(")) {
+            k = SkipParens(k);
+          } else {
+            ++k;
+          }
+        }
+        continue;
+      }
+      break;
+    }
+
+    bool is_definition = false;
+    size_t body_open = 0;
+    size_t scan_from = 0;  // first token to scan; the init list scans too
+    if (IsPunct(k, "{")) {
+      is_definition = true;
+      body_open = k;
+    } else if (IsPunct(k, ";")) {
+      i_ = k + 1;
+    } else if (IsPunct(k, "=")) {
+      // `= default`, `= delete`, `= 0`: a declaration without a body.
+      i_ = SkipToSemicolon(k);
+    } else if (IsPunct(k, ":")) {
+      // Constructor initializer list: `: member(expr), member{expr}, ... {`.
+      // Calls and primitives in initializer expressions count (taint hides
+      // there too — e.g. `: jobs_(ResolveJobs(jobs))`), so scanning starts
+      // at the colon, not the body brace.
+      scan_from = k + 1;
+      ++k;
+      while (k < sig_.size()) {
+        while (IsIdent(k) || IsPunct(k, "::")) {
+          ++k;
+          if (IsPunct(k, "<")) {
+            k = SkipAngles(k);
+          }
+        }
+        if (IsPunct(k, "(")) {
+          k = SkipParens(k);
+        } else if (IsPunct(k, "{")) {
+          // Brace-init of a member — unless it is the body (no ',' follows a
+          // body, and a body brace is never directly preceded by an ident we
+          // just walked). Disambiguate: treat as member-init iff a ',' or '{'
+          // follows the balanced group.
+          const size_t close = SkipBraces(k);
+          if (IsPunct(close, ",") || IsPunct(close, "{")) {
+            k = close;
+          } else {
+            is_definition = true;
+            body_open = k;
+            break;
+          }
+        } else {
+          return false;  // not a recognizable init list
+        }
+        if (IsPunct(k, ",")) {
+          ++k;
+          continue;
+        }
+        if (IsPunct(k, "{")) {
+          is_definition = true;
+          body_open = k;
+        }
+        break;
+      }
+      if (!is_definition) {
+        return false;
+      }
+    } else {
+      return false;
+    }
+
+    FunctionSymbol fn;
+    fn.name = name;
+    const std::string prefix = ScopePrefix();
+    fn.scope = prefix;
+    if (!qualifier.empty()) {
+      fn.scope = prefix.empty() ? qualifier : prefix + "::" + qualifier;
+    }
+    fn.qualified_name = fn.scope.empty() ? name : fn.scope + "::" + name;
+    fn.file = file_.path;
+    fn.line = name_line;
+    fn.is_definition = is_definition;
+    fn.is_method = InClassScope() || !qualifier.empty();
+    fn.annotated_nondeterministic = LineHasMarker(name_line);
+    if (is_definition) {
+      ScanBody(scan_from != 0 ? scan_from : body_open + 1, body_open, &fn);
+      i_ = SkipBraces(body_open);
+    }
+    out_->functions.push_back(std::move(fn));
+    return true;
+  }
+
+  bool LineHasMarker(size_t line) const {
+    for (size_t back = 0; back < 2; ++back) {
+      if (line >= back + 1 && line - back <= file_.raw_lines.size()) {
+        if (file_.raw_lines[line - back - 1].find("webcc-nondeterministic") !=
+            std::string::npos) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  // --- Body scanning --------------------------------------------------------
+
+  // Scans [scan_from, end-of-body) — for constructors, scan_from points at
+  // the first init-list token so initializer expressions are covered.
+  void ScanBody(size_t scan_from, size_t body_open, FunctionSymbol* fn) {
+    const size_t end = SkipBraces(body_open);
+    const bool rng_exempt = PathContains(file_.path, "util/rng.");
+    size_t pos = 0;
+    // Paren contexts: true when the group was opened by `for (`, used to
+    // recognize range-for iteration over unordered containers.
+    std::vector<bool> for_paren;
+    for (size_t i = scan_from; i + 1 < end + 1 && i < sig_.size(); ++i, ++pos) {
+      if (IsPunct(i, "(")) {
+        for_paren.push_back(i > 0 && IsIdent(i - 1) && Text(i - 1) == "for");
+        continue;
+      }
+      if (IsPunct(i, ")")) {
+        if (!for_paren.empty()) {
+          for_paren.pop_back();
+        }
+        continue;
+      }
+      if (!IsIdent(i)) {
+        // Range-for over an unordered container: `for (... : name)`.
+        if (IsPunct(i, ":") && !for_paren.empty() && for_paren.back() &&
+            IsIdent(i + 1) && IsPunct(i + 2, ")") &&
+            unordered_names_.count(Text(i + 1)) != 0) {
+          fn->primitives.push_back(PrimitiveUse{
+              "unordered iteration over '" + Text(i + 1) + "'", Line(i + 1)});
+        }
+        continue;
+      }
+
+      const std::string& t = Text(i);
+      const size_t line = Line(i);
+      fn->ident_uses.push_back(IdentUse{t, line, pos});
+
+      const bool after_std =
+          i >= 2 && Text(i - 2) == "std" && IsPunct(i - 1, "::");
+
+      // Call sites.
+      if (IsPunct(i + 1, "(") && !IsAllCaps(t) && !IsCallExcludedKeyword(t)) {
+        CallUse call;
+        call.callee = t;
+        call.line = line;
+        if (i > 0 && (IsPunct(i - 1, ".") || IsPunct(i - 1, "->"))) {
+          const bool via_this = i >= 2 && IsPunct(i - 1, "->") && Text(i - 2) == "this";
+          call.receiver = via_this ? CallReceiver::kPlain : CallReceiver::kMember;
+        } else if (i > 0 && IsPunct(i - 1, "::")) {
+          size_t name_pos = i;
+          call.qualifier = QualifierBefore(&name_pos);
+          call.receiver = CallReceiver::kScoped;
+        }
+        fn->calls.push_back(std::move(call));
+      }
+
+      // Lexical mutex acquisitions.
+      if (IsLockClass(t)) {
+        size_t j = i + 1;
+        if (IsPunct(j, "<")) {
+          j = SkipAngles(j);
+        }
+        if (IsIdent(j) && IsPunct(j + 1, "(")) {
+          // First constructor argument, last identifier before ',' or ')'.
+          std::string mutex;
+          size_t a = j + 2;
+          int depth = 0;
+          while (a < sig_.size()) {
+            if (IsPunct(a, "(")) {
+              ++depth;
+            } else if (IsPunct(a, ")")) {
+              if (depth-- == 0) {
+                break;
+              }
+            } else if (depth == 0 && IsPunct(a, ",")) {
+              break;
+            } else if (IsIdent(a)) {
+              mutex = Text(a);
+            }
+            ++a;
+          }
+          if (!mutex.empty()) {
+            fn->lock_acquires.push_back(LockAcquire{mutex, pos});
+          }
+        }
+      }
+      if (i + 3 < sig_.size() && (IsPunct(i + 1, ".") || IsPunct(i + 1, "->")) &&
+          Text(i + 2) == "lock" && IsPunct(i + 3, "(")) {
+        fn->lock_acquires.push_back(LockAcquire{t, pos});
+      }
+
+      // Nondeterministic primitives (the taint sources). The patterns mirror
+      // the pass-1 rules exactly; src/util/rng.* keeps its sanction for the
+      // randomness family (that is where the seeded engine lives).
+      if (!rng_exempt) {
+        if (IsBannedCRandomName(t) && IsPunct(i + 1, "(")) {
+          fn->primitives.push_back(PrimitiveUse{t + "()", line});
+        }
+        if (after_std && IsBannedStdRandomName(t)) {
+          fn->primitives.push_back(PrimitiveUse{"std::" + t, line});
+        }
+      }
+      if (t == "time" && IsPunct(i + 1, "(")) {
+        if (after_std) {
+          fn->primitives.push_back(PrimitiveUse{"std::time", line});
+        } else if ((Text(i + 2) == "NULL" || Text(i + 2) == "nullptr" ||
+                    Text(i + 2) == "0") &&
+                   IsPunct(i + 3, ")")) {
+          fn->primitives.push_back(PrimitiveUse{"time()", line});
+        }
+      }
+      if ((t == "gettimeofday" || t == "clock_gettime") && IsPunct(i + 1, "(")) {
+        fn->primitives.push_back(PrimitiveUse{t + "()", line});
+      }
+      if (t == "clock" && IsPunct(i + 1, "(") && IsPunct(i + 2, ")")) {
+        fn->primitives.push_back(PrimitiveUse{"clock()", line});
+      }
+      if (t == "chrono" && after_std && IsPunct(i + 1, "::") &&
+          IsWallclockChronoClockName(Text(i + 2))) {
+        fn->primitives.push_back(
+            PrimitiveUse{"std::chrono::" + Text(i + 2), line});
+      }
+      if (t == "getenv" && IsPunct(i + 1, "(")) {
+        fn->primitives.push_back(PrimitiveUse{"getenv()", line});
+      }
+      if (t == "hardware_concurrency" && IsPunct(i + 1, "(")) {
+        fn->primitives.push_back(PrimitiveUse{"hardware_concurrency()", line});
+      }
+      if (t == "hash" && after_std && IsPunct(i + 1, "<")) {
+        // Pointer hashing: a '*' anywhere in the template argument.
+        const size_t close = SkipAngles(i + 1);
+        for (size_t a = i + 2; a + 1 < close; ++a) {
+          if (IsPunct(a, "*")) {
+            fn->primitives.push_back(PrimitiveUse{"std::hash over a pointer", line});
+            break;
+          }
+        }
+      }
+      if (unordered_names_.count(t) != 0 &&
+          (IsPunct(i + 1, ".") || IsPunct(i + 1, "->")) &&
+          (Text(i + 2) == "begin" || Text(i + 2) == "cbegin") && IsPunct(i + 3, "(")) {
+        fn->primitives.push_back(
+            PrimitiveUse{"unordered iteration over '" + t + "'", line});
+      }
+    }
+  }
+
+  const LexedFile& file_;
+  const std::set<std::string>& unordered_names_;
+  SymbolIndex* out_;
+  std::vector<const Token*> sig_;
+  size_t i_ = 0;
+  std::vector<Scope> scopes_;
+};
+
+// Names declared anywhere in the unit as std::unordered_* containers; used
+// to recognize hash-order iteration as a taint source.
+std::set<std::string> CollectUnorderedNames(const std::vector<const LexedFile*>& files) {
+  std::set<std::string> names;
+  for (const LexedFile* file : files) {
+    const std::vector<Token>& toks = file->tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokenKind::kIdentifier ||
+          toks[i].text.rfind("unordered_", 0) != 0) {
+        continue;
+      }
+      // std::unordered_map<...> name
+      size_t j = i + 1;
+      if (j < toks.size() && toks[j].kind == TokenKind::kPunct && toks[j].text == "<") {
+        int depth = 0;
+        while (j < toks.size()) {
+          if (toks[j].kind == TokenKind::kPunct) {
+            if (toks[j].text == "<") {
+              ++depth;
+            } else if (toks[j].text == ">") {
+              if (--depth == 0) {
+                ++j;
+                break;
+              }
+            } else if (toks[j].text == ">>") {
+              depth -= 2;
+              if (depth <= 0) {
+                ++j;
+                break;
+              }
+            }
+          }
+          ++j;
+        }
+        if (j < toks.size() && toks[j].kind == TokenKind::kIdentifier) {
+          names.insert(toks[j].text);
+        }
+      }
+    }
+  }
+  return names;
+}
+
+}  // namespace
+
+SymbolIndex BuildSymbolIndex(const std::vector<LexedFile>& files) {
+  // Deterministic file order regardless of how the caller discovered them.
+  std::vector<const LexedFile*> ordered;
+  ordered.reserve(files.size());
+  for (const LexedFile& f : files) {
+    ordered.push_back(&f);
+  }
+  std::sort(ordered.begin(), ordered.end(), [](const LexedFile* a, const LexedFile* b) {
+    const std::string ra = RepoRelative(a->path);
+    const std::string rb = RepoRelative(b->path);
+    if (ra != rb) return ra < rb;
+    return a->path < b->path;
+  });
+
+  SymbolIndex index;
+  const std::set<std::string> unordered_names = CollectUnorderedNames(ordered);
+  for (const LexedFile* file : ordered) {
+    FileIndexer(*file, unordered_names, &index).Run();
+    for (const Token& t : file->tokens) {
+      if (t.kind == TokenKind::kIdentifier) {
+        ++index.ident_census[t.text];
+      }
+    }
+  }
+  for (size_t i = 0; i < index.functions.size(); ++i) {
+    if (index.functions[i].is_definition) {
+      index.definitions_by_name[index.functions[i].name].push_back(i);
+    }
+  }
+  return index;
+}
+
+}  // namespace webcc::analyze

@@ -1,0 +1,123 @@
+// Pass 4 of webcc-analyze, stage 1: a cross-TU symbol index.
+//
+// Built on the pass-1 lexer (tools/analyze/lexer.h), the indexer walks every
+// scanned file's token stream and records, heuristically but
+// deterministically (no libclang, no preprocessor expansion):
+//
+//   * function and method *definitions* — name, scope-qualified name, file,
+//     line, and everything pass 4 needs from the body: call sites,
+//     nondeterministic primitive uses, every identifier use, and lexical
+//     mutex acquisitions;
+//   * function *declarations* (so a header prototype does not read as a dead
+//     symbol when only its out-of-line definition is referenced);
+//   * `WEBCC_GUARDED_BY(mu)`-annotated data members per class (consumed by
+//     the lock-discipline rule, tools/analyze/lockcheck.h);
+//   * a global identifier-spelling census (consumed by the dead-symbol
+//     report, tools/analyze/callgraph.h).
+//
+// Scope tracking understands namespaces (including `namespace a::b`),
+// classes/structs, out-of-line `Class::Method` definitions, constructor
+// initializer lists, `= default/delete`, operators, destructors, and
+// template headers. It is a linter-grade parser: unrecognized constructs are
+// skipped, never fatal, and the same bytes always index identically —
+// that determinism is what lets findings flow through the baseline.
+//
+// Known, accepted imprecision: ALL_CAPS names are treated as macros and
+// ignored; a variable declared with constructor syntax (`Foo x(1);`) at
+// namespace scope indexes as a spurious *declaration* named `x` (harmless:
+// declarations only feed liveness, never taint); overloads share one name
+// and are resolved conservatively (see callgraph.h).
+
+#ifndef WEBCC_TOOLS_ANALYZE_SYMBOLS_H_
+#define WEBCC_TOOLS_ANALYZE_SYMBOLS_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/lexer.h"
+
+namespace webcc::analyze {
+
+// How a call site spelled its target; the resolver uses this to narrow the
+// candidate set (see callgraph.h).
+enum class CallReceiver {
+  kPlain,   // f(...)  or  this->f(...)
+  kMember,  // obj.f(...)  or  ptr->f(...)
+  kScoped,  // A::B::f(...)
+};
+
+struct CallUse {
+  std::string callee;     // unqualified target name
+  std::string qualifier;  // "A::B" for kScoped, empty otherwise
+  CallReceiver receiver = CallReceiver::kPlain;
+  size_t line = 0;
+};
+
+// One use of a nondeterministic primitive inside a function body. These are
+// the determinism-taint *sources*: the same set pass 1 bans at call sites,
+// detected here per enclosing function so taint can flow up the call graph.
+struct PrimitiveUse {
+  std::string what;  // e.g. "std::getenv", "std::mt19937", "unordered iteration over 'by_uri'"
+  size_t line = 0;
+};
+
+struct IdentUse {
+  std::string name;
+  size_t line = 0;
+  size_t pos = 0;  // body-relative token position, for lexical ordering
+};
+
+// A lexical mutex acquisition: std::lock_guard/unique_lock/scoped_lock/
+// shared_lock construction naming the mutex, or an explicit `mu.lock()`.
+struct LockAcquire {
+  std::string mutex;
+  size_t pos = 0;
+};
+
+struct FunctionSymbol {
+  std::string name;            // "Submit", "~ThreadPool", "operator()"
+  std::string qualified_name;  // "webcc::ThreadPool::Submit"
+  std::string scope;           // enclosing scope: "webcc::ThreadPool" (class
+                               // or namespace; empty at global scope)
+  std::string file;            // path as scanned (not yet repo-relativized)
+  size_t line = 0;             // line of the name token
+  bool is_definition = false;  // has a body (declarations index too)
+  bool is_method = false;      // scope names a class seen with members/methods
+  bool annotated_nondeterministic = false;  // `webcc-nondeterministic` marker
+  // Body contents; empty for declarations.
+  std::vector<CallUse> calls;
+  std::vector<PrimitiveUse> primitives;
+  std::vector<IdentUse> ident_uses;
+  std::vector<LockAcquire> lock_acquires;
+};
+
+// One WEBCC_GUARDED_BY(mutex) annotation on a class data member.
+struct GuardedMember {
+  std::string class_name;  // qualified: "webcc::ThreadPool"
+  std::string member;      // "tasks_"
+  std::string mutex;       // "mu_"
+  std::string file;
+  size_t line = 0;
+};
+
+struct SymbolIndex {
+  // All records in deterministic order: files sorted by repo-relative path,
+  // then token order within each file.
+  std::vector<FunctionSymbol> functions;
+  std::vector<GuardedMember> guarded_members;
+  // Indices into `functions` of definitions, keyed by unqualified name.
+  std::map<std::string, std::vector<size_t>> definitions_by_name;
+  // Total identifier tokens per spelling across the whole scan unit
+  // (excluding comments), for the dead-symbol report.
+  std::map<std::string, size_t> ident_census;
+};
+
+// Indexes `files` as one scan unit. Deterministic for a given set of file
+// (path, contents) pairs regardless of input order.
+SymbolIndex BuildSymbolIndex(const std::vector<LexedFile>& files);
+
+}  // namespace webcc::analyze
+
+#endif  // WEBCC_TOOLS_ANALYZE_SYMBOLS_H_

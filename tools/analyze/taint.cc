@@ -1,0 +1,204 @@
+#include "tools/analyze/taint.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "tools/analyze/layers.h"
+
+namespace webcc::analyze {
+namespace {
+
+const char* const kSinkDirs[] = {"src/sim/", "src/cache/", "src/core/",
+                                 "src/chaos/", "src/workload/"};
+
+bool IsSinkFile(const std::string& path) {
+  const std::string rel = RepoRelative(path);
+  for (const char* dir : kSinkDirs) {
+    if (rel.rfind(dir, 0) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool WaiverMatches(const std::string& qualified_name, const std::string& entry) {
+  if (qualified_name == entry) {
+    return true;
+  }
+  if (entry.size() + 2 > qualified_name.size()) {
+    return false;
+  }
+  const size_t suffix_at = qualified_name.size() - entry.size();
+  return qualified_name.compare(suffix_at, entry.size(), entry) == 0 &&
+         qualified_name.compare(suffix_at - 2, 2, "::") == 0;
+}
+
+// Per-function taint state. A function is tainted by its own first primitive
+// (via == kOwn) or through one deterministic callee (the BFS parent).
+constexpr size_t kClean = static_cast<size_t>(-1);
+constexpr size_t kOwn = static_cast<size_t>(-2);
+
+struct TaintState {
+  std::vector<size_t> via;  // kClean, kOwn, or the callee index taint came from
+};
+
+// Breadth-first taint propagation from every source up the reverse call
+// graph. Waived functions (when `barriers` is non-null) never taint.
+TaintState Propagate(const SymbolIndex& index,
+                     const std::vector<std::vector<size_t>>& callers,
+                     const std::vector<bool>* barriers) {
+  TaintState state;
+  state.via.assign(index.functions.size(), kClean);
+  std::deque<size_t> queue;
+  for (size_t i = 0; i < index.functions.size(); ++i) {
+    const FunctionSymbol& fn = index.functions[i];
+    if (!fn.is_definition || (barriers != nullptr && (*barriers)[i])) {
+      continue;
+    }
+    if (!fn.primitives.empty() || fn.annotated_nondeterministic) {
+      state.via[i] = kOwn;
+      queue.push_back(i);
+    }
+  }
+  while (!queue.empty()) {
+    const size_t cur = queue.front();
+    queue.pop_front();
+    for (const size_t caller : callers[cur]) {
+      if (state.via[caller] != kClean ||
+          (barriers != nullptr && (*barriers)[caller])) {
+        continue;
+      }
+      state.via[caller] = cur;
+      queue.push_back(caller);
+    }
+  }
+  return state;
+}
+
+std::string SourceDescription(const FunctionSymbol& fn) {
+  if (!fn.primitives.empty()) {
+    const PrimitiveUse& p = fn.primitives.front();
+    return p.what + " at " + RepoRelative(fn.file) + ":" + std::to_string(p.line);
+  }
+  return std::string("`// webcc-nondeterministic` annotation at ") +
+         RepoRelative(fn.file) + ":" + std::to_string(fn.line);
+}
+
+}  // namespace
+
+std::vector<TaintWaiver> ParseTaintWaivers(const std::string& path,
+                                           const std::string& contents,
+                                           std::vector<Finding>* findings) {
+  std::vector<TaintWaiver> waivers;
+  std::istringstream in(contents);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') {
+      continue;
+    }
+    // Continuation lines (indented) extend the previous justification.
+    if (first > 0 && !waivers.empty()) {
+      waivers.back().justification += " " + line.substr(first);
+      continue;
+    }
+    const size_t name_end = line.find_first_of(" \t", first);
+    const std::string name =
+        line.substr(first, name_end == std::string::npos ? std::string::npos
+                                                         : name_end - first);
+    std::string justification;
+    if (name_end != std::string::npos) {
+      const size_t just = line.find_first_not_of(" \t", name_end);
+      if (just != std::string::npos) {
+        justification = line.substr(just);
+      }
+    }
+    if (justification.empty()) {
+      findings->push_back(
+          Finding{path, line_no, "taint-config",
+                  "taint waiver for '" + name +
+                      "' has no justification; every waiver must say why the "
+                      "nondeterminism cannot affect simulation results"});
+      continue;
+    }
+    waivers.push_back(TaintWaiver{name, justification, line_no});
+  }
+  return waivers;
+}
+
+void CheckTaint(const SymbolIndex& index, const CallGraph& graph,
+                const std::vector<TaintWaiver>& waivers,
+                const std::string& waivers_path, std::vector<Finding>* findings) {
+  const size_t n = index.functions.size();
+
+  // Reverse adjacency, with caller lists in ascending index order so BFS
+  // parent assignment is deterministic.
+  std::vector<std::vector<size_t>> callers(n);
+  for (size_t caller = 0; caller < n; ++caller) {
+    for (const size_t callee : graph.callees[caller]) {
+      callers[callee].push_back(caller);
+    }
+  }
+  for (std::vector<size_t>& c : callers) {
+    std::sort(c.begin(), c.end());
+  }
+
+  std::vector<bool> waived(n, false);
+  std::vector<size_t> waiver_of(n, kClean);  // which waiver entry matched
+  for (size_t w = 0; w < waivers.size(); ++w) {
+    for (size_t i = 0; i < n; ++i) {
+      if (WaiverMatches(index.functions[i].qualified_name, waivers[w].function)) {
+        waived[i] = true;
+        if (waiver_of[i] == kClean) {
+          waiver_of[i] = w;
+        }
+      }
+    }
+  }
+
+  const TaintState state = Propagate(index, callers, &waived);
+
+  for (size_t i = 0; i < n; ++i) {
+    const FunctionSymbol& fn = index.functions[i];
+    if (state.via[i] == kClean || !fn.is_definition || !IsSinkFile(fn.file)) {
+      continue;
+    }
+    // Walk the parent chain down to the source.
+    std::string chain = fn.qualified_name;
+    size_t cur = i;
+    while (state.via[cur] != kOwn) {
+      cur = state.via[cur];
+      chain += " -> " + index.functions[cur].qualified_name;
+    }
+    findings->push_back(
+        Finding{fn.file, fn.line, "determinism-taint",
+                "'" + fn.qualified_name + "' transitively reaches " +
+                    SourceDescription(index.functions[cur]) +
+                    "; call chain: " + chain +
+                    " (waive in the taint waiver file only if this cannot "
+                    "affect simulation results)"});
+  }
+
+  // Ratchet: a waiver is stale when, with all barriers removed, no function
+  // it matches is tainted — i.e. deleting the entry would change nothing.
+  if (!waivers.empty()) {
+    const TaintState unwaived = Propagate(index, callers, nullptr);
+    for (size_t w = 0; w < waivers.size(); ++w) {
+      bool suppresses = false;
+      for (size_t i = 0; i < n && !suppresses; ++i) {
+        suppresses = waiver_of[i] == w && unwaived.via[i] != kClean;
+      }
+      if (!suppresses) {
+        findings->push_back(
+            Finding{waivers_path, waivers[w].line, "stale-taint-waiver",
+                    "taint waiver for '" + waivers[w].function +
+                        "' no longer suppresses any taint; delete it"});
+      }
+    }
+  }
+}
+
+}  // namespace webcc::analyze

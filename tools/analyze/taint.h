@@ -1,0 +1,70 @@
+// Pass 4 of webcc-analyze, stage 3: transitive determinism taint.
+//
+// The repro's results are only trustworthy because every simulation is
+// bit-reproducible (twin runs, the chaos oracle, and parallel sweeps all
+// compare field-exact output). Pass 1 bans nondeterministic primitives at
+// the call site; this pass closes the remaining gap — a primitive hidden one
+// call level deep inside a helper.
+//
+// Sources (per function, from the symbol index):
+//   * any recorded PrimitiveUse — banned randomness, wall-clock reads,
+//     getenv, hardware_concurrency, unordered iteration, pointer hashing
+//     (src/util/rng.* keeps its seeded-engine sanction, as in pass 1);
+//   * a `// webcc-nondeterministic` annotation on the definition line (or
+//     the line above it) — the escape hatch for nondeterminism the lexer
+//     cannot see, which still taints every transitive caller.
+//
+// Sinks: function definitions under src/sim, src/cache, src/core,
+// src/chaos, or src/workload — the directories whose behavior feeds
+// simulation results. A tainted sink is a `determinism-taint` finding whose
+// message prints the full call chain down to the primitive.
+//
+// Waivers: a waiver file (--taint-waivers) lists functions whose
+// nondeterminism is sanctioned, each with a mandatory justification:
+//
+//     # comment
+//     webcc::ResolveJobs  jobs count only affects scheduling; results are
+//                         index-ordered and merge deterministically
+//
+// A waived function is a propagation barrier: neither its own primitives nor
+// taint arriving from its callees flow to its callers. Names match on a
+// trailing `::`-boundary suffix of the qualified name. Like baseline
+// entries, waivers ratchet: an entry that no longer suppresses any taint is
+// a `stale-taint-waiver` finding, and malformed lines are `taint-config`
+// findings — both unbaselineable.
+
+#ifndef WEBCC_TOOLS_ANALYZE_TAINT_H_
+#define WEBCC_TOOLS_ANALYZE_TAINT_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/analyze/callgraph.h"
+#include "tools/analyze/source.h"
+#include "tools/analyze/symbols.h"
+
+namespace webcc::analyze {
+
+struct TaintWaiver {
+  std::string function;       // qualified-name suffix, e.g. "webcc::ResolveJobs"
+  std::string justification;  // mandatory, free text
+  size_t line = 0;            // 1-based line in the waiver file
+};
+
+// Parses the waiver list. Malformed lines (no justification) append
+// `taint-config` findings against `path` and are skipped.
+std::vector<TaintWaiver> ParseTaintWaivers(const std::string& path,
+                                           const std::string& contents,
+                                           std::vector<Finding>* findings);
+
+// Runs the taint analysis and appends `determinism-taint` and
+// `stale-taint-waiver` findings. Deterministic: chains are shortest-first
+// with index-order tie-breaks, so the same scan unit always prints the same
+// chain. `waivers_path` is used only for reporting stale entries.
+void CheckTaint(const SymbolIndex& index, const CallGraph& graph,
+                const std::vector<TaintWaiver>& waivers,
+                const std::string& waivers_path, std::vector<Finding>* findings);
+
+}  // namespace webcc::analyze
+
+#endif  // WEBCC_TOOLS_ANALYZE_TAINT_H_

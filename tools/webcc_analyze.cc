@@ -1,15 +1,22 @@
 // CLI entry point for webcc-analyze, the multi-pass static analyzer.
 // Exit status 0 = clean, 1 = findings, 2 = usage error.
 //
-//   webcc-analyze src bench --layers=tools/analyze/layers.txt
+//   webcc-analyze src bench tools --layers=tools/analyze/layers.txt
 //       --baseline=tools/analyze/baseline.txt
+//       --taint-waivers=tools/analyze/taint_waivers.txt
 //       --sarif=analyze.sarif                  # what CI and lint.analyze.tree run
 //   webcc-analyze src/cache/foo.cc             # rules only, single file
 //
 // Without --layers the layer pass is skipped; without --baseline every
-// finding is fatal. --graph-cache=FILE memoizes include extraction across
-// runs (CI persists the file keyed on the tree hash).
+// finding is fatal. --symbols (implied by --taint-waivers) enables pass 4:
+// symbol index, call-graph determinism taint, and lock discipline.
+// --dead-symbols additionally prints the advisory dead-symbol report to
+// stdout (never gating). --graph-cache=FILE memoizes include extraction
+// across runs (CI persists the file keyed on the tree hash; the cache
+// self-invalidates when layers or taint waivers change). --jobs=N lexes in
+// parallel; output is byte-identical for every N.
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -35,24 +42,55 @@ int main(int argc, char** argv) {
   std::vector<std::string> roots;
   webcc::analyze::AnalyzeOptions options;
   std::string sarif_path;
+  std::string jobs_value;
+  bool print_dead_symbols = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::cout
           << "usage: webcc-analyze <file-or-dir>... [--layers=FILE] [--baseline=FILE]\n"
-             "                     [--sarif=FILE] [--graph-cache=FILE]\n"
+             "                     [--symbols] [--taint-waivers=FILE] [--dead-symbols]\n"
+             "                     [--sarif=FILE] [--graph-cache=FILE] [--jobs=N]\n"
              "Pass 1 lints .h/.cc/.cpp files token-wise for determinism hazards.\n"
              "Pass 2 (--layers) enforces the architecture layer DAG on src/ includes.\n"
              "Pass 3 (--baseline) suppresses acknowledged findings; stale entries fail.\n"
+             "Pass 4 (--symbols, implied by --taint-waivers) builds the cross-TU symbol\n"
+             "index and call graph, then checks transitive determinism taint and\n"
+             "WEBCC_GUARDED_BY lock discipline; --dead-symbols prints the advisory\n"
+             "defined-but-never-called report to stdout (never affects exit status).\n"
+             "Directories named tests/ are always skipped.\n"
              "--sarif additionally writes SARIF 2.1.0 JSON for CI annotation.\n"
              "Suppress one line with: // webcc-lint: allow(<rule>) <why>\n"
-             "Suppress one rule file-wide with: // webcc-lint: allow-file(<rule>) <why>\n";
+             "Suppress one rule file-wide with: // webcc-lint: allow-file(<rule>) <why>\n"
+             "Waive sanctioned taint in the --taint-waivers file (one function per\n"
+             "line, justification required; stale waivers fail).\n";
       return 0;
+    }
+    if (arg == "--symbols") {
+      options.run_symbols = true;
+      continue;
+    }
+    if (arg == "--dead-symbols") {
+      options.run_symbols = true;
+      print_dead_symbols = true;
+      continue;
     }
     if (TakeFlagValue(arg, "--layers", &options.layers_file) ||
         TakeFlagValue(arg, "--baseline", &options.baseline_file) ||
         TakeFlagValue(arg, "--graph-cache", &options.graph_cache_file) ||
+        TakeFlagValue(arg, "--taint-waivers", &options.taint_waivers_file) ||
         TakeFlagValue(arg, "--sarif", &sarif_path)) {
+      continue;
+    }
+    if (TakeFlagValue(arg, "--jobs", &jobs_value)) {
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(jobs_value.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || n == 0 || n > 256) {
+        std::cerr << "webcc-analyze: --jobs wants an integer in [1,256], got '"
+                  << jobs_value << "'\n";
+        return 2;
+      }
+      options.jobs = static_cast<size_t>(n);
       continue;
     }
     if (!arg.empty() && arg[0] == '-') {
@@ -62,12 +100,13 @@ int main(int argc, char** argv) {
     roots.push_back(arg);
   }
   if (roots.empty()) {
-    std::cerr << "webcc-analyze: no paths given (try: webcc-analyze src bench)\n";
+    std::cerr << "webcc-analyze: no paths given (try: webcc-analyze src bench tools)\n";
     return 2;
   }
 
-  const std::vector<webcc::analyze::Finding> findings =
-      webcc::analyze::AnalyzePaths(roots, options);
+  std::vector<std::string> dead_symbols;
+  const std::vector<webcc::analyze::Finding> findings = webcc::analyze::AnalyzePaths(
+      roots, options, print_dead_symbols ? &dead_symbols : nullptr);
 
   if (!sarif_path.empty()) {
     std::ofstream out(sarif_path, std::ios::trunc);
@@ -76,6 +115,15 @@ int main(int argc, char** argv) {
       return 2;
     }
     out << webcc::analyze::RenderSarif(findings);
+  }
+
+  if (print_dead_symbols) {
+    std::cout << "# dead symbols (defined but never referenced in the scan "
+                 "unit; advisory)\n";
+    for (const std::string& line : dead_symbols) {
+      std::cout << line << "\n";
+    }
+    std::cout << "# " << dead_symbols.size() << " dead symbol(s)\n";
   }
 
   webcc::analyze::PrintFindings(findings, std::cerr);

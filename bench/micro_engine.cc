@@ -7,11 +7,16 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <fstream>
 #include <new>
+#include <string>
+#include <vector>
 
+#include "src/cache/entry_table.h"
 #include "src/cache/origin_upstream.h"
 #include "src/cache/policy_factory.h"
 #include "src/cache/proxy_cache.h"
+#include "src/cache/reference_store.h"
 #include "src/core/simulation.h"
 #include "src/core/sweep_runner.h"
 #include "src/sim/engine.h"
@@ -127,17 +132,155 @@ void BM_CacheHandleRequest(benchmark::State& state, PolicyConfig policy) {
   cache.Preload(server.store(), SimTime::Epoch());
   Rng rng(7);
   SimTime now = SimTime::Epoch();
+  AllocCounters allocs;
+  allocs.Start();
   for (auto _ : state) {
     now += Seconds(1);
     const auto id = static_cast<ObjectId>(rng.UniformInt(0, kObjects - 1));
     benchmark::DoNotOptimize(cache.HandleRequest(id, now));
   }
   state.SetItemsProcessed(state.iterations());
+  allocs.Report(state, state.iterations());
 }
 BENCHMARK_CAPTURE(BM_CacheHandleRequest, ttl, PolicyConfig::Ttl(Hours(24)));
 BENCHMARK_CAPTURE(BM_CacheHandleRequest, alex, PolicyConfig::Alex(0.10));
 BENCHMARK_CAPTURE(BM_CacheHandleRequest, invalidation, PolicyConfig::Invalidation());
 BENCHMARK_CAPTURE(BM_CacheHandleRequest, adaptive, PolicyConfig::Adaptive());
+
+// --- ProxyCache storage-layer benchmarks ---
+//
+// The same operation sequence driven through both storage layouts: the
+// columnar EntryTable that now backs ProxyCache, and the pre-columnar
+// map+list ReferenceEntryStore (reference_store.h). Keeping the old layout
+// benchmarked here means the before/after numbers in docs/PERFORMANCE.md
+// regenerate on current hardware instead of fossilizing.
+
+enum class StoreKind { kColumnar, kMapList };
+
+// Warm-store hit path: index probe + LRU touch + freshness check, the
+// per-request work every fresh hit pays. Expect 0 allocs/op for the
+// columnar store; the map+list layout reallocates a list node per touch.
+void BM_ProxyCacheLookup(benchmark::State& state, StoreKind kind) {
+  constexpr int kStoreObjects = 4096;
+  const SimTime expires = SimTime::Epoch() + Days(365);
+  const SimTime now = SimTime::Epoch() + Hours(1);
+  EntryTable table;
+  ReferenceEntryStore ref;
+  for (int i = 0; i < kStoreObjects; ++i) {
+    if (kind == StoreKind::kColumnar) {
+      const EntryTable::SlotId slot = table.InsertFront(static_cast<ObjectId>(i));
+      CacheEntry& entry = table.entry(slot);
+      entry.size_bytes = 6000;
+      entry.expires_at = expires;
+      table.SyncHotColumns(slot);
+    } else {
+      CacheEntry& entry = ref.InsertFront(static_cast<ObjectId>(i));
+      entry.size_bytes = 6000;
+      entry.expires_at = expires;
+    }
+  }
+  Rng rng(11);
+  AllocCounters allocs;
+  allocs.Start();
+  if (kind == StoreKind::kColumnar) {
+    for (auto _ : state) {
+      const auto id = static_cast<ObjectId>(rng.UniformInt(0, kStoreObjects - 1));
+      const EntryTable::SlotId slot = table.Find(id);
+      table.TouchFront(slot);
+      benchmark::DoNotOptimize(table.FreshTimeBased(slot, now));
+    }
+  } else {
+    for (auto _ : state) {
+      const auto id = static_cast<ObjectId>(rng.UniformInt(0, kStoreObjects - 1));
+      const CacheEntry* entry = ref.Find(id);
+      ref.TouchFront(id);
+      benchmark::DoNotOptimize(entry->valid && now < entry->expires_at);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  allocs.Report(state, state.iterations());
+}
+BENCHMARK_CAPTURE(BM_ProxyCacheLookup, columnar, StoreKind::kColumnar);
+BENCHMARK_CAPTURE(BM_ProxyCacheLookup, maplist, StoreKind::kMapList);
+
+// Capacity-pressure cycle: touch a resident entry to the front, evict the
+// LRU tail, install a fresh object — the EnforceCapacity churn a full cache
+// runs on every miss.
+void BM_ProxyCacheTouchEvict(benchmark::State& state, StoreKind kind) {
+  constexpr int kWorkingSet = 1024;
+  const SimTime expires = SimTime::Epoch() + Days(365);
+  EntryTable table;
+  ReferenceEntryStore ref;
+  ObjectId next_id = 0;
+  const auto install = [&](ObjectId id) {
+    if (kind == StoreKind::kColumnar) {
+      const EntryTable::SlotId slot = table.InsertFront(id);
+      CacheEntry& entry = table.entry(slot);
+      entry.size_bytes = 6000;
+      entry.expires_at = expires;
+      table.SyncHotColumns(slot);
+    } else {
+      CacheEntry& entry = ref.InsertFront(id);
+      entry.size_bytes = 6000;
+      entry.expires_at = expires;
+    }
+  };
+  for (; next_id < kWorkingSet; ++next_id) {
+    install(next_id);
+  }
+  AllocCounters allocs;
+  allocs.Start();
+  for (auto _ : state) {
+    // Rescue the LRU tail to the front (the longest splice/relink either
+    // layout can do), then evict the new tail and install a fresh object.
+    if (kind == StoreKind::kColumnar) {
+      table.TouchFront(table.LruBack());
+      table.Erase(table.LruBack());
+    } else {
+      ref.TouchFront(ref.LruBack());
+      ref.Erase(ref.LruBack());
+    }
+    install(next_id++);
+  }
+  state.SetItemsProcessed(state.iterations());
+  allocs.Report(state, state.iterations());
+}
+BENCHMARK_CAPTURE(BM_ProxyCacheTouchEvict, columnar, StoreKind::kColumnar);
+BENCHMARK_CAPTURE(BM_ProxyCacheTouchEvict, maplist, StoreKind::kMapList);
+
+// Batched expiry scan over the whole store (one op = one full sweep of
+// kStoreObjects entries; ns/op scales with store size). The columnar sweep
+// reads two flat columns; the reference walks the LRU list and dereferences
+// every map node.
+void BM_ProxyCacheSweepExpired(benchmark::State& state, StoreKind kind) {
+  constexpr int kStoreObjects = 4096;
+  EntryTable table;
+  ReferenceEntryStore ref;
+  for (int i = 0; i < kStoreObjects; ++i) {
+    // Half the entries are long expired, half far in the future.
+    const SimTime expires =
+        i % 2 == 0 ? SimTime::Epoch() + Seconds(1) : SimTime::Epoch() + Days(365);
+    if (kind == StoreKind::kColumnar) {
+      const EntryTable::SlotId slot = table.InsertFront(static_cast<ObjectId>(i));
+      table.entry(slot).expires_at = expires;
+      table.SyncHotColumns(slot);
+    } else {
+      ref.InsertFront(static_cast<ObjectId>(i)).expires_at = expires;
+    }
+  }
+  SimTime now = SimTime::Epoch() + Hours(1);
+  for (auto _ : state) {
+    now += Seconds(1);  // advancing keeps the compare honest, sweeps stay no-ops after the first
+    if (kind == StoreKind::kColumnar) {
+      benchmark::DoNotOptimize(table.SweepExpired(now));
+    } else {
+      benchmark::DoNotOptimize(ref.SweepExpired(now));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_ProxyCacheSweepExpired, columnar, StoreKind::kColumnar);
+BENCHMARK_CAPTURE(BM_ProxyCacheSweepExpired, maplist, StoreKind::kMapList);
 
 void BM_WorrellGeneration(benchmark::State& state) {
   for (auto _ : state) {
@@ -194,7 +337,80 @@ void BM_FullSimulationRun(benchmark::State& state) {
 }
 BENCHMARK(BM_FullSimulationRun);
 
+// Console reporter that additionally appends one JSON line per BM_ProxyCache*
+// run to the same --bench-json / WEBCC_BENCH_JSON stream the figure binaries
+// feed (bench_common.h), so the cache hot-path trajectory lands in the CI
+// bench artifacts alongside the sweep timings.
+class ProxyCacheJsonReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ProxyCacheJsonReporter(std::string path) : path_(std::move(path)) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    if (path_.empty()) {
+      return;
+    }
+    std::ofstream out(path_, std::ios::app);
+    if (!out) {
+      std::fprintf(stderr, "[micro_engine: cannot append to %s]\n", path_.c_str());
+      return;
+    }
+    for (const Run& run : runs) {
+      const std::string name = run.benchmark_name();
+      if (name.rfind("BM_ProxyCache", 0) != 0 || run.error_occurred) {
+        continue;
+      }
+      const auto counter = [&run](const char* key) {
+        const auto it = run.counters.find(key);
+        return it == run.counters.end() ? 0.0 : static_cast<double>(it->second);
+      };
+      out << "{\"figure\":\"micro_engine\",\"benchmark\":\"" << name
+          << "\",\"ns_per_op\":" << run.GetAdjustedRealTime()
+          << ",\"allocs_per_op\":" << counter("allocs/op")
+          << ",\"bytes_per_op\":" << counter("bytes/op") << "}\n";
+    }
+  }
+
+ private:
+  std::string path_;
+};
+
+// Resolves the JSON-lines sink the same way bench_common.h does: --bench-json
+// PATH (or --bench-json=PATH) wins over the WEBCC_BENCH_JSON environment
+// variable; empty means no emission. Consumes the flag so google-benchmark
+// does not reject it as unrecognized.
+std::string ResolveBenchJsonPath(int* argc, char** argv) {
+  std::string path;
+  if (const char* env = std::getenv("WEBCC_BENCH_JSON")) {
+    path = env;
+  }
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--bench-json=", 0) == 0) {
+      path = arg.substr(std::string("--bench-json=").size());
+      continue;
+    }
+    if (arg == "--bench-json" && i + 1 < *argc) {
+      path = argv[++i];
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  *argc = kept;
+  return path;
+}
+
 }  // namespace
 }  // namespace webcc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path = webcc::ResolveBenchJsonPath(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  webcc::ProxyCacheJsonReporter reporter(json_path);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  return 0;
+}

@@ -10,9 +10,9 @@
 #define WEBCC_SRC_CACHE_ENTRY_H_
 
 #include <cstdint>
-#include <vector>
 
 #include "src/origin/object.h"
+#include "src/util/inline_vector.h"
 #include "src/util/sim_time.h"
 
 namespace webcc {
@@ -38,8 +38,11 @@ struct CacheEntry {
   // Serve timestamps since the last validation; maintained only when the
   // policy requests feedback (AdaptiveTunerPolicy), since it is the signal a
   // real cache could use to estimate its own stale-serve rate after the
-  // fact. Cleared on every validation/fetch.
-  std::vector<SimTime> serves_since_validation;
+  // fact. Cleared on every validation/fetch. Small-buffer storage: the first
+  // few serves cost no allocation, and clear() keeps the capacity, so the
+  // adaptive tuner's clear-and-refill cycle stops realloc-churning from cold
+  // after every validation.
+  InlineVector<SimTime, 8> serves_since_validation;
 
   // Age in the Alex sense, from the cache's (possibly stale) knowledge.
   SimDuration KnownAgeAt(SimTime now) const { return now - last_modified; }

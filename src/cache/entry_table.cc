@@ -1,0 +1,218 @@
+#include "src/cache/entry_table.h"
+
+#include "src/util/check.h"
+
+namespace webcc {
+namespace {
+
+// Initial index size; must be a power of two.
+constexpr size_t kInitialBuckets = 16;
+
+}  // namespace
+
+EntryTable::EntryTable() : buckets_(kInitialBuckets, kNoSlot), bucket_mask_(kInitialBuckets - 1) {}
+
+size_t EntryTable::HashObject(ObjectId id) {
+  // Deterministic 32-bit mixer (murmur3 finalizer). ObjectIds are dense small
+  // integers, so without mixing, linear probing would clump every rehash the
+  // same way; the finalizer spreads them across the whole table.
+  uint32_t h = id;
+  h ^= h >> 16;
+  h *= 0x85ebca6bu;
+  h ^= h >> 13;
+  h *= 0xc2b2ae35u;
+  h ^= h >> 16;
+  return h;
+}
+
+EntryTable::SlotId EntryTable::Find(ObjectId id) const {
+  size_t i = HashObject(id) & bucket_mask_;
+  while (buckets_[i] != kNoSlot) {
+    if (arena_[buckets_[i]].object == id) {
+      return buckets_[i];
+    }
+    i = (i + 1) & bucket_mask_;
+  }
+  return kNoSlot;
+}
+
+void EntryTable::MaybeGrowIndex() {
+  // Keep the load factor under ~70% so linear probe chains stay short.
+  if ((size_ + 1) * 10 < buckets_.size() * 7) {
+    return;
+  }
+  std::vector<SlotId> old = std::move(buckets_);
+  buckets_.assign(old.size() * 2, kNoSlot);
+  bucket_mask_ = buckets_.size() - 1;
+  for (SlotId slot : old) {
+    if (slot == kNoSlot) {
+      continue;
+    }
+    size_t i = HashObject(arena_[slot].object) & bucket_mask_;
+    while (buckets_[i] != kNoSlot) {
+      i = (i + 1) & bucket_mask_;
+    }
+    buckets_[i] = slot;
+  }
+}
+
+EntryTable::SlotId EntryTable::AllocSlot(ObjectId id) {
+  SlotId slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+    arena_[slot] = CacheEntry{};
+  } else {
+    slot = static_cast<SlotId>(arena_.size());
+    arena_.emplace_back();
+    valid_.push_back(0);
+    expires_.push_back(0);
+    version_.push_back(0);
+    lru_prev_.push_back(kNoSlot);
+    lru_next_.push_back(kNoSlot);
+  }
+  arena_[slot].object = id;
+  SyncHotColumns(slot);
+  return slot;
+}
+
+EntryTable::SlotId EntryTable::Insert(ObjectId id, bool front) {
+  WEBCC_CHECK(id != kInvalidObjectId);
+  MaybeGrowIndex();
+  // One probe chain does double duty: it finds the empty bucket AND proves
+  // the object is not already present (a duplicate would sit on this chain).
+  size_t i = HashObject(id) & bucket_mask_;
+  while (buckets_[i] != kNoSlot) {
+    WEBCC_CHECK(arena_[buckets_[i]].object != id) << "object already cached";
+    i = (i + 1) & bucket_mask_;
+  }
+  const SlotId slot = AllocSlot(id);
+  buckets_[i] = slot;
+  if (front) {
+    LinkFront(slot);
+  } else {
+    LinkBack(slot);
+  }
+  ++size_;
+  return slot;
+}
+
+EntryTable::SlotId EntryTable::InsertFront(ObjectId id) { return Insert(id, /*front=*/true); }
+
+EntryTable::SlotId EntryTable::InsertBack(ObjectId id) { return Insert(id, /*front=*/false); }
+
+void EntryTable::IndexErase(ObjectId id) {
+  size_t i = HashObject(id) & bucket_mask_;
+  while (buckets_[i] != kNoSlot && arena_[buckets_[i]].object != id) {
+    i = (i + 1) & bucket_mask_;
+  }
+  WEBCC_CHECK(buckets_[i] != kNoSlot) << "erasing object not in index";
+  // Backward-shift deletion: walk the rest of the probe cluster and pull any
+  // element that probed past the hole back into it, leaving no tombstone.
+  size_t hole = i;
+  size_t j = (hole + 1) & bucket_mask_;
+  while (buckets_[j] != kNoSlot) {
+    const size_t ideal = HashObject(arena_[buckets_[j]].object) & bucket_mask_;
+    // Cyclic probe distances: j's element may fill the hole only if its
+    // ideal bucket is at or before the hole along its probe path.
+    const size_t dist_j = (j - ideal) & bucket_mask_;
+    const size_t dist_hole = (hole - ideal) & bucket_mask_;
+    if (dist_hole <= dist_j) {
+      buckets_[hole] = buckets_[j];
+      hole = j;
+    }
+    j = (j + 1) & bucket_mask_;
+  }
+  buckets_[hole] = kNoSlot;
+}
+
+void EntryTable::Erase(SlotId slot) {
+  WEBCC_CHECK(slot < arena_.size() && arena_[slot].object != kInvalidObjectId);
+  IndexErase(arena_[slot].object);
+  Unlink(slot);
+  arena_[slot].object = kInvalidObjectId;
+  valid_[slot] = 0;  // freed slots never match the expiry sweep
+  free_.push_back(slot);
+  --size_;
+}
+
+void EntryTable::Clear() {
+  arena_.clear();
+  valid_.clear();
+  expires_.clear();
+  version_.clear();
+  lru_prev_.clear();
+  lru_next_.clear();
+  free_.clear();
+  buckets_.assign(kInitialBuckets, kNoSlot);
+  bucket_mask_ = kInitialBuckets - 1;
+  size_ = 0;
+  head_ = kNoSlot;
+  tail_ = kNoSlot;
+}
+
+void EntryTable::LinkFront(SlotId slot) {
+  lru_prev_[slot] = kNoSlot;
+  lru_next_[slot] = head_;
+  if (head_ != kNoSlot) {
+    lru_prev_[head_] = slot;
+  }
+  head_ = slot;
+  if (tail_ == kNoSlot) {
+    tail_ = slot;
+  }
+}
+
+void EntryTable::LinkBack(SlotId slot) {
+  lru_next_[slot] = kNoSlot;
+  lru_prev_[slot] = tail_;
+  if (tail_ != kNoSlot) {
+    lru_next_[tail_] = slot;
+  }
+  tail_ = slot;
+  if (head_ == kNoSlot) {
+    head_ = slot;
+  }
+}
+
+void EntryTable::Unlink(SlotId slot) {
+  const SlotId prev = lru_prev_[slot];
+  const SlotId next = lru_next_[slot];
+  if (prev != kNoSlot) {
+    lru_next_[prev] = next;
+  } else {
+    head_ = next;
+  }
+  if (next != kNoSlot) {
+    lru_prev_[next] = prev;
+  } else {
+    tail_ = prev;
+  }
+  lru_prev_[slot] = kNoSlot;
+  lru_next_[slot] = kNoSlot;
+}
+
+void EntryTable::TouchFront(SlotId slot) {
+  if (head_ == slot) {
+    return;  // already MRU; the old list splice was a no-op move too
+  }
+  Unlink(slot);
+  LinkFront(slot);
+}
+
+size_t EntryTable::SweepExpired(SimTime now) {
+  const int64_t now_s = now.seconds();
+  size_t swept = 0;
+  // Pure column scan: freed slots keep valid_ == 0, so no liveness check is
+  // needed and the arena is only touched for entries actually expiring.
+  for (size_t slot = 0; slot < valid_.size(); ++slot) {
+    if (valid_[slot] != 0 && expires_[slot] <= now_s) {
+      valid_[slot] = 0;
+      arena_[slot].valid = false;
+      ++swept;
+    }
+  }
+  return swept;
+}
+
+}  // namespace webcc

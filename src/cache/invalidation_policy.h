@@ -33,6 +33,14 @@ class InvalidationPolicy : public ConsistencyPolicy {
     return lease_ <= SimDuration(0) || now < entry.expires_at;
   }
 
+  // With a lease the rule is exactly the time-based shape; without one only
+  // the valid bit matters (OnFetch parks expires_at at Infinite, but
+  // restored snapshots may carry arbitrary horizons, so declare the true
+  // shape rather than relying on that).
+  ValidityModel validity_model() const override {
+    return lease_ > SimDuration(0) ? ValidityModel::kTimeBased : ValidityModel::kValidBit;
+  }
+
   void OnFetch(CacheEntry& entry, SimTime now, const FetchInfo& info) override {
     (void)info;
     entry.valid = true;

@@ -44,6 +44,26 @@ struct FetchInfo {
   std::optional<SimTime> expires;
 };
 
+// The shape of a policy's IsValid predicate, declared up front so the cache
+// can answer the per-request freshness question from its hot columns
+// (valid/expires_at mirrors in EntryTable) instead of a virtual call into
+// the entry record:
+//
+//   * kTimeBased — exactly the default rule, valid && now < expires_at;
+//   * kValidBit  — the valid flag alone, no time horizon (lease-less
+//     invalidation);
+//   * kCustom    — anything else: the cache falls back to calling IsValid on
+//     every request.
+//
+// A policy whose IsValid override is not field-for-field one of the first
+// two shapes MUST report kCustom; the differential and chaos tests compare
+// the column probe against IsValid and will catch a mismatch.
+enum class ValidityModel {
+  kTimeBased,
+  kValidBit,
+  kCustom,
+};
+
 class ConsistencyPolicy {
  public:
   virtual ~ConsistencyPolicy() = default;
@@ -56,6 +76,10 @@ class ConsistencyPolicy {
   virtual bool IsValid(const CacheEntry& entry, SimTime now) const {
     return entry.valid && now < entry.expires_at;
   }
+
+  // Declares the shape of IsValid (see ValidityModel above). Must agree with
+  // the IsValid override; the default matches the default IsValid.
+  virtual ValidityModel validity_model() const { return ValidityModel::kTimeBased; }
 
   // A fresh body arrived (initial fetch or re-fetch). Sets validity state.
   virtual void OnFetch(CacheEntry& entry, SimTime now, const FetchInfo& info) = 0;

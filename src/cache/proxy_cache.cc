@@ -17,13 +17,28 @@ ProxyCache::ProxyCache(std::string name, Upstream* upstream,
       oracle_(oracle) {
   WEBCC_CHECK(upstream_ != nullptr);
   WEBCC_CHECK(policy_ != nullptr);
+  validity_model_ = policy_->validity_model();
+  wants_feedback_ = policy_->WantsServeFeedback();
+  uses_server_invalidation_ = policy_->UsesServerInvalidation();
 }
 
 ProxyCache::~ProxyCache() = default;
 
 const CacheEntry* ProxyCache::Find(ObjectId id) const {
-  const auto it = entries_.find(id);
-  return it == entries_.end() ? nullptr : &it->second.entry;
+  const SlotId slot = table_.Find(id);
+  return slot == EntryTable::kNoSlot ? nullptr : &table_.entry(slot);
+}
+
+bool ProxyCache::FreshAt(SlotId slot, SimTime now) const {
+  switch (validity_model_) {
+    case ValidityModel::kTimeBased:
+      return table_.FreshTimeBased(slot, now);
+    case ValidityModel::kValidBit:
+      return table_.ValidBit(slot);
+    case ValidityModel::kCustom:
+      break;
+  }
+  return policy_->IsValid(table_.entry(slot), now);
 }
 
 bool ProxyCache::IsStale(const CacheEntry& entry) const {
@@ -41,14 +56,14 @@ bool ProxyCache::IsStale(const CacheEntry& entry) const {
 
 void ProxyCache::RecordServe(CacheEntry& entry, SimTime now) {
   ++entry.serve_count;
-  if (policy_->WantsServeFeedback()) {
+  if (wants_feedback_) {
     entry.serves_since_validation.push_back(now);
   }
 }
 
-void ProxyCache::InstallBody(CacheEntry& entry, ObjectId id, int64_t body_bytes,
-                             uint64_t version, SimTime last_modified,
-                             std::optional<SimTime> expires, SimTime now) {
+void ProxyCache::InstallBody(SlotId slot, ObjectId id, int64_t body_bytes, uint64_t version,
+                             SimTime last_modified, std::optional<SimTime> expires, SimTime now) {
+  CacheEntry& entry = table_.entry(slot);
   stored_bytes_ += body_bytes - entry.size_bytes;
   entry.object = id;
   if (oracle_ != nullptr && oracle_->Contains(id)) {
@@ -63,23 +78,16 @@ void ProxyCache::InstallBody(CacheEntry& entry, ObjectId id, int64_t body_bytes,
   info.last_modified = last_modified;
   info.expires = expires;
   policy_->OnFetch(entry, now, info);
+  table_.SyncHotColumns(slot);
 }
 
-void ProxyCache::Touch(Slot& slot, ObjectId id) {
-  lru_.erase(slot.lru_pos);
-  lru_.push_front(id);
-  slot.lru_pos = lru_.begin();
-}
-
-void ProxyCache::Evict(ObjectId id) {
-  const auto it = entries_.find(id);
-  WEBCC_CHECK(it != entries_.end());
-  stored_bytes_ -= it->second.entry.size_bytes;
-  lru_.erase(it->second.lru_pos);
-  if (policy_->UsesServerInvalidation()) {
-    upstream_->UnsubscribeInvalidation(this, id);
+void ProxyCache::EvictSlot(SlotId slot) {
+  const CacheEntry& entry = table_.entry(slot);
+  stored_bytes_ -= entry.size_bytes;
+  if (uses_server_invalidation_) {
+    upstream_->UnsubscribeInvalidation(this, entry.object);
   }
-  entries_.erase(it);
+  table_.Erase(slot);
   ++stats_.evictions;
 }
 
@@ -87,12 +95,35 @@ void ProxyCache::EnforceCapacity() {
   if (config_.capacity_bytes <= 0) {
     return;
   }
-  while (stored_bytes_ > config_.capacity_bytes && !lru_.empty()) {
-    Evict(lru_.back());
+  while (stored_bytes_ > config_.capacity_bytes && !table_.empty()) {
+    EvictSlot(table_.LruBack());
   }
 }
 
+size_t ProxyCache::SweepExpired(SimTime now) {
+  if (crashed_) {
+    return 0;  // a dead process runs no maintenance
+  }
+  return table_.SweepExpired(now);
+}
+
 ServeResult ProxyCache::HandleRequest(ObjectId id, SimTime now) {
+  SlotId slot = EntryTable::kNoSlot;
+  return HandleRequestImpl(id, now, &slot);
+}
+
+ServeResult ProxyCache::HandleRequest(ObjectId id, SimTime now, const CacheEntry** served_entry) {
+  SlotId slot = EntryTable::kNoSlot;
+  const ServeResult result = HandleRequestImpl(id, now, &slot);
+  // The slot may have self-evicted under capacity pressure; Holds is sound
+  // here because nothing inserted (and so nothing recycled the slot) since.
+  *served_entry =
+      slot != EntryTable::kNoSlot && table_.Holds(slot, id) ? &table_.entry(slot) : nullptr;
+  return result;
+}
+
+ServeResult ProxyCache::HandleRequestImpl(ObjectId id, SimTime now, SlotId* slot_out) {
+  *slot_out = EntryTable::kNoSlot;
   ++stats_.requests;
   ServeResult result;
   const int64_t link_before = stats_.LinkBytes();
@@ -104,8 +135,8 @@ ServeResult ProxyCache::HandleRequest(ObjectId id, SimTime now) {
     return result;
   }
 
-  auto it = entries_.find(id);
-  if (it == entries_.end()) {
+  SlotId slot = table_.Find(id);
+  if (slot == EntryTable::kNoSlot) {
     // Cold miss: unconditional fetch.
     ++stats_.full_fetches;
     stats_.bytes_to_upstream += ControlWireBytes();
@@ -120,20 +151,16 @@ ServeResult ProxyCache::HandleRequest(ObjectId id, SimTime now) {
     }
     stats_.bytes_from_upstream += DocumentWireBytes(reply.body_bytes);
 
-    lru_.push_front(id);
-    Slot slot;
-    slot.lru_pos = lru_.begin();
-    auto [inserted, ok] = entries_.emplace(id, std::move(slot));
-    WEBCC_CHECK(ok);
-    (void)ok;
-    InstallBody(inserted->second.entry, id, reply.body_bytes, reply.version, reply.last_modified,
-                reply.expires, now);
-    if (policy_->UsesServerInvalidation()) {
+    slot = table_.InsertFront(id);
+    InstallBody(slot, id, reply.body_bytes, reply.version, reply.last_modified, reply.expires,
+                now);
+    if (uses_server_invalidation_) {
       upstream_->SubscribeInvalidation(this, id);
     }
-    RecordServe(inserted->second.entry, now);
+    CacheEntry& entry = table_.entry(slot);
+    RecordServe(entry, now);
     {
-      auto& tc = stats_.by_type[static_cast<size_t>(inserted->second.entry.type)];
+      auto& tc = stats_.by_type[static_cast<size_t>(entry.type)];
       ++tc.requests;
       ++tc.misses;
       tc.payload_bytes += reply.body_bytes;
@@ -145,15 +172,16 @@ ServeResult ProxyCache::HandleRequest(ObjectId id, SimTime now) {
     result.link_bytes = stats_.LinkBytes() - link_before;
     stats_.total_hops += result.hops;
     stats_.max_hops = std::max(stats_.max_hops, result.hops);
+    *slot_out = slot;
     return result;
   }
 
-  Slot& slot = it->second;
-  CacheEntry& entry = slot.entry;
-  Touch(slot, id);
+  table_.TouchFront(slot);
+  *slot_out = slot;
 
-  if (policy_->IsValid(entry, now)) {
+  if (FreshAt(slot, now)) {
     // Fresh (per policy) local serve — possibly stale in truth.
+    CacheEntry& entry = table_.entry(slot);
     result.kind = ServeKind::kHitFresh;
     result.stale = IsStale(entry);
     if (result.stale) {
@@ -181,18 +209,19 @@ ServeResult ProxyCache::HandleRequest(ObjectId id, SimTime now) {
     const auto reply = upstream_->FetchFull(id, now);
     NoteFetchCost(reply);
     if (!reply.ok) {
-      result = ServeDegraded(entry, now);
+      result = ServeDegraded(table_.entry(slot), now);
       result.link_bytes = stats_.LinkBytes() - link_before;
       return result;
     }
     stats_.bytes_from_upstream += DocumentWireBytes(reply.body_bytes);
-    InstallBody(entry, id, reply.body_bytes, reply.version, reply.last_modified, reply.expires,
+    InstallBody(slot, id, reply.body_bytes, reply.version, reply.last_modified, reply.expires,
                 now);
-    if (policy_->UsesServerInvalidation()) {
+    if (uses_server_invalidation_) {
       // Contact re-registers interest — how a server re-learns who holds
       // what after state loss (idempotent while registered).
       upstream_->SubscribeInvalidation(this, id);
     }
+    CacheEntry& entry = table_.entry(slot);
     RecordServe(entry, now);
     {
       auto& tc = stats_.by_type[static_cast<size_t>(entry.type)];
@@ -213,17 +242,18 @@ ServeResult ProxyCache::HandleRequest(ObjectId id, SimTime now) {
   // Optimized simulator: combined "send if changed since" query.
   ++stats_.validations_sent;
   stats_.bytes_to_upstream += ControlWireBytes();
-  const auto reply = upstream_->FetchIfModified(id, entry.version, now);
+  const auto reply = upstream_->FetchIfModified(id, table_.version(slot), now);
   NoteFetchCost(reply);
   if (!reply.ok) {
     // Validation impossible: serve what we have (stale-if-error).
-    result = ServeDegraded(entry, now);
+    result = ServeDegraded(table_.entry(slot), now);
     result.link_bytes = stats_.LinkBytes() - link_before;
     return result;
   }
-  if (policy_->UsesServerInvalidation()) {
+  if (uses_server_invalidation_) {
     upstream_->SubscribeInvalidation(this, id);  // contact re-registers interest
   }
+  CacheEntry& entry = table_.entry(slot);
   policy_->OnValidationOutcome(entry, reply.modified, reply.last_modified, now);
   if (!reply.modified) {
     stats_.bytes_from_upstream += ControlWireBytes();  // 304 Not Modified
@@ -233,6 +263,7 @@ ServeResult ProxyCache::HandleRequest(ObjectId id, SimTime now) {
     info.last_modified = entry.last_modified;
     info.expires = reply.expires;
     policy_->OnFetch(entry, now, info);
+    table_.SyncHotColumns(slot);
     RecordServe(entry, now);
     {
       auto& tc = stats_.by_type[static_cast<size_t>(entry.type)];
@@ -249,7 +280,7 @@ ServeResult ProxyCache::HandleRequest(ObjectId id, SimTime now) {
   }
 
   stats_.bytes_from_upstream += DocumentWireBytes(reply.body_bytes);
-  InstallBody(entry, id, reply.body_bytes, reply.version, reply.last_modified, reply.expires,
+  InstallBody(slot, id, reply.body_bytes, reply.version, reply.last_modified, reply.expires,
               now);
   RecordServe(entry, now);
   {
@@ -305,22 +336,14 @@ void ProxyCache::Restart(SimTime now) {
 }
 
 void ProxyCache::DropAllEntries() {
-  entries_.clear();
-  lru_.clear();
+  table_.Clear();
   stored_bytes_ = 0;
 }
 
 void ProxyCache::PreloadObject(const WebObject& object, SimTime now) {
-  WEBCC_CHECK(entries_.find(object.id) == entries_.end());
-  lru_.push_front(object.id);
-  Slot slot;
-  slot.lru_pos = lru_.begin();
-  auto [inserted, ok] = entries_.emplace(object.id, std::move(slot));
-  WEBCC_CHECK(ok);
-  (void)ok;
-  CacheEntry& entry = inserted->second.entry;
+  const SlotId slot = table_.InsertFront(object.id);
+  CacheEntry& entry = table_.entry(slot);
   stored_bytes_ += object.size_bytes;
-  entry.object = object.id;
   entry.type = object.type;
   entry.size_bytes = object.size_bytes;
   entry.version = object.version;
@@ -329,7 +352,8 @@ void ProxyCache::PreloadObject(const WebObject& object, SimTime now) {
   FetchInfo info;
   info.last_modified = object.last_modified;
   policy_->OnFetch(entry, now, info);
-  if (policy_->UsesServerInvalidation()) {
+  table_.SyncHotColumns(slot);
+  if (uses_server_invalidation_) {
     upstream_->SubscribeInvalidation(this, object.id);
   }
   EnforceCapacity();
@@ -342,28 +366,29 @@ void ProxyCache::Preload(const ObjectStore& store, SimTime now) {
 }
 
 void ProxyCache::ForEachEntry(const std::function<void(const CacheEntry&)>& fn) const {
-  for (ObjectId id : lru_) {
-    fn(entries_.at(id).entry);
+  for (SlotId slot = table_.MruFront(); slot != EntryTable::kNoSlot;
+       slot = table_.NextOlder(slot)) {
+    fn(table_.entry(slot));
   }
 }
 
 std::vector<CacheEntry> ProxyCache::SnapshotEntries() const {
   std::vector<CacheEntry> entries;
-  entries.reserve(lru_.size());
-  for (ObjectId id : lru_) {
-    entries.push_back(entries_.at(id).entry);
+  entries.reserve(table_.size());
+  for (SlotId slot = table_.MruFront(); slot != EntryTable::kNoSlot;
+       slot = table_.NextOlder(slot)) {
+    entries.push_back(table_.entry(slot));
   }
   return entries;
 }
 
 void ProxyCache::RestoreEntry(const CacheEntry& entry) {
-  WEBCC_CHECK(entries_.find(entry.object) == entries_.end()) << "object already cached";
-  lru_.push_back(entry.object);  // restored entries queue behind live ones
-  Slot slot;
-  slot.lru_pos = std::prev(lru_.end());
-  slot.entry = entry;
+  // restored entries queue behind live ones; InsertBack doubles as the
+  // "object must not already be cached" probe
+  const SlotId slot = table_.InsertBack(entry.object);
+  table_.entry(slot) = entry;
+  table_.SyncHotColumns(slot);
   stored_bytes_ += entry.size_bytes;
-  entries_.emplace(entry.object, std::move(slot));
   EnforceCapacity();
 }
 
@@ -374,9 +399,9 @@ bool ProxyCache::DeliverInvalidation(ObjectId id, SimTime now) {
   }
   ++stats_.invalidations_received;
   stats_.bytes_from_upstream += ControlWireBytes();
-  const auto it = entries_.find(id);
-  if (it != entries_.end()) {
-    it->second.entry.valid = false;
+  const SlotId slot = table_.Find(id);
+  if (slot != EntryTable::kNoSlot) {
+    table_.SetValid(slot, false);
   }
   ForwardInvalidation(id, now);
   return true;
@@ -401,13 +426,13 @@ Upstream::FullReply ProxyCache::FetchFull(ObjectId id, SimTime now) {
   // A child's request is a request to this cache: serve it through the
   // normal path (which refreshes our copy as our policy dictates), then hand
   // the child whatever body we now hold.
-  const ServeResult inner = HandleRequest(id, now);
+  const CacheEntry* entry = nullptr;
+  const ServeResult inner = HandleRequest(id, now, &entry);
   FullReply reply;
   if (inner.kind == ServeKind::kFailed) {
     reply.ok = false;  // a dead or cut-off parent fails the child's fetch
     return reply;
   }
-  const CacheEntry* entry = Find(id);
   WEBCC_CHECK(entry != nullptr);
   reply.body_bytes = entry->size_bytes;
   reply.version = entry->version;
@@ -418,13 +443,13 @@ Upstream::FullReply ProxyCache::FetchFull(ObjectId id, SimTime now) {
 
 Upstream::CondReply ProxyCache::FetchIfModified(ObjectId id, uint64_t held_version,
                                                 SimTime now) {
-  const ServeResult inner = HandleRequest(id, now);
+  const CacheEntry* entry = nullptr;
+  const ServeResult inner = HandleRequest(id, now, &entry);
   CondReply reply;
   if (inner.kind == ServeKind::kFailed) {
     reply.ok = false;
     return reply;
   }
-  const CacheEntry* entry = Find(id);
   WEBCC_CHECK(entry != nullptr);
   reply.upstream_hops = inner.hops;
   reply.version = entry->version;
@@ -444,7 +469,7 @@ void ProxyCache::SubscribeInvalidation(InvalidationSink* sink, ObjectId id) {
     sinks.push_back(sink);
   }
   // A parent can only relay changes it hears about itself.
-  if (policy_->UsesServerInvalidation()) {
+  if (uses_server_invalidation_) {
     upstream_->SubscribeInvalidation(this, id);
   }
 }

@@ -14,6 +14,12 @@
 // Staleness is scored against ground truth: the cache holds a pointer to
 // the authoritative ObjectStore purely as an oracle for metrics. Policy
 // decisions never read the oracle.
+//
+// Storage is the columnar EntryTable (entry_table.h): a slot arena with the
+// freshness-critical fields mirrored into flat columns, an open-addressing
+// object index, and an intrusive LRU. The per-request hot path — probe,
+// touch, freshness check — does no allocation and, for policies that
+// declare a ValidityModel shape, no virtual dispatch.
 
 #ifndef WEBCC_SRC_CACHE_PROXY_CACHE_H_
 #define WEBCC_SRC_CACHE_PROXY_CACHE_H_
@@ -21,13 +27,13 @@
 #include <array>
 #include <cstdint>
 #include <functional>
-#include <list>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/cache/entry.h"
+#include "src/cache/entry_table.h"
 #include "src/cache/policy.h"
 #include "src/cache/upstream.h"
 #include "src/origin/object_store.h"
@@ -143,6 +149,13 @@ class ProxyCache : public InvalidationSink, public Upstream {
   // Serves one client request for `id` at time `now`.
   ServeResult HandleRequest(ObjectId id, SimTime now);
 
+  // As above, additionally reporting the entry that served the request (or
+  // nullptr if nothing is cached afterwards — failed request, or the entry
+  // self-evicted under capacity pressure). Saves callers the second index
+  // probe of a HandleRequest-then-Find pair; the pointer is invalidated by
+  // any subsequent cache mutation.
+  ServeResult HandleRequest(ObjectId id, SimTime now, const CacheEntry** served_entry);
+
   // Installs valid copies of every object in `store` as of `now` without
   // touching the upstream link (Figures 2–5: "the cache is pre-loaded with
   // valid copies of all the files held in the primary server").
@@ -194,11 +207,22 @@ class ProxyCache : public InvalidationSink, public Upstream {
   // The object must not already be cached.
   void RestoreEntry(const CacheEntry& entry);
 
+  // --- Maintenance ---
+
+  // Batched expiry: one scan over the expiry column marks every entry whose
+  // horizon has passed invalid (the §3 "expiry only marks the copy" rule
+  // applied eagerly instead of per request). Freshness-neutral for
+  // time-based policies — IsValid checks expires_at anyway — but it changes
+  // the `valid` bits a snapshot persists, so it is opt-in maintenance for
+  // operators that sweep between request bursts; no simulation path calls
+  // it. Returns the number of entries marked.
+  size_t SweepExpired(SimTime now);
+
   // --- Introspection ---
-  bool Contains(ObjectId id) const { return entries_.find(id) != entries_.end(); }
+  bool Contains(ObjectId id) const { return table_.Find(id) != EntryTable::kNoSlot; }
   // Returns the entry for `id`, or nullptr. Pointer invalidated by mutation.
   const CacheEntry* Find(ObjectId id) const;
-  size_t EntryCount() const { return entries_.size(); }
+  size_t EntryCount() const { return table_.size(); }
   int64_t StoredBytes() const { return stored_bytes_; }
 
   const CacheStats& stats() const { return stats_; }
@@ -210,20 +234,24 @@ class ProxyCache : public InvalidationSink, public Upstream {
   const CacheConfig& config() const { return config_; }
 
  private:
-  struct Slot {
-    CacheEntry entry;
-    std::list<ObjectId>::iterator lru_pos;
-  };
+  using SlotId = EntryTable::SlotId;
 
-  // Installs/overwrites the body metadata from an upstream reply and runs
-  // the policy's OnFetch.
-  void InstallBody(CacheEntry& entry, ObjectId id, int64_t body_bytes, uint64_t version,
+  // The request path; reports the serving slot through `slot_out` (kNoSlot
+  // when the request failed; possibly stale after capacity eviction — the
+  // overload re-validates with Holds).
+  ServeResult HandleRequestImpl(ObjectId id, SimTime now, SlotId* slot_out);
+
+  // The policy's IsValid answered from the hot columns when its declared
+  // ValidityModel allows, falling back to the virtual call for kCustom.
+  bool FreshAt(SlotId slot, SimTime now) const;
+
+  // Installs/overwrites the body metadata from an upstream reply, runs the
+  // policy's OnFetch, and re-mirrors the hot columns.
+  void InstallBody(SlotId slot, ObjectId id, int64_t body_bytes, uint64_t version,
                    SimTime last_modified, std::optional<SimTime> expires, SimTime now);
-  // Moves `id` to the front of the LRU list.
-  void Touch(Slot& slot, ObjectId id);
   // Evicts LRU entries until stored bytes fit the capacity.
   void EnforceCapacity();
-  void Evict(ObjectId id);
+  void EvictSlot(SlotId slot);
   // Oracle staleness check for a local serve.
   bool IsStale(const CacheEntry& entry) const;
   // Records a local serve on the entry (count + feedback timestamps).
@@ -251,8 +279,13 @@ class ProxyCache : public InvalidationSink, public Upstream {
   bool crashed_ = false;
   SimTime crashed_at_;
 
-  std::unordered_map<ObjectId, Slot> entries_;
-  std::list<ObjectId> lru_;  // front = most recently used
+  // Policy traits cached at construction (policies never change shape after
+  // that), so the request path skips the virtual calls.
+  ValidityModel validity_model_ = ValidityModel::kCustom;
+  bool wants_feedback_ = false;
+  bool uses_server_invalidation_ = false;
+
+  EntryTable table_;
   int64_t stored_bytes_ = 0;
   CacheStats stats_;
 

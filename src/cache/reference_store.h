@@ -1,0 +1,130 @@
+// The pre-columnar ProxyCache storage layout, kept as an executable
+// reference model: a node-based std::unordered_map of entries plus a
+// std::list LRU with stored iterators (two heap allocations per entry, a
+// list-node realloc per touch). Two consumers:
+//
+//   * tests/cache/columnar_differential_test.cc drives randomized
+//     install/touch/evict/invalidate/crash/restore sequences through this
+//     store and the columnar EntryTable in lockstep and asserts field-exact
+//     agreement (entries, LRU order, sweep counts);
+//   * bench/micro_engine.cc benchmarks it as the `maplist` variant of
+//     BM_ProxyCacheLookup / BM_ProxyCacheTouchEvict, so the columnar win is
+//     measured against the real old layout, not a guess.
+//
+// Not used on any production path. Iteration is always over the LRU list —
+// deterministic — never the unordered_map.
+
+#ifndef WEBCC_SRC_CACHE_REFERENCE_STORE_H_
+#define WEBCC_SRC_CACHE_REFERENCE_STORE_H_
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/entry.h"
+#include "src/util/check.h"
+#include "src/util/sim_time.h"
+
+namespace webcc {
+
+class ReferenceEntryStore {
+ public:
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  CacheEntry* Find(ObjectId id) {
+    const auto it = entries_.find(id);
+    return it == entries_.end() ? nullptr : &it->second.entry;
+  }
+  const CacheEntry* Find(ObjectId id) const {
+    const auto it = entries_.find(id);
+    return it == entries_.end() ? nullptr : &it->second.entry;
+  }
+
+  CacheEntry& InsertFront(ObjectId id) {
+    lru_.push_front(id);
+    Slot slot;
+    slot.lru_pos = lru_.begin();
+    auto [inserted, ok] = entries_.emplace(id, std::move(slot));
+    WEBCC_CHECK(ok) << "object already cached";
+    inserted->second.entry.object = id;
+    return inserted->second.entry;
+  }
+
+  CacheEntry& InsertBack(ObjectId id) {
+    lru_.push_back(id);
+    Slot slot;
+    slot.lru_pos = std::prev(lru_.end());
+    auto [inserted, ok] = entries_.emplace(id, std::move(slot));
+    WEBCC_CHECK(ok) << "object already cached";
+    inserted->second.entry.object = id;
+    return inserted->second.entry;
+  }
+
+  // The old ProxyCache::Touch, verbatim: erase + push_front reallocates a
+  // list node per touch — the allocation the intrusive LRU removes.
+  void TouchFront(ObjectId id) {
+    const auto it = entries_.find(id);
+    WEBCC_CHECK(it != entries_.end());
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(id);
+    it->second.lru_pos = lru_.begin();
+  }
+
+  void Erase(ObjectId id) {
+    const auto it = entries_.find(id);
+    WEBCC_CHECK(it != entries_.end());
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+  }
+
+  void Clear() {
+    entries_.clear();
+    lru_.clear();
+  }
+
+  ObjectId MruFront() const {
+    WEBCC_CHECK(!lru_.empty());
+    return lru_.front();
+  }
+  ObjectId LruBack() const {
+    WEBCC_CHECK(!lru_.empty());
+    return lru_.back();
+  }
+
+  // LRU order, most recently used first.
+  std::vector<ObjectId> LruOrder() const {
+    std::vector<ObjectId> order;
+    order.reserve(lru_.size());
+    for (ObjectId id : lru_) {
+      order.push_back(id);
+    }
+    return order;
+  }
+
+  // Per-entry expiry check, the pre-columnar shape of SweepExpired.
+  size_t SweepExpired(SimTime now) {
+    size_t swept = 0;
+    for (ObjectId id : lru_) {
+      CacheEntry& entry = entries_.at(id).entry;
+      if (entry.valid && entry.expires_at <= now) {
+        entry.valid = false;
+        ++swept;
+      }
+    }
+    return swept;
+  }
+
+ private:
+  struct Slot {
+    CacheEntry entry;
+    std::list<ObjectId>::iterator lru_pos;
+  };
+
+  std::unordered_map<ObjectId, Slot> entries_;
+  std::list<ObjectId> lru_;  // front = most recently used
+};
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_CACHE_REFERENCE_STORE_H_

@@ -107,8 +107,10 @@ void MaybeSnapshotCrashCycle(const SimulationConfig& config, uint64_t index, Pro
   }
 }
 
-// Reports one serve to the observer, entry state included.
-void ObserveServe(SimObserver* observer, const ProxyCache& cache, uint64_t index, ObjectId object,
+// Reports one serve to the observer, entry state included. `entry` is the
+// serving entry HandleRequest already resolved (nullptr if nothing remained
+// cached) — reusing it avoids a second index probe per request.
+void ObserveServe(SimObserver* observer, const CacheEntry* entry, uint64_t index, ObjectId object,
                   SimTime at, const ServeResult& served) {
   if (observer == nullptr) {
     return;
@@ -118,7 +120,7 @@ void ObserveServe(SimObserver* observer, const ProxyCache& cache, uint64_t index
   obs.object = object;
   obs.at = at;
   obs.result = served;
-  if (const CacheEntry* entry = cache.Find(object); entry != nullptr) {
+  if (entry != nullptr) {
     obs.has_entry = true;
     obs.entry = *entry;
   }
@@ -219,8 +221,10 @@ SimulationResult RunFaultedSimulation(const Workload& load, const SimulationConf
       measuring = true;
     }
     MaybeSnapshotCrashCycle(config, req_index, cache, server, req.at);
-    const ServeResult served = cache.HandleRequest(static_cast<ObjectId>(req.object_index), req.at);
-    ObserveServe(config.observer, cache, req_index, static_cast<ObjectId>(req.object_index),
+    const CacheEntry* served_entry = nullptr;
+    const ServeResult served =
+        cache.HandleRequest(static_cast<ObjectId>(req.object_index), req.at, &served_entry);
+    ObserveServe(config.observer, served_entry, req_index, static_cast<ObjectId>(req.object_index),
                  req.at, served);
     ++req_index;
   }
@@ -304,8 +308,10 @@ SimulationResult RunSimulation(const Workload& load, const SimulationConfig& con
     MaybeSnapshotCrashCycle(config, req_index, cache, server, req.at);
     // Object ids are dense and assigned in creation order, so the workload's
     // object_index doubles as the ObjectId.
-    const ServeResult served = cache.HandleRequest(static_cast<ObjectId>(req.object_index), req.at);
-    ObserveServe(config.observer, cache, req_index, static_cast<ObjectId>(req.object_index),
+    const CacheEntry* served_entry = nullptr;
+    const ServeResult served =
+        cache.HandleRequest(static_cast<ObjectId>(req.object_index), req.at, &served_entry);
+    ObserveServe(config.observer, served_entry, req_index, static_cast<ObjectId>(req.object_index),
                  req.at, served);
     ++req_index;
   }

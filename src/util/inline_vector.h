@@ -1,0 +1,108 @@
+// A small-buffer vector for trivially copyable elements.
+//
+// The first N elements live inline in the object; only growth past N touches
+// the heap. Built for per-entry bookkeeping like
+// CacheEntry::serves_since_validation, where the common case (policies that
+// want no serve feedback, or short windows between validations) must cost
+// zero allocations and `clear()` must not give capacity back — the adaptive
+// tuner clears the window on every validation and immediately starts
+// refilling it, so a shrinking clear() would realloc from cold on every
+// cycle.
+//
+// Deliberately minimal: push_back / clear / size / empty / iteration /
+// operator[]. No erase, no insert, no exception guarantees beyond what
+// trivially copyable types need.
+
+#ifndef WEBCC_SRC_UTIL_INLINE_VECTOR_H_
+#define WEBCC_SRC_UTIL_INLINE_VECTOR_H_
+
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+
+#include "src/util/check.h"
+
+namespace webcc {
+
+template <typename T, size_t N>
+class InlineVector {
+  static_assert(N > 0, "inline capacity must be nonzero");
+  static_assert(std::is_trivially_copyable_v<T>,
+                "InlineVector memcpy-moves its elements");
+
+ public:
+  InlineVector() = default;
+
+  InlineVector(const InlineVector& other) { CopyFrom(other); }
+
+  InlineVector& operator=(const InlineVector& other) {
+    if (this != &other) {
+      size_ = 0;  // keep whatever capacity we already own
+      CopyFrom(other);
+    }
+    return *this;
+  }
+
+  ~InlineVector() { delete[] heap_; }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) {
+      Grow(capacity_ * 2);
+    }
+    data()[size_++] = value;
+  }
+
+  // Drops the elements but keeps the capacity (inline or heap): refilling
+  // after a clear never allocates until the previous high-water mark is
+  // passed.
+  void clear() { size_ = 0; }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  T& operator[](size_t i) {
+    WEBCC_CHECK(i < size_);
+    return data()[i];
+  }
+  const T& operator[](size_t i) const {
+    WEBCC_CHECK(i < size_);
+    return data()[i];
+  }
+
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+ private:
+  T* data() { return heap_ != nullptr ? heap_ : inline_; }
+  const T* data() const { return heap_ != nullptr ? heap_ : inline_; }
+
+  void Grow(size_t new_capacity) {
+    T* grown = new T[new_capacity];
+    std::memcpy(static_cast<void*>(grown), static_cast<const void*>(data()),
+                size_ * sizeof(T));
+    delete[] heap_;
+    heap_ = grown;
+    capacity_ = new_capacity;
+  }
+
+  void CopyFrom(const InlineVector& other) {
+    if (other.size_ > capacity_) {
+      Grow(other.size_);
+    }
+    std::memcpy(static_cast<void*>(data()), static_cast<const void*>(other.data()),
+                other.size_ * sizeof(T));
+    size_ = other.size_;
+  }
+
+  size_t size_ = 0;
+  size_t capacity_ = N;
+  T* heap_ = nullptr;
+  T inline_[N];
+};
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_UTIL_INLINE_VECTOR_H_

@@ -1,0 +1,138 @@
+#include "src/util/inline_vector.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/sim_time.h"
+
+namespace webcc {
+namespace {
+
+TEST(InlineVectorTest, StartsEmpty) {
+  InlineVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+  EXPECT_EQ(v.begin(), v.end());
+}
+
+TEST(InlineVectorTest, PushBackWithinInlineCapacity) {
+  InlineVector<int, 4> v;
+  for (int i = 0; i < 4; ++i) {
+    v.push_back(i * 10);
+  }
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.capacity(), 4u);  // still inline
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(v[static_cast<size_t>(i)], i * 10);
+  }
+}
+
+TEST(InlineVectorTest, SpillsToHeapAndPreservesElements) {
+  InlineVector<int, 2> v;
+  for (int i = 0; i < 100; ++i) {
+    v.push_back(i);
+  }
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_GE(v.capacity(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(v[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(InlineVectorTest, ClearKeepsCapacity) {
+  InlineVector<int, 2> v;
+  for (int i = 0; i < 50; ++i) {
+    v.push_back(i);
+  }
+  const size_t grown = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), grown);  // refill up to the high-water mark is allocation-free
+  v.push_back(7);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 7);
+  EXPECT_EQ(v.capacity(), grown);
+}
+
+TEST(InlineVectorTest, RangeForIteration) {
+  InlineVector<int, 4> v;
+  v.push_back(1);
+  v.push_back(2);
+  v.push_back(3);
+  int sum = 0;
+  for (int x : v) {
+    sum += x;
+  }
+  EXPECT_EQ(sum, 6);
+}
+
+TEST(InlineVectorTest, CopyConstructInline) {
+  InlineVector<int, 4> a;
+  a.push_back(5);
+  a.push_back(6);
+  InlineVector<int, 4> b(a);
+  a.clear();
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], 5);
+  EXPECT_EQ(b[1], 6);
+}
+
+TEST(InlineVectorTest, CopyConstructHeap) {
+  InlineVector<int, 2> a;
+  for (int i = 0; i < 20; ++i) {
+    a.push_back(i);
+  }
+  InlineVector<int, 2> b(a);
+  ASSERT_EQ(b.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(b[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(InlineVectorTest, CopyAssignBothDirections) {
+  InlineVector<int, 2> small;
+  small.push_back(1);
+  InlineVector<int, 2> big;
+  for (int i = 0; i < 30; ++i) {
+    big.push_back(i);
+  }
+  // big into small: must grow.
+  InlineVector<int, 2> dst(small);
+  dst = big;
+  ASSERT_EQ(dst.size(), 30u);
+  EXPECT_EQ(dst[29], 29);
+  // small into big: shrinks logically, keeps capacity.
+  big = small;
+  ASSERT_EQ(big.size(), 1u);
+  EXPECT_EQ(big[0], 1);
+}
+
+TEST(InlineVectorTest, SelfAssignIsNoOp) {
+  InlineVector<int, 2> v;
+  for (int i = 0; i < 5; ++i) {
+    v.push_back(i);
+  }
+  v = *&v;
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[4], 4);
+}
+
+TEST(InlineVectorTest, HoldsSimTime) {
+  InlineVector<SimTime, 8> v;
+  for (int i = 0; i < 12; ++i) {
+    v.push_back(SimTime::Epoch() + Seconds(i));
+  }
+  ASSERT_EQ(v.size(), 12u);
+  EXPECT_EQ(v[11], SimTime::Epoch() + Seconds(11));
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(InlineVectorTest, OutOfRangeIndexDies) {
+  InlineVector<int, 2> v;
+  v.push_back(1);
+  EXPECT_DEATH(v[1], "WEBCC_CHECK failed");
+}
+
+}  // namespace
+}  // namespace webcc

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Compare a fresh micro-benchmark JSON-lines file against a checked-in baseline.
+
+Both inputs are the JSON-lines stream the bench binaries append to
+$WEBCC_BENCH_JSON / --bench-json: one object per line with at least
+"benchmark" and "ns_per_op" keys (allocs_per_op / bytes_per_op optional).
+
+Emits a GitHub-flavoured markdown table to stdout. Intended as an advisory
+step-summary in CI — shared-runner timings are too noisy to gate on — so the
+exit code is always 0 unless the inputs are unreadable. Ratios beyond
+--warn-ratio are flagged with a warning marker, nothing more.
+
+Usage:
+  compare_bench.py --baseline bench/baselines/bm_proxycache.json \
+                   --current BENCH_cache.json [--warn-ratio 1.25]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_jsonl(path):
+    """Parse a JSON-lines bench file into {benchmark: record}, last line wins."""
+    records = {}
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as e:
+                    print(f"note: {path}:{lineno}: skipping unparsable line ({e})",
+                          file=sys.stderr)
+                    continue
+                name = record.get("benchmark")
+                if name and "ns_per_op" in record:
+                    records[name] = record
+    except OSError as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    return records
+
+
+def fmt_ns(value):
+    return f"{value:,.1f}"
+
+
+def fmt_allocs(value):
+    if value is None:
+        return "—"
+    # Replacement-new counters divide a handful of warm-up allocations by the
+    # iteration count, so treat anything under half an alloc per op as zero.
+    return "0" if value < 0.5 else f"{value:,.2f}"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in JSON-lines baseline")
+    parser.add_argument("--current", required=True,
+                        help="freshly measured JSON-lines file")
+    parser.add_argument("--warn-ratio", type=float, default=1.25,
+                        help="flag benchmarks whose ns/op exceeds baseline by this "
+                             "factor (default: 1.25)")
+    args = parser.parse_args()
+
+    baseline = load_jsonl(args.baseline)
+    current = load_jsonl(args.current)
+
+    print("| benchmark | baseline ns/op | current ns/op | ratio | allocs/op | |")
+    print("|---|---:|---:|---:|---:|---|")
+    flagged = 0
+    for name in sorted(set(baseline) | set(current)):
+        base = baseline.get(name)
+        cur = current.get(name)
+        if base is None:
+            print(f"| {name} | — | {fmt_ns(cur['ns_per_op'])} | new | "
+                  f"{fmt_allocs(cur.get('allocs_per_op'))} | |")
+            continue
+        if cur is None:
+            print(f"| {name} | {fmt_ns(base['ns_per_op'])} | — | missing | — | ⚠️ |")
+            flagged += 1
+            continue
+        ratio = cur["ns_per_op"] / base["ns_per_op"] if base["ns_per_op"] > 0 else float("inf")
+        warn = "⚠️" if ratio > args.warn_ratio else ""
+        flagged += bool(warn)
+        print(f"| {name} | {fmt_ns(base['ns_per_op'])} | {fmt_ns(cur['ns_per_op'])} | "
+              f"{ratio:.2f}× | {fmt_allocs(cur.get('allocs_per_op'))} | {warn} |")
+
+    print()
+    if flagged:
+        print(f"{flagged} benchmark(s) flagged beyond the {args.warn_ratio:.2f}× "
+              "warn threshold (advisory only — shared-runner noise is expected).")
+    else:
+        print("All benchmarks within the warn threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/http/message.h"
+#include "src/sim/engine.h"
 #include "src/util/check.h"
 
 namespace webcc {
@@ -414,12 +415,111 @@ void ProxyCache::ForwardInvalidation(ObjectId id, SimTime now) {
   }
   for (InvalidationSink* child : it->second) {
     ++child_invalidations_sent_;
-    if (!child->DeliverInvalidation(id, now)) {
-      // The child is unreachable and keeps its copy; it re-registers
-      // interest on its next contact, so the notice is dropped, not retried.
+    if (child->DeliverInvalidation(id, now)) {
+      ++child_invalidations_delivered_;
+    } else {
+      // The child (or its link) could not accept the notice. With
+      // redelivery armed, park it and retry — the origin's queue machinery
+      // one level down; otherwise it is dropped and the child re-learns on
+      // its next contact, the pre-fault semantics.
       ++child_invalidations_dropped_;
+      if (child_redelivery_engine_ != nullptr) {
+        QueueChildInvalidation(child, id);
+      }
     }
   }
+}
+
+void ProxyCache::ArmChildRedelivery(SimEngine* engine, SimDuration retry_interval) {
+  WEBCC_CHECK(engine != nullptr);
+  child_redelivery_engine_ = engine;
+  child_retry_interval_ = retry_interval;
+}
+
+ProxyCache::ChildQueue& ProxyCache::QueueFor(InvalidationSink* child) {
+  for (ChildQueue& queue : child_pending_) {
+    if (queue.child == child) {
+      return queue;
+    }
+  }
+  child_pending_.emplace_back();
+  child_pending_.back().child = child;
+  return child_pending_.back();
+}
+
+void ProxyCache::QueueChildInvalidation(InvalidationSink* child, ObjectId id) {
+  ChildQueue& queue = QueueFor(child);
+  if (id >= queue.queued.size()) {
+    queue.queued.resize(id + 1, false);
+  }
+  if (queue.queued[id]) {
+    return;  // a notice for this object is already parked for this child
+  }
+  queue.queued[id] = true;
+  queue.ids.push_back(id);
+  ++child_invalidations_queued_;
+  ArmChildFlushTimer();
+}
+
+void ProxyCache::ArmChildFlushTimer() {
+  if (child_redelivery_engine_ == nullptr || child_flush_timer_armed_) {
+    return;
+  }
+  child_flush_timer_armed_ = true;
+  child_redelivery_engine_->ScheduleAfter(child_retry_interval_, [this] {
+    child_flush_timer_armed_ = false;
+    if (!crashed_) {  // a dead parent runs no timers; re-arm below
+      const SimTime now = child_redelivery_engine_->Now();
+      for (ChildQueue& queue : child_pending_) {
+        FlushChildQueue(queue, now);
+      }
+    }
+    if (PendingChildInvalidations() > 0) {
+      ArmChildFlushTimer();  // something still stuck; keep trying
+    }
+  });
+}
+
+void ProxyCache::FlushChildQueue(ChildQueue& queue, SimTime now) {
+  std::vector<ObjectId> batch;
+  batch.swap(queue.ids);
+  for (const ObjectId id : batch) {
+    queue.queued[id] = false;
+  }
+  for (const ObjectId id : batch) {
+    // Skip notices the child no longer cares about (it dropped the object
+    // or unsubscribed while the notice was parked).
+    const auto it = child_subs_.find(id);
+    if (it == child_subs_.end() ||
+        std::find(it->second.begin(), it->second.end(), queue.child) == it->second.end()) {
+      continue;
+    }
+    ++child_invalidations_sent_;
+    if (queue.child->DeliverInvalidation(id, now)) {
+      ++child_invalidations_delivered_;
+      ++child_invalidations_redelivered_;
+    } else {
+      ++child_invalidations_dropped_;
+      QueueChildInvalidation(queue.child, id);
+    }
+  }
+}
+
+void ProxyCache::NoteChildContact(InvalidationSink* child, SimTime now) {
+  for (ChildQueue& queue : child_pending_) {
+    if (queue.child == child) {
+      FlushChildQueue(queue, now);
+      return;
+    }
+  }
+}
+
+size_t ProxyCache::PendingChildInvalidations() const {
+  size_t total = 0;
+  for (const ChildQueue& queue : child_pending_) {
+    total += queue.ids.size();
+  }
+  return total;
 }
 
 Upstream::FullReply ProxyCache::FetchFull(ObjectId id, SimTime now) {

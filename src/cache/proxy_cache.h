@@ -40,6 +40,8 @@
 
 namespace webcc {
 
+class SimEngine;
+
 enum class RefreshMode {
   kFullRefetch,     // base simulator behaviour
   kConditionalGet,  // optimized simulator behaviour
@@ -171,6 +173,28 @@ class ProxyCache : public InvalidationSink, public Upstream {
   void set_reachable(bool reachable) { reachable_ = reachable; }
   bool reachable() const { return reachable_; }
 
+  // --- Hierarchical redelivery (the origin's queue machinery, one level
+  // down) ---
+
+  // Arms queue-and-redeliver for child invalidation notices: a notice a
+  // child cannot accept is parked per child and re-driven on a timer and at
+  // NoteChildContact, exactly mirroring OriginServer's pending queues. Not
+  // armed (the default): a failed forward is dropped, the pre-fault
+  // hierarchy semantics. `engine` must outlive this cache.
+  void ArmChildRedelivery(SimEngine* engine, SimDuration retry_interval);
+  // First contact from `child` after an outage (a restarted leaf, a healed
+  // link): re-drives every notice queued for it.
+  void NoteChildContact(InvalidationSink* child, SimTime now);
+  // Parks a notice for `child`, deduplicated per object. Called internally
+  // on failed forwards when redelivery is armed, and by FaultedLink when a
+  // jittered delivery fails after the parent already counted it committed.
+  void QueueChildInvalidation(InvalidationSink* child, ObjectId id);
+  // Gauge: notices currently parked across all children. The child registry
+  // and this journal live with the cache's on-disk metadata, so both survive
+  // a crash (a restarted parent resumes redelivery; children that lost
+  // interest are skipped at flush time).
+  size_t PendingChildInvalidations() const;
+
   // --- Crash/restart (the fault layer's cache failures) ---
 
   // The process dies at `now`: in-memory state is gone, the cache stops
@@ -293,13 +317,37 @@ class ProxyCache : public InvalidationSink, public Upstream {
   std::unordered_map<ObjectId, std::vector<InvalidationSink*>> child_subs_;
   // Downstream invalidation notices forwarded (counted for the Fig 1
   // ablation's per-link message accounting) and dropped by unreachable
-  // children.
+  // children. `dropped` counts failed delivery attempts; with redelivery
+  // armed a dropped notice is also queued and retried rather than lost.
   uint64_t child_invalidations_sent_ = 0;
   uint64_t child_invalidations_dropped_ = 0;
+  uint64_t child_invalidations_delivered_ = 0;
+  uint64_t child_invalidations_queued_ = 0;
+  uint64_t child_invalidations_redelivered_ = 0;
+
+  // Per-child pending-notice journal (insertion order = registration order,
+  // so flushes are deterministic). `queued` flags are indexed by ObjectId
+  // for O(1) dedup, mirroring OriginServer::pending_flag_.
+  struct ChildQueue {
+    InvalidationSink* child = nullptr;
+    std::vector<ObjectId> ids;
+    std::vector<bool> queued;
+  };
+  ChildQueue& QueueFor(InvalidationSink* child);
+  void ArmChildFlushTimer();
+  void FlushChildQueue(ChildQueue& queue, SimTime now);
+
+  std::vector<ChildQueue> child_pending_;
+  SimEngine* child_redelivery_engine_ = nullptr;
+  SimDuration child_retry_interval_ = Minutes(5);
+  bool child_flush_timer_armed_ = false;
 
  public:
   uint64_t child_invalidations_sent() const { return child_invalidations_sent_; }
   uint64_t child_invalidations_dropped() const { return child_invalidations_dropped_; }
+  uint64_t child_invalidations_delivered() const { return child_invalidations_delivered_; }
+  uint64_t child_invalidations_queued() const { return child_invalidations_queued_; }
+  uint64_t child_invalidations_redelivered() const { return child_invalidations_redelivered_; }
 };
 
 }  // namespace webcc

@@ -42,11 +42,151 @@ const Workload& ResolveWorkload(const TrialSpec& spec, Workload& storage) {
   return storage;
 }
 
+// The recovery mode the snapshot restore will actually use. Mirrors
+// ResolveCrashRecovery (simulation.cc) without needing the live policy
+// object: kAuto resolves by the DECLARED policy kind, which is faithful
+// because only the invalidation policy answers UsesServerInvalidation()
+// true and the adaptive tuner (whose answer could drift mid-run) never
+// draws crash trials.
+CrashRecovery ResolveRecovery(CrashRecovery declared, PolicyKind policy) {
+  if (declared != CrashRecovery::kAuto) {
+    return declared;
+  }
+  return policy == PolicyKind::kInvalidation ? CrashRecovery::kRevalidateAll
+                                             : CrashRecovery::kTrustSnapshot;
+}
+
+// Invariant 4 dispatch: which twin comparison the resolved recovery mode's
+// contract demands.
+void CompareCrashTwin(CrashRecovery resolved, const ChaosOracle& baseline_oracle,
+                      const SimulationResult& baseline_result, const ChaosOracle& oracle,
+                      const SimulationResult& result) {
+  switch (resolved) {
+    case CrashRecovery::kAuto:  // resolved away by ResolveRecovery
+    case CrashRecovery::kTrustSnapshot:
+      ChaosOracle::VerifyCrashConsistency(baseline_oracle, baseline_result, oracle, result);
+      return;
+    case CrashRecovery::kRevalidateAll:
+      ChaosOracle::VerifyRecoveryDivergence(baseline_oracle, baseline_result, oracle, result,
+                                            /*cold_start=*/false);
+      return;
+    case CrashRecovery::kColdStart:
+      ChaosOracle::VerifyRecoveryDivergence(baseline_oracle, baseline_result, oracle, result,
+                                            /*cold_start=*/true);
+      return;
+  }
+}
+
+// Fleet trial: every member world carries its own oracle, judged against
+// the member's derived link config (exactly what the world runs under).
+// Crash trials rerun the fleet with the member-targeted crash point removed
+// and compare member by member: the targeted member under its recovery
+// mode's contract, every untargeted member field-identical (their link
+// schedules are independent substreams, so the crash must not leak).
+TrialRun RunFleetTrial(const TrialSpec& spec, const Workload& load) {
+  const uint32_t members = spec.fleet_size < 2 ? 2 : spec.fleet_size;
+  FleetConfig fleet;
+  fleet.policy = spec.config.policy;
+  fleet.num_caches = members;
+  fleet.refresh_mode = spec.config.refresh_mode;
+  fleet.preload = spec.config.preload;
+  fleet.faults = spec.config.faults;
+  fleet.keep_member_results = true;
+
+  std::vector<ChaosOracle> oracles;
+  oracles.reserve(members);
+  for (uint32_t m = 0; m < members; ++m) {
+    SimulationConfig member = spec.config;
+    member.faults = spec.config.faults.ForLink(m);
+    oracles.emplace_back(member);
+  }
+  fleet.member_observer = [&oracles](uint32_t m) -> SimObserver* { return &oracles[m]; };
+
+  TrialRun run;
+  run.fleet = RunFleetSimulation(load, fleet);
+  WEBCC_CHECK_EQ(run.fleet.member_results.size(), members);
+  for (uint32_t m = 0; m < members; ++m) {
+    oracles[m].VerifyResult(run.fleet.member_results[m]);
+  }
+
+  if (spec.kind == TrialKind::kCrashConsistency) {
+    FleetConfig baseline = fleet;
+    baseline.faults.snapshot_crash_request = -1;
+    for (LinkFaultOverride& link : baseline.faults.link_overrides) {
+      link.snapshot_crash_request.reset();
+    }
+    std::vector<ChaosOracle> baseline_oracles;
+    baseline_oracles.reserve(members);
+    for (uint32_t m = 0; m < members; ++m) {
+      SimulationConfig member = spec.config;
+      member.faults = baseline.faults.ForLink(m);
+      baseline_oracles.emplace_back(member);
+    }
+    baseline.member_observer = [&baseline_oracles](uint32_t m) -> SimObserver* {
+      return &baseline_oracles[m];
+    };
+    const FleetResult baseline_result = RunFleetSimulation(load, baseline);
+    WEBCC_CHECK_EQ(baseline_result.member_results.size(), members);
+    for (uint32_t m = 0; m < members; ++m) {
+      baseline_oracles[m].VerifyResult(baseline_result.member_results[m]);
+      const FaultConfig member_faults = fleet.faults.ForLink(m);
+      if (member_faults.snapshot_crash_request >= 0) {
+        CompareCrashTwin(
+            ResolveRecovery(member_faults.crash_recovery, spec.config.policy.kind),
+            baseline_oracles[m], baseline_result.member_results[m], oracles[m],
+            run.fleet.member_results[m]);
+      } else {
+        ChaosOracle::VerifyCrashConsistency(baseline_oracles[m],
+                                            baseline_result.member_results[m], oracles[m],
+                                            run.fleet.member_results[m]);
+      }
+    }
+  }
+  return run;
+}
+
+// Hierarchy trial: one oracle per leaf, in kHierarchyLeaf scope. Each leaf
+// oracle gets the WHOLE tree's fault config (see the ChaosOracle ctor doc):
+// a notice lost on the trunk link stales both leaves, so the zero-faults
+// cleanliness verdict and the retry slack must see every link's knobs.
+TrialRun RunHierarchyTrial(const TrialSpec& spec, const Workload& load) {
+  HierarchyConfig tree;
+  tree.policy = spec.config.policy;
+  tree.refresh_mode = spec.config.refresh_mode;
+  tree.preload = spec.config.preload;
+  tree.faults = spec.config.faults;
+
+  ChaosOracle oracle_a(spec.config, OracleScope::kHierarchyLeaf);
+  ChaosOracle oracle_b(spec.config, OracleScope::kHierarchyLeaf);
+  tree.leaf_observer_a = &oracle_a;
+  tree.leaf_observer_b = &oracle_b;
+
+  TrialRun run;
+  run.hierarchy = RunHierarchySimulation(load, tree);
+  oracle_a.VerifyLeafResult(run.hierarchy.l1a);
+  oracle_b.VerifyLeafResult(run.hierarchy.l1b);
+  if (run.hierarchy.LeafRequests() != run.hierarchy.requests) {
+    throw OracleViolation{
+        "conservation",
+        StrFormat("hierarchy leaf split dropped requests: l1a=%llu + l1b=%llu != total=%llu",
+                  static_cast<unsigned long long>(run.hierarchy.l1a.requests),
+                  static_cast<unsigned long long>(run.hierarchy.l1b.requests),
+                  static_cast<unsigned long long>(run.hierarchy.requests))};
+  }
+  return run;
+}
+
 }  // namespace
 
 TrialRun RunTrialChecked(const TrialSpec& spec) {
   Workload storage;
   const Workload& load = ResolveWorkload(spec, storage);
+  if (spec.topology == Topology::kFleet) {
+    return RunFleetTrial(spec, load);
+  }
+  if (spec.topology == Topology::kHierarchy) {
+    return RunHierarchyTrial(spec, load);
+  }
 
   SimulationConfig config = spec.config;
   ChaosOracle oracle(config);
@@ -57,20 +197,29 @@ TrialRun RunTrialChecked(const TrialSpec& spec) {
 
   if (spec.kind == TrialKind::kCrashConsistency &&
       spec.config.faults.snapshot_crash_request >= 0) {
-    // Invariant 4: the uninterrupted twin must be field-identical.
+    // Invariant 4: compare the uninterrupted twin under the recovery mode's
+    // contract.
     SimulationConfig baseline_config = spec.config;
     baseline_config.faults.snapshot_crash_request = -1;
     ChaosOracle baseline_oracle(baseline_config);
     baseline_config.observer = &baseline_oracle;
     const SimulationResult baseline_result = RunSimulation(load, baseline_config);
     baseline_oracle.VerifyResult(baseline_result);
-    ChaosOracle::VerifyCrashConsistency(baseline_oracle, baseline_result, oracle, run.result);
+    CompareCrashTwin(
+        ResolveRecovery(spec.config.faults.crash_recovery, spec.config.policy.kind),
+        baseline_oracle, baseline_result, oracle, run.result);
   }
   return run;
 }
 
 void MaterializeFaultWindows(TrialSpec& spec) {
   FaultConfig& faults = spec.config.faults;
+  if (!faults.link_overrides.empty()) {
+    // Per-link specs serialize as fault-plan v2, which keeps the MTBF/MTTR
+    // generator knobs: every link derives its own window schedule from its
+    // forked seed, which one shared materialized list cannot represent.
+    return;
+  }
   if (faults.server_mtbf <= SimDuration(0) || faults.server_mttr <= SimDuration(0)) {
     // One-sided configs generate nothing; normalize them to zero.
     faults.server_mtbf = SimDuration(0);
@@ -84,6 +233,42 @@ void MaterializeFaultWindows(TrialSpec& spec) {
   faults.server_mtbf = SimDuration(0);
   faults.server_mttr = SimDuration(0);
 }
+
+namespace {
+
+// Applies the campaign-wide topology pin and forced per-link faults to one
+// generated trial. Both campaign phases regenerate specs through this
+// transform, so the shrink/repro phase sees exactly the trial that ran.
+TrialSpec PinnedTrial(const ChaosOptions& options, uint64_t index) {
+  TrialSpec spec = GenerateTrial(options.seed, index);
+  if (options.topology.has_value() && spec.topology != *options.topology) {
+    if (*options.topology == Topology::kSingle) {
+      // The collapsed cache has only the base link; a fleet trial's parked
+      // per-member faults (including its snapshot-crash point) drop away,
+      // exactly as the shrinker's topology-collapse pass does.
+      spec.config.faults.link_overrides.clear();
+    }
+    if (*options.topology == Topology::kHierarchy) {
+      // Hierarchy trials have no snapshot-crash twin; drop any crash point
+      // the generator armed for a single/fleet trial.
+      spec.config.faults.snapshot_crash_request = -1;
+      for (LinkFaultOverride& over : spec.config.faults.link_overrides) {
+        over.snapshot_crash_request.reset();
+      }
+    }
+    spec.topology = *options.topology;
+    spec.fleet_size = 0;
+  }
+  if (spec.topology == Topology::kFleet && options.fleet_size >= 2) {
+    spec.fleet_size = options.fleet_size;
+  }
+  spec.config.faults.link_overrides.insert(spec.config.faults.link_overrides.end(),
+                                           options.link_overrides.begin(),
+                                           options.link_overrides.end());
+  return spec;
+}
+
+}  // namespace
 
 CampaignResult RunChaosCampaign(const ChaosOptions& options) {
   CampaignResult result;
@@ -99,7 +284,7 @@ CampaignResult RunChaosCampaign(const ChaosOptions& options) {
   std::vector<TrialOutcome> outcomes(options.trials);
   SweepRunner runner(options.jobs == 0 ? 1 : options.jobs);
   runner.ParallelFor(options.trials, [&options, &outcomes](size_t index) {
-    const TrialSpec spec = GenerateTrial(options.seed, index);
+    const TrialSpec spec = PinnedTrial(options, index);
     const std::optional<OracleViolation> violation = ProbeTrial(spec);
     if (violation.has_value()) {
       outcomes[index] = TrialOutcome{true, *violation};
@@ -112,7 +297,7 @@ CampaignResult RunChaosCampaign(const ChaosOptions& options) {
       continue;
     }
     ChaosViolation violation;
-    violation.spec = GenerateTrial(options.seed, index);
+    violation.spec = PinnedTrial(options, index);
     violation.violation = outcomes[index].violation;
     violation.minimal = violation.spec;
     MaterializeFaultWindows(violation.minimal);
@@ -180,6 +365,7 @@ namespace {
 
 constexpr const char* kReproHeader = "#webcc-chaos-repro v1";
 constexpr const char* kFaultPlanHeader = "#webcc-fault-plan v1";
+constexpr const char* kFaultPlanHeaderV2 = "#webcc-fault-plan v2";
 
 std::optional<TrialKind> ParseTrialKind(const std::string& name) {
   if (name == "clean") return TrialKind::kClean;
@@ -220,6 +406,12 @@ std::string RenderRepro(const TrialSpec& spec, const OracleViolation& violation)
   out << "campaign-seed " << copy.campaign_seed << "\n";
   out << "trial-index " << copy.index << "\n";
   out << "kind " << TrialKindName(copy.kind) << "\n";
+  if (copy.topology != Topology::kSingle) {
+    out << "topology " << TopologyName(copy.topology) << "\n";
+    if (copy.topology == Topology::kFleet) {
+      out << "fleet-size " << copy.fleet_size << "\n";
+    }
+  }
   if (copy.request_limit != kNoRequestLimit) {
     out << "request-limit " << copy.request_limit << "\n";
   }
@@ -295,9 +487,10 @@ std::optional<TrialSpec> ParseRepro(std::istream& in, std::string* error) {
       saw_header = true;
       continue;
     }
-    if (trimmed == kFaultPlanHeader) {
-      // Hand the rest of the stream (with the header re-attached) to the
-      // fault-plan parser; its all-or-nothing verdict is ours.
+    if (trimmed == kFaultPlanHeader || trimmed == kFaultPlanHeaderV2) {
+      // Hand the rest of the stream (with whichever version header
+      // re-attached) to the fault-plan parser; its all-or-nothing verdict
+      // is ours.
       std::stringstream rest;
       rest << trimmed << "\n" << in.rdbuf();
       FaultPlanParseError plan_error;
@@ -347,6 +540,15 @@ std::optional<TrialSpec> ParseRepro(std::istream& in, std::string* error) {
       std::optional<TrialKind> kind = ParseTrialKind(value);
       if (!kind.has_value()) return fail(line_no, "unknown trial kind \"" + value + "\"");
       spec.kind = *kind;
+    } else if (key == "topology") {
+      std::optional<Topology> topology = ParseTopology(value);
+      if (!topology.has_value()) {
+        return fail(line_no, "unknown topology \"" + value + "\"");
+      }
+      spec.topology = *topology;
+    } else if (key == "fleet-size") {
+      if (!as_int(&n) || n < 2 || n > 4096) return fail(line_no, "bad fleet-size");
+      spec.fleet_size = static_cast<uint32_t>(n);
     } else if (key == "request-limit") {
       if (!as_int(&n) || n < 0) return fail(line_no, "bad request-limit");
       spec.request_limit = static_cast<uint64_t>(n);
@@ -473,6 +675,9 @@ std::optional<TrialSpec> ParseRepro(std::istream& in, std::string* error) {
   }
   if (!saw_faults) {
     return fail(0, "missing embedded \"" + std::string(kFaultPlanHeader) + "\" section");
+  }
+  if (spec.topology == Topology::kFleet && spec.fleet_size < 2) {
+    return fail(0, "fleet topology requires \"fleet-size\" >= 2");
   }
   return spec;
 }

@@ -24,23 +24,34 @@
 
 #include "src/chaos/generator.h"
 #include "src/chaos/oracle.h"
+#include "src/core/fleet.h"
+#include "src/core/hierarchy.h"
 
 namespace webcc {
 
 struct TrialRun {
-  SimulationResult result;
+  SimulationResult result;     // filled for Topology::kSingle
+  FleetResult fleet;           // filled for Topology::kFleet (member results kept)
+  HierarchyResult hierarchy;   // filled for Topology::kHierarchy
 };
 
-// Replays one trial with a ChaosOracle attached and verifies the result;
-// crash-consistency trials additionally run the uninterrupted twin and
-// compare field-by-field (invariant 4). Throws OracleViolation.
+// Replays one trial with ChaosOracles attached — one for the collapsed
+// cache, one per fleet member, or one per hierarchy leaf, depending on the
+// spec's topology — and verifies the result. Crash-consistency trials
+// additionally run the uninterrupted twin and compare under the declared
+// recovery mode's contract: field identity for trust-like recoveries,
+// prefix identity plus first-touch semantics for revalidate-all and
+// cold-start (invariant 4, all four modes). Throws OracleViolation.
 TrialRun RunTrialChecked(const TrialSpec& spec);
 
 // Rewrites generated (MTBF/MTTR) downtime into the explicit window list the
 // run would have used, zeroing the generators. Behavior-preserving: windows
 // are materialized against the same horizon the simulator derives, and the
 // loss/jitter substreams depend only on the seed, which is kept. Repro files
-// are always written materialized so they round-trip exactly.
+// are always written materialized so they round-trip exactly. No-op for
+// specs with link overrides: their serialization (fault-plan v2) keeps the
+// generator knobs, because every link derives its own window schedule from
+// its forked seed and a single materialized list cannot represent that.
 void MaterializeFaultWindows(TrialSpec& spec);
 
 struct ChaosOptions {
@@ -52,6 +63,17 @@ struct ChaosOptions {
   bool shrink = true;
   // Budget of extra simulation runs one violation's shrink may spend.
   int max_shrink_runs = 60;
+  // Pin every trial to one topology (webcc-chaos --fleet/--hierarchy);
+  // nullopt lets the generator sample all three. fleet_size applies with
+  // Topology::kFleet. Pinning is part of the trial definition: the shrink
+  // phase regenerates through the same transform, and repro artifacts
+  // record the pinned spec.
+  std::optional<Topology> topology;
+  uint32_t fleet_size = 0;
+  // Per-link fault overrides appended to every trial's fault config
+  // (webcc-chaos --fleet-*/--tier-* knobs); indices address fleet members
+  // or HierarchyLink edges depending on the pinned topology.
+  std::vector<LinkFaultOverride> link_overrides;
 };
 
 // One confirmed violation, as generated and as shrunk.
@@ -80,7 +102,9 @@ CampaignResult RunChaosCampaign(const ChaosOptions& options);
 // --- Repro artifacts ------------------------------------------------------
 
 // Serializes a trial (with the violation it reproduces) as a versioned
-// key/value block ending in an embedded "#webcc-fault-plan v1" section.
+// key/value block — topology and fleet-size keys when not single-cache —
+// ending in an embedded "#webcc-fault-plan" section (v1, or v2 when the
+// spec carries per-link overrides).
 std::string RenderRepro(const TrialSpec& spec, const OracleViolation& violation);
 
 // All-or-nothing parse of RenderRepro output. On failure returns nullopt and

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/core/hierarchy.h"
 #include "src/util/check.h"
 #include "src/util/rng.h"
 #include "src/util/str.h"
@@ -119,12 +120,21 @@ const T& Pick(Rng& rng, const T (&options)[N]) {
   return options[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(N) - 1))];
 }
 
-PolicyConfig SamplePolicy(Rng& rng, bool time_based_only) {
+// Which slice of the policy table a trial may draw from. Crash trials use
+// kNonAdaptive: invalidation recovery semantics are part of what invariant 4
+// now covers, but the adaptive tuner's per-entry observation counters are
+// deliberately not persisted, so its twin legitimately diverges under ANY
+// recovery mode and stays out.
+enum class PolicySet { kAll, kTimeBasedOnly, kNonAdaptive };
+
+PolicyConfig SamplePolicy(Rng& rng, PolicySet set) {
   static const SimDuration kTtls[] = {Minutes(30), Hours(2), Hours(24)};
   static const double kThresholds[] = {0.05, 0.10, 0.20};
   static const double kFractions[] = {0.10, 0.25};
   static const SimDuration kLeases[] = {SimDuration(0), Minutes(10), Hours(1)};
-  const int64_t top = time_based_only ? 3 : 5;
+  const int64_t top = set == PolicySet::kTimeBasedOnly ? 3
+                      : set == PolicySet::kNonAdaptive ? 4
+                                                       : 5;
   switch (rng.UniformInt(0, top - 1)) {
     case 0:
       return PolicyConfig::Ttl(Pick(rng, kTtls));
@@ -188,12 +198,57 @@ void SampleChaosFaults(Rng& rng, SimTime horizon, FaultConfig& faults) {
   }
 }
 
+// The number of fault links a spec's topology exposes (1 for the collapsed
+// single-cache world).
+uint32_t NumTopologyLinks(const TrialSpec& spec) {
+  switch (spec.topology) {
+    case Topology::kSingle:
+      return 1;
+    case Topology::kFleet:
+      return spec.fleet_size;
+    case Topology::kHierarchy:
+      return kNumHierarchyLinks;
+  }
+  return 1;
+}
+
+// Member-targeted fault knobs: one link draws its own loss, partition
+// window, or crash on top of (or instead of) the base schedule. At least
+// one field is always set — an empty override would be a no-op line.
+LinkFaultOverride SampleLinkOverride(Rng& rng, uint32_t num_links, SimTime horizon) {
+  static const double kLossRates[] = {0.05, 0.20};
+  LinkFaultOverride link;
+  link.link = static_cast<uint32_t>(rng.UniformInt(0, static_cast<int64_t>(num_links) - 1));
+  bool armed_any = false;
+  if (rng.Bernoulli(0.5)) {
+    link.loss_rate = Pick(rng, kLossRates);
+    armed_any = true;
+  }
+  if (rng.Bernoulli(0.3)) {
+    link.jitter_max = Minutes(rng.UniformInt(1, 10));
+    armed_any = true;
+  }
+  if (rng.Bernoulli(0.4)) {
+    // A partition of this one link: the rest of the topology keeps talking.
+    const SimTime start = SimTime::Epoch() + Seconds(rng.UniformInt(0, horizon.seconds()));
+    link.downtime.push_back(DowntimeWindow{start, start + Minutes(rng.UniformInt(10, 90))});
+    armed_any = true;
+  }
+  if (!armed_any || rng.Bernoulli(0.25)) {
+    const SimTime at = SimTime::Epoch() + Seconds(rng.UniformInt(0, horizon.seconds()));
+    link.crashes.push_back(CacheCrashEvent{at, Minutes(rng.UniformInt(5, 30))});
+  }
+  return link;
+}
+
 std::string FaultSummary(const FaultConfig& f) {
-  return StrFormat("loss=%.2f jitter=%llds mtbf=%lldh windows=%zu crashes=%zu scr=%lld",
+  return StrFormat("loss=%.2f jitter=%llds mtbf=%lldh windows=%zu crashes=%zu scr=%lld "
+                   "links=%zu",
                    f.loss_rate, static_cast<long long>(f.jitter_max.seconds()),
                    static_cast<long long>(f.server_mtbf.seconds() / 3600),
                    f.server_downtime.size(), f.cache_crashes.size(),
-                   static_cast<long long>(f.snapshot_crash_request));
+                   static_cast<long long>(f.snapshot_crash_request),
+                   f.link_overrides.size());
 }
 
 }  // namespace
@@ -220,6 +275,25 @@ const char* WorkloadSourceName(WorkloadSource source) {
       return "campus-trace";
   }
   return "?";
+}
+
+const char* TopologyName(Topology topology) {
+  switch (topology) {
+    case Topology::kSingle:
+      return "single";
+    case Topology::kFleet:
+      return "fleet";
+    case Topology::kHierarchy:
+      return "hierarchy";
+  }
+  return "?";
+}
+
+std::optional<Topology> ParseTopology(const std::string& name) {
+  if (name == "single") return Topology::kSingle;
+  if (name == "fleet") return Topology::kFleet;
+  if (name == "hierarchy") return Topology::kHierarchy;
+  return std::nullopt;
 }
 
 std::string TrialWorkloadKey(const TrialSpec& spec) {
@@ -251,6 +325,11 @@ std::string TrialSpec::Describe() const {
       "trial %llu/%llu [%s] policy=%s workload=%s", static_cast<unsigned long long>(index),
       static_cast<unsigned long long>(campaign_seed), TrialKindName(kind),
       config.policy.Describe().c_str(), TrialWorkloadKey(*this).c_str());
+  if (topology == Topology::kFleet) {
+    desc += StrFormat(" topology=fleet-%u", fleet_size);
+  } else if (topology == Topology::kHierarchy) {
+    desc += " topology=hierarchy";
+  }
   if (request_limit != kNoRequestLimit) {
     desc += StrFormat(" limit=%llu", static_cast<unsigned long long>(request_limit));
   }
@@ -286,14 +365,35 @@ TrialSpec GenerateTrial(uint64_t campaign_seed, uint64_t index) {
     spec.campus = SampleCampusProfile(rng);
   }
 
+  // Topology: two thirds collapsed single-cache, the rest split between a
+  // small fleet and the two-level hierarchy. Crash-consistency trials remap
+  // hierarchy onto fleet (see Topology's comment).
+  switch (rng.UniformInt(0, 5)) {
+    case 4:
+      spec.topology = Topology::kFleet;
+      break;
+    case 5:
+      spec.topology = spec.kind == TrialKind::kCrashConsistency ? Topology::kFleet
+                                                                : Topology::kHierarchy;
+      break;
+    default:
+      spec.topology = Topology::kSingle;
+      break;
+  }
+  if (spec.topology == Topology::kFleet) {
+    spec.fleet_size = static_cast<uint32_t>(rng.UniformInt(2, 6));
+  }
+
   SimulationConfig& config = spec.config;
   config.refresh_mode =
       rng.Bernoulli(0.75) ? RefreshMode::kConditionalGet : RefreshMode::kFullRefetch;
   config.preload = rng.Bernoulli(0.8);
-  if (rng.Bernoulli(0.2)) {
+  if (rng.Bernoulli(0.2) && spec.topology == Topology::kSingle) {
     // Bounded cache: roughly a quarter of the population fits, so the LRU
     // eviction path runs under the oracle too. Campus sizes are drawn from
-    // per-type lognormals (Table 2), so use their rough overall mean.
+    // per-type lognormals (Table 2), so use their rough overall mean. The
+    // fleet and hierarchy simulators run unbounded (the paper's setting),
+    // so only the collapsed topology draws a capacity.
     const int64_t mean_bytes = spec.workload_source == WorkloadSource::kWorrell
                                    ? spec.workload.mean_file_bytes
                                    : 8192;
@@ -305,27 +405,55 @@ TrialSpec GenerateTrial(uint64_t campaign_seed, uint64_t index) {
 
   switch (spec.kind) {
     case TrialKind::kClean:
-      config.policy = SamplePolicy(rng, /*time_based_only=*/false);
+      config.policy = SamplePolicy(rng, PolicySet::kAll);
       // A quarter of clean trials arm the fault machinery with every knob at
-      // zero: the no-op guarantee stays under continuous test.
+      // zero: the no-op guarantee stays under continuous test, on every
+      // topology.
       if (rng.Bernoulli(0.25)) {
         config.faults.armed = true;
         config.faults.seed = static_cast<uint64_t>(rng.UniformInt(0, int64_t{1} << 32));
       }
       break;
-    case TrialKind::kCrashConsistency:
-      // Invariant 4's equality argument needs a policy that ignores the
-      // non-persisted entry fields and a recovery that restores validity
-      // verbatim; everything else stays fault-free so the twin runs differ
-      // only in the crash cycle itself.
-      config.policy = SamplePolicy(rng, /*time_based_only=*/true);
-      config.faults.crash_recovery = CrashRecovery::kTrustSnapshot;
-      config.faults.snapshot_crash_request = rng.UniformInt(0, 2000);
+    case TrialKind::kCrashConsistency: {
+      // Invariant 4's twin-run argument, over all four recovery modes: a
+      // policy that ignores the non-persisted entry fields (everything but
+      // the adaptive tuner), a recovery drawn from the full set, and an
+      // otherwise fault-free run so the twins differ only in the crash
+      // cycle. Trust-like recoveries demand field identity; revalidate and
+      // cold-start get the divergence contract instead (campaign.cc).
+      config.policy = SamplePolicy(rng, PolicySet::kNonAdaptive);
+      static const CrashRecovery kRecoveries[] = {
+          CrashRecovery::kAuto, CrashRecovery::kTrustSnapshot,
+          CrashRecovery::kRevalidateAll, CrashRecovery::kColdStart};
+      config.faults.crash_recovery = Pick(rng, kRecoveries);
+      const int64_t crash_request = rng.UniformInt(0, 2000);
+      if (spec.topology == Topology::kFleet) {
+        // Target one member's own replay slice; the twin drops the override
+        // and every untargeted sibling must stay bit-identical.
+        LinkFaultOverride link;
+        link.link = static_cast<uint32_t>(
+            rng.UniformInt(0, static_cast<int64_t>(spec.fleet_size) - 1));
+        link.snapshot_crash_request = crash_request;
+        config.faults.link_overrides.push_back(link);
+      } else {
+        config.faults.snapshot_crash_request = crash_request;
+      }
       break;
+    }
     case TrialKind::kChaos: {
-      config.policy = SamplePolicy(rng, /*time_based_only=*/false);
+      config.policy = SamplePolicy(rng, PolicySet::kAll);
       const SimTime horizon = SimTime::Epoch() + SpecDuration(spec);
       SampleChaosFaults(rng, horizon, config.faults);
+      if (spec.topology != Topology::kSingle && rng.Bernoulli(0.6)) {
+        // Member-targeted faults: one or two links live a worse life than
+        // the base schedule the whole topology shares.
+        const uint32_t num_links = NumTopologyLinks(spec);
+        const int64_t count = rng.UniformInt(1, 2);
+        for (int64_t i = 0; i < count; ++i) {
+          config.faults.link_overrides.push_back(
+              SampleLinkOverride(rng, num_links, horizon));
+        }
+      }
       break;
     }
   }
@@ -352,9 +480,20 @@ Workload TruncateWorkload(const Workload& full, uint64_t keep_requests) {
 
 uint64_t FaultEventCount(const TrialSpec& spec) {
   const FaultConfig& f = spec.config.faults;
-  WEBCC_CHECK(f.server_mtbf == SimDuration(0) || f.server_mttr == SimDuration(0));
-  return f.server_downtime.size() + f.cache_crashes.size() +
-         (f.snapshot_crash_request >= 0 ? 1 : 0);
+  if (f.link_overrides.empty()) {
+    // With overrides present the MTBF/MTTR generators are kept (each link
+    // re-derives its windows from its forked seed, which one materialized
+    // list cannot represent); without them, materialization must have
+    // zeroed the process before counting.
+    WEBCC_CHECK(f.server_mtbf == SimDuration(0) || f.server_mttr == SimDuration(0));
+  }
+  uint64_t count = f.server_downtime.size() + f.cache_crashes.size() +
+                   (f.snapshot_crash_request >= 0 ? 1 : 0);
+  for (const LinkFaultOverride& link : f.link_overrides) {
+    count += link.downtime.size() + link.crashes.size() +
+             (link.snapshot_crash_request.value_or(-1) >= 0 ? 1 : 0);
+  }
+  return count;
 }
 
 }  // namespace webcc

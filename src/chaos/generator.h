@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <string>
 
 #include "src/core/simulation.h"
@@ -49,12 +50,29 @@ enum class WorkloadSource {
 
 const char* WorkloadSourceName(WorkloadSource source);
 
+// Which simulator topology a trial replays through. Fleet trials shard the
+// workload's clients across fleet_size sibling caches (per-member fault
+// links); hierarchy trials run the two-level tree (three fault links).
+// Crash-consistency trials draw single or fleet only: the hierarchy's
+// in-place crash point cycles BOTH leaves, which has no single-member twin
+// to compare against.
+enum class Topology {
+  kSingle,
+  kFleet,
+  kHierarchy,
+};
+
+const char* TopologyName(Topology topology);
+std::optional<Topology> ParseTopology(const std::string& name);
+
 inline constexpr uint64_t kNoRequestLimit = std::numeric_limits<uint64_t>::max();
 
 struct TrialSpec {
   uint64_t campaign_seed = 0;
   uint64_t index = 0;
   TrialKind kind = TrialKind::kClean;
+  Topology topology = Topology::kSingle;
+  uint32_t fleet_size = 0;  // members when topology == kFleet, else ignored
   // The workload is carried as its generator config, not as events: the spec
   // stays serializable and the registry deduplicates materialization. Which
   // config is live is selected by `workload_source`; the other stays at its
@@ -88,8 +106,9 @@ TrialSpec GenerateTrial(uint64_t campaign_seed, uint64_t index);
 Workload TruncateWorkload(const Workload& full, uint64_t keep_requests);
 
 // Count of discrete fault events in a spec (downtime windows + cache
-// crashes + the snapshot crash point) — the shrinker's minimality metric.
-// MTBF/MTTR processes must be materialized first to be counted.
+// crashes + the snapshot crash point, base knobs and per-link overrides
+// alike) — the shrinker's minimality metric. Base MTBF/MTTR processes must
+// be materialized first to be counted.
 uint64_t FaultEventCount(const TrialSpec& spec);
 
 }  // namespace webcc

@@ -51,7 +51,8 @@ SimDuration ChaosOracle::MaxExchangeElapsed(const RetryPolicy& retry) {
   return elapsed;
 }
 
-ChaosOracle::ChaosOracle(const SimulationConfig& config) : config_(config) {
+ChaosOracle::ChaosOracle(const SimulationConfig& config, OracleScope scope)
+    : config_(config), scope_(scope) {
   config_.observer = nullptr;
   config_.policy_factory = nullptr;
   // Conservation laws compare the final stats against the full serve log; a
@@ -77,14 +78,24 @@ ChaosOracle::ChaosOracle(const SimulationConfig& config) : config_(config) {
       has_window_bound_ = false;  // the window is the tuner's moving target
       break;
   }
+  if (scope_ == OracleScope::kHierarchyLeaf) {
+    // Each tier can age a body by its own window before handing it down, so
+    // the one-policy window recomputation does not bound a leaf serve.
+    has_window_bound_ = false;
+  }
   // Loss and downtime stretch an exchange by timeouts and backoff before it
   // succeeds or degrades; that is the only fault-induced slack a fresh serve
-  // can legitimately pick up. Crashes and jitter never delay a fetch.
-  const bool delayed_fetches =
-      faults.Enabled() &&
-      (faults.loss_rate > 0.0 || !faults.server_downtime.empty() ||
-       (faults.server_mtbf > SimDuration(0) && faults.server_mttr > SimDuration(0)));
-  slack_ = delayed_fetches ? MaxExchangeElapsed(faults.retry) : SimDuration(0);
+  // can legitimately pick up. Crashes and jitter never delay a fetch. Any
+  // link's override can add loss or a partition window, so they count too.
+  bool delayed_fetches = faults.loss_rate > 0.0 || !faults.server_downtime.empty() ||
+                         (faults.server_mtbf > SimDuration(0) &&
+                          faults.server_mttr > SimDuration(0));
+  for (const LinkFaultOverride& link : faults.link_overrides) {
+    delayed_fetches = delayed_fetches || link.loss_rate.value_or(0.0) > 0.0 ||
+                      !link.downtime.empty();
+  }
+  slack_ = faults.Enabled() && delayed_fetches ? MaxExchangeElapsed(faults.retry)
+                                               : SimDuration(0);
 }
 
 void ChaosOracle::Fail(const char* invariant, std::string message) {
@@ -124,6 +135,23 @@ SimDuration ChaosOracle::RecomputeWindow(const CacheEntry& entry) const {
 void ChaosOracle::OnServe(const ServeObservation& o) {
   serves_.push_back(o);
 
+  // Invariant 5: the version ceiling. The origin numbers versions
+  // 1 + change-count, so nothing downstream — at any tier, after any crash,
+  // restore, or redelivery — can hold a version past what the origin has
+  // produced by now. A violation is a copy from the future.
+  if (o.has_entry) {
+    const uint64_t ceiling = 1 + shadow_.ModificationCount(o.object);
+    if (o.entry.version > ceiling) {
+      Fail("version-conservation",
+           Where(o) + StrFormat(": entry version %llu exceeds the origin's newest "
+                                "possible version %llu (%llu modifications applied)",
+                                static_cast<unsigned long long>(o.entry.version),
+                                static_cast<unsigned long long>(ceiling),
+                                static_cast<unsigned long long>(
+                                    shadow_.ModificationCount(o.object))));
+    }
+  }
+
   // Stale-flag cross-check: the simulator's verdict vs the shadow model's.
   const bool entry_stale =
       o.has_entry && shadow_.WouldBeStale(o.object, o.entry.last_modified);
@@ -144,12 +172,16 @@ void ChaosOracle::OnServe(const ServeObservation& o) {
     case ServeKind::kHitValidated:
     case ServeKind::kMissCold:
     case ServeKind::kMissRefetched:
-      // The body handed out was fetched or confirmed current this request;
-      // modifications only apply between requests, so it must be the newest.
+      // The simulator only flags locally-served copies stale, never a body
+      // it just brought in.
       if (o.result.stale) {
         Fail("stale-flag", Where(o) + ": a just-fetched/validated serve was flagged stale");
       }
-      if (entry_stale) {
+      // Against the origin a fetched body must be the newest version; a
+      // hierarchy leaf fetches through its parent, whose policy-fresh copy
+      // may already be stale in truth — there the ceiling check above is
+      // the binding one.
+      if (entry_stale && scope_ == OracleScope::kSingleTier) {
         Fail("stale-flag",
              Where(o) + ": the just-fetched/validated copy is older than the newest "
                         "applied modification");
@@ -302,12 +334,11 @@ namespace {
 // Equality over the persisted entry fields (snapshot.cc's 9 columns).
 // serve_count and serves_since_validation are in-memory only: a restore
 // legitimately resets them, and no non-adaptive policy reads them.
-void CheckPersistedEntryFields(const std::string& where, const CacheEntry& a,
-                               const CacheEntry& b) {
-  const auto fail = [&where](const char* field, const std::string& lhs,
-                             const std::string& rhs) {
+void CheckPersistedEntryFields(const char* invariant, const std::string& where,
+                               const CacheEntry& a, const CacheEntry& b) {
+  const auto fail = [&](const char* field, const std::string& lhs, const std::string& rhs) {
     throw OracleViolation{
-        "crash-consistency",
+        invariant,
         where + StrFormat(": entry field %s differs: baseline %s, crashed %s", field,
                           lhs.c_str(), rhs.c_str())};
   };
@@ -345,6 +376,41 @@ void CheckStatField(const char* scope, const char* field, uint64_t baseline, uin
   }
 }
 
+// Serve-record equality for the twin-run comparisons: verdict fields plus
+// the persisted entry state. `invariant` names the check that throws.
+void CompareServeRecords(const char* invariant, const std::string& where,
+                         const ServeObservation& a, const ServeObservation& b) {
+  const auto fail = [&](const std::string& message) {
+    throw OracleViolation{invariant, where + message};
+  };
+  if (a.object != b.object || a.at != b.at) {
+    fail(": replay streams diverged (object/time mismatch)");
+  }
+  if (a.result.kind != b.result.kind) {
+    fail(StrFormat(": serve kind differs: baseline %s, crashed %s",
+                   ServeKindName(a.result.kind), ServeKindName(b.result.kind)));
+  }
+  if (a.result.stale != b.result.stale) {
+    fail(StrFormat(": stale flag differs: baseline %d, crashed %d", a.result.stale ? 1 : 0,
+                   b.result.stale ? 1 : 0));
+  }
+  if (a.result.link_bytes != b.result.link_bytes) {
+    fail(StrFormat(": link bytes differ: baseline %lld, crashed %lld",
+                   static_cast<long long>(a.result.link_bytes),
+                   static_cast<long long>(b.result.link_bytes)));
+  }
+  if (a.result.hops != b.result.hops) {
+    fail(StrFormat(": hops differ: baseline %d, crashed %d", a.result.hops, b.result.hops));
+  }
+  if (a.has_entry != b.has_entry) {
+    fail(StrFormat(": entry presence differs: baseline %d, crashed %d", a.has_entry ? 1 : 0,
+                   b.has_entry ? 1 : 0));
+  }
+  if (a.has_entry) {
+    CheckPersistedEntryFields(invariant, where, a.entry, b.entry);
+  }
+}
+
 }  // namespace
 
 void ChaosOracle::VerifyCrashConsistency(const ChaosOracle& baseline,
@@ -362,41 +428,10 @@ void ChaosOracle::VerifyCrashConsistency(const ChaosOracle& baseline,
   }
   for (size_t i = 0; i < baseline.serves_.size(); ++i) {
     const ServeObservation& a = baseline.serves_[i];
-    const ServeObservation& b = crashed.serves_[i];
     const std::string where =
         StrFormat("serve #%zu (object %u, t=%s)", i, static_cast<unsigned>(a.object),
                   a.at.ToString().c_str());
-    if (a.object != b.object || a.at != b.at) {
-      Fail("crash-consistency", where + ": replay streams diverged (object/time mismatch)");
-    }
-    if (a.result.kind != b.result.kind) {
-      Fail("crash-consistency",
-           where + StrFormat(": serve kind differs: baseline %s, crashed %s",
-                             ServeKindName(a.result.kind), ServeKindName(b.result.kind)));
-    }
-    if (a.result.stale != b.result.stale) {
-      Fail("crash-consistency",
-           where + StrFormat(": stale flag differs: baseline %d, crashed %d",
-                             a.result.stale ? 1 : 0, b.result.stale ? 1 : 0));
-    }
-    if (a.result.link_bytes != b.result.link_bytes) {
-      Fail("crash-consistency",
-           where + StrFormat(": link bytes differ: baseline %lld, crashed %lld",
-                             static_cast<long long>(a.result.link_bytes),
-                             static_cast<long long>(b.result.link_bytes)));
-    }
-    if (a.result.hops != b.result.hops) {
-      Fail("crash-consistency", where + StrFormat(": hops differ: baseline %d, crashed %d",
-                                                  a.result.hops, b.result.hops));
-    }
-    if (a.has_entry != b.has_entry) {
-      Fail("crash-consistency",
-           where + StrFormat(": entry presence differs: baseline %d, crashed %d",
-                             a.has_entry ? 1 : 0, b.has_entry ? 1 : 0));
-    }
-    if (a.has_entry) {
-      CheckPersistedEntryFields(where, a.entry, b.entry);
-    }
+    CompareServeRecords("crash-consistency", where, a, crashed.serves_[i]);
   }
 
   // Final cache contents, in LRU order (restore preserves it).
@@ -406,8 +441,8 @@ void ChaosOracle::VerifyCrashConsistency(const ChaosOracle& baseline,
                    baseline.final_entries_.size(), crashed.final_entries_.size()));
   }
   for (size_t i = 0; i < baseline.final_entries_.size(); ++i) {
-    CheckPersistedEntryFields(StrFormat("final entry #%zu", i), baseline.final_entries_[i],
-                              crashed.final_entries_[i]);
+    CheckPersistedEntryFields("crash-consistency", StrFormat("final entry #%zu", i),
+                              baseline.final_entries_[i], crashed.final_entries_[i]);
   }
 
   // Statistics, field by field. The crash cycle itself accounts exactly one
@@ -486,6 +521,162 @@ void ChaosOracle::VerifyCrashConsistency(const ChaosOracle& baseline,
                  static_cast<uint64_t>(cs.bytes_sent));
   CheckStatField("server", "bytes_received", static_cast<uint64_t>(bs.bytes_received),
                  static_cast<uint64_t>(cs.bytes_received));
+}
+
+void ChaosOracle::VerifyRecoveryDivergence(const ChaosOracle& baseline,
+                                           const SimulationResult& baseline_result,
+                                           const ChaosOracle& crashed,
+                                           const SimulationResult& crashed_result,
+                                           bool cold_start) {
+  WEBCC_CHECK(baseline.run_ended_);
+  WEBCC_CHECK(crashed.run_ended_);
+
+  const int64_t scr = crashed.config_.faults.snapshot_crash_request;
+  if (scr < 0 || static_cast<uint64_t>(scr) >= crashed.serves_.size()) {
+    // The crash point never fired: the twins ran identical configurations
+    // and must be field-identical regardless of recovery mode.
+    VerifyCrashConsistency(baseline, baseline_result, crashed, crashed_result);
+    return;
+  }
+  if (baseline.serves_.size() != crashed.serves_.size()) {
+    Fail("crash-recovery",
+         StrFormat("serve logs differ in length: baseline %zu, crashed %zu",
+                   baseline.serves_.size(), crashed.serves_.size()));
+  }
+
+  const size_t crash_index = static_cast<size_t>(scr);
+  std::vector<bool> touched;  // objects first served after the crash point
+  for (size_t i = 0; i < baseline.serves_.size(); ++i) {
+    const ServeObservation& a = baseline.serves_[i];
+    const ServeObservation& b = crashed.serves_[i];
+    const std::string where =
+        StrFormat("serve #%zu (object %u, t=%s)", i, static_cast<unsigned>(a.object),
+                  a.at.ToString().c_str());
+    if (i < crash_index) {
+      // Before the crash the runs are the same program: full field identity.
+      CompareServeRecords("crash-recovery", where, a, b);
+      continue;
+    }
+    // After it the serve outcomes legitimately diverge, but the replay
+    // stream is the workload's and may not.
+    if (a.object != b.object || a.at != b.at) {
+      throw OracleViolation{"crash-recovery",
+                            where + ": replay streams diverged (object/time mismatch)"};
+    }
+    const size_t object = static_cast<size_t>(b.object);
+    if (object >= touched.size()) {
+      touched.resize(object + 1, false);
+    }
+    if (touched[object]) {
+      continue;
+    }
+    touched[object] = true;
+    // The recovery-mode contract at the object's first post-crash touch.
+    if (cold_start) {
+      // The disk died with the process: nothing survived to serve from, so
+      // the first touch is a cold miss — or a failed serve when another
+      // armed fault (link loss, origin downtime) kills the refetch itself.
+      // A failure hands the client no body, so it cannot break consistency.
+      if (b.result.kind != ServeKind::kMissCold && b.result.kind != ServeKind::kFailed) {
+        throw OracleViolation{
+            "crash-recovery",
+            where + StrFormat(": first touch after a cold-start crash must be a cold miss "
+                              "or a failed fetch, got %s",
+                              ServeKindName(b.result.kind))};
+      }
+    } else {
+      // Revalidate-all: every restored entry comes back invalid, so the
+      // first touch must validate or miss — never serve the copy as fresh.
+      if (b.result.kind == ServeKind::kHitFresh) {
+        throw OracleViolation{
+            "crash-recovery",
+            where + ": first touch after a revalidate-all crash served a fresh hit "
+                    "(the restored entry skipped revalidation)"};
+      }
+    }
+  }
+
+  // The cycle accounts exactly one crash with zero dark time; request
+  // volume is the workload's and cannot change.
+  const CacheStats& bc = baseline_result.cache;
+  const CacheStats& cc = crashed_result.cache;
+  if (cc.crashes != bc.crashes + 1) {
+    throw OracleViolation{
+        "crash-recovery",
+        StrFormat("crash counter off: baseline %llu + 1 cycle != crashed %llu",
+                  static_cast<unsigned long long>(bc.crashes),
+                  static_cast<unsigned long long>(cc.crashes))};
+  }
+  if (bc.requests != cc.requests) {
+    throw OracleViolation{
+        "crash-recovery",
+        StrFormat("request counts differ: baseline %llu, crashed %llu",
+                  static_cast<unsigned long long>(bc.requests),
+                  static_cast<unsigned long long>(cc.requests))};
+  }
+  if (bc.unavailable_seconds != cc.unavailable_seconds) {
+    throw OracleViolation{
+        "crash-recovery",
+        StrFormat("the in-place cycle must lose no simulated time: baseline dark %llds, "
+                  "crashed dark %llds",
+                  static_cast<long long>(bc.unavailable_seconds),
+                  static_cast<long long>(cc.unavailable_seconds))};
+  }
+}
+
+void ChaosOracle::VerifyLeafResult(const CacheStats& leaf) const {
+  WEBCC_CHECK(run_ended_);
+  if (leaf.requests != serves_.size()) {
+    Fail("conservation",
+         StrFormat("leaf stats saw %llu requests but the observer saw %zu serves",
+                   static_cast<unsigned long long>(leaf.requests), serves_.size()));
+  }
+  if (const int64_t gap = RequestConservationGap(leaf); gap != 0) {
+    Fail("conservation",
+         StrFormat("leaf requests=%llu but serve kinds sum to %llu (gap %lld)",
+                   static_cast<unsigned long long>(leaf.requests),
+                   static_cast<unsigned long long>(leaf.ServeKindTotal()),
+                   static_cast<long long>(gap)));
+  }
+  if (leaf.stale_hits > leaf.hits_fresh + leaf.degraded_serves) {
+    Fail("conservation",
+         StrFormat("leaf stale_hits=%llu exceeds the local serves that can be stale (%llu)",
+                   static_cast<unsigned long long>(leaf.stale_hits),
+                   static_cast<unsigned long long>(leaf.hits_fresh + leaf.degraded_serves)));
+  }
+  uint64_t type_requests = 0;
+  uint64_t type_stale = 0;
+  for (const CacheStats::TypeCounters& t : leaf.by_type) {
+    type_requests += t.requests;
+    type_stale += t.stale_hits;
+  }
+  if (type_requests != leaf.requests - leaf.failed_requests ||
+      type_stale != leaf.stale_hits) {
+    Fail("conservation",
+         StrFormat("leaf per-type counters do not sum to the totals: requests %llu vs %llu, "
+                   "stale %llu vs %llu",
+                   static_cast<unsigned long long>(type_requests),
+                   static_cast<unsigned long long>(leaf.requests - leaf.failed_requests),
+                   static_cast<unsigned long long>(type_stale),
+                   static_cast<unsigned long long>(leaf.stale_hits)));
+  }
+  if (!zero_faults_) {
+    return;
+  }
+  // A fault-free tree degrades nowhere; hierarchy trials never use the
+  // in-place crash point, so the crash counter is clean too.
+  const auto expect_zero = [](const char* field, uint64_t value) {
+    if (value != 0) {
+      Fail("zero-fault", StrFormat("fault-free leaf has %s=%llu", field,
+                                   static_cast<unsigned long long>(value)));
+    }
+  };
+  expect_zero("upstream_retries", leaf.upstream_retries);
+  expect_zero("degraded_serves", leaf.degraded_serves);
+  expect_zero("failed_requests", leaf.failed_requests);
+  expect_zero("invalidations_dropped", leaf.invalidations_dropped);
+  expect_zero("crashes", leaf.crashes);
+  expect_zero("unavailable_seconds", static_cast<uint64_t>(leaf.unavailable_seconds));
 }
 
 }  // namespace webcc

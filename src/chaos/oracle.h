@@ -22,9 +22,21 @@
 //      shows zero failure accounting with byte-identical server/cache
 //      ledgers.
 //   4. crash-consistency — a run that snapshots, crashes, and restores
-//      in-place at an arbitrary request index is field-identical to the
-//      uninterrupted run: same serve log, same final entries (persisted
-//      fields), same statistics up to the crash counter itself.
+//      in-place at an arbitrary request index is compared against the
+//      uninterrupted twin under the semantics of its recovery mode:
+//      trust-snapshot (and auto resolving to it) demands field identity —
+//      same serve log, same final entries (persisted fields), same
+//      statistics up to the crash counter itself; revalidate-all and
+//      cold-start legitimately diverge after the crash point, so the twin
+//      check becomes pre-crash prefix identity plus the recovery-mode
+//      contract at each object's first post-crash touch (never a fresh hit
+//      after revalidate-all, always a cold miss after cold-start) with
+//      invariants 1–3 still enforced on the crashed run in full.
+//   5. version-conservation (cross-tier) — no cache at any tier ever serves
+//      a version newer than the origin had produced by that instant. In a
+//      hierarchy this ceiling upper-bounds every ancestor's knowledge, so a
+//      leaf can never appear fresher than what its parent could have
+//      delivered.
 //
 // Violations are reported by throwing OracleViolation, which propagates out
 // of RunSimulation; the campaign layer (campaign.h) is the only place
@@ -43,11 +55,30 @@ namespace webcc {
 
 // One invariant violation. `invariant` is a stable slug ("staleness-bound",
 // "stale-flag", "invalidation-consistency", "conservation", "zero-fault",
-// "crash-consistency") that shrinking uses to decide whether a simplified
-// trial still reproduces the SAME failure.
+// "crash-consistency", "crash-recovery", "version-conservation") that
+// shrinking uses to decide whether a simplified trial still reproduces the
+// SAME failure.
 struct OracleViolation {
   std::string invariant;
   std::string message;
+};
+
+// Where in a topology the observed cache sits — it changes what a serve can
+// legitimately look like.
+enum class OracleScope {
+  // The cache fetches directly from the origin (single cache, fleet
+  // member): a just-fetched body is always current, and the staleness-age
+  // bound is the policy's own window.
+  kSingleTier,
+  // A hierarchy leaf fetches through a parent cache, which may serve its
+  // own policy-fresh-but-truth-stale copy: a just-fetched body can arrive
+  // already stale (that is the topology's nature, not a bug), and staleness
+  // windows compound per tier, so the single-policy window recomputation is
+  // unsound and invariant 1 is not checked here. Invariant 2 still holds —
+  // synchronous invalidation is perfectly consistent through the whole
+  // tree — as do the stale-flag cross-check on local serves and the
+  // cross-tier version-conservation ceiling.
+  kHierarchyLeaf,
 };
 
 class ChaosOracle : public SimObserver {
@@ -56,8 +87,12 @@ class ChaosOracle : public SimObserver {
   // run against config.policy and config.faults, NOT against whatever policy
   // object actually ran — which is how a deliberately broken policy behind
   // an honest-looking config gets caught. Conservation checks require
-  // warmup == 0 (chaos trials never warm up); checked.
-  explicit ChaosOracle(const SimulationConfig& config);
+  // warmup == 0 (chaos trials never warm up); checked. For per-link
+  // topologies pass the WHOLE-world fault config (link overrides included):
+  // zero-faults cleanliness and retry slack must see every link's knobs,
+  // because any link's faults can reach this cache's serves.
+  explicit ChaosOracle(const SimulationConfig& config,
+                       OracleScope scope = OracleScope::kSingleTier);
 
   // --- SimObserver ---
   void OnModification(ObjectId object, SimTime at) override;
@@ -68,13 +103,36 @@ class ChaosOracle : public SimObserver {
   // RunSimulation returns, with its result.
   void VerifyResult(const SimulationResult& result) const;
 
-  // Invariant 4: `crashed` ran the same trial as `baseline` plus an in-place
-  // snapshot->crash->restore cycle (faults.snapshot_crash_request >= 0).
-  // Throws on the first field difference.
+  // The leaf-shaped slice of VerifyResult for hierarchy tiers: request/serve
+  // conservation and the per-type ledger against this leaf's CacheStats,
+  // plus the zero-fault failure-counter cleanliness when the whole tree ran
+  // fault-free. The origin's ServerStats ledger spans all three links, so
+  // the byte-ledger and invalidation-ledger checks live with the caller.
+  void VerifyLeafResult(const CacheStats& leaf) const;
+
+  // Invariant 4, trust-snapshot flavor: `crashed` ran the same trial as
+  // `baseline` plus an in-place snapshot->crash->restore cycle
+  // (faults.snapshot_crash_request >= 0) whose recovery restores validity
+  // verbatim, so the twin must be field-identical. Throws on the first
+  // field difference.
   static void VerifyCrashConsistency(const ChaosOracle& baseline,
                                      const SimulationResult& baseline_result,
                                      const ChaosOracle& crashed,
                                      const SimulationResult& crashed_result);
+
+  // Invariant 4 for the divergent recovery modes (revalidate-all, and
+  // cold-start when `cold_start`): serve-by-serve field identity up to the
+  // crash point, aligned replay streams throughout, and the recovery-mode
+  // contract at each object's first post-crash touch — revalidate-all may
+  // never serve a fresh hit first (the restored entry must revalidate),
+  // cold-start must take a cold miss (the disk died). The crash cycle
+  // accounts exactly one crash with zero dark time; invariants 1–3 are the
+  // crashed oracle's own job and are not repeated here.
+  static void VerifyRecoveryDivergence(const ChaosOracle& baseline,
+                                       const SimulationResult& baseline_result,
+                                       const ChaosOracle& crashed,
+                                       const SimulationResult& crashed_result,
+                                       bool cold_start);
 
   // Worst-case elapsed time one upstream exchange can absorb under `retry`
   // before reporting failure: the staleness-bound's fault-induced slack.
@@ -91,6 +149,7 @@ class ChaosOracle : public SimObserver {
   [[nodiscard]] SimDuration RecomputeWindow(const CacheEntry& entry) const;
 
   SimulationConfig config_;  // observer/policy_factory cleared
+  OracleScope scope_ = OracleScope::kSingleTier;
   bool zero_faults_ = false;
   bool invalidation_never_stale_ = false;
   bool has_window_bound_ = false;

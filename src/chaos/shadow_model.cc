@@ -29,6 +29,11 @@ bool ShadowModel::WouldBeStale(ObjectId object, SimTime last_modified) const {
   return last_modified < mods_[index].back();
 }
 
+uint64_t ShadowModel::ModificationCount(ObjectId object) const {
+  const size_t index = static_cast<size_t>(object);
+  return index < mods_.size() ? mods_[index].size() : 0;
+}
+
 std::optional<SimTime> ShadowModel::FirstModificationAfter(ObjectId object,
                                                            SimTime last_modified) const {
   const size_t index = static_cast<size_t>(object);

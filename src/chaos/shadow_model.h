@@ -42,6 +42,12 @@ class ShadowModel {
   [[nodiscard]] std::optional<SimTime> FirstModificationAfter(ObjectId object,
                                                               SimTime last_modified) const;
 
+  // Applied modifications recorded for `object` so far. The origin numbers
+  // versions 1 + change-count, so 1 + ModificationCount(object) is the
+  // newest version any cache — at any tier — could possibly hold right now:
+  // the cross-tier conservation ceiling.
+  [[nodiscard]] uint64_t ModificationCount(ObjectId object) const;
+
   [[nodiscard]] uint64_t modifications_recorded() const { return modifications_recorded_; }
 
  private:

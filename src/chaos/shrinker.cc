@@ -73,8 +73,39 @@ ShrinkResult ShrinkTrial(const TrialSpec& spec, int max_runs) {
     return false;
   };
 
+  // Pass 1b: collapse the topology before knob shrinking — a single-cache
+  // reproducer beats any multi-world one, and every later pass gets cheaper
+  // when the collapse sticks.
+  if (best.topology != Topology::kSingle) {
+    TrialSpec c = best;
+    c.topology = Topology::kSingle;
+    c.fleet_size = 0;
+    c.config.faults.link_overrides.clear();
+    accept(c);
+  }
+  if (best.topology == Topology::kFleet && best.fleet_size > 2) {
+    // Fewer members; overrides addressing dropped members go with them.
+    TrialSpec c = best;
+    c.fleet_size = 2;
+    auto& links = c.config.faults.link_overrides;
+    links.erase(std::remove_if(links.begin(), links.end(),
+                               [](const LinkFaultOverride& over) { return over.link >= 2; }),
+                links.end());
+    accept(c);
+  }
+
   // Pass 2: drop whole fault dimensions, cheapest simplification first.
   {
+    for (size_t i = 0; i < best.config.faults.link_overrides.size();) {
+      // One-at-a-time per-link override removal, same shape as pass 3: on a
+      // successful removal the same index is retried (the list shifted).
+      TrialSpec c = best;
+      c.config.faults.link_overrides.erase(c.config.faults.link_overrides.begin() +
+                                           static_cast<ptrdiff_t>(i));
+      if (!accept(c)) {
+        ++i;
+      }
+    }
     if (best.config.faults.snapshot_crash_request >= 0) {
       TrialSpec c = best;
       c.config.faults.snapshot_crash_request = -1;

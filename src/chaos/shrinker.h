@@ -7,9 +7,13 @@
 // slug. Passes, in order:
 //
 //   1. materialize MTBF/MTTR downtime into explicit windows (behavior-
-//      preserving, makes the schedule shrinkable),
-//   2. knob zeroing: drop whole fault dimensions (jitter, loss, crashes,
-//      windows, the snapshot crash point, capacity bound),
+//      preserving, makes the schedule shrinkable; skipped for per-link
+//      specs, whose windows re-derive from forked seeds),
+//   1b. topology collapse: try single-cache (dropping link overrides),
+//      then a 2-member fleet (dropping overrides of removed members),
+//   2. knob zeroing: drop whole per-link overrides one at a time, then
+//      whole base fault dimensions (jitter, loss, crashes, windows, the
+//      snapshot crash point, capacity bound),
 //   3. one-at-a-time removal of surviving downtime windows / crash events,
 //   4. binary search for the shortest request prefix that still violates.
 //

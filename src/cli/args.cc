@@ -42,6 +42,10 @@ std::optional<SimDuration> ParseDuration(std::string_view text) {
 
 }  // namespace
 
+std::optional<SimDuration> ArgParser::ParseDurationText(std::string_view text) {
+  return ParseDuration(text);
+}
+
 ArgParser::ArgParser(const std::vector<std::string>& args) {
   for (const std::string& arg : args) {
     if (arg.rfind("--", 0) != 0 || arg.size() == 2) {

@@ -38,6 +38,11 @@ class ArgParser {
   // and magnitudes that overflow the int64 seconds timeline.
   SimDuration GetDuration(std::string_view name, SimDuration default_value);
 
+  // The same grammar as GetDuration, for flags whose values embed durations
+  // in structured text (e.g. the per-member "2:90s" fault knobs). Returns
+  // nullopt on malformed input; no flag is consumed and no error recorded.
+  static std::optional<SimDuration> ParseDurationText(std::string_view text);
+
   bool Has(std::string_view name) const;
 
   // Flags given on the command line but never consumed (typos).

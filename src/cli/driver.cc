@@ -5,6 +5,8 @@
 
 #include "src/cli/args.h"
 #include "src/core/experiment.h"
+#include "src/core/fleet.h"
+#include "src/core/hierarchy.h"
 #include "src/core/report.h"
 #include "src/core/sweep_runner.h"
 #include "src/core/simulation.h"
@@ -42,6 +44,22 @@ Simulation mode:
   --mode=base|optimized  full re-fetch vs conditional GET (default: optimized)
   --no-preload           start with a cold cache
   --capacity-bytes=N     LRU-bounded cache (default: unbounded)
+
+Topologies (default: one collapsed cache; not combinable with --sweep,
+--analyze, or --capacity-bytes):
+  --fleet=N              N sibling caches, clients sharded across members
+  --hierarchy            two-level tree: server -> L2 -> L1a / L1b
+
+Per-link fault overrides (comma-separated TARGET:VALUE entries; fleet
+targets are member indices 0..N-1, tier targets are l2|l1a|l1b; scalar
+overrides replace the base knob for that link, crash schedules append):
+  --fleet-loss-rate=M:F  per-member message loss in [0, 1]
+  --fleet-jitter=M:DUR   per-member invalidation delivery jitter cap
+  --fleet-crash=M:DUR    crash member M at sim time DUR (dark for
+                         --crash-outage, default 10m)
+  --tier-loss-rate=LINK:F, --tier-jitter=LINK:DUR, --tier-crash=LINK:DUR
+                         the same knobs for the tree's three edges; a crash
+                         hits the link's cache endpoint
 
 Sweeps (prints a figure series instead of one run):
   --sweep=alex|ttl       sweep the paper's parameter axis
@@ -230,6 +248,226 @@ bool BuildFaults(ArgParser& args, SimulationConfig& config, std::ostream& err) {
   return true;
 }
 
+LinkFaultOverride& OverrideFor(std::vector<LinkFaultOverride>& overrides, uint32_t link) {
+  for (LinkFaultOverride& over : overrides) {
+    if (over.link == link) {
+      return over;
+    }
+  }
+  overrides.push_back({});
+  overrides.back().link = link;
+  return overrides.back();
+}
+
+}  // namespace
+
+// Malformed member indices, link names, durations, and out-of-range values
+// all get the one-line error + exit 2 contract (the caller maps false to 2).
+bool ParseTopologyFaultFlags(ArgParser& args, FaultConfig& faults, CliTopologySelection& topo,
+                             std::ostream& err) {
+  const bool hierarchy = args.GetBool("hierarchy");
+  const int64_t fleet = args.GetInt("fleet", 0);
+  if (args.Has("fleet") && (fleet < 2 || fleet > 4096)) {
+    err << "error: --fleet expects a member count in [2, 4096]\n";
+    return false;
+  }
+  if (hierarchy && args.Has("fleet")) {
+    err << "error: --fleet and --hierarchy are mutually exclusive\n";
+    return false;
+  }
+  topo.mode = hierarchy           ? CliTopology::kHierarchy
+              : args.Has("fleet") ? CliTopology::kFleet
+                                  : CliTopology::kSingle;
+  topo.fleet_size = topo.mode == CliTopology::kFleet ? static_cast<uint32_t>(fleet) : 0;
+
+  struct Knob {
+    const char* flag;
+    enum Kind { kLoss, kJitter, kCrash } kind;
+    bool fleet_scoped;
+  };
+  constexpr Knob kKnobs[] = {
+      {"fleet-loss-rate", Knob::kLoss, true}, {"fleet-jitter", Knob::kJitter, true},
+      {"fleet-crash", Knob::kCrash, true},    {"tier-loss-rate", Knob::kLoss, false},
+      {"tier-jitter", Knob::kJitter, false},  {"tier-crash", Knob::kCrash, false},
+  };
+  const SimDuration crash_outage = args.GetDuration("crash-outage", Minutes(10));
+  for (const Knob& knob : kKnobs) {
+    if (!args.Has(knob.flag)) {
+      continue;
+    }
+    const std::string text = args.GetString(knob.flag, "");
+    if (knob.fleet_scoped && topo.mode != CliTopology::kFleet) {
+      err << "error: --" << knob.flag << " requires --fleet=N\n";
+      return false;
+    }
+    if (!knob.fleet_scoped && topo.mode != CliTopology::kHierarchy) {
+      err << "error: --" << knob.flag << " requires --hierarchy\n";
+      return false;
+    }
+    for (const std::string_view entry : Split(text, ',')) {
+      const size_t colon = entry.find(':');
+      if (colon == std::string_view::npos || colon == 0 || colon + 1 >= entry.size()) {
+        err << "error: --" << knob.flag << " entries look like TARGET:VALUE, got '" << entry
+            << "'\n";
+        return false;
+      }
+      const std::string target(entry.substr(0, colon));
+      const std::string value(entry.substr(colon + 1));
+      uint32_t link = 0;
+      if (knob.fleet_scoped) {
+        const std::optional<int64_t> member = ParseInt(target);
+        if (!member || *member < 0 || *member >= fleet) {
+          err << "error: --" << knob.flag << " member index '" << target << "' is not in [0, "
+              << fleet << ")\n";
+          return false;
+        }
+        link = static_cast<uint32_t>(*member);
+      } else if (target == "l2") {
+        link = static_cast<uint32_t>(HierarchyLink::kServerL2);
+      } else if (target == "l1a") {
+        link = static_cast<uint32_t>(HierarchyLink::kL2L1a);
+      } else if (target == "l1b") {
+        link = static_cast<uint32_t>(HierarchyLink::kL2L1b);
+      } else {
+        err << "error: --" << knob.flag << " link '" << target << "' is not l2, l1a, or l1b\n";
+        return false;
+      }
+      LinkFaultOverride& over = OverrideFor(faults.link_overrides, link);
+      switch (knob.kind) {
+        case Knob::kLoss: {
+          const std::optional<double> rate = ParseDouble(value);
+          // The negated >= form also rejects NaN, which strtod parses.
+          if (!rate || !(*rate >= 0.0 && *rate <= 1.0)) {
+            err << "error: --" << knob.flag << " loss rate '" << value
+                << "' must be in [0, 1]\n";
+            return false;
+          }
+          over.loss_rate = *rate;
+          break;
+        }
+        case Knob::kJitter: {
+          const std::optional<SimDuration> jitter = ArgParser::ParseDurationText(value);
+          if (!jitter) {
+            err << "error: --" << knob.flag
+                << " expects a duration like 90s, 15m, or 1.5h; got '" << value << "'\n";
+            return false;
+          }
+          over.jitter_max = *jitter;
+          break;
+        }
+        case Knob::kCrash: {
+          const std::optional<SimDuration> at = ArgParser::ParseDurationText(value);
+          if (!at) {
+            err << "error: --" << knob.flag
+                << " expects a duration like 90s, 15m, or 1.5h; got '" << value << "'\n";
+            return false;
+          }
+          over.crashes.push_back({SimTime::Epoch() + *at, crash_outage});
+          break;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// One row per cache: the per-tier/per-member failure-spread columns.
+void AddSpreadRow(TextTable& table, const std::string& name, const CacheStats& stats) {
+  table.AddRow({name, StrFormat("%llu", static_cast<unsigned long long>(stats.requests)),
+                StrFormat("%llu", static_cast<unsigned long long>(stats.stale_hits)),
+                StrFormat("%llu", static_cast<unsigned long long>(stats.degraded_serves)),
+                StrFormat("%llu", static_cast<unsigned long long>(stats.failed_requests)),
+                StrFormat("%llu", static_cast<unsigned long long>(stats.crashes)),
+                StrFormat("%lld", static_cast<long long>(stats.unavailable_seconds))});
+}
+
+int RunFleetMode(const Workload& load, const SimulationConfig& config,
+                 const CliTopologySelection& topo, const std::string& mode, size_t jobs,
+                 std::ostream& out) {
+  FleetConfig fleet;
+  fleet.policy = config.policy;
+  fleet.num_caches = topo.fleet_size;
+  fleet.refresh_mode = config.refresh_mode;
+  fleet.preload = config.preload;
+  fleet.faults = config.faults;
+  SweepRunner runner(jobs);
+  const FleetResult result = RunFleetSimulation(load, fleet, runner);
+
+  out << "policy:   " << result.policy_desc << "  (" << mode << " retrieval, fleet of "
+      << result.num_caches << ")\n\n";
+  out << StrFormat("fleet: %llu requests, %llu stale hits, %llu misses, %s on the links\n",
+                   static_cast<unsigned long long>(result.requests),
+                   static_cast<unsigned long long>(result.stale_hits),
+                   static_cast<unsigned long long>(result.misses),
+                   FormatBytes(static_cast<double>(result.total_link_bytes)).c_str());
+  out << StrFormat("subscriptions: %zu peak concurrent, %zu at end of run\n",
+                   result.peak_subscriptions, result.final_subscriptions);
+  if (fleet.faults.Enabled()) {
+    out << StrFormat("failure spread: %u dark members, worst member stale rate %s\n",
+                     result.DarkMembers(),
+                     FormatPercent(result.WorstMemberStaleRate(), 2).c_str());
+  }
+  out << "\n";
+  TextTable table;
+  table.SetTitle("Per-member spread:");
+  table.SetHeader({"Member", "Requests", "Stale", "Degraded", "Failed", "Crashes", "Dark s"});
+  for (const FleetMemberSummary& m : result.members) {
+    table.AddRow({StrFormat("%u", m.member),
+                  StrFormat("%llu", static_cast<unsigned long long>(m.requests)),
+                  StrFormat("%llu", static_cast<unsigned long long>(m.stale_hits)),
+                  StrFormat("%llu", static_cast<unsigned long long>(m.degraded_serves)),
+                  StrFormat("%llu", static_cast<unsigned long long>(m.failed_requests)),
+                  StrFormat("%llu", static_cast<unsigned long long>(m.crashes)),
+                  StrFormat("%lld", static_cast<long long>(m.unavailable_seconds))});
+  }
+  table.Render(out);
+  return 0;
+}
+
+int RunHierarchyMode(const Workload& load, const SimulationConfig& config,
+                     const std::string& mode, std::ostream& out) {
+  HierarchyConfig tree;
+  tree.policy = config.policy;
+  tree.refresh_mode = config.refresh_mode;
+  tree.preload = config.preload;
+  tree.faults = config.faults;
+  const HierarchyResult result = RunHierarchySimulation(load, tree);
+
+  out << "policy:   " << result.policy_desc << "  (" << mode
+      << " retrieval, two-level tree)\n\n";
+  out << StrFormat("tree: %llu requests, %llu leaf stale hits, %llu leaf misses, %s on the "
+                   "links\n",
+                   static_cast<unsigned long long>(result.requests),
+                   static_cast<unsigned long long>(result.LeafStaleHits()),
+                   static_cast<unsigned long long>(result.LeafMisses()),
+                   FormatBytes(static_cast<double>(result.TotalLinkBytes())).c_str());
+  out << StrFormat("worst leaf stale rate %s, %u dark tiers, fan-out x%.2f\n",
+                   FormatPercent(result.WorstLeafStaleRate(), 2).c_str(), result.DarkTiers(),
+                   result.FanOutAmplification());
+  if (result.child_invalidations_sent > 0 || result.pending_child_invalidations > 0) {
+    out << StrFormat(
+        "child invalidations: %llu sent, %llu delivered, %llu dropped, %llu queued, "
+        "%llu redelivered, %zu still pending\n",
+        static_cast<unsigned long long>(result.child_invalidations_sent),
+        static_cast<unsigned long long>(result.child_invalidations_delivered),
+        static_cast<unsigned long long>(result.child_invalidations_dropped),
+        static_cast<unsigned long long>(result.child_invalidations_queued),
+        static_cast<unsigned long long>(result.child_invalidations_redelivered),
+        result.pending_child_invalidations);
+  }
+  out << "\n";
+  TextTable table;
+  table.SetTitle("Per-tier spread:");
+  table.SetHeader({"Tier", "Requests", "Stale", "Degraded", "Failed", "Crashes", "Dark s"});
+  AddSpreadRow(table, "L2", result.l2);
+  AddSpreadRow(table, "L1a", result.l1a);
+  AddSpreadRow(table, "L1b", result.l1b);
+  table.Render(out);
+  return 0;
+}
+
 }  // namespace
 
 std::string CliHelpText() { return std::string(kHelp); }
@@ -275,6 +513,10 @@ int RunCliDriver(const std::vector<std::string>& args_vec, std::ostream& out,
   if (!BuildFaults(args, config, err)) {
     return 2;
   }
+  CliTopologySelection topo;
+  if (!ParseTopologyFaultFlags(args, config.faults, topo, err)) {
+    return 2;
+  }
 
   const std::string sweep = ToLower(args.GetString("sweep", ""));
   const int64_t jobs_flag = args.GetInt("jobs", 0);
@@ -295,6 +537,21 @@ int RunCliDriver(const std::vector<std::string>& args_vec, std::ostream& out,
   if (!unused.empty()) {
     err << "error: unknown flag --" << unused.front() << " (see --help)\n";
     return 2;
+  }
+  if (topo.mode != CliTopology::kSingle) {
+    const char* topo_flag = topo.mode == CliTopology::kFleet ? "--fleet" : "--hierarchy";
+    if (!sweep.empty()) {
+      err << "error: " << topo_flag << " cannot be combined with --sweep\n";
+      return 2;
+    }
+    if (analyze) {
+      err << "error: " << topo_flag << " cannot be combined with --analyze\n";
+      return 2;
+    }
+    if (config.cache_capacity_bytes > 0) {
+      err << "error: " << topo_flag << " cannot be combined with --capacity-bytes\n";
+      return 2;
+    }
   }
 
   out << "workload: " << load->name << " — " << load->objects.size() << " objects, "
@@ -375,6 +632,13 @@ int RunCliDriver(const std::vector<std::string>& args_vec, std::ostream& out,
       out << "\n[bandwidth series written to " << csv << "]\n";
     }
     return 0;
+  }
+
+  if (topo.mode == CliTopology::kFleet) {
+    return RunFleetMode(*load, config, topo, mode, static_cast<size_t>(jobs_flag), out);
+  }
+  if (topo.mode == CliTopology::kHierarchy) {
+    return RunHierarchyMode(*load, config, mode, out);
   }
 
   const SimulationResult result = RunSimulation(*load, config);

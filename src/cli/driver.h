@@ -10,11 +10,16 @@
 #ifndef WEBCC_SRC_CLI_DRIVER_H_
 #define WEBCC_SRC_CLI_DRIVER_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "src/sim/fault_plan.h"
+
 namespace webcc {
+
+class ArgParser;
 
 // Executes one invocation. `args` excludes argv[0]. Returns the process
 // exit code; human-readable output goes to `out`, diagnostics to `err`.
@@ -22,6 +27,24 @@ int RunCliDriver(const std::vector<std::string>& args, std::ostream& out, std::o
 
 // The --help text (exposed for tests).
 std::string CliHelpText();
+
+// Topology selected by --fleet=N / --hierarchy (default: one collapsed
+// cache, the paper's single-proxy model).
+enum class CliTopology { kSingle, kFleet, kHierarchy };
+
+struct CliTopologySelection {
+  CliTopology mode = CliTopology::kSingle;
+  uint32_t fleet_size = 0;  // set when mode == kFleet
+};
+
+// Consumes --fleet/--hierarchy and the per-link fault knobs
+// (--fleet-loss-rate/--fleet-jitter/--fleet-crash, --tier-*) into
+// `faults.link_overrides`, validating member indices against the fleet
+// size and tier names against the tree's three links. Shared by webcc-sim
+// and webcc-chaos so both give the same one-line error; callers map a
+// false return to exit 2.
+bool ParseTopologyFaultFlags(ArgParser& args, FaultConfig& faults, CliTopologySelection& topo,
+                             std::ostream& err);
 
 }  // namespace webcc
 

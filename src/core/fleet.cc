@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
 
 #include "src/cache/origin_upstream.h"
 #include "src/core/sweep_runner.h"
@@ -13,14 +14,111 @@ namespace webcc {
 
 namespace {
 
+// One step of a member's subscription-count function of time: the count is
+// `level` from `at` until the member's next event.
+struct SubscriptionLevel {
+  SimTime at;
+  size_t level = 0;
+};
+
 // Everything one member world produces; summed in member order afterwards.
 struct MemberOutcome {
   ServerStats server;
   CacheStats cache;
   size_t final_subscriptions = 0;
-  size_t peak_subscriptions = 0;
+  std::vector<SubscriptionLevel> sub_timeline;
   std::string policy_desc;
+  SimulationResult full;  // kept only when config.keep_member_results
 };
+
+// Observer wrapper for faulted member worlds: forwards every hook to the
+// caller's per-member observer (if any) and records the subscription-count
+// timeline. Subscriptions only change inside request handling (preload,
+// fetch-subscribe, eviction, snapshot cycles), so sampling after every
+// serve captures the exact step function.
+class MemberProbe final : public SimObserver {
+ public:
+  explicit MemberProbe(SimObserver* inner) : inner_(inner) {}
+
+  void OnRunStart(const ProxyCache& cache, const OriginServer& server) override {
+    server_ = &server;
+    timeline_.push_back({SimTime::Epoch(), server.SubscriptionCount()});
+    if (inner_ != nullptr) inner_->OnRunStart(cache, server);
+  }
+  void OnModification(ObjectId object, SimTime at) override {
+    if (inner_ != nullptr) inner_->OnModification(object, at);
+  }
+  void OnServe(const ServeObservation& observation) override {
+    if (inner_ != nullptr) inner_->OnServe(observation);
+    const size_t level = server_->SubscriptionCount();
+    if (level != timeline_.back().level) {
+      timeline_.push_back({observation.at, level});
+    }
+  }
+  void OnRunEnd(const ProxyCache& cache, const OriginServer& server) override {
+    final_subscriptions_ = server.SubscriptionCount();
+    if (final_subscriptions_ != timeline_.back().level && !cache.stats().requests) {
+      // Degenerate no-request run: fold any post-start drift at epoch.
+      timeline_.push_back({SimTime::Epoch(), final_subscriptions_});
+    }
+    if (inner_ != nullptr) inner_->OnRunEnd(cache, server);
+  }
+
+  std::vector<SubscriptionLevel> TakeTimeline() { return std::move(timeline_); }
+  size_t final_subscriptions() const { return final_subscriptions_; }
+
+ private:
+  SimObserver* inner_;
+  const OriginServer* server_ = nullptr;
+  std::vector<SubscriptionLevel> timeline_;
+  size_t final_subscriptions_ = 0;
+};
+
+// Member `member`'s slice of the workload: every object and modification,
+// only its own requests. Filtering preserves request order, so the member's
+// replay indices (and snapshot_crash_request) count its own serves.
+Workload MemberView(const Workload& load, const FleetConfig& config, uint32_t member) {
+  Workload view;
+  view.name = StrFormat("%s/fleet-%u", load.name.c_str(), member);
+  view.objects = load.objects;
+  view.modifications = load.modifications;
+  view.horizon = load.horizon;
+  view.requests.reserve(load.requests.size() / config.num_caches + 1);
+  for (const RequestEvent& req : load.requests) {
+    if (req.client_id % config.num_caches == member) {
+      view.requests.push_back(req);
+    }
+  }
+  return view;
+}
+
+// Faulted member world: ride RunSimulation's engine path so the member
+// inherits the whole single-cache fault machinery — per-link plan (forked
+// seed + overrides), scheduled crash/restart through snapshots, queued
+// invalidation redelivery, retry/backoff.
+MemberOutcome RunFaultedFleetMember(const Workload& load, const FleetConfig& config,
+                                    uint32_t member) {
+  SimulationConfig sim;
+  sim.policy = config.policy;
+  sim.refresh_mode = config.refresh_mode;
+  sim.preload = config.preload;
+  sim.faults = config.faults.ForLink(member);
+  MemberProbe probe(config.member_observer ? config.member_observer(member) : nullptr);
+  sim.observer = &probe;
+
+  SimulationResult result = RunSimulation(MemberView(load, config, member), sim);
+
+  MemberOutcome out;
+  out.server = result.server;
+  out.cache = result.cache;
+  out.policy_desc = result.policy_desc;
+  out.final_subscriptions = probe.final_subscriptions();
+  out.sub_timeline = probe.TakeTimeline();
+  if (config.keep_member_results) {
+    out.full = std::move(result);
+  }
+  return out;
+}
 
 // Replays member `member`'s slice of the workload in a private world: its
 // own origin (so subscription bookkeeping and notice fan-out are per-member
@@ -29,6 +127,13 @@ struct MemberOutcome {
 // leaves this member's view identical to the old shared-server walk: origin
 // state between two of its requests can only matter at its next request.
 MemberOutcome RunFleetMember(const Workload& load, const FleetConfig& config, uint32_t member) {
+  if (config.faults.Enabled() || config.member_observer || config.keep_member_results) {
+    // Observed or faulted members ride RunSimulation, which carries the
+    // observer hooks and builds the full per-member result; with faults
+    // disabled it takes the engine-free path internally, field-identical to
+    // the hand-rolled walk below (the armed-zero no-op property).
+    return RunFaultedFleetMember(load, config, member);
+  }
   OriginServer server;
   for (const ObjectSpec& spec : load.objects) {
     server.store().Create(spec.name, spec.type, spec.size_bytes,
@@ -47,7 +152,7 @@ MemberOutcome RunFleetMember(const Workload& load, const FleetConfig& config, ui
 
   MemberOutcome out;
   out.policy_desc = cache.policy().Describe();
-  out.peak_subscriptions = server.SubscriptionCount();
+  out.sub_timeline.push_back({SimTime::Epoch(), server.SubscriptionCount()});
 
   size_t mod_i = 0;
   for (const RequestEvent& req : load.requests) {
@@ -60,7 +165,10 @@ MemberOutcome RunFleetMember(const Workload& load, const FleetConfig& config, ui
       ++mod_i;
     }
     cache.HandleRequest(static_cast<ObjectId>(req.object_index), req.at);
-    out.peak_subscriptions = std::max(out.peak_subscriptions, server.SubscriptionCount());
+    const size_t level = server.SubscriptionCount();
+    if (level != out.sub_timeline.back().level) {
+      out.sub_timeline.push_back({req.at, level});
+    }
   }
   while (mod_i < load.modifications.size()) {
     const ModificationEvent& m = load.modifications[mod_i];
@@ -90,7 +198,64 @@ void AddServerStats(ServerStats& total, const ServerStats& member) {
   total.bytes_received += member.bytes_received;
 }
 
+// True fleet-wide concurrent subscription peak: k-way merge of the member
+// step functions. Events are flattened, stably sorted by time (member order
+// breaks ties, deterministically), and each timestamp's changes apply
+// atomically before the summed level is compared against the peak.
+size_t ConcurrentSubscriptionPeak(const std::vector<MemberOutcome>& outcomes) {
+  struct Event {
+    SimTime at;
+    uint32_t member;
+    size_t level;
+  };
+  std::vector<Event> events;
+  for (uint32_t member = 0; member < outcomes.size(); ++member) {
+    for (const SubscriptionLevel& step : outcomes[member].sub_timeline) {
+      events.push_back({step.at, member, step.level});
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) { return a.at < b.at; });
+  std::vector<size_t> current(outcomes.size(), 0);
+  size_t total = 0;
+  size_t peak = 0;
+  for (size_t i = 0; i < events.size();) {
+    const SimTime at = events[i].at;
+    for (; i < events.size() && events[i].at == at; ++i) {
+      const Event& e = events[i];
+      total = total - current[e.member] + e.level;
+      current[e.member] = e.level;
+    }
+    peak = std::max(peak, total);
+  }
+  return peak;
+}
+
 }  // namespace
+
+double FleetResult::WorstMemberStaleRate() const {
+  double worst = 0.0;
+  for (const FleetMemberSummary& m : members) {
+    worst = std::max(worst, m.StaleRate());
+  }
+  return worst;
+}
+
+uint32_t FleetResult::DarkMembers() const {
+  uint32_t dark = 0;
+  for (const FleetMemberSummary& m : members) {
+    if (m.crashes > 0 || m.failed_requests > 0) {
+      ++dark;
+    }
+  }
+  return dark;
+}
+
+double FleetResult::FanOutAmplification() const {
+  return modifications == 0 ? 0.0
+                            : static_cast<double>(server.invalidations_sent) /
+                                  static_cast<double>(modifications);
+}
 
 FleetResult RunFleetSimulation(const Workload& load, const FleetConfig& config,
                                SweepRunner& runner) {
@@ -107,14 +272,32 @@ FleetResult RunFleetSimulation(const Workload& load, const FleetConfig& config,
   FleetResult result;
   result.policy_desc = outcomes.front().policy_desc;
   result.num_caches = config.num_caches;
-  for (const MemberOutcome& out : outcomes) {
+  result.modifications = load.modifications.size();
+  result.members.reserve(config.num_caches);
+  for (uint32_t member = 0; member < config.num_caches; ++member) {
+    const MemberOutcome& out = outcomes[member];
     AddServerStats(result.server, out.server);
     result.requests += out.cache.requests;
     result.stale_hits += out.cache.stale_hits;
     result.misses += out.cache.Misses();
     result.total_link_bytes += out.cache.LinkBytes();
     result.final_subscriptions += out.final_subscriptions;
-    result.peak_subscriptions += out.peak_subscriptions;
+    FleetMemberSummary summary;
+    summary.member = member;
+    summary.requests = out.cache.requests;
+    summary.stale_hits = out.cache.stale_hits;
+    summary.degraded_serves = out.cache.degraded_serves;
+    summary.failed_requests = out.cache.failed_requests;
+    summary.crashes = out.cache.crashes;
+    summary.unavailable_seconds = out.cache.unavailable_seconds;
+    result.members.push_back(summary);
+  }
+  result.peak_subscriptions = ConcurrentSubscriptionPeak(outcomes);
+  if (config.keep_member_results) {
+    result.member_results.reserve(config.num_caches);
+    for (MemberOutcome& out : outcomes) {
+      result.member_results.push_back(std::move(out.full));
+    }
   }
   return result;
 }

@@ -17,18 +17,40 @@
 // shard across its thread pool, field-identical to the serial walk at any
 // --jobs count (tests/core/fleet_test.cc). The summed server columns mean
 // "total origin-side work the fleet generated", exactly what the shared
-// walk measured; peak_subscriptions sums the members' own peaks (exact
-// whenever subscriptions grow monotonically, e.g. every preloaded run).
+// walk measured.
+//
+// peak_subscriptions is the true fleet-wide CONCURRENT peak: each member
+// records its subscription count as a step function of simulated time and
+// the merge takes the maximum of the summed levels over all event
+// boundaries (simultaneous changes apply atomically per timestamp). On
+// monotone-growth runs — every fault-free, capacity-free fleet — this
+// equals the old summed-member-peaks number exactly; under crash/restart
+// or eviction churn, where per-member counts shrink and regrow, the
+// concurrent peak is the honest, possibly smaller figure the old sum
+// silently over-reported.
+//
+// Faults: FleetConfig::faults generalizes the single-cache fault layer to
+// per-link schedules. Each (origin, member) link derives its own config via
+// FaultConfig::ForLink(member) — independently seeded substreams, plus any
+// member-targeted LinkFaultOverride knobs — and the member world replays
+// through RunSimulation's faulted path (engine-scheduled loss, downtime,
+// crash/restart through the snapshot machinery, invalidation redelivery).
+// With faults disabled the walk below is byte-identical to the pre-fault
+// fleet. FaultConfig::snapshot_crash_request indexes the member's OWN
+// replay slice (its i-th served request), matching the observer's
+// request_index stream for that member.
 
 #ifndef WEBCC_SRC_CORE_FLEET_H_
 #define WEBCC_SRC_CORE_FLEET_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/cache/policy_factory.h"
 #include "src/cache/proxy_cache.h"
 #include "src/core/metrics.h"
+#include "src/core/simulation.h"
 #include "src/workload/workload.h"
 
 namespace webcc {
@@ -38,6 +60,35 @@ struct FleetConfig {
   uint32_t num_caches = 10;
   RefreshMode refresh_mode = RefreshMode::kConditionalGet;
   bool preload = true;
+  // Per-link fault schedules (src/sim/fault_plan.h). Enabled() routes every
+  // member world through the engine-based faulted replay; link overrides
+  // address members by index.
+  FaultConfig faults;
+  // Chaos-harness hook: returns the observer for member i's world (null for
+  // none). Member worlds run concurrently under a SweepRunner, so distinct
+  // members must get distinct observer instances. Must outlive the run.
+  std::function<SimObserver*(uint32_t member)> member_observer;
+  // Keep each member's full SimulationResult in FleetResult::member_results
+  // (the chaos oracle verifies members individually). Off by default: the
+  // aggregate columns are all the figures need.
+  bool keep_member_results = false;
+};
+
+// Per-member failure spread: how unevenly the fleet degraded. All zero on a
+// clean network.
+struct FleetMemberSummary {
+  uint32_t member = 0;
+  uint64_t requests = 0;
+  uint64_t stale_hits = 0;
+  uint64_t degraded_serves = 0;
+  uint64_t failed_requests = 0;
+  uint64_t crashes = 0;
+  int64_t unavailable_seconds = 0;  // crash-to-restart dark time
+
+  double StaleRate() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(stale_hits) / static_cast<double>(requests);
+  }
 };
 
 struct FleetResult {
@@ -49,15 +100,29 @@ struct FleetResult {
   uint64_t stale_hits = 0;
   uint64_t misses = 0;
   int64_t total_link_bytes = 0;
+  uint64_t modifications = 0;  // workload changes (fan-out denominator)
   // Server-side bookkeeping: live (cache, object) subscriptions at the end
-  // of the run and the peak observed during it.
+  // of the run, and the true fleet-wide concurrent peak (see file comment).
   size_t final_subscriptions = 0;
   size_t peak_subscriptions = 0;
+  // Failure spread, one entry per member in member order.
+  std::vector<FleetMemberSummary> members;
+  // Full per-member results when FleetConfig::keep_member_results is set.
+  std::vector<SimulationResult> member_results;
 
   double StaleRate() const {
     return requests == 0 ? 0.0
                          : static_cast<double>(stale_hits) / static_cast<double>(requests);
   }
+  // The worst single member's client-visible staleness — the §1 weakness is
+  // per-holder, and the fleet average hides a dark member.
+  double WorstMemberStaleRate() const;
+  // Members that went entirely dark at least once (crash or failed serves).
+  uint32_t DarkMembers() const;
+  // Invalidation notices per modification: how the holder population
+  // amplifies every change (≈ N for a preloaded fleet, §1's complaint;
+  // retries push it higher under faults).
+  double FanOutAmplification() const;
 };
 
 class SweepRunner;

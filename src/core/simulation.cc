@@ -59,30 +59,6 @@ std::unique_ptr<ConsistencyPolicy> BuildCachePolicy(const SimulationConfig& conf
   return config.policy_factory ? config.policy_factory() : MakePolicy(config.policy);
 }
 
-// Maps the sim-layer recovery mode onto the cache-layer snapshot modes,
-// resolving kAuto against the policy actually in use (§6: invalidation
-// recovery must be conservative).
-void ResolveRecovery(CrashRecovery mode, const ConsistencyPolicy& policy,
-                     SnapshotRecovery* recovery, bool* cold_start) {
-  *recovery = SnapshotRecovery::kTrustSnapshot;
-  *cold_start = false;
-  switch (mode) {
-    case CrashRecovery::kAuto:
-      *recovery = policy.UsesServerInvalidation() ? SnapshotRecovery::kRevalidateAll
-                                                  : SnapshotRecovery::kTrustSnapshot;
-      break;
-    case CrashRecovery::kTrustSnapshot:
-      *recovery = SnapshotRecovery::kTrustSnapshot;
-      break;
-    case CrashRecovery::kRevalidateAll:
-      *recovery = SnapshotRecovery::kRevalidateAll;
-      break;
-    case CrashRecovery::kColdStart:
-      *cold_start = true;
-      break;
-  }
-}
-
 // The chaos harness's arbitrary-index crash hook: an instantaneous
 // snapshot->crash->restore cycle immediately before serving request `index`
 // (FaultConfig::snapshot_crash_request). Skipped while a scheduled outage
@@ -98,7 +74,7 @@ void MaybeSnapshotCrashCycle(const SimulationConfig& config, uint64_t index, Pro
   }
   SnapshotRecovery recovery = SnapshotRecovery::kTrustSnapshot;
   bool cold_start = false;
-  ResolveRecovery(config.faults.crash_recovery, cache.policy(), &recovery, &cold_start);
+  ResolveCrashRecovery(config.faults.crash_recovery, cache.policy(), &recovery, &cold_start);
   SnapshotCrashCycle(cache, now, recovery, cold_start);
   // First contact after the restart, exactly as the scheduled-crash path.
   const CacheId id = server.IdOf(&cache);
@@ -156,6 +132,9 @@ SimulationResult RunFaultedSimulation(const Workload& load, const SimulationConf
   }
   server.ResetStats();
   cache.ResetStats();
+  if (config.observer != nullptr) {
+    config.observer->OnRunStart(cache, server);
+  }
 
   // Crash/restart schedule. The snapshot string stands in for the on-disk
   // metadata file: captured at crash time (a perfectly synced disk), gone in
@@ -164,7 +143,7 @@ SimulationResult RunFaultedSimulation(const Workload& load, const SimulationConf
   // the cache cannot know which notices it missed (kAuto resolution).
   SnapshotRecovery recovery = SnapshotRecovery::kTrustSnapshot;
   bool cold_start = false;
-  ResolveRecovery(config.faults.crash_recovery, cache.policy(), &recovery, &cold_start);
+  ResolveCrashRecovery(config.faults.crash_recovery, cache.policy(), &recovery, &cold_start);
   std::string disk_image;
   for (const CacheCrashEvent& crash : plan.cache_crashes()) {
     engine.ScheduleAt(crash.at, [&engine, &cache, &disk_image, cold_start] {
@@ -259,6 +238,27 @@ SimulationResult RunFaultedSimulation(const Workload& load, const SimulationConf
 
 }  // namespace
 
+void ResolveCrashRecovery(CrashRecovery mode, const ConsistencyPolicy& policy,
+                          SnapshotRecovery* recovery, bool* cold_start) {
+  *recovery = SnapshotRecovery::kTrustSnapshot;
+  *cold_start = false;
+  switch (mode) {
+    case CrashRecovery::kAuto:
+      *recovery = policy.UsesServerInvalidation() ? SnapshotRecovery::kRevalidateAll
+                                                  : SnapshotRecovery::kTrustSnapshot;
+      break;
+    case CrashRecovery::kTrustSnapshot:
+      *recovery = SnapshotRecovery::kTrustSnapshot;
+      break;
+    case CrashRecovery::kRevalidateAll:
+      *recovery = SnapshotRecovery::kRevalidateAll;
+      break;
+    case CrashRecovery::kColdStart:
+      *cold_start = true;
+      break;
+  }
+}
+
 SimulationResult RunSimulation(const Workload& load, const SimulationConfig& config) {
   WEBCC_CHECK(load.Validate().empty()) << "workload failed validation";
 
@@ -285,6 +285,9 @@ SimulationResult RunSimulation(const Workload& load, const SimulationConfig& con
   // Preload must not count as consistency traffic.
   server.ResetStats();
   cache.ResetStats();
+  if (config.observer != nullptr) {
+    config.observer->OnRunStart(cache, server);
+  }
 
   // Merge-walk; ties resolve modification-before-request.
   const SimTime warmup_end = SimTime::Epoch() + config.warmup;

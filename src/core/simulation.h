@@ -24,6 +24,7 @@
 
 #include "src/cache/policy_factory.h"
 #include "src/cache/proxy_cache.h"
+#include "src/cache/snapshot.h"
 #include "src/core/metrics.h"
 #include "src/sim/fault_plan.h"
 #include "src/workload/workload.h"
@@ -49,6 +50,14 @@ struct ServeObservation {
 class SimObserver {
  public:
   virtual ~SimObserver() = default;
+  // Fires once per run after preload and the stats reset, before the first
+  // workload event — the hook that lets an observer probe live world state
+  // (e.g. the server's subscription count) from later callbacks. The
+  // references stay valid until OnRunEnd returns.
+  virtual void OnRunStart(const ProxyCache& cache, const OriginServer& server) {
+    (void)cache;
+    (void)server;
+  }
   virtual void OnModification(ObjectId object, SimTime at) {
     (void)object;
     (void)at;
@@ -101,6 +110,13 @@ struct SimulationResult {
 
 // Replays `load` under `config`. Deterministic: equal inputs, equal outputs.
 SimulationResult RunSimulation(const Workload& load, const SimulationConfig& config);
+
+// Maps the sim-layer recovery mode onto the cache-layer snapshot modes,
+// resolving kAuto against the policy actually in use (§6: invalidation
+// recovery must be conservative). Shared by the single-cache, fleet, and
+// hierarchy faulted paths so a crash recovers identically in any topology.
+void ResolveCrashRecovery(CrashRecovery mode, const ConsistencyPolicy& policy,
+                          SnapshotRecovery* recovery, bool* cold_start);
 
 }  // namespace webcc
 

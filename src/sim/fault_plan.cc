@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cmath>
 #include <istream>
+#include <memory>
 #include <ostream>
 #include <sstream>
 #include <string_view>
@@ -20,6 +21,11 @@ namespace {
 constexpr uint64_t kLossStream = 0x6c6f7373;    // "loss"
 constexpr uint64_t kJitterStream = 0x6a697474;  // "jitt"
 constexpr uint64_t kWindowStream = 0x77696e64;  // "wind"
+constexpr uint64_t kLinkStream = 0x6c696e6b;    // "link" — per-link seed forks
+
+// Links are fleet members or hierarchy edges; 4096 matches the sweep
+// executor's --jobs ceiling and bounds repro-file parsing.
+constexpr uint64_t kMaxLinks = 4096;
 
 uint64_t SubSeed(uint64_t seed, uint64_t tag) {
   SplitMix64 mix(seed ^ (tag * 0x9e3779b97f4a7c15ULL));
@@ -59,7 +65,38 @@ SimDuration RetryPolicy::BackoffAfter(int failed) const {
 
 bool FaultConfig::Enabled() const {
   return armed || loss_rate > 0.0 || jitter_max > SimDuration(0) || !server_downtime.empty() ||
-         (server_mtbf > SimDuration(0) && server_mttr > SimDuration(0)) || !cache_crashes.empty();
+         (server_mtbf > SimDuration(0) && server_mttr > SimDuration(0)) ||
+         !cache_crashes.empty() || !link_overrides.empty();
+}
+
+FaultConfig FaultConfig::ForLink(uint32_t link) const {
+  FaultConfig derived = *this;
+  derived.link_overrides.clear();
+  // Fork the seed per link so sibling links draw unrelated loss/jitter
+  // sequences and independent MTBF/MTTR window schedules from one seed.
+  derived.seed = SubSeed(seed, kLinkStream + link);
+  for (const LinkFaultOverride& over : link_overrides) {
+    if (over.link != link) {
+      continue;
+    }
+    if (over.loss_rate.has_value()) {
+      derived.loss_rate = *over.loss_rate;
+    }
+    if (over.jitter_max.has_value()) {
+      derived.jitter_max = *over.jitter_max;
+    }
+    derived.server_downtime.insert(derived.server_downtime.end(), over.downtime.begin(),
+                                   over.downtime.end());
+    derived.cache_crashes.insert(derived.cache_crashes.end(), over.crashes.begin(),
+                                 over.crashes.end());
+    if (over.recovery.has_value()) {
+      derived.crash_recovery = *over.recovery;
+    }
+    if (over.snapshot_crash_request.has_value()) {
+      derived.snapshot_crash_request = *over.snapshot_crash_request;
+    }
+  }
+  return derived;
 }
 
 FaultPlan::FaultPlan(const FaultConfig& config, SimTime horizon)
@@ -126,6 +163,7 @@ int64_t FaultPlan::TotalDowntimeSeconds() const {
 namespace {
 
 constexpr char kFaultPlanHeader[] = "#webcc-fault-plan v1";
+constexpr char kFaultPlanHeaderV2[] = "#webcc-fault-plan v2";
 
 std::optional<uint64_t> ParseU64(std::string_view text) {
   if (text.empty()) return std::nullopt;
@@ -162,7 +200,8 @@ std::optional<CrashRecovery> ParseCrashRecovery(const std::string& name) {
 }
 
 void FaultPlan::Serialize(std::ostream& out) const {
-  out << kFaultPlanHeader << "\n";
+  const bool v2 = !config_.link_overrides.empty();
+  out << (v2 ? kFaultPlanHeaderV2 : kFaultPlanHeader) << "\n";
   out << "armed " << (config_.armed ? 1 : 0) << "\n";
   out << "seed " << config_.seed << "\n";
   out << StrFormat("loss-rate %.17g\n", config_.loss_rate);
@@ -175,17 +214,62 @@ void FaultPlan::Serialize(std::ostream& out) const {
   out << "invalidation-retry-seconds " << config_.invalidation_retry_interval.seconds() << "\n";
   out << "recovery " << CrashRecoveryName(config_.crash_recovery) << "\n";
   out << "snapshot-crash-request " << config_.snapshot_crash_request << "\n";
-  // Materialized downtime: the merged windows_, which already fold any
-  // MTBF/MTTR-generated schedule in. No mtbf/mttr keys exist in the format —
-  // re-rolling an exponential process against a reloaded horizon is exactly
-  // the round-trip bug this serialization fixes.
-  for (const DowntimeWindow& w : windows_) {
-    out << "downtime " << (w.start - SimTime::Epoch()).seconds() << " "
-        << (w.end - SimTime::Epoch()).seconds() << "\n";
+  if (v2) {
+    // v2 keeps the generator knobs: ForLink() re-derives each link's own
+    // window schedule from its forked seed, which one shared materialized
+    // list cannot represent. Same-horizon reload reproduces it exactly.
+    if (config_.server_mtbf > SimDuration(0) && config_.server_mttr > SimDuration(0)) {
+      out << "server-mtbf-seconds " << config_.server_mtbf.seconds() << "\n";
+      out << "server-mttr-seconds " << config_.server_mttr.seconds() << "\n";
+    }
+    for (const DowntimeWindow& w : config_.server_downtime) {
+      out << "downtime " << (w.start - SimTime::Epoch()).seconds() << " "
+          << (w.end - SimTime::Epoch()).seconds() << "\n";
+    }
+  } else {
+    // Materialized downtime: the merged windows_, which already fold any
+    // MTBF/MTTR-generated schedule in. No mtbf/mttr keys exist in v1 —
+    // re-rolling an exponential process against a reloaded horizon is
+    // exactly the round-trip bug this serialization fixes.
+    for (const DowntimeWindow& w : windows_) {
+      out << "downtime " << (w.start - SimTime::Epoch()).seconds() << " "
+          << (w.end - SimTime::Epoch()).seconds() << "\n";
+    }
   }
   for (const CacheCrashEvent& crash : config_.cache_crashes) {
     out << "crash " << (crash.at - SimTime::Epoch()).seconds() << " " << crash.outage.seconds()
         << "\n";
+  }
+  if (v2) {
+    std::vector<LinkFaultOverride> overrides = config_.link_overrides;
+    std::stable_sort(overrides.begin(), overrides.end(),
+                     [](const LinkFaultOverride& a, const LinkFaultOverride& b) {
+                       return a.link < b.link;
+                     });
+    for (const LinkFaultOverride& over : overrides) {
+      if (over.loss_rate.has_value()) {
+        out << StrFormat("link %u loss-rate %.17g\n", over.link, *over.loss_rate);
+      }
+      if (over.jitter_max.has_value()) {
+        out << "link " << over.link << " jitter-max-seconds " << over.jitter_max->seconds()
+            << "\n";
+      }
+      for (const DowntimeWindow& w : over.downtime) {
+        out << "link " << over.link << " downtime " << (w.start - SimTime::Epoch()).seconds()
+            << " " << (w.end - SimTime::Epoch()).seconds() << "\n";
+      }
+      for (const CacheCrashEvent& crash : over.crashes) {
+        out << "link " << over.link << " crash " << (crash.at - SimTime::Epoch()).seconds() << " "
+            << crash.outage.seconds() << "\n";
+      }
+      if (over.recovery.has_value()) {
+        out << "link " << over.link << " recovery " << CrashRecoveryName(*over.recovery) << "\n";
+      }
+      if (over.snapshot_crash_request.has_value()) {
+        out << "link " << over.link << " snapshot-crash-request " << *over.snapshot_crash_request
+            << "\n";
+      }
+    }
   }
 }
 
@@ -202,13 +286,19 @@ std::optional<FaultConfig> FaultPlan::Parse(std::istream& in, FaultPlanParseErro
   };
   std::string line;
   size_t line_no = 0;
-  // Header first: skip leading blank lines only.
+  // Header first: skip leading blank lines only. v1 and v2 differ only in
+  // the keys they admit — v2 adds per-link override lines and the mtbf/mttr
+  // generator knobs.
   bool saw_header = false;
+  bool v2 = false;
   while (std::getline(in, line)) {
     ++line_no;
     if (Trim(line).empty()) continue;
-    if (Trim(line) != kFaultPlanHeader) {
-      return fail(line_no, StrFormat("expected header '%s'", kFaultPlanHeader));
+    if (Trim(line) == kFaultPlanHeaderV2) {
+      v2 = true;
+    } else if (Trim(line) != kFaultPlanHeader) {
+      return fail(line_no, StrFormat("expected header '%s' or '%s'", kFaultPlanHeader,
+                                     kFaultPlanHeaderV2));
     }
     saw_header = true;
     break;
@@ -291,11 +381,88 @@ std::optional<FaultConfig> FaultPlan::Parse(std::istream& in, FaultPlanParseErro
         return fail(line_no, "crash needs at >= 0 and outage >= 1");
       }
       config.cache_crashes.push_back({SimTime::Epoch() + Seconds(*at), Seconds(*outage)});
+    } else if (key == "server-mtbf-seconds" && want(1)) {
+      if (!v2) return fail(line_no, "server-mtbf-seconds needs the v2 header");
+      const auto v = int_value(1);
+      if (!v || *v < 0) return fail(line_no, "server-mtbf-seconds must be >= 0");
+      config.server_mtbf = Seconds(*v);
+    } else if (key == "server-mttr-seconds" && want(1)) {
+      if (!v2) return fail(line_no, "server-mttr-seconds needs the v2 header");
+      const auto v = int_value(1);
+      if (!v || *v < 0) return fail(line_no, "server-mttr-seconds must be >= 0");
+      config.server_mttr = Seconds(*v);
+    } else if (key == "link" && tokens.size() >= 3) {
+      if (!v2) return fail(line_no, "link overrides need the v2 header");
+      const auto idx = ParseU64(tokens[1]);
+      if (!idx || *idx >= kMaxLinks) {
+        return fail(line_no, StrFormat("link index must be in [0, %llu)",
+                                       static_cast<unsigned long long>(kMaxLinks)));
+      }
+      // Same-link lines accumulate into one override; serialization groups
+      // them, so a round trip preserves the schedule exactly.
+      LinkFaultOverride* over = nullptr;
+      for (LinkFaultOverride& existing : config.link_overrides) {
+        if (existing.link == static_cast<uint32_t>(*idx)) {
+          over = &existing;
+          break;
+        }
+      }
+      if (over == nullptr) {
+        config.link_overrides.push_back({});
+        over = &config.link_overrides.back();
+        over->link = static_cast<uint32_t>(*idx);
+      }
+      const std::string_view sub = tokens[2];
+      auto link_want = [&](size_t values) { return tokens.size() == values + 3; };
+      if (sub == "loss-rate" && link_want(1)) {
+        const auto v = ParseDouble(tokens[3]);
+        if (!v || *v < 0.0 || *v > 1.0) return fail(line_no, "link loss-rate must be in [0, 1]");
+        over->loss_rate = *v;
+      } else if (sub == "jitter-max-seconds" && link_want(1)) {
+        const auto v = ParseInt(tokens[3]);
+        if (!v || *v < 0) return fail(line_no, "link jitter-max-seconds must be >= 0");
+        over->jitter_max = Seconds(*v);
+      } else if (sub == "downtime" && link_want(2)) {
+        const auto start = ParseInt(tokens[3]);
+        const auto end = ParseInt(tokens[4]);
+        if (!start || !end || *start < 0 || *end <= *start) {
+          return fail(line_no, "link downtime needs 0 <= start < end");
+        }
+        over->downtime.push_back(
+            {SimTime::Epoch() + Seconds(*start), SimTime::Epoch() + Seconds(*end)});
+      } else if (sub == "crash" && link_want(2)) {
+        const auto at = ParseInt(tokens[3]);
+        const auto outage = ParseInt(tokens[4]);
+        if (!at || !outage || *at < 0 || *outage < 1) {
+          return fail(line_no, "link crash needs at >= 0 and outage >= 1");
+        }
+        over->crashes.push_back({SimTime::Epoch() + Seconds(*at), Seconds(*outage)});
+      } else if (sub == "recovery" && link_want(1)) {
+        const auto v = ParseCrashRecovery(std::string(tokens[3]));
+        if (!v) return fail(line_no, "link recovery must be auto|trust|revalidate|cold");
+        over->recovery = *v;
+      } else if (sub == "snapshot-crash-request" && link_want(1)) {
+        const auto v = ParseInt(tokens[3]);
+        if (!v || *v < -1) return fail(line_no, "link snapshot-crash-request must be >= -1");
+        over->snapshot_crash_request = *v;
+      } else {
+        return fail(line_no,
+                    StrFormat("unknown or malformed link key '%s'", std::string(sub).c_str()));
+      }
     } else {
       return fail(line_no, StrFormat("unknown or malformed line '%s'", std::string(key).c_str()));
     }
   }
   return config;
+}
+
+FleetFaultPlan::FleetFaultPlan(const FaultConfig& base, uint32_t num_links, SimTime horizon) {
+  WEBCC_CHECK_GT(num_links, 0u) << "FleetFaultPlan needs at least one link";
+  WEBCC_CHECK(num_links <= kMaxLinks) << "FleetFaultPlan: too many links";
+  plans_.reserve(num_links);
+  for (uint32_t i = 0; i < num_links; ++i) {
+    plans_.push_back(std::make_unique<FaultPlan>(base.ForLink(i), horizon));
+  }
 }
 
 }  // namespace webcc

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -76,6 +77,23 @@ enum class CrashRecovery {
 const char* CrashRecoveryName(CrashRecovery recovery);
 std::optional<CrashRecovery> ParseCrashRecovery(const std::string& name);
 
+// Per-link knob overrides for the fleet and hierarchy topologies. A link is
+// one upstream<->cache edge, addressed by index: fleet member i for the
+// (origin, fleet-i) link, or a HierarchyLink value (src/core/hierarchy.h)
+// for the tree's three edges. Unset fields inherit the base FaultConfig;
+// `downtime` and `crashes` APPEND to the base schedule — a base outage is
+// the origin itself going dark (every link sees it), an override outage is
+// that one link's own partition.
+struct LinkFaultOverride {
+  uint32_t link = 0;
+  std::optional<double> loss_rate;
+  std::optional<SimDuration> jitter_max;
+  std::vector<DowntimeWindow> downtime;
+  std::vector<CacheCrashEvent> crashes;
+  std::optional<CrashRecovery> recovery;
+  std::optional<int64_t> snapshot_crash_request;
+};
+
 struct FaultConfig {
   // Arms the fault machinery even when every knob is zero — used by the
   // no-op property tests; Enabled() is what the simulators consult.
@@ -112,6 +130,20 @@ struct FaultConfig {
   // deliberately NOT part of Enabled(): setting it must not reroute a run
   // onto the faulted simulation path. Honored by both paths.
   int64_t snapshot_crash_request = -1;
+
+  // Per-link overrides (fleet members, hierarchy edges). The single-cache
+  // simulators ignore them; RunFleetSimulation / RunHierarchySimulation fold
+  // them in via ForLink(). A non-empty list counts as Enabled() so the
+  // topology simulators arm their faulted paths even when every base knob
+  // is zero.
+  std::vector<LinkFaultOverride> link_overrides;
+
+  // Derives link `link`'s own config: the base knobs with this link's
+  // overrides folded in and the seed forked into an independent per-link
+  // SplitMix64 substream — each link draws unrelated loss/jitter/window
+  // schedules from the one campaign-visible seed. Pure and deterministic;
+  // the result carries no link_overrides of its own.
+  [[nodiscard]] FaultConfig ForLink(uint32_t link) const;
 
   [[nodiscard]] bool Enabled() const;
 };
@@ -152,13 +184,19 @@ class FaultPlan {
   [[nodiscard]] uint64_t messages_lost() const { return messages_lost_; }
   [[nodiscard]] int64_t TotalDowntimeSeconds() const;
 
-  // Writes the plan as a versioned key/value text block ("#webcc-fault-plan
-  // v1"). Downtime is serialized *materialized* — the merged windows_, with
+  // Writes the plan as a versioned key/value text block. Plans without link
+  // overrides keep the v1 header ("#webcc-fault-plan v1") byte-for-byte:
+  // downtime is serialized *materialized* — the merged windows_, with
   // mtbf/mttr zeroed — so a schedule generated from an exponential process
   // round-trips exactly instead of being re-rolled against a different
-  // horizon on reload. Reconstructing a FaultPlan from the parsed config
-  // reproduces identical loss/jitter draws: those substreams depend only on
-  // the seed, which travels with the plan.
+  // horizon on reload. Plans with link overrides emit the v2 header and
+  // `link <idx> <key> ...` lines, and keep the mtbf/mttr *generator* knobs
+  // instead of materializing: each link re-derives its own window schedule
+  // from its forked seed, which one shared materialized list cannot
+  // represent (same-horizon reload reproduces it exactly). Reconstructing a
+  // FaultPlan from the parsed config reproduces identical loss/jitter
+  // draws: those substreams depend only on the seed, which travels with
+  // the plan.
   void Serialize(std::ostream& out) const;
   [[nodiscard]] std::string SerializeToString() const;
 
@@ -175,6 +213,25 @@ class FaultPlan {
   Rng loss_rng_;
   Rng jitter_rng_;
   uint64_t messages_lost_ = 0;
+};
+
+// The per-link fault plans for one multi-cache world: one FaultPlan per
+// link, each built from ForLink(i)'s independently-seeded config. Plans
+// have stable addresses for the bundle's lifetime, so ArmFaults pointers
+// into it stay valid. Construction is pure: equal (base, num_links,
+// horizon) builds bit-identical schedules at any --jobs count. Fleet member
+// worlds that run on separate threads construct their own single plan from
+// ForLink(member) instead of sharing a bundle — plans are single-threaded.
+class FleetFaultPlan {
+ public:
+  FleetFaultPlan(const FaultConfig& base, uint32_t num_links, SimTime horizon);
+
+  uint32_t num_links() const { return static_cast<uint32_t>(plans_.size()); }
+  FaultPlan& link(uint32_t i) { return *plans_[i]; }
+  const FaultPlan& link(uint32_t i) const { return *plans_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<FaultPlan>> plans_;
 };
 
 // Outcome of driving one request/reply exchange through the fault model.

@@ -299,11 +299,148 @@ TEST(ChaosOracleTest, CrashConsistencyTrialsCoverSnapshotCycle) {
   for (uint64_t index = 1; index < 40; index += 4) {
     const TrialSpec spec = GenerateTrial(0xFEED, index);
     ASSERT_EQ(spec.kind, TrialKind::kCrashConsistency);
-    if (spec.config.faults.snapshot_crash_request >= 0) {
+    bool armed = spec.config.faults.snapshot_crash_request >= 0;
+    for (const LinkFaultOverride& over : spec.config.faults.link_overrides) {
+      // Fleet crash trials park the crash point on the targeted member's
+      // link override; the base field stays -1.
+      armed = armed || over.snapshot_crash_request.value_or(-1) >= 0;
+    }
+    if (armed) {
       ++with_crash_armed;
     }
   }
   EXPECT_GE(with_crash_armed, 8);
+}
+
+// --- Invariant 4 covers all four recovery modes (fixed twin specs) --------
+
+// A crash-consistency spec on a hand-built small Worrell stream, so the
+// twin comparison runs against a known workload rather than whatever the
+// generator samples.
+TrialSpec FixedCrashSpec(PolicyConfig policy, CrashRecovery recovery) {
+  TrialSpec spec;
+  spec.kind = TrialKind::kCrashConsistency;
+  spec.workload.num_files = 60;
+  spec.workload.duration = Days(8);
+  spec.workload.requests_per_second = 0.05;
+  spec.workload.num_clients = 32;
+  spec.workload.seed = 1357;
+  spec.config = SimulationConfig::Optimized(policy);
+  spec.config.faults.armed = true;
+  spec.config.faults.snapshot_crash_request = 500;
+  spec.config.faults.crash_recovery = recovery;
+  return spec;
+}
+
+TEST(RecoveryModeTest, CrashTwinHoldsForAllFourModesOnSingleCache) {
+  // Field identity for trust-like recoveries, prefix identity plus the
+  // first-post-crash-touch contract for revalidate-all and cold-start:
+  // RunTrialChecked throws if the recovery semantics drift from the shadow
+  // model, so all four declared modes passing IS the invariant-4 coverage.
+  for (const CrashRecovery recovery :
+       {CrashRecovery::kAuto, CrashRecovery::kTrustSnapshot, CrashRecovery::kRevalidateAll,
+        CrashRecovery::kColdStart}) {
+    for (const PolicyConfig& policy :
+         {PolicyConfig::Invalidation(), PolicyConfig::Alex(0.2)}) {
+      const TrialSpec spec = FixedCrashSpec(policy, recovery);
+      EXPECT_NO_THROW(RunTrialChecked(spec)) << spec.Describe();
+    }
+  }
+}
+
+TEST(RecoveryModeTest, CrashTwinToleratesLossKillingTheRecoveryFetch) {
+  // A lossy link on top of a cold/revalidate crash means the first
+  // post-crash touch can fail outright instead of paying the refetch.
+  // A failed serve hands the client no body, so the oracle must accept
+  // it (found by a forced-fault campaign: seed 77 trial 5).
+  for (const CrashRecovery recovery :
+       {CrashRecovery::kRevalidateAll, CrashRecovery::kColdStart}) {
+    TrialSpec spec = FixedCrashSpec(PolicyConfig::Alex(0.2), recovery);
+    spec.config.faults.loss_rate = 0.4;
+    EXPECT_NO_THROW(RunTrialChecked(spec)) << spec.Describe();
+
+    TrialSpec fleet = FixedCrashSpec(PolicyConfig::Alex(0.2), CrashRecovery::kAuto);
+    fleet.topology = Topology::kFleet;
+    fleet.fleet_size = 3;
+    fleet.config.faults.snapshot_crash_request = -1;
+    LinkFaultOverride over;
+    over.link = 1;
+    over.snapshot_crash_request = 300;
+    over.recovery = recovery;
+    over.loss_rate = 0.6;
+    fleet.config.faults.link_overrides.push_back(over);
+    EXPECT_NO_THROW(RunTrialChecked(fleet)) << fleet.Describe();
+  }
+}
+
+TEST(RecoveryModeTest, CrashTwinHoldsForFleetMemberUnderEveryMode) {
+  // The crash point rides a member-targeted link override: only that
+  // member runs the snapshot cycle; the untargeted siblings must stay
+  // field-identical to their baseline twins.
+  for (const CrashRecovery recovery :
+       {CrashRecovery::kTrustSnapshot, CrashRecovery::kRevalidateAll,
+        CrashRecovery::kColdStart}) {
+    TrialSpec spec = FixedCrashSpec(PolicyConfig::Invalidation(), CrashRecovery::kAuto);
+    spec.topology = Topology::kFleet;
+    spec.fleet_size = 3;
+    spec.config.faults.snapshot_crash_request = -1;
+    LinkFaultOverride over;
+    over.link = 1;
+    over.snapshot_crash_request = 300;
+    over.recovery = recovery;
+    spec.config.faults.link_overrides.push_back(over);
+    EXPECT_NO_THROW(RunTrialChecked(spec)) << spec.Describe();
+  }
+}
+
+// --- Campaign determinism with pinned topologies --------------------------
+
+TEST(ChaosCampaignTest, PinnedFleetCampaignIsJobsInvariant) {
+  ChaosOptions options;
+  options.trials = 12;
+  options.seed = 11;
+  options.repro_dir.clear();
+  options.topology = Topology::kFleet;
+  options.fleet_size = 3;
+  ChaosOptions parallel = options;
+  parallel.jobs = 8;
+  const CampaignResult serial_result = RunChaosCampaign(options);
+  const CampaignResult parallel_result = RunChaosCampaign(parallel);
+  EXPECT_EQ(serial_result.Summary(), parallel_result.Summary());
+  EXPECT_TRUE(serial_result.ok());
+}
+
+TEST(ChaosCampaignTest, PinnedHierarchyCampaignIsJobsInvariant) {
+  ChaosOptions options;
+  options.trials = 12;
+  options.seed = 13;
+  options.repro_dir.clear();
+  options.topology = Topology::kHierarchy;
+  ChaosOptions parallel = options;
+  parallel.jobs = 8;
+  const CampaignResult serial_result = RunChaosCampaign(options);
+  const CampaignResult parallel_result = RunChaosCampaign(parallel);
+  EXPECT_EQ(serial_result.Summary(), parallel_result.Summary());
+  EXPECT_TRUE(serial_result.ok());
+}
+
+TEST(ChaosCampaignTest, ForcedLinkFaultsApplyToEveryTrial) {
+  // Appending a forced member fault must not break any invariant, and the
+  // campaign stays a pure function of its options.
+  ChaosOptions options;
+  options.trials = 8;
+  options.seed = 17;
+  options.repro_dir.clear();
+  options.topology = Topology::kFleet;
+  options.fleet_size = 3;
+  LinkFaultOverride lossy;
+  lossy.link = 1;
+  lossy.loss_rate = 0.5;
+  options.link_overrides.push_back(lossy);
+  const CampaignResult first = RunChaosCampaign(options);
+  const CampaignResult second = RunChaosCampaign(options);
+  EXPECT_TRUE(first.ok()) << first.Summary();
+  EXPECT_EQ(first.Summary(), second.Summary());
 }
 
 }  // namespace

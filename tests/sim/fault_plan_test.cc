@@ -217,6 +217,178 @@ TEST(FaultPlanTest, GeneratedDowntimeSerializesMaterialized) {
   }
 }
 
+TEST(FaultPlanTest, EnabledIncludesLinkOverrides) {
+  FaultConfig config;
+  EXPECT_FALSE(config.Enabled());
+  LinkFaultOverride over;
+  over.link = 1;
+  config.link_overrides.push_back(over);
+  // Even an all-unset override must arm the topology simulators' faulted
+  // paths — the override list is what ForLink folds in.
+  EXPECT_TRUE(config.Enabled());
+}
+
+TEST(FaultPlanTest, ForLinkForksIndependentDeterministicSeeds) {
+  FaultConfig base;
+  base.loss_rate = 0.5;
+  base.seed = 42;
+  const FaultConfig link0 = base.ForLink(0);
+  const FaultConfig link1 = base.ForLink(1);
+  EXPECT_EQ(link0.seed, base.ForLink(0).seed);  // pure
+  EXPECT_NE(link0.seed, link1.seed);            // independent substreams
+  EXPECT_NE(link0.seed, base.seed);             // never the raw campaign seed
+
+  // Sibling links draw unrelated loss sequences from the one base seed.
+  FaultPlan a(link0, At(100));
+  FaultPlan b(link1, At(100));
+  bool diverged = false;
+  for (int i = 0; i < 256 && !diverged; ++i) {
+    diverged = a.LoseMessage() != b.LoseMessage();
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultPlanTest, ForLinkScalarOverridesReplaceAndSchedulesAppend) {
+  FaultConfig base;
+  base.loss_rate = 0.1;
+  base.jitter_max = Seconds(30);
+  base.server_downtime = {{At(1), At(2)}};
+  base.cache_crashes = {{At(3), Minutes(10)}};
+  base.crash_recovery = CrashRecovery::kTrustSnapshot;
+
+  LinkFaultOverride over;
+  over.link = 2;
+  over.loss_rate = 0.5;
+  over.jitter_max = Minutes(2);
+  over.downtime = {{At(10), At(11)}};
+  over.crashes = {{At(12), Minutes(5)}};
+  over.recovery = CrashRecovery::kColdStart;
+  over.snapshot_crash_request = 77;
+  base.link_overrides.push_back(over);
+
+  const FaultConfig derived = base.ForLink(2);
+  EXPECT_EQ(derived.loss_rate, 0.5);
+  EXPECT_EQ(derived.jitter_max, Minutes(2));
+  ASSERT_EQ(derived.server_downtime.size(), 2u);  // base window + link partition
+  EXPECT_EQ(derived.server_downtime[1].start, At(10));
+  ASSERT_EQ(derived.cache_crashes.size(), 2u);
+  EXPECT_EQ(derived.cache_crashes[1].at, At(12));
+  EXPECT_EQ(derived.crash_recovery, CrashRecovery::kColdStart);
+  EXPECT_EQ(derived.snapshot_crash_request, 77);
+  EXPECT_TRUE(derived.link_overrides.empty());  // derived configs are flat
+
+  // Untargeted links inherit the base knobs untouched (seed aside).
+  const FaultConfig other = base.ForLink(1);
+  EXPECT_EQ(other.loss_rate, 0.1);
+  EXPECT_EQ(other.jitter_max, Seconds(30));
+  EXPECT_EQ(other.server_downtime.size(), 1u);
+  EXPECT_EQ(other.cache_crashes.size(), 1u);
+  EXPECT_EQ(other.crash_recovery, CrashRecovery::kTrustSnapshot);
+  EXPECT_EQ(other.snapshot_crash_request, -1);
+}
+
+TEST(FaultPlanTest, V2RoundTripsLinkOverridesExactly) {
+  FaultConfig config;
+  config.armed = true;
+  config.seed = 7;
+  config.loss_rate = 0.25;
+  LinkFaultOverride a;
+  a.link = 0;
+  a.loss_rate = 0.75;
+  a.snapshot_crash_request = 42;
+  LinkFaultOverride b;
+  b.link = 3;
+  b.jitter_max = Minutes(1);
+  b.downtime = {{At(4), At(6)}};
+  b.crashes = {{At(8), Minutes(15)}};
+  b.recovery = CrashRecovery::kRevalidateAll;
+  config.link_overrides = {a, b};
+
+  const FaultPlan plan(config, At(100));
+  const std::string text = plan.SerializeToString();
+  EXPECT_EQ(text.rfind("#webcc-fault-plan v2", 0), 0u) << text;
+
+  std::istringstream in(text);
+  FaultPlanParseError error;
+  const std::optional<FaultConfig> parsed = FaultPlan::Parse(in, &error);
+  ASSERT_TRUE(parsed.has_value()) << error.line << ": " << error.message;
+  // Fixed point: reconstructing and re-serializing reproduces the text.
+  EXPECT_EQ(FaultPlan(*parsed, At(100)).SerializeToString(), text);
+  ASSERT_EQ(parsed->link_overrides.size(), 2u);
+  EXPECT_EQ(parsed->link_overrides[0].link, 0u);
+  EXPECT_EQ(parsed->link_overrides[0].loss_rate, 0.75);
+  ASSERT_TRUE(parsed->link_overrides[0].snapshot_crash_request.has_value());
+  EXPECT_EQ(*parsed->link_overrides[0].snapshot_crash_request, 42);
+  EXPECT_FALSE(parsed->link_overrides[0].jitter_max.has_value());
+  EXPECT_EQ(parsed->link_overrides[1].link, 3u);
+  EXPECT_EQ(parsed->link_overrides[1].jitter_max, Minutes(1));
+  ASSERT_EQ(parsed->link_overrides[1].downtime.size(), 1u);
+  EXPECT_EQ(parsed->link_overrides[1].downtime[0].end, At(6));
+  ASSERT_EQ(parsed->link_overrides[1].crashes.size(), 1u);
+  EXPECT_EQ(parsed->link_overrides[1].recovery, CrashRecovery::kRevalidateAll);
+}
+
+TEST(FaultPlanTest, SerializationStaysV1WithoutOverrides) {
+  FaultConfig config;
+  config.loss_rate = 0.125;
+  config.server_downtime = {{At(1), At(2)}};
+  const std::string text = FaultPlan(config, At(100)).SerializeToString();
+  EXPECT_EQ(text.rfind("#webcc-fault-plan v1", 0), 0u) << text;
+  EXPECT_EQ(text.find("link "), std::string::npos) << text;
+  EXPECT_EQ(text.find("server-mtbf"), std::string::npos) << text;
+}
+
+TEST(FaultPlanTest, V2KeepsGeneratorKnobsAndRederivesPerLinkWindows) {
+  FaultConfig config;
+  config.seed = 11;
+  config.server_mtbf = Hours(8);
+  config.server_mttr = Minutes(30);
+  LinkFaultOverride over;
+  over.link = 1;
+  over.loss_rate = 0.5;
+  config.link_overrides.push_back(over);
+
+  const SimTime horizon = At(24 * 14);
+  std::istringstream in(FaultPlan(config, horizon).SerializeToString());
+  FaultPlanParseError error;
+  const std::optional<FaultConfig> parsed = FaultPlan::Parse(in, &error);
+  ASSERT_TRUE(parsed.has_value()) << error.line << ": " << error.message;
+  // v2 keeps the exponential process: per-link windows cannot be
+  // materialized into one shared list, they re-derive from forked seeds.
+  EXPECT_EQ(parsed->server_mtbf, Hours(8));
+  EXPECT_EQ(parsed->server_mttr, Minutes(30));
+
+  for (uint32_t link = 0; link < 3; ++link) {
+    const FaultPlan original(config.ForLink(link), horizon);
+    const FaultPlan reloaded(parsed->ForLink(link), horizon);
+    ASSERT_EQ(reloaded.server_downtime().size(), original.server_downtime().size()) << link;
+    for (size_t i = 0; i < original.server_downtime().size(); ++i) {
+      EXPECT_EQ(reloaded.server_downtime()[i].start, original.server_downtime()[i].start);
+      EXPECT_EQ(reloaded.server_downtime()[i].end, original.server_downtime()[i].end);
+    }
+  }
+}
+
+TEST(FaultPlanTest, LinkKeysRequireV2Header) {
+  const auto expect_reject = [](const std::string& text, size_t expect_line) {
+    std::istringstream in(text);
+    FaultPlanParseError error;
+    EXPECT_FALSE(FaultPlan::Parse(in, &error).has_value()) << text;
+    EXPECT_EQ(error.line, expect_line) << error.message;
+  };
+  // v2-only keys under the v1 header are rejected, line-numbered.
+  expect_reject("#webcc-fault-plan v1\nlink 0 loss-rate 0.5\n", 2);
+  expect_reject("#webcc-fault-plan v1\nseed 1\nserver-mtbf-seconds 60\n", 3);
+  expect_reject("#webcc-fault-plan v1\nserver-mttr-seconds 60\n", 2);
+  // Malformed link lines under v2: bad sub-key, bad values, bad index.
+  expect_reject("#webcc-fault-plan v2\nlink 0 mystery 1\n", 2);
+  expect_reject("#webcc-fault-plan v2\nlink 0 loss-rate 1.5\n", 2);
+  expect_reject("#webcc-fault-plan v2\nlink 0 downtime 5 5\n", 2);
+  expect_reject("#webcc-fault-plan v2\nlink 0 crash 5 0\n", 2);
+  expect_reject("#webcc-fault-plan v2\nlink 9999999 loss-rate 0.5\n", 2);
+  expect_reject("#webcc-fault-plan v2\nlink 0 recovery sideways\n", 2);
+}
+
 TEST(FaultPlanTest, ParseIsAllOrNothingWithLineNumbers) {
   const auto expect_reject = [](const std::string& text, size_t expect_line) {
     std::istringstream in(text);

@@ -5,7 +5,8 @@
 //   webcc-chaos --replay=chaos-repros/seed-1-trial-7.repro
 //
 // Exit status: 0 when every trial passes (or a replayed repro no longer
-// violates), 1 on any confirmed violation or unreadable repro file.
+// violates), 1 on any confirmed violation or unreadable repro file, 2 on
+// malformed flags (one-line error, same contract as webcc-sim).
 
 #include <cstdint>
 #include <iostream>
@@ -14,6 +15,7 @@
 
 #include "src/chaos/campaign.h"
 #include "src/cli/args.h"
+#include "src/cli/driver.h"
 
 namespace webcc {
 namespace {
@@ -33,6 +35,19 @@ Campaign:
                          (default: chaos-repros; empty = skip)
   --no-shrink            keep violating trials as generated
   --max-shrink-runs=N    simulation budget per shrink         (default: 60)
+
+Topology pinning (default: the generator samples single, fleet, and
+hierarchy trials; pinning runs the whole campaign in one topology):
+  --fleet=N              every trial is a fleet of N members (N in [2, 4096])
+  --hierarchy            every trial is the two-level tree
+
+Forced per-link faults, appended to every trial's generated schedule
+(comma-separated TARGET:VALUE; same grammar and validation as webcc-sim):
+  --fleet-loss-rate=M:F --fleet-jitter=M:DUR --fleet-crash=M:DUR
+                         member-targeted knobs (require --fleet=N)
+  --tier-loss-rate=LINK:F --tier-jitter=LINK:DUR --tier-crash=LINK:DUR
+                         tier-targeted knobs, LINK = l2|l1a|l1b
+                         (require --hierarchy)
 
 Replay:
   --replay=PATH          re-run one repro artifact under the oracle and
@@ -62,7 +77,7 @@ int Main(const std::vector<std::string>& argv, std::ostream& out, std::ostream& 
   ArgParser args(argv);
   if (!args.ok()) {
     err << "error: " << args.error() << "\n";
-    return 1;
+    return 2;
   }
   if (args.GetBool("help")) {
     out << kUsage;
@@ -82,9 +97,29 @@ int Main(const std::vector<std::string>& argv, std::ostream& out, std::ostream& 
   options.max_shrink_runs =
       static_cast<int>(args.GetInt("max-shrink-runs", options.max_shrink_runs));
 
+  // --fleet/--hierarchy/--fleet-*/--tier-*: the validation (and its error
+  // text) is shared with webcc-sim via ParseTopologyFaultFlags.
+  FaultConfig forced;
+  CliTopologySelection topo;
+  if (!ParseTopologyFaultFlags(args, forced, topo, err)) {
+    return 2;
+  }
+  switch (topo.mode) {
+    case CliTopology::kSingle:
+      break;  // no pin: the generator samples all three topologies
+    case CliTopology::kFleet:
+      options.topology = Topology::kFleet;
+      options.fleet_size = topo.fleet_size;
+      break;
+    case CliTopology::kHierarchy:
+      options.topology = Topology::kHierarchy;
+      break;
+  }
+  options.link_overrides = std::move(forced.link_overrides);
+
   if (!args.ok()) {
     err << "error: " << args.error() << "\n";
-    return 1;
+    return 2;
   }
   const std::vector<std::string> unused = args.UnusedFlags();
   if (!unused.empty()) {
@@ -93,7 +128,7 @@ int Main(const std::vector<std::string>& argv, std::ostream& out, std::ostream& 
       err << " --" << flag;
     }
     err << "\nRun with --help for usage.\n";
-    return 1;
+    return 2;
   }
 
   if (!replay.empty()) {

@@ -302,8 +302,22 @@ ServeResult ProxyCache::HandleRequestImpl(ObjectId id, SimTime now, SlotId* slot
 }
 
 ServeResult ProxyCache::ServeDegraded(CacheEntry& entry, SimTime now) {
+  // Staleness age: time since the copy was last known good (a fetch or a
+  // successful validation, whichever is later — preloaded entries only have
+  // the fetch stamp).
+  const SimDuration age = now - std::max(entry.validated_at, entry.fetched_at);
+  if (config_.stale_serve_bound > SimDuration(0) && age > config_.stale_serve_bound) {
+    // Too stale to absorb the upstream failure: fail the request rather
+    // than serve arbitrarily old bytes.
+    ++stats_.degraded_denied_over_bound;
+    ++stats_.failed_requests;
+    ServeResult denied;
+    denied.kind = ServeKind::kFailed;
+    return denied;
+  }
   ServeResult result;
   result.kind = ServeKind::kDegraded;
+  result.staleness = age;
   result.stale = IsStale(entry);
   if (result.stale) {
     ++stats_.stale_hits;

@@ -52,6 +52,14 @@ struct CacheConfig {
   // 0 means unbounded (the paper's configuration: "valid entries are never
   // evicted"). Otherwise LRU eviction keeps total body bytes under the cap.
   int64_t capacity_bytes = 0;
+  // Stale-if-error bound: when > 0, an upstream failure may be absorbed by
+  // serving the local copy only while its staleness age (now minus the last
+  // moment the copy was known good) is within this bound; beyond it the
+  // request fails instead of serving arbitrarily old bytes. 0 = unbounded,
+  // the simulators' historical behaviour (fig9 goldens depend on it). The
+  // live serving frontend sets a finite bound so the fig9 bounded-staleness
+  // story holds under real overload.
+  SimDuration stale_serve_bound = SimDuration(0);
 };
 
 // How a request was satisfied.
@@ -75,6 +83,10 @@ struct ServeResult {
   // upstream's own hops otherwise. Multiplied by a per-hop RTT this is the
   // client-visible latency the paper's bandwidth optimization trades away.
   int hops = 0;
+  // For kDegraded serves: the copy's staleness age (now minus the last
+  // known-good contact) at serve time, so callers can report how stale the
+  // degraded bytes actually were. Zero for every other kind.
+  SimDuration staleness;
 };
 
 struct CacheStats {
@@ -93,6 +105,10 @@ struct CacheStats {
   uint64_t upstream_retries = 0;    // extra exchange attempts beyond the first
   int64_t retry_wait_seconds = 0;   // timeout+backoff time spent on fetches
   uint64_t degraded_serves = 0;     // stale-if-error local serves
+  // Stale-if-error denials: the local copy existed but exceeded
+  // CacheConfig::stale_serve_bound, so the request failed instead. A
+  // subset of failed_requests; always 0 with an unbounded (0) bound.
+  uint64_t degraded_denied_over_bound = 0;
   uint64_t failed_requests = 0;     // requests with nothing to serve
   uint64_t crashes = 0;
   int64_t unavailable_seconds = 0;  // crash-to-restart dark time

@@ -1,5 +1,6 @@
 #include "src/cache/snapshot.h"
 
+#include <cstdio>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -24,12 +25,30 @@ void SaveCacheSnapshot(const ProxyCache& cache, std::ostream& os) {
 }
 
 bool SaveCacheSnapshotFile(const ProxyCache& cache, const std::string& path) {
-  std::ofstream os(path);
-  if (!os) {
+  // Atomic replace: stream to a sibling temp file, verify the stream, then
+  // rename over the target. A crash or I/O error mid-write leaves the
+  // previous snapshot untouched — the all-or-nothing loader should never
+  // even see a torn file, let alone have to reject one. The temp lives in
+  // the same directory so the rename cannot cross filesystems.
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream os(tmp_path, std::ios::trunc);
+    if (!os) {
+      return false;
+    }
+    SaveCacheSnapshot(cache, os);
+    os.flush();
+    if (!os) {
+      os.close();
+      std::remove(tmp_path.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
     return false;
   }
-  SaveCacheSnapshot(cache, os);
-  return static_cast<bool>(os);
+  return true;
 }
 
 int64_t LoadCacheSnapshot(ProxyCache& cache, std::istream& is, SnapshotRecovery recovery,

@@ -31,6 +31,10 @@
 namespace webcc {
 
 void SaveCacheSnapshot(const ProxyCache& cache, std::ostream& os);
+// Atomic file save: writes to `path + ".tmp"` and renames into place only
+// after the stream checks out, so a failed or interrupted save leaves any
+// previous snapshot at `path` intact. Returns false (and cleans up the
+// temp) on any I/O error.
 bool SaveCacheSnapshotFile(const ProxyCache& cache, const std::string& path);
 
 enum class SnapshotRecovery {

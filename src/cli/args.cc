@@ -40,6 +40,48 @@ std::optional<SimDuration> ParseDuration(std::string_view text) {
   return SecondsF(seconds);
 }
 
+// Parses "<number>[ns|us|ms|s|m]" into wall nanoseconds (bare number =
+// milliseconds). Returns nullopt on malformed input, negatives, or
+// magnitudes outside int64.
+std::optional<int64_t> ParseWallNanos(std::string_view text) {
+  if (text.empty()) {
+    return std::nullopt;
+  }
+  const auto has_suffix = [text](std::string_view suffix) {
+    return text.size() > suffix.size() &&
+           text.substr(text.size() - suffix.size()) == suffix;
+  };
+  double scale_ns = 1e6;  // bare number: milliseconds
+  std::string_view number = text;
+  if (has_suffix("ns")) {
+    scale_ns = 1.0;
+    number.remove_suffix(2);
+  } else if (has_suffix("us")) {
+    scale_ns = 1e3;
+    number.remove_suffix(2);
+  } else if (has_suffix("ms")) {
+    scale_ns = 1e6;
+    number.remove_suffix(2);
+  } else if (has_suffix("s")) {
+    scale_ns = 1e9;
+    number.remove_suffix(1);
+  } else if (has_suffix("m")) {
+    scale_ns = 60e9;
+    number.remove_suffix(1);
+  } else if (text.back() < '0' || text.back() > '9') {
+    return std::nullopt;  // unknown unit suffix
+  }
+  const auto value = ParseDouble(std::string(number));
+  if (!value || !std::isfinite(*value) || *value < 0.0) {
+    return std::nullopt;
+  }
+  const double nanos = *value * scale_ns;
+  if (nanos > 9.0e18) {
+    return std::nullopt;
+  }
+  return static_cast<int64_t>(std::llround(nanos));
+}
+
 }  // namespace
 
 std::optional<SimDuration> ArgParser::ParseDurationText(std::string_view text) {
@@ -124,6 +166,22 @@ SimDuration ArgParser::GetDuration(std::string_view name, SimDuration default_va
     error_ = "--" + it->first + " expects a non-negative duration like 90s, 15m, 1.5h, or 2d; got '" +
              it->second.text + "'";
     return default_value;
+  }
+  return *parsed;
+}
+
+int64_t ArgParser::GetWallNanos(std::string_view name, int64_t default_ns) {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return default_ns;
+  }
+  it->second.used = true;
+  const auto parsed = ParseWallNanos(it->second.text);
+  if (!parsed) {
+    error_ = "--" + it->first +
+             " expects a non-negative wall duration like 250ms, 1.5s, 800us, or 2m; got '" +
+             it->second.text + "'";
+    return default_ns;
   }
   return *parsed;
 }

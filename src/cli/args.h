@@ -38,6 +38,12 @@ class ArgParser {
   // and magnitudes that overflow the int64 seconds timeline.
   SimDuration GetDuration(std::string_view name, SimDuration default_value);
 
+  // Wall-clock duration as nanoseconds: "250ms", "1.5s", "800us", "2m", or
+  // a bare number meaning milliseconds. Rejects negatives, NaN/inf, junk
+  // suffixes, and overflow. For the serve frontend's wall-clock knobs;
+  // simulation flags keep the coarser whole-second GetDuration grammar.
+  int64_t GetWallNanos(std::string_view name, int64_t default_ns);
+
   // The same grammar as GetDuration, for flags whose values embed durations
   // in structured text (e.g. the per-member "2:90s" fault knobs). Returns
   // nullopt on malformed input; no flag is consumed and no error recorded.

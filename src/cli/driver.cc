@@ -84,6 +84,9 @@ Fault injection (durations take s/m/h/d suffixes, e.g. 90s, 15m, 1.5h):
   --retry-max=N          fetch attempts per exchange        (default: 4)
   --retry-timeout=DUR    per-attempt timeout                (default: 4s)
   --retry-backoff=DUR    initial exponential backoff        (default: 2s)
+  --retry-jitter[=BOOL]  full-jitter backoff: each wait drawn uniformly
+                         from [0, backoff] (seeded; default: off, which
+                         keeps golden outputs bit-identical)
   --lease=DUR            invalidation lease / stale window  (default: none)
   --inval-retry=DUR      invalidation redelivery cadence    (default: 5m)
 
@@ -157,7 +160,9 @@ std::optional<Workload> BuildWorkload(ArgParser& args, std::ostream& err) {
   return std::nullopt;
 }
 
-std::optional<PolicyConfig> BuildPolicy(ArgParser& args, std::ostream& err) {
+}  // namespace
+
+std::optional<PolicyConfig> ParsePolicyFlags(ArgParser& args, std::ostream& err) {
   const std::string kind = ToLower(args.GetString("policy", "alex"));
   if (kind == "ttl") {
     return PolicyConfig::Ttl(HoursF(args.GetDouble("ttl-hours", 48.0)));
@@ -185,6 +190,8 @@ std::optional<PolicyConfig> BuildPolicy(ArgParser& args, std::ostream& err) {
   err << "error: unknown --policy '" << kind << "'\n";
   return std::nullopt;
 }
+
+namespace {
 
 // Consumes the fault-injection flags into `config.faults`. Returns false
 // (with a one-line error) on out-of-range values.
@@ -243,6 +250,7 @@ bool BuildFaults(ArgParser& args, SimulationConfig& config, std::ostream& err) {
   faults.retry.max_attempts = static_cast<int>(retry_max);
   faults.retry.timeout = args.GetDuration("retry-timeout", faults.retry.timeout);
   faults.retry.initial_backoff = args.GetDuration("retry-backoff", faults.retry.initial_backoff);
+  faults.retry.full_jitter = args.GetBool("retry-jitter", faults.retry.full_jitter);
   faults.invalidation_retry_interval =
       args.GetDuration("inval-retry", faults.invalidation_retry_interval);
   return true;
@@ -488,7 +496,7 @@ int RunCliDriver(const std::vector<std::string>& args_vec, std::ostream& out,
   if (!load) {
     return 2;
   }
-  const auto policy = BuildPolicy(args, err);
+  const auto policy = ParsePolicyFlags(args, err);
   if (!policy) {
     return 2;
   }

@@ -12,14 +12,24 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/cache/policy_factory.h"
 #include "src/sim/fault_plan.h"
 
 namespace webcc {
 
 class ArgParser;
+
+// Consumes the policy-selection flags (--policy plus its per-policy knobs:
+// --ttl-hours, --threshold, --min-hours/--max-hours, --lm-fraction,
+// --target-stale, --lease). Shared by webcc-sim, webcc-chaos, and
+// webcc-serve so every binary accepts the same policy grammar; returns
+// nullopt (with a one-line error) on an unknown policy, which callers map
+// to exit 2.
+std::optional<PolicyConfig> ParsePolicyFlags(ArgParser& args, std::ostream& err);
 
 // Executes one invocation. `args` excludes argv[0]. Returns the process
 // exit code; human-readable output goes to `out`, diagnostics to `err`.

@@ -1,0 +1,32 @@
+// The webcc-serve command-line driver, as a testable library.
+//
+//   webcc-serve --rate=400 --duration=2s --policy=ttl --ttl-hours=1
+//   webcc-serve --rate=2000 --workers-max=2 --outage-start=400ms
+//               --outage-duration=250ms --expect-shed --expect-breaker
+//
+// Runs the overload-robust live serving frontend (src/serve/frontend.h) at
+// wall-clock rates, prints a periodic one-line metrics snapshot, and ends
+// with a machine-readable JSON snapshot (optionally written to a file).
+// Exit codes: 0 success, 1 a --expect-* acceptance check or a frontend
+// self-check failed, 2 flag errors. Run `webcc-serve --help` for the flag
+// list.
+
+#ifndef WEBCC_SRC_CLI_SERVE_DRIVER_H_
+#define WEBCC_SRC_CLI_SERVE_DRIVER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace webcc {
+
+// Executes one invocation. `args` excludes argv[0]. Returns the process
+// exit code; human-readable output goes to `out`, diagnostics to `err`.
+int RunServeCliDriver(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+// The --help text (exposed for tests).
+std::string ServeCliHelpText();
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_CLI_SERVE_DRIVER_H_

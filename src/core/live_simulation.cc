@@ -12,19 +12,14 @@
 
 namespace webcc {
 
-SimulationResult RunLiveSimulation(const LiveSimulationConfig& config) {
+LivePopulation SeedLivePopulation(const LiveSimulationConfig& config, OriginServer& server,
+                                  Rng& rng) {
   WEBCC_CHECK_GT(config.num_files, 0);
-  WEBCC_CHECK_GT(config.duration.seconds(), 0);
-
-  SimEngine engine;
-  OriginServer server(&engine, config.invalidation_retry_interval);
-  Rng rng(config.seed);
-
   // Population with steady-state ages (length-biased current interval).
   auto lifetime = std::make_shared<FlatLifetime>(config.min_lifetime, config.max_lifetime);
   const double max_l = static_cast<double>(config.max_lifetime.seconds());
-  std::vector<SimDuration> first_delays;
-  first_delays.reserve(config.num_files);
+  LivePopulation population;
+  population.first_delays.reserve(config.num_files);
   for (uint32_t i = 0; i < config.num_files; ++i) {
     const double sigma = config.size_sigma;
     const double mu = std::log(static_cast<double>(config.mean_file_bytes)) - sigma * sigma / 2;
@@ -37,8 +32,21 @@ SimulationResult RunLiveSimulation(const LiveSimulationConfig& config) {
     const double age = rng.NextDouble() * interval;
     server.store().Create(StrFormat("/live/file%05u.dat", i), FileType::kOther, size,
                           SimTime::Epoch() - SecondsF(age));
-    first_delays.push_back(SecondsF(interval - age));
+    population.first_delays.push_back(SecondsF(interval - age));
   }
+  population.lifetime = std::move(lifetime);
+  return population;
+}
+
+SimulationResult RunLiveSimulation(const LiveSimulationConfig& config) {
+  WEBCC_CHECK_GT(config.num_files, 0);
+  WEBCC_CHECK_GT(config.duration.seconds(), 0);
+
+  SimEngine engine;
+  OriginServer server(&engine, config.invalidation_retry_interval);
+  Rng rng(config.seed);
+
+  const LivePopulation population = SeedLivePopulation(config, server, rng);
 
   OriginUpstream upstream(&server);
   CacheConfig cache_config;
@@ -53,7 +61,7 @@ SimulationResult RunLiveSimulation(const LiveSimulationConfig& config) {
 
   ModificationProcess mutator(&engine, &server, rng.Fork());
   for (uint32_t i = 0; i < config.num_files; ++i) {
-    mutator.Track(i, lifetime, first_delays[i]);
+    mutator.Track(i, population.lifetime, population.first_delays[i]);
   }
 
   auto issue = [&cache](uint32_t object, SimTime now) {

@@ -18,11 +18,17 @@
 #define WEBCC_SRC_CORE_LIVE_SIMULATION_H_
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "src/core/simulation.h"
+#include "src/util/distributions.h"
+#include "src/util/rng.h"
 #include "src/util/sim_time.h"
 
 namespace webcc {
+
+class OriginServer;
 
 struct LiveSimulationConfig {
   PolicyConfig policy;
@@ -47,6 +53,24 @@ struct LiveSimulationConfig {
   SimDuration outage_duration = SimDuration(0);  // 0 = no outage
   SimDuration invalidation_retry_interval = Minutes(5);
 };
+
+// The seeded steady-state population shared by RunLiveSimulation and the
+// wall-clock serve frontend (src/serve/frontend.h): the shared lifetime
+// distribution and, per object, the residual of its current modification
+// interval (how long until its first rewrite).
+struct LivePopulation {
+  std::shared_ptr<const FlatLifetime> lifetime;
+  std::vector<SimDuration> first_delays;  // indexed by ObjectId
+};
+
+// Creates config.num_files objects in `server`'s store with lognormal sizes
+// and steady-state ages (length-biased current-interval sampling, so the
+// population starts mid-life exactly as a long-running cache would see it),
+// drawing only from `rng`. Equal (config, rng state) seeds an identical
+// store and delay vector — the serve frontend inherits the simulator's
+// population determinism even though its request arrivals are wall-clock.
+LivePopulation SeedLivePopulation(const LiveSimulationConfig& config, OriginServer& server,
+                                  Rng& rng);
 
 SimulationResult RunLiveSimulation(const LiveSimulationConfig& config);
 

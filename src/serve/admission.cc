@@ -1,0 +1,41 @@
+#include "src/serve/admission.h"
+
+#include <algorithm>
+
+namespace webcc {
+
+AdmissionController::AdmissionController(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {}
+
+bool AdmissionController::TryAdmit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++offered_;
+  if (depth_ >= capacity_) {
+    ++shed_;
+    return false;
+  }
+  ++admitted_;
+  ++depth_;
+  depth_peak_ = std::max(depth_peak_, depth_);
+  return true;
+}
+
+void AdmissionController::Release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  WEBCC_CHECK(depth_ > 0) << "AdmissionController::Release without a matching TryAdmit";
+  --depth_;
+}
+
+AdmissionController::Counters AdmissionController::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Counters out;
+  out.offered = offered_;
+  out.admitted = admitted_;
+  out.shed = shed_;
+  out.depth = depth_;
+  out.depth_peak = depth_peak_;
+  out.capacity = capacity_;
+  return out;
+}
+
+}  // namespace webcc

@@ -1,0 +1,59 @@
+// Bounded admission control for the serve frontend.
+//
+// The frontend's defense against unbounded growth: every request must
+// reserve a slot here before it may enter the worker pool's queue, and the
+// reservation is held until the request's final outcome. Depth therefore
+// counts queued + in-service requests, and the pool's internal task queue
+// can never grow past the admission capacity. A full controller rejects
+// instead of blocking — load-shedding with a metric, never a hidden
+// buffer — which is what keeps an overloaded frontend's latency bounded
+// (the clients that are admitted are served promptly; the rest learn
+// immediately).
+
+#ifndef WEBCC_SRC_SERVE_ADMISSION_H_
+#define WEBCC_SRC_SERVE_ADMISSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "src/util/check.h"
+
+namespace webcc {
+
+class AdmissionController {
+ public:
+  // `capacity` is the maximum simultaneous admitted (queued + running)
+  // requests; clamped to at least 1.
+  explicit AdmissionController(size_t capacity);
+
+  // Reserves one slot. Returns false — and counts a shed — when the
+  // controller is at capacity. Thread-safe.
+  [[nodiscard]] bool TryAdmit();
+
+  // Releases a previously admitted slot at the request's final outcome.
+  void Release();
+
+  struct Counters {
+    uint64_t offered = 0;   // TryAdmit calls
+    uint64_t admitted = 0;  // successful reservations
+    uint64_t shed = 0;      // rejected at capacity
+    size_t depth = 0;       // currently held slots
+    size_t depth_peak = 0;  // high-water mark (never exceeds capacity)
+    size_t capacity = 0;
+  };
+  [[nodiscard]] Counters counters() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;  // guards: the counters below
+  uint64_t offered_ WEBCC_GUARDED_BY(mu_) = 0;
+  uint64_t admitted_ WEBCC_GUARDED_BY(mu_) = 0;
+  uint64_t shed_ WEBCC_GUARDED_BY(mu_) = 0;
+  size_t depth_ WEBCC_GUARDED_BY(mu_) = 0;
+  size_t depth_peak_ WEBCC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_SERVE_ADMISSION_H_

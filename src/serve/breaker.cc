@@ -1,0 +1,119 @@
+#include "src/serve/breaker.h"
+
+namespace webcc {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "closed";
+}
+
+CircuitBreaker::CircuitBreaker(const Options& options) : options_(options) {
+  WEBCC_CHECK(options_.failure_threshold >= 1)
+      << "CircuitBreaker failure_threshold must be >= 1";
+  WEBCC_CHECK(options_.cooldown_ns >= 0) << "CircuitBreaker cooldown must be >= 0";
+}
+
+CircuitBreaker::Decision CircuitBreaker::Admit(int64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return Decision::kAllow;
+    case BreakerState::kOpen:
+      if (now_ns >= probe_at_ns_) {
+        state_ = BreakerState::kHalfOpen;
+        probe_in_flight_ = true;
+        ++half_open_probes_;
+        return Decision::kProbe;
+      }
+      ++short_circuited_;
+      return Decision::kShortCircuit;
+    case BreakerState::kHalfOpen:
+      if (!probe_in_flight_) {
+        // The previous probe's owner vanished without reporting (cannot
+        // happen in the frontend, but keep the state machine total).
+        probe_in_flight_ = true;
+        ++half_open_probes_;
+        return Decision::kProbe;
+      }
+      ++short_circuited_;
+      return Decision::kShortCircuit;
+  }
+  return Decision::kAllow;
+}
+
+void CircuitBreaker::RecordSuccess(Decision decision) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WEBCC_CHECK(decision != Decision::kShortCircuit)
+      << "CircuitBreaker: short-circuited attempts report no origin outcome";
+  if (decision == Decision::kProbe) {
+    // Only the in-flight probe may close the breaker; a stale report after
+    // someone else already resolved the probe is ignored.
+    if (state_ == BreakerState::kHalfOpen && probe_in_flight_) {
+      state_ = BreakerState::kClosed;
+      probe_in_flight_ = false;
+      consecutive_failures_ = 0;
+      ++closed_from_half_open_;
+    }
+    return;
+  }
+  if (state_ == BreakerState::kClosed) {
+    consecutive_failures_ = 0;
+  }
+}
+
+void CircuitBreaker::RecordFailure(Decision decision, int64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WEBCC_CHECK(decision != Decision::kShortCircuit)
+      << "CircuitBreaker: short-circuited attempts report no origin outcome";
+  if (decision == Decision::kProbe) {
+    if (state_ == BreakerState::kHalfOpen && probe_in_flight_) {
+      state_ = BreakerState::kOpen;
+      probe_in_flight_ = false;
+      probe_at_ns_ = now_ns + options_.cooldown_ns;
+      ++reopened_;
+    }
+    return;
+  }
+  // A kAllow failure only advances the closed-state counter; if another
+  // worker opened the breaker while this attempt was in flight, there is
+  // nothing left to learn from it.
+  if (state_ != BreakerState::kClosed) {
+    return;
+  }
+  ++consecutive_failures_;
+  if (consecutive_failures_ >= options_.failure_threshold) {
+    state_ = BreakerState::kOpen;
+    probe_at_ns_ = now_ns + options_.cooldown_ns;
+    consecutive_failures_ = 0;
+    ++opened_;
+  }
+}
+
+void CircuitBreaker::AbandonAttempt(Decision decision) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (decision == Decision::kProbe && state_ == BreakerState::kHalfOpen && probe_in_flight_) {
+    probe_in_flight_ = false;  // the next Admit dispatches a fresh probe
+  }
+}
+
+CircuitBreaker::Counters CircuitBreaker::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Counters out;
+  out.opened = opened_;
+  out.reopened = reopened_;
+  out.half_open_probes = half_open_probes_;
+  out.closed_from_half_open = closed_from_half_open_;
+  out.short_circuited = short_circuited_;
+  out.state = state_;
+  out.consecutive_failures = consecutive_failures_;
+  return out;
+}
+
+}  // namespace webcc

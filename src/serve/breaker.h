@@ -1,0 +1,93 @@
+// Origin circuit breaker.
+//
+// When the origin stops answering, every request that tries it anyway pays
+// the full fail-timeout before falling back to a degraded serve — an
+// overloaded frontend burning worker time on an origin that is known dead.
+// The breaker converts that repeated discovery into state: after
+// `failure_threshold` consecutive origin failures it *opens* and requests
+// short-circuit straight to the degraded path; after `cooldown_ns` one
+// half-open *probe* request is let through, and its outcome decides between
+// closing the breaker (origin healed) and re-opening it for another
+// cooldown. Every transition is counted, so tests and operators can see
+// open/probe/recover cycles in the metrics snapshot.
+//
+// Thread model: all methods are internally locked; workers call Admit
+// before an origin-bound attempt and Record{Success,Failure} after it,
+// passing back the decision they were given so a transition that happened
+// mid-flight (another worker opened the breaker) cannot be double-counted.
+
+#ifndef WEBCC_SRC_SERVE_BREAKER_H_
+#define WEBCC_SRC_SERVE_BREAKER_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "src/util/check.h"
+
+namespace webcc {
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+// Stable display names: "closed", "open", "half-open".
+const char* BreakerStateName(BreakerState state);
+
+class CircuitBreaker {
+ public:
+  struct Options {
+    // Consecutive origin failures (while closed) that open the breaker.
+    int failure_threshold = 5;
+    // How long an open breaker short-circuits before probing, wall nanos.
+    int64_t cooldown_ns = 100'000'000;
+  };
+
+  enum class Decision {
+    kAllow,         // closed: try the origin normally
+    kProbe,         // half-open: this request is the recovery probe
+    kShortCircuit,  // open: skip the origin, serve degraded
+  };
+
+  explicit CircuitBreaker(const Options& options);
+
+  // Gate for one origin-bound attempt at wall time `now_ns`.
+  [[nodiscard]] Decision Admit(int64_t now_ns);
+
+  // Reports the attempt's origin outcome. `decision` is what Admit returned
+  // for this attempt; kShortCircuit outcomes must not be reported (nothing
+  // was learned about the origin).
+  void RecordSuccess(Decision decision);
+  void RecordFailure(Decision decision, int64_t now_ns);
+
+  // The admitted attempt never reached the origin after all (e.g. the
+  // request was served as a fresh local hit). For a kProbe decision this
+  // returns the probe token so a later request can run the probe instead
+  // of the breaker waiting forever on an outcome that will never arrive.
+  void AbandonAttempt(Decision decision);
+
+  struct Counters {
+    uint64_t opened = 0;            // closed -> open transitions
+    uint64_t reopened = 0;          // half-open probe failed -> open again
+    uint64_t half_open_probes = 0;  // probes dispatched
+    uint64_t closed_from_half_open = 0;  // probe succeeded -> closed
+    uint64_t short_circuited = 0;   // requests denied the origin
+    BreakerState state = BreakerState::kClosed;
+    int consecutive_failures = 0;
+  };
+  [[nodiscard]] Counters counters() const;
+
+ private:
+  const Options options_;
+  mutable std::mutex mu_;  // guards: all state and counters below
+  BreakerState state_ WEBCC_GUARDED_BY(mu_) = BreakerState::kClosed;
+  int consecutive_failures_ WEBCC_GUARDED_BY(mu_) = 0;
+  int64_t probe_at_ns_ WEBCC_GUARDED_BY(mu_) = 0;  // when open may half-open
+  bool probe_in_flight_ WEBCC_GUARDED_BY(mu_) = false;
+  uint64_t opened_ WEBCC_GUARDED_BY(mu_) = 0;
+  uint64_t reopened_ WEBCC_GUARDED_BY(mu_) = 0;
+  uint64_t half_open_probes_ WEBCC_GUARDED_BY(mu_) = 0;
+  uint64_t closed_from_half_open_ WEBCC_GUARDED_BY(mu_) = 0;
+  uint64_t short_circuited_ WEBCC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_SERVE_BREAKER_H_

@@ -1,0 +1,43 @@
+#include "src/serve/deadline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace webcc {
+
+int64_t BackoffNanos(const ServeRetryConfig& config, int failed_attempts) {
+  WEBCC_CHECK(failed_attempts >= 1) << "BackoffNanos: attempt index is 1-based";
+  double backoff = static_cast<double>(std::max<int64_t>(0, config.initial_backoff_ns));
+  const double cap = static_cast<double>(std::max<int64_t>(0, config.max_backoff_ns));
+  for (int i = 1; i < failed_attempts; ++i) {
+    backoff *= config.backoff_multiplier;
+    if (backoff >= cap) {
+      break;
+    }
+  }
+  return static_cast<int64_t>(std::llround(std::min(backoff, cap)));
+}
+
+std::optional<int64_t> NextRetryDelayNanos(const ServeRetryConfig& config, int failed_attempts,
+                                           int64_t remaining_ns, SplitMix64& rng) {
+  if (failed_attempts >= config.max_attempts) {
+    return std::nullopt;  // attempt budget spent
+  }
+  if (remaining_ns <= 0) {
+    return std::nullopt;  // deadline already passed
+  }
+  int64_t delay = BackoffNanos(config, failed_attempts);
+  if (config.full_jitter && delay > 0) {
+    // Uniform in [0, delay]. Modulo bias is irrelevant at these magnitudes
+    // (delay << 2^64), and serve-layer draws carry no bit-replay contract.
+    delay = static_cast<int64_t>(rng.Next() % (static_cast<uint64_t>(delay) + 1));
+  }
+  if (delay >= remaining_ns) {
+    return std::nullopt;  // the retry would begin at or past the deadline
+  }
+  return delay;
+}
+
+}  // namespace webcc

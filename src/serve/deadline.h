@@ -1,0 +1,54 @@
+// Deadline budgets and retry pacing for the serve frontend.
+//
+// Each admitted request carries an absolute wall-clock deadline; every
+// origin retry must fit inside what remains of it. This file is the pure
+// math: capped exponential backoff in nanoseconds (the sim layer's
+// RetryPolicy works in whole simulated seconds, far too coarse for
+// wall-clock serving), optional full jitter (AWS style: draw uniformly in
+// [0, backoff] to decorrelate retry storms), and the budget rule — a retry
+// is scheduled only when its backoff delay strictly fits the remaining
+// budget, which is what bounds any request's deadline overrun to at most
+// one final in-flight attempt.
+//
+// Pure functions over explicit state (the caller owns the SplitMix64), so
+// the frontend's retry behaviour is unit-testable without threads or
+// clocks.
+
+#ifndef WEBCC_SRC_SERVE_DEADLINE_H_
+#define WEBCC_SRC_SERVE_DEADLINE_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/util/rng.h"
+
+namespace webcc {
+
+// Wall-clock retry schedule (the serve-layer analogue of RetryPolicy).
+struct ServeRetryConfig {
+  int max_attempts = 3;  // total tries; 1 = no retry
+  int64_t initial_backoff_ns = 5'000'000;
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_ns = 40'000'000;
+  // Full jitter: each backoff is drawn uniformly from [0, deterministic
+  // backoff] instead of taken at the cap.
+  bool full_jitter = false;
+};
+
+// Deterministic capped exponential: initial * multiplier^(failed-1), capped
+// at max_backoff_ns. `failed_attempts` is 1-based.
+[[nodiscard]] int64_t BackoffNanos(const ServeRetryConfig& config, int failed_attempts);
+
+// Decides whether a retry may follow the `failed_attempts`-th failure with
+// `remaining_ns` of deadline budget left. Returns the backoff delay to
+// sleep before the next attempt, or nullopt when the attempt budget is
+// exhausted or the delay would not strictly fit the remaining budget (the
+// retry would begin at or past the deadline). Jitter draws come from `rng`;
+// no draw happens when full_jitter is off.
+[[nodiscard]] std::optional<int64_t> NextRetryDelayNanos(const ServeRetryConfig& config,
+                                                         int failed_attempts,
+                                                         int64_t remaining_ns, SplitMix64& rng);
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_SERVE_DEADLINE_H_

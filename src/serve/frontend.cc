@@ -1,0 +1,276 @@
+#include "src/serve/frontend.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "src/cache/policy_factory.h"
+#include "src/util/rng.h"
+
+namespace webcc {
+
+ServeFrontend::ServeFrontend(const ServeFrontendOptions& options, WallClock* clock)
+    : options_(options),
+      clock_(clock),
+      server_(&engine_, options.world.invalidation_retry_interval),
+      upstream_(&server_),
+      gate_(&upstream_, clock),
+      admission_(options.queue_depth),
+      breaker_(CircuitBreaker::Options{options.breaker_failure_threshold,
+                                       options.breaker_cooldown_ns}) {
+  WEBCC_CHECK(clock_ != nullptr) << "ServeFrontend needs a wall clock";
+  WEBCC_CHECK(options_.time_scale > 0.0) << "time_scale must be > 0";
+  WEBCC_CHECK(options_.deadline_ns > 0) << "deadline must be > 0";
+  WEBCC_CHECK(options_.retry.max_attempts >= 1) << "retry max_attempts must be >= 1";
+  WEBCC_CHECK(options_.service_time_ns >= 0) << "service_time must be >= 0";
+  WEBCC_CHECK(options_.fail_timeout_ns >= 0) << "fail_timeout must be >= 0";
+  WEBCC_CHECK(options_.workers_min >= 1) << "workers_min must be >= 1";
+  WEBCC_CHECK(options_.workers_max >= options_.workers_min)
+      << "workers_max must be >= workers_min";
+
+  // Seed the same steady-state world the live simulator runs (population
+  // determinism is shared; only arrivals differ).
+  Rng rng(options_.world.seed);
+  const LivePopulation population = SeedLivePopulation(options_.world, server_, rng);
+
+  CacheConfig cache_config;
+  cache_config.refresh_mode = options_.world.refresh_mode;
+  cache_config.stale_serve_bound = options_.stale_serve_bound;
+  cache_ = std::make_unique<ProxyCache>("serve-proxy", &gate_, MakePolicy(options_.world.policy),
+                                        cache_config, &server_.store());
+  if (options_.world.preload) {
+    cache_->Preload(server_.store(), SimTime::Epoch());
+  }
+  server_.ResetStats();
+  cache_->ResetStats();
+
+  mutator_ = std::make_unique<ModificationProcess>(&engine_, &server_, rng.Fork());
+  for (uint32_t i = 0; i < options_.world.num_files; ++i) {
+    mutator_->Track(static_cast<ObjectId>(i), population.lifetime, population.first_delays[i]);
+  }
+  sim_now_ = SimTime::Epoch();
+}
+
+ServeFrontend::~ServeFrontend() { Stop(); }
+
+void ServeFrontend::Start() {
+  WEBCC_CHECK(!started_.load()) << "ServeFrontend::Start called twice";
+  const int64_t now_ns = clock_->NowNanos();
+  start_ns_.store(now_ns);
+  if (options_.outage_start_ns >= 0 && options_.outage_duration_ns > 0) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    gate_.SetOutageWindow(now_ns + options_.outage_start_ns,
+                          now_ns + options_.outage_start_ns + options_.outage_duration_ns);
+  }
+  ElasticThreadPool::Options pool_options;
+  pool_options.min_threads = options_.workers_min;
+  pool_options.max_threads = options_.workers_max;
+  pool_options.idle_timeout_ms = options_.worker_idle_timeout_ms;
+  pool_ = std::make_unique<ElasticThreadPool>(pool_options);
+  started_.store(true);
+}
+
+bool ServeFrontend::SubmitRequest(ObjectId object) {
+  WEBCC_CHECK(started_.load()) << "SubmitRequest before Start";
+  WEBCC_CHECK(!stopped_.load()) << "SubmitRequest after Stop";
+  if (!admission_.TryAdmit()) {
+    return false;
+  }
+  ServeRequest request;
+  request.object = object;
+  request.sequence = sequence_.fetch_add(1);
+  request.enqueued_ns = clock_->NowNanos();
+  request.deadline_ns = request.enqueued_ns + options_.deadline_ns;
+  pool_->Submit([this, request] { ProcessRequest(request); });
+  return true;
+}
+
+void ServeFrontend::RunOfferedLoad(
+    double requests_per_second, int64_t duration_ns, int64_t snapshot_interval_ns,
+    const std::function<void(const ServeMetricsSnapshot&)>& on_snapshot) {
+  WEBCC_CHECK(started_.load()) << "RunOfferedLoad before Start";
+  WEBCC_CHECK(requests_per_second > 0.0) << "offered rate must be > 0";
+  WEBCC_CHECK(duration_ns > 0) << "offered duration must be > 0";
+  const int64_t begin_ns = clock_->NowNanos();
+  const int64_t end_ns = begin_ns + duration_ns;
+  const double gap_ns = 1e9 / requests_per_second;
+  const int64_t max_id = static_cast<int64_t>(options_.world.num_files) - 1;
+  Rng load_rng(options_.world.seed ^ 0x6c6f6164);  // separate arrival stream
+  double next_submit_ns = static_cast<double>(begin_ns);
+  int64_t next_snapshot_ns =
+      snapshot_interval_ns > 0 ? begin_ns + snapshot_interval_ns : INT64_MAX;
+  while (true) {
+    const int64_t now_ns = clock_->NowNanos();
+    if (now_ns >= end_ns) {
+      break;
+    }
+    if (now_ns >= next_snapshot_ns) {
+      if (on_snapshot) {
+        on_snapshot(Snapshot());
+      }
+      next_snapshot_ns += snapshot_interval_ns;
+      continue;
+    }
+    if (static_cast<double>(now_ns) >= next_submit_ns) {
+      const ObjectId object = static_cast<ObjectId>(load_rng.UniformInt(0, max_id));
+      (void)SubmitRequest(object);  // a shed is already counted by admission
+      // Keep the offered schedule: when submission falls behind, the loop
+      // catches up without sleeping (open-loop arrivals, not closed-loop).
+      next_submit_ns += gap_ns;
+      continue;
+    }
+    const int64_t wake_ns =
+        std::min({static_cast<int64_t>(next_submit_ns), next_snapshot_ns, end_ns});
+    clock_->SleepNanos(std::max<int64_t>(1, wake_ns - now_ns));
+  }
+}
+
+void ServeFrontend::Stop() {
+  if (!started_.load() || stopped_.exchange(true)) {
+    return;
+  }
+  pool_->Shutdown();  // drains every admitted request first
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  mutator_->Stop();
+}
+
+ServeMetricsSnapshot ServeFrontend::Snapshot() {
+  ServeMetricsSnapshot snapshot;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    snapshot.cache = cache_->stats();
+  }
+  metrics_.Merge(snapshot);
+  const AdmissionController::Counters admission = admission_.counters();
+  snapshot.offered = admission.offered;
+  snapshot.admitted = admission.admitted;
+  snapshot.shed_queue_full = admission.shed;
+  snapshot.queue_depth_peak = admission.depth_peak;
+  snapshot.queue_capacity = admission.capacity;
+  const CircuitBreaker::Counters breaker = breaker_.counters();
+  snapshot.breaker_opened = breaker.opened;
+  snapshot.breaker_reopened = breaker.reopened;
+  snapshot.breaker_half_open_probes = breaker.half_open_probes;
+  snapshot.breaker_closed_from_half_open = breaker.closed_from_half_open;
+  snapshot.breaker_short_circuited = breaker.short_circuited;
+  snapshot.breaker_state = BreakerStateName(breaker.state);
+  if (pool_ != nullptr) {
+    snapshot.workers_live = pool_->threads();
+    snapshot.workers_peak = pool_->peak_threads();
+  }
+  snapshot.staleness_bound_seconds = options_.stale_serve_bound.seconds();
+  snapshot.elapsed_ns = started_.load() ? clock_->NowNanos() - start_ns_.load() : 0;
+  return snapshot;
+}
+
+SimTime ServeFrontend::SimTimeFor(int64_t now_ns) const {
+  const int64_t elapsed_ns = now_ns - start_ns_.load();
+  const double sim_elapsed = static_cast<double>(std::max<int64_t>(0, elapsed_ns)) * 1e-9 *
+                             options_.time_scale;
+  return SimTime::Epoch() + SecondsF(sim_elapsed);
+}
+
+void ServeFrontend::ProcessRequest(const ServeRequest& request) {
+  // Per-request jitter stream: derived from (seed, sequence) so a seeded
+  // run with a manual clock replays identical backoff draws.
+  SplitMix64 retry_rng(options_.world.seed ^ (request.sequence * 0x9e3779b97f4a7c15ULL));
+  std::optional<ServeResult> failed_result;
+  int attempt = 0;
+  while (true) {
+    ++attempt;
+    const int64_t attempt_start_ns = clock_->NowNanos();
+    if (attempt_start_ns > request.deadline_ns) {
+      if (attempt == 1) {
+        // Budget expired while queued: drop without touching the origin.
+        // Overrun is recorded as zero — a drop does no work past the
+        // deadline, which is the property the overrun metric bounds.
+        metrics_.RecordOutcome(ServeOutcome::kDeadlineDropped,
+                               attempt_start_ns - request.enqueued_ns, 0, SimDuration(-1));
+        admission_.Release();
+        return;
+      }
+      // A backoff sleep overshot the deadline (scheduler noise; the budget
+      // rule scheduled the wake strictly before it). Settle for the failed
+      // outcome already in hand rather than start a late attempt.
+      break;
+    }
+    // Tripwire for the hard invariant asserted by the overload acceptance
+    // test: the guard above makes an origin attempt past the deadline
+    // unreachable, so this count must stay zero.
+    if (attempt_start_ns > request.deadline_ns) {
+      metrics_.RecordAttemptPastDeadline();
+    }
+    const CircuitBreaker::Decision decision = breaker_.Admit(attempt_start_ns);
+    ServeResult result;
+    {
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      const SimTime target = SimTimeFor(attempt_start_ns);
+      if (target > sim_now_) {
+        engine_.RunUntil(target);
+        sim_now_ = target;
+      }
+      if (decision == CircuitBreaker::Decision::kShortCircuit) {
+        gate_.set_force_fail(true);
+      }
+      result = cache_->HandleRequest(request.object, sim_now_);
+      gate_.set_force_fail(false);
+    }
+    const bool fresh_hit = result.kind == ServeKind::kHitFresh;
+    const bool origin_failed =
+        result.kind == ServeKind::kDegraded || result.kind == ServeKind::kFailed;
+    if (decision != CircuitBreaker::Decision::kShortCircuit) {
+      if (fresh_hit) {
+        // Served locally: the breaker learned nothing about the origin (a
+        // probe token is returned so the next request can probe instead).
+        breaker_.AbandonAttempt(decision);
+      } else if (origin_failed) {
+        breaker_.RecordFailure(decision, clock_->NowNanos());
+      } else {
+        breaker_.RecordSuccess(decision);
+      }
+      // Modeled origin work, with no lock held: a successful contact costs
+      // the service time, a failed one costs the discovery timeout. Fresh
+      // hits and short-circuits pay neither — fail-fast is the breaker's
+      // entire value.
+      if (!fresh_hit) {
+        clock_->SleepNanos(origin_failed ? options_.fail_timeout_ns : options_.service_time_ns);
+      }
+    }
+    if (!origin_failed) {
+      const int64_t end_ns = clock_->NowNanos();
+      metrics_.RecordOutcome(ServeOutcome::kOk, end_ns - request.enqueued_ns,
+                             std::max<int64_t>(0, end_ns - request.deadline_ns), SimDuration(-1));
+      admission_.Release();
+      return;
+    }
+    failed_result = result;
+    if (decision == CircuitBreaker::Decision::kShortCircuit) {
+      break;  // no retry behind an open breaker
+    }
+    const int64_t after_ns = clock_->NowNanos();
+    const std::optional<int64_t> delay = NextRetryDelayNanos(
+        options_.retry, attempt, request.deadline_ns - after_ns, retry_rng);
+    if (!delay.has_value()) {
+      if (attempt < options_.retry.max_attempts) {
+        metrics_.RecordRetryDeniedBudget();
+      }
+      break;
+    }
+    metrics_.RecordRetry();
+    if (*delay > 0) {
+      clock_->SleepNanos(*delay);
+    }
+  }
+  // Degraded or failed final outcome (failed_result is set on every path
+  // that falls out of the loop).
+  const ServeResult final_result = *failed_result;
+  const int64_t end_ns = clock_->NowNanos();
+  const bool degraded = final_result.kind == ServeKind::kDegraded;
+  metrics_.RecordOutcome(degraded ? ServeOutcome::kDegraded : ServeOutcome::kFailed,
+                         end_ns - request.enqueued_ns,
+                         std::max<int64_t>(0, end_ns - request.deadline_ns),
+                         degraded ? final_result.staleness : SimDuration(-1));
+  admission_.Release();
+}
+
+}  // namespace webcc

@@ -1,0 +1,140 @@
+#include "src/serve/metrics.h"
+
+#include <algorithm>
+
+#include "src/util/str.h"
+
+namespace webcc {
+
+void ServeMetrics::RecordOutcome(ServeOutcome outcome, int64_t latency_ns, int64_t overrun_ns,
+                                 SimDuration served_staleness) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (outcome) {
+    case ServeOutcome::kOk:
+      ++served_ok_;
+      break;
+    case ServeOutcome::kDegraded:
+      ++served_degraded_;
+      break;
+    case ServeOutcome::kFailed:
+      ++failed_;
+      break;
+    case ServeOutcome::kDeadlineDropped:
+      ++deadline_dropped_;
+      break;
+  }
+  ++latency_count_;
+  latency_sum_ns_ += latency_ns;
+  latency_max_ns_ = std::max(latency_max_ns_, latency_ns);
+  max_deadline_overrun_ns_ = std::max(max_deadline_overrun_ns_, overrun_ns);
+  if (outcome == ServeOutcome::kDegraded && served_staleness >= SimDuration(0)) {
+    max_served_staleness_seconds_ =
+        std::max(max_served_staleness_seconds_, served_staleness.seconds());
+  }
+}
+
+void ServeMetrics::RecordRetry() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++retries_;
+}
+
+void ServeMetrics::RecordRetryDeniedBudget() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++retries_denied_budget_;
+}
+
+void ServeMetrics::RecordAttemptPastDeadline() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++attempts_past_deadline_;
+}
+
+void ServeMetrics::Merge(ServeMetricsSnapshot& snapshot) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.served_ok = served_ok_;
+  snapshot.served_degraded = served_degraded_;
+  snapshot.failed = failed_;
+  snapshot.deadline_dropped = deadline_dropped_;
+  snapshot.attempts_past_deadline = attempts_past_deadline_;
+  snapshot.retries = retries_;
+  snapshot.retries_denied_budget = retries_denied_budget_;
+  snapshot.max_deadline_overrun_ns = max_deadline_overrun_ns_;
+  snapshot.latency_count = latency_count_;
+  snapshot.latency_sum_ns = latency_sum_ns_;
+  snapshot.latency_max_ns = latency_max_ns_;
+  snapshot.max_served_staleness_seconds = max_served_staleness_seconds_;
+}
+
+std::string ServeMetricsSnapshot::ToJson() const {
+  std::string json = "{";
+  json += StrFormat("\"elapsed_ms\":%lld,", static_cast<long long>(elapsed_ns / 1000000));
+  json += StrFormat(
+      "\"admission\":{\"offered\":%llu,\"admitted\":%llu,\"shed_queue_full\":%llu,"
+      "\"queue_depth_peak\":%llu,\"queue_capacity\":%llu},",
+      static_cast<unsigned long long>(offered), static_cast<unsigned long long>(admitted),
+      static_cast<unsigned long long>(shed_queue_full),
+      static_cast<unsigned long long>(queue_depth_peak),
+      static_cast<unsigned long long>(queue_capacity));
+  json += StrFormat(
+      "\"outcomes\":{\"ok\":%llu,\"degraded\":%llu,\"failed\":%llu,\"deadline_dropped\":%llu},",
+      static_cast<unsigned long long>(served_ok), static_cast<unsigned long long>(served_degraded),
+      static_cast<unsigned long long>(failed), static_cast<unsigned long long>(deadline_dropped));
+  json += StrFormat(
+      "\"deadline\":{\"attempts_past_deadline\":%llu,\"retries\":%llu,"
+      "\"retries_denied_budget\":%llu,\"max_overrun_us\":%lld},",
+      static_cast<unsigned long long>(attempts_past_deadline),
+      static_cast<unsigned long long>(retries),
+      static_cast<unsigned long long>(retries_denied_budget),
+      static_cast<long long>(max_deadline_overrun_ns / 1000));
+  json += StrFormat("\"latency_us\":{\"count\":%llu,\"mean\":%lld,\"max\":%lld},",
+                    static_cast<unsigned long long>(latency_count),
+                    static_cast<long long>(MeanLatencyNanos() / 1000),
+                    static_cast<long long>(latency_max_ns / 1000));
+  json += StrFormat(
+      "\"staleness\":{\"max_served_seconds\":%lld,\"bound_seconds\":%lld,"
+      "\"denied_over_bound\":%llu},",
+      static_cast<long long>(max_served_staleness_seconds),
+      static_cast<long long>(staleness_bound_seconds),
+      static_cast<unsigned long long>(cache.degraded_denied_over_bound));
+  json += StrFormat(
+      "\"breaker\":{\"state\":\"%s\",\"opened\":%llu,\"reopened\":%llu,"
+      "\"half_open_probes\":%llu,\"closed_from_half_open\":%llu,\"short_circuited\":%llu},",
+      breaker_state.c_str(), static_cast<unsigned long long>(breaker_opened),
+      static_cast<unsigned long long>(breaker_reopened),
+      static_cast<unsigned long long>(breaker_half_open_probes),
+      static_cast<unsigned long long>(breaker_closed_from_half_open),
+      static_cast<unsigned long long>(breaker_short_circuited));
+  json += StrFormat("\"workers\":{\"live\":%llu,\"peak\":%llu},",
+                    static_cast<unsigned long long>(workers_live),
+                    static_cast<unsigned long long>(workers_peak));
+  json += StrFormat(
+      "\"cache\":{\"requests\":%llu,\"hits_fresh\":%llu,\"hits_validated\":%llu,"
+      "\"misses\":%llu,\"degraded_serves\":%llu,\"failed_requests\":%llu,"
+      "\"stale_hits\":%llu,\"upstream_retries\":%llu}}",
+      static_cast<unsigned long long>(cache.requests),
+      static_cast<unsigned long long>(cache.hits_fresh),
+      static_cast<unsigned long long>(cache.hits_validated),
+      static_cast<unsigned long long>(cache.Misses()),
+      static_cast<unsigned long long>(cache.degraded_serves),
+      static_cast<unsigned long long>(cache.failed_requests),
+      static_cast<unsigned long long>(cache.stale_hits),
+      static_cast<unsigned long long>(cache.upstream_retries));
+  return json;
+}
+
+std::string ServeMetricsSnapshot::StatusLine() const {
+  return StrFormat(
+      "t=%6lldms offered=%llu shed=%llu ok=%llu degraded=%llu failed=%llu "
+      "dropped=%llu retries=%llu breaker=%s workers=%llu/%llu lat(mean/max)=%lld/%lldus",
+      static_cast<long long>(elapsed_ns / 1000000), static_cast<unsigned long long>(offered),
+      static_cast<unsigned long long>(shed_queue_full),
+      static_cast<unsigned long long>(served_ok),
+      static_cast<unsigned long long>(served_degraded), static_cast<unsigned long long>(failed),
+      static_cast<unsigned long long>(deadline_dropped),
+      static_cast<unsigned long long>(retries), breaker_state.c_str(),
+      static_cast<unsigned long long>(workers_live),
+      static_cast<unsigned long long>(workers_peak),
+      static_cast<long long>(MeanLatencyNanos() / 1000),
+      static_cast<long long>(latency_max_ns / 1000));
+}
+
+}  // namespace webcc

@@ -1,0 +1,138 @@
+// Live serving metrics.
+//
+// The serve frontend's observable surface: every request the frontend
+// touches resolves into exactly one outcome counter here (the same
+// conservation discipline CacheStats::ServeKindTotal enforces one layer
+// down), and the overload acceptance tests assert their invariants from a
+// ServeMetricsSnapshot rather than from internal state. Counters live
+// behind one mutex — workers record outcomes a few hundred times a second,
+// so contention is irrelevant next to the cache lock.
+//
+// Two time domains meet in a snapshot: wall-clock nanoseconds for latency
+// and deadlines (from serve/wall_clock.h), simulated seconds for staleness
+// (the cache's domain). Fields are suffixed _ns / _seconds accordingly.
+
+#ifndef WEBCC_SRC_SERVE_METRICS_H_
+#define WEBCC_SRC_SERVE_METRICS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "src/cache/proxy_cache.h"
+#include "src/util/check.h"
+
+namespace webcc {
+
+// Final disposition of one admitted request.
+enum class ServeOutcome {
+  kOk,               // fresh hit, validated hit, or (re)fetched body
+  kDegraded,         // stale-if-error local serve (origin unreachable)
+  kFailed,           // nothing to serve (cold miss during outage, over-bound)
+  kDeadlineDropped,  // budget expired before the first attempt began
+};
+
+// Point-in-time copy of every counter the frontend exposes. Plain data:
+// safe to hand across threads, print, or serialize after the run.
+struct ServeMetricsSnapshot {
+  // Admission (from the AdmissionController).
+  uint64_t offered = 0;
+  uint64_t admitted = 0;
+  uint64_t shed_queue_full = 0;
+  uint64_t queue_depth_peak = 0;
+  uint64_t queue_capacity = 0;
+
+  // Outcomes: every admitted request lands in exactly one bucket.
+  uint64_t served_ok = 0;
+  uint64_t served_degraded = 0;
+  uint64_t failed = 0;
+  uint64_t deadline_dropped = 0;
+
+  // Deadline discipline. attempts_past_deadline counts origin attempts that
+  // began after their request's deadline — the frontend's hard invariant is
+  // that this stays zero (a retry is only scheduled when its backoff fits
+  // the remaining budget). max_deadline_overrun_ns is how far past its
+  // deadline any request's *final outcome* landed (bounded by one retry
+  // step: the last admitted attempt may still be in flight at the bell).
+  uint64_t attempts_past_deadline = 0;
+  uint64_t retries = 0;
+  uint64_t retries_denied_budget = 0;
+  int64_t max_deadline_overrun_ns = 0;
+
+  // Latency, enqueue to final outcome (deadline drops included).
+  uint64_t latency_count = 0;
+  int64_t latency_sum_ns = 0;
+  int64_t latency_max_ns = 0;
+
+  // Degraded-serve staleness, simulated-time domain. The bound is the
+  // cache's CacheConfig::stale_serve_bound (0 = unbounded); over-bound
+  // serves are *denied* by the cache, so max stays within the bound by
+  // construction and denials surface via cache.degraded_denied_over_bound.
+  int64_t max_served_staleness_seconds = 0;
+  int64_t staleness_bound_seconds = 0;
+
+  // Circuit breaker (from CircuitBreaker::Counters).
+  uint64_t breaker_opened = 0;
+  uint64_t breaker_reopened = 0;
+  uint64_t breaker_half_open_probes = 0;
+  uint64_t breaker_closed_from_half_open = 0;
+  uint64_t breaker_short_circuited = 0;
+  std::string breaker_state = "closed";
+
+  // Elastic worker pool census.
+  uint64_t workers_live = 0;
+  uint64_t workers_peak = 0;
+
+  // The cache's own ledger, copied under the cache lock.
+  CacheStats cache;
+
+  int64_t elapsed_ns = 0;
+
+  [[nodiscard]] uint64_t OutcomeTotal() const {
+    return served_ok + served_degraded + failed + deadline_dropped;
+  }
+  [[nodiscard]] int64_t MeanLatencyNanos() const {
+    return latency_count == 0 ? 0 : latency_sum_ns / static_cast<int64_t>(latency_count);
+  }
+
+  // One machine-readable JSON object (single line, stable key order).
+  [[nodiscard]] std::string ToJson() const;
+  // One human-readable status line for the periodic live snapshot.
+  [[nodiscard]] std::string StatusLine() const;
+};
+
+// The frontend-side accumulator (admission, breaker, and pool counters are
+// owned by their components and merged at snapshot time).
+class ServeMetrics {
+ public:
+  // Records a request's final outcome. `overrun_ns` is end-time minus
+  // deadline (clamped at 0); `served_staleness` applies to degraded serves
+  // only (pass a negative duration otherwise).
+  void RecordOutcome(ServeOutcome outcome, int64_t latency_ns, int64_t overrun_ns,
+                     SimDuration served_staleness);
+  void RecordRetry();
+  void RecordRetryDeniedBudget();
+  void RecordAttemptPastDeadline();
+
+  // Copies the frontend-owned counters into `snapshot`.
+  void Merge(ServeMetricsSnapshot& snapshot) const;
+
+ private:
+  mutable std::mutex mu_;  // guards: every counter below
+  uint64_t served_ok_ WEBCC_GUARDED_BY(mu_) = 0;
+  uint64_t served_degraded_ WEBCC_GUARDED_BY(mu_) = 0;
+  uint64_t failed_ WEBCC_GUARDED_BY(mu_) = 0;
+  uint64_t deadline_dropped_ WEBCC_GUARDED_BY(mu_) = 0;
+  uint64_t attempts_past_deadline_ WEBCC_GUARDED_BY(mu_) = 0;
+  uint64_t retries_ WEBCC_GUARDED_BY(mu_) = 0;
+  uint64_t retries_denied_budget_ WEBCC_GUARDED_BY(mu_) = 0;
+  int64_t max_deadline_overrun_ns_ WEBCC_GUARDED_BY(mu_) = 0;
+  uint64_t latency_count_ WEBCC_GUARDED_BY(mu_) = 0;
+  int64_t latency_sum_ns_ WEBCC_GUARDED_BY(mu_) = 0;
+  int64_t latency_max_ns_ WEBCC_GUARDED_BY(mu_) = 0;
+  int64_t max_served_staleness_seconds_ WEBCC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_SERVE_METRICS_H_

@@ -1,0 +1,96 @@
+// Wall-clock origin failure injection for the serve frontend.
+//
+// An Upstream decorator that sits between the ProxyCache and the real
+// OriginUpstream. During a configured wall-clock outage window — or while
+// force-fail is latched (the breaker's short-circuit path) — fetches come
+// back ok=false without touching the origin, which drops the cache into
+// its stale-if-error machinery exactly as a sim-layer FaultPlan outage
+// would. Invalidation (un)subscription passes through untouched: interest
+// registration is cache metadata, not an origin round trip.
+//
+// Thread model: every call happens under the frontend's cache mutex (the
+// gate is only reachable through ProxyCache::HandleRequest and snapshot
+// assembly, both of which the frontend serializes), so plain counters
+// suffice and no mutex lives here.
+
+#ifndef WEBCC_SRC_SERVE_ORIGIN_GATE_H_
+#define WEBCC_SRC_SERVE_ORIGIN_GATE_H_
+
+#include <cstdint>
+
+#include "src/cache/upstream.h"
+#include "src/serve/wall_clock.h"
+
+namespace webcc {
+
+class OriginGate : public Upstream {
+ public:
+  OriginGate(Upstream* inner, WallClock* clock) : inner_(inner), clock_(clock) {}
+
+  // Arms an absolute outage window [start_ns, end_ns) on the gate's clock.
+  void SetOutageWindow(int64_t start_ns, int64_t end_ns) {
+    outage_start_ns_ = start_ns;
+    outage_end_ns_ = end_ns;
+  }
+
+  // Latches unconditional failure (the breaker short-circuit: the caller
+  // wants the cache's degraded path without an origin round trip).
+  void set_force_fail(bool force_fail) { force_fail_ = force_fail; }
+
+  // True when a fetch issued now would fail.
+  [[nodiscard]] bool Down() {
+    if (force_fail_) {
+      return true;
+    }
+    if (outage_start_ns_ >= outage_end_ns_) {
+      return false;
+    }
+    const int64_t now_ns = clock_->NowNanos();
+    return now_ns >= outage_start_ns_ && now_ns < outage_end_ns_;
+  }
+
+  FullReply FetchFull(ObjectId id, SimTime now) override {
+    ++fetch_attempts_;
+    if (Down()) {
+      ++fetch_failures_;
+      FullReply reply;
+      reply.ok = false;
+      return reply;
+    }
+    return inner_->FetchFull(id, now);
+  }
+
+  CondReply FetchIfModified(ObjectId id, uint64_t held_version, SimTime now) override {
+    ++fetch_attempts_;
+    if (Down()) {
+      ++fetch_failures_;
+      CondReply reply;
+      reply.ok = false;
+      return reply;
+    }
+    return inner_->FetchIfModified(id, held_version, now);
+  }
+
+  void SubscribeInvalidation(InvalidationSink* sink, ObjectId id) override {
+    inner_->SubscribeInvalidation(sink, id);
+  }
+  void UnsubscribeInvalidation(InvalidationSink* sink, ObjectId id) override {
+    inner_->UnsubscribeInvalidation(sink, id);
+  }
+
+  [[nodiscard]] uint64_t fetch_attempts() const { return fetch_attempts_; }
+  [[nodiscard]] uint64_t fetch_failures() const { return fetch_failures_; }
+
+ private:
+  Upstream* inner_;
+  WallClock* clock_;
+  int64_t outage_start_ns_ = 0;
+  int64_t outage_end_ns_ = 0;  // empty window when end <= start
+  bool force_fail_ = false;
+  uint64_t fetch_attempts_ = 0;
+  uint64_t fetch_failures_ = 0;
+};
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_SERVE_ORIGIN_GATE_H_

@@ -1,0 +1,39 @@
+// The single file in the tree allowed to read the host clock: the serve
+// frontend is the real-time layer, and confining the tokens here keeps the
+// banned-wallclock lint meaningful everywhere else (no simulation or policy
+// code can reach a clock without going through this interface, and pass-4
+// taint tracks everyone who does).
+// webcc-lint: allow-file(banned-wallclock)
+
+#include "src/serve/wall_clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace webcc {
+
+namespace {
+
+class SteadyWallClock : public WallClock {
+ public:
+  [[nodiscard]] int64_t NowNanos() override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void SleepNanos(int64_t duration_ns) override {
+    if (duration_ns > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(duration_ns));
+    }
+  }
+};
+
+}  // namespace
+
+WallClock* RealWallClock() {
+  static SteadyWallClock instance;
+  return &instance;
+}
+
+}  // namespace webcc

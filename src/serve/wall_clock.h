@@ -1,0 +1,58 @@
+// The serve layer's only doorway to real time.
+//
+// Everything below src/serve/ is simulated time (SimTime, 1-second integer
+// resolution, banned from touching the host clock by webcc-lint). The live
+// serving frontend, by contrast, exists to run the cache at wall-clock
+// rates, so it needs a real monotonic clock — but exactly one file may hold
+// it. This interface confines every host-clock read and sleep behind an
+// int64-nanosecond API; the rest of src/serve/ stays clock-token-free and
+// unit tests substitute ManualWallClock to make timing deterministic.
+//
+// The nanosecond counter is monotonic from an arbitrary origin (it is NOT
+// a unix timestamp); callers only ever difference it.
+
+#ifndef WEBCC_SRC_SERVE_WALL_CLOCK_H_
+#define WEBCC_SRC_SERVE_WALL_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace webcc {
+
+class WallClock {
+ public:
+  virtual ~WallClock() = default;
+
+  // Monotonic nanoseconds since an arbitrary fixed origin.
+  [[nodiscard]] virtual int64_t NowNanos() = 0;
+
+  // Blocks the calling thread for ~duration_ns (no-op when <= 0).
+  virtual void SleepNanos(int64_t duration_ns) = 0;
+};
+
+// The real host clock. Stateless; one shared instance is enough.
+WallClock* RealWallClock();
+
+// A hand-cranked clock for deterministic tests: NowNanos reads a counter,
+// SleepNanos advances it (so code under test "waits" instantly).
+class ManualWallClock : public WallClock {
+ public:
+  explicit ManualWallClock(int64_t start_ns = 0) : now_ns_(start_ns) {}
+
+  [[nodiscard]] int64_t NowNanos() override {
+    return now_ns_.load(std::memory_order_acquire);
+  }
+  void SleepNanos(int64_t duration_ns) override {
+    if (duration_ns > 0) {
+      now_ns_.fetch_add(duration_ns, std::memory_order_acq_rel);
+    }
+  }
+  void Advance(int64_t duration_ns) { SleepNanos(duration_ns); }
+
+ private:
+  std::atomic<int64_t> now_ns_;
+};
+
+}  // namespace webcc
+
+#endif  // WEBCC_SRC_SERVE_WALL_CLOCK_H_

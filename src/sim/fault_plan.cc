@@ -22,6 +22,7 @@ constexpr uint64_t kLossStream = 0x6c6f7373;    // "loss"
 constexpr uint64_t kJitterStream = 0x6a697474;  // "jitt"
 constexpr uint64_t kWindowStream = 0x77696e64;  // "wind"
 constexpr uint64_t kLinkStream = 0x6c696e6b;    // "link" — per-link seed forks
+constexpr uint64_t kBackoffStream = 0x626b6f66;  // "bkof" — retry full jitter
 
 // Links are fleet members or hierarchy edges; 4096 matches the sweep
 // executor's --jobs ceiling and bounds repro-file parsing.
@@ -102,7 +103,8 @@ FaultConfig FaultConfig::ForLink(uint32_t link) const {
 FaultPlan::FaultPlan(const FaultConfig& config, SimTime horizon)
     : config_(config),
       loss_rng_(SubSeed(config.seed, kLossStream)),
-      jitter_rng_(SubSeed(config.seed, kJitterStream)) {
+      jitter_rng_(SubSeed(config.seed, kJitterStream)),
+      backoff_rng_(SubSeed(config.seed, kBackoffStream)) {
   WEBCC_CHECK(config_.loss_rate >= 0.0 && config_.loss_rate <= 1.0)
       << "FaultConfig.loss_rate must be in [0, 1]";
   WEBCC_CHECK(config_.jitter_max >= SimDuration(0)) << "FaultConfig.jitter_max must be >= 0";
@@ -152,6 +154,14 @@ bool FaultPlan::LoseMessage() {
 SimDuration FaultPlan::Jitter() {
   if (config_.jitter_max <= SimDuration(0)) return SimDuration(0);
   return Seconds(jitter_rng_.UniformInt(0, config_.jitter_max.seconds()));
+}
+
+SimDuration FaultPlan::Backoff(int failed) {
+  const SimDuration backoff = config_.retry.BackoffAfter(failed);
+  if (!config_.retry.full_jitter || backoff <= SimDuration(0)) {
+    return backoff;  // no draw: the legacy deterministic schedule, bit-exact
+  }
+  return Seconds(backoff_rng_.UniformInt(0, backoff.seconds()));
 }
 
 int64_t FaultPlan::TotalDowntimeSeconds() const {
@@ -211,6 +221,11 @@ void FaultPlan::Serialize(std::ostream& out) const {
   out << "retry-initial-backoff-seconds " << config_.retry.initial_backoff.seconds() << "\n";
   out << StrFormat("retry-backoff-multiplier %.17g\n", config_.retry.backoff_multiplier);
   out << "retry-max-backoff-seconds " << config_.retry.max_backoff.seconds() << "\n";
+  // Emitted only when armed: plans without jitter keep their historical
+  // byte-exact serialization (repro files hash-compare across versions).
+  if (config_.retry.full_jitter) {
+    out << "retry-full-jitter 1\n";
+  }
   out << "invalidation-retry-seconds " << config_.invalidation_retry_interval.seconds() << "\n";
   out << "recovery " << CrashRecoveryName(config_.crash_recovery) << "\n";
   out << "snapshot-crash-request " << config_.snapshot_crash_request << "\n";
@@ -354,6 +369,10 @@ std::optional<FaultConfig> FaultPlan::Parse(std::istream& in, FaultPlanParseErro
       const auto v = int_value(1);
       if (!v || *v < 0) return fail(line_no, "retry-max-backoff-seconds must be >= 0");
       config.retry.max_backoff = Seconds(*v);
+    } else if (key == "retry-full-jitter" && want(1)) {
+      const auto v = int_value(1);
+      if (!v || (*v != 0 && *v != 1)) return fail(line_no, "retry-full-jitter must be 0 or 1");
+      config.retry.full_jitter = *v == 1;
     } else if (key == "invalidation-retry-seconds" && want(1)) {
       const auto v = int_value(1);
       if (!v || *v < 1) return fail(line_no, "invalidation-retry-seconds must be >= 1");

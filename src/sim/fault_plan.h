@@ -56,9 +56,16 @@ struct RetryPolicy {
   SimDuration initial_backoff = Seconds(2);
   double backoff_multiplier = 2.0;
   SimDuration max_backoff = Minutes(2);
+  // Full jitter (AWS style): each backoff is drawn uniformly from
+  // [0, BackoffAfter(failed)] out of the plan's dedicated RNG substream
+  // instead of taken deterministically at the exponential value. Off by
+  // default — with it off the plan draws nothing, so every existing
+  // fig9/chaos schedule stays bit-identical.
+  bool full_jitter = false;
 
   // Backoff after the `failed`-th failed attempt (1-based): a capped
-  // exponential initial_backoff * multiplier^(failed-1).
+  // exponential initial_backoff * multiplier^(failed-1). This is the
+  // deterministic value; FaultPlan::Backoff applies full_jitter on top.
   [[nodiscard]] SimDuration BackoffAfter(int failed) const;
 };
 
@@ -180,6 +187,12 @@ class FaultPlan {
   // One delivery-jitter draw in [0, jitter_max]; zero when disabled.
   [[nodiscard]] SimDuration Jitter();
 
+  // The backoff to wait after the `failed`-th failed attempt: the retry
+  // policy's deterministic BackoffAfter, full-jittered from the plan's own
+  // substream when retry.full_jitter is set. Never draws with jitter off,
+  // so arming a plan without the knob cannot perturb any other stream.
+  [[nodiscard]] SimDuration Backoff(int failed);
+
   // Totals for reports and tests.
   [[nodiscard]] uint64_t messages_lost() const { return messages_lost_; }
   [[nodiscard]] int64_t TotalDowntimeSeconds() const;
@@ -212,6 +225,7 @@ class FaultPlan {
   std::vector<DowntimeWindow> windows_;
   Rng loss_rng_;
   Rng jitter_rng_;
+  Rng backoff_rng_;
   uint64_t messages_lost_ = 0;
 };
 
@@ -265,7 +279,7 @@ ExchangeOutcome RunFaultedExchange(FaultPlan& plan, SimTime now, Fetch&& fetch) 
     }
     elapsed += retry.timeout;
     if (attempt < budget) {
-      elapsed += retry.BackoffAfter(attempt);
+      elapsed += plan.Backoff(attempt);
     }
   }
   out.elapsed = elapsed;

@@ -1,6 +1,8 @@
 #include "src/util/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <string>
 #include <utility>
@@ -17,9 +19,14 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::unique_lock<std::mutex> lock(mu_);
+    if (stop_) {
+      return;  // idempotent: an earlier Shutdown already joined the workers
+    }
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -103,6 +110,131 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) 
     });
   }
   Wait();
+}
+
+ElasticThreadPool::ElasticThreadPool(const Options& options) : options_([&options] {
+  Options clamped = options;
+  if (clamped.max_threads == 0) {
+    clamped.max_threads = 1;
+  }
+  if (clamped.min_threads > clamped.max_threads) {
+    clamped.min_threads = clamped.max_threads;
+  }
+  if (clamped.idle_timeout_ms < 1) {
+    clamped.idle_timeout_ms = 1;
+  }
+  return clamped;
+}()) {
+  std::unique_lock<std::mutex> lock(mu_);
+  workers_.reserve(options_.max_threads);
+  for (size_t i = 0; i < options_.min_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+    ++live_threads_;
+  }
+  peak_threads_ = live_threads_;
+}
+
+ElasticThreadPool::~ElasticThreadPool() { Shutdown(); }
+
+void ElasticThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    WEBCC_CHECK(!stop_) << "ElasticThreadPool::Submit after Shutdown";
+    tasks_.push_back(std::move(task));
+    ++in_flight_;
+    // Grow: every live worker is busy and we are under the ceiling. The
+    // spawn happens under mu_, so census and vector stay consistent.
+    if (idle_threads_ == 0 && live_threads_ < options_.max_threads) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+      ++live_threads_;
+      peak_threads_ = std::max(peak_threads_, live_threads_);
+    }
+  }
+  work_cv_.notify_one();
+}
+
+void ElasticThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ElasticThreadPool::Shutdown() {
+  std::vector<std::thread> to_join;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (joined_) {
+      return;  // idempotent: an earlier Shutdown already joined the workers
+    }
+    stop_ = true;
+    joined_ = true;
+    to_join.swap(workers_);
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : to_join) {
+    worker.join();
+  }
+}
+
+size_t ElasticThreadPool::threads() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return live_threads_;
+}
+
+size_t ElasticThreadPool::peak_threads() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return peak_threads_;
+}
+
+void ElasticThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++idle_threads_;
+      while (!stop_ && tasks_.empty()) {
+        if (live_threads_ > options_.min_threads) {
+          // Surplus worker: bounded wait, exit on a quiet timeout. The
+          // predicate re-check below keeps spurious wakeups harmless.
+          const auto status =
+              work_cv_.wait_for(lock, std::chrono::milliseconds(options_.idle_timeout_ms));
+          if (status == std::cv_status::timeout && tasks_.empty() && !stop_ &&
+              live_threads_ > options_.min_threads) {
+            --idle_threads_;
+            --live_threads_;
+            return;  // the joinable std::thread is reaped by Shutdown
+          }
+        } else {
+          work_cv_.wait(lock);
+        }
+      }
+      --idle_threads_;
+      if (tasks_.empty()) {
+        --live_threads_;
+        return;  // stop requested and queue drained
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+      }
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) {
+        idle_cv_.notify_all();
+      }
+    }
+  }
 }
 
 size_t HardwareJobs() {

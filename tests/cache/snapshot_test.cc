@@ -1,5 +1,10 @@
 #include "src/cache/snapshot.h"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <sstream>
 
@@ -129,6 +134,50 @@ TEST_F(SnapshotTest, FileRoundTrip) {
   auto restored = MakeCache(PolicyConfig::Alex(0.1));
   EXPECT_EQ(LoadCacheSnapshotFile(*restored, path, SnapshotRecovery::kTrustSnapshot), 1);
   EXPECT_TRUE(restored->Contains(a_));
+}
+
+TEST_F(SnapshotTest, FailedSaveLeavesThePreviousSnapshotIntact) {
+  // The atomic-save regression: SaveCacheSnapshotFile writes a sibling temp
+  // file and renames it over the target, so a failed save must never damage
+  // an existing good snapshot.
+  auto cache = MakeCache(PolicyConfig::Ttl(Hours(48)));
+  cache->HandleRequest(a_, SimTime::Epoch());
+  cache->HandleRequest(b_, SimTime::Epoch() + Hours(1));
+  const std::string path = ::testing::TempDir() + "/webcc_snapshot_atomic_test.txt";
+  std::remove(path.c_str());
+  ASSERT_TRUE(SaveCacheSnapshotFile(*cache, path));
+
+  // Sabotage the save: a directory squatting on the temp path makes the
+  // temp-file open (and any rename over it) fail.
+  const std::string tmp_path = path + ".tmp";
+  ASSERT_EQ(::mkdir(tmp_path.c_str(), 0755), 0);
+  auto bigger = MakeCache(PolicyConfig::Ttl(Hours(48)));
+  bigger->HandleRequest(a_, SimTime::Epoch());
+  EXPECT_FALSE(SaveCacheSnapshotFile(*bigger, path));
+
+  // The original two-entry snapshot still loads, byte-for-byte usable.
+  auto restored = MakeCache(PolicyConfig::Ttl(Hours(48)));
+  EXPECT_EQ(LoadCacheSnapshotFile(*restored, path, SnapshotRecovery::kTrustSnapshot), 2);
+  EXPECT_TRUE(restored->Contains(a_));
+  EXPECT_TRUE(restored->Contains(b_));
+
+  // Remove the obstruction: the save succeeds and replaces the snapshot.
+  ASSERT_EQ(::rmdir(tmp_path.c_str()), 0);
+  EXPECT_TRUE(SaveCacheSnapshotFile(*bigger, path));
+  auto replaced = MakeCache(PolicyConfig::Ttl(Hours(48)));
+  EXPECT_EQ(LoadCacheSnapshotFile(*replaced, path, SnapshotRecovery::kTrustSnapshot), 1);
+  std::remove(path.c_str());
+}
+
+TEST_F(SnapshotTest, SaveIntoMissingDirectoryFailsWithoutCreatingFiles) {
+  auto cache = MakeCache(PolicyConfig::Ttl(Hours(48)));
+  cache->HandleRequest(a_, SimTime::Epoch());
+  const std::string path = "/nonexistent-webcc-dir/snapshot.txt";
+  EXPECT_FALSE(SaveCacheSnapshotFile(*cache, path));
+  std::ifstream check(path);
+  EXPECT_FALSE(check.good());
+  std::ifstream tmp_check(path + ".tmp");
+  EXPECT_FALSE(tmp_check.good());
 }
 
 namespace {

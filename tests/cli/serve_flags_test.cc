@@ -1,0 +1,121 @@
+#include "src/cli/serve_driver.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace webcc {
+namespace {
+
+struct RunResult {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+RunResult RunServe(const std::vector<std::string>& args) {
+  std::stringstream out;
+  std::stringstream err;
+  RunResult result;
+  result.code = RunServeCliDriver(args, out, err);
+  result.out = out.str();
+  result.err = err.str();
+  return result;
+}
+
+TEST(ServeFlagsTest, HelpPrintsAndExitsZero) {
+  const RunResult result = RunServe({"--help"});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_NE(result.out.find("webcc-serve"), std::string::npos);
+  EXPECT_NE(result.out.find("--expect-breaker"), std::string::npos);
+  EXPECT_EQ(result.out, ServeCliHelpText());
+}
+
+// Every malformed flag gets the one-line error + exit 2 contract.
+void ExpectRejected(const std::vector<std::string>& args, const std::string& needle) {
+  const RunResult result = RunServe(args);
+  EXPECT_EQ(result.code, 2) << "args rejected wrong: " << needle;
+  EXPECT_NE(result.err.find("error:"), std::string::npos);
+  EXPECT_NE(result.err.find(needle), std::string::npos) << "got: " << result.err;
+  // One line, trailing newline included.
+  EXPECT_EQ(result.err.find('\n'), result.err.size() - 1) << "got: " << result.err;
+}
+
+TEST(ServeFlagsTest, RejectsMalformedNumbers) {
+  ExpectRejected({"--rate=banana"}, "--rate");
+  ExpectRejected({"--rate=nan"}, "--rate");
+  ExpectRejected({"--rate=-50"}, "--rate");
+  ExpectRejected({"--rate=0"}, "--rate");
+  ExpectRejected({"--time-scale=0"}, "--time-scale");
+  ExpectRejected({"--time-scale=-2"}, "--time-scale");
+  ExpectRejected({"--time-scale=inf"}, "--time-scale");
+}
+
+TEST(ServeFlagsTest, RejectsMalformedWallDurations) {
+  ExpectRejected({"--deadline=soon"}, "--deadline");
+  ExpectRejected({"--deadline=-5ms"}, "--deadline");
+  ExpectRejected({"--deadline=5parsecs"}, "--deadline");
+  ExpectRejected({"--deadline=0"}, "--deadline");
+  ExpectRejected({"--duration=0"}, "--duration");
+  ExpectRejected({"--service-time=nan"}, "--service-time");
+}
+
+TEST(ServeFlagsTest, RejectsOutOfRangeIntegers) {
+  ExpectRejected({"--files=0"}, "--files");
+  ExpectRejected({"--files=-3"}, "--files");
+  ExpectRejected({"--queue-depth=0"}, "--queue-depth");
+  ExpectRejected({"--retry-max=0"}, "--retry-max");
+  ExpectRejected({"--retry-max=101"}, "--retry-max");
+  ExpectRejected({"--workers-min=0"}, "--workers-min");
+  ExpectRejected({"--workers-min=4", "--workers-max=2"}, "--workers-m");
+  ExpectRejected({"--breaker-threshold=0"}, "--breaker-threshold");
+}
+
+TEST(ServeFlagsTest, RejectsInconsistentOutageFlags) {
+  ExpectRejected({"--outage-start=100ms"}, "--outage-duration");
+  ExpectRejected({"--outage-duration=100ms"}, "--outage-start");
+}
+
+TEST(ServeFlagsTest, RejectsUnknownPolicyModeAndFlags) {
+  ExpectRejected({"--policy=lru"}, "--policy");
+  ExpectRejected({"--mode=turbo"}, "--mode");
+  ExpectRejected({"--not-a-flag=1"}, "not-a-flag");
+  ExpectRejected({"--retry-jitter=maybe"}, "--retry-jitter");
+  ExpectRejected({"positional"}, "positional");
+}
+
+TEST(ServeFlagsTest, ShortQuietRunExitsZeroAndEmitsJson) {
+  const std::string json_path = ::testing::TempDir() + "/webcc_serve_flags_test_metrics.json";
+  const RunResult result = RunServe({"--rate=100", "--duration=120ms", "--snapshot-interval=0",
+                                "--policy=ttl", "--ttl-hours=1",
+                                "--metrics-json=" + json_path});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("\"admission\""), std::string::npos);
+  EXPECT_NE(result.out.find("\"breaker\""), std::string::npos);
+  std::ifstream file(json_path);
+  ASSERT_TRUE(file.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(file, line));
+  EXPECT_NE(line.find("\"outcomes\""), std::string::npos);
+}
+
+TEST(ServeFlagsTest, UnmetExpectationExitsOne) {
+  // A quiet in-capacity run sheds nothing, so --expect-shed must fail.
+  const RunResult result = RunServe({"--rate=50", "--duration=80ms", "--snapshot-interval=0",
+                                "--policy=ttl", "--ttl-hours=1", "--expect-shed"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("expectation failed"), std::string::npos);
+}
+
+TEST(ServeFlagsTest, UnwritableMetricsJsonPathExitsTwo) {
+  const RunResult result = RunServe({"--rate=50", "--duration=60ms", "--snapshot-interval=0",
+                                "--metrics-json=/nonexistent-dir/metrics.json"});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("metrics-json"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace webcc

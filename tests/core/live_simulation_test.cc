@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/origin/server.h"
 #include "src/workload/worrell.h"
 
 namespace webcc {
@@ -79,6 +80,42 @@ TEST(LiveSimulationTest, ZipfSkewConcentratesTraffic) {
   // Skewed popularity re-requests the same objects: more fresh hits, fewer
   // validation round trips per request.
   EXPECT_LT(z.metrics.mean_round_trips, u.metrics.mean_round_trips);
+}
+
+TEST(LiveSimulationTest, SeedLivePopulationIsDeterministicInConfigAndRng) {
+  // The serve frontend reuses this seeding path, so equal (config, rng)
+  // must build bit-identical worlds no matter who calls it.
+  const LiveSimulationConfig config = SmallLiveConfig(PolicyConfig::Ttl(Hours(48)));
+  OriginServer server_a;
+  OriginServer server_b;
+  Rng rng_a(config.seed);
+  Rng rng_b(config.seed);
+  const LivePopulation pop_a = SeedLivePopulation(config, server_a, rng_a);
+  const LivePopulation pop_b = SeedLivePopulation(config, server_b, rng_b);
+
+  ASSERT_EQ(pop_a.first_delays.size(), config.num_files);
+  ASSERT_EQ(pop_b.first_delays.size(), config.num_files);
+  for (uint32_t id = 0; id < config.num_files; ++id) {
+    EXPECT_EQ(pop_a.first_delays[id], pop_b.first_delays[id]) << id;
+    const WebObject& object_a = server_a.store().Get(static_cast<ObjectId>(id));
+    const WebObject& object_b = server_b.store().Get(static_cast<ObjectId>(id));
+    EXPECT_EQ(object_a.size_bytes, object_b.size_bytes) << id;
+    EXPECT_EQ(object_a.last_modified, object_b.last_modified) << id;
+    EXPECT_EQ(object_a.type, object_b.type) << id;
+    EXPECT_GE(object_a.size_bytes, 64);  // the lognormal floor
+  }
+
+  // A different seed diverges — the population really derives from the rng.
+  OriginServer server_c;
+  Rng rng_c(config.seed + 1);
+  const LivePopulation pop_c = SeedLivePopulation(config, server_c, rng_c);
+  bool diverged = false;
+  for (uint32_t id = 0; id < config.num_files && !diverged; ++id) {
+    diverged = pop_a.first_delays[id] != pop_c.first_delays[id] ||
+               server_a.store().Get(static_cast<ObjectId>(id)).size_bytes !=
+                   server_c.store().Get(static_cast<ObjectId>(id)).size_bytes;
+  }
+  EXPECT_TRUE(diverged);
 }
 
 TEST(LiveSimulationTest, OutageCausesStaleServesUnderInvalidation) {

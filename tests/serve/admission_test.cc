@@ -1,0 +1,76 @@
+#include "src/serve/admission.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace webcc {
+namespace {
+
+TEST(AdmissionTest, AdmitsUpToCapacityThenSheds) {
+  AdmissionController admission(3);
+  EXPECT_TRUE(admission.TryAdmit());
+  EXPECT_TRUE(admission.TryAdmit());
+  EXPECT_TRUE(admission.TryAdmit());
+  EXPECT_FALSE(admission.TryAdmit());
+  EXPECT_FALSE(admission.TryAdmit());
+
+  const auto counters = admission.counters();
+  EXPECT_EQ(counters.offered, 5u);
+  EXPECT_EQ(counters.admitted, 3u);
+  EXPECT_EQ(counters.shed, 2u);
+  EXPECT_EQ(counters.depth, 3u);
+  EXPECT_EQ(counters.depth_peak, 3u);
+  EXPECT_EQ(counters.capacity, 3u);
+}
+
+TEST(AdmissionTest, ReleaseOpensASlot) {
+  AdmissionController admission(1);
+  EXPECT_TRUE(admission.TryAdmit());
+  EXPECT_FALSE(admission.TryAdmit());
+  admission.Release();
+  EXPECT_TRUE(admission.TryAdmit());
+
+  const auto counters = admission.counters();
+  EXPECT_EQ(counters.admitted, 2u);
+  EXPECT_EQ(counters.shed, 1u);
+  EXPECT_EQ(counters.depth, 1u);
+  EXPECT_EQ(counters.depth_peak, 1u);
+}
+
+TEST(AdmissionTest, ZeroCapacityClampsToOne) {
+  AdmissionController admission(0);
+  EXPECT_TRUE(admission.TryAdmit());
+  EXPECT_FALSE(admission.TryAdmit());
+  EXPECT_EQ(admission.counters().capacity, 1u);
+}
+
+TEST(AdmissionTest, DepthPeakNeverExceedsCapacityUnderContention) {
+  constexpr size_t kCapacity = 8;
+  constexpr int kThreads = 6;
+  constexpr int kRoundsPerThread = 2000;
+  AdmissionController admission(kCapacity);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&admission] {
+      for (int i = 0; i < kRoundsPerThread; ++i) {
+        if (admission.TryAdmit()) {
+          admission.Release();
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const auto counters = admission.counters();
+  EXPECT_EQ(counters.offered, static_cast<uint64_t>(kThreads) * kRoundsPerThread);
+  EXPECT_EQ(counters.offered, counters.admitted + counters.shed);
+  EXPECT_EQ(counters.depth, 0u);
+  EXPECT_LE(counters.depth_peak, kCapacity);
+}
+
+}  // namespace
+}  // namespace webcc

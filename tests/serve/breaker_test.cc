@@ -1,0 +1,140 @@
+#include "src/serve/breaker.h"
+
+#include <gtest/gtest.h>
+
+namespace webcc {
+namespace {
+
+using Decision = CircuitBreaker::Decision;
+
+CircuitBreaker::Options SmallBreaker() {
+  CircuitBreaker::Options options;
+  options.failure_threshold = 3;
+  options.cooldown_ns = 1000;
+  return options;
+}
+
+TEST(BreakerTest, StaysClosedBelowThreshold) {
+  CircuitBreaker breaker(SmallBreaker());
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_EQ(breaker.Admit(0), Decision::kAllow);
+    breaker.RecordFailure(Decision::kAllow, 0);
+  }
+  EXPECT_EQ(breaker.counters().state, BreakerState::kClosed);
+  EXPECT_EQ(breaker.counters().consecutive_failures, 2);
+  EXPECT_EQ(breaker.counters().opened, 0u);
+}
+
+TEST(BreakerTest, SuccessResetsTheConsecutiveCount) {
+  CircuitBreaker breaker(SmallBreaker());
+  breaker.RecordFailure(Decision::kAllow, 0);
+  breaker.RecordFailure(Decision::kAllow, 0);
+  breaker.RecordSuccess(Decision::kAllow);
+  EXPECT_EQ(breaker.counters().consecutive_failures, 0);
+  breaker.RecordFailure(Decision::kAllow, 0);
+  breaker.RecordFailure(Decision::kAllow, 0);
+  EXPECT_EQ(breaker.counters().state, BreakerState::kClosed);
+}
+
+TEST(BreakerTest, OpensAtThresholdAndShortCircuitsDuringCooldown) {
+  CircuitBreaker breaker(SmallBreaker());
+  for (int i = 0; i < 3; ++i) {
+    breaker.RecordFailure(Decision::kAllow, 100);
+  }
+  EXPECT_EQ(breaker.counters().state, BreakerState::kOpen);
+  EXPECT_EQ(breaker.counters().opened, 1u);
+  // Cooldown runs until 100 + 1000.
+  EXPECT_EQ(breaker.Admit(500), Decision::kShortCircuit);
+  EXPECT_EQ(breaker.Admit(1099), Decision::kShortCircuit);
+  EXPECT_EQ(breaker.counters().short_circuited, 2u);
+}
+
+TEST(BreakerTest, ProbeAfterCooldownClosesOnSuccess) {
+  CircuitBreaker breaker(SmallBreaker());
+  for (int i = 0; i < 3; ++i) {
+    breaker.RecordFailure(Decision::kAllow, 0);
+  }
+  EXPECT_EQ(breaker.Admit(1000), Decision::kProbe);
+  // Only one probe is outstanding; everyone else short-circuits.
+  EXPECT_EQ(breaker.Admit(1001), Decision::kShortCircuit);
+  breaker.RecordSuccess(Decision::kProbe);
+  const auto counters = breaker.counters();
+  EXPECT_EQ(counters.state, BreakerState::kClosed);
+  EXPECT_EQ(counters.half_open_probes, 1u);
+  EXPECT_EQ(counters.closed_from_half_open, 1u);
+  EXPECT_EQ(breaker.Admit(1002), Decision::kAllow);
+}
+
+TEST(BreakerTest, ProbeFailureReopensForAnotherCooldown) {
+  CircuitBreaker breaker(SmallBreaker());
+  for (int i = 0; i < 3; ++i) {
+    breaker.RecordFailure(Decision::kAllow, 0);
+  }
+  EXPECT_EQ(breaker.Admit(1000), Decision::kProbe);
+  breaker.RecordFailure(Decision::kProbe, 1000);
+  const auto counters = breaker.counters();
+  EXPECT_EQ(counters.state, BreakerState::kOpen);
+  EXPECT_EQ(counters.reopened, 1u);
+  // The new cooldown starts at the probe failure.
+  EXPECT_EQ(breaker.Admit(1999), Decision::kShortCircuit);
+  EXPECT_EQ(breaker.Admit(2000), Decision::kProbe);
+}
+
+TEST(BreakerTest, AbandonedProbeHandsTheTokenToTheNextRequest) {
+  CircuitBreaker breaker(SmallBreaker());
+  for (int i = 0; i < 3; ++i) {
+    breaker.RecordFailure(Decision::kAllow, 0);
+  }
+  EXPECT_EQ(breaker.Admit(1000), Decision::kProbe);
+  // The probe was served locally (fresh hit): no origin outcome exists.
+  breaker.AbandonAttempt(Decision::kProbe);
+  // The very next request becomes the probe instead of short-circuiting.
+  EXPECT_EQ(breaker.Admit(1001), Decision::kProbe);
+  EXPECT_EQ(breaker.counters().half_open_probes, 2u);
+}
+
+TEST(BreakerTest, StaleAllowOutcomesDoNotDisturbAnOpenBreaker) {
+  CircuitBreaker breaker(SmallBreaker());
+  for (int i = 0; i < 3; ++i) {
+    breaker.RecordFailure(Decision::kAllow, 0);
+  }
+  // In-flight kAllow attempts finishing after the transition are ignored.
+  breaker.RecordSuccess(Decision::kAllow);
+  breaker.RecordFailure(Decision::kAllow, 50);
+  const auto counters = breaker.counters();
+  EXPECT_EQ(counters.state, BreakerState::kOpen);
+  EXPECT_EQ(counters.opened, 1u);
+  EXPECT_EQ(counters.reopened, 0u);
+}
+
+TEST(BreakerTest, FullOutageCycleCountsEveryTransition) {
+  CircuitBreaker breaker(SmallBreaker());
+  // Outage: threshold failures open it.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(breaker.Admit(0), Decision::kAllow);
+    breaker.RecordFailure(Decision::kAllow, 0);
+  }
+  // Two failed probes while the outage persists.
+  ASSERT_EQ(breaker.Admit(1000), Decision::kProbe);
+  breaker.RecordFailure(Decision::kProbe, 1000);
+  ASSERT_EQ(breaker.Admit(2000), Decision::kProbe);
+  breaker.RecordFailure(Decision::kProbe, 2000);
+  // Origin heals; the third probe closes it.
+  ASSERT_EQ(breaker.Admit(3000), Decision::kProbe);
+  breaker.RecordSuccess(Decision::kProbe);
+  const auto counters = breaker.counters();
+  EXPECT_EQ(counters.opened, 1u);
+  EXPECT_EQ(counters.reopened, 2u);
+  EXPECT_EQ(counters.half_open_probes, 3u);
+  EXPECT_EQ(counters.closed_from_half_open, 1u);
+  EXPECT_EQ(counters.state, BreakerState::kClosed);
+}
+
+TEST(BreakerTest, StateNamesAreStable) {
+  EXPECT_STREQ(BreakerStateName(BreakerState::kClosed), "closed");
+  EXPECT_STREQ(BreakerStateName(BreakerState::kOpen), "open");
+  EXPECT_STREQ(BreakerStateName(BreakerState::kHalfOpen), "half-open");
+}
+
+}  // namespace
+}  // namespace webcc

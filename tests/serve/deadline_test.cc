@@ -1,0 +1,101 @@
+#include "src/serve/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace webcc {
+namespace {
+
+ServeRetryConfig NoJitter() {
+  ServeRetryConfig config;
+  config.max_attempts = 4;
+  config.initial_backoff_ns = 1000;
+  config.backoff_multiplier = 2.0;
+  config.max_backoff_ns = 3000;
+  config.full_jitter = false;
+  return config;
+}
+
+TEST(DeadlineTest, BackoffIsCappedExponential) {
+  const ServeRetryConfig config = NoJitter();
+  EXPECT_EQ(BackoffNanos(config, 1), 1000);
+  EXPECT_EQ(BackoffNanos(config, 2), 2000);
+  EXPECT_EQ(BackoffNanos(config, 3), 3000);  // 4000 clipped to the cap
+  EXPECT_EQ(BackoffNanos(config, 20), 3000);
+}
+
+TEST(DeadlineTest, RetryDeniedWhenAttemptsExhausted) {
+  const ServeRetryConfig config = NoJitter();
+  SplitMix64 rng(1);
+  EXPECT_TRUE(NextRetryDelayNanos(config, 3, 1'000'000, rng).has_value());
+  EXPECT_FALSE(NextRetryDelayNanos(config, 4, 1'000'000, rng).has_value());
+  EXPECT_FALSE(NextRetryDelayNanos(config, 5, 1'000'000, rng).has_value());
+}
+
+TEST(DeadlineTest, RetryMustStrictlyFitTheRemainingBudget) {
+  const ServeRetryConfig config = NoJitter();
+  SplitMix64 rng(1);
+  // First failure wants a 1000 ns backoff.
+  EXPECT_FALSE(NextRetryDelayNanos(config, 1, 0, rng).has_value());
+  EXPECT_FALSE(NextRetryDelayNanos(config, 1, -50, rng).has_value());
+  EXPECT_FALSE(NextRetryDelayNanos(config, 1, 999, rng).has_value());
+  // Equality still loses: the attempt would begin exactly at the deadline.
+  EXPECT_FALSE(NextRetryDelayNanos(config, 1, 1000, rng).has_value());
+  const auto delay = NextRetryDelayNanos(config, 1, 1001, rng);
+  ASSERT_TRUE(delay.has_value());
+  EXPECT_EQ(*delay, 1000);
+}
+
+TEST(DeadlineTest, NoJitterConsumesNoRandomness) {
+  const ServeRetryConfig config = NoJitter();
+  SplitMix64 used(42);
+  SplitMix64 untouched(42);
+  for (int failed = 1; failed <= 3; ++failed) {
+    (void)NextRetryDelayNanos(config, failed, 1'000'000, used);
+  }
+  // Both streams are still in lockstep: the drawless-when-off guarantee.
+  EXPECT_EQ(used.Next(), untouched.Next());
+}
+
+TEST(DeadlineTest, FullJitterStaysWithinTheDeterministicBackoff) {
+  ServeRetryConfig config = NoJitter();
+  config.full_jitter = true;
+  SplitMix64 rng(7);
+  for (int round = 0; round < 200; ++round) {
+    for (int failed = 1; failed <= 3; ++failed) {
+      const auto delay = NextRetryDelayNanos(config, failed, 1'000'000, rng);
+      ASSERT_TRUE(delay.has_value());
+      EXPECT_GE(*delay, 0);
+      EXPECT_LE(*delay, BackoffNanos(config, failed));
+    }
+  }
+}
+
+TEST(DeadlineTest, FullJitterIsSeedReproducible) {
+  ServeRetryConfig config = NoJitter();
+  config.full_jitter = true;
+  SplitMix64 a(99);
+  SplitMix64 b(99);
+  for (int failed = 1; failed <= 3; ++failed) {
+    EXPECT_EQ(NextRetryDelayNanos(config, failed, 1'000'000, a),
+              NextRetryDelayNanos(config, failed, 1'000'000, b));
+  }
+}
+
+TEST(DeadlineTest, JitteredRetryStillRespectsTheBudget) {
+  ServeRetryConfig config = NoJitter();
+  config.full_jitter = true;
+  SplitMix64 rng(3);
+  // The jittered delay can be small, but a delay >= remaining must still be
+  // denied no matter what the draw produced.
+  for (int round = 0; round < 500; ++round) {
+    const auto delay = NextRetryDelayNanos(config, 1, 500, rng);
+    if (delay.has_value()) {
+      EXPECT_LT(*delay, 500);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace webcc

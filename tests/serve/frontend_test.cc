@@ -1,0 +1,210 @@
+#include "src/serve/frontend.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cache/origin_upstream.h"
+#include "src/origin/server.h"
+#include "src/serve/origin_gate.h"
+#include "src/serve/wall_clock.h"
+
+namespace webcc {
+namespace {
+
+// --- OriginGate (deterministic, manual clock) ---
+
+TEST(OriginGateTest, OutageWindowFailsFetchesOnlyInside) {
+  ManualWallClock clock;
+  OriginServer server;
+  const ObjectId id =
+      server.store().Create("/a.html", FileType::kHtml, 1000, SimTime::Epoch() - Days(1));
+  OriginUpstream upstream(&server);
+  OriginGate gate(&upstream, &clock);
+  gate.SetOutageWindow(1000, 2000);
+
+  clock.Advance(500);  // t=500: before the outage
+  EXPECT_TRUE(gate.FetchFull(id, SimTime::Epoch()).ok);
+  clock.Advance(500);  // t=1000: the window is half-open [start, end)
+  EXPECT_FALSE(gate.FetchFull(id, SimTime::Epoch()).ok);
+  EXPECT_FALSE(gate.FetchIfModified(id, 1, SimTime::Epoch()).ok);
+  clock.Advance(1000);  // t=2000: healed
+  EXPECT_TRUE(gate.FetchFull(id, SimTime::Epoch()).ok);
+  EXPECT_EQ(gate.fetch_attempts(), 4u);
+  EXPECT_EQ(gate.fetch_failures(), 2u);
+}
+
+TEST(OriginGateTest, ForceFailLatchesIndependentlyOfTheWindow) {
+  ManualWallClock clock;
+  OriginServer server;
+  const ObjectId id =
+      server.store().Create("/a.html", FileType::kHtml, 1000, SimTime::Epoch() - Days(1));
+  OriginUpstream upstream(&server);
+  OriginGate gate(&upstream, &clock);
+
+  EXPECT_FALSE(gate.Down());
+  gate.set_force_fail(true);
+  EXPECT_TRUE(gate.Down());
+  EXPECT_FALSE(gate.FetchFull(id, SimTime::Epoch()).ok);
+  gate.set_force_fail(false);
+  EXPECT_TRUE(gate.FetchFull(id, SimTime::Epoch()).ok);
+}
+
+TEST(ManualWallClockTest, SleepAdvancesTime) {
+  ManualWallClock clock;
+  EXPECT_EQ(clock.NowNanos(), 0);
+  clock.SleepNanos(250);
+  EXPECT_EQ(clock.NowNanos(), 250);
+  clock.Advance(750);
+  EXPECT_EQ(clock.NowNanos(), 1000);
+}
+
+// --- ServeFrontend (real clock; asserts are schedule-independent) ---
+
+ServeFrontendOptions BaseOptions() {
+  ServeFrontendOptions options;
+  options.world.policy = PolicyConfig::Ttl(HoursF(0.01));  // 36 sim s = 10 wall ms
+  options.world.num_files = 500;
+  options.world.seed = 20260808;
+  options.time_scale = 3600.0;
+  options.stale_serve_bound = Hours(2);
+  options.workers_min = 1;
+  options.workers_max = 2;
+  options.queue_depth = 32;
+  options.deadline_ns = 40'000'000;        // 40 ms
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff_ns = 4'000'000;
+  options.retry.max_backoff_ns = 10'000'000;
+  options.service_time_ns = 2'000'000;     // ~500 rps per worker
+  options.fail_timeout_ns = 2'000'000;
+  options.breaker_failure_threshold = 3;
+  options.breaker_cooldown_ns = 60'000'000;
+  return options;
+}
+
+// Invariants that must hold for any schedule, any machine load.
+void CheckInvariants(const ServeMetricsSnapshot& snap) {
+  EXPECT_EQ(snap.offered, snap.shed_queue_full + snap.OutcomeTotal());
+  EXPECT_EQ(snap.admitted, snap.OutcomeTotal());  // post-Stop: fully drained
+  EXPECT_LE(snap.queue_depth_peak, snap.queue_capacity);
+  EXPECT_EQ(snap.attempts_past_deadline, 0u);
+  if (snap.staleness_bound_seconds > 0) {
+    EXPECT_LE(snap.max_served_staleness_seconds, snap.staleness_bound_seconds);
+  }
+  // The cache saw exactly the admitted requests, plus retries.
+  EXPECT_GE(snap.cache.requests, snap.admitted - snap.deadline_dropped);
+}
+
+TEST(ServeFrontendTest, QuietLoadServesEverythingWithinCapacity) {
+  ServeFrontendOptions options = BaseOptions();
+  ServeFrontend frontend(options, RealWallClock());
+  frontend.Start();
+  frontend.RunOfferedLoad(/*requests_per_second=*/200.0,
+                          /*duration_ns=*/400'000'000,
+                          /*snapshot_interval_ns=*/0, nullptr);
+  frontend.Stop();
+  const ServeMetricsSnapshot snap = frontend.Snapshot();
+  CheckInvariants(snap);
+  EXPECT_GT(snap.offered, 0u);
+  EXPECT_GT(snap.served_ok, 0u);
+  // 200 rps against ~1000 rps capacity: no outage, no breaker action.
+  EXPECT_EQ(snap.served_degraded, 0u);
+  EXPECT_EQ(snap.failed, 0u);
+  EXPECT_EQ(snap.breaker_opened, 0u);
+  EXPECT_EQ(snap.breaker_state, "closed");
+  EXPECT_GE(snap.workers_peak, options.workers_min);
+  EXPECT_LE(snap.workers_peak, options.workers_max);
+}
+
+TEST(ServeFrontendTest, SubmitAfterStartHonorsAdmissionAccounting) {
+  ServeFrontendOptions options = BaseOptions();
+  ServeFrontend frontend(options, RealWallClock());
+  frontend.Start();
+  for (int i = 0; i < 100; ++i) {
+    (void)frontend.SubmitRequest(static_cast<ObjectId>(i % options.world.num_files));
+  }
+  frontend.Stop();
+  const ServeMetricsSnapshot snap = frontend.Snapshot();
+  CheckInvariants(snap);
+  EXPECT_EQ(snap.offered, 100u);
+}
+
+TEST(ServeFrontendTest, SnapshotMidRunIsCoherent) {
+  ServeFrontendOptions options = BaseOptions();
+  ServeFrontend frontend(options, RealWallClock());
+  frontend.Start();
+  int snapshots_seen = 0;
+  frontend.RunOfferedLoad(/*requests_per_second=*/300.0,
+                          /*duration_ns=*/400'000'000,
+                          /*snapshot_interval_ns=*/100'000'000,
+                          [&snapshots_seen](const ServeMetricsSnapshot& snap) {
+                            ++snapshots_seen;
+                            // Mid-run: in-flight requests keep admitted ahead
+                            // of resolved outcomes, never behind.
+                            EXPECT_GE(snap.admitted, snap.OutcomeTotal());
+                            EXPECT_LE(snap.queue_depth_peak, snap.queue_capacity);
+                            EXPECT_FALSE(snap.StatusLine().empty());
+                            EXPECT_FALSE(snap.ToJson().empty());
+                          });
+  frontend.Stop();
+  EXPECT_GE(snapshots_seen, 2);
+  CheckInvariants(frontend.Snapshot());
+}
+
+// The ISSUE's overload acceptance scenario: 2x capacity with an injected
+// origin outage. Asserts only schedule-independent facts from the final
+// metrics snapshot — every timing-sensitive quantity gets a generous slack
+// so the test holds under sanitizers and loaded CI machines.
+TEST(ServeFrontendTest, OverloadShedsMeetsDeadlinesAndRecoversFromOutage) {
+  ServeFrontendOptions options = BaseOptions();
+  options.outage_start_ns = 400'000'000;    // 400 ms in...
+  options.outage_duration_ns = 250'000'000; // ...down for 250 ms
+  ServeFrontend frontend(options, RealWallClock());
+  frontend.Start();
+  // ~2x capacity: 2 workers x 2 ms service time serve ~1000 rps.
+  frontend.RunOfferedLoad(/*requests_per_second=*/2000.0,
+                          /*duration_ns=*/1'200'000'000,
+                          /*snapshot_interval_ns=*/0, nullptr);
+  frontend.Stop();
+  const ServeMetricsSnapshot snap = frontend.Snapshot();
+  CheckInvariants(snap);
+
+  // 1. Overload sheds: the frontend rejected load and the queue never grew
+  //    past its cap (CheckInvariants asserts the cap; here: shedding real).
+  EXPECT_GT(snap.shed_queue_full, 0u);
+  EXPECT_EQ(snap.queue_depth_peak, snap.queue_capacity);
+
+  // 2. Deadline discipline: no origin attempt ever began past a deadline
+  //    (CheckInvariants asserts the zero), and no final outcome landed more
+  //    than one retry step past its deadline. One step = the worst backoff
+  //    plus the in-flight attempt; the extra second absorbs scheduler noise
+  //    under sanitizers.
+  const int64_t one_retry_step_ns = options.retry.max_backoff_ns + options.fail_timeout_ns +
+                                    options.service_time_ns + 1'000'000'000;
+  EXPECT_LE(snap.max_deadline_overrun_ns, one_retry_step_ns);
+
+  // 3. The outage drove degraded serving, all within the staleness bound
+  //    (CheckInvariants asserts the bound).
+  EXPECT_GT(snap.served_degraded, 0u);
+  EXPECT_GT(snap.cache.degraded_serves, 0u);
+
+  // 4. The breaker completed a full cycle: opened during the outage, probed
+  //    half-open, and recovered once the origin healed.
+  EXPECT_GE(snap.breaker_opened, 1u);
+  EXPECT_GE(snap.breaker_half_open_probes, 1u);
+  EXPECT_GE(snap.breaker_closed_from_half_open, 1u);
+  EXPECT_GT(snap.breaker_short_circuited, 0u);
+  EXPECT_EQ(snap.breaker_state, "closed");
+}
+
+TEST(ServeFrontendTest, StopIsIdempotentAndDestructorIsClean) {
+  ServeFrontendOptions options = BaseOptions();
+  ServeFrontend frontend(options, RealWallClock());
+  frontend.Start();
+  (void)frontend.SubmitRequest(0);
+  frontend.Stop();
+  frontend.Stop();  // second call is a no-op
+  const ServeMetricsSnapshot snap = frontend.Snapshot();
+  EXPECT_EQ(snap.offered, 1u);
+}
+
+}  // namespace
+}  // namespace webcc

@@ -107,6 +107,86 @@ TEST(FaultPlanTest, BackoffIsCappedExponential) {
   EXPECT_EQ(retry.BackoffAfter(40), Minutes(2));  // no overflow past the cap
 }
 
+TEST(FaultPlanTest, JitterOffBackoffIsExactlyDeterministic) {
+  FaultConfig config;
+  config.retry.initial_backoff = Seconds(2);
+  config.retry.backoff_multiplier = 2.0;
+  config.retry.max_backoff = Minutes(2);
+  ASSERT_FALSE(config.retry.full_jitter);  // the default keeps goldens stable
+  FaultPlan plan(config, At(100));
+  for (int failed = 1; failed <= 10; ++failed) {
+    EXPECT_EQ(plan.Backoff(failed), config.retry.BackoffAfter(failed)) << failed;
+  }
+  // And the serialized plan carries no jitter key to re-arm on load.
+  EXPECT_EQ(plan.SerializeToString().find("retry-full-jitter"), std::string::npos);
+}
+
+TEST(FaultPlanTest, FullJitterDrawsWithinTheDeterministicEnvelope) {
+  FaultConfig config;
+  config.seed = 4321;
+  config.retry.full_jitter = true;
+  config.retry.initial_backoff = Seconds(2);
+  config.retry.backoff_multiplier = 2.0;
+  config.retry.max_backoff = Minutes(2);
+  FaultPlan plan(config, At(100));
+  bool saw_below_envelope = false;
+  for (int round = 0; round < 100; ++round) {
+    for (int failed = 1; failed <= 5; ++failed) {
+      const SimDuration drawn = plan.Backoff(failed);
+      const SimDuration envelope = config.retry.BackoffAfter(failed);
+      EXPECT_GE(drawn, SimDuration(0));
+      EXPECT_LE(drawn, envelope);
+      saw_below_envelope = saw_below_envelope || drawn < envelope;
+    }
+  }
+  EXPECT_TRUE(saw_below_envelope);  // the jitter actually jitters
+}
+
+TEST(FaultPlanTest, FullJitterIsSeedReproducible) {
+  FaultConfig config;
+  config.seed = 777;
+  config.retry.full_jitter = true;
+  config.retry.initial_backoff = Seconds(2);
+  config.retry.max_backoff = Minutes(2);
+  FaultPlan a(config, At(100));
+  FaultPlan b(config, At(100));
+  for (int failed = 1; failed <= 64; ++failed) {
+    EXPECT_EQ(a.Backoff(1 + failed % 5), b.Backoff(1 + failed % 5)) << failed;
+  }
+}
+
+TEST(FaultPlanTest, FullJitterRoundTripsThroughSerialization) {
+  FaultConfig config;
+  config.armed = true;
+  config.seed = 31337;
+  config.retry.full_jitter = true;
+  config.retry.max_attempts = 5;
+  config.retry.initial_backoff = Seconds(2);
+  const FaultPlan plan(config, At(100));
+  const std::string text = plan.SerializeToString();
+  EXPECT_NE(text.find("retry-full-jitter 1"), std::string::npos) << text;
+
+  std::istringstream in(text);
+  FaultPlanParseError error;
+  const std::optional<FaultConfig> parsed = FaultPlan::Parse(in, &error);
+  ASSERT_TRUE(parsed.has_value()) << error.line << ": " << error.message;
+  EXPECT_TRUE(parsed->retry.full_jitter);
+  // Fixed point, and the reloaded plan replays the identical jitter stream.
+  FaultPlan reloaded(*parsed, At(100));
+  EXPECT_EQ(reloaded.SerializeToString(), text);
+  FaultPlan original(config, At(100));
+  for (int failed = 1; failed <= 32; ++failed) {
+    EXPECT_EQ(reloaded.Backoff(1 + failed % 4), original.Backoff(1 + failed % 4));
+  }
+}
+
+TEST(FaultPlanTest, MalformedJitterKeyRejected) {
+  std::istringstream in("#webcc-fault-plan v1\nretry-full-jitter 2\n");
+  FaultPlanParseError error;
+  EXPECT_FALSE(FaultPlan::Parse(in, &error).has_value());
+  EXPECT_EQ(error.line, 2u);
+}
+
 TEST(FaultPlanTest, ExchangeSucceedsFirstTryOnCleanLink) {
   FaultConfig config;
   config.armed = true;

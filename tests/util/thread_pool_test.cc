@@ -1,9 +1,13 @@
 #include "src/util/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdlib>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -133,6 +137,199 @@ TEST(ThreadPoolTest, ConcurrentProducersHammer) {
     }
   }
   EXPECT_EQ(sum.load(), 3 * expected_round);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedButUnstartedTasks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  // The single worker chews slowly through the first task while the rest
+  // sit queued; Shutdown must run them all before joining.
+  pool.Submit([] { std::this_thread::sleep_for(std::chrono::milliseconds(30)); });
+  for (int i = 0; i < 40; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 40);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotentIncludingTheDestructor) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.Shutdown();
+    pool.Shutdown();  // second explicit call: no-op
+  }  // destructor: third call, still a no-op
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, ExceptionDuringShutdownDrainStillReachesWait) {
+  ThreadPool pool(1);
+  pool.Submit([] { std::this_thread::sleep_for(std::chrono::milliseconds(20)); });
+  pool.Submit([] { throw std::runtime_error("drained boom"); });
+  pool.Shutdown();
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+}
+
+TEST(ElasticThreadPoolTest, RunsTasksWithMinimalOptions) {
+  ElasticThreadPool::Options options;
+  options.min_threads = 1;
+  options.max_threads = 1;
+  ElasticThreadPool pool(options);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 50);
+  EXPECT_EQ(pool.threads(), 1u);
+  EXPECT_EQ(pool.peak_threads(), 1u);
+}
+
+TEST(ElasticThreadPoolTest, OptionsAreClampedToSanity) {
+  ElasticThreadPool::Options options;
+  options.min_threads = 5;
+  options.max_threads = 0;  // max below min (and below 1): both clamp
+  options.idle_timeout_ms = -7;
+  ElasticThreadPool pool(options);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  EXPECT_GE(pool.threads(), 1u);
+}
+
+TEST(ElasticThreadPoolTest, GrowsOnDemandUpToMaxWhenAllWorkersBlock) {
+  constexpr size_t kMax = 4;
+  ElasticThreadPool::Options options;
+  options.min_threads = 1;
+  options.max_threads = kMax;
+  options.idle_timeout_ms = 10'000;  // no shrink during the test
+  ElasticThreadPool pool(options);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<size_t> running{0};
+  for (size_t i = 0; i < kMax; ++i) {
+    pool.Submit([&] {
+      running.fetch_add(1);
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return release; });
+    });
+  }
+  // All kMax tasks must end up running simultaneously: the pool grew.
+  for (int spin = 0; spin < 2000 && running.load() < kMax; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(running.load(), kMax);
+  EXPECT_EQ(pool.threads(), kMax);
+  EXPECT_EQ(pool.peak_threads(), kMax);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.Wait();
+}
+
+TEST(ElasticThreadPoolTest, SurplusWorkersExitAfterIdleTimeout) {
+  ElasticThreadPool::Options options;
+  options.min_threads = 1;
+  options.max_threads = 4;
+  options.idle_timeout_ms = 20;
+  ElasticThreadPool pool(options);
+
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit([&counter] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      counter.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 4);
+  const size_t peak = pool.peak_threads();
+  EXPECT_GE(peak, 2u);
+  // Surplus workers drain back toward min once idle; give the timeout a
+  // generous grace period before asserting.
+  for (int spin = 0; spin < 5000 && pool.threads() > 1; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(pool.threads(), 1u);
+  EXPECT_EQ(pool.peak_threads(), peak);  // the high-water mark survives
+}
+
+TEST(ElasticThreadPoolTest, WaitRethrowsFirstTaskException) {
+  ElasticThreadPool::Options options;
+  options.min_threads = 2;
+  options.max_threads = 4;
+  ElasticThreadPool pool(options);
+  pool.Submit([] { throw std::runtime_error("elastic boom"); });
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([] {});
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The pool keeps working after a rethrow.
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ElasticThreadPoolTest, ShutdownDrainsAndIsIdempotent) {
+  std::atomic<int> counter{0};
+  {
+    ElasticThreadPool::Options options;
+    options.min_threads = 1;
+    options.max_threads = 2;
+    ElasticThreadPool pool(options);
+    pool.Submit([] { std::this_thread::sleep_for(std::chrono::milliseconds(20)); });
+    for (int i = 0; i < 30; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.Shutdown();
+    EXPECT_EQ(counter.load(), 30);
+    EXPECT_EQ(pool.threads(), 0u);
+    pool.Shutdown();  // no-op
+  }  // destructor: also a no-op
+  EXPECT_EQ(counter.load(), 30);
+}
+
+TEST(ElasticThreadPoolTest, ConcurrentProducersHammer) {
+  constexpr int kProducers = 6;
+  constexpr int kTasksPerProducer = 400;
+  ElasticThreadPool::Options options;
+  options.min_threads = 1;
+  options.max_threads = 8;
+  options.idle_timeout_ms = 5;  // aggressive shrink while the hammer runs
+  ElasticThreadPool pool(options);
+  std::atomic<int64_t> sum{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &sum, p] {
+      for (int i = 0; i < kTasksPerProducer; ++i) {
+        const int64_t value = static_cast<int64_t>(p) * kTasksPerProducer + i;
+        pool.Submit([&sum, value] { sum.fetch_add(value, std::memory_order_relaxed); });
+      }
+    });
+  }
+  for (std::thread& producer : producers) {
+    producer.join();
+  }
+  pool.Wait();
+  int64_t expected = 0;
+  for (int p = 0; p < kProducers; ++p) {
+    for (int i = 0; i < kTasksPerProducer; ++i) {
+      expected += static_cast<int64_t>(p) * kTasksPerProducer + i;
+    }
+  }
+  EXPECT_EQ(sum.load(), expected);
+  EXPECT_LE(pool.peak_threads(), 8u);
+  EXPECT_GE(pool.peak_threads(), 1u);
 }
 
 TEST(ResolveJobsTest, ExplicitRequestWins) {

@@ -1,0 +1,13 @@
+// Command-line entry point; all logic lives in src/cli/serve_driver.cc so
+// it can be tested in-process.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/cli/serve_driver.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return webcc::RunServeCliDriver(args, std::cout, std::cerr);
+}

@@ -43,9 +43,6 @@ struct CacheEntry {
   // adaptive tuner's clear-and-refill cycle stops realloc-churning from cold
   // after every validation.
   InlineVector<SimTime, 8> serves_since_validation;
-
-  // Age in the Alex sense, from the cache's (possibly stale) knowledge.
-  SimDuration KnownAgeAt(SimTime now) const { return now - last_modified; }
 };
 
 }  // namespace webcc

@@ -138,7 +138,6 @@ struct CacheStats {
 
   // Paper §4.1 definition: a miss is a request that moved a body.
   uint64_t Misses() const { return misses_cold + misses_refetched; }
-  uint64_t Hits() const { return hits_fresh + hits_validated; }
   int64_t LinkBytes() const { return bytes_to_upstream + bytes_from_upstream; }
   double MissRate() const {
     return requests == 0 ? 0.0 : static_cast<double>(Misses()) / static_cast<double>(requests);

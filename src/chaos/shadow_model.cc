@@ -16,7 +16,6 @@ void ShadowModel::RecordModification(ObjectId object, SimTime at) {
     WEBCC_CHECK(timeline.back() <= at);  // merge-walk applies mods in order
   }
   timeline.push_back(at);
-  ++modifications_recorded_;
 }
 
 bool ShadowModel::WouldBeStale(ObjectId object, SimTime last_modified) const {

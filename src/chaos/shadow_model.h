@@ -48,11 +48,8 @@ class ShadowModel {
   // the cross-tier conservation ceiling.
   [[nodiscard]] uint64_t ModificationCount(ObjectId object) const;
 
-  [[nodiscard]] uint64_t modifications_recorded() const { return modifications_recorded_; }
-
  private:
   std::vector<std::vector<SimTime>> mods_;  // [object] -> applied stamps, ascending
-  uint64_t modifications_recorded_ = 0;
 };
 
 }  // namespace webcc

@@ -9,15 +9,15 @@ namespace webcc {
 
 int64_t BackoffNanos(const ServeRetryConfig& config, int failed_attempts) {
   WEBCC_CHECK(failed_attempts >= 1) << "BackoffNanos: attempt index is 1-based";
-  double backoff = static_cast<double>(std::max<int64_t>(0, config.initial_backoff_ns));
+  double backoff_ns = static_cast<double>(std::max<int64_t>(0, config.initial_backoff_ns));
   const double cap = static_cast<double>(std::max<int64_t>(0, config.max_backoff_ns));
   for (int i = 1; i < failed_attempts; ++i) {
-    backoff *= config.backoff_multiplier;
-    if (backoff >= cap) {
+    backoff_ns *= config.backoff_multiplier;
+    if (backoff_ns >= cap) {
       break;
     }
   }
-  return static_cast<int64_t>(std::llround(std::min(backoff, cap)));
+  return static_cast<int64_t>(std::llround(std::min(backoff_ns, cap)));
 }
 
 std::optional<int64_t> NextRetryDelayNanos(const ServeRetryConfig& config, int failed_attempts,

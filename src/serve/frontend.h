@@ -165,8 +165,14 @@ class ServeFrontend {
   const ServeFrontendOptions options_;
   WallClock* clock_;
 
-  std::mutex cache_mu_;  // guards: the simulated world below (engine,
-                         // server, mutator, upstream, gate, cache, sim_now)
+  // Guards the simulated world below (engine, server, mutator, upstream,
+  // gate, cache, sim_now). Declared inner to the worker pool's mutex: pool
+  // entry points (Submit, Shutdown, threads) must never be called with
+  // cache_mu_ held — Shutdown joins workers that themselves need cache_mu_
+  // to drain, so nesting that way deadlocks. webcc-analyze pass 5 turns
+  // this declaration into a lock-order edge and fails on the reverse
+  // nesting.
+  std::mutex cache_mu_ WEBCC_ACQUIRED_AFTER(ElasticThreadPool::mu_);
   SimEngine engine_ WEBCC_GUARDED_BY(cache_mu_);
   OriginServer server_ WEBCC_GUARDED_BY(cache_mu_);
   std::unique_ptr<ModificationProcess> mutator_ WEBCC_GUARDED_BY(cache_mu_);

@@ -218,4 +218,17 @@ constexpr int64_t CheckedDiv(int64_t a, int64_t b, const char* what) {
 // named mutex first (rule `lock-discipline`, see docs/STATIC_ANALYSIS.md).
 #define WEBCC_GUARDED_BY(mu)
 
+// Declares the intended acquisition order between two mutexes: the annotated
+// mutex member is only ever taken while `mu` is already held (or with no
+// lock held at all) — never the other way around:
+//
+//   std::mutex cache_mu_;
+//   std::mutex pool_mu_ WEBCC_ACQUIRED_AFTER(cache_mu_);
+//
+// Expands to nothing, like WEBCC_GUARDED_BY. webcc-analyze pass 5 adds the
+// declared edge `mu -> member` to the lock-acquisition graph it builds from
+// observed nesting, so a later change that nests the locks the other way
+// closes a cycle and fails the build (rule `lock-order`).
+#define WEBCC_ACQUIRED_AFTER(mu)
+
 #endif  // WEBCC_SRC_UTIL_CHECK_H_

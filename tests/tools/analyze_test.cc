@@ -15,12 +15,14 @@
 #include "tools/analyze/analyze.h"
 #include "tools/analyze/baseline.h"
 #include "tools/analyze/callgraph.h"
+#include "tools/analyze/cfg.h"
 #include "tools/analyze/layers.h"
 #include "tools/analyze/lexer.h"
 #include "tools/analyze/rules.h"
 #include "tools/analyze/sarif.h"
 #include "tools/analyze/symbols.h"
 #include "tools/analyze/taint.h"
+#include "tools/analyze/timedomain.h"
 
 namespace webcc::analyze {
 namespace {
@@ -444,6 +446,10 @@ TEST(AnalyzeSarifTest, GoldenOutput) {
               "'webcc::SweepRunner::SweepRunner' transitively reaches getenv() at "
               "src/util/thread_pool.cc:117; call chain: "
               "webcc::SweepRunner::SweepRunner -> webcc::ResolveJobs"},
+      Finding{"src/serve/frontend.cc", 140, "time-domain",
+              "expression mixes wall-clock nanoseconds ('deadline_ns') with "
+              "simulated time ('now'); convert through a sanctioned converter "
+              "(tools/analyze/time_domains.txt) instead"},
       Finding{"tools/analyze/baseline.txt", 0, "stale-baseline",
               "entry matches nothing"},
   };
@@ -963,6 +969,742 @@ TEST_F(AnalyzeGraphCacheTest, ConfigChangeInvalidatesTheCache) {
   std::remove(waivers_path.c_str());
 }
 
+// --- Pass 5: control-flow graphs ---------------------------------------------
+
+std::vector<Finding> Pass5(const std::vector<SourceFile>& sources,
+                           const std::string& time_domains = "",
+                           std::vector<std::string>* edges = nullptr) {
+  AnalyzeConfig config;
+  config.run_flow = true;
+  config.time_domains_contents = time_domains;
+  return AnalyzeSources(sources, config, nullptr, edges);
+}
+
+const CfgEvent* FindEvent(const Cfg& cfg, CfgEventKind kind) {
+  for (const CfgNode& node : cfg.nodes) {
+    for (const CfgEvent& ev : node.events) {
+      if (ev.kind == kind) {
+        return &ev;
+      }
+    }
+  }
+  return nullptr;
+}
+
+bool ExitReachable(const Cfg& cfg) {
+  std::vector<bool> seen(cfg.nodes.size(), false);
+  std::vector<size_t> work = {Cfg::kEntry};
+  seen[Cfg::kEntry] = true;
+  while (!work.empty()) {
+    const size_t cur = work.back();
+    work.pop_back();
+    for (const size_t s : cfg.nodes[cur].succ) {
+      if (!seen[s]) {
+        seen[s] = true;
+        work.push_back(s);
+      }
+    }
+  }
+  return seen[Cfg::kExit];
+}
+
+TEST(AnalyzeCfgTest, DoWhileBuildsABackEdgeAndStillReachesExit) {
+  const SourceFile src{"src/util/c.cc",
+                       "namespace fx {\n"
+                       "int Count(int n) {\n"
+                       "  int total = 0;\n"
+                       "  do {\n"
+                       "    total += n;\n"
+                       "    --n;\n"
+                       "  } while (n > 0);\n"
+                       "  return total;\n"
+                       "}\n"
+                       "}  // namespace fx\n"};
+  const SymbolIndex index = IndexOf({src});
+  const FunctionSymbol* fn = FindDef(index, "fx::Count");
+  ASSERT_NE(fn, nullptr);
+  const Cfg cfg = BuildCfg(Lex(src), *fn);
+  bool back_edge = false;
+  for (size_t v = 2; v < cfg.nodes.size(); ++v) {
+    for (const size_t s : cfg.nodes[v].succ) {
+      back_edge = back_edge || (s < v && s != Cfg::kEntry && s != Cfg::kExit);
+    }
+  }
+  EXPECT_TRUE(back_edge) << "do/while must loop back into its body";
+  EXPECT_TRUE(ExitReachable(cfg));
+}
+
+TEST(AnalyzeCfgTest, SwitchWithEarlyReturnsKeepsTheExitReachable) {
+  const SourceFile src{"src/util/c.cc",
+                       "namespace fx {\n"
+                       "int Pick(int m) {\n"
+                       "  switch (m) {\n"
+                       "    case 0:\n"
+                       "      return 1;\n"
+                       "    case 1:\n"
+                       "      m += 2;\n"
+                       "      break;\n"
+                       "    default:\n"
+                       "      if (m > 4) {\n"
+                       "        return 9;\n"
+                       "      }\n"
+                       "  }\n"
+                       "  return m;\n"
+                       "}\n"
+                       "}  // namespace fx\n"};
+  const SymbolIndex index = IndexOf({src});
+  const FunctionSymbol* fn = FindDef(index, "fx::Pick");
+  ASSERT_NE(fn, nullptr);
+  const Cfg cfg = BuildCfg(Lex(src), *fn);
+  EXPECT_TRUE(ExitReachable(cfg));
+  EXPECT_GE(cfg.nodes.size(), 6u) << "cases and joins need their own blocks";
+}
+
+TEST(AnalyzeCfgTest, StoredLambdasAreDeferredCvPredicatesAreNot) {
+  const SourceFile stored{"src/util/l.cc",
+                          "namespace fx {\n"
+                          "void Post(std::function<void()>& cb) {\n"
+                          "  cb = [] { Work(); };\n"
+                          "}\n"
+                          "}  // namespace fx\n"};
+  const SymbolIndex i1 = IndexOf({stored});
+  ASSERT_NE(FindDef(i1, "fx::Post"), nullptr);
+  const Cfg c1 = BuildCfg(Lex(stored), *FindDef(i1, "fx::Post"));
+  ASSERT_EQ(c1.lambdas.size(), 1u);
+  const CfgEvent* stored_ev = FindEvent(c1, CfgEventKind::kLambda);
+  ASSERT_NE(stored_ev, nullptr);
+  EXPECT_TRUE(stored_ev->deferred);
+
+  const SourceFile predicate{
+      "src/util/l.cc",
+      "namespace fx {\n"
+      "void Wait(std::condition_variable& cv, std::unique_lock<std::mutex>& lk) {\n"
+      "  cv.wait(lk, [] { return Ready(); });\n"
+      "}\n"
+      "}  // namespace fx\n"};
+  const SymbolIndex i2 = IndexOf({predicate});
+  ASSERT_NE(FindDef(i2, "fx::Wait"), nullptr);
+  const Cfg c2 = BuildCfg(Lex(predicate), *FindDef(i2, "fx::Wait"));
+  ASSERT_EQ(c2.lambdas.size(), 1u);
+  const CfgEvent* pred_ev = FindEvent(c2, CfgEventKind::kLambda);
+  ASSERT_NE(pred_ev, nullptr);
+  EXPECT_FALSE(pred_ev->deferred) << "a cv-wait predicate runs at the wait site";
+}
+
+// --- Pass 5: flow-sensitive lock discipline ----------------------------------
+
+TEST(AnalyzeFlowLockTest, GuardScopeEndsAtTheBranchNotTheFunction) {
+  const std::vector<Finding> findings = Pass5({SourceFile{
+      "src/util/p.cc",
+      "namespace fx {\n"
+      "class Pool {\n"
+      " public:\n"
+      "  void Bump(bool fast) {\n"
+      "    if (fast) {\n"
+      "      std::lock_guard<std::mutex> lock(mu_);\n"
+      "      depth_ = 1;\n"
+      "    }\n"
+      "    depth_ = 2;\n"
+      "  }\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "  int depth_ WEBCC_GUARDED_BY(mu_) = 0;\n"
+      "};\n"
+      "}  // namespace fx\n"}});
+  const std::vector<Finding> locks = OfRule(findings, "lock-discipline");
+  // Inside the guard's scope the access is clean; past the brace it is not.
+  EXPECT_EQ(LinesOf(locks), (std::vector<size_t>{9}));
+}
+
+TEST(AnalyzeFlowLockTest, EarlyUnlockIsVisibleOnTheReturnPath) {
+  const std::vector<Finding> findings = Pass5({SourceFile{
+      "src/util/p.cc",
+      "namespace fx {\n"
+      "class Pool {\n"
+      " public:\n"
+      "  int Get(bool quick) {\n"
+      "    std::unique_lock<std::mutex> lock(mu_);\n"
+      "    if (quick) {\n"
+      "      return depth_;\n"
+      "    }\n"
+      "    lock.unlock();\n"
+      "    return depth_;\n"
+      "  }\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "  int depth_ WEBCC_GUARDED_BY(mu_) = 0;\n"
+      "};\n"
+      "}  // namespace fx\n"}});
+  const std::vector<Finding> locks = OfRule(findings, "lock-discipline");
+  // The early return still holds the guard; the second return does not.
+  EXPECT_EQ(LinesOf(locks), (std::vector<size_t>{10}));
+}
+
+TEST(AnalyzeFlowLockTest, SwitchFallthroughCarriesTheUnlockedState) {
+  const std::vector<Finding> findings = Pass5({SourceFile{
+      "src/util/p.cc",
+      "namespace fx {\n"
+      "class Pool {\n"
+      " public:\n"
+      "  void Set(int m) {\n"
+      "    mu_.lock();\n"
+      "    switch (m) {\n"
+      "      case 0:\n"
+      "        mu_.unlock();\n"
+      "      case 1:\n"
+      "        depth_ = 1;\n"
+      "        break;\n"
+      "    }\n"
+      "  }\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "  int depth_ WEBCC_GUARDED_BY(mu_) = 0;\n"
+      "};\n"
+      "}  // namespace fx\n"}});
+  // Case 0 falls through after unlocking, so the case-1 access is reached on
+  // a path where the mutex is not held. Without the fallthrough edge this is
+  // a false negative.
+  EXPECT_EQ(LinesOf(OfRule(findings, "lock-discipline")),
+            (std::vector<size_t>{10}));
+}
+
+TEST(AnalyzeFlowLockTest, DoWhileFirstIterationRunsBeforeTheLock) {
+  const std::vector<Finding> findings = Pass5({SourceFile{
+      "src/util/p.cc",
+      "namespace fx {\n"
+      "class Pool {\n"
+      " public:\n"
+      "  void Drain() {\n"
+      "    do {\n"
+      "      depth_ = 0;\n"
+      "      mu_.lock();\n"
+      "    } while (depth_ > 0);\n"
+      "    mu_.unlock();\n"
+      "  }\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "  int depth_ WEBCC_GUARDED_BY(mu_) = 0;\n"
+      "};\n"
+      "}  // namespace fx\n"}});
+  // The loop condition runs with the lock held (clean); the body's access is
+  // unprotected on the first iteration (the must-hold join with the back
+  // edge is the empty set).
+  EXPECT_EQ(LinesOf(OfRule(findings, "lock-discipline")),
+            (std::vector<size_t>{6}));
+}
+
+TEST(AnalyzeFlowLockTest, DeferredLambdasStartWithAnEmptyLockset) {
+  const std::vector<Finding> findings = Pass5({SourceFile{
+      "src/util/p.cc",
+      "namespace fx {\n"
+      "class Pool {\n"
+      " public:\n"
+      "  void Spawn() {\n"
+      "    std::lock_guard<std::mutex> lock(mu_);\n"
+      "    cb_ = [this] { depth_ = 1; };\n"
+      "  }\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "  std::function<void()> cb_;\n"
+      "  int depth_ WEBCC_GUARDED_BY(mu_) = 0;\n"
+      "};\n"
+      "}  // namespace fx\n"}});
+  // The stored lambda runs later, after the guard is gone — holding mu_ at
+  // the creation point protects nothing.
+  EXPECT_EQ(LinesOf(OfRule(findings, "lock-discipline")),
+            (std::vector<size_t>{6}));
+}
+
+TEST(AnalyzeFlowLockTest, CvWaitPredicateInheritsTheCreationLockset) {
+  const std::vector<Finding> findings = Pass5({SourceFile{
+      "src/util/p.cc",
+      "namespace fx {\n"
+      "class Pool {\n"
+      " public:\n"
+      "  void WaitIdle() {\n"
+      "    std::unique_lock<std::mutex> lock(mu_);\n"
+      "    cv_.wait(lock, [this] { return depth_ == 0; });\n"
+      "  }\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "  std::condition_variable cv_;\n"
+      "  int depth_ WEBCC_GUARDED_BY(mu_) = 0;\n"
+      "};\n"
+      "}  // namespace fx\n"}});
+  // The predicate runs at the wait site with mu_ held, and waiting on the
+  // guard's own mutex alone is the primitive working as designed.
+  EXPECT_TRUE(OfRule(findings, "lock-discipline").empty());
+  EXPECT_TRUE(OfRule(findings, "blocking-under-lock").empty());
+}
+
+// --- Pass 5: lock order + blocking-under-lock --------------------------------
+
+TEST(AnalyzeLockOrderTest, OppositeNestingAcrossTusIsACycle) {
+  const std::vector<Finding> findings = Pass5({
+      SourceFile{"src/util/a.cc",
+                 "namespace fx {\n"
+                 "std::mutex g_a;\n"
+                 "std::mutex g_b;\n"
+                 "void Left() {\n"
+                 "  std::scoped_lock la(g_a);\n"
+                 "  std::scoped_lock lb(g_b);\n"
+                 "}\n"
+                 "}  // namespace fx\n"},
+      SourceFile{"src/util/b.cc",
+                 "namespace fx {\n"
+                 "void Right() {\n"
+                 "  std::scoped_lock lb(g_b);\n"
+                 "  std::scoped_lock la(g_a);\n"
+                 "}\n"
+                 "}  // namespace fx\n"},
+  });
+  const std::vector<Finding> order = OfRule(findings, "lock-order");
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_NE(order[0].message.find("lock-order cycle"), std::string::npos);
+  EXPECT_NE(order[0].message.find("g_a"), std::string::npos);
+  EXPECT_NE(order[0].message.find("g_b"), std::string::npos);
+  EXPECT_NE(order[0].message.find("observed"), std::string::npos);
+}
+
+TEST(AnalyzeLockOrderTest, ConsistentNestingRendersOneObservedEdge) {
+  std::vector<std::string> edges;
+  const std::vector<Finding> findings = Pass5(
+      {SourceFile{"src/util/a.cc",
+                  "namespace fx {\n"
+                  "std::mutex g_a;\n"
+                  "std::mutex g_b;\n"
+                  "void Left() {\n"
+                  "  std::scoped_lock la(g_a);\n"
+                  "  std::scoped_lock lb(g_b);\n"
+                  "}\n"
+                  "void Also() {\n"
+                  "  std::scoped_lock la(g_a);\n"
+                  "  std::scoped_lock lb(g_b);\n"
+                  "}\n"
+                  "}  // namespace fx\n"}},
+      "", &edges);
+  EXPECT_TRUE(OfRule(findings, "lock-order").empty());
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_NE(edges[0].find("g_a"), std::string::npos);
+  EXPECT_NE(edges[0].find("-> "), std::string::npos);
+  EXPECT_NE(edges[0].find("(observed at src/util/a.cc:6)"), std::string::npos);
+}
+
+TEST(AnalyzeLockOrderTest, TransitiveReacquisitionIsASelfEdge) {
+  const std::vector<Finding> findings = Pass5({SourceFile{
+      "src/util/p.cc",
+      "namespace fx {\n"
+      "class Pool {\n"
+      " public:\n"
+      "  void Outer() {\n"
+      "    std::lock_guard<std::mutex> lock(mu_);\n"
+      "    Inner();\n"
+      "  }\n"
+      "  void Inner() {\n"
+      "    std::lock_guard<std::mutex> lock(mu_);\n"
+      "  }\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "};\n"
+      "}  // namespace fx\n"}});
+  const std::vector<Finding> order = OfRule(findings, "lock-order");
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_NE(order[0].message.find("re-acquisition"), std::string::npos);
+  EXPECT_NE(order[0].message.find("fx::Pool::mu_"), std::string::npos);
+}
+
+TEST(AnalyzeLockOrderTest, AcquiredAfterDeclaresTheEdgeThatClosesACycle) {
+  const std::vector<Finding> findings = Pass5({SourceFile{
+      "src/util/p.cc",
+      "namespace fx {\n"
+      "class Pool {\n"
+      " public:\n"
+      "  void Bad() {\n"
+      "    std::lock_guard<std::mutex> g(cache_mu_);\n"
+      "    std::lock_guard<std::mutex> h(pool_mu_);\n"
+      "  }\n"
+      " private:\n"
+      "  std::mutex pool_mu_;\n"
+      "  std::mutex cache_mu_ WEBCC_ACQUIRED_AFTER(pool_mu_);\n"
+      "};\n"
+      "}  // namespace fx\n"}});
+  // The annotation pins pool_mu_ -> cache_mu_; observing the opposite
+  // nesting completes the cycle even though no code path ever runs both.
+  const std::vector<Finding> order = OfRule(findings, "lock-order");
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_NE(order[0].message.find("declared"), std::string::npos);
+  EXPECT_NE(order[0].message.find("observed"), std::string::npos);
+}
+
+TEST(AnalyzeLockOrderTest, DeclaredEdgeAloneIsNoFinding) {
+  std::vector<std::string> edges;
+  const std::vector<Finding> findings = Pass5(
+      {SourceFile{"src/util/p.cc",
+                  "namespace fx {\n"
+                  "class Pool {\n"
+                  " public:\n"
+                  "  void Fine() {\n"
+                  "    std::lock_guard<std::mutex> g(pool_mu_);\n"
+                  "    std::lock_guard<std::mutex> h(cache_mu_);\n"
+                  "  }\n"
+                  " private:\n"
+                  "  std::mutex pool_mu_;\n"
+                  "  std::mutex cache_mu_ WEBCC_ACQUIRED_AFTER(pool_mu_);\n"
+                  "};\n"
+                  "}  // namespace fx\n"}},
+      "", &edges);
+  EXPECT_TRUE(OfRule(findings, "lock-order").empty());
+  // Declared and observed agree, so the graph has the one edge twice — once
+  // per provenance — collapsed to the first insertion.
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_NE(edges[0].find("fx::Pool::pool_mu_ -> fx::Pool::cache_mu_"),
+            std::string::npos);
+}
+
+TEST(AnalyzeBlockingTest, SleepUnderLockIsFlaggedOutsideIsNot) {
+  const std::vector<Finding> findings = Pass5({SourceFile{
+      "src/util/p.cc",
+      "namespace fx {\n"
+      "class Pool {\n"
+      " public:\n"
+      "  void Nap() {\n"
+      "    std::lock_guard<std::mutex> lock(mu_);\n"
+      "    SleepNanos(5);\n"
+      "  }\n"
+      "  void FreeNap() {\n"
+      "    SleepNanos(5);\n"
+      "  }\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "};\n"
+      "}  // namespace fx\n"}});
+  const std::vector<Finding> blocking = OfRule(findings, "blocking-under-lock");
+  EXPECT_EQ(LinesOf(blocking), (std::vector<size_t>{6}));
+  EXPECT_NE(blocking[0].message.find("'SleepNanos'"), std::string::npos);
+}
+
+TEST(AnalyzeBlockingTest, TransitiveBlockingReportsTheCallChain) {
+  const std::vector<Finding> findings = Pass5({SourceFile{
+      "src/util/p.cc",
+      "namespace fx {\n"
+      "class Pool {\n"
+      " public:\n"
+      "  void Outer() {\n"
+      "    std::lock_guard<std::mutex> lock(mu_);\n"
+      "    Helper();\n"
+      "  }\n"
+      "  void Helper() {\n"
+      "    worker_.join();\n"
+      "  }\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "  std::thread worker_;\n"
+      "};\n"
+      "}  // namespace fx\n"}});
+  const std::vector<Finding> blocking = OfRule(findings, "blocking-under-lock");
+  ASSERT_EQ(blocking.size(), 1u);
+  EXPECT_EQ(blocking[0].line, 6u);
+  EXPECT_NE(blocking[0].message.find("fx::Pool::Outer -> fx::Pool::Helper"),
+            std::string::npos);
+  EXPECT_NE(blocking[0].message.find("reaches 'join'"), std::string::npos);
+}
+
+TEST(AnalyzeBlockingTest, CvWaitWithASecondLockHeldIsFlagged) {
+  const std::vector<Finding> findings = Pass5({SourceFile{
+      "src/util/p.cc",
+      "namespace fx {\n"
+      "class Pool {\n"
+      " public:\n"
+      "  void WaitBoth() {\n"
+      "    std::lock_guard<std::mutex> outer(other_mu_);\n"
+      "    std::unique_lock<std::mutex> lock(mu_);\n"
+      "    cv_.wait(lock);\n"
+      "  }\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "  std::mutex other_mu_;\n"
+      "  std::condition_variable cv_;\n"
+      "};\n"
+      "}  // namespace fx\n"}});
+  const std::vector<Finding> blocking = OfRule(findings, "blocking-under-lock");
+  ASSERT_EQ(blocking.size(), 1u);
+  EXPECT_NE(blocking[0].message.find("condition-variable wait"), std::string::npos);
+  EXPECT_NE(blocking[0].message.find("other_mu_"), std::string::npos);
+}
+
+TEST(AnalyzeBlockingTest, DeferredLambdaBodiesDoNotTaintTheCreator) {
+  const std::vector<Finding> findings = Pass5({SourceFile{
+      "src/util/p.cc",
+      "namespace fx {\n"
+      "class Pool {\n"
+      " public:\n"
+      "  void Post() {\n"
+      "    std::lock_guard<std::mutex> lock(mu_);\n"
+      "    cb_ = [] { SleepNanos(1); };\n"
+      "  }\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "  std::function<void()> cb_;\n"
+      "};\n"
+      "}  // namespace fx\n"}});
+  // Storing a lambda that sleeps is not sleeping: the body runs later,
+  // without the creator's lock.
+  EXPECT_TRUE(OfRule(findings, "blocking-under-lock").empty());
+}
+
+TEST(AnalyzeFlowLockTest, InlineWaiversSilencePass5Rules) {
+  const std::vector<Finding> findings = Pass5({SourceFile{
+      "src/util/p.cc",
+      "namespace fx {\n"
+      "class Pool {\n"
+      " public:\n"
+      "  void Nap() {\n"
+      "    std::lock_guard<std::mutex> lock(mu_);\n"
+      "    SleepNanos(5);  // webcc-lint: allow(blocking-under-lock)\n"
+      "  }\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "};\n"
+      "}  // namespace fx\n"}});
+  EXPECT_TRUE(OfRule(findings, "blocking-under-lock").empty());
+}
+
+// --- Pass 5: time domains ----------------------------------------------------
+
+constexpr char kTimeDomains[] =
+    "wall-fn NowNanos\n"
+    "sim-fn Seconds\n"
+    "sim-api RunUntil\n"
+    "wall-api SleepNanos\n"
+    "escape seconds\n"
+    "converter fx::Clock::SimTimeFor\n";
+
+TEST(AnalyzeTimeDomainTest, MixedChainIsFlaggedSeparateStatementsAreNot) {
+  const std::vector<Finding> findings = Pass5(
+      {SourceFile{"src/serve/t.cc",
+                  "namespace fx {\n"
+                  "int64_t Mix(int64_t now_ns) {\n"
+                  "  SimTime deadline;\n"
+                  "  int64_t twice_ns = now_ns * 2;\n"
+                  "  SimTime still = deadline;\n"
+                  "  return twice_ns + deadline;\n"
+                  "}\n"
+                  "}  // namespace fx\n"}},
+      kTimeDomains);
+  const std::vector<Finding> mixes = OfRule(findings, "time-domain");
+  ASSERT_EQ(LinesOf(mixes), (std::vector<size_t>{6}));
+  EXPECT_NE(mixes[0].message.find("'twice_ns'"), std::string::npos);
+  EXPECT_NE(mixes[0].message.find("'deadline'"), std::string::npos);
+}
+
+TEST(AnalyzeTimeDomainTest, EscapeCallsStripTheUnit) {
+  const std::vector<Finding> findings = Pass5(
+      {SourceFile{"src/serve/t.cc",
+                  "namespace fx {\n"
+                  "int64_t Scale(int64_t now_ns) {\n"
+                  "  SimTime deadline;\n"
+                  "  return now_ns + deadline.seconds() * 1000;\n"
+                  "}\n"
+                  "}  // namespace fx\n"}},
+      kTimeDomains);
+  EXPECT_TRUE(OfRule(findings, "time-domain").empty());
+}
+
+TEST(AnalyzeTimeDomainTest, WallArgumentToSimApiIsFlagged) {
+  const std::vector<Finding> findings = Pass5(
+      {SourceFile{"src/serve/t.cc",
+                  "namespace fx {\n"
+                  "void Drive(int64_t stop_ns) {\n"
+                  "  RunUntil(Seconds(5));\n"
+                  "  RunUntil(stop_ns);\n"
+                  "}\n"
+                  "}  // namespace fx\n"}},
+      kTimeDomains);
+  const std::vector<Finding> mixes = OfRule(findings, "time-domain");
+  ASSERT_EQ(LinesOf(mixes), (std::vector<size_t>{4}));
+  EXPECT_NE(mixes[0].message.find("sim-domain API 'RunUntil'"), std::string::npos);
+}
+
+TEST(AnalyzeTimeDomainTest, SimArgumentToWallApiIsFlagged) {
+  const std::vector<Finding> findings = Pass5(
+      {SourceFile{"src/serve/t.cc",
+                  "namespace fx {\n"
+                  "void Pace(int64_t gap_ns) {\n"
+                  "  SimTime deadline;\n"
+                  "  SleepNanos(gap_ns);\n"
+                  "  SleepNanos(deadline);\n"
+                  "}\n"
+                  "}  // namespace fx\n"}},
+      kTimeDomains);
+  const std::vector<Finding> mixes = OfRule(findings, "time-domain");
+  ASSERT_EQ(LinesOf(mixes), (std::vector<size_t>{5}));
+  EXPECT_NE(mixes[0].message.find("wall-domain API 'SleepNanos'"), std::string::npos);
+}
+
+TEST(AnalyzeTimeDomainTest, ConvertersAreSanctionedAtBothEnds) {
+  const std::vector<Finding> findings = Pass5(
+      {SourceFile{"src/serve/t.cc",
+                  "namespace fx {\n"
+                  "class Clock {\n"
+                  " public:\n"
+                  "  SimTime SimTimeFor(int64_t t_ns);\n"
+                  "};\n"
+                  "SimTime Clock::SimTimeFor(int64_t t_ns) {\n"
+                  "  SimTime base;\n"
+                  "  return base + t_ns;\n"
+                  "}\n"
+                  "void Use(Clock& clock, int64_t now_ns) {\n"
+                  "  RunUntil(clock.SimTimeFor(now_ns));\n"
+                  "}\n"
+                  "}  // namespace fx\n"}},
+      kTimeDomains);
+  // The converter's own body mixes by definition, and its call sites hand a
+  // wall value to a sim API on purpose — both are the sanctioned bridge.
+  EXPECT_TRUE(OfRule(findings, "time-domain").empty());
+}
+
+TEST(AnalyzeTimeDomainTest, MalformedConfigLinesAreConfigFindings) {
+  const std::vector<Finding> findings =
+      Pass5({SourceFile{"src/serve/t.cc", "int x = 0;\n"}},
+            "wall-fn\n"
+            "frob NowNanos\n"
+            "sim-fn Seconds\n");
+  const std::vector<Finding> config = OfRule(findings, "time-domain-config");
+  ASSERT_EQ(config.size(), 2u);
+  EXPECT_EQ(config[0].line, 1u);
+  EXPECT_EQ(config[1].line, 2u);
+  EXPECT_NE(config[1].message.find("unknown directive 'frob'"), std::string::npos);
+}
+
+// --- Pass 5: dead-symbol gating ----------------------------------------------
+
+std::vector<Finding> DeadGated(const std::vector<SourceFile>& sources,
+                               const std::string& waivers) {
+  AnalyzeConfig config;
+  config.run_symbols = true;
+  config.gate_dead_symbols = true;
+  config.dead_waivers_contents = waivers;
+  return AnalyzeSources(sources, config);
+}
+
+const SourceFile kDeadTree{"src/util/d.cc",
+                           "namespace fx {\n"
+                           "int Used() { return 2; }\n"
+                           "int Unused() { return 1; }\n"
+                           "}  // namespace fx\n"
+                           "int main() { return fx::Used(); }\n"};
+
+TEST(AnalyzeDeadSymbolTest, UnreferencedDefinitionsGateWhenEnabled) {
+  const std::vector<Finding> findings = DeadGated({kDeadTree}, "");
+  const std::vector<Finding> dead = OfRule(findings, "dead-symbol");
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0].line, 3u);
+  EXPECT_NE(dead[0].message.find("'fx::Unused'"), std::string::npos);
+}
+
+TEST(AnalyzeDeadSymbolTest, JustifiedWaiversSilenceTheGate) {
+  const std::vector<Finding> findings = DeadGated(
+      {kDeadTree},
+      "fx::Unused exercised only from the unit tests,\n"
+      "    which the scan unit excludes by design\n");
+  EXPECT_TRUE(OfRule(findings, "dead-symbol").empty());
+  EXPECT_TRUE(OfRule(findings, "stale-dead-waiver").empty());
+  EXPECT_TRUE(OfRule(findings, "dead-config").empty());
+}
+
+TEST(AnalyzeDeadSymbolTest, StaleWaiversRatchetLikeTheBaseline) {
+  const std::vector<Finding> findings =
+      DeadGated({kDeadTree}, "fx::Gone deleted two PRs ago\n");
+  EXPECT_EQ(OfRule(findings, "dead-symbol").size(), 1u);
+  const std::vector<Finding> stale = OfRule(findings, "stale-dead-waiver");
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_NE(stale[0].message.find("'fx::Gone'"), std::string::npos);
+}
+
+TEST(AnalyzeDeadSymbolTest, WaiversWithoutJustificationAreRejected) {
+  const std::vector<Finding> findings = DeadGated({kDeadTree}, "fx::Unused\n");
+  // The malformed waiver is skipped, so the symbol still gates.
+  EXPECT_EQ(OfRule(findings, "dead-config").size(), 1u);
+  EXPECT_EQ(OfRule(findings, "dead-symbol").size(), 1u);
+}
+
+TEST(AnalyzeDeadSymbolTest, StaleDeadWaiversCannotBeBaselined) {
+  AnalyzeConfig config;
+  config.run_symbols = true;
+  config.gate_dead_symbols = true;
+  config.dead_waivers_contents = "fx::Gone deleted two PRs ago\n";
+  config.apply_baseline = true;
+  config.baseline_contents =
+      "tools/analyze/dead_waivers.txt:1: [stale-dead-waiver] muting the ratchet\n";
+  const std::vector<Finding> findings = AnalyzeSources({kDeadTree}, config);
+  EXPECT_EQ(OfRule(findings, "stale-dead-waiver").size(), 1u);
+}
+
+// --- Pass 5: determinism + cache ---------------------------------------------
+
+TEST(AnalyzePathsTest, FlowPassStaysByteDeterministicAcrossJobs) {
+  const std::string td_path = ::testing::TempDir() + "/flow_time_domains.txt";
+  {
+    std::ofstream out(td_path, std::ios::trunc);
+    out << "wall-fn NowNanos\nsim-fn Seconds\n";
+  }
+  AnalyzeOptions serial;
+  serial.run_symbols = true;
+  serial.run_flow = true;
+  serial.time_domains_file = td_path;
+  serial.jobs = 1;
+  AnalyzeOptions parallel = serial;
+  parallel.jobs = 8;
+  const std::vector<std::string> roots = {FixturePath("taint_tree"),
+                                          FixturePath("lock_tree")};
+  std::vector<std::string> edges1;
+  std::vector<std::string> edges8;
+  const std::vector<Finding> a = AnalyzePaths(roots, serial, nullptr, &edges1);
+  const std::vector<Finding> b = AnalyzePaths(roots, parallel, nullptr, &edges8);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].file, b[i].file);
+    EXPECT_EQ(a[i].line, b[i].line);
+    EXPECT_EQ(a[i].rule, b[i].rule);
+    EXPECT_EQ(a[i].message, b[i].message);
+  }
+  EXPECT_EQ(edges1, edges8);
+  EXPECT_FALSE(a.empty());
+  std::remove(td_path.c_str());
+}
+
+TEST_F(AnalyzeGraphCacheTest, TimeDomainEditsInvalidateTheCache) {
+  const std::string td_path = ::testing::TempDir() + "/cache_time_domains.txt";
+  {
+    std::ofstream out(td_path, std::ios::trunc);
+    out << "wall-fn NowNanos\n";
+  }
+  AnalyzeOptions options;
+  options.run_flow = true;
+  options.time_domains_file = td_path;
+  options.graph_cache_file = CachePath();
+  (void)AnalyzePaths({FixturePath("lock_tree")}, options);
+  std::string header_before;
+  {
+    std::ifstream in(CachePath());
+    std::getline(in, header_before);
+  }
+  EXPECT_EQ(header_before.rfind("# webcc-analyze graph cache v3 ", 0), 0u)
+      << header_before;
+  {
+    std::ofstream out(td_path, std::ios::trunc);
+    out << "wall-fn NowNanos\nwall-api SleepNanos\n";
+  }
+  (void)AnalyzePaths({FixturePath("lock_tree")}, options);
+  std::string header_after;
+  {
+    std::ifstream in(CachePath());
+    std::getline(in, header_after);
+  }
+  EXPECT_NE(header_before, header_after);
+  std::remove(td_path.c_str());
+}
+
 // --- Whole-tree gate (mirrors the lint.analyze.tree ctest) ------------------
 
 TEST(AnalyzeTreeTest, LayerSpecParsesCleanly) {
@@ -977,6 +1719,29 @@ TEST(AnalyzeTreeTest, LayerSpecParsesCleanly) {
   EXPECT_LT(spec.tier_of.at("sim"), spec.tier_of.at("cache"));
   EXPECT_EQ(spec.tier_of.at("cache"), spec.tier_of.at("origin"));
   EXPECT_LT(spec.tier_of.at("core"), spec.tier_of.at("chaos"));
+}
+
+TEST(AnalyzeTreeTest, ShippedTimeDomainConfigParsesCleanly) {
+  std::vector<Finding> findings;
+  const TimeDomainConfig config = ParseTimeDomainConfig(
+      "time_domains.txt", ReadFileOrDie(WEBCC_ANALYZE_TIME_DOMAINS_FILE), &findings);
+  EXPECT_TRUE(findings.empty());
+  EXPECT_EQ(config.wall_fns.count("NowNanos"), 1u);
+  EXPECT_EQ(config.sim_fns.count("Seconds"), 1u);
+  EXPECT_EQ(config.wall_apis.count("SleepNanos"), 1u);
+  ASSERT_FALSE(config.converters.empty());
+  EXPECT_EQ(config.converters.front(), "webcc::ServeFrontend::SimTimeFor");
+}
+
+TEST(AnalyzeTreeTest, ShippedDeadWaiversAllCarryJustifications) {
+  std::vector<Finding> findings;
+  const std::vector<DeadWaiver> waivers = ParseDeadWaivers(
+      "dead_waivers.txt", ReadFileOrDie(WEBCC_ANALYZE_DEAD_WAIVERS_FILE), &findings);
+  EXPECT_TRUE(findings.empty());
+  EXPECT_FALSE(waivers.empty());
+  for (const DeadWaiver& w : waivers) {
+    EXPECT_FALSE(w.justification.empty()) << w.function;
+  }
 }
 
 }  // namespace

@@ -14,9 +14,11 @@
 #include "tools/analyze/layers.h"
 #include "tools/analyze/lexer.h"
 #include "tools/analyze/lockcheck.h"
+#include "tools/analyze/locks.h"
 #include "tools/analyze/rules.h"
 #include "tools/analyze/symbols.h"
 #include "tools/analyze/taint.h"
+#include "tools/analyze/timedomain.h"
 
 namespace webcc::analyze {
 namespace {
@@ -64,13 +66,14 @@ std::vector<LexedFile> LexAll(const std::vector<SourceFile>& sources, size_t job
 //
 // Format (one header line, then per-file records):
 //
-//   # webcc-analyze graph cache v2 <config-hash>
+//   # webcc-analyze graph cache v3 <config-hash>
 //   F <hex-content-hash> <repo-relative-path> <n>
 //   I <line> <include-target>            (n times)
 //
 // The header's config hash covers the analyzer configuration (layer spec +
-// taint waiver list): editing either config file changes the hash and the
-// whole cache is discarded, so stale config can never feed an analysis.
+// taint waiver list + time-domain directives + dead-symbol waivers):
+// editing any config file changes the hash and the whole cache is
+// discarded, so stale config can never feed an analysis.
 // A per-file record is valid iff the content hash matches; stale records
 // are dropped on rewrite. The cache carries include edges only — rule and
 // pass-4 findings always come from a fresh scan (every file is lexed every
@@ -102,7 +105,7 @@ struct CachedIncludes {
 };
 
 std::string CacheHeader(const std::string& config_hash) {
-  return "# webcc-analyze graph cache v2 " + config_hash;
+  return "# webcc-analyze graph cache v3 " + config_hash;
 }
 
 std::map<std::string, CachedIncludes> LoadGraphCache(const std::string& path,
@@ -163,18 +166,34 @@ void SaveGraphCache(const std::string& path, const std::string& config_hash,
 
 std::vector<Finding> AnalyzeSources(const std::vector<SourceFile>& sources,
                                     const AnalyzeConfig& config,
-                                    std::vector<std::string>* dead_symbols) {
+                                    std::vector<std::string>* dead_symbols,
+                                    std::vector<std::string>* lock_graph_edges) {
   std::vector<LexedFile> lexed = LexAll(sources, config.jobs);
 
   std::vector<Finding> findings = RunLintRules(lexed);
 
-  if (config.run_symbols) {
+  if (config.run_symbols || config.run_flow) {
     const SymbolIndex index = BuildSymbolIndex(lexed);
     const CallGraph graph = BuildCallGraph(index);
     const std::vector<TaintWaiver> waivers = ParseTaintWaivers(
         config.taint_waivers_path, config.taint_waivers_contents, &findings);
     CheckTaint(index, graph, waivers, config.taint_waivers_path, &findings);
-    CheckLockDiscipline(index, &findings);
+    if (config.run_flow) {
+      // Pass 5 supersedes the lexical lock check: the flow-sensitive
+      // analysis reports a strict superset of its true positives without
+      // the lock-anywhere-in-body false negatives.
+      CheckLocks(lexed, index, &findings, lock_graph_edges);
+      const TimeDomainConfig td = ParseTimeDomainConfig(
+          config.time_domains_path, config.time_domains_contents, &findings);
+      CheckTimeDomains(lexed, index, td, &findings);
+    } else {
+      CheckLockDiscipline(index, &findings);
+    }
+    if (config.gate_dead_symbols) {
+      const std::vector<DeadWaiver> dead_waivers = ParseDeadWaivers(
+          config.dead_waivers_path, config.dead_waivers_contents, &findings);
+      CheckDeadSymbols(index, dead_waivers, config.dead_waivers_path, &findings);
+    }
     if (dead_symbols != nullptr) {
       *dead_symbols = DeadSymbolReport(index);
     }
@@ -207,7 +226,8 @@ std::vector<Finding> AnalyzeSources(const std::vector<SourceFile>& sources,
 
 std::vector<Finding> AnalyzePaths(const std::vector<std::string>& roots,
                                   const AnalyzeOptions& options,
-                                  std::vector<std::string>* dead_symbols) {
+                                  std::vector<std::string>* dead_symbols,
+                                  std::vector<std::string>* lock_graph_edges) {
   std::vector<std::string> paths;
   std::vector<Finding> findings;
   for (const std::string& root : roots) {
@@ -280,13 +300,26 @@ std::vector<Finding> AnalyzePaths(const std::vector<std::string>& roots,
     load_config(options.taint_waivers_file, &config.taint_waivers_contents);
     config.taint_waivers_path = options.taint_waivers_file;
   }
+  config.run_flow = options.run_flow;
+  if (!options.time_domains_file.empty()) {
+    config.run_flow = true;
+    load_config(options.time_domains_file, &config.time_domains_contents);
+    config.time_domains_path = options.time_domains_file;
+  }
+  if (!options.dead_waivers_file.empty()) {
+    config.gate_dead_symbols = true;
+    load_config(options.dead_waivers_file, &config.dead_waivers_contents);
+    config.dead_waivers_path = options.dead_waivers_file;
+  }
 
   // Warm the include-graph cache before the scan; it is only consulted by
   // pass 2, only for byte-identical files, and only when the analyzer
   // configuration hash in its header matches, so a corrupt or stale cache
   // can never change results — at worst edges are recomputed.
   const std::string config_hash = HashHex(
-      Fnv1a(config.layers_contents + '\x1f' + config.taint_waivers_contents));
+      Fnv1a(config.layers_contents + '\x1f' + config.taint_waivers_contents +
+            '\x1f' + config.time_domains_contents + '\x1f' +
+            config.dead_waivers_contents));
   std::map<std::string, CachedIncludes> cache;
   if (!options.graph_cache_file.empty()) {
     cache = LoadGraphCache(options.graph_cache_file, config_hash);
@@ -312,7 +345,8 @@ std::vector<Finding> AnalyzePaths(const std::vector<std::string>& roots,
     }
   }
 
-  std::vector<Finding> scanned = AnalyzeSources(sources, config, dead_symbols);
+  std::vector<Finding> scanned =
+      AnalyzeSources(sources, config, dead_symbols, lock_graph_edges);
   findings.insert(findings.end(), scanned.begin(), scanned.end());
   SortFindings(&findings);
   return findings;

@@ -1,4 +1,4 @@
-// webcc-analyze orchestration: runs the four passes in order and merges
+// webcc-analyze orchestration: runs the five passes in order and merges
 // their findings.
 //
 //   Pass 1  lex + lint rules             (lexer.h, rules.h)
@@ -8,6 +8,11 @@
 //           determinism taint,            lockcheck.h), optional
 //           lock discipline,
 //           dead-symbol report
+//   Pass 5  per-function CFGs:           (cfg.h, locks.h, timedomain.h),
+//           flow-sensitive lock           optional, requires pass 4
+//           analysis, lock-order graph,
+//           blocking-under-lock,
+//           wall/sim time domains
 //
 // Two entry points mirror the old webcc-lint API. AnalyzeSources is pure
 // (no filesystem): config contents are passed in, which is what the tests
@@ -51,6 +56,20 @@ struct AnalyzeConfig {
   bool run_symbols = false;
   std::string taint_waivers_path = "tools/analyze/taint_waivers.txt";
   std::string taint_waivers_contents;
+  // Pass 5 runs iff `run_flow` (implies pass 4's symbol index): builds
+  // per-function CFGs and runs the flow-sensitive lock checks (locks.h) —
+  // which supersede the lexical lockcheck.h pass — plus the wall/sim
+  // time-domain check (timedomain.h) against the directive file below.
+  bool run_flow = false;
+  std::string time_domains_path = "tools/analyze/time_domains.txt";
+  std::string time_domains_contents;
+  // Dead-symbol gating: when `gate_dead_symbols`, unwaived dead definitions
+  // become `dead-symbol` findings checked against the waiver file below
+  // (stale entries are errors, same ratchet as taint waivers). Off, the
+  // report stays advisory via the `dead_symbols` out-param.
+  bool gate_dead_symbols = false;
+  std::string dead_waivers_path = "tools/analyze/dead_waivers.txt";
+  std::string dead_waivers_contents;
   // Lexing parallelism. Files are sharded by index across `jobs` threads
   // with no shared mutable state, so results are byte-identical for every
   // value (the analysis itself is single-threaded over the lexed files).
@@ -69,16 +88,23 @@ struct AnalyzeOptions {
   std::string graph_cache_file;   // empty = no include-graph cache
   bool run_symbols = false;       // enable pass 4
   std::string taint_waivers_file; // empty = no waivers (pass 4 still runs)
+  bool run_flow = false;          // enable pass 5 (implies pass 4)
+  std::string time_domains_file;  // empty = no time-domain config (implies
+                                  // pass 5 when set)
+  std::string dead_waivers_file;  // set = gate dead symbols against this file
   size_t jobs = 1;                // lexing threads
 };
 
 // Scans `sources` as one unit and returns findings sorted by
 // (file, line, rule). Never touches the filesystem. When pass 4 runs and
 // `dead_symbols` is non-null it receives the dead-symbol report
-// (callgraph.h); the report is advisory and never a finding.
+// (callgraph.h); the report is advisory unless `gate_dead_symbols`. When
+// pass 5 runs and `lock_graph_edges` is non-null it receives the rendered
+// lock-acquisition graph (locks.h), one edge per line.
 std::vector<Finding> AnalyzeSources(const std::vector<SourceFile>& sources,
                                     const AnalyzeConfig& config,
-                                    std::vector<std::string>* dead_symbols = nullptr);
+                                    std::vector<std::string>* dead_symbols = nullptr,
+                                    std::vector<std::string>* lock_graph_edges = nullptr);
 
 // Loads every .h/.cc/.cpp/.hpp under `roots` (directories walked
 // recursively, files taken verbatim, missing paths become `analyze-io`
@@ -87,12 +113,14 @@ std::vector<Finding> AnalyzeSources(const std::vector<SourceFile>& sources,
 // analyzer by design (pass an explicit file path to override). The include-
 // graph cache, when enabled, memoizes per-file include edges keyed on a
 // 64-bit content hash, and the cache as a whole is keyed on the analyzer
-// configuration (layers + taint waivers): editing either config file
-// invalidates the cache wholesale. The cache file is rewritten after every
-// run so CI can persist it across builds keyed on the tree hash.
+// configuration (layers + taint waivers + time domains + dead waivers):
+// editing any config file invalidates the cache wholesale. The cache file
+// is rewritten after every run so CI can persist it across builds keyed on
+// the tree hash.
 std::vector<Finding> AnalyzePaths(const std::vector<std::string>& roots,
                                   const AnalyzeOptions& options,
-                                  std::vector<std::string>* dead_symbols = nullptr);
+                                  std::vector<std::string>* dead_symbols = nullptr,
+                                  std::vector<std::string>* lock_graph_edges = nullptr);
 
 // Renders `file:line: [rule] message`, one per line (same format as
 // webcc-lint, which CI and editors already parse).

@@ -31,7 +31,7 @@ bool IsConfigFinding(const Finding& f) {
            f.rule.compare(f.rule.size() - s.size(), s.size(), s) == 0;
   };
   return ends_with("-config") || ends_with("-io") || f.rule == "stale-baseline" ||
-         f.rule == "stale-taint-waiver";
+         f.rule == "stale-taint-waiver" || f.rule == "stale-dead-waiver";
 }
 
 }  // namespace

@@ -1,7 +1,9 @@
 #include "tools/analyze/callgraph.h"
 
 #include <algorithm>
+#include <map>
 #include <set>
+#include <sstream>
 
 #include "tools/analyze/layers.h"
 
@@ -50,6 +52,60 @@ bool ScopeEndsWith(const std::string& scope, const std::string& qualifier) {
 
 }  // namespace
 
+std::vector<size_t> ResolveCallCandidates(const SymbolIndex& index, size_t caller,
+                                          const CallUse& call) {
+  const FunctionSymbol& fn = index.functions[caller];
+  const auto it = index.definitions_by_name.find(call.callee);
+  if (it == index.definitions_by_name.end()) {
+    return {};  // external / std / macro: not in the scan unit
+  }
+  const std::string caller_root = RootOf(fn.file);
+  std::vector<size_t> candidates;
+  for (const size_t def : it->second) {
+    if (def == caller) {
+      continue;  // direct self-recursion adds nothing to reachability
+    }
+    const FunctionSymbol& target = index.functions[def];
+    if (!RootMayCall(caller_root, RootOf(target.file))) {
+      continue;
+    }
+    if (call.receiver == CallReceiver::kScoped && !call.qualifier.empty() &&
+        !ScopeEndsWith(target.scope, call.qualifier)) {
+      continue;
+    }
+    if (call.receiver == CallReceiver::kMember && !target.is_method) {
+      continue;
+    }
+    candidates.push_back(def);
+  }
+  if (call.receiver == CallReceiver::kPlain && fn.is_method) {
+    // Implicit-this preference: a plain call inside a method binds to a
+    // same-class candidate when one exists.
+    std::vector<size_t> same_class;
+    for (const size_t def : candidates) {
+      if (index.functions[def].scope == fn.scope) {
+        same_class.push_back(def);
+      }
+    }
+    if (!same_class.empty()) {
+      candidates = std::move(same_class);
+    }
+  }
+  return candidates;
+}
+
+bool QualifiedSuffixMatches(const std::string& qualified_name, const std::string& entry) {
+  if (qualified_name == entry) {
+    return true;
+  }
+  if (entry.size() + 2 > qualified_name.size()) {
+    return false;
+  }
+  const size_t suffix_at = qualified_name.size() - entry.size();
+  return qualified_name.compare(suffix_at, entry.size(), entry) == 0 &&
+         qualified_name.compare(suffix_at - 2, 2, "::") == 0;
+}
+
 CallGraph BuildCallGraph(const SymbolIndex& index) {
   CallGraph graph;
   graph.callees.resize(index.functions.size());
@@ -59,44 +115,9 @@ CallGraph BuildCallGraph(const SymbolIndex& index) {
     if (!fn.is_definition || fn.calls.empty()) {
       continue;
     }
-    const std::string caller_root = RootOf(fn.file);
     std::set<size_t> edges;
     for (const CallUse& call : fn.calls) {
-      const auto it = index.definitions_by_name.find(call.callee);
-      if (it == index.definitions_by_name.end()) {
-        continue;  // external / std / macro: not in the scan unit
-      }
-      std::vector<size_t> candidates;
-      for (const size_t def : it->second) {
-        if (def == caller) {
-          continue;  // direct self-recursion adds nothing to reachability
-        }
-        const FunctionSymbol& target = index.functions[def];
-        if (!RootMayCall(caller_root, RootOf(target.file))) {
-          continue;
-        }
-        if (call.receiver == CallReceiver::kScoped && !call.qualifier.empty() &&
-            !ScopeEndsWith(target.scope, call.qualifier)) {
-          continue;
-        }
-        if (call.receiver == CallReceiver::kMember && !target.is_method) {
-          continue;
-        }
-        candidates.push_back(def);
-      }
-      if (call.receiver == CallReceiver::kPlain && fn.is_method) {
-        // Implicit-this preference: a plain call inside a method binds to a
-        // same-class candidate when one exists.
-        std::vector<size_t> same_class;
-        for (const size_t def : candidates) {
-          if (index.functions[def].scope == fn.scope) {
-            same_class.push_back(def);
-          }
-        }
-        if (!same_class.empty()) {
-          candidates = std::move(same_class);
-        }
-      }
+      const std::vector<size_t> candidates = ResolveCallCandidates(index, caller, call);
       edges.insert(candidates.begin(), candidates.end());
     }
     graph.callees[caller].assign(edges.begin(), edges.end());
@@ -104,7 +125,7 @@ CallGraph BuildCallGraph(const SymbolIndex& index) {
   return graph;
 }
 
-std::vector<std::string> DeadSymbolReport(const SymbolIndex& index) {
+std::vector<DeadSymbol> DeadSymbols(const SymbolIndex& index) {
   // Count how many identifier tokens each function name accounts for via its
   // own definition/declaration records (the name token in each signature).
   std::map<std::string, size_t> own_records;
@@ -118,12 +139,7 @@ std::vector<std::string> DeadSymbolReport(const SymbolIndex& index) {
     ++own_records[fn.name];
   }
 
-  struct Dead {
-    std::string rel_file;
-    size_t line;
-    std::string text;
-  };
-  std::vector<Dead> dead;
+  std::vector<DeadSymbol> dead;
   for (const FunctionSymbol& fn : index.functions) {
     if (!fn.is_definition || fn.name.empty() || fn.name[0] == '~' ||
         fn.name.rfind("operator", 0) == 0 || fn.name == "main") {
@@ -141,21 +157,98 @@ std::vector<std::string> DeadSymbolReport(const SymbolIndex& index) {
     if (total > own_records[fn.name]) {
       continue;  // the spelling appears somewhere beyond its own signatures
     }
-    const std::string rel = RepoRelative(fn.file);
-    dead.push_back(Dead{rel, fn.line,
-                        fn.qualified_name + "  " + rel + ":" + std::to_string(fn.line)});
+    dead.push_back(DeadSymbol{fn.qualified_name, fn.file, fn.line});
   }
-  std::sort(dead.begin(), dead.end(), [](const Dead& a, const Dead& b) {
-    if (a.rel_file != b.rel_file) return a.rel_file < b.rel_file;
+  std::sort(dead.begin(), dead.end(), [](const DeadSymbol& a, const DeadSymbol& b) {
+    const std::string ra = RepoRelative(a.file);
+    const std::string rb = RepoRelative(b.file);
+    if (ra != rb) return ra < rb;
     if (a.line != b.line) return a.line < b.line;
-    return a.text < b.text;
+    return a.qualified_name < b.qualified_name;
   });
+  return dead;
+}
+
+std::vector<std::string> DeadSymbolReport(const SymbolIndex& index) {
   std::vector<std::string> out;
-  out.reserve(dead.size());
-  for (Dead& d : dead) {
-    out.push_back(std::move(d.text));
+  for (const DeadSymbol& d : DeadSymbols(index)) {
+    const std::string rel = RepoRelative(d.file);
+    out.push_back(d.qualified_name + "  " + rel + ":" + std::to_string(d.line));
   }
   return out;
+}
+
+std::vector<DeadWaiver> ParseDeadWaivers(const std::string& path,
+                                         const std::string& contents,
+                                         std::vector<Finding>* findings) {
+  std::vector<DeadWaiver> waivers;
+  std::istringstream in(contents);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') {
+      continue;
+    }
+    // Continuation lines (indented) extend the previous justification.
+    if (first > 0 && !waivers.empty()) {
+      waivers.back().justification += " " + line.substr(first);
+      continue;
+    }
+    const size_t name_end = line.find_first_of(" \t", first);
+    const std::string name =
+        line.substr(first, name_end == std::string::npos ? std::string::npos
+                                                         : name_end - first);
+    std::string justification;
+    if (name_end != std::string::npos) {
+      const size_t just = line.find_first_not_of(" \t", name_end);
+      if (just != std::string::npos) {
+        justification = line.substr(just);
+      }
+    }
+    if (justification.empty()) {
+      findings->push_back(
+          Finding{path, line_no, "dead-config",
+                  "dead-symbol waiver for '" + name +
+                      "' has no justification; every waiver must say why the "
+                      "symbol stays despite having no callers"});
+      continue;
+    }
+    waivers.push_back(DeadWaiver{name, justification, line_no});
+  }
+  return waivers;
+}
+
+void CheckDeadSymbols(const SymbolIndex& index, const std::vector<DeadWaiver>& waivers,
+                      const std::string& waivers_path, std::vector<Finding>* findings) {
+  const std::vector<DeadSymbol> dead = DeadSymbols(index);
+  std::vector<bool> used(waivers.size(), false);
+  for (const DeadSymbol& d : dead) {
+    bool waived = false;
+    for (size_t w = 0; w < waivers.size(); ++w) {
+      if (QualifiedSuffixMatches(d.qualified_name, waivers[w].function)) {
+        used[w] = true;
+        waived = true;
+      }
+    }
+    if (!waived) {
+      findings->push_back(
+          Finding{d.file, d.line, "dead-symbol",
+                  "'" + d.qualified_name +
+                      "' has no references anywhere in the scan unit; delete it "
+                      "or waive it with a justification in the dead-symbol "
+                      "waiver file"});
+    }
+  }
+  for (size_t w = 0; w < waivers.size(); ++w) {
+    if (!used[w]) {
+      findings->push_back(
+          Finding{waivers_path, waivers[w].line, "stale-dead-waiver",
+                  "dead-symbol waiver for '" + waivers[w].function +
+                      "' no longer matches any dead definition; delete it"});
+    }
+  }
 }
 
 }  // namespace webcc::analyze

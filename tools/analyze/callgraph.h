@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "tools/analyze/source.h"
 #include "tools/analyze/symbols.h"
 
 namespace webcc::analyze {
@@ -46,10 +47,52 @@ struct CallGraph {
 
 CallGraph BuildCallGraph(const SymbolIndex& index);
 
+// Resolves one call site of `index.functions[caller]` to candidate
+// definition indices, applying the filters described above (root fencing,
+// spelled receiver, same-class preference). Sorted ascending; never contains
+// `caller` itself. This is the same resolution BuildCallGraph aggregates —
+// exposed so the pass-5 lock analysis can resolve per call site.
+std::vector<size_t> ResolveCallCandidates(const SymbolIndex& index, size_t caller,
+                                          const CallUse& call);
+
+// True when `entry` names `qualified_name` exactly or as a trailing suffix
+// on a '::' boundary ("ThreadPool::Wait" matches "webcc::ThreadPool::Wait").
+// The match rule every waiver list in the analyzer uses.
+bool QualifiedSuffixMatches(const std::string& qualified_name, const std::string& entry);
+
 // One line per dead definition: "qualified_name  file:line", sorted by
 // repo-relative file, then line. See the header comment for what "dead"
 // means here.
 std::vector<std::string> DeadSymbolReport(const SymbolIndex& index);
+
+// Structured form of the same report, for the gated mode.
+struct DeadSymbol {
+  std::string qualified_name;
+  std::string file;  // path as scanned
+  size_t line = 0;
+};
+std::vector<DeadSymbol> DeadSymbols(const SymbolIndex& index);
+
+// A dead-symbol waiver: same file contract as the taint waivers (name plus
+// mandatory justification, indented continuation lines, '#' comments).
+struct DeadWaiver {
+  std::string function;       // qualified-name suffix
+  std::string justification;  // mandatory, free text
+  size_t line = 0;            // 1-based line in the waiver file
+};
+
+// Parses the waiver list. Malformed lines (no justification) append
+// `dead-config` findings against `path` and are skipped.
+std::vector<DeadWaiver> ParseDeadWaivers(const std::string& path,
+                                         const std::string& contents,
+                                         std::vector<Finding>* findings);
+
+// The gated dead-symbol check: every dead definition must match a waiver
+// (`dead-symbol` findings otherwise), and every waiver must still match a
+// dead definition (`stale-dead-waiver` findings otherwise — same ratchet as
+// the baseline and the taint waivers).
+void CheckDeadSymbols(const SymbolIndex& index, const std::vector<DeadWaiver>& waivers,
+                      const std::string& waivers_path, std::vector<Finding>* findings);
 
 }  // namespace webcc::analyze
 

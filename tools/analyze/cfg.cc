@@ -1,0 +1,738 @@
+#include "tools/analyze/cfg.h"
+
+#include <map>
+#include <set>
+
+namespace webcc::analyze {
+namespace {
+
+constexpr size_t kDead = static_cast<size_t>(-1);
+
+bool IsAllCaps(const std::string& t) {
+  bool has_alpha = false;
+  for (const char c : t) {
+    if (c >= 'a' && c <= 'z') {
+      return false;
+    }
+    if (c >= 'A' && c <= 'Z') {
+      has_alpha = true;
+    }
+  }
+  return has_alpha;
+}
+
+bool IsCallExcludedKeyword(const std::string& t) {
+  static const std::set<std::string>* kw = new std::set<std::string>{
+      "if",       "for",     "while",     "switch",        "return",   "sizeof",
+      "alignof",  "alignas", "catch",     "throw",         "new",      "delete",
+      "decltype", "typeid",  "noexcept",  "static_assert", "co_await", "co_return",
+      "co_yield", "static_cast", "dynamic_cast", "const_cast", "reinterpret_cast"};
+  return kw->count(t) != 0;
+}
+
+bool IsLockClass(const std::string& t) {
+  return t == "lock_guard" || t == "unique_lock" || t == "scoped_lock" ||
+         t == "shared_lock";
+}
+
+bool IsCvWaitName(const std::string& t) {
+  return t == "wait" || t == "wait_for" || t == "wait_until";
+}
+
+// --- The builder ------------------------------------------------------------
+
+class CfgBuilder {
+ public:
+  explicit CfgBuilder(const std::vector<const Token*>& sig) : sig_(sig) {
+    cfg_.nodes.resize(2);  // kEntry, kExit
+  }
+
+  // `scan_begin` may precede `body_open` (ctor init list); `body_end` is one
+  // past the closing brace.
+  Cfg Build(size_t scan_begin, size_t body_open, size_t body_end) {
+    PushScope();
+    size_t cur = Cfg::kEntry;
+    if (scan_begin < body_open) {
+      ScanExpr(scan_begin, body_open, cur);
+    }
+    size_t i = body_open + 1;
+    cur = ParseStmts(&i, body_end > 0 ? body_end - 1 : 0, cur);
+    cur = CloseScope(cur);
+    if (cur != kDead) {
+      Edge(cur, Cfg::kExit);
+    }
+    return std::move(cfg_);
+  }
+
+ private:
+  struct LoopCtx {
+    size_t break_to = kDead;
+    size_t continue_to = kDead;  // kDead inside a switch
+    size_t guard_depth = 0;
+  };
+
+  const std::string& Text(size_t i) const {
+    static const std::string empty;
+    return i < sig_.size() ? sig_[i]->text : empty;
+  }
+  bool IsIdent(size_t i) const {
+    return i < sig_.size() && sig_[i]->kind == TokenKind::kIdentifier;
+  }
+  bool IsPunct(size_t i, const char* p) const {
+    return i < sig_.size() && sig_[i]->kind == TokenKind::kPunct && sig_[i]->text == p;
+  }
+  size_t Line(size_t i) const { return i < sig_.size() ? sig_[i]->line : 0; }
+
+  size_t SkipParens(size_t i) const { return SkipBalanced(i, "(", ")"); }
+  size_t SkipBraces(size_t i) const { return SkipBalanced(i, "{", "}"); }
+  size_t SkipBrackets(size_t i) const { return SkipBalanced(i, "[", "]"); }
+
+  size_t SkipBalanced(size_t i, const char* open, const char* close) const {
+    int depth = 0;
+    while (i < sig_.size()) {
+      if (IsPunct(i, open)) {
+        ++depth;
+      } else if (IsPunct(i, close)) {
+        --depth;
+        if (depth == 0) {
+          return i + 1;
+        }
+      }
+      ++i;
+    }
+    return i;
+  }
+
+  size_t NewNode() {
+    cfg_.nodes.emplace_back();
+    return cfg_.nodes.size() - 1;
+  }
+  void Edge(size_t from, size_t to) {
+    if (from != kDead && to != kDead) {
+      cfg_.nodes[from].succ.push_back(to);
+    }
+  }
+  void Emit(size_t node, CfgEvent ev) {
+    if (node != kDead) {
+      cfg_.nodes[node].events.push_back(std::move(ev));
+    }
+  }
+
+  // --- Guard scopes ---------------------------------------------------------
+
+  void PushScope() { scope_guards_.emplace_back(); }
+
+  // Emits the implicit releases for the innermost scope into `cur` and pops
+  // it. Returns `cur` unchanged (the unlocks only matter on live paths).
+  size_t CloseScope(size_t cur) {
+    if (!scope_guards_.empty()) {
+      const std::vector<std::string>& guards = scope_guards_.back();
+      for (size_t g = guards.size(); g > 0; --g) {
+        Emit(cur, CfgEvent{CfgEventKind::kUnlock, guards[g - 1], {}, 0, false, 0});
+      }
+      scope_guards_.pop_back();
+    }
+    return cur;
+  }
+
+  // Emits releases for every scope deeper than `depth` (a jump out of those
+  // scopes) without popping — the scopes stay open for the fall-through path.
+  void UnwindTo(size_t depth, size_t cur) {
+    for (size_t s = scope_guards_.size(); s > depth; --s) {
+      const std::vector<std::string>& guards = scope_guards_[s - 1];
+      for (size_t g = guards.size(); g > 0; --g) {
+        Emit(cur, CfgEvent{CfgEventKind::kUnlock, guards[g - 1], {}, 0, false, 0});
+      }
+    }
+  }
+
+  // --- Statements -----------------------------------------------------------
+
+  size_t ParseStmts(size_t* i, size_t end, size_t cur) {
+    while (*i < end) {
+      if (cur == kDead) {
+        cur = NewNode();  // unreachable island: keeps parsing aligned
+      }
+      cur = ParseStmt(i, end, cur);
+    }
+    return cur;
+  }
+
+  // Parses one statement starting at *i, advancing *i past it. Returns the
+  // node where control falls out, or kDead when every path jumped away.
+  size_t ParseStmt(size_t* i, size_t end, size_t cur) {
+    if (*i >= end) {
+      return cur;
+    }
+    if (IsPunct(*i, "{")) {
+      return ParseBlock(i, cur);
+    }
+    if (IsPunct(*i, ";")) {
+      ++*i;
+      return cur;
+    }
+    if (IsIdent(*i)) {
+      const std::string& t = Text(*i);
+      if (t == "if") {
+        return ParseIf(i, end, cur);
+      }
+      if (t == "while") {
+        return ParseWhile(i, end, cur);
+      }
+      if (t == "for") {
+        return ParseFor(i, end, cur);
+      }
+      if (t == "do") {
+        return ParseDo(i, end, cur);
+      }
+      if (t == "switch") {
+        return ParseSwitch(i, end, cur);
+      }
+      if (t == "try") {
+        return ParseTry(i, end, cur);
+      }
+      if (t == "return" || t == "throw" || t == "co_return" || t == "goto") {
+        const size_t stmt_end = StatementEnd(*i + 1, end);
+        ScanExpr(*i + 1, stmt_end, cur);
+        UnwindTo(0, cur);
+        Edge(cur, Cfg::kExit);
+        *i = stmt_end < end ? stmt_end + 1 : end;
+        return kDead;
+      }
+      if (t == "break" || t == "continue") {
+        const bool is_continue = t == "continue";
+        for (size_t c = ctx_.size(); c > 0; --c) {
+          const LoopCtx& ctx = ctx_[c - 1];
+          const size_t target = is_continue ? ctx.continue_to : ctx.break_to;
+          if (target == kDead) {
+            continue;  // `continue` passes through enclosing switches
+          }
+          UnwindTo(ctx.guard_depth, cur);
+          Edge(cur, target);
+          *i = StatementEnd(*i, end);
+          if (*i < end) {
+            ++*i;  // past ';'
+          }
+          return kDead;
+        }
+        // Stray break/continue (malformed): treat as a terminator.
+        UnwindTo(0, cur);
+        Edge(cur, Cfg::kExit);
+        *i = StatementEnd(*i, end);
+        if (*i < end) {
+          ++*i;
+        }
+        return kDead;
+      }
+      if (t == "case" || t == "default") {
+        // Label outside the switch walker (defensive): skip to the colon.
+        while (*i < end && !IsPunct(*i, ":")) {
+          ++*i;
+        }
+        if (*i < end) {
+          ++*i;
+        }
+        return cur;
+      }
+      if (t == "else") {
+        ++*i;  // stray else: recover
+        return cur;
+      }
+    }
+    // Simple statement (declaration, expression, ...).
+    const size_t stmt_end = StatementEnd(*i, end);
+    ScanExpr(*i, stmt_end, cur);
+    *i = stmt_end < end ? stmt_end + 1 : end;
+    return cur;
+  }
+
+  // Index of the next ';' at balance zero, or `end`.
+  size_t StatementEnd(size_t i, size_t end) const {
+    while (i < end) {
+      if (IsPunct(i, "(")) {
+        i = SkipParens(i);
+      } else if (IsPunct(i, "[")) {
+        i = SkipBrackets(i);
+      } else if (IsPunct(i, "{")) {
+        i = SkipBraces(i);
+      } else if (IsPunct(i, ";")) {
+        return i;
+      } else {
+        ++i;
+      }
+    }
+    return end;
+  }
+
+  size_t ParseBlock(size_t* i, size_t cur) {
+    const size_t close = SkipBraces(*i);  // one past '}'
+    size_t j = *i + 1;
+    PushScope();
+    cur = ParseStmts(&j, close > 0 ? close - 1 : 0, cur);
+    cur = CloseScope(cur);
+    *i = close;
+    return cur;
+  }
+
+  // A branch body: `{ ... }` or a single statement (own guard scope).
+  size_t ParseBranch(size_t* i, size_t end, size_t cur) {
+    if (IsPunct(*i, "{")) {
+      return ParseBlock(i, cur);
+    }
+    PushScope();
+    cur = ParseStmt(i, end, cur);
+    return CloseScope(cur);
+  }
+
+  size_t ParseIf(size_t* i, size_t end, size_t cur) {
+    ++*i;  // past 'if'
+    if (IsIdent(*i) && Text(*i) == "constexpr") {
+      ++*i;
+    }
+    if (!IsPunct(*i, "(")) {
+      return cur;  // malformed; re-examine next token as a new statement
+    }
+    const size_t close = SkipParens(*i);
+    ScanExpr(*i + 1, close > 0 ? close - 1 : 0, cur);
+    *i = close;
+
+    const size_t then_entry = NewNode();
+    Edge(cur, then_entry);
+    const size_t then_exit = ParseBranch(i, end, then_entry);
+
+    if (IsIdent(*i) && Text(*i) == "else") {
+      ++*i;
+      const size_t else_entry = NewNode();
+      Edge(cur, else_entry);
+      const size_t else_exit = ParseBranch(i, end, else_entry);
+      if (then_exit == kDead && else_exit == kDead) {
+        return kDead;
+      }
+      const size_t join = NewNode();
+      Edge(then_exit, join);
+      Edge(else_exit, join);
+      return join;
+    }
+    const size_t join = NewNode();
+    Edge(cur, join);  // the condition-false path
+    Edge(then_exit, join);
+    return join;
+  }
+
+  size_t ParseWhile(size_t* i, size_t end, size_t cur) {
+    ++*i;  // past 'while'
+    if (!IsPunct(*i, "(")) {
+      return cur;
+    }
+    const size_t head = NewNode();
+    Edge(cur, head);
+    const size_t close = SkipParens(*i);
+    ScanExpr(*i + 1, close > 0 ? close - 1 : 0, head);
+    *i = close;
+
+    const size_t body_entry = NewNode();
+    const size_t after = NewNode();
+    Edge(head, body_entry);
+    Edge(head, after);
+    ctx_.push_back(LoopCtx{after, head, scope_guards_.size()});
+    const size_t body_exit = ParseBranch(i, end, body_entry);
+    ctx_.pop_back();
+    Edge(body_exit, head);
+    return after;
+  }
+
+  size_t ParseFor(size_t* i, size_t end, size_t cur) {
+    ++*i;  // past 'for'
+    if (!IsPunct(*i, "(")) {
+      return cur;
+    }
+    // Init/cond/step (or range decl) all land in the loop head; a guard
+    // declared in the init scopes to the loop.
+    PushScope();
+    const size_t head = NewNode();
+    Edge(cur, head);
+    const size_t close = SkipParens(*i);
+    ScanExpr(*i + 1, close > 0 ? close - 1 : 0, head);
+    *i = close;
+
+    const size_t body_entry = NewNode();
+    const size_t after = NewNode();
+    Edge(head, body_entry);
+    Edge(head, after);
+    ctx_.push_back(LoopCtx{after, head, scope_guards_.size()});
+    const size_t body_exit = ParseBranch(i, end, body_entry);
+    ctx_.pop_back();
+    Edge(body_exit, head);
+    CloseScope(after);
+    return after;
+  }
+
+  size_t ParseDo(size_t* i, size_t end, size_t cur) {
+    ++*i;  // past 'do'
+    const size_t body_entry = NewNode();
+    Edge(cur, body_entry);
+    const size_t cond = NewNode();
+    const size_t after = NewNode();
+    ctx_.push_back(LoopCtx{after, cond, scope_guards_.size()});
+    const size_t body_exit = ParseBranch(i, end, body_entry);
+    ctx_.pop_back();
+    Edge(body_exit, cond);
+    if (IsIdent(*i) && Text(*i) == "while" && IsPunct(*i + 1, "(")) {
+      const size_t close = SkipParens(*i + 1);
+      ScanExpr(*i + 2, close > 0 ? close - 1 : 0, cond);
+      *i = close;
+      if (IsPunct(*i, ";")) {
+        ++*i;
+      }
+    }
+    Edge(cond, body_entry);
+    Edge(cond, after);
+    return after;
+  }
+
+  size_t ParseSwitch(size_t* i, size_t end, size_t cur) {
+    ++*i;  // past 'switch'
+    if (!IsPunct(*i, "(")) {
+      return cur;
+    }
+    const size_t close = SkipParens(*i);
+    ScanExpr(*i + 1, close > 0 ? close - 1 : 0, cur);
+    *i = close;
+    if (!IsPunct(*i, "{")) {
+      // Degenerate single-statement switch: parse and fall through.
+      return ParseStmt(i, end, cur);
+    }
+    const size_t body_close = SkipBraces(*i);  // one past '}'
+    size_t j = *i + 1;
+    const size_t body_end = body_close > 0 ? body_close - 1 : 0;
+    const size_t after = NewNode();
+    ctx_.push_back(LoopCtx{after, kDead, scope_guards_.size()});
+    PushScope();
+    size_t seg = kDead;
+    bool has_default = false;
+    while (j < body_end) {
+      if (IsIdent(j) && Text(j) == "case") {
+        while (j < body_end && !IsPunct(j, ":")) {
+          if (IsPunct(j, "(")) {
+            j = SkipParens(j);
+          } else {
+            ++j;
+          }
+        }
+        if (j < body_end) {
+          ++j;  // past ':'
+        }
+        const size_t next = NewNode();
+        Edge(cur, next);
+        Edge(seg, next);  // fallthrough from the previous label's segment
+        seg = next;
+        continue;
+      }
+      if (IsIdent(j) && Text(j) == "default" && IsPunct(j + 1, ":")) {
+        j += 2;
+        const size_t next = NewNode();
+        Edge(cur, next);
+        Edge(seg, next);
+        seg = next;
+        has_default = true;
+        continue;
+      }
+      if (seg == kDead) {
+        seg = NewNode();  // statements before the first label: unreachable
+      }
+      seg = ParseStmt(&j, body_end, seg);
+    }
+    seg = CloseScope(seg);
+    ctx_.pop_back();
+    Edge(seg, after);
+    if (!has_default) {
+      Edge(cur, after);
+    }
+    *i = body_close;
+    return after;
+  }
+
+  size_t ParseTry(size_t* i, size_t end, size_t cur) {
+    ++*i;  // past 'try'
+    const size_t pre = cur;
+    const size_t try_exit = ParseBranch(i, end, cur);
+    const size_t join = NewNode();
+    Edge(try_exit, join);
+    while (IsIdent(*i) && Text(*i) == "catch") {
+      ++*i;
+      if (IsPunct(*i, "(")) {
+        *i = SkipParens(*i);
+      }
+      // Conservative: the handler can be entered from anywhere inside the
+      // try, so it starts from the lockset at try entry (any guard opened
+      // inside the try block was released by unwinding).
+      const size_t c_entry = NewNode();
+      Edge(pre, c_entry);
+      const size_t c_exit = ParseBranch(i, end, c_entry);
+      Edge(c_exit, join);
+    }
+    return join;
+  }
+
+  // --- Expressions ----------------------------------------------------------
+
+  // Scans [from, to) into `cur`, emitting events in token order. Lambda
+  // bodies become sub-CFGs and are skipped in this walk.
+  void ScanExpr(size_t from, size_t to, size_t cur) {
+    std::vector<std::string> call_stack;  // callee name per open paren ("" = grouping)
+    size_t i = from;
+    while (i < to) {
+      if (IsPunct(i, "(")) {
+        const bool call = i > 0 && IsIdent(i - 1) && !IsCallExcludedKeyword(Text(i - 1));
+        call_stack.push_back(call ? Text(i - 1) : std::string());
+        ++i;
+        continue;
+      }
+      if (IsPunct(i, ")")) {
+        if (!call_stack.empty()) {
+          call_stack.pop_back();
+        }
+        ++i;
+        continue;
+      }
+      if (IsPunct(i, "[")) {
+        i = ScanMaybeLambda(i, to, cur, call_stack);
+        continue;
+      }
+      if (!IsIdent(i)) {
+        ++i;
+        continue;
+      }
+
+      const std::string& t = Text(i);
+      const size_t line = Line(i);
+      Emit(cur, CfgEvent{CfgEventKind::kAccess, t, {}, 0, false, line});
+
+      // Guard construction: lock_guard<...> var(mu) / var{mu}.
+      if (IsLockClass(t)) {
+        size_t j = i + 1;
+        if (IsPunct(j, "<")) {
+          j = SkipAnglesAt(j);
+        }
+        if (IsIdent(j) && (IsPunct(j + 1, "(") || IsPunct(j + 1, "{"))) {
+          const std::string mutex = FirstArgMutex(j + 2);
+          if (!mutex.empty()) {
+            Emit(cur, CfgEvent{CfgEventKind::kLock, mutex, {}, 0, false, line});
+            if (!scope_guards_.empty()) {
+              scope_guards_.back().push_back(mutex);
+            }
+            guard_mutex_[Text(j)] = mutex;
+          }
+        }
+      }
+
+      // Explicit x.lock() / x.unlock() — `x` may be a guard variable.
+      if ((IsPunct(i + 1, ".") || IsPunct(i + 1, "->")) &&
+          (Text(i + 2) == "lock" || Text(i + 2) == "unlock") && IsPunct(i + 3, "(")) {
+        const auto it = guard_mutex_.find(t);
+        const std::string mutex = it != guard_mutex_.end() ? it->second : t;
+        const CfgEventKind kind =
+            Text(i + 2) == "lock" ? CfgEventKind::kLock : CfgEventKind::kUnlock;
+        Emit(cur, CfgEvent{kind, mutex, {}, 0, false, Line(i + 2)});
+      }
+
+      // Condition-variable waits: cv.wait(lk[, pred]) and friends.
+      if (IsCvWaitName(t) && i > 0 && (IsPunct(i - 1, ".") || IsPunct(i - 1, "->")) &&
+          IsPunct(i + 1, "(") && IsIdent(i + 2)) {
+        const auto it = guard_mutex_.find(Text(i + 2));
+        const std::string mutex = it != guard_mutex_.end() ? it->second : Text(i + 2);
+        Emit(cur, CfgEvent{CfgEventKind::kCvWait, mutex, {}, 0, false, line});
+      }
+
+      // Call sites, spelled like the symbol indexer spells them.
+      if (IsPunct(i + 1, "(") && !IsAllCaps(t) && !IsCallExcludedKeyword(t)) {
+        CallUse call;
+        call.callee = t;
+        call.line = line;
+        if (i > 0 && (IsPunct(i - 1, ".") || IsPunct(i - 1, "->"))) {
+          const bool via_this = i >= 2 && IsPunct(i - 1, "->") && Text(i - 2) == "this";
+          call.receiver = via_this ? CallReceiver::kPlain : CallReceiver::kMember;
+        } else if (i > 0 && IsPunct(i - 1, "::")) {
+          size_t name_pos = i;
+          call.qualifier = QualifierBefore(&name_pos);
+          call.receiver = CallReceiver::kScoped;
+        }
+        Emit(cur, CfgEvent{CfgEventKind::kCall, t, std::move(call), 0, false, line});
+      }
+      ++i;
+    }
+  }
+
+  // At a '[': either an attribute, a subscript, or a lambda-introducer.
+  // Returns the index to resume the surrounding walk at.
+  size_t ScanMaybeLambda(size_t i, size_t to, size_t cur,
+                         const std::vector<std::string>& call_stack) {
+    if (IsPunct(i + 1, "[")) {
+      return SkipBrackets(i);  // [[attribute]]
+    }
+    const bool subscript =
+        i > 0 && (IsIdent(i - 1) || IsPunct(i - 1, ")") || IsPunct(i - 1, "]") ||
+                  sig_[i - 1]->kind == TokenKind::kNumber ||
+                  sig_[i - 1]->kind == TokenKind::kString);
+    if (subscript) {
+      // Subscript contents are part of this expression; walk into them.
+      return i + 1;
+    }
+    const size_t capture_close = SkipBrackets(i);  // one past ']'
+    // Captures are evaluated at the creation point: record their identifiers.
+    for (size_t c = i + 1; c + 1 < capture_close; ++c) {
+      if (IsIdent(c)) {
+        Emit(cur, CfgEvent{CfgEventKind::kAccess, Text(c), {}, 0, false, Line(c)});
+      }
+    }
+    size_t j = capture_close;
+    if (IsPunct(j, "(")) {
+      j = SkipParens(j);  // parameter list: declarations, not accesses
+    }
+    // Specifiers / trailing return type, bounded so a genuine subscript in
+    // odd context cannot send us far afield.
+    size_t budget = 16;
+    while (j < to && !IsPunct(j, "{") && budget-- > 0) {
+      if (IsPunct(j, "(")) {
+        j = SkipParens(j);
+      } else if (IsPunct(j, "<")) {
+        j = SkipAnglesAt(j);
+      } else {
+        ++j;
+      }
+    }
+    if (!IsPunct(j, "{")) {
+      return i + 1;  // not a lambda after all; walk the contents normally
+    }
+    const size_t body_close = SkipBraces(j);  // one past '}'
+    CfgBuilder inner(sig_);
+    cfg_.lambdas.push_back(inner.Build(j + 1, j, body_close));
+    const bool cv_predicate = !call_stack.empty() && IsCvWaitName(call_stack.back());
+    const bool iife = IsPunct(body_close, "(");
+    CfgEvent ev;
+    ev.kind = CfgEventKind::kLambda;
+    ev.lambda = cfg_.lambdas.size() - 1;
+    ev.deferred = !(cv_predicate || iife);
+    ev.line = Line(i);
+    Emit(cur, std::move(ev));
+    return body_close;
+  }
+
+  // First constructor argument starting at `a`: the last identifier before
+  // the first ',' or closer at depth zero (same shape the indexer uses).
+  std::string FirstArgMutex(size_t a) const {
+    std::string mutex;
+    int depth = 0;
+    while (a < sig_.size()) {
+      if (IsPunct(a, "(")) {
+        ++depth;
+      } else if (IsPunct(a, ")") || IsPunct(a, "}")) {
+        if (depth-- == 0) {
+          break;
+        }
+      } else if (depth == 0 && IsPunct(a, ",")) {
+        break;
+      } else if (IsIdent(a)) {
+        mutex = Text(a);
+      }
+      ++a;
+    }
+    return mutex;
+  }
+
+  size_t SkipAnglesAt(size_t i) const {
+    int depth = 0;
+    int parens = 0;
+    while (i < sig_.size()) {
+      if (IsPunct(i, "(") || IsPunct(i, "[")) {
+        ++parens;
+      } else if (IsPunct(i, ")") || IsPunct(i, "]")) {
+        --parens;
+      } else if (parens == 0) {
+        if (IsPunct(i, "<")) {
+          ++depth;
+        } else if (IsPunct(i, ">")) {
+          if (--depth == 0) {
+            return i + 1;
+          }
+        } else if (IsPunct(i, ">>")) {
+          depth -= 2;
+          if (depth <= 0) {
+            return i + 1;
+          }
+        } else if (IsPunct(i, ";")) {
+          return i;
+        }
+      }
+      ++i;
+    }
+    return i;
+  }
+
+  std::string QualifierBefore(size_t* j) const {
+    std::string qualifier;
+    size_t k = *j;
+    while (k >= 2 && IsPunct(k - 1, "::")) {
+      const size_t part_end = k - 1;
+      size_t part = part_end;
+      if (IsIdent(part_end - 1)) {
+        part = part_end - 1;
+      } else {
+        break;
+      }
+      qualifier = qualifier.empty() ? Text(part) : Text(part) + "::" + qualifier;
+      k = part;
+      if (k == 0) {
+        break;
+      }
+    }
+    *j = k;
+    return qualifier;
+  }
+
+  const std::vector<const Token*>& sig_;
+  Cfg cfg_;
+  std::vector<LoopCtx> ctx_;
+  std::vector<std::vector<std::string>> scope_guards_;
+  std::map<std::string, std::string> guard_mutex_;
+};
+
+}  // namespace
+
+std::vector<const Token*> SignificantTokens(const LexedFile& file) {
+  std::vector<const Token*> sig;
+  sig.reserve(file.tokens.size());
+  for (const Token& t : file.tokens) {
+    if (t.kind != TokenKind::kComment && !t.in_preprocessor) {
+      sig.push_back(&t);
+    }
+  }
+  return sig;
+}
+
+bool FindingWaivedInline(const LexedFile& file, size_t line, const std::string& rule) {
+  if (line >= 1 && line <= file.raw_lines.size() &&
+      file.raw_lines[line - 1].find("webcc-lint: allow(" + rule + ")") !=
+          std::string::npos) {
+    return true;
+  }
+  const std::string file_marker = "webcc-lint: allow-file(" + rule + ")";
+  for (const std::string& raw : file.raw_lines) {
+    if (raw.find(file_marker) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Cfg BuildCfgFromSig(const std::vector<const Token*>& sig, const FunctionSymbol& fn) {
+  CfgBuilder builder(sig);
+  return builder.Build(fn.sig_scan_begin, fn.sig_body_open, fn.sig_body_end);
+}
+
+Cfg BuildCfg(const LexedFile& file, const FunctionSymbol& fn) {
+  const std::vector<const Token*> sig = SignificantTokens(file);
+  return BuildCfgFromSig(sig, fn);
+}
+
+}  // namespace webcc::analyze

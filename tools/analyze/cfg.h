@@ -1,0 +1,94 @@
+// Pass 5 of webcc-analyze, stage 1: per-function control-flow graphs.
+//
+// Built on the same significant-token stream the symbol indexer walks
+// (tools/analyze/symbols.h records each definition's token span), the
+// builder recovers a linter-grade CFG per function body: if/else with
+// joins, while/for back edges, do/while, switch with fallthrough and
+// default, break/continue/return/throw, try/catch, and nested lambdas as
+// sub-graphs. Expressions are not modelled as trees — each basic block
+// carries the ordered list of *events* the lock analysis needs:
+//
+//   kLock / kUnlock   lock_guard/unique_lock/scoped_lock/shared_lock
+//                     construction, explicit mu.lock()/mu.unlock(), and the
+//                     implicit release when a guard's scope closes (break,
+//                     continue, and return paths release the guards of every
+//                     scope they exit);
+//   kCvWait           cv.wait/wait_for/wait_until(lk, ...) — the mutex named
+//                     is the one the guard variable `lk` wraps;
+//   kAccess           every identifier use, for guarded-member checking;
+//   kCall             every call site, spelled like symbols.h CallUse;
+//   kLambda           a lambda expression; its body is a sub-CFG in
+//                     Cfg::lambdas. `deferred` is false only when the lambda
+//                     runs at the creation point under the creation lockset:
+//                     a condition-variable wait predicate, or an
+//                     immediately-invoked expression. Everything else —
+//                     thread bodies, pool tasks, stored callbacks — runs
+//                     later with an empty lockset.
+//
+// Same determinism contract as every other pass: identical bytes build
+// identical graphs, node indices are allocation-ordered, and the analysis
+// in tools/analyze/locks.h iterates them in index order.
+
+#ifndef WEBCC_TOOLS_ANALYZE_CFG_H_
+#define WEBCC_TOOLS_ANALYZE_CFG_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/lexer.h"
+#include "tools/analyze/symbols.h"
+
+namespace webcc::analyze {
+
+enum class CfgEventKind {
+  kLock,    // `name` is the mutex spelling as written (unqualified)
+  kUnlock,  // ditto
+  kCvWait,  // `name` is the mutex the waited-on guard wraps
+  kAccess,  // `name` is the identifier
+  kCall,    // `call` carries the callee
+  kLambda,  // `lambda` indexes Cfg::lambdas
+};
+
+struct CfgEvent {
+  CfgEventKind kind = CfgEventKind::kAccess;
+  std::string name;
+  CallUse call;
+  size_t lambda = 0;
+  bool deferred = false;  // kLambda only; see header comment
+  size_t line = 0;
+};
+
+struct CfgNode {
+  std::vector<CfgEvent> events;
+  std::vector<size_t> succ;
+};
+
+struct Cfg {
+  static constexpr size_t kEntry = 0;
+  static constexpr size_t kExit = 1;
+  std::vector<CfgNode> nodes;  // [kEntry] and [kExit] always exist
+  std::vector<Cfg> lambdas;    // sub-graphs referenced by kLambda events
+};
+
+// Builds the CFG for one definition (`fn.sig_body_end > fn.sig_body_open`
+// required). `file` must be the file the symbol was indexed from.
+Cfg BuildCfg(const LexedFile& file, const FunctionSymbol& fn);
+
+// Same, over a significant-token stream the caller already computed (one
+// SignificantTokens() call per file instead of per function).
+Cfg BuildCfgFromSig(const std::vector<const Token*>& sig, const FunctionSymbol& fn);
+
+// The significant-token stream BuildCfg indexes into: every token of `file`
+// that is neither a comment nor inside a preprocessor directive, in order.
+std::vector<const Token*> SignificantTokens(const LexedFile& file);
+
+// True when a pass-5 finding of `rule` at `line` (1-based) of `file` is
+// waived inline: `webcc-lint: allow(<rule>)` on the finding line, or
+// `webcc-lint: allow-file(<rule>)` anywhere in the file — the same comment
+// grammar pass 1 honors.
+bool FindingWaivedInline(const LexedFile& file, size_t line, const std::string& rule);
+
+}  // namespace webcc::analyze
+
+#endif  // WEBCC_TOOLS_ANALYZE_CFG_H_

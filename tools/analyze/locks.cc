@@ -1,0 +1,523 @@
+#include "tools/analyze/locks.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "tools/analyze/cfg.h"
+#include "tools/analyze/layers.h"
+
+namespace webcc::analyze {
+namespace {
+
+constexpr size_t kNone = static_cast<size_t>(-1);
+constexpr size_t kOwnBlock = static_cast<size_t>(-2);
+
+// The directly-blocking call spellings. Everything else that blocks —
+// ThreadPool::Wait, Shutdown's joins, an origin exchange that sleeps —
+// reaches one of these transitively and is caught by chain propagation.
+bool IsBlockingPrimitive(const std::string& callee) {
+  return callee == "SleepNanos" || callee == "sleep_for" ||
+         callee == "sleep_until" || callee == "join";
+}
+
+struct EdgeInfo {
+  std::string file;
+  size_t line = 0;
+  bool declared = false;
+};
+
+struct HeldCall {
+  size_t caller = 0;            // index into SymbolIndex::functions
+  std::vector<size_t> targets;  // resolved candidate definitions, ascending
+  std::string callee;
+  std::vector<std::string> held;  // sorted (set order)
+  std::string file;
+  size_t line = 0;
+};
+
+class LockAnalysis {
+ public:
+  LockAnalysis(const std::vector<LexedFile>& files, const SymbolIndex& index,
+               std::vector<Finding>* findings, std::vector<std::string>* edges_out)
+      : index_(index), findings_(findings), edges_out_(edges_out) {
+    for (const LexedFile& f : files) {
+      file_by_path_[f.path] = &f;
+    }
+    for (const MutexMember& m : index.mutex_members) {
+      mutex_members_.insert(m.class_name + "::" + m.member);
+      mutex_by_class_[m.class_name].insert(m.member);
+    }
+    for (const GuardedMember& g : index.guarded_members) {
+      guarded_by_class_[g.class_name].push_back(&g);
+    }
+  }
+
+  void Run() {
+    const size_t n = index_.functions.size();
+    block_via_.assign(n, kNone);
+    block_desc_.resize(n);
+    call_edges_.resize(n);
+    direct_acquires_.resize(n);
+
+    // Per-function CFG analysis, grouped by file so the significant-token
+    // stream is computed once per file.
+    std::map<std::string, std::vector<size_t>> by_file;
+    for (size_t i = 0; i < n; ++i) {
+      const FunctionSymbol& fn = index_.functions[i];
+      if (fn.is_definition && fn.sig_body_end > fn.sig_body_open &&
+          file_by_path_.count(fn.file) != 0) {
+        by_file[fn.file].push_back(i);
+      }
+    }
+    for (const auto& [path, fns] : by_file) {
+      const LexedFile& file = *file_by_path_.at(path);
+      const std::vector<const Token*> sig = SignificantTokens(file);
+      for (const size_t i : fns) {
+        const Cfg cfg = BuildCfgFromSig(sig, index_.functions[i]);
+        AnalyzeCfg(i, cfg, {}, false, file);
+      }
+    }
+
+    PropagateAcquires();
+    EmitCallEdges();
+    PropagateBlocking();
+    EmitBlockingChains();
+    AddDeclaredEdges();
+    ReportCycles();
+    RenderEdgeList();
+  }
+
+ private:
+  // --- Identity -------------------------------------------------------------
+
+  // A mutex spelling inside `fn`: a std::mutex-family member of the
+  // enclosing class qualifies to "Class::member"; anything else stays bare.
+  std::string Qualify(const FunctionSymbol& fn, const std::string& name) const {
+    if (name.find("::") != std::string::npos) {
+      return name;
+    }
+    const auto it = mutex_by_class_.find(fn.scope);
+    if (it != mutex_by_class_.end() && it->second.count(name) != 0) {
+      return fn.scope + "::" + name;
+    }
+    return name;
+  }
+
+  static bool IsCtorOrDtor(const FunctionSymbol& fn) {
+    if (!fn.name.empty() && fn.name[0] == '~') {
+      return true;
+    }
+    const size_t last_sep = fn.scope.rfind("::");
+    const std::string scope_tail =
+        last_sep == std::string::npos ? fn.scope : fn.scope.substr(last_sep + 2);
+    return fn.name == scope_tail;
+  }
+
+  std::string Where(const std::string& file, size_t line) const {
+    return RepoRelative(file) + ":" + std::to_string(line);
+  }
+
+  void Emit(const std::string& file, size_t line, const char* rule, std::string message) {
+    const auto it = file_by_path_.find(file);
+    if (it != file_by_path_.end() && FindingWaivedInline(*it->second, line, rule)) {
+      return;
+    }
+    findings_->push_back(Finding{file, line, rule, std::move(message)});
+  }
+
+  void AddEdge(const std::string& before, const std::string& after,
+               const std::string& file, size_t line, bool declared) {
+    edges_.emplace(std::make_pair(before, after), EdgeInfo{file, line, declared});
+  }
+
+  // --- Per-function dataflow ------------------------------------------------
+
+  void AnalyzeCfg(size_t fi, const Cfg& cfg, const std::set<std::string>& entry,
+                  bool deferred_ctx, const LexedFile& file) {
+    const FunctionSymbol& fn = index_.functions[fi];
+    const size_t n = cfg.nodes.size();
+
+    // Must-hold sets: in[v] = intersection of out[u] over visited preds.
+    std::vector<std::set<std::string>> in(n);
+    std::vector<bool> visited(n, false);
+    std::deque<size_t> work;
+    in[Cfg::kEntry] = entry;
+    visited[Cfg::kEntry] = true;
+    work.push_back(Cfg::kEntry);
+    while (!work.empty()) {
+      const size_t cur = work.front();
+      work.pop_front();
+      std::set<std::string> out = in[cur];
+      for (const CfgEvent& ev : cfg.nodes[cur].events) {
+        if (ev.kind == CfgEventKind::kLock) {
+          out.insert(Qualify(fn, ev.name));
+        } else if (ev.kind == CfgEventKind::kUnlock) {
+          out.erase(Qualify(fn, ev.name));
+        }
+      }
+      for (const size_t succ : cfg.nodes[cur].succ) {
+        if (!visited[succ]) {
+          visited[succ] = true;
+          in[succ] = out;
+          work.push_back(succ);
+          continue;
+        }
+        std::set<std::string> merged;
+        std::set_intersection(in[succ].begin(), in[succ].end(), out.begin(),
+                              out.end(), std::inserter(merged, merged.begin()));
+        if (merged != in[succ]) {
+          in[succ] = std::move(merged);
+          work.push_back(succ);
+        }
+      }
+    }
+
+    // Replay each reachable node with its final in-state.
+    const bool check_members = fn.is_method && !IsCtorOrDtor(fn);
+    const auto guarded = guarded_by_class_.find(fn.scope);
+    for (size_t v = 0; v < n; ++v) {
+      if (!visited[v]) {
+        continue;  // unreachable (after unconditional return/break)
+      }
+      std::set<std::string> held = in[v];
+      for (const CfgEvent& ev : cfg.nodes[v].events) {
+        switch (ev.kind) {
+          case CfgEventKind::kLock: {
+            const std::string q = Qualify(fn, ev.name);
+            for (const std::string& h : held) {
+              AddEdge(h, q, fn.file, ev.line, false);
+            }
+            if (!deferred_ctx) {
+              direct_acquires_[fi].insert(q);
+            }
+            held.insert(q);
+            break;
+          }
+          case CfgEventKind::kUnlock:
+            held.erase(Qualify(fn, ev.name));
+            break;
+          case CfgEventKind::kCvWait: {
+            const std::string q = Qualify(fn, ev.name);
+            if (!deferred_ctx) {
+              block_via_[fi] = kOwnBlock;
+              if (block_desc_[fi].empty()) {
+                block_desc_[fi] = "condition-variable wait at " + Where(fn.file, ev.line);
+              }
+            }
+            std::set<std::string> others = held;
+            others.erase(q);
+            if (!others.empty() && blocking_seen_.insert({fn.file, ev.line}).second) {
+              Emit(fn.file, ev.line, "blocking-under-lock",
+                   "condition-variable wait on '" + q + "' while '" + *others.begin() +
+                       "' is also held; waiting with a second lock held stalls "
+                       "every thread that needs it");
+            }
+            break;
+          }
+          case CfgEventKind::kAccess: {
+            if (!check_members || guarded == guarded_by_class_.end()) {
+              break;
+            }
+            for (const GuardedMember* g : guarded->second) {
+              if (g->member != ev.name) {
+                continue;
+              }
+              const std::string q = Qualify(fn, g->mutex);
+              if (held.count(q) != 0) {
+                continue;
+              }
+              if (discipline_seen_.insert({fn.file, ev.line, g->member}).second) {
+                Emit(fn.file, ev.line, "lock-discipline",
+                     "'" + g->member + "' is WEBCC_GUARDED_BY(" + g->mutex +
+                         ") but '" + fn.qualified_name + "' reaches this use on a "
+                         "path where the mutex is not held");
+              }
+            }
+            break;
+          }
+          case CfgEventKind::kCall: {
+            const std::string& callee = ev.call.callee;
+            if (IsBlockingPrimitive(callee)) {
+              if (!deferred_ctx) {
+                block_via_[fi] = kOwnBlock;
+                if (block_desc_[fi].empty()) {
+                  block_desc_[fi] = "'" + callee + "' at " + Where(fn.file, ev.line);
+                }
+              }
+              if (!held.empty() && blocking_seen_.insert({fn.file, ev.line}).second) {
+                Emit(fn.file, ev.line, "blocking-under-lock",
+                     "call to blocking '" + callee + "' while holding '" +
+                         *held.begin() + "'; move the blocking call outside "
+                         "the critical section");
+              }
+            }
+            std::vector<size_t> targets = ResolveCallCandidates(index_, fi, ev.call);
+            if (targets.empty()) {
+              break;
+            }
+            if (!deferred_ctx) {
+              call_edges_[fi].insert(targets.begin(), targets.end());
+            }
+            if (!held.empty()) {
+              HeldCall hc;
+              hc.caller = fi;
+              hc.targets = std::move(targets);
+              hc.callee = callee;
+              hc.held.assign(held.begin(), held.end());
+              hc.file = fn.file;
+              hc.line = ev.line;
+              held_calls_.push_back(std::move(hc));
+            }
+            break;
+          }
+          case CfgEventKind::kLambda: {
+            if (ev.lambda < cfg.lambdas.size()) {
+              AnalyzeCfg(fi, cfg.lambdas[ev.lambda],
+                         ev.deferred ? std::set<std::string>() : held,
+                         deferred_ctx || ev.deferred, file);
+            }
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // --- Cross-TU propagation -------------------------------------------------
+
+  // may_acquire_[f]: every mutex f (or anything it calls, transitively,
+  // outside deferred lambdas) locks.
+  void PropagateAcquires() {
+    may_acquire_ = direct_acquires_;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t caller = 0; caller < call_edges_.size(); ++caller) {
+        for (const size_t callee : call_edges_[caller]) {
+          for (const std::string& m : may_acquire_[callee]) {
+            if (may_acquire_[caller].insert(m).second) {
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // A call made while holding `h` to a function that transitively acquires
+  // `b` is an observed order edge h -> b.
+  void EmitCallEdges() {
+    for (const HeldCall& hc : held_calls_) {
+      for (const size_t t : hc.targets) {
+        for (const std::string& b : may_acquire_[t]) {
+          for (const std::string& h : hc.held) {
+            AddEdge(h, b, hc.file, hc.line, false);
+          }
+        }
+      }
+    }
+  }
+
+  void PropagateBlocking() {
+    const size_t n = index_.functions.size();
+    std::vector<std::vector<size_t>> callers(n);
+    for (size_t caller = 0; caller < n; ++caller) {
+      for (const size_t callee : call_edges_[caller]) {
+        callers[callee].push_back(caller);
+      }
+    }
+    for (std::vector<size_t>& c : callers) {
+      std::sort(c.begin(), c.end());
+    }
+    std::deque<size_t> queue;
+    for (size_t i = 0; i < n; ++i) {
+      if (block_via_[i] == kOwnBlock) {
+        queue.push_back(i);
+      }
+    }
+    while (!queue.empty()) {
+      const size_t cur = queue.front();
+      queue.pop_front();
+      for (const size_t caller : callers[cur]) {
+        if (block_via_[caller] != kNone) {
+          continue;
+        }
+        block_via_[caller] = cur;
+        queue.push_back(caller);
+      }
+    }
+  }
+
+  void EmitBlockingChains() {
+    for (const HeldCall& hc : held_calls_) {
+      size_t target = kNone;
+      for (const size_t t : hc.targets) {
+        if (block_via_[t] != kNone) {
+          target = t;
+          break;
+        }
+      }
+      if (target == kNone || !blocking_seen_.insert({hc.file, hc.line}).second) {
+        continue;
+      }
+      std::string chain = index_.functions[hc.caller].qualified_name;
+      size_t cur = target;
+      chain += " -> " + index_.functions[cur].qualified_name;
+      while (block_via_[cur] != kOwnBlock) {
+        cur = block_via_[cur];
+        chain += " -> " + index_.functions[cur].qualified_name;
+      }
+      Emit(hc.file, hc.line, "blocking-under-lock",
+           "call to '" + hc.callee + "' while holding '" + hc.held.front() +
+               "' may block: " + chain + " reaches " + block_desc_[cur] +
+               "; move the blocking call outside the critical section");
+    }
+  }
+
+  // --- Lock-order graph -----------------------------------------------------
+
+  void AddDeclaredEdges() {
+    for (const DeclaredLockOrder& d : index_.declared_lock_order) {
+      const std::string after = d.class_name + "::" + d.member;
+      std::string before = d.before;
+      if (before.find("::") != std::string::npos) {
+        // Qualified spelling: resolve against known mutex members so
+        // "ThreadPool::mu_" and "webcc::ThreadPool::mu_" name the same node.
+        for (const std::string& mm : mutex_members_) {
+          if (QualifiedSuffixMatches(mm, before)) {
+            before = mm;
+            break;
+          }
+        }
+      } else if (mutex_by_class_.count(d.class_name) != 0 &&
+                 mutex_by_class_.at(d.class_name).count(before) != 0) {
+        before = d.class_name + "::" + before;
+      }
+      AddEdge(before, after, d.file, d.line, true);
+    }
+  }
+
+  void ReportCycles() {
+    std::map<std::string, std::vector<std::string>> adj;
+    for (const auto& [edge, info] : edges_) {
+      adj[edge.first].push_back(edge.second);
+      adj.emplace(edge.second, std::vector<std::string>());
+    }
+
+    std::set<std::vector<std::string>> reported;
+    std::map<std::string, int> color;  // 0 unvisited, 1 on stack, 2 done
+    std::vector<std::string> path;
+
+    // Iterative DFS with an explicit stack of (node, next-child) frames.
+    for (const auto& [start, unused] : adj) {
+      (void)unused;
+      if (color[start] != 0) {
+        continue;
+      }
+      std::vector<std::pair<std::string, size_t>> stack{{start, 0}};
+      color[start] = 1;
+      path.push_back(start);
+      while (!stack.empty()) {
+        auto& [node, child] = stack.back();
+        const std::vector<std::string>& succ = adj[node];
+        if (child >= succ.size()) {
+          color[node] = 2;
+          path.pop_back();
+          stack.pop_back();
+          continue;
+        }
+        const std::string next = succ[child++];
+        if (color[next] == 1) {
+          // Back edge: the cycle is the path suffix from `next`.
+          const auto at = std::find(path.begin(), path.end(), next);
+          std::vector<std::string> cycle(at, path.end());
+          const auto min_at = std::min_element(cycle.begin(), cycle.end());
+          std::rotate(cycle.begin(), min_at, cycle.end());
+          if (reported.insert(cycle).second) {
+            ReportCycle(cycle);
+          }
+          continue;
+        }
+        if (color[next] == 0) {
+          color[next] = 1;
+          path.push_back(next);
+          stack.emplace_back(next, 0);
+        }
+      }
+    }
+  }
+
+  void ReportCycle(const std::vector<std::string>& cycle) {
+    std::string names = cycle.front();
+    std::string provenance;
+    for (size_t i = 0; i < cycle.size(); ++i) {
+      const std::string& from = cycle[i];
+      const std::string& to = cycle[(i + 1) % cycle.size()];
+      names += " -> " + to;
+      const auto it = edges_.find({from, to});
+      if (it != edges_.end()) {
+        if (!provenance.empty()) {
+          provenance += ", ";
+        }
+        provenance += from + " -> " + to + " " +
+                      (it->second.declared ? "declared" : "observed") + " at " +
+                      Where(it->second.file, it->second.line);
+      }
+    }
+    const auto first = edges_.find({cycle.front(), cycle[1 % cycle.size()]});
+    const std::string file = first != edges_.end() ? first->second.file : "";
+    const size_t line = first != edges_.end() ? first->second.line : 0;
+    if (cycle.size() == 1) {
+      Emit(file, line, "lock-order",
+           "re-acquisition of held mutex '" + cycle.front() + "' (" + provenance +
+               "); std::mutex is not recursive — this deadlocks");
+      return;
+    }
+    Emit(file, line, "lock-order",
+         "lock-order cycle: " + names + " (" + provenance +
+             "); two threads taking these mutexes in opposite orders deadlock");
+  }
+
+  void RenderEdgeList() {
+    if (edges_out_ == nullptr) {
+      return;
+    }
+    for (const auto& [edge, info] : edges_) {
+      edges_out_->push_back(edge.first + " -> " + edge.second + "  (" +
+                            (info.declared ? "declared" : "observed") + " at " +
+                            Where(info.file, info.line) + ")");
+    }
+  }
+
+  const SymbolIndex& index_;
+  std::vector<Finding>* findings_;
+  std::vector<std::string>* edges_out_;
+
+  std::map<std::string, const LexedFile*> file_by_path_;
+  std::set<std::string> mutex_members_;
+  std::map<std::string, std::set<std::string>> mutex_by_class_;
+  std::map<std::string, std::vector<const GuardedMember*>> guarded_by_class_;
+
+  std::map<std::pair<std::string, std::string>, EdgeInfo> edges_;
+  std::vector<HeldCall> held_calls_;
+  std::vector<std::set<size_t>> call_edges_;          // caller -> callees (non-deferred)
+  std::vector<std::set<std::string>> direct_acquires_;
+  std::vector<std::set<std::string>> may_acquire_;
+  std::vector<size_t> block_via_;
+  std::vector<std::string> block_desc_;
+
+  std::set<std::pair<std::string, size_t>> blocking_seen_;
+  std::set<std::tuple<std::string, size_t, std::string>> discipline_seen_;
+};
+
+}  // namespace
+
+void CheckLocks(const std::vector<LexedFile>& files, const SymbolIndex& index,
+                std::vector<Finding>* findings,
+                std::vector<std::string>* lock_graph_edges) {
+  LockAnalysis(files, index, findings, lock_graph_edges).Run();
+}
+
+}  // namespace webcc::analyze

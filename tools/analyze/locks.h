@@ -1,0 +1,65 @@
+// Pass 5 of webcc-analyze, stage 2: flow-sensitive lock analysis.
+//
+// Three checks run over the per-function CFGs (tools/analyze/cfg.h) plus
+// the pass-4 call graph:
+//
+//   lock-discipline      The flow-sensitive upgrade of the lexical check in
+//                        tools/analyze/lockcheck.h: a WEBCC_GUARDED_BY
+//                        member access is clean only when the named mutex is
+//                        in the *must-hold* set — held on every CFG path
+//                        reaching the access, guard scopes and early
+//                        `.unlock()` included. Constructors and destructors
+//                        stay exempt (single-threaded by contract).
+//
+//   lock-order           A cross-TU lock-acquisition graph: an edge A -> B
+//                        is observed when B is acquired while A is held
+//                        (directly, or via a call whose callee transitively
+//                        acquires B), and declared by a
+//                        WEBCC_ACQUIRED_AFTER(A) annotation on member B.
+//                        Any cycle — including a self-edge from re-acquiring
+//                        a held mutex — is a potential deadlock.
+//
+//   blocking-under-lock  Calls to blocking primitives (SleepNanos,
+//                        sleep_for/until, thread join, condition-variable
+//                        waits) reachable while any mutex is held, reported
+//                        with the shortest call chain like the taint pass.
+//                        A cv wait is sanctioned when its own mutex is the
+//                        only lock held — that is the primitive working as
+//                        designed.
+//
+// Mutex identity: a lock naming a std::mutex-family member of the enclosing
+// class qualifies to "Class::member" so edges agree across translation
+// units; locals stay bare. Lambdas run against the lockset of their
+// creation point only when they execute there (cv-wait predicates,
+// immediately-invoked expressions); deferred lambdas start empty, and the
+// calls they make do not mark their *enclosing* function as blocking.
+//
+// Findings honor the pass-1 inline waivers (`webcc-lint: allow(<rule>)`),
+// which is how a justified real-tree exception is recorded.
+
+#ifndef WEBCC_TOOLS_ANALYZE_LOCKS_H_
+#define WEBCC_TOOLS_ANALYZE_LOCKS_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/analyze/callgraph.h"
+#include "tools/analyze/lexer.h"
+#include "tools/analyze/source.h"
+#include "tools/analyze/symbols.h"
+
+namespace webcc::analyze {
+
+// Runs all three checks and appends findings. Call resolution happens per
+// call site with the same filters pass 4 uses (ResolveCallCandidates). When
+// `lock_graph_edges` is non-null it receives one line per acquisition-graph
+// edge, "A -> B  (observed|declared at file:line)", sorted — the CI step
+// summary prints these so ordering drift is visible in review.
+// Deterministic for a given scan unit at any --jobs value.
+void CheckLocks(const std::vector<LexedFile>& files, const SymbolIndex& index,
+                std::vector<Finding>* findings,
+                std::vector<std::string>* lock_graph_edges);
+
+}  // namespace webcc::analyze
+
+#endif  // WEBCC_TOOLS_ANALYZE_LOCKS_H_

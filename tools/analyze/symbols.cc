@@ -38,6 +38,12 @@ bool IsLockClass(const std::string& t) {
          t == "shared_lock";
 }
 
+bool IsMutexClass(const std::string& t) {
+  return t == "mutex" || t == "recursive_mutex" || t == "timed_mutex" ||
+         t == "recursive_timed_mutex" || t == "shared_mutex" ||
+         t == "shared_timed_mutex";
+}
+
 bool IsBannedStdRandomName(const std::string& t) {
   return t == "mt19937" || t == "mt19937_64" || t == "minstd_rand" ||
          t == "minstd_rand0" || t == "random_device" || t == "default_random_engine" ||
@@ -222,6 +228,16 @@ class FileIndexer {
         HandleGuardedBy(i);
         // fall through to the default advance; the '(' is consumed below
       }
+      if (t == "WEBCC_ACQUIRED_AFTER" && InClassScope()) {
+        HandleAcquiredAfter(i);
+        // same fall-through: the argument tokens are consumed as parens
+      }
+      if (IsMutexClass(t) && InClassScope() && i >= 2 && Text(i - 2) == "std" &&
+          IsPunct(i - 1, "::") && IsIdent(i + 1) && !IsPunct(i + 2, "(")) {
+        // `std::mutex name_ ...;` data member (possibly annotated).
+        out_->mutex_members.push_back(
+            MutexMember{ScopePrefix(), Text(i + 1), file_.path, Line(i + 1)});
+      }
     }
     if (IsPunct(i, "(")) {
       if (!TryParseFunctionAtParen(i)) {
@@ -328,6 +344,30 @@ class FileIndexer {
     g.file = file_.path;
     g.line = Line(i);
     out_->guarded_members.push_back(std::move(g));
+  }
+
+  // `std::mutex member_ WEBCC_ACQUIRED_AFTER(other);` at class scope. The
+  // argument may be a bare member name or a qualified "Class::mu_" chain.
+  void HandleAcquiredAfter(size_t i) {
+    if (!(IsPunct(i + 1, "(") && (i > 0 && IsIdent(i - 1)))) {
+      return;
+    }
+    std::string before;
+    size_t a = i + 2;
+    while (IsIdent(a) || IsPunct(a, "::")) {
+      before += Text(a);
+      ++a;
+    }
+    if (before.empty() || !IsPunct(a, ")")) {
+      return;
+    }
+    DeclaredLockOrder d;
+    d.class_name = ScopePrefix();
+    d.member = Text(i - 1);
+    d.before = before;
+    d.file = file_.path;
+    d.line = Line(i);
+    out_->declared_lock_order.push_back(std::move(d));
   }
 
   // Walks a qualifier chain backwards from position `j` (exclusive): the
@@ -541,8 +581,11 @@ class FileIndexer {
     fn.is_method = InClassScope() || !qualifier.empty();
     fn.annotated_nondeterministic = LineHasMarker(name_line);
     if (is_definition) {
-      ScanBody(scan_from != 0 ? scan_from : body_open + 1, body_open, &fn);
-      i_ = SkipBraces(body_open);
+      fn.sig_scan_begin = scan_from != 0 ? scan_from : body_open + 1;
+      fn.sig_body_open = body_open;
+      fn.sig_body_end = SkipBraces(body_open);
+      ScanBody(fn.sig_scan_begin, body_open, &fn);
+      i_ = fn.sig_body_end;
     }
     out_->functions.push_back(std::move(fn));
     return true;

@@ -11,7 +11,9 @@
 //   * function *declarations* (so a header prototype does not read as a dead
 //     symbol when only its out-of-line definition is referenced);
 //   * `WEBCC_GUARDED_BY(mu)`-annotated data members per class (consumed by
-//     the lock-discipline rule, tools/analyze/lockcheck.h);
+//     the lock-discipline rule, tools/analyze/lockcheck.h), plus the
+//     std::mutex-family members themselves and any `WEBCC_ACQUIRED_AFTER`
+//     ordering annotations on them (consumed by pass 5, tools/analyze/locks.h);
 //   * a global identifier-spelling census (consumed by the dead-symbol
 //     report, tools/analyze/callgraph.h).
 //
@@ -91,6 +93,36 @@ struct FunctionSymbol {
   std::vector<PrimitiveUse> primitives;
   std::vector<IdentUse> ident_uses;
   std::vector<LockAcquire> lock_acquires;
+  // Significant-token span of the definition, for pass 5's CFG construction
+  // (tools/analyze/cfg.h). Indices into the file's non-comment,
+  // non-preprocessor token stream — the same stream the indexer walked.
+  // `sig_scan_begin` starts at the ctor init list when one exists, else one
+  // past the body '{'. All three stay zero for declarations.
+  size_t sig_scan_begin = 0;
+  size_t sig_body_open = 0;
+  size_t sig_body_end = 0;  // one past the closing '}'
+};
+
+// A std::mutex-family data member declared at class scope. Gives pass 5 a
+// qualified identity ("webcc::ThreadPool::mu_") so lock-order edges compare
+// across translation units instead of colliding on the spelling "mu_".
+struct MutexMember {
+  std::string class_name;  // qualified: "webcc::ThreadPool"
+  std::string member;      // "mu_"
+  std::string file;
+  size_t line = 0;
+};
+
+// One WEBCC_ACQUIRED_AFTER(before) annotation on a mutex member: declares
+// that `before` is acquired before `class_name::member` wherever both are
+// held. Pass 5 folds these declared edges into the observed lock-order
+// graph, so an inverted acquisition anywhere in the tree closes a cycle.
+struct DeclaredLockOrder {
+  std::string class_name;  // class owning the annotated mutex
+  std::string member;      // the annotated mutex member
+  std::string before;      // as spelled: "mu_" or "webcc::ThreadPool::mu_"
+  std::string file;
+  size_t line = 0;
 };
 
 // One WEBCC_GUARDED_BY(mutex) annotation on a class data member.
@@ -107,6 +139,8 @@ struct SymbolIndex {
   // then token order within each file.
   std::vector<FunctionSymbol> functions;
   std::vector<GuardedMember> guarded_members;
+  std::vector<MutexMember> mutex_members;
+  std::vector<DeclaredLockOrder> declared_lock_order;
   // Indices into `functions` of definitions, keyed by unqualified name.
   std::map<std::string, std::vector<size_t>> definitions_by_name;
   // Total identifier tokens per spelling across the whole scan unit

@@ -22,18 +22,6 @@ bool IsSinkFile(const std::string& path) {
   return false;
 }
 
-bool WaiverMatches(const std::string& qualified_name, const std::string& entry) {
-  if (qualified_name == entry) {
-    return true;
-  }
-  if (entry.size() + 2 > qualified_name.size()) {
-    return false;
-  }
-  const size_t suffix_at = qualified_name.size() - entry.size();
-  return qualified_name.compare(suffix_at, entry.size(), entry) == 0 &&
-         qualified_name.compare(suffix_at - 2, 2, "::") == 0;
-}
-
 // Per-function taint state. A function is tainted by its own first primitive
 // (via == kOwn) or through one deterministic callee (the BFS parent).
 constexpr size_t kClean = static_cast<size_t>(-1);
@@ -150,7 +138,7 @@ void CheckTaint(const SymbolIndex& index, const CallGraph& graph,
   std::vector<size_t> waiver_of(n, kClean);  // which waiver entry matched
   for (size_t w = 0; w < waivers.size(); ++w) {
     for (size_t i = 0; i < n; ++i) {
-      if (WaiverMatches(index.functions[i].qualified_name, waivers[w].function)) {
+      if (QualifiedSuffixMatches(index.functions[i].qualified_name, waivers[w].function)) {
         waived[i] = true;
         if (waiver_of[i] == kClean) {
           waiver_of[i] = w;

@@ -1,0 +1,515 @@
+#include "tools/analyze/timedomain.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "tools/analyze/callgraph.h"
+#include "tools/analyze/cfg.h"
+#include "tools/analyze/layers.h"
+
+namespace webcc::analyze {
+namespace {
+
+constexpr int kWall = 1;
+constexpr int kSim = 2;
+
+bool EndsWithNs(const std::string& t) {
+  return t.size() > 3 && t.compare(t.size() - 3, 3, "_ns") == 0;
+}
+
+bool IsSimTypeName(const std::string& t) {
+  return t == "SimTime" || t == "SimDuration";
+}
+
+bool IsGroupingKeyword(const std::string& t) {
+  static const std::set<std::string>* kw = new std::set<std::string>{
+      "if",     "for",      "while",  "switch",   "return", "sizeof",
+      "throw",  "decltype", "typeid", "noexcept", "catch",  "static_assert",
+      "alignof"};
+  return kw->count(t) != 0;
+}
+
+bool IsAllCaps(const std::string& t) {
+  bool has_alpha = false;
+  for (const char c : t) {
+    if (c >= 'a' && c <= 'z') {
+      return false;
+    }
+    if (c >= 'A' && c <= 'Z') {
+      has_alpha = true;
+    }
+  }
+  return has_alpha;
+}
+
+// Operators that connect two terms into one unit-bearing chain. Assignment
+// included: storing wall nanoseconds into a sim variable is exactly the bug.
+bool IsChainOperator(const std::string& t) {
+  static const std::set<std::string>* ops = new std::set<std::string>{
+      "+",  "-",  "*",  "/",  "%",  "<",  ">",  "<=", ">=", "==",
+      "!=", "=",  "+=", "-=", "*=", "/=", "<<", ">>", "?",  ":",
+      "&&", "||"};
+  return ops->count(t) != 0;
+}
+
+struct RegionResult {
+  int mask = 0;  // kWall | kSim bits seen anywhere in the region
+};
+
+class TimeDomainScanner {
+ public:
+  TimeDomainScanner(const LexedFile& file, const std::vector<const Token*>& sig,
+                    const TimeDomainConfig& cfg, const std::set<std::string>& sim_names,
+                    std::vector<Finding>* findings)
+      : file_(file), sig_(sig), cfg_(cfg), sim_names_(sim_names), findings_(findings) {
+    for (const std::string& c : cfg.converters) {
+      const size_t sep = c.rfind("::");
+      converter_tails_.insert(sep == std::string::npos ? c : c.substr(sep + 2));
+    }
+  }
+
+  void ScanFunction(const FunctionSymbol& fn) {
+    SplitStatements(fn.sig_scan_begin, fn.sig_body_end);
+  }
+
+ private:
+  const std::string& Text(size_t i) const {
+    static const std::string empty;
+    return i < sig_.size() ? sig_[i]->text : empty;
+  }
+  bool IsIdent(size_t i) const {
+    return i < sig_.size() && sig_[i]->kind == TokenKind::kIdentifier;
+  }
+  bool IsPunct(size_t i, const char* p) const {
+    return i < sig_.size() && sig_[i]->kind == TokenKind::kPunct && sig_[i]->text == p;
+  }
+  size_t Line(size_t i) const { return i < sig_.size() ? sig_[i]->line : 0; }
+
+  size_t SkipBalanced(size_t i, const char* open, const char* close) const {
+    int depth = 0;
+    while (i < sig_.size()) {
+      if (IsPunct(i, open)) {
+        ++depth;
+      } else if (IsPunct(i, close)) {
+        if (--depth == 0) {
+          return i + 1;
+        }
+      }
+      ++i;
+    }
+    return i;
+  }
+
+  // A '{' opening a statement block (split point), as opposed to a
+  // brace-initializer that stays inside its expression.
+  bool IsBlockBrace(size_t brace, size_t span_begin) const {
+    if (brace == span_begin) {
+      return true;
+    }
+    const size_t p = brace - 1;
+    if (IsPunct(p, ")") || IsPunct(p, "]") || IsPunct(p, ";") || IsPunct(p, "{") ||
+        IsPunct(p, "}") || IsPunct(p, ":")) {
+      return true;
+    }
+    if (IsIdent(p)) {
+      const std::string& t = Text(p);
+      return t == "else" || t == "do" || t == "try" || t == "mutable" ||
+             t == "noexcept" || t == "const";
+    }
+    return false;
+  }
+
+  void SplitStatements(size_t begin, size_t end) {
+    size_t start = begin;
+    size_t i = begin;
+    while (i < end) {
+      if (IsPunct(i, ";")) {
+        ScanRegion(start, i);
+        start = ++i;
+      } else if (IsPunct(i, "{")) {
+        if (IsBlockBrace(i, begin)) {
+          ScanRegion(start, i);
+          start = ++i;
+        } else {
+          i = std::min(SkipBalanced(i, "{", "}"), end);
+        }
+      } else if (IsPunct(i, "}")) {
+        ScanRegion(start, i);
+        start = ++i;
+      } else {
+        ++i;
+      }
+    }
+    ScanRegion(start, end);
+  }
+
+  int Classify(const std::string& t) const {
+    if (EndsWithNs(t)) {
+      return kWall;
+    }
+    if (IsSimTypeName(t) || sim_names_.count(t) != 0) {
+      return kSim;
+    }
+    return 0;
+  }
+
+  void Flag(size_t line, const std::string& wall_name, const std::string& sim_name) {
+    if (!reported_.insert({file_.path, line}).second ||
+        FindingWaivedInline(file_, line, "time-domain")) {
+      return;
+    }
+    findings_->push_back(
+        Finding{file_.path, line, "time-domain",
+                "expression mixes wall-clock nanoseconds ('" + wall_name +
+                    "') with simulated time ('" + sim_name +
+                    "'); convert through a sanctioned converter "
+                    "(tools/analyze/time_domains.txt) instead"});
+  }
+
+  void FlagApiArg(size_t line, const std::string& api, bool wall_into_sim,
+                  const std::string& term) {
+    if (!reported_.insert({file_.path, line}).second ||
+        FindingWaivedInline(file_, line, "time-domain")) {
+      return;
+    }
+    findings_->push_back(
+        Finding{file_.path, line, "time-domain",
+                wall_into_sim
+                    ? "wall-clock nanoseconds ('" + term + "') passed to sim-domain "
+                          "API '" + api + "'; convert through a sanctioned converter first"
+                    : "simulated time ('" + term + "') passed to wall-domain API '" +
+                          api + "'; convert to nanoseconds through a sanctioned "
+                          "converter first"});
+  }
+
+  // Scans the comma-separated argument regions in [from, to). Each argument
+  // is an independent region; `api` non-null applies the sim-api/wall-api
+  // argument checks. Returns the union of argument masks.
+  int ScanArgs(size_t from, size_t to, const std::string* api, bool api_is_sim) {
+    int mask = 0;
+    size_t start = from;
+    size_t i = from;
+    while (i <= to) {
+      const bool at_end = i == to;
+      if (at_end || (IsPunct(i, ",") && Depth0(from, i))) {
+        if (start < i) {
+          const RegionResult r = ScanRegion(start, i);
+          mask |= r.mask;
+          if (api != nullptr) {
+            if (api_is_sim && (r.mask & kWall) != 0) {
+              FlagApiArg(Line(start), *api, true, FirstTermOf(start, i, kWall));
+            }
+            if (!api_is_sim && (r.mask & kSim) != 0) {
+              FlagApiArg(Line(start), *api, false, FirstTermOf(start, i, kSim));
+            }
+          }
+        }
+        start = i + 1;
+      }
+      if (at_end) {
+        break;
+      }
+      if (IsPunct(i, "(")) {
+        i = std::min(SkipBalanced(i, "(", ")"), to);
+      } else if (IsPunct(i, "[")) {
+        i = std::min(SkipBalanced(i, "[", "]"), to);
+      } else if (IsPunct(i, "{")) {
+        i = std::min(SkipBalanced(i, "{", "}"), to);
+      } else {
+        ++i;
+      }
+    }
+    return mask;
+  }
+
+  // True when `i` sits at bracket depth zero relative to `from` (cheap check
+  // used only for argument commas; ScanArgs skips nested groups itself, so
+  // this is always true there — kept for clarity).
+  static bool Depth0(size_t, size_t) { return true; }
+
+  // First identifier in [from, to) classified as `domain`, for messages.
+  std::string FirstTermOf(size_t from, size_t to, int domain) const {
+    for (size_t i = from; i < to; ++i) {
+      if (IsIdent(i) && Classify(Text(i)) == domain) {
+        return Text(i);
+      }
+    }
+    return domain == kWall ? "wall-nanos value" : "sim-time value";
+  }
+
+  // Scans one expression region, flagging operator chains that mix domains.
+  RegionResult ScanRegion(size_t from, size_t to) {
+    RegionResult result;
+    int seen = 0;   // merged chain masks at this region's top level
+    int chain = 0;  // the current postfix/primary chain
+    std::string wall_name = "wall-nanos value";
+    std::string sim_name = "sim-time value";
+    size_t i = from;
+
+    const auto merge_chain = [&](size_t line_at) {
+      seen |= chain;
+      result.mask |= chain;
+      chain = 0;
+      if ((seen & kWall) != 0 && (seen & kSim) != 0) {
+        Flag(line_at, wall_name, sim_name);
+        seen = 0;
+      }
+    };
+
+    while (i < to) {
+      if (IsIdent(i)) {
+        const std::string& t = Text(i);
+        if (IsPunct(i + 1, "(")) {
+          const size_t close = std::min(SkipBalanced(i + 1, "(", ")"), to);
+          const size_t args_from = i + 2;
+          const size_t args_to = close > 0 ? close - 1 : args_from;
+          if (converter_tails_.count(t) != 0) {
+            // Sanctioned converter: args exempt from every check.
+            chain = 0;
+            i = close;
+            continue;
+          }
+          if (IsGroupingKeyword(t)) {
+            // `if (...)`, `return (...)`: the parens group the same chain.
+            const int mask = ScanArgs(args_from, args_to, nullptr, false);
+            chain |= mask;
+            if ((mask & kWall) != 0) {
+              wall_name = FirstTermOf(args_from, args_to, kWall);
+            }
+            if ((mask & kSim) != 0) {
+              sim_name = FirstTermOf(args_from, args_to, kSim);
+            }
+            i = close;
+            continue;
+          }
+          if (IsAllCaps(t)) {
+            // Macro call: check args independently, contribute nothing.
+            ScanArgs(args_from, args_to, nullptr, false);
+            i = close;
+            continue;
+          }
+          const bool sim_api = cfg_.sim_apis.count(t) != 0;
+          const bool wall_api = cfg_.wall_apis.count(t) != 0;
+          const std::string* api = sim_api || wall_api ? &t : nullptr;
+          const int argmask = ScanArgs(args_from, args_to, api, sim_api);
+          if (cfg_.escapes.count(t) != 0) {
+            chain = 0;  // `.seconds()`, `.count()`: the unit is stripped
+          } else if (cfg_.wall_fns.count(t) != 0) {
+            chain |= kWall;
+            wall_name = t;
+          } else if (cfg_.sim_fns.count(t) != 0) {
+            chain |= kSim;
+            sim_name = t;
+          } else if (argmask == kWall || argmask == kSim) {
+            // Unknown call: a single-domain argument list carries through
+            // (std::max over two wall values is still wall).
+            chain |= argmask;
+          }
+          i = close;
+          continue;
+        }
+        const int d = Classify(t);
+        if (d == kWall) {
+          chain |= kWall;
+          wall_name = t;
+        } else if (d == kSim) {
+          chain |= kSim;
+          sim_name = t;
+        }
+        ++i;
+        continue;
+      }
+      if (IsPunct(i, "(")) {
+        // Grouping parens: same chain.
+        const size_t close = std::min(SkipBalanced(i, "(", ")"), to);
+        const int mask = ScanArgs(i + 1, close > 0 ? close - 1 : i + 1, nullptr, false);
+        chain |= mask;
+        if ((mask & kWall) != 0) {
+          wall_name = FirstTermOf(i + 1, close, kWall);
+        }
+        if ((mask & kSim) != 0) {
+          sim_name = FirstTermOf(i + 1, close, kSim);
+        }
+        i = close;
+        continue;
+      }
+      if (IsPunct(i, "{")) {
+        // Brace-init: like an unknown call over its arguments.
+        const size_t close = std::min(SkipBalanced(i, "{", "}"), to);
+        const int mask = ScanArgs(i + 1, close > 0 ? close - 1 : i + 1, nullptr, false);
+        if (mask == kWall || mask == kSim) {
+          chain |= mask;
+          if (mask == kWall) {
+            wall_name = FirstTermOf(i + 1, close, kWall);
+          } else {
+            sim_name = FirstTermOf(i + 1, close, kSim);
+          }
+        }
+        i = close;
+        continue;
+      }
+      if (IsPunct(i, "[")) {
+        // Subscript: independent region, chain continues.
+        const size_t close = std::min(SkipBalanced(i, "[", "]"), to);
+        ScanRegion(i + 1, close > 0 ? close - 1 : i + 1);
+        i = close;
+        continue;
+      }
+      if (IsPunct(i, ",") || IsPunct(i, ";")) {
+        // Independent sub-expressions: merge without cross-flagging.
+        result.mask |= seen | chain;
+        seen = 0;
+        chain = 0;
+        ++i;
+        continue;
+      }
+      if (sig_[i]->kind == TokenKind::kPunct && IsChainOperator(Text(i))) {
+        merge_chain(Line(i));
+        ++i;
+        continue;
+      }
+      ++i;  // '.', '->', '::', unary operators, stray closers, literals
+    }
+    merge_chain(to > from ? Line(to - 1) : 0);
+    return result;
+  }
+
+  const LexedFile& file_;
+  const std::vector<const Token*>& sig_;
+  const TimeDomainConfig& cfg_;
+  const std::set<std::string>& sim_names_;
+  std::vector<Finding>* findings_;
+  std::set<std::string> converter_tails_;
+  std::set<std::pair<std::string, size_t>> reported_;
+};
+
+// Tree-wide census of identifiers declared with SimTime/SimDuration type:
+// `SimTime name;`, `SimDuration name = ...`, `SimTime name WEBCC_GUARDED_BY`.
+// Function parameters are deliberately excluded (name followed by ',' or
+// ')'): a parameter name like `delay` in one header would poison every
+// same-named wall-clock local in the tree, and a parameter's unit is
+// enforced at its call sites by the declaring function's own expressions.
+std::set<std::string> CollectSimNames(const std::vector<const LexedFile*>& files) {
+  std::set<std::string> names;
+  for (const LexedFile* file : files) {
+    const std::vector<Token>& toks = file->tokens;
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != TokenKind::kIdentifier || !IsSimTypeName(toks[i].text)) {
+        continue;
+      }
+      size_t j = i + 1;
+      while (j < toks.size() && toks[j].kind == TokenKind::kPunct &&
+             (toks[j].text == "&" || toks[j].text == "*" || toks[j].text == "&&")) {
+        ++j;
+      }
+      if (j >= toks.size() || toks[j].kind != TokenKind::kIdentifier) {
+        continue;
+      }
+      const size_t after = j + 1;
+      if (after < toks.size() &&
+          (toks[after].kind == TokenKind::kIdentifier ||
+           (toks[after].kind == TokenKind::kPunct &&
+            (toks[after].text == ";" || toks[after].text == "=" ||
+             toks[after].text == "{")))) {
+        names.insert(toks[j].text);
+      }
+    }
+  }
+  return names;
+}
+
+}  // namespace
+
+TimeDomainConfig ParseTimeDomainConfig(const std::string& path,
+                                       const std::string& contents,
+                                       std::vector<Finding>* findings) {
+  TimeDomainConfig config;
+  std::istringstream in(contents);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    std::istringstream fields(line);
+    std::string directive;
+    std::string name;
+    std::string extra;
+    if (!(fields >> directive)) {
+      continue;  // blank
+    }
+    if (!(fields >> name) || (fields >> extra)) {
+      findings->push_back(Finding{path, line_no, "time-domain-config",
+                                  "expected exactly '<directive> <name>', got '" +
+                                      line + "'"});
+      continue;
+    }
+    if (directive == "wall-fn") {
+      config.wall_fns.insert(name);
+    } else if (directive == "sim-fn") {
+      config.sim_fns.insert(name);
+    } else if (directive == "sim-api") {
+      config.sim_apis.insert(name);
+    } else if (directive == "wall-api") {
+      config.wall_apis.insert(name);
+    } else if (directive == "escape") {
+      config.escapes.insert(name);
+    } else if (directive == "converter") {
+      config.converters.push_back(name);
+    } else {
+      findings->push_back(Finding{path, line_no, "time-domain-config",
+                                  "unknown directive '" + directive +
+                                      "' (expected wall-fn, sim-fn, sim-api, "
+                                      "wall-api, escape, or converter)"});
+    }
+  }
+  std::sort(config.converters.begin(), config.converters.end());
+  return config;
+}
+
+void CheckTimeDomains(const std::vector<LexedFile>& files, const SymbolIndex& index,
+                      const TimeDomainConfig& config, std::vector<Finding>* findings) {
+  std::vector<const LexedFile*> ordered;
+  ordered.reserve(files.size());
+  for (const LexedFile& f : files) {
+    ordered.push_back(&f);
+  }
+  std::sort(ordered.begin(), ordered.end(), [](const LexedFile* a, const LexedFile* b) {
+    const std::string ra = RepoRelative(a->path);
+    const std::string rb = RepoRelative(b->path);
+    if (ra != rb) return ra < rb;
+    return a->path < b->path;
+  });
+  const std::set<std::string> sim_names = CollectSimNames(ordered);
+
+  std::map<std::string, const LexedFile*> by_path;
+  for (const LexedFile* f : ordered) {
+    by_path[f->path] = f;
+  }
+  // Group definitions by file, in the same deterministic file order.
+  for (const LexedFile* file : ordered) {
+    const std::vector<const Token*> sig = SignificantTokens(*file);
+    TimeDomainScanner scanner(*file, sig, config, sim_names, findings);
+    for (const FunctionSymbol& fn : index.functions) {
+      if (!fn.is_definition || fn.file != file->path ||
+          fn.sig_body_end <= fn.sig_body_open) {
+        continue;
+      }
+      bool converter = false;
+      for (const std::string& c : config.converters) {
+        if (QualifiedSuffixMatches(fn.qualified_name, c)) {
+          converter = true;
+          break;
+        }
+      }
+      if (!converter) {
+        scanner.ScanFunction(fn);
+      }
+    }
+  }
+}
+
+}  // namespace webcc::analyze

@@ -1,0 +1,70 @@
+// Pass 5 of webcc-analyze, stage 3: wall/sim time-domain checking.
+//
+// The tree has two time units that must never meet in arithmetic: simulated
+// time (SimTime/SimDuration, integer seconds — the cache's domain) and raw
+// wall-clock nanoseconds (int64_t, `_ns`-suffixed — the serve frontend's
+// domain). The paper's consistency math (TTLs, Alex thresholds,
+// invalidation timing) lives entirely in the first; PR 9's latency and
+// deadline plumbing lives entirely in the second. This pass treats them as
+// distinct units and flags any expression or call argument that mixes them
+// outside a sanctioned converter.
+//
+// Classification:
+//   * an identifier ending in `_ns` is WALL;
+//   * an identifier declared anywhere in the scan unit with type
+//     SimTime/SimDuration (a tree-wide census, like the unordered-container
+//     census pass 4 keeps) is SIM, as are the type names themselves;
+//   * calls classify by the config: `wall-fn` names (NowNanos, ...) return
+//     WALL, `sim-fn` names (Seconds, Epoch, ...) return SIM, `escape`
+//     names (.seconds(), .count()) return a unit-free number, `converter`
+//     qualified names (ServeFrontend::SimTimeFor) are the sanctioned
+//     bridges — their bodies and call sites are exempt; an unclassified
+//     call inherits the single domain of its arguments, if any.
+//
+// Checks (rule `time-domain`):
+//   * an operator chain containing both WALL and SIM terms;
+//   * a WALL argument to a `sim-api` call (RunUntil, ScheduleAt, ...);
+//   * a SIM argument to a `wall-api` call (SleepNanos).
+//
+// The config file (tools/analyze/time_domains.txt) is one directive per
+// line — `wall-fn N`, `sim-fn N`, `sim-api N`, `wall-api N`, `escape N`,
+// `converter Qualified::Name` — with '#' comments; malformed lines are
+// `time-domain-config` findings (unbaselineable, like every config rule).
+// Findings honor the pass-1 inline waivers (`webcc-lint: allow(...)`).
+
+#ifndef WEBCC_TOOLS_ANALYZE_TIMEDOMAIN_H_
+#define WEBCC_TOOLS_ANALYZE_TIMEDOMAIN_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/lexer.h"
+#include "tools/analyze/source.h"
+#include "tools/analyze/symbols.h"
+
+namespace webcc::analyze {
+
+struct TimeDomainConfig {
+  std::set<std::string> wall_fns;   // calls producing wall nanoseconds
+  std::set<std::string> sim_fns;    // calls producing SimTime/SimDuration
+  std::set<std::string> sim_apis;   // calls whose args must not be WALL
+  std::set<std::string> wall_apis;  // calls whose args must not be SIM
+  std::set<std::string> escapes;    // calls stripping the unit (.seconds())
+  std::vector<std::string> converters;  // qualified-name suffixes, sanctioned
+};
+
+// Parses the directive file. Malformed lines append `time-domain-config`
+// findings against `path` and are skipped.
+TimeDomainConfig ParseTimeDomainConfig(const std::string& path,
+                                       const std::string& contents,
+                                       std::vector<Finding>* findings);
+
+// Runs the check over every function definition in the index. Deterministic
+// for a given scan unit at any --jobs value.
+void CheckTimeDomains(const std::vector<LexedFile>& files, const SymbolIndex& index,
+                      const TimeDomainConfig& config, std::vector<Finding>* findings);
+
+}  // namespace webcc::analyze
+
+#endif  // WEBCC_TOOLS_ANALYZE_TIMEDOMAIN_H_

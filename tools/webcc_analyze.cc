@@ -4,17 +4,24 @@
 //   webcc-analyze src bench tools --layers=tools/analyze/layers.txt
 //       --baseline=tools/analyze/baseline.txt
 //       --taint-waivers=tools/analyze/taint_waivers.txt
+//       --time-domains=tools/analyze/time_domains.txt
+//       --dead-waivers=tools/analyze/dead_waivers.txt
 //       --sarif=analyze.sarif                  # what CI and lint.analyze.tree run
 //   webcc-analyze src/cache/foo.cc             # rules only, single file
 //
 // Without --layers the layer pass is skipped; without --baseline every
 // finding is fatal. --symbols (implied by --taint-waivers) enables pass 4:
-// symbol index, call-graph determinism taint, and lock discipline.
-// --dead-symbols additionally prints the advisory dead-symbol report to
-// stdout (never gating). --graph-cache=FILE memoizes include extraction
-// across runs (CI persists the file keyed on the tree hash; the cache
-// self-invalidates when layers or taint waivers change). --jobs=N lexes in
-// parallel; output is byte-identical for every N.
+// symbol index, call-graph determinism taint, and lock discipline. --flow
+// (implied by --time-domains) enables pass 5: per-function CFGs,
+// flow-sensitive lock discipline, the lock-order graph, blocking-under-lock
+// chains, and wall/sim time-domain checking. --dead-waivers=FILE gates the
+// dead-symbol census against a waiver file (stale entries fail);
+// --dead-symbols prints the advisory report to stdout. --lock-graph prints
+// the acquisition-graph edges to stdout (never gating). --graph-cache=FILE
+// memoizes include extraction across runs (CI persists the file keyed on
+// the tree hash; the cache self-invalidates when any analyzer config file
+// changes). --jobs=N lexes in parallel; output is byte-identical for
+// every N.
 
 #include <cstdlib>
 #include <fstream>
@@ -44,26 +51,36 @@ int main(int argc, char** argv) {
   std::string sarif_path;
   std::string jobs_value;
   bool print_dead_symbols = false;
+  bool print_lock_graph = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::cout
           << "usage: webcc-analyze <file-or-dir>... [--layers=FILE] [--baseline=FILE]\n"
              "                     [--symbols] [--taint-waivers=FILE] [--dead-symbols]\n"
-             "                     [--sarif=FILE] [--graph-cache=FILE] [--jobs=N]\n"
+             "                     [--flow] [--time-domains=FILE] [--dead-waivers=FILE]\n"
+             "                     [--lock-graph] [--sarif=FILE] [--graph-cache=FILE]\n"
+             "                     [--jobs=N]\n"
              "Pass 1 lints .h/.cc/.cpp files token-wise for determinism hazards.\n"
              "Pass 2 (--layers) enforces the architecture layer DAG on src/ includes.\n"
              "Pass 3 (--baseline) suppresses acknowledged findings; stale entries fail.\n"
              "Pass 4 (--symbols, implied by --taint-waivers) builds the cross-TU symbol\n"
              "index and call graph, then checks transitive determinism taint and\n"
              "WEBCC_GUARDED_BY lock discipline; --dead-symbols prints the advisory\n"
-             "defined-but-never-called report to stdout (never affects exit status).\n"
+             "defined-but-never-called report to stdout (never affects exit status);\n"
+             "--dead-waivers gates that census instead (unwaived dead symbols and\n"
+             "stale waivers fail).\n"
+             "Pass 5 (--flow, implied by --time-domains) builds per-function CFGs and\n"
+             "checks flow-sensitive lock discipline, lock-order cycles,\n"
+             "blocking-under-lock call chains, and wall/sim time-domain mixing;\n"
+             "--lock-graph prints the acquisition-graph edges to stdout.\n"
              "Directories named tests/ are always skipped.\n"
              "--sarif additionally writes SARIF 2.1.0 JSON for CI annotation.\n"
              "Suppress one line with: // webcc-lint: allow(<rule>) <why>\n"
              "Suppress one rule file-wide with: // webcc-lint: allow-file(<rule>) <why>\n"
              "Waive sanctioned taint in the --taint-waivers file (one function per\n"
-             "line, justification required; stale waivers fail).\n";
+             "line, justification required; stale waivers fail). Same contract for\n"
+             "--dead-waivers entries.\n";
       return 0;
     }
     if (arg == "--symbols") {
@@ -75,10 +92,21 @@ int main(int argc, char** argv) {
       print_dead_symbols = true;
       continue;
     }
+    if (arg == "--flow") {
+      options.run_flow = true;
+      continue;
+    }
+    if (arg == "--lock-graph") {
+      options.run_flow = true;
+      print_lock_graph = true;
+      continue;
+    }
     if (TakeFlagValue(arg, "--layers", &options.layers_file) ||
         TakeFlagValue(arg, "--baseline", &options.baseline_file) ||
         TakeFlagValue(arg, "--graph-cache", &options.graph_cache_file) ||
         TakeFlagValue(arg, "--taint-waivers", &options.taint_waivers_file) ||
+        TakeFlagValue(arg, "--time-domains", &options.time_domains_file) ||
+        TakeFlagValue(arg, "--dead-waivers", &options.dead_waivers_file) ||
         TakeFlagValue(arg, "--sarif", &sarif_path)) {
       continue;
     }
@@ -105,8 +133,10 @@ int main(int argc, char** argv) {
   }
 
   std::vector<std::string> dead_symbols;
+  std::vector<std::string> lock_graph_edges;
   const std::vector<webcc::analyze::Finding> findings = webcc::analyze::AnalyzePaths(
-      roots, options, print_dead_symbols ? &dead_symbols : nullptr);
+      roots, options, print_dead_symbols ? &dead_symbols : nullptr,
+      print_lock_graph ? &lock_graph_edges : nullptr);
 
   if (!sarif_path.empty()) {
     std::ofstream out(sarif_path, std::ios::trunc);
@@ -124,6 +154,15 @@ int main(int argc, char** argv) {
       std::cout << line << "\n";
     }
     std::cout << "# " << dead_symbols.size() << " dead symbol(s)\n";
+  }
+
+  if (print_lock_graph) {
+    std::cout << "# lock-acquisition graph (A -> B: B acquired while A held; "
+                 "advisory)\n";
+    for (const std::string& line : lock_graph_edges) {
+      std::cout << line << "\n";
+    }
+    std::cout << "# " << lock_graph_edges.size() << " edge(s)\n";
   }
 
   webcc::analyze::PrintFindings(findings, std::cerr);
